@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: progress metrics under input dependence (paper §7).
+ *
+ * The paper's predictor counts retired instructions; §7 notes that
+ * strongly input-dependent tasks may need Application-Heartbeats-style
+ * interfaces. This bench creates variants of an FG task with
+ * increasingly input-dependent phase lengths (per-instance instruction
+ * jitter) and compares midpoint prediction error with the
+ * retired-instruction metric vs the heartbeat metric, which reports
+ * work *fractions* and is immune to instruction-count variation.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "workload/benchmarks.h"
+
+using namespace dirigent;
+
+namespace {
+
+/** Register a raytrace variant with per-phase instruction jitter. */
+std::string
+jitteryVariant(double sigma)
+{
+    std::string name = strfmt("raytrace-j%02.0f", sigma * 100.0);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    if (lib.has(name))
+        return name;
+    workload::PhaseProgram prog = lib.get("raytrace").program;
+    prog.name = name;
+    for (auto &phase : prog.phases)
+        phase.instrJitterSigma = sigma;
+    workload::BenchmarkLibrary::registerCustom(
+        name, strfmt("raytrace with %.0f%% input-dependent phase "
+                     "lengths",
+                     sigma * 100.0),
+        prog);
+    return name;
+}
+
+double
+errorWithMetric(const std::string &fg, core::ProgressMetric metric,
+                unsigned executions)
+{
+    harness::HarnessConfig cfg = bench::defaultConfig(executions);
+    cfg.profiler.metric = metric;
+    cfg.runtime.metric = metric;
+    harness::ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix({fg}, workload::BgSpec::single("rs"));
+    harness::RunOptions opts;
+    opts.attachObserver = true;
+    auto res = runner.run(mix, core::Scheme::Baseline, {}, opts);
+    return res.predictionError();
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: retired-instructions vs heartbeats progress "
+                "under input dependence");
+
+    const unsigned executions = harness::envExecutions(30);
+    TextTable table({"phase-length jitter", "instr-metric error",
+                     "heartbeat-metric error"});
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"jitter", "instr_error", "heartbeat_error"});
+
+    for (double sigma : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+        std::string fg =
+            sigma == 0.0 ? "raytrace" : jitteryVariant(sigma);
+        double instrErr = errorWithMetric(
+            fg, core::ProgressMetric::RetiredInstructions, executions);
+        double beatErr = errorWithMetric(
+            fg, core::ProgressMetric::Heartbeats, executions);
+        table.addRow({TextTable::pct(sigma, 0),
+                      TextTable::pct(instrErr),
+                      TextTable::pct(beatErr)});
+        csv.numericRow({sigma, instrErr, beatErr});
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n" << csvBuf.str();
+
+    std::cout
+        << "\nExpectation: with input-independent phases both metrics "
+           "match. As phase\nlengths become strongly input-dependent, "
+           "both degrade (the instance's total\nwork is genuinely "
+           "unpredictable), but the instruction metric additionally\n"
+           "suffers profile-alignment error — the heartbeat metric "
+           "should cut the\nworst-case error substantially, supporting "
+           "the paper's §7 hypothesis that\nheartbeat-style interfaces "
+           "help under strong input dependence.\n";
+    return 0;
+}

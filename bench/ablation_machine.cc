@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: robustness to the machine configuration.
+ *
+ * The paper evaluates one testbed. This bench varies the two machine
+ * parameters Dirigent's mechanisms depend on — LLC capacity and
+ * effective memory bandwidth — and checks that the qualitative result
+ * (Dirigent ≈ perfect FG success at small BG cost, Baseline far below)
+ * holds across the range, i.e. the reproduction is not tuned to one
+ * magic configuration.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace dirigent;
+
+namespace {
+
+void
+runPoint(const std::string &label, harness::HarnessConfig cfg,
+         TextTable &table, CsvWriter &csv)
+{
+    cfg.executions = harness::envExecutions(30);
+    harness::ExperimentRunner runner(cfg);
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+    harness::applyDeadlines(baseline, deadlines);
+    auto dirigent = runner.run(mix, core::Scheme::Dirigent, deadlines);
+
+    table.addRow({label, TextTable::pct(baseline.fgSuccessRatio()),
+                  TextTable::pct(dirigent.fgSuccessRatio()),
+                  TextTable::num(
+                      harness::stdRatio(dirigent, baseline), 3),
+                  TextTable::pct(
+                      harness::bgThroughputRatio(dirigent, baseline))});
+    csv.row({label, strfmt("%.4f", baseline.fgSuccessRatio()),
+             strfmt("%.4f", dirigent.fgSuccessRatio()),
+             strfmt("%.4f", harness::stdRatio(dirigent, baseline)),
+             strfmt("%.4f",
+                    harness::bgThroughputRatio(dirigent, baseline))});
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: machine-configuration robustness "
+                "(ferret + 5x RS)");
+
+    TextTable table({"machine", "Baseline success", "Dirigent success",
+                     "Dirigent norm std", "Dirigent BG kept"});
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"machine", "baseline_success", "dirigent_success",
+             "dirigent_norm_std", "dirigent_bg"});
+
+    // LLC capacity sweep (ways at fixed way size).
+    for (unsigned ways : {12u, 20u, 28u}) {
+        harness::HarnessConfig cfg;
+        cfg.machine.cache.numWays = ways;
+        runPoint(strfmt("LLC %u ways (%.1f MiB)", ways,
+                        ways * 0.75),
+                 cfg, table, csv);
+    }
+    // Memory bandwidth sweep.
+    for (double gbps : {6.0, 8.5, 12.0}) {
+        harness::HarnessConfig cfg;
+        cfg.machine.dram.peakBandwidth = gbps * 1e9;
+        runPoint(strfmt("DRAM %.1f GB/s", gbps), cfg, table, csv);
+    }
+    // DVFS floor sweep (how much throttling range exists).
+    for (double minGhz : {1.0, 1.2, 1.5}) {
+        harness::HarnessConfig cfg;
+        cfg.machine.minFreq = Freq::ghz(minGhz);
+        runPoint(strfmt("DVFS floor %.1f GHz", minGhz), cfg, table,
+                 csv);
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n" << csvBuf.str();
+
+    std::cout << "\nExpectation: across cache sizes, bandwidths and "
+                 "DVFS ranges, Baseline\nsuccess stays near the ~60% "
+                 "implied by the deadline formula while Dirigent\n"
+                 "stays near 100% with large variance reduction — the "
+                 "result is a property of\nthe control loop, not of "
+                 "one machine point.\n";
+    return 0;
+}

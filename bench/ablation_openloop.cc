@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Extension: open-loop tail latency.
+ *
+ * The paper argues (Fig. 2) that execution-time variance forces
+ * over-provisioning; under queueing, variance also inflates *response
+ * time tails* directly. This bench offers Poisson arrivals of raytrace
+ * requests to a node backfilled with 5 bwaves tasks and sweeps the
+ * offered load, comparing response-time percentiles under free
+ * contention (Baseline) vs under the full Dirigent runtime.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "dirigent/profiler.h"
+#include "harness/arrivals.h"
+#include "machine/cat.h"
+#include "machine/cpufreq.h"
+#include "workload/benchmarks.h"
+
+using namespace dirigent;
+
+namespace {
+
+struct TailResult
+{
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    size_t served = 0;
+};
+
+TailResult
+runOpenLoop(bool useDirigent, Time meanInterarrival, Time deadline,
+            const core::Profile &profile, Time span, uint64_t seed)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    machine::MachineConfig mcfg;
+    mcfg.seed = seed;
+    machine::Machine machine(mcfg);
+    sim::Engine engine(machine, mcfg.maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+    machine::CatController cat(machine);
+
+    machine::ProcessSpec fg;
+    fg.name = "raytrace";
+    fg.program = &lib.get("raytrace").program;
+    fg.core = 0;
+    fg.foreground = true;
+    machine::Pid fgPid = machine.spawnProcess(fg);
+    for (unsigned c = 1; c < 6; ++c) {
+        machine::ProcessSpec bg;
+        bg.name = "bwaves";
+        bg.program = &lib.get("bwaves").program;
+        bg.core = c;
+        bg.foreground = false;
+        machine.spawnProcess(bg);
+    }
+
+    std::unique_ptr<core::DirigentRuntime> runtime;
+    if (useDirigent) {
+        core::RuntimeConfig rcfg;
+        rcfg.runtimeCore = 1;
+        runtime = std::make_unique<core::DirigentRuntime>(
+            machine, engine, governor, cat, rcfg);
+        runtime->addForeground(fgPid, &profile, deadline);
+        runtime->start();
+    }
+
+    harness::ArrivalDriver driver(engine, machine, fgPid,
+                                  meanInterarrival,
+                                  Rng(seed).fork(0xA221),
+                                  runtime.get());
+    driver.start();
+    engine.runUntil(span);
+    driver.stop();
+    if (runtime)
+        runtime->stop();
+
+    auto responses = driver.responseTimes();
+    TailResult result;
+    result.served = responses.size();
+    result.p50 = percentile(responses, 0.50);
+    result.p95 = percentile(responses, 0.95);
+    result.p99 = percentile(responses, 0.99);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Extension: open-loop tail latency "
+                "(raytrace requests + 5x bwaves)");
+
+    const uint64_t seed = harness::envSeed(77);
+    const Time span =
+        Time::sec(double(harness::envExecutions(40)) * 2.5);
+
+    machine::MachineConfig mcfg;
+    core::OfflineProfiler profiler;
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    core::Profile profile =
+        profiler.profileAlone(lib.get("raytrace"), mcfg);
+    // Deadline per request: 1.15× the standalone service time.
+    Time deadline = profile.totalTime() * 1.15;
+    std::cout << "service time standalone "
+              << TextTable::num(profile.totalTime().sec(), 3)
+              << " s; per-request deadline "
+              << TextTable::num(deadline.sec(), 3) << " s; window "
+              << TextTable::num(span.sec(), 0) << " s\n";
+
+    TextTable table({"offered load", "config", "p50 (s)", "p95 (s)",
+                     "p99 (s)", "served"});
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"load", "config", "p50", "p95", "p99", "served"});
+
+    // Offered load relative to the *contended* Baseline service rate
+    // (~0.84 s per request).
+    for (double load : {0.4, 0.6, 0.8, 0.9}) {
+        Time interarrival = Time::sec(0.84 / load);
+        auto base = runOpenLoop(false, interarrival, deadline, profile,
+                                span, seed);
+        auto diri = runOpenLoop(true, interarrival, deadline, profile,
+                                span, seed);
+        for (const auto &[name, res] :
+             {std::pair<const char *, TailResult &>{"Baseline", base},
+              {"Dirigent", diri}}) {
+            table.addRow({strfmt("%.0f%%", load * 100.0), name,
+                          TextTable::num(res.p50, 3),
+                          TextTable::num(res.p95, 3),
+                          TextTable::num(res.p99, 3),
+                          strfmt("%zu", res.served)});
+            csv.row({strfmt("%.2f", load), name,
+                     strfmt("%.4f", res.p50), strfmt("%.4f", res.p95),
+                     strfmt("%.4f", res.p99),
+                     strfmt("%zu", res.served)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n" << csvBuf.str();
+
+    std::cout << "\nExpectation: at low load the two configs are "
+                 "similar (service dominates);\nas load rises, "
+                 "Baseline's service-time variance inflates the "
+                 "p95/p99 response\ntails through queueing while "
+                 "Dirigent's low-variance service keeps the tail\n"
+                 "close to the median — the open-loop face of the "
+                 "paper's Fig. 2 argument.\n";
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Sensitivity ablations the paper reports in §4.2/§4.3:
+ *  - EMA weight 0.1–0.3: predictor robust across the range;
+ *  - sampling period: even ~40 samples per execution remain accurate;
+ *  - pause threshold: Dirigent insensitive to the (arbitrary) 10%.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+
+using namespace dirigent;
+
+namespace {
+
+void
+emaWeightAblation()
+{
+    printBanner(std::cout, "Ablation: predictor EMA weight (paper: "
+                           "robust in 0.1-0.3)");
+    TextTable table({"weight", "avg midpoint error"});
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"weight", "avg_error"});
+    auto mix =
+        workload::makeMix({"raytrace"}, workload::BgSpec::single("rs"));
+    for (double w : {0.1, 0.15, 0.2, 0.25, 0.3}) {
+        harness::HarnessConfig cfg = bench::defaultConfig(30);
+        cfg.runtime.predictor.penaltyEmaWeight = w;
+        cfg.runtime.predictor.rateEmaWeight = w;
+        harness::ExperimentRunner runner(cfg);
+        harness::RunOptions opts;
+        opts.attachObserver = true;
+        auto res = runner.run(mix, core::Scheme::Baseline, {}, opts);
+        table.addRow({TextTable::num(w, 2),
+                      TextTable::pct(res.predictionError())});
+        csv.numericRow({w, res.predictionError()});
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n" << csvBuf.str();
+}
+
+void
+samplingPeriodAblation()
+{
+    printBanner(std::cout, "Ablation: sampling period (paper: ~40 "
+                           "samples per execution suffice)");
+    TextTable table({"period (ms)", "samples/exec", "avg error"});
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"period_ms", "samples_per_exec", "avg_error"});
+    auto mix =
+        workload::makeMix({"raytrace"}, workload::BgSpec::single("rs"));
+    for (double ms : {2.5, 5.0, 10.0, 15.0, 20.0}) {
+        harness::HarnessConfig cfg = bench::defaultConfig(30);
+        cfg.profiler.samplingPeriod = Time::ms(ms);
+        cfg.runtime.samplingPeriod = Time::ms(ms);
+        harness::ExperimentRunner runner(cfg);
+        harness::RunOptions opts;
+        opts.attachObserver = true;
+        auto res = runner.run(mix, core::Scheme::Baseline, {}, opts);
+        double samples =
+            res.fgDurationMean() / (ms * 1e-3);
+        table.addRow({TextTable::num(ms, 1),
+                      TextTable::num(samples, 0),
+                      TextTable::pct(res.predictionError())});
+        csv.numericRow({ms, samples, res.predictionError()});
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n" << csvBuf.str();
+}
+
+void
+pauseThresholdAblation()
+{
+    printBanner(std::cout, "Ablation: pause threshold (paper: "
+                           "insensitive around 10%)");
+    TextTable table({"threshold", "FG success", "BG throughput"});
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"threshold", "fg_success", "bg_ratio"});
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+    harness::HarnessConfig base = bench::defaultConfig(30);
+    harness::ExperimentRunner calRunner(base);
+    auto baseline = calRunner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = calRunner.deadlinesFromBaseline(baseline);
+    for (double thr : {0.05, 0.08, 0.10, 0.15, 0.20}) {
+        harness::HarnessConfig cfg = base;
+        cfg.runtime.fine.pauseThreshold = thr;
+        harness::ExperimentRunner runner(cfg);
+        auto res = runner.run(mix, core::Scheme::Dirigent, deadlines);
+        table.addRow({TextTable::pct(thr, 0),
+                      TextTable::pct(res.fgSuccessRatio()),
+                      TextTable::num(
+                          harness::bgThroughputRatio(res, baseline),
+                          3)});
+        csv.numericRow({thr, res.fgSuccessRatio(),
+                        harness::bgThroughputRatio(res, baseline)});
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n" << csvBuf.str();
+}
+
+void
+decisionCadenceAblation()
+{
+    printBanner(std::cout, "Ablation: control decision cadence "
+                           "(paper: every 5 prediction segments)");
+    TextTable table({"segments/decision", "FG success",
+                     "BG throughput"});
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"ticks", "fg_success", "bg_ratio"});
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+    harness::HarnessConfig base = bench::defaultConfig(30);
+    harness::ExperimentRunner calRunner(base);
+    auto baseline = calRunner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = calRunner.deadlinesFromBaseline(baseline);
+    for (unsigned ticks : {2u, 5u, 10u, 20u}) {
+        harness::HarnessConfig cfg = base;
+        cfg.runtime.decisionPeriodTicks = ticks;
+        harness::ExperimentRunner runner(cfg);
+        auto res = runner.run(mix, core::Scheme::Dirigent, deadlines);
+        table.addRow({strfmt("%u", ticks),
+                      TextTable::pct(res.fgSuccessRatio()),
+                      TextTable::num(
+                          harness::bgThroughputRatio(res, baseline),
+                          3)});
+        csv.numericRow({double(ticks), res.fgSuccessRatio(),
+                        harness::bgThroughputRatio(res, baseline)});
+    }
+    table.print(std::cout);
+    std::cout << "\nCSV:\n" << csvBuf.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    emaWeightAblation();
+    samplingPeriodAblation();
+    pauseThresholdAblation();
+    decisionCadenceAblation();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration binaries.
+ */
+
+#ifndef DIRIGENT_BENCH_BENCH_UTIL_H
+#define DIRIGENT_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <vector>
+
+#include "common/log.h"
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/mix.h"
+
+namespace dirigent::bench {
+
+/** Default harness configuration with environment overrides applied. */
+inline harness::HarnessConfig
+defaultConfig(unsigned executions)
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = harness::envExecutions(executions);
+    cfg.seed = harness::envSeed(cfg.seed);
+    return cfg;
+}
+
+/**
+ * Run every mix through all five schemes and print the Fig. 9-style
+ * per-mix table, the normalized-σ table, the Fig. 10/13-style summary,
+ * and a CSV block.
+ */
+inline std::vector<std::vector<harness::SchemeRunResult>>
+runAndReport(harness::ExperimentRunner &runner,
+             const std::vector<workload::WorkloadMix> &mixes)
+{
+    std::vector<std::vector<harness::SchemeRunResult>> perMix;
+    for (const auto &mix : mixes) {
+        dirigent::inform("running mix: " + mix.name);
+        perMix.push_back(runner.runAllSchemes(mix));
+    }
+
+    std::cout << "\nFG success ratio and BG throughput (vs Baseline):\n";
+    harness::printSchemeComparison(std::cout, perMix);
+
+    std::cout << "\nFG execution-time std normalized to Baseline:\n";
+    harness::printStdComparison(std::cout, perMix);
+
+    std::cout << "\nSummary:\n";
+    harness::printSchemeSummary(std::cout,
+                                harness::summarizeSchemes(perMix));
+
+    std::cout << "\nCSV:\n";
+    harness::printComparisonCsv(std::cout, perMix);
+    return perMix;
+}
+
+} // namespace dirigent::bench
+
+#endif // DIRIGENT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 2 (made quantitative): reservation-based scheduler efficiency
+ * for type A (high execution-time variance) vs type B (low variance)
+ * tasks. The scheduler reserves the 95th-percentile duration per task;
+ * utilization is the fraction of reserved time actually used.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "common/strfmt.h"
+#include "harness/reservation.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig. 2: reservation-based scheduling vs task variance");
+
+    TextTable table({"task type", "mean (s)", "std (s)",
+                     "95% reservation (s)", "utilization",
+                     "overrun rate"});
+    struct Row
+    {
+        const char *name;
+        double std;
+    };
+    // Type A: high variance (a contended latency-critical task);
+    // type B: low variance (the same task under Dirigent).
+    const std::vector<Row> rows = {
+        {"type A (high variance)", 0.35},
+        {"type B (low variance)", 0.05},
+    };
+    std::vector<harness::ReservationResult> results;
+    for (const auto &row : rows) {
+        harness::ReservationConfig cfg;
+        cfg.meanDuration = 1.0;
+        cfg.stdDuration = row.std;
+        auto res = harness::simulateReservation(cfg);
+        results.push_back(res);
+        table.addRow({row.name, TextTable::num(cfg.meanDuration, 2),
+                      TextTable::num(row.std, 2),
+                      TextTable::num(res.reservation, 3),
+                      TextTable::pct(res.utilization),
+                      TextTable::pct(res.overrunRate)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nVariance sweep (reservation quantile 0.95):\n";
+    TextTable sweep({"std/mean", "reservation", "utilization"});
+    std::cout << "\nCSV:\n";
+    CsvWriter csv(std::cout);
+    csv.row({"cv", "reservation_s", "utilization"});
+    for (double cv = 0.0; cv <= 0.51; cv += 0.05) {
+        harness::ReservationConfig cfg;
+        cfg.stdDuration = cv;
+        auto res = harness::simulateReservation(cfg);
+        sweep.addRow({TextTable::num(cv, 2),
+                      TextTable::num(res.reservation, 3),
+                      TextTable::pct(res.utilization)});
+        csv.numericRow({cv, res.reservation, res.utilization});
+    }
+    std::cout << "\n";
+    sweep.print(std::cout);
+
+    std::cout << "\nPaper expectation: low-variance (type B) tasks pack "
+                 "tightly;\nhigh-variance (type A) tasks force long "
+                 "reservations and waste capacity.\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 8: exhaustive search over static FG partition sizes for the
+ * streamcluster + 5×PCA mix (mean FG execution time vs FG ways), plus
+ * the convergence trace of Dirigent's coarse-time-scale heuristic,
+ * which the paper reports reaching the knee within ~32 executions
+ * (5 coarse invocations).
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "common/table.h"
+#include "common/strfmt.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/mix.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = harness::envExecutions(25);
+    cfg.seed = harness::envSeed(cfg.seed);
+    harness::ExperimentRunner runner(cfg);
+
+    printBanner(std::cout,
+                "Fig. 8: exhaustive FG-partition search "
+                "(streamcluster + 5x PCA)");
+
+    auto mix = workload::makeMix({"streamcluster"},
+                                 workload::BgSpec::single("pca"));
+    // Deadlines for the Dirigent convergence run.
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+
+    // Exhaustive static sweep: BG cores at min frequency (StaticBoth
+    // semantics), FG partition swept over the paper's 2–18 range.
+    TextTable table({"FG ways", "exec time mean (s)",
+                     "normalized to 2 ways"});
+    std::cout << "\nCSV:\n";
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"fg_ways", "exec_mean_s", "exec_norm"});
+    double base = 0.0;
+    double bestMean = 1e18;
+    unsigned knee = 0;
+    std::vector<double> means;
+    for (unsigned ways = 2; ways <= 18; ++ways) {
+        harness::RunOptions opts;
+        opts.staticFgWays = ways;
+        auto res = runner.run(mix, core::Scheme::StaticBoth, deadlines,
+                              opts);
+        double mean = res.fgDurationMean();
+        means.push_back(mean);
+        if (ways == 2)
+            base = mean;
+        table.addRow({strfmt("%u", ways), TextTable::num(mean, 3),
+                      TextTable::num(mean / base, 3)});
+        csv.numericRow({double(ways), mean, mean / base});
+        if (mean < bestMean)
+            bestMean = mean;
+    }
+    // Knee: the smallest partition within 2% of the best mean.
+    for (unsigned ways = 2; ways <= 18; ++ways) {
+        if (means[ways - 2] <= bestMean * 1.02) {
+            knee = ways;
+            break;
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nknee of the exhaustive-search curve: " << knee
+              << " ways\n";
+    std::cout << "\n" << csvBuf.str();
+
+    // Dirigent's coarse-controller convergence trace.
+    printBanner(std::cout, "Coarse-controller convergence (Dirigent)");
+    harness::HarnessConfig convergeCfg = cfg;
+    convergeCfg.executions = std::max(cfg.executions, 40u);
+    harness::ExperimentRunner convergeRunner(convergeCfg);
+    auto dirigent =
+        convergeRunner.run(mix, core::Scheme::Dirigent, deadlines);
+    TextTable conv({"after exec", "FG ways", "heuristic"});
+    for (const auto &d : dirigent.partitionDecisions) {
+        conv.addRow({strfmt("%lu", (unsigned long)d.executionIndex),
+                     strfmt("%u", d.fgWays),
+                     d.heuristic[0] ? d.heuristic : "-"});
+    }
+    conv.print(std::cout);
+    std::cout << "converged partition: " << dirigent.finalFgWays
+              << " ways (exhaustive knee: " << knee << ")\n";
+
+    std::cout << "\nPaper expectation: FG time improves as the "
+                 "partition grows, with the knee\nat ~5 ways; "
+                 "Dirigent's heuristic converges to the same partition "
+                 "within\n~32 executions (5 coarse invocations).\n";
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 9b: FG success ratio and BG throughput for the 20 rotate-BG
+ * workload mixes (5 FG benchmarks × 4 rotating pairs) under all five
+ * schemes.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    harness::ExperimentRunner runner(bench::defaultConfig(40));
+    printBanner(std::cout,
+                "Fig. 9b: rotate-BG workload mixes (20 mixes x 5 "
+                "schemes)");
+    bench::runAndReport(runner, workload::rotateBgMixes());
+    std::cout << "\nPaper expectation: same ordering as Fig. 9a under "
+                 "context-switch-style\ninterference (random pair "
+                 "rotation at every FG completion).\n";
+    return 0;
+}

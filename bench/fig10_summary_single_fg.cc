@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 10: summary of all 35 single-FG workload mixes — arithmetic
+ * mean of FG success ratio and harmonic mean of BG throughput (vs
+ * Baseline) per scheme, plus the headline variance-reduction numbers.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    harness::ExperimentRunner runner(bench::defaultConfig(30));
+    printBanner(std::cout,
+                "Fig. 10: summary of all 35 single-FG workload mixes");
+    auto perMix = bench::runAndReport(runner,
+                                      workload::allSingleFgMixes());
+
+    // Headline claims (paper §1/§5.4).
+    auto summaries = harness::summarizeSchemes(perMix);
+    const auto &dirigentFreq = summaries[3];
+    const auto &dirigent = summaries[4];
+    double worstSuccess = 1.0, worstBg = 1.0;
+    for (const auto &mixResults : perMix) {
+        worstSuccess = std::min(worstSuccess,
+                                mixResults[4].fgSuccessRatio());
+        worstBg = std::min(worstBg,
+                           harness::bgThroughputRatio(mixResults[4],
+                                                      mixResults[0]));
+    }
+
+    printBanner(std::cout, "Headline numbers");
+    std::cout
+        << "Dirigent std reduction (mean): "
+        << TextTable::pct(1.0 - dirigent.meanStdRatio) << " (paper: 85%)\n"
+        << "Dirigent BG throughput (hmean): "
+        << TextTable::pct(dirigent.hmeanBgThroughput)
+        << " (paper: ~92%, i.e. 9% loss)\n"
+        << "Dirigent FG success (mean): "
+        << TextTable::pct(dirigent.meanFgSuccess)
+        << " (paper: > 99%)\n"
+        << "Dirigent worst-mix FG success: "
+        << TextTable::pct(worstSuccess) << " (paper: 97%)\n"
+        << "Dirigent worst-mix BG throughput: "
+        << TextTable::pct(worstBg) << " (paper: never below 75%)\n"
+        << "DirigentFreq std reduction (mean): "
+        << TextTable::pct(1.0 - dirigentFreq.meanStdRatio)
+        << " (paper: 70%)\n"
+        << "DirigentFreq BG throughput (hmean): "
+        << TextTable::pct(dirigentFreq.hmeanBgThroughput)
+        << " (paper: ~85%)\n"
+        << "BG advantage of Dirigent over coarse/static schemes: "
+        << TextTable::pct(dirigent.hmeanBgThroughput /
+                              summaries[2].hmeanBgThroughput -
+                          1.0)
+        << " (paper: ~30%)\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 11: execution-time probability density function of a ferret
+ * FG task collocated with five RS BG tasks, under each of the five
+ * schemes.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    harness::ExperimentRunner runner(bench::defaultConfig(80));
+    printBanner(std::cout,
+                "Fig. 11: execution-time PDF, ferret + 5x RS, all "
+                "schemes");
+
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+    auto results = runner.runAllSchemes(mix);
+
+    double deadline = results[0].deadlines.at("ferret").sec();
+    TextTable stats({"scheme", "mean (s)", "std (s)", "success"});
+    double lo = 1e18, hi = 0.0;
+    for (const auto &res : results) {
+        stats.addRow({core::schemeName(res.scheme),
+                      TextTable::num(res.fgDurationMean(), 3),
+                      TextTable::num(res.fgDurationStd(), 4),
+                      TextTable::pct(res.fgSuccessRatio())});
+        for (double d : res.pooledDurations()) {
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+    }
+    stats.print(std::cout);
+    std::cout << "deadline: " << TextTable::num(deadline, 3) << " s\n";
+
+    const size_t bins = 40;
+    lo *= 0.98;
+    hi *= 1.02;
+    std::vector<Histogram> hists;
+    for (const auto &res : results) {
+        Histogram h(lo, hi, bins);
+        for (double d : res.pooledDurations())
+            h.add(d);
+        hists.push_back(h);
+    }
+
+    std::cout << "\nCSV (probability density per scheme):\n";
+    CsvWriter csv(std::cout);
+    std::vector<std::string> header = {"time_s"};
+    for (const auto &res : results)
+        header.push_back(core::schemeName(res.scheme));
+    csv.row(header);
+    for (size_t i = 0; i < bins; ++i) {
+        std::vector<double> row = {hists[0].binCenter(i)};
+        for (const auto &h : hists)
+            row.push_back(h.density(i));
+        csv.numericRow(row);
+    }
+
+    std::cout << "\nPaper expectation: Baseline and StaticFreq stretch "
+                 "wide; StaticBoth shows\ntwo peaks (RS phase "
+                 "bimodality); DirigentFreq pulls the peaks together; "
+                 "full\nDirigent merges them into one tight peak at "
+                 "the deadline.\n";
+    return 0;
+}

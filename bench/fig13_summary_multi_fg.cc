@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 13: summary of the 15 multi-FG workload mixes — arithmetic
+ * mean FG success ratio and harmonic mean BG throughput per scheme.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    harness::ExperimentRunner runner(bench::defaultConfig(25));
+    printBanner(std::cout,
+                "Fig. 13: summary of all multi-FG workload mixes");
+    auto perMix = bench::runAndReport(runner, workload::multiFgMixes());
+
+    auto summaries = harness::summarizeSchemes(perMix);
+    double worst = 1.0;
+    for (const auto &mixResults : perMix)
+        worst = std::min(worst, mixResults[4].fgSuccessRatio());
+    printBanner(std::cout, "Headline numbers");
+    std::cout << "Dirigent FG success (mean): "
+              << TextTable::pct(summaries[4].meanFgSuccess)
+              << "  worst mix: " << TextTable::pct(worst)
+              << " (paper: always > 98%)\n";
+    return 0;
+}

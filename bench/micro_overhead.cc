@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Microbenchmarks of the Dirigent runtime's per-invocation cost
+ * (google-benchmark). The paper measures < 100 µs per invocation
+ * including predictor and throttler on a 2 GHz Xeon; the library's
+ * data-structure work (predictor observe + Eq. 2 evaluation +
+ * controller decision) must be far below that bound on any modern
+ * host.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "dirigent/fine_controller.h"
+#include "dirigent/predictor.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+
+using namespace dirigent;
+
+namespace {
+
+core::Profile
+syntheticProfile(size_t segments)
+{
+    std::vector<core::ProfileSegment> segs(
+        segments, core::ProfileSegment{1e7, Time::ms(5.0)});
+    return core::Profile("synthetic", Time::ms(5.0), segs);
+}
+
+void
+BM_PredictorObserve(benchmark::State &state)
+{
+    core::Profile profile = syntheticProfile(size_t(state.range(0)));
+    core::Predictor pred(&profile);
+    pred.beginExecution(Time());
+    double progress = 0.0;
+    Time now;
+    for (auto _ : state) {
+        now += Time::ms(6.0);
+        progress += 1e7;
+        if (progress > profile.totalProgress()) {
+            state.PauseTiming();
+            pred.endExecution(now, progress);
+            pred.beginExecution(now);
+            progress = 0.0;
+            state.ResumeTiming();
+            continue;
+        }
+        pred.observe(now, progress);
+    }
+}
+BENCHMARK(BM_PredictorObserve)->Arg(100)->Arg(200)->Arg(400);
+
+void
+BM_PredictorPredictTotal(benchmark::State &state)
+{
+    core::Profile profile = syntheticProfile(size_t(state.range(0)));
+    core::Predictor pred(&profile);
+    pred.beginExecution(Time());
+    pred.observe(Time::ms(6.0), 1e7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pred.predictTotal());
+}
+BENCHMARK(BM_PredictorPredictTotal)->Arg(100)->Arg(200)->Arg(400);
+
+void
+BM_FullRuntimeInvocation(benchmark::State &state)
+{
+    // One predictor observation + prediction + controller decision for
+    // a single FG — the work inside one Dirigent wake-up.
+    machine::MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    machine::Machine machine(cfg);
+    sim::Engine engine(machine, cfg.maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    machine::ProcessSpec fg;
+    fg.name = "fg";
+    fg.program = &lib.get("ferret").program;
+    fg.core = 0;
+    fg.foreground = true;
+    machine.spawnProcess(fg);
+    for (unsigned c = 1; c < 6; ++c) {
+        machine::ProcessSpec bg;
+        bg.name = "bg";
+        bg.program = &lib.get("lbm").program;
+        bg.core = c;
+        bg.foreground = false;
+        machine.spawnProcess(bg);
+    }
+    core::FineGrainController controller(machine, governor);
+    core::Profile profile = syntheticProfile(200);
+    core::Predictor pred(&profile);
+    pred.beginExecution(Time());
+
+    double progress = 0.0;
+    Time now;
+    for (auto _ : state) {
+        now += Time::ms(6.0);
+        progress += 1e7;
+        if (progress > profile.totalProgress()) {
+            state.PauseTiming();
+            pred.endExecution(now, progress);
+            pred.beginExecution(now);
+            progress = 0.0;
+            state.ResumeTiming();
+            continue;
+        }
+        pred.observe(now, progress);
+        core::FineGrainController::FgStatus st;
+        st.pid = 0;
+        st.core = 0;
+        st.predicted = pred.predictTotal();
+        st.deadline = Time::sec(1.2);
+        st.valid = true;
+        controller.tick({st});
+    }
+}
+BENCHMARK(BM_FullRuntimeInvocation)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

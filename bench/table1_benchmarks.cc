@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 1: the FG and BG benchmark inventory, with the modelled
+ * workload parameters behind each entry.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "common/strfmt.h"
+#include "workload/benchmarks.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+
+    printBanner(std::cout, "Table 1: FG and BG Benchmarks");
+    TextTable table({"Type", "Name", "Description"});
+    for (const auto &bench : lib.all()) {
+        table.addRow({workload::categoryName(bench.category), bench.name,
+                      bench.description});
+    }
+    table.print(std::cout);
+
+    printBanner(std::cout, "Modelled phase programs");
+    TextTable detail({"Name", "phase", "instr (G)", "CPI", "APKI",
+                      "WS (MiB)", "max hit", "MLP", "loop"});
+    for (const auto &bench : lib.all()) {
+        for (const auto &ph : bench.program.phases) {
+            detail.addRow({bench.name, ph.name,
+                           TextTable::num(ph.instructions / 1e9, 2),
+                           TextTable::num(ph.cpiBase, 2),
+                           TextTable::num(ph.llcApki, 1),
+                           TextTable::num(ph.workingSet / (1 << 20), 1),
+                           TextTable::num(ph.maxHitRatio, 2),
+                           TextTable::num(ph.mlp, 1),
+                           bench.program.loop ? "yes" : "no"});
+        }
+    }
+    detail.print(std::cout);
+
+    std::cout << "\nCSV:\n";
+    CsvWriter csv(std::cout);
+    csv.row({"type", "name", "description"});
+    for (const auto &bench : lib.all())
+        csv.row({workload::categoryName(bench.category), bench.name,
+                 bench.description});
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Scenario example: consolidating multiple latency-critical services
+ * on one node.
+ *
+ * A cluster operator wants to know how many copies of a
+ * latency-critical service can share a node (with batch backfill)
+ * before QoS degrades — the paper's multi-FG evaluation (Fig. 9c/13/14)
+ * as a sizing exercise. For 1–3 concurrent service instances the
+ * example reports per-scheme QoS and the batch throughput retained,
+ * plus the coarse controller's converged cache partition.
+ */
+
+#include <iostream>
+
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/mix.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    harness::HarnessConfig config;
+    config.executions = harness::envExecutions(25);
+    config.warmup = 4;
+    harness::ExperimentRunner runner(config);
+
+    const std::string service = "ferret"; // similarity-search service
+
+    printBanner(std::cout,
+                "Node consolidation: how many '" + service +
+                    "' instances fit?");
+
+    TextTable table({"instances", "scheme", "QoS attainment",
+                     "exec std (ms)", "batch kept", "FG ways"});
+    for (size_t n = 1; n <= 3; ++n) {
+        std::vector<std::string> fgs(n, service);
+        auto mix = workload::makeMix(fgs,
+                                     workload::BgSpec::single("bwaves"));
+        auto results = runner.runAllSchemes(mix);
+        const auto &baseline = results[0];
+        for (const auto &res : results) {
+            table.addRow(
+                {strfmt("%zu", n), core::schemeName(res.scheme),
+                 TextTable::pct(res.fgSuccessRatio()),
+                 TextTable::num(res.fgDurationStd() * 1e3, 1),
+                 TextTable::pct(
+                     harness::bgThroughputRatio(res, baseline)),
+                 res.finalFgWays ? strfmt("%u", res.finalFgWays)
+                                 : std::string("shared")});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading the table: each added instance displaces one "
+           "batch core outright;\nthe interesting question is whether "
+           "QoS holds for all instances and how much\nof the remaining "
+           "batch capacity each scheme preserves. Dirigent keeps "
+           "QoS\nnear 100% at every instance count while giving batch "
+           "tasks most of their\nunmanaged throughput; static schemes "
+           "pay for the same QoS with an\nacross-the-board batch "
+           "slowdown.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end Dirigent session.
+ *
+ * 1. Profile a latency-critical (foreground) application standalone.
+ * 2. Run it collocated with five copies of a memory-hungry background
+ *    application, unmanaged (Baseline): deadlines are missed.
+ * 3. Run the same mix under the full Dirigent runtime: the deadline is
+ *    enforced with minimal background throughput loss.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/mix.h"
+
+using namespace dirigent;
+
+int
+main()
+{
+    harness::HarnessConfig config;
+    config.executions = harness::envExecutions(30);
+    config.warmup = 4;
+
+    harness::ExperimentRunner runner(config);
+
+    // The workload: ferret (content-similarity search, the paper's
+    // running example) against five bwaves-like background tasks.
+    auto mix = workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("bwaves"));
+
+    printBanner(std::cout, "Dirigent quickstart: " + mix.name);
+
+    // Standalone behaviour of the FG application.
+    auto alone = runner.runStandalone("ferret", config.executions);
+    std::cout << "\nStandalone ferret: mean "
+              << TextTable::num(alone.fgDurationMean(), 3) << " s, std "
+              << TextTable::num(alone.fgDurationStd(), 4) << " s, MPKI "
+              << TextTable::num(alone.fgMpki(), 2) << "\n";
+
+    // Baseline (free contention) calibrates the deadline: µ + 0.3σ.
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+    harness::applyDeadlines(baseline, deadlines);
+    std::cout << "Contended (Baseline): mean "
+              << TextTable::num(baseline.fgDurationMean(), 3)
+              << " s, std " << TextTable::num(baseline.fgDurationStd(), 4)
+              << " s, MPKI " << TextTable::num(baseline.fgMpki(), 2)
+              << "\n";
+    std::cout << "Deadline (mu + 0.3 sigma): "
+              << TextTable::num(deadlines.at("ferret").sec(), 3)
+              << " s -> Baseline success ratio "
+              << TextTable::pct(baseline.fgSuccessRatio()) << "\n";
+
+    // Full Dirigent: fine DVFS/pause control + coarse cache partition.
+    auto dirigent = runner.run(mix, core::Scheme::Dirigent, deadlines);
+    std::cout << "\nDirigent:             mean "
+              << TextTable::num(dirigent.fgDurationMean(), 3)
+              << " s, std " << TextTable::num(dirigent.fgDurationStd(), 4)
+              << " s, success "
+              << TextTable::pct(dirigent.fgSuccessRatio()) << "\n";
+    std::cout << "BG throughput vs Baseline: "
+              << TextTable::pct(
+                     harness::bgThroughputRatio(dirigent, baseline))
+              << "\n";
+    std::cout << "FG execution-time std reduction: "
+              << TextTable::pct(
+                     1.0 - harness::stdRatio(dirigent, baseline))
+              << "\n";
+    std::cout << "Converged FG cache partition: " << dirigent.finalFgWays
+              << " of " << runner.config().machine.cache.numWays
+              << " ways\n";
+    std::cout << "Midpoint prediction error: "
+              << TextTable::pct(dirigent.predictionError()) << "\n";
+
+    return 0;
+}

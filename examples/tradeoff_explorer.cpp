@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scenario example: interactive-style exploration of Dirigent's
+ * mechanism space on a chosen mix.
+ *
+ * Usage: tradeoff_explorer [fg] [bg] [bg2]
+ *   fg   foreground benchmark (default raytrace)
+ *   bg   background benchmark (default bwaves); pass bg2 for a
+ *        rotating pair.
+ *
+ * Compares the five schemes on the requested mix, then isolates each
+ * Dirigent mechanism (prediction-guided DVFS, pausing, partitioning)
+ * by sweeping the deadline. A quick way to reproduce any single cell
+ * of the paper's Fig. 9 matrix.
+ */
+
+#include <iostream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+
+using namespace dirigent;
+
+int
+main(int argc, char **argv)
+{
+    std::string fg = argc > 1 ? argv[1] : "raytrace";
+    std::string bg = argc > 2 ? argv[2] : "bwaves";
+    std::string bg2 = argc > 3 ? argv[3] : "";
+
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    if (!lib.has(fg) || !lib.has(bg) || (!bg2.empty() && !lib.has(bg2)))
+        fatal("unknown benchmark; see table1_benchmarks for the list");
+
+    auto spec = bg2.empty() ? workload::BgSpec::single(bg)
+                            : workload::BgSpec::rotate(bg, bg2);
+    auto mix = workload::makeMix({fg}, spec);
+
+    harness::HarnessConfig config;
+    config.executions = harness::envExecutions(30);
+    harness::ExperimentRunner runner(config);
+
+    printBanner(std::cout, "Scheme comparison: " + mix.name);
+    auto results = runner.runAllSchemes(mix);
+    std::vector<std::vector<harness::SchemeRunResult>> perMix = {
+        results};
+    harness::printSchemeComparison(std::cout, perMix);
+    std::cout << "\nNormalized FG std:\n";
+    harness::printStdComparison(std::cout, perMix);
+
+    const auto &dirigent = results[4];
+    std::cout << "\nDirigent internals: converged partition "
+              << dirigent.finalFgWays << " ways; midpoint prediction "
+              << "error " << TextTable::pct(dirigent.predictionError())
+              << "\n";
+    if (!dirigent.bgGradeResidency.empty()) {
+        std::cout << "BG frequency residency:";
+        double total = 0.0;
+        for (uint64_t c : dirigent.bgGradeResidency)
+            total += double(c);
+        for (size_t g = 0; g < dirigent.bgGradeResidency.size(); ++g) {
+            std::cout << strfmt(
+                "  %.1fGHz:%.0f%%", dirigent.ladderGhz[g],
+                100.0 * double(dirigent.bgGradeResidency[g]) / total);
+        }
+        std::cout << "\n";
+    }
+
+    printBanner(std::cout, "Deadline sweep (Dirigent)");
+    auto alone = runner.runStandalone(fg);
+    TextTable sweep({"target (x standalone)", "attainment",
+                     "FG mean (x)", "batch kept"});
+    for (double factor : {1.05, 1.10, 1.15, 1.20}) {
+        std::map<std::string, Time> deadlines = {
+            {fg, Time::sec(alone.fgDurationMean() * factor)}};
+        auto res = runner.run(mix, core::Scheme::Dirigent, deadlines);
+        sweep.addRow({strfmt("%.2fx", factor),
+                      TextTable::pct(res.fgSuccessRatio()),
+                      TextTable::num(res.fgDurationMean() /
+                                         alone.fgDurationMean(),
+                                     3),
+                      TextTable::pct(harness::bgThroughputRatio(
+                          res, results[0]))});
+    }
+    sweep.print(std::cout);
+    return 0;
+}

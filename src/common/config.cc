@@ -1,0 +1,287 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent {
+
+namespace {
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+/** Split a "<number><suffix>" token; returns (value, suffix). */
+bool
+splitNumberSuffix(const std::string &text, double &value,
+                  std::string &suffix)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    value = std::strtod(begin, &end);
+    if (end == begin)
+        return false;
+    suffix = trim(std::string(end));
+    return true;
+}
+
+} // namespace
+
+Config
+Config::parse(const std::string &text)
+{
+    Config config;
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // Strip comments.
+        size_t comment = line.find_first_of("#;");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal(strfmt("config line %zu: unterminated section",
+                             lineNo));
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+        size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(strfmt("config line %zu: expected 'key = value'",
+                         lineNo));
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal(strfmt("config line %zu: empty key", lineNo));
+        if (!section.empty())
+            key = section + "." + key;
+        config.set(key, value);
+    }
+    return config;
+}
+
+Config
+Config::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse(text.str());
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    if (values_.find(key) == values_.end())
+        order_.push_back(key);
+    values_[key] = value;
+}
+
+void
+Config::merge(const Config &overrides)
+{
+    for (const auto &key : overrides.order_)
+        set(key, overrides.values_.at(key));
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.find(key) != values_.end();
+}
+
+std::optional<std::string>
+Config::get(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key,
+                  const std::string &fallback) const
+{
+    auto v = get(key);
+    return v ? *v : fallback;
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto v = get(key);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || !trim(std::string(end)).empty())
+        fatal(strfmt("config key '%s': '%s' is not a number",
+                     key.c_str(), v->c_str()));
+    return parsed;
+}
+
+int64_t
+Config::getInt(const std::string &key, int64_t fallback) const
+{
+    auto v = get(key);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v->c_str(), &end, 0);
+    if (end == v->c_str() || !trim(std::string(end)).empty())
+        fatal(strfmt("config key '%s': '%s' is not an integer",
+                     key.c_str(), v->c_str()));
+    return parsed;
+}
+
+uint64_t
+Config::getUint(const std::string &key, uint64_t fallback) const
+{
+    int64_t v = getInt(key, int64_t(fallback));
+    if (v < 0)
+        fatal(strfmt("config key '%s' must be non-negative",
+                     key.c_str()));
+    return uint64_t(v);
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto v = get(key);
+    if (!v)
+        return fallback;
+    std::string lower = *v;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "true" || lower == "yes" || lower == "on" ||
+        lower == "1")
+        return true;
+    if (lower == "false" || lower == "no" || lower == "off" ||
+        lower == "0")
+        return false;
+    fatal(strfmt("config key '%s': '%s' is not a boolean", key.c_str(),
+                 v->c_str()));
+}
+
+Time
+Config::getTime(const std::string &key, Time fallback) const
+{
+    auto v = get(key);
+    if (!v)
+        return fallback;
+    auto parsed = parseTime(*v);
+    if (!parsed)
+        fatal(strfmt("config key '%s': '%s' is not a duration",
+                     key.c_str(), v->c_str()));
+    return *parsed;
+}
+
+Freq
+Config::getFreq(const std::string &key, Freq fallback) const
+{
+    auto v = get(key);
+    if (!v)
+        return fallback;
+    auto parsed = parseFreq(*v);
+    if (!parsed)
+        fatal(strfmt("config key '%s': '%s' is not a frequency",
+                     key.c_str(), v->c_str()));
+    return *parsed;
+}
+
+Bytes
+Config::getBytes(const std::string &key, Bytes fallback) const
+{
+    auto v = get(key);
+    if (!v)
+        return fallback;
+    auto parsed = parseBytes(*v);
+    if (!parsed)
+        fatal(strfmt("config key '%s': '%s' is not a byte quantity",
+                     key.c_str(), v->c_str()));
+    return *parsed;
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    return order_;
+}
+
+std::optional<Time>
+parseTime(const std::string &text)
+{
+    double value = 0.0;
+    std::string suffix;
+    if (!splitNumberSuffix(trim(text), value, suffix))
+        return std::nullopt;
+    if (suffix == "s" || suffix.empty())
+        return Time::sec(value);
+    if (suffix == "ms")
+        return Time::ms(value);
+    if (suffix == "us")
+        return Time::us(value);
+    if (suffix == "ns")
+        return Time::ns(value);
+    return std::nullopt;
+}
+
+std::optional<Freq>
+parseFreq(const std::string &text)
+{
+    double value = 0.0;
+    std::string suffix;
+    if (!splitNumberSuffix(trim(text), value, suffix))
+        return std::nullopt;
+    std::string lower = suffix;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == "ghz")
+        return Freq::ghz(value);
+    if (lower == "mhz")
+        return Freq::mhz(value);
+    if (lower == "hz" || lower.empty())
+        return Freq::hz(value);
+    return std::nullopt;
+}
+
+std::optional<Bytes>
+parseBytes(const std::string &text)
+{
+    double value = 0.0;
+    std::string suffix;
+    if (!splitNumberSuffix(trim(text), value, suffix))
+        return std::nullopt;
+    if (suffix == "GiB")
+        return value * 1024.0 * 1024.0 * 1024.0;
+    if (suffix == "MiB")
+        return value * 1024.0 * 1024.0;
+    if (suffix == "KiB")
+        return value * 1024.0;
+    if (suffix == "B" || suffix.empty())
+        return value;
+    return std::nullopt;
+}
+
+} // namespace dirigent

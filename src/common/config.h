@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Key-value configuration: a small INI-style parser plus typed lookup,
+ * used by the CLI tools to override machine/harness/runtime parameters
+ * without recompiling.
+ *
+ * Format: one `key = value` per line; `#` or `;` start comments;
+ * `[section]` headers prefix subsequent keys as `section.key`. Values
+ * keep their text form; typed accessors parse on demand.
+ */
+
+#ifndef DIRIGENT_COMMON_CONFIG_H
+#define DIRIGENT_COMMON_CONFIG_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dirigent {
+
+/**
+ * A parsed configuration: ordered key/value pairs with typed access.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse INI-style text. fatal() on malformed lines (the input is
+     * user-supplied configuration).
+     */
+    static Config parse(const std::string &text);
+
+    /** Load and parse a file; fatal() if unreadable. */
+    static Config load(const std::string &path);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /**
+     * Merge another config over this one (its values win). Used to
+     * layer command-line overrides over a file.
+     */
+    void merge(const Config &overrides);
+
+    /** True when @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** Raw string value, or std::nullopt. */
+    std::optional<std::string> get(const std::string &key) const;
+
+    /** @name Typed accessors with defaults.
+     *  Each returns the parsed value of @p key, or @p fallback when the
+     *  key is absent; fatal() when present but unparsable. */
+    /// @{
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    int64_t getInt(const std::string &key, int64_t fallback) const;
+    uint64_t getUint(const std::string &key, uint64_t fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Time values accept a unit suffix: "5ms", "80ns", "1.5s". */
+    Time getTime(const std::string &key, Time fallback) const;
+
+    /** Frequencies accept "2.0GHz", "1200MHz", or plain hertz. */
+    Freq getFreq(const std::string &key, Freq fallback) const;
+
+    /** Byte quantities accept "15MiB", "64KiB", "2GiB", or bytes. */
+    Bytes getBytes(const std::string &key, Bytes fallback) const;
+    /// @}
+
+    /** All keys in insertion order. */
+    std::vector<std::string> keys() const;
+
+    /** Number of keys. */
+    size_t size() const { return values_.size(); }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+};
+
+/** Parse "5ms"/"80ns"/"1.5s"-style durations; nullopt on failure. */
+std::optional<Time> parseTime(const std::string &text);
+
+/** Parse "2GHz"/"1200MHz"/plain-hertz frequencies. */
+std::optional<Freq> parseFreq(const std::string &text);
+
+/** Parse "15MiB"/"64KiB"/plain-byte quantities. */
+std::optional<Bytes> parseBytes(const std::string &text);
+
+} // namespace dirigent
+
+#endif // DIRIGENT_COMMON_CONFIG_H

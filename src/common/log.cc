@@ -1,0 +1,58 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dirigent {
+
+namespace {
+LogLevel g_level = LogLevel::Normal;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_level >= LogLevel::Normal)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+verbose(const std::string &msg)
+{
+    if (g_level >= LogLevel::Verbose)
+        std::fprintf(stdout, "debug: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+} // namespace dirigent

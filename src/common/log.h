@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 convention:
+ *
+ *  - inform(): normal operating messages, no connotation of error.
+ *  - warn():   something is off but execution can continue.
+ *  - fatal():  the run cannot continue due to a user error (bad
+ *              configuration, invalid arguments); exits with code 1.
+ *  - panic():  an internal invariant was violated (a library bug);
+ *              aborts so a core dump / debugger can capture state.
+ */
+
+#ifndef DIRIGENT_COMMON_LOG_H
+#define DIRIGENT_COMMON_LOG_H
+
+#include <string>
+
+#include "common/strfmt.h"
+
+namespace dirigent {
+
+/** Verbosity levels for inform(); warnings/errors always print. */
+enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2 };
+
+/** Set the global verbosity threshold for inform()/verbose(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/** Print an informational message (suppressed when Quiet). */
+void inform(const std::string &msg);
+
+/** Print a detailed message (only when Verbose). */
+void verbose(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string &msg);
+
+/**
+ * Terminate due to a user error: bad configuration or arguments.
+ * Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/**
+ * Terminate due to an internal bug: an invariant that should never be
+ * violated regardless of user input. Prints and aborts.
+ */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+} // namespace dirigent
+
+/** Panic with source location attached. */
+#define DIRIGENT_PANIC(...) \
+    ::dirigent::panicImpl(__FILE__, __LINE__, ::dirigent::strfmt(__VA_ARGS__))
+
+/** Check an internal invariant; panics with the condition text if false. */
+#define DIRIGENT_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::dirigent::panicImpl(__FILE__, __LINE__,                       \
+                std::string("assertion failed: " #cond " — ") +             \
+                ::dirigent::strfmt(__VA_ARGS__));                           \
+        }                                                                   \
+    } while (0)
+
+#endif // DIRIGENT_COMMON_LOG_H

@@ -1,0 +1,135 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace dirigent {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &w : s_)
+        w = splitmix64(sm);
+    // xoshiro must not be seeded with all zeros; splitmix64 of any seed
+    // cannot produce four zero words, but guard against it anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+Rng
+Rng::fork(uint64_t key) const
+{
+    // Mix the child key with this stream's state words so forks from
+    // different parents are independent even with equal keys.
+    uint64_t sm = s_[0] ^ rotl(s_[1], 17) ^ key;
+    uint64_t derived = splitmix64(sm);
+    return Rng(derived ^ rotl(key, 29));
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    DIRIGENT_ASSERT(n > 0, "below() requires n > 0");
+    // Rejection-free modulo is fine here: n is tiny relative to 2^64 in
+    // all simulator uses, so the bias is far below measurement noise.
+    return next() % n;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double sigma)
+{
+    return mean + sigma * normal();
+}
+
+double
+Rng::lognormalMean(double mean, double sigma)
+{
+    DIRIGENT_ASSERT(mean > 0.0, "lognormalMean() requires mean > 0");
+    // exp(N(mu, sigma)) has mean exp(mu + sigma^2/2); solve for mu.
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace dirigent

@@ -1,0 +1,303 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace dirigent {
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / double(n_);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Ema::Ema(double weight) : weight_(weight)
+{
+    DIRIGENT_ASSERT(weight > 0.0 && weight <= 1.0,
+                    "EMA weight %f out of (0, 1]", weight);
+}
+
+double
+Ema::add(double x)
+{
+    if (!valid_) {
+        value_ = x;
+        valid_ = true;
+    } else {
+        value_ = weight_ * x + (1.0 - weight_) * value_;
+    }
+    return value_;
+}
+
+void
+Ema::reset()
+{
+    value_ = 0.0;
+    valid_ = false;
+}
+
+SlidingWindow::SlidingWindow(size_t capacity) : capacity_(capacity)
+{
+    DIRIGENT_ASSERT(capacity > 0, "sliding window needs capacity > 0");
+}
+
+void
+SlidingWindow::add(double x)
+{
+    if (values_.size() == capacity_)
+        values_.pop_front();
+    values_.push_back(x);
+}
+
+double
+SlidingWindow::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values_)
+        s += v;
+    return s / double(values_.size());
+}
+
+double
+SlidingWindow::stddev() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    double m = mean();
+    double s = 0.0;
+    for (double v : values_)
+        s += (v - m) * (v - m);
+    return std::sqrt(s / double(values_.size()));
+}
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    size_t n = std::min(x.size(), y.size());
+    if (n < 2)
+        return 0.0;
+    double mx = 0.0, my = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= double(n);
+    my /= double(n);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double dx = x[i] - mx;
+        double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+pearson(const SlidingWindow &x, const SlidingWindow &y)
+{
+    std::vector<double> vx(x.values().begin(), x.values().end());
+    std::vector<double> vy(y.values().begin(), y.values().end());
+    // Align to the common suffix (most recent observations).
+    size_t n = std::min(vx.size(), vy.size());
+    std::vector<double> sx(vx.end() - n, vx.end());
+    std::vector<double> sy(vy.end() - n, vy.end());
+    return pearson(sx, sy);
+}
+
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    DIRIGENT_ASSERT(q >= 0.0 && q <= 1.0, "quantile %f out of [0, 1]", q);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples[0];
+    double pos = q * double(samples.size() - 1);
+    size_t idx = size_t(pos);
+    double frac = pos - double(idx);
+    if (idx + 1 >= samples.size())
+        return samples.back();
+    return samples[idx] * (1.0 - frac) + samples[idx + 1] * frac;
+}
+
+double
+arithmeticMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / double(v.size());
+}
+
+double
+harmonicMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        DIRIGENT_ASSERT(x > 0.0, "harmonic mean requires positive values");
+        s += 1.0 / x;
+    }
+    return double(v.size()) / s;
+}
+
+namespace {
+
+/**
+ * Two-sided Student-t critical values for common confidence levels.
+ * Rows: degrees of freedom 1..30, then the normal limit.
+ */
+double
+tCritical(size_t df, double confidence)
+{
+    static const double t90[] = {6.314, 2.920, 2.353, 2.132, 2.015,
+                                 1.943, 1.895, 1.860, 1.833, 1.812,
+                                 1.796, 1.782, 1.771, 1.761, 1.753,
+                                 1.746, 1.740, 1.734, 1.729, 1.725,
+                                 1.721, 1.717, 1.714, 1.711, 1.708,
+                                 1.706, 1.703, 1.701, 1.699, 1.697};
+    static const double t95[] = {12.706, 4.303, 3.182, 2.776, 2.571,
+                                 2.447,  2.365, 2.306, 2.262, 2.228,
+                                 2.201,  2.179, 2.160, 2.145, 2.131,
+                                 2.120,  2.110, 2.101, 2.093, 2.086,
+                                 2.080,  2.074, 2.069, 2.064, 2.060,
+                                 2.056,  2.052, 2.048, 2.045, 2.042};
+    static const double t99[] = {63.657, 9.925, 5.841, 4.604, 4.032,
+                                 3.707,  3.499, 3.355, 3.250, 3.169,
+                                 3.106,  3.055, 3.012, 2.977, 2.947,
+                                 2.921,  2.898, 2.878, 2.861, 2.845,
+                                 2.831,  2.819, 2.807, 2.797, 2.787,
+                                 2.779,  2.771, 2.763, 2.756, 2.750};
+    const double *table;
+    double limit;
+    if (confidence >= 0.985) {
+        table = t99;
+        limit = 2.576;
+    } else if (confidence >= 0.925) {
+        table = t95;
+        limit = 1.960;
+    } else {
+        table = t90;
+        limit = 1.645;
+    }
+    if (df == 0)
+        return limit;
+    if (df <= 30)
+        return table[df - 1];
+    return limit;
+}
+
+} // namespace
+
+MeanCi
+meanConfidence(const std::vector<double> &samples, double confidence)
+{
+    MeanCi ci;
+    OnlineStats stats;
+    for (double x : samples)
+        stats.add(x);
+    ci.mean = stats.mean();
+    if (stats.count() < 2) {
+        ci.lo = ci.hi = ci.mean;
+        return ci;
+    }
+    size_t n = stats.count();
+    // Sample (n−1) standard deviation from the population variance.
+    double sampleVar = stats.variance() * double(n) / double(n - 1);
+    double se = std::sqrt(sampleVar / double(n));
+    double t = tCritical(n - 1, confidence);
+    ci.half = t * se;
+    ci.lo = ci.mean - ci.half;
+    ci.hi = ci.mean + ci.half;
+    return ci;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / double(bins)),
+      counts_(bins, 0.0)
+{
+    DIRIGENT_ASSERT(hi > lo, "histogram range [%f, %f) is empty", lo, hi);
+    DIRIGENT_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    add(x, 1.0);
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    double pos = (x - lo_) / binWidth_;
+    long idx = long(std::floor(pos));
+    idx = std::clamp(idx, 0L, long(counts_.size()) - 1L);
+    counts_[size_t(idx)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binCenter(size_t i) const
+{
+    return lo_ + (double(i) + 0.5) * binWidth_;
+}
+
+double
+Histogram::density(size_t i) const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    return counts_[i] / (total_ * binWidth_);
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (total_ <= 0.0)
+        return 0.0;
+    return counts_[i] / total_;
+}
+
+} // namespace dirigent

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Statistics primitives used by the predictor, the coarse controller,
+ * and the evaluation harness: online mean/variance, exponential moving
+ * averages, sliding windows, correlation, percentiles, and histograms.
+ */
+
+#ifndef DIRIGENT_COMMON_STATS_H
+#define DIRIGENT_COMMON_STATS_H
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace dirigent {
+
+/**
+ * Streaming mean / variance accumulator (Welford's algorithm).
+ */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Remove all observations. */
+    void reset();
+
+    /** Number of observations so far. */
+    size_t count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 observations. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Exponential moving average with a fixed weight for new samples:
+ * ema = w·x + (1 − w)·ema. The first sample initializes the average.
+ *
+ * This is exactly the paper's smoothing primitive (weight 0.2 for
+ * per-segment penalties and for the in-flight rate factor).
+ */
+class Ema
+{
+  public:
+    /** @param weight weight of each new sample, in (0, 1]. */
+    explicit Ema(double weight = 0.2);
+
+    /** Incorporate a new sample and return the updated average. */
+    double add(double x);
+
+    /** Current average; 0 before any sample. */
+    double value() const { return value_; }
+
+    /** True once at least one sample has been added. */
+    bool valid() const { return valid_; }
+
+    /** Forget all history. */
+    void reset();
+
+    /** The configured new-sample weight. */
+    double weight() const { return weight_; }
+
+  private:
+    double weight_;
+    double value_ = 0.0;
+    bool valid_ = false;
+};
+
+/**
+ * Fixed-capacity sliding window of observations with summary statistics.
+ * Used by the coarse-grain controller over the last N task executions.
+ */
+class SlidingWindow
+{
+  public:
+    /** @param capacity maximum number of retained observations (> 0). */
+    explicit SlidingWindow(size_t capacity);
+
+    /** Append an observation, evicting the oldest when full. */
+    void add(double x);
+
+    /** Number of retained observations. */
+    size_t size() const { return values_.size(); }
+
+    /** True when size() == capacity. */
+    bool full() const { return values_.size() == capacity_; }
+
+    /** Drop all observations. */
+    void clear() { values_.clear(); }
+
+    /** Mean of retained observations; 0 when empty. */
+    double mean() const;
+
+    /** Population standard deviation of retained observations. */
+    double stddev() const;
+
+    /** Access retained observations oldest-first. */
+    const std::deque<double> &values() const { return values_; }
+
+  private:
+    size_t capacity_;
+    std::deque<double> values_;
+};
+
+/**
+ * Pearson correlation coefficient of two equal-length series.
+ * Returns 0 when either series is degenerate (constant or < 2 points).
+ */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Pearson correlation over the common length of two sliding windows. */
+double pearson(const SlidingWindow &x, const SlidingWindow &y);
+
+/**
+ * The q-quantile (0 ≤ q ≤ 1) of @p samples by linear interpolation of
+ * the sorted order statistics. Sorts a copy; fine for harness use.
+ */
+double percentile(std::vector<double> samples, double q);
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double arithmeticMean(const std::vector<double> &v);
+
+/** Harmonic mean of a vector of positive values; 0 when empty. */
+double harmonicMean(const std::vector<double> &v);
+
+/** A mean with a symmetric confidence interval. */
+struct MeanCi
+{
+    double mean = 0.0;
+    double lo = 0.0;   //!< lower bound of the interval
+    double hi = 0.0;   //!< upper bound of the interval
+    double half = 0.0; //!< half-width (hi − mean)
+};
+
+/**
+ * Student-t confidence interval for the mean of @p samples at the
+ * given confidence level (0.90, 0.95 or 0.99). Degenerate inputs
+ * (fewer than 2 samples) return a zero-width interval.
+ */
+MeanCi meanConfidence(const std::vector<double> &samples,
+                      double confidence = 0.95);
+
+/**
+ * Fixed-bin histogram over [lo, hi); used to report probability density
+ * functions of completion times (paper Figs. 1 and 11) and frequency
+ * residency distributions (Fig. 12).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin.
+     * @param hi upper edge of the last bin (must be > lo).
+     * @param bins number of bins (> 0).
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add an observation; out-of-range values clamp to the edge bins. */
+    void add(double x);
+
+    /** Add an observation with the given weight. */
+    void add(double x, double weight);
+
+    /** Number of bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Center of bin @p i. */
+    double binCenter(size_t i) const;
+
+    /** Raw (weighted) count of bin @p i. */
+    double count(size_t i) const { return counts_[i]; }
+
+    /** Total weight added. */
+    double total() const { return total_; }
+
+    /**
+     * Probability density of bin @p i (counts normalized so the
+     * histogram integrates to 1 over [lo, hi)).
+     */
+    double density(size_t i) const;
+
+    /** Fraction of total weight in bin @p i. */
+    double fraction(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+};
+
+} // namespace dirigent
+
+#endif // DIRIGENT_COMMON_STATS_H

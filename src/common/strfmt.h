@@ -1,0 +1,23 @@
+/**
+ * @file
+ * printf-style std::string formatting helper.
+ */
+
+#ifndef DIRIGENT_COMMON_STRFMT_H
+#define DIRIGENT_COMMON_STRFMT_H
+
+#include <string>
+
+namespace dirigent {
+
+/**
+ * Format @p fmt with printf semantics into a std::string.
+ *
+ * @param fmt printf-style format string.
+ * @return The formatted string.
+ */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace dirigent
+
+#endif // DIRIGENT_COMMON_STRFMT_H

@@ -1,0 +1,111 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    DIRIGENT_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    DIRIGENT_ASSERT(cells.size() == headers_.size(),
+                    "row has %zu cells, table has %zu columns",
+                    cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    return strfmt("%.*f", precision, v);
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    return strfmt("%.*f%%", precision, v * 100.0);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(int(widths[c])) << row[c];
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os)
+{
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ",";
+        const std::string &cell = cells[i];
+        bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+        if (quote) {
+            os_ << '"';
+            for (char ch : cell) {
+                if (ch == '"')
+                    os_ << '"';
+                os_ << ch;
+            }
+            os_ << '"';
+        } else {
+            os_ << cell;
+        }
+    }
+    os_ << "\n";
+}
+
+void
+CsvWriter::numericRow(const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells)
+        text.push_back(strfmt("%.*g", precision, v));
+    row(text);
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    std::string line = "=== " + title + " ";
+    if (line.size() < 72)
+        line += std::string(72 - line.size(), '=');
+    os << "\n" << line << "\n";
+}
+
+} // namespace dirigent

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Report formatting: aligned ASCII tables and CSV emission. Every bench
+ * binary prints a human-readable table of the paper's rows/series plus a
+ * machine-readable CSV block for plotting.
+ */
+
+#ifndef DIRIGENT_COMMON_TABLE_H
+#define DIRIGENT_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dirigent {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"workload", "mean", "std"});
+ *   t.addRow({"ferret", "1.10", "0.05"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double cell with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Convenience: format a percentage (0.153 -> "15.3%"). */
+    static std::string pct(double v, int precision = 1);
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Minimal CSV writer. Cells containing commas or quotes are quoted.
+ */
+class CsvWriter
+{
+  public:
+    /** @param os sink stream (kept by reference; must outlive writer). */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Write one row of cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells with fixed precision. */
+    void numericRow(const std::vector<double> &cells, int precision = 6);
+
+  private:
+    std::ostream &os_;
+};
+
+/**
+ * Print a titled section banner:
+ * @code
+ * === title ===========================================================
+ * @endcode
+ */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace dirigent
+
+#endif // DIRIGENT_COMMON_TABLE_H

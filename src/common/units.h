@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Strong unit types used throughout the simulator: simulated time,
+ * clock frequency, and byte quantities.
+ *
+ * Simulated time is represented as a double count of seconds wrapped in a
+ * value type. The co-simulation engine advances in variable-size quanta,
+ * so the usual fixed-tick integer representation is unnecessary; the
+ * wrapper exists to keep seconds from being confused with instruction
+ * counts, rates, or frequencies at interface boundaries.
+ */
+
+#ifndef DIRIGENT_COMMON_UNITS_H
+#define DIRIGENT_COMMON_UNITS_H
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace dirigent {
+
+/**
+ * A point in (or span of) simulated time. Internally stored in seconds.
+ *
+ * Construct via the named factories (Time::sec, Time::ms, ...) rather
+ * than a raw double so the unit is always explicit at the call site.
+ */
+class Time
+{
+  public:
+    /** Zero time; also the default. */
+    constexpr Time() : seconds_(0.0) {}
+
+    /** @name Named constructors */
+    /// @{
+    static constexpr Time sec(double s) { return Time(s); }
+    static constexpr Time ms(double v) { return Time(v * 1e-3); }
+    static constexpr Time us(double v) { return Time(v * 1e-6); }
+    static constexpr Time ns(double v) { return Time(v * 1e-9); }
+    /// @}
+
+    /** @name Value accessors */
+    /// @{
+    constexpr double sec() const { return seconds_; }
+    constexpr double ms() const { return seconds_ * 1e3; }
+    constexpr double us() const { return seconds_ * 1e6; }
+    constexpr double ns() const { return seconds_ * 1e9; }
+    /// @}
+
+    /** The largest representable time, used as "never". */
+    static constexpr Time
+    never()
+    {
+        return Time(1e300);
+    }
+
+    constexpr bool isNever() const { return seconds_ >= 1e299; }
+
+    constexpr auto operator<=>(const Time &) const = default;
+
+    constexpr Time operator+(Time o) const { return Time(seconds_ + o.seconds_); }
+    constexpr Time operator-(Time o) const { return Time(seconds_ - o.seconds_); }
+    constexpr Time operator*(double k) const { return Time(seconds_ * k); }
+    constexpr Time operator/(double k) const { return Time(seconds_ / k); }
+    constexpr double operator/(Time o) const { return seconds_ / o.seconds_; }
+    Time &operator+=(Time o) { seconds_ += o.seconds_; return *this; }
+    Time &operator-=(Time o) { seconds_ -= o.seconds_; return *this; }
+
+  private:
+    explicit constexpr Time(double s) : seconds_(s) {}
+
+    double seconds_;
+};
+
+constexpr Time operator*(double k, Time t) { return Time::sec(k * t.sec()); }
+
+/**
+ * A clock frequency in hertz. Stored as a double; constructed via named
+ * factories so call sites always state the unit.
+ */
+class Freq
+{
+  public:
+    constexpr Freq() : hz_(0.0) {}
+
+    static constexpr Freq hz(double v) { return Freq(v); }
+    static constexpr Freq mhz(double v) { return Freq(v * 1e6); }
+    static constexpr Freq ghz(double v) { return Freq(v * 1e9); }
+
+    constexpr double hz() const { return hz_; }
+    constexpr double mhz() const { return hz_ * 1e-6; }
+    constexpr double ghz() const { return hz_ * 1e-9; }
+
+    constexpr auto operator<=>(const Freq &) const = default;
+
+    /** Seconds taken by @p cycles cycles at this frequency. */
+    constexpr Time
+    cyclesToTime(double cycles) const
+    {
+        return Time::sec(cycles / hz_);
+    }
+
+    /** Cycles elapsed in @p t at this frequency. */
+    constexpr double
+    timeToCycles(Time t) const
+    {
+        return t.sec() * hz_;
+    }
+
+  private:
+    explicit constexpr Freq(double v) : hz_(v) {}
+
+    double hz_;
+};
+
+/** Byte quantities (cache capacities, working sets, bandwidth·time). */
+using Bytes = double;
+
+constexpr Bytes operator""_KiB(long double v) { return double(v) * 1024.0; }
+constexpr Bytes operator""_MiB(long double v) { return double(v) * 1024.0 * 1024.0; }
+constexpr Bytes operator""_GiB(long double v) { return double(v) * 1024.0 * 1024.0 * 1024.0; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return double(v) * 1024.0; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return double(v) * 1024.0 * 1024.0; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return double(v) * 1024.0 * 1024.0 * 1024.0; }
+
+} // namespace dirigent
+
+#endif // DIRIGENT_COMMON_UNITS_H

@@ -1,0 +1,130 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+
+namespace dirigent::cpu {
+
+namespace {
+// Below this span the quantum remainder is dropped; keeps the advance
+// loop free of floating-point dust iterations.
+constexpr double kMinSliceSec = 1e-12;
+} // namespace
+
+Core::Core(unsigned id, unsigned cacheSlot, mem::SharedCache &cache,
+           mem::DramModel &dram, Freq freq)
+    : id_(id), cacheSlot_(cacheSlot), cache_(cache), dram_(dram), freq_(freq)
+{
+    DIRIGENT_ASSERT(freq.hz() > 0.0, "core frequency must be > 0");
+    DIRIGENT_ASSERT(cacheSlot < cache.clients(),
+                    "core %u cache slot %u out of range", id, cacheSlot);
+}
+
+void
+Core::setFrequency(Freq f)
+{
+    DIRIGENT_ASSERT(f.hz() > 0.0, "core frequency must be > 0");
+    freq_ = f;
+}
+
+void
+Core::stealTime(Time t)
+{
+    DIRIGENT_ASSERT(t.sec() >= 0.0, "negative stolen time");
+    stolen_ += t;
+}
+
+Core::AdvanceResult
+Core::advance(workload::Task *task, Time dt)
+{
+    DIRIGENT_ASSERT(dt.sec() > 0.0, "advance span must be > 0");
+
+    AdvanceResult result;
+    double timeLeft = dt.sec();
+
+    // Stolen time (runtime overhead / OS noise) burns core time without
+    // retiring application instructions.
+    if (stolen_.sec() > 0.0) {
+        double burn = std::min(stolen_.sec(), timeLeft);
+        stolen_ -= Time::sec(burn);
+        timeLeft -= burn;
+        counters_.addCycles(burn * freq_.hz());
+        result.used += Time::sec(burn);
+    }
+
+    if (task == nullptr || task->finished()) {
+        // Idle core: time passes, nothing retires.
+        return result;
+    }
+
+    // Bandwidth regulation: a core whose miss-bandwidth budget is
+    // exhausted stalls until the regulation window rolls over (the
+    // machine ticks the guard between quanta).
+    if (bwGuard_ != nullptr && !bwGuard_->allow(id_)) {
+        counters_.addCycles(timeLeft * freq_.hz());
+        result.used += Time::sec(timeLeft);
+        return result;
+    }
+
+    const double lineSize = cache_.config().lineSize;
+    double jitter = task->sampleCpiJitter();
+
+    while (timeLeft > kMinSliceSec && !task->finished()) {
+        const workload::Phase &ph = task->currentPhase();
+        double hit = cache_.hitRatio(cacheSlot_, ph);
+        double apki = ph.llcApki * 1e-3;
+        double mpi = apki * (1.0 - hit);
+        double spi = ph.cpiBase * jitter / freq_.hz() +
+                     mpi * dram_.latency().sec() / ph.mlp;
+        DIRIGENT_ASSERT(spi > 0.0, "non-positive seconds per instruction");
+
+        double maxInstr = timeLeft / spi;
+        double bound = task->remainingInPhase();
+        double instr = std::min(maxInstr, bound);
+        // Bandwidth regulation bounds execution by the budget left in
+        // the window (MemGuard-style): at most one line of overshoot.
+        if (bwGuard_ != nullptr && mpi > 0.0) {
+            double remaining = bwGuard_->remainingBytes(id_);
+            if (remaining != std::numeric_limits<double>::infinity()) {
+                double budgetInstr =
+                    remaining / (mpi * cache_.config().lineSize);
+                if (budgetInstr < 1.0) {
+                    // Budget gone: stall out the rest of the quantum.
+                    bwGuard_->charge(id_, remaining + 1.0);
+                    counters_.addCycles(timeLeft * freq_.hz());
+                    result.used += Time::sec(timeLeft);
+                    break;
+                }
+                instr = std::min(instr, budgetInstr);
+            }
+        }
+        double used = instr * spi;
+
+        double accesses = instr * apki;
+        double misses = cache_.access(cacheSlot_, ph, accesses);
+        dram_.recordDemand(misses * lineSize);
+        if (bwGuard_ != nullptr)
+            bwGuard_->charge(id_, misses * lineSize);
+
+        counters_.addInstructions(instr);
+        counters_.addLlcTraffic(accesses, misses);
+        counters_.addCycles(used * freq_.hz());
+
+        task->retire(instr);
+        result.instructions += instr;
+        timeLeft -= used;
+        result.used += Time::sec(used);
+
+        if (task->finished()) {
+            result.completed = true;
+            result.completionOffset = dt - Time::sec(std::max(timeLeft, 0.0));
+            break;
+        }
+    }
+
+    return result;
+}
+
+} // namespace dirigent::cpu

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The core execution model.
+ *
+ * Each simulated core runs (at most) one pinned task per quantum. The
+ * time to retire an instruction combines a frequency-scaled compute
+ * portion with a memory-stall portion:
+ *
+ *   spi = cpiBase·jitter / f  +  (apki/1000)·missRatio · latency / mlp
+ *
+ * which reproduces the first-order DVFS behaviour Dirigent depends on:
+ * compute-bound code scales with frequency, memory-bound code does not.
+ * Miss traffic feeds the shared cache (occupancy flow) and the DRAM
+ * model (bandwidth/queueing).
+ */
+
+#ifndef DIRIGENT_CPU_CORE_H
+#define DIRIGENT_CPU_CORE_H
+
+#include "common/units.h"
+#include "cpu/perf_counters.h"
+#include "mem/bwguard.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "workload/task.h"
+
+namespace dirigent::cpu {
+
+/**
+ * One hardware core. Owned and orchestrated by machine::Machine.
+ */
+class Core
+{
+  public:
+    /**
+     * @param id core number (for reporting).
+     * @param cacheSlot the LLC client slot of the process pinned here.
+     * @param cache shared LLC (not owned).
+     * @param dram shared memory system (not owned).
+     * @param freq initial (maximum) clock frequency.
+     */
+    Core(unsigned id, unsigned cacheSlot, mem::SharedCache &cache,
+         mem::DramModel &dram, Freq freq);
+
+    unsigned id() const { return id_; }
+    unsigned cacheSlot() const { return cacheSlot_; }
+
+    /** Current clock frequency. */
+    Freq frequency() const { return freq_; }
+
+    /** Set the clock (takes effect immediately; the governor models
+     *  transition latency by delaying this call). */
+    void setFrequency(Freq f);
+
+    /** Performance counters of this core. */
+    PerfCounters &counters() { return counters_; }
+    const PerfCounters &counters() const { return counters_; }
+
+    /**
+     * Steal @p t of upcoming execution time from the pinned task
+     * (runtime overhead, OS noise). Consumed at the next advance.
+     */
+    void stealTime(Time t);
+
+    /**
+     * Attach a bandwidth regulator (not owned; nullptr detaches).
+     * While the core's budget is exhausted the core stalls instead of
+     * executing, and all miss traffic is charged against the budget.
+     */
+    void setBwGuard(mem::BwGuard *guard) { bwGuard_ = guard; }
+
+    /** Result of advancing a task on this core. */
+    struct AdvanceResult
+    {
+        double instructions = 0.0; //!< instructions retired
+        Time used;                 //!< execution time consumed
+        bool completed = false;    //!< one-shot task finished
+        Time completionOffset;     //!< offset of completion within dt
+    };
+
+    /**
+     * Execute @p task for up to @p dt. Stops early when a one-shot task
+     * completes (the machine then dispatches the next task into the
+     * remaining time). @p task may be null (idle core): the quantum is
+     * consumed with no effect.
+     */
+    AdvanceResult advance(workload::Task *task, Time dt);
+
+  private:
+    unsigned id_;
+    unsigned cacheSlot_;
+    mem::SharedCache &cache_;
+    mem::DramModel &dram_;
+    Freq freq_;
+    PerfCounters counters_;
+    Time stolen_;
+    mem::BwGuard *bwGuard_ = nullptr;
+};
+
+} // namespace dirigent::cpu
+
+#endif // DIRIGENT_CPU_CORE_H

@@ -1,0 +1,16 @@
+#include "cpu/perf_counters.h"
+
+namespace dirigent::cpu {
+
+CounterSample
+CounterSample::operator-(const CounterSample &o) const
+{
+    CounterSample d;
+    d.instructions = instructions - o.instructions;
+    d.llcAccesses = llcAccesses - o.llcAccesses;
+    d.llcMisses = llcMisses - o.llcMisses;
+    d.cycles = cycles - o.cycles;
+    return d;
+}
+
+} // namespace dirigent::cpu

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-core model-specific performance counters. Dirigent's profiler and
+ * predictor read retired instructions; the fine controller reads LLC
+ * load misses to rank background-task intrusiveness — both are ordinary
+ * counters on real hardware and are modelled as such here.
+ */
+
+#ifndef DIRIGENT_CPU_PERF_COUNTERS_H
+#define DIRIGENT_CPU_PERF_COUNTERS_H
+
+namespace dirigent::cpu {
+
+/** A cumulative counter snapshot. */
+struct CounterSample
+{
+    double instructions = 0.0; //!< retired instructions
+    double llcAccesses = 0.0;  //!< LLC references
+    double llcMisses = 0.0;    //!< LLC load misses
+    double cycles = 0.0;       //!< unhalted core cycles
+
+    CounterSample operator-(const CounterSample &o) const;
+};
+
+/**
+ * Cumulative per-core counters. Cores add to them as they execute;
+ * consumers read snapshots and difference them, as with real PMUs.
+ */
+class PerfCounters
+{
+  public:
+    /** Account retired instructions. */
+    void addInstructions(double n) { sample_.instructions += n; }
+
+    /** Account LLC traffic. */
+    void
+    addLlcTraffic(double accesses, double misses)
+    {
+        sample_.llcAccesses += accesses;
+        sample_.llcMisses += misses;
+    }
+
+    /** Account elapsed core cycles. */
+    void addCycles(double n) { sample_.cycles += n; }
+
+    /** Read the cumulative counters. */
+    const CounterSample &read() const { return sample_; }
+
+    /** Zero all counters. */
+    void reset() { sample_ = CounterSample{}; }
+
+  private:
+    CounterSample sample_;
+};
+
+} // namespace dirigent::cpu
+
+#endif // DIRIGENT_CPU_PERF_COUNTERS_H

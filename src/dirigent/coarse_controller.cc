@@ -1,0 +1,112 @@
+#include "dirigent/coarse_controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::core {
+
+CoarseGrainController::CoarseGrainController(machine::CatController &cat,
+                                             CoarseControllerConfig config)
+    : cat_(cat), config_(config),
+      times_(config.historyWindow),
+      misses_(config.historyWindow),
+      severity_(config.historyWindow),
+      nextInvocationAt_(config.firstInvocation)
+{
+    DIRIGENT_ASSERT(config.historyWindow >= 2, "history window too small");
+    DIRIGENT_ASSERT(config.invokeEvery >= 1, "invocation cadence too small");
+    cat_.setFgWays(config.initialFgWays);
+    decisions_.push_back({0, cat_.fgWays(), "initial"});
+}
+
+void
+CoarseGrainController::recordExecution(Time duration, double fgMisses,
+                                       bool missedDeadline,
+                                       double throttleSeverity)
+{
+    times_.add(duration.sec());
+    misses_.add(fgMisses);
+    severity_.add(throttleSeverity);
+    deadlineMisses_.push_back(missedDeadline);
+    if (deadlineMisses_.size() > config_.historyWindow)
+        deadlineMisses_.pop_front();
+
+    ++executionsSeen_;
+    if (executionsSeen_ >= nextInvocationAt_) {
+        invoke();
+        nextInvocationAt_ = executionsSeen_ + config_.invokeEvery;
+    }
+}
+
+void
+CoarseGrainController::invoke()
+{
+    ++invocations_;
+
+    double corr = pearson(times_, misses_);
+    bool missedRecently =
+        std::any_of(deadlineMisses_.begin(), deadlineMisses_.end(),
+                    [](bool b) { return b; });
+    double missMean = misses_.mean();
+    double sev = severity_.mean();
+
+    const char *fired = "";
+    unsigned ways = cat_.fgWays();
+    auto traceChange = [&](TraceAction action, const char *rule) {
+        if (trace_ == nullptr)
+            return;
+        TraceEvent event;
+        event.when = cat_.machine().now();
+        event.action = action;
+        event.detail = strfmt("%s -> %u ways", rule, cat_.fgWays());
+        trace_->record(std::move(event));
+    };
+
+    // H2 first: retract the previous grow if it did not reduce misses.
+    if (lastAction_ == LastAction::Grow) {
+        bool improved =
+            missMean < preGrowMissMean_ * (1.0 - config_.growBenefit);
+        if (!improved && ways > 1) {
+            cat_.setFgWays(ways - 1);
+            lastAction_ = LastAction::Shrink;
+            fired = "H2-shrink";
+            traceChange(TraceAction::PartitionShrunk, fired);
+            decisions_.push_back({executionsSeen_, cat_.fgWays(), fired});
+            return;
+        }
+        // The grow helped; keep it and fall through so further growth
+        // can be considered.
+        lastAction_ = LastAction::None;
+    }
+
+    // H1: misses correlate with execution time and deadlines missed —
+    // isolation will likely help; grow the FG partition.
+    if (corr > config_.corrThreshold && missedRecently &&
+        ways < cat_.numWays() - 1) {
+        preGrowMissMean_ = missMean;
+        cat_.setFgWays(ways + 1);
+        lastAction_ = LastAction::Grow;
+        fired = "H1-grow";
+        traceChange(TraceAction::PartitionGrown, fired);
+        decisions_.push_back({executionsSeen_, cat_.fgWays(), fired});
+        return;
+    }
+
+    // H3: the fine controller keeps BG heavily throttled; partitioning
+    // may serve FG better than throttling. H2 retracts this if wrong.
+    if (sev > config_.severityThreshold && ways < cat_.numWays() - 1) {
+        preGrowMissMean_ = missMean;
+        cat_.setFgWays(ways + 1);
+        lastAction_ = LastAction::Grow;
+        fired = "H3-grow";
+        traceChange(TraceAction::PartitionGrown, fired);
+        decisions_.push_back({executionsSeen_, cat_.fgWays(), fired});
+        return;
+    }
+
+    decisions_.push_back({executionsSeen_, cat_.fgWays(), ""});
+}
+
+} // namespace dirigent::core

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dirigent's coarse-time-scale QoS controller (paper §4.3): adjusts the
+ * FG/BG LLC way partition using statistics gathered over multiple FG
+ * task executions — partitioning only pays off at coarse time scales
+ * because of cache inertia. Three heuristics over a 10-execution
+ * history:
+ *
+ *  H1 grow the FG partition when corr(execution time, FG LLC misses)
+ *     exceeds 0.75 and deadlines were missed recently;
+ *  H2 shrink it back when the last grow did not lower FG misses;
+ *  H3 grow it when the fine controller reports BG tasks heavily
+ *     throttled (partitioning beats throttling); H2 retracts this too
+ *     if it does not help.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_COARSE_CONTROLLER_H
+#define DIRIGENT_DIRIGENT_COARSE_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "dirigent/trace.h"
+#include "machine/cat.h"
+
+namespace dirigent::core {
+
+/** Coarse controller tuning parameters. */
+struct CoarseControllerConfig
+{
+    /** Executions kept in the statistics window. */
+    size_t historyWindow = 10;
+
+    /** Executions before the first invocation. */
+    unsigned firstInvocation = 10;
+
+    /** Executions between subsequent invocations. */
+    unsigned invokeEvery = 6;
+
+    /** Correlation threshold for heuristic H1. */
+    double corrThreshold = 0.75;
+
+    /** Initial FG partition size (ways). */
+    unsigned initialFgWays = 2;
+
+    /** BG throttle severity triggering heuristic H3. */
+    double severityThreshold = 0.5;
+
+    /** Relative miss reduction a grow must achieve to stick (H2). */
+    double growBenefit = 0.02;
+};
+
+/** One partition decision, for convergence traces (paper Fig. 8). */
+struct PartitionDecision
+{
+    uint64_t executionIndex = 0; //!< FG executions seen at decision time
+    unsigned fgWays = 0;         //!< partition after the decision
+    const char *heuristic = "";  //!< which rule fired ("" = no change)
+};
+
+/**
+ * The coarse-grain cache-partition controller.
+ */
+class CoarseGrainController
+{
+  public:
+    CoarseGrainController(machine::CatController &cat,
+                          CoarseControllerConfig config =
+                              CoarseControllerConfig{});
+
+    /**
+     * Record one completed FG execution.
+     * @param duration execution time.
+     * @param fgMisses LLC misses the FG generated during the execution.
+     * @param missedDeadline whether the execution missed its deadline.
+     * @param throttleSeverity average BG throttle severity during the
+     *        execution (from FineGrainController::drainThrottleSeverity).
+     *
+     * Invokes the partition heuristics at the configured cadence.
+     */
+    void recordExecution(Time duration, double fgMisses,
+                         bool missedDeadline, double throttleSeverity);
+
+    /** Current FG partition size. */
+    unsigned fgWays() const { return cat_.fgWays(); }
+
+    /** Heuristic invocations so far. */
+    uint64_t invocations() const { return invocations_; }
+
+    /** FG executions recorded so far. */
+    uint64_t executionsSeen() const { return executionsSeen_; }
+
+    /** Every partition decision made, in order. */
+    const std::vector<PartitionDecision> &decisions() const
+    {
+        return decisions_;
+    }
+
+    /** Attach a decision trace (not owned; nullptr detaches). */
+    void setTrace(DecisionTrace *trace) { trace_ = trace; }
+
+  private:
+    void invoke();
+
+    machine::CatController &cat_;
+    CoarseControllerConfig config_;
+
+    SlidingWindow times_;
+    SlidingWindow misses_;
+    SlidingWindow severity_;
+    std::deque<bool> deadlineMisses_;
+
+    enum class LastAction { None, Grow, Shrink };
+    LastAction lastAction_ = LastAction::None;
+    double preGrowMissMean_ = 0.0;
+
+    uint64_t executionsSeen_ = 0;
+    uint64_t invocations_ = 0;
+    uint64_t nextInvocationAt_ = 0;
+    std::vector<PartitionDecision> decisions_;
+    DecisionTrace *trace_ = nullptr;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_COARSE_CONTROLLER_H

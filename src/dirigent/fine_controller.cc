@@ -1,0 +1,282 @@
+#include "dirigent/fine_controller.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+FineGrainController::FineGrainController(machine::Machine &machine,
+                                         machine::CpuFreqGovernor &governor,
+                                         FineControllerConfig config)
+    : machine_(machine), governor_(governor), config_(config),
+      ladder_(governor.equispacedGrades(config.gradeCount)),
+      ladderPos_(machine.numCores(), unsigned(ladder_.size()) - 1),
+      lastMisses_(machine.numCores(), 0.0)
+{
+    stats_.bgGradeResidency.assign(ladder_.size(), 0);
+}
+
+void
+FineGrainController::tick(const std::vector<FgStatus> &statuses)
+{
+    ++stats_.decisions;
+    recordResidency();
+
+    // Work with the valid predictions only.
+    std::vector<const FgStatus *> valid;
+    for (const auto &st : statuses)
+        if (st.valid && st.deadline.sec() > 0.0)
+            valid.push_back(&st);
+    if (valid.empty())
+        return;
+
+    auto ratio = [this](const FgStatus *st) {
+        return st->predicted.sec() /
+               (st->deadline.sec() * (1.0 - config_.safetyMargin));
+    };
+    const FgStatus *slowest =
+        *std::max_element(valid.begin(), valid.end(),
+                          [&](const FgStatus *a, const FgStatus *b) {
+                              return ratio(a) < ratio(b);
+                          });
+    double r = ratio(slowest);
+    decisionPid_ = slowest->pid;
+    decisionSlack_ = r;
+    bool behind = r > 1.0;
+    bool ahead = r < 1.0 - config_.aheadThreshold;
+
+    if (behind) {
+        // Ladder: slowest FG to max → throttle BG → pause most
+        // intrusive BG (only when ≥ pauseThreshold behind).
+        if (!fgToMax(slowest->core)) {
+            if (!throttleBgOneGrade()) {
+                if (r > 1.0 + config_.pauseThreshold)
+                    pauseMostIntrusive();
+            }
+        }
+    } else if (ahead) {
+        // Ladder: continue paused BG → boost throttled BG → throttle
+        // the FG itself.
+        if (!resumePaused()) {
+            if (!boostBgOneGrade())
+                throttleFgDown(slowest->core);
+        }
+    }
+
+    // Any *other* FG expected to finish comfortably early is throttled
+    // down individually (multi-FG policy); a lagging one is sped up.
+    for (const auto *st : valid) {
+        if (st == slowest)
+            continue;
+        double rr = ratio(st);
+        decisionPid_ = st->pid;
+        decisionSlack_ = rr;
+        if (rr < 1.0 - config_.aheadThreshold)
+            throttleFgDown(st->core);
+        else if (rr > 1.0)
+            fgToMax(st->core);
+    }
+}
+
+double
+FineGrainController::drainThrottleSeverity()
+{
+    double avg =
+        severitySamples_ ? severityAccum_ / double(severitySamples_) : 0.0;
+    severityAccum_ = 0.0;
+    severitySamples_ = 0;
+    return avg;
+}
+
+std::vector<Freq>
+FineGrainController::ladderFreqs() const
+{
+    std::vector<Freq> freqs;
+    for (unsigned g : ladder_)
+        freqs.push_back(governor_.gradeFreq(g));
+    return freqs;
+}
+
+void
+FineGrainController::releaseAll()
+{
+    for (machine::Pid pid : pausedBg_)
+        machine_.os().resume(pid);
+    pausedBg_.clear();
+    for (machine::Pid pid : machine_.os().backgroundPids()) {
+        unsigned core = machine_.os().process(pid).core;
+        setPos(core, unsigned(ladder_.size()) - 1);
+    }
+}
+
+bool
+FineGrainController::isBg(machine::Pid pid) const
+{
+    return !machine_.os().process(pid).foreground;
+}
+
+std::vector<machine::Pid>
+FineGrainController::activeBgPids() const
+{
+    std::vector<machine::Pid> out;
+    for (machine::Pid pid : machine_.os().backgroundPids())
+        if (machine_.os().process(pid).runnable())
+            out.push_back(pid);
+    return out;
+}
+
+void
+FineGrainController::setPos(unsigned core, unsigned position)
+{
+    DIRIGENT_ASSERT(position < ladder_.size(), "bad ladder position %u",
+                    position);
+    ladderPos_[core] = position;
+    governor_.setGrade(core, ladder_[position]);
+}
+
+bool
+FineGrainController::resumePaused()
+{
+    if (pausedBg_.empty())
+        return false;
+    for (machine::Pid pid : pausedBg_) {
+        machine_.os().resume(pid);
+        ++stats_.resumes;
+    }
+    traceAction(TraceAction::BgResumed,
+                strfmt("%zu tasks", pausedBg_.size()));
+    pausedBg_.clear();
+    return true;
+}
+
+bool
+FineGrainController::boostBgOneGrade()
+{
+    bool acted = false;
+    for (machine::Pid pid : activeBgPids()) {
+        unsigned core = machine_.os().process(pid).core;
+        if (pos(core) + 1 < ladder_.size()) {
+            setPos(core, pos(core) + 1);
+            acted = true;
+        }
+    }
+    if (acted) {
+        ++stats_.bgBoosts;
+        traceAction(TraceAction::BgBoosted);
+    }
+    return acted;
+}
+
+bool
+FineGrainController::throttleBgOneGrade()
+{
+    bool acted = false;
+    for (machine::Pid pid : activeBgPids()) {
+        unsigned core = machine_.os().process(pid).core;
+        if (pos(core) > 0) {
+            setPos(core, pos(core) - 1);
+            acted = true;
+        }
+    }
+    if (acted) {
+        ++stats_.bgThrottles;
+        traceAction(TraceAction::BgThrottled);
+    }
+    return acted;
+}
+
+bool
+FineGrainController::pauseMostIntrusive()
+{
+    // Intrusiveness = LLC load misses generated since the last pause
+    // scan, read from the per-core performance counters.
+    machine::Pid victim = 0;
+    double worst = -1.0;
+    bool found = false;
+    for (machine::Pid pid : activeBgPids()) {
+        unsigned core = machine_.os().process(pid).core;
+        double misses = machine_.readCounters(core).llcMisses;
+        double delta = misses - lastMisses_[core];
+        lastMisses_[core] = misses;
+        if (delta > worst) {
+            worst = delta;
+            victim = pid;
+            found = true;
+        }
+    }
+    if (!found)
+        return false;
+    machine_.os().pause(victim);
+    pausedBg_.push_back(victim);
+    ++stats_.pauses;
+    traceAction(TraceAction::BgPaused,
+                strfmt("pid %u ('%s')", victim,
+                       machine_.os().process(victim).name.c_str()));
+    return true;
+}
+
+bool
+FineGrainController::throttleFgDown(unsigned core)
+{
+    if (pos(core) == 0)
+        return false;
+    setPos(core, pos(core) - 1);
+    ++stats_.fgThrottles;
+    traceAction(TraceAction::FgThrottled, strfmt("core %u", core));
+    return true;
+}
+
+bool
+FineGrainController::fgToMax(unsigned core)
+{
+    if (pos(core) == ladder_.size() - 1)
+        return false;
+    setPos(core, unsigned(ladder_.size()) - 1);
+    traceAction(TraceAction::FgToMax, strfmt("core %u", core));
+    return true;
+}
+
+void
+FineGrainController::traceAction(TraceAction action,
+                                 const std::string &detail)
+{
+    if (trace_ == nullptr)
+        return;
+    TraceEvent event;
+    event.when = machine_.now();
+    event.action = action;
+    event.fgPid = decisionPid_;
+    event.slackRatio = decisionSlack_;
+    event.detail = detail;
+    trace_->record(std::move(event));
+}
+
+void
+FineGrainController::recordResidency()
+{
+    bool anyPaused = false;
+    unsigned bgCount = 0;
+    double severity = 0.0;
+    for (machine::Pid pid : machine_.os().backgroundPids()) {
+        const auto &proc = machine_.os().process(pid);
+        ++bgCount;
+        if (!proc.runnable()) {
+            anyPaused = true;
+            severity += 1.0;
+            continue;
+        }
+        unsigned p = pos(proc.core);
+        stats_.bgGradeResidency[p] += 1;
+        severity +=
+            1.0 - double(p) / double(ladder_.size() - 1);
+    }
+    if (anyPaused)
+        ++stats_.decisionsWithPause;
+    if (bgCount > 0) {
+        severityAccum_ += severity / double(bgCount);
+        ++severitySamples_;
+    }
+}
+
+} // namespace dirigent::core

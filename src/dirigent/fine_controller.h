@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Dirigent's fine-time-scale controller (paper §4.3).
+ *
+ * Every few prediction segments the controller compares each foreground
+ * task's predicted completion time against its deadline and walks the
+ * paper's action ladder:
+ *
+ *  ahead (> 2 %):  continue paused BG tasks → speed throttled BG tasks
+ *                  up one DVFS grade → throttle the FG task's frequency;
+ *  behind:         FG to maximum frequency → throttle BG tasks one
+ *                  grade → if BG already at minimum and ≥ 10 % behind,
+ *                  pause the most intrusive BG task (most LLC misses).
+ *
+ * With multiple FG tasks, BG-side actions follow the slowest FG and
+ * ahead-of-schedule FG tasks are throttled down individually.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_FINE_CONTROLLER_H
+#define DIRIGENT_DIRIGENT_FINE_CONTROLLER_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "dirigent/trace.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+
+namespace dirigent::core {
+
+/** Fine controller tuning parameters. */
+struct FineControllerConfig
+{
+    /**
+     * Safety margin: the controller steers the predicted completion to
+     * deadline·(1 − safetyMargin), absorbing the predictor's typical
+     * error (2 %) so marginal noise does not turn into deadline misses.
+     */
+    double safetyMargin = 0.02;
+
+    /** Act on slack only beyond this fraction of the setpoint (2 %:
+     *  the predictor's typical error; prevents prematurely slowing a
+     *  FG task). */
+    double aheadThreshold = 0.02;
+
+    /** Pause a BG task only when ≥ this fraction behind deadline. */
+    double pauseThreshold = 0.10;
+
+    /** Number of DVFS grades used (5 equi-spaced of the 9 available). */
+    unsigned gradeCount = 5;
+};
+
+/** Cumulative fine-controller statistics. */
+struct FineControllerStats
+{
+    uint64_t decisions = 0;   //!< tick() invocations
+    uint64_t pauses = 0;      //!< BG pause actions
+    uint64_t resumes = 0;     //!< BG resume actions (tasks resumed)
+    uint64_t fgThrottles = 0; //!< FG slow-down actions
+    uint64_t bgThrottles = 0; //!< BG slow-down actions
+    uint64_t bgBoosts = 0;    //!< BG speed-up actions
+
+    /**
+     * Residency histogram of BG core DVFS ladder positions, sampled
+     * once per BG core per decision (index 0 = minimum frequency).
+     * Paused cores are not counted.
+     */
+    std::vector<uint64_t> bgGradeResidency;
+
+    /** Decisions spent with at least one BG task paused. */
+    uint64_t decisionsWithPause = 0;
+};
+
+/**
+ * The fine-grain DVFS / pause controller.
+ */
+class FineGrainController
+{
+  public:
+    /** Predicted state of one foreground task at a decision point. */
+    struct FgStatus
+    {
+        machine::Pid pid = 0;
+        unsigned core = 0;
+        Time predicted; //!< predicted total duration of current task
+        Time deadline;  //!< deadline duration for the task
+        bool valid = false; //!< prediction available
+    };
+
+    FineGrainController(machine::Machine &machine,
+                        machine::CpuFreqGovernor &governor,
+                        FineControllerConfig config = FineControllerConfig{});
+
+    /** Make one control decision given current FG predictions. */
+    void tick(const std::vector<FgStatus> &statuses);
+
+    /** Cumulative statistics. */
+    const FineControllerStats &stats() const { return stats_; }
+
+    /**
+     * Average BG throttle severity (0 = all BG at max frequency,
+     * 1 = all paused/minimum) over decisions since the last drain;
+     * consumed by the coarse controller's heuristic 3.
+     */
+    double drainThrottleSeverity();
+
+    /** The DVFS ladder in use (governor grade indices, low→high). */
+    const std::vector<unsigned> &ladder() const { return ladder_; }
+
+    /** Frequencies of the ladder positions. */
+    std::vector<Freq> ladderFreqs() const;
+
+    /** Restore every BG task to running at maximum frequency. */
+    void releaseAll();
+
+    /**
+     * Attach a decision trace (not owned; nullptr detaches). Every
+     * subsequent control action is recorded with its driving FG task
+     * and slack ratio.
+     */
+    void setTrace(DecisionTrace *trace) { trace_ = trace; }
+
+  private:
+    bool isBg(machine::Pid pid) const;
+    std::vector<machine::Pid> activeBgPids() const;
+
+    /** Current ladder position of @p core. */
+    unsigned pos(unsigned core) const { return ladderPos_[core]; }
+    void setPos(unsigned core, unsigned position);
+
+    // Action primitives; each returns true if it changed anything.
+    bool resumePaused();
+    bool boostBgOneGrade();
+    bool throttleBgOneGrade();
+    bool pauseMostIntrusive();
+    bool throttleFgDown(unsigned core);
+    bool fgToMax(unsigned core);
+
+    void recordResidency();
+
+    machine::Machine &machine_;
+    machine::CpuFreqGovernor &governor_;
+    FineControllerConfig config_;
+    std::vector<unsigned> ladder_;
+    std::vector<unsigned> ladderPos_;
+    std::vector<machine::Pid> pausedBg_;
+    std::vector<double> lastMisses_;
+    FineControllerStats stats_;
+    double severityAccum_ = 0.0;
+    uint64_t severitySamples_ = 0;
+
+    void traceAction(TraceAction action, const std::string &detail = "");
+
+    DecisionTrace *trace_ = nullptr;
+    machine::Pid decisionPid_ = 0;  //!< FG driving the current decision
+    double decisionSlack_ = 0.0;    //!< its predicted/setpoint ratio
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_FINE_CONTROLLER_H

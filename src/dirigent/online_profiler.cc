@@ -1,0 +1,164 @@
+#include "dirigent/online_profiler.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+#include "machine/sampler.h"
+
+namespace dirigent::core {
+
+LiveProfiler::LiveProfiler(machine::Machine &machine, sim::Engine &engine,
+                           ProfilerConfig config)
+    : machine_(machine), engine_(engine), config_(config)
+{
+    DIRIGENT_ASSERT(config.executions >= 1, "need at least one execution");
+}
+
+Profile
+LiveProfiler::profileWithBgPaused(machine::Pid fgPid)
+{
+    // Pause only the background processes that are currently running,
+    // so we resume exactly what we paused.
+    std::vector<machine::Pid> paused;
+    for (machine::Pid pid : machine_.os().backgroundPids()) {
+        if (machine_.os().process(pid).runnable()) {
+            machine_.os().pause(pid);
+            paused.push_back(pid);
+        }
+    }
+
+    Profile profile = record(fgPid);
+
+    for (machine::Pid pid : paused)
+        machine_.os().resume(pid);
+    return profile;
+}
+
+Profile
+LiveProfiler::profileConcurrent(machine::Pid fgPid)
+{
+    Profile contended = record(fgPid);
+    // Interference offset: the fastest execution of the profiling
+    // window is the least contended; deflate all segment durations so
+    // the profile total matches it. (record() averages per-segment
+    // durations over the window, so its total is the mean duration.)
+    double meanTotal = contended.totalTime().sec();
+    double fastest = fastestObserved_;
+    DIRIGENT_ASSERT(fastest > 0.0 && meanTotal > 0.0,
+                    "concurrent profiling observed no executions");
+    double factor = std::min(fastest / meanTotal, 1.0);
+    return scaleProfileDurations(contended, factor);
+}
+
+Profile
+LiveProfiler::record(machine::Pid fgPid)
+{
+    const machine::Process &proc = machine_.os().process(fgPid);
+    DIRIGENT_ASSERT(proc.foreground, "pid %u is not foreground", fgPid);
+    unsigned core = proc.core;
+    std::string name = proc.program->name;
+
+    std::vector<std::vector<ProfileSegment>> runs;
+    std::vector<double> totals;
+    runs.emplace_back();
+
+    double lastInstr = machine_.readCounters(core).instructions;
+    Time lastTickTime = engine_.now();
+    Time execStart = engine_.now();
+    unsigned completions = 0;
+
+    machine::PeriodicSampler sampler(
+        engine_, config_.samplingPeriod, config_.wakeOvershootMean,
+        config_.wakeOvershootSigma,
+        Rng(config_.seed).fork(0x11FE),
+        [&](const machine::PeriodicSampler::Tick &tick) {
+            double instr = machine_.readCounters(core).instructions;
+            double progress = instr - lastInstr;
+            Time duration = tick.actual - lastTickTime;
+            if (progress > 0.0 && duration.sec() > 0.0)
+                runs.back().push_back({progress, duration});
+            lastInstr = instr;
+            lastTickTime = tick.actual;
+        });
+
+    size_t listener = machine_.addCompletionListener(
+        [&](const machine::CompletionRecord &rec) {
+            if (rec.pid != fgPid)
+                return;
+            double instr = machine_.readCounters(core).instructions;
+            double progress = instr - lastInstr;
+            Time duration = rec.finished - lastTickTime;
+            if (progress > 0.0 && duration.sec() > 0.0)
+                runs.back().push_back({progress, duration});
+            lastInstr = instr;
+            lastTickTime = rec.finished;
+            totals.push_back((rec.finished - execStart).sec());
+            execStart = rec.finished;
+            ++completions;
+            if (completions < config_.executions) {
+                runs.emplace_back();
+                sampler.stop();
+                sampler.start();
+            } else {
+                sampler.stop();
+            }
+        });
+
+    // Wait for the in-flight FG execution to finish so profiling is
+    // aligned with a task start, then begin sampling.
+    unsigned alignTarget = 1;
+    Time bailout = engine_.now() + Time::sec(30.0);
+    while (completions < alignTarget && engine_.now() < bailout)
+        engine_.runFor(Time::ms(10.0));
+    // Discard the partial execution's samples and totals.
+    runs.assign(1, {});
+    totals.clear();
+    completions = 0;
+    lastInstr = machine_.readCounters(core).instructions;
+    lastTickTime = engine_.now();
+    execStart = engine_.now();
+    sampler.start();
+
+    bailout = engine_.now() + Time::sec(30.0 * config_.executions);
+    while (completions < config_.executions && engine_.now() < bailout)
+        engine_.runFor(Time::ms(10.0));
+    machine_.removeCompletionListener(listener);
+    if (completions < config_.executions)
+        fatal(strfmt("live profiling of '%s' did not converge",
+                     name.c_str()));
+
+    fastestObserved_ =
+        *std::min_element(totals.begin(), totals.end());
+
+    size_t maxLen = 0;
+    for (const auto &run : runs)
+        maxLen = std::max(maxLen, run.size());
+    std::vector<ProfileSegment> averaged;
+    for (size_t i = 0; i < maxLen; ++i) {
+        double progress = 0.0, duration = 0.0;
+        unsigned n = 0;
+        for (const auto &run : runs) {
+            if (i < run.size()) {
+                progress += run[i].progress;
+                duration += run[i].duration.sec();
+                ++n;
+            }
+        }
+        averaged.push_back({progress / n, Time::sec(duration / n)});
+    }
+    return Profile(name, config_.samplingPeriod, std::move(averaged));
+}
+
+Profile
+scaleProfileDurations(const Profile &profile, double factor)
+{
+    DIRIGENT_ASSERT(factor > 0.0, "scale factor must be positive");
+    std::vector<ProfileSegment> segments = profile.segments();
+    for (auto &seg : segments)
+        seg.duration = seg.duration * factor;
+    return Profile(profile.benchmark(), profile.samplingPeriod(),
+                   std::move(segments));
+}
+
+} // namespace dirigent::core

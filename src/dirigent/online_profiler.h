@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Online profiling — the paper's §7 future-work items, implemented.
+ *
+ * The offline profiler needs a dedicated standalone run of each FG
+ * application. In production that is inconvenient, so the paper
+ * proposes two alternatives:
+ *
+ *  1. *Online profiling*: profile on the live machine while all
+ *     background tasks are paused for a few FG executions (short —
+ *     FG tasks run well under 2 s each), then resume them.
+ *  2. *Concurrent profiling with interference offsets*: profile while
+ *     background tasks keep running and deflate the recorded segment
+ *     durations by an interference-offset factor, estimated here from
+ *     the fastest observed execution (the least-contended one).
+ */
+
+#ifndef DIRIGENT_DIRIGENT_ONLINE_PROFILER_H
+#define DIRIGENT_DIRIGENT_ONLINE_PROFILER_H
+
+#include "dirigent/profile.h"
+#include "dirigent/profiler.h"
+#include "machine/machine.h"
+#include "sim/engine.h"
+
+namespace dirigent::core {
+
+/**
+ * Profiles a foreground process on a live (already loaded) machine.
+ */
+class LiveProfiler
+{
+  public:
+    /**
+     * @param machine the live machine (not owned).
+     * @param engine its engine (not owned).
+     * @param config sampling parameters (period, executions, jitter).
+     */
+    LiveProfiler(machine::Machine &machine, sim::Engine &engine,
+                 ProfilerConfig config = ProfilerConfig{});
+
+    /**
+     * Online profiling: pause every background process, profile
+     * @p fgPid for config.executions consecutive executions, then
+     * resume exactly the background processes this call paused.
+     * Advances simulated time on the live engine.
+     */
+    Profile profileWithBgPaused(machine::Pid fgPid);
+
+    /**
+     * Concurrent profiling: profile @p fgPid for config.executions
+     * executions *without* pausing anything, then remove the
+     * interference offset by scaling every segment duration by
+     * (fastest observed execution time / profiled mean execution
+     * time). The fastest execution approximates the least-contended
+     * run; the returned profile approximates standalone behaviour.
+     */
+    Profile profileConcurrent(machine::Pid fgPid);
+
+  private:
+    Profile record(machine::Pid fgPid);
+
+    machine::Machine &machine_;
+    sim::Engine &engine_;
+    ProfilerConfig config_;
+    double fastestObserved_ = 0.0;
+};
+
+/**
+ * Scale every segment duration of @p profile by @p factor (used to
+ * remove interference offsets from concurrently recorded profiles).
+ */
+Profile scaleProfileDurations(const Profile &profile, double factor);
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_ONLINE_PROFILER_H

@@ -1,0 +1,177 @@
+#include "dirigent/predictor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+Predictor::Predictor(const Profile *profile, PredictorConfig config)
+    : profile_(profile), config_(config), rateMa_(config.rateEmaWeight),
+      refRateMa_(config.rateEmaWeight)
+{
+    DIRIGENT_ASSERT(profile != nullptr && !profile->empty(),
+                    "predictor needs a non-empty profile");
+    penaltyEma_.assign(profile->size(), Ema(config.penaltyEmaWeight));
+}
+
+void
+Predictor::beginExecution(Time startTime)
+{
+    start_ = startTime;
+    segIdx_ = 0;
+    segProgressDone_ = 0.0;
+    segStartTime_ = startTime;
+    lastObsTime_ = startTime;
+    lastProgress_ = 0.0;
+    rateMa_.reset();
+    refRateMa_.reset();
+    hasObservation_ = false;
+    inExecution_ = true;
+    ++executionsSeen_;
+}
+
+void
+Predictor::observe(Time now, double cumulativeProgress)
+{
+    DIRIGENT_ASSERT(inExecution_, "observe() outside an execution");
+    double dt = (now - lastObsTime_).sec();
+    if (dt <= 0.0)
+        return;
+    double delta = cumulativeProgress - lastProgress_;
+    if (delta <= 0.0) {
+        // No progress (task throttled/paused through the interval);
+        // time keeps accruing against the in-flight segment.
+        lastObsTime_ = now;
+        hasObservation_ = true;
+        return;
+    }
+
+    // Attribute the interval's progress to profile segments assuming a
+    // uniform progress rate within the interval.
+    double rate = delta / dt;
+    Time cursor = lastObsTime_;
+    double remaining = delta;
+    const auto &segs = profile_->segments();
+    while (remaining > 0.0 && segIdx_ < segs.size()) {
+        double segRemaining = segs[segIdx_].progress - segProgressDone_;
+        if (remaining >= segRemaining) {
+            Time boundary = cursor + Time::sec(segRemaining / rate);
+            closeSegment(boundary);
+            cursor = boundary;
+            remaining -= segRemaining;
+        } else {
+            segProgressDone_ += remaining;
+            remaining = 0.0;
+        }
+    }
+    // Progress past the end of the profile (per-instance instruction
+    // jitter) is simply absorbed; the task is about to finish.
+
+    lastObsTime_ = now;
+    lastProgress_ = cumulativeProgress;
+    hasObservation_ = true;
+}
+
+void
+Predictor::endExecution(Time endTime, double finalProgress)
+{
+    DIRIGENT_ASSERT(inExecution_, "endExecution() outside an execution");
+    observe(endTime, finalProgress);
+    inExecution_ = false;
+}
+
+Time
+Predictor::predictTotal() const
+{
+    const auto &segs = profile_->segments();
+    Time elapsed = lastObsTime_ - start_;
+    Time remaining;
+    if (segIdx_ < segs.size()) {
+        double frac =
+            1.0 - segProgressDone_ / segs[segIdx_].progress;
+        remaining += expectedSegmentTime(segIdx_) * std::max(frac, 0.0);
+        for (size_t i = segIdx_ + 1; i < segs.size(); ++i)
+            remaining += expectedSegmentTime(i);
+    }
+    return elapsed + remaining;
+}
+
+Time
+Predictor::predictCompletion() const
+{
+    return start_ + predictTotal();
+}
+
+double
+Predictor::progressFraction() const
+{
+    return lastProgress_ / profile_->totalProgress();
+}
+
+double
+Predictor::penaltyAverage(size_t i) const
+{
+    DIRIGENT_ASSERT(i < penaltyEma_.size(), "bad segment index %zu", i);
+    return penaltyEma_[i].value();
+}
+
+Time
+Predictor::expectedSegmentTime(size_t i) const
+{
+    const auto &seg = profile_->segments()[i];
+    double penalty;
+    if (penaltyEma_[i].valid()) {
+        // Eq. 2: the historical per-segment penalty P̄_i, scaled by how
+        // the penalty rate observed so far in *this* execution compares
+        // to the historical rate. At the historical contention level
+        // the scale is 1 and the estimate reduces to P̄_i; when the
+        // current execution runs hotter or cooler the whole remaining
+        // penalty pattern is scaled accordingly. The λ term regularizes
+        // the ratio for nearly-uncontended histories.
+        double scale = 1.0;
+        if (rateMa_.valid() && refRateMa_.valid()) {
+            constexpr double lambda = 0.05;
+            double current = rateMa_.value();
+            double historic = refRateMa_.value();
+            scale = (current + lambda) / (historic + lambda);
+            scale = std::clamp(scale, 0.1, 10.0);
+        }
+        penalty = scale * penaltyEma_[i].value();
+    } else {
+        // No history yet (first execution): project the penalty rate
+        // observed so far onto the remaining profiled time.
+        double current = rateMa_.valid() ? rateMa_.value() : 0.0;
+        penalty = current * seg.duration.sec();
+    }
+    double expected = seg.duration.sec() + penalty;
+    // Even under wild mispredictions a segment cannot take less than a
+    // small fraction of its profiled time.
+    return Time::sec(std::max(expected, 0.05 * seg.duration.sec()));
+}
+
+void
+Predictor::closeSegment(Time boundaryTime)
+{
+    const auto &seg = profile_->segments()[segIdx_];
+    double measured = (boundaryTime - segStartTime_).sec();
+    double profiled = seg.duration.sec();
+    // Eq. 1: P_i = (α_i − 1)·ΔT_i with α_i the measured/expected rate
+    // ratio. The in-flight moving average tracks the penalty *rate*
+    // (α_i − 1), i.e. penalty per unit profiled time.
+    double penalty = measured - profiled;
+    // Record the reference (historical) rate of this same segment
+    // *before* folding in the new observation, so rateMa_/refRateMa_
+    // compare the current execution against history over identical
+    // segments with identical weights.
+    if (penaltyEma_[segIdx_].valid())
+        refRateMa_.add(penaltyEma_[segIdx_].value() / profiled);
+    penaltyEma_[segIdx_].add(penalty);
+    rateMa_.add(penalty / profiled);
+
+    ++segIdx_;
+    segProgressDone_ = 0.0;
+    segStartTime_ = boundaryTime;
+}
+
+} // namespace dirigent::core

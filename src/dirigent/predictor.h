@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Dirigent's online completion-time predictor (paper §4.2).
+ *
+ * During contended execution the predictor receives periodic progress
+ * observations (cumulative retired instructions). It maps progress onto
+ * the standalone profile's segments and, for every segment completed
+ * online, computes the segment's time penalty
+ *
+ *   P_i = (α_i − 1) · ΔT_i        where α_i = measured_i / ΔT_i   (Eq. 1)
+ *
+ * (α_i is equivalently the ratio of profiled to measured progress
+ * rates). Per-segment penalties are smoothed across executions with an
+ * exponential moving average (weight 0.2), and the rate factors seen so
+ * far in the *current* execution are smoothed into MA({α}₁..k). The
+ * expected completion time is then
+ *
+ *   T_est,k = T + Σ_{i>k} ( MA({α}₁..k) · P̄_i + ΔT_i )           (Eq. 2)
+ *
+ * extended here to include the remaining fraction of the in-flight
+ * segment k (the paper evaluates Eq. 2 at segment boundaries; including
+ * the partial segment makes mid-segment queries equally accurate).
+ */
+
+#ifndef DIRIGENT_DIRIGENT_PREDICTOR_H
+#define DIRIGENT_DIRIGENT_PREDICTOR_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "dirigent/profile.h"
+
+namespace dirigent::core {
+
+/** Predictor tuning parameters. */
+struct PredictorConfig
+{
+    /** EMA weight for per-segment penalties across executions. */
+    double penaltyEmaWeight = 0.2;
+
+    /** EMA weight for the in-flight rate-factor moving average. */
+    double rateEmaWeight = 0.2;
+};
+
+/**
+ * Online completion-time predictor for one foreground application.
+ * Reused across consecutive executions of the same task; per-segment
+ * penalty averages persist and improve over executions.
+ */
+class Predictor
+{
+  public:
+    /**
+     * @param profile standalone profile (not owned; must outlive).
+     * @param config tuning parameters.
+     */
+    explicit Predictor(const Profile *profile,
+                       PredictorConfig config = PredictorConfig{});
+
+    /** The profile being predicted against. */
+    const Profile &profile() const { return *profile_; }
+
+    /** Begin a new execution starting at @p startTime. */
+    void beginExecution(Time startTime);
+
+    /**
+     * Feed one progress observation.
+     * @param now observation (wall) time.
+     * @param cumulativeProgress instructions retired by the current
+     *        execution so far.
+     */
+    void observe(Time now, double cumulativeProgress);
+
+    /**
+     * Finish the current execution (task completed at @p endTime with
+     * final progress @p finalProgress). Closes the in-flight segment's
+     * penalty accounting and arms the predictor for the next execution.
+     */
+    void endExecution(Time endTime, double finalProgress);
+
+    /** True once the current execution has at least one observation. */
+    bool hasObservation() const { return hasObservation_; }
+
+    /**
+     * Predicted *total duration* of the current execution (Eq. 2,
+     * relative to the execution's start). Before the first observation
+     * this is the profile total adjusted by historical penalties.
+     */
+    Time predictTotal() const;
+
+    /** Predicted absolute completion time (start + predictTotal). */
+    Time predictCompletion() const;
+
+    /** Index of the profile segment progress is currently inside. */
+    size_t currentSegment() const { return segIdx_; }
+
+    /** Fraction of profiled total progress completed (0..1+). */
+    double progressFraction() const;
+
+    /** Elapsed time of the current execution at the last observation. */
+    Time elapsed() const { return lastObsTime_ - start_; }
+
+    /** Executions observed so far (for warm-up diagnostics). */
+    uint64_t executionsSeen() const { return executionsSeen_; }
+
+    /** Historical penalty average of segment @p i (for tests). */
+    double penaltyAverage(size_t i) const;
+
+  private:
+    /** Expected online duration of segment @p i given current MA(α). */
+    Time expectedSegmentTime(size_t i) const;
+
+    void closeSegment(Time boundaryTime);
+
+    const Profile *profile_;
+    PredictorConfig config_;
+
+    /** P̄_i across executions (seconds). */
+    std::vector<Ema> penaltyEma_;
+
+    // Per-execution state.
+    Time start_;
+    size_t segIdx_ = 0;
+    double segProgressDone_ = 0.0;
+    Time segStartTime_;
+    Time lastObsTime_;
+    double lastProgress_ = 0.0;
+    Ema rateMa_;
+    /**
+     * Reference moving average: the *historical* penalty rates of the
+     * same segments rateMa_ averaged, with identical weighting. The
+     * predictive scale is rateMa_/refRateMa_, so per-phase differences
+     * in contention sensitivity cancel and only the execution-level
+     * contention shift remains.
+     */
+    Ema refRateMa_;
+    bool hasObservation_ = false;
+    bool inExecution_ = false;
+    uint64_t executionsSeen_ = 0;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_PREDICTOR_H

@@ -1,0 +1,87 @@
+#include "dirigent/profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::core {
+
+Profile::Profile(std::string benchmark, Time samplingPeriod,
+                 std::vector<ProfileSegment> segments)
+    : benchmark_(std::move(benchmark)), samplingPeriod_(samplingPeriod),
+      segments_(std::move(segments))
+{
+    DIRIGENT_ASSERT(samplingPeriod.sec() > 0.0,
+                    "profile sampling period must be > 0");
+    for (const auto &seg : segments_) {
+        DIRIGENT_ASSERT(seg.progress > 0.0 && seg.duration.sec() > 0.0,
+                        "profile of '%s' has a degenerate segment",
+                        benchmark_.c_str());
+    }
+}
+
+double
+Profile::totalProgress() const
+{
+    double total = 0.0;
+    for (const auto &seg : segments_)
+        total += seg.progress;
+    return total;
+}
+
+Time
+Profile::totalTime() const
+{
+    Time total;
+    for (const auto &seg : segments_)
+        total += seg.duration;
+    return total;
+}
+
+std::string
+Profile::serialize() const
+{
+    std::string out;
+    out += strfmt("dirigent-profile v1\n");
+    out += strfmt("benchmark %s\n", benchmark_.c_str());
+    out += strfmt("period_s %.12g\n", samplingPeriod_.sec());
+    out += strfmt("segments %zu\n", segments_.size());
+    for (const auto &seg : segments_)
+        out += strfmt("%.12g %.12g\n", seg.progress, seg.duration.sec());
+    return out;
+}
+
+std::optional<Profile>
+Profile::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string magic, version;
+    if (!(in >> magic >> version) || magic != "dirigent-profile" ||
+        version != "v1")
+        return std::nullopt;
+
+    std::string key, benchmark;
+    double period = 0.0;
+    size_t count = 0;
+    if (!(in >> key >> benchmark) || key != "benchmark")
+        return std::nullopt;
+    if (!(in >> key >> period) || key != "period_s" || period <= 0.0)
+        return std::nullopt;
+    if (!(in >> key >> count) || key != "segments")
+        return std::nullopt;
+
+    std::vector<ProfileSegment> segments;
+    segments.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        double progress = 0.0, duration = 0.0;
+        if (!(in >> progress >> duration) || progress <= 0.0 ||
+            duration <= 0.0)
+            return std::nullopt;
+        segments.push_back({progress, Time::sec(duration)});
+    }
+    return Profile(benchmark, Time::sec(period), std::move(segments));
+}
+
+} // namespace dirigent::core

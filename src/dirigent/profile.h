@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The offline execution profile of a foreground application: the series
+ * of (progress, duration) segment pairs recorded while the application
+ * runs alone, sampled every ΔT (5 ms by default). This is the reference
+ * the online predictor compares contended progress against.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_PROFILE_H
+#define DIRIGENT_DIRIGENT_PROFILE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dirigent::core {
+
+/** One profiled segment: progress made and (measured) time taken. */
+struct ProfileSegment
+{
+    double progress = 0.0; //!< instructions retired in the segment
+    Time duration;         //!< measured wall time of the segment
+
+    bool
+    operator==(const ProfileSegment &o) const
+    {
+        return progress == o.progress && duration == o.duration;
+    }
+};
+
+/**
+ * The complete standalone profile of a foreground benchmark.
+ */
+class Profile
+{
+  public:
+    Profile() = default;
+
+    /**
+     * @param benchmark profiled benchmark name.
+     * @param samplingPeriod nominal ΔT used while profiling.
+     * @param segments profiled segments in execution order.
+     */
+    Profile(std::string benchmark, Time samplingPeriod,
+            std::vector<ProfileSegment> segments);
+
+    const std::string &benchmark() const { return benchmark_; }
+    Time samplingPeriod() const { return samplingPeriod_; }
+    const std::vector<ProfileSegment> &segments() const { return segments_; }
+
+    /** Number of segments. */
+    size_t size() const { return segments_.size(); }
+
+    /** True when the profile has no segments. */
+    bool empty() const { return segments_.empty(); }
+
+    /** Total profiled progress (instructions). */
+    double totalProgress() const;
+
+    /** Total profiled (standalone) execution time. */
+    Time totalTime() const;
+
+    /**
+     * Serialize to a line-oriented text format suitable for storing
+     * profiles on disk between the offline profiling run and online use.
+     */
+    std::string serialize() const;
+
+    /**
+     * Parse a profile previously produced by serialize().
+     * @return std::nullopt on malformed input.
+     */
+    static std::optional<Profile> deserialize(const std::string &text);
+
+  private:
+    std::string benchmark_;
+    Time samplingPeriod_;
+    std::vector<ProfileSegment> segments_;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_PROFILE_H

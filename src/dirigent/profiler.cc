@@ -1,0 +1,125 @@
+#include "dirigent/profiler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "machine/sampler.h"
+#include "sim/engine.h"
+
+namespace dirigent::core {
+
+OfflineProfiler::OfflineProfiler(ProfilerConfig config) : config_(config)
+{
+    DIRIGENT_ASSERT(config.samplingPeriod.sec() > 0.0,
+                    "sampling period must be > 0");
+    DIRIGENT_ASSERT(config.executions >= 1, "need at least one execution");
+}
+
+Profile
+OfflineProfiler::profileAlone(
+    const workload::Benchmark &benchmark,
+    const machine::MachineConfig &machineConfig) const
+{
+    DIRIGENT_ASSERT(!benchmark.program.loop,
+                    "cannot profile looping program '%s'",
+                    benchmark.name.c_str());
+
+    machine::MachineConfig cfg = machineConfig;
+    cfg.seed = config_.seed;
+    machine::Machine machine(cfg);
+    sim::Engine engine(machine, cfg.maxQuantum);
+
+    machine::ProcessSpec spec;
+    spec.name = benchmark.name;
+    spec.program = &benchmark.program;
+    spec.core = 0;
+    spec.foreground = true;
+    spec.niceness = -20;
+    machine::Pid pid = machine.spawnProcess(spec);
+
+    // Per-execution segment records.
+    std::vector<std::vector<ProfileSegment>> runs;
+    runs.emplace_back();
+
+    double lastInstr = 0.0;
+    Time lastTickTime;
+    unsigned completions = 0;
+
+    machine::PeriodicSampler sampler(
+        engine, config_.samplingPeriod, config_.wakeOvershootMean,
+        config_.wakeOvershootSigma, Rng(config_.seed).fork(0xAB1E),
+        [&](const machine::PeriodicSampler::Tick &tick) {
+            double instr =
+                readCumulativeProgress(machine, 0, config_.metric);
+            double progress = instr - lastInstr;
+            Time duration = tick.actual - lastTickTime;
+            if (progress > 0.0 && duration.sec() > 0.0)
+                runs.back().push_back({progress, duration});
+            lastInstr = instr;
+            lastTickTime = tick.actual;
+        });
+
+    size_t listener = machine.addCompletionListener(
+        [&](const machine::CompletionRecord &rec) {
+            if (rec.pid != pid)
+                return;
+            // Close the final (partial) segment at the completion point.
+            double instr =
+                readCumulativeProgress(machine, 0, config_.metric);
+            double progress = instr - lastInstr;
+            Time duration = rec.finished - lastTickTime;
+            if (progress > 0.0 && duration.sec() > 0.0)
+                runs.back().push_back({progress, duration});
+            lastInstr = instr;
+            lastTickTime = rec.finished;
+            ++completions;
+            if (completions < config_.executions) {
+                runs.emplace_back();
+                // Realign the sampling loop with the next task start.
+                sampler.stop();
+                sampler.start();
+            } else {
+                sampler.stop();
+            }
+        });
+
+    sampler.start();
+    lastTickTime = engine.now();
+    // Generous upper bound: profiled FG tasks take ~0.5–1.6 s each.
+    Time bailout = Time::sec(30.0 * config_.executions);
+    while (completions < config_.executions && engine.now() < bailout)
+        engine.runFor(Time::ms(20.0));
+    machine.removeCompletionListener(listener);
+    if (completions < config_.executions)
+        fatal(strfmt("profiling '%s' did not converge within %gs",
+                     benchmark.name.c_str(), bailout.sec()));
+
+    // Average the runs segment-wise. Runs can differ in length by a
+    // segment or two (input-dependent phase jitter); average each index
+    // over the runs that reached it.
+    size_t maxLen = 0;
+    for (const auto &run : runs)
+        maxLen = std::max(maxLen, run.size());
+
+    std::vector<ProfileSegment> averaged;
+    averaged.reserve(maxLen);
+    for (size_t i = 0; i < maxLen; ++i) {
+        double progress = 0.0, duration = 0.0;
+        unsigned n = 0;
+        for (const auto &run : runs) {
+            if (i < run.size()) {
+                progress += run[i].progress;
+                duration += run[i].duration.sec();
+                ++n;
+            }
+        }
+        DIRIGENT_ASSERT(n > 0, "segment average over zero runs");
+        averaged.push_back(
+            {progress / n, Time::sec(duration / n)});
+    }
+
+    return Profile(benchmark.name, config_.samplingPeriod,
+                   std::move(averaged));
+}
+
+} // namespace dirigent::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The offline execution profiler. It runs a foreground benchmark alone
+ * on a freshly constructed simulated machine, samples its progress
+ * (retired instructions) every ΔT with the sleep method, and produces
+ * the Profile the online predictor consumes. Profiling several
+ * executions and averaging them segment-wise yields the "stable
+ * profiling record" the paper describes.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_PROFILER_H
+#define DIRIGENT_DIRIGENT_PROFILER_H
+
+#include "dirigent/profile.h"
+#include "dirigent/progress.h"
+#include "machine/machine.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+
+/** Profiler parameters. */
+struct ProfilerConfig
+{
+    /** Sampling period ΔT (the paper uses 5 ms). */
+    Time samplingPeriod = Time::ms(5.0);
+
+    /** Executions profiled and averaged segment-wise. */
+    unsigned executions = 3;
+
+    /** Sleep overshoot model (mean / sigma) of the sampling loop. */
+    Time wakeOvershootMean = Time::us(30.0);
+    Time wakeOvershootSigma = Time::us(15.0);
+
+    /** Seed for the profiling machine. */
+    uint64_t seed = 42;
+
+    /** Progress metric to record (must match the online predictor's). */
+    ProgressMetric metric = ProgressMetric::RetiredInstructions;
+};
+
+/**
+ * Profiles foreground benchmarks in isolation.
+ */
+class OfflineProfiler
+{
+  public:
+    explicit OfflineProfiler(ProfilerConfig config = ProfilerConfig{});
+
+    /**
+     * Run @p benchmark alone on a machine configured by @p machineConfig
+     * and record its standalone profile.
+     */
+    Profile profileAlone(const workload::Benchmark &benchmark,
+                         const machine::MachineConfig &machineConfig) const;
+
+  private:
+    ProfilerConfig config_;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_PROFILER_H

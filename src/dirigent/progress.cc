@@ -1,0 +1,34 @@
+#include "dirigent/progress.h"
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+const char *
+progressMetricName(ProgressMetric metric)
+{
+    switch (metric) {
+      case ProgressMetric::RetiredInstructions:
+        return "retired-instructions";
+      case ProgressMetric::Heartbeats:
+        return "heartbeats";
+    }
+    return "?";
+}
+
+double
+readCumulativeProgress(const machine::Machine &machine, unsigned core,
+                       ProgressMetric metric)
+{
+    if (metric == ProgressMetric::RetiredInstructions)
+        return machine.readCounters(core).instructions;
+
+    const machine::Process *proc = machine.os().processOnCore(core);
+    if (proc == nullptr || proc->task == nullptr)
+        return 0.0;
+    double beatsPerExecution = double(proc->program->phases.size());
+    return double(proc->executions) * beatsPerExecution +
+           proc->task->beatProgress();
+}
+
+} // namespace dirigent::core

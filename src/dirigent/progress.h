@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Progress metrics for profiling and prediction.
+ *
+ * The paper measures progress with the retired-instruction performance
+ * counter but notes "more abstract metrics can also be used" (§4.1) and
+ * that strongly input-dependent tasks may need Application-Heartbeats-
+ * style interfaces (§7). Both are supported:
+ *
+ *  - RetiredInstructions — the hardware counter; no application
+ *    cooperation needed.
+ *  - Heartbeats — the application reports work-fraction beats (one per
+ *    phase, fractional within a phase). Immune to per-input variation
+ *    in instruction counts, at the cost of requiring instrumentation.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_PROGRESS_H
+#define DIRIGENT_DIRIGENT_PROGRESS_H
+
+#include "machine/machine.h"
+
+namespace dirigent::core {
+
+/** How foreground progress is measured. */
+enum class ProgressMetric
+{
+    RetiredInstructions, //!< per-core PMU counter (paper default)
+    Heartbeats,          //!< application-reported work beats
+};
+
+/** Printable metric name. */
+const char *progressMetricName(ProgressMetric metric);
+
+/**
+ * Cumulative progress of the process pinned to @p core, monotone over
+ * consecutive task executions (heartbeats accumulate completed
+ * executions × beats-per-execution so deltas work exactly like counter
+ * reads).
+ */
+double readCumulativeProgress(const machine::Machine &machine,
+                              unsigned core, ProgressMetric metric);
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_PROGRESS_H

@@ -1,0 +1,80 @@
+#include "dirigent/reactive.h"
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+ReactiveController::ReactiveController(machine::Machine &machine,
+                                       machine::CpuFreqGovernor &governor,
+                                       FineControllerConfig config)
+    : machine_(machine), controller_(machine, governor, config)
+{
+}
+
+ReactiveController::~ReactiveController()
+{
+    stop();
+}
+
+void
+ReactiveController::addForeground(machine::Pid pid, Time deadline)
+{
+    DIRIGENT_ASSERT(!started_, "cannot add FG after start()");
+    DIRIGENT_ASSERT(deadline.sec() > 0.0, "FG needs a positive deadline");
+    DIRIGENT_ASSERT(machine_.os().process(pid).foreground,
+                    "pid %u is not a foreground process", pid);
+    deadlines_[pid] = deadline;
+}
+
+void
+ReactiveController::start()
+{
+    if (started_)
+        return;
+    DIRIGENT_ASSERT(!deadlines_.empty(),
+                    "reactive controller has no foreground processes");
+    started_ = true;
+    listener_ = machine_.addCompletionListener(
+        [this](const machine::CompletionRecord &rec) {
+            onCompletion(rec);
+        });
+}
+
+void
+ReactiveController::stop()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    machine_.removeCompletionListener(listener_);
+}
+
+void
+ReactiveController::onCompletion(const machine::CompletionRecord &rec)
+{
+    auto it = deadlines_.find(rec.pid);
+    if (it == deadlines_.end())
+        return;
+    lastDuration_[rec.pid] = rec.duration();
+    ++decisions_;
+
+    // One ladder decision per completion: the observed duration of the
+    // execution that just finished stands in for a prediction of the
+    // next one.
+    std::vector<FineGrainController::FgStatus> statuses;
+    for (const auto &[pid, deadline] : deadlines_) {
+        auto last = lastDuration_.find(pid);
+        if (last == lastDuration_.end())
+            continue;
+        FineGrainController::FgStatus st;
+        st.pid = pid;
+        st.core = machine_.os().process(pid).core;
+        st.predicted = last->second;
+        st.deadline = deadline;
+        st.valid = true;
+        statuses.push_back(st);
+    }
+    controller_.tick(statuses);
+}
+
+} // namespace dirigent::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A reactive QoS controller — the ablation baseline that isolates the
+ * value of Dirigent's completion-time *prediction*.
+ *
+ * The reactive controller uses the same actuators and action ladder as
+ * Dirigent's fine-grain controller but has no predictor: it acts only
+ * at task boundaries, treating the just-finished execution's duration
+ * as its estimate for the next one. Anything that changes *within* an
+ * execution (a background phase change, a context switch) is therefore
+ * corrected one execution too late — exactly the gap the paper's
+ * fine-time-scale prediction closes.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_REACTIVE_H
+#define DIRIGENT_DIRIGENT_REACTIVE_H
+
+#include <map>
+
+#include "common/units.h"
+#include "dirigent/fine_controller.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+
+namespace dirigent::core {
+
+/**
+ * Boundary-reactive controller: one control decision per completed FG
+ * execution, driven by observed (not predicted) durations.
+ */
+class ReactiveController
+{
+  public:
+    ReactiveController(machine::Machine &machine,
+                       machine::CpuFreqGovernor &governor,
+                       FineControllerConfig config =
+                           FineControllerConfig{});
+
+    ~ReactiveController();
+
+    ReactiveController(const ReactiveController &) = delete;
+    ReactiveController &operator=(const ReactiveController &) = delete;
+
+    /** Register a foreground process and its deadline (duration). */
+    void addForeground(machine::Pid pid, Time deadline);
+
+    /** Begin reacting to completions. */
+    void start();
+
+    /** Stop; resource settings are left as-is. */
+    void stop();
+
+    /** Decisions taken so far (== FG completions observed). */
+    uint64_t decisions() const { return decisions_; }
+
+    /** The underlying action ladder (shared with Dirigent). */
+    const FineGrainController &ladder() const { return controller_; }
+
+  private:
+    void onCompletion(const machine::CompletionRecord &rec);
+
+    machine::Machine &machine_;
+    FineGrainController controller_;
+    std::map<machine::Pid, Time> deadlines_;
+    std::map<machine::Pid, Time> lastDuration_;
+    size_t listener_ = 0;
+    bool started_ = false;
+    uint64_t decisions_ = 0;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_REACTIVE_H

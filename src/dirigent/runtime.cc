@@ -1,0 +1,211 @@
+#include "dirigent/runtime.h"
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+DirigentRuntime::DirigentRuntime(machine::Machine &machine,
+                                 sim::Engine &engine,
+                                 machine::CpuFreqGovernor &governor,
+                                 machine::CatController &cat,
+                                 RuntimeConfig config)
+    : machine_(machine), cat_(cat), config_(config)
+{
+    DIRIGENT_ASSERT(config.runtimeCore < machine.numCores(),
+                    "runtime core %u out of range", config.runtimeCore);
+    fine_ = std::make_unique<FineGrainController>(machine, governor,
+                                                  config.fine);
+    sampler_ = std::make_unique<machine::PeriodicSampler>(
+        engine, config.samplingPeriod, config.wakeOvershootMean,
+        config.wakeOvershootSigma, Rng(config.seed).fork(0xD127),
+        [this](const machine::PeriodicSampler::Tick &tick) {
+            onTick(tick);
+        });
+}
+
+DirigentRuntime::~DirigentRuntime()
+{
+    stop();
+}
+
+void
+DirigentRuntime::addForeground(machine::Pid pid, const Profile *profile,
+                               Time deadline)
+{
+    DIRIGENT_ASSERT(!started_, "cannot add FG after start()");
+    DIRIGENT_ASSERT(profile != nullptr, "FG needs a profile");
+    DIRIGENT_ASSERT(deadline.sec() > 0.0, "FG needs a positive deadline");
+    const auto &proc = machine_.os().process(pid);
+    DIRIGENT_ASSERT(proc.foreground, "pid %u is not a foreground process",
+                    pid);
+
+    FgState state;
+    state.pid = pid;
+    state.core = proc.core;
+    state.profile = profile;
+    state.deadline = deadline;
+    state.predictor =
+        std::make_unique<Predictor>(profile, config_.predictor);
+    fgs_.emplace(pid, std::move(state));
+}
+
+void
+DirigentRuntime::start()
+{
+    if (started_)
+        return;
+    DIRIGENT_ASSERT(!fgs_.empty(), "runtime has no foreground processes");
+    started_ = true;
+
+    if (config_.enableCoarse && coarse_ == nullptr) {
+        // The initial FG partition scales with the number of managed
+        // FG tasks — they share it, and starting each of them with the
+        // single-FG allotment avoids a long miss transient while the
+        // heuristics grow the partition.
+        CoarseControllerConfig ccfg = config_.coarse;
+        ccfg.initialFgWays =
+            ccfg.initialFgWays * unsigned(fgs_.size());
+        coarse_ = std::make_unique<CoarseGrainController>(cat_, ccfg);
+        if (trace_ != nullptr)
+            coarse_->setTrace(trace_);
+    }
+
+    for (auto &[pid, fg] : fgs_) {
+        fg.instrAtStart = cumulativeProgress(fg);
+        fg.missesAtStart = machine_.readCounters(fg.core).llcMisses;
+        fg.midpointRecorded = false;
+        fg.predictor->beginExecution(
+            machine_.os().process(pid).taskStart);
+    }
+
+    completionListener_ = machine_.addCompletionListener(
+        [this](const machine::CompletionRecord &rec) {
+            onCompletion(rec);
+        });
+    sampler_->start();
+}
+
+void
+DirigentRuntime::stop()
+{
+    if (!started_)
+        return;
+    started_ = false;
+    sampler_->stop();
+    machine_.removeCompletionListener(completionListener_);
+}
+
+const Predictor &
+DirigentRuntime::predictor(machine::Pid pid) const
+{
+    auto it = fgs_.find(pid);
+    DIRIGENT_ASSERT(it != fgs_.end(), "pid %u not registered", pid);
+    return *it->second.predictor;
+}
+
+const std::vector<DirigentRuntime::PredictionSample> &
+DirigentRuntime::midpointSamples(machine::Pid pid) const
+{
+    auto it = fgs_.find(pid);
+    DIRIGENT_ASSERT(it != fgs_.end(), "pid %u not registered", pid);
+    return it->second.samples;
+}
+
+void
+DirigentRuntime::onTick(const machine::PeriodicSampler::Tick &tick)
+{
+    ++tickCount_;
+    // Each invocation costs < 100 µs on the (shared) runtime core.
+    machine_.core(config_.runtimeCore)
+        .stealTime(config_.invocationOverhead);
+
+    for (auto &[pid, fg] : fgs_) {
+        double cum = cumulativeProgress(fg) - fg.instrAtStart;
+        fg.predictor->observe(tick.actual, cum);
+        if (!fg.midpointRecorded &&
+            fg.predictor->progressFraction() >= 0.5) {
+            fg.midpointPrediction = fg.predictor->predictTotal();
+            fg.midpointRecorded = true;
+        }
+    }
+
+    if (config_.enableFine &&
+        tickCount_ % config_.decisionPeriodTicks == 0) {
+        std::vector<FineGrainController::FgStatus> statuses;
+        for (auto &[pid, fg] : fgs_) {
+            FineGrainController::FgStatus st;
+            st.pid = pid;
+            st.core = fg.core;
+            st.predicted = fg.predictor->predictTotal();
+            st.deadline = fg.deadline;
+            st.valid = fg.predictor->hasObservation();
+            statuses.push_back(st);
+        }
+        fine_->tick(statuses);
+    }
+}
+
+void
+DirigentRuntime::onCompletion(const machine::CompletionRecord &rec)
+{
+    auto it = fgs_.find(rec.pid);
+    if (it == fgs_.end())
+        return;
+    FgState &fg = it->second;
+
+    Time actual = rec.duration();
+    // At the completion listener the process has already been armed
+    // with its next task, so the cumulative progress sits exactly at
+    // the execution boundary for either metric.
+    double finalProgress = cumulativeProgress(fg) - fg.instrAtStart;
+    fg.predictor->endExecution(rec.finished, finalProgress);
+
+    if (fg.midpointRecorded) {
+        fg.samples.push_back(
+            {rec.executionIndex, fg.midpointPrediction, actual});
+    }
+
+    if (coarse_) {
+        const auto &counters = machine_.readCounters(fg.core);
+        double fgMisses = counters.llcMisses - fg.missesAtStart;
+        bool missed = actual > fg.deadline;
+        double severity =
+            config_.enableFine ? fine_->drainThrottleSeverity() : 0.0;
+        coarse_->recordExecution(actual, fgMisses, missed, severity);
+    }
+
+    // Arm for the next execution, which starts immediately.
+    fg.instrAtStart = cumulativeProgress(fg);
+    fg.missesAtStart = machine_.readCounters(fg.core).llcMisses;
+    fg.midpointRecorded = false;
+    fg.predictor->beginExecution(rec.finished);
+}
+
+void
+DirigentRuntime::restartPredictionClock(machine::Pid pid, Time now)
+{
+    auto it = fgs_.find(pid);
+    DIRIGENT_ASSERT(it != fgs_.end(), "pid %u not registered", pid);
+    FgState &fg = it->second;
+    fg.instrAtStart = cumulativeProgress(fg);
+    fg.missesAtStart = machine_.readCounters(fg.core).llcMisses;
+    fg.midpointRecorded = false;
+    fg.predictor->beginExecution(now);
+}
+
+void
+DirigentRuntime::setTrace(DecisionTrace *trace)
+{
+    trace_ = trace;
+    fine_->setTrace(trace);
+    if (coarse_)
+        coarse_->setTrace(trace);
+}
+
+double
+DirigentRuntime::cumulativeProgress(const FgState &fg) const
+{
+    return readCumulativeProgress(machine_, fg.core, config_.metric);
+}
+
+} // namespace dirigent::core

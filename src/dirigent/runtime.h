@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The Dirigent runtime: the lightweight userspace process that samples
+ * foreground progress every ΔT, feeds the per-FG predictors, and drives
+ * the fine- and coarse-time-scale controllers. The runtime is pinned to
+ * a core shared with a background task (at lower niceness than the BG
+ * task in the paper's setup) and each invocation steals its measured
+ * overhead (< 100 µs) from that core.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_RUNTIME_H
+#define DIRIGENT_DIRIGENT_RUNTIME_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "dirigent/coarse_controller.h"
+#include "dirigent/fine_controller.h"
+#include "dirigent/predictor.h"
+#include "dirigent/profile.h"
+#include "dirigent/progress.h"
+#include "machine/cat.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+#include "machine/sampler.h"
+
+namespace dirigent::core {
+
+/** Runtime configuration. */
+struct RuntimeConfig
+{
+    /** Progress sampling period ΔT. */
+    Time samplingPeriod = Time::ms(5.0);
+
+    /** Control decisions every this many prediction segments. */
+    unsigned decisionPeriodTicks = 5;
+
+    PredictorConfig predictor;
+    FineControllerConfig fine;
+    CoarseControllerConfig coarse;
+
+    /** Enable the fine-grain DVFS/pause controller. */
+    bool enableFine = true;
+
+    /** Enable the coarse-grain partition controller. */
+    bool enableCoarse = true;
+
+    /** Per-invocation runtime overhead stolen from runtimeCore. */
+    Time invocationOverhead = Time::us(80.0);
+
+    /** Core the runtime thread is pinned to (shared with a BG task). */
+    unsigned runtimeCore = 1;
+
+    /** Sleep overshoot of the sampling loop. */
+    Time wakeOvershootMean = Time::us(30.0);
+    Time wakeOvershootSigma = Time::us(15.0);
+
+    /** Seed of the runtime's private randomness. */
+    uint64_t seed = 7;
+
+    /**
+     * Progress metric the predictors consume; must match the metric
+     * the profiles were recorded with.
+     */
+    ProgressMetric metric = ProgressMetric::RetiredInstructions;
+};
+
+/**
+ * The assembled Dirigent runtime. One instance manages all foreground
+ * processes of a machine for the duration of an experiment.
+ */
+class DirigentRuntime
+{
+  public:
+    /**
+     * A mid-execution prediction paired with the eventual outcome, for
+     * predictor-accuracy evaluation (paper Figs. 6 and 7: predictions
+     * taken about half-way through each execution).
+     */
+    struct PredictionSample
+    {
+        uint64_t executionIndex = 0;
+        Time predictedTotal; //!< predicted duration at the midpoint
+        Time actualTotal;    //!< measured duration at completion
+    };
+
+    DirigentRuntime(machine::Machine &machine, sim::Engine &engine,
+                    machine::CpuFreqGovernor &governor,
+                    machine::CatController &cat,
+                    RuntimeConfig config = RuntimeConfig{});
+
+    ~DirigentRuntime();
+
+    DirigentRuntime(const DirigentRuntime &) = delete;
+    DirigentRuntime &operator=(const DirigentRuntime &) = delete;
+
+    /**
+     * Register a foreground process with its standalone profile and
+     * deadline (duration). Call before start().
+     */
+    void addForeground(machine::Pid pid, const Profile *profile,
+                       Time deadline);
+
+    /** Begin sampling and controlling. */
+    void start();
+
+    /** Stop sampling; controllers take no further actions. */
+    void stop();
+
+    /** The predictor of a registered FG process. */
+    const Predictor &predictor(machine::Pid pid) const;
+
+    /** The fine controller (valid regardless of enableFine). */
+    FineGrainController &fineController() { return *fine_; }
+
+    /** The coarse controller, or nullptr when disabled. */
+    CoarseGrainController *coarseController() { return coarse_.get(); }
+
+    /** Midpoint prediction/outcome pairs of a registered FG process. */
+    const std::vector<PredictionSample> &
+    midpointSamples(machine::Pid pid) const;
+
+    /** Total runtime invocations (sampler ticks). */
+    uint64_t invocations() const { return tickCount_; }
+
+    /**
+     * Attach a decision trace to both controllers (not owned). Call
+     * before start() so the coarse controller (created at start) is
+     * wired too.
+     */
+    void setTrace(DecisionTrace *trace);
+
+    /**
+     * Re-arm @p pid's predictor clock at @p now. Open-loop arrival
+     * drivers call this when service starts after an idle period, so
+     * queueing idle time is not charged against the prediction.
+     */
+    void restartPredictionClock(machine::Pid pid, Time now);
+
+  private:
+    struct FgState
+    {
+        machine::Pid pid = 0;
+        unsigned core = 0;
+        const Profile *profile = nullptr;
+        Time deadline;
+        std::unique_ptr<Predictor> predictor;
+        double instrAtStart = 0.0;
+        double missesAtStart = 0.0;
+        bool midpointRecorded = false;
+        Time midpointPrediction;
+        std::vector<PredictionSample> samples;
+    };
+
+    void onTick(const machine::PeriodicSampler::Tick &tick);
+    void onCompletion(const machine::CompletionRecord &rec);
+    double cumulativeProgress(const FgState &fg) const;
+
+    machine::Machine &machine_;
+    machine::CatController &cat_;
+    RuntimeConfig config_;
+    std::unique_ptr<FineGrainController> fine_;
+    std::unique_ptr<CoarseGrainController> coarse_;
+    std::unique_ptr<machine::PeriodicSampler> sampler_;
+    std::map<machine::Pid, FgState> fgs_;
+    size_t completionListener_ = 0;
+    uint64_t tickCount_ = 0;
+    bool started_ = false;
+    DecisionTrace *trace_ = nullptr;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_RUNTIME_H

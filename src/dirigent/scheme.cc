@@ -1,0 +1,54 @@
+#include "dirigent/scheme.h"
+
+namespace dirigent::core {
+
+std::vector<Scheme>
+allSchemes()
+{
+    return {Scheme::Baseline, Scheme::StaticFreq, Scheme::StaticBoth,
+            Scheme::DirigentFreq, Scheme::Dirigent};
+}
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Baseline:
+        return "Baseline";
+      case Scheme::StaticFreq:
+        return "StaticFreq";
+      case Scheme::StaticBoth:
+        return "StaticBoth";
+      case Scheme::DirigentFreq:
+        return "DirigentFreq";
+      case Scheme::Dirigent:
+        return "Dirigent";
+    }
+    return "?";
+}
+
+bool
+schemeUsesRuntime(Scheme s)
+{
+    return s == Scheme::DirigentFreq || s == Scheme::Dirigent;
+}
+
+bool
+schemeUsesCoarse(Scheme s)
+{
+    return s == Scheme::Dirigent;
+}
+
+bool
+schemeUsesStaticBgFreq(Scheme s)
+{
+    return s == Scheme::StaticFreq || s == Scheme::StaticBoth;
+}
+
+bool
+schemeUsesStaticPartition(Scheme s)
+{
+    return s == Scheme::StaticBoth;
+}
+
+} // namespace dirigent::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The five resource-management configurations evaluated in the paper
+ * (§5.4): Baseline (free contention), StaticFreq (BG cores statically
+ * slow), StaticBoth (static partition + static BG frequency,
+ * representative of coarse-grain prior schemes such as Heracles),
+ * DirigentFreq (fine-time-scale control only), and Dirigent (fine +
+ * coarse control).
+ */
+
+#ifndef DIRIGENT_DIRIGENT_SCHEME_H
+#define DIRIGENT_DIRIGENT_SCHEME_H
+
+#include <string>
+#include <vector>
+
+namespace dirigent::core {
+
+/** Evaluated resource-management schemes. */
+enum class Scheme
+{
+    Baseline,     //!< all cores at max frequency, free contention
+    StaticFreq,   //!< FG cores at max, BG cores at minimum frequency
+    StaticBoth,   //!< StaticFreq + best static cache partition
+    DirigentFreq, //!< Dirigent fine-grain control, no partitioning
+    Dirigent,     //!< full Dirigent: fine + coarse control
+};
+
+/** All schemes in presentation order. */
+std::vector<Scheme> allSchemes();
+
+/** Printable scheme name matching the paper's figures. */
+const char *schemeName(Scheme s);
+
+/** True when the scheme runs the Dirigent runtime (sampling+control). */
+bool schemeUsesRuntime(Scheme s);
+
+/** True when the scheme uses the coarse partition controller. */
+bool schemeUsesCoarse(Scheme s);
+
+/** True when the scheme pins BG cores to the minimum frequency. */
+bool schemeUsesStaticBgFreq(Scheme s);
+
+/** True when the scheme applies a static cache partition. */
+bool schemeUsesStaticPartition(Scheme s);
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_SCHEME_H

@@ -1,0 +1,69 @@
+#include "dirigent/trace.h"
+
+#include "common/log.h"
+#include "common/table.h"
+#include "common/strfmt.h"
+
+namespace dirigent::core {
+
+const char *
+traceActionName(TraceAction action)
+{
+    switch (action) {
+      case TraceAction::FgToMax:
+        return "fg-to-max";
+      case TraceAction::FgThrottled:
+        return "fg-throttled";
+      case TraceAction::BgThrottled:
+        return "bg-throttled";
+      case TraceAction::BgBoosted:
+        return "bg-boosted";
+      case TraceAction::BgPaused:
+        return "bg-paused";
+      case TraceAction::BgResumed:
+        return "bg-resumed";
+      case TraceAction::PartitionGrown:
+        return "partition-grown";
+      case TraceAction::PartitionShrunk:
+        return "partition-shrunk";
+    }
+    return "?";
+}
+
+DecisionTrace::DecisionTrace(size_t capacity) : capacity_(capacity)
+{
+    DIRIGENT_ASSERT(capacity > 0, "trace needs capacity > 0");
+}
+
+void
+DecisionTrace::record(TraceEvent event)
+{
+    if (events_.size() == capacity_)
+        events_.pop_front();
+    events_.push_back(std::move(event));
+    ++recorded_;
+}
+
+size_t
+DecisionTrace::count(TraceAction action) const
+{
+    size_t n = 0;
+    for (const auto &e : events_)
+        if (e.action == action)
+            ++n;
+    return n;
+}
+
+void
+DecisionTrace::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    csv.row({"time_s", "action", "fg_pid", "slack", "detail"});
+    for (const auto &e : events_) {
+        csv.row({strfmt("%.6f", e.when.sec()),
+                 traceActionName(e.action), strfmt("%u", e.fgPid),
+                 strfmt("%.4f", e.slackRatio), e.detail});
+    }
+}
+
+} // namespace dirigent::core

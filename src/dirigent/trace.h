@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured decision tracing for the Dirigent controllers.
+ *
+ * Every control action (DVFS step, pause/resume, partition change) can
+ * be recorded as a typed event with its cause — which FG task, how far
+ * ahead/behind its prediction was — into a bounded ring buffer. The
+ * trace answers "why did the controller do that?" during debugging and
+ * feeds the introspection tooling; it costs nothing when no trace is
+ * attached.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_TRACE_H
+#define DIRIGENT_DIRIGENT_TRACE_H
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+
+#include "common/units.h"
+#include "machine/os.h"
+
+namespace dirigent::core {
+
+/** Kinds of traced control actions. */
+enum class TraceAction
+{
+    FgToMax,        //!< lagging FG restored to maximum frequency
+    FgThrottled,    //!< ahead-of-schedule FG slowed one grade
+    BgThrottled,    //!< BG cores slowed one grade
+    BgBoosted,      //!< BG cores sped up one grade
+    BgPaused,       //!< most intrusive BG task paused
+    BgResumed,      //!< paused BG tasks continued
+    PartitionGrown, //!< coarse controller added an FG way
+    PartitionShrunk //!< coarse controller removed an FG way
+};
+
+/** Printable action name. */
+const char *traceActionName(TraceAction action);
+
+/** One recorded control decision. */
+struct TraceEvent
+{
+    Time when;                 //!< simulated time of the action
+    TraceAction action = TraceAction::FgToMax;
+    machine::Pid fgPid = 0;    //!< FG task that drove the decision
+    double slackRatio = 0.0;   //!< predicted/setpoint at decision time
+    std::string detail;        //!< free-form context (victim, ways, …)
+};
+
+/**
+ * Bounded ring buffer of control decisions.
+ */
+class DecisionTrace
+{
+  public:
+    /** @param capacity maximum retained events (> 0). */
+    explicit DecisionTrace(size_t capacity = 4096);
+
+    /** Append an event, evicting the oldest when full. */
+    void record(TraceEvent event);
+
+    /** Retained events, oldest first. */
+    const std::deque<TraceEvent> &events() const { return events_; }
+
+    /** Number of retained events. */
+    size_t size() const { return events_.size(); }
+
+    /** Total events ever recorded (including evicted ones). */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Count of retained events with the given action. */
+    size_t count(TraceAction action) const;
+
+    /** Drop all retained events (counters keep accumulating). */
+    void clear() { events_.clear(); }
+
+    /** Emit "time_s,action,fg_pid,slack,detail" CSV. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    size_t capacity_;
+    std::deque<TraceEvent> events_;
+    uint64_t recorded_ = 0;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_TRACE_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Open-loop task arrivals for a foreground process.
+ *
+ * The paper evaluates back-to-back FG executions; real offload services
+ * receive requests from a queue. This driver injects Poisson arrivals:
+ * when the queue is empty the FG process is paused (no work), and each
+ * arrival enqueues a task whose *response time* (arrival → completion,
+ * including queueing) is recorded. Because queueing amplifies service-
+ * time variance (the paper's Fig. 2 argument), Dirigent's variance
+ * reduction translates directly into shorter tails here.
+ */
+
+#ifndef DIRIGENT_HARNESS_ARRIVALS_H
+#define DIRIGENT_HARNESS_ARRIVALS_H
+
+#include <deque>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "dirigent/runtime.h"
+#include "machine/machine.h"
+#include "sim/engine.h"
+
+namespace dirigent::harness {
+
+/**
+ * Poisson arrival driver for one foreground process.
+ */
+class ArrivalDriver
+{
+  public:
+    /** One served request. */
+    struct Completion
+    {
+        Time arrived;        //!< request arrival time
+        Time started;        //!< service start (dequeue) time
+        Time finished;       //!< completion time
+        size_t queueDepth;   //!< waiting requests at arrival
+
+        /** Arrival-to-completion latency (queueing + service). */
+        Time responseTime() const { return finished - arrived; }
+
+        /** Service-only latency. */
+        Time serviceTime() const { return finished - started; }
+    };
+
+    /**
+     * @param engine engine for scheduling arrivals (not owned).
+     * @param machine the machine running @p fgPid (not owned).
+     * @param fgPid foreground process receiving the arrivals.
+     * @param meanInterarrival mean of the exponential interarrival
+     *        time.
+     * @param rng private randomness stream.
+     * @param runtime optional Dirigent runtime to notify at service
+     *        starts, so its predictor clock begins at dequeue rather
+     *        than at the previous completion (not owned; may be null).
+     */
+    ArrivalDriver(sim::Engine &engine, machine::Machine &machine,
+                  machine::Pid fgPid, Time meanInterarrival, Rng rng,
+                  core::DirigentRuntime *runtime = nullptr);
+
+    ~ArrivalDriver();
+
+    ArrivalDriver(const ArrivalDriver &) = delete;
+    ArrivalDriver &operator=(const ArrivalDriver &) = delete;
+
+    /**
+     * Begin injecting arrivals. The FG process is paused until the
+     * first arrival; call at the start of the run.
+     */
+    void start();
+
+    /** Stop injecting; the FG process is left paused if idle. */
+    void stop();
+
+    /** Served requests in completion order. */
+    const std::vector<Completion> &completions() const
+    {
+        return completions_;
+    }
+
+    /** Response times (seconds) of all served requests. */
+    std::vector<double> responseTimes() const;
+
+    /** Requests that arrived so far. */
+    uint64_t arrivals() const { return arrivals_; }
+
+    /** Largest queue depth observed. */
+    size_t maxQueueDepth() const { return maxQueue_; }
+
+  private:
+    void scheduleNextArrival();
+    void onArrival();
+    void onCompletion(const machine::CompletionRecord &rec);
+    void beginService(Time now);
+
+    sim::Engine &engine_;
+    machine::Machine &machine_;
+    machine::Pid fgPid_;
+    Time meanInterarrival_;
+    Rng rng_;
+    core::DirigentRuntime *runtime_;
+
+    std::deque<Time> queue_; //!< arrival times of waiting requests
+    Time inServiceArrival_;
+    Time inServiceStart_;
+    bool busy_ = false;
+    bool running_ = false;
+    uint64_t arrivals_ = 0;
+    size_t maxQueue_ = 0;
+    size_t listener_ = 0;
+    sim::EventId pendingArrival_;
+    std::vector<Completion> completions_;
+};
+
+} // namespace dirigent::harness
+
+#endif // DIRIGENT_HARNESS_ARRIVALS_H

@@ -1,0 +1,425 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "dirigent/reactive.h"
+#include "machine/cat.h"
+#include "machine/cpufreq.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+#include "workload/rotate.h"
+
+namespace dirigent::harness {
+
+namespace {
+
+/** FNV-1a, for deriving per-mix workload seeds from names. */
+uint64_t
+fnv1a(const std::string &text)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+ProfileCache::ProfileCache(const machine::MachineConfig &machineConfig,
+                           const core::ProfilerConfig &profilerConfig)
+    : machineConfig_(machineConfig), profilerConfig_(profilerConfig)
+{
+}
+
+const core::Profile &
+ProfileCache::get(const std::string &benchmarkName)
+{
+    auto it = cache_.find(benchmarkName);
+    if (it != cache_.end())
+        return it->second;
+    const auto &bench =
+        workload::BenchmarkLibrary::instance().get(benchmarkName);
+    core::OfflineProfiler profiler(profilerConfig_);
+    auto [ins, ok] =
+        cache_.emplace(benchmarkName,
+                       profiler.profileAlone(bench, machineConfig_));
+    DIRIGENT_ASSERT(ok, "duplicate profile insert");
+    return ins->second;
+}
+
+ExperimentRunner::ExperimentRunner(HarnessConfig config)
+    : config_(config), profiles_(config.machine, config.profiler)
+{
+    DIRIGENT_ASSERT(config.executions > 0, "need at least one execution");
+}
+
+uint64_t
+ExperimentRunner::mixSeed(const workload::WorkloadMix &mix) const
+{
+    return config_.seed ^ fnv1a(mix.name);
+}
+
+SchemeRunResult
+ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
+                      const std::map<std::string, Time> &deadlines,
+                      const RunOptions &opts)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    const unsigned executions =
+        opts.executions ? opts.executions : config_.executions;
+    const unsigned warmup = config_.warmup;
+
+    machine::MachineConfig mcfg = config_.machine;
+    mcfg.seed = mixSeed(mix); // identical workload stream for all schemes
+    machine::Machine machine(mcfg);
+    sim::Engine engine(machine, mcfg.maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+    machine::CatController cat(machine);
+
+    const unsigned nFg = unsigned(mix.fgCount());
+    const unsigned nCores = machine.numCores();
+    if (nFg >= nCores)
+        fatal(strfmt("mix '%s' needs %u FG cores of %u", mix.name.c_str(),
+                     nFg, nCores));
+
+    // Spawn foreground processes on cores [0, nFg).
+    std::vector<machine::Pid> fgPids;
+    for (unsigned i = 0; i < nFg; ++i) {
+        machine::ProcessSpec spec;
+        spec.name = strfmt("%s#%u", mix.fg[i].c_str(), i);
+        spec.program = &lib.get(mix.fg[i]).program;
+        spec.core = i;
+        spec.foreground = true;
+        spec.niceness = -20;
+        fgPids.push_back(machine.spawnProcess(spec));
+    }
+
+    // Spawn background processes on the remaining cores.
+    Rng rotateRng = Rng(mcfg.seed).fork(0x1307A7E);
+    std::optional<workload::RotatePair> pair;
+    if (mix.bg.kind == workload::BgSpec::Kind::Rotate) {
+        pair.emplace(&lib.get(mix.bg.first), &lib.get(mix.bg.second));
+    }
+    std::vector<machine::Pid> bgPids;
+    for (unsigned c = nFg; c < nCores; ++c) {
+        const workload::Benchmark &bench =
+            pair ? pair->pick(rotateRng) : lib.get(mix.bg.first);
+        machine::ProcessSpec spec;
+        spec.name = strfmt("%s@%u", bench.name.c_str(), c);
+        spec.program = &bench.program;
+        spec.core = c;
+        spec.foreground = false;
+        spec.niceness = 5;
+        bgPids.push_back(machine.spawnProcess(spec));
+    }
+
+    // Rotating pairs context-switch every BG core at each FG completion.
+    if (pair) {
+        machine.addCompletionListener(
+            [&](const machine::CompletionRecord &rec) {
+                if (!rec.foreground)
+                    return;
+                for (machine::Pid pid : bgPids) {
+                    machine.switchProgram(
+                        pid, &pair->pick(rotateRng).program);
+                }
+            });
+    }
+
+    // Scheme setup.
+    if (opts.bgBandwidthCap > 0.0) {
+        for (machine::Pid pid : bgPids) {
+            machine.bwGuard().setBudget(
+                machine.os().process(pid).core, opts.bgBandwidthCap);
+        }
+    }
+    if (core::schemeUsesStaticBgFreq(scheme)) {
+        for (machine::Pid pid : bgPids)
+            governor.setGrade(machine.os().process(pid).core, 0);
+    }
+    if (core::schemeUsesStaticPartition(scheme)) {
+        cat.setFgWays(opts.staticFgWays ? opts.staticFgWays
+                                        : config_.staticFgWaysDefault);
+    }
+
+    std::unique_ptr<core::DirigentRuntime> runtime;
+    if (core::schemeUsesRuntime(scheme) || opts.attachObserver ||
+        opts.attachCoarseOnly) {
+        core::RuntimeConfig rcfg = config_.runtime;
+        rcfg.enableFine = core::schemeUsesRuntime(scheme);
+        rcfg.enableCoarse = core::schemeUsesCoarse(scheme) ||
+                            opts.attachCoarseOnly;
+        rcfg.runtimeCore = nFg; // shared with the first BG task
+        rcfg.seed = mcfg.seed ^ 0xD1D1;
+        runtime = std::make_unique<core::DirigentRuntime>(
+            machine, engine, governor, cat, rcfg);
+        for (unsigned i = 0; i < nFg; ++i) {
+            const std::string &bench = mix.fg[i];
+            auto it = deadlines.find(bench);
+            Time deadline = it != deadlines.end()
+                                ? it->second
+                                : profiles_.get(bench).totalTime() * 2.0;
+            runtime->addForeground(fgPids[i], &profiles_.get(bench),
+                                   deadline);
+        }
+        runtime->start();
+    }
+
+    std::unique_ptr<core::ReactiveController> reactive;
+    if (opts.attachReactive) {
+        DIRIGENT_ASSERT(!core::schemeUsesRuntime(scheme),
+                        "reactive controller conflicts with the "
+                        "Dirigent runtime");
+        reactive = std::make_unique<core::ReactiveController>(
+            machine, governor);
+        for (unsigned i = 0; i < nFg; ++i) {
+            auto it = deadlines.find(mix.fg[i]);
+            DIRIGENT_ASSERT(it != deadlines.end(),
+                            "reactive controller needs deadlines");
+            reactive->addForeground(fgPids[i], it->second);
+        }
+        reactive->start();
+    }
+
+    // Metric collection.
+    SchemeRunResult result;
+    result.mixName = mix.name;
+    result.scheme = scheme;
+    result.deadlines = deadlines;
+    result.fgBenchmarks = mix.fg;
+    result.perFgDurations.resize(nFg);
+
+    std::vector<uint64_t> completed(nFg, 0);
+    bool windowOpen = false;
+    bool done = false;
+    Time windowStart, windowEnd;
+    struct Snapshot
+    {
+        double bgInstr = 0.0, fgInstr = 0.0, fgMiss = 0.0, allMiss = 0.0;
+    };
+    auto takeSnapshot = [&]() {
+        Snapshot s;
+        for (unsigned c = 0; c < nCores; ++c) {
+            const auto &ctr = machine.readCounters(c);
+            s.allMiss += ctr.llcMisses;
+            if (c < nFg) {
+                s.fgInstr += ctr.instructions;
+                s.fgMiss += ctr.llcMisses;
+            } else {
+                s.bgInstr += ctr.instructions;
+            }
+        }
+        return s;
+    };
+    Snapshot snapStart, snapEnd;
+
+    auto fgIndexOf = [&](machine::Pid pid) -> int {
+        for (unsigned i = 0; i < nFg; ++i)
+            if (fgPids[i] == pid)
+                return int(i);
+        return -1;
+    };
+
+    size_t metricsListener = machine.addCompletionListener(
+        [&](const machine::CompletionRecord &rec) {
+            if (!rec.foreground || done)
+                return;
+            int idx = fgIndexOf(rec.pid);
+            DIRIGENT_ASSERT(idx >= 0, "unknown FG pid %u", rec.pid);
+            completed[idx] += 1;
+
+            if (rec.executionIndex >= warmup &&
+                rec.executionIndex < warmup + executions) {
+                double d = rec.duration().sec();
+                result.perFgDurations[idx].push_back(d);
+                auto it = deadlines.find(mix.fg[idx]);
+                result.total += 1;
+                if (it != deadlines.end() &&
+                    d <= it->second.sec() * (1.0 + 1e-9))
+                    result.onTime += 1;
+            }
+
+            if (!windowOpen &&
+                std::all_of(completed.begin(), completed.end(),
+                            [&](uint64_t n) { return n >= warmup; })) {
+                windowOpen = true;
+                windowStart = rec.finished;
+                snapStart = takeSnapshot();
+            }
+            if (windowOpen && !done &&
+                std::all_of(completed.begin(), completed.end(),
+                            [&](uint64_t n) {
+                                return n >= warmup + executions;
+                            })) {
+                done = true;
+                windowEnd = rec.finished;
+                snapEnd = takeSnapshot();
+            }
+        });
+
+    while (!done && engine.now() < config_.bailout)
+        engine.runFor(Time::ms(50.0));
+    machine.removeCompletionListener(metricsListener);
+    if (!done)
+        fatal(strfmt("run '%s'/%s did not finish within %gs simulated",
+                     mix.name.c_str(), core::schemeName(scheme),
+                     config_.bailout.sec()));
+
+    result.span = windowEnd - windowStart;
+    result.bgInstructions = snapEnd.bgInstr - snapStart.bgInstr;
+    result.fgInstructions = snapEnd.fgInstr - snapStart.fgInstr;
+    result.fgMisses = snapEnd.fgMiss - snapStart.fgMiss;
+    result.totalMisses = snapEnd.allMiss - snapStart.allMiss;
+
+    if (runtime) {
+        runtime->stop();
+        result.bgGradeResidency =
+            runtime->fineController().stats().bgGradeResidency;
+        for (Freq f : runtime->fineController().ladderFreqs())
+            result.ladderGhz.push_back(f.ghz());
+        if (auto *coarse = runtime->coarseController()) {
+            result.partitionDecisions = coarse->decisions();
+            result.finalFgWays = coarse->fgWays();
+        } else if (core::schemeUsesStaticPartition(scheme)) {
+            result.finalFgWays = cat.fgWays();
+        }
+        for (machine::Pid pid : fgPids) {
+            for (const auto &s : runtime->midpointSamples(pid))
+                if (s.executionIndex >= warmup &&
+                    s.executionIndex < warmup + executions)
+                    result.midpointSamples.push_back(s);
+        }
+    } else if (core::schemeUsesStaticPartition(scheme)) {
+        result.finalFgWays = cat.fgWays();
+    }
+
+    return result;
+}
+
+SchemeRunResult
+ExperimentRunner::runStandalone(const std::string &fgName,
+                                unsigned executions)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    const auto &bench = lib.get(fgName);
+    DIRIGENT_ASSERT(bench.category == workload::Category::Foreground,
+                    "'%s' is not a foreground benchmark", fgName.c_str());
+    const unsigned execs = executions ? executions : config_.executions;
+    const unsigned warmup = std::min(config_.warmup, 2u);
+
+    machine::MachineConfig mcfg = config_.machine;
+    mcfg.seed = config_.seed ^ fnv1a("standalone:" + fgName);
+    machine::Machine machine(mcfg);
+    sim::Engine engine(machine, mcfg.maxQuantum);
+
+    machine::ProcessSpec spec;
+    spec.name = fgName;
+    spec.program = &bench.program;
+    spec.core = 0;
+    spec.foreground = true;
+    spec.niceness = -20;
+    machine::Pid pid = machine.spawnProcess(spec);
+    (void)pid;
+
+    SchemeRunResult result;
+    result.mixName = fgName + " standalone";
+    result.scheme = core::Scheme::Baseline;
+    result.fgBenchmarks = {fgName};
+    result.perFgDurations.resize(1);
+
+    bool done = false;
+    Time windowStart, windowEnd;
+    double instr0 = 0.0, miss0 = 0.0;
+    size_t listener = machine.addCompletionListener(
+        [&](const machine::CompletionRecord &rec) {
+            if (done)
+                return;
+            if (rec.executionIndex + 1 == warmup) {
+                windowStart = rec.finished;
+                instr0 = machine.readCounters(0).instructions;
+                miss0 = machine.readCounters(0).llcMisses;
+            }
+            if (rec.executionIndex >= warmup) {
+                result.perFgDurations[0].push_back(rec.duration().sec());
+                result.total += 1;
+            }
+            if (rec.executionIndex + 1 >= warmup + execs) {
+                done = true;
+                windowEnd = rec.finished;
+            }
+        });
+
+    while (!done && engine.now() < config_.bailout)
+        engine.runFor(Time::ms(50.0));
+    machine.removeCompletionListener(listener);
+    if (!done)
+        fatal(strfmt("standalone run of '%s' did not finish",
+                     fgName.c_str()));
+
+    result.span = windowEnd - windowStart;
+    result.fgInstructions =
+        machine.readCounters(0).instructions - instr0;
+    result.fgMisses = machine.readCounters(0).llcMisses - miss0;
+    result.totalMisses = result.fgMisses;
+    return result;
+}
+
+std::map<std::string, Time>
+ExperimentRunner::deadlinesFromBaseline(
+    const SchemeRunResult &baseline) const
+{
+    // Pool durations per benchmark (multi-FG mixes repeat a benchmark).
+    std::map<std::string, OnlineStats> stats;
+    for (size_t i = 0; i < baseline.fgBenchmarks.size(); ++i)
+        for (double d : baseline.perFgDurations[i])
+            stats[baseline.fgBenchmarks[i]].add(d);
+
+    std::map<std::string, Time> deadlines;
+    for (const auto &[name, st] : stats) {
+        deadlines[name] = Time::sec(
+            st.mean() + config_.deadlineSigmaFactor * st.stddev());
+    }
+    return deadlines;
+}
+
+std::vector<SchemeRunResult>
+ExperimentRunner::runAllSchemes(const workload::WorkloadMix &mix)
+{
+    // Baseline doubles as the deadline calibration run.
+    SchemeRunResult baseline =
+        run(mix, core::Scheme::Baseline, {});
+    auto deadlines = deadlinesFromBaseline(baseline);
+    applyDeadlines(baseline, deadlines);
+
+    // Dirigent runs next; its converged partition defines StaticBoth's
+    // "best static partition" (the paper verified the heuristic's
+    // partition is near-optimal).
+    SchemeRunResult dirigent =
+        run(mix, core::Scheme::Dirigent, deadlines);
+    RunOptions staticOpts;
+    staticOpts.staticFgWays =
+        dirigent.finalFgWays ? dirigent.finalFgWays
+                             : config_.staticFgWaysDefault;
+
+    SchemeRunResult staticFreq =
+        run(mix, core::Scheme::StaticFreq, deadlines);
+    SchemeRunResult staticBoth =
+        run(mix, core::Scheme::StaticBoth, deadlines, staticOpts);
+    SchemeRunResult dirigentFreq =
+        run(mix, core::Scheme::DirigentFreq, deadlines);
+
+    std::vector<SchemeRunResult> results;
+    results.push_back(std::move(baseline));
+    results.push_back(std::move(staticFreq));
+    results.push_back(std::move(staticBoth));
+    results.push_back(std::move(dirigentFreq));
+    results.push_back(std::move(dirigent));
+    return results;
+}
+
+} // namespace dirigent::harness

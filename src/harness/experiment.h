@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The experiment runner: assembles a machine, spawns a workload mix,
+ * applies one of the five evaluated schemes, and measures the paper's
+ * metrics over a fixed number of consecutive FG task executions
+ * (post warm-up). Also provides standalone runs, Baseline deadline
+ * calibration (deadline = µ_Baseline + 0.3·σ_Baseline), and a profile
+ * cache shared across experiments.
+ */
+
+#ifndef DIRIGENT_HARNESS_EXPERIMENT_H
+#define DIRIGENT_HARNESS_EXPERIMENT_H
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dirigent/profiler.h"
+#include "dirigent/runtime.h"
+#include "dirigent/scheme.h"
+#include "harness/metrics.h"
+#include "machine/machine.h"
+#include "workload/mix.h"
+
+namespace dirigent::harness {
+
+/** Harness-wide configuration. */
+struct HarnessConfig
+{
+    machine::MachineConfig machine;
+    core::ProfilerConfig profiler;
+    core::RuntimeConfig runtime;
+
+    /** FG executions discarded before measurement begins. */
+    unsigned warmup = 5;
+
+    /** Measured FG executions per FG process. */
+    unsigned executions = 60;
+
+    /** Fallback StaticBoth partition when none is supplied. */
+    unsigned staticFgWaysDefault = 5;
+
+    /** Deadline slack factor: deadline = µ + factor·σ of Baseline. */
+    double deadlineSigmaFactor = 0.3;
+
+    /** Give up on a run after this much simulated time. */
+    Time bailout = Time::sec(1200.0);
+
+    /** Master seed (workload randomness is shared across schemes). */
+    uint64_t seed = 1234;
+};
+
+/**
+ * Lazily profiles each foreground benchmark exactly once.
+ */
+class ProfileCache
+{
+  public:
+    ProfileCache(const machine::MachineConfig &machineConfig,
+                 const core::ProfilerConfig &profilerConfig);
+
+    /** Profile of @p benchmarkName (profiled on first use). */
+    const core::Profile &get(const std::string &benchmarkName);
+
+  private:
+    machine::MachineConfig machineConfig_;
+    core::ProfilerConfig profilerConfig_;
+    std::map<std::string, core::Profile> cache_;
+};
+
+/** Per-run options. */
+struct RunOptions
+{
+    /** StaticBoth partition size; 0 = harness default. */
+    unsigned staticFgWays = 0;
+
+    /**
+     * Attach an observe-only runtime (predictor sampling, no control) —
+     * used for the predictor-accuracy studies under Baseline.
+     */
+    bool attachObserver = false;
+
+    /**
+     * Attach the reactive (non-predictive) controller ablation: one
+     * ladder decision per FG completion, driven by observed durations.
+     * Use with Scheme::Baseline; mutually exclusive with schemes that
+     * run the Dirigent runtime.
+     */
+    bool attachReactive = false;
+
+    /**
+     * Cap every BG core's LLC-miss bandwidth (bytes/second) with the
+     * MemGuard-style regulator; 0 disables. An alternative static
+     * throttling mechanism to DVFS (paper §3.2).
+     */
+    double bgBandwidthCap = 0.0;
+
+    /**
+     * Attach a coarse-only Dirigent runtime (cache-partition heuristics
+     * without fine-grain DVFS/pause control). The paper omits this
+     * configuration because it "performs just slightly worse than
+     * StaticBoth"; this option lets the claim be checked. Use with
+     * Scheme::Baseline.
+     */
+    bool attachCoarseOnly = false;
+
+    /** Override the number of measured executions (0 = harness value). */
+    unsigned executions = 0;
+};
+
+/**
+ * Runs workload mixes under schemes and gathers metrics.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(HarnessConfig config = HarnessConfig{});
+
+    const HarnessConfig &config() const { return config_; }
+    ProfileCache &profiles() { return profiles_; }
+
+    /**
+     * Run @p mix under @p scheme with the given per-benchmark deadlines
+     * for @p config.executions measured FG executions per FG process.
+     */
+    SchemeRunResult run(const workload::WorkloadMix &mix,
+                        core::Scheme scheme,
+                        const std::map<std::string, Time> &deadlines,
+                        const RunOptions &opts = RunOptions{});
+
+    /**
+     * Run the FG benchmark alone (no background) and measure its
+     * standalone behaviour.
+     */
+    SchemeRunResult runStandalone(const std::string &fgName,
+                                  unsigned executions = 0);
+
+    /** Deadlines from a Baseline run: µ + factor·σ per FG benchmark. */
+    std::map<std::string, Time>
+    deadlinesFromBaseline(const SchemeRunResult &baseline) const;
+
+    /**
+     * Run all five schemes on @p mix: Baseline first (doubling as the
+     * deadline calibration), then the managed schemes; StaticBoth uses
+     * the partition Dirigent's coarse controller converged to. Results
+     * are in core::allSchemes() order.
+     */
+    std::vector<SchemeRunResult>
+    runAllSchemes(const workload::WorkloadMix &mix);
+
+  private:
+    uint64_t mixSeed(const workload::WorkloadMix &mix) const;
+
+    HarnessConfig config_;
+    ProfileCache profiles_;
+};
+
+} // namespace dirigent::harness
+
+#endif // DIRIGENT_HARNESS_EXPERIMENT_H

@@ -1,0 +1,147 @@
+#include "harness/metrics.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace dirigent::harness {
+
+std::vector<double>
+SchemeRunResult::pooledDurations() const
+{
+    std::vector<double> pooled;
+    for (const auto &v : perFgDurations)
+        pooled.insert(pooled.end(), v.begin(), v.end());
+    return pooled;
+}
+
+double
+SchemeRunResult::fgSuccessRatio() const
+{
+    if (total == 0)
+        return 1.0;
+    return double(onTime) / double(total);
+}
+
+double
+SchemeRunResult::fgDurationMean() const
+{
+    OnlineStats stats;
+    for (const auto &v : perFgDurations)
+        for (double d : v)
+            stats.add(d);
+    return stats.mean();
+}
+
+double
+SchemeRunResult::fgDurationStd() const
+{
+    OnlineStats stats;
+    for (const auto &v : perFgDurations)
+        for (double d : v)
+            stats.add(d);
+    return stats.stddev();
+}
+
+double
+SchemeRunResult::bgThroughput() const
+{
+    if (span.sec() <= 0.0)
+        return 0.0;
+    return bgInstructions / span.sec();
+}
+
+double
+SchemeRunResult::fgMpki() const
+{
+    if (fgInstructions <= 0.0)
+        return 0.0;
+    return fgMisses / (fgInstructions / 1000.0);
+}
+
+double
+SchemeRunResult::predictionError() const
+{
+    if (midpointSamples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &s : midpointSamples) {
+        DIRIGENT_ASSERT(s.actualTotal.sec() > 0.0,
+                        "prediction sample with zero actual time");
+        sum += std::fabs(s.predictedTotal.sec() - s.actualTotal.sec()) /
+               s.actualTotal.sec();
+    }
+    return sum / double(midpointSamples.size());
+}
+
+void
+applyDeadlines(SchemeRunResult &result,
+               const std::map<std::string, Time> &deadlines)
+{
+    DIRIGENT_ASSERT(result.fgBenchmarks.size() == result.perFgDurations.size(),
+                    "FG benchmark/duration bookkeeping mismatch");
+    result.deadlines = deadlines;
+    result.onTime = 0;
+    result.total = 0;
+    for (size_t i = 0; i < result.perFgDurations.size(); ++i) {
+        auto it = deadlines.find(result.fgBenchmarks[i]);
+        DIRIGENT_ASSERT(it != deadlines.end(), "no deadline for '%s'",
+                        result.fgBenchmarks[i].c_str());
+        double limit = it->second.sec() * (1.0 + 1e-9);
+        for (double d : result.perFgDurations[i]) {
+            ++result.total;
+            if (d <= limit)
+                ++result.onTime;
+        }
+    }
+}
+
+double
+bgThroughputRatio(const SchemeRunResult &result,
+                  const SchemeRunResult &baseline)
+{
+    double base = baseline.bgThroughput();
+    if (base <= 0.0)
+        return 0.0;
+    return result.bgThroughput() / base;
+}
+
+double
+stdRatio(const SchemeRunResult &result, const SchemeRunResult &baseline)
+{
+    double base = baseline.fgDurationStd();
+    if (base <= 0.0)
+        return 0.0;
+    return result.fgDurationStd() / base;
+}
+
+std::vector<SchemeSummary>
+summarizeSchemes(const std::vector<std::vector<SchemeRunResult>> &perMix)
+{
+    auto schemes = core::allSchemes();
+    std::vector<SchemeSummary> summaries;
+    for (size_t s = 0; s < schemes.size(); ++s) {
+        SchemeSummary summary;
+        summary.scheme = schemes[s];
+        std::vector<double> successes, bgRatios, stdRatios;
+        for (const auto &mixResults : perMix) {
+            DIRIGENT_ASSERT(mixResults.size() == schemes.size(),
+                            "mix has %zu scheme results, expected %zu",
+                            mixResults.size(), schemes.size());
+            const auto &baseline = mixResults[0];
+            const auto &res = mixResults[s];
+            successes.push_back(res.fgSuccessRatio());
+            double bg = bgThroughputRatio(res, baseline);
+            bgRatios.push_back(bg > 0.0 ? bg : 1e-9);
+            stdRatios.push_back(stdRatio(res, baseline));
+        }
+        summary.meanFgSuccess = arithmeticMean(successes);
+        summary.hmeanBgThroughput = harmonicMean(bgRatios);
+        summary.meanStdRatio = arithmeticMean(stdRatios);
+        summaries.push_back(summary);
+    }
+    return summaries;
+}
+
+} // namespace dirigent::harness

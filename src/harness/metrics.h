@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Result records and metric computations for the evaluation harness.
+ * The paper's metrics: FG success ratio (fraction of executions meeting
+ * the deadline), BG performance (background instruction throughput
+ * normalized to Baseline), and the standard deviation of FG execution
+ * time.
+ */
+
+#ifndef DIRIGENT_HARNESS_METRICS_H
+#define DIRIGENT_HARNESS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dirigent/coarse_controller.h"
+#include "dirigent/runtime.h"
+#include "dirigent/scheme.h"
+
+namespace dirigent::harness {
+
+/**
+ * The outcome of running one workload mix under one scheme for a fixed
+ * number of measured FG executions (after warm-up).
+ */
+struct SchemeRunResult
+{
+    std::string mixName;
+    core::Scheme scheme = core::Scheme::Baseline;
+
+    /** Deadline (duration) applied to each FG benchmark. */
+    std::map<std::string, Time> deadlines;
+
+    /** Benchmark name of each FG process (index = FG slot). */
+    std::vector<std::string> fgBenchmarks;
+
+    /** Measured FG execution durations (seconds), per FG process. */
+    std::vector<std::vector<double>> perFgDurations;
+
+    /** Deadline hits / totals over all measured FG executions. */
+    uint64_t onTime = 0;
+    uint64_t total = 0;
+
+    /** Measurement window (from warm-up end to last measured exec). */
+    Time span;
+
+    /** Instructions retired inside the window. */
+    double bgInstructions = 0.0;
+    double fgInstructions = 0.0;
+
+    /** LLC misses inside the window. */
+    double fgMisses = 0.0;
+    double totalMisses = 0.0;
+
+    /** BG DVFS residency histogram (fine controller ladder), if any. */
+    std::vector<uint64_t> bgGradeResidency;
+    std::vector<double> ladderGhz;
+
+    /** Partition decisions (Dirigent only). */
+    std::vector<core::PartitionDecision> partitionDecisions;
+
+    /** Final FG partition size (0 = shared). */
+    unsigned finalFgWays = 0;
+
+    /** Midpoint prediction/outcome pairs (observer or Dirigent runs). */
+    std::vector<core::DirigentRuntime::PredictionSample> midpointSamples;
+
+    /** All measured FG durations pooled across FG processes. */
+    std::vector<double> pooledDurations() const;
+
+    /** Fraction of measured executions meeting the deadline. */
+    double fgSuccessRatio() const;
+
+    /** Mean of pooled FG durations (seconds). */
+    double fgDurationMean() const;
+
+    /** Population standard deviation of pooled FG durations. */
+    double fgDurationStd() const;
+
+    /** BG instruction throughput (instructions / second of window). */
+    double bgThroughput() const;
+
+    /** FG LLC misses per kilo-instruction inside the window. */
+    double fgMpki() const;
+
+    /**
+     * Average midpoint prediction error (paper Eq. 3):
+     * mean over executions of |predict − measure| / measure.
+     */
+    double predictionError() const;
+};
+
+/**
+ * Recompute onTime/total and the stored deadlines of @p result from its
+ * recorded per-FG durations and the given per-benchmark deadlines. Used
+ * to evaluate a calibration (Baseline) run against deadlines that were
+ * derived from it.
+ */
+void applyDeadlines(SchemeRunResult &result,
+                    const std::map<std::string, Time> &deadlines);
+
+/** BG throughput of @p result normalized to @p baseline (rate-based). */
+double bgThroughputRatio(const SchemeRunResult &result,
+                         const SchemeRunResult &baseline);
+
+/** FG duration σ of @p result normalized to @p baseline's σ. */
+double stdRatio(const SchemeRunResult &result,
+                const SchemeRunResult &baseline);
+
+/** Per-scheme aggregate over a set of mixes (paper Figs. 10/13). */
+struct SchemeSummary
+{
+    core::Scheme scheme = core::Scheme::Baseline;
+    double meanFgSuccess = 0.0;   //!< arithmetic mean of success ratios
+    double hmeanBgThroughput = 0.0; //!< harmonic mean of BG ratios
+    double meanStdRatio = 0.0;    //!< arithmetic mean of σ ratios
+};
+
+/**
+ * Summarize per-mix results. @p perMix holds, for every mix, the five
+ * scheme results in allSchemes() order (Baseline first).
+ */
+std::vector<SchemeSummary>
+summarizeSchemes(const std::vector<std::vector<SchemeRunResult>> &perMix);
+
+} // namespace dirigent::harness
+
+#endif // DIRIGENT_HARNESS_METRICS_H

@@ -1,0 +1,117 @@
+#include "harness/report.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/table.h"
+
+namespace dirigent::harness {
+
+void
+printSchemeComparison(
+    std::ostream &os,
+    const std::vector<std::vector<SchemeRunResult>> &perMix)
+{
+    auto schemes = core::allSchemes();
+    std::vector<std::string> headers = {"mix"};
+    for (auto s : schemes) {
+        headers.push_back(std::string(core::schemeName(s)) + " FG");
+        headers.push_back(std::string(core::schemeName(s)) + " BG");
+    }
+    TextTable table(headers);
+    for (const auto &mixResults : perMix) {
+        DIRIGENT_ASSERT(mixResults.size() == schemes.size(),
+                        "scheme result count mismatch");
+        const auto &baseline = mixResults[0];
+        std::vector<std::string> row = {mixResults[0].mixName};
+        for (const auto &res : mixResults) {
+            row.push_back(TextTable::num(res.fgSuccessRatio(), 3));
+            row.push_back(
+                TextTable::num(bgThroughputRatio(res, baseline), 3));
+        }
+        table.addRow(row);
+    }
+    table.print(os);
+}
+
+void
+printSchemeSummary(std::ostream &os,
+                   const std::vector<SchemeSummary> &summaries)
+{
+    TextTable table({"scheme", "FG success (amean)",
+                     "BG throughput (hmean)", "norm. std (amean)"});
+    for (const auto &s : summaries) {
+        table.addRow({core::schemeName(s.scheme),
+                      TextTable::num(s.meanFgSuccess, 3),
+                      TextTable::num(s.hmeanBgThroughput, 3),
+                      TextTable::num(s.meanStdRatio, 3)});
+    }
+    table.print(os);
+}
+
+void
+printComparisonCsv(
+    std::ostream &os,
+    const std::vector<std::vector<SchemeRunResult>> &perMix)
+{
+    CsvWriter csv(os);
+    csv.row({"mix", "scheme", "fg_success", "bg_ratio", "fg_mean_s",
+             "fg_std_s", "fg_mpki", "final_fg_ways"});
+    for (const auto &mixResults : perMix) {
+        const auto &baseline = mixResults[0];
+        for (const auto &res : mixResults) {
+            csv.row({res.mixName, core::schemeName(res.scheme),
+                     strfmt("%.4f", res.fgSuccessRatio()),
+                     strfmt("%.4f", bgThroughputRatio(res, baseline)),
+                     strfmt("%.5f", res.fgDurationMean()),
+                     strfmt("%.5f", res.fgDurationStd()),
+                     strfmt("%.3f", res.fgMpki()),
+                     strfmt("%u", res.finalFgWays)});
+        }
+    }
+}
+
+void
+printStdComparison(
+    std::ostream &os,
+    const std::vector<std::vector<SchemeRunResult>> &perMix)
+{
+    auto schemes = core::allSchemes();
+    std::vector<std::string> headers = {"mix"};
+    for (auto s : schemes)
+        headers.push_back(core::schemeName(s));
+    TextTable table(headers);
+    for (const auto &mixResults : perMix) {
+        const auto &baseline = mixResults[0];
+        std::vector<std::string> row = {mixResults[0].mixName};
+        for (const auto &res : mixResults)
+            row.push_back(TextTable::num(stdRatio(res, baseline), 3));
+        table.addRow(row);
+    }
+    table.print(os);
+}
+
+unsigned
+envExecutions(unsigned fallback)
+{
+    const char *env = std::getenv("DIRIGENT_BENCH_EXECS");
+    if (env == nullptr)
+        return fallback;
+    long v = std::strtol(env, nullptr, 10);
+    if (v <= 0) {
+        warn("ignoring invalid DIRIGENT_BENCH_EXECS");
+        return fallback;
+    }
+    return unsigned(v);
+}
+
+uint64_t
+envSeed(uint64_t fallback)
+{
+    const char *env = std::getenv("DIRIGENT_BENCH_SEED");
+    if (env == nullptr)
+        return fallback;
+    return std::strtoull(env, nullptr, 10);
+}
+
+} // namespace dirigent::harness

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Printing helpers shared by the bench binaries: paper-style per-mix
+ * comparison tables, scheme summaries, and CSV blocks for plotting.
+ */
+
+#ifndef DIRIGENT_HARNESS_REPORT_H
+#define DIRIGENT_HARNESS_REPORT_H
+
+#include <ostream>
+#include <vector>
+
+#include "harness/metrics.h"
+
+namespace dirigent::harness {
+
+/**
+ * Print a Fig. 9-style table: one row per mix, FG success ratio and BG
+ * throughput ratio (vs Baseline) for each scheme.
+ */
+void printSchemeComparison(
+    std::ostream &os,
+    const std::vector<std::vector<SchemeRunResult>> &perMix);
+
+/** Print a Fig. 10/13-style summary table. */
+void printSchemeSummary(std::ostream &os,
+                        const std::vector<SchemeSummary> &summaries);
+
+/** Emit the comparison as CSV (mix, scheme, fg_success, bg_ratio, ...). */
+void printComparisonCsv(
+    std::ostream &os,
+    const std::vector<std::vector<SchemeRunResult>> &perMix);
+
+/**
+ * Print the Fig. 14-style normalized-σ table: one row per mix, FG
+ * duration σ normalized to Baseline for each scheme.
+ */
+void printStdComparison(
+    std::ostream &os,
+    const std::vector<std::vector<SchemeRunResult>> &perMix);
+
+/** Environment-variable override helper for bench repetition counts. */
+unsigned envExecutions(unsigned fallback);
+
+/** Environment-variable override helper for the harness seed. */
+uint64_t envSeed(uint64_t fallback);
+
+} // namespace dirigent::harness
+
+#endif // DIRIGENT_HARNESS_REPORT_H

@@ -1,0 +1,100 @@
+#include "harness/reservation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace dirigent::harness {
+
+namespace {
+
+/**
+ * Draw a task duration with the configured mean and std using a
+ * lognormal shape (durations are positive and right-skewed, like the
+ * contended completion times in the paper's Fig. 1).
+ */
+double
+drawDuration(Rng &rng, double mean, double std)
+{
+    if (std <= 0.0)
+        return mean;
+    // Match the first two moments of the lognormal.
+    double cv2 = (std / mean) * (std / mean);
+    double sigma = std::sqrt(std::log1p(cv2));
+    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(rng.normal(mu, sigma));
+}
+
+} // namespace
+
+ReservationResult
+simulateReservation(const ReservationConfig &config)
+{
+    DIRIGENT_ASSERT(config.meanDuration > 0.0, "mean duration must be > 0");
+    DIRIGENT_ASSERT(config.tasks > 0 && config.calibrationTasks > 1,
+                    "need tasks to schedule and calibrate with");
+    Rng rng(config.seed);
+
+    std::vector<double> calibration;
+    calibration.reserve(config.calibrationTasks);
+    for (unsigned i = 0; i < config.calibrationTasks; ++i)
+        calibration.push_back(
+            drawDuration(rng, config.meanDuration, config.stdDuration));
+    double reservation =
+        percentile(calibration, config.reservationQuantile);
+
+    ReservationResult result;
+    result.reservation = reservation;
+    OnlineStats durations;
+    unsigned overruns = 0;
+    for (unsigned i = 0; i < config.tasks; ++i) {
+        double d =
+            drawDuration(rng, config.meanDuration, config.stdDuration);
+        durations.add(d);
+        if (d > reservation)
+            ++overruns;
+    }
+    result.meanDuration = durations.mean();
+    result.utilization =
+        durations.sum() / (double(config.tasks) * reservation);
+    result.overrunRate = double(overruns) / double(config.tasks);
+    return result;
+}
+
+ReservationResult
+simulateReservationOnSamples(const std::vector<double> &durations,
+                             double reservationQuantile,
+                             double calibrationFraction)
+{
+    DIRIGENT_ASSERT(durations.size() >= 4, "need at least 4 samples");
+    DIRIGENT_ASSERT(calibrationFraction > 0.0 && calibrationFraction < 1.0,
+                    "calibration fraction must be in (0, 1)");
+    size_t split = size_t(double(durations.size()) * calibrationFraction);
+    split = std::clamp(split, size_t(2), durations.size() - 2);
+
+    std::vector<double> calibration(durations.begin(),
+                                    durations.begin() + long(split));
+    double reservation = percentile(calibration, reservationQuantile);
+
+    ReservationResult result;
+    result.reservation = reservation;
+    OnlineStats stats;
+    unsigned overruns = 0;
+    for (size_t i = split; i < durations.size(); ++i) {
+        stats.add(durations[i]);
+        if (durations[i] > reservation)
+            ++overruns;
+    }
+    result.meanDuration = stats.mean();
+    result.utilization =
+        reservation > 0.0
+            ? stats.sum() / (double(stats.count()) * reservation)
+            : 0.0;
+    result.overrunRate = double(overruns) / double(stats.count());
+    return result;
+}
+
+} // namespace dirigent::harness

@@ -1,0 +1,82 @@
+#include "harness/timeline.h"
+
+#include "common/log.h"
+#include "common/table.h"
+#include "common/strfmt.h"
+
+namespace dirigent::harness {
+
+Timeline::Timeline(sim::Engine &engine, Time period)
+    : engine_(engine), period_(period)
+{
+    DIRIGENT_ASSERT(period.sec() > 0.0, "timeline period must be > 0");
+}
+
+Timeline::~Timeline()
+{
+    stop();
+}
+
+void
+Timeline::addSeries(std::string name, Probe probe)
+{
+    DIRIGENT_ASSERT(!running_, "cannot add series while running");
+    DIRIGENT_ASSERT(probe != nullptr, "timeline probe must be callable");
+    names_.push_back(std::move(name));
+    probes_.push_back(std::move(probe));
+}
+
+void
+Timeline::start()
+{
+    if (running_)
+        return;
+    DIRIGENT_ASSERT(!probes_.empty(), "timeline has no series");
+    running_ = true;
+    scheduleNext();
+}
+
+void
+Timeline::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    if (pending_.valid()) {
+        engine_.events().cancel(pending_);
+        pending_ = sim::EventId{};
+    }
+}
+
+void
+Timeline::scheduleNext()
+{
+    pending_ = engine_.after(period_, [this] {
+        pending_ = sim::EventId{};
+        if (!running_)
+            return;
+        times_.push_back(engine_.now().sec());
+        std::vector<double> row;
+        row.reserve(probes_.size());
+        for (const auto &probe : probes_)
+            row.push_back(probe());
+        samples_.push_back(std::move(row));
+        scheduleNext();
+    });
+}
+
+void
+Timeline::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    std::vector<std::string> header = {"time_s"};
+    header.insert(header.end(), names_.begin(), names_.end());
+    csv.row(header);
+    for (size_t i = 0; i < times_.size(); ++i) {
+        std::vector<double> row = {times_[i]};
+        row.insert(row.end(), samples_[i].begin(), samples_[i].end());
+        csv.numericRow(row);
+    }
+}
+
+} // namespace dirigent::harness

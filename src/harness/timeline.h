@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Time-series introspection: samples arbitrary probes (core frequency,
+ * DRAM utilization, cache occupancy, predictions, …) at a fixed
+ * simulated-time cadence and exports the series as CSV. Used by the
+ * introspection example to show Dirigent's within-execution control
+ * dynamics, and generally handy when debugging controller behaviour.
+ */
+
+#ifndef DIRIGENT_HARNESS_TIMELINE_H
+#define DIRIGENT_HARNESS_TIMELINE_H
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace dirigent::harness {
+
+/**
+ * A periodic recorder of named scalar probes.
+ */
+class Timeline
+{
+  public:
+    /** A scalar source sampled at every tick. */
+    using Probe = std::function<double()>;
+
+    /**
+     * @param engine engine supplying simulated time (not owned).
+     * @param period sampling cadence.
+     */
+    Timeline(sim::Engine &engine, Time period);
+
+    ~Timeline();
+
+    Timeline(const Timeline &) = delete;
+    Timeline &operator=(const Timeline &) = delete;
+
+    /** Register a probe before start(); @p name labels its column. */
+    void addSeries(std::string name, Probe probe);
+
+    /** Begin sampling (first sample one period from now). */
+    void start();
+
+    /** Stop sampling; recorded data remains available. */
+    void stop();
+
+    /** Column names in registration order. */
+    const std::vector<std::string> &seriesNames() const { return names_; }
+
+    /** Sample times (seconds). */
+    const std::vector<double> &times() const { return times_; }
+
+    /** Recorded values: samples()[i] aligns with times()[i]. */
+    const std::vector<std::vector<double>> &samples() const
+    {
+        return samples_;
+    }
+
+    /** Number of recorded sample rows. */
+    size_t size() const { return times_.size(); }
+
+    /** Emit "time,<series...>" CSV. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void scheduleNext();
+
+    sim::Engine &engine_;
+    Time period_;
+    std::vector<std::string> names_;
+    std::vector<Probe> probes_;
+    std::vector<double> times_;
+    std::vector<std::vector<double>> samples_;
+    bool running_ = false;
+    sim::EventId pending_;
+};
+
+} // namespace dirigent::harness
+
+#endif // DIRIGENT_HARNESS_TIMELINE_H

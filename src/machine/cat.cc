@@ -1,0 +1,56 @@
+#include "machine/cat.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::machine {
+
+CatController::CatController(Machine &machine) : machine_(machine)
+{
+}
+
+unsigned
+CatController::numWays() const
+{
+    return machine_.cache().config().numWays;
+}
+
+void
+CatController::setFgWays(unsigned ways)
+{
+    unsigned clamped = std::clamp(ways, 1u, numWays() - 1);
+    if (clamped != ways) {
+        verbose(strfmt("CAT: clamping FG partition %u -> %u ways", ways,
+                       clamped));
+    }
+    fgWays_ = clamped;
+    apply();
+}
+
+void
+CatController::setShared()
+{
+    fgWays_ = 0;
+    apply();
+}
+
+void
+CatController::apply()
+{
+    const unsigned ways = numWays();
+    mem::WayMask fgMask, bgMask;
+    if (fgWays_ == 0) {
+        fgMask = bgMask = mem::wayRange(0, ways);
+    } else {
+        fgMask = mem::wayRange(0, fgWays_);
+        bgMask = mem::wayRange(fgWays_, ways);
+    }
+    for (Pid pid : machine_.os().pids()) {
+        const Process &proc = machine_.os().process(pid);
+        machine_.cache().setWayMask(proc.core,
+                                    proc.foreground ? fgMask : bgMask);
+    }
+}
+
+} // namespace dirigent::machine

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cache Allocation Technology interface: two classes of service (one for
+ * foreground processes, one for background), each a contiguous way mask
+ * over the shared LLC — mirroring how the paper partitions the cache
+ * between the FG and BG groups with Intel CAT. Changing the partition
+ * updates allocation masks immediately; resident data migrates only at
+ * fill speed (cache inertia), which is modelled in mem::SharedCache.
+ */
+
+#ifndef DIRIGENT_MACHINE_CAT_H
+#define DIRIGENT_MACHINE_CAT_H
+
+#include "machine/machine.h"
+#include "mem/cache.h"
+
+namespace dirigent::machine {
+
+/**
+ * Way-partition controller for the FG/BG process groups.
+ */
+class CatController
+{
+  public:
+    /** @param machine machine whose cache is partitioned (not owned). */
+    explicit CatController(Machine &machine);
+
+    /** Total ways in the LLC. */
+    unsigned numWays() const;
+
+    /** The machine whose cache this controller partitions. */
+    const Machine &machine() const { return machine_; }
+
+    /**
+     * Dedicate @p ways ways to foreground processes; background
+     * processes receive the remaining ways. Clamped to
+     * [1, numWays − 1]. Masks are applied to every currently spawned
+     * process; call again after spawning new processes.
+     */
+    void setFgWays(unsigned ways);
+
+    /** Share the whole cache: every process may allocate anywhere. */
+    void setShared();
+
+    /** Current FG partition size; 0 when the cache is fully shared. */
+    unsigned fgWays() const { return fgWays_; }
+
+    /** True when a partition is active. */
+    bool partitioned() const { return fgWays_ != 0; }
+
+  private:
+    void apply();
+
+    Machine &machine_;
+    unsigned fgWays_ = 0;
+};
+
+} // namespace dirigent::machine
+
+#endif // DIRIGENT_MACHINE_CAT_H

@@ -1,0 +1,73 @@
+#include "machine/cpufreq.h"
+
+#include "common/log.h"
+
+namespace dirigent::machine {
+
+CpuFreqGovernor::CpuFreqGovernor(Machine &machine, sim::Engine &engine,
+                                 unsigned numGrades, Time transitionLatency)
+    : machine_(machine), engine_(engine),
+      transitionLatency_(transitionLatency)
+{
+    DIRIGENT_ASSERT(numGrades >= 2, "need at least min and max grades");
+    double lo = machine.config().minFreq.hz();
+    double hi = machine.config().maxFreq.hz();
+    for (unsigned g = 0; g < numGrades; ++g) {
+        double f = lo + (hi - lo) * double(g) / double(numGrades - 1);
+        freqs_.push_back(Freq::hz(f));
+    }
+    targetGrade_.assign(machine.numCores(), numGrades - 1);
+}
+
+Freq
+CpuFreqGovernor::gradeFreq(unsigned grade) const
+{
+    DIRIGENT_ASSERT(grade < freqs_.size(), "bad frequency grade %u", grade);
+    return freqs_[grade];
+}
+
+void
+CpuFreqGovernor::setGrade(unsigned core, unsigned grade)
+{
+    DIRIGENT_ASSERT(core < targetGrade_.size(), "bad core %u", core);
+    DIRIGENT_ASSERT(grade < freqs_.size(), "bad frequency grade %u", grade);
+    if (targetGrade_[core] == grade)
+        return;
+    targetGrade_[core] = grade;
+    Freq f = freqs_[grade];
+    engine_.after(transitionLatency_, [this, core, f] {
+        // Apply only if this is still the most recent request for the
+        // core (a later request supersedes an in-flight transition).
+        if (freqs_[targetGrade_[core]].hz() == f.hz())
+            machine_.core(core).setFrequency(f);
+    });
+}
+
+unsigned
+CpuFreqGovernor::grade(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < targetGrade_.size(), "bad core %u", core);
+    return targetGrade_[core];
+}
+
+void
+CpuFreqGovernor::setAllMax()
+{
+    for (unsigned c = 0; c < targetGrade_.size(); ++c)
+        setGrade(c, maxGrade());
+}
+
+std::vector<unsigned>
+CpuFreqGovernor::equispacedGrades(unsigned count) const
+{
+    DIRIGENT_ASSERT(count >= 2 && count <= numGrades(),
+                    "cannot pick %u of %u grades", count, numGrades());
+    std::vector<unsigned> grades;
+    for (unsigned i = 0; i < count; ++i) {
+        double pos = double(i) * double(numGrades() - 1) / double(count - 1);
+        grades.push_back(unsigned(pos + 0.5));
+    }
+    return grades;
+}
+
+} // namespace dirigent::machine

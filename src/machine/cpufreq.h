@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-core DVFS interface modelled after the Linux CPUFreq userspace
+ * governor the paper uses as its throttling mechanism. Frequencies are
+ * exposed as discrete grades (the Xeon E5-2618L v3 exposes 9 steps,
+ * 1.2–2.0 GHz); transitions take a small fixed latency, so control
+ * actions are cheap but not instantaneous.
+ */
+
+#ifndef DIRIGENT_MACHINE_CPUFREQ_H
+#define DIRIGENT_MACHINE_CPUFREQ_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "machine/machine.h"
+#include "sim/engine.h"
+
+namespace dirigent::machine {
+
+/**
+ * The DVFS governor. Grade 0 is the minimum frequency; the highest
+ * grade is the nominal maximum.
+ */
+class CpuFreqGovernor
+{
+  public:
+    /**
+     * @param machine machine whose cores are governed (not owned).
+     * @param engine engine used to model transition latency (not owned).
+     * @param numGrades number of equally spaced frequency steps.
+     * @param transitionLatency delay before a setting takes effect.
+     */
+    CpuFreqGovernor(Machine &machine, sim::Engine &engine,
+                    unsigned numGrades = 9,
+                    Time transitionLatency = Time::us(50.0));
+
+    /** Number of available grades. */
+    unsigned numGrades() const { return unsigned(freqs_.size()); }
+
+    /** Frequency of grade @p grade. */
+    Freq gradeFreq(unsigned grade) const;
+
+    /** Highest grade index. */
+    unsigned maxGrade() const { return numGrades() - 1; }
+
+    /**
+     * Request that @p core run at @p grade. The change is applied after
+     * the transition latency; the target is visible via grade()
+     * immediately (matching sysfs semantics).
+     */
+    void setGrade(unsigned core, unsigned grade);
+
+    /** Last requested grade of @p core. */
+    unsigned grade(unsigned core) const;
+
+    /** Set every core to the maximum grade. */
+    void setAllMax();
+
+    /**
+     * Indices of @p count equally spaced grades, always including the
+     * minimum and maximum — Dirigent uses 5 of the 9 available steps.
+     */
+    std::vector<unsigned> equispacedGrades(unsigned count) const;
+
+  private:
+    Machine &machine_;
+    sim::Engine &engine_;
+    Time transitionLatency_;
+    std::vector<Freq> freqs_;
+    std::vector<unsigned> targetGrade_;
+};
+
+} // namespace dirigent::machine
+
+#endif // DIRIGENT_MACHINE_CPUFREQ_H

@@ -1,0 +1,161 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::machine {
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      rng_(Rng(config.seed).fork(0xD151)),
+      cache_(config.cache, config.numCores),
+      dram_(config.dram),
+      bwGuard_(config.numCores, config.bwGuardPeriod),
+      os_(config.numCores, Rng(config.seed).fork(0x05F7))
+{
+    DIRIGENT_ASSERT(config.numCores > 0, "machine needs cores");
+    DIRIGENT_ASSERT(config.minFreq.hz() > 0.0 &&
+                    config.minFreq <= config.maxFreq,
+                    "bad DVFS range");
+    for (unsigned c = 0; c < config.numCores; ++c) {
+        cores_.push_back(std::make_unique<cpu::Core>(
+            c, c, cache_, dram_, config.maxFreq));
+        cores_.back()->setBwGuard(&bwGuard_);
+    }
+}
+
+cpu::Core &
+Machine::core(unsigned id)
+{
+    DIRIGENT_ASSERT(id < cores_.size(), "bad core id %u", id);
+    return *cores_[id];
+}
+
+const cpu::Core &
+Machine::core(unsigned id) const
+{
+    DIRIGENT_ASSERT(id < cores_.size(), "bad core id %u", id);
+    return *cores_[id];
+}
+
+Pid
+Machine::spawnProcess(const ProcessSpec &spec)
+{
+    return os_.spawn(spec);
+}
+
+void
+Machine::switchProgram(Pid pid, const workload::PhaseProgram *program)
+{
+    os_.setNextProgram(pid, program);
+    os_.restartTask(pid, now_);
+    cache_.flush(os_.process(pid).core);
+}
+
+size_t
+Machine::addCompletionListener(CompletionListener listener)
+{
+    DIRIGENT_ASSERT(listener != nullptr, "null completion listener");
+    size_t handle = nextListener_++;
+    listeners_.emplace_back(handle, std::move(listener));
+    return handle;
+}
+
+void
+Machine::removeCompletionListener(size_t handle)
+{
+    std::erase_if(listeners_,
+                  [handle](const auto &p) { return p.first == handle; });
+}
+
+const cpu::CounterSample &
+Machine::readCounters(unsigned coreId) const
+{
+    return core(coreId).counters().read();
+}
+
+void
+Machine::advance(Time start, Time dt)
+{
+    now_ = start;
+
+    for (unsigned c = 0; c < config_.numCores; ++c)
+        advanceCore(c, start, dt);
+
+    // Close the quantum: apply cache occupancy flow and memory queueing.
+    std::vector<Bytes> wsCaps(config_.numCores, 0.0);
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        const Process *proc = os_.processOnCore(c);
+        if (proc != nullptr && proc->task != nullptr &&
+            !proc->task->finished()) {
+            wsCaps[c] = proc->task->currentPhase().workingSet;
+        }
+    }
+    cache_.commit(wsCaps);
+    dram_.update(dt);
+    bwGuard_.tick(start + dt);
+
+    now_ = start + dt;
+}
+
+void
+Machine::advanceCore(unsigned coreId, Time start, Time dt)
+{
+    cpu::Core &core = *cores_[coreId];
+
+    // OS noise: short random interruptions (timer ticks, kernel work).
+    double eventProb = config_.noiseEventsPerSec * dt.sec();
+    if (eventProb > 0.0 && rng_.chance(std::min(eventProb, 1.0))) {
+        core.stealTime(Time::sec(
+            rng_.exponential(config_.noiseMeanDuration.sec())));
+    }
+
+    Time offset;
+    // A completed task's remaining quantum runs its successor, so loop.
+    while (offset < dt) {
+        Process *proc = os_.processOnCore(coreId);
+        workload::Task *task = nullptr;
+        if (proc != nullptr && proc->runnable())
+            task = proc->task.get();
+
+        Time span = dt - offset;
+        auto res = core.advance(task, span);
+        if (!res.completed)
+            break;
+
+        DIRIGENT_ASSERT(proc != nullptr, "completion without a process");
+        CompletionRecord rec;
+        rec.pid = proc->pid;
+        rec.core = coreId;
+        rec.program = proc->program->name;
+        rec.foreground = proc->foreground;
+        rec.started = proc->taskStart;
+        rec.finished = start + offset + res.completionOffset;
+        rec.instructions = proc->task->retired();
+        rec.executionIndex = proc->executions;
+        proc->executions += 1;
+
+        // The next task of this process starts immediately; its data is
+        // cold (fresh input), so drop the old residency.
+        os_.restartTask(proc->pid, rec.finished);
+        cache_.flush(coreId);
+
+        fireCompletion(rec);
+        offset += res.completionOffset;
+        // Guard against zero-length completions looping forever.
+        if (res.completionOffset.sec() <= 0.0)
+            break;
+    }
+}
+
+void
+Machine::fireCompletion(const CompletionRecord &rec)
+{
+    // Copy: listeners may add/remove listeners while we iterate.
+    auto snapshot = listeners_;
+    for (auto &[handle, fn] : snapshot)
+        fn(rec);
+}
+
+} // namespace dirigent::machine

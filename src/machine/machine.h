@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The simulated machine: a 6-core Xeon-E5-2618L-v3-like node with
+ * per-core DVFS, a 15 MiB way-partitionable LLC, shared DRAM, per-core
+ * performance counters, and an OS process table. The machine is the
+ * root sim::Component; the engine advances it quantum by quantum.
+ */
+
+#ifndef DIRIGENT_MACHINE_MACHINE_H
+#define DIRIGENT_MACHINE_MACHINE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "cpu/core.h"
+#include "machine/os.h"
+#include "mem/bwguard.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "sim/engine.h"
+
+namespace dirigent::machine {
+
+/** Machine parameters; defaults model the paper's evaluation system. */
+struct MachineConfig
+{
+    unsigned numCores = 6;
+
+    /** DVFS range: nominal 2.0 GHz, throttling down to 1.2 GHz. */
+    Freq maxFreq = Freq::ghz(2.0);
+    Freq minFreq = Freq::ghz(1.2);
+
+    mem::CacheConfig cache;
+    mem::DramConfig dram;
+
+    /** MemGuard-style bandwidth-regulation window. */
+    Time bwGuardPeriod = Time::ms(1.0);
+
+    /** Upper bound on one co-simulation quantum. */
+    Time maxQuantum = Time::us(100.0);
+
+    /** @name OS noise: random short interruptions per core.
+     *  Models timer ticks, kernel threads, and other runlevel-S noise. */
+    /// @{
+    double noiseEventsPerSec = 40.0;
+    Time noiseMeanDuration = Time::us(60.0);
+    /// @}
+
+    /** Master seed; all simulator randomness derives from it. */
+    uint64_t seed = 1;
+};
+
+/** Record of one completed foreground or background task execution. */
+struct CompletionRecord
+{
+    Pid pid = 0;
+    unsigned core = 0;
+    std::string program;        //!< program name of the completed task
+    bool foreground = false;
+    Time started;
+    Time finished;
+    double instructions = 0.0;
+    uint64_t executionIndex = 0; //!< 0-based completed-execution counter
+
+    /** Task duration. */
+    Time duration() const { return finished - started; }
+};
+
+/**
+ * The simulated node.
+ */
+class Machine : public sim::Component
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig{});
+
+    const MachineConfig &config() const { return config_; }
+    unsigned numCores() const { return config_.numCores; }
+
+    Os &os() { return os_; }
+    const Os &os() const { return os_; }
+    mem::SharedCache &cache() { return cache_; }
+    const mem::SharedCache &cache() const { return cache_; }
+    mem::DramModel &dram() { return dram_; }
+    const mem::DramModel &dram() const { return dram_; }
+
+    /** Per-core bandwidth regulator (budgets default to unregulated). */
+    mem::BwGuard &bwGuard() { return bwGuard_; }
+    const mem::BwGuard &bwGuard() const { return bwGuard_; }
+
+    cpu::Core &core(unsigned id);
+    const cpu::Core &core(unsigned id) const;
+
+    /** Current simulated time (updated as the engine advances). */
+    Time now() const { return now_; }
+
+    /**
+     * Spawn a process pinned to spec.core; its LLC client slot is the
+     * core number (1:1 pinning).
+     */
+    Pid spawnProcess(const ProcessSpec &spec);
+
+    /**
+     * Immediately replace the program of @p pid: the in-flight task is
+     * discarded, a fresh task of @p program starts now, and the
+     * process's cache residency is dropped. Used by rotating background
+     * pairs, which context-switch on every FG completion.
+     */
+    void switchProgram(Pid pid, const workload::PhaseProgram *program);
+
+    /** Listener invoked at every task completion (FG and BG). */
+    using CompletionListener = std::function<void(const CompletionRecord &)>;
+
+    /** Register a completion listener; returns a handle for removal. */
+    size_t addCompletionListener(CompletionListener listener);
+
+    /** Remove a listener by handle (no-op if already removed). */
+    void removeCompletionListener(size_t handle);
+
+    /** Counters of the process pinned to @p core (== core counters). */
+    const cpu::CounterSample &readCounters(unsigned core) const;
+
+    // sim::Component
+    void advance(Time start, Time dt) override;
+
+  private:
+    void advanceCore(unsigned coreId, Time start, Time dt);
+    void fireCompletion(const CompletionRecord &rec);
+
+    MachineConfig config_;
+    Rng rng_;
+    mem::SharedCache cache_;
+    mem::DramModel dram_;
+    mem::BwGuard bwGuard_;
+    Os os_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::pair<size_t, CompletionListener>> listeners_;
+    size_t nextListener_ = 1;
+    Time now_;
+};
+
+} // namespace dirigent::machine
+
+#endif // DIRIGENT_MACHINE_MACHINE_H

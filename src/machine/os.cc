@@ -1,0 +1,136 @@
+#include "machine/os.h"
+
+#include "common/log.h"
+
+namespace dirigent::machine {
+
+Os::Os(unsigned numCores, Rng rng)
+    : numCores_(numCores), rng_(rng), coreMap_(numCores, nullptr)
+{
+    DIRIGENT_ASSERT(numCores > 0, "OS needs at least one core");
+}
+
+Pid
+Os::spawn(const ProcessSpec &spec)
+{
+    if (spec.core >= numCores_)
+        fatal(strfmt("cannot pin '%s' to core %u of %u",
+                     spec.name.c_str(), spec.core, numCores_));
+    if (coreMap_[spec.core] != nullptr)
+        fatal(strfmt("core %u already runs '%s'", spec.core,
+                     coreMap_[spec.core]->name.c_str()));
+    if (spec.program == nullptr || !spec.program->valid())
+        fatal(strfmt("process '%s' has no valid program",
+                     spec.name.c_str()));
+
+    auto proc = std::make_unique<Process>();
+    proc->pid = Pid(processes_.size());
+    proc->name = spec.name;
+    proc->program = spec.program;
+    proc->core = spec.core;
+    proc->foreground = spec.foreground;
+    proc->niceness = spec.niceness;
+    proc->task = std::make_unique<workload::Task>(
+        spec.program, rng_.fork(proc->pid * 7919 + 1));
+    proc->taskStart = Time();
+
+    coreMap_[spec.core] = proc.get();
+    processes_.push_back(std::move(proc));
+    return processes_.back()->pid;
+}
+
+Process &
+Os::process(Pid pid)
+{
+    DIRIGENT_ASSERT(pid < processes_.size(), "bad pid %u", pid);
+    return *processes_[pid];
+}
+
+const Process &
+Os::process(Pid pid) const
+{
+    DIRIGENT_ASSERT(pid < processes_.size(), "bad pid %u", pid);
+    return *processes_[pid];
+}
+
+Process *
+Os::processOnCore(unsigned core)
+{
+    DIRIGENT_ASSERT(core < numCores_, "bad core %u", core);
+    return coreMap_[core];
+}
+
+const Process *
+Os::processOnCore(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < numCores_, "bad core %u", core);
+    return coreMap_[core];
+}
+
+void
+Os::pause(Pid pid)
+{
+    process(pid).state = ProcState::Paused;
+}
+
+void
+Os::resume(Pid pid)
+{
+    process(pid).state = ProcState::Running;
+}
+
+void
+Os::setNextProgram(Pid pid, const workload::PhaseProgram *program)
+{
+    DIRIGENT_ASSERT(program != nullptr && program->valid(),
+                    "invalid next program for pid %u", pid);
+    process(pid).nextProgram = program;
+}
+
+void
+Os::restartTask(Pid pid, Time now)
+{
+    Process &proc = process(pid);
+    if (proc.nextProgram != nullptr) {
+        proc.program = proc.nextProgram;
+        proc.nextProgram = nullptr;
+    }
+    // Fork a fresh stream keyed by (pid, executions) so every task
+    // instance draws independent, reproducible randomness.
+    proc.task = std::make_unique<workload::Task>(
+        proc.program,
+        rng_.fork(uint64_t(pid) * 1000003 + proc.executions + 17));
+    proc.taskStart = now;
+}
+
+std::vector<Pid>
+Os::pids() const
+{
+    std::vector<Pid> out;
+    out.reserve(processes_.size());
+    for (const auto &p : processes_)
+        out.push_back(p->pid);
+    return out;
+}
+
+std::vector<Pid>
+Os::foregroundPids() const
+{
+    std::vector<Pid> out;
+    for (const auto &p : processes_)
+        if (p->foreground)
+            out.push_back(p->pid);
+    return out;
+}
+
+std::vector<Pid>
+Os::backgroundPids() const
+{
+    std::vector<Pid> out;
+    for (const auto &p : processes_)
+        if (!p->foreground)
+            out.push_back(p->pid);
+    return out;
+}
+
+} // namespace dirigent::machine

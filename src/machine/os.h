@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A minimal OS model: a process table with core pinning, pause/resume
+ * (SIGSTOP/SIGCONT), niceness, and task restart. Matches the paper's
+ * runlevel-S setup: one pinned process per core, foreground tasks
+ * restarted consecutively, background tasks looping forever.
+ */
+
+#ifndef DIRIGENT_MACHINE_OS_H
+#define DIRIGENT_MACHINE_OS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "workload/phase.h"
+#include "workload/task.h"
+
+namespace dirigent::machine {
+
+/** Process identifier (dense, assigned by spawn order). */
+using Pid = unsigned;
+
+/** Process scheduling state. */
+enum class ProcState
+{
+    Running, //!< eligible to execute on its core
+    Paused,  //!< stopped (SIGSTOP); keeps cache residency
+};
+
+/** Everything needed to spawn a process. */
+struct ProcessSpec
+{
+    std::string name;                            //!< display name
+    const workload::PhaseProgram *program = nullptr; //!< initial program
+    unsigned core = 0;                           //!< pinned core
+    bool foreground = false;                     //!< latency-critical task
+    int niceness = 0;                            //!< kept for fidelity
+};
+
+/**
+ * A pinned process executing consecutive tasks of a phase program.
+ */
+struct Process
+{
+    Pid pid = 0;
+    std::string name;
+    const workload::PhaseProgram *program = nullptr;
+    const workload::PhaseProgram *nextProgram = nullptr; //!< applied at restart
+    unsigned core = 0;
+    bool foreground = false;
+    int niceness = 0;
+    ProcState state = ProcState::Running;
+    std::unique_ptr<workload::Task> task;
+    Time taskStart;             //!< when the current task began
+    uint64_t executions = 0;    //!< completed task count
+
+    /** True when the process can retire instructions. */
+    bool runnable() const { return state == ProcState::Running; }
+};
+
+/**
+ * The process table. One process per core at most (pinned 1:1, matching
+ * the paper's experimental setup).
+ */
+class Os
+{
+  public:
+    /**
+     * @param numCores cores available for pinning.
+     * @param rng randomness source for per-task streams.
+     */
+    Os(unsigned numCores, Rng rng);
+
+    /** Spawn a process; fatal() if the core is occupied or invalid. */
+    Pid spawn(const ProcessSpec &spec);
+
+    /** Process by pid (must exist). */
+    Process &process(Pid pid);
+    const Process &process(Pid pid) const;
+
+    /** The process pinned to @p core, or nullptr. */
+    Process *processOnCore(unsigned core);
+    const Process *processOnCore(unsigned core) const;
+
+    /** Stop a process (SIGSTOP). Idempotent. */
+    void pause(Pid pid);
+
+    /** Continue a paused process (SIGCONT). Idempotent. */
+    void resume(Pid pid);
+
+    /**
+     * Select the program used from the *next* task restart onward
+     * (rotating background pairs swap programs this way).
+     */
+    void setNextProgram(Pid pid, const workload::PhaseProgram *program);
+
+    /**
+     * Replace the completed task with a fresh one (applying any pending
+     * program switch) starting at @p now.
+     */
+    void restartTask(Pid pid, Time now);
+
+    /** All pids in spawn order. */
+    std::vector<Pid> pids() const;
+
+    /** Pids of foreground processes in spawn order. */
+    std::vector<Pid> foregroundPids() const;
+
+    /** Pids of background processes in spawn order. */
+    std::vector<Pid> backgroundPids() const;
+
+    /** Number of processes. */
+    size_t processCount() const { return processes_.size(); }
+
+  private:
+    unsigned numCores_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<Process *> coreMap_;
+};
+
+} // namespace dirigent::machine
+
+#endif // DIRIGENT_MACHINE_OS_H

@@ -1,0 +1,65 @@
+#include "machine/sampler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::machine {
+
+PeriodicSampler::PeriodicSampler(sim::Engine &engine, Time period,
+                                 Time meanOvershoot, Time overshootSigma,
+                                 Rng rng, Callback callback)
+    : engine_(engine), period_(period), meanOvershoot_(meanOvershoot),
+      overshootSigma_(overshootSigma), rng_(rng),
+      callback_(std::move(callback))
+{
+    DIRIGENT_ASSERT(period.sec() > 0.0, "sampler period must be > 0");
+    DIRIGENT_ASSERT(callback_ != nullptr, "sampler needs a callback");
+}
+
+PeriodicSampler::~PeriodicSampler()
+{
+    stop();
+}
+
+void
+PeriodicSampler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    scheduleNext(engine_.now());
+}
+
+void
+PeriodicSampler::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    if (pending_.valid()) {
+        engine_.events().cancel(pending_);
+        pending_ = sim::EventId{};
+    }
+}
+
+void
+PeriodicSampler::scheduleNext(Time from)
+{
+    Time scheduled = from + period_;
+    double overshoot =
+        std::max(0.0, rng_.normal(meanOvershoot_.sec(),
+                                  overshootSigma_.sec()));
+    Time wake = scheduled + Time::sec(overshoot);
+    pending_ = engine_.at(wake, [this, scheduled, wake] {
+        pending_ = sim::EventId{};
+        if (!running_)
+            return;
+        Tick tick{tickIndex_++, scheduled, wake};
+        // Reschedule from the actual wake (a sleep loop drifts).
+        scheduleNext(wake);
+        callback_(tick);
+    });
+}
+
+} // namespace dirigent::machine

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sleep-based periodic sampling, as used by the Dirigent profiler and
+ * runtime (the paper samples progress every ΔT = 5 ms with the sleep
+ * method). Wake-ups overshoot the requested period by a small random
+ * amount — the "errors in timers" the paper's predictor must absorb —
+ * so consumers receive the *actual* wake time of every tick.
+ */
+
+#ifndef DIRIGENT_MACHINE_SAMPLER_H
+#define DIRIGENT_MACHINE_SAMPLER_H
+
+#include <functional>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace dirigent::machine {
+
+/**
+ * Periodic tick source with realistic sleep jitter.
+ */
+class PeriodicSampler
+{
+  public:
+    /** One wake-up of the sampler. */
+    struct Tick
+    {
+        uint64_t index = 0; //!< 0-based tick counter
+        Time scheduled;     //!< nominal wake time (previous + period)
+        Time actual;        //!< real wake time including sleep overshoot
+    };
+
+    using Callback = std::function<void(const Tick &)>;
+
+    /**
+     * @param engine engine used for scheduling (not owned).
+     * @param period nominal sampling period.
+     * @param meanOvershoot mean sleep overshoot per wake.
+     * @param overshootSigma overshoot standard deviation.
+     * @param rng private randomness stream.
+     * @param callback invoked at every wake-up.
+     */
+    PeriodicSampler(sim::Engine &engine, Time period, Time meanOvershoot,
+                    Time overshootSigma, Rng rng, Callback callback);
+
+    ~PeriodicSampler();
+
+    PeriodicSampler(const PeriodicSampler &) = delete;
+    PeriodicSampler &operator=(const PeriodicSampler &) = delete;
+
+    /** Begin ticking one period from now. Idempotent. */
+    void start();
+
+    /** Stop ticking (pending wake-up cancelled). Idempotent. */
+    void stop();
+
+    /** True while ticking. */
+    bool running() const { return running_; }
+
+    /** Nominal period. */
+    Time period() const { return period_; }
+
+  private:
+    void scheduleNext(Time from);
+
+    sim::Engine &engine_;
+    Time period_;
+    Time meanOvershoot_;
+    Time overshootSigma_;
+    Rng rng_;
+    Callback callback_;
+    bool running_ = false;
+    uint64_t tickIndex_ = 0;
+    sim::EventId pending_;
+};
+
+} // namespace dirigent::machine
+
+#endif // DIRIGENT_MACHINE_SAMPLER_H

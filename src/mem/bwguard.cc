@@ -1,0 +1,92 @@
+#include "mem/bwguard.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+
+namespace dirigent::mem {
+
+BwGuard::BwGuard(unsigned cores, Time period)
+    : period_(period), budgets_(cores, 0.0), usedInWindow_(cores, 0.0),
+      exhausted_(cores, false), exhaustions_(cores, 0)
+{
+    DIRIGENT_ASSERT(cores > 0, "bandwidth guard needs cores");
+    DIRIGENT_ASSERT(period.sec() > 0.0, "regulation period must be > 0");
+}
+
+void
+BwGuard::setBudget(unsigned core, double bytesPerSec)
+{
+    DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
+    DIRIGENT_ASSERT(bytesPerSec >= 0.0, "budget must be non-negative");
+    budgets_[core] = bytesPerSec;
+    // A freshly (un)set budget takes effect from the current window.
+    if (bytesPerSec == 0.0)
+        exhausted_[core] = false;
+}
+
+double
+BwGuard::budget(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
+    return budgets_[core];
+}
+
+void
+BwGuard::clearBudgets()
+{
+    std::fill(budgets_.begin(), budgets_.end(), 0.0);
+    std::fill(exhausted_.begin(), exhausted_.end(), false);
+}
+
+bool
+BwGuard::allow(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
+    return budgets_[core] == 0.0 || !exhausted_[core];
+}
+
+double
+BwGuard::remainingBytes(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
+    if (budgets_[core] == 0.0)
+        return std::numeric_limits<double>::infinity();
+    double windowBudget = budgets_[core] * period_.sec();
+    return std::max(0.0, windowBudget - usedInWindow_[core]);
+}
+
+void
+BwGuard::charge(unsigned core, Bytes bytes)
+{
+    DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
+    DIRIGENT_ASSERT(bytes >= 0.0, "negative charge");
+    if (budgets_[core] == 0.0)
+        return;
+    usedInWindow_[core] += bytes;
+    double windowBudget = budgets_[core] * period_.sec();
+    if (!exhausted_[core] && usedInWindow_[core] >= windowBudget) {
+        exhausted_[core] = true;
+        exhaustions_[core] += 1;
+    }
+}
+
+void
+BwGuard::tick(Time now)
+{
+    while (now - windowStart_ >= period_) {
+        windowStart_ += period_;
+        std::fill(usedInWindow_.begin(), usedInWindow_.end(), 0.0);
+        std::fill(exhausted_.begin(), exhausted_.end(), false);
+    }
+}
+
+uint64_t
+BwGuard::exhaustions(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
+    return exhaustions_[core];
+}
+
+} // namespace dirigent::mem

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-core memory-bandwidth regulation, modelled on MemGuard (Yun et
+ * al., RTAS'13), which the paper discusses (§3.2) as an alternative QoS
+ * mechanism to DVFS throttling and cache partitioning.
+ *
+ * Each core receives a miss-bandwidth budget per regulation period;
+ * once a core exhausts its budget it stalls until the period rolls
+ * over. Budgets of zero mean unregulated. The machine charges each
+ * core's LLC-miss traffic against its budget and rolls the window as
+ * simulated time advances.
+ */
+
+#ifndef DIRIGENT_MEM_BWGUARD_H
+#define DIRIGENT_MEM_BWGUARD_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace dirigent::mem {
+
+/**
+ * MemGuard-style per-core bandwidth budgets.
+ */
+class BwGuard
+{
+  public:
+    /**
+     * @param cores number of regulated cores.
+     * @param period regulation window (MemGuard uses 1 ms).
+     */
+    explicit BwGuard(unsigned cores, Time period = Time::ms(1.0));
+
+    /** Number of regulated cores. */
+    unsigned cores() const { return unsigned(budgets_.size()); }
+
+    /** Regulation period. */
+    Time period() const { return period_; }
+
+    /**
+     * Set @p core's budget in bytes/second of miss traffic; 0 disables
+     * regulation for the core.
+     */
+    void setBudget(unsigned core, double bytesPerSec);
+
+    /** Budget of @p core (bytes/second; 0 = unregulated). */
+    double budget(unsigned core) const;
+
+    /** Remove all budgets. */
+    void clearBudgets();
+
+    /** True when @p core may issue miss traffic right now. */
+    bool allow(unsigned core) const;
+
+    /**
+     * Bytes left in @p core's current window; +infinity when the core
+     * is unregulated. Cores bound their execution by this so budget
+     * overshoot stays within one transaction, as with MemGuard's
+     * counter-overflow interrupts.
+     */
+    double remainingBytes(unsigned core) const;
+
+    /** Charge @p bytes of miss traffic against @p core's window. */
+    void charge(unsigned core, Bytes bytes);
+
+    /**
+     * Advance the regulation clock to @p now; rolls the window (and
+     * refills every budget) each time a period boundary passes.
+     */
+    void tick(Time now);
+
+    /** Cumulative window-exhaustion events per core (for reporting). */
+    uint64_t exhaustions(unsigned core) const;
+
+  private:
+    Time period_;
+    Time windowStart_;
+    std::vector<double> budgets_;     // bytes/second; 0 = unregulated
+    std::vector<double> usedInWindow_; // bytes charged this window
+    std::vector<bool> exhausted_;
+    std::vector<uint64_t> exhaustions_;
+};
+
+} // namespace dirigent::mem
+
+#endif // DIRIGENT_MEM_BWGUARD_H

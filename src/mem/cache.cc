@@ -1,0 +1,178 @@
+#include "mem/cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace dirigent::mem {
+
+WayMask
+wayRange(unsigned lo, unsigned hi)
+{
+    DIRIGENT_ASSERT(lo < hi && hi <= 32, "bad way range [%u, %u)", lo, hi);
+    WayMask mask = 0;
+    for (unsigned w = lo; w < hi; ++w)
+        mask |= (WayMask(1) << w);
+    return mask;
+}
+
+unsigned
+wayCount(WayMask mask)
+{
+    return unsigned(__builtin_popcount(mask));
+}
+
+SharedCache::SharedCache(const CacheConfig &config, unsigned clients)
+    : config_(config),
+      clientWays_(clients, wayRange(0, config.numWays)),
+      occ_(size_t(clients) * config.numWays, 0.0),
+      pendingFill_(clients, 0.0)
+{
+    DIRIGENT_ASSERT(config.numWays >= 1 && config.numWays <= 32,
+                    "cache must have 1..32 ways, got %u", config.numWays);
+    DIRIGENT_ASSERT(config.bytesPerWay > 0.0, "way capacity must be > 0");
+    DIRIGENT_ASSERT(clients > 0, "cache needs at least one client slot");
+}
+
+void
+SharedCache::setWayMask(unsigned slot, WayMask mask)
+{
+    DIRIGENT_ASSERT(slot < clients(), "bad client slot %u", slot);
+    DIRIGENT_ASSERT(mask != 0, "way mask must allow at least one way");
+    DIRIGENT_ASSERT((mask >> config_.numWays) == 0,
+                    "way mask 0x%x exceeds %u ways", mask, config_.numWays);
+    clientWays_[slot] = mask;
+}
+
+WayMask
+SharedCache::wayMask(unsigned slot) const
+{
+    DIRIGENT_ASSERT(slot < clients(), "bad client slot %u", slot);
+    return clientWays_[slot];
+}
+
+Bytes
+SharedCache::occupancy(unsigned slot) const
+{
+    DIRIGENT_ASSERT(slot < clients(), "bad client slot %u", slot);
+    Bytes total = 0.0;
+    for (unsigned w = 0; w < config_.numWays; ++w)
+        total += occAt(slot, w);
+    return total;
+}
+
+double
+SharedCache::hitRatio(unsigned slot, const workload::Phase &phase) const
+{
+    return phase.hitRatio(occupancy(slot));
+}
+
+double
+SharedCache::access(unsigned slot, const workload::Phase &phase,
+                    double accesses)
+{
+    DIRIGENT_ASSERT(accesses >= 0.0, "negative access count");
+    double misses = accesses * (1.0 - hitRatio(slot, phase));
+    pendingFill_[slot] += misses * config_.lineSize;
+    return misses;
+}
+
+void
+SharedCache::commit(const std::vector<Bytes> &workingSetCap)
+{
+    DIRIGENT_ASSERT(workingSetCap.size() == clients(),
+                    "working-set cap vector size %zu != %u clients",
+                    workingSetCap.size(), clients());
+
+    const unsigned ways = config_.numWays;
+    const unsigned n = clients();
+
+    // Distribute each client's queued fill uniformly across its allowed
+    // ways. Fills to a full way displace residents proportionally to
+    // their share (random replacement flow model), which is the step
+    // that transfers capacity between clients at fill speed.
+    std::vector<Bytes> fillIn(size_t(n) * ways, 0.0);
+    for (unsigned s = 0; s < n; ++s) {
+        if (pendingFill_[s] <= 0.0)
+            continue;
+        WayMask mask = clientWays_[s];
+        unsigned allowed = wayCount(mask);
+        Bytes perWay = pendingFill_[s] / double(allowed);
+        for (unsigned w = 0; w < ways; ++w)
+            if (mask & (WayMask(1) << w))
+                fillIn[size_t(s) * ways + w] = perWay;
+        pendingFill_[s] = 0.0;
+    }
+
+    for (unsigned w = 0; w < ways; ++w) {
+        Bytes total = 0.0;
+        for (unsigned s = 0; s < n; ++s)
+            total += occAt(s, w) + fillIn[size_t(s) * ways + w];
+        if (total <= config_.bytesPerWay) {
+            for (unsigned s = 0; s < n; ++s)
+                occAt(s, w) += fillIn[size_t(s) * ways + w];
+        } else {
+            double scale = config_.bytesPerWay / total;
+            for (unsigned s = 0; s < n; ++s) {
+                occAt(s, w) =
+                    (occAt(s, w) + fillIn[size_t(s) * ways + w]) * scale;
+            }
+        }
+    }
+
+    // A task cannot usefully cache more than its working set; re-fetches
+    // of its own data displace its own older lines. Cap and rescale.
+    for (unsigned s = 0; s < n; ++s) {
+        Bytes cap = workingSetCap[s];
+        if (cap <= 0.0)
+            continue;
+        Bytes total = occupancy(s);
+        if (total > cap) {
+            double scale = cap / total;
+            for (unsigned w = 0; w < ways; ++w)
+                occAt(s, w) *= scale;
+        }
+    }
+}
+
+void
+SharedCache::flush(unsigned slot)
+{
+    DIRIGENT_ASSERT(slot < clients(), "bad client slot %u", slot);
+    for (unsigned w = 0; w < config_.numWays; ++w)
+        occAt(slot, w) = 0.0;
+    pendingFill_[slot] = 0.0;
+}
+
+Bytes
+SharedCache::occupancyInWay(unsigned slot, unsigned way) const
+{
+    DIRIGENT_ASSERT(slot < clients() && way < config_.numWays,
+                    "bad slot/way %u/%u", slot, way);
+    return occAt(slot, way);
+}
+
+Bytes
+SharedCache::wayOccupancy(unsigned way) const
+{
+    DIRIGENT_ASSERT(way < config_.numWays, "bad way %u", way);
+    Bytes total = 0.0;
+    for (unsigned s = 0; s < clients(); ++s)
+        total += occAt(s, way);
+    return total;
+}
+
+Bytes &
+SharedCache::occAt(unsigned slot, unsigned way)
+{
+    return occ_[size_t(slot) * config_.numWays + way];
+}
+
+Bytes
+SharedCache::occAt(unsigned slot, unsigned way) const
+{
+    return occ_[size_t(slot) * config_.numWays + way];
+}
+
+} // namespace dirigent::mem

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared last-level cache model with way partitioning and cache inertia.
+ *
+ * The model tracks, per client task and per way, the bytes of that
+ * client's data resident in the way. A client's hit ratio is a concave
+ * function of its total resident bytes (supplied by the workload phase).
+ * Each simulation quantum, clients inject fill traffic (their misses)
+ * into the ways their CLOS way mask allows; ways over capacity evict
+ * proportionally to each resident client's share — a random-replacement
+ * flow model. Because occupancy only migrates at the speed of fill
+ * traffic, repartitioning takes many milliseconds to change miss rates:
+ * exactly the "cache inertia" effect the paper cites as the reason cache
+ * partitioning is only useful at coarse time scales.
+ */
+
+#ifndef DIRIGENT_MEM_CACHE_H
+#define DIRIGENT_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/phase.h"
+
+namespace dirigent::mem {
+
+/** A CLOS-style way mask; bit i set = way i usable for allocation. */
+using WayMask = uint32_t;
+
+/** A way mask with ways [lo, hi) set. */
+WayMask wayRange(unsigned lo, unsigned hi);
+
+/** Number of set bits in a mask. */
+unsigned wayCount(WayMask mask);
+
+/**
+ * Configuration of the shared cache.
+ */
+struct CacheConfig
+{
+    unsigned numWays = 20;           //!< associativity / partition grain
+    Bytes bytesPerWay = 0.75_MiB;    //!< 15 MiB LLC / 20 ways
+    Bytes lineSize = 64.0;           //!< fill granularity
+
+    Bytes capacity() const { return double(numWays) * bytesPerWay; }
+};
+
+/**
+ * The shared LLC. Clients are dense integer slots assigned by the
+ * machine (one per hardware context / process).
+ */
+class SharedCache
+{
+  public:
+    /**
+     * @param config geometry.
+     * @param clients number of client slots.
+     */
+    SharedCache(const CacheConfig &config, unsigned clients);
+
+    /** Geometry. */
+    const CacheConfig &config() const { return config_; }
+
+    /** Number of client slots. */
+    unsigned clients() const { return unsigned(clientWays_.size()); }
+
+    /**
+     * Set the ways client @p slot may allocate into. Resident data in
+     * disallowed ways is *not* flushed — it decays under the new
+     * owners' fill pressure, which is what produces inertia on
+     * repartitioning.
+     */
+    void setWayMask(unsigned slot, WayMask mask);
+
+    /** Current allocation mask of @p slot. */
+    WayMask wayMask(unsigned slot) const;
+
+    /** Total resident bytes of client @p slot (across all ways). */
+    Bytes occupancy(unsigned slot) const;
+
+    /** Hit ratio @p slot currently sees for accesses of @p phase. */
+    double hitRatio(unsigned slot, const workload::Phase &phase) const;
+
+    /**
+     * Record @p accesses LLC accesses by @p slot during the current
+     * quantum, executing @p phase. Returns the number of misses and
+     * queues the corresponding fill traffic for commit().
+     */
+    double access(unsigned slot, const workload::Phase &phase,
+                  double accesses);
+
+    /**
+     * Apply one quantum's queued fill traffic: distribute fills over
+     * allowed ways, evict over-capacity ways proportionally, and cap
+     * every client at its phase working set (@p workingSet per slot;
+     * pass 0 for inactive slots).
+     */
+    void commit(const std::vector<Bytes> &workingSetCap);
+
+    /**
+     * Drop all resident data of @p slot (process exit / replacement by
+     * a different program on that core).
+     */
+    void flush(unsigned slot);
+
+    /** Resident bytes of @p slot in way @p way (for tests). */
+    Bytes occupancyInWay(unsigned slot, unsigned way) const;
+
+    /** Total resident bytes in way @p way across clients. */
+    Bytes wayOccupancy(unsigned way) const;
+
+  private:
+    CacheConfig config_;
+    std::vector<WayMask> clientWays_;
+    // occ_[slot * numWays + way]
+    std::vector<Bytes> occ_;
+    std::vector<Bytes> pendingFill_;
+
+    Bytes &occAt(unsigned slot, unsigned way);
+    Bytes occAt(unsigned slot, unsigned way) const;
+};
+
+} // namespace dirigent::mem
+
+#endif // DIRIGENT_MEM_CACHE_H

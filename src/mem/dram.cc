@@ -1,0 +1,46 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::mem {
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config), latency_(config.baseLatency)
+{
+    DIRIGENT_ASSERT(config.peakBandwidth > 0.0, "peak bandwidth must be > 0");
+    DIRIGENT_ASSERT(config.baseLatency.sec() > 0.0, "base latency must be > 0");
+    DIRIGENT_ASSERT(config.maxUtilization > 0.0 && config.maxUtilization < 1.0,
+                    "utilization cap must be in (0, 1)");
+    DIRIGENT_ASSERT(config.smoothing > 0.0 && config.smoothing <= 1.0,
+                    "smoothing weight must be in (0, 1]");
+}
+
+void
+DramModel::recordDemand(Bytes bytes)
+{
+    DIRIGENT_ASSERT(bytes >= 0.0, "negative memory demand");
+    quantumDemand_ += bytes;
+    totalBytes_ += bytes;
+}
+
+void
+DramModel::update(Time dt)
+{
+    DIRIGENT_ASSERT(dt.sec() > 0.0, "quantum must be > 0");
+    double instUtil =
+        std::min(quantumDemand_ / (config_.peakBandwidth * dt.sec()),
+                 config_.maxUtilization);
+    quantumDemand_ = 0.0;
+
+    double w = config_.smoothing;
+    utilization_ = w * instUtil + (1.0 - w) * utilization_;
+
+    double rho = std::min(utilization_, config_.maxUtilization);
+    double queueing = config_.queueFactor * rho / (1.0 - rho);
+    double factor = std::min(1.0 + queueing, config_.maxLatencyFactor);
+    latency_ = config_.baseLatency * factor;
+}
+
+} // namespace dirigent::mem

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared memory-system contention model.
+ *
+ * Off-chip memory is modelled as a shared service with an effective peak
+ * bandwidth for LLC-miss traffic and a base (unloaded) latency. As
+ * aggregate miss bandwidth approaches the peak, the effective per-miss
+ * latency rises with an M/M/1-style queueing term. The latency observed
+ * by cores lags demand by one quantum (with smoothing), which matches
+ * how queueing builds physically and keeps the model stable.
+ */
+
+#ifndef DIRIGENT_MEM_DRAM_H
+#define DIRIGENT_MEM_DRAM_H
+
+#include "common/units.h"
+
+namespace dirigent::mem {
+
+/** DRAM model parameters. */
+struct DramConfig
+{
+    /**
+     * Effective peak bandwidth for random 64 B miss traffic. Far below
+     * the pin bandwidth of 4×DDR4-2133 (~68 GB/s), as row misses and
+     * scheduling overheads dominate for LLC-miss streams.
+     */
+    double peakBandwidth = 8.5e9; // bytes/second
+
+    /** Unloaded LLC-miss latency. */
+    Time baseLatency = Time::ns(80.0);
+
+    /** Strength of the queueing-delay term. */
+    double queueFactor = 1.2;
+
+    /** Utilization cap; keeps the queueing term finite. */
+    double maxUtilization = 0.96;
+
+    /**
+     * Upper bound on the latency amplification (effective/base).
+     * Finite buffering (MSHRs, queues) bounds queueing delay on real
+     * parts; without this cap the saturated regime becomes chaotic.
+     */
+    double maxLatencyFactor = 8.0;
+
+    /** EMA weight for new-quantum latency (damps oscillation). */
+    double smoothing = 0.5;
+};
+
+/**
+ * The shared memory system.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config);
+
+    /** Parameters. */
+    const DramConfig &config() const { return config_; }
+
+    /** Effective per-miss latency cores see this quantum. */
+    Time latency() const { return latency_; }
+
+    /** Smoothed utilization in [0, maxUtilization]. */
+    double utilization() const { return utilization_; }
+
+    /** Record miss traffic (bytes) issued during the current quantum. */
+    void recordDemand(Bytes bytes);
+
+    /**
+     * Close the quantum of length @p dt: fold recorded demand into the
+     * utilization estimate and update the effective latency.
+     */
+    void update(Time dt);
+
+    /** Total bytes transferred since construction. */
+    Bytes totalBytes() const { return totalBytes_; }
+
+  private:
+    DramConfig config_;
+    Bytes quantumDemand_ = 0.0;
+    double utilization_ = 0.0;
+    Time latency_;
+    Bytes totalBytes_ = 0.0;
+};
+
+} // namespace dirigent::mem
+
+#endif // DIRIGENT_MEM_DRAM_H

@@ -1,0 +1,44 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::sim {
+
+Engine::Engine(Component &root, Time maxQuantum)
+    : root_(root), maxQuantum_(maxQuantum)
+{
+    DIRIGENT_ASSERT(maxQuantum.sec() > 0.0, "engine quantum must be > 0");
+}
+
+EventId
+Engine::after(Time delay, EventQueue::Callback fn)
+{
+    DIRIGENT_ASSERT(delay.sec() >= 0.0, "negative event delay");
+    return events_.schedule(now_ + delay, std::move(fn));
+}
+
+EventId
+Engine::at(Time when, EventQueue::Callback fn)
+{
+    return events_.schedule(std::max(when, now_), std::move(fn));
+}
+
+void
+Engine::runUntil(Time end)
+{
+    // Fire anything already due (e.g., setup events at time zero).
+    events_.runDue(now_);
+    while (now_ < end) {
+        Time target = std::min(end, now_ + maxQuantum_);
+        target = std::min(target, events_.nextTime());
+        if (target > now_) {
+            root_.advance(now_, target - now_);
+            now_ = target;
+        }
+        events_.runDue(now_);
+    }
+}
+
+} // namespace dirigent::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The co-simulation engine.
+ *
+ * The engine owns the simulated clock and an event queue, and advances a
+ * root Component in variable-size quanta: each step runs until the next
+ * pending event, the configured maximum quantum, or the requested end
+ * time — whichever comes first. This keeps event timing exact (control
+ * actions, samplers, frequency transitions) while the performance model
+ * integrates continuously over each quantum.
+ */
+
+#ifndef DIRIGENT_SIM_ENGINE_H
+#define DIRIGENT_SIM_ENGINE_H
+
+#include <functional>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace dirigent::sim {
+
+/**
+ * Anything the engine can advance through simulated time. The machine
+ * model implements this; tests can supply mocks.
+ */
+class Component
+{
+  public:
+    virtual ~Component() = default;
+
+    /**
+     * Advance the component from @p start for @p dt of simulated time.
+     * @p dt is always > 0 and ≤ the engine's maximum quantum.
+     */
+    virtual void advance(Time start, Time dt) = 0;
+};
+
+/**
+ * Drives a root component and an event queue through simulated time.
+ */
+class Engine
+{
+  public:
+    /**
+     * @param root component advanced each quantum (not owned).
+     * @param maxQuantum upper bound on a single advance() span.
+     */
+    Engine(Component &root, Time maxQuantum);
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /** The event queue; schedule against absolute times. */
+    EventQueue &events() { return events_; }
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    EventId after(Time delay, EventQueue::Callback fn);
+
+    /** Schedule @p fn at absolute time @p when (clamped to now). */
+    EventId at(Time when, EventQueue::Callback fn);
+
+    /**
+     * Run the simulation until absolute time @p end. Events scheduled
+     * exactly at @p end fire before returning.
+     */
+    void runUntil(Time end);
+
+    /** Run for @p span beyond the current time. */
+    void runFor(Time span) { runUntil(now_ + span); }
+
+    /** The configured maximum quantum. */
+    Time maxQuantum() const { return maxQuantum_; }
+
+  private:
+    Component &root_;
+    Time maxQuantum_;
+    Time now_;
+    EventQueue events_;
+};
+
+} // namespace dirigent::sim
+
+#endif // DIRIGENT_SIM_ENGINE_H

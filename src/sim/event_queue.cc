@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace dirigent::sim {
+
+EventId
+EventQueue::schedule(Time when, Callback fn)
+{
+    DIRIGENT_ASSERT(fn != nullptr, "scheduling a null event callback");
+    Key key{when.sec(), nextSeq_++};
+    events_.emplace(key, std::move(fn));
+    bySeq_.emplace(key.seq, key);
+    return EventId{key.seq};
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = bySeq_.find(id.seq);
+    if (it == bySeq_.end())
+        return false;
+    events_.erase(it->second);
+    bySeq_.erase(it);
+    return true;
+}
+
+Time
+EventQueue::nextTime() const
+{
+    if (events_.empty())
+        return Time::never();
+    return Time::sec(events_.begin()->first.when);
+}
+
+size_t
+EventQueue::runDue(Time now)
+{
+    size_t fired = 0;
+    while (!events_.empty() && events_.begin()->first.when <= now.sec()) {
+        auto it = events_.begin();
+        Callback fn = std::move(it->second);
+        bySeq_.erase(it->first.seq);
+        events_.erase(it);
+        fn();
+        ++fired;
+    }
+    return fired;
+}
+
+} // namespace dirigent::sim

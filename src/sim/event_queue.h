@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Time-ordered event queue for the co-simulation engine.
+ *
+ * Events are arbitrary callbacks scheduled at absolute simulated times.
+ * Ties are broken by insertion order so behaviour is deterministic.
+ */
+
+#ifndef DIRIGENT_SIM_EVENT_QUEUE_H
+#define DIRIGENT_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/units.h"
+
+namespace dirigent::sim {
+
+/** Opaque handle identifying a scheduled event, usable for cancellation. */
+struct EventId
+{
+    uint64_t seq = 0;
+
+    bool valid() const { return seq != 0; }
+    auto operator<=>(const EventId &) const = default;
+};
+
+/**
+ * A deterministic time-ordered queue of callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     * @return A handle that can be passed to cancel().
+     */
+    EventId schedule(Time when, Callback fn);
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that has
+     * already fired (or was already cancelled) is a harmless no-op.
+     * @return true if the event was found and removed.
+     */
+    bool cancel(EventId id);
+
+    /** Absolute time of the earliest pending event; never() when empty. */
+    Time nextTime() const;
+
+    /**
+     * Fire, in order, every event with time ≤ @p now. Callbacks may
+     * schedule further events, including at @p now (they fire in the
+     * same call).
+     * @return Number of events fired.
+     */
+    size_t runDue(Time now);
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return events_.size(); }
+
+  private:
+    struct Key
+    {
+        double when;
+        uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (when != o.when)
+                return when < o.when;
+            return seq < o.seq;
+        }
+    };
+
+    std::map<Key, Callback> events_;
+    std::map<uint64_t, Key> bySeq_;
+    uint64_t nextSeq_ = 1;
+};
+
+} // namespace dirigent::sim
+
+#endif // DIRIGENT_SIM_EVENT_QUEUE_H

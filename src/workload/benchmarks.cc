@@ -1,0 +1,341 @@
+#include "workload/benchmarks.h"
+
+#include "common/log.h"
+
+namespace dirigent::workload {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Foreground:
+        return "FG";
+      case Category::SingleBg:
+        return "Single BG";
+      case Category::RotateBg:
+        return "Rotate BG";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Foreground benchmark models.
+ *
+ * Calibration targets (standalone, all 20 LLC ways available, 2 GHz):
+ * completion times ordered fluidanimate < raytrace < bodytrack < ferret
+ * < streamcluster spanning roughly 0.5–1.6 s, with LLC MPKI spanning
+ * roughly 0.15–1.5 and contention sensitivity rising in the same order
+ * (paper Fig. 4).
+ */
+
+Benchmark
+makeBodytrack()
+{
+    PhaseProgram prog;
+    prog.name = "bodytrack";
+    prog.loop = false;
+    prog.phases = {
+        // Particle-filter style alternation: image processing (memory
+        // lean), likelihood evaluation (heavier), resampling (light).
+        {"edge-maps", 0.35e9, 0.015, 1.00, 7.0, 2.0_MiB, 3.0, 0.93, 0.025, 2.2},
+        {"likelihood", 0.75e9, 0.015, 0.92, 6.0, 2.5_MiB, 3.0, 0.92, 0.025, 2.2},
+        {"resample", 0.40e9, 0.015, 1.05, 4.0, 1.0_MiB, 3.0, 0.95, 0.025, 2.5},
+    };
+    return {prog.name, "Body tracking of a person",
+            Category::Foreground, prog};
+}
+
+Benchmark
+makeFerret()
+{
+    PhaseProgram prog;
+    prog.name = "ferret";
+    prog.loop = false;
+    prog.phases = {
+        // Content-similarity pipeline: segment, extract, index query,
+        // rank. The index query stage dominates and is cache hungry.
+        {"segment", 0.40e9, 0.015, 0.95, 5.0, 1.5_MiB, 3.0, 0.94, 0.025, 2.0},
+        {"extract", 0.45e9, 0.015, 0.90, 7.0, 2.0_MiB, 3.0, 0.93, 0.025, 2.0},
+        {"index-query", 0.80e9, 0.020, 0.95, 12.0, 3.0_MiB, 3.0, 0.91, 0.03, 1.9},
+        {"rank", 0.40e9, 0.015, 1.00, 8.0, 2.0_MiB, 3.0, 0.92, 0.025, 2.0},
+    };
+    return {prog.name, "Content similarity search",
+            Category::Foreground, prog};
+}
+
+Benchmark
+makeFluidanimate()
+{
+    PhaseProgram prog;
+    prog.name = "fluidanimate";
+    prog.loop = false;
+    prog.phases = {
+        // SPH fluid step: densities, forces, advance. Small working
+        // set, compute bound, least contention sensitive of the FG set.
+        {"densities", 0.42e9, 0.010, 0.88, 2.5, 1.0_MiB, 3.0, 0.97, 0.02, 3.0},
+        {"forces", 0.47e9, 0.010, 0.90, 3.0, 1.2_MiB, 3.0, 0.96, 0.02, 3.0},
+        {"advance", 0.20e9, 0.010, 0.95, 2.0, 0.8_MiB, 3.0, 0.97, 0.02, 3.0},
+    };
+    return {prog.name, "Fluid dynamic for animation",
+            Category::Foreground, prog};
+}
+
+Benchmark
+makeRaytrace()
+{
+    PhaseProgram prog;
+    prog.name = "raytrace";
+    prog.loop = false;
+    prog.phases = {
+        // BVH build then per-frame tracing; tracing has irregular but
+        // cache-friendly access (high locality factor).
+        {"bvh-build", 0.30e9, 0.012, 1.00, 5.0, 1.5_MiB, 3.0, 0.94, 0.02, 1.8},
+        {"trace", 0.95e9, 0.015, 0.92, 3.5, 1.5_MiB, 4.0, 0.95, 0.025, 1.8},
+    };
+    return {prog.name, "Real-time raytracing", Category::Foreground, prog};
+}
+
+Benchmark
+makeStreamcluster()
+{
+    PhaseProgram prog;
+    prog.name = "streamcluster";
+    prog.loop = false;
+    prog.phases = {
+        // Online clustering: distance evaluations stream over the point
+        // set (big working set, high APKI) with periodic recluster
+        // phases. Most memory sensitive of the FG set.
+        {"dist-eval-1", 0.90e9, 0.02, 0.85, 14.0, 3.5_MiB, 3.0, 0.94, 0.03, 1.6},
+        {"recluster-1", 0.30e9, 0.02, 0.95, 8.0, 2.0_MiB, 3.0, 0.94, 0.03, 1.7},
+        {"dist-eval-2", 0.95e9, 0.02, 0.85, 15.0, 3.5_MiB, 3.0, 0.94, 0.03, 1.6},
+        {"recluster-2", 0.35e9, 0.02, 0.95, 8.0, 2.0_MiB, 3.0, 0.94, 0.03, 1.7},
+        {"final-pass", 0.45e9, 0.02, 0.88, 12.0, 3.0_MiB, 3.0, 0.94, 0.03, 1.6},
+    };
+    return {prog.name, "Online clustering of an input stream",
+            Category::Foreground, prog};
+}
+
+/**
+ * Standalone background models: long-running loops with strong phase
+ * changes, the paper's chosen interference generators.
+ */
+
+Benchmark
+makeBwaves()
+{
+    PhaseProgram prog;
+    prog.name = "bwaves";
+    prog.loop = true;
+    prog.phases = {
+        // Blast-wave solver: memory-heavy sweeps alternate with lighter
+        // update phases at roughly the timescale of an FG task.
+        {"sweep", 12.0e9, 0.25, 0.80, 30.0, 8.0_MiB, 3.0, 0.60, 0.03, 9.0},
+        {"update", 9.0e9, 0.25, 0.75, 6.0, 2.0_MiB, 3.0, 0.92, 0.03, 5.0},
+    };
+    return {prog.name, "Simulation of blast waves in 3D",
+            Category::SingleBg, prog};
+}
+
+Benchmark
+makePca()
+{
+    PhaseProgram prog;
+    prog.name = "pca";
+    prog.loop = true;
+    prog.phases = {
+        // Covariance accumulation (streaming, heavy) then eigen solve
+        // (compute bound, light).
+        {"covariance", 10.0e9, 0.22, 0.75, 22.0, 6.0_MiB, 3.0, 0.70, 0.03, 9.0},
+        {"eigen", 9.0e9, 0.22, 1.05, 4.0, 1.5_MiB, 3.0, 0.93, 0.03, 4.0},
+    };
+    return {prog.name, "Principal Component Analysis",
+            Category::SingleBg, prog};
+}
+
+Benchmark
+makeRangeSearch()
+{
+    PhaseProgram prog;
+    prog.name = "rs";
+    prog.loop = true;
+    prog.phases = {
+        // Tree build (light) and batched range queries (very heavy).
+        // Long dwell times comparable to an FG execution make the
+        // interference bimodal — the hardest predictor case.
+        {"query-batch", 11.0e9, 0.28, 0.88, 28.0, 7.0_MiB, 3.0, 0.58, 0.035, 9.0},
+        {"tree-build", 9.5e9, 0.28, 0.80, 4.0, 1.5_MiB, 3.0, 0.93, 0.03, 4.0},
+    };
+    return {prog.name, "Range Search", Category::SingleBg, prog};
+}
+
+/**
+ * Rotate-pair members (SPEC-like): steady-state behaviours spanning a
+ * wide memory-intensity range; pairs are switched randomly at each FG
+ * task completion to mimic context-switch interference changes.
+ */
+
+Benchmark
+makeNamd()
+{
+    PhaseProgram prog;
+    prog.name = "namd";
+    prog.loop = true;
+    prog.phases = {
+        {"md-step", 2.0e9, 0.05, 0.90, 3.0, 1.0_MiB, 3.0, 0.95, 0.02, 4.0},
+    };
+    return {prog.name, "Biomolecular system simulation",
+            Category::RotateBg, prog};
+}
+
+Benchmark
+makeSoplex()
+{
+    PhaseProgram prog;
+    prog.name = "soplex";
+    prog.loop = true;
+    prog.phases = {
+        {"simplex-iter", 1.6e9, 0.06, 0.85, 15.0, 5.0_MiB, 3.0, 0.78, 0.03, 7.0},
+    };
+    return {prog.name, "Linear program solver", Category::RotateBg, prog};
+}
+
+Benchmark
+makeLibquantum()
+{
+    PhaseProgram prog;
+    prog.name = "libquantum";
+    prog.loop = true;
+    prog.phases = {
+        // Streaming over a huge quantum-register array: high APKI,
+        // almost no reuse the LLC can capture.
+        {"gate-stream", 2.2e9, 0.05, 0.70, 30.0, 32.0_MiB, 3.0, 0.30, 0.025, 10.0},
+    };
+    return {prog.name, "Simulation of a quantum computer",
+            Category::RotateBg, prog};
+}
+
+Benchmark
+makeLbm()
+{
+    PhaseProgram prog;
+    prog.name = "lbm";
+    prog.loop = true;
+    prog.phases = {
+        // Lattice-Boltzmann stencil: the heaviest steady memory load.
+        {"stream-collide", 2.0e9, 0.05, 0.65, 32.0, 10.0_MiB, 3.0, 0.50,
+         0.025, 10.0},
+    };
+    return {prog.name, "Simulation of fluids with free surfaces",
+            Category::RotateBg, prog};
+}
+
+} // namespace
+
+BenchmarkLibrary::BenchmarkLibrary()
+{
+    // Table 1 order: FG block, Single BG block, Rotate BG block.
+    benchmarks_.push_back(makeBodytrack());
+    benchmarks_.push_back(makeFerret());
+    benchmarks_.push_back(makeFluidanimate());
+    benchmarks_.push_back(makeRaytrace());
+    benchmarks_.push_back(makeStreamcluster());
+    benchmarks_.push_back(makeBwaves());
+    benchmarks_.push_back(makePca());
+    benchmarks_.push_back(makeRangeSearch());
+    benchmarks_.push_back(makeNamd());
+    benchmarks_.push_back(makeSoplex());
+    benchmarks_.push_back(makeLibquantum());
+    benchmarks_.push_back(makeLbm());
+
+    for (const auto &b : benchmarks_) {
+        DIRIGENT_ASSERT(b.program.valid(),
+                        "benchmark '%s' has an invalid program",
+                        b.name.c_str());
+    }
+}
+
+const BenchmarkLibrary &
+BenchmarkLibrary::instance()
+{
+    return mutableInstance();
+}
+
+BenchmarkLibrary &
+BenchmarkLibrary::mutableInstance()
+{
+    static BenchmarkLibrary lib;
+    return lib;
+}
+
+const Benchmark &
+BenchmarkLibrary::registerCustom(std::string name,
+                                 std::string description,
+                                 workload::PhaseProgram program)
+{
+    BenchmarkLibrary &lib = mutableInstance();
+    if (lib.has(name))
+        fatal("benchmark '" + name + "' already exists");
+    if (!program.valid())
+        fatal("custom benchmark '" + name + "' has an invalid program");
+    Benchmark bench;
+    bench.name = std::move(name);
+    bench.description = std::move(description);
+    bench.category =
+        program.loop ? Category::SingleBg : Category::Foreground;
+    bench.program = std::move(program);
+    lib.benchmarks_.push_back(std::move(bench));
+    return lib.benchmarks_.back();
+}
+
+const Benchmark &
+BenchmarkLibrary::get(const std::string &name) const
+{
+    for (const auto &b : benchmarks_)
+        if (b.name == name)
+            return b;
+    fatal("unknown benchmark '" + name + "'");
+}
+
+bool
+BenchmarkLibrary::has(const std::string &name) const
+{
+    for (const auto &b : benchmarks_)
+        if (b.name == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+BenchmarkLibrary::foregroundNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &b : benchmarks_)
+        if (b.category == Category::Foreground)
+            names.push_back(b.name);
+    return names;
+}
+
+std::vector<std::string>
+BenchmarkLibrary::singleBgNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &b : benchmarks_)
+        if (b.category == Category::SingleBg)
+            names.push_back(b.name);
+    return names;
+}
+
+std::vector<std::pair<std::string, std::string>>
+BenchmarkLibrary::rotatePairs() const
+{
+    return {
+        {"lbm", "namd"},
+        {"libquantum", "namd"},
+        {"lbm", "soplex"},
+        {"libquantum", "soplex"},
+    };
+}
+
+} // namespace dirigent::workload

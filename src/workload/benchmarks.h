@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The benchmark library: phase-program models of the paper's Table 1
+ * workloads (5 PARSEC-like foreground applications, 3 phase-heavy
+ * standalone background applications, and 4 SPEC-like benchmarks used in
+ * rotating background pairs).
+ *
+ * The models are synthetic but calibrated so that, on the simulated
+ * 6-core machine, the foreground tasks span the paper's Fig. 4 ranges
+ * (0.5–1.6 s standalone completion time, an order of magnitude of LLC
+ * MPKI, and differing contention sensitivity) and the background
+ * workloads span the Fig. 5 pressure spectrum with bwaves/PCA/RS showing
+ * strong phase behaviour.
+ */
+
+#ifndef DIRIGENT_WORKLOAD_BENCHMARKS_H
+#define DIRIGENT_WORKLOAD_BENCHMARKS_H
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "workload/phase.h"
+
+namespace dirigent::workload {
+
+/** Workload classes from the paper's Table 1. */
+enum class Category
+{
+    Foreground, //!< latency-critical, one-shot tasks (PARSEC-like)
+    SingleBg,   //!< standalone background with strong phases
+    RotateBg,   //!< members of rotating background pairs (SPEC-like)
+};
+
+/** Printable name of a category. */
+const char *categoryName(Category c);
+
+/**
+ * A benchmark: a named, categorized phase program plus its Table 1
+ * description line.
+ */
+struct Benchmark
+{
+    std::string name;
+    std::string description;
+    Category category;
+    PhaseProgram program;
+};
+
+/**
+ * Registry of all modelled benchmarks. The library is a process-wide
+ * immutable singleton; Benchmark pointers remain valid for the process
+ * lifetime.
+ */
+class BenchmarkLibrary
+{
+  public:
+    /** The singleton instance. */
+    static const BenchmarkLibrary &instance();
+
+    /**
+     * Register a user-defined benchmark (e.g. parsed from a workload
+     * definition file; see workload/parser.h) so it can be used in
+     * mixes, profiled, and evaluated exactly like a built-in one. The
+     * category is derived from the program: looping programs register
+     * as background, one-shot programs as foreground. fatal() on a
+     * name collision. Pointers into the library remain stable.
+     */
+    static const Benchmark &registerCustom(std::string name,
+                                           std::string description,
+                                           workload::PhaseProgram program);
+
+    /** Look up a benchmark by name; fatal() if unknown. */
+    const Benchmark &get(const std::string &name) const;
+
+    /** True if @p name is a known benchmark. */
+    bool has(const std::string &name) const;
+
+    /** All benchmarks: Table 1 order, then registered customs. */
+    const std::deque<Benchmark> &all() const { return benchmarks_; }
+
+    /** Names of all foreground benchmarks (built-in and custom). */
+    std::vector<std::string> foregroundNames() const;
+
+    /** Names of all standalone background benchmarks (built-in and custom). */
+    std::vector<std::string> singleBgNames() const;
+
+    /**
+     * The four rotating background pairs, as (first, second) names:
+     * (lbm, namd), (libquantum, namd), (lbm, soplex), (libquantum,
+     * soplex) — the pairs evaluated in the paper.
+     */
+    std::vector<std::pair<std::string, std::string>> rotatePairs() const;
+
+  private:
+    BenchmarkLibrary();
+
+    static BenchmarkLibrary &mutableInstance();
+
+    // std::deque: references to registered benchmarks stay valid as
+    // customs are appended.
+    std::deque<Benchmark> benchmarks_;
+};
+
+} // namespace dirigent::workload
+
+#endif // DIRIGENT_WORKLOAD_BENCHMARKS_H

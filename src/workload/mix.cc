@@ -1,0 +1,141 @@
+#include "workload/mix.h"
+
+#include "common/log.h"
+#include "common/strfmt.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::workload {
+
+BgSpec
+BgSpec::single(std::string name)
+{
+    BgSpec spec;
+    spec.kind = Kind::Single;
+    spec.first = std::move(name);
+    return spec;
+}
+
+BgSpec
+BgSpec::rotate(std::string a, std::string b)
+{
+    BgSpec spec;
+    spec.kind = Kind::Rotate;
+    spec.first = std::move(a);
+    spec.second = std::move(b);
+    return spec;
+}
+
+std::string
+BgSpec::label() const
+{
+    if (kind == Kind::Single)
+        return first;
+    return first + "+" + second;
+}
+
+WorkloadMix
+makeMix(std::vector<std::string> fg, BgSpec bg)
+{
+    DIRIGENT_ASSERT(!fg.empty(), "mix needs at least one FG task");
+    const auto &lib = BenchmarkLibrary::instance();
+    for (const auto &name : fg) {
+        DIRIGENT_ASSERT(lib.get(name).category == Category::Foreground,
+                        "'%s' is not a foreground benchmark", name.c_str());
+    }
+    // All FG entries in the paper's multi-FG mixes are the same
+    // benchmark; name as "bench xN bg".
+    bool homogeneous = true;
+    for (const auto &name : fg)
+        homogeneous = homogeneous && name == fg.front();
+
+    WorkloadMix mix;
+    mix.fg = fg;
+    mix.bg = bg;
+    if (homogeneous && fg.size() > 1) {
+        mix.name = strfmt("%s x%zu %s", fg.front().c_str(), fg.size(),
+                          bg.label().c_str());
+    } else if (homogeneous) {
+        mix.name = fg.front() + " " + bg.label();
+    } else {
+        std::string fgs;
+        for (const auto &name : fg)
+            fgs += (fgs.empty() ? "" : "+") + name;
+        mix.name = fgs + " " + bg.label();
+    }
+    return mix;
+}
+
+namespace {
+
+/** The paper's five FG and three single-BG benchmarks, in Fig. 9
+ *  order. The evaluated catalogue is fixed even when custom
+ *  benchmarks are registered. */
+const std::vector<std::string> kPaperFg = {
+    "bodytrack", "ferret", "fluidanimate", "raytrace", "streamcluster"};
+const std::vector<std::string> kPaperSingleBg = {"bwaves", "pca", "rs"};
+
+} // namespace
+
+std::vector<WorkloadMix>
+singleBgMixes()
+{
+    std::vector<WorkloadMix> mixes;
+    for (const auto &fg : kPaperFg)
+        for (const auto &bg : kPaperSingleBg)
+            mixes.push_back(makeMix({fg}, BgSpec::single(bg)));
+    return mixes;
+}
+
+std::vector<WorkloadMix>
+rotateBgMixes()
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    std::vector<WorkloadMix> mixes;
+    for (const auto &fg : kPaperFg)
+        for (const auto &[a, b] : lib.rotatePairs())
+            mixes.push_back(makeMix({fg}, BgSpec::rotate(a, b)));
+    return mixes;
+}
+
+std::vector<WorkloadMix>
+multiFgMixes()
+{
+    // The paper's five selected FG/BG combinations (Fig. 9c), spanning
+    // low to high Baseline variation, each with 1..3 concurrent FGs.
+    struct Combo
+    {
+        const char *fg;
+        BgSpec bg;
+    };
+    const std::vector<Combo> combos = {
+        {"bodytrack", BgSpec::rotate("libquantum", "soplex")},
+        {"ferret", BgSpec::single("bwaves")},
+        {"fluidanimate", BgSpec::rotate("lbm", "soplex")},
+        {"raytrace", BgSpec::single("rs")},
+        {"streamcluster", BgSpec::rotate("lbm", "namd")},
+    };
+
+    std::vector<WorkloadMix> mixes;
+    for (const auto &combo : combos) {
+        for (size_t n = 1; n <= 3; ++n) {
+            std::vector<std::string> fg(n, combo.fg);
+            auto mix = makeMix(fg, combo.bg);
+            if (n == 1)
+                mix.name = strfmt("%s x1 %s", combo.fg,
+                                  combo.bg.label().c_str());
+            mixes.push_back(std::move(mix));
+        }
+    }
+    return mixes;
+}
+
+std::vector<WorkloadMix>
+allSingleFgMixes()
+{
+    auto mixes = singleBgMixes();
+    auto rotate = rotateBgMixes();
+    mixes.insert(mixes.end(), rotate.begin(), rotate.end());
+    return mixes;
+}
+
+} // namespace dirigent::workload

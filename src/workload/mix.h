@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload mixes: which benchmarks run on the 6 simulated cores. The
+ * catalogue functions reproduce the paper's evaluated mixes — 15
+ * single-BG mixes (Fig. 9a), 20 rotate-BG mixes (Fig. 9b), and 15
+ * multi-FG mixes (Fig. 9c).
+ */
+
+#ifndef DIRIGENT_WORKLOAD_MIX_H
+#define DIRIGENT_WORKLOAD_MIX_H
+
+#include <string>
+#include <vector>
+
+namespace dirigent::workload {
+
+/**
+ * Background specification for a mix: one standalone benchmark on every
+ * background core, or a rotating pair.
+ */
+struct BgSpec
+{
+    enum class Kind { Single, Rotate };
+
+    Kind kind = Kind::Single;
+    std::string first;  //!< single benchmark, or first pair member
+    std::string second; //!< second pair member (Rotate only)
+
+    /** Single-benchmark spec. */
+    static BgSpec single(std::string name);
+
+    /** Rotating-pair spec. */
+    static BgSpec rotate(std::string a, std::string b);
+
+    /** Display label: "bwaves" or "lbm+namd". */
+    std::string label() const;
+};
+
+/**
+ * A complete mix: the foreground benchmark on each foreground core
+ * (entries may repeat for multi-FG mixes) plus the background spec.
+ * All remaining cores (of the machine's 6) run background tasks.
+ */
+struct WorkloadMix
+{
+    std::string name;            //!< e.g. "ferret x2 bwaves"
+    std::vector<std::string> fg; //!< one entry per FG core
+    BgSpec bg;
+
+    /** Number of foreground cores. */
+    size_t fgCount() const { return fg.size(); }
+};
+
+/** Build a mix with a generated display name. */
+WorkloadMix makeMix(std::vector<std::string> fg, BgSpec bg);
+
+/** The 15 single-BG mixes: {5 FG} × {bwaves, pca, rs}, 1 FG core. */
+std::vector<WorkloadMix> singleBgMixes();
+
+/** The 20 rotate-BG mixes: {5 FG} × {4 rotate pairs}, 1 FG core. */
+std::vector<WorkloadMix> rotateBgMixes();
+
+/**
+ * The 15 multi-FG mixes (paper Fig. 9c): five FG/BG combinations, each
+ * with 1, 2, and 3 concurrent FG processes; FG + BG cores always
+ * total 6.
+ */
+std::vector<WorkloadMix> multiFgMixes();
+
+/** All 35 single-FG mixes (single-BG then rotate-BG). */
+std::vector<WorkloadMix> allSingleFgMixes();
+
+} // namespace dirigent::workload
+
+#endif // DIRIGENT_WORKLOAD_MIX_H

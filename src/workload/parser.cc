@@ -1,0 +1,95 @@
+#include "workload/parser.h"
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::workload {
+
+PhaseProgram
+parsePhaseProgram(const Config &config)
+{
+    PhaseProgram program;
+    program.name = config.getString("program.name", "");
+    if (program.name.empty())
+        fatal("workload definition needs [program] name");
+    program.loop = config.getBool("program.loop", false);
+
+    for (unsigned i = 0;; ++i) {
+        std::string prefix = strfmt("phase.%u.", i);
+        if (!config.has(prefix + "instructions")) {
+            // Phases must be consecutive; a gap means a typo.
+            if (config.has(strfmt("phase.%u.instructions", i + 1)))
+                fatal(strfmt("workload '%s': phase %u is missing but "
+                             "phase %u exists",
+                             program.name.c_str(), i, i + 1));
+            break;
+        }
+        Phase phase;
+        phase.name =
+            config.getString(prefix + "name", strfmt("phase-%u", i));
+        phase.instructions =
+            config.getDouble(prefix + "instructions", 0.0);
+        if (phase.instructions <= 0.0)
+            fatal(strfmt("workload '%s' phase %u: instructions must be "
+                         "positive",
+                         program.name.c_str(), i));
+        phase.instrJitterSigma =
+            config.getDouble(prefix + "instr_jitter", 0.0);
+        phase.cpiBase = config.getDouble(prefix + "cpi", 1.0);
+        phase.llcApki = config.getDouble(prefix + "apki", 5.0);
+        phase.workingSet =
+            config.getBytes(prefix + "working_set", 2.0 * 1024 * 1024);
+        phase.locality = config.getDouble(prefix + "locality", 3.0);
+        phase.maxHitRatio = config.getDouble(prefix + "max_hit", 0.9);
+        phase.cpiJitterSigma =
+            config.getDouble(prefix + "cpi_jitter", 0.02);
+        phase.mlp = config.getDouble(prefix + "mlp", 4.0);
+        if (phase.cpiBase <= 0.0 || phase.mlp <= 0.0 ||
+            phase.llcApki < 0.0)
+            fatal(strfmt("workload '%s' phase %u: invalid parameters",
+                         program.name.c_str(), i));
+        if (phase.maxHitRatio < 0.0 || phase.maxHitRatio > 1.0)
+            fatal(strfmt("workload '%s' phase %u: max_hit must be in "
+                         "[0, 1]",
+                         program.name.c_str(), i));
+        program.phases.push_back(std::move(phase));
+    }
+
+    if (program.phases.empty())
+        fatal(strfmt("workload '%s' defines no phases",
+                     program.name.c_str()));
+    DIRIGENT_ASSERT(program.valid(), "parsed program failed validation");
+    return program;
+}
+
+PhaseProgram
+parsePhaseProgram(const std::string &text)
+{
+    return parsePhaseProgram(Config::parse(text));
+}
+
+std::string
+formatPhaseProgram(const PhaseProgram &program)
+{
+    std::string out;
+    out += "[program]\n";
+    out += strfmt("name = %s\n", program.name.c_str());
+    out += strfmt("loop = %s\n", program.loop ? "true" : "false");
+    for (size_t i = 0; i < program.phases.size(); ++i) {
+        const Phase &ph = program.phases[i];
+        out += strfmt("\n[phase.%zu]\n", i);
+        out += strfmt("name = %s\n", ph.name.c_str());
+        out += strfmt("instructions = %.9g\n", ph.instructions);
+        out += strfmt("instr_jitter = %.9g\n", ph.instrJitterSigma);
+        out += strfmt("cpi = %.9g\n", ph.cpiBase);
+        out += strfmt("apki = %.9g\n", ph.llcApki);
+        out += strfmt("working_set = %.9gB\n", double(ph.workingSet));
+        out += strfmt("locality = %.9g\n", ph.locality);
+        out += strfmt("max_hit = %.9g\n", ph.maxHitRatio);
+        out += strfmt("cpi_jitter = %.9g\n", ph.cpiJitterSigma);
+        out += strfmt("mlp = %.9g\n", ph.mlp);
+    }
+    return out;
+}
+
+} // namespace dirigent::workload

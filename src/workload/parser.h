@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Textual workload definitions: build a PhaseProgram from an INI-style
+ * Config, so users can model their own applications without
+ * recompiling. Format:
+ *
+ * @code
+ * [program]
+ * name = mybench
+ * loop = false
+ *
+ * [phase.0]
+ * name = stage-a
+ * instructions = 1.2e9
+ * cpi = 0.9
+ * apki = 8
+ * working_set = 2MiB
+ * locality = 3
+ * max_hit = 0.92
+ * cpi_jitter = 0.02
+ * instr_jitter = 0.01
+ * mlp = 2.0
+ * @endcode
+ *
+ * Phases are numbered consecutively from 0; every key except
+ * `instructions` has a sensible default.
+ */
+
+#ifndef DIRIGENT_WORKLOAD_PARSER_H
+#define DIRIGENT_WORKLOAD_PARSER_H
+
+#include <string>
+
+#include "common/config.h"
+#include "workload/phase.h"
+
+namespace dirigent::workload {
+
+/**
+ * Build a PhaseProgram from @p config (see the file comment for the
+ * expected keys). fatal() on a structurally invalid definition —
+ * missing [program] name, no phases, or non-positive instruction
+ * counts — since these are user-supplied files.
+ */
+PhaseProgram parsePhaseProgram(const Config &config);
+
+/** Convenience: parse the INI text and build the program. */
+PhaseProgram parsePhaseProgram(const std::string &text);
+
+/** Serialize @p program back to parseable INI text. */
+std::string formatPhaseProgram(const PhaseProgram &program);
+
+} // namespace dirigent::workload
+
+#endif // DIRIGENT_WORKLOAD_PARSER_H

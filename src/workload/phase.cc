@@ -1,0 +1,36 @@
+#include "workload/phase.h"
+
+#include <cmath>
+
+namespace dirigent::workload {
+
+double
+Phase::hitRatio(Bytes occupancy) const
+{
+    if (occupancy <= 0.0 || workingSet <= 0.0)
+        return 0.0;
+    double curve = 1.0 - std::exp(-occupancy / wsChar());
+    return maxHitRatio * curve;
+}
+
+double
+PhaseProgram::totalInstructions() const
+{
+    double total = 0.0;
+    for (const auto &p : phases)
+        total += p.instructions;
+    return total;
+}
+
+bool
+PhaseProgram::valid() const
+{
+    if (phases.empty())
+        return false;
+    for (const auto &p : phases)
+        if (p.instructions <= 0.0 || p.cpiBase <= 0.0)
+            return false;
+    return true;
+}
+
+} // namespace dirigent::workload

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The phase-based workload model.
+ *
+ * A benchmark is a PhaseProgram: an ordered list of execution phases,
+ * optionally looped (background benchmarks run forever). Each phase
+ * declares the parameters the performance model needs: instruction
+ * volume, compute CPI, LLC access intensity, and cache-locality shape.
+ * Progress is measured in retired instructions, matching the paper's use
+ * of the retired-instruction performance counter as its progress metric.
+ */
+
+#ifndef DIRIGENT_WORKLOAD_PHASE_H
+#define DIRIGENT_WORKLOAD_PHASE_H
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dirigent::workload {
+
+/**
+ * One execution phase of a benchmark.
+ *
+ * The cache behaviour of a phase is a concave capacity curve: with
+ * occupancy O bytes resident in the LLC, the hit ratio is
+ *   hit(O) = maxHitRatio · (1 − exp(−O / wsChar))
+ * where wsChar = workingSet / locality. Occupancy is capped at
+ * workingSet — a task cannot productively cache more than it touches.
+ */
+struct Phase
+{
+    /** Human-readable phase name (for traces and tests). */
+    std::string name;
+
+    /** Instructions retired in one pass through this phase. */
+    double instructions = 1e9;
+
+    /**
+     * Lognormal shape of per-pass instruction-count jitter; 0 disables.
+     * Models input-dependent phase lengths.
+     */
+    double instrJitterSigma = 0.0;
+
+    /** Cycles per instruction for the compute portion (no LLC misses). */
+    double cpiBase = 1.0;
+
+    /** LLC accesses per kilo-instruction. */
+    double llcApki = 5.0;
+
+    /** Total bytes this phase touches; caps useful LLC occupancy. */
+    Bytes workingSet = 2_MiB;
+
+    /**
+     * Shape of the capacity curve: larger = steeper benefit from the
+     * first bytes of occupancy. wsChar = workingSet / locality.
+     */
+    double locality = 3.0;
+
+    /** Hit-ratio ceiling (captures compulsory/streaming misses). */
+    double maxHitRatio = 0.9;
+
+    /** Lognormal sigma of per-quantum CPI noise; 0 disables. */
+    double cpiJitterSigma = 0.02;
+
+    /**
+     * Memory-level parallelism: how many misses overlap on average.
+     * The per-miss stall seen by the core is latency / mlp. Streaming
+     * codes (lbm, libquantum) overlap many misses; pointer-chasing
+     * latency-critical code overlaps few.
+     */
+    double mlp = 4.0;
+
+    /** Characteristic curve scale: workingSet / locality. */
+    Bytes wsChar() const { return workingSet / locality; }
+
+    /** Hit ratio at occupancy @p occupancy bytes. */
+    double hitRatio(Bytes occupancy) const;
+};
+
+/**
+ * An ordered sequence of phases; the executable description of a
+ * benchmark. Background programs set @c loop so the sequence repeats
+ * forever; foreground programs run once per task.
+ */
+struct PhaseProgram
+{
+    /** Program (benchmark) name. */
+    std::string name;
+
+    /** The phases, executed in order. */
+    std::vector<Phase> phases;
+
+    /** Repeat the phase list forever (background benchmarks). */
+    bool loop = false;
+
+    /** Sum of nominal phase instruction counts (one pass). */
+    double totalInstructions() const;
+
+    /** True when the program has at least one phase with instructions. */
+    bool valid() const;
+};
+
+} // namespace dirigent::workload
+
+#endif // DIRIGENT_WORKLOAD_PHASE_H

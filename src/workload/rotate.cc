@@ -1,0 +1,28 @@
+#include "workload/rotate.h"
+
+#include "common/log.h"
+
+namespace dirigent::workload {
+
+RotatePair::RotatePair(const Benchmark *first, const Benchmark *second)
+    : first_(first), second_(second)
+{
+    DIRIGENT_ASSERT(first != nullptr && second != nullptr,
+                    "rotate pair needs two benchmarks");
+    DIRIGENT_ASSERT(first->program.loop && second->program.loop,
+                    "rotate members must be looping background programs");
+}
+
+const Benchmark &
+RotatePair::pick(Rng &rng) const
+{
+    return rng.chance(0.5) ? *first_ : *second_;
+}
+
+std::string
+RotatePair::name() const
+{
+    return first_->name + "+" + second_->name;
+}
+
+} // namespace dirigent::workload

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Rotating background pairs: the paper forms two-benchmark background
+ * workloads and randomly switches each background core between the two
+ * paired benchmarks every time a foreground task completes, mimicking
+ * the interference changes caused by context switches.
+ */
+
+#ifndef DIRIGENT_WORKLOAD_ROTATE_H
+#define DIRIGENT_WORKLOAD_ROTATE_H
+
+#include <string>
+
+#include "common/random.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::workload {
+
+/**
+ * A pair of background benchmarks that rotate on FG completions.
+ */
+class RotatePair
+{
+  public:
+    /**
+     * @param first,second members of the pair (not owned; typically
+     *        BenchmarkLibrary entries, which live forever).
+     */
+    RotatePair(const Benchmark *first, const Benchmark *second);
+
+    /** Uniformly pick one member using @p rng. */
+    const Benchmark &pick(Rng &rng) const;
+
+    const Benchmark &first() const { return *first_; }
+    const Benchmark &second() const { return *second_; }
+
+    /** Display name, e.g. "lbm+namd". */
+    std::string name() const;
+
+  private:
+    const Benchmark *first_;
+    const Benchmark *second_;
+};
+
+} // namespace dirigent::workload
+
+#endif // DIRIGENT_WORKLOAD_ROTATE_H

@@ -1,0 +1,92 @@
+#include "workload/task.h"
+
+#include "common/log.h"
+
+namespace dirigent::workload {
+
+Task::Task(const PhaseProgram *program, Rng rng)
+    : program_(program), rng_(rng)
+{
+    DIRIGENT_ASSERT(program != nullptr, "task needs a program");
+    DIRIGENT_ASSERT(program->valid(), "program '%s' is not executable",
+                    program->name.c_str());
+    enterPhase(0);
+}
+
+const Phase &
+Task::currentPhase() const
+{
+    DIRIGENT_ASSERT(!finished_, "finished task has no current phase");
+    return program_->phases[phaseIdx_];
+}
+
+double
+Task::remainingInPhase() const
+{
+    if (finished_)
+        return 0.0;
+    return phaseTarget_ - phaseRetired_;
+}
+
+void
+Task::retire(double instructions)
+{
+    DIRIGENT_ASSERT(!finished_, "retiring into a finished task");
+    DIRIGENT_ASSERT(instructions >= 0.0, "negative retirement");
+    // Allow a tiny overshoot from floating-point clamping at boundaries.
+    DIRIGENT_ASSERT(instructions <= remainingInPhase() * (1.0 + 1e-9) + 1.0,
+                    "retired %.17g past phase boundary (%.17g left)",
+                    instructions, remainingInPhase());
+    phaseRetired_ += instructions;
+    totalRetired_ += instructions;
+    if (phaseRetired_ + 1e-6 >= phaseTarget_) {
+        size_t next = phaseIdx_ + 1;
+        if (next >= program_->phases.size()) {
+            if (program_->loop) {
+                ++loops_;
+                enterPhase(0);
+            } else {
+                finished_ = true;
+            }
+        } else {
+            enterPhase(next);
+        }
+    }
+}
+
+double
+Task::beatProgress() const
+{
+    double beats = double(loops_) * double(program_->phases.size()) +
+                   double(phaseIdx_);
+    if (!finished_ && phaseTarget_ > 0.0)
+        beats += phaseRetired_ / phaseTarget_;
+    else if (finished_)
+        beats = double(program_->phases.size());
+    return beats;
+}
+
+double
+Task::sampleCpiJitter()
+{
+    if (finished_)
+        return 1.0;
+    double sigma = currentPhase().cpiJitterSigma;
+    if (sigma <= 0.0)
+        return 1.0;
+    return rng_.lognormalMean(1.0, sigma);
+}
+
+void
+Task::enterPhase(size_t idx)
+{
+    phaseIdx_ = idx;
+    phaseRetired_ = 0.0;
+    const Phase &p = program_->phases[idx];
+    if (p.instrJitterSigma > 0.0)
+        phaseTarget_ = rng_.lognormalMean(p.instructions, p.instrJitterSigma);
+    else
+        phaseTarget_ = p.instructions;
+}
+
+} // namespace dirigent::workload

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A Task is one executing instance of a PhaseProgram: it tracks the
+ * current phase, instructions retired, and per-instance randomness
+ * (phase-length jitter, CPI noise). Cores retire instructions into the
+ * task; the task reports phase boundaries and completion.
+ */
+
+#ifndef DIRIGENT_WORKLOAD_TASK_H
+#define DIRIGENT_WORKLOAD_TASK_H
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "workload/phase.h"
+
+namespace dirigent::workload {
+
+/**
+ * One run of a phase program.
+ *
+ * For looping (background) programs, finished() never becomes true; the
+ * phase list repeats and loopsCompleted() counts passes. For one-shot
+ * (foreground) programs, finished() latches once all phases retire.
+ */
+class Task
+{
+  public:
+    /**
+     * @param program phase program to execute (not owned; must outlive
+     *        the task).
+     * @param rng private randomness stream for this instance.
+     */
+    Task(const PhaseProgram *program, Rng rng);
+
+    /** The program being executed. */
+    const PhaseProgram &program() const { return *program_; }
+
+    /** True once a one-shot program has retired all phases. */
+    bool finished() const { return finished_; }
+
+    /** The phase instructions are currently retiring into. */
+    const Phase &currentPhase() const;
+
+    /** Index of the current phase within the program. */
+    size_t phaseIndex() const { return phaseIdx_; }
+
+    /** Instructions left in the current (jittered) phase pass. */
+    double remainingInPhase() const;
+
+    /** Total instructions retired by this task instance. */
+    double retired() const { return totalRetired_; }
+
+    /**
+     * Application-Heartbeats-style progress: each phase contributes
+     * exactly one beat regardless of its (possibly input-dependent)
+     * instruction count, with fractional progress inside the current
+     * phase. Robust to per-instance instruction jitter, which makes it
+     * the better progress metric for strongly input-dependent tasks
+     * (the paper's §7 future-work observation).
+     */
+    double beatProgress() const;
+
+    /** Completed passes through a looping program's phase list. */
+    uint64_t loopsCompleted() const { return loops_; }
+
+    /**
+     * Retire @p instructions into the task, advancing through phase
+     * boundaries. Callers must not retire past the current phase
+     * boundary in one call (use remainingInPhase() to clamp), so the
+     * performance model can re-evaluate rates at each boundary.
+     */
+    void retire(double instructions);
+
+    /**
+     * Sample this task's CPI noise multiplier for the coming quantum
+     * (lognormal, mean 1, sigma from the current phase).
+     */
+    double sampleCpiJitter();
+
+  private:
+    void enterPhase(size_t idx);
+
+    const PhaseProgram *program_;
+    Rng rng_;
+    size_t phaseIdx_ = 0;
+    double phaseTarget_ = 0.0;
+    double phaseRetired_ = 0.0;
+    double totalRetired_ = 0.0;
+    bool finished_ = false;
+    uint64_t loops_ = 0;
+};
+
+} // namespace dirigent::workload
+
+#endif // DIRIGENT_WORKLOAD_TASK_H

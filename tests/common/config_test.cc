@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for INI-style configuration parsing and typed lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace dirigent {
+namespace {
+
+TEST(ConfigTest, ParsesKeysAndSections)
+{
+    Config cfg = Config::parse("a = 1\n"
+                               "[machine]\n"
+                               "cores = 6\n"
+                               "freq = 2GHz\n"
+                               "[harness]\n"
+                               "executions = 40\n");
+    EXPECT_TRUE(cfg.has("a"));
+    EXPECT_TRUE(cfg.has("machine.cores"));
+    EXPECT_TRUE(cfg.has("harness.executions"));
+    EXPECT_EQ(cfg.size(), 4u);
+}
+
+TEST(ConfigTest, CommentsAndBlanksIgnored)
+{
+    Config cfg = Config::parse("# comment\n"
+                               "\n"
+                               "a = 1  # trailing comment\n"
+                               "; another comment\n"
+                               "b = 2\n");
+    EXPECT_EQ(cfg.getInt("a", 0), 1);
+    EXPECT_EQ(cfg.getInt("b", 0), 2);
+    EXPECT_EQ(cfg.size(), 2u);
+}
+
+TEST(ConfigTest, WhitespaceTrimmed)
+{
+    Config cfg = Config::parse("  key   =   some value  \n");
+    EXPECT_EQ(cfg.getString("key", ""), "some value");
+}
+
+TEST(ConfigTest, LaterKeysOverwrite)
+{
+    Config cfg = Config::parse("a = 1\na = 2\n");
+    EXPECT_EQ(cfg.getInt("a", 0), 2);
+    EXPECT_EQ(cfg.size(), 1u);
+}
+
+TEST(ConfigTest, MergeOverrides)
+{
+    Config base = Config::parse("a = 1\nb = 2\n");
+    Config over = Config::parse("b = 3\nc = 4\n");
+    base.merge(over);
+    EXPECT_EQ(base.getInt("a", 0), 1);
+    EXPECT_EQ(base.getInt("b", 0), 3);
+    EXPECT_EQ(base.getInt("c", 0), 4);
+}
+
+TEST(ConfigTest, TypedAccessorsAndFallbacks)
+{
+    Config cfg = Config::parse("d = 2.5\ni = -7\nu = 42\nflag = true\n");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("d", 0.0), 2.5);
+    EXPECT_EQ(cfg.getInt("i", 0), -7);
+    EXPECT_EQ(cfg.getUint("u", 0), 42u);
+    EXPECT_TRUE(cfg.getBool("flag", false));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 9.5), 9.5);
+    EXPECT_EQ(cfg.getString("missing", "x"), "x");
+}
+
+TEST(ConfigTest, BoolSpellings)
+{
+    Config cfg = Config::parse(
+        "a = yes\nb = off\nc = 1\nd = FALSE\ne = On\n");
+    EXPECT_TRUE(cfg.getBool("a", false));
+    EXPECT_FALSE(cfg.getBool("b", true));
+    EXPECT_TRUE(cfg.getBool("c", false));
+    EXPECT_FALSE(cfg.getBool("d", true));
+    EXPECT_TRUE(cfg.getBool("e", false));
+}
+
+TEST(ConfigTest, UnitParsers)
+{
+    Config cfg = Config::parse("t1 = 5ms\nt2 = 80ns\nt3 = 1.5\n"
+                               "f1 = 2GHz\nf2 = 1200MHz\n"
+                               "b1 = 15MiB\nb2 = 64KiB\nb3 = 100\n");
+    EXPECT_DOUBLE_EQ(cfg.getTime("t1", Time()).ms(), 5.0);
+    EXPECT_DOUBLE_EQ(cfg.getTime("t2", Time()).ns(), 80.0);
+    EXPECT_DOUBLE_EQ(cfg.getTime("t3", Time()).sec(), 1.5);
+    EXPECT_NEAR(cfg.getFreq("f1", Freq()).ghz(), 2.0, 1e-12);
+    EXPECT_NEAR(cfg.getFreq("f2", Freq()).ghz(), 1.2, 1e-12);
+    EXPECT_DOUBLE_EQ(cfg.getBytes("b1", 0.0), 15.0 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(cfg.getBytes("b2", 0.0), 64.0 * 1024);
+    EXPECT_DOUBLE_EQ(cfg.getBytes("b3", 0.0), 100.0);
+}
+
+TEST(ConfigTest, KeysPreserveOrder)
+{
+    Config cfg = Config::parse("z = 1\na = 2\nm = 3\n");
+    EXPECT_EQ(cfg.keys(),
+              (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(ConfigDeathTest, MalformedInputIsFatal)
+{
+    EXPECT_EXIT(Config::parse("no equals sign\n"),
+                testing::ExitedWithCode(1), "key = value");
+    EXPECT_EXIT(Config::parse("[unterminated\n"),
+                testing::ExitedWithCode(1), "section");
+    EXPECT_EXIT(Config::parse("= value\n"), testing::ExitedWithCode(1),
+                "empty key");
+}
+
+TEST(ConfigDeathTest, BadTypedValuesAreFatal)
+{
+    Config cfg = Config::parse("x = hello\n");
+    EXPECT_EXIT(cfg.getDouble("x", 0.0), testing::ExitedWithCode(1),
+                "not a number");
+    EXPECT_EXIT(cfg.getBool("x", false), testing::ExitedWithCode(1),
+                "not a boolean");
+    EXPECT_EXIT(cfg.getTime("x", Time()), testing::ExitedWithCode(1),
+                "not a duration");
+}
+
+TEST(ConfigDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(Config::load("/nonexistent/path.ini"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(ParseHelpersTest, RejectGarbage)
+{
+    EXPECT_FALSE(parseTime("fast").has_value());
+    EXPECT_FALSE(parseTime("5 parsecs").has_value());
+    EXPECT_FALSE(parseFreq("2 GHzz").has_value());
+    EXPECT_FALSE(parseBytes("12 MB ").has_value()); // only MiB etc.
+}
+
+} // namespace
+} // namespace dirigent

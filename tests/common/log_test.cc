@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for logging levels and the panic/assert machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace dirigent {
+namespace {
+
+class LogLevelGuard
+{
+  public:
+    LogLevelGuard() : saved_(logLevel()) {}
+    ~LogLevelGuard() { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrips)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(LogLevel::Normal);
+    EXPECT_EQ(logLevel(), LogLevel::Normal);
+}
+
+TEST(LogTest, InformAndWarnDoNotTerminate)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Quiet);
+    inform("suppressed message");
+    verbose("suppressed debug");
+    warn("warning goes to stderr");
+    SUCCEED();
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(DIRIGENT_PANIC("boom %d", 42), "boom 42");
+}
+
+TEST(LogDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LogDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(DIRIGENT_ASSERT(1 == 2, "math broke: %d", 7),
+                 "assertion failed");
+}
+
+TEST(LogTest, AssertPassesOnTrue)
+{
+    DIRIGENT_ASSERT(1 + 1 == 2, "unused");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace dirigent

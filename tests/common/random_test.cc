@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace dirigent {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent)
+{
+    Rng parent1(7), parent2(7);
+    Rng c1 = parent1.fork(11);
+    Rng c2 = parent2.fork(11);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+
+    // Different keys give different streams.
+    Rng d1 = parent1.fork(12);
+    EXPECT_NE(c1.next(), d1.next());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent)
+{
+    Rng a(42), b(42);
+    (void)a.fork(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformBoundedRange)
+{
+    Rng rng(6);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformMeanIsHalf)
+{
+    Rng rng(7);
+    OnlineStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.uniform());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(8);
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 7000; ++i)
+        counts[rng.below(7)]++;
+    for (int c : counts)
+        EXPECT_GT(c, 700); // roughly uniform: expect ~1000 each
+}
+
+TEST(RngDeathTest, BelowZeroPanics)
+{
+    Rng rng(9);
+    EXPECT_DEATH(rng.below(0), "n > 0");
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(10);
+    OnlineStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.normal(3.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalMeanMatchesRequest)
+{
+    Rng rng(11);
+    OnlineStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.lognormalMean(1.0, 0.2));
+    EXPECT_NEAR(stats.mean(), 1.0, 0.01);
+}
+
+TEST(RngTest, LognormalIsPositive)
+{
+    Rng rng(12);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.lognormalMean(0.5, 0.5), 0.0);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(13);
+    OnlineStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.exponential(2.5));
+    EXPECT_NEAR(stats.mean(), 2.5, 0.05);
+}
+
+TEST(RngTest, ChanceFrequency)
+{
+    Rng rng(14);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(double(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(SplitmixTest, AdvancesState)
+{
+    uint64_t s = 0;
+    uint64_t a = splitmix64(s);
+    uint64_t b = splitmix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}
+
+} // namespace
+} // namespace dirigent

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives: online stats, EMA, sliding
+ * windows, correlation, percentiles, histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dirigent {
+namespace {
+
+TEST(OnlineStatsTest, EmptyDefaults)
+{
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownValues)
+{
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic population-σ example
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, SingleValue)
+{
+    OnlineStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, ResetClears)
+{
+    OnlineStats s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(EmaTest, FirstSampleInitializes)
+{
+    Ema e(0.2);
+    EXPECT_FALSE(e.valid());
+    e.add(10.0);
+    EXPECT_TRUE(e.valid());
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EmaTest, PaperWeightFormula)
+{
+    // The paper's smoothing: P = 0.2·new + 0.8·old.
+    Ema e(0.2);
+    e.add(10.0);
+    e.add(20.0);
+    EXPECT_DOUBLE_EQ(e.value(), 0.2 * 20.0 + 0.8 * 10.0);
+}
+
+TEST(EmaTest, ConvergesToConstant)
+{
+    Ema e(0.2);
+    for (int i = 0; i < 200; ++i)
+        e.add(7.0);
+    EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(EmaTest, ResetForgets)
+{
+    Ema e(0.5);
+    e.add(1.0);
+    e.reset();
+    EXPECT_FALSE(e.valid());
+    e.add(2.0);
+    EXPECT_DOUBLE_EQ(e.value(), 2.0);
+}
+
+TEST(EmaDeathTest, RejectsBadWeight)
+{
+    EXPECT_DEATH(Ema(0.0), "weight");
+    EXPECT_DEATH(Ema(1.5), "weight");
+}
+
+TEST(SlidingWindowTest, EvictsOldest)
+{
+    SlidingWindow w(3);
+    w.add(1.0);
+    w.add(2.0);
+    w.add(3.0);
+    EXPECT_TRUE(w.full());
+    w.add(4.0);
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_DOUBLE_EQ(w.values().front(), 2.0);
+    EXPECT_DOUBLE_EQ(w.values().back(), 4.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(SlidingWindowTest, StddevOfWindow)
+{
+    SlidingWindow w(10);
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        w.add(x);
+    EXPECT_DOUBLE_EQ(w.stddev(), 2.0);
+}
+
+TEST(SlidingWindowTest, EmptyWindow)
+{
+    SlidingWindow w(4);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+    EXPECT_FALSE(w.full());
+}
+
+TEST(PearsonTest, PerfectPositive)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateSeriesGiveZero)
+{
+    std::vector<double> flat = {3, 3, 3, 3};
+    std::vector<double> x = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(pearson(flat, x), 0.0);
+    EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+    EXPECT_DOUBLE_EQ(pearson(std::vector<double>{1.0},
+                             std::vector<double>{2.0}),
+                     0.0);
+}
+
+TEST(PearsonTest, WindowOverloadAlignsRecent)
+{
+    SlidingWindow a(5), b(5);
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        a.add(v);
+    for (double v : {10.0, 20.0, 30.0, 40.0, 50.0})
+        b.add(v);
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(PercentileTest, MedianAndExtremes)
+{
+    std::vector<double> v = {5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.95), 9.5);
+}
+
+TEST(PercentileTest, EmptyAndSingle)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.9), 7.0);
+}
+
+TEST(MeansTest, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(MeansTest, Harmonic)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0, 4.0}), 3.0 / 1.75, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(MeansTest, HarmonicBelowArithmetic)
+{
+    std::vector<double> v = {0.5, 0.9, 1.3, 2.0};
+    EXPECT_LT(harmonicMean(v), arithmeticMean(v));
+}
+
+TEST(HistogramTest, BinPlacement)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.99);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(99.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne)
+{
+    Histogram h(0.0, 2.0, 8);
+    for (int i = 0; i < 100; ++i)
+        h.add(0.25 * (i % 8) + 0.1);
+    double integral = 0.0;
+    double width = 2.0 / 8.0;
+    for (size_t i = 0; i < h.bins(); ++i)
+        integral += h.density(i) * width;
+    EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 5);
+    h.add(0.1, 2.0);
+    h.add(0.9, 3.0);
+    double sum = 0.0;
+    for (size_t i = 0; i < h.bins(); ++i)
+        sum += h.fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, BinCenters)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(9), 9.5);
+}
+
+TEST(HistogramTest, EmptyDensityIsZero)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+} // namespace
+} // namespace dirigent

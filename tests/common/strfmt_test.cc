@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for printf-style string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/strfmt.h"
+
+namespace dirigent {
+namespace {
+
+TEST(StrfmtTest, PlainString)
+{
+    EXPECT_EQ(strfmt("hello"), "hello");
+}
+
+TEST(StrfmtTest, Integers)
+{
+    EXPECT_EQ(strfmt("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strfmt("%u", 42u), "42");
+    EXPECT_EQ(strfmt("%zu", size_t(7)), "7");
+}
+
+TEST(StrfmtTest, Floats)
+{
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strfmt("%.3g", 1234.5), "1.23e+03");
+}
+
+TEST(StrfmtTest, Strings)
+{
+    EXPECT_EQ(strfmt("[%s]", "abc"), "[abc]");
+}
+
+TEST(StrfmtTest, LongOutputIsNotTruncated)
+{
+    std::string big(5000, 'x');
+    std::string out = strfmt("%s", big.c_str());
+    EXPECT_EQ(out.size(), big.size());
+    EXPECT_EQ(out, big);
+}
+
+TEST(StrfmtTest, EmptyResult)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(StrfmtTest, PercentEscape)
+{
+    EXPECT_EQ(strfmt("100%%"), "100%");
+}
+
+} // namespace
+} // namespace dirigent

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the text-table and CSV report formatters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace dirigent {
+namespace {
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "2"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTableDeathTest, RowArityChecked)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(TextTableTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(TextTableTest, PctFormats)
+{
+    EXPECT_EQ(TextTable::pct(0.153, 1), "15.3%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(CsvWriterTest, PlainRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCells)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"a,b", "say \"hi\"", "plain"});
+    EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(CsvWriterTest, NumericRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.numericRow({1.0, 2.5}, 3);
+    EXPECT_EQ(os.str(), "1,2.5\n");
+}
+
+TEST(BannerTest, ContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "hello");
+    EXPECT_NE(os.str().find("=== hello ="), std::string::npos);
+}
+
+} // namespace
+} // namespace dirigent

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the strong unit types (Time, Freq, Bytes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace dirigent {
+namespace {
+
+TEST(TimeTest, DefaultIsZero)
+{
+    Time t;
+    EXPECT_DOUBLE_EQ(t.sec(), 0.0);
+}
+
+TEST(TimeTest, NamedConstructorsAgree)
+{
+    EXPECT_DOUBLE_EQ(Time::sec(1.5).sec(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::ms(1500.0).sec(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::us(1.5e6).sec(), 1.5);
+    EXPECT_DOUBLE_EQ(Time::ns(1.5e9).sec(), 1.5);
+}
+
+TEST(TimeTest, AccessorsConvert)
+{
+    Time t = Time::ms(5.0);
+    EXPECT_DOUBLE_EQ(t.ms(), 5.0);
+    EXPECT_DOUBLE_EQ(t.us(), 5000.0);
+    EXPECT_DOUBLE_EQ(t.ns(), 5e6);
+}
+
+TEST(TimeTest, Arithmetic)
+{
+    Time a = Time::ms(3.0);
+    Time b = Time::ms(2.0);
+    EXPECT_DOUBLE_EQ((a + b).ms(), 5.0);
+    EXPECT_DOUBLE_EQ((a - b).ms(), 1.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).ms(), 6.0);
+    EXPECT_DOUBLE_EQ((a / 2.0).ms(), 1.5);
+    EXPECT_DOUBLE_EQ(a / b, 1.5);
+    EXPECT_DOUBLE_EQ((2.0 * a).ms(), 6.0);
+}
+
+TEST(TimeTest, CompoundAssignment)
+{
+    Time t = Time::ms(1.0);
+    t += Time::ms(2.0);
+    EXPECT_DOUBLE_EQ(t.ms(), 3.0);
+    t -= Time::ms(0.5);
+    EXPECT_DOUBLE_EQ(t.ms(), 2.5);
+}
+
+TEST(TimeTest, Comparison)
+{
+    EXPECT_LT(Time::ms(1.0), Time::ms(2.0));
+    EXPECT_GT(Time::sec(1.0), Time::ms(999.0));
+    EXPECT_EQ(Time::ms(1000.0), Time::sec(1.0));
+}
+
+TEST(TimeTest, NeverIsLargest)
+{
+    EXPECT_TRUE(Time::never().isNever());
+    EXPECT_FALSE(Time::sec(1e20).isNever());
+    EXPECT_LT(Time::sec(1e20), Time::never());
+}
+
+TEST(FreqTest, NamedConstructorsAgree)
+{
+    EXPECT_DOUBLE_EQ(Freq::ghz(2.0).hz(), 2e9);
+    EXPECT_DOUBLE_EQ(Freq::mhz(500.0).hz(), 5e8);
+    EXPECT_DOUBLE_EQ(Freq::hz(42.0).hz(), 42.0);
+}
+
+TEST(FreqTest, Accessors)
+{
+    Freq f = Freq::ghz(1.2);
+    EXPECT_DOUBLE_EQ(f.ghz(), 1.2);
+    EXPECT_NEAR(f.mhz(), 1200.0, 1e-9);
+}
+
+TEST(FreqTest, CycleConversionRoundTrips)
+{
+    Freq f = Freq::ghz(2.0);
+    double cycles = 1e9;
+    Time t = f.cyclesToTime(cycles);
+    EXPECT_DOUBLE_EQ(t.sec(), 0.5);
+    EXPECT_DOUBLE_EQ(f.timeToCycles(t), cycles);
+}
+
+TEST(FreqTest, Comparison)
+{
+    EXPECT_LT(Freq::ghz(1.2), Freq::ghz(2.0));
+    EXPECT_EQ(Freq::mhz(2000.0), Freq::ghz(2.0));
+}
+
+TEST(BytesTest, Literals)
+{
+    EXPECT_DOUBLE_EQ(1_KiB, 1024.0);
+    EXPECT_DOUBLE_EQ(1_MiB, 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(1_GiB, 1024.0 * 1024.0 * 1024.0);
+    EXPECT_DOUBLE_EQ(1.5_MiB, 1.5 * 1024.0 * 1024.0);
+}
+
+} // namespace
+} // namespace dirigent

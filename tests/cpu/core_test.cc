@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests of the core execution model: DVFS scaling, memory stalls,
+ * phase-boundary handling, completion timing, and stolen time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cpu/core.h"
+
+namespace dirigent::cpu {
+namespace {
+
+mem::CacheConfig
+cacheConfig()
+{
+    mem::CacheConfig cfg;
+    cfg.numWays = 4;
+    cfg.bytesPerWay = 1.0_MiB;
+    return cfg;
+}
+
+mem::DramConfig
+dramConfig()
+{
+    mem::DramConfig cfg;
+    cfg.peakBandwidth = 10e9;
+    cfg.baseLatency = Time::ns(100.0);
+    cfg.smoothing = 1.0;
+    return cfg;
+}
+
+/** Compute-only program: no LLC accesses, no jitter. */
+workload::PhaseProgram
+computeProgram(double instructions, double cpi)
+{
+    workload::PhaseProgram prog;
+    prog.name = "compute";
+    workload::Phase p;
+    p.name = "only";
+    p.instructions = instructions;
+    p.cpiBase = cpi;
+    p.llcApki = 0.0;
+    p.cpiJitterSigma = 0.0;
+    p.instrJitterSigma = 0.0;
+    prog.phases = {p};
+    return prog;
+}
+
+class CoreTest : public testing::Test
+{
+  protected:
+    CoreTest()
+        : cache_(cacheConfig(), 1), dram_(dramConfig()),
+          core_(0, 0, cache_, dram_, Freq::ghz(2.0))
+    {
+    }
+
+    mem::SharedCache cache_;
+    mem::DramModel dram_;
+    Core core_;
+};
+
+TEST_F(CoreTest, ComputeRateMatchesFrequency)
+{
+    // 2 GHz, CPI 1.0, no memory: 2e9 instructions per second.
+    auto prog = computeProgram(1e12, 1.0);
+    workload::Task task(&prog, Rng(1));
+    auto res = core_.advance(&task, Time::ms(1.0));
+    EXPECT_NEAR(res.instructions, 2e6, 1.0);
+    EXPECT_FALSE(res.completed);
+}
+
+TEST_F(CoreTest, DvfsScalesComputeRate)
+{
+    auto prog = computeProgram(1e12, 1.0);
+    workload::Task task(&prog, Rng(1));
+    core_.setFrequency(Freq::ghz(1.0));
+    auto res = core_.advance(&task, Time::ms(1.0));
+    EXPECT_NEAR(res.instructions, 1e6, 1.0);
+}
+
+TEST_F(CoreTest, MemoryStallSlowsExecution)
+{
+    workload::PhaseProgram prog = computeProgram(1e12, 1.0);
+    prog.phases[0].llcApki = 10.0;       // 1% of instructions access LLC
+    prog.phases[0].maxHitRatio = 0.0;    // all accesses miss
+    prog.phases[0].mlp = 1.0;
+    workload::Task task(&prog, Rng(1));
+    auto res = core_.advance(&task, Time::ms(1.0));
+    // spi = 0.5 ns + 0.01 × 100 ns = 1.5 ns → 2/3e6 instructions.
+    EXPECT_NEAR(res.instructions, 1e-3 / 1.5e-9, 100.0);
+}
+
+TEST_F(CoreTest, MlpDividesStall)
+{
+    workload::PhaseProgram prog = computeProgram(1e12, 1.0);
+    prog.phases[0].llcApki = 10.0;
+    prog.phases[0].maxHitRatio = 0.0;
+    prog.phases[0].mlp = 4.0;
+    workload::Task task(&prog, Rng(1));
+    auto res = core_.advance(&task, Time::ms(1.0));
+    // spi = 0.5 + 0.01 × 100/4 = 0.75 ns.
+    EXPECT_NEAR(res.instructions, 1e-3 / 0.75e-9, 100.0);
+}
+
+TEST_F(CoreTest, MemoryBoundInsensitiveToDvfs)
+{
+    workload::PhaseProgram prog = computeProgram(1e12, 0.1);
+    prog.phases[0].llcApki = 100.0; // extremely memory bound
+    prog.phases[0].maxHitRatio = 0.0;
+    prog.phases[0].mlp = 1.0;
+    workload::Task t1(&prog, Rng(1));
+    auto fast = core_.advance(&t1, Time::ms(1.0));
+    core_.setFrequency(Freq::ghz(1.0));
+    workload::Task t2(&prog, Rng(1));
+    cache_.flush(0);
+    auto slow = core_.advance(&t2, Time::ms(1.0));
+    // Halving frequency loses well under half the throughput.
+    EXPECT_GT(slow.instructions / fast.instructions, 0.95);
+}
+
+TEST_F(CoreTest, CompletionMidQuantum)
+{
+    // 1e6 instructions at 2 GHz CPI 1 = 0.5 ms.
+    auto prog = computeProgram(1e6, 1.0);
+    workload::Task task(&prog, Rng(1));
+    auto res = core_.advance(&task, Time::ms(1.0));
+    EXPECT_TRUE(res.completed);
+    EXPECT_NEAR(res.completionOffset.ms(), 0.5, 1e-6);
+    EXPECT_NEAR(res.instructions, 1e6, 1e-3);
+    EXPECT_TRUE(task.finished());
+}
+
+TEST_F(CoreTest, PhaseBoundaryCrossedWithinQuantum)
+{
+    workload::PhaseProgram prog;
+    prog.name = "two";
+    workload::Phase a = computeProgram(1e5, 1.0).phases[0];
+    workload::Phase b = computeProgram(1e5, 2.0).phases[0];
+    prog.phases = {a, b};
+    workload::Task task(&prog, Rng(1));
+    // Phase a: 50 µs; phase b: 100 µs. Advance 120 µs → finish a,
+    // retire 70 µs worth of b at 1e9/s.
+    auto res = core_.advance(&task, Time::us(120.0));
+    EXPECT_FALSE(res.completed);
+    EXPECT_EQ(task.phaseIndex(), 1u);
+    EXPECT_NEAR(res.instructions, 1e5 + 70e-6 * 1e9, 100.0);
+}
+
+TEST_F(CoreTest, StolenTimeReducesRetirement)
+{
+    auto prog = computeProgram(1e12, 1.0);
+    workload::Task task(&prog, Rng(1));
+    core_.stealTime(Time::us(500.0));
+    auto res = core_.advance(&task, Time::ms(1.0));
+    // Half the quantum was stolen.
+    EXPECT_NEAR(res.instructions, 1e6, 1.0);
+    // Stolen time still burns cycles (the runtime ran).
+    EXPECT_NEAR(core_.counters().read().cycles, 2e6, 10.0);
+}
+
+TEST_F(CoreTest, StolenTimeCarriesOver)
+{
+    auto prog = computeProgram(1e12, 1.0);
+    workload::Task task(&prog, Rng(1));
+    core_.stealTime(Time::ms(1.5));
+    auto res1 = core_.advance(&task, Time::ms(1.0));
+    EXPECT_DOUBLE_EQ(res1.instructions, 0.0); // fully stolen
+    auto res2 = core_.advance(&task, Time::ms(1.0));
+    EXPECT_NEAR(res2.instructions, 1e6, 1.0); // 0.5 ms left stolen
+}
+
+TEST_F(CoreTest, IdleCoreRetiresNothing)
+{
+    auto res = core_.advance(nullptr, Time::ms(1.0));
+    EXPECT_DOUBLE_EQ(res.instructions, 0.0);
+    EXPECT_FALSE(res.completed);
+}
+
+TEST_F(CoreTest, CountersTrackTraffic)
+{
+    workload::PhaseProgram prog = computeProgram(1e12, 1.0);
+    prog.phases[0].llcApki = 10.0;
+    prog.phases[0].maxHitRatio = 0.0;
+    workload::Task task(&prog, Rng(1));
+    auto res = core_.advance(&task, Time::ms(1.0));
+    const auto &sample = core_.counters().read();
+    EXPECT_DOUBLE_EQ(sample.instructions, res.instructions);
+    EXPECT_NEAR(sample.llcAccesses, res.instructions * 0.01, 1e-6);
+    EXPECT_NEAR(sample.llcMisses, sample.llcAccesses, 1e-6);
+}
+
+TEST_F(CoreTest, MissTrafficReachesDram)
+{
+    workload::PhaseProgram prog = computeProgram(1e12, 1.0);
+    prog.phases[0].llcApki = 10.0;
+    prog.phases[0].maxHitRatio = 0.0;
+    workload::Task task(&prog, Rng(1));
+    core_.advance(&task, Time::ms(1.0));
+    double misses = core_.counters().read().llcMisses;
+    EXPECT_DOUBLE_EQ(dram_.totalBytes(), misses * 64.0);
+}
+
+TEST_F(CoreTest, FinishedTaskIsIdle)
+{
+    auto prog = computeProgram(100.0, 1.0);
+    workload::Task task(&prog, Rng(1));
+    core_.advance(&task, Time::ms(1.0));
+    ASSERT_TRUE(task.finished());
+    auto res = core_.advance(&task, Time::ms(1.0));
+    EXPECT_DOUBLE_EQ(res.instructions, 0.0);
+}
+
+TEST(CoreDeathTest, RejectsBadConstruction)
+{
+    mem::SharedCache cache(cacheConfig(), 1);
+    mem::DramModel dram(dramConfig());
+    EXPECT_DEATH(Core(0, 5, cache, dram, Freq::ghz(2.0)), "slot");
+    EXPECT_DEATH(Core(0, 0, cache, dram, Freq()), "frequency");
+}
+
+} // namespace
+} // namespace dirigent::cpu

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the performance-counter model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/perf_counters.h"
+
+namespace dirigent::cpu {
+namespace {
+
+TEST(PerfCountersTest, StartsAtZero)
+{
+    PerfCounters ctr;
+    EXPECT_DOUBLE_EQ(ctr.read().instructions, 0.0);
+    EXPECT_DOUBLE_EQ(ctr.read().llcAccesses, 0.0);
+    EXPECT_DOUBLE_EQ(ctr.read().llcMisses, 0.0);
+    EXPECT_DOUBLE_EQ(ctr.read().cycles, 0.0);
+}
+
+TEST(PerfCountersTest, Accumulates)
+{
+    PerfCounters ctr;
+    ctr.addInstructions(100.0);
+    ctr.addInstructions(50.0);
+    ctr.addLlcTraffic(10.0, 3.0);
+    ctr.addLlcTraffic(5.0, 1.0);
+    ctr.addCycles(200.0);
+    EXPECT_DOUBLE_EQ(ctr.read().instructions, 150.0);
+    EXPECT_DOUBLE_EQ(ctr.read().llcAccesses, 15.0);
+    EXPECT_DOUBLE_EQ(ctr.read().llcMisses, 4.0);
+    EXPECT_DOUBLE_EQ(ctr.read().cycles, 200.0);
+}
+
+TEST(PerfCountersTest, ResetZeroes)
+{
+    PerfCounters ctr;
+    ctr.addInstructions(10.0);
+    ctr.reset();
+    EXPECT_DOUBLE_EQ(ctr.read().instructions, 0.0);
+}
+
+TEST(CounterSampleTest, DeltaSubtraction)
+{
+    CounterSample before{100.0, 20.0, 5.0, 300.0};
+    CounterSample after{180.0, 50.0, 9.0, 500.0};
+    CounterSample delta = after - before;
+    EXPECT_DOUBLE_EQ(delta.instructions, 80.0);
+    EXPECT_DOUBLE_EQ(delta.llcAccesses, 30.0);
+    EXPECT_DOUBLE_EQ(delta.llcMisses, 4.0);
+    EXPECT_DOUBLE_EQ(delta.cycles, 200.0);
+}
+
+} // namespace
+} // namespace dirigent::cpu

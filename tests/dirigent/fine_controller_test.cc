@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests of the fine-grain controller's action ladder: ahead → release
+ * resources, behind → reclaim them, pause escalation, multi-FG policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/fine_controller.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+class FineControllerTest : public testing::Test
+{
+  protected:
+    FineControllerTest()
+        : machine_(makeConfig()), engine_(machine_, Time::us(100.0)),
+          governor_(machine_, engine_)
+    {
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        // 1 FG on core 0, 5 BG on cores 1–5.
+        machine::ProcessSpec fg;
+        fg.name = "fg";
+        fg.program = &lib.get("ferret").program;
+        fg.core = 0;
+        fg.foreground = true;
+        fgPid_ = machine_.spawnProcess(fg);
+        for (unsigned c = 1; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "bg";
+            bg.program = &lib.get("lbm").program;
+            bg.core = c;
+            bg.foreground = false;
+            bgPids_.push_back(machine_.spawnProcess(bg));
+        }
+        controller_ = std::make_unique<FineGrainController>(
+            machine_, governor_, FineControllerConfig{});
+    }
+
+    static machine::MachineConfig
+    makeConfig()
+    {
+        machine::MachineConfig cfg;
+        cfg.noiseEventsPerSec = 0.0;
+        return cfg;
+    }
+
+    FineGrainController::FgStatus
+    status(double predictedSec, double deadlineSec = 1.0)
+    {
+        FineGrainController::FgStatus st;
+        st.pid = fgPid_;
+        st.core = 0;
+        st.predicted = Time::sec(predictedSec);
+        st.deadline = Time::sec(deadlineSec);
+        st.valid = true;
+        return st;
+    }
+
+    /** Let pending DVFS transitions land. */
+    void settle() { engine_.runFor(Time::ms(1.0)); }
+
+    unsigned
+    runningBgCount() const
+    {
+        unsigned n = 0;
+        for (machine::Pid pid : bgPids_)
+            if (machine_.os().process(pid).runnable())
+                ++n;
+        return n;
+    }
+
+    machine::Machine machine_;
+    sim::Engine engine_;
+    machine::CpuFreqGovernor governor_;
+    std::unique_ptr<FineGrainController> controller_;
+    machine::Pid fgPid_ = 0;
+    std::vector<machine::Pid> bgPids_;
+};
+
+TEST_F(FineControllerTest, LadderIsFiveEquispacedGrades)
+{
+    EXPECT_EQ(controller_->ladder(),
+              (std::vector<unsigned>{0, 2, 4, 6, 8}));
+    auto freqs = controller_->ladderFreqs();
+    ASSERT_EQ(freqs.size(), 5u);
+    EXPECT_NEAR(freqs[0].ghz(), 1.2, 1e-9);
+    EXPECT_NEAR(freqs[4].ghz(), 2.0, 1e-9);
+}
+
+TEST_F(FineControllerTest, NeutralBandTakesNoAction)
+{
+    // Predicted within [setpoint·0.98, setpoint]: nothing changes.
+    controller_->tick({status(0.975)});
+    settle();
+    EXPECT_EQ(governor_.grade(1), 8u);
+    EXPECT_EQ(runningBgCount(), 5u);
+    EXPECT_EQ(controller_->stats().fgThrottles, 0u);
+}
+
+TEST_F(FineControllerTest, BehindSpeedsUpFgFirst)
+{
+    // Put the FG below max first.
+    controller_->tick({status(0.5)}); // ahead: BG at max → FG throttled
+    settle();
+    EXPECT_EQ(governor_.grade(0), 6u);
+    EXPECT_EQ(controller_->stats().fgThrottles, 1u);
+
+    controller_->tick({status(1.05)}); // behind
+    settle();
+    EXPECT_EQ(governor_.grade(0), 8u); // FG back to max
+    EXPECT_EQ(governor_.grade(1), 8u); // BG untouched this decision
+}
+
+TEST_F(FineControllerTest, BehindThrottlesBgWhenFgAtMax)
+{
+    controller_->tick({status(1.05)});
+    settle();
+    for (unsigned c = 1; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 6u); // one ladder step down
+    EXPECT_EQ(controller_->stats().bgThrottles, 1u);
+}
+
+TEST_F(FineControllerTest, BgBottomsOutAtMinimum)
+{
+    for (int i = 0; i < 10; ++i)
+        controller_->tick({status(1.05)});
+    settle();
+    for (unsigned c = 1; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 0u);
+    // Not behind enough to pause (< 10%).
+    EXPECT_EQ(runningBgCount(), 5u);
+}
+
+TEST_F(FineControllerTest, DeepBehindPausesMostIntrusive)
+{
+    // Drive BG to minimum first.
+    for (int i = 0; i < 5; ++i)
+        controller_->tick({status(1.05)});
+    // Make BG core 3 the most intrusive since the last scan.
+    machine_.core(3).counters().addLlcTraffic(1e6, 1e6);
+    controller_->tick({status(1.2)}); // > 10% behind
+    EXPECT_EQ(runningBgCount(), 4u);
+    EXPECT_FALSE(machine_.os().process(bgPids_[2]).runnable());
+    EXPECT_EQ(controller_->stats().pauses, 1u);
+}
+
+TEST_F(FineControllerTest, AheadResumesPausedFirst)
+{
+    for (int i = 0; i < 5; ++i)
+        controller_->tick({status(1.05)});
+    controller_->tick({status(1.2)});
+    ASSERT_EQ(runningBgCount(), 4u);
+
+    controller_->tick({status(0.8)}); // ahead: resume before boosting
+    EXPECT_EQ(runningBgCount(), 5u);
+    EXPECT_EQ(controller_->stats().resumes, 1u);
+    settle();
+    EXPECT_EQ(governor_.grade(1), 0u); // still throttled
+}
+
+TEST_F(FineControllerTest, AheadBoostsThrottledBg)
+{
+    controller_->tick({status(1.05)}); // BG down one step
+    controller_->tick({status(0.8)});  // ahead: BG back up
+    settle();
+    for (unsigned c = 1; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 8u);
+    EXPECT_EQ(controller_->stats().bgBoosts, 1u);
+}
+
+TEST_F(FineControllerTest, AheadWithEverythingMaxThrottlesFg)
+{
+    controller_->tick({status(0.8)});
+    settle();
+    EXPECT_EQ(governor_.grade(0), 6u);
+    // Repeated slack keeps stepping the FG down to the minimum.
+    for (int i = 0; i < 10; ++i)
+        controller_->tick({status(0.8)});
+    settle();
+    EXPECT_EQ(governor_.grade(0), 0u);
+}
+
+TEST_F(FineControllerTest, InvalidPredictionsIgnored)
+{
+    auto st = status(2.0);
+    st.valid = false;
+    controller_->tick({st});
+    settle();
+    EXPECT_EQ(governor_.grade(1), 8u);
+    EXPECT_EQ(runningBgCount(), 5u);
+}
+
+TEST_F(FineControllerTest, StatsTrackResidency)
+{
+    controller_->tick({status(0.97)});
+    controller_->tick({status(0.97)});
+    const auto &stats = controller_->stats();
+    EXPECT_EQ(stats.decisions, 2u);
+    // 5 BG cores × 2 decisions at max grade (ladder position 4).
+    EXPECT_EQ(stats.bgGradeResidency[4], 10u);
+}
+
+TEST_F(FineControllerTest, ThrottleSeverityDrains)
+{
+    controller_->tick({status(0.99)}); // all BG at max: severity 0
+    EXPECT_DOUBLE_EQ(controller_->drainThrottleSeverity(), 0.0);
+
+    for (int i = 0; i < 8; ++i)
+        controller_->tick({status(1.05)}); // drive BG to min
+    double severity = controller_->drainThrottleSeverity();
+    EXPECT_GT(severity, 0.5);
+    // Drained: next query over an empty window is 0.
+    EXPECT_DOUBLE_EQ(controller_->drainThrottleSeverity(), 0.0);
+}
+
+TEST_F(FineControllerTest, ReleaseAllRestoresEverything)
+{
+    for (int i = 0; i < 6; ++i)
+        controller_->tick({status(1.2)});
+    controller_->releaseAll();
+    settle();
+    EXPECT_EQ(runningBgCount(), 5u);
+    for (unsigned c = 1; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 8u);
+}
+
+/** Multi-FG: two FG processes with opposite tendencies. */
+class MultiFgControllerTest : public testing::Test
+{
+  protected:
+    MultiFgControllerTest()
+        : machine_(makeConfig()), engine_(machine_, Time::us(100.0)),
+          governor_(machine_, engine_)
+    {
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        for (unsigned c = 0; c < 2; ++c) {
+            machine::ProcessSpec fg;
+            fg.name = "fg";
+            fg.program = &lib.get("ferret").program;
+            fg.core = c;
+            fg.foreground = true;
+            fgPids_.push_back(machine_.spawnProcess(fg));
+        }
+        for (unsigned c = 2; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "bg";
+            bg.program = &lib.get("lbm").program;
+            bg.core = c;
+            bg.foreground = false;
+            machine_.spawnProcess(bg);
+        }
+        controller_ = std::make_unique<FineGrainController>(
+            machine_, governor_, FineControllerConfig{});
+    }
+
+    static machine::MachineConfig
+    makeConfig()
+    {
+        machine::MachineConfig cfg;
+        cfg.noiseEventsPerSec = 0.0;
+        return cfg;
+    }
+
+    FineGrainController::FgStatus
+    status(machine::Pid pid, unsigned core, double predicted)
+    {
+        FineGrainController::FgStatus st;
+        st.pid = pid;
+        st.core = core;
+        st.predicted = Time::sec(predicted);
+        st.deadline = Time::sec(1.0);
+        st.valid = true;
+        return st;
+    }
+
+    machine::Machine machine_;
+    sim::Engine engine_;
+    machine::CpuFreqGovernor governor_;
+    std::unique_ptr<FineGrainController> controller_;
+    std::vector<machine::Pid> fgPids_;
+};
+
+TEST_F(MultiFgControllerTest, BgFollowsSlowestFg)
+{
+    // FG0 comfortably ahead, FG1 behind: BG must be throttled (slowest
+    // rules) and FG0 individually slowed.
+    controller_->tick({status(fgPids_[0], 0, 0.7),
+                       status(fgPids_[1], 1, 1.1)});
+    engine_.runFor(Time::ms(1.0));
+    for (unsigned c = 2; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 6u); // throttled for FG1
+    EXPECT_EQ(governor_.grade(0), 6u);     // FG0 individually slowed
+    EXPECT_EQ(governor_.grade(1), 8u);     // FG1 stays at max
+}
+
+TEST_F(MultiFgControllerTest, AllAheadReleasesResources)
+{
+    controller_->tick({status(fgPids_[0], 0, 1.1),
+                       status(fgPids_[1], 1, 1.1)});
+    engine_.runFor(Time::ms(1.0));
+    ASSERT_EQ(governor_.grade(2), 6u);
+
+    controller_->tick({status(fgPids_[0], 0, 0.7),
+                       status(fgPids_[1], 1, 0.7)});
+    engine_.runFor(Time::ms(1.0));
+    for (unsigned c = 2; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 8u); // boosted back
+}
+
+TEST_F(MultiFgControllerTest, LaggingNonSlowestGetsMaxFreq)
+{
+    // Slow FG0 down first.
+    controller_->tick({status(fgPids_[0], 0, 0.5),
+                       status(fgPids_[1], 1, 0.9)});
+    engine_.runFor(Time::ms(1.0));
+    ASSERT_EQ(governor_.grade(0), 6u);
+
+    // Now FG0 lags but FG1 lags more: FG0 must still be restored.
+    controller_->tick({status(fgPids_[0], 0, 1.05),
+                       status(fgPids_[1], 1, 1.2)});
+    engine_.runFor(Time::ms(1.0));
+    EXPECT_EQ(governor_.grade(0), 8u);
+    EXPECT_EQ(governor_.grade(1), 8u);
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests of the live-machine profilers (the paper's future-work
+ * extensions): online profiling with BG paused, and concurrent
+ * profiling with interference offsets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/online_profiler.h"
+#include "dirigent/profiler.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+class LiveProfilerTest : public testing::Test
+{
+  protected:
+    LiveProfilerTest()
+    {
+        mcfg_.seed = 31;
+        machine_ = std::make_unique<machine::Machine>(mcfg_);
+        engine_ =
+            std::make_unique<sim::Engine>(*machine_, mcfg_.maxQuantum);
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "raytrace";
+        fg.program = &lib.get("raytrace").program;
+        fg.core = 0;
+        fg.foreground = true;
+        fgPid_ = machine_->spawnProcess(fg);
+        for (unsigned c = 1; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "lbm";
+            bg.program = &lib.get("lbm").program;
+            bg.core = c;
+            bg.foreground = false;
+            machine_->spawnProcess(bg);
+        }
+    }
+
+    ProfilerConfig
+    config()
+    {
+        ProfilerConfig cfg;
+        cfg.executions = 2;
+        return cfg;
+    }
+
+    machine::MachineConfig mcfg_;
+    std::unique_ptr<machine::Machine> machine_;
+    std::unique_ptr<sim::Engine> engine_;
+    machine::Pid fgPid_ = 0;
+};
+
+TEST_F(LiveProfilerTest, PausedProfilingMatchesOffline)
+{
+    // Reference: offline profile on a dedicated machine.
+    ProfilerConfig pcfg = config();
+    OfflineProfiler offline(pcfg);
+    Profile reference = offline.profileAlone(
+        workload::BenchmarkLibrary::instance().get("raytrace"), mcfg_);
+
+    LiveProfiler live(*machine_, *engine_, pcfg);
+    Profile profile = live.profileWithBgPaused(fgPid_);
+
+    // Totals agree within a few percent (the machine differs only by
+    // noise-stream draws and the alignment execution).
+    EXPECT_NEAR(profile.totalTime().sec(), reference.totalTime().sec(),
+                0.05 * reference.totalTime().sec());
+    EXPECT_NEAR(profile.totalProgress(), reference.totalProgress(),
+                0.05 * reference.totalProgress());
+    EXPECT_EQ(profile.benchmark(), "raytrace");
+}
+
+TEST_F(LiveProfilerTest, PausedProfilingResumesBg)
+{
+    LiveProfiler live(*machine_, *engine_, config());
+    live.profileWithBgPaused(fgPid_);
+    for (machine::Pid pid : machine_->os().backgroundPids())
+        EXPECT_TRUE(machine_->os().process(pid).runnable());
+    // BG tasks actually run again afterwards.
+    double before = machine_->readCounters(2).instructions;
+    engine_->runFor(Time::ms(50.0));
+    EXPECT_GT(machine_->readCounters(2).instructions, before);
+}
+
+TEST_F(LiveProfilerTest, PausedProfilingLeavesPreviouslyPausedAlone)
+{
+    machine::Pid alreadyPaused =
+        machine_->os().backgroundPids().front();
+    machine_->os().pause(alreadyPaused);
+    LiveProfiler live(*machine_, *engine_, config());
+    live.profileWithBgPaused(fgPid_);
+    EXPECT_FALSE(machine_->os().process(alreadyPaused).runnable());
+}
+
+TEST_F(LiveProfilerTest, ConcurrentProfilingRemovesVariableOffset)
+{
+    ProfilerConfig pcfg = config();
+    pcfg.executions = 4;
+    OfflineProfiler offline(pcfg);
+    Profile reference = offline.profileAlone(
+        workload::BenchmarkLibrary::instance().get("raytrace"), mcfg_);
+
+    LiveProfiler live(*machine_, *engine_, pcfg);
+    Profile concurrent = live.profileConcurrent(fgPid_);
+
+    // Fastest-execution deflation removes the *variable* part of the
+    // interference offset: the corrected total sits between the true
+    // standalone time and the contended mean, never above it.
+    double ref = reference.totalTime().sec();
+    double contendedMean = 0.0;
+    {
+        // Independent estimate of the contended mean on a twin setup.
+        machine::Machine twin(mcfg_);
+        sim::Engine twinEngine(twin, mcfg_.maxQuantum);
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "raytrace";
+        fg.program = &lib.get("raytrace").program;
+        fg.core = 0;
+        fg.foreground = true;
+        machine::Pid pid = twin.spawnProcess(fg);
+        for (unsigned c = 1; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "lbm";
+            bg.program = &lib.get("lbm").program;
+            bg.core = c;
+            bg.foreground = false;
+            twin.spawnProcess(bg);
+        }
+        double sum = 0.0;
+        unsigned count = 0;
+        twin.addCompletionListener(
+            [&](const machine::CompletionRecord &rec) {
+                if (rec.pid == pid) {
+                    sum += rec.duration().sec();
+                    ++count;
+                }
+            });
+        while (count < 4)
+            twinEngine.runFor(Time::ms(100.0));
+        contendedMean = sum / double(count);
+    }
+    EXPECT_GE(concurrent.totalTime().sec(), ref * 0.9);
+    EXPECT_LE(concurrent.totalTime().sec(), contendedMean * 1.05);
+    // Progress totals are unaffected by deflation.
+    EXPECT_NEAR(concurrent.totalProgress(), reference.totalProgress(),
+                0.05 * reference.totalProgress());
+}
+
+TEST(ScaleProfileTest, ScalesDurationsOnly)
+{
+    std::vector<ProfileSegment> segs = {{1e6, Time::ms(5.0)},
+                                        {2e6, Time::ms(6.0)}};
+    Profile p("x", Time::ms(5.0), segs);
+    Profile scaled = scaleProfileDurations(p, 0.5);
+    EXPECT_DOUBLE_EQ(scaled.totalProgress(), p.totalProgress());
+    EXPECT_NEAR(scaled.totalTime().ms(), 5.5, 1e-9);
+    EXPECT_EQ(scaled.benchmark(), "x");
+}
+
+TEST(ScaleProfileDeathTest, RejectsNonPositiveFactor)
+{
+    std::vector<ProfileSegment> segs = {{1e6, Time::ms(5.0)}};
+    Profile p("x", Time::ms(5.0), segs);
+    EXPECT_DEATH(scaleProfileDurations(p, 0.0), "positive");
+}
+
+} // namespace
+} // namespace dirigent::core

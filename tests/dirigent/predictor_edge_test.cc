@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Edge-case tests for the predictor beyond the main behavioural suite:
+ * contention that *drops* mid-execution, negative penalties (runs
+ * faster than the profile), scale clamping, and non-uniform profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/predictor.h"
+
+namespace dirigent::core {
+namespace {
+
+Profile
+uniformProfile(size_t n, double progress = 1e6,
+               Time dt = Time::ms(5.0))
+{
+    std::vector<ProfileSegment> segs(n, ProfileSegment{progress, dt});
+    return Profile("edge", dt, segs);
+}
+
+/** Drive one execution with a piecewise-constant slowdown. */
+Time
+runPiecewise(Predictor &pred, const Profile &profile,
+             double slowdownFirstHalf, double slowdownSecondHalf,
+             Time start)
+{
+    pred.beginExecution(start);
+    Time now = start;
+    const auto &segs = profile.segments();
+    for (size_t i = 0; i < segs.size(); ++i) {
+        double slow = i < segs.size() / 2 ? slowdownFirstHalf
+                                          : slowdownSecondHalf;
+        now += segs[i].duration * slow;
+        pred.observe(now, double(i + 1) * segs[0].progress);
+    }
+    pred.endExecution(now, profile.totalProgress());
+    return now - start;
+}
+
+TEST(PredictorEdgeTest, AdaptsWhenContentionDropsMidExecution)
+{
+    Profile profile = uniformProfile(100);
+    Predictor pred(&profile);
+    // History: steady 1.8× contention.
+    for (int e = 0; e < 6; ++e)
+        runPiecewise(pred, profile, 1.8, 1.8,
+                     Time::sec(double(e) * 2.0));
+
+    // New execution: contention vanishes halfway. Feed the first half
+    // at 1.8×, then check predictions as the uncontended second half
+    // unfolds: they must converge downward toward the true total.
+    pred.beginExecution(Time::sec(100.0));
+    Time now = Time::sec(100.0);
+    const auto &segs = profile.segments();
+    for (size_t i = 0; i < 50; ++i) {
+        now += segs[i].duration * 1.8;
+        pred.observe(now, double(i + 1) * 1e6);
+    }
+    double predictedAtHalf = pred.predictTotal().sec();
+    for (size_t i = 50; i < 90; ++i) {
+        now += segs[i].duration * 1.0;
+        pred.observe(now, double(i + 1) * 1e6);
+    }
+    double predictedAt90 = pred.predictTotal().sec();
+    // True total: 50·5ms·1.8 + 50·5ms = 0.70 s.
+    EXPECT_GT(predictedAtHalf, 0.8); // still expects contention
+    EXPECT_LT(predictedAt90, 0.75);  // adapted to the drop
+    EXPECT_GT(predictedAt90, 0.68);
+}
+
+TEST(PredictorEdgeTest, NegativePenaltiesForFasterThanProfile)
+{
+    // An execution consistently faster than the profile (e.g. the
+    // profile was taken under residual noise) yields negative
+    // penalties and predictions below the profiled total.
+    Profile profile = uniformProfile(50);
+    Predictor pred(&profile);
+    for (int e = 0; e < 4; ++e)
+        runPiecewise(pred, profile, 0.9, 0.9,
+                     Time::sec(double(e) * 2.0));
+    EXPECT_LT(pred.penaltyAverage(10), 0.0);
+
+    pred.beginExecution(Time::sec(50.0));
+    Time now = Time::sec(50.0);
+    for (size_t i = 0; i < 25; ++i) {
+        now += Time::ms(4.5);
+        pred.observe(now, double(i + 1) * 1e6);
+    }
+    double predicted = pred.predictTotal().sec();
+    EXPECT_LT(predicted, profile.totalTime().sec());
+    EXPECT_NEAR(predicted, 50 * 4.5e-3, 0.01);
+}
+
+TEST(PredictorEdgeTest, NonUniformProfileSegments)
+{
+    // Segments with different durations and progress: prediction at a
+    // boundary equals elapsed + the exact remaining profile when the
+    // execution matches the profile.
+    std::vector<ProfileSegment> segs = {
+        {2e6, Time::ms(4.0)},
+        {1e6, Time::ms(6.0)},
+        {4e6, Time::ms(5.0)},
+        {0.5e6, Time::ms(3.0)},
+    };
+    Profile profile("nonuniform", Time::ms(5.0), segs);
+    Predictor pred(&profile);
+    pred.beginExecution(Time());
+    pred.observe(Time::ms(4.0), 2e6);
+    pred.observe(Time::ms(10.0), 3e6);
+    // Remaining: 5 ms + 3 ms (no history, current rate factor ≈ 0).
+    EXPECT_NEAR(pred.predictTotal().ms(), 18.0, 0.2);
+}
+
+TEST(PredictorEdgeTest, ScaleClampBoundsExtremeObservations)
+{
+    // A pathological execution running 100× slower than history must
+    // not produce an unbounded prediction: the scale clamps at 10.
+    Profile profile = uniformProfile(40);
+    Predictor pred(&profile);
+    for (int e = 0; e < 4; ++e)
+        runPiecewise(pred, profile, 1.05, 1.05,
+                     Time::sec(double(e)));
+
+    pred.beginExecution(Time::sec(50.0));
+    Time now = Time::sec(50.0);
+    for (size_t i = 0; i < 10; ++i) {
+        now += Time::ms(500.0); // 100× slowdown
+        pred.observe(now, double(i + 1) * 1e6);
+    }
+    double predicted = pred.predictTotal().sec();
+    double elapsed = 5.0;
+    // Bounded: elapsed + at most ~30 segments × 5 ms × (1 + 10·rate).
+    EXPECT_LT(predicted, elapsed + 30 * 5e-3 * (1.0 + 10.0 * 2.0));
+    EXPECT_GT(predicted, elapsed);
+}
+
+TEST(PredictorEdgeTest, MinimumSegmentTimeFloor)
+{
+    // Even with strongly negative history, an expected segment never
+    // dips below 5% of its profiled time.
+    Profile profile = uniformProfile(20);
+    Predictor pred(&profile);
+    for (int e = 0; e < 8; ++e)
+        runPiecewise(pred, profile, 0.2, 0.2,
+                     Time::sec(double(e)));
+    pred.beginExecution(Time::sec(50.0));
+    pred.observe(Time::sec(50.0) + Time::ms(1.0), 1e6);
+    // 19 remaining segments at ≥ 0.25 ms each.
+    EXPECT_GE(pred.predictTotal().sec(),
+              1e-3 + 19 * 0.05 * 5e-3 - 1e-9);
+}
+
+} // namespace
+} // namespace dirigent::core

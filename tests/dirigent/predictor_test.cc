@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests of the completion-time predictor against hand-computable
+ * scenarios, including the paper's Fig. 3 three-segment example, plus
+ * parameterized property sweeps over contention levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/predictor.h"
+
+namespace dirigent::core {
+namespace {
+
+/** A uniform profile: @p n segments of @p progress instr / @p dt each. */
+Profile
+uniformProfile(size_t n, double progress = 1e6,
+               Time dt = Time::ms(5.0))
+{
+    std::vector<ProfileSegment> segs(n, ProfileSegment{progress, dt});
+    return Profile("test", dt, segs);
+}
+
+/** Feed a full execution at a constant slowdown; returns duration. */
+Time
+runExecution(Predictor &pred, const Profile &profile, double slowdown,
+             Time start = Time())
+{
+    pred.beginExecution(start);
+    Time now = start;
+    double progress = 0.0;
+    // Observe at fixed 5 ms wall intervals, progressing at
+    // profiledRate / slowdown.
+    double rate = profile.segments()[0].progress /
+                  profile.segments()[0].duration.sec() / slowdown;
+    double total = profile.totalProgress();
+    while (progress < total) {
+        Time step = Time::ms(5.0);
+        double delta = rate * step.sec();
+        if (progress + delta >= total) {
+            double remaining = total - progress;
+            now += Time::sec(remaining / rate);
+            progress = total;
+            break;
+        }
+        now += step;
+        progress += delta;
+        pred.observe(now, progress);
+    }
+    pred.endExecution(now, progress);
+    return now - start;
+}
+
+TEST(PredictorTest, UncontendedPredictionMatchesProfile)
+{
+    Profile profile = uniformProfile(100);
+    Predictor pred(&profile);
+    Time actual = runExecution(pred, profile, 1.0);
+    EXPECT_NEAR(actual.sec(), profile.totalTime().sec(), 1e-9);
+}
+
+TEST(PredictorTest, BootstrapFirstExecutionTracksObservedRate)
+{
+    Profile profile = uniformProfile(100);
+    Predictor pred(&profile);
+    pred.beginExecution(Time());
+    // Before any observation: prediction equals the profiled total.
+    EXPECT_NEAR(pred.predictTotal().sec(), profile.totalTime().sec(),
+                1e-9);
+
+    // Run the first half at 2× slowdown: 10 ms per profiled segment.
+    Time now;
+    double progress = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        now += Time::ms(10.0);
+        progress += 1e6;
+        pred.observe(now, progress);
+    }
+    // Expected: 0.5 s elapsed + 50 remaining segments at the observed
+    // 2× rate = 0.5 + 0.5 = 1.0 s.
+    EXPECT_NEAR(pred.predictTotal().sec(), 1.0, 0.02);
+}
+
+TEST(PredictorTest, HistoricalPenaltiesPredictSteadyContention)
+{
+    Profile profile = uniformProfile(100);
+    Predictor pred(&profile);
+    // Warm up under constant 1.5× contention.
+    for (int e = 0; e < 5; ++e)
+        runExecution(pred, profile, 1.5, Time::sec(double(e) * 2.0));
+
+    // Mid-execution prediction of a further 1.5× run is accurate.
+    pred.beginExecution(Time::sec(100.0));
+    Time now = Time::sec(100.0);
+    double progress = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        now += Time::ms(7.5);
+        progress += 1e6;
+        pred.observe(now, progress);
+    }
+    double expected = 100.0 * 7.5e-3; // full run at 1.5×
+    EXPECT_NEAR(pred.predictTotal().sec(), expected,
+                0.02 * expected);
+}
+
+TEST(PredictorTest, ScalesHistoryToCurrentContention)
+{
+    Profile profile = uniformProfile(100);
+    Predictor pred(&profile);
+    // History at 1.5×.
+    for (int e = 0; e < 8; ++e)
+        runExecution(pred, profile, 1.5, Time::sec(double(e) * 2.0));
+
+    // New execution at 2×: after a quarter of the run, the scaled
+    // prediction should approach the 2× total.
+    pred.beginExecution(Time::sec(100.0));
+    Time now = Time::sec(100.0);
+    double progress = 0.0;
+    for (int i = 0; i < 25; ++i) {
+        now += Time::ms(10.0);
+        progress += 1e6;
+        pred.observe(now, progress);
+    }
+    double expected = 100.0 * 10e-3;
+    EXPECT_NEAR(pred.predictTotal().sec(), expected, 0.06 * expected);
+}
+
+TEST(PredictorTest, Fig3ThreeSegmentExample)
+{
+    // The paper's running example: three segments of ΔT each; the
+    // second segment's penalty differs from the first.
+    Profile profile = uniformProfile(3, 1e6, Time::ms(5.0));
+    Predictor pred(&profile);
+    pred.beginExecution(Time());
+    // Segment 1 takes 8 ms (P₁ = 3 ms), segment 2 takes 6 ms
+    // (P₂ = 1 ms).
+    pred.observe(Time::ms(8.0), 1e6);
+    pred.observe(Time::ms(14.0), 2e6);
+    EXPECT_EQ(pred.currentSegment(), 2u);
+    // Prediction: 14 ms elapsed + remaining segment estimated from the
+    // in-flight penalty-rate MA (EMA over P/ΔT: 0.2·0.2+0.8·0.6=0.52
+    // → expected ≈ 5 ms·1.52 = 7.6 ms) → ≈ 21.6 ms.
+    EXPECT_NEAR(pred.predictTotal().ms(), 21.6, 0.5);
+    pred.endExecution(Time::ms(20.0), 3e6);
+    // Penalties recorded for all three segments.
+    EXPECT_NEAR(pred.penaltyAverage(0), 3e-3, 1e-9);
+    EXPECT_NEAR(pred.penaltyAverage(1), 1e-3, 1e-9);
+    EXPECT_NEAR(pred.penaltyAverage(2), 1e-3, 1e-9);
+}
+
+TEST(PredictorTest, PenaltyEmaUsesPaperWeight)
+{
+    Profile profile = uniformProfile(2, 1e6, Time::ms(5.0));
+    Predictor pred(&profile);
+    // Execution 1: both segments take 7 ms → P = 2 ms.
+    pred.beginExecution(Time());
+    pred.observe(Time::ms(7.0), 1e6);
+    pred.endExecution(Time::ms(14.0), 2e6);
+    EXPECT_NEAR(pred.penaltyAverage(0), 2e-3, 1e-9);
+    // Execution 2: segments take 9 ms → P = 4 ms.
+    // EMA: 0.2·4 + 0.8·2 = 2.4 ms.
+    pred.beginExecution(Time::sec(1.0));
+    pred.observe(Time::sec(1.0) + Time::ms(9.0), 1e6);
+    pred.endExecution(Time::sec(1.0) + Time::ms(18.0), 2e6);
+    EXPECT_NEAR(pred.penaltyAverage(0), 2.4e-3, 1e-9);
+}
+
+TEST(PredictorTest, HandlesZeroProgressIntervals)
+{
+    Profile profile = uniformProfile(10);
+    Predictor pred(&profile);
+    pred.beginExecution(Time());
+    pred.observe(Time::ms(5.0), 1e6);
+    // Paused: no progress for two intervals.
+    pred.observe(Time::ms(10.0), 1e6);
+    pred.observe(Time::ms(15.0), 1e6);
+    EXPECT_TRUE(pred.hasObservation());
+    // Elapsed time is charged; prediction grows accordingly.
+    EXPECT_GT(pred.predictTotal().ms(), 55.0);
+    // Resume.
+    pred.observe(Time::ms(20.0), 2e6);
+    EXPECT_EQ(pred.currentSegment(), 2u);
+}
+
+TEST(PredictorTest, ProgressBeyondProfileIsAbsorbed)
+{
+    Profile profile = uniformProfile(4);
+    Predictor pred(&profile);
+    pred.beginExecution(Time());
+    // Instance has 10% more instructions than the profile.
+    pred.observe(Time::ms(20.0), 4e6);
+    pred.observe(Time::ms(22.0), 4.4e6);
+    EXPECT_EQ(pred.currentSegment(), 4u);
+    // Prediction degenerates to elapsed time (task nearly done).
+    EXPECT_NEAR(pred.predictTotal().ms(), 22.0, 1e-9);
+    pred.endExecution(Time::ms(23.0), 4.4e6);
+}
+
+TEST(PredictorTest, ProgressFraction)
+{
+    Profile profile = uniformProfile(10);
+    Predictor pred(&profile);
+    pred.beginExecution(Time());
+    pred.observe(Time::ms(5.0), 2.5e6);
+    EXPECT_NEAR(pred.progressFraction(), 0.25, 1e-12);
+}
+
+TEST(PredictorTest, MultipleSegmentsPerObservation)
+{
+    // One observation interval can cross several profile segments.
+    Profile profile = uniformProfile(10);
+    Predictor pred(&profile);
+    pred.beginExecution(Time());
+    pred.observe(Time::ms(15.0), 6e6); // crosses 6 boundaries at once
+    EXPECT_EQ(pred.currentSegment(), 6u);
+    // Each closed segment saw 2.5 ms (faster than profiled): negative
+    // penalties.
+    EXPECT_LT(pred.penaltyAverage(0), 0.0);
+}
+
+TEST(PredictorTest, ExecutionsSeenCounts)
+{
+    Profile profile = uniformProfile(5);
+    Predictor pred(&profile);
+    EXPECT_EQ(pred.executionsSeen(), 0u);
+    runExecution(pred, profile, 1.0);
+    runExecution(pred, profile, 1.0, Time::sec(1.0));
+    EXPECT_EQ(pred.executionsSeen(), 2u);
+}
+
+TEST(PredictorDeathTest, RequiresProfile)
+{
+    EXPECT_DEATH(Predictor{nullptr}, "profile");
+    Profile empty;
+    EXPECT_DEATH((Predictor{&empty}), "profile");
+}
+
+TEST(PredictorDeathTest, ObserveOutsideExecutionPanics)
+{
+    Profile profile = uniformProfile(5);
+    Predictor pred(&profile);
+    EXPECT_DEATH(pred.observe(Time::ms(1.0), 1.0), "outside");
+}
+
+/**
+ * Property sweep: after warm-up at a given contention level, midpoint
+ * predictions at that level are accurate to a few percent regardless
+ * of the level itself.
+ */
+class PredictorAccuracySweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(PredictorAccuracySweep, MidpointAccurateAtSteadyContention)
+{
+    double slowdown = GetParam();
+    Profile profile = uniformProfile(120);
+    Predictor pred(&profile);
+    for (int e = 0; e < 6; ++e)
+        runExecution(pred, profile, slowdown,
+                     Time::sec(double(e) * 3.0));
+
+    pred.beginExecution(Time::sec(50.0));
+    Time now = Time::sec(50.0);
+    double progress = 0.0;
+    double rate = 1e6 / 5e-3 / slowdown;
+    while (progress < profile.totalProgress() / 2.0) {
+        now += Time::ms(5.0);
+        progress += rate * 5e-3;
+        pred.observe(now, progress);
+    }
+    double expected = profile.totalTime().sec() * slowdown;
+    EXPECT_NEAR(pred.predictTotal().sec(), expected, 0.03 * expected)
+        << "slowdown " << slowdown;
+}
+
+INSTANTIATE_TEST_SUITE_P(ContentionLevels, PredictorAccuracySweep,
+                         testing::Values(1.0, 1.1, 1.25, 1.5, 1.75, 2.0,
+                                         2.5, 3.0));
+
+/**
+ * Property sweep: prediction is robust across EMA weights 0.1–0.3
+ * (the paper's robustness claim).
+ */
+class PredictorWeightSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(PredictorWeightSweep, AccurateAcrossEmaWeights)
+{
+    PredictorConfig cfg;
+    cfg.penaltyEmaWeight = GetParam();
+    cfg.rateEmaWeight = GetParam();
+    Profile profile = uniformProfile(120);
+    Predictor pred(&profile, cfg);
+    for (int e = 0; e < 8; ++e)
+        runExecution(pred, profile, 1.6, Time::sec(double(e) * 3.0));
+
+    pred.beginExecution(Time::sec(80.0));
+    Time now = Time::sec(80.0);
+    double progress = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        now += Time::ms(8.0);
+        progress += 1e6;
+        pred.observe(now, progress);
+    }
+    double expected = profile.totalTime().sec() * 1.6;
+    EXPECT_NEAR(pred.predictTotal().sec(), expected, 0.04 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, PredictorWeightSweep,
+                         testing::Values(0.1, 0.15, 0.2, 0.25, 0.3));
+
+} // namespace
+} // namespace dirigent::core

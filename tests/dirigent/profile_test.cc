@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests of the Profile container and its serialization format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/profile.h"
+
+namespace dirigent::core {
+namespace {
+
+Profile
+sampleProfile()
+{
+    std::vector<ProfileSegment> segs = {
+        {1e7, Time::ms(5.0)},
+        {2e7, Time::ms(5.1)},
+        {1.5e7, Time::ms(4.9)},
+    };
+    return Profile("ferret", Time::ms(5.0), segs);
+}
+
+TEST(ProfileTest, Accessors)
+{
+    Profile p = sampleProfile();
+    EXPECT_EQ(p.benchmark(), "ferret");
+    EXPECT_DOUBLE_EQ(p.samplingPeriod().ms(), 5.0);
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_FALSE(p.empty());
+    EXPECT_DOUBLE_EQ(p.totalProgress(), 4.5e7);
+    EXPECT_NEAR(p.totalTime().ms(), 15.0, 1e-9);
+}
+
+TEST(ProfileTest, DefaultIsEmpty)
+{
+    Profile p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_DOUBLE_EQ(p.totalProgress(), 0.0);
+}
+
+TEST(ProfileTest, SerializeRoundTrips)
+{
+    Profile p = sampleProfile();
+    auto restored = Profile::deserialize(p.serialize());
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(restored->benchmark(), p.benchmark());
+    EXPECT_DOUBLE_EQ(restored->samplingPeriod().sec(),
+                     p.samplingPeriod().sec());
+    ASSERT_EQ(restored->size(), p.size());
+    for (size_t i = 0; i < p.size(); ++i) {
+        EXPECT_DOUBLE_EQ(restored->segments()[i].progress,
+                         p.segments()[i].progress);
+        EXPECT_NEAR(restored->segments()[i].duration.sec(),
+                    p.segments()[i].duration.sec(), 1e-15);
+    }
+}
+
+TEST(ProfileTest, DeserializeRejectsGarbage)
+{
+    EXPECT_FALSE(Profile::deserialize("").has_value());
+    EXPECT_FALSE(Profile::deserialize("not a profile").has_value());
+    EXPECT_FALSE(
+        Profile::deserialize("dirigent-profile v2\n").has_value());
+}
+
+TEST(ProfileTest, DeserializeRejectsTruncatedSegments)
+{
+    Profile p = sampleProfile();
+    std::string text = p.serialize();
+    // Drop the last line (one segment short).
+    text.erase(text.rfind('\n', text.size() - 2) + 1);
+    EXPECT_FALSE(Profile::deserialize(text).has_value());
+}
+
+TEST(ProfileTest, DeserializeRejectsNegativeValues)
+{
+    std::string text = "dirigent-profile v1\n"
+                       "benchmark x\n"
+                       "period_s 0.005\n"
+                       "segments 1\n"
+                       "-5 0.005\n";
+    EXPECT_FALSE(Profile::deserialize(text).has_value());
+}
+
+TEST(ProfileDeathTest, DegenerateSegmentPanics)
+{
+    std::vector<ProfileSegment> segs = {{0.0, Time::ms(5.0)}};
+    EXPECT_DEATH(Profile("x", Time::ms(5.0), segs), "degenerate");
+}
+
+TEST(ProfileDeathTest, ZeroPeriodPanics)
+{
+    std::vector<ProfileSegment> segs = {{1e7, Time::ms(5.0)}};
+    EXPECT_DEATH(Profile("x", Time(), segs), "period");
+}
+
+} // namespace
+} // namespace dirigent::core

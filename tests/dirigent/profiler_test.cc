@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests of the offline profiler: segment structure, totals consistency,
+ * determinism, and the averaged multi-execution record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/profiler.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+machine::MachineConfig
+machineConfig()
+{
+    machine::MachineConfig cfg;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(ProfilerTest, ProfileStructureMatchesPaper)
+{
+    // ΔT = 5 ms gives 100+ segments for every FG task (paper §4.2).
+    ProfilerConfig pcfg;
+    pcfg.executions = 1;
+    OfflineProfiler profiler(pcfg);
+    const auto &bench =
+        workload::BenchmarkLibrary::instance().get("ferret");
+    Profile profile = profiler.profileAlone(bench, machineConfig());
+
+    EXPECT_EQ(profile.benchmark(), "ferret");
+    EXPECT_GE(profile.size(), 100u);
+    // Total progress ≈ the program's instruction count (±jitter).
+    EXPECT_NEAR(profile.totalProgress(),
+                bench.program.totalInstructions(),
+                0.1 * bench.program.totalInstructions());
+    // Standalone ferret takes ≈1 s on this machine.
+    EXPECT_GT(profile.totalTime().sec(), 0.5);
+    EXPECT_LT(profile.totalTime().sec(), 2.0);
+}
+
+TEST(ProfilerTest, SegmentDurationsNearPeriod)
+{
+    ProfilerConfig pcfg;
+    pcfg.executions = 1;
+    OfflineProfiler profiler(pcfg);
+    const auto &bench =
+        workload::BenchmarkLibrary::instance().get("raytrace");
+    Profile profile = profiler.profileAlone(bench, machineConfig());
+    // All but the final partial segment last ≈ ΔT (plus small timer
+    // overshoot).
+    for (size_t i = 0; i + 1 < profile.size(); ++i) {
+        EXPECT_GT(profile.segments()[i].duration.ms(), 4.5);
+        EXPECT_LT(profile.segments()[i].duration.ms(), 6.5);
+    }
+}
+
+TEST(ProfilerTest, ProgressVariesAcrossSegments)
+{
+    // The paper: progress differs between segments because of phase
+    // behaviour, even at constant sampling frequency.
+    ProfilerConfig pcfg;
+    pcfg.executions = 1;
+    OfflineProfiler profiler(pcfg);
+    const auto &bench =
+        workload::BenchmarkLibrary::instance().get("streamcluster");
+    Profile profile = profiler.profileAlone(bench, machineConfig());
+    double lo = 1e18, hi = 0.0;
+    for (size_t i = 0; i + 1 < profile.size(); ++i) {
+        lo = std::min(lo, profile.segments()[i].progress);
+        hi = std::max(hi, profile.segments()[i].progress);
+    }
+    EXPECT_GT(hi / lo, 1.1);
+}
+
+TEST(ProfilerTest, DeterministicForSameSeed)
+{
+    ProfilerConfig pcfg;
+    pcfg.executions = 1;
+    OfflineProfiler p1(pcfg), p2(pcfg);
+    const auto &bench =
+        workload::BenchmarkLibrary::instance().get("fluidanimate");
+    Profile a = p1.profileAlone(bench, machineConfig());
+    Profile b = p2.profileAlone(bench, machineConfig());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.segments()[i].progress,
+                         b.segments()[i].progress);
+}
+
+TEST(ProfilerTest, MultiExecutionAveraging)
+{
+    ProfilerConfig pcfg;
+    pcfg.executions = 3;
+    OfflineProfiler profiler(pcfg);
+    const auto &bench =
+        workload::BenchmarkLibrary::instance().get("bodytrack");
+    Profile profile = profiler.profileAlone(bench, machineConfig());
+    EXPECT_GE(profile.size(), 100u);
+    EXPECT_NEAR(profile.totalProgress(),
+                bench.program.totalInstructions(),
+                0.1 * bench.program.totalInstructions());
+}
+
+TEST(ProfilerDeathTest, LoopingProgramPanics)
+{
+    OfflineProfiler profiler;
+    const auto &bench = workload::BenchmarkLibrary::instance().get("lbm");
+    EXPECT_DEATH(profiler.profileAlone(bench, machineConfig()),
+                 "looping");
+}
+
+} // namespace
+} // namespace dirigent::core

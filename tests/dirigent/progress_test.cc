@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests of the progress-metric abstraction: heartbeat semantics,
+ * cumulative reads across executions, and end-to-end prediction with
+ * the heartbeat metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/profiler.h"
+#include "dirigent/progress.h"
+#include "dirigent/runtime.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+TEST(BeatProgressTest, CountsPhasesAndFractions)
+{
+    workload::PhaseProgram prog;
+    prog.name = "two";
+    workload::Phase a;
+    a.name = "a";
+    a.instructions = 100.0;
+    workload::Phase b;
+    b.name = "b";
+    b.instructions = 50.0;
+    prog.phases = {a, b};
+
+    workload::Task task(&prog, Rng(1));
+    EXPECT_DOUBLE_EQ(task.beatProgress(), 0.0);
+    task.retire(50.0);
+    EXPECT_DOUBLE_EQ(task.beatProgress(), 0.5);
+    task.retire(50.0);
+    EXPECT_DOUBLE_EQ(task.beatProgress(), 1.0);
+    task.retire(25.0);
+    EXPECT_DOUBLE_EQ(task.beatProgress(), 1.5);
+    task.retire(25.0);
+    EXPECT_TRUE(task.finished());
+    EXPECT_DOUBLE_EQ(task.beatProgress(), 2.0);
+}
+
+TEST(BeatProgressTest, ImmuneToInstructionJitter)
+{
+    // Two instances with wildly different jittered phase lengths hit
+    // the same beat count at phase boundaries.
+    workload::PhaseProgram prog;
+    prog.name = "jittery";
+    workload::Phase p;
+    p.name = "p";
+    p.instructions = 1000.0;
+    p.instrJitterSigma = 0.3;
+    prog.phases = {p, p};
+
+    workload::Task t1(&prog, Rng(1));
+    workload::Task t2(&prog, Rng(2));
+    EXPECT_NE(t1.remainingInPhase(), t2.remainingInPhase());
+    t1.retire(t1.remainingInPhase());
+    t2.retire(t2.remainingInPhase());
+    EXPECT_DOUBLE_EQ(t1.beatProgress(), 1.0);
+    EXPECT_DOUBLE_EQ(t2.beatProgress(), 1.0);
+}
+
+TEST(BeatProgressTest, LoopingProgramAccumulates)
+{
+    workload::PhaseProgram prog;
+    prog.name = "loop";
+    prog.loop = true;
+    workload::Phase p;
+    p.name = "p";
+    p.instructions = 100.0;
+    prog.phases = {p};
+
+    workload::Task task(&prog, Rng(1));
+    for (int i = 0; i < 3; ++i)
+        task.retire(task.remainingInPhase());
+    EXPECT_DOUBLE_EQ(task.beatProgress(), 3.0);
+}
+
+TEST(ProgressMetricTest, Names)
+{
+    EXPECT_STREQ(
+        progressMetricName(ProgressMetric::RetiredInstructions),
+        "retired-instructions");
+    EXPECT_STREQ(progressMetricName(ProgressMetric::Heartbeats),
+                 "heartbeats");
+}
+
+TEST(ProgressMetricTest, CumulativeAcrossExecutions)
+{
+    machine::MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    cfg.seed = 9;
+    machine::Machine machine(cfg);
+    sim::Engine engine(machine, cfg.maxQuantum);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    machine::ProcessSpec fg;
+    fg.name = "fluidanimate";
+    fg.program = &lib.get("fluidanimate").program;
+    fg.core = 0;
+    fg.foreground = true;
+    machine.spawnProcess(fg);
+
+    double beats0 = readCumulativeProgress(
+        machine, 0, ProgressMetric::Heartbeats);
+    EXPECT_DOUBLE_EQ(beats0, 0.0);
+
+    // Monotone over a run spanning multiple executions.
+    double last = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        engine.runFor(Time::ms(150.0));
+        double beats = readCumulativeProgress(
+            machine, 0, ProgressMetric::Heartbeats);
+        EXPECT_GE(beats, last);
+        last = beats;
+    }
+    // ~1.5 s = ~3 executions of a 3-phase program: ≥ 6 beats.
+    EXPECT_GT(last, 6.0);
+
+    // Instruction metric matches the PMU.
+    EXPECT_DOUBLE_EQ(
+        readCumulativeProgress(machine, 0,
+                               ProgressMetric::RetiredInstructions),
+        machine.readCounters(0).instructions);
+
+    // Idle core reads zero beats.
+    EXPECT_DOUBLE_EQ(readCumulativeProgress(
+                         machine, 3, ProgressMetric::Heartbeats),
+                     0.0);
+}
+
+TEST(ProgressMetricTest, HeartbeatPredictionEndToEnd)
+{
+    // Full pipeline with the heartbeat metric: profile + observe +
+    // predict. Predictions stay sane (within 25% of actual).
+    machine::MachineConfig mcfg;
+    mcfg.seed = 23;
+
+    ProfilerConfig pcfg;
+    pcfg.executions = 2;
+    pcfg.metric = ProgressMetric::Heartbeats;
+    OfflineProfiler profiler(pcfg);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    Profile profile =
+        profiler.profileAlone(lib.get("raytrace"), mcfg);
+    // Total progress is the program's beat count (2 phases).
+    EXPECT_NEAR(profile.totalProgress(), 2.0, 1e-6);
+
+    machine::Machine machine(mcfg);
+    sim::Engine engine(machine, mcfg.maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+    machine::CatController cat(machine);
+    machine::ProcessSpec fg;
+    fg.name = "raytrace";
+    fg.program = &lib.get("raytrace").program;
+    fg.core = 0;
+    fg.foreground = true;
+    machine::Pid pid = machine.spawnProcess(fg);
+    for (unsigned c = 1; c < 6; ++c) {
+        machine::ProcessSpec bg;
+        bg.name = "pca";
+        bg.program = &lib.get("pca").program;
+        bg.core = c;
+        bg.foreground = false;
+        machine.spawnProcess(bg);
+    }
+
+    RuntimeConfig rcfg;
+    rcfg.enableFine = false;
+    rcfg.enableCoarse = false;
+    rcfg.metric = ProgressMetric::Heartbeats;
+    DirigentRuntime runtime(machine, engine, governor, cat, rcfg);
+    runtime.addForeground(pid, &profile, Time::sec(2.0));
+    runtime.start();
+    engine.runUntil(Time::sec(6.0));
+    const auto &samples = runtime.midpointSamples(pid);
+    ASSERT_GE(samples.size(), 3u);
+    for (const auto &s : samples) {
+        EXPECT_NEAR(s.predictedTotal.sec(), s.actualTotal.sec(),
+                    0.25 * s.actualTotal.sec());
+    }
+}
+
+} // namespace
+} // namespace dirigent::core

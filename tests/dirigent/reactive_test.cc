@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the reactive (non-predictive) controller ablation baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/reactive.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+class ReactiveTest : public testing::Test
+{
+  protected:
+    ReactiveTest()
+    {
+        mcfg_.seed = 17;
+        machine_ = std::make_unique<machine::Machine>(mcfg_);
+        engine_ =
+            std::make_unique<sim::Engine>(*machine_, mcfg_.maxQuantum);
+        governor_ = std::make_unique<machine::CpuFreqGovernor>(
+            *machine_, *engine_);
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "raytrace";
+        fg.program = &lib.get("raytrace").program;
+        fg.core = 0;
+        fg.foreground = true;
+        fgPid_ = machine_->spawnProcess(fg);
+        for (unsigned c = 1; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "lbm";
+            bg.program = &lib.get("lbm").program;
+            bg.core = c;
+            bg.foreground = false;
+            machine_->spawnProcess(bg);
+        }
+    }
+
+    machine::MachineConfig mcfg_;
+    std::unique_ptr<machine::Machine> machine_;
+    std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<machine::CpuFreqGovernor> governor_;
+    machine::Pid fgPid_ = 0;
+};
+
+TEST_F(ReactiveTest, OneDecisionPerCompletion)
+{
+    ReactiveController reactive(*machine_, *governor_);
+    reactive.addForeground(fgPid_, Time::sec(1.0));
+    reactive.start();
+    engine_->runUntil(Time::sec(3.0)); // ~2–3 raytrace executions
+    EXPECT_GE(reactive.decisions(), 2u);
+    EXPECT_EQ(reactive.decisions(),
+              machine_->os().process(fgPid_).executions);
+}
+
+TEST_F(ReactiveTest, ThrottlesAfterMissedDeadline)
+{
+    // Deadline far below the contended duration: every completion is a
+    // miss, so BG cores walk down the ladder execution by execution.
+    ReactiveController reactive(*machine_, *governor_);
+    reactive.addForeground(fgPid_, Time::sec(0.5));
+    reactive.start();
+    engine_->runUntil(Time::sec(6.0));
+    ASSERT_GE(reactive.decisions(), 4u);
+    for (unsigned c = 1; c < 6; ++c)
+        EXPECT_LT(governor_->grade(c), 8u);
+}
+
+TEST_F(ReactiveTest, ReleasesWhenComfortablyEarly)
+{
+    // Impossible-to-miss deadline: the controller gives everything
+    // back (and ends up throttling the FG itself).
+    ReactiveController reactive(*machine_, *governor_);
+    reactive.addForeground(fgPid_, Time::sec(10.0));
+    reactive.start();
+    engine_->runUntil(Time::sec(5.0));
+    for (unsigned c = 1; c < 6; ++c)
+        EXPECT_EQ(governor_->grade(c), 8u);
+    EXPECT_LT(governor_->grade(0), 8u);
+}
+
+TEST_F(ReactiveTest, ReactsOneExecutionLate)
+{
+    // The defining handicap: no mid-execution action. During the first
+    // execution nothing changes regardless of the deadline.
+    ReactiveController reactive(*machine_, *governor_);
+    reactive.addForeground(fgPid_, Time::sec(0.2));
+    reactive.start();
+    engine_->runUntil(Time::ms(400.0)); // inside the first execution
+    EXPECT_EQ(reactive.decisions(), 0u);
+    for (unsigned c = 1; c < 6; ++c)
+        EXPECT_EQ(governor_->grade(c), 8u);
+}
+
+TEST_F(ReactiveTest, StopDetaches)
+{
+    ReactiveController reactive(*machine_, *governor_);
+    reactive.addForeground(fgPid_, Time::sec(0.5));
+    reactive.start();
+    engine_->runUntil(Time::sec(2.0));
+    uint64_t decisions = reactive.decisions();
+    reactive.stop();
+    engine_->runUntil(Time::sec(4.0));
+    EXPECT_EQ(reactive.decisions(), decisions);
+}
+
+TEST_F(ReactiveTest, Validation)
+{
+    ReactiveController reactive(*machine_, *governor_);
+    EXPECT_DEATH(reactive.start(), "no foreground");
+    EXPECT_DEATH(reactive.addForeground(fgPid_, Time()), "deadline");
+    machine::Pid bgPid = machine_->os().backgroundPids().front();
+    EXPECT_DEATH(reactive.addForeground(bgPid, Time::sec(1.0)),
+                 "foreground");
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests of the assembled Dirigent runtime: sampling, prediction
+ * bookkeeping across executions, control wiring, overhead accounting,
+ * and observer mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/profiler.h"
+#include "dirigent/runtime.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+class RuntimeTest : public testing::Test
+{
+  protected:
+    RuntimeTest()
+    {
+        mcfg_.seed = 11;
+        machine_ = std::make_unique<machine::Machine>(mcfg_);
+        engine_ =
+            std::make_unique<sim::Engine>(*machine_, mcfg_.maxQuantum);
+        governor_ = std::make_unique<machine::CpuFreqGovernor>(
+            *machine_, *engine_);
+        cat_ = std::make_unique<machine::CatController>(*machine_);
+
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "ferret";
+        fg.program = &lib.get("ferret").program;
+        fg.core = 0;
+        fg.foreground = true;
+        fgPid_ = machine_->spawnProcess(fg);
+        for (unsigned c = 1; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "bwaves";
+            bg.program = &lib.get("bwaves").program;
+            bg.core = c;
+            bg.foreground = false;
+            machine_->spawnProcess(bg);
+        }
+
+        ProfilerConfig pcfg;
+        pcfg.executions = 1;
+        OfflineProfiler profiler(pcfg);
+        profile_ = profiler.profileAlone(lib.get("ferret"), mcfg_);
+    }
+
+    RuntimeConfig
+    runtimeConfig(bool fine, bool coarse)
+    {
+        RuntimeConfig cfg;
+        cfg.enableFine = fine;
+        cfg.enableCoarse = coarse;
+        cfg.runtimeCore = 1;
+        return cfg;
+    }
+
+    machine::MachineConfig mcfg_;
+    std::unique_ptr<machine::Machine> machine_;
+    std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<machine::CpuFreqGovernor> governor_;
+    std::unique_ptr<machine::CatController> cat_;
+    machine::Pid fgPid_ = 0;
+    Profile profile_;
+};
+
+TEST_F(RuntimeTest, SamplesAtConfiguredPeriod)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(false, false));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::ms(100.0));
+    // ~20 ticks in 100 ms at ΔT = 5 ms (minus drift).
+    EXPECT_GE(runtime.invocations(), 17u);
+    EXPECT_LE(runtime.invocations(), 20u);
+}
+
+TEST_F(RuntimeTest, PredictorFollowsExecutions)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(false, false));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    // Run long enough for at least two FG executions (~2 s each).
+    engine_->runUntil(Time::sec(6.5));
+    const Predictor &pred = runtime.predictor(fgPid_);
+    EXPECT_GE(pred.executionsSeen(), 2u);
+    // Midpoint samples recorded for completed executions.
+    EXPECT_GE(runtime.midpointSamples(fgPid_).size(), 2u);
+}
+
+TEST_F(RuntimeTest, MidpointPredictionsAreReasonable)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(false, false));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(10.0));
+    const auto &samples = runtime.midpointSamples(fgPid_);
+    ASSERT_GE(samples.size(), 3u);
+    for (const auto &s : samples) {
+        EXPECT_GT(s.actualTotal.sec(), 0.5);
+        // Prediction within 40% of actual even in the worst case.
+        EXPECT_NEAR(s.predictedTotal.sec(), s.actualTotal.sec(),
+                    0.4 * s.actualTotal.sec());
+    }
+}
+
+TEST_F(RuntimeTest, ObserverModeTakesNoActions)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(false, false));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(0.1)); // absurd
+    runtime.start();
+    engine_->runUntil(Time::sec(1.0));
+    // Despite hopeless deadlines, nothing was throttled or paused.
+    for (unsigned c = 1; c < 6; ++c) {
+        EXPECT_EQ(governor_->grade(c), 8u);
+        EXPECT_TRUE(
+            machine_->os().processOnCore(c)->runnable());
+    }
+    EXPECT_EQ(runtime.fineController().stats().decisions, 0u);
+}
+
+TEST_F(RuntimeTest, FineModeThrottlesWhenBehind)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, false));
+    // Deadline slightly above standalone time: requires throttling BG.
+    runtime.addForeground(fgPid_, &profile_,
+                          profile_.totalTime() * 1.05);
+    runtime.start();
+    engine_->runUntil(Time::sec(3.0));
+    const auto &stats = runtime.fineController().stats();
+    EXPECT_GT(stats.decisions, 0u);
+    EXPECT_GT(stats.bgThrottles + stats.pauses, 0u);
+}
+
+TEST_F(RuntimeTest, CoarseModeAppliesInitialPartition)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, true));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    EXPECT_NE(runtime.coarseController(), nullptr);
+    EXPECT_TRUE(cat_->partitioned());
+    EXPECT_EQ(cat_->fgWays(), 2u);
+}
+
+TEST_F(RuntimeTest, CoarseDisabledMeansNoPartition)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, false));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    EXPECT_EQ(runtime.coarseController(), nullptr);
+    EXPECT_FALSE(cat_->partitioned());
+}
+
+TEST_F(RuntimeTest, CoarseControllerSeesExecutions)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, true));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(6.0));
+    ASSERT_NE(runtime.coarseController(), nullptr);
+    EXPECT_GE(runtime.coarseController()->executionsSeen(), 2u);
+}
+
+TEST_F(RuntimeTest, InvocationOverheadIsCharged)
+{
+    // The runtime core's BG task loses ≈ overhead × ticks of work.
+    RuntimeConfig heavy = runtimeConfig(false, false);
+    heavy.invocationOverhead = Time::ms(2.5); // exaggerated: 50% of ΔT
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            heavy);
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(1.0));
+    double victim = machine_->readCounters(1).instructions;
+    double other = machine_->readCounters(2).instructions;
+    EXPECT_LT(victim, other * 0.7);
+}
+
+TEST_F(RuntimeTest, StopHaltsSampling)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, false));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::ms(50.0));
+    uint64_t ticks = runtime.invocations();
+    runtime.stop();
+    engine_->runUntil(Time::ms(200.0));
+    EXPECT_EQ(runtime.invocations(), ticks);
+}
+
+TEST_F(RuntimeTest, DeadlinePassedThroughToController)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, false));
+    // Generous deadline: the controller should mostly find the FG
+    // ahead and end up throttling the FG core itself.
+    runtime.addForeground(fgPid_, &profile_, Time::sec(5.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(2.0));
+    EXPECT_LT(governor_->grade(0), 8u);
+}
+
+TEST_F(RuntimeTest, AddForegroundValidation)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, false));
+    EXPECT_DEATH(runtime.addForeground(fgPid_, nullptr, Time::sec(1.0)),
+                 "profile");
+    EXPECT_DEATH(runtime.addForeground(fgPid_, &profile_, Time()),
+                 "deadline");
+    // BG pid rejected.
+    machine::Pid bgPid = machine_->os().backgroundPids().front();
+    EXPECT_DEATH(runtime.addForeground(bgPid, &profile_, Time::sec(1.0)),
+                 "foreground");
+}
+
+TEST_F(RuntimeTest, StartRequiresForeground)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(true, false));
+    EXPECT_DEATH(runtime.start(), "no foreground");
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests of the evaluated-scheme descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dirigent/scheme.h"
+
+namespace dirigent::core {
+namespace {
+
+TEST(SchemeTest, AllSchemesInPaperOrder)
+{
+    auto schemes = allSchemes();
+    ASSERT_EQ(schemes.size(), 5u);
+    EXPECT_EQ(schemes[0], Scheme::Baseline);
+    EXPECT_EQ(schemes[1], Scheme::StaticFreq);
+    EXPECT_EQ(schemes[2], Scheme::StaticBoth);
+    EXPECT_EQ(schemes[3], Scheme::DirigentFreq);
+    EXPECT_EQ(schemes[4], Scheme::Dirigent);
+}
+
+TEST(SchemeTest, NamesMatchPaper)
+{
+    EXPECT_STREQ(schemeName(Scheme::Baseline), "Baseline");
+    EXPECT_STREQ(schemeName(Scheme::StaticFreq), "StaticFreq");
+    EXPECT_STREQ(schemeName(Scheme::StaticBoth), "StaticBoth");
+    EXPECT_STREQ(schemeName(Scheme::DirigentFreq), "DirigentFreq");
+    EXPECT_STREQ(schemeName(Scheme::Dirigent), "Dirigent");
+}
+
+TEST(SchemeTest, RuntimeUsage)
+{
+    EXPECT_FALSE(schemeUsesRuntime(Scheme::Baseline));
+    EXPECT_FALSE(schemeUsesRuntime(Scheme::StaticFreq));
+    EXPECT_FALSE(schemeUsesRuntime(Scheme::StaticBoth));
+    EXPECT_TRUE(schemeUsesRuntime(Scheme::DirigentFreq));
+    EXPECT_TRUE(schemeUsesRuntime(Scheme::Dirigent));
+}
+
+TEST(SchemeTest, CoarseOnlyInFullDirigent)
+{
+    for (Scheme s : allSchemes())
+        EXPECT_EQ(schemeUsesCoarse(s), s == Scheme::Dirigent);
+}
+
+TEST(SchemeTest, StaticKnobs)
+{
+    EXPECT_TRUE(schemeUsesStaticBgFreq(Scheme::StaticFreq));
+    EXPECT_TRUE(schemeUsesStaticBgFreq(Scheme::StaticBoth));
+    EXPECT_FALSE(schemeUsesStaticBgFreq(Scheme::Dirigent));
+    EXPECT_TRUE(schemeUsesStaticPartition(Scheme::StaticBoth));
+    EXPECT_FALSE(schemeUsesStaticPartition(Scheme::StaticFreq));
+    EXPECT_FALSE(schemeUsesStaticPartition(Scheme::DirigentFreq));
+}
+
+TEST(SchemeTest, NamesUnique)
+{
+    std::set<std::string> names;
+    for (Scheme s : allSchemes())
+        EXPECT_TRUE(names.insert(schemeName(s)).second);
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the decision trace: ring-buffer semantics, controller
+ * wiring, and CSV output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dirigent/fine_controller.h"
+#include "dirigent/trace.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+TEST(DecisionTraceTest, RecordsAndCounts)
+{
+    DecisionTrace trace(8);
+    trace.record({Time::ms(1.0), TraceAction::BgThrottled, 0, 1.1, ""});
+    trace.record({Time::ms(2.0), TraceAction::BgPaused, 0, 1.2, "x"});
+    trace.record({Time::ms(3.0), TraceAction::BgThrottled, 0, 1.1, ""});
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.recorded(), 3u);
+    EXPECT_EQ(trace.count(TraceAction::BgThrottled), 2u);
+    EXPECT_EQ(trace.count(TraceAction::BgPaused), 1u);
+    EXPECT_EQ(trace.count(TraceAction::FgToMax), 0u);
+}
+
+TEST(DecisionTraceTest, RingBufferEvicts)
+{
+    DecisionTrace trace(3);
+    for (int i = 0; i < 5; ++i)
+        trace.record({Time::ms(double(i)), TraceAction::FgToMax, 0,
+                      1.0, ""});
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.recorded(), 5u);
+    EXPECT_DOUBLE_EQ(trace.events().front().when.ms(), 2.0);
+    EXPECT_DOUBLE_EQ(trace.events().back().when.ms(), 4.0);
+}
+
+TEST(DecisionTraceTest, ClearKeepsCounters)
+{
+    DecisionTrace trace(4);
+    trace.record({Time::ms(1.0), TraceAction::FgToMax, 0, 1.0, ""});
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.recorded(), 1u);
+}
+
+TEST(DecisionTraceTest, CsvOutput)
+{
+    DecisionTrace trace(4);
+    trace.record({Time::ms(5.0), TraceAction::PartitionGrown, 2, 1.05,
+                  "H1-grow -> 3 ways"});
+    std::ostringstream os;
+    trace.writeCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("time_s,action,fg_pid,slack,detail"),
+              std::string::npos);
+    EXPECT_NE(out.find("partition-grown"), std::string::npos);
+    EXPECT_NE(out.find("H1-grow -> 3 ways"), std::string::npos);
+}
+
+TEST(DecisionTraceTest, ActionNamesDistinct)
+{
+    std::set<std::string> names;
+    for (TraceAction a :
+         {TraceAction::FgToMax, TraceAction::FgThrottled,
+          TraceAction::BgThrottled, TraceAction::BgBoosted,
+          TraceAction::BgPaused, TraceAction::BgResumed,
+          TraceAction::PartitionGrown, TraceAction::PartitionShrunk})
+        EXPECT_TRUE(names.insert(traceActionName(a)).second);
+}
+
+TEST(DecisionTraceDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(DecisionTrace{0}, "capacity");
+}
+
+/** Controller wiring: actions show up in an attached trace. */
+TEST(DecisionTraceTest, FineControllerRecordsActions)
+{
+    machine::MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    machine::Machine machine(cfg);
+    sim::Engine engine(machine, cfg.maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    machine::ProcessSpec fg;
+    fg.name = "fg";
+    fg.program = &lib.get("ferret").program;
+    fg.core = 0;
+    fg.foreground = true;
+    machine::Pid fgPid = machine.spawnProcess(fg);
+    for (unsigned c = 1; c < 6; ++c) {
+        machine::ProcessSpec bg;
+        bg.name = "bg";
+        bg.program = &lib.get("lbm").program;
+        bg.core = c;
+        bg.foreground = false;
+        machine.spawnProcess(bg);
+    }
+    FineGrainController controller(machine, governor);
+    DecisionTrace trace;
+    controller.setTrace(&trace);
+
+    FineGrainController::FgStatus st;
+    st.pid = fgPid;
+    st.core = 0;
+    st.deadline = Time::sec(1.0);
+    st.valid = true;
+
+    st.predicted = Time::sec(1.1); // behind: BG throttled
+    controller.tick({st});
+    EXPECT_EQ(trace.count(TraceAction::BgThrottled), 1u);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.events().back().fgPid, fgPid);
+    EXPECT_GT(trace.events().back().slackRatio, 1.0);
+
+    st.predicted = Time::sec(0.5); // ahead: BG boosted back
+    controller.tick({st});
+    EXPECT_EQ(trace.count(TraceAction::BgBoosted), 1u);
+    EXPECT_LT(trace.events().back().slackRatio, 1.0);
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests of the open-loop arrival driver: queue semantics, idle
+ * pausing, response-time accounting, and Little's-law sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "harness/arrivals.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::harness {
+namespace {
+
+class ArrivalsTest : public testing::Test
+{
+  protected:
+    ArrivalsTest()
+    {
+        mcfg_.noiseEventsPerSec = 0.0;
+        mcfg_.seed = 13;
+        machine_ = std::make_unique<machine::Machine>(mcfg_);
+        engine_ =
+            std::make_unique<sim::Engine>(*machine_, mcfg_.maxQuantum);
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "fluidanimate"; // ~0.47 s service time standalone
+        fg.program = &lib.get("fluidanimate").program;
+        fg.core = 0;
+        fg.foreground = true;
+        fgPid_ = machine_->spawnProcess(fg);
+    }
+
+    machine::MachineConfig mcfg_;
+    std::unique_ptr<machine::Machine> machine_;
+    std::unique_ptr<sim::Engine> engine_;
+    machine::Pid fgPid_ = 0;
+};
+
+TEST_F(ArrivalsTest, IdleUntilFirstArrival)
+{
+    ArrivalDriver driver(*engine_, *machine_, fgPid_, Time::sec(2.0),
+                         Rng(1));
+    driver.start();
+    engine_->runFor(Time::ms(50.0));
+    // Before the first arrival (mean 2 s) nothing retires.
+    if (driver.arrivals() == 0) {
+        EXPECT_DOUBLE_EQ(machine_->readCounters(0).instructions, 0.0);
+    }
+}
+
+TEST_F(ArrivalsTest, ServesRequestsAndRecordsLatency)
+{
+    // Light load: ~1 request per 1.5 s, service ~0.47 s.
+    ArrivalDriver driver(*engine_, *machine_, fgPid_, Time::sec(1.5),
+                         Rng(2));
+    driver.start();
+    engine_->runUntil(Time::sec(30.0));
+    driver.stop();
+
+    ASSERT_GE(driver.completions().size(), 10u);
+    for (const auto &c : driver.completions()) {
+        EXPECT_GE(c.started.sec(), c.arrived.sec());
+        EXPECT_GT(c.finished.sec(), c.started.sec());
+        // Service time ≈ standalone duration.
+        EXPECT_NEAR(c.serviceTime().sec(), 0.47, 0.15);
+    }
+    // At light load most requests start immediately: median response
+    // ≈ service time.
+    auto responses = driver.responseTimes();
+    EXPECT_NEAR(percentile(responses, 0.5), 0.47, 0.2);
+}
+
+TEST_F(ArrivalsTest, QueueingGrowsResponseTimes)
+{
+    // Load ρ ≈ 0.9: responses well above the bare service time.
+    ArrivalDriver light(*engine_, *machine_, fgPid_, Time::sec(2.0),
+                        Rng(3));
+    light.start();
+    engine_->runUntil(Time::sec(40.0));
+    light.stop();
+    double lightP95 = percentile(light.responseTimes(), 0.95);
+
+    // Fresh setup at heavy load.
+    machine::Machine machine2(mcfg_);
+    sim::Engine engine2(machine2, mcfg_.maxQuantum);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    machine::ProcessSpec fg;
+    fg.name = "fluidanimate";
+    fg.program = &lib.get("fluidanimate").program;
+    fg.core = 0;
+    fg.foreground = true;
+    machine::Pid pid2 = machine2.spawnProcess(fg);
+    ArrivalDriver heavy(engine2, machine2, pid2, Time::sec(0.52),
+                        Rng(3));
+    heavy.start();
+    engine2.runUntil(Time::sec(40.0));
+    heavy.stop();
+    double heavyP95 = percentile(heavy.responseTimes(), 0.95);
+
+    EXPECT_GT(heavyP95, lightP95 * 1.3);
+    EXPECT_GT(heavy.maxQueueDepth(), 0u);
+}
+
+TEST_F(ArrivalsTest, ThroughputMatchesArrivalRateUnderCapacity)
+{
+    // Under capacity, completions ≈ arrivals (Little's law sanity).
+    ArrivalDriver driver(*engine_, *machine_, fgPid_, Time::sec(1.0),
+                         Rng(4));
+    driver.start();
+    engine_->runUntil(Time::sec(60.0));
+    driver.stop();
+    EXPECT_NEAR(double(driver.completions().size()),
+                double(driver.arrivals()), 4.0);
+    EXPECT_NEAR(double(driver.arrivals()), 60.0, 20.0);
+}
+
+TEST_F(ArrivalsTest, StopCancelsFutureArrivals)
+{
+    ArrivalDriver driver(*engine_, *machine_, fgPid_, Time::ms(100.0),
+                         Rng(5));
+    driver.start();
+    engine_->runUntil(Time::sec(2.0));
+    uint64_t arrivals = driver.arrivals();
+    driver.stop();
+    engine_->runUntil(Time::sec(4.0));
+    EXPECT_EQ(driver.arrivals(), arrivals);
+}
+
+TEST_F(ArrivalsTest, Validation)
+{
+    EXPECT_DEATH(ArrivalDriver(*engine_, *machine_, fgPid_, Time(),
+                               Rng(1)),
+                 "interarrival");
+}
+
+} // namespace
+} // namespace dirigent::harness

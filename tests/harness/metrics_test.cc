@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests of the evaluation metrics: success ratios, throughput
+ * normalization, σ ratios, deadline re-application, and summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/metrics.h"
+
+namespace dirigent::harness {
+namespace {
+
+SchemeRunResult
+makeResult(core::Scheme scheme, std::vector<double> durations,
+           double bgInstr, double spanSec)
+{
+    SchemeRunResult r;
+    r.mixName = "test";
+    r.scheme = scheme;
+    r.fgBenchmarks = {"ferret"};
+    r.perFgDurations = {std::move(durations)};
+    r.bgInstructions = bgInstr;
+    r.span = Time::sec(spanSec);
+    r.total = r.perFgDurations[0].size();
+    return r;
+}
+
+TEST(SchemeRunResultTest, SuccessRatio)
+{
+    SchemeRunResult r = makeResult(core::Scheme::Baseline,
+                                   {1.0, 1.0, 1.0, 1.0}, 1e9, 10.0);
+    r.onTime = 3;
+    EXPECT_DOUBLE_EQ(r.fgSuccessRatio(), 0.75);
+}
+
+TEST(SchemeRunResultTest, EmptyResultSucceedsVacuously)
+{
+    SchemeRunResult r;
+    EXPECT_DOUBLE_EQ(r.fgSuccessRatio(), 1.0);
+    EXPECT_DOUBLE_EQ(r.fgDurationMean(), 0.0);
+    EXPECT_DOUBLE_EQ(r.bgThroughput(), 0.0);
+    EXPECT_DOUBLE_EQ(r.predictionError(), 0.0);
+}
+
+TEST(SchemeRunResultTest, PooledMoments)
+{
+    SchemeRunResult r;
+    r.fgBenchmarks = {"a", "b"};
+    r.perFgDurations = {{2.0, 4.0}, {4.0, 4.0, 5.0, 5.0, 7.0, 9.0}};
+    EXPECT_DOUBLE_EQ(r.fgDurationMean(), 5.0);
+    EXPECT_DOUBLE_EQ(r.fgDurationStd(), 2.0);
+    EXPECT_EQ(r.pooledDurations().size(), 8u);
+}
+
+TEST(SchemeRunResultTest, BgThroughputIsRate)
+{
+    SchemeRunResult r = makeResult(core::Scheme::Baseline, {1.0}, 5e9,
+                                   10.0);
+    EXPECT_DOUBLE_EQ(r.bgThroughput(), 5e8);
+}
+
+TEST(SchemeRunResultTest, Mpki)
+{
+    SchemeRunResult r;
+    r.fgInstructions = 2e9;
+    r.fgMisses = 4e6;
+    EXPECT_DOUBLE_EQ(r.fgMpki(), 2.0);
+}
+
+TEST(SchemeRunResultTest, PredictionErrorIsEq3)
+{
+    SchemeRunResult r;
+    r.midpointSamples = {
+        {0, Time::sec(1.1), Time::sec(1.0)},  // +10%
+        {1, Time::sec(0.95), Time::sec(1.0)}, // −5%
+    };
+    EXPECT_NEAR(r.predictionError(), 0.075, 1e-12);
+}
+
+TEST(MetricsTest, BgThroughputRatio)
+{
+    auto baseline =
+        makeResult(core::Scheme::Baseline, {1.0}, 10e9, 10.0);
+    auto managed =
+        makeResult(core::Scheme::Dirigent, {1.0}, 4.5e9, 5.0);
+    EXPECT_DOUBLE_EQ(bgThroughputRatio(managed, baseline), 0.9);
+}
+
+TEST(MetricsTest, StdRatio)
+{
+    auto baseline = makeResult(core::Scheme::Baseline,
+                               {1.0, 2.0, 3.0}, 1e9, 10.0);
+    auto managed = makeResult(core::Scheme::Dirigent,
+                              {1.9, 2.0, 2.1}, 1e9, 10.0);
+    EXPECT_NEAR(stdRatio(managed, baseline), 0.1, 1e-9);
+}
+
+TEST(MetricsTest, ApplyDeadlinesRecounts)
+{
+    SchemeRunResult r;
+    r.fgBenchmarks = {"ferret", "ferret"};
+    r.perFgDurations = {{0.9, 1.1}, {1.0, 1.2}};
+    std::map<std::string, Time> deadlines = {
+        {"ferret", Time::sec(1.05)}};
+    applyDeadlines(r, deadlines);
+    EXPECT_EQ(r.total, 4u);
+    EXPECT_EQ(r.onTime, 2u);
+    EXPECT_DOUBLE_EQ(r.deadlines.at("ferret").sec(), 1.05);
+}
+
+TEST(MetricsDeathTest, ApplyDeadlinesNeedsBenchmark)
+{
+    SchemeRunResult r;
+    r.fgBenchmarks = {"unknown"};
+    r.perFgDurations = {{1.0}};
+    std::map<std::string, Time> deadlines = {
+        {"ferret", Time::sec(1.0)}};
+    EXPECT_DEATH(applyDeadlines(r, deadlines), "no deadline");
+}
+
+TEST(SummaryTest, AggregatesAcrossMixes)
+{
+    // Two mixes × five schemes; only Baseline and Dirigent populated
+    // distinctly, others cloned from Baseline.
+    std::vector<std::vector<SchemeRunResult>> perMix;
+    for (int mix = 0; mix < 2; ++mix) {
+        std::vector<SchemeRunResult> results;
+        auto baseline = makeResult(core::Scheme::Baseline,
+                                   {1.0, 2.0, 3.0}, 10e9, 10.0);
+        baseline.onTime = 2;
+        for (core::Scheme s : core::allSchemes()) {
+            auto r = baseline;
+            r.scheme = s;
+            if (s == core::Scheme::Dirigent) {
+                r.perFgDurations = {{1.9, 2.0, 2.1}};
+                r.bgInstructions = 9e9;
+                r.onTime = 3;
+            }
+            results.push_back(std::move(r));
+        }
+        perMix.push_back(std::move(results));
+    }
+    auto summaries = summarizeSchemes(perMix);
+    ASSERT_EQ(summaries.size(), 5u);
+    EXPECT_EQ(summaries[0].scheme, core::Scheme::Baseline);
+    EXPECT_NEAR(summaries[0].meanFgSuccess, 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(summaries[0].hmeanBgThroughput, 1.0, 1e-12);
+    EXPECT_NEAR(summaries[4].meanFgSuccess, 1.0, 1e-12);
+    EXPECT_NEAR(summaries[4].hmeanBgThroughput, 0.9, 1e-12);
+    EXPECT_NEAR(summaries[4].meanStdRatio, 0.1, 1e-9);
+}
+
+TEST(SummaryDeathTest, RowCountChecked)
+{
+    std::vector<std::vector<SchemeRunResult>> perMix = {
+        {SchemeRunResult{}, SchemeRunResult{}}};
+    EXPECT_DEATH(summarizeSchemes(perMix), "scheme result");
+}
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of the report printers and environment overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "harness/report.h"
+
+namespace dirigent::harness {
+namespace {
+
+std::vector<std::vector<SchemeRunResult>>
+sampleResults()
+{
+    std::vector<std::vector<SchemeRunResult>> perMix;
+    std::vector<SchemeRunResult> row;
+    for (core::Scheme s : core::allSchemes()) {
+        SchemeRunResult r;
+        r.mixName = "ferret rs";
+        r.scheme = s;
+        r.fgBenchmarks = {"ferret"};
+        r.perFgDurations = {{1.0, 1.1, 1.2}};
+        r.onTime = 2;
+        r.total = 3;
+        r.bgInstructions = 1e9;
+        r.span = Time::sec(10.0);
+        row.push_back(std::move(r));
+    }
+    perMix.push_back(std::move(row));
+    return perMix;
+}
+
+TEST(ReportTest, ComparisonTableHasAllSchemes)
+{
+    std::ostringstream os;
+    printSchemeComparison(os, sampleResults());
+    std::string out = os.str();
+    for (core::Scheme s : core::allSchemes())
+        EXPECT_NE(out.find(core::schemeName(s)), std::string::npos);
+    EXPECT_NE(out.find("ferret rs"), std::string::npos);
+}
+
+TEST(ReportTest, SummaryTablePrints)
+{
+    auto summaries = summarizeSchemes(sampleResults());
+    std::ostringstream os;
+    printSchemeSummary(os, summaries);
+    EXPECT_NE(os.str().find("Dirigent"), std::string::npos);
+    EXPECT_NE(os.str().find("FG success"), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasHeaderAndRows)
+{
+    std::ostringstream os;
+    printComparisonCsv(os, sampleResults());
+    std::string out = os.str();
+    EXPECT_NE(out.find("mix,scheme,fg_success"), std::string::npos);
+    // Header + 5 scheme rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(ReportTest, StdComparisonPrints)
+{
+    std::ostringstream os;
+    printStdComparison(os, sampleResults());
+    EXPECT_NE(os.str().find("ferret rs"), std::string::npos);
+}
+
+TEST(ReportTest, EnvExecutionsFallback)
+{
+    unsetenv("DIRIGENT_BENCH_EXECS");
+    EXPECT_EQ(envExecutions(42), 42u);
+    setenv("DIRIGENT_BENCH_EXECS", "17", 1);
+    EXPECT_EQ(envExecutions(42), 17u);
+    setenv("DIRIGENT_BENCH_EXECS", "junk", 1);
+    EXPECT_EQ(envExecutions(42), 42u);
+    unsetenv("DIRIGENT_BENCH_EXECS");
+}
+
+TEST(ReportTest, EnvSeedFallback)
+{
+    unsetenv("DIRIGENT_BENCH_SEED");
+    EXPECT_EQ(envSeed(7), 7u);
+    setenv("DIRIGENT_BENCH_SEED", "123", 1);
+    EXPECT_EQ(envSeed(7), 123u);
+    unsetenv("DIRIGENT_BENCH_SEED");
+}
+
+} // namespace
+} // namespace dirigent::harness

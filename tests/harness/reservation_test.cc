@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests of the reservation-scheduler model (paper Fig. 2): higher task
+ * variance ⇒ longer reservations ⇒ lower utilization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/reservation.h"
+
+namespace dirigent::harness {
+namespace {
+
+TEST(ReservationTest, ZeroVarianceIsFullyUtilized)
+{
+    ReservationConfig cfg;
+    cfg.meanDuration = 1.0;
+    cfg.stdDuration = 0.0;
+    auto res = simulateReservation(cfg);
+    EXPECT_NEAR(res.reservation, 1.0, 1e-12);
+    EXPECT_NEAR(res.utilization, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(res.overrunRate, 0.0);
+}
+
+TEST(ReservationTest, HighVarianceWastesCapacity)
+{
+    // The paper's type A (high variance) vs type B (low variance).
+    ReservationConfig typeA;
+    typeA.meanDuration = 1.0;
+    typeA.stdDuration = 0.4;
+    ReservationConfig typeB;
+    typeB.meanDuration = 1.0;
+    typeB.stdDuration = 0.05;
+
+    auto a = simulateReservation(typeA);
+    auto b = simulateReservation(typeB);
+    EXPECT_GT(a.reservation, b.reservation);
+    EXPECT_LT(a.utilization, b.utilization - 0.2);
+    EXPECT_GT(b.utilization, 0.85);
+}
+
+TEST(ReservationTest, UtilizationDecreasesMonotonicallyWithVariance)
+{
+    double prev = 2.0;
+    for (double std : {0.05, 0.1, 0.2, 0.3, 0.5}) {
+        ReservationConfig cfg;
+        cfg.stdDuration = std;
+        auto res = simulateReservation(cfg);
+        EXPECT_LT(res.utilization, prev) << "std " << std;
+        prev = res.utilization;
+    }
+}
+
+TEST(ReservationTest, OverrunRateNearQuantile)
+{
+    ReservationConfig cfg;
+    cfg.stdDuration = 0.3;
+    cfg.reservationQuantile = 0.95;
+    cfg.tasks = 20000;
+    cfg.calibrationTasks = 20000;
+    auto res = simulateReservation(cfg);
+    EXPECT_NEAR(res.overrunRate, 0.05, 0.01);
+}
+
+TEST(ReservationTest, Deterministic)
+{
+    ReservationConfig cfg;
+    cfg.stdDuration = 0.2;
+    auto a = simulateReservation(cfg);
+    auto b = simulateReservation(cfg);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+    cfg.seed += 1;
+    auto c = simulateReservation(cfg);
+    EXPECT_NE(a.utilization, c.utilization);
+}
+
+TEST(ReservationOnSamplesTest, TightSamplesPackTightly)
+{
+    std::vector<double> tight(100, 1.0);
+    for (size_t i = 0; i < tight.size(); ++i)
+        tight[i] += 0.001 * double(i % 7);
+    auto res = simulateReservationOnSamples(tight);
+    EXPECT_GT(res.utilization, 0.99);
+}
+
+TEST(ReservationOnSamplesTest, SpreadSamplesWaste)
+{
+    std::vector<double> spread;
+    for (int i = 0; i < 200; ++i)
+        spread.push_back(1.0 + 0.01 * double(i % 80));
+    auto res = simulateReservationOnSamples(spread);
+    EXPECT_LT(res.utilization, 0.95);
+    EXPECT_GT(res.reservation, 1.5);
+}
+
+TEST(ReservationOnSamplesDeathTest, NeedsSamples)
+{
+    EXPECT_DEATH(simulateReservationOnSamples({1.0, 2.0}), "samples");
+}
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the time-series probe recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/timeline.h"
+
+namespace dirigent::harness {
+namespace {
+
+class NullComponent : public sim::Component
+{
+  public:
+    void advance(Time, Time) override {}
+};
+
+class TimelineTest : public testing::Test
+{
+  protected:
+    TimelineTest() : engine_(root_, Time::us(100.0)) {}
+
+    NullComponent root_;
+    sim::Engine engine_;
+};
+
+TEST_F(TimelineTest, SamplesAtCadence)
+{
+    Timeline timeline(engine_, Time::ms(1.0));
+    int counter = 0;
+    timeline.addSeries("counter", [&] { return double(++counter); });
+    timeline.start();
+    engine_.runUntil(Time::ms(5.5));
+    EXPECT_EQ(timeline.size(), 5u);
+    EXPECT_DOUBLE_EQ(timeline.times()[0], 1e-3);
+    EXPECT_DOUBLE_EQ(timeline.times()[4], 5e-3);
+    EXPECT_DOUBLE_EQ(timeline.samples()[4][0], 5.0);
+}
+
+TEST_F(TimelineTest, MultipleSeriesAlign)
+{
+    Timeline timeline(engine_, Time::ms(1.0));
+    timeline.addSeries("a", [] { return 1.0; });
+    timeline.addSeries("b", [&] { return engine_.now().ms(); });
+    timeline.start();
+    engine_.runUntil(Time::ms(3.0));
+    ASSERT_EQ(timeline.size(), 3u);
+    EXPECT_EQ(timeline.seriesNames(),
+              (std::vector<std::string>{"a", "b"}));
+    EXPECT_DOUBLE_EQ(timeline.samples()[1][0], 1.0);
+    EXPECT_DOUBLE_EQ(timeline.samples()[1][1], 2.0);
+}
+
+TEST_F(TimelineTest, StopFreezesData)
+{
+    Timeline timeline(engine_, Time::ms(1.0));
+    timeline.addSeries("x", [] { return 0.0; });
+    timeline.start();
+    engine_.runUntil(Time::ms(2.5));
+    timeline.stop();
+    engine_.runUntil(Time::ms(10.0));
+    EXPECT_EQ(timeline.size(), 2u);
+}
+
+TEST_F(TimelineTest, CsvOutput)
+{
+    Timeline timeline(engine_, Time::ms(1.0));
+    timeline.addSeries("value", [] { return 42.0; });
+    timeline.start();
+    engine_.runUntil(Time::ms(2.0));
+    std::ostringstream os;
+    timeline.writeCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("time_s,value"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    // Header + 2 rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST_F(TimelineTest, DestructorCancelsCleanly)
+{
+    {
+        Timeline timeline(engine_, Time::ms(1.0));
+        timeline.addSeries("x", [] { return 0.0; });
+        timeline.start();
+    }
+    engine_.runUntil(Time::ms(5.0)); // no dangling event fires
+    SUCCEED();
+}
+
+TEST_F(TimelineTest, StartIsIdempotent)
+{
+    Timeline timeline(engine_, Time::ms(1.0));
+    timeline.addSeries("x", [] { return 0.0; });
+    timeline.start();
+    timeline.start();
+    engine_.runUntil(Time::ms(1.0));
+    EXPECT_EQ(timeline.size(), 1u);
+}
+
+TEST_F(TimelineTest, RejectsBadUsage)
+{
+    Timeline timeline(engine_, Time::ms(1.0));
+    EXPECT_DEATH(timeline.start(), "no series");
+    timeline.addSeries("x", [] { return 0.0; });
+    timeline.start();
+    EXPECT_DEATH(timeline.addSeries("y", [] { return 0.0; }),
+                 "while running");
+}
+
+} // namespace
+} // namespace dirigent::harness

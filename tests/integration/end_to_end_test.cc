@@ -1,0 +1,187 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline (profile → calibrate
+ * deadlines → run schemes → metrics) on a representative mix, with
+ * reduced execution counts to keep test time reasonable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workload/mix.h"
+
+namespace dirigent::harness {
+namespace {
+
+HarnessConfig
+fastConfig()
+{
+    HarnessConfig cfg;
+    cfg.executions = 20;
+    cfg.warmup = 3;
+    cfg.seed = 2024;
+    return cfg;
+}
+
+class EndToEndTest : public testing::Test
+{
+  protected:
+    EndToEndTest() : runner_(fastConfig()) {}
+
+    ExperimentRunner runner_;
+};
+
+TEST_F(EndToEndTest, StandaloneRunIsStable)
+{
+    auto res = runner_.runStandalone("raytrace", 15);
+    EXPECT_EQ(res.total, 15u);
+    EXPECT_GT(res.fgDurationMean(), 0.4);
+    EXPECT_LT(res.fgDurationMean(), 0.9);
+    // Standalone variation is small (only CPI jitter and OS noise).
+    EXPECT_LT(res.fgDurationStd() / res.fgDurationMean(), 0.05);
+    EXPECT_GT(res.fgMpki(), 0.05);
+    EXPECT_LT(res.fgMpki(), 1.0);
+}
+
+TEST_F(EndToEndTest, ContentionSlowsAndSpreads)
+{
+    auto alone = runner_.runStandalone("ferret", 15);
+    auto mix = workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("bwaves"));
+    auto contended = runner_.run(mix, core::Scheme::Baseline, {});
+    EXPECT_GT(contended.fgDurationMean(), alone.fgDurationMean() * 1.2);
+    EXPECT_GT(contended.fgDurationStd(), alone.fgDurationStd() * 2.0);
+    EXPECT_GT(contended.fgMpki(), alone.fgMpki() * 1.5);
+}
+
+TEST_F(EndToEndTest, DeadlineCalibrationMatchesFormula)
+{
+    auto mix = workload::makeMix({"raytrace"},
+                                 workload::BgSpec::single("pca"));
+    auto baseline = runner_.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner_.deadlinesFromBaseline(baseline);
+    ASSERT_TRUE(deadlines.count("raytrace"));
+    double expected = baseline.fgDurationMean() +
+                      0.3 * baseline.fgDurationStd();
+    EXPECT_NEAR(deadlines.at("raytrace").sec(), expected, 1e-9);
+}
+
+TEST_F(EndToEndTest, BaselineSuccessNearSixtyPercent)
+{
+    // With deadline = µ + 0.3σ of itself, the Baseline success ratio
+    // sits near 60% (paper: "just under 60%" on average).
+    auto mix = workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("rs"));
+    auto baseline = runner_.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner_.deadlinesFromBaseline(baseline);
+    applyDeadlines(baseline, deadlines);
+    EXPECT_GT(baseline.fgSuccessRatio(), 0.35);
+    EXPECT_LT(baseline.fgSuccessRatio(), 0.85);
+}
+
+TEST_F(EndToEndTest, DirigentEnforcesQoS)
+{
+    auto mix = workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("rs"));
+    auto baseline = runner_.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner_.deadlinesFromBaseline(baseline);
+    applyDeadlines(baseline, deadlines);
+
+    auto dirigent = runner_.run(mix, core::Scheme::Dirigent, deadlines);
+    // Near-perfect deadline success (paper: > 99% average).
+    EXPECT_GE(dirigent.fgSuccessRatio(), 0.9);
+    EXPECT_GT(dirigent.fgSuccessRatio(),
+              baseline.fgSuccessRatio() + 0.1);
+    // Large variance reduction (paper: 85% σ reduction on average).
+    EXPECT_LT(stdRatio(dirigent, baseline), 0.5);
+    // At modest BG throughput cost (paper: 9% loss).
+    EXPECT_GT(bgThroughputRatio(dirigent, baseline), 0.7);
+}
+
+TEST_F(EndToEndTest, RunAllSchemesProducesPaperOrdering)
+{
+    auto mix = workload::makeMix({"streamcluster"},
+                                 workload::BgSpec::single("pca"));
+    auto results = runner_.runAllSchemes(mix);
+    ASSERT_EQ(results.size(), 5u);
+
+    const auto &baseline = results[0];
+    const auto &staticFreq = results[1];
+    const auto &staticBoth = results[2];
+    const auto &dirigentFreq = results[3];
+    const auto &dirigent = results[4];
+
+    // Managed schemes beat Baseline on FG success.
+    for (size_t i = 1; i < 5; ++i)
+        EXPECT_GT(results[i].fgSuccessRatio(),
+                  baseline.fgSuccessRatio());
+
+    // Dirigent delivers more BG throughput than the static schemes.
+    EXPECT_GT(bgThroughputRatio(dirigent, baseline),
+              bgThroughputRatio(staticFreq, baseline));
+    EXPECT_GT(bgThroughputRatio(dirigent, baseline),
+              bgThroughputRatio(staticBoth, baseline));
+    // Fine-grain control alone already beats static throttling.
+    EXPECT_GT(bgThroughputRatio(dirigentFreq, baseline),
+              bgThroughputRatio(staticFreq, baseline));
+
+    // Variance: Dirigent crushes the Baseline spread.
+    EXPECT_LT(stdRatio(dirigent, baseline), 0.6);
+}
+
+TEST_F(EndToEndTest, ObserverPredictionsAreAccurate)
+{
+    auto mix = workload::makeMix({"raytrace"},
+                                 workload::BgSpec::single("rs"));
+    RunOptions opts;
+    opts.attachObserver = true;
+    auto res = runner_.run(mix, core::Scheme::Baseline, {}, opts);
+    ASSERT_GE(res.midpointSamples.size(), 10u);
+    // Paper: ~2–3% typical midpoint error for non-streamcluster mixes.
+    EXPECT_LT(res.predictionError(), 0.08);
+}
+
+TEST_F(EndToEndTest, ProfileCacheReuses)
+{
+    const core::Profile &a = runner_.profiles().get("fluidanimate");
+    const core::Profile &b = runner_.profiles().get("fluidanimate");
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.size(), 90u);
+}
+
+TEST_F(EndToEndTest, RotateMixRuns)
+{
+    auto mix = workload::makeMix(
+        {"bodytrack"}, workload::BgSpec::rotate("libquantum", "soplex"));
+    auto baseline = runner_.run(mix, core::Scheme::Baseline, {});
+    EXPECT_EQ(baseline.total, 20u);
+    EXPECT_GT(baseline.fgDurationStd() / baseline.fgDurationMean(),
+              0.03);
+}
+
+TEST_F(EndToEndTest, MultiFgMixRuns)
+{
+    auto mix = workload::makeMix({"ferret", "ferret"},
+                                 workload::BgSpec::single("bwaves"));
+    auto results = runner_.run(mix, core::Scheme::Baseline, {});
+    EXPECT_EQ(results.perFgDurations.size(), 2u);
+    EXPECT_EQ(results.total, 40u); // 20 measured per FG process
+}
+
+TEST_F(EndToEndTest, ResultsAreDeterministic)
+{
+    auto mix = workload::makeMix({"fluidanimate"},
+                                 workload::BgSpec::single("pca"));
+    ExperimentRunner r1(fastConfig());
+    ExperimentRunner r2(fastConfig());
+    auto a = r1.run(mix, core::Scheme::Baseline, {});
+    auto b = r2.run(mix, core::Scheme::Baseline, {});
+    ASSERT_EQ(a.perFgDurations[0].size(), b.perFgDurations[0].size());
+    for (size_t i = 0; i < a.perFgDurations[0].size(); ++i)
+        EXPECT_DOUBLE_EQ(a.perFgDurations[0][i],
+                         b.perFgDurations[0][i]);
+    EXPECT_DOUBLE_EQ(a.bgInstructions, b.bgInstructions);
+}
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Randomized property tests: invariants that must hold for arbitrary
+ * (seeded) inputs — predictor observation-cadence independence, cache
+ * conservation laws, DRAM monotonicity, event-queue ordering under
+ * random schedules, and confidence-interval coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "dirigent/predictor.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+#include "sim/event_queue.h"
+
+namespace dirigent {
+namespace {
+
+// ---------------------------------------------------------------------
+// Predictor: the segment penalties it learns are independent of how
+// the observations happen to be batched.
+// ---------------------------------------------------------------------
+
+core::Profile
+uniformProfile(size_t n)
+{
+    std::vector<core::ProfileSegment> segs(
+        n, core::ProfileSegment{1e6, Time::ms(5.0)});
+    return core::Profile("fuzz", Time::ms(5.0), segs);
+}
+
+class PredictorCadenceFuzz : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PredictorCadenceFuzz, PenaltiesIndependentOfObservationBatching)
+{
+    Rng rng(GetParam());
+    core::Profile profile = uniformProfile(50);
+    const double slowdown = 1.0 + rng.uniform(0.0, 1.5);
+    const double totalTime = 50 * 5e-3 * slowdown;
+
+    // Reference: observe exactly at every segment boundary.
+    core::Predictor exact(&profile);
+    exact.beginExecution(Time());
+    for (size_t i = 1; i <= 50; ++i)
+        exact.observe(Time::sec(double(i) * 5e-3 * slowdown),
+                      double(i) * 1e6);
+    exact.endExecution(Time::sec(totalTime), 50e6);
+
+    // Fuzzed: observe at random times along the same linear trajectory.
+    core::Predictor fuzzed(&profile);
+    fuzzed.beginExecution(Time());
+    double t = 0.0;
+    while (t < totalTime) {
+        t = std::min(totalTime, t + rng.uniform(1e-3, 20e-3));
+        double progress = std::min(50e6, t / slowdown / 5e-3 * 1e6);
+        fuzzed.observe(Time::sec(t), progress);
+    }
+    fuzzed.endExecution(Time::sec(totalTime), 50e6);
+
+    // Per-segment penalties agree (progress is linear, so boundary
+    // interpolation is exact regardless of cadence).
+    for (size_t i = 0; i < 50; ++i) {
+        EXPECT_NEAR(fuzzed.penaltyAverage(i), exact.penaltyAverage(i),
+                    1e-9)
+            << "segment " << i << " slowdown " << slowdown;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictorCadenceFuzz,
+                         testing::Range(uint64_t(1), uint64_t(9)));
+
+// ---------------------------------------------------------------------
+// Cache: conservation and bounds under random traffic/partitions.
+// ---------------------------------------------------------------------
+
+class CacheFuzz : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CacheFuzz, OccupancyBoundsHoldUnderRandomTraffic)
+{
+    Rng rng(GetParam());
+    mem::CacheConfig cfg;
+    cfg.numWays = 8;
+    cfg.bytesPerWay = 4096.0;
+    const unsigned clients = 4;
+    mem::SharedCache cache(cfg, clients);
+
+    std::vector<workload::Phase> phases(clients);
+    std::vector<Bytes> caps(clients);
+    for (unsigned s = 0; s < clients; ++s) {
+        phases[s].name = "f";
+        phases[s].instructions = 1e9;
+        phases[s].llcApki = 10.0;
+        phases[s].workingSet = rng.uniform(2048.0, 40960.0);
+        phases[s].maxHitRatio = rng.uniform(0.3, 0.95);
+        caps[s] = phases[s].workingSet;
+    }
+
+    for (int round = 0; round < 400; ++round) {
+        // Occasionally repartition randomly.
+        if (rng.chance(0.05)) {
+            unsigned split = unsigned(rng.below(7)) + 1;
+            for (unsigned s = 0; s < clients; ++s)
+                cache.setWayMask(s, s % 2 == 0
+                                        ? mem::wayRange(0, split)
+                                        : mem::wayRange(split, 8));
+        }
+        if (rng.chance(0.03))
+            cache.flush(unsigned(rng.below(clients)));
+        for (unsigned s = 0; s < clients; ++s) {
+            double accesses = rng.uniform(0.0, 300.0);
+            double misses = cache.access(s, phases[s], accesses);
+            EXPECT_GE(misses, 0.0);
+            EXPECT_LE(misses, accesses + 1e-9);
+        }
+        cache.commit(caps);
+
+        // Invariants: way occupancy within capacity; client occupancy
+        // within working set; all occupancies non-negative.
+        for (unsigned w = 0; w < 8; ++w)
+            EXPECT_LE(cache.wayOccupancy(w), cfg.bytesPerWay + 1e-6);
+        for (unsigned s = 0; s < clients; ++s) {
+            EXPECT_LE(cache.occupancy(s), caps[s] + 1e-6);
+            EXPECT_GE(cache.occupancy(s), 0.0);
+            double hit = cache.hitRatio(s, phases[s]);
+            EXPECT_GE(hit, 0.0);
+            EXPECT_LE(hit, phases[s].maxHitRatio + 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzz,
+                         testing::Range(uint64_t(10), uint64_t(16)));
+
+// ---------------------------------------------------------------------
+// DRAM: latency stays within [base, base × cap] whatever the demand.
+// ---------------------------------------------------------------------
+
+class DramFuzz : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DramFuzz, LatencyAlwaysWithinBounds)
+{
+    Rng rng(GetParam());
+    mem::DramConfig cfg;
+    mem::DramModel dram(cfg);
+    for (int round = 0; round < 1000; ++round) {
+        dram.recordDemand(rng.uniform(0.0, 5e6));
+        dram.update(Time::us(rng.uniform(10.0, 200.0)));
+        EXPECT_GE(dram.latency().sec(),
+                  cfg.baseLatency.sec() - 1e-15);
+        EXPECT_LE(dram.latency().sec(),
+                  cfg.baseLatency.sec() * cfg.maxLatencyFactor + 1e-15);
+        EXPECT_GE(dram.utilization(), 0.0);
+        EXPECT_LE(dram.utilization(), cfg.maxUtilization + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramFuzz,
+                         testing::Range(uint64_t(20), uint64_t(24)));
+
+// ---------------------------------------------------------------------
+// Event queue: random schedules fire in nondecreasing time order.
+// ---------------------------------------------------------------------
+
+class EventQueueFuzz : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EventQueueFuzz, FiringOrderIsNondecreasing)
+{
+    Rng rng(GetParam());
+    sim::EventQueue queue;
+    std::vector<double> fired;
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 300; ++i) {
+        double when = rng.uniform(0.0, 1.0);
+        ids.push_back(queue.schedule(
+            Time::sec(when), [&fired, when] { fired.push_back(when); }));
+    }
+    // Cancel a random quarter.
+    size_t cancelled = 0;
+    for (const auto &id : ids)
+        if (rng.chance(0.25) && queue.cancel(id))
+            ++cancelled;
+    // Drain in random step sizes.
+    double now = 0.0;
+    while (!queue.empty()) {
+        now += rng.uniform(0.0, 0.2);
+        queue.runDue(Time::sec(now));
+    }
+    EXPECT_EQ(fired.size(), 300 - cancelled);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         testing::Range(uint64_t(30), uint64_t(36)));
+
+// ---------------------------------------------------------------------
+// Confidence intervals: empirical coverage of the t interval.
+// ---------------------------------------------------------------------
+
+TEST(ConfidenceIntervalTest, KnownValues)
+{
+    // n=4, mean 5, sample σ = √(20/3)·… — checked against a hand
+    // computation: samples {2,4,6,8}: mean 5, sample sd √(20/3)≈2.582,
+    // se 1.291, t₃=3.182 → half ≈ 4.108.
+    auto ci = meanConfidence({2.0, 4.0, 6.0, 8.0}, 0.95);
+    EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+    EXPECT_NEAR(ci.half, 4.108, 0.01);
+    EXPECT_NEAR(ci.lo, 0.892, 0.01);
+    EXPECT_NEAR(ci.hi, 9.108, 0.01);
+}
+
+TEST(ConfidenceIntervalTest, DegenerateInputs)
+{
+    auto empty = meanConfidence({}, 0.95);
+    EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+    EXPECT_DOUBLE_EQ(empty.half, 0.0);
+    auto single = meanConfidence({3.0}, 0.95);
+    EXPECT_DOUBLE_EQ(single.mean, 3.0);
+    EXPECT_DOUBLE_EQ(single.lo, 3.0);
+}
+
+TEST(ConfidenceIntervalTest, EmpiricalCoverageNearNominal)
+{
+    // Draw many n=10 normal samples; the 95% interval should contain
+    // the true mean ~95% of the time.
+    Rng rng(404);
+    int covered = 0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> sample;
+        for (int i = 0; i < 10; ++i)
+            sample.push_back(rng.normal(7.0, 2.0));
+        auto ci = meanConfidence(sample, 0.95);
+        if (ci.lo <= 7.0 && 7.0 <= ci.hi)
+            ++covered;
+    }
+    EXPECT_NEAR(double(covered) / trials, 0.95, 0.02);
+}
+
+TEST(ConfidenceIntervalTest, WiderAtHigherConfidence)
+{
+    std::vector<double> sample = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+    EXPECT_LT(meanConfidence(sample, 0.90).half,
+              meanConfidence(sample, 0.95).half);
+    EXPECT_LT(meanConfidence(sample, 0.95).half,
+              meanConfidence(sample, 0.99).half);
+}
+
+TEST(ConfidenceIntervalTest, ShrinksWithSampleSize)
+{
+    Rng rng(505);
+    std::vector<double> small, large;
+    for (int i = 0; i < 8; ++i)
+        small.push_back(rng.normal(0.0, 1.0));
+    for (int i = 0; i < 200; ++i)
+        large.push_back(rng.normal(0.0, 1.0));
+    EXPECT_LT(meanConfidence(large).half, meanConfidence(small).half);
+}
+
+} // namespace
+} // namespace dirigent

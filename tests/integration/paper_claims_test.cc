@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Small-scale checks of specific sentence-level claims from the paper,
+ * beyond the figure-level reproductions in bench/.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/profiler.h"
+#include "harness/experiment.h"
+#include "machine/cpufreq.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+
+namespace dirigent {
+namespace {
+
+TEST(PaperClaimsTest, SamplingGives100PlusSegmentsForEveryFg)
+{
+    // §4.2: "This sampling period provides 100 or more segments in all
+    // the FG applications we test."
+    core::ProfilerConfig pcfg;
+    pcfg.executions = 1;
+    core::OfflineProfiler profiler(pcfg);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    for (const char *fg : {"bodytrack", "ferret", "fluidanimate",
+                           "raytrace", "streamcluster"}) {
+        core::Profile profile =
+            profiler.profileAlone(lib.get(fg), machine::MachineConfig{});
+        EXPECT_GE(profile.size(), 100u) << fg;
+    }
+}
+
+TEST(PaperClaimsTest, NineFrequencyStepsDirigentUsesFive)
+{
+    // §5.1: "9 frequency steps are available for throttling
+    // (1.2–2.0 GHz, though Dirigent uses just 5 equi-spaced
+    // frequencies)."
+    machine::MachineConfig cfg;
+    machine::Machine machine(cfg);
+    sim::Engine engine(machine, cfg.maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+    EXPECT_EQ(governor.numGrades(), 9u);
+    auto five = governor.equispacedGrades(5);
+    ASSERT_EQ(five.size(), 5u);
+    const double expected[] = {1.2, 1.4, 1.6, 1.8, 2.0};
+    for (size_t i = 0; i < five.size(); ++i)
+        EXPECT_NEAR(governor.gradeFreq(five[i]).ghz(), expected[i],
+                    1e-9);
+}
+
+TEST(PaperClaimsTest, CacheGeometryMatchesTestbed)
+{
+    // §5.1: 15 MB L3 with Intel CAT; 4×DDR4-2133.
+    machine::MachineConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.cache.capacity(), 15.0 * 1024 * 1024);
+    EXPECT_EQ(cfg.numCores, 6u);
+    EXPECT_NEAR(cfg.maxFreq.ghz(), 2.0, 1e-12);
+}
+
+TEST(PaperClaimsTest, RuntimeOverheadBudgetUnder100us)
+{
+    // §4.2: "each Dirigent invocation requires on average less than
+    // 100 µs (including predictor and throttler)" — the modelled
+    // per-invocation cost charged to the shared core honours that.
+    core::RuntimeConfig rcfg;
+    EXPECT_LT(rcfg.invocationOverhead.us(), 100.0);
+    EXPECT_GT(rcfg.invocationOverhead.us(), 0.0);
+}
+
+TEST(PaperClaimsTest, DeadlineFormulaAndThresholds)
+{
+    // §5.4: deadline = µ_Baseline + 0.3 σ_Baseline; §4.3: act when
+    // > 2 % ahead, pause only when > 10 % behind, decide every 5
+    // prediction segments.
+    harness::HarnessConfig hcfg;
+    EXPECT_DOUBLE_EQ(hcfg.deadlineSigmaFactor, 0.3);
+    core::RuntimeConfig rcfg;
+    EXPECT_DOUBLE_EQ(rcfg.fine.aheadThreshold, 0.02);
+    EXPECT_DOUBLE_EQ(rcfg.fine.pauseThreshold, 0.10);
+    EXPECT_EQ(rcfg.decisionPeriodTicks, 5u);
+    EXPECT_DOUBLE_EQ(rcfg.predictor.penaltyEmaWeight, 0.2);
+    EXPECT_DOUBLE_EQ(rcfg.samplingPeriod.ms(), 5.0);
+}
+
+TEST(PaperClaimsTest, FortySamplesStillPredictAccurately)
+{
+    // §4.2: "even 40 samples per execution of the FG task tested
+    // provide for accurate completion-time predictions."
+    harness::HarnessConfig cfg;
+    cfg.executions = 15;
+    cfg.warmup = 3;
+    // raytrace ≈ 0.6 s standalone → 15 ms period ≈ 40 samples.
+    cfg.profiler.samplingPeriod = Time::ms(15.0);
+    cfg.runtime.samplingPeriod = Time::ms(15.0);
+    harness::ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix({"raytrace"},
+                                 workload::BgSpec::single("pca"));
+    harness::RunOptions opts;
+    opts.attachObserver = true;
+    auto res = runner.run(mix, core::Scheme::Baseline, {}, opts);
+    EXPECT_LT(res.predictionError(), 0.06);
+}
+
+TEST(PaperClaimsTest, FgTasksYieldWhenDeadlineLoose)
+{
+    // §4.3: "If a FG task is expected to complete before its target
+    // time, it is deprioritized and BG tasks can achieve higher
+    // throughput." With a loose deadline, Dirigent's BG throughput
+    // approaches unmanaged Baseline.
+    harness::HarnessConfig cfg;
+    cfg.executions = 12;
+    cfg.warmup = 2;
+    harness::ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix({"fluidanimate"},
+                                 workload::BgSpec::single("bwaves"));
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    std::map<std::string, Time> loose = {
+        {"fluidanimate",
+         Time::sec(baseline.fgDurationMean() * 1.5)}};
+    auto dirigent = runner.run(mix, core::Scheme::Dirigent, loose);
+    EXPECT_GT(harness::bgThroughputRatio(dirigent, baseline), 0.92);
+    EXPECT_DOUBLE_EQ(dirigent.fgSuccessRatio(), 1.0);
+}
+
+TEST(PaperClaimsTest, StaticSchemesSacrificeBgThroughput)
+{
+    // §5.4: "while the (semi-)static mechanisms significantly improve
+    // FG completion rate … BG performance is severely degraded."
+    harness::HarnessConfig cfg;
+    cfg.executions = 20;
+    cfg.warmup = 3;
+    harness::ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix({"streamcluster"},
+                                 workload::BgSpec::single("pca")); // heavy
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+    applyDeadlines(baseline, deadlines);
+    auto staticFreq =
+        runner.run(mix, core::Scheme::StaticFreq, deadlines);
+    EXPECT_GE(staticFreq.fgSuccessRatio(),
+              baseline.fgSuccessRatio());
+    EXPECT_LT(harness::bgThroughputRatio(staticFreq, baseline), 0.85);
+}
+
+} // namespace
+} // namespace dirigent

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Property-style parameterized integration tests: QoS invariants that
+ * must hold across workload mixes and configuration sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workload/mix.h"
+
+namespace dirigent::harness {
+namespace {
+
+HarnessConfig
+fastConfig()
+{
+    HarnessConfig cfg;
+    cfg.executions = 15;
+    cfg.warmup = 3;
+    cfg.seed = 99;
+    return cfg;
+}
+
+/**
+ * For every tested mix: Dirigent improves FG success over Baseline
+ * while retaining most of the BG throughput, and cuts the FG σ.
+ */
+class MixPropertyTest
+    : public testing::TestWithParam<workload::WorkloadMix>
+{
+};
+
+TEST_P(MixPropertyTest, DirigentDominatesBaselineQoS)
+{
+    ExperimentRunner runner(fastConfig());
+    const auto &mix = GetParam();
+
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+    applyDeadlines(baseline, deadlines);
+    auto dirigent = runner.run(mix, core::Scheme::Dirigent, deadlines);
+
+    EXPECT_GE(dirigent.fgSuccessRatio(), 0.85) << mix.name;
+    EXPECT_GE(dirigent.fgSuccessRatio(), baseline.fgSuccessRatio())
+        << mix.name;
+    EXPECT_LT(stdRatio(dirigent, baseline), 0.8) << mix.name;
+    EXPECT_GT(bgThroughputRatio(dirigent, baseline), 0.6) << mix.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeMixes, MixPropertyTest,
+    testing::Values(
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"raytrace"},
+                          workload::BgSpec::single("bwaves")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::single("pca")),
+        workload::makeMix({"bodytrack"},
+                          workload::BgSpec::rotate("lbm", "namd")),
+        workload::makeMix({"fluidanimate"},
+                          workload::BgSpec::rotate("libquantum",
+                                                   "soplex"))),
+    [](const testing::TestParamInfo<workload::WorkloadMix> &info) {
+        std::string name = info.param.name;
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/**
+ * Deadline-tightness sweep (the paper's Fig. 15 tradeoff): looser
+ * deadlines must never reduce BG throughput, and Dirigent's mean FG
+ * time must track the target.
+ */
+class DeadlineSweepTest : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(DeadlineSweepTest, FgTimeTracksTarget)
+{
+    double factor = GetParam();
+    HarnessConfig cfg = fastConfig();
+    cfg.executions = 12;
+    ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix({"raytrace"},
+                                 workload::BgSpec::single("bwaves"));
+    auto alone = runner.runStandalone("raytrace", 12);
+    Time target = Time::sec(alone.fgDurationMean() * factor);
+    std::map<std::string, Time> deadlines = {{"raytrace", target}};
+    auto res = runner.run(mix, core::Scheme::Dirigent, deadlines);
+    // Mean stays at or below the target but does not undershoot by
+    // more than ~12% (Dirigent converts slack into BG throughput
+    // rather than finishing early).
+    EXPECT_LT(res.fgDurationMean(), target.sec() * 1.02);
+    EXPECT_GT(res.fgDurationMean(), target.sec() * 0.82);
+    EXPECT_GE(res.fgSuccessRatio(), 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, DeadlineSweepTest,
+                         testing::Values(1.08, 1.12, 1.15, 1.18));
+
+/**
+ * Static-partition sweep (paper Fig. 8): FG time under StaticBoth is
+ * non-increasing as the FG partition grows through the knee region.
+ */
+class PartitionSweepTest : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PartitionSweepTest, MoreWaysNeverHurtFg)
+{
+    unsigned ways = GetParam();
+    HarnessConfig cfg = fastConfig();
+    cfg.executions = 10;
+    ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix({"streamcluster"},
+                                 workload::BgSpec::single("pca"));
+    RunOptions small, large;
+    small.staticFgWays = ways;
+    large.staticFgWays = ways + 4;
+    auto a = runner.run(mix, core::Scheme::StaticBoth, {}, small);
+    auto b = runner.run(mix, core::Scheme::StaticBoth, {}, large);
+    // Growing the FG partition can only help the FG (within noise).
+    EXPECT_LT(b.fgDurationMean(), a.fgDurationMean() * 1.05)
+        << "ways " << ways;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, PartitionSweepTest,
+                         testing::Values(2u, 4u, 6u));
+
+/**
+ * Sampling-period sensitivity (paper §4.2: even ~40 samples per task
+ * suffice): predictor accuracy degrades gracefully as ΔT grows.
+ */
+class SamplingPeriodTest : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(SamplingPeriodTest, PredictionStaysUseful)
+{
+    double periodMs = GetParam();
+    HarnessConfig cfg = fastConfig();
+    cfg.executions = 12;
+    cfg.profiler.samplingPeriod = Time::ms(periodMs);
+    cfg.runtime.samplingPeriod = Time::ms(periodMs);
+    ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix({"raytrace"},
+                                 workload::BgSpec::single("rs"));
+    RunOptions opts;
+    opts.attachObserver = true;
+    auto res = runner.run(mix, core::Scheme::Baseline, {}, opts);
+    ASSERT_GE(res.midpointSamples.size(), 6u);
+    EXPECT_LT(res.predictionError(), 0.12) << "period " << periodMs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SamplingPeriodTest,
+                         testing::Values(5.0, 10.0, 20.0));
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Randomized end-to-end stress: seeded random workload mixes (random
+ * FG set, random BG spec) must all complete, and Dirigent must never
+ * do worse than Baseline on deadline success.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "harness/experiment.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+
+namespace dirigent::harness {
+namespace {
+
+workload::WorkloadMix
+randomMix(Rng &rng)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    const std::vector<std::string> fgNames = {
+        "bodytrack", "ferret", "fluidanimate", "raytrace",
+        "streamcluster"};
+    const std::vector<std::string> bgNames = {"bwaves", "pca", "rs"};
+    auto pairs = lib.rotatePairs();
+
+    size_t nFg = 1 + rng.below(3);
+    std::vector<std::string> fgs;
+    for (size_t i = 0; i < nFg; ++i)
+        fgs.push_back(fgNames[rng.below(fgNames.size())]);
+
+    workload::BgSpec bg;
+    if (rng.chance(0.5)) {
+        bg = workload::BgSpec::single(bgNames[rng.below(bgNames.size())]);
+    } else {
+        const auto &[a, b] = pairs[rng.below(pairs.size())];
+        bg = workload::BgSpec::rotate(a, b);
+    }
+    return workload::makeMix(fgs, bg);
+}
+
+class RandomMixTest : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RandomMixTest, DirigentNeverWorseThanBaseline)
+{
+    Rng rng(GetParam());
+    HarnessConfig cfg;
+    cfg.executions = 10;
+    cfg.warmup = 2;
+    cfg.seed = GetParam() * 1000003;
+    ExperimentRunner runner(cfg);
+
+    auto mix = randomMix(rng);
+    SCOPED_TRACE(mix.name);
+
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+    applyDeadlines(baseline, deadlines);
+    auto dirigent = runner.run(mix, core::Scheme::Dirigent, deadlines);
+
+    EXPECT_GE(dirigent.fgSuccessRatio(),
+              baseline.fgSuccessRatio() - 0.05);
+    EXPECT_GE(dirigent.fgSuccessRatio(), 0.8);
+    EXPECT_GT(bgThroughputRatio(dirigent, baseline), 0.5);
+    // All FG processes produced the requested executions.
+    for (const auto &durations : dirigent.perFgDurations)
+        EXPECT_EQ(durations.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMixTest,
+                         testing::Range(uint64_t(1), uint64_t(7)));
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests of the CAT way-partition controller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/cat.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::machine {
+namespace {
+
+MachineConfig
+config()
+{
+    MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    return cfg;
+}
+
+void
+spawnMix(Machine &m, unsigned fgCount)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    for (unsigned c = 0; c < m.numCores(); ++c) {
+        ProcessSpec s;
+        bool fg = c < fgCount;
+        s.name = fg ? "fg" : "bg";
+        s.program = fg ? &lib.get("ferret").program
+                       : &lib.get("lbm").program;
+        s.core = c;
+        s.foreground = fg;
+        m.spawnProcess(s);
+    }
+}
+
+TEST(CatTest, StartsShared)
+{
+    Machine m(config());
+    CatController cat(m);
+    EXPECT_FALSE(cat.partitioned());
+    EXPECT_EQ(cat.fgWays(), 0u);
+    EXPECT_EQ(cat.numWays(), 20u);
+}
+
+TEST(CatTest, PartitionSplitsMasks)
+{
+    Machine m(config());
+    spawnMix(m, 2);
+    CatController cat(m);
+    cat.setFgWays(5);
+    EXPECT_TRUE(cat.partitioned());
+    EXPECT_EQ(cat.fgWays(), 5u);
+    // FG cores 0–1 get ways [0,5); BG cores 2–5 get ways [5,20).
+    EXPECT_EQ(m.cache().wayMask(0), mem::wayRange(0, 5));
+    EXPECT_EQ(m.cache().wayMask(1), mem::wayRange(0, 5));
+    for (unsigned c = 2; c < 6; ++c)
+        EXPECT_EQ(m.cache().wayMask(c), mem::wayRange(5, 20));
+}
+
+TEST(CatTest, SharedRestoresFullMasks)
+{
+    Machine m(config());
+    spawnMix(m, 1);
+    CatController cat(m);
+    cat.setFgWays(4);
+    cat.setShared();
+    EXPECT_FALSE(cat.partitioned());
+    for (unsigned c = 0; c < 6; ++c)
+        EXPECT_EQ(m.cache().wayMask(c), mem::wayRange(0, 20));
+}
+
+TEST(CatTest, ClampsToValidRange)
+{
+    Machine m(config());
+    spawnMix(m, 1);
+    CatController cat(m);
+    cat.setFgWays(0);
+    EXPECT_EQ(cat.fgWays(), 1u); // clamped up
+    cat.setFgWays(100);
+    EXPECT_EQ(cat.fgWays(), 19u); // clamped below numWays
+}
+
+TEST(CatTest, GrowAndShrinkAreIncremental)
+{
+    Machine m(config());
+    spawnMix(m, 1);
+    CatController cat(m);
+    cat.setFgWays(2);
+    cat.setFgWays(cat.fgWays() + 1);
+    EXPECT_EQ(cat.fgWays(), 3u);
+    cat.setFgWays(cat.fgWays() - 1);
+    EXPECT_EQ(cat.fgWays(), 2u);
+}
+
+TEST(CatTest, AppliesOnlyToSpawnedProcesses)
+{
+    Machine m(config());
+    CatController cat(m);
+    cat.setFgWays(5); // no processes yet: nothing to apply, no crash
+    spawnMix(m, 1);
+    // New processes still have the default full mask until re-applied.
+    EXPECT_EQ(m.cache().wayMask(0), mem::wayRange(0, 20));
+    cat.setFgWays(5);
+    EXPECT_EQ(m.cache().wayMask(0), mem::wayRange(0, 5));
+}
+
+} // namespace
+} // namespace dirigent::machine

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests of the CPUFreq governor: grade table, transition latency,
+ * supersession, and the equispaced-subset helper Dirigent uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/cpufreq.h"
+
+namespace dirigent::machine {
+namespace {
+
+MachineConfig
+config()
+{
+    MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    return cfg;
+}
+
+class CpuFreqTest : public testing::Test
+{
+  protected:
+    CpuFreqTest()
+        : machine_(config()), engine_(machine_, Time::us(100.0)),
+          governor_(machine_, engine_)
+    {
+    }
+
+    Machine machine_;
+    sim::Engine engine_;
+    CpuFreqGovernor governor_;
+};
+
+TEST_F(CpuFreqTest, NineGradesSpanPaperRange)
+{
+    // Xeon E5-2618L v3: 9 steps, 1.2–2.0 GHz in 0.1 GHz increments.
+    EXPECT_EQ(governor_.numGrades(), 9u);
+    EXPECT_NEAR(governor_.gradeFreq(0).ghz(), 1.2, 1e-9);
+    EXPECT_NEAR(governor_.gradeFreq(8).ghz(), 2.0, 1e-9);
+    EXPECT_NEAR(governor_.gradeFreq(4).ghz(), 1.6, 1e-9);
+    for (unsigned g = 1; g < 9; ++g)
+        EXPECT_NEAR(governor_.gradeFreq(g).ghz() -
+                        governor_.gradeFreq(g - 1).ghz(),
+                    0.1, 1e-9);
+}
+
+TEST_F(CpuFreqTest, CoresStartAtMax)
+{
+    for (unsigned c = 0; c < machine_.numCores(); ++c) {
+        EXPECT_EQ(governor_.grade(c), 8u);
+        EXPECT_NEAR(machine_.core(c).frequency().ghz(), 2.0, 1e-9);
+    }
+}
+
+TEST_F(CpuFreqTest, TransitionAppliesAfterLatency)
+{
+    governor_.setGrade(0, 0);
+    EXPECT_EQ(governor_.grade(0), 0u); // target visible immediately
+    // Hardware not yet switched.
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 2.0, 1e-9);
+    engine_.runFor(Time::us(60.0)); // > 50 µs transition latency
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 1.2, 1e-9);
+}
+
+TEST_F(CpuFreqTest, LaterRequestSupersedes)
+{
+    governor_.setGrade(0, 0);
+    governor_.setGrade(0, 8); // changed mind before transition lands
+    engine_.runFor(Time::ms(1.0));
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 2.0, 1e-9);
+}
+
+TEST_F(CpuFreqTest, RedundantRequestIsNoop)
+{
+    governor_.setGrade(0, 8);
+    EXPECT_EQ(engine_.events().size(), 0u);
+}
+
+TEST_F(CpuFreqTest, SetAllMax)
+{
+    governor_.setGrade(0, 0);
+    governor_.setGrade(3, 2);
+    engine_.runFor(Time::ms(1.0));
+    governor_.setAllMax();
+    engine_.runFor(Time::ms(1.0));
+    for (unsigned c = 0; c < machine_.numCores(); ++c)
+        EXPECT_NEAR(machine_.core(c).frequency().ghz(), 2.0, 1e-9);
+}
+
+TEST_F(CpuFreqTest, EquispacedFiveOfNine)
+{
+    // Dirigent uses 5 equi-spaced of the 9 grades: 1.2, 1.4, 1.6,
+    // 1.8, 2.0 GHz — indices 0, 2, 4, 6, 8.
+    auto grades = governor_.equispacedGrades(5);
+    EXPECT_EQ(grades, (std::vector<unsigned>{0, 2, 4, 6, 8}));
+}
+
+TEST_F(CpuFreqTest, EquispacedEndpoints)
+{
+    auto two = governor_.equispacedGrades(2);
+    EXPECT_EQ(two, (std::vector<unsigned>{0, 8}));
+    auto all = governor_.equispacedGrades(9);
+    EXPECT_EQ(all.front(), 0u);
+    EXPECT_EQ(all.back(), 8u);
+    EXPECT_EQ(all.size(), 9u);
+}
+
+TEST_F(CpuFreqTest, GradeBoundsChecked)
+{
+    EXPECT_DEATH(governor_.setGrade(0, 99), "grade");
+    EXPECT_DEATH(governor_.setGrade(99, 0), "core");
+    EXPECT_DEATH(governor_.gradeFreq(99), "grade");
+}
+
+} // namespace
+} // namespace dirigent::machine

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Reentrancy and ordering tests for the machine's completion-listener
+ * machinery: listeners that mutate the listener list, switch programs,
+ * or pause processes from inside a completion callback — the patterns
+ * the rotate driver, arrival driver, and Dirigent runtime rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::machine {
+namespace {
+
+MachineConfig
+quietConfig()
+{
+    MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    cfg.seed = 21;
+    return cfg;
+}
+
+workload::PhaseProgram
+shortProgram(const char *name, double instructions)
+{
+    workload::PhaseProgram prog;
+    prog.name = name;
+    workload::Phase p;
+    p.name = "p";
+    p.instructions = instructions;
+    p.cpiBase = 1.0;
+    p.llcApki = 0.0;
+    p.cpiJitterSigma = 0.0;
+    p.instrJitterSigma = 0.0;
+    prog.phases = {p};
+    return prog;
+}
+
+Pid
+spawn(Machine &m, const workload::PhaseProgram &prog, unsigned core,
+      bool fg)
+{
+    ProcessSpec s;
+    s.name = prog.name;
+    s.program = &prog;
+    s.core = core;
+    s.foreground = fg;
+    return m.spawnProcess(s);
+}
+
+TEST(ListenerReentrancyTest, ListenerMayRemoveItself)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram("fg", 2e6); // 1 ms per execution
+    spawn(m, prog, 0, true);
+    sim::Engine engine(m, Time::us(100.0));
+
+    int calls = 0;
+    size_t handle = 0;
+    handle = m.addCompletionListener(
+        [&](const CompletionRecord &) {
+            ++calls;
+            m.removeCompletionListener(handle);
+        });
+    engine.runUntil(Time::ms(5.0));
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ListenerReentrancyTest, ListenerMayAddListener)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram("fg", 2e6);
+    spawn(m, prog, 0, true);
+    sim::Engine engine(m, Time::us(100.0));
+
+    int primary = 0, secondary = 0;
+    m.addCompletionListener([&](const CompletionRecord &) {
+        if (++primary == 1) {
+            m.addCompletionListener(
+                [&](const CompletionRecord &) { ++secondary; });
+        }
+    });
+    engine.runUntil(Time::ms(3.5)); // ~3 completions
+    EXPECT_EQ(primary, 3);
+    EXPECT_EQ(secondary, 2); // attached after the first completion
+}
+
+TEST(ListenerReentrancyTest, ListenerMaySwitchOtherProcessProgram)
+{
+    // The rotate-driver pattern: an FG completion switches BG programs
+    // mid-run, including on cores that already advanced this quantum.
+    Machine m(quietConfig());
+    auto fgProg = shortProgram("fg", 2e6);
+    auto bgA = shortProgram("bgA", 1e15);
+    bgA.loop = true;
+    auto bgB = shortProgram("bgB", 1e15);
+    bgB.loop = true;
+    spawn(m, fgProg, 2, true); // FG on a *later* core than one BG
+    Pid bg0 = spawn(m, bgA, 0, false);
+    Pid bg1 = spawn(m, bgA, 4, false);
+    sim::Engine engine(m, Time::us(100.0));
+
+    int switches = 0;
+    m.addCompletionListener([&](const CompletionRecord &rec) {
+        if (!rec.foreground)
+            return;
+        ++switches;
+        m.switchProgram(bg0, switches % 2 ? &bgB : &bgA);
+        m.switchProgram(bg1, switches % 2 ? &bgB : &bgA);
+    });
+    engine.runUntil(Time::ms(10.0));
+    EXPECT_GE(switches, 9);
+    EXPECT_EQ(m.os().process(bg0).program->name,
+              switches % 2 ? "bgB" : "bgA");
+    // BG processes kept running throughout (their counters advanced).
+    EXPECT_GT(m.readCounters(0).instructions, 0.0);
+    EXPECT_GT(m.readCounters(4).instructions, 0.0);
+}
+
+TEST(ListenerReentrancyTest, ListenerMayPauseCompletingProcess)
+{
+    // The arrival-driver pattern: pause the process whose task just
+    // completed, from inside the completion callback.
+    Machine m(quietConfig());
+    auto prog = shortProgram("fg", 2e6);
+    Pid pid = spawn(m, prog, 0, true);
+    sim::Engine engine(m, Time::us(100.0));
+
+    int completions = 0;
+    m.addCompletionListener([&](const CompletionRecord &) {
+        ++completions;
+        m.os().pause(pid);
+    });
+    engine.runUntil(Time::ms(10.0));
+    EXPECT_EQ(completions, 1); // paused after the first completion
+    double instrAtPause = m.readCounters(0).instructions;
+    engine.runUntil(Time::ms(20.0));
+    EXPECT_DOUBLE_EQ(m.readCounters(0).instructions, instrAtPause);
+
+    // Resuming continues the already-restarted next task.
+    m.os().resume(pid);
+    engine.runUntil(Time::ms(25.0));
+    EXPECT_EQ(completions, 2);
+}
+
+TEST(ListenerReentrancyTest, MultipleListenersSeeSameRecord)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram("fg", 2e6);
+    spawn(m, prog, 0, true);
+    sim::Engine engine(m, Time::us(100.0));
+
+    std::vector<double> seenA, seenB;
+    m.addCompletionListener([&](const CompletionRecord &rec) {
+        seenA.push_back(rec.finished.sec());
+    });
+    m.addCompletionListener([&](const CompletionRecord &rec) {
+        seenB.push_back(rec.finished.sec());
+    });
+    engine.runUntil(Time::ms(4.5));
+    ASSERT_EQ(seenA.size(), seenB.size());
+    EXPECT_EQ(seenA, seenB);
+    EXPECT_GE(seenA.size(), 4u);
+}
+
+} // namespace
+} // namespace dirigent::machine

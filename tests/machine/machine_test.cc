@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests of the assembled machine: execution, completion records and
+ * restarts, program switching, counters, and noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/machine.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::machine {
+namespace {
+
+MachineConfig
+quietConfig()
+{
+    MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0; // deterministic tests
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** A short, deterministic one-shot program. */
+workload::PhaseProgram
+shortProgram(double instructions = 2e7)
+{
+    workload::PhaseProgram prog;
+    prog.name = "short";
+    workload::Phase p;
+    p.name = "p";
+    p.instructions = instructions;
+    p.cpiBase = 1.0;
+    p.llcApki = 0.0;
+    p.cpiJitterSigma = 0.0;
+    p.instrJitterSigma = 0.0;
+    prog.phases = {p};
+    return prog;
+}
+
+ProcessSpec
+specFor(const workload::PhaseProgram &prog, unsigned core, bool fg)
+{
+    ProcessSpec s;
+    s.name = prog.name;
+    s.program = &prog;
+    s.core = core;
+    s.foreground = fg;
+    return s;
+}
+
+TEST(MachineTest, ConstructionMatchesConfig)
+{
+    Machine m(quietConfig());
+    EXPECT_EQ(m.numCores(), 6u);
+    EXPECT_EQ(m.cache().clients(), 6u);
+    EXPECT_DOUBLE_EQ(m.core(0).frequency().ghz(), 2.0);
+}
+
+TEST(MachineTest, TaskCompletesAndRestarts)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram(); // 2e7 instr @ 2 GHz = 10 ms
+    Pid pid = m.spawnProcess(specFor(prog, 0, true));
+
+    std::vector<CompletionRecord> records;
+    m.addCompletionListener(
+        [&](const CompletionRecord &rec) { records.push_back(rec); });
+
+    sim::Engine engine(m, Time::us(100.0));
+    engine.runUntil(Time::ms(25.0));
+
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].pid, pid);
+    EXPECT_NEAR(records[0].finished.ms(), 10.0, 0.01);
+    EXPECT_NEAR(records[0].duration().ms(), 10.0, 0.01);
+    EXPECT_EQ(records[0].executionIndex, 0u);
+    EXPECT_EQ(records[1].executionIndex, 1u);
+    EXPECT_NEAR(records[1].started.ms(), records[0].finished.ms(), 1e-9);
+    EXPECT_TRUE(records[0].foreground);
+    EXPECT_NEAR(records[0].instructions, 2e7, 1.0);
+}
+
+TEST(MachineTest, CompletionTimeIsSubQuantum)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram(2.1e6); // 1.05 ms: not a quantum multiple
+    m.spawnProcess(specFor(prog, 0, true));
+    std::vector<CompletionRecord> records;
+    m.addCompletionListener(
+        [&](const CompletionRecord &rec) { records.push_back(rec); });
+    sim::Engine engine(m, Time::us(100.0));
+    engine.runUntil(Time::ms(3.0));
+    ASSERT_GE(records.size(), 1u);
+    EXPECT_NEAR(records[0].finished.ms(), 1.05, 1e-6);
+}
+
+TEST(MachineTest, PausedProcessMakesNoProgress)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram();
+    Pid pid = m.spawnProcess(specFor(prog, 0, true));
+    m.os().pause(pid);
+    sim::Engine engine(m, Time::us(100.0));
+    engine.runUntil(Time::ms(5.0));
+    EXPECT_DOUBLE_EQ(m.readCounters(0).instructions, 0.0);
+    m.os().resume(pid);
+    engine.runUntil(Time::ms(10.0));
+    EXPECT_GT(m.readCounters(0).instructions, 0.0);
+}
+
+TEST(MachineTest, SwitchProgramTakesEffectNow)
+{
+    Machine m(quietConfig());
+    auto progA = shortProgram();
+    auto progB = shortProgram();
+    progB.name = "other";
+    Pid pid = m.spawnProcess(specFor(progA, 0, false));
+    sim::Engine engine(m, Time::us(100.0));
+    engine.runUntil(Time::ms(1.0));
+    m.switchProgram(pid, &progB);
+    EXPECT_EQ(m.os().process(pid).program, &progB);
+    EXPECT_DOUBLE_EQ(m.os().process(pid).task->retired(), 0.0);
+    // Residency dropped with the program switch.
+    EXPECT_DOUBLE_EQ(m.cache().occupancy(0), 0.0);
+}
+
+TEST(MachineTest, MultipleCoresRunConcurrently)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram(1e12);
+    std::vector<workload::PhaseProgram> progs(3, prog);
+    for (unsigned c = 0; c < 3; ++c)
+        m.spawnProcess(specFor(progs[c], c, false));
+    sim::Engine engine(m, Time::us(100.0));
+    engine.runUntil(Time::ms(1.0));
+    for (unsigned c = 0; c < 3; ++c)
+        EXPECT_NEAR(m.readCounters(c).instructions, 2e6, 10.0);
+    EXPECT_DOUBLE_EQ(m.readCounters(3).instructions, 0.0);
+}
+
+TEST(MachineTest, ListenerRemovalStopsDelivery)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram();
+    m.spawnProcess(specFor(prog, 0, true));
+    int count = 0;
+    size_t handle = m.addCompletionListener(
+        [&](const CompletionRecord &) { ++count; });
+    sim::Engine engine(m, Time::us(100.0));
+    engine.runUntil(Time::ms(12.0));
+    EXPECT_EQ(count, 1);
+    m.removeCompletionListener(handle);
+    engine.runUntil(Time::ms(25.0));
+    EXPECT_EQ(count, 1);
+}
+
+TEST(MachineTest, OsNoiseStealsTime)
+{
+    MachineConfig noisy = quietConfig();
+    noisy.noiseEventsPerSec = 2000.0;
+    noisy.noiseMeanDuration = Time::us(100.0);
+    Machine quiet(quietConfig());
+    Machine loud(noisy);
+    auto prog = shortProgram(1e12);
+    quiet.spawnProcess(specFor(prog, 0, false));
+    loud.spawnProcess(specFor(prog, 0, false));
+    sim::Engine e1(quiet, Time::us(100.0));
+    sim::Engine e2(loud, Time::us(100.0));
+    e1.runUntil(Time::ms(50.0));
+    e2.runUntil(Time::ms(50.0));
+    EXPECT_LT(loud.readCounters(0).instructions,
+              quiet.readCounters(0).instructions * 0.95);
+}
+
+TEST(MachineTest, DeterministicForSameSeed)
+{
+    auto run = [](uint64_t seed) {
+        MachineConfig cfg;
+        cfg.seed = seed;
+        cfg.noiseEventsPerSec = 40.0;
+        Machine m(cfg);
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        ProcessSpec s;
+        s.name = "fg";
+        s.program = &lib.get("ferret").program;
+        s.core = 0;
+        s.foreground = true;
+        m.spawnProcess(s);
+        sim::Engine engine(m, Time::us(100.0));
+        engine.runUntil(Time::ms(100.0));
+        return m.readCounters(0).instructions;
+    };
+    EXPECT_DOUBLE_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+TEST(MachineTest, NowTracksEngine)
+{
+    Machine m(quietConfig());
+    auto prog = shortProgram(1e12);
+    m.spawnProcess(specFor(prog, 0, false));
+    sim::Engine engine(m, Time::us(100.0));
+    engine.runUntil(Time::ms(3.0));
+    EXPECT_DOUBLE_EQ(m.now().ms(), 3.0);
+}
+
+TEST(MachineDeathTest, BadCoreAccess)
+{
+    Machine m(quietConfig());
+    EXPECT_DEATH(m.core(10), "bad core");
+}
+
+} // namespace
+} // namespace dirigent::machine

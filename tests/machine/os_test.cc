@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests of the OS model: spawning, pinning, pause/resume, program
+ * switching, and task restart.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/os.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::machine {
+namespace {
+
+const workload::PhaseProgram &
+fgProgram()
+{
+    return workload::BenchmarkLibrary::instance().get("ferret").program;
+}
+
+const workload::PhaseProgram &
+bgProgram()
+{
+    return workload::BenchmarkLibrary::instance().get("lbm").program;
+}
+
+ProcessSpec
+spec(const std::string &name, unsigned core, bool fg)
+{
+    ProcessSpec s;
+    s.name = name;
+    s.program = fg ? &fgProgram() : &bgProgram();
+    s.core = core;
+    s.foreground = fg;
+    return s;
+}
+
+TEST(OsTest, SpawnAssignsDensePids)
+{
+    Os os(4, Rng(1));
+    EXPECT_EQ(os.spawn(spec("a", 0, true)), 0u);
+    EXPECT_EQ(os.spawn(spec("b", 1, false)), 1u);
+    EXPECT_EQ(os.processCount(), 2u);
+}
+
+TEST(OsTest, ProcessLookup)
+{
+    Os os(4, Rng(1));
+    Pid pid = os.spawn(spec("a", 2, true));
+    const Process &proc = os.process(pid);
+    EXPECT_EQ(proc.name, "a");
+    EXPECT_EQ(proc.core, 2u);
+    EXPECT_TRUE(proc.foreground);
+    EXPECT_TRUE(proc.runnable());
+    EXPECT_NE(proc.task, nullptr);
+}
+
+TEST(OsTest, CoreMap)
+{
+    Os os(4, Rng(1));
+    Pid pid = os.spawn(spec("a", 3, false));
+    EXPECT_EQ(os.processOnCore(3)->pid, pid);
+    EXPECT_EQ(os.processOnCore(0), nullptr);
+}
+
+TEST(OsDeathTest, DoubleOccupancyIsFatal)
+{
+    Os os(4, Rng(1));
+    os.spawn(spec("a", 0, true));
+    EXPECT_EXIT(os.spawn(spec("b", 0, false)),
+                testing::ExitedWithCode(1), "already runs");
+}
+
+TEST(OsDeathTest, BadCoreIsFatal)
+{
+    Os os(2, Rng(1));
+    EXPECT_EXIT(os.spawn(spec("a", 7, true)), testing::ExitedWithCode(1),
+                "cannot pin");
+}
+
+TEST(OsTest, PauseAndResume)
+{
+    Os os(4, Rng(1));
+    Pid pid = os.spawn(spec("a", 0, false));
+    os.pause(pid);
+    EXPECT_FALSE(os.process(pid).runnable());
+    EXPECT_EQ(os.process(pid).state, ProcState::Paused);
+    os.pause(pid); // idempotent
+    os.resume(pid);
+    EXPECT_TRUE(os.process(pid).runnable());
+    os.resume(pid); // idempotent
+    EXPECT_TRUE(os.process(pid).runnable());
+}
+
+TEST(OsTest, RestartCreatesFreshTask)
+{
+    Os os(4, Rng(1));
+    Pid pid = os.spawn(spec("a", 0, true));
+    Process &proc = os.process(pid);
+    proc.task->retire(1000.0);
+    const workload::Task *old = proc.task.get();
+    os.restartTask(pid, Time::sec(5.0));
+    EXPECT_NE(proc.task.get(), old);
+    EXPECT_DOUBLE_EQ(proc.task->retired(), 0.0);
+    EXPECT_DOUBLE_EQ(proc.taskStart.sec(), 5.0);
+}
+
+TEST(OsTest, NextProgramAppliesAtRestart)
+{
+    Os os(4, Rng(1));
+    Pid pid = os.spawn(spec("a", 0, false));
+    os.setNextProgram(pid, &fgProgram());
+    // Still the old program until restart.
+    EXPECT_EQ(os.process(pid).program, &bgProgram());
+    os.restartTask(pid, Time::sec(1.0));
+    EXPECT_EQ(os.process(pid).program, &fgProgram());
+    EXPECT_EQ(os.process(pid).nextProgram, nullptr);
+    EXPECT_EQ(&os.process(pid).task->program(), &fgProgram());
+}
+
+TEST(OsTest, FgBgPidPartition)
+{
+    Os os(6, Rng(1));
+    os.spawn(spec("fg0", 0, true));
+    os.spawn(spec("bg0", 1, false));
+    os.spawn(spec("fg1", 2, true));
+    os.spawn(spec("bg1", 3, false));
+    EXPECT_EQ(os.foregroundPids(), (std::vector<Pid>{0, 2}));
+    EXPECT_EQ(os.backgroundPids(), (std::vector<Pid>{1, 3}));
+    EXPECT_EQ(os.pids().size(), 4u);
+}
+
+TEST(OsTest, TaskStreamsDifferAcrossRestarts)
+{
+    // Per-instance jitter means consecutive tasks differ (their phase
+    // targets are drawn from fresh streams).
+    Os os(4, Rng(1));
+    Pid pid = os.spawn(spec("a", 0, true));
+    double first = os.process(pid).task->remainingInPhase();
+    os.restartTask(pid, Time::sec(1.0));
+    double second = os.process(pid).task->remainingInPhase();
+    EXPECT_NE(first, second);
+}
+
+} // namespace
+} // namespace dirigent::machine

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests of the sleep-based periodic sampler: cadence, jitter model,
+ * start/stop semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "machine/sampler.h"
+#include "sim/engine.h"
+
+namespace dirigent::machine {
+namespace {
+
+/** Engine with a trivial root component. */
+class NullComponent : public sim::Component
+{
+  public:
+    void advance(Time, Time) override {}
+};
+
+class SamplerTest : public testing::Test
+{
+  protected:
+    SamplerTest() : engine_(root_, Time::us(100.0)) {}
+
+    NullComponent root_;
+    sim::Engine engine_;
+    std::vector<PeriodicSampler::Tick> ticks_;
+};
+
+TEST_F(SamplerTest, TicksAtRequestedCadence)
+{
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(1),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    engine_.runUntil(Time::ms(26.0));
+    ASSERT_EQ(ticks_.size(), 5u);
+    for (size_t i = 0; i < ticks_.size(); ++i) {
+        EXPECT_EQ(ticks_[i].index, i);
+        EXPECT_NEAR(ticks_[i].actual.ms(), 5.0 * double(i + 1), 1e-9);
+        EXPECT_DOUBLE_EQ(ticks_[i].scheduled.ms(),
+                         ticks_[i].actual.ms());
+    }
+}
+
+TEST_F(SamplerTest, OvershootDelaysWakeups)
+{
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time::us(50.0), Time::us(20.0), Rng(2),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    engine_.runUntil(Time::ms(60.0));
+    ASSERT_GE(ticks_.size(), 10u);
+    double totalOvershoot = 0.0;
+    for (const auto &t : ticks_) {
+        EXPECT_GE(t.actual.sec(), t.scheduled.sec());
+        totalOvershoot += (t.actual - t.scheduled).us();
+    }
+    // Mean overshoot near the configured 50 µs.
+    EXPECT_NEAR(totalOvershoot / double(ticks_.size()), 50.0, 25.0);
+}
+
+TEST_F(SamplerTest, SleepLoopDrifts)
+{
+    // Rescheduling from the actual wake time means overshoot
+    // accumulates, as with a real sleep loop.
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time::us(100.0), Time(), Rng(3),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    engine_.runUntil(Time::ms(52.0));
+    ASSERT_GE(ticks_.size(), 10u);
+    // Tick 9 nominal: 50 ms; with 100 µs drift per tick: ~50.9 ms.
+    EXPECT_GT(ticks_[9].actual.ms(), 50.5);
+}
+
+TEST_F(SamplerTest, StopCancelsPendingTick)
+{
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(4),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    engine_.runUntil(Time::ms(12.0));
+    EXPECT_EQ(ticks_.size(), 2u);
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    engine_.runUntil(Time::ms(30.0));
+    EXPECT_EQ(ticks_.size(), 2u);
+}
+
+TEST_F(SamplerTest, RestartRealignsToNow)
+{
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(5),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    engine_.runUntil(Time::ms(7.0));
+    sampler.stop();
+    sampler.start(); // realigned: next tick at 12 ms
+    engine_.runUntil(Time::ms(13.0));
+    ASSERT_EQ(ticks_.size(), 2u);
+    EXPECT_NEAR(ticks_[1].actual.ms(), 12.0, 1e-9);
+}
+
+TEST_F(SamplerTest, StartIsIdempotent)
+{
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(6),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    sampler.start();
+    engine_.runUntil(Time::ms(6.0));
+    EXPECT_EQ(ticks_.size(), 1u); // not double-scheduled
+}
+
+TEST_F(SamplerTest, DestructorStops)
+{
+    {
+        PeriodicSampler sampler(
+            engine_, Time::ms(5.0), Time(), Time(), Rng(7),
+            [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+        sampler.start();
+    }
+    engine_.runUntil(Time::ms(20.0));
+    EXPECT_TRUE(ticks_.empty());
+}
+
+TEST_F(SamplerTest, CallbackMayStopSampler)
+{
+    PeriodicSampler *ptr = nullptr;
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(8),
+        [&](const PeriodicSampler::Tick &t) {
+            ticks_.push_back(t);
+            if (t.index == 1)
+                ptr->stop();
+        });
+    ptr = &sampler;
+    sampler.start();
+    engine_.runUntil(Time::ms(50.0));
+    EXPECT_EQ(ticks_.size(), 2u);
+}
+
+} // namespace
+} // namespace dirigent::machine

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the MemGuard-style per-core bandwidth regulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bwguard.h"
+
+namespace dirigent::mem {
+namespace {
+
+TEST(BwGuardTest, UnregulatedByDefault)
+{
+    BwGuard guard(4);
+    for (unsigned c = 0; c < 4; ++c) {
+        EXPECT_DOUBLE_EQ(guard.budget(c), 0.0);
+        EXPECT_TRUE(guard.allow(c));
+    }
+    guard.charge(0, 1e12); // unlimited: no exhaustion
+    EXPECT_TRUE(guard.allow(0));
+    EXPECT_EQ(guard.exhaustions(0), 0u);
+}
+
+TEST(BwGuardTest, BudgetExhaustsWithinWindow)
+{
+    BwGuard guard(2, Time::ms(1.0));
+    guard.setBudget(0, 1e9); // 1 GB/s → 1 MB per 1 ms window
+    guard.charge(0, 0.6e6);
+    EXPECT_TRUE(guard.allow(0));
+    guard.charge(0, 0.5e6); // total 1.1 MB > 1 MB
+    EXPECT_FALSE(guard.allow(0));
+    EXPECT_EQ(guard.exhaustions(0), 1u);
+    // Core 1 unaffected.
+    EXPECT_TRUE(guard.allow(1));
+}
+
+TEST(BwGuardTest, WindowRollRefills)
+{
+    BwGuard guard(1, Time::ms(1.0));
+    guard.setBudget(0, 1e9);
+    guard.charge(0, 2e6);
+    EXPECT_FALSE(guard.allow(0));
+    guard.tick(Time::ms(0.5)); // mid-window: still exhausted
+    EXPECT_FALSE(guard.allow(0));
+    guard.tick(Time::ms(1.0)); // boundary: refilled
+    EXPECT_TRUE(guard.allow(0));
+}
+
+TEST(BwGuardTest, TickRollsMultipleWindows)
+{
+    BwGuard guard(1, Time::ms(1.0));
+    guard.setBudget(0, 1e9);
+    guard.charge(0, 2e6);
+    guard.tick(Time::ms(5.5));
+    EXPECT_TRUE(guard.allow(0));
+    // Next window starts at 5 ms; charging exhausts again.
+    guard.charge(0, 2e6);
+    EXPECT_FALSE(guard.allow(0));
+    guard.tick(Time::ms(6.0));
+    EXPECT_TRUE(guard.allow(0));
+}
+
+TEST(BwGuardTest, ClearBudgetsUnregulates)
+{
+    BwGuard guard(2, Time::ms(1.0));
+    guard.setBudget(0, 1e9);
+    guard.charge(0, 2e6);
+    EXPECT_FALSE(guard.allow(0));
+    guard.clearBudgets();
+    EXPECT_TRUE(guard.allow(0));
+    EXPECT_DOUBLE_EQ(guard.budget(0), 0.0);
+}
+
+TEST(BwGuardTest, DisablingSingleBudgetReleases)
+{
+    BwGuard guard(1, Time::ms(1.0));
+    guard.setBudget(0, 1e9);
+    guard.charge(0, 2e6);
+    EXPECT_FALSE(guard.allow(0));
+    guard.setBudget(0, 0.0);
+    EXPECT_TRUE(guard.allow(0));
+}
+
+TEST(BwGuardTest, ExhaustionCountAccumulates)
+{
+    BwGuard guard(1, Time::ms(1.0));
+    guard.setBudget(0, 1e9);
+    for (int w = 1; w <= 3; ++w) {
+        guard.charge(0, 2e6);
+        EXPECT_FALSE(guard.allow(0));
+        guard.tick(Time::ms(double(w)));
+    }
+    EXPECT_EQ(guard.exhaustions(0), 3u);
+}
+
+TEST(BwGuardDeathTest, BoundsChecked)
+{
+    BwGuard guard(2);
+    EXPECT_DEATH(guard.allow(5), "bad core");
+    EXPECT_DEATH(guard.setBudget(5, 1.0), "bad core");
+    EXPECT_DEATH(guard.charge(0, -1.0), "negative");
+    EXPECT_DEATH(guard.setBudget(0, -1.0), "non-negative");
+}
+
+} // namespace
+} // namespace dirigent::mem

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests of the shared LLC model: way masks, occupancy flow, eviction
+ * proportionality, working-set caps, and — critically for Dirigent —
+ * cache inertia under repartitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace dirigent::mem {
+namespace {
+
+workload::Phase
+phaseWithWs(Bytes ws, double maxHit = 0.9)
+{
+    workload::Phase p;
+    p.name = "t";
+    p.instructions = 1e9;
+    p.llcApki = 10.0;
+    p.workingSet = ws;
+    p.locality = 3.0;
+    p.maxHitRatio = maxHit;
+    return p;
+}
+
+CacheConfig
+smallCache()
+{
+    CacheConfig cfg;
+    cfg.numWays = 4;
+    cfg.bytesPerWay = 1024.0; // 4 KiB cache for fast unit tests
+    cfg.lineSize = 64.0;
+    return cfg;
+}
+
+TEST(WayMaskTest, RangeAndCount)
+{
+    EXPECT_EQ(wayRange(0, 4), 0xFu);
+    EXPECT_EQ(wayRange(2, 5), 0x1Cu);
+    EXPECT_EQ(wayCount(0xFu), 4u);
+    EXPECT_EQ(wayCount(0x1u), 1u);
+}
+
+TEST(WayMaskDeathTest, BadRange)
+{
+    EXPECT_DEATH(wayRange(3, 3), "bad way range");
+    EXPECT_DEATH(wayRange(0, 33), "bad way range");
+}
+
+TEST(SharedCacheTest, StartsEmptyAndShared)
+{
+    SharedCache cache(smallCache(), 2);
+    EXPECT_DOUBLE_EQ(cache.occupancy(0), 0.0);
+    EXPECT_EQ(cache.wayMask(0), wayRange(0, 4));
+    EXPECT_EQ(cache.clients(), 2u);
+}
+
+TEST(SharedCacheTest, MissesAllWhenEmpty)
+{
+    SharedCache cache(smallCache(), 1);
+    auto phase = phaseWithWs(2048.0);
+    double misses = cache.access(0, phase, 100.0);
+    EXPECT_DOUBLE_EQ(misses, 100.0); // hit ratio 0 at zero occupancy
+}
+
+TEST(SharedCacheTest, FillGrowsOccupancy)
+{
+    SharedCache cache(smallCache(), 1);
+    auto phase = phaseWithWs(2048.0);
+    cache.access(0, phase, 10.0); // 10 misses × 64 B queued
+    cache.commit({2048.0});
+    EXPECT_DOUBLE_EQ(cache.occupancy(0), 640.0);
+}
+
+TEST(SharedCacheTest, HitRatioRisesWithResidency)
+{
+    SharedCache cache(smallCache(), 1);
+    auto phase = phaseWithWs(2048.0);
+    double prevHit = -1.0;
+    for (int round = 0; round < 10; ++round) {
+        double hit = cache.hitRatio(0, phase);
+        EXPECT_GE(hit, prevHit);
+        prevHit = hit;
+        cache.access(0, phase, 20.0);
+        cache.commit({2048.0});
+    }
+    EXPECT_GT(prevHit, 0.3);
+}
+
+TEST(SharedCacheTest, WorkingSetCapsOccupancy)
+{
+    SharedCache cache(smallCache(), 1);
+    auto phase = phaseWithWs(512.0);
+    for (int round = 0; round < 50; ++round) {
+        cache.access(0, phase, 100.0);
+        cache.commit({512.0});
+    }
+    EXPECT_LE(cache.occupancy(0), 512.0 + 1e-9);
+}
+
+TEST(SharedCacheTest, WayCapacityEnforced)
+{
+    SharedCache cache(smallCache(), 2);
+    auto phase = phaseWithWs(100.0_KiB);
+    for (int round = 0; round < 100; ++round) {
+        cache.access(0, phase, 200.0);
+        cache.access(1, phase, 200.0);
+        cache.commit({100.0 * 1024, 100.0 * 1024});
+    }
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_LE(cache.wayOccupancy(w), 1024.0 + 1e-9);
+}
+
+TEST(SharedCacheTest, HeavierFillerWinsShare)
+{
+    SharedCache cache(smallCache(), 2);
+    auto phase = phaseWithWs(100.0_KiB, 0.5);
+    for (int round = 0; round < 200; ++round) {
+        cache.access(0, phase, 300.0); // heavy
+        cache.access(1, phase, 100.0); // light
+        cache.commit({100.0 * 1024, 100.0 * 1024});
+    }
+    EXPECT_GT(cache.occupancy(0), cache.occupancy(1) * 1.5);
+}
+
+TEST(SharedCacheTest, PartitionIsolatesFill)
+{
+    SharedCache cache(smallCache(), 2);
+    cache.setWayMask(0, wayRange(0, 2));
+    cache.setWayMask(1, wayRange(2, 4));
+    auto phase = phaseWithWs(100.0_KiB);
+    for (int round = 0; round < 50; ++round) {
+        cache.access(0, phase, 100.0);
+        cache.access(1, phase, 100.0);
+        cache.commit({100.0 * 1024, 100.0 * 1024});
+    }
+    // Client 0 only resides in ways 0–1, client 1 only in ways 2–3.
+    EXPECT_GT(cache.occupancyInWay(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(cache.occupancyInWay(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(cache.occupancyInWay(1, 1), 0.0);
+    EXPECT_GT(cache.occupancyInWay(1, 3), 0.0);
+}
+
+TEST(SharedCacheTest, RepartitionShowsInertia)
+{
+    // The defining behaviour for Dirigent's coarse controller: after a
+    // repartition, the old owner's data in lost ways decays gradually
+    // under the new owner's fill, not instantly.
+    SharedCache cache(smallCache(), 2);
+    auto phase = phaseWithWs(100.0_KiB);
+    // Client 0 fills the whole cache first.
+    for (int round = 0; round < 100; ++round) {
+        cache.access(0, phase, 500.0);
+        cache.commit({100.0 * 1024, 100.0 * 1024});
+    }
+    double before = cache.occupancy(0);
+    EXPECT_GT(before, 3000.0);
+
+    // Repartition: client 0 keeps ways 0–1; client 1 gets ways 2–3.
+    cache.setWayMask(0, wayRange(0, 2));
+    cache.setWayMask(1, wayRange(2, 4));
+
+    // Immediately after the mask change nothing has moved.
+    EXPECT_DOUBLE_EQ(cache.occupancy(0), before);
+
+    // Client 1 fills; client 0's residency in ways 2–3 erodes over
+    // many rounds rather than at once.
+    double lost = 0.0;
+    int roundsToHalf = -1;
+    double initialInLostWays =
+        cache.occupancyInWay(0, 2) + cache.occupancyInWay(0, 3);
+    for (int round = 0; round < 300; ++round) {
+        cache.access(1, phase, 3.0);
+        cache.commit({100.0 * 1024, 100.0 * 1024});
+        lost = initialInLostWays - cache.occupancyInWay(0, 2) -
+               cache.occupancyInWay(0, 3);
+        if (roundsToHalf < 0 && lost > initialInLostWays / 2)
+            roundsToHalf = round;
+    }
+    // It took multiple rounds (inertia), but erosion did happen.
+    EXPECT_GT(roundsToHalf, 1);
+    EXPECT_GT(lost, initialInLostWays * 0.8);
+}
+
+TEST(SharedCacheTest, FlushDropsResidency)
+{
+    SharedCache cache(smallCache(), 2);
+    auto phase = phaseWithWs(2048.0);
+    cache.access(0, phase, 100.0);
+    cache.commit({2048.0, 0.0});
+    EXPECT_GT(cache.occupancy(0), 0.0);
+    cache.flush(0);
+    EXPECT_DOUBLE_EQ(cache.occupancy(0), 0.0);
+}
+
+TEST(SharedCacheTest, FlushDropsPendingFill)
+{
+    SharedCache cache(smallCache(), 1);
+    auto phase = phaseWithWs(2048.0);
+    cache.access(0, phase, 100.0);
+    cache.flush(0);
+    cache.commit({2048.0});
+    EXPECT_DOUBLE_EQ(cache.occupancy(0), 0.0);
+}
+
+TEST(SharedCacheDeathTest, BadSlotPanics)
+{
+    SharedCache cache(smallCache(), 1);
+    EXPECT_DEATH(cache.occupancy(5), "bad client slot");
+    EXPECT_DEATH(cache.setWayMask(5, 0x1), "bad client slot");
+}
+
+TEST(SharedCacheDeathTest, EmptyMaskPanics)
+{
+    SharedCache cache(smallCache(), 1);
+    EXPECT_DEATH(cache.setWayMask(0, 0), "at least one way");
+}
+
+TEST(SharedCacheDeathTest, MaskBeyondWaysPanics)
+{
+    SharedCache cache(smallCache(), 1);
+    EXPECT_DEATH(cache.setWayMask(0, 0x100), "exceeds");
+}
+
+TEST(SharedCacheDeathTest, CommitVectorSizeChecked)
+{
+    SharedCache cache(smallCache(), 2);
+    EXPECT_DEATH(cache.commit({1.0}), "cap vector");
+}
+
+TEST(CacheConfigTest, CapacityProduct)
+{
+    CacheConfig cfg;
+    cfg.numWays = 20;
+    cfg.bytesPerWay = 0.75_MiB;
+    EXPECT_DOUBLE_EQ(cfg.capacity(), 15.0_MiB);
+}
+
+} // namespace
+} // namespace dirigent::mem

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of the DRAM contention model: queueing latency growth,
+ * saturation capping, and smoothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.h"
+
+namespace dirigent::mem {
+namespace {
+
+DramConfig
+testConfig()
+{
+    DramConfig cfg;
+    cfg.peakBandwidth = 10e9;
+    cfg.baseLatency = Time::ns(80.0);
+    cfg.queueFactor = 1.0;
+    cfg.maxUtilization = 0.95;
+    cfg.smoothing = 1.0; // no smoothing: deterministic single-step tests
+    return cfg;
+}
+
+TEST(DramModelTest, UnloadedLatencyIsBase)
+{
+    DramModel dram(testConfig());
+    EXPECT_DOUBLE_EQ(dram.latency().ns(), 80.0);
+    dram.update(Time::us(100.0));
+    EXPECT_DOUBLE_EQ(dram.latency().ns(), 80.0);
+    EXPECT_DOUBLE_EQ(dram.utilization(), 0.0);
+}
+
+TEST(DramModelTest, LatencyGrowsWithDemand)
+{
+    DramModel dram(testConfig());
+    // 50% utilization: 10 GB/s × 100 µs × 0.5 = 500 KB.
+    dram.recordDemand(500e3);
+    dram.update(Time::us(100.0));
+    EXPECT_NEAR(dram.utilization(), 0.5, 1e-9);
+    // latency = 80 × (1 + 1.0·0.5/0.5) = 160 ns.
+    EXPECT_NEAR(dram.latency().ns(), 160.0, 1e-9);
+}
+
+TEST(DramModelTest, UtilizationCapped)
+{
+    DramModel dram(testConfig());
+    dram.recordDemand(100e6); // far beyond peak×dt
+    dram.update(Time::us(100.0));
+    EXPECT_DOUBLE_EQ(dram.utilization(), 0.95);
+    // Raw queueing would give 80 × (1 + 0.95/0.05) = 1600 ns, but the
+    // latency factor is capped at 8× (finite buffering): 640 ns.
+    EXPECT_NEAR(dram.latency().ns(), 640.0, 1e-6);
+}
+
+TEST(DramModelTest, LatencyFactorCapConfigurable)
+{
+    DramConfig cfg = testConfig();
+    cfg.maxLatencyFactor = 3.0;
+    DramModel dram(cfg);
+    dram.recordDemand(100e6);
+    dram.update(Time::us(100.0));
+    EXPECT_NEAR(dram.latency().ns(), 240.0, 1e-6);
+}
+
+TEST(DramModelTest, DemandResetsEachQuantum)
+{
+    DramModel dram(testConfig());
+    dram.recordDemand(500e3);
+    dram.update(Time::us(100.0));
+    dram.update(Time::us(100.0)); // no demand this quantum
+    EXPECT_DOUBLE_EQ(dram.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(dram.latency().ns(), 80.0);
+}
+
+TEST(DramModelTest, SmoothingDampsSteps)
+{
+    DramConfig cfg = testConfig();
+    cfg.smoothing = 0.5;
+    DramModel dram(cfg);
+    dram.recordDemand(500e3); // instantaneous ρ = 0.5
+    dram.update(Time::us(100.0));
+    EXPECT_NEAR(dram.utilization(), 0.25, 1e-9); // half-step
+    dram.recordDemand(500e3);
+    dram.update(Time::us(100.0));
+    EXPECT_NEAR(dram.utilization(), 0.375, 1e-9);
+}
+
+TEST(DramModelTest, TotalBytesAccumulates)
+{
+    DramModel dram(testConfig());
+    dram.recordDemand(100.0);
+    dram.update(Time::us(100.0));
+    dram.recordDemand(200.0);
+    dram.update(Time::us(100.0));
+    EXPECT_DOUBLE_EQ(dram.totalBytes(), 300.0);
+}
+
+TEST(DramModelTest, LatencyMonotonicInUtilization)
+{
+    DramModel dram(testConfig());
+    double prev = 0.0;
+    for (double frac = 0.1; frac <= 0.9; frac += 0.1) {
+        DramModel fresh(testConfig());
+        fresh.recordDemand(1e6 * frac);
+        fresh.update(Time::us(100.0));
+        EXPECT_GT(fresh.latency().ns(), prev);
+        prev = fresh.latency().ns();
+    }
+}
+
+TEST(DramModelDeathTest, RejectsBadConfig)
+{
+    DramConfig cfg = testConfig();
+    cfg.peakBandwidth = 0.0;
+    EXPECT_DEATH(DramModel{cfg}, "bandwidth");
+
+    cfg = testConfig();
+    cfg.maxUtilization = 1.0;
+    EXPECT_DEATH(DramModel{cfg}, "utilization");
+
+    cfg = testConfig();
+    cfg.smoothing = 0.0;
+    EXPECT_DEATH(DramModel{cfg}, "smoothing");
+}
+
+TEST(DramModelDeathTest, RejectsNegativeDemand)
+{
+    DramModel dram(testConfig());
+    EXPECT_DEATH(dram.recordDemand(-1.0), "negative");
+}
+
+} // namespace
+} // namespace dirigent::mem

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the variable-quantum co-simulation engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace dirigent::sim {
+namespace {
+
+/** Records every advance span it receives. */
+class RecordingComponent : public Component
+{
+  public:
+    void
+    advance(Time start, Time dt) override
+    {
+        spans.emplace_back(start.sec(), dt.sec());
+        total += dt;
+    }
+
+    std::vector<std::pair<double, double>> spans;
+    Time total;
+};
+
+TEST(EngineTest, AdvancesToEnd)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    engine.runUntil(Time::ms(1.0));
+    EXPECT_DOUBLE_EQ(engine.now().ms(), 1.0);
+    EXPECT_NEAR(comp.total.ms(), 1.0, 1e-12);
+    // 1 ms at 100 µs quanta = 10 spans.
+    EXPECT_EQ(comp.spans.size(), 10u);
+}
+
+TEST(EngineTest, QuantaNeverExceedMax)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    engine.after(Time::us(250.0), [] {});
+    engine.runUntil(Time::ms(1.0));
+    for (const auto &[start, dt] : comp.spans)
+        EXPECT_LE(dt, 100e-6 + 1e-15);
+}
+
+TEST(EngineTest, EventSplitsQuantumExactly)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    double fireTime = -1.0;
+    engine.after(Time::us(250.0), [&] { fireTime = engine.now().us(); });
+    engine.runUntil(Time::us(400.0));
+    EXPECT_DOUBLE_EQ(fireTime, 250.0);
+    // Spans: 100, 100, 50 (event), 100, 50.
+    ASSERT_GE(comp.spans.size(), 3u);
+    EXPECT_NEAR(comp.spans[2].second, 50e-6, 1e-12);
+}
+
+TEST(EngineTest, EventAtEndFires)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    bool fired = false;
+    engine.at(Time::ms(1.0), [&] { fired = true; });
+    engine.runUntil(Time::ms(1.0));
+    EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, ZeroDelayEventFiresBeforeAdvance)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    size_t spansAtFire = 99;
+    engine.after(Time(), [&] { spansAtFire = comp.spans.size(); });
+    engine.runUntil(Time::us(100.0));
+    EXPECT_EQ(spansAtFire, 0u);
+}
+
+TEST(EngineTest, RunForAccumulates)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    engine.runFor(Time::ms(1.0));
+    engine.runFor(Time::ms(2.0));
+    EXPECT_DOUBLE_EQ(engine.now().ms(), 3.0);
+}
+
+TEST(EngineTest, EventsChainAcrossRun)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(50.0));
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        ++ticks;
+        if (ticks < 5)
+            engine.after(Time::us(200.0), tick);
+    };
+    engine.after(Time::us(200.0), tick);
+    engine.runUntil(Time::ms(2.0));
+    EXPECT_EQ(ticks, 5);
+}
+
+TEST(EngineTest, PastEventFiresImmediately)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    engine.runUntil(Time::ms(1.0));
+    bool fired = false;
+    // at() clamps to now when the requested time is in the past.
+    engine.at(Time::us(1.0), [&] { fired = true; });
+    engine.runUntil(Time::ms(1.0) + Time::us(1.0));
+    EXPECT_TRUE(fired);
+}
+
+TEST(EngineDeathTest, RejectsBadQuantum)
+{
+    RecordingComponent comp;
+    EXPECT_DEATH(Engine(comp, Time()), "quantum");
+}
+
+TEST(EngineDeathTest, RejectsNegativeDelay)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    EXPECT_DEATH(engine.after(Time::sec(-1.0), [] {}), "delay");
+}
+
+} // namespace
+} // namespace dirigent::sim

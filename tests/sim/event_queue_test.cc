@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace dirigent::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.nextTime().isNever());
+    EXPECT_EQ(q.runDue(Time::sec(100.0)), 0u);
+}
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(Time::ms(3.0), [&] { order.push_back(3); });
+    q.schedule(Time::ms(1.0), [&] { order.push_back(1); });
+    q.schedule(Time::ms(2.0), [&] { order.push_back(2); });
+    EXPECT_EQ(q.runDue(Time::ms(5.0)), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(Time::ms(1.0), [&order, i] { order.push_back(i); });
+    q.runDue(Time::ms(1.0));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, OnlyDueEventsFire)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(Time::ms(1.0), [&] { ++fired; });
+    q.schedule(Time::ms(10.0), [&] { ++fired; });
+    EXPECT_EQ(q.runDue(Time::ms(5.0)), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_DOUBLE_EQ(q.nextTime().ms(), 10.0);
+}
+
+TEST(EventQueueTest, EventAtExactDeadlineFires)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(Time::ms(2.0), [&] { fired = true; });
+    q.runDue(Time::ms(2.0));
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    EventId id = q.schedule(Time::ms(1.0), [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    q.runDue(Time::ms(5.0));
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    EventId id = q.schedule(Time::ms(1.0), [] {});
+    q.runDue(Time::ms(1.0));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdIsNoop)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(EventId{999}));
+}
+
+TEST(EventQueueTest, CallbackMayScheduleAtSameTime)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(Time::ms(1.0), [&] {
+        ++count;
+        q.schedule(Time::ms(1.0), [&] { ++count; });
+    });
+    EXPECT_EQ(q.runDue(Time::ms(1.0)), 2u);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueueTest, CallbackMayScheduleLater)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(Time::ms(1.0), [&] {
+        ++count;
+        q.schedule(Time::ms(2.0), [&] { ++count; });
+    });
+    q.runDue(Time::ms(1.5));
+    EXPECT_EQ(count, 1);
+    q.runDue(Time::ms(2.0));
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueueDeathTest, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.schedule(Time::ms(1.0), nullptr), "null");
+}
+
+TEST(EventQueueTest, IdsAreUnique)
+{
+    EventQueue q;
+    EventId a = q.schedule(Time::ms(1.0), [] {});
+    EventId b = q.schedule(Time::ms(1.0), [] {});
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(EventId{}.valid());
+}
+
+} // namespace
+} // namespace dirigent::sim

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests of the benchmark library: Table 1 inventory, category
+ * structure, and the calibration invariants the evaluation relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/benchmarks.h"
+#include "workload/rotate.h"
+
+namespace dirigent::workload {
+namespace {
+
+TEST(BenchmarkLibraryTest, Table1Inventory)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    EXPECT_GE(lib.all().size(), 12u); // 12 built-ins (+ any customs)
+    EXPECT_GE(lib.foregroundNames().size(), 5u);
+    EXPECT_GE(lib.singleBgNames().size(), 3u);
+    EXPECT_EQ(lib.rotatePairs().size(), 4u);
+}
+
+TEST(BenchmarkLibraryTest, PaperBenchmarksPresent)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    for (const char *name :
+         {"bodytrack", "ferret", "fluidanimate", "raytrace",
+          "streamcluster", "bwaves", "pca", "rs", "namd", "soplex",
+          "libquantum", "lbm"})
+        EXPECT_TRUE(lib.has(name)) << name;
+    EXPECT_FALSE(lib.has("nonexistent"));
+}
+
+TEST(BenchmarkLibraryTest, CategoriesMatchTable1)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    EXPECT_EQ(lib.get("ferret").category, Category::Foreground);
+    EXPECT_EQ(lib.get("bwaves").category, Category::SingleBg);
+    EXPECT_EQ(lib.get("lbm").category, Category::RotateBg);
+}
+
+TEST(BenchmarkLibraryTest, ForegroundProgramsAreOneShot)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    for (const auto &name : lib.foregroundNames())
+        EXPECT_FALSE(lib.get(name).program.loop) << name;
+}
+
+TEST(BenchmarkLibraryTest, RegisterCustomBenchmark)
+{
+    PhaseProgram prog;
+    prog.name = "custom-app";
+    Phase ph;
+    ph.name = "only";
+    ph.instructions = 1e9;
+    prog.phases = {ph};
+
+    const Benchmark &bench = BenchmarkLibrary::registerCustom(
+        "custom-app", "a user-defined app", prog);
+    EXPECT_EQ(bench.category, Category::Foreground);
+    const auto &lib = BenchmarkLibrary::instance();
+    EXPECT_TRUE(lib.has("custom-app"));
+    EXPECT_EQ(&lib.get("custom-app"), &bench);
+
+    // Looping programs register as background.
+    PhaseProgram bg = prog;
+    bg.name = "custom-bg";
+    bg.loop = true;
+    const Benchmark &bgBench =
+        BenchmarkLibrary::registerCustom("custom-bg", "bg", bg);
+    EXPECT_EQ(bgBench.category, Category::SingleBg);
+
+    // Name collisions are fatal.
+    EXPECT_EXIT(BenchmarkLibrary::registerCustom("custom-app", "dup",
+                                                 prog),
+                testing::ExitedWithCode(1), "already exists");
+}
+
+TEST(BenchmarkLibraryTest, BackgroundProgramsLoop)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    for (const auto &name : lib.singleBgNames())
+        EXPECT_TRUE(lib.get(name).program.loop) << name;
+    for (const auto &[a, b] : lib.rotatePairs()) {
+        EXPECT_TRUE(lib.get(a).program.loop) << a;
+        EXPECT_TRUE(lib.get(b).program.loop) << b;
+    }
+}
+
+TEST(BenchmarkLibraryTest, AllProgramsValid)
+{
+    for (const auto &b : BenchmarkLibrary::instance().all())
+        EXPECT_TRUE(b.program.valid()) << b.name;
+}
+
+TEST(BenchmarkLibraryTest, NamesUniqueAndDescribed)
+{
+    std::set<std::string> names;
+    for (const auto &b : BenchmarkLibrary::instance().all()) {
+        EXPECT_TRUE(names.insert(b.name).second) << b.name;
+        EXPECT_FALSE(b.description.empty()) << b.name;
+    }
+}
+
+TEST(BenchmarkLibraryTest, FgNominalTimesSpanPaperRange)
+{
+    // Fig. 4: standalone completion times roughly 0.5–1.6 s at 2 GHz.
+    // Nominal time ≈ Σ instructions · cpi / 2 GHz (ignoring misses).
+    const auto &lib = BenchmarkLibrary::instance();
+    const std::vector<std::string> builtins = {
+        "bodytrack", "ferret", "fluidanimate", "raytrace",
+        "streamcluster"};
+    double shortest = 1e9, longest = 0.0;
+    for (const auto &name : builtins) {
+        double t = 0.0;
+        for (const auto &ph : lib.get(name).program.phases)
+            t += ph.instructions * ph.cpiBase / 2e9;
+        shortest = std::min(shortest, t);
+        longest = std::max(longest, t);
+    }
+    EXPECT_GT(shortest, 0.3);
+    EXPECT_LT(shortest, 0.7);
+    EXPECT_GT(longest, 1.0);
+    EXPECT_LT(longest, 2.0);
+}
+
+TEST(BenchmarkLibraryTest, StreamclusterIsMostMemoryIntensiveFg)
+{
+    // The calibration the evaluation depends on: streamcluster has the
+    // highest average APKI of the FG set (it shows the largest
+    // contention sensitivity in Fig. 4).
+    const auto &lib = BenchmarkLibrary::instance();
+    auto avgApki = [&](const std::string &name) {
+        const auto &prog = lib.get(name).program;
+        double wsum = 0.0, isum = 0.0;
+        for (const auto &ph : prog.phases) {
+            wsum += ph.llcApki * ph.instructions;
+            isum += ph.instructions;
+        }
+        return wsum / isum;
+    };
+    double sc = avgApki("streamcluster");
+    for (const char *name : {"bodytrack", "ferret", "fluidanimate",
+                             "raytrace"})
+        EXPECT_GT(sc, avgApki(name)) << name;
+}
+
+TEST(BenchmarkLibraryTest, PhaseHeavyBgHaveContrastingPhases)
+{
+    // bwaves/PCA/RS were chosen for strong phase behaviour: their two
+    // phases must differ markedly in memory intensity.
+    const auto &lib = BenchmarkLibrary::instance();
+    for (const auto &name : lib.singleBgNames()) {
+        const auto &phases = lib.get(name).program.phases;
+        ASSERT_GE(phases.size(), 2u) << name;
+        double hi = 0.0, lo = 1e18;
+        for (const auto &ph : phases) {
+            hi = std::max(hi, ph.llcApki);
+            lo = std::min(lo, ph.llcApki);
+        }
+        EXPECT_GT(hi / lo, 2.0) << name;
+    }
+}
+
+TEST(BenchmarkLibraryDeathTest, UnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(BenchmarkLibrary::instance().get("bogus"),
+                testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(CategoryTest, Names)
+{
+    EXPECT_STREQ(categoryName(Category::Foreground), "FG");
+    EXPECT_STREQ(categoryName(Category::SingleBg), "Single BG");
+    EXPECT_STREQ(categoryName(Category::RotateBg), "Rotate BG");
+}
+
+TEST(RotatePairTest, PaperPairs)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    auto pairs = lib.rotatePairs();
+    std::set<std::string> labels;
+    for (const auto &[a, b] : pairs)
+        labels.insert(a + "+" + b);
+    EXPECT_TRUE(labels.count("lbm+namd"));
+    EXPECT_TRUE(labels.count("libquantum+namd"));
+    EXPECT_TRUE(labels.count("lbm+soplex"));
+    EXPECT_TRUE(labels.count("libquantum+soplex"));
+}
+
+TEST(RotatePairTest, PickIsRoughlyBalanced)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    RotatePair pair(&lib.get("lbm"), &lib.get("namd"));
+    Rng rng(77);
+    int first = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (&pair.pick(rng) == &pair.first())
+            ++first;
+    EXPECT_NEAR(double(first) / 10000.0, 0.5, 0.03);
+}
+
+TEST(RotatePairTest, Name)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    RotatePair pair(&lib.get("libquantum"), &lib.get("soplex"));
+    EXPECT_EQ(pair.name(), "libquantum+soplex");
+}
+
+TEST(RotatePairDeathTest, RejectsNonLoopingMembers)
+{
+    const auto &lib = BenchmarkLibrary::instance();
+    EXPECT_DEATH(RotatePair(&lib.get("ferret"), &lib.get("lbm")),
+                 "looping");
+}
+
+} // namespace
+} // namespace dirigent::workload

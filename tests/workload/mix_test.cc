@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests of the workload-mix catalogue against the paper's evaluated
+ * mixes: 15 single-BG, 20 rotate-BG, 15 multi-FG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/mix.h"
+
+namespace dirigent::workload {
+namespace {
+
+TEST(BgSpecTest, Labels)
+{
+    EXPECT_EQ(BgSpec::single("bwaves").label(), "bwaves");
+    EXPECT_EQ(BgSpec::rotate("lbm", "namd").label(), "lbm+namd");
+}
+
+TEST(MakeMixTest, SingleFgName)
+{
+    auto mix = makeMix({"ferret"}, BgSpec::single("rs"));
+    EXPECT_EQ(mix.name, "ferret rs");
+    EXPECT_EQ(mix.fgCount(), 1u);
+}
+
+TEST(MakeMixTest, MultiFgName)
+{
+    auto mix = makeMix({"ferret", "ferret"}, BgSpec::single("bwaves"));
+    EXPECT_EQ(mix.name, "ferret x2 bwaves");
+    EXPECT_EQ(mix.fgCount(), 2u);
+}
+
+TEST(MakeMixDeathTest, RejectsNonForeground)
+{
+    EXPECT_DEATH(makeMix({"lbm"}, BgSpec::single("bwaves")),
+                 "not a foreground");
+}
+
+TEST(MakeMixDeathTest, RejectsEmptyFg)
+{
+    EXPECT_DEATH(makeMix({}, BgSpec::single("bwaves")), "at least one");
+}
+
+TEST(MixCatalogueTest, SingleBgCount)
+{
+    auto mixes = singleBgMixes();
+    EXPECT_EQ(mixes.size(), 15u); // 5 FG × 3 single BG
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.fgCount(), 1u);
+        EXPECT_EQ(mix.bg.kind, BgSpec::Kind::Single);
+    }
+}
+
+TEST(MixCatalogueTest, RotateBgCount)
+{
+    auto mixes = rotateBgMixes();
+    EXPECT_EQ(mixes.size(), 20u); // 5 FG × 4 pairs
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.fgCount(), 1u);
+        EXPECT_EQ(mix.bg.kind, BgSpec::Kind::Rotate);
+    }
+}
+
+TEST(MixCatalogueTest, AllSingleFgIs35)
+{
+    EXPECT_EQ(allSingleFgMixes().size(), 35u);
+}
+
+TEST(MixCatalogueTest, MixNamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &mix : allSingleFgMixes())
+        EXPECT_TRUE(names.insert(mix.name).second) << mix.name;
+    for (const auto &mix : multiFgMixes())
+        EXPECT_TRUE(names.insert(mix.name).second) << mix.name;
+}
+
+TEST(MixCatalogueTest, MultiFgStructure)
+{
+    auto mixes = multiFgMixes();
+    EXPECT_EQ(mixes.size(), 15u); // 5 combos × {1,2,3} FG
+    // Within each combo, FG count ascends 1, 2, 3 (paper Fig. 9c).
+    for (size_t i = 0; i < mixes.size(); i += 3) {
+        EXPECT_EQ(mixes[i].fgCount(), 1u);
+        EXPECT_EQ(mixes[i + 1].fgCount(), 2u);
+        EXPECT_EQ(mixes[i + 2].fgCount(), 3u);
+        // Same FG benchmark and BG spec across the triple.
+        EXPECT_EQ(mixes[i].fg[0], mixes[i + 1].fg[0]);
+        EXPECT_EQ(mixes[i].bg.label(), mixes[i + 2].bg.label());
+    }
+}
+
+TEST(MixCatalogueTest, MultiFgHomogeneous)
+{
+    for (const auto &mix : multiFgMixes())
+        for (const auto &fg : mix.fg)
+            EXPECT_EQ(fg, mix.fg.front());
+}
+
+TEST(MixCatalogueTest, EveryFgBenchmarkCoveredInMultiFg)
+{
+    std::set<std::string> fgs;
+    for (const auto &mix : multiFgMixes())
+        fgs.insert(mix.fg.front());
+    EXPECT_EQ(fgs.size(), 5u);
+}
+
+} // namespace
+} // namespace dirigent::workload

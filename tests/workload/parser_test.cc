@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests of the textual workload-definition parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/parser.h"
+#include "workload/task.h"
+
+namespace dirigent::workload {
+namespace {
+
+const char *kSample = R"(
+[program]
+name = mybench
+loop = false
+
+[phase.0]
+name = stage-a
+instructions = 1.2e9
+cpi = 0.9
+apki = 8
+working_set = 2MiB
+max_hit = 0.92
+mlp = 2.0
+
+[phase.1]
+instructions = 5e8
+)";
+
+TEST(ParserTest, ParsesSample)
+{
+    PhaseProgram prog = parsePhaseProgram(std::string(kSample));
+    EXPECT_EQ(prog.name, "mybench");
+    EXPECT_FALSE(prog.loop);
+    ASSERT_EQ(prog.phases.size(), 2u);
+    EXPECT_EQ(prog.phases[0].name, "stage-a");
+    EXPECT_DOUBLE_EQ(prog.phases[0].instructions, 1.2e9);
+    EXPECT_DOUBLE_EQ(prog.phases[0].cpiBase, 0.9);
+    EXPECT_DOUBLE_EQ(prog.phases[0].llcApki, 8.0);
+    EXPECT_DOUBLE_EQ(prog.phases[0].workingSet, 2.0 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(prog.phases[0].maxHitRatio, 0.92);
+    EXPECT_DOUBLE_EQ(prog.phases[0].mlp, 2.0);
+    // Defaults applied to the sparse second phase.
+    EXPECT_EQ(prog.phases[1].name, "phase-1");
+    EXPECT_DOUBLE_EQ(prog.phases[1].cpiBase, 1.0);
+    EXPECT_DOUBLE_EQ(prog.phases[1].mlp, 4.0);
+    EXPECT_TRUE(prog.valid());
+}
+
+TEST(ParserTest, ParsedProgramIsExecutable)
+{
+    PhaseProgram prog = parsePhaseProgram(std::string(kSample));
+    Task task(&prog, Rng(1));
+    task.retire(task.remainingInPhase());
+    EXPECT_EQ(task.phaseIndex(), 1u);
+    task.retire(task.remainingInPhase());
+    EXPECT_TRUE(task.finished());
+}
+
+TEST(ParserTest, LoopingProgram)
+{
+    PhaseProgram prog = parsePhaseProgram(
+        "[program]\nname = bg\nloop = yes\n"
+        "[phase.0]\ninstructions = 1e9\n");
+    EXPECT_TRUE(prog.loop);
+}
+
+TEST(ParserTest, RoundTripsThroughFormat)
+{
+    PhaseProgram prog = parsePhaseProgram(std::string(kSample));
+    std::string text = formatPhaseProgram(prog);
+    PhaseProgram again = parsePhaseProgram(text);
+    EXPECT_EQ(again.name, prog.name);
+    ASSERT_EQ(again.phases.size(), prog.phases.size());
+    for (size_t i = 0; i < prog.phases.size(); ++i) {
+        EXPECT_EQ(again.phases[i].name, prog.phases[i].name);
+        EXPECT_DOUBLE_EQ(again.phases[i].instructions,
+                         prog.phases[i].instructions);
+        EXPECT_DOUBLE_EQ(again.phases[i].workingSet,
+                         prog.phases[i].workingSet);
+        EXPECT_DOUBLE_EQ(again.phases[i].mlp, prog.phases[i].mlp);
+    }
+}
+
+TEST(ParserDeathTest, MissingNameIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(
+                    std::string("[phase.0]\ninstructions = 1e9\n")),
+                testing::ExitedWithCode(1), "name");
+}
+
+TEST(ParserDeathTest, NoPhasesIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string("[program]\nname = x\n")),
+                testing::ExitedWithCode(1), "no phases");
+}
+
+TEST(ParserDeathTest, PhaseGapIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = 1e9\n"
+                    "[phase.2]\ninstructions = 1e9\n")),
+                testing::ExitedWithCode(1), "missing");
+}
+
+TEST(ParserDeathTest, BadValuesAreFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = -5\n")),
+                testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = 1e9\nmax_hit = 1.5\n")),
+                testing::ExitedWithCode(1), "max_hit");
+}
+
+} // namespace
+} // namespace dirigent::workload

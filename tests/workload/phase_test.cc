@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the phase model and its cache-capacity hit curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/phase.h"
+
+namespace dirigent::workload {
+namespace {
+
+Phase
+samplePhase()
+{
+    Phase p;
+    p.name = "test";
+    p.instructions = 1e9;
+    p.cpiBase = 1.0;
+    p.llcApki = 10.0;
+    p.workingSet = 3_MiB;
+    p.locality = 3.0;
+    p.maxHitRatio = 0.9;
+    return p;
+}
+
+TEST(PhaseTest, HitRatioZeroAtZeroOccupancy)
+{
+    Phase p = samplePhase();
+    EXPECT_DOUBLE_EQ(p.hitRatio(0.0), 0.0);
+}
+
+TEST(PhaseTest, HitRatioMonotonicInOccupancy)
+{
+    Phase p = samplePhase();
+    double prev = -1.0;
+    for (double occ = 0.0; occ <= 4.0 * 1024 * 1024; occ += 256 * 1024) {
+        double h = p.hitRatio(occ);
+        EXPECT_GT(h, prev);
+        prev = h;
+    }
+}
+
+TEST(PhaseTest, HitRatioBoundedByMax)
+{
+    Phase p = samplePhase();
+    EXPECT_LT(p.hitRatio(100.0_MiB), p.maxHitRatio + 1e-12);
+    // Near-full residency approaches (1 − e⁻³)·max ≈ 0.95·max.
+    EXPECT_NEAR(p.hitRatio(p.workingSet), 0.9 * (1.0 - std::exp(-3.0)),
+                1e-9);
+}
+
+TEST(PhaseTest, WsCharScalesWithLocality)
+{
+    Phase p = samplePhase();
+    EXPECT_DOUBLE_EQ(p.wsChar(), p.workingSet / 3.0);
+    p.locality = 6.0;
+    EXPECT_DOUBLE_EQ(p.wsChar(), p.workingSet / 6.0);
+    // Higher locality = steeper curve: more hits at small occupancy.
+    Phase steep = samplePhase();
+    steep.locality = 6.0;
+    EXPECT_GT(steep.hitRatio(0.5_MiB), samplePhase().hitRatio(0.5_MiB));
+}
+
+TEST(PhaseProgramTest, TotalInstructions)
+{
+    PhaseProgram prog;
+    prog.name = "p";
+    prog.phases = {samplePhase(), samplePhase()};
+    EXPECT_DOUBLE_EQ(prog.totalInstructions(), 2e9);
+}
+
+TEST(PhaseProgramTest, ValidityChecks)
+{
+    PhaseProgram prog;
+    prog.name = "p";
+    EXPECT_FALSE(prog.valid()); // no phases
+
+    prog.phases = {samplePhase()};
+    EXPECT_TRUE(prog.valid());
+
+    prog.phases[0].instructions = 0.0;
+    EXPECT_FALSE(prog.valid());
+
+    prog.phases[0].instructions = 1e9;
+    prog.phases[0].cpiBase = 0.0;
+    EXPECT_FALSE(prog.valid());
+}
+
+} // namespace
+} // namespace dirigent::workload

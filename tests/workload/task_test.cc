@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for Task execution state: phase walking, completion,
+ * looping, and per-instance randomness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/task.h"
+
+namespace dirigent::workload {
+namespace {
+
+PhaseProgram
+twoPhaseProgram(bool loop = false, double jitter = 0.0)
+{
+    PhaseProgram prog;
+    prog.name = "two-phase";
+    prog.loop = loop;
+    Phase a;
+    a.name = "a";
+    a.instructions = 100.0;
+    a.instrJitterSigma = jitter;
+    Phase b;
+    b.name = "b";
+    b.instructions = 50.0;
+    b.instrJitterSigma = jitter;
+    prog.phases = {a, b};
+    return prog;
+}
+
+TEST(TaskTest, StartsAtFirstPhase)
+{
+    auto prog = twoPhaseProgram();
+    Task task(&prog, Rng(1));
+    EXPECT_EQ(task.phaseIndex(), 0u);
+    EXPECT_FALSE(task.finished());
+    EXPECT_DOUBLE_EQ(task.remainingInPhase(), 100.0);
+    EXPECT_DOUBLE_EQ(task.retired(), 0.0);
+}
+
+TEST(TaskTest, RetireWithinPhase)
+{
+    auto prog = twoPhaseProgram();
+    Task task(&prog, Rng(1));
+    task.retire(30.0);
+    EXPECT_EQ(task.phaseIndex(), 0u);
+    EXPECT_DOUBLE_EQ(task.remainingInPhase(), 70.0);
+    EXPECT_DOUBLE_EQ(task.retired(), 30.0);
+}
+
+TEST(TaskTest, PhaseBoundaryAdvances)
+{
+    auto prog = twoPhaseProgram();
+    Task task(&prog, Rng(1));
+    task.retire(100.0);
+    EXPECT_EQ(task.phaseIndex(), 1u);
+    EXPECT_DOUBLE_EQ(task.remainingInPhase(), 50.0);
+}
+
+TEST(TaskTest, CompletionLatches)
+{
+    auto prog = twoPhaseProgram();
+    Task task(&prog, Rng(1));
+    task.retire(100.0);
+    task.retire(50.0);
+    EXPECT_TRUE(task.finished());
+    EXPECT_DOUBLE_EQ(task.retired(), 150.0);
+    EXPECT_DOUBLE_EQ(task.remainingInPhase(), 0.0);
+}
+
+TEST(TaskTest, LoopingProgramNeverFinishes)
+{
+    auto prog = twoPhaseProgram(/*loop=*/true);
+    Task task(&prog, Rng(1));
+    for (int i = 0; i < 4; ++i) {
+        task.retire(task.remainingInPhase());
+        EXPECT_FALSE(task.finished());
+    }
+    EXPECT_EQ(task.loopsCompleted(), 2u);
+    EXPECT_EQ(task.phaseIndex(), 0u);
+}
+
+TEST(TaskDeathTest, RetirePastBoundaryPanics)
+{
+    auto prog = twoPhaseProgram();
+    Task task(&prog, Rng(1));
+    EXPECT_DEATH(task.retire(150.0), "boundary");
+}
+
+TEST(TaskDeathTest, RetireIntoFinishedPanics)
+{
+    auto prog = twoPhaseProgram();
+    Task task(&prog, Rng(1));
+    task.retire(100.0);
+    task.retire(50.0);
+    EXPECT_DEATH(task.retire(1.0), "finished");
+}
+
+TEST(TaskDeathTest, CurrentPhaseOfFinishedPanics)
+{
+    auto prog = twoPhaseProgram();
+    Task task(&prog, Rng(1));
+    task.retire(100.0);
+    task.retire(50.0);
+    EXPECT_DEATH(task.currentPhase(), "finished");
+}
+
+TEST(TaskTest, InstructionJitterVariesPerInstance)
+{
+    auto prog = twoPhaseProgram(false, 0.1);
+    Task t1(&prog, Rng(1));
+    Task t2(&prog, Rng(2));
+    // Jittered targets almost surely differ between instances.
+    EXPECT_NE(t1.remainingInPhase(), t2.remainingInPhase());
+    // And stay within a plausible range of the nominal count.
+    EXPECT_GT(t1.remainingInPhase(), 50.0);
+    EXPECT_LT(t1.remainingInPhase(), 200.0);
+}
+
+TEST(TaskTest, SameSeedSameJitter)
+{
+    auto prog = twoPhaseProgram(false, 0.1);
+    Task t1(&prog, Rng(7));
+    Task t2(&prog, Rng(7));
+    EXPECT_DOUBLE_EQ(t1.remainingInPhase(), t2.remainingInPhase());
+}
+
+TEST(TaskTest, CpiJitterIsPositiveAndNearOne)
+{
+    auto prog = twoPhaseProgram();
+    prog.phases[0].cpiJitterSigma = 0.05;
+    Task task(&prog, Rng(3));
+    for (int i = 0; i < 100; ++i) {
+        double j = task.sampleCpiJitter();
+        EXPECT_GT(j, 0.5);
+        EXPECT_LT(j, 2.0);
+    }
+}
+
+TEST(TaskTest, NoCpiJitterWhenSigmaZero)
+{
+    auto prog = twoPhaseProgram();
+    prog.phases[0].cpiJitterSigma = 0.0;
+    Task task(&prog, Rng(3));
+    EXPECT_DOUBLE_EQ(task.sampleCpiJitter(), 1.0);
+}
+
+TEST(TaskDeathTest, NullProgramPanics)
+{
+    EXPECT_DEATH(Task(nullptr, Rng(1)), "program");
+}
+
+} // namespace
+} // namespace dirigent::workload

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Maintainer calibration tool: prints the standalone and contended
+ * behaviour of every FG benchmark and the Baseline variation of chosen
+ * mixes, for tuning the workload models against the paper's Fig. 4/5/7
+ * ranges. Not part of the evaluation suite.
+ *
+ * Usage: calibrate [fg|mix|bg] (default: all)
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+
+using namespace dirigent;
+
+namespace {
+
+void
+fgOverview(harness::ExperimentRunner &runner)
+{
+    printBanner(std::cout, "FG standalone vs contended (5x bwaves)");
+    TextTable table({"fg", "alone mean", "alone std", "alone MPKI",
+                     "contend mean", "contend std", "norm std",
+                     "contend MPKI", "slowdown"});
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    for (const auto &fg : lib.foregroundNames()) {
+        auto alone = runner.runStandalone(fg);
+        auto mix = workload::makeMix({fg}, workload::BgSpec::single("bwaves"));
+        auto contended = runner.run(mix, core::Scheme::Baseline, {});
+        table.addRow({fg,
+                      TextTable::num(alone.fgDurationMean(), 3),
+                      TextTable::num(alone.fgDurationStd(), 4),
+                      TextTable::num(alone.fgMpki(), 2),
+                      TextTable::num(contended.fgDurationMean(), 3),
+                      TextTable::num(contended.fgDurationStd(), 4),
+                      TextTable::pct(contended.fgDurationStd() /
+                                     contended.fgDurationMean()),
+                      TextTable::num(contended.fgMpki(), 2),
+                      TextTable::num(contended.fgDurationMean() /
+                                         alone.fgDurationMean(),
+                                     2)});
+    }
+    table.print(std::cout);
+}
+
+void
+bgOverview(harness::ExperimentRunner &runner)
+{
+    printBanner(std::cout, "BG pressure spectrum (ferret FG)");
+    TextTable table({"bg", "total MPK-FG-I", "fg miss share",
+                     "fg norm std", "fg slowdown"});
+    auto alone = runner.runStandalone("ferret");
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    std::vector<workload::BgSpec> specs;
+    for (const auto &bg : lib.singleBgNames())
+        specs.push_back(workload::BgSpec::single(bg));
+    for (const auto &[a, b] : lib.rotatePairs())
+        specs.push_back(workload::BgSpec::rotate(a, b));
+    for (const auto &spec : specs) {
+        auto mix = workload::makeMix({"ferret"}, spec);
+        auto res = runner.run(mix, core::Scheme::Baseline, {});
+        double mpkfgi = res.totalMisses / (res.fgInstructions / 1000.0);
+        table.addRow({spec.label(),
+                      TextTable::num(mpkfgi, 1),
+                      TextTable::num(res.fgMisses / res.totalMisses, 2),
+                      TextTable::pct(res.fgDurationStd() /
+                                     res.fgDurationMean()),
+                      TextTable::num(res.fgDurationMean() /
+                                         alone.fgDurationMean(),
+                                     2)});
+    }
+    table.print(std::cout);
+}
+
+void
+mixCheck(harness::ExperimentRunner &runner)
+{
+    printBanner(std::cout, "Scheme comparison on pilot mixes");
+    std::vector<workload::WorkloadMix> mixes = {
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"raytrace"}, workload::BgSpec::single("bwaves")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::single("pca")),
+        workload::makeMix({"bodytrack"},
+                          workload::BgSpec::rotate("libquantum", "soplex")),
+    };
+    std::vector<std::vector<harness::SchemeRunResult>> perMix;
+    for (const auto &mix : mixes)
+        perMix.push_back(runner.runAllSchemes(mix));
+    harness::printSchemeComparison(std::cout, perMix);
+    std::cout << "\n";
+    harness::printStdComparison(std::cout, perMix);
+    std::cout << "\nSummary:\n";
+    harness::printSchemeSummary(std::cout,
+                                harness::summarizeSchemes(perMix));
+    std::cout << "\nPrediction error (Dirigent runs): ";
+    for (const auto &mixResults : perMix)
+        std::cout << TextTable::pct(mixResults[4].predictionError())
+                  << " ";
+    std::cout << "\nConverged partitions: ";
+    for (const auto &mixResults : perMix)
+        std::cout << mixResults[4].finalFgWays << " ";
+    std::cout << "\n";
+}
+
+void
+predictorCheck(harness::ExperimentRunner &runner)
+{
+    printBanner(std::cout, "Predictor accuracy (observer under Baseline)");
+    TextTable table({"mix", "avg error", "norm std"});
+    std::vector<workload::WorkloadMix> mixes = {
+        workload::makeMix({"raytrace"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"ferret"}, workload::BgSpec::single("bwaves")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::single("rs")),
+        workload::makeMix({"bodytrack"},
+                          workload::BgSpec::rotate("lbm", "namd")),
+        workload::makeMix({"fluidanimate"},
+                          workload::BgSpec::single("pca")),
+    };
+    harness::RunOptions opts;
+    opts.attachObserver = true;
+    for (const auto &mix : mixes) {
+        auto res = runner.run(mix, core::Scheme::Baseline, {}, opts);
+        table.addRow({mix.name, TextTable::pct(res.predictionError()),
+                      TextTable::pct(res.fgDurationStd() /
+                                     res.fgDurationMean())});
+    }
+    table.print(std::cout);
+}
+
+void
+traceCheck(harness::ExperimentRunner &runner)
+{
+    printBanner(std::cout, "DirigentFreq per-execution trace");
+    auto mix = workload::makeMix(
+        {"bodytrack"}, workload::BgSpec::rotate("libquantum", "soplex"));
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+    auto res = runner.run(mix, core::Scheme::DirigentFreq, deadlines);
+    double deadline = deadlines.at("bodytrack").sec();
+    std::cout << "deadline: " << deadline << " s\n";
+    TextTable table({"exec", "midpoint pred", "actual", "pred err",
+                     "missed"});
+    for (const auto &s : res.midpointSamples) {
+        table.addRow(
+            {strfmt("%lu", (unsigned long)s.executionIndex),
+             TextTable::num(s.predictedTotal.sec(), 3),
+             TextTable::num(s.actualTotal.sec(), 3),
+             TextTable::pct((s.predictedTotal.sec() -
+                             s.actualTotal.sec()) /
+                            s.actualTotal.sec()),
+             s.actualTotal.sec() > deadline ? "MISS" : ""});
+    }
+    table.print(std::cout);
+    std::cout << "success " << res.fgSuccessRatio() << " pauses "
+              << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::HarnessConfig config;
+    config.executions = harness::envExecutions(40);
+    harness::ExperimentRunner runner(config);
+
+    const char *what = argc > 1 ? argv[1] : "all";
+    if (!std::strcmp(what, "fg") || !std::strcmp(what, "all"))
+        fgOverview(runner);
+    if (!std::strcmp(what, "bg") || !std::strcmp(what, "all"))
+        bgOverview(runner);
+    if (!std::strcmp(what, "mix") || !std::strcmp(what, "all"))
+        mixCheck(runner);
+    if (!std::strcmp(what, "pred") || !std::strcmp(what, "all"))
+        predictorCheck(runner);
+    if (!std::strcmp(what, "trace"))
+        traceCheck(runner);
+    return 0;
+}

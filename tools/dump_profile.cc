@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Profile inspection tool: run the offline profiler on a benchmark (or
+ * a custom workload definition), print the profile's segment structure,
+ * and optionally save/load it through the serialization format —
+ * the workflow a deployment would use to ship profiles with binaries.
+ *
+ * Usage:
+ *   dump_profile <benchmark> [--save FILE] [--period 5ms]
+ *                [--executions 3] [--metric instr|beats]
+ *   dump_profile --load FILE
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "dirigent/profiler.h"
+#include "workload/benchmarks.h"
+
+using namespace dirigent;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: dump_profile <benchmark> [--save FILE] "
+                 "[--period 5ms] [--executions N] "
+                 "[--metric instr|beats]\n"
+                 "       dump_profile --load FILE\n";
+    std::exit(2);
+}
+
+void
+printProfile(const core::Profile &profile)
+{
+    printBanner(std::cout, "Profile: " + profile.benchmark());
+    std::cout << "sampling period: "
+              << TextTable::num(profile.samplingPeriod().ms(), 2)
+              << " ms; segments: " << profile.size()
+              << "; total progress: "
+              << strfmt("%.4g", profile.totalProgress())
+              << "; standalone time: "
+              << TextTable::num(profile.totalTime().sec(), 4) << " s\n";
+
+    // Segment summary by decile: progress rate variation across the
+    // execution (the structure the predictor exploits).
+    OnlineStats rates;
+    for (const auto &seg : profile.segments())
+        rates.add(seg.progress / seg.duration.sec());
+    std::cout << "progress rate: mean " << strfmt("%.4g", rates.mean())
+              << "/s, min " << strfmt("%.4g", rates.min()) << ", max "
+              << strfmt("%.4g", rates.max()) << "\n\n";
+
+    TextTable table({"decile", "segments", "progress share",
+                     "avg rate (/s)"});
+    size_t n = profile.size();
+    double total = profile.totalProgress();
+    for (size_t d = 0; d < 10 && n >= 10; ++d) {
+        size_t lo = d * n / 10, hi = (d + 1) * n / 10;
+        double progress = 0.0, duration = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+            progress += profile.segments()[i].progress;
+            duration += profile.segments()[i].duration.sec();
+        }
+        table.addRow({strfmt("%zu", d), strfmt("%zu", hi - lo),
+                      TextTable::pct(progress / total),
+                      strfmt("%.4g", progress / duration)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string benchmark, saveFile, loadFile;
+    core::ProfilerConfig pcfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--save") {
+            saveFile = next();
+        } else if (arg == "--load") {
+            loadFile = next();
+        } else if (arg == "--period") {
+            auto t = parseTime(next());
+            if (!t)
+                fatal("bad --period");
+            pcfg.samplingPeriod = *t;
+        } else if (arg == "--executions") {
+            pcfg.executions =
+                unsigned(std::strtoul(next().c_str(), nullptr, 10));
+            pcfg.executions = std::max(1u, pcfg.executions);
+        } else if (arg == "--metric") {
+            std::string m = next();
+            if (m == "beats")
+                pcfg.metric = core::ProgressMetric::Heartbeats;
+            else if (m == "instr")
+                pcfg.metric = core::ProgressMetric::RetiredInstructions;
+            else
+                fatal("unknown metric '" + m + "'");
+        } else if (benchmark.empty() && arg[0] != '-') {
+            benchmark = arg;
+        } else {
+            usage();
+        }
+    }
+
+    if (!loadFile.empty()) {
+        std::ifstream in(loadFile);
+        if (!in)
+            fatal("cannot open '" + loadFile + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        auto profile = core::Profile::deserialize(text.str());
+        if (!profile)
+            fatal("'" + loadFile + "' is not a valid profile");
+        printProfile(*profile);
+        return 0;
+    }
+
+    if (benchmark.empty())
+        usage();
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    if (!lib.has(benchmark))
+        fatal("unknown benchmark '" + benchmark + "'");
+
+    core::OfflineProfiler profiler(pcfg);
+    core::Profile profile =
+        profiler.profileAlone(lib.get(benchmark),
+                              machine::MachineConfig{});
+    printProfile(profile);
+
+    if (!saveFile.empty()) {
+        std::ofstream out(saveFile);
+        if (!out)
+            fatal("cannot write '" + saveFile + "'");
+        out << profile.serialize();
+        inform("profile saved to " + saveFile);
+    }
+    return 0;
+}

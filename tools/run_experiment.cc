@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Command-line experiment runner: evaluate any workload mix under any
+ * scheme with machine/harness parameters from a config file and/or
+ * `key=value` command-line overrides — no recompilation needed.
+ *
+ * Usage:
+ *   run_experiment <fg>[,<fg>...] <bg>[+<bg2>] [options] [key=value...]
+ *
+ * Options / keys (all optional):
+ *   --config FILE          read key=value pairs from an INI file first
+ *   --fg-program FILE      use a custom FG workload definition
+ *                          (see workload/parser.h for the format)
+ *   scheme = baseline|staticfreq|staticboth|dirigentfreq|dirigent|all
+ *   executions = 40        measured FG executions
+ *   warmup = 5             discarded executions
+ *   seed = 1234
+ *   deadline_sigma = 0.3   deadline = µ + this·σ of Baseline
+ *   machine.cores = 6
+ *   machine.max_freq = 2GHz
+ *   machine.min_freq = 1.2GHz
+ *   machine.cache_ways = 20
+ *   machine.cache_way_size = 0.75MiB
+ *   machine.dram_peak_gbps = 8.5
+ *   machine.dram_latency = 80ns
+ *   runtime.period = 5ms
+ *   runtime.ema = 0.2
+ *
+ * Examples:
+ *   run_experiment ferret bwaves scheme=all
+ *   run_experiment streamcluster lbm+namd executions=100
+ *   run_experiment ferret,ferret rs scheme=dirigent
+ *   run_experiment --fg-program my_app.ini bwaves scheme=all
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/log.h"
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+#include "workload/parser.h"
+
+using namespace dirigent;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
+           "[--config FILE] [--fg-program FILE] [key=value...]\n"
+           "       run_experiment --list\n";
+    std::exit(2);
+}
+
+void
+listBenchmarks()
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    TextTable table({"type", "name", "description"});
+    for (const auto &b : lib.all())
+        table.addRow({workload::categoryName(b.category), b.name,
+                      b.description});
+    table.print(std::cout);
+}
+
+std::vector<std::string>
+splitList(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string item;
+    while (std::getline(in, item, sep))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+harness::HarnessConfig
+harnessFromConfig(const Config &cfg)
+{
+    harness::HarnessConfig hc;
+    hc.executions = unsigned(cfg.getUint("executions", hc.executions));
+    hc.warmup = unsigned(cfg.getUint("warmup", hc.warmup));
+    hc.seed = cfg.getUint("seed", hc.seed);
+    hc.deadlineSigmaFactor =
+        cfg.getDouble("deadline_sigma", hc.deadlineSigmaFactor);
+
+    auto &m = hc.machine;
+    m.numCores = unsigned(cfg.getUint("machine.cores", m.numCores));
+    m.maxFreq = cfg.getFreq("machine.max_freq", m.maxFreq);
+    m.minFreq = cfg.getFreq("machine.min_freq", m.minFreq);
+    m.cache.numWays =
+        unsigned(cfg.getUint("machine.cache_ways", m.cache.numWays));
+    m.cache.bytesPerWay =
+        cfg.getBytes("machine.cache_way_size", m.cache.bytesPerWay);
+    m.dram.peakBandwidth = cfg.getDouble("machine.dram_peak_gbps",
+                                         m.dram.peakBandwidth / 1e9) *
+                           1e9;
+    m.dram.baseLatency =
+        cfg.getTime("machine.dram_latency", m.dram.baseLatency);
+
+    hc.runtime.samplingPeriod =
+        cfg.getTime("runtime.period", hc.runtime.samplingPeriod);
+    hc.profiler.samplingPeriod = hc.runtime.samplingPeriod;
+    double ema = cfg.getDouble("runtime.ema", 0.2);
+    hc.runtime.predictor.penaltyEmaWeight = ema;
+    hc.runtime.predictor.rateEmaWeight = ema;
+    return hc;
+}
+
+std::optional<core::Scheme>
+schemeByName(const std::string &name)
+{
+    for (core::Scheme s : core::allSchemes()) {
+        std::string lower = core::schemeName(s);
+        for (char &c : lower)
+            c = char(std::tolower(static_cast<unsigned char>(c)));
+        if (lower == name)
+            return s;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> positional;
+    Config overrides;
+    std::string configFile, fgProgramFile;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            listBenchmarks();
+            return 0;
+        } else if (arg == "--config") {
+            if (++i >= argc)
+                usage();
+            configFile = argv[i];
+        } else if (arg == "--fg-program") {
+            if (++i >= argc)
+                usage();
+            fgProgramFile = argv[i];
+        } else if (arg.find('=') != std::string::npos) {
+            size_t eq = arg.find('=');
+            overrides.set(arg.substr(0, eq), arg.substr(eq + 1));
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2 &&
+        !(positional.size() == 1 && !fgProgramFile.empty()))
+        usage();
+
+    Config cfg;
+    if (!configFile.empty())
+        cfg = Config::load(configFile);
+    cfg.merge(overrides);
+
+    harness::HarnessConfig hc = harnessFromConfig(cfg);
+    harness::ExperimentRunner runner(hc);
+    const auto &lib = workload::BenchmarkLibrary::instance();
+
+    // Build the mix. A custom FG program definition is registered in
+    // the benchmark library and then used like a built-in.
+    std::vector<std::string> fgs;
+    std::string bgArg;
+    if (!fgProgramFile.empty()) {
+        workload::PhaseProgram customFg =
+            workload::parsePhaseProgram(Config::load(fgProgramFile));
+        if (customFg.loop)
+            fatal("--fg-program must define a one-shot (non-looping) "
+                  "program");
+        inform("custom FG program '" + customFg.name + "' with " +
+               strfmt("%zu phases", customFg.phases.size()));
+        const auto &bench = workload::BenchmarkLibrary::registerCustom(
+            customFg.name, "user-defined workload (" + fgProgramFile +
+                               ")",
+            customFg);
+        fgs = {bench.name};
+        bgArg = positional.back();
+    } else {
+        fgs = splitList(positional[0], ',');
+        bgArg = positional[1];
+    }
+    auto bgParts = splitList(bgArg, '+');
+    if (bgParts.empty() || bgParts.size() > 2)
+        usage();
+    for (const auto &bg : bgParts)
+        if (!lib.has(bg))
+            fatal("unknown BG benchmark '" + bg + "' (try --list)");
+    workload::BgSpec bgSpec =
+        bgParts.size() == 1
+            ? workload::BgSpec::single(bgParts[0])
+            : workload::BgSpec::rotate(bgParts[0], bgParts[1]);
+
+    for (const auto &fg : fgs)
+        if (!lib.has(fg))
+            fatal("unknown FG benchmark '" + fg + "' (try --list)");
+    auto mix = workload::makeMix(fgs, bgSpec);
+
+    std::string schemeName = cfg.getString("scheme", "all");
+    printBanner(std::cout, "run_experiment: " + mix.name +
+                               " (scheme=" + schemeName + ")");
+
+    if (schemeName == "all") {
+        auto results = runner.runAllSchemes(mix);
+        std::vector<std::vector<harness::SchemeRunResult>> perMix = {
+            results};
+        harness::printSchemeComparison(std::cout, perMix);
+        std::cout << "\nNormalized FG std:\n";
+        harness::printStdComparison(std::cout, perMix);
+        std::cout << "\nCSV:\n";
+        harness::printComparisonCsv(std::cout, perMix);
+    } else {
+        auto scheme = schemeByName(schemeName);
+        if (!scheme)
+            fatal("unknown scheme '" + schemeName + "'");
+        auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+        auto deadlines = runner.deadlinesFromBaseline(baseline);
+        harness::applyDeadlines(baseline, deadlines);
+        auto res = *scheme == core::Scheme::Baseline
+                       ? baseline
+                       : runner.run(mix, *scheme, deadlines);
+        TextTable table({"metric", "value"});
+        table.addRow({"FG success ratio",
+                      TextTable::pct(res.fgSuccessRatio())});
+        auto ci = meanConfidence(res.pooledDurations(), 0.95);
+        table.addRow({"FG mean (s)",
+                      TextTable::num(res.fgDurationMean(), 4) +
+                          " +/- " + TextTable::num(ci.half, 4) +
+                          " (95% CI)"});
+        table.addRow({"FG std (s)",
+                      TextTable::num(res.fgDurationStd(), 4)});
+        table.addRow({"deadline (s)",
+                      TextTable::num(
+                          deadlines.begin()->second.sec(), 4)});
+        table.addRow({"BG throughput vs Baseline",
+                      TextTable::pct(harness::bgThroughputRatio(
+                          res, baseline))});
+        if (res.finalFgWays)
+            table.addRow({"FG cache ways",
+                          strfmt("%u", res.finalFgWays)});
+        table.print(std::cout);
+    }
+    return 0;
+}
