@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coarse_only.dir/ablation_coarse_only.cc.o"
+  "CMakeFiles/ablation_coarse_only.dir/ablation_coarse_only.cc.o.d"
+  "ablation_coarse_only"
+  "ablation_coarse_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coarse_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

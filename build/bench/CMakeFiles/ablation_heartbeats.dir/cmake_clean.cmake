@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heartbeats.dir/ablation_heartbeats.cc.o"
+  "CMakeFiles/ablation_heartbeats.dir/ablation_heartbeats.cc.o.d"
+  "ablation_heartbeats"
+  "ablation_heartbeats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heartbeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

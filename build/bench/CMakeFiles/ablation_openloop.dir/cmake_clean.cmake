@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_openloop.dir/ablation_openloop.cc.o"
+  "CMakeFiles/ablation_openloop.dir/ablation_openloop.cc.o.d"
+  "ablation_openloop"
+  "ablation_openloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_openloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prediction_value.dir/ablation_prediction_value.cc.o"
+  "CMakeFiles/ablation_prediction_value.dir/ablation_prediction_value.cc.o.d"
+  "ablation_prediction_value"
+  "ablation_prediction_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prediction_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

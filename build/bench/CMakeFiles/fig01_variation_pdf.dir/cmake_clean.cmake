@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_variation_pdf.dir/fig01_variation_pdf.cc.o"
+  "CMakeFiles/fig01_variation_pdf.dir/fig01_variation_pdf.cc.o.d"
+  "fig01_variation_pdf"
+  "fig01_variation_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_variation_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_reservation_sched.dir/fig02_reservation_sched.cc.o"
+  "CMakeFiles/fig02_reservation_sched.dir/fig02_reservation_sched.cc.o.d"
+  "fig02_reservation_sched"
+  "fig02_reservation_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_reservation_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

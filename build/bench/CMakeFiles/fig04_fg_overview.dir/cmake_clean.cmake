@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fg_overview.dir/fig04_fg_overview.cc.o"
+  "CMakeFiles/fig04_fg_overview.dir/fig04_fg_overview.cc.o.d"
+  "fig04_fg_overview"
+  "fig04_fg_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fg_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

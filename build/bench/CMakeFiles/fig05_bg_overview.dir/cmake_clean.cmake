@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_bg_overview.dir/fig05_bg_overview.cc.o"
+  "CMakeFiles/fig05_bg_overview.dir/fig05_bg_overview.cc.o.d"
+  "fig05_bg_overview"
+  "fig05_bg_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_bg_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

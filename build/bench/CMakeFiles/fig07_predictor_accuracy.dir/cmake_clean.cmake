@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_predictor_accuracy.dir/fig07_predictor_accuracy.cc.o"
+  "CMakeFiles/fig07_predictor_accuracy.dir/fig07_predictor_accuracy.cc.o.d"
+  "fig07_predictor_accuracy"
+  "fig07_predictor_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_predictor_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_single_bg.dir/fig09a_single_bg.cc.o"
+  "CMakeFiles/fig09a_single_bg.dir/fig09a_single_bg.cc.o.d"
+  "fig09a_single_bg"
+  "fig09a_single_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_single_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09a_single_bg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_rotate_bg.dir/fig09b_rotate_bg.cc.o"
+  "CMakeFiles/fig09b_rotate_bg.dir/fig09b_rotate_bg.cc.o.d"
+  "fig09b_rotate_bg"
+  "fig09b_rotate_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_rotate_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09b_rotate_bg.
+# This may be replaced when dependencies are built.

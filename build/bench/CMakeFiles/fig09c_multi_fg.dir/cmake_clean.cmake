@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_multi_fg.dir/fig09c_multi_fg.cc.o"
+  "CMakeFiles/fig09c_multi_fg.dir/fig09c_multi_fg.cc.o.d"
+  "fig09c_multi_fg"
+  "fig09c_multi_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_multi_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_summary_single_fg.dir/fig10_summary_single_fg.cc.o"
+  "CMakeFiles/fig10_summary_single_fg.dir/fig10_summary_single_fg.cc.o.d"
+  "fig10_summary_single_fg"
+  "fig10_summary_single_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_summary_single_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

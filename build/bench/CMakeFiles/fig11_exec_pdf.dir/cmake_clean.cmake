@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_exec_pdf.dir/fig11_exec_pdf.cc.o"
+  "CMakeFiles/fig11_exec_pdf.dir/fig11_exec_pdf.cc.o.d"
+  "fig11_exec_pdf"
+  "fig11_exec_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_exec_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

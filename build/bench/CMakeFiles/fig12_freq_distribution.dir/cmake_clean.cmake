@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_freq_distribution.dir/fig12_freq_distribution.cc.o"
+  "CMakeFiles/fig12_freq_distribution.dir/fig12_freq_distribution.cc.o.d"
+  "fig12_freq_distribution"
+  "fig12_freq_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_freq_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

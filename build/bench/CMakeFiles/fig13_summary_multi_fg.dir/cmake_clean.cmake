@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_summary_multi_fg.dir/fig13_summary_multi_fg.cc.o"
+  "CMakeFiles/fig13_summary_multi_fg.dir/fig13_summary_multi_fg.cc.o.d"
+  "fig13_summary_multi_fg"
+  "fig13_summary_multi_fg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_summary_multi_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_summary_multi_fg.
+# This may be replaced when dependencies are built.

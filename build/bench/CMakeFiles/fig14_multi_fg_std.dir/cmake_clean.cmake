@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_multi_fg_std.dir/fig14_multi_fg_std.cc.o"
+  "CMakeFiles/fig14_multi_fg_std.dir/fig14_multi_fg_std.cc.o.d"
+  "fig14_multi_fg_std"
+  "fig14_multi_fg_std.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_multi_fg_std.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

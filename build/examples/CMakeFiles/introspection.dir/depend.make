@@ -1,0 +1,2 @@
+# Empty dependencies file for introspection.
+# This may be replaced when dependencies are built.

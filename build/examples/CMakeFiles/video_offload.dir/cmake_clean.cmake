@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_offload.dir/video_offload.cpp.o"
+  "CMakeFiles/video_offload.dir/video_offload.cpp.o.d"
+  "video_offload"
+  "video_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_common.dir/common/config.cc.o"
+  "CMakeFiles/dirigent_common.dir/common/config.cc.o.d"
+  "CMakeFiles/dirigent_common.dir/common/log.cc.o"
+  "CMakeFiles/dirigent_common.dir/common/log.cc.o.d"
+  "CMakeFiles/dirigent_common.dir/common/random.cc.o"
+  "CMakeFiles/dirigent_common.dir/common/random.cc.o.d"
+  "CMakeFiles/dirigent_common.dir/common/stats.cc.o"
+  "CMakeFiles/dirigent_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/dirigent_common.dir/common/strfmt.cc.o"
+  "CMakeFiles/dirigent_common.dir/common/strfmt.cc.o.d"
+  "CMakeFiles/dirigent_common.dir/common/table.cc.o"
+  "CMakeFiles/dirigent_common.dir/common/table.cc.o.d"
+  "libdirigent_common.a"
+  "libdirigent_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dirigent/coarse_controller.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/coarse_controller.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/coarse_controller.cc.o.d"
+  "/root/repo/src/dirigent/fine_controller.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/fine_controller.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/fine_controller.cc.o.d"
+  "/root/repo/src/dirigent/online_profiler.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/online_profiler.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/online_profiler.cc.o.d"
+  "/root/repo/src/dirigent/predictor.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/predictor.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/predictor.cc.o.d"
+  "/root/repo/src/dirigent/profile.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/profile.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/profile.cc.o.d"
+  "/root/repo/src/dirigent/profiler.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/profiler.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/profiler.cc.o.d"
+  "/root/repo/src/dirigent/progress.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/progress.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/progress.cc.o.d"
+  "/root/repo/src/dirigent/reactive.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/reactive.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/reactive.cc.o.d"
+  "/root/repo/src/dirigent/runtime.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/runtime.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/runtime.cc.o.d"
+  "/root/repo/src/dirigent/scheme.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/scheme.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/scheme.cc.o.d"
+  "/root/repo/src/dirigent/trace.cc" "src/CMakeFiles/dirigent_core.dir/dirigent/trace.cc.o" "gcc" "src/CMakeFiles/dirigent_core.dir/dirigent/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dirigent_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

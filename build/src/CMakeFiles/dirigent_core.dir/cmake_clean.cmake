@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_core.dir/dirigent/coarse_controller.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/coarse_controller.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/fine_controller.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/fine_controller.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/online_profiler.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/online_profiler.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/predictor.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/predictor.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/profile.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/profile.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/profiler.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/profiler.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/progress.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/progress.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/reactive.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/reactive.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/runtime.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/runtime.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/scheme.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/scheme.cc.o.d"
+  "CMakeFiles/dirigent_core.dir/dirigent/trace.cc.o"
+  "CMakeFiles/dirigent_core.dir/dirigent/trace.cc.o.d"
+  "libdirigent_core.a"
+  "libdirigent_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

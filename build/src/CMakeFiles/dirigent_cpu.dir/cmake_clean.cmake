@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/dirigent_cpu.dir/cpu/core.cc.o.d"
+  "CMakeFiles/dirigent_cpu.dir/cpu/perf_counters.cc.o"
+  "CMakeFiles/dirigent_cpu.dir/cpu/perf_counters.cc.o.d"
+  "libdirigent_cpu.a"
+  "libdirigent_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

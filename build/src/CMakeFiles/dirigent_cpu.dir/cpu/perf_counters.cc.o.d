@@ -1,0 +1,3 @@
+src/CMakeFiles/dirigent_cpu.dir/cpu/perf_counters.cc.o: \
+ /root/repo/src/cpu/perf_counters.cc /usr/include/stdc-predef.h \
+ /root/repo/src/cpu/perf_counters.h

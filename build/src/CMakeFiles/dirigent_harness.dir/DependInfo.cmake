@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/arrivals.cc" "src/CMakeFiles/dirigent_harness.dir/harness/arrivals.cc.o" "gcc" "src/CMakeFiles/dirigent_harness.dir/harness/arrivals.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/dirigent_harness.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/dirigent_harness.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/metrics.cc" "src/CMakeFiles/dirigent_harness.dir/harness/metrics.cc.o" "gcc" "src/CMakeFiles/dirigent_harness.dir/harness/metrics.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/dirigent_harness.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/dirigent_harness.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/reservation.cc" "src/CMakeFiles/dirigent_harness.dir/harness/reservation.cc.o" "gcc" "src/CMakeFiles/dirigent_harness.dir/harness/reservation.cc.o.d"
+  "/root/repo/src/harness/timeline.cc" "src/CMakeFiles/dirigent_harness.dir/harness/timeline.cc.o" "gcc" "src/CMakeFiles/dirigent_harness.dir/harness/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dirigent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

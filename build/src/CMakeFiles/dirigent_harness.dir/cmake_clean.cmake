@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_harness.dir/harness/arrivals.cc.o"
+  "CMakeFiles/dirigent_harness.dir/harness/arrivals.cc.o.d"
+  "CMakeFiles/dirigent_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/dirigent_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/dirigent_harness.dir/harness/metrics.cc.o"
+  "CMakeFiles/dirigent_harness.dir/harness/metrics.cc.o.d"
+  "CMakeFiles/dirigent_harness.dir/harness/report.cc.o"
+  "CMakeFiles/dirigent_harness.dir/harness/report.cc.o.d"
+  "CMakeFiles/dirigent_harness.dir/harness/reservation.cc.o"
+  "CMakeFiles/dirigent_harness.dir/harness/reservation.cc.o.d"
+  "CMakeFiles/dirigent_harness.dir/harness/timeline.cc.o"
+  "CMakeFiles/dirigent_harness.dir/harness/timeline.cc.o.d"
+  "libdirigent_harness.a"
+  "libdirigent_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cat.cc" "src/CMakeFiles/dirigent_machine.dir/machine/cat.cc.o" "gcc" "src/CMakeFiles/dirigent_machine.dir/machine/cat.cc.o.d"
+  "/root/repo/src/machine/cpufreq.cc" "src/CMakeFiles/dirigent_machine.dir/machine/cpufreq.cc.o" "gcc" "src/CMakeFiles/dirigent_machine.dir/machine/cpufreq.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/dirigent_machine.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/dirigent_machine.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/os.cc" "src/CMakeFiles/dirigent_machine.dir/machine/os.cc.o" "gcc" "src/CMakeFiles/dirigent_machine.dir/machine/os.cc.o.d"
+  "/root/repo/src/machine/sampler.cc" "src/CMakeFiles/dirigent_machine.dir/machine/sampler.cc.o" "gcc" "src/CMakeFiles/dirigent_machine.dir/machine/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dirigent_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

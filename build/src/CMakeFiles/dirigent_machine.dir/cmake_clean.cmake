@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_machine.dir/machine/cat.cc.o"
+  "CMakeFiles/dirigent_machine.dir/machine/cat.cc.o.d"
+  "CMakeFiles/dirigent_machine.dir/machine/cpufreq.cc.o"
+  "CMakeFiles/dirigent_machine.dir/machine/cpufreq.cc.o.d"
+  "CMakeFiles/dirigent_machine.dir/machine/machine.cc.o"
+  "CMakeFiles/dirigent_machine.dir/machine/machine.cc.o.d"
+  "CMakeFiles/dirigent_machine.dir/machine/os.cc.o"
+  "CMakeFiles/dirigent_machine.dir/machine/os.cc.o.d"
+  "CMakeFiles/dirigent_machine.dir/machine/sampler.cc.o"
+  "CMakeFiles/dirigent_machine.dir/machine/sampler.cc.o.d"
+  "libdirigent_machine.a"
+  "libdirigent_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_mem.dir/mem/bwguard.cc.o"
+  "CMakeFiles/dirigent_mem.dir/mem/bwguard.cc.o.d"
+  "CMakeFiles/dirigent_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/dirigent_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/dirigent_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/dirigent_mem.dir/mem/dram.cc.o.d"
+  "libdirigent_mem.a"
+  "libdirigent_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdirigent_mem.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/dirigent_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/dirigent_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/dirigent_sim.dir/sim/event_queue.cc.o.d"
+  "libdirigent_sim.a"
+  "libdirigent_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cc" "src/CMakeFiles/dirigent_workload.dir/workload/benchmarks.cc.o" "gcc" "src/CMakeFiles/dirigent_workload.dir/workload/benchmarks.cc.o.d"
+  "/root/repo/src/workload/mix.cc" "src/CMakeFiles/dirigent_workload.dir/workload/mix.cc.o" "gcc" "src/CMakeFiles/dirigent_workload.dir/workload/mix.cc.o.d"
+  "/root/repo/src/workload/parser.cc" "src/CMakeFiles/dirigent_workload.dir/workload/parser.cc.o" "gcc" "src/CMakeFiles/dirigent_workload.dir/workload/parser.cc.o.d"
+  "/root/repo/src/workload/phase.cc" "src/CMakeFiles/dirigent_workload.dir/workload/phase.cc.o" "gcc" "src/CMakeFiles/dirigent_workload.dir/workload/phase.cc.o.d"
+  "/root/repo/src/workload/rotate.cc" "src/CMakeFiles/dirigent_workload.dir/workload/rotate.cc.o" "gcc" "src/CMakeFiles/dirigent_workload.dir/workload/rotate.cc.o.d"
+  "/root/repo/src/workload/task.cc" "src/CMakeFiles/dirigent_workload.dir/workload/task.cc.o" "gcc" "src/CMakeFiles/dirigent_workload.dir/workload/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dirigent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirigent_workload.dir/workload/benchmarks.cc.o"
+  "CMakeFiles/dirigent_workload.dir/workload/benchmarks.cc.o.d"
+  "CMakeFiles/dirigent_workload.dir/workload/mix.cc.o"
+  "CMakeFiles/dirigent_workload.dir/workload/mix.cc.o.d"
+  "CMakeFiles/dirigent_workload.dir/workload/parser.cc.o"
+  "CMakeFiles/dirigent_workload.dir/workload/parser.cc.o.d"
+  "CMakeFiles/dirigent_workload.dir/workload/phase.cc.o"
+  "CMakeFiles/dirigent_workload.dir/workload/phase.cc.o.d"
+  "CMakeFiles/dirigent_workload.dir/workload/rotate.cc.o"
+  "CMakeFiles/dirigent_workload.dir/workload/rotate.cc.o.d"
+  "CMakeFiles/dirigent_workload.dir/workload/task.cc.o"
+  "CMakeFiles/dirigent_workload.dir/workload/task.cc.o.d"
+  "libdirigent_workload.a"
+  "libdirigent_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirigent_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

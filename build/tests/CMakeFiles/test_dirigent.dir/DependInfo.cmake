@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dirigent/coarse_controller_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/coarse_controller_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/coarse_controller_test.cc.o.d"
+  "/root/repo/tests/dirigent/fine_controller_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/fine_controller_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/fine_controller_test.cc.o.d"
+  "/root/repo/tests/dirigent/online_profiler_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/online_profiler_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/online_profiler_test.cc.o.d"
+  "/root/repo/tests/dirigent/predictor_edge_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/predictor_edge_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/predictor_edge_test.cc.o.d"
+  "/root/repo/tests/dirigent/predictor_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/predictor_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/predictor_test.cc.o.d"
+  "/root/repo/tests/dirigent/profile_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/profile_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/profile_test.cc.o.d"
+  "/root/repo/tests/dirigent/profiler_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/profiler_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/profiler_test.cc.o.d"
+  "/root/repo/tests/dirigent/progress_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/progress_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/progress_test.cc.o.d"
+  "/root/repo/tests/dirigent/reactive_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/reactive_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/reactive_test.cc.o.d"
+  "/root/repo/tests/dirigent/runtime_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/runtime_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/runtime_test.cc.o.d"
+  "/root/repo/tests/dirigent/scheme_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/scheme_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/scheme_test.cc.o.d"
+  "/root/repo/tests/dirigent/trace_test.cc" "tests/CMakeFiles/test_dirigent.dir/dirigent/trace_test.cc.o" "gcc" "tests/CMakeFiles/test_dirigent.dir/dirigent/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dirigent_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

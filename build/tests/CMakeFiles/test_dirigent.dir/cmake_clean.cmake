@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dirigent.dir/dirigent/coarse_controller_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/coarse_controller_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/fine_controller_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/fine_controller_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/online_profiler_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/online_profiler_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/predictor_edge_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/predictor_edge_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/predictor_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/predictor_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/profile_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/profile_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/profiler_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/profiler_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/progress_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/progress_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/reactive_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/reactive_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/runtime_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/runtime_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/scheme_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/scheme_test.cc.o.d"
+  "CMakeFiles/test_dirigent.dir/dirigent/trace_test.cc.o"
+  "CMakeFiles/test_dirigent.dir/dirigent/trace_test.cc.o.d"
+  "test_dirigent"
+  "test_dirigent.pdb"
+  "test_dirigent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dirigent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine.dir/machine/bwguard_integration_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/bwguard_integration_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/cat_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/cat_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/cpufreq_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/cpufreq_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/listener_reentrancy_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/listener_reentrancy_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/machine_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/machine_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/os_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/os_test.cc.o.d"
+  "CMakeFiles/test_machine.dir/machine/sampler_test.cc.o"
+  "CMakeFiles/test_machine.dir/machine/sampler_test.cc.o.d"
+  "test_machine"
+  "test_machine.pdb"
+  "test_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/engine_test.cc" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dirigent_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dirigent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

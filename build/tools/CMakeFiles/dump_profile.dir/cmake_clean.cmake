@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_profile.dir/dump_profile.cc.o"
+  "CMakeFiles/dump_profile.dir/dump_profile.cc.o.d"
+  "dump_profile"
+  "dump_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
