@@ -18,7 +18,6 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(40));
     printBanner(std::cout,
                 "Ablation: coarse-only Dirigent vs StaticBoth "
                 "(paper's omitted configuration)");
@@ -31,6 +30,46 @@ main()
                           workload::BgSpec::rotate("lbm", "namd")),
     };
 
+    // One sharded job per mix; the stages inside a mix (Baseline →
+    // Dirigent → StaticBoth/CoarseOnly) are data-dependent and chain
+    // inside the job.
+    struct MixRows
+    {
+        harness::SchemeRunResult baseline, dirigent, staticBoth,
+            coarseOnly;
+    };
+    std::vector<MixRows> rows(mixes.size());
+    std::vector<exec::JobKey> keys;
+    for (const auto &mix : mixes)
+        keys.push_back({mix.name, "coarse-only", 0});
+
+    exec::SweepExecutor executor(bench::defaultConfig(40),
+                                 bench::defaultExecutorConfig());
+    executor.forEach(keys, [&](size_t i, const exec::JobKey &,
+                               harness::ExperimentRunner &runner) {
+        const auto &mix = mixes[i];
+        auto &out = rows[i];
+        out.baseline = runner.run(mix, core::Scheme::Baseline, {});
+        auto deadlines = runner.deadlinesFromBaseline(out.baseline);
+        harness::applyDeadlines(out.baseline, deadlines);
+
+        // Full Dirigent first: its converged partition defines
+        // StaticBoth, as in the main evaluation.
+        out.dirigent =
+            runner.run(mix, core::Scheme::Dirigent, deadlines);
+        harness::RunOptions staticOpts;
+        staticOpts.staticFgWays =
+            out.dirigent.finalFgWays
+                ? out.dirigent.finalFgWays
+                : runner.config().staticFgWaysDefault;
+        out.staticBoth = runner.run(mix, core::Scheme::StaticBoth,
+                                    deadlines, staticOpts);
+        harness::RunOptions coarseOpts;
+        coarseOpts.attachCoarseOnly = true;
+        out.coarseOnly = runner.run(mix, core::Scheme::Baseline,
+                                    deadlines, coarseOpts);
+    });
+
     TextTable table({"mix", "config", "FG success", "norm std",
                      "BG throughput", "FG ways"});
     std::ostringstream csvBuf;
@@ -38,43 +77,25 @@ main()
     csv.row({"mix", "config", "fg_success", "norm_std", "bg_ratio",
              "fg_ways"});
 
-    for (const auto &mix : mixes) {
-        auto baseline = runner.run(mix, core::Scheme::Baseline, {});
-        auto deadlines = runner.deadlinesFromBaseline(baseline);
-        harness::applyDeadlines(baseline, deadlines);
-
-        // Full Dirigent first: its converged partition defines
-        // StaticBoth, as in the main evaluation.
-        auto dirigent =
-            runner.run(mix, core::Scheme::Dirigent, deadlines);
-        harness::RunOptions staticOpts;
-        staticOpts.staticFgWays = dirigent.finalFgWays
-                                      ? dirigent.finalFgWays
-                                      : runner.config().staticFgWaysDefault;
-        auto staticBoth = runner.run(mix, core::Scheme::StaticBoth,
-                                     deadlines, staticOpts);
-        harness::RunOptions coarseOpts;
-        coarseOpts.attachCoarseOnly = true;
-        auto coarseOnly = runner.run(mix, core::Scheme::Baseline,
-                                     deadlines, coarseOpts);
-
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        const auto &baseline = rows[i].baseline;
         struct Row
         {
             const char *name;
             const harness::SchemeRunResult *res;
         };
         for (const auto &[name, res] :
-             {Row{"StaticBoth", &staticBoth},
-              Row{"CoarseOnly", &coarseOnly},
-              Row{"Dirigent", &dirigent}}) {
-            table.addRow({mix.name, name,
+             {Row{"StaticBoth", &rows[i].staticBoth},
+              Row{"CoarseOnly", &rows[i].coarseOnly},
+              Row{"Dirigent", &rows[i].dirigent}}) {
+            table.addRow({mixes[i].name, name,
                           TextTable::pct(res->fgSuccessRatio()),
                           TextTable::num(
                               harness::stdRatio(*res, baseline), 3),
                           TextTable::pct(harness::bgThroughputRatio(
                               *res, baseline)),
                           strfmt("%u", res->finalFgWays)});
-            csv.row({mix.name, name,
+            csv.row({mixes[i].name, name,
                      strfmt("%.4f", res->fgSuccessRatio()),
                      strfmt("%.4f", harness::stdRatio(*res, baseline)),
                      strfmt("%.4f", harness::bgThroughputRatio(

@@ -20,16 +20,56 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(40));
     printBanner(std::cout,
                 "Ablation: DVFS vs bandwidth-reservation throttling "
                 "(streamcluster + 5x bwaves)");
 
     auto mix = workload::makeMix({"streamcluster"},
                                  workload::BgSpec::single("bwaves"));
-    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
-    auto deadlines = runner.deadlinesFromBaseline(baseline);
-    harness::applyDeadlines(baseline, deadlines);
+
+    exec::SweepExecutor executor(bench::defaultConfig(40),
+                                 bench::defaultExecutorConfig());
+
+    // Stage 1: the Baseline calibration every configuration depends on.
+    harness::SchemeRunResult baseline;
+    std::map<std::string, Time> deadlines;
+    executor.forEach({{mix.name, "Baseline", 0}},
+                     [&](size_t, const exec::JobKey &,
+                         harness::ExperimentRunner &runner) {
+                         baseline = runner.run(
+                             mix, core::Scheme::Baseline, {});
+                         deadlines =
+                             runner.deadlinesFromBaseline(baseline);
+                         harness::applyDeadlines(baseline, deadlines);
+                     });
+
+    // Stage 2: the throttling mechanisms are independent — shard them.
+    struct Cfg
+    {
+        std::string name;
+        core::Scheme scheme;
+        double bgBandwidthCap; // 0 = none
+    };
+    std::vector<Cfg> cfgs = {
+        {"StaticFreq (BG at 1.2GHz)", core::Scheme::StaticFreq, 0.0},
+    };
+    // Static bandwidth caps, from harsh to generous.
+    for (double cap : {0.2e9, 0.4e9, 0.7e9, 1.0e9, 1.5e9})
+        cfgs.push_back({strfmt("StaticBw (%.1f GB/s per BG core)",
+                               cap / 1e9),
+                        core::Scheme::Baseline, cap});
+    cfgs.push_back({"Dirigent (dynamic)", core::Scheme::Dirigent, 0.0});
+
+    std::vector<harness::SchemeRunResult> results(cfgs.size());
+    std::vector<exec::JobKey> keys;
+    for (const auto &cfg : cfgs)
+        keys.push_back({mix.name, cfg.name, 0});
+    executor.forEach(keys, [&](size_t i, const exec::JobKey &,
+                               harness::ExperimentRunner &runner) {
+        harness::RunOptions opts;
+        opts.bgBandwidthCap = cfgs[i].bgBandwidthCap;
+        results[i] = runner.run(mix, cfgs[i].scheme, deadlines, opts);
+    });
 
     TextTable table({"config", "FG success", "FG mean (s)",
                      "BG throughput"});
@@ -51,21 +91,8 @@ main()
     };
 
     report("Baseline", baseline);
-    report("StaticFreq (BG at 1.2GHz)",
-           runner.run(mix, core::Scheme::StaticFreq, deadlines));
-
-    // Static bandwidth caps, from harsh to generous.
-    for (double cap : {0.2e9, 0.4e9, 0.7e9, 1.0e9, 1.5e9}) {
-        harness::RunOptions opts;
-        opts.bgBandwidthCap = cap;
-        auto res =
-            runner.run(mix, core::Scheme::Baseline, deadlines, opts);
-        report(strfmt("StaticBw (%.1f GB/s per BG core)", cap / 1e9),
-               res);
-    }
-
-    report("Dirigent (dynamic)",
-           runner.run(mix, core::Scheme::Dirigent, deadlines));
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        report(cfgs[i].name, results[i]);
     table.print(std::cout);
     std::cout << "\n" << csvBuf.str();
 

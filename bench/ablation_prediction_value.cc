@@ -25,7 +25,6 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(40));
     printBanner(std::cout,
                 "Ablation: prediction-guided vs reactive control");
 
@@ -40,6 +39,37 @@ main()
                           workload::BgSpec::rotate("lbm", "namd")),
     };
 
+    // One job per mix; the four configurations of a mix share its
+    // Baseline calibration, so they chain inside the job while mixes
+    // run on separate workers.
+    struct MixRows
+    {
+        harness::SchemeRunResult baseline, reactive, freqOnly, full;
+    };
+    std::vector<MixRows> rows(mixes.size());
+    std::vector<exec::JobKey> keys;
+    for (const auto &mix : mixes)
+        keys.push_back({mix.name, "prediction-value", 0});
+
+    exec::SweepExecutor executor(bench::defaultConfig(40),
+                                 bench::defaultExecutorConfig());
+    executor.forEach(keys, [&](size_t i, const exec::JobKey &,
+                               harness::ExperimentRunner &runner) {
+        const auto &mix = mixes[i];
+        auto &out = rows[i];
+        out.baseline = runner.run(mix, core::Scheme::Baseline, {});
+        auto deadlines = runner.deadlinesFromBaseline(out.baseline);
+        harness::applyDeadlines(out.baseline, deadlines);
+
+        harness::RunOptions reactiveOpts;
+        reactiveOpts.attachReactive = true;
+        out.reactive = runner.run(mix, core::Scheme::Baseline,
+                                  deadlines, reactiveOpts);
+        out.freqOnly =
+            runner.run(mix, core::Scheme::DirigentFreq, deadlines);
+        out.full = runner.run(mix, core::Scheme::Dirigent, deadlines);
+    });
+
     TextTable table({"mix", "config", "FG success", "norm std",
                      "BG throughput"});
     std::cout << "\nCSV:\n";
@@ -47,35 +77,25 @@ main()
     CsvWriter csv(csvBuf);
     csv.row({"mix", "config", "fg_success", "norm_std", "bg_ratio"});
 
-    for (const auto &mix : mixes) {
-        auto baseline = runner.run(mix, core::Scheme::Baseline, {});
-        auto deadlines = runner.deadlinesFromBaseline(baseline);
-        harness::applyDeadlines(baseline, deadlines);
-
-        harness::RunOptions reactiveOpts;
-        reactiveOpts.attachReactive = true;
-        auto reactive = runner.run(mix, core::Scheme::Baseline,
-                                   deadlines, reactiveOpts);
-        auto freqOnly =
-            runner.run(mix, core::Scheme::DirigentFreq, deadlines);
-        auto full = runner.run(mix, core::Scheme::Dirigent, deadlines);
-
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        const auto &baseline = rows[i].baseline;
         struct Row
         {
             const char *name;
             const harness::SchemeRunResult *res;
         };
         for (const auto &[name, res] :
-             {Row{"Baseline", &baseline}, Row{"Reactive", &reactive},
-              Row{"DirigentFreq", &freqOnly},
-              Row{"Dirigent", &full}}) {
-            table.addRow({mix.name, name,
+             {Row{"Baseline", &baseline},
+              Row{"Reactive", &rows[i].reactive},
+              Row{"DirigentFreq", &rows[i].freqOnly},
+              Row{"Dirigent", &rows[i].full}}) {
+            table.addRow({mixes[i].name, name,
                           TextTable::pct(res->fgSuccessRatio()),
                           TextTable::num(
                               harness::stdRatio(*res, baseline), 3),
                           TextTable::pct(harness::bgThroughputRatio(
                               *res, baseline))});
-            csv.row({mix.name, name,
+            csv.row({mixes[i].name, name,
                      strfmt("%.4f", res->fgSuccessRatio()),
                      strfmt("%.4f", harness::stdRatio(*res, baseline)),
                      strfmt("%.4f", harness::bgThroughputRatio(

@@ -12,6 +12,7 @@
 #include "common/log.h"
 
 #include "common/table.h"
+#include "exec/executor.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "workload/mix.h"
@@ -25,23 +26,33 @@ defaultConfig(unsigned executions)
     harness::HarnessConfig cfg;
     cfg.executions = harness::envExecutions(executions);
     cfg.seed = harness::envSeed(cfg.seed);
+    cfg.threads = harness::envThreads(cfg.threads);
     return cfg;
 }
 
+/** Executor knobs for a bench binary: env-driven JSONL export. */
+inline exec::ExecutorConfig
+defaultExecutorConfig()
+{
+    exec::ExecutorConfig ecfg;
+    ecfg.jsonlPath = exec::envJsonlPath();
+    return ecfg;
+}
+
 /**
- * Run every mix through all five schemes and print the Fig. 9-style
- * per-mix table, the normalized-σ table, the Fig. 10/13-style summary,
- * and a CSV block.
+ * Run every mix through all five schemes — sharded across
+ * DIRIGENT_THREADS workers (default: hardware concurrency; 1 = the
+ * legacy serial path) — and print the Fig. 9-style per-mix table, the
+ * normalized-σ table, the Fig. 10/13-style summary, and a CSV block.
+ * The tables are byte-identical for any thread count; live progress
+ * goes to stderr, and DIRIGENT_JSONL=<path> appends per-run records.
  */
 inline std::vector<std::vector<harness::SchemeRunResult>>
-runAndReport(harness::ExperimentRunner &runner,
+runAndReport(const harness::HarnessConfig &config,
              const std::vector<workload::WorkloadMix> &mixes)
 {
-    std::vector<std::vector<harness::SchemeRunResult>> perMix;
-    for (const auto &mix : mixes) {
-        dirigent::inform("running mix: " + mix.name);
-        perMix.push_back(runner.runAllSchemes(mix));
-    }
+    exec::SweepExecutor executor(config, defaultExecutorConfig());
+    auto perMix = executor.runSchemeSweep(mixes);
 
     std::cout << "\nFG success ratio and BG throughput (vs Baseline):\n";
     harness::printSchemeComparison(std::cout, perMix);

@@ -14,11 +14,11 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(40));
     printBanner(std::cout,
                 "Fig. 9a: single-BG workload mixes (15 mixes x 5 "
                 "schemes)");
-    bench::runAndReport(runner, workload::singleBgMixes());
+    bench::runAndReport(bench::defaultConfig(40),
+                        workload::singleBgMixes());
     std::cout << "\nPaper expectation: Baseline FG success ~60%; static "
                  "schemes reach ~100% FG\nsuccess at ~60-80% BG "
                  "throughput; DirigentFreq recovers BG throughput; "

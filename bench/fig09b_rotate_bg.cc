@@ -14,11 +14,11 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(40));
+    harness::HarnessConfig config = bench::defaultConfig(40);
     printBanner(std::cout,
                 "Fig. 9b: rotate-BG workload mixes (20 mixes x 5 "
                 "schemes)");
-    bench::runAndReport(runner, workload::rotateBgMixes());
+    bench::runAndReport(config, workload::rotateBgMixes());
     std::cout << "\nPaper expectation: same ordering as Fig. 9a under "
                  "context-switch-style\ninterference (random pair "
                  "rotation at every FG completion).\n";

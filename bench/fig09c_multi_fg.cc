@@ -14,11 +14,11 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(30));
+    harness::HarnessConfig config = bench::defaultConfig(30);
     printBanner(std::cout,
                 "Fig. 9c: multi-FG workload mixes (5 combos x "
                 "{1,2,3} FG)");
-    bench::runAndReport(runner, workload::multiFgMixes());
+    bench::runAndReport(config, workload::multiFgMixes());
     std::cout << "\nPaper expectation: trends match the single-FG "
                  "results; without partitioning,\nBG throughput "
                  "decreases with each added FG task (conservative "

@@ -14,10 +14,9 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(30));
     printBanner(std::cout,
                 "Fig. 10: summary of all 35 single-FG workload mixes");
-    auto perMix = bench::runAndReport(runner,
+    auto perMix = bench::runAndReport(bench::defaultConfig(30),
                                       workload::allSingleFgMixes());
 
     // Headline claims (paper §1/§5.4).

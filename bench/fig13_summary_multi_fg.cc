@@ -13,10 +13,10 @@ using namespace dirigent;
 int
 main()
 {
-    harness::ExperimentRunner runner(bench::defaultConfig(25));
     printBanner(std::cout,
                 "Fig. 13: summary of all multi-FG workload mixes");
-    auto perMix = bench::runAndReport(runner, workload::multiFgMixes());
+    auto perMix = bench::runAndReport(bench::defaultConfig(25),
+                                      workload::multiFgMixes());
 
     auto summaries = harness::summarizeSchemes(perMix);
     double worst = 1.0;

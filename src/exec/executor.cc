@@ -1,0 +1,210 @@
+#include "exec/executor.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/log.h"
+#include "dirigent/scheme.h"
+#include "exec/thread_pool.h"
+
+namespace dirigent::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1u;
+}
+
+SweepExecutor::SweepExecutor(harness::HarnessConfig config,
+                             ExecutorConfig ecfg)
+    : config_(config),
+      threads_(resolveThreads(ecfg.threads ? ecfg.threads
+                                           : config.threads)),
+      progress_(ecfg.progress),
+      sharedProfiles_(config.machine, config.profiler)
+{
+    if (!ecfg.jsonlPath.empty())
+        jsonl_ = JsonlWriter::open(ecfg.jsonlPath);
+}
+
+SweepExecutor::~SweepExecutor() = default;
+
+std::vector<std::vector<harness::SchemeRunResult>>
+SweepExecutor::runSchemeSweep(
+    const std::vector<workload::WorkloadMix> &mixes)
+{
+    const auto schemes = core::allSchemes();
+
+    if (threads_ == 1) {
+        // The exact legacy serial path: one runner, one mix at a time.
+        harness::ExperimentRunner runner(config_, sharedProfiles_);
+        ProgressReporter prog(mixes.size(), progress_);
+        std::vector<std::vector<harness::SchemeRunResult>> perMix;
+        perMix.reserve(mixes.size());
+        for (const auto &mix : mixes) {
+            std::string label = mix.name + "/allSchemes";
+            prog.jobStarted(label);
+            auto t0 = Clock::now();
+            perMix.push_back(runner.runAllSchemes(mix));
+            double wall = secondsSince(t0);
+            if (jsonl_) {
+                for (const auto &res : perMix.back())
+                    jsonl_->write(res, core::schemeName(res.scheme),
+                                  runner.mixSeed(mix),
+                                  wall / double(schemes.size()));
+            }
+            prog.jobFinished(label, wall);
+        }
+        return perMix;
+    }
+
+    // Sharded path: one job per (mix, scheme). Stage dependencies
+    // inside a mix — Baseline calibrates the deadlines, Dirigent's
+    // converged partition seeds StaticBoth — are chained by submitting
+    // the dependent job when its input is ready, so independent mixes
+    // overlap freely while each mix reproduces the serial ordering.
+    struct MixState
+    {
+        std::vector<harness::SchemeRunResult> results;
+        std::map<std::string, Time> deadlines;
+        unsigned staticFgWays = 0;
+    };
+    std::vector<MixState> states(mixes.size());
+    for (auto &state : states)
+        state.results.resize(schemes.size());
+
+    ProgressReporter prog(mixes.size() * schemes.size(), progress_);
+    ThreadPool pool(threads_);
+
+    // Slots follow core::allSchemes() order.
+    constexpr size_t kBaseline = 0, kStaticFreq = 1, kStaticBoth = 2,
+                     kDirigentFreq = 3, kDirigent = 4;
+
+    auto runScheme = [&](size_t i, core::Scheme scheme, size_t slot,
+                         harness::RunOptions opts,
+                         const std::function<void()> &andThen =
+                             nullptr) {
+        JobKey key{mixes[i].name, core::schemeName(scheme), 0};
+        std::string label = jobLabel(key);
+        prog.jobStarted(label);
+        auto t0 = Clock::now();
+        harness::ExperimentRunner runner(config_, sharedProfiles_);
+        auto result =
+            runner.run(mixes[i], scheme, states[i].deadlines, opts);
+        double wall = secondsSince(t0);
+        if (jsonl_)
+            jsonl_->write(result, key.stage, runner.mixSeed(mixes[i]),
+                          wall);
+        states[i].results[slot] = std::move(result);
+        prog.jobFinished(label, wall);
+        if (andThen)
+            andThen();
+    };
+
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        pool.submit([&, i] {
+            // Stage 1: Baseline doubles as the deadline calibration.
+            JobKey key{mixes[i].name,
+                       core::schemeName(core::Scheme::Baseline), 0};
+            std::string label = jobLabel(key);
+            prog.jobStarted(label);
+            auto t0 = Clock::now();
+            harness::ExperimentRunner runner(config_, sharedProfiles_);
+            auto baseline =
+                runner.run(mixes[i], core::Scheme::Baseline, {});
+            states[i].deadlines =
+                runner.deadlinesFromBaseline(baseline);
+            harness::applyDeadlines(baseline, states[i].deadlines);
+            double wall = secondsSince(t0);
+            if (jsonl_)
+                jsonl_->write(baseline, key.stage,
+                              runner.mixSeed(mixes[i]), wall);
+            states[i].results[kBaseline] = std::move(baseline);
+            prog.jobFinished(label, wall);
+
+            // Stage 2: Dirigent; its partition defines StaticBoth's.
+            pool.submit([&, i] {
+                runScheme(i, core::Scheme::Dirigent, kDirigent,
+                          harness::RunOptions{}, [&, i] {
+                    const auto &dirigent = states[i].results[kDirigent];
+                    states[i].staticFgWays =
+                        dirigent.finalFgWays
+                            ? dirigent.finalFgWays
+                            : config_.staticFgWaysDefault;
+
+                    // Stage 3: the remaining schemes are independent.
+                    pool.submit([&, i] {
+                        runScheme(i, core::Scheme::StaticFreq,
+                                  kStaticFreq, harness::RunOptions{});
+                    });
+                    pool.submit([&, i] {
+                        harness::RunOptions opts;
+                        opts.staticFgWays = states[i].staticFgWays;
+                        runScheme(i, core::Scheme::StaticBoth,
+                                  kStaticBoth, opts);
+                    });
+                    pool.submit([&, i] {
+                        runScheme(i, core::Scheme::DirigentFreq,
+                                  kDirigentFreq, harness::RunOptions{});
+                    });
+                });
+            });
+        });
+    }
+    pool.wait();
+
+    std::vector<std::vector<harness::SchemeRunResult>> perMix;
+    perMix.reserve(mixes.size());
+    for (auto &state : states)
+        perMix.push_back(std::move(state.results));
+    return perMix;
+}
+
+void
+SweepExecutor::forEach(const std::vector<JobKey> &keys, const JobFn &fn)
+{
+    ProgressReporter prog(keys.size(), progress_);
+
+    if (threads_ == 1) {
+        harness::ExperimentRunner runner(config_, sharedProfiles_);
+        for (size_t i = 0; i < keys.size(); ++i) {
+            std::string label = jobLabel(keys[i]);
+            prog.jobStarted(label);
+            auto t0 = Clock::now();
+            fn(i, keys[i], runner);
+            prog.jobFinished(label, secondsSince(t0));
+        }
+        return;
+    }
+
+    ThreadPool pool(threads_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+        pool.submit([&, i] {
+            std::string label = jobLabel(keys[i]);
+            prog.jobStarted(label);
+            auto t0 = Clock::now();
+            harness::ExperimentRunner runner(config_, sharedProfiles_);
+            fn(i, keys[i], runner);
+            prog.jobFinished(label, secondsSince(t0));
+        });
+    }
+    pool.wait();
+}
+
+} // namespace dirigent::exec

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The sharded experiment executor: fans independent simulation runs
+ * (one job = one mix × stage, each owning its own machine::Machine and
+ * sim::Engine) across a fixed-size thread pool. Results are
+ * byte-identical to the serial path and independent of worker count —
+ * every run is a pure function of (HarnessConfig, mix, scheme, inputs),
+ * stage dependencies inside a mix (Baseline calibrates deadlines,
+ * Dirigent's converged partition seeds StaticBoth) are chained by
+ * submitting the dependent job from the finishing one, and profiles
+ * come from a SharedProfileCache that profiles each FG benchmark
+ * exactly once. A thread count of 1 takes the exact legacy serial
+ * path.
+ */
+
+#ifndef DIRIGENT_EXEC_EXECUTOR_H
+#define DIRIGENT_EXEC_EXECUTOR_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/job.h"
+#include "exec/jsonl.h"
+#include "exec/profile_cache.h"
+#include "exec/progress.h"
+#include "harness/experiment.h"
+#include "workload/mix.h"
+
+namespace dirigent::exec {
+
+/** Executor knobs, separate from the simulated-experiment config. */
+struct ExecutorConfig
+{
+    /**
+     * Worker threads; 0 defers to HarnessConfig::threads and then to
+     * hardware concurrency. 1 = exact legacy serial path.
+     */
+    unsigned threads = 0;
+
+    /** Emit live progress lines to stderr. */
+    bool progress = true;
+
+    /** Append per-run JSONL records to this path ("" = disabled). */
+    std::string jsonlPath;
+};
+
+/** 0 → hardware concurrency (at least 1); otherwise @p requested. */
+unsigned resolveThreads(unsigned requested);
+
+/**
+ * Runs sweeps of independent experiment jobs across worker threads.
+ */
+class SweepExecutor
+{
+  public:
+    explicit SweepExecutor(harness::HarnessConfig config,
+                           ExecutorConfig ecfg = ExecutorConfig{});
+    ~SweepExecutor();
+
+    /** Resolved worker count. */
+    unsigned threads() const { return threads_; }
+
+    /** JSONL writer, if an export path was configured. */
+    JsonlWriter *jsonl() { return jsonl_.get(); }
+
+    /**
+     * Run all five schemes on every mix (the Fig. 9/10/13 shape) and
+     * return per-mix results in mix order, core::allSchemes() order
+     * within a mix — exactly what the serial
+     * ExperimentRunner::runAllSchemes loop produces.
+     */
+    std::vector<std::vector<harness::SchemeRunResult>>
+    runSchemeSweep(const std::vector<workload::WorkloadMix> &mixes);
+
+    /** One generic sweep job: its index and key plus a worker body. */
+    using JobFn =
+        std::function<void(size_t index, const JobKey &key,
+                           harness::ExperimentRunner &runner)>;
+
+    /**
+     * Generic fan-out for custom sweeps (ablations, sensitivity
+     * grids): invoke @p fn once per key, each call on a worker with a
+     * runner wired to the shared profile cache. Calls run in key order
+     * when threads() == 1; any job exception cancels the backlog and
+     * is rethrown.
+     */
+    void forEach(const std::vector<JobKey> &keys, const JobFn &fn);
+
+  private:
+    harness::HarnessConfig config_;
+    unsigned threads_;
+    bool progress_;
+    SharedProfileCache sharedProfiles_;
+    std::unique_ptr<JsonlWriter> jsonl_;
+};
+
+} // namespace dirigent::exec
+
+#endif // DIRIGENT_EXEC_EXECUTOR_H

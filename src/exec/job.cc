@@ -1,0 +1,53 @@
+#include "exec/job.h"
+
+#include "common/strfmt.h"
+
+namespace dirigent::exec {
+
+namespace {
+
+/** FNV-1a over a byte range, continuing from @p hash. */
+uint64_t
+fnv1a(uint64_t hash, const void *data, size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+/** splitmix64 finalizer: diffuses low-entropy hash outputs. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::string
+jobLabel(const JobKey &key)
+{
+    std::string label = key.mix + "/" + key.stage;
+    if (key.repeat != 0)
+        label += strfmt("#%u", key.repeat);
+    return label;
+}
+
+uint64_t
+deriveJobSeed(uint64_t masterSeed, const JobKey &key)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    // '\0' separators keep ("ab","c") and ("a","bc") distinct.
+    hash = fnv1a(hash, key.mix.data(), key.mix.size() + 1);
+    hash = fnv1a(hash, key.stage.data(), key.stage.size() + 1);
+    hash = fnv1a(hash, &key.repeat, sizeof(key.repeat));
+    return mix64(masterSeed ^ hash);
+}
+
+} // namespace dirigent::exec

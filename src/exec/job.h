@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Job identity for the parallel experiment executor: one job is one
+ * (mix, stage, repeat) cell of a sweep, and its seed is a pure function
+ * of the master seed and that key — independent of submission order,
+ * worker count, and interleaving, so sharded sweeps replay bit-for-bit.
+ */
+
+#ifndef DIRIGENT_EXEC_JOB_H
+#define DIRIGENT_EXEC_JOB_H
+
+#include <cstdint>
+#include <string>
+
+namespace dirigent::exec {
+
+/** Identity of one experiment job inside a sweep. */
+struct JobKey
+{
+    /** Workload-mix (or configuration) name. */
+    std::string mix;
+
+    /** Stage within the mix: scheme name or ablation-config label. */
+    std::string stage;
+
+    /** Replication index for multi-seed sweeps. */
+    uint32_t repeat = 0;
+
+    bool
+    operator==(const JobKey &o) const
+    {
+        return mix == o.mix && stage == o.stage && repeat == o.repeat;
+    }
+};
+
+/** Human-readable job label: "mix/stage" or "mix/stage#repeat". */
+std::string jobLabel(const JobKey &key);
+
+/**
+ * Deterministic per-job seed: a well-mixed pure function of
+ * (@p masterSeed, @p key). Equal keys map to equal seeds regardless of
+ * the order jobs are created, submitted, or executed in.
+ */
+uint64_t deriveJobSeed(uint64_t masterSeed, const JobKey &key);
+
+} // namespace dirigent::exec
+
+#endif // DIRIGENT_EXEC_JOB_H

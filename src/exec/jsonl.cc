@@ -1,0 +1,83 @@
+#include "exec/jsonl.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::exec {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += char(c);
+        }
+    }
+    return out;
+}
+
+JsonlWriter::JsonlWriter(std::ostream &os) : os_(os) {}
+
+JsonlWriter::JsonlWriter(std::unique_ptr<std::ostream> owned)
+    : owned_(std::move(owned)), os_(*owned_)
+{
+}
+
+std::unique_ptr<JsonlWriter>
+JsonlWriter::open(const std::string &path)
+{
+    auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+    if (!*file) {
+        warn("cannot open JSONL export file '" + path + "'");
+        return nullptr;
+    }
+    return std::unique_ptr<JsonlWriter>(
+        new JsonlWriter(std::move(file)));
+}
+
+void
+JsonlWriter::write(const harness::SchemeRunResult &result,
+                   const std::string &stage, uint64_t seed,
+                   double wallSeconds)
+{
+    std::string line = strfmt(
+        "{\"mix\":\"%s\",\"stage\":\"%s\",\"scheme\":\"%s\","
+        "\"seed\":%llu,\"fg_success\":%.6f,\"on_time\":%llu,"
+        "\"total\":%llu,\"fg_mean_s\":%.6f,\"fg_std_s\":%.6f,"
+        "\"fg_mpki\":%.4f,\"bg_throughput\":%.6g,\"span_s\":%.6f,"
+        "\"final_fg_ways\":%u,\"wall_s\":%.3f}\n",
+        jsonEscape(result.mixName).c_str(), jsonEscape(stage).c_str(),
+        core::schemeName(result.scheme),
+        static_cast<unsigned long long>(seed), result.fgSuccessRatio(),
+        static_cast<unsigned long long>(result.onTime),
+        static_cast<unsigned long long>(result.total),
+        result.fgDurationMean(), result.fgDurationStd(),
+        result.fgMpki(), result.bgThroughput(), result.span.sec(),
+        result.finalFgWays, wallSeconds);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << line << std::flush;
+}
+
+std::string
+envJsonlPath(const std::string &fallback)
+{
+    const char *env = std::getenv("DIRIGENT_JSONL");
+    return env ? std::string(env) : fallback;
+}
+
+} // namespace dirigent::exec

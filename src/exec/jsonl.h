@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Machine-readable sweep export: one JSON object per finished job,
+ * appended as a line (JSONL). Lines are written in completion order —
+ * each record is self-describing (mix, stage, seed), so downstream
+ * tooling must not rely on file order.
+ */
+
+#ifndef DIRIGENT_EXEC_JSONL_H
+#define DIRIGENT_EXEC_JSONL_H
+
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "harness/metrics.h"
+
+namespace dirigent::exec {
+
+/** Escape @p text for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/** Thread-safe JSONL appender for sweep results. */
+class JsonlWriter
+{
+  public:
+    /** Write to @p os (not owned; must outlive the writer). */
+    explicit JsonlWriter(std::ostream &os);
+
+    /**
+     * Open @p path for appending; returns null (with a warning) when
+     * the file cannot be opened.
+     */
+    static std::unique_ptr<JsonlWriter> open(const std::string &path);
+
+    /**
+     * Append one result record: identity (mix, stage, seed), the
+     * paper's metrics, and the job's host wall time.
+     */
+    void write(const harness::SchemeRunResult &result,
+               const std::string &stage, uint64_t seed,
+               double wallSeconds);
+
+  private:
+    std::mutex mutex_;
+    std::unique_ptr<std::ostream> owned_;
+    std::ostream &os_;
+
+    JsonlWriter(std::unique_ptr<std::ostream> owned);
+};
+
+/** DIRIGENT_JSONL environment override for the export path. */
+std::string envJsonlPath(const std::string &fallback = "");
+
+} // namespace dirigent::exec
+
+#endif // DIRIGENT_EXEC_JSONL_H

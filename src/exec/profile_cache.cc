@@ -1,0 +1,49 @@
+#include "exec/profile_cache.h"
+
+#include "workload/benchmarks.h"
+
+namespace dirigent::exec {
+
+SharedProfileCache::SharedProfileCache(
+    const machine::MachineConfig &machineConfig,
+    const core::ProfilerConfig &profilerConfig)
+    : machineConfig_(machineConfig), profilerConfig_(profilerConfig)
+{
+}
+
+const core::Profile &
+SharedProfileCache::get(const std::string &benchmarkName)
+{
+    std::shared_future<core::Profile> future;
+    std::shared_ptr<std::promise<core::Profile>> mine;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = futures_.find(benchmarkName);
+        if (it != futures_.end()) {
+            future = it->second;
+        } else {
+            mine = std::make_shared<std::promise<core::Profile>>();
+            future = mine->get_future().share();
+            futures_.emplace(benchmarkName, future);
+        }
+    }
+
+    if (mine) {
+        try {
+            const auto &bench =
+                workload::BenchmarkLibrary::instance().get(benchmarkName);
+            core::OfflineProfiler profiler(profilerConfig_);
+            mine->set_value(
+                profiler.profileAlone(bench, machineConfig_));
+            profiled_.fetch_add(1);
+        } catch (...) {
+            mine->set_exception(std::current_exception());
+        }
+    }
+
+    // shared_future::get() returns a reference into the shared state,
+    // which the futures_ map keeps alive for the cache's lifetime.
+    return future.get();
+}
+
+} // namespace dirigent::exec

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thread-safe standalone-profile cache shared by all sweep shards:
+ * each foreground benchmark is profiled exactly once (by the first
+ * worker to ask); concurrent requesters block on a shared future until
+ * the profile is ready. Drop-in harness::ProfileSource, so a worker's
+ * ExperimentRunner uses it transparently.
+ */
+
+#ifndef DIRIGENT_EXEC_PROFILE_CACHE_H
+#define DIRIGENT_EXEC_PROFILE_CACHE_H
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dirigent/profiler.h"
+#include "harness/experiment.h"
+#include "machine/machine.h"
+
+namespace dirigent::exec {
+
+/** Concurrent profile-once cache (see file comment). */
+class SharedProfileCache : public harness::ProfileSource
+{
+  public:
+    SharedProfileCache(const machine::MachineConfig &machineConfig,
+                       const core::ProfilerConfig &profilerConfig);
+
+    /**
+     * Profile of @p benchmarkName. The first caller profiles (outside
+     * the lock); concurrent callers block until the result is ready.
+     * The returned reference stays valid for the cache's lifetime.
+     */
+    const core::Profile &get(const std::string &benchmarkName) override;
+
+    /** Number of profiling runs actually performed. */
+    size_t profileCount() const { return profiled_.load(); }
+
+  private:
+    machine::MachineConfig machineConfig_;
+    core::ProfilerConfig profilerConfig_;
+
+    std::mutex mutex_;
+    std::map<std::string, std::shared_future<core::Profile>> futures_;
+    std::atomic<size_t> profiled_{0};
+};
+
+} // namespace dirigent::exec
+
+#endif // DIRIGENT_EXEC_PROFILE_CACHE_H

@@ -1,0 +1,74 @@
+#include "exec/progress.h"
+
+#include <iostream>
+
+#include "common/strfmt.h"
+
+namespace dirigent::exec {
+
+ProgressReporter::ProgressReporter(size_t totalJobs, bool enabled,
+                                   std::ostream *os)
+    : os_(os ? os : &std::cerr), enabled_(enabled), total_(totalJobs),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+ProgressReporter::jobStarted(const std::string &label)
+{
+    (void)label;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++running_;
+}
+
+void
+ProgressReporter::jobFinished(const std::string &label,
+                              double wallSeconds)
+{
+    std::string line;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++done_;
+        if (running_ > 0)
+            --running_;
+        if (!enabled_)
+            return;
+        double elapsed = elapsedSeconds();
+        size_t queued = total_ > done_ + running_
+                            ? total_ - done_ - running_
+                            : 0;
+        double eta = done_ > 0
+                         ? elapsed / double(done_) *
+                               double(total_ > done_ ? total_ - done_ : 0)
+                         : 0.0;
+        line = strfmt("[exec] %zu/%zu done · %zu running · %zu queued "
+                      "· %.1fs elapsed · eta %.0fs · %s (%.2fs)\n",
+                      done_, total_, running_, queued, elapsed, eta,
+                      label.c_str(), wallSeconds);
+    }
+    *os_ << line << std::flush;
+}
+
+double
+ProgressReporter::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+size_t
+ProgressReporter::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+size_t
+ProgressReporter::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+} // namespace dirigent::exec

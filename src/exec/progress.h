@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Live progress for sharded sweeps: jobs done/running/queued, elapsed
+ * wall time, an ETA extrapolated from completed jobs, and the last
+ * finished job's wall time. Written to stderr so the stdout tables
+ * stay byte-identical across thread counts.
+ */
+
+#ifndef DIRIGENT_EXEC_PROGRESS_H
+#define DIRIGENT_EXEC_PROGRESS_H
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace dirigent::exec {
+
+/** Thread-safe sweep progress reporter (one line per finished job). */
+class ProgressReporter
+{
+  public:
+    /**
+     * @param totalJobs jobs expected over the sweep's lifetime.
+     * @param enabled false silences all output (e.g. under tests).
+     * @param os destination stream; defaults to std::cerr.
+     */
+    explicit ProgressReporter(size_t totalJobs, bool enabled = true,
+                              std::ostream *os = nullptr);
+
+    /** Record (and count) a job entering a worker. */
+    void jobStarted(const std::string &label);
+
+    /** Record a finished job and print the progress line. */
+    void jobFinished(const std::string &label, double wallSeconds);
+
+    /** Wall seconds since construction. */
+    double elapsedSeconds() const;
+
+    size_t done() const;
+    size_t running() const;
+
+  private:
+    std::ostream *os_;
+    bool enabled_;
+    size_t total_;
+    std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mutex_;
+    size_t done_ = 0;
+    size_t running_ = 0;
+};
+
+} // namespace dirigent::exec
+
+#endif // DIRIGENT_EXEC_PROGRESS_H

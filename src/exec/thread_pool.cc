@@ -1,0 +1,95 @@
+#include "exec/thread_pool.h"
+
+#include "common/log.h"
+
+namespace dirigent::exec {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    DIRIGENT_ASSERT(threads > 0, "thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    queue_.close();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (cancelled_.load())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++unfinished_;
+    }
+    if (!queue_.push(std::move(job)))
+        finishOne(); // closed: nothing will run it
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [&] { return unfinished_ == 0; });
+        std::swap(error, firstError_);
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+size_t
+ThreadPool::cancel()
+{
+    cancelled_.store(true);
+    size_t dropped = queue_.clear();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        DIRIGENT_ASSERT(unfinished_ >= dropped, "job accounting broke");
+        unfinished_ -= dropped;
+    }
+    idle_.notify_all();
+    return dropped;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (auto job = queue_.pop()) {
+        if (!cancelled_.load()) {
+            try {
+                (*job)();
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!firstError_)
+                        firstError_ = std::current_exception();
+                }
+                cancel(); // drop the backlog; peers finish their job
+            }
+        }
+        finishOne();
+    }
+}
+
+void
+ThreadPool::finishOne()
+{
+    bool idle = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        DIRIGENT_ASSERT(unfinished_ > 0, "job accounting broke");
+        idle = --unfinished_ == 0;
+    }
+    if (idle)
+        idle_.notify_all();
+}
+
+} // namespace dirigent::exec

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A fixed-size worker thread pool over a WorkQueue. Jobs may submit
+ * further jobs (the sweep executor chains per-mix stages this way);
+ * wait() blocks until every transitively submitted job has finished.
+ * The first job exception cancels the queued backlog and is rethrown
+ * from wait() — bailout in one shard stops the whole sweep.
+ */
+
+#ifndef DIRIGENT_EXEC_THREAD_POOL_H
+#define DIRIGENT_EXEC_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/work_queue.h"
+
+namespace dirigent::exec {
+
+/** Fixed-size thread pool with nested submission and cancellation. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /**
+     * Close the queue, finish the queued backlog (unless cancelled)
+     * and join the workers. A pending job error that was never
+     * collected via wait() is discarded.
+     */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count. */
+    unsigned threads() const { return unsigned(workers_.size()); }
+
+    /**
+     * Enqueue @p job. Safe from any thread, including pool workers.
+     * Jobs submitted after cancel() or shutdown are dropped.
+     */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until all submitted jobs (including jobs they submitted)
+     * have finished, then rethrow the first job exception, if any.
+     */
+    void wait();
+
+    /**
+     * Drop every queued (not yet started) job; running jobs finish.
+     * Returns the number of jobs dropped.
+     */
+    size_t cancel();
+
+    /** True once cancel() was called (or a job threw). */
+    bool cancelled() const { return cancelled_.load(); }
+
+  private:
+    void workerLoop();
+    void finishOne();
+
+    WorkQueue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable idle_;
+    size_t unfinished_ = 0; //!< submitted but not yet finished
+    std::exception_ptr firstError_;
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace dirigent::exec
+
+#endif // DIRIGENT_EXEC_THREAD_POOL_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A minimal thread-safe FIFO work queue: producers push until the queue
+ * is closed, consumers block in pop() until an item arrives or the
+ * queue is closed and drained. clear() supports cancellation (drop
+ * everything not yet started).
+ */
+
+#ifndef DIRIGENT_EXEC_WORK_QUEUE_H
+#define DIRIGENT_EXEC_WORK_QUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dirigent::exec {
+
+/** Unbounded MPMC FIFO queue with close/drain semantics. */
+template <typename T>
+class WorkQueue
+{
+  public:
+    /** Enqueue @p item; false (item dropped) once closed. */
+    bool
+    push(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest item, blocking while the queue is open and
+     * empty. std::nullopt once the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Refuse new items; blocked pops drain the backlog, then return. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    /** Drop all queued items; returns how many were dropped. */
+    size_t
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        size_t dropped = items_.size();
+        items_.clear();
+        return dropped;
+    }
+
+    /** Items currently queued. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    /** True once close() was called. */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace dirigent::exec
+
+#endif // DIRIGENT_EXEC_WORK_QUEUE_H

@@ -53,7 +53,17 @@ ProfileCache::get(const std::string &benchmarkName)
 }
 
 ExperimentRunner::ExperimentRunner(HarnessConfig config)
-    : config_(config), profiles_(config.machine, config.profiler)
+    : config_(config),
+      ownProfiles_(std::make_unique<ProfileCache>(config.machine,
+                                                  config.profiler)),
+      profiles_(ownProfiles_.get())
+{
+    DIRIGENT_ASSERT(config.executions > 0, "need at least one execution");
+}
+
+ExperimentRunner::ExperimentRunner(HarnessConfig config,
+                                   ProfileSource &sharedProfiles)
+    : config_(config), profiles_(&sharedProfiles)
 {
     DIRIGENT_ASSERT(config.executions > 0, "need at least one execution");
 }
@@ -163,8 +173,8 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
             auto it = deadlines.find(bench);
             Time deadline = it != deadlines.end()
                                 ? it->second
-                                : profiles_.get(bench).totalTime() * 2.0;
-            runtime->addForeground(fgPids[i], &profiles_.get(bench),
+                                : profiles_->get(bench).totalTime() * 2.0;
+            runtime->addForeground(fgPids[i], &profiles_->get(bench),
                                    deadline);
         }
         runtime->start();

@@ -48,19 +48,42 @@ struct HarnessConfig
 
     /** Master seed (workload randomness is shared across schemes). */
     uint64_t seed = 1234;
+
+    /**
+     * Worker threads for sharded sweeps (exec::SweepExecutor):
+     * 0 = hardware concurrency, 1 = the exact legacy serial path.
+     * Ignored by the single-run ExperimentRunner API.
+     */
+    unsigned threads = 0;
 };
 
 /**
- * Lazily profiles each foreground benchmark exactly once.
+ * Source of standalone foreground profiles. Implemented by the serial
+ * ProfileCache below and by the thread-safe exec::SharedProfileCache;
+ * returned references stay valid for the source's lifetime.
  */
-class ProfileCache
+class ProfileSource
+{
+  public:
+    virtual ~ProfileSource() = default;
+
+    /** Profile of @p benchmarkName (profiled on first use). */
+    virtual const core::Profile &get(const std::string &benchmarkName) = 0;
+};
+
+/**
+ * Lazily profiles each foreground benchmark exactly once. Not
+ * thread-safe; parallel sweeps share an exec::SharedProfileCache
+ * instead.
+ */
+class ProfileCache : public ProfileSource
 {
   public:
     ProfileCache(const machine::MachineConfig &machineConfig,
                  const core::ProfilerConfig &profilerConfig);
 
     /** Profile of @p benchmarkName (profiled on first use). */
-    const core::Profile &get(const std::string &benchmarkName);
+    const core::Profile &get(const std::string &benchmarkName) override;
 
   private:
     machine::MachineConfig machineConfig_;
@@ -116,8 +139,16 @@ class ExperimentRunner
   public:
     explicit ExperimentRunner(HarnessConfig config = HarnessConfig{});
 
+    /**
+     * Construct a runner that draws profiles from @p sharedProfiles
+     * instead of an owned cache — used by exec:: workers so each FG
+     * benchmark is profiled exactly once across all shards.
+     * @p sharedProfiles must outlive the runner.
+     */
+    ExperimentRunner(HarnessConfig config, ProfileSource &sharedProfiles);
+
     const HarnessConfig &config() const { return config_; }
-    ProfileCache &profiles() { return profiles_; }
+    ProfileSource &profiles() { return *profiles_; }
 
     /**
      * Run @p mix under @p scheme with the given per-benchmark deadlines
@@ -148,11 +179,16 @@ class ExperimentRunner
     std::vector<SchemeRunResult>
     runAllSchemes(const workload::WorkloadMix &mix);
 
-  private:
+    /**
+     * Workload seed used for every scheme run of @p mix (identical
+     * across schemes so they see the same workload stream).
+     */
     uint64_t mixSeed(const workload::WorkloadMix &mix) const;
 
+  private:
     HarnessConfig config_;
-    ProfileCache profiles_;
+    std::unique_ptr<ProfileCache> ownProfiles_; //!< null when shared
+    ProfileSource *profiles_;
 };
 
 } // namespace dirigent::harness

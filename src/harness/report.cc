@@ -114,4 +114,19 @@ envSeed(uint64_t fallback)
     return std::strtoull(env, nullptr, 10);
 }
 
+unsigned
+envThreads(unsigned fallback)
+{
+    const char *env = std::getenv("DIRIGENT_THREADS");
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || v < 0) {
+        warn("ignoring invalid DIRIGENT_THREADS");
+        return fallback;
+    }
+    return unsigned(v);
+}
+
 } // namespace dirigent::harness

@@ -45,6 +45,13 @@ unsigned envExecutions(unsigned fallback);
 /** Environment-variable override helper for the harness seed. */
 uint64_t envSeed(uint64_t fallback);
 
+/**
+ * Environment-variable override helper for the sweep worker-thread
+ * count (DIRIGENT_THREADS). 0 means "hardware concurrency"; 1 forces
+ * the exact legacy serial path.
+ */
+unsigned envThreads(unsigned fallback);
+
 } // namespace dirigent::harness
 
 #endif // DIRIGENT_HARNESS_REPORT_H

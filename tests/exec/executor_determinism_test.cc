@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Determinism regression tests for the sharded experiment executor:
+ * the same sweep run serially twice, through the executor with one
+ * worker, and through the executor with many workers must produce
+ * exactly equal results — bit-for-bit on every recorded duration and
+ * counter. This is the executor's core contract: parallelism must not
+ * perturb simulated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exec/executor.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workload/mix.h"
+
+namespace dirigent::exec {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 4;
+    cfg.warmup = 1;
+    cfg.seed = 20160402;
+    return cfg;
+}
+
+std::vector<workload::WorkloadMix>
+testMixes()
+{
+    return {
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::rotate("lbm", "namd")),
+    };
+}
+
+ExecutorConfig
+quietConfig(unsigned threads)
+{
+    ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    return ecfg;
+}
+
+void
+expectSameResult(const harness::SchemeRunResult &a,
+                 const harness::SchemeRunResult &b)
+{
+    EXPECT_EQ(a.mixName, b.mixName);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.deadlines, b.deadlines);
+    EXPECT_EQ(a.fgBenchmarks, b.fgBenchmarks);
+    // Exact double equality throughout: determinism means bit-for-bit
+    // replay, not approximate agreement.
+    EXPECT_EQ(a.perFgDurations, b.perFgDurations);
+    EXPECT_EQ(a.onTime, b.onTime);
+    EXPECT_EQ(a.total, b.total);
+    EXPECT_EQ(a.span, b.span);
+    EXPECT_EQ(a.bgInstructions, b.bgInstructions);
+    EXPECT_EQ(a.fgInstructions, b.fgInstructions);
+    EXPECT_EQ(a.fgMisses, b.fgMisses);
+    EXPECT_EQ(a.totalMisses, b.totalMisses);
+    EXPECT_EQ(a.finalFgWays, b.finalFgWays);
+    EXPECT_EQ(a.bgGradeResidency, b.bgGradeResidency);
+}
+
+void
+expectSameSweep(
+    const std::vector<std::vector<harness::SchemeRunResult>> &a,
+    const std::vector<std::vector<harness::SchemeRunResult>> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t m = 0; m < a.size(); ++m) {
+        ASSERT_EQ(a[m].size(), b[m].size());
+        for (size_t s = 0; s < a[m].size(); ++s)
+            expectSameResult(a[m][s], b[m][s]);
+    }
+}
+
+TEST(ExecutorDeterminismTest, SerialRunsReplayExactly)
+{
+    auto mix = testMixes()[0];
+    harness::ExperimentRunner first(fastConfig());
+    harness::ExperimentRunner second(fastConfig());
+    auto a = first.runAllSchemes(mix);
+    auto b = second.runAllSchemes(mix);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        expectSameResult(a[i], b[i]);
+}
+
+TEST(ExecutorDeterminismTest, SingleWorkerMatchesLegacySerialPath)
+{
+    auto mixes = testMixes();
+    std::vector<std::vector<harness::SchemeRunResult>> legacy;
+    harness::ExperimentRunner runner(fastConfig());
+    for (const auto &mix : mixes)
+        legacy.push_back(runner.runAllSchemes(mix));
+
+    SweepExecutor executor(fastConfig(), quietConfig(1));
+    EXPECT_EQ(executor.threads(), 1u);
+    expectSameSweep(executor.runSchemeSweep(mixes), legacy);
+}
+
+TEST(ExecutorDeterminismTest, WorkerCountDoesNotChangeResults)
+{
+    auto mixes = testMixes();
+    SweepExecutor serial(fastConfig(), quietConfig(1));
+    auto one = serial.runSchemeSweep(mixes);
+
+    // More workers than jobs that can be ready at once: maximal
+    // interleaving pressure.
+    SweepExecutor parallel(fastConfig(), quietConfig(4));
+    EXPECT_EQ(parallel.threads(), 4u);
+    expectSameSweep(parallel.runSchemeSweep(mixes), one);
+}
+
+TEST(ExecutorDeterminismTest, ForEachMatchesAcrossWorkerCounts)
+{
+    auto mixes = testMixes();
+    std::vector<JobKey> keys;
+    for (const auto &mix : mixes)
+        keys.push_back({mix.name, "Baseline", 0});
+
+    auto runSweep = [&](unsigned threads) {
+        std::vector<harness::SchemeRunResult> out(mixes.size());
+        SweepExecutor executor(fastConfig(), quietConfig(threads));
+        executor.forEach(keys, [&](size_t i, const JobKey &,
+                                   harness::ExperimentRunner &runner) {
+            out[i] = runner.run(mixes[i], core::Scheme::Baseline, {});
+        });
+        return out;
+    };
+
+    auto one = runSweep(1);
+    auto four = runSweep(4);
+    ASSERT_EQ(one.size(), four.size());
+    for (size_t i = 0; i < one.size(); ++i)
+        expectSameResult(one[i], four[i]);
+}
+
+TEST(ResolveThreadsTest, ZeroMeansHardwareConcurrency)
+{
+    EXPECT_GE(resolveThreads(0), 1u);
+    EXPECT_EQ(resolveThreads(1), 1u);
+    EXPECT_EQ(resolveThreads(6), 6u);
+}
+
+TEST(EnvThreadsTest, ParsesAndValidates)
+{
+    unsetenv("DIRIGENT_THREADS");
+    EXPECT_EQ(harness::envThreads(3), 3u);
+    setenv("DIRIGENT_THREADS", "8", 1);
+    EXPECT_EQ(harness::envThreads(3), 8u);
+    setenv("DIRIGENT_THREADS", "0", 1);
+    EXPECT_EQ(harness::envThreads(3), 0u);
+    setenv("DIRIGENT_THREADS", "bogus", 1);
+    EXPECT_EQ(harness::envThreads(3), 3u);
+    setenv("DIRIGENT_THREADS", "-2", 1);
+    EXPECT_EQ(harness::envThreads(3), 3u);
+    unsetenv("DIRIGENT_THREADS");
+}
+
+} // namespace
+} // namespace dirigent::exec

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests of the JSONL sweep export: JSON string escaping and the
+ * per-record line format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exec/jsonl.h"
+
+namespace dirigent::exec {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("ferret rs"), "ferret rs");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonlWriterTest, WritesOneSelfDescribingLinePerRecord)
+{
+    harness::SchemeRunResult res;
+    res.mixName = "ferret rs";
+    res.scheme = core::Scheme::Dirigent;
+    res.perFgDurations = {{0.5, 0.6, 0.7}};
+    res.onTime = 2;
+    res.total = 3;
+    res.span = Time::sec(10.0);
+    res.fgInstructions = 1e9;
+    res.bgInstructions = 2e9;
+    res.finalFgWays = 7;
+
+    std::ostringstream out;
+    JsonlWriter writer(out);
+    writer.write(res, "Dirigent", 1234, 0.25);
+    writer.write(res, "Dirigent", 1234, 0.25);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"mix\":\"ferret rs\""),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"stage\":\"Dirigent\""),
+                  std::string::npos);
+        EXPECT_NE(line.find("\"seed\":1234"), std::string::npos);
+        EXPECT_NE(line.find("\"on_time\":2"), std::string::npos);
+        EXPECT_NE(line.find("\"total\":3"), std::string::npos);
+        EXPECT_NE(line.find("\"final_fg_ways\":7"), std::string::npos);
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(JsonlWriterTest, OpenFailureReturnsNull)
+{
+    EXPECT_EQ(JsonlWriter::open("/nonexistent-dir/sweep.jsonl"),
+              nullptr);
+}
+
+TEST(EnvJsonlPathTest, FallsBackWhenUnset)
+{
+    unsetenv("DIRIGENT_JSONL");
+    EXPECT_EQ(envJsonlPath(), "");
+    EXPECT_EQ(envJsonlPath("out.jsonl"), "out.jsonl");
+    setenv("DIRIGENT_JSONL", "/tmp/sweep.jsonl", 1);
+    EXPECT_EQ(envJsonlPath("out.jsonl"), "/tmp/sweep.jsonl");
+    unsetenv("DIRIGENT_JSONL");
+}
+
+} // namespace
+} // namespace dirigent::exec

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests of the shared profile cache: profile-once semantics under
+ * concurrent access, stable references, and parity with the offline
+ * profiler it wraps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "dirigent/profiler.h"
+#include "exec/profile_cache.h"
+#include "harness/experiment.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::exec {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 4;
+    cfg.warmup = 1;
+    cfg.seed = 99;
+    return cfg;
+}
+
+TEST(SharedProfileCacheTest, ProfilesOnceAndReturnsStableReference)
+{
+    auto cfg = fastConfig();
+    SharedProfileCache cache(cfg.machine, cfg.profiler);
+    const core::Profile &first = cache.get("ferret");
+    const core::Profile &second = cache.get("ferret");
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(cache.profileCount(), 1u);
+    EXPECT_EQ(first.benchmark(), "ferret");
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(SharedProfileCacheTest, MatchesOfflineProfiler)
+{
+    auto cfg = fastConfig();
+    SharedProfileCache cache(cfg.machine, cfg.profiler);
+    const core::Profile &cached = cache.get("streamcluster");
+    const auto &bench =
+        workload::BenchmarkLibrary::instance().get("streamcluster");
+    core::Profile direct = core::OfflineProfiler(cfg.profiler)
+                               .profileAlone(bench, cfg.machine);
+    EXPECT_EQ(cached.totalTime(), direct.totalTime());
+    ASSERT_EQ(cached.size(), direct.size());
+    EXPECT_TRUE(std::equal(cached.segments().begin(),
+                           cached.segments().end(),
+                           direct.segments().begin()));
+}
+
+TEST(SharedProfileCacheTest, ConcurrentGetProfilesEachBenchmarkOnce)
+{
+    auto cfg = fastConfig();
+    SharedProfileCache cache(cfg.machine, cfg.profiler);
+    const std::vector<std::string> benchmarks = {"ferret",
+                                                 "streamcluster"};
+
+    // 8 threads hammer the same two benchmarks; each benchmark must be
+    // profiled exactly once and every caller must see the same object.
+    std::vector<const core::Profile *> seen(8);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < seen.size(); ++t)
+        threads.emplace_back([&, t] {
+            seen[t] = &cache.get(benchmarks[t % benchmarks.size()]);
+            // Re-request both; must not trigger extra profiling.
+            for (const auto &name : benchmarks)
+                cache.get(name);
+        });
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(cache.profileCount(), benchmarks.size());
+    for (size_t t = 0; t < seen.size(); ++t) {
+        ASSERT_NE(seen[t], nullptr);
+        EXPECT_EQ(seen[t]->benchmark(),
+                  benchmarks[t % benchmarks.size()]);
+        // Same benchmark → same object, regardless of thread.
+        EXPECT_EQ(seen[t],
+                  &cache.get(benchmarks[t % benchmarks.size()]));
+    }
+}
+
+} // namespace
+} // namespace dirigent::exec

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests of the executor primitives: work-queue close/drain semantics,
+ * thread-pool shutdown with a queued backlog, nested submission,
+ * cancellation, and job-exception propagation through wait().
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/thread_pool.h"
+#include "exec/work_queue.h"
+
+namespace dirigent::exec {
+namespace {
+
+TEST(WorkQueueTest, FifoOrder)
+{
+    WorkQueue<int> queue;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(queue.push(i));
+    EXPECT_EQ(queue.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(queue.pop(), i);
+}
+
+TEST(WorkQueueTest, CloseDrainsThenEnds)
+{
+    WorkQueue<int> queue;
+    queue.push(1);
+    queue.push(2);
+    queue.close();
+    EXPECT_FALSE(queue.push(3)); // refused once closed
+    EXPECT_EQ(queue.pop(), 1);
+    EXPECT_EQ(queue.pop(), 2);
+    EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(WorkQueueTest, CloseWakesBlockedConsumer)
+{
+    WorkQueue<int> queue;
+    std::thread consumer([&] { EXPECT_EQ(queue.pop(), std::nullopt); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    consumer.join();
+}
+
+TEST(WorkQueueTest, ClearDropsBacklog)
+{
+    WorkQueue<int> queue;
+    queue.push(1);
+    queue.push(2);
+    EXPECT_EQ(queue.clear(), 2u);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ThreadPoolTest, RunsAllJobs)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedJobs)
+{
+    // More jobs than workers: destruction must finish the backlog,
+    // not drop it or hang.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                count.fetch_add(1);
+            });
+        // No wait(): the destructor handles the queued backlog.
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionCountsTowardWait)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(3);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&] {
+            count.fetch_add(1);
+            pool.submit([&] { count.fetch_add(1); });
+        });
+    pool.wait();
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, CancelDropsBacklog)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(1);
+    // First job blocks the single worker while the backlog builds.
+    pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        count.fetch_add(1);
+    });
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    size_t dropped = pool.cancel();
+    EXPECT_TRUE(pool.cancelled());
+    pool.wait();
+    EXPECT_EQ(count.load() + int(dropped), 33);
+    EXPECT_GE(dropped, 1u);
+}
+
+TEST(ThreadPoolTest, JobExceptionCancelsAndRethrows)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(1); // serial worker: deterministic ordering
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The failing job cancelled the backlog.
+    EXPECT_EQ(ran.load(), 0);
+    // The error was collected; a second wait() is clean.
+    pool.wait();
+}
+
+TEST(ThreadPoolTest, SubmitAfterCancelIsDropped)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    pool.cancel();
+    pool.submit([&] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 0);
+}
+
+} // namespace
+} // namespace dirigent::exec

@@ -11,6 +11,11 @@
  *   --config FILE          read key=value pairs from an INI file first
  *   --fg-program FILE      use a custom FG workload definition
  *                          (see workload/parser.h for the format)
+ *   --threads N            sweep worker threads for scheme=all
+ *                          (0 = hardware concurrency, 1 = serial;
+ *                          also DIRIGENT_THREADS / threads=N)
+ *   --jsonl FILE           append per-run JSONL records to FILE
+ *                          (also DIRIGENT_JSONL)
  *   scheme = baseline|staticfreq|staticboth|dirigentfreq|dirigent|all
  *   executions = 40        measured FG executions
  *   warmup = 5             discarded executions
@@ -33,6 +38,7 @@
  *   run_experiment --fg-program my_app.ini bwaves scheme=all
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -42,6 +48,7 @@
 #include "common/log.h"
 #include "common/strfmt.h"
 #include "common/table.h"
+#include "exec/executor.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "workload/benchmarks.h"
@@ -57,7 +64,8 @@ usage()
 {
     std::cerr
         << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
-           "[--config FILE] [--fg-program FILE] [key=value...]\n"
+           "[--config FILE] [--fg-program FILE] [--threads N] "
+           "[--jsonl FILE] [key=value...]\n"
            "       run_experiment --list\n";
     std::exit(2);
 }
@@ -115,6 +123,8 @@ harnessFromConfig(const Config &cfg)
     double ema = cfg.getDouble("runtime.ema", 0.2);
     hc.runtime.predictor.penaltyEmaWeight = ema;
     hc.runtime.predictor.rateEmaWeight = ema;
+    hc.threads = unsigned(
+        cfg.getUint("threads", harness::envThreads(hc.threads)));
     return hc;
 }
 
@@ -138,7 +148,7 @@ main(int argc, char **argv)
 {
     std::vector<std::string> positional;
     Config overrides;
-    std::string configFile, fgProgramFile;
+    std::string configFile, fgProgramFile, jsonlPath;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -153,6 +163,14 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage();
             fgProgramFile = argv[i];
+        } else if (arg == "--threads") {
+            if (++i >= argc)
+                usage();
+            overrides.set("threads", argv[i]);
+        } else if (arg == "--jsonl") {
+            if (++i >= argc)
+                usage();
+            jsonlPath = argv[i];
         } else if (arg.find('=') != std::string::npos) {
             size_t eq = arg.find('=');
             overrides.set(arg.substr(0, eq), arg.substr(eq + 1));
@@ -216,9 +234,13 @@ main(int argc, char **argv)
                                " (scheme=" + schemeName + ")");
 
     if (schemeName == "all") {
-        auto results = runner.runAllSchemes(mix);
-        std::vector<std::vector<harness::SchemeRunResult>> perMix = {
-            results};
+        // Sharded across hc.threads workers (scheme stages of the one
+        // mix overlap where their data dependencies allow).
+        exec::ExecutorConfig ecfg;
+        ecfg.jsonlPath = jsonlPath.empty() ? exec::envJsonlPath()
+                                           : jsonlPath;
+        exec::SweepExecutor executor(hc, ecfg);
+        auto perMix = executor.runSchemeSweep({mix});
         harness::printSchemeComparison(std::cout, perMix);
         std::cout << "\nNormalized FG std:\n";
         harness::printStdComparison(std::cout, perMix);
@@ -228,12 +250,23 @@ main(int argc, char **argv)
         auto scheme = schemeByName(schemeName);
         if (!scheme)
             fatal("unknown scheme '" + schemeName + "'");
+        auto t0 = std::chrono::steady_clock::now();
         auto baseline = runner.run(mix, core::Scheme::Baseline, {});
         auto deadlines = runner.deadlinesFromBaseline(baseline);
         harness::applyDeadlines(baseline, deadlines);
         auto res = *scheme == core::Scheme::Baseline
                        ? baseline
                        : runner.run(mix, *scheme, deadlines);
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        std::string outPath =
+            jsonlPath.empty() ? exec::envJsonlPath() : jsonlPath;
+        if (!outPath.empty()) {
+            if (auto writer = exec::JsonlWriter::open(outPath))
+                writer->write(res, core::schemeName(*scheme),
+                              runner.mixSeed(mix), wall);
+        }
         TextTable table({"metric", "value"});
         table.addRow({"FG success ratio",
                       TextTable::pct(res.fgSuccessRatio())});
