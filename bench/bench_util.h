@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "check/check.h"
 #include "common/log.h"
 
 #include "common/table.h"
@@ -51,6 +52,10 @@ inline std::vector<std::vector<harness::SchemeRunResult>>
 runAndReport(const harness::HarnessConfig &config,
              const std::vector<workload::WorkloadMix> &mixes)
 {
+    // DIRIGENT_CHECK=1 audits a figure run with invariants on; say so,
+    // since checking perturbs nothing but proves the run was sane.
+    if (check::enabled())
+        inform("runtime invariant checker enabled for this figure run");
     exec::SweepExecutor executor(config, defaultExecutorConfig());
     auto perMix = executor.runSchemeSweep(mixes);
 

@@ -1,0 +1,61 @@
+#include "check/check.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#ifndef DIRIGENT_CHECK_DEFAULT
+#define DIRIGENT_CHECK_DEFAULT 0
+#endif
+
+namespace dirigent::check {
+
+namespace {
+
+// -1 = no override, 0 = forced off, 1 = forced on.
+int g_override = -1;
+
+bool
+parseBoolish(std::string_view text, bool fallback)
+{
+    if (text == "1" || text == "on" || text == "ON" || text == "true" ||
+        text == "TRUE" || text == "yes" || text == "YES") {
+        return true;
+    }
+    if (text == "0" || text == "off" || text == "OFF" || text == "false" ||
+        text == "FALSE" || text == "no" || text == "NO") {
+        return false;
+    }
+    return fallback;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    if (g_override >= 0)
+        return g_override != 0;
+    if (const char *env = std::getenv("DIRIGENT_CHECK"))
+        return parseBoolish(env, compiledDefault());
+    return compiledDefault();
+}
+
+void
+setEnabled(bool on)
+{
+    g_override = on ? 1 : 0;
+}
+
+void
+clearOverride()
+{
+    g_override = -1;
+}
+
+bool
+compiledDefault()
+{
+    return DIRIGENT_CHECK_DEFAULT != 0;
+}
+
+} // namespace dirigent::check

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Global enable switch for the runtime invariant layer.
+ *
+ * Resolution order (first match wins):
+ *   1. an explicit in-process override (setEnabled / --check);
+ *   2. the DIRIGENT_CHECK environment variable (1/0, on/off, true/false);
+ *   3. the compiled default — ON in Debug and sanitizer builds via the
+ *      DIRIGENT_CHECK CMake option, OFF in plain Release builds.
+ */
+
+#ifndef DIRIGENT_CHECK_CHECK_H
+#define DIRIGENT_CHECK_CHECK_H
+
+namespace dirigent::check {
+
+/** True when invariant checking should be active. */
+bool enabled();
+
+/** Force checking on or off for this process (overrides env/default). */
+void setEnabled(bool on);
+
+/** Drop any explicit override; env/default resolution applies again. */
+void clearOverride();
+
+/** The build-time default (the DIRIGENT_CHECK CMake option). */
+bool compiledDefault();
+
+} // namespace dirigent::check
+
+#endif // DIRIGENT_CHECK_CHECK_H

@@ -1,0 +1,283 @@
+#include "check/invariants.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "machine/cpufreq.h"
+
+namespace dirigent::check {
+
+namespace {
+// Absolute slack for counter/progress comparisons: counters only ever
+// accumulate, so any decrease beyond FP dust is a real defect.
+constexpr double kCounterSlack = 1e-6;
+} // namespace
+
+InvariantChecker::InvariantChecker(machine::Machine &machine,
+                                   sim::Engine *engine, CheckerConfig config)
+    : machine_(machine), engine_(engine), config_(config),
+      before_(machine.numCores()), lastSeen_(machine.numCores())
+{
+}
+
+void
+InvariantChecker::checkMonotonic(Time when, unsigned core,
+                                 const cpu::CounterSample &from,
+                                 const cpu::CounterSample &to)
+{
+    const struct
+    {
+        const char *name;
+        double before, after;
+    } counters[] = {
+        {"instructions", from.instructions, to.instructions},
+        {"llcAccesses", from.llcAccesses, to.llcAccesses},
+        {"llcMisses", from.llcMisses, to.llcMisses},
+        {"cycles", from.cycles, to.cycles},
+    };
+    for (const auto &ctr : counters) {
+        if (ctr.after < ctr.before - kCounterSlack) {
+            fail(when, "counters-monotonic",
+                 strfmt("core %u %s decreased from %.3f to %.3f", core,
+                        ctr.name, ctr.before, ctr.after));
+        }
+    }
+}
+
+void
+InvariantChecker::attachGovernor(const machine::CpuFreqGovernor *governor)
+{
+    governor_ = governor;
+}
+
+void
+InvariantChecker::addCheck(std::string rule, CustomCheck fn)
+{
+    DIRIGENT_ASSERT(fn != nullptr, "null custom check '%s'", rule.c_str());
+    customChecks_.emplace_back(std::move(rule), std::move(fn));
+}
+
+void
+InvariantChecker::beforeQuantum(Time start, Time dt)
+{
+    (void)dt;
+    for (unsigned c = 0; c < machine_.numCores(); ++c) {
+        CoreSnapshot &snap = before_[c];
+        snap.counters = machine_.readCounters(c);
+        // Event callbacks run between quanta; they must not roll
+        // counters back either.
+        if (haveLastSeen_)
+            checkMonotonic(start, c, lastSeen_[c], snap.counters);
+        const machine::Process *proc = machine_.os().processOnCore(c);
+        snap.hasProcess = proc != nullptr;
+        snap.paused =
+            proc != nullptr && proc->state == machine::ProcState::Paused;
+        snap.stateTransitions = proc != nullptr ? proc->stateTransitions : 0;
+    }
+    snapshotValid_ = true;
+}
+
+void
+InvariantChecker::afterQuantum(Time start, Time dt)
+{
+    if (!snapshotValid_)
+        return;
+    checkClock(start, dt);
+    checkEventQueue(start);
+    checkCores(start);
+    checkCache(start);
+    checkDram(start);
+    checkBwGuard(start);
+    for (const auto &[rule, fn] : customChecks_) {
+        if (auto detail = fn())
+            fail(start, rule, std::move(*detail));
+    }
+    lastEnd_ = start + dt;
+    haveLast_ = true;
+    haveLastSeen_ = true;
+    snapshotValid_ = false;
+    quantaChecked_ += 1;
+}
+
+void
+InvariantChecker::fail(Time when, const std::string &rule,
+                       std::string detail)
+{
+    if (config_.abortOnViolation) {
+        DIRIGENT_PANIC("invariant '%s' violated at t=%.9fs: %s",
+                       rule.c_str(), when.sec(), detail.c_str());
+    }
+    if (violations_.size() < config_.maxViolations)
+        violations_.push_back({when, rule, std::move(detail)});
+}
+
+void
+InvariantChecker::checkClock(Time start, Time dt)
+{
+    if (dt.sec() <= 0.0) {
+        fail(start, "clock-monotonic",
+             strfmt("quantum length %.12g s is not positive", dt.sec()));
+    }
+    Time maxQuantum = engine_ != nullptr ? engine_->maxQuantum()
+                                         : machine_.config().maxQuantum;
+    if (dt.sec() > maxQuantum.sec() * (1.0 + config_.epsilon)) {
+        fail(start, "clock-monotonic",
+             strfmt("quantum length %.9fs exceeds the maximum %.9fs",
+                    dt.sec(), maxQuantum.sec()));
+    }
+    if (haveLast_ && start.sec() < lastEnd_.sec() - config_.epsilon) {
+        fail(start, "clock-monotonic",
+             strfmt("quantum starts at %.9fs, before the previous end %.9fs",
+                    start.sec(), lastEnd_.sec()));
+    }
+}
+
+void
+InvariantChecker::checkEventQueue(Time start)
+{
+    if (engine_ == nullptr)
+        return;
+    // Events due by the quantum start already fired; anything scheduled
+    // mid-quantum (e.g. by completion listeners) lands at or after it.
+    Time next = engine_->events().nextTime();
+    if (next.sec() < start.sec() - config_.epsilon) {
+        fail(start, "event-queue-monotonic",
+             strfmt("pending event at %.9fs predates the quantum start %.9fs",
+                    next.sec(), start.sec()));
+    }
+}
+
+void
+InvariantChecker::checkCores(Time start)
+{
+    const machine::MachineConfig &cfg = machine_.config();
+    for (unsigned c = 0; c < machine_.numCores(); ++c) {
+        const CoreSnapshot &snap = before_[c];
+        cpu::CounterSample now = machine_.readCounters(c);
+        checkMonotonic(start, c, snap.counters, now);
+        lastSeen_[c] = now;
+
+        double f = machine_.core(c).frequency().hz();
+        double lo = cfg.minFreq.hz() * (1.0 - config_.epsilon);
+        double hi = cfg.maxFreq.hz() * (1.0 + config_.epsilon);
+        if (f < lo || f > hi) {
+            fail(start, "dvfs-legal",
+                 strfmt("core %u runs at %.0f Hz, outside [%.0f, %.0f]", c,
+                        f, cfg.minFreq.hz(), cfg.maxFreq.hz()));
+        } else if (governor_ != nullptr) {
+            bool onGrade = false;
+            for (unsigned g = 0; g < governor_->numGrades(); ++g) {
+                double gf = governor_->gradeFreq(g).hz();
+                if (std::abs(f - gf) <= gf * 1e-9) {
+                    onGrade = true;
+                    break;
+                }
+            }
+            if (!onGrade) {
+                fail(start, "dvfs-legal",
+                     strfmt("core %u runs at %.0f Hz, which is not one of "
+                            "the governor's %u grades",
+                            c, f, governor_->numGrades()));
+            }
+        }
+
+        // A task paused for the whole quantum must retire nothing.
+        const machine::Process *proc = machine_.os().processOnCore(c);
+        bool stillPaused =
+            proc != nullptr && proc->state == machine::ProcState::Paused &&
+            proc->stateTransitions == snap.stateTransitions;
+        if (snap.hasProcess && snap.paused && stillPaused) {
+            double retired = now.instructions - snap.counters.instructions;
+            double accessed = now.llcAccesses - snap.counters.llcAccesses;
+            if (retired > kCounterSlack || accessed > kCounterSlack) {
+                fail(start, "paused-no-progress",
+                     strfmt("paused pid %u on core %u retired %.3f "
+                            "instructions (%.3f LLC accesses)",
+                            proc->pid, c, retired, accessed));
+            }
+        }
+    }
+}
+
+void
+InvariantChecker::checkCache(Time start)
+{
+    const mem::SharedCache &cache = machine_.cache();
+    const mem::CacheConfig &cfg = cache.config();
+    // One line of slack: fills land line-granular before eviction evens
+    // the ways back out.
+    double waySlack = cfg.bytesPerWay * config_.epsilon + cfg.lineSize;
+    for (unsigned w = 0; w < cfg.numWays; ++w) {
+        double occ = cache.wayOccupancy(w);
+        if (occ < 0.0) {
+            fail(start, "cache-way-capacity",
+                 strfmt("way %u has negative occupancy %.1f B", w, occ));
+        }
+        if (occ > cfg.bytesPerWay + waySlack) {
+            fail(start, "cache-way-capacity",
+                 strfmt("way %u holds %.1f B, over its %.1f B capacity", w,
+                        occ, double(cfg.bytesPerWay)));
+        }
+    }
+    double total = 0.0;
+    for (unsigned s = 0; s < cache.clients(); ++s) {
+        double occ = cache.occupancy(s);
+        if (occ < 0.0) {
+            fail(start, "cache-total-capacity",
+                 strfmt("client %u has negative occupancy %.1f B", s, occ));
+        }
+        total += occ;
+    }
+    double capacity = cfg.capacity();
+    if (total > capacity + capacity * config_.epsilon +
+                    double(cfg.numWays) * cfg.lineSize) {
+        fail(start, "cache-total-capacity",
+             strfmt("clients hold %.1f B total, over the %.1f B LLC",
+                    total, capacity));
+    }
+}
+
+void
+InvariantChecker::checkDram(Time start)
+{
+    const mem::DramModel &dram = machine_.dram();
+    const mem::DramConfig &cfg = dram.config();
+    double util = dram.utilization();
+    if (util < 0.0 || util > cfg.maxUtilization + config_.epsilon) {
+        fail(start, "dram-bandwidth",
+             strfmt("utilization %.6f outside [0, %.3f]", util,
+                    cfg.maxUtilization));
+    }
+    double lat = dram.latency().sec();
+    double base = cfg.baseLatency.sec();
+    if (lat < base * (1.0 - config_.epsilon) ||
+        lat > base * cfg.maxLatencyFactor * (1.0 + config_.epsilon)) {
+        fail(start, "dram-latency",
+             strfmt("latency %.9fs outside [%.9fs, %.9fs]", lat, base,
+                    base * cfg.maxLatencyFactor));
+    }
+}
+
+void
+InvariantChecker::checkBwGuard(Time start)
+{
+    const mem::BwGuard &guard = machine_.bwGuard();
+    double lineSize = machine_.cache().config().lineSize;
+    for (unsigned c = 0; c < guard.cores(); ++c) {
+        double budget = guard.budget(c);
+        if (budget <= 0.0)
+            continue;
+        double windowBudget = budget * guard.period().sec();
+        double used = guard.usedInWindow(c);
+        // MemGuard-style regulation overshoots by at most one line (plus
+        // the one-byte sentinel charge that marks exhaustion).
+        double slack = lineSize + 1.0 + windowBudget * config_.epsilon;
+        if (used > windowBudget + slack) {
+            fail(start, "bwguard-budget",
+                 strfmt("core %u used %.1f B of its %.1f B window budget",
+                        c, used, windowBudget));
+        }
+    }
+}
+
+} // namespace dirigent::check

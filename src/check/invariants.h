@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Runtime invariant checker for the co-simulated machine.
+ *
+ * Attached to the engine as a sim::Observer, the checker snapshots the
+ * machine before every quantum and verifies, after it, that the model
+ * stayed physically sane: the clock and event queue are monotonic,
+ * performance counters never decrease, cache occupancy respects way and
+ * total capacity, DRAM utilization/latency stay within the configured
+ * envelope, every core runs at a legal DVFS frequency, paused tasks
+ * retire exactly zero instructions, and bandwidth budgets overshoot by
+ * at most one cache line. Subsystems outside the machine (e.g. the
+ * Dirigent predictors) register custom checks evaluated on the same
+ * cadence.
+ *
+ * In abort mode (the default) the first violation panics with the rule
+ * name and detail; in collect mode violations accumulate for tests to
+ * inspect.
+ */
+
+#ifndef DIRIGENT_CHECK_INVARIANTS_H
+#define DIRIGENT_CHECK_INVARIANTS_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "cpu/perf_counters.h"
+#include "machine/machine.h"
+#include "sim/engine.h"
+
+namespace dirigent::machine {
+class CpuFreqGovernor;
+} // namespace dirigent::machine
+
+namespace dirigent::check {
+
+/** Checker behaviour knobs. */
+struct CheckerConfig
+{
+    /** Panic on the first violation (CI mode); else collect quietly. */
+    bool abortOnViolation = true;
+
+    /** Cap on collected violations (collect mode only). */
+    size_t maxViolations = 64;
+
+    /** Relative slack for floating-point capacity comparisons. */
+    double epsilon = 1e-9;
+};
+
+/** One recorded invariant violation. */
+struct Violation
+{
+    Time when;          //!< quantum start time
+    std::string rule;   //!< stable rule identifier, e.g. "dvfs-legal"
+    std::string detail; //!< human-readable specifics
+};
+
+/**
+ * The invariant checker. Attach with engine.addObserver(&checker); the
+ * checker must outlive its attachment (or remove itself first).
+ */
+class InvariantChecker : public sim::Observer
+{
+  public:
+    /**
+     * @param machine machine under check (not owned).
+     * @param engine engine whose clock/queue are checked (not owned;
+     *        nullptr skips the event-queue invariant).
+     * @param config behaviour knobs.
+     */
+    explicit InvariantChecker(machine::Machine &machine,
+                              sim::Engine *engine = nullptr,
+                              CheckerConfig config = {});
+
+    /**
+     * Also verify core frequencies against the governor's discrete
+     * grade table, not just the [min, max] range (not owned).
+     */
+    void attachGovernor(const machine::CpuFreqGovernor *governor);
+
+    /**
+     * Custom check evaluated after every quantum: return a violation
+     * detail string, or nullopt when the invariant holds.
+     */
+    using CustomCheck = std::function<std::optional<std::string>()>;
+
+    /** Register a custom check under @p rule. */
+    void addCheck(std::string rule, CustomCheck fn);
+
+    /** Violations collected so far (empty in abort mode — it panics). */
+    const std::vector<Violation> &violations() const { return violations_; }
+
+    /** Total quanta observed. */
+    uint64_t quantaChecked() const { return quantaChecked_; }
+
+    // sim::Observer
+    void beforeQuantum(Time start, Time dt) override;
+    void afterQuantum(Time start, Time dt) override;
+
+  private:
+    struct CoreSnapshot
+    {
+        cpu::CounterSample counters;
+        bool hasProcess = false;
+        bool paused = false;
+        uint64_t stateTransitions = 0;
+    };
+
+    void fail(Time when, const std::string &rule, std::string detail);
+    void checkMonotonic(Time when, unsigned core,
+                        const cpu::CounterSample &from,
+                        const cpu::CounterSample &to);
+    void checkClock(Time start, Time dt);
+    void checkEventQueue(Time start);
+    void checkCores(Time start);
+    void checkCache(Time start);
+    void checkDram(Time start);
+    void checkBwGuard(Time start);
+
+    machine::Machine &machine_;
+    sim::Engine *engine_;
+    const machine::CpuFreqGovernor *governor_ = nullptr;
+    CheckerConfig config_;
+    std::vector<std::pair<std::string, CustomCheck>> customChecks_;
+    std::vector<CoreSnapshot> before_;
+    /** Counters at the last afterQuantum, to catch decreases that
+     *  happen between quanta (event callbacks run there). */
+    std::vector<cpu::CounterSample> lastSeen_;
+    bool haveLastSeen_ = false;
+    Time lastEnd_;
+    bool haveLast_ = false;
+    bool snapshotValid_ = false;
+    uint64_t quantaChecked_ = 0;
+    std::vector<Violation> violations_;
+};
+
+} // namespace dirigent::check
+
+#endif // DIRIGENT_CHECK_INVARIANTS_H

@@ -1,0 +1,16 @@
+#include "common/hash.h"
+
+namespace dirigent {
+
+uint64_t
+fnv1a64(std::string_view text, uint64_t seed)
+{
+    uint64_t hash = seed;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+} // namespace dirigent

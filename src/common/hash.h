@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small non-cryptographic hashing utilities: FNV-1a over byte strings,
+ * used for deriving per-mix seeds and for fingerprinting canonical
+ * event traces in the golden-trace regression suite.
+ */
+
+#ifndef DIRIGENT_COMMON_HASH_H
+#define DIRIGENT_COMMON_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace dirigent {
+
+/**
+ * Default offset basis (the hash of the empty string). NOTE: this is
+ * the repository's historical seed-derivation constant — a truncated
+ * variant of the standard FNV-1a basis 0xcbf29ce484222325 — kept so
+ * per-mix experiment seeds stay stable across releases. Pass the
+ * standard basis as @p seed for interoperable FNV-1a values.
+ */
+inline constexpr uint64_t kFnv1aBasis = 1469598103934665603ULL;
+
+/**
+ * 64-bit FNV-1a of @p text, continuing from @p seed. Chaining calls
+ * with the previous return value hashes a concatenation.
+ */
+uint64_t fnv1a64(std::string_view text, uint64_t seed = kFnv1aBasis);
+
+} // namespace dirigent
+
+#endif // DIRIGENT_COMMON_HASH_H

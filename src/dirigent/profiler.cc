@@ -1,7 +1,10 @@
 #include "dirigent/profiler.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "check/check.h"
+#include "check/invariants.h"
 #include "common/log.h"
 #include "machine/sampler.h"
 #include "sim/engine.h"
@@ -28,6 +31,12 @@ OfflineProfiler::profileAlone(
     cfg.seed = config_.seed;
     machine::Machine machine(cfg);
     sim::Engine engine(machine, cfg.maxQuantum);
+
+    std::optional<check::InvariantChecker> checker;
+    if (check::enabled()) {
+        checker.emplace(machine, &engine);
+        engine.addObserver(&*checker);
+    }
 
     machine::ProcessSpec spec;
     spec.name = benchmark.name;

@@ -1,5 +1,10 @@
 #include "dirigent/trace.h"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/hash.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "common/strfmt.h"
@@ -64,6 +69,140 @@ DecisionTrace::writeCsv(std::ostream &os) const
                  traceActionName(e.action), strfmt("%u", e.fgPid),
                  strfmt("%.4f", e.slackRatio), e.detail});
     }
+}
+
+GoldenTraceRecorder::GoldenTraceRecorder(size_t capacity)
+    : decisions_(capacity)
+{
+}
+
+void
+GoldenTraceRecorder::recordCompletion(const machine::CompletionRecord &rec)
+{
+    completions_.push_back(rec);
+}
+
+std::string
+GoldenTraceRecorder::render(bool precise) const
+{
+    struct Entry
+    {
+        int64_t timeKey;  //!< µs-rounded time; primary sort key
+        int kind;         //!< 0 = completion, 1 = decision
+        uint64_t seq;     //!< recording order within its kind
+        std::string line;
+    };
+
+    auto timeKey = [](Time t) {
+        return int64_t(std::llround(t.sec() * 1e6));
+    };
+
+    std::vector<Entry> entries;
+    entries.reserve(completions_.size() + decisions_.size());
+    uint64_t seq = 0;
+    for (const auto &c : completions_) {
+        std::string line =
+            precise
+                ? strfmt("C t=%.17g core=%u pid=%u prog=%s fg=%d "
+                         "exec=%llu instr=%.17g dur=%.17g",
+                         c.finished.sec(), c.core, c.pid, c.program.c_str(),
+                         int(c.foreground),
+                         (unsigned long long)c.executionIndex,
+                         c.instructions, c.duration().sec())
+                : strfmt("C t=%.6f core=%u pid=%u prog=%s fg=%d "
+                         "exec=%llu instr=%.0f dur=%.6f",
+                         c.finished.sec(), c.core, c.pid, c.program.c_str(),
+                         int(c.foreground),
+                         (unsigned long long)c.executionIndex,
+                         c.instructions, c.duration().sec());
+        entries.push_back({timeKey(c.finished), 0, seq++, std::move(line)});
+    }
+    seq = 0;
+    for (const auto &e : decisions_.events()) {
+        std::string line =
+            precise ? strfmt("D t=%.17g action=%s pid=%u slack=%.17g "
+                             "detail=%s",
+                             e.when.sec(), traceActionName(e.action),
+                             e.fgPid, e.slackRatio, e.detail.c_str())
+                    : strfmt("D t=%.6f action=%s pid=%u slack=%.4f "
+                             "detail=%s",
+                             e.when.sec(), traceActionName(e.action),
+                             e.fgPid, e.slackRatio, e.detail.c_str());
+        entries.push_back({timeKey(e.when), 1, seq++, std::move(line)});
+    }
+
+    // Rounded-time ordering with a deterministic tie-break keeps the
+    // canonical and precise renderings in the same event order.
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &a, const Entry &b) {
+                         if (a.timeKey != b.timeKey)
+                             return a.timeKey < b.timeKey;
+                         if (a.kind != b.kind)
+                             return a.kind < b.kind;
+                         return a.seq < b.seq;
+                     });
+
+    std::string out;
+    for (const auto &e : entries) {
+        out += e.line;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+GoldenTraceRecorder::canonicalText() const
+{
+    return render(false);
+}
+
+uint64_t
+GoldenTraceRecorder::hash() const
+{
+    return fnv1a64(canonicalText());
+}
+
+std::string
+GoldenTraceRecorder::preciseText() const
+{
+    return render(true);
+}
+
+uint64_t
+GoldenTraceRecorder::preciseHash() const
+{
+    return fnv1a64(preciseText());
+}
+
+std::string
+traceDiff(const std::string &expected, const std::string &actual)
+{
+    if (expected == actual)
+        return {};
+    std::istringstream exp(expected), act(actual);
+    std::string eline, aline;
+    size_t lineNo = 0;
+    while (true) {
+        ++lineNo;
+        bool haveE = bool(std::getline(exp, eline));
+        bool haveA = bool(std::getline(act, aline));
+        if (!haveE && !haveA)
+            break;
+        if (!haveE)
+            return strfmt("trace diff at line %zu:\n  expected: <end of "
+                          "trace>\n  actual:   %s",
+                          lineNo, aline.c_str());
+        if (!haveA)
+            return strfmt("trace diff at line %zu:\n  expected: %s\n  "
+                          "actual:   <end of trace>",
+                          lineNo, eline.c_str());
+        if (eline != aline)
+            return strfmt("trace diff at line %zu:\n  expected: %s\n  "
+                          "actual:   %s",
+                          lineNo, eline.c_str(), aline.c_str());
+    }
+    return strfmt("traces differ only in trailing whitespace "
+                  "(%zu lines compared)", lineNo);
 }
 
 } // namespace dirigent::core

@@ -17,8 +17,10 @@
 #include <deque>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "common/units.h"
+#include "machine/machine.h"
 #include "machine/os.h"
 
 namespace dirigent::core {
@@ -84,6 +86,63 @@ class DecisionTrace
     std::deque<TraceEvent> events_;
     uint64_t recorded_ = 0;
 };
+
+/**
+ * Records one run's observable behaviour — every task completion plus
+ * every controller decision — and renders it as a canonical text trace
+ * for the golden-trace regression suite.
+ *
+ * Two renderings exist: canonicalText() rounds values (µs-resolution
+ * times) so immaterial libm/optimization noise across toolchains does
+ * not flip hashes, while preciseText() prints full-precision doubles
+ * and is used to prove bit-identical results across executor thread
+ * counts.
+ */
+class GoldenTraceRecorder
+{
+  public:
+    /** @param capacity retained decision events (completions unbounded). */
+    explicit GoldenTraceRecorder(size_t capacity = 65536);
+
+    /** Decision sink; pass to DirigentRuntime::setTrace before start(). */
+    DecisionTrace &decisions() { return decisions_; }
+    const DecisionTrace &decisions() const { return decisions_; }
+
+    /** Append a completed task execution. */
+    void recordCompletion(const machine::CompletionRecord &rec);
+
+    /** Number of recorded completions. */
+    size_t completionCount() const { return completions_.size(); }
+
+    /**
+     * The canonical trace: completion (C) and decision (D) lines merged
+     * in time order (ties: completions first, then recording order),
+     * with values rounded for cross-toolchain stability.
+     */
+    std::string canonicalText() const;
+
+    /** FNV-1a 64 fingerprint of canonicalText(). */
+    uint64_t hash() const;
+
+    /** Full-precision (%.17g) rendering of the same event stream. */
+    std::string preciseText() const;
+
+    /** FNV-1a 64 fingerprint of preciseText(). */
+    uint64_t preciseHash() const;
+
+  private:
+    std::string render(bool precise) const;
+
+    DecisionTrace decisions_;
+    std::vector<machine::CompletionRecord> completions_;
+};
+
+/**
+ * First line where @p expected and @p actual diverge, formatted for a
+ * test-failure message; empty string when the texts match.
+ */
+std::string traceDiff(const std::string &expected,
+                      const std::string &actual);
 
 } // namespace dirigent::core
 

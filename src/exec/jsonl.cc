@@ -1,5 +1,6 @@
 #include "exec/jsonl.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 
@@ -30,6 +31,18 @@ jsonEscape(const std::string &text)
     return out;
 }
 
+std::string
+jsonNumber(double value, int decimals)
+{
+    // JSON has no NaN/Infinity literals; "%f" would emit "nan"/"inf"
+    // and corrupt the line, so emit null instead.
+    if (!std::isfinite(value))
+        return "null";
+    if (decimals < 0)
+        return strfmt("%g", value);
+    return strfmt("%.*f", decimals, value);
+}
+
 JsonlWriter::JsonlWriter(std::ostream &os) : os_(os) {}
 
 JsonlWriter::JsonlWriter(std::unique_ptr<std::ostream> owned)
@@ -56,18 +69,22 @@ JsonlWriter::write(const harness::SchemeRunResult &result,
 {
     std::string line = strfmt(
         "{\"mix\":\"%s\",\"stage\":\"%s\",\"scheme\":\"%s\","
-        "\"seed\":%llu,\"fg_success\":%.6f,\"on_time\":%llu,"
-        "\"total\":%llu,\"fg_mean_s\":%.6f,\"fg_std_s\":%.6f,"
-        "\"fg_mpki\":%.4f,\"bg_throughput\":%.6g,\"span_s\":%.6f,"
-        "\"final_fg_ways\":%u,\"wall_s\":%.3f}\n",
+        "\"seed\":%llu,\"fg_success\":%s,\"on_time\":%llu,"
+        "\"total\":%llu,\"fg_mean_s\":%s,\"fg_std_s\":%s,"
+        "\"fg_mpki\":%s,\"bg_throughput\":%s,\"span_s\":%s,"
+        "\"final_fg_ways\":%u,\"wall_s\":%s}\n",
         jsonEscape(result.mixName).c_str(), jsonEscape(stage).c_str(),
         core::schemeName(result.scheme),
-        static_cast<unsigned long long>(seed), result.fgSuccessRatio(),
+        static_cast<unsigned long long>(seed),
+        jsonNumber(result.fgSuccessRatio()).c_str(),
         static_cast<unsigned long long>(result.onTime),
         static_cast<unsigned long long>(result.total),
-        result.fgDurationMean(), result.fgDurationStd(),
-        result.fgMpki(), result.bgThroughput(), result.span.sec(),
-        result.finalFgWays, wallSeconds);
+        jsonNumber(result.fgDurationMean()).c_str(),
+        jsonNumber(result.fgDurationStd()).c_str(),
+        jsonNumber(result.fgMpki(), 4).c_str(),
+        jsonNumber(result.bgThroughput(), -1).c_str(),
+        jsonNumber(result.span.sec()).c_str(), result.finalFgWays,
+        jsonNumber(wallSeconds, 3).c_str());
 
     std::lock_guard<std::mutex> lock(mutex_);
     os_ << line << std::flush;

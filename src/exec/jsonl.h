@@ -21,6 +21,13 @@ namespace dirigent::exec {
 /** Escape @p text for inclusion in a JSON string literal. */
 std::string jsonEscape(const std::string &text);
 
+/**
+ * Format @p value as a JSON number with @p decimals fractional digits
+ * ("%g" style when @p decimals is negative). NaN and infinities are not
+ * representable in JSON and render as null.
+ */
+std::string jsonNumber(double value, int decimals = 6);
+
 /** Thread-safe JSONL appender for sweep results. */
 class JsonlWriter
 {

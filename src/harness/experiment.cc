@@ -1,11 +1,16 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 
+#include "check/check.h"
+#include "check/invariants.h"
+#include "common/hash.h"
 #include "common/log.h"
 #include "common/stats.h"
 #include "dirigent/reactive.h"
+#include "dirigent/trace.h"
 #include "machine/cat.h"
 #include "machine/cpufreq.h"
 #include "sim/engine.h"
@@ -13,22 +18,6 @@
 #include "workload/rotate.h"
 
 namespace dirigent::harness {
-
-namespace {
-
-/** FNV-1a, for deriving per-mix workload seeds from names. */
-uint64_t
-fnv1a(const std::string &text)
-{
-    uint64_t hash = 1469598103934665603ULL;
-    for (unsigned char c : text) {
-        hash ^= c;
-        hash *= 1099511628211ULL;
-    }
-    return hash;
-}
-
-} // namespace
 
 ProfileCache::ProfileCache(const machine::MachineConfig &machineConfig,
                            const core::ProfilerConfig &profilerConfig)
@@ -71,7 +60,7 @@ ExperimentRunner::ExperimentRunner(HarnessConfig config,
 uint64_t
 ExperimentRunner::mixSeed(const workload::WorkloadMix &mix) const
 {
-    return config_.seed ^ fnv1a(mix.name);
+    return config_.seed ^ fnv1a64(mix.name);
 }
 
 SchemeRunResult
@@ -90,6 +79,13 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
     sim::Engine engine(machine, mcfg.maxQuantum);
     machine::CpuFreqGovernor governor(machine, engine);
     machine::CatController cat(machine);
+
+    std::optional<check::InvariantChecker> checker;
+    if (check::enabled()) {
+        checker.emplace(machine, &engine);
+        checker->attachGovernor(&governor);
+        engine.addObserver(&*checker);
+    }
 
     const unsigned nFg = unsigned(mix.fgCount());
     const unsigned nCores = machine.numCores();
@@ -141,6 +137,14 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
             });
     }
 
+    if (opts.golden != nullptr) {
+        core::GoldenTraceRecorder *golden = opts.golden;
+        machine.addCompletionListener(
+            [golden](const machine::CompletionRecord &rec) {
+                golden->recordCompletion(rec);
+            });
+    }
+
     // Scheme setup.
     if (opts.bgBandwidthCap > 0.0) {
         for (machine::Pid pid : bgPids) {
@@ -177,7 +181,24 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
             runtime->addForeground(fgPids[i], &profiles_->get(bench),
                                    deadline);
         }
+        if (opts.golden != nullptr)
+            runtime->setTrace(&opts.golden->decisions());
         runtime->start();
+        if (checker) {
+            core::DirigentRuntime *rt = runtime.get();
+            checker->addCheck(
+                "predictor-finite",
+                [rt, fgPids]() -> std::optional<std::string> {
+                    for (machine::Pid pid : fgPids) {
+                        double est = rt->predictor(pid).predictTotal().sec();
+                        if (!std::isfinite(est) || est <= 0.0) {
+                            return strfmt("pid %u predicts total %.9g s",
+                                          pid, est);
+                        }
+                    }
+                    return std::nullopt;
+                });
+        }
     }
 
     std::unique_ptr<core::ReactiveController> reactive;
@@ -323,9 +344,15 @@ ExperimentRunner::runStandalone(const std::string &fgName,
     const unsigned warmup = std::min(config_.warmup, 2u);
 
     machine::MachineConfig mcfg = config_.machine;
-    mcfg.seed = config_.seed ^ fnv1a("standalone:" + fgName);
+    mcfg.seed = config_.seed ^ fnv1a64("standalone:" + fgName);
     machine::Machine machine(mcfg);
     sim::Engine engine(machine, mcfg.maxQuantum);
+
+    std::optional<check::InvariantChecker> checker;
+    if (check::enabled()) {
+        checker.emplace(machine, &engine);
+        engine.addObserver(&*checker);
+    }
 
     machine::ProcessSpec spec;
     spec.name = fgName;

@@ -22,6 +22,10 @@
 #include "machine/machine.h"
 #include "workload/mix.h"
 
+namespace dirigent::core {
+class GoldenTraceRecorder;
+} // namespace dirigent::core
+
 namespace dirigent::harness {
 
 /** Harness-wide configuration. */
@@ -129,6 +133,13 @@ struct RunOptions
 
     /** Override the number of measured executions (0 = harness value). */
     unsigned executions = 0;
+
+    /**
+     * Record every task completion and controller decision into this
+     * golden-trace recorder (not owned; nullptr disables). Used by the
+     * golden-trace regression suite to fingerprint run behaviour.
+     */
+    core::GoldenTraceRecorder *golden = nullptr;
 };
 
 /**

@@ -70,13 +70,21 @@ Os::processOnCore(unsigned core) const
 void
 Os::pause(Pid pid)
 {
-    process(pid).state = ProcState::Paused;
+    Process &proc = process(pid);
+    if (proc.state != ProcState::Paused) {
+        proc.state = ProcState::Paused;
+        ++proc.stateTransitions;
+    }
 }
 
 void
 Os::resume(Pid pid)
 {
-    process(pid).state = ProcState::Running;
+    Process &proc = process(pid);
+    if (proc.state != ProcState::Running) {
+        proc.state = ProcState::Running;
+        ++proc.stateTransitions;
+    }
 }
 
 void

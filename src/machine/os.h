@@ -56,6 +56,7 @@ struct Process
     std::unique_ptr<workload::Task> task;
     Time taskStart;             //!< when the current task began
     uint64_t executions = 0;    //!< completed task count
+    uint64_t stateTransitions = 0; //!< effective pause/resume count
 
     /** True when the process can retire instructions. */
     bool runnable() const { return state == ProcState::Running; }

@@ -20,10 +20,15 @@ BwGuard::setBudget(unsigned core, double bytesPerSec)
 {
     DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
     DIRIGENT_ASSERT(bytesPerSec >= 0.0, "budget must be non-negative");
+    if (budgets_[core] == bytesPerSec)
+        return;
     budgets_[core] = bytesPerSec;
-    // A freshly (un)set budget takes effect from the current window.
-    if (bytesPerSec == 0.0)
-        exhausted_[core] = false;
+    // A budget change starts a fresh accounting window for this core:
+    // bytes charged under the old budget don't count against the new
+    // one (a shrunk budget would otherwise report the core over-budget
+    // through no fault of its own).
+    usedInWindow_[core] = 0.0;
+    exhausted_[core] = false;
 }
 
 double
@@ -70,6 +75,13 @@ BwGuard::charge(unsigned core, Bytes bytes)
         exhausted_[core] = true;
         exhaustions_[core] += 1;
     }
+}
+
+double
+BwGuard::usedInWindow(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < cores(), "bad core %u", core);
+    return usedInWindow_[core];
 }
 
 void

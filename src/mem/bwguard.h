@@ -65,6 +65,13 @@ class BwGuard
     void charge(unsigned core, Bytes bytes);
 
     /**
+     * Bytes already charged against @p core in the current window
+     * (unclamped — the invariant checker compares this against the
+     * window budget to bound overshoot).
+     */
+    double usedInWindow(unsigned core) const;
+
+    /**
      * Advance the regulation clock to @p now; rolls the window (and
      * refills every budget) each time a period boundary passes.
      */

@@ -34,11 +34,30 @@ Engine::runUntil(Time end)
         Time target = std::min(end, now_ + maxQuantum_);
         target = std::min(target, events_.nextTime());
         if (target > now_) {
-            root_.advance(now_, target - now_);
+            Time start = now_;
+            Time dt = target - start;
+            for (Observer *obs : observers_)
+                obs->beforeQuantum(start, dt);
+            root_.advance(start, dt);
             now_ = target;
+            for (Observer *obs : observers_)
+                obs->afterQuantum(start, dt);
         }
         events_.runDue(now_);
     }
+}
+
+void
+Engine::addObserver(Observer *observer)
+{
+    DIRIGENT_ASSERT(observer != nullptr, "null engine observer");
+    observers_.push_back(observer);
+}
+
+void
+Engine::removeObserver(Observer *observer)
+{
+    std::erase(observers_, observer);
 }
 
 } // namespace dirigent::sim

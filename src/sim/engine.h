@@ -14,6 +14,7 @@
 #define DIRIGENT_SIM_ENGINE_H
 
 #include <functional>
+#include <vector>
 
 #include "common/units.h"
 #include "sim/event_queue.h"
@@ -34,6 +35,24 @@ class Component
      * @p dt is always > 0 and ≤ the engine's maximum quantum.
      */
     virtual void advance(Time start, Time dt) = 0;
+};
+
+/**
+ * Passive hook invoked around every quantum the engine advances. The
+ * invariant checker (check::InvariantChecker) observes the machine at
+ * quantum boundaries this way; observers must not mutate simulation
+ * state, only read it.
+ */
+class Observer
+{
+  public:
+    virtual ~Observer() = default;
+
+    /** Called immediately before the root advances over [start, start+dt). */
+    virtual void beforeQuantum(Time start, Time dt) = 0;
+
+    /** Called after the root advanced, before due events fire. */
+    virtual void afterQuantum(Time start, Time dt) = 0;
 };
 
 /**
@@ -72,11 +91,21 @@ class Engine
     /** The configured maximum quantum. */
     Time maxQuantum() const { return maxQuantum_; }
 
+    /**
+     * Attach a quantum observer (not owned; must outlive attachment or
+     * remove itself first). Observers are notified in attach order.
+     */
+    void addObserver(Observer *observer);
+
+    /** Detach an observer (no-op when not attached). */
+    void removeObserver(Observer *observer);
+
   private:
     Component &root_;
     Time maxQuantum_;
     Time now_;
     EventQueue events_;
+    std::vector<Observer *> observers_;
 };
 
 } // namespace dirigent::sim

@@ -1,9 +1,26 @@
 #include "workload/parser.h"
 
+#include <cmath>
+
 #include "common/log.h"
 #include "common/strfmt.h"
 
 namespace dirigent::workload {
+
+namespace {
+
+// strtod happily parses "nan" and "inf", which would otherwise slip
+// through the positivity/range checks below.
+void
+requireFinite(const PhaseProgram &program, unsigned phase,
+              const char *key, double value)
+{
+    if (!std::isfinite(value))
+        fatal(strfmt("workload '%s' phase %u: %s must be finite",
+                     program.name.c_str(), phase, key));
+}
+
+} // namespace
 
 PhaseProgram
 parsePhaseProgram(const Config &config)
@@ -44,8 +61,19 @@ parsePhaseProgram(const Config &config)
         phase.cpiJitterSigma =
             config.getDouble(prefix + "cpi_jitter", 0.02);
         phase.mlp = config.getDouble(prefix + "mlp", 4.0);
+        requireFinite(program, i, "instructions", phase.instructions);
+        requireFinite(program, i, "instr_jitter", phase.instrJitterSigma);
+        requireFinite(program, i, "cpi", phase.cpiBase);
+        requireFinite(program, i, "apki", phase.llcApki);
+        requireFinite(program, i, "working_set", phase.workingSet);
+        requireFinite(program, i, "locality", phase.locality);
+        requireFinite(program, i, "max_hit", phase.maxHitRatio);
+        requireFinite(program, i, "cpi_jitter", phase.cpiJitterSigma);
+        requireFinite(program, i, "mlp", phase.mlp);
         if (phase.cpiBase <= 0.0 || phase.mlp <= 0.0 ||
-            phase.llcApki < 0.0)
+            phase.llcApki < 0.0 || phase.workingSet <= 0.0 ||
+            phase.locality <= 0.0 || phase.cpiJitterSigma < 0.0 ||
+            phase.instrJitterSigma < 0.0)
             fatal(strfmt("workload '%s' phase %u: invalid parameters",
                          program.name.c_str(), i));
         if (phase.maxHitRatio < 0.0 || phase.maxHitRatio > 1.0)

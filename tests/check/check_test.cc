@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests of the invariant-checking enable switch: explicit override >
+ * DIRIGENT_CHECK environment variable > compiled default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/check.h"
+
+namespace dirigent::check {
+namespace {
+
+class CheckFlagTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        clearOverride();
+        unsetenv("DIRIGENT_CHECK");
+    }
+
+    void
+    TearDown() override
+    {
+        clearOverride();
+        unsetenv("DIRIGENT_CHECK");
+    }
+};
+
+TEST_F(CheckFlagTest, DefaultsToCompiledSetting)
+{
+    EXPECT_EQ(enabled(), compiledDefault());
+}
+
+TEST_F(CheckFlagTest, EnvironmentOverridesDefault)
+{
+    setenv("DIRIGENT_CHECK", "1", 1);
+    EXPECT_TRUE(enabled());
+    setenv("DIRIGENT_CHECK", "0", 1);
+    EXPECT_FALSE(enabled());
+    setenv("DIRIGENT_CHECK", "on", 1);
+    EXPECT_TRUE(enabled());
+    setenv("DIRIGENT_CHECK", "off", 1);
+    EXPECT_FALSE(enabled());
+    setenv("DIRIGENT_CHECK", "true", 1);
+    EXPECT_TRUE(enabled());
+    setenv("DIRIGENT_CHECK", "no", 1);
+    EXPECT_FALSE(enabled());
+}
+
+TEST_F(CheckFlagTest, UnparsableEnvFallsBackToDefault)
+{
+    setenv("DIRIGENT_CHECK", "maybe", 1);
+    EXPECT_EQ(enabled(), compiledDefault());
+}
+
+TEST_F(CheckFlagTest, ExplicitOverrideBeatsEnvironment)
+{
+    setenv("DIRIGENT_CHECK", "0", 1);
+    setEnabled(true);
+    EXPECT_TRUE(enabled());
+    setEnabled(false);
+    setenv("DIRIGENT_CHECK", "1", 1);
+    EXPECT_FALSE(enabled());
+}
+
+TEST_F(CheckFlagTest, ClearingOverrideRestoresEnvResolution)
+{
+    setEnabled(true);
+    setenv("DIRIGENT_CHECK", "0", 1);
+    EXPECT_TRUE(enabled());
+    clearOverride();
+    EXPECT_FALSE(enabled());
+}
+
+} // namespace
+} // namespace dirigent::check

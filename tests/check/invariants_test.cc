@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests of the runtime invariant checker: clean runs stay violation
+ * free, planted defects are detected with the right rule names, custom
+ * checks fire, and abort mode panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "check/invariants.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::check {
+namespace {
+
+CheckerConfig
+collectMode()
+{
+    CheckerConfig cfg;
+    cfg.abortOnViolation = false;
+    return cfg;
+}
+
+/** A machine with one FG and one BG process, ready to run. */
+struct Rig
+{
+    machine::Machine machine;
+    sim::Engine engine;
+
+    explicit Rig(uint64_t seed = 7)
+        : machine([seed] {
+              machine::MachineConfig cfg;
+              cfg.numCores = 4;
+              cfg.seed = seed;
+              return cfg;
+          }()),
+          engine(machine, machine.config().maxQuantum)
+    {
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "fg";
+        fg.program = &lib.get("ferret").program;
+        fg.core = 0;
+        fg.foreground = true;
+        machine.spawnProcess(fg);
+        machine::ProcessSpec bg;
+        bg.name = "bg";
+        bg.program = &lib.get("rs").program;
+        bg.core = 1;
+        machine.spawnProcess(bg);
+    }
+};
+
+TEST(InvariantCheckerTest, CleanRunHasNoViolations)
+{
+    Rig rig;
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    rig.engine.addObserver(&checker);
+    rig.engine.runFor(Time::ms(50.0));
+    EXPECT_GT(checker.quantaChecked(), 100u);
+    EXPECT_TRUE(checker.violations().empty())
+        << checker.violations().front().rule << ": "
+        << checker.violations().front().detail;
+}
+
+TEST(InvariantCheckerTest, CleanRunWithGovernorAndBwGuard)
+{
+    Rig rig;
+    machine::CpuFreqGovernor governor(rig.machine, rig.engine);
+    governor.setGrade(1, 0); // throttle the BG core to the minimum
+    rig.machine.bwGuard().setBudget(1, 0.5e9);
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    checker.attachGovernor(&governor);
+    rig.engine.addObserver(&checker);
+    rig.engine.runFor(Time::ms(50.0));
+    EXPECT_TRUE(checker.violations().empty())
+        << checker.violations().front().rule << ": "
+        << checker.violations().front().detail;
+}
+
+TEST(InvariantCheckerTest, PausedProcessMakesNoProgress)
+{
+    Rig rig;
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    rig.engine.addObserver(&checker);
+    rig.engine.runFor(Time::ms(5.0));
+    rig.machine.os().pause(1);
+    double instrAtPause = rig.machine.readCounters(1).instructions;
+    rig.engine.runFor(Time::ms(20.0));
+    EXPECT_TRUE(checker.violations().empty());
+    EXPECT_DOUBLE_EQ(rig.machine.readCounters(1).instructions,
+                     instrAtPause);
+    rig.machine.os().resume(1);
+    rig.engine.runFor(Time::ms(5.0));
+    EXPECT_TRUE(checker.violations().empty());
+    EXPECT_GT(rig.machine.readCounters(1).instructions, instrAtPause);
+}
+
+TEST(InvariantCheckerTest, DetectsCounterDecrease)
+{
+    Rig rig;
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    rig.engine.addObserver(&checker);
+    rig.engine.runFor(Time::ms(5.0));
+    ASSERT_TRUE(checker.violations().empty());
+    // Plant the defect: zero a core's cumulative counters mid-quantum.
+    bool reset = false;
+    rig.engine.after(Time::us(50.0), [&] {
+        rig.machine.core(0).counters().reset();
+        reset = true;
+    });
+    rig.engine.runFor(Time::ms(1.0));
+    ASSERT_TRUE(reset);
+    ASSERT_FALSE(checker.violations().empty());
+    EXPECT_EQ(checker.violations().front().rule, "counters-monotonic");
+}
+
+TEST(InvariantCheckerTest, DetectsOutOfRangeFrequency)
+{
+    Rig rig;
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    rig.engine.addObserver(&checker);
+    rig.machine.core(0).setFrequency(Freq::ghz(3.0)); // above max
+    rig.engine.runFor(Time::ms(1.0));
+    ASSERT_FALSE(checker.violations().empty());
+    EXPECT_EQ(checker.violations().front().rule, "dvfs-legal");
+}
+
+TEST(InvariantCheckerTest, DetectsOffGradeFrequencyWithGovernor)
+{
+    Rig rig;
+    machine::CpuFreqGovernor governor(rig.machine, rig.engine);
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    checker.attachGovernor(&governor);
+    rig.engine.addObserver(&checker);
+    // 1.93 GHz is inside [1.2, 2.0] but is not one of the 9 grades.
+    rig.machine.core(0).setFrequency(Freq::ghz(1.93));
+    rig.engine.runFor(Time::ms(1.0));
+    ASSERT_FALSE(checker.violations().empty());
+    EXPECT_EQ(checker.violations().front().rule, "dvfs-legal");
+}
+
+TEST(InvariantCheckerTest, CustomCheckFires)
+{
+    Rig rig;
+    CheckerConfig cfg = collectMode();
+    cfg.maxViolations = 3;
+    InvariantChecker checker(rig.machine, &rig.engine, cfg);
+    checker.addCheck("always-broken",
+                     []() -> std::optional<std::string> {
+                         return "synthetic failure";
+                     });
+    rig.engine.addObserver(&checker);
+    rig.engine.runFor(Time::ms(5.0));
+    // Collected once per quantum, capped at maxViolations.
+    ASSERT_EQ(checker.violations().size(), 3u);
+    EXPECT_EQ(checker.violations().front().rule, "always-broken");
+    EXPECT_EQ(checker.violations().front().detail, "synthetic failure");
+}
+
+TEST(InvariantCheckerTest, HealthyCustomCheckStaysQuiet)
+{
+    Rig rig;
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    checker.addCheck("always-fine",
+                     []() -> std::optional<std::string> {
+                         return std::nullopt;
+                     });
+    rig.engine.addObserver(&checker);
+    rig.engine.runFor(Time::ms(5.0));
+    EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST(InvariantCheckerTest, RemovedObserverStopsChecking)
+{
+    Rig rig;
+    InvariantChecker checker(rig.machine, &rig.engine, collectMode());
+    rig.engine.addObserver(&checker);
+    rig.engine.runFor(Time::ms(1.0));
+    uint64_t checked = checker.quantaChecked();
+    EXPECT_GT(checked, 0u);
+    rig.engine.removeObserver(&checker);
+    rig.engine.runFor(Time::ms(1.0));
+    EXPECT_EQ(checker.quantaChecked(), checked);
+}
+
+TEST(InvariantCheckerDeathTest, AbortModePanicsOnViolation)
+{
+    Rig rig;
+    CheckerConfig cfg; // abortOnViolation = true
+    InvariantChecker checker(rig.machine, &rig.engine, cfg);
+    checker.addCheck("synthetic",
+                     []() -> std::optional<std::string> {
+                         return "planted";
+                     });
+    rig.engine.addObserver(&checker);
+    EXPECT_DEATH(rig.engine.runFor(Time::ms(1.0)),
+                 "invariant 'synthetic' violated");
+}
+
+} // namespace
+} // namespace dirigent::check

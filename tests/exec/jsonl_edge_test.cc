@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Edge-case tests of the JSONL sweep export: non-finite numbers,
+ * empty result sets, escaping corners, and concurrent writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/jsonl.h"
+
+namespace dirigent::exec {
+namespace {
+
+TEST(JsonNumberTest, FormatsFiniteValues)
+{
+    EXPECT_EQ(jsonNumber(0.25, 2), "0.25");
+    EXPECT_EQ(jsonNumber(1.0, 0), "1");
+    EXPECT_EQ(jsonNumber(-3.5, 1), "-3.5");
+}
+
+TEST(JsonNumberTest, NegativeDecimalsUsesShortestForm)
+{
+    EXPECT_EQ(jsonNumber(0.5, -1), "0.5");
+    EXPECT_EQ(jsonNumber(1e9, -1), "1e+09");
+}
+
+// JSON has no NaN/Infinity literals; emitting them verbatim would make
+// every line unparseable downstream.
+TEST(JsonNumberTest, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(jsonNumber(std::nan(""), 6), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity(), 6),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity(), -1),
+              "null");
+}
+
+TEST(JsonlEdgeTest, EmptyResultProducesValidLine)
+{
+    // A result with no completed executions must still yield one
+    // parseable line (the metrics layer degrades to 0/1 defaults).
+    harness::SchemeRunResult res;
+    res.mixName = "empty";
+    res.scheme = core::Scheme::Baseline;
+
+    std::ostringstream out;
+    JsonlWriter writer(out);
+    writer.write(res, "Baseline", 1, 0.0);
+
+    std::string line = out.str();
+    EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+    EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(JsonlEdgeTest, NanStatisticsRenderAsNull)
+{
+    // A poisoned duration makes the mean/std NaN; the line must carry
+    // nulls, never a bare "nan" that breaks every JSON parser.
+    harness::SchemeRunResult res;
+    res.mixName = "poisoned";
+    res.scheme = core::Scheme::Baseline;
+    res.perFgDurations = {{std::nan("")}};
+    res.onTime = 1;
+    res.total = 1;
+    res.span = Time::sec(1.0);
+
+    std::ostringstream out;
+    JsonlWriter writer(out);
+    writer.write(res, "Baseline", 1, 0.1);
+
+    std::string line = out.str();
+    EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+    EXPECT_NE(line.find("null"), std::string::npos) << line;
+}
+
+TEST(JsonlEdgeTest, EscapesMixNameWithSpecials)
+{
+    harness::SchemeRunResult res;
+    res.mixName = "mix \"a\"\\\nb";
+    res.scheme = core::Scheme::Baseline;
+    res.perFgDurations = {{0.5}};
+    res.onTime = 1;
+    res.total = 1;
+    res.span = Time::sec(1.0);
+
+    std::ostringstream out;
+    JsonlWriter writer(out);
+    writer.write(res, "Baseline", 1, 0.1);
+
+    std::string text = out.str();
+    // Exactly one (terminated) line, raw specials escaped away.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+    EXPECT_NE(text.find("mix \\\"a\\\"\\\\\\nb"), std::string::npos)
+        << text;
+}
+
+TEST(JsonlEdgeTest, ConcurrentWritersProduceWholeLines)
+{
+    harness::SchemeRunResult res;
+    res.mixName = "ferret rs";
+    res.scheme = core::Scheme::Dirigent;
+    res.perFgDurations = {{0.5, 0.6}};
+    res.onTime = 2;
+    res.total = 2;
+    res.span = Time::sec(5.0);
+
+    std::ostringstream out;
+    JsonlWriter writer(out);
+    constexpr int kThreads = 8;
+    constexpr int kWrites = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&writer, &res, t] {
+            for (int i = 0; i < kWrites; ++i)
+                writer.write(res, "Dirigent", uint64_t(t), 0.01);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    std::istringstream lines(out.str());
+    std::string line;
+    size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        // Every line is whole: starts with '{', ends with '}', and
+        // contains exactly one record's worth of structure.
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"mix\":\"ferret rs\""), std::string::npos);
+    }
+    EXPECT_EQ(count, size_t(kThreads) * kWrites);
+}
+
+} // namespace
+} // namespace dirigent::exec

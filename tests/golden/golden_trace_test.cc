@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Golden-trace regression suite: six sentinel runs (three mixes ×
+ * {Baseline, Dirigent}) are fingerprinted as canonical event traces
+ * and compared against checked-in golden files. Any behavioural drift
+ * — model changes, scheme changes, thread-count-dependent divergence —
+ * fails loudly with a line-level trace diff.
+ *
+ * Regenerate after an intentional behaviour change with:
+ *   DIRIGENT_REGEN_GOLDEN=1 ./test_golden
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "dirigent/trace.h"
+#include "exec/executor.h"
+#include "harness/experiment.h"
+#include "workload/mix.h"
+
+#ifndef DIRIGENT_GOLDEN_DIR
+#error "DIRIGENT_GOLDEN_DIR must point at the golden data directory"
+#endif
+
+namespace dirigent::harness {
+namespace {
+
+constexpr uint64_t kGoldenSeed = 4242;
+
+HarnessConfig
+goldenConfig()
+{
+    HarnessConfig cfg;
+    cfg.executions = 5;
+    cfg.warmup = 2;
+    cfg.seed = kGoldenSeed;
+    return cfg;
+}
+
+std::vector<workload::WorkloadMix>
+sentinelMixes()
+{
+    return {
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"raytrace"},
+                          workload::BgSpec::single("bwaves")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::single("pca")),
+    };
+}
+
+/** Both renderings of one sentinel's trace. */
+struct SentinelTrace
+{
+    std::string canonical; //!< rounded; stable across toolchains
+    std::string precise;   //!< %.17g; must match across thread counts
+};
+
+std::string
+sentinelSlug(const std::string &mixName, const std::string &scheme)
+{
+    std::string slug = mixName + "_" + scheme;
+    for (char &c : slug)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return slug;
+}
+
+/**
+ * Run all six sentinels on @p threads workers and return their traces
+ * keyed by slug. Baselines run first (they calibrate the deadlines the
+ * Dirigent runs consume), then the Dirigent stage fans out.
+ */
+std::map<std::string, SentinelTrace>
+runSentinels(unsigned threads)
+{
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(goldenConfig(), ecfg);
+
+    std::vector<workload::WorkloadMix> mixes = sentinelMixes();
+    std::map<std::string, workload::WorkloadMix> byName;
+    for (const auto &mix : mixes)
+        byName[mix.name] = mix;
+
+    std::mutex mutex;
+    std::map<std::string, SentinelTrace> traces;
+    std::map<std::string, std::map<std::string, Time>> deadlines;
+
+    std::vector<exec::JobKey> stage1;
+    for (const auto &mix : mixes)
+        stage1.push_back({mix.name, "Baseline", 0});
+    executor.forEach(stage1, [&](size_t, const exec::JobKey &key,
+                                 ExperimentRunner &runner) {
+        core::GoldenTraceRecorder recorder;
+        RunOptions opts;
+        opts.golden = &recorder;
+        auto result = runner.run(byName.at(key.mix),
+                                 core::Scheme::Baseline, {}, opts);
+        std::lock_guard<std::mutex> lock(mutex);
+        traces[sentinelSlug(key.mix, "Baseline")] = {
+            recorder.canonicalText(), recorder.preciseText()};
+        deadlines[key.mix] = runner.deadlinesFromBaseline(result);
+    });
+
+    std::vector<exec::JobKey> stage2;
+    for (const auto &mix : mixes)
+        stage2.push_back({mix.name, "Dirigent", 0});
+    executor.forEach(stage2, [&](size_t, const exec::JobKey &key,
+                                 ExperimentRunner &runner) {
+        core::GoldenTraceRecorder recorder;
+        RunOptions opts;
+        opts.golden = &recorder;
+        std::map<std::string, Time> mixDeadlines;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            mixDeadlines = deadlines.at(key.mix);
+        }
+        runner.run(byName.at(key.mix), core::Scheme::Dirigent,
+                   mixDeadlines, opts);
+        std::lock_guard<std::mutex> lock(mutex);
+        traces[sentinelSlug(key.mix, "Dirigent")] = {
+            recorder.canonicalText(), recorder.preciseText()};
+    });
+
+    return traces;
+}
+
+std::string
+goldenPath(const std::string &slug)
+{
+    return std::string(DIRIGENT_GOLDEN_DIR) + "/" + slug + ".trace";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("DIRIGENT_REGEN_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(GoldenTraceTest, SentinelsMatchCheckedInGolden)
+{
+    std::map<std::string, SentinelTrace> traces = runSentinels(1);
+    ASSERT_EQ(traces.size(), 6u);
+
+    if (regenRequested()) {
+        for (const auto &[slug, trace] : traces) {
+            std::ofstream out(goldenPath(slug),
+                              std::ios::trunc | std::ios::binary);
+            ASSERT_TRUE(out) << "cannot write " << goldenPath(slug);
+            out << trace.canonical << "\n";
+        }
+        GTEST_SKIP() << "regenerated " << traces.size()
+                     << " golden traces in " << DIRIGENT_GOLDEN_DIR;
+    }
+
+    for (const auto &[slug, trace] : traces) {
+        SCOPED_TRACE(slug);
+        std::string expected = readFile(goldenPath(slug));
+        ASSERT_FALSE(expected.empty())
+            << "missing golden file " << goldenPath(slug)
+            << " — run with DIRIGENT_REGEN_GOLDEN=1 to create it";
+        // Golden files end with one newline; the trace itself doesn't.
+        std::string actual = trace.canonical + "\n";
+        EXPECT_EQ(actual, expected)
+            << "behavioural drift in sentinel " << slug << ":\n"
+            << core::traceDiff(expected, actual);
+        EXPECT_FALSE(trace.canonical.empty());
+    }
+}
+
+TEST(GoldenTraceTest, TracesAreIdenticalAcrossThreadCounts)
+{
+    std::map<std::string, SentinelTrace> serial = runSentinels(1);
+    for (unsigned threads : {2u, 4u}) {
+        std::map<std::string, SentinelTrace> parallel =
+            runSentinels(threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (const auto &[slug, trace] : serial) {
+            SCOPED_TRACE(slug + " @" + std::to_string(threads) +
+                         " threads");
+            ASSERT_TRUE(parallel.count(slug));
+            // Bit-exact: %.17g round-trips doubles, so any divergence
+            // between worker counts shows up here.
+            EXPECT_EQ(parallel.at(slug).precise, trace.precise)
+                << core::traceDiff(trace.precise,
+                                   parallel.at(slug).precise);
+        }
+    }
+}
+
+TEST(GoldenTraceTest, RecorderHashIsFingerprintOfText)
+{
+    // CI logs print hashes, not full traces; the hash must be exactly
+    // the FNV-1a of the rendered text so operators can cross-check.
+    core::GoldenTraceRecorder recorder;
+    machine::CompletionRecord rec;
+    rec.pid = 1;
+    rec.core = 0;
+    rec.program = "ferret";
+    rec.foreground = true;
+    rec.started = Time::sec(0.5);
+    rec.finished = Time::sec(1.25);
+    rec.instructions = 1e9;
+    recorder.recordCompletion(rec);
+    recorder.decisions().record({Time::sec(1.0),
+                                 core::TraceAction::BgThrottled, 1, 0.9,
+                                 "grade 3"});
+    EXPECT_EQ(recorder.hash(), fnv1a64(recorder.canonicalText()));
+    EXPECT_EQ(recorder.preciseHash(), fnv1a64(recorder.preciseText()));
+    EXPECT_NE(recorder.hash(), 0u);
+    // Completion lines key on their finish time, so the t=1.0 decision
+    // sorts before the completion that finished at t=1.25.
+    std::string text = recorder.canonicalText();
+    EXPECT_NE(text.find("D t=1.000000"), std::string::npos) << text;
+    EXPECT_NE(text.find("C t=1.250000"), std::string::npos) << text;
+    EXPECT_LT(text.find("D t=1.000000"), text.find("C t=1.250000"));
+}
+
+} // namespace
+} // namespace dirigent::harness

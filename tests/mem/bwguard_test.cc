@@ -82,6 +82,24 @@ TEST(BwGuardTest, DisablingSingleBudgetReleases)
     EXPECT_TRUE(guard.allow(0));
 }
 
+TEST(BwGuardTest, BudgetChangeStartsFreshWindow)
+{
+    BwGuard guard(1, Time::ms(1.0));
+    guard.setBudget(0, 1e9); // 1 MB window budget
+    guard.charge(0, 0.9e6);
+    // Shrinking the budget must not count old-budget bytes against the
+    // new, smaller window (0.9 MB used would exceed 0.5 MB).
+    guard.setBudget(0, 0.5e9);
+    EXPECT_DOUBLE_EQ(guard.usedInWindow(0), 0.0);
+    EXPECT_TRUE(guard.allow(0));
+    guard.charge(0, 0.6e6);
+    EXPECT_FALSE(guard.allow(0));
+    // Re-setting the same budget is a no-op and keeps the accounting.
+    guard.setBudget(0, 0.5e9);
+    EXPECT_DOUBLE_EQ(guard.usedInWindow(0), 0.6e6);
+    EXPECT_FALSE(guard.allow(0));
+}
+
 TEST(BwGuardTest, ExhaustionCountAccumulates)
 {
     BwGuard guard(1, Time::ms(1.0));

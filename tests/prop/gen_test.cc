@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Self-tests of the property harness: generated cases are always
+ * valid, generation is deterministic in the seed, the shrinker finds
+ * minimal counterexamples, and the parser round-trips every generated
+ * program (a property in its own right).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prop/prop.h"
+#include "workload/parser.h"
+
+namespace dirigent::prop {
+namespace {
+
+TEST(GenTest, GeneratedProgramsAreAlwaysValid)
+{
+    forAll<workload::PhaseProgram>(
+        1001, 200, [](Rng &rng) { return genProgram(rng); },
+        [](const workload::PhaseProgram &prog)
+            -> std::optional<std::string> {
+            if (!prog.valid())
+                return "generated program failed PhaseProgram::valid()";
+            for (const auto &ph : prog.phases) {
+                if (ph.maxHitRatio < 0.0 || ph.maxHitRatio > 1.0)
+                    return "max_hit out of [0, 1]";
+                if (ph.workingSet <= 0.0 || ph.mlp <= 0.0)
+                    return "non-positive working set or MLP";
+            }
+            return std::nullopt;
+        });
+}
+
+TEST(GenTest, GeneratedMixesAreWellFormed)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    forAll<workload::WorkloadMix>(
+        1002, 200, [](Rng &rng) { return genMix(rng); },
+        [&lib](const workload::WorkloadMix &mix)
+            -> std::optional<std::string> {
+            if (mix.fg.empty())
+                return "mix has no foreground";
+            for (const auto &name : mix.fg)
+                if (!lib.has(name))
+                    return "unknown FG benchmark " + name;
+            if (!lib.has(mix.bg.first))
+                return "unknown BG benchmark " + mix.bg.first;
+            if (mix.bg.kind == workload::BgSpec::Kind::Rotate &&
+                !lib.has(mix.bg.second))
+                return "unknown BG benchmark " + mix.bg.second;
+            if (mix.name.empty())
+                return "mix has no display name";
+            return std::nullopt;
+        });
+}
+
+TEST(GenTest, GenerationIsDeterministicInSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 50; ++i) {
+        std::string ta = workload::formatPhaseProgram(genProgram(a));
+        std::string tb = workload::formatPhaseProgram(genProgram(b));
+        EXPECT_EQ(ta, tb) << "round " << i;
+    }
+    // A different seed diverges (overwhelmingly likely on draw one).
+    Rng d(42), e(43);
+    EXPECT_NE(workload::formatPhaseProgram(genProgram(d)),
+              workload::formatPhaseProgram(genProgram(e)));
+    (void)c;
+}
+
+TEST(GenTest, GeneratedConfigsAreRunnable)
+{
+    forAll<harness::HarnessConfig>(
+        1003, 100, [](Rng &rng) { return genConfig(rng); },
+        [](const harness::HarnessConfig &cfg)
+            -> std::optional<std::string> {
+            if (cfg.executions < 1 || cfg.executions > 20)
+                return "executions out of the fast-test envelope";
+            if (cfg.warmup >= cfg.executions + 3)
+                return "warmup dwarfs the measured executions";
+            if (cfg.runtime.samplingPeriod.sec() <= 0.0)
+                return "non-positive sampling period";
+            return std::nullopt;
+        });
+}
+
+// The round-trip property: format → parse is the identity on every
+// generated program (up to the %.9g rendering of doubles).
+TEST(GenTest, ParserRoundTripsGeneratedPrograms)
+{
+    forAll<workload::PhaseProgram>(
+        1004, 100, [](Rng &rng) { return genProgram(rng, rng.chance(0.3)); },
+        [](const workload::PhaseProgram &prog)
+            -> std::optional<std::string> {
+            workload::PhaseProgram again =
+                workload::parsePhaseProgram(formatPhaseProgram(prog));
+            if (again.phases.size() != prog.phases.size())
+                return "phase count changed in round trip";
+            if (again.loop != prog.loop)
+                return "loop flag changed in round trip";
+            std::string first = formatPhaseProgram(prog);
+            std::string second = formatPhaseProgram(again);
+            if (first != second)
+                return "second round trip is not a fixpoint:\n" + first +
+                       "\nvs\n" + second;
+            return std::nullopt;
+        },
+        nullptr, [](const workload::PhaseProgram &prog) {
+            return workload::formatPhaseProgram(prog);
+        });
+}
+
+// Plant a falsifiable property and verify the shrinker converges to
+// the minimal counterexample instead of reporting the first hit.
+TEST(GenTest, ShrinkerFindsMinimalCounterexample)
+{
+    // "No program has more than 2 phases" — false; minimal failing
+    // case has exactly 3 phases.
+    Check<workload::PhaseProgram> atMostTwo =
+        [](const workload::PhaseProgram &prog)
+        -> std::optional<std::string> {
+        if (prog.phases.size() > 2)
+            return "program has " + std::to_string(prog.phases.size()) +
+                   " phases";
+        return std::nullopt;
+    };
+    Shrink<workload::PhaseProgram> dropOnePhase =
+        [](const workload::PhaseProgram &prog) {
+            std::vector<workload::PhaseProgram> out;
+            for (size_t i = 0; i < prog.phases.size(); ++i) {
+                workload::PhaseProgram smaller = prog;
+                smaller.phases.erase(smaller.phases.begin() +
+                                     std::ptrdiff_t(i));
+                out.push_back(std::move(smaller));
+            }
+            return out;
+        };
+
+    // Drive the shrink loop directly so the expected failure does not
+    // fail this test: find a >2-phase program, then shrink by hand.
+    Rng rng(7);
+    workload::PhaseProgram failing;
+    do {
+        failing = genProgram(rng);
+    } while (!atMostTwo(failing));
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        for (auto &cand : dropOnePhase(failing)) {
+            if (atMostTwo(cand)) {
+                failing = std::move(cand);
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(failing.phases.size(), 3u)
+        << "greedy shrink should stop at the smallest failing case";
+}
+
+} // namespace
+} // namespace dirigent::prop

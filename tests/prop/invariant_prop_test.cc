@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Property tests of the invariant layer itself: random workloads,
+ * random control actions, and harness-level runs must all stay free
+ * of invariant violations. A failure here means either the model
+ * broke an invariant or the checker grew a false positive — both are
+ * bugs worth a loud report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "check/invariants.h"
+#include "machine/cat.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+#include "prop/prop.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::prop {
+namespace {
+
+check::CheckerConfig
+collectMode()
+{
+    check::CheckerConfig cfg;
+    cfg.abortOnViolation = false;
+    return cfg;
+}
+
+std::string
+describeViolations(const check::InvariantChecker &checker)
+{
+    std::ostringstream out;
+    for (const auto &v : checker.violations())
+        out << v.rule << " at t=" << v.when.sec() << ": " << v.detail
+            << "\n";
+    return out.str();
+}
+
+/** A random machine population: FG and BG processes on random cores. */
+struct RandomRig
+{
+    machine::Machine machine;
+    sim::Engine engine;
+    std::vector<machine::Pid> pids;
+
+    explicit RandomRig(Rng &rng)
+        : machine([&rng] {
+              machine::MachineConfig cfg;
+              cfg.seed = rng.next();
+              return cfg;
+          }()),
+          engine(machine, machine.config().maxQuantum)
+    {
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        std::vector<std::string> fgs = lib.foregroundNames();
+        std::vector<std::string> bgs = lib.singleBgNames();
+        unsigned cores = machine.numCores();
+        for (unsigned c = 0; c < cores; ++c) {
+            if (rng.chance(0.2))
+                continue; // leave some cores idle
+            machine::ProcessSpec spec;
+            spec.foreground = c == 0;
+            spec.name = spec.foreground ? "fg" : "bg";
+            const std::string &name =
+                spec.foreground ? fgs[rng.below(fgs.size())]
+                                : bgs[rng.below(bgs.size())];
+            spec.program = &lib.get(name).program;
+            spec.core = c;
+            pids.push_back(machine.spawnProcess(spec));
+        }
+    }
+};
+
+// Property: any random population of the machine runs without
+// tripping a single invariant.
+TEST(InvariantPropTest, RandomWorkloadsRunClean)
+{
+    forAll<uint64_t>(
+        4001, 6, [](Rng &rng) { return rng.next(); },
+        [](const uint64_t &seed) -> std::optional<std::string> {
+            Rng rng(seed);
+            RandomRig rig(rng);
+            check::InvariantChecker checker(rig.machine, &rig.engine,
+                                            collectMode());
+            rig.engine.addObserver(&checker);
+            rig.engine.runFor(Time::ms(40.0));
+            if (!checker.violations().empty())
+                return describeViolations(checker);
+            if (checker.quantaChecked() == 0)
+                return "checker observed no quanta";
+            return std::nullopt;
+        });
+}
+
+// Property: random sequences of control actions — DVFS grade changes,
+// pauses/resumes, bandwidth budgets, cache partitions — never drive
+// the machine into an invariant-violating state.
+TEST(InvariantPropTest, RandomControlActionsStayClean)
+{
+    forAll<uint64_t>(
+        4002, 4, [](Rng &rng) { return rng.next(); },
+        [](const uint64_t &seed) -> std::optional<std::string> {
+            Rng rng(seed);
+            RandomRig rig(rng);
+            if (rig.pids.empty())
+                return std::nullopt; // nothing to control
+            machine::CpuFreqGovernor governor(rig.machine, rig.engine);
+            machine::CatController cat(rig.machine);
+            check::InvariantChecker checker(rig.machine, &rig.engine,
+                                            collectMode());
+            checker.attachGovernor(&governor);
+            rig.engine.addObserver(&checker);
+
+            // Schedule ~30 random control actions over 40 ms.
+            for (int i = 0; i < 30; ++i) {
+                Time when = Time::ms(rng.uniform(0.0, 40.0));
+                unsigned kind = unsigned(rng.below(4));
+                machine::Pid pid =
+                    rig.pids[rng.below(rig.pids.size())];
+                unsigned core =
+                    unsigned(rng.below(rig.machine.numCores()));
+                unsigned grade =
+                    unsigned(rng.below(governor.numGrades()));
+                unsigned ways = 1 + unsigned(rng.below(
+                                        cat.numWays() - 1));
+                double budget = rng.uniform(0.2e9, 4e9);
+                rig.engine.at(when, [&, kind, pid, core, grade, ways,
+                                     budget] {
+                    switch (kind) {
+                      case 0:
+                        governor.setGrade(core, grade);
+                        break;
+                      case 1:
+                        if (rng.chance(0.5))
+                            rig.machine.os().pause(pid);
+                        else
+                            rig.machine.os().resume(pid);
+                        break;
+                      case 2:
+                        rig.machine.bwGuard().setBudget(core, budget);
+                        break;
+                      default:
+                        cat.setFgWays(ways);
+                        break;
+                    }
+                });
+            }
+            rig.engine.runFor(Time::ms(50.0));
+            if (!checker.violations().empty())
+                return describeViolations(checker);
+            return std::nullopt;
+        });
+}
+
+// Property: a full harness run (profiling, calibration, the Dirigent
+// runtime with its predictor custom check) passes with the checker in
+// abort mode — the real CI wiring, end to end.
+TEST(InvariantPropTest, HarnessRunCleanUnderChecker)
+{
+    check::setEnabled(true);
+    forAll<workload::WorkloadMix>(
+        4003, 2, [](Rng &rng) { return genMix(rng); },
+        [](const workload::WorkloadMix &mix)
+            -> std::optional<std::string> {
+            harness::HarnessConfig cfg;
+            cfg.executions = 6;
+            cfg.warmup = 1;
+            cfg.seed = 31;
+            harness::ExperimentRunner runner(cfg);
+            auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+            auto deadlines = runner.deadlinesFromBaseline(baseline);
+            runner.run(mix, core::Scheme::Dirigent, deadlines);
+            return std::nullopt; // a violation would have panicked
+        },
+        nullptr,
+        [](const workload::WorkloadMix &mix) { return mix.name; });
+    check::clearOverride();
+}
+
+} // namespace
+} // namespace dirigent::prop

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Metamorphic relations over the co-simulator: transformations of a
+ * run whose effect on the output has a known direction (or none),
+ * regardless of the absolute numbers. These catch model regressions
+ * that absolute-threshold tests cannot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dirigent/trace.h"
+#include "harness/experiment.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+#include "prop/prop.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+
+namespace dirigent::prop {
+namespace {
+
+harness::HarnessConfig
+fastConfig(uint64_t seed)
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 10;
+    cfg.warmup = 2;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/**
+ * Relation 1: adding background interference never makes the
+ * foreground faster. Standalone FG mean ≤ contended FG mean.
+ */
+class BgInterferenceTest
+    : public testing::TestWithParam<workload::WorkloadMix>
+{
+};
+
+TEST_P(BgInterferenceTest, AddingBgNeverSpeedsUpFg)
+{
+    const auto &mix = GetParam();
+    harness::ExperimentRunner runner(fastConfig(2024));
+    auto alone = runner.runStandalone(mix.fg.front());
+    auto contended = runner.run(mix, core::Scheme::Baseline, {});
+    // Contention can only add time (2% slack for workload jitter: the
+    // contended run sees a different random stream interleaving).
+    EXPECT_LE(alone.fgDurationMean(),
+              contended.fgDurationMean() * 1.02)
+        << mix.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, BgInterferenceTest,
+    testing::Values(
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"raytrace"},
+                          workload::BgSpec::single("bwaves")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::single("pca"))),
+    [](const testing::TestParamInfo<workload::WorkloadMix> &info) {
+        std::string name = info.param.name;
+        for (char &c : name)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/** LLC-miss bandwidth of a solo benchmark run at a fixed DVFS grade. */
+double
+missBandwidthAtGrade(unsigned grade, uint64_t seed)
+{
+    machine::MachineConfig mcfg;
+    mcfg.seed = seed;
+    machine::Machine machine(mcfg);
+    sim::Engine engine(machine, machine.config().maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    machine::ProcessSpec bg;
+    bg.name = "bg";
+    bg.program = &lib.get("lbm").program;
+    bg.core = 1;
+    machine.spawnProcess(bg);
+    governor.setGrade(1, grade);
+
+    engine.runFor(Time::ms(20.0)); // settle past the grade transition
+    double missesBefore = machine.readCounters(1).llcMisses;
+    Time window = Time::ms(100.0);
+    engine.runFor(window);
+    double misses = machine.readCounters(1).llcMisses - missesBefore;
+    return misses * machine.cache().config().lineSize / window.sec();
+}
+
+/**
+ * Relation 2: throttling a background core by one DVFS grade never
+ * raises its memory bandwidth demand.
+ */
+TEST(ThrottleMetamorphicTest, LowerGradeNeverRaisesBgBandwidth)
+{
+    machine::MachineConfig mcfg;
+    machine::Machine probe(mcfg);
+    sim::Engine probeEngine(probe, probe.config().maxQuantum);
+    machine::CpuFreqGovernor governor(probe, probeEngine);
+
+    double previous = -1.0;
+    for (unsigned g = 0; g < governor.numGrades(); ++g) {
+        double bw = missBandwidthAtGrade(g, 77);
+        EXPECT_GT(bw, 0.0) << "grade " << g;
+        if (previous >= 0.0) {
+            // 5% slack: the slower run samples the workload's random
+            // stream at different phase offsets.
+            EXPECT_LE(previous, bw * 1.05)
+                << "throttling from grade " << g << " to " << g - 1
+                << " raised BG bandwidth";
+        }
+        previous = bw;
+    }
+}
+
+/**
+ * Relation 3: on identical seeds, Dirigent's FG success is at least
+ * Baseline's. Checked across generated mixes and seeds.
+ */
+TEST(SchemeMetamorphicTest, DirigentSuccessAtLeastBaseline)
+{
+    forAll<workload::WorkloadMix>(
+        3001, 2, [](Rng &rng) { return genMix(rng); },
+        [](const workload::WorkloadMix &mix)
+            -> std::optional<std::string> {
+            harness::ExperimentRunner runner(fastConfig(11));
+            auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+            auto deadlines = runner.deadlinesFromBaseline(baseline);
+            harness::applyDeadlines(baseline, deadlines);
+            auto dirigent =
+                runner.run(mix, core::Scheme::Dirigent, deadlines);
+            if (dirigent.fgSuccessRatio() <
+                baseline.fgSuccessRatio() - 1e-12) {
+                return "Dirigent success " +
+                       std::to_string(dirigent.fgSuccessRatio()) +
+                       " below Baseline " +
+                       std::to_string(baseline.fgSuccessRatio()) +
+                       " on mix " + mix.name;
+            }
+            return std::nullopt;
+        },
+        nullptr,
+        [](const workload::WorkloadMix &mix) { return mix.name; });
+}
+
+/** Register the zero-jitter FG/BG pair once per process. */
+const char *
+zeroJitterFgName()
+{
+    static const char *name = [] {
+        workload::PhaseProgram fg;
+        fg.name = "zj-fg";
+        workload::Phase phase;
+        phase.name = "only";
+        phase.instructions = 4e8;
+        phase.cpiBase = 0.8;
+        phase.llcApki = 6.0;
+        phase.workingSet = 3.0 * 1024 * 1024;
+        phase.cpiJitterSigma = 0.0;
+        phase.instrJitterSigma = 0.0;
+        fg.phases.push_back(phase);
+        workload::BenchmarkLibrary::registerCustom(
+            fg.name, "zero-jitter FG for determinism tests", fg);
+        return "zj-fg";
+    }();
+    return name;
+}
+
+const char *
+zeroJitterBgName()
+{
+    static const char *name = [] {
+        workload::PhaseProgram bg;
+        bg.name = "zj-bg";
+        bg.loop = true;
+        workload::Phase phase;
+        phase.name = "only";
+        phase.instructions = 6e8;
+        phase.cpiBase = 1.1;
+        phase.llcApki = 18.0;
+        phase.workingSet = 6.0 * 1024 * 1024;
+        phase.cpiJitterSigma = 0.0;
+        phase.instrJitterSigma = 0.0;
+        bg.phases.push_back(phase);
+        workload::BenchmarkLibrary::registerCustom(
+            bg.name, "zero-jitter BG for determinism tests", bg);
+        return "zj-bg";
+    }();
+    return name;
+}
+
+/** Precise trace of a Baseline run with all noise sources at zero. */
+std::string
+zeroJitterTrace(uint64_t seed)
+{
+    harness::HarnessConfig cfg = fastConfig(seed);
+    cfg.machine.noiseEventsPerSec = 0.0;
+    cfg.runtime.wakeOvershootSigma = Time();
+    cfg.profiler.wakeOvershootSigma = Time();
+    harness::ExperimentRunner runner(cfg);
+    auto mix = workload::makeMix(
+        {zeroJitterFgName()}, workload::BgSpec::single(zeroJitterBgName()));
+    core::GoldenTraceRecorder recorder;
+    harness::RunOptions opts;
+    opts.golden = &recorder;
+    runner.run(mix, core::Scheme::Baseline, {}, opts);
+    return recorder.preciseText();
+}
+
+/**
+ * Relation 4: with every stochastic input scaled to zero (workload
+ * jitter, OS noise, timer overshoot), the trace is one deterministic
+ * function of the workload — the seed must not matter at all.
+ */
+TEST(ZeroJitterMetamorphicTest, TraceIsSeedInvariant)
+{
+    std::string a = zeroJitterTrace(1);
+    std::string b = zeroJitterTrace(999);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << core::traceDiff(a, b);
+}
+
+TEST(ZeroJitterMetamorphicTest, TraceIsRepeatable)
+{
+    EXPECT_EQ(zeroJitterTrace(5), zeroJitterTrace(5));
+}
+
+/** Sanity: with jitter restored, seeds do matter (the relation above
+ *  has teeth because zeroing the noise is what removes the spread). */
+TEST(ZeroJitterMetamorphicTest, JitterMakesSeedsMatter)
+{
+    auto trace = [](uint64_t seed) {
+        harness::ExperimentRunner runner(fastConfig(seed));
+        auto mix = workload::makeMix({"ferret"},
+                                     workload::BgSpec::single("rs"));
+        core::GoldenTraceRecorder recorder;
+        harness::RunOptions opts;
+        opts.golden = &recorder;
+        runner.run(mix, core::Scheme::Baseline, {}, opts);
+        return recorder.preciseText();
+    };
+    EXPECT_NE(trace(1), trace(2));
+}
+
+} // namespace
+} // namespace dirigent::prop

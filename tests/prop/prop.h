@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A small seeded property-testing harness: generators for workload
+ * phases, programs, mixes, and harness configurations, plus forAll()
+ * with greedy shrinking. Everything is driven by the simulator's own
+ * deterministic Rng, so a failing case is reproducible from the seed
+ * printed in the failure message.
+ */
+
+#ifndef DIRIGENT_TESTS_PROP_PROP_H
+#define DIRIGENT_TESTS_PROP_PROP_H
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "harness/experiment.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+#include "workload/phase.h"
+
+namespace dirigent::prop {
+
+/** A random but always-valid workload phase. */
+inline workload::Phase
+genPhase(Rng &rng)
+{
+    workload::Phase phase;
+    phase.instructions = rng.uniform(1e7, 2e9);
+    phase.instrJitterSigma = rng.chance(0.5) ? rng.uniform(0.0, 0.05) : 0.0;
+    phase.cpiBase = rng.uniform(0.4, 2.5);
+    phase.llcApki = rng.uniform(0.5, 40.0);
+    phase.workingSet = rng.uniform(64.0 * 1024, 16.0 * 1024 * 1024);
+    phase.locality = rng.uniform(0.5, 6.0);
+    phase.maxHitRatio = rng.uniform(0.5, 1.0);
+    phase.cpiJitterSigma = rng.chance(0.5) ? rng.uniform(0.0, 0.05) : 0.0;
+    phase.mlp = rng.uniform(1.0, 8.0);
+    return phase;
+}
+
+/** A random multi-phase program (1–5 phases). */
+inline workload::PhaseProgram
+genProgram(Rng &rng, bool loop = false)
+{
+    workload::PhaseProgram prog;
+    prog.name = "gen";
+    prog.loop = loop;
+    size_t phases = 1 + rng.below(5);
+    for (size_t i = 0; i < phases; ++i) {
+        workload::Phase phase = genPhase(rng);
+        phase.name = "phase-" + std::to_string(i);
+        prog.phases.push_back(std::move(phase));
+    }
+    return prog;
+}
+
+/** A random single- or rotate-BG mix over the built-in benchmarks. */
+inline workload::WorkloadMix
+genMix(Rng &rng)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    std::vector<std::string> fgNames = lib.foregroundNames();
+    std::vector<std::string> fg = {fgNames[rng.below(fgNames.size())]};
+    workload::BgSpec bg;
+    if (rng.chance(0.5)) {
+        std::vector<std::string> bgs = lib.singleBgNames();
+        bg = workload::BgSpec::single(bgs[rng.below(bgs.size())]);
+    } else {
+        auto pairs = lib.rotatePairs();
+        auto &[a, b] = pairs[rng.below(pairs.size())];
+        bg = workload::BgSpec::rotate(a, b);
+    }
+    return workload::makeMix(std::move(fg), std::move(bg));
+}
+
+/** A random fast harness configuration (small but realistic). */
+inline harness::HarnessConfig
+genConfig(Rng &rng)
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 4 + unsigned(rng.below(5));
+    cfg.warmup = 1 + unsigned(rng.below(2));
+    cfg.seed = rng.next();
+    cfg.runtime.samplingPeriod = Time::ms(rng.uniform(4.0, 20.0));
+    cfg.profiler.samplingPeriod = cfg.runtime.samplingPeriod;
+    return cfg;
+}
+
+/**
+ * Property check result: nullopt = holds, otherwise a human-readable
+ * reason for the failure.
+ */
+template <typename T>
+using Check = std::function<std::optional<std::string>(const T &)>;
+
+/** Proposes smaller variants of a failing case (may be empty). */
+template <typename T>
+using Shrink = std::function<std::vector<T>(const T &)>;
+
+/** Renders a case for the failure message. */
+template <typename T>
+using Show = std::function<std::string(const T &)>;
+
+/**
+ * Run @p check against @p rounds cases drawn from @p gen. On failure,
+ * greedily shrink with @p shrink (first still-failing candidate wins,
+ * repeated until fixpoint or a step cap) and report the minimal case
+ * through GTest. Deterministic in @p seed.
+ */
+template <typename T>
+void
+forAll(uint64_t seed, int rounds, std::function<T(Rng &)> gen,
+       Check<T> check, Shrink<T> shrink = nullptr, Show<T> show = nullptr)
+{
+    Rng rng(seed);
+    for (int round = 0; round < rounds; ++round) {
+        T value = gen(rng);
+        std::optional<std::string> reason = check(value);
+        if (!reason)
+            continue;
+        int steps = 0;
+        if (shrink) {
+            bool shrunk = true;
+            while (shrunk && steps < 200) {
+                shrunk = false;
+                for (T &candidate : shrink(value)) {
+                    ++steps;
+                    if (auto r = check(candidate)) {
+                        value = std::move(candidate);
+                        reason = std::move(r);
+                        shrunk = true;
+                        break;
+                    }
+                }
+            }
+        }
+        ADD_FAILURE() << "property failed (seed " << seed << ", round "
+                      << round << ", " << steps << " shrink steps): "
+                      << *reason
+                      << (show ? "\ncase: " + show(value) : std::string());
+        return;
+    }
+}
+
+} // namespace dirigent::prop
+
+#endif // DIRIGENT_TESTS_PROP_PROP_H

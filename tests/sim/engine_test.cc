@@ -117,6 +117,110 @@ TEST(EngineTest, PastEventFiresImmediately)
     EXPECT_TRUE(fired);
 }
 
+/** Records the spans reported through the Observer interface. */
+class RecordingObserver : public Observer
+{
+  public:
+    void
+    beforeQuantum(Time start, Time dt) override
+    {
+        before.emplace_back(start.sec(), dt.sec());
+    }
+
+    void
+    afterQuantum(Time start, Time dt) override
+    {
+        after.emplace_back(start.sec(), dt.sec());
+    }
+
+    std::vector<std::pair<double, double>> before;
+    std::vector<std::pair<double, double>> after;
+};
+
+TEST(EngineObserverTest, SeesEveryQuantum)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    RecordingObserver obs;
+    engine.addObserver(&obs);
+    engine.after(Time::us(250.0), [] {});
+    engine.runUntil(Time::ms(1.0));
+    // The observer sees exactly the spans the component advanced.
+    EXPECT_EQ(obs.before, comp.spans);
+    EXPECT_EQ(obs.after, comp.spans);
+}
+
+TEST(EngineObserverTest, BeforeFiresBeforeAdvance)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+
+    /** Observer that checks ordering against the component's record. */
+    class OrderObserver : public Observer
+    {
+      public:
+        explicit OrderObserver(RecordingComponent &c) : comp_(c) {}
+
+        void
+        beforeQuantum(Time, Time) override
+        {
+            spansAtBefore_.push_back(comp_.spans.size());
+        }
+
+        void
+        afterQuantum(Time, Time) override
+        {
+            spansAtAfter_.push_back(comp_.spans.size());
+        }
+
+        void
+        verify() const
+        {
+            ASSERT_EQ(spansAtBefore_.size(), spansAtAfter_.size());
+            for (size_t i = 0; i < spansAtBefore_.size(); ++i) {
+                EXPECT_EQ(spansAtBefore_[i], i);
+                EXPECT_EQ(spansAtAfter_[i], i + 1);
+            }
+        }
+
+      private:
+        RecordingComponent &comp_;
+        std::vector<size_t> spansAtBefore_;
+        std::vector<size_t> spansAtAfter_;
+    };
+
+    OrderObserver obs(comp);
+    engine.addObserver(&obs);
+    engine.runUntil(Time::ms(1.0));
+    obs.verify();
+}
+
+TEST(EngineObserverTest, RemoveStopsNotifications)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    RecordingObserver obs;
+    engine.addObserver(&obs);
+    engine.runUntil(Time::us(300.0));
+    size_t seen = obs.after.size();
+    EXPECT_EQ(seen, 3u);
+    engine.removeObserver(&obs);
+    engine.runUntil(Time::us(600.0));
+    EXPECT_EQ(obs.after.size(), seen);
+}
+
+TEST(EngineObserverTest, MultipleObserversAllNotified)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    RecordingObserver a, b;
+    engine.addObserver(&a);
+    engine.addObserver(&b);
+    engine.runUntil(Time::us(500.0));
+    EXPECT_EQ(a.after.size(), 5u);
+    EXPECT_EQ(b.after, a.after);
+}
+
 TEST(EngineDeathTest, RejectsBadQuantum)
 {
     RecordingComponent comp;

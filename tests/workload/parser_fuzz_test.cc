@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Robustness tests for the workload parser: malformed INI input must
+ * produce a clean fatal() (exit code 1 with a diagnostic), never a
+ * crash, hang, or silently bogus program. The last section runs a
+ * seeded mutation fuzzer over a known-good definition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <sys/wait.h>
+
+#include "common/random.h"
+#include "workload/parser.h"
+
+namespace dirigent::workload {
+namespace {
+
+const char *kGood = R"(
+[program]
+name = mybench
+loop = false
+
+[phase.0]
+name = stage-a
+instructions = 1.2e9
+cpi = 0.9
+apki = 8
+working_set = 2MiB
+locality = 3
+max_hit = 0.92
+cpi_jitter = 0.02
+instr_jitter = 0.01
+mlp = 2.0
+
+[phase.1]
+instructions = 5e8
+)";
+
+TEST(ParserFuzzDeathTest, UnterminatedSectionIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program\nname = x\n[phase.0]\ninstructions = 1\n")),
+                testing::ExitedWithCode(1), "unterminated section");
+}
+
+TEST(ParserFuzzDeathTest, MissingEqualsIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname x\n[phase.0]\ninstructions = 1\n")),
+                testing::ExitedWithCode(1), "expected 'key = value'");
+}
+
+TEST(ParserFuzzDeathTest, EmptyKeyIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\n= x\n[phase.0]\ninstructions = 1\n")),
+                testing::ExitedWithCode(1), "empty key");
+}
+
+TEST(ParserFuzzDeathTest, NonNumericInstructionsIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = lots\n")),
+                testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(ParserFuzzDeathTest, BadWorkingSetUnitIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = 1e9\n"
+                    "working_set = 2floppies\n")),
+                testing::ExitedWithCode(1), "byte quantity");
+}
+
+TEST(ParserFuzzDeathTest, BadBoolIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\nloop = sometimes\n"
+                    "[phase.0]\ninstructions = 1e9\n")),
+                testing::ExitedWithCode(1), "not a boolean");
+}
+
+// strtod() happily parses "nan" and "inf"; the parser must not let
+// them poison the simulation.
+TEST(ParserFuzzDeathTest, NanInstructionsIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = nan\n")),
+                testing::ExitedWithCode(1), "finite");
+}
+
+TEST(ParserFuzzDeathTest, InfCpiIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = 1e9\ncpi = inf\n")),
+                testing::ExitedWithCode(1), "finite");
+}
+
+TEST(ParserFuzzDeathTest, NegativeWorkingSetIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = 1e9\n"
+                    "working_set = -2MiB\n")),
+                testing::ExitedWithCode(1), "invalid parameters");
+}
+
+TEST(ParserFuzzDeathTest, NegativeJitterIsFatal)
+{
+    EXPECT_EXIT(parsePhaseProgram(std::string(
+                    "[program]\nname = x\n"
+                    "[phase.0]\ninstructions = 1e9\n"
+                    "cpi_jitter = -0.5\n")),
+                testing::ExitedWithCode(1), "invalid parameters");
+}
+
+TEST(ParserFuzzTest, DuplicateKeysLastValueWins)
+{
+    PhaseProgram prog = parsePhaseProgram(std::string(
+        "[program]\nname = first\nname = second\n"
+        "[phase.0]\ninstructions = 1e9\ninstructions = 2e9\n"));
+    EXPECT_EQ(prog.name, "second");
+    ASSERT_EQ(prog.phases.size(), 1u);
+    EXPECT_DOUBLE_EQ(prog.phases[0].instructions, 2e9);
+}
+
+TEST(ParserFuzzTest, CommentsAndBlankLinesIgnored)
+{
+    PhaseProgram prog = parsePhaseProgram(std::string(
+        "# leading comment\n\n[program]\nname = x ; trailing\n\n"
+        "[phase.0]\ninstructions = 1e9 # why not\n"));
+    EXPECT_EQ(prog.name, "x");
+    EXPECT_DOUBLE_EQ(prog.phases[0].instructions, 1e9);
+}
+
+/** Accepts a clean exit with code 0 (parsed) or 1 (fatal diagnostic). */
+struct CleanExit
+{
+    bool
+    operator()(int status) const
+    {
+        return WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                                     WEXITSTATUS(status) == 1);
+    }
+};
+
+/** Apply @p count random byte-level mutations to @p text. */
+std::string
+mutate(std::string text, Rng &rng, int count)
+{
+    static const char pool[] = "[]=.#;\n \t0123456789eE+-abcxyz";
+    for (int i = 0; i < count && !text.empty(); ++i) {
+        size_t pos = rng.below(text.size());
+        switch (rng.below(3)) {
+          case 0: // overwrite
+            text[pos] = pool[rng.below(sizeof(pool) - 1)];
+            break;
+          case 1: // insert
+            text.insert(pos, 1, pool[rng.below(sizeof(pool) - 1)]);
+            break;
+          default: // delete
+            text.erase(pos, 1);
+            break;
+        }
+    }
+    return text;
+}
+
+// The parser must terminate cleanly on any mutation of a valid file:
+// either a parsed program (exit 0 here) or fatal()'s exit 1 — never a
+// signal (SIGSEGV/SIGABRT) or a hang (the death test would time out).
+TEST(ParserFuzzDeathTest, MutatedInputsNeverCrash)
+{
+    Rng rng(0x5eed);
+    for (int round = 0; round < 40; ++round) {
+        std::string text = mutate(kGood, rng, 1 + int(rng.below(8)));
+        EXPECT_EXIT(
+            {
+                parsePhaseProgram(text);
+                std::exit(0);
+            },
+            CleanExit(), "")
+            << "mutated input:\n"
+            << text;
+    }
+}
+
+// Hostile inputs built from scratch, not by mutation.
+TEST(ParserFuzzDeathTest, HostileInputsNeverCrash)
+{
+    const char *hostile[] = {
+        "",
+        "\n\n\n",
+        "[]",
+        "[program]",
+        "[program]\nname =\n",
+        "[phase.0]\n[phase.0]\n",
+        "====",
+        "[program]\nname = x\n[phase.18446744073709551615]\n"
+        "instructions = 1\n",
+        "[program]\nname = x\n[phase.-1]\ninstructions = 1\n",
+        "[program]\nname = x\n[phase.0]\ninstructions = 1e400\n",
+        "[program]\nname = x\n[phase.0]\ninstructions = 0x1p99\n",
+    };
+    for (const char *text : hostile) {
+        EXPECT_EXIT(
+            {
+                parsePhaseProgram(std::string(text));
+                std::exit(0);
+            },
+            CleanExit(), "")
+            << "hostile input:\n"
+            << text;
+    }
+}
+
+} // namespace
+} // namespace dirigent::workload

@@ -16,6 +16,9 @@
  *                          also DIRIGENT_THREADS / threads=N)
  *   --jsonl FILE           append per-run JSONL records to FILE
  *                          (also DIRIGENT_JSONL)
+ *   --check                enable the runtime invariant checker for this
+ *                          run (also DIRIGENT_CHECK=1; --no-check forces
+ *                          it off)
  *   scheme = baseline|staticfreq|staticboth|dirigentfreq|dirigent|all
  *   executions = 40        measured FG executions
  *   warmup = 5             discarded executions
@@ -43,6 +46,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "check/check.h"
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/log.h"
@@ -65,7 +69,7 @@ usage()
     std::cerr
         << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
            "[--config FILE] [--fg-program FILE] [--threads N] "
-           "[--jsonl FILE] [key=value...]\n"
+           "[--jsonl FILE] [--check|--no-check] [key=value...]\n"
            "       run_experiment --list\n";
     std::exit(2);
 }
@@ -171,6 +175,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage();
             jsonlPath = argv[i];
+        } else if (arg == "--check") {
+            check::setEnabled(true);
+        } else if (arg == "--no-check") {
+            check::setEnabled(false);
         } else if (arg.find('=') != std::string::npos) {
             size_t eq = arg.find('=');
             overrides.set(arg.substr(0, eq), arg.substr(eq + 1));
@@ -232,6 +240,8 @@ main(int argc, char **argv)
     std::string schemeName = cfg.getString("scheme", "all");
     printBanner(std::cout, "run_experiment: " + mix.name +
                                " (scheme=" + schemeName + ")");
+    if (check::enabled())
+        inform("runtime invariant checker enabled");
 
     if (schemeName == "all") {
         // Sharded across hc.threads workers (scheme stages of the one
