@@ -18,7 +18,8 @@ bool
 parseBoolish(std::string_view text, bool fallback)
 {
     if (text == "1" || text == "on" || text == "ON" || text == "true" ||
-        text == "TRUE" || text == "yes" || text == "YES") {
+        text == "TRUE" || text == "yes" || text == "YES" ||
+        text == "abort" || text == "collect") {
         return true;
     }
     if (text == "0" || text == "off" || text == "OFF" || text == "false" ||
@@ -56,6 +57,14 @@ bool
 compiledDefault()
 {
     return DIRIGENT_CHECK_DEFAULT != 0;
+}
+
+bool
+abortPreferred()
+{
+    if (const char *env = std::getenv("DIRIGENT_CHECK"))
+        return std::string_view(env) != "collect";
+    return true;
 }
 
 } // namespace dirigent::check

@@ -4,7 +4,8 @@
  *
  * Resolution order (first match wins):
  *   1. an explicit in-process override (setEnabled / --check);
- *   2. the DIRIGENT_CHECK environment variable (1/0, on/off, true/false);
+ *   2. the DIRIGENT_CHECK environment variable (1/0, on/off, true/false,
+ *      or the mode words "abort"/"collect", which also enable);
  *   3. the compiled default — ON in Debug and sanitizer builds via the
  *      DIRIGENT_CHECK CMake option, OFF in plain Release builds.
  */
@@ -25,6 +26,14 @@ void clearOverride();
 
 /** The build-time default (the DIRIGENT_CHECK CMake option). */
 bool compiledDefault();
+
+/**
+ * Preferred violation handling for production wiring: true (abort on
+ * the first violation) unless DIRIGENT_CHECK=collect asks for quiet
+ * accumulation. DIRIGENT_CHECK=abort states the default explicitly —
+ * CI chaos jobs use it to pin the contract down.
+ */
+bool abortPreferred();
 
 } // namespace dirigent::check
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "fault/injector.h"
 #include "machine/cpufreq.h"
 
 namespace dirigent::check {
@@ -51,6 +52,12 @@ InvariantChecker::attachGovernor(const machine::CpuFreqGovernor *governor)
 }
 
 void
+InvariantChecker::attachFaultInjector(const fault::FaultInjector *injector)
+{
+    faults_ = injector;
+}
+
+void
 InvariantChecker::addCheck(std::string rule, CustomCheck fn)
 {
     DIRIGENT_ASSERT(fn != nullptr, "null custom check '%s'", rule.c_str());
@@ -85,6 +92,7 @@ InvariantChecker::afterQuantum(Time start, Time dt)
     checkClock(start, dt);
     checkEventQueue(start);
     checkCores(start);
+    checkDvfsConverged(start);
     checkCache(start);
     checkDram(start);
     checkBwGuard(start);
@@ -195,6 +203,38 @@ InvariantChecker::checkCores(Time start)
                             "instructions (%.3f LLC accesses)",
                             proc->pid, c, retired, accessed));
             }
+        }
+    }
+}
+
+void
+InvariantChecker::checkDvfsConverged(Time start)
+{
+    if (governor_ == nullptr)
+        return;
+    for (unsigned c = 0; c < machine_.numCores(); ++c) {
+        if (governor_->transitionPending(c))
+            continue;
+        if (governor_->writeAbandoned(c)) {
+            // Legal only when the run actually injects DVFS write
+            // failures; otherwise an abandoned write is a governor bug.
+            bool injected = faults_ != nullptr &&
+                            faults_->plan().dvfs.failProb > 0.0;
+            if (!injected) {
+                fail(start, "dvfs-converged",
+                     strfmt("core %u abandoned a grade write without "
+                            "injected DVFS faults",
+                            c));
+            }
+            continue;
+        }
+        double want = governor_->gradeFreq(governor_->grade(c)).hz();
+        double have = machine_.core(c).frequency().hz();
+        if (std::abs(have - want) > want * 1e-9) {
+            fail(start, "dvfs-converged",
+                 strfmt("core %u settled at %.0f Hz but grade %u wants "
+                        "%.0f Hz",
+                        c, have, governor_->grade(c), want));
         }
     }
 }

@@ -35,6 +35,10 @@ namespace dirigent::machine {
 class CpuFreqGovernor;
 } // namespace dirigent::machine
 
+namespace dirigent::fault {
+class FaultInjector;
+} // namespace dirigent::fault
+
 namespace dirigent::check {
 
 /** Checker behaviour knobs. */
@@ -82,6 +86,17 @@ class InvariantChecker : public sim::Observer
     void attachGovernor(const machine::CpuFreqGovernor *governor);
 
     /**
+     * Declare that this run injects faults from @p injector (not
+     * owned). Fault-aware expectations: an abandoned DVFS write —
+     * normally a checker violation under the dvfs-converged rule — is
+     * legal exactly when the attached plan injects DVFS failures.
+     * Machine-level invariants are NOT relaxed: faults are injected at
+     * the sensing/actuation boundary, so the machine itself must stay
+     * physically sane under any plan.
+     */
+    void attachFaultInjector(const fault::FaultInjector *injector);
+
+    /**
      * Custom check evaluated after every quantum: return a violation
      * detail string, or nullopt when the invariant holds.
      */
@@ -116,6 +131,7 @@ class InvariantChecker : public sim::Observer
     void checkClock(Time start, Time dt);
     void checkEventQueue(Time start);
     void checkCores(Time start);
+    void checkDvfsConverged(Time start);
     void checkCache(Time start);
     void checkDram(Time start);
     void checkBwGuard(Time start);
@@ -123,6 +139,7 @@ class InvariantChecker : public sim::Observer
     machine::Machine &machine_;
     sim::Engine *engine_;
     const machine::CpuFreqGovernor *governor_ = nullptr;
+    const fault::FaultInjector *faults_ = nullptr;
     CheckerConfig config_;
     std::vector<std::pair<std::string, CustomCheck>> customChecks_;
     std::vector<CoreSnapshot> before_;

@@ -69,7 +69,13 @@ CoarseGrainController::invoke()
         bool improved =
             missMean < preGrowMissMean_ * (1.0 - config_.growBenefit);
         if (!improved && ways > 1) {
-            cat_.setFgWays(ways - 1);
+            if (!cat_.setFgWays(ways - 1)) {
+                // Reconfiguration failed; lastAction_ stays Grow so the
+                // retraction is retried at the next invocation.
+                decisions_.push_back(
+                    {executionsSeen_, cat_.fgWays(), "H2-shrink-fail"});
+                return;
+            }
             lastAction_ = LastAction::Shrink;
             fired = "H2-shrink";
             traceChange(TraceAction::PartitionShrunk, fired);
@@ -85,8 +91,12 @@ CoarseGrainController::invoke()
     // isolation will likely help; grow the FG partition.
     if (corr > config_.corrThreshold && missedRecently &&
         ways < cat_.numWays() - 1) {
+        if (!cat_.setFgWays(ways + 1)) {
+            decisions_.push_back(
+                {executionsSeen_, cat_.fgWays(), "H1-grow-fail"});
+            return;
+        }
         preGrowMissMean_ = missMean;
-        cat_.setFgWays(ways + 1);
         lastAction_ = LastAction::Grow;
         fired = "H1-grow";
         traceChange(TraceAction::PartitionGrown, fired);
@@ -97,8 +107,12 @@ CoarseGrainController::invoke()
     // H3: the fine controller keeps BG heavily throttled; partitioning
     // may serve FG better than throttling. H2 retracts this if wrong.
     if (sev > config_.severityThreshold && ways < cat_.numWays() - 1) {
+        if (!cat_.setFgWays(ways + 1)) {
+            decisions_.push_back(
+                {executionsSeen_, cat_.fgWays(), "H3-grow-fail"});
+            return;
+        }
         preGrowMissMean_ = missMean;
-        cat_.setFgWays(ways + 1);
         lastAction_ = LastAction::Grow;
         fired = "H3-grow";
         traceChange(TraceAction::PartitionGrown, fired);

@@ -1,0 +1,28 @@
+#include "dirigent/profile_fault.h"
+
+namespace dirigent::core {
+
+Profile
+corruptProfile(const Profile &src, const fault::ProfileFaults &faults,
+               Rng rng)
+{
+    if (faults.staleScale == 1.0 && faults.noiseSigma == 0.0 &&
+        faults.corruptProb == 0.0) {
+        return src;
+    }
+    std::vector<ProfileSegment> segments = src.segments();
+    for (ProfileSegment &seg : segments) {
+        double scale = faults.staleScale;
+        if (faults.noiseSigma > 0.0)
+            scale *= rng.lognormalMean(1.0, faults.noiseSigma);
+        seg.duration = seg.duration * scale;
+        if (rng.chance(faults.corruptProb)) {
+            seg.progress *=
+                rng.uniform(0.0, faults.corruptScale);
+        }
+    }
+    return Profile(src.benchmark(), src.samplingPeriod(),
+                   std::move(segments));
+}
+
+} // namespace dirigent::core

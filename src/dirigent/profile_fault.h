@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Offline-profile corruption for fault injection: derive a stale or
+ * corrupted copy of a standalone profile according to a fault plan's
+ * [profile] section. The runtime keeps using the corrupted copy as if
+ * it were faithful — the degraded-mode detection in DirigentRuntime is
+ * what must notice the mismatch.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_PROFILE_FAULT_H
+#define DIRIGENT_DIRIGENT_PROFILE_FAULT_H
+
+#include "common/random.h"
+#include "dirigent/profile.h"
+#include "fault/plan.h"
+
+namespace dirigent::core {
+
+/**
+ * Apply @p faults to a copy of @p src: segment durations scaled by
+ * staleScale and jittered lognormally by noiseSigma; segment progress
+ * values corrupted with probability corruptProb. Deterministic in
+ * (@p src, @p faults, @p rng); an empty [profile] section returns an
+ * exact copy.
+ */
+Profile corruptProfile(const Profile &src,
+                       const fault::ProfileFaults &faults, Rng rng);
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_PROFILE_FAULT_H

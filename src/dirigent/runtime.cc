@@ -1,6 +1,9 @@
 #include "dirigent/runtime.h"
 
+#include <cmath>
+
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dirigent::core {
 
@@ -21,6 +24,8 @@ DirigentRuntime::DirigentRuntime(machine::Machine &machine,
         [this](const machine::PeriodicSampler::Tick &tick) {
             onTick(tick);
         });
+    if (config_.faults != nullptr)
+        sampler_->setFaultInjector(config_.faults);
 }
 
 DirigentRuntime::~DirigentRuntime()
@@ -46,6 +51,7 @@ DirigentRuntime::addForeground(machine::Pid pid, const Profile *profile,
     state.deadline = deadline;
     state.predictor =
         std::make_unique<Predictor>(profile, config_.predictor);
+    state.durationEma = Ema(config_.degradedEmaWeight);
     fgs_.emplace(pid, std::move(state));
 }
 
@@ -72,7 +78,7 @@ DirigentRuntime::start()
 
     for (auto &[pid, fg] : fgs_) {
         fg.instrAtStart = cumulativeProgress(fg);
-        fg.missesAtStart = machine_.readCounters(fg.core).llcMisses;
+        fg.missesAtStart = sampleMisses(fg);
         fg.midpointRecorded = false;
         fg.predictor->beginExecution(
             machine_.os().process(pid).taskStart);
@@ -136,9 +142,16 @@ DirigentRuntime::onTick(const machine::PeriodicSampler::Tick &tick)
             FineGrainController::FgStatus st;
             st.pid = pid;
             st.core = fg.core;
-            st.predicted = fg.predictor->predictTotal();
+            if (fg.degraded && fg.durationEma.valid()) {
+                // Degraded (stale profile) mode: reactive control from
+                // an EMA of observed durations, not the predictor.
+                st.predicted = Time::sec(fg.durationEma.value());
+                st.valid = true;
+            } else {
+                st.predicted = fg.predictor->predictTotal();
+                st.valid = fg.predictor->hasObservation();
+            }
             st.deadline = fg.deadline;
-            st.valid = fg.predictor->hasObservation();
             statuses.push_back(st);
         }
         fine_->tick(statuses);
@@ -165,18 +178,39 @@ DirigentRuntime::onCompletion(const machine::CompletionRecord &rec)
             {rec.executionIndex, fg.midpointPrediction, actual});
     }
 
+    double missesNow = sampleMisses(fg);
     if (coarse_) {
-        const auto &counters = machine_.readCounters(fg.core);
-        double fgMisses = counters.llcMisses - fg.missesAtStart;
+        double fgMisses = missesNow - fg.missesAtStart;
         bool missed = actual > fg.deadline;
         double severity =
             config_.enableFine ? fine_->drainThrottleSeverity() : 0.0;
         coarse_->recordExecution(actual, fgMisses, missed, severity);
     }
 
+    // Profile-mismatch detection: when measured progress repeatedly
+    // disagrees with the profile's total, the profile is stale and the
+    // predictor's comparisons are meaningless — fall back to reactive
+    // control driven by observed durations.
+    double expected = fg.profile->totalProgress();
+    if (expected > 0.0) {
+        double ratio = finalProgress / expected;
+        if (std::abs(ratio - 1.0) > config_.mismatchTolerance)
+            ++fg.mismatchStreak;
+        else
+            fg.mismatchStreak = 0;
+        if (!fg.degraded && fg.mismatchStreak >= config_.mismatchStreak) {
+            fg.degraded = true;
+            verbose(strfmt("dirigent: pid %u progress/profile ratio "
+                           "%.3g for %u consecutive executions; "
+                           "degrading to reactive control",
+                           rec.pid, ratio, fg.mismatchStreak));
+        }
+    }
+    fg.durationEma.add(actual.sec());
+
     // Arm for the next execution, which starts immediately.
     fg.instrAtStart = cumulativeProgress(fg);
-    fg.missesAtStart = machine_.readCounters(fg.core).llcMisses;
+    fg.missesAtStart = missesNow;
     fg.midpointRecorded = false;
     fg.predictor->beginExecution(rec.finished);
 }
@@ -188,9 +222,17 @@ DirigentRuntime::restartPredictionClock(machine::Pid pid, Time now)
     DIRIGENT_ASSERT(it != fgs_.end(), "pid %u not registered", pid);
     FgState &fg = it->second;
     fg.instrAtStart = cumulativeProgress(fg);
-    fg.missesAtStart = machine_.readCounters(fg.core).llcMisses;
+    fg.missesAtStart = sampleMisses(fg);
     fg.midpointRecorded = false;
     fg.predictor->beginExecution(now);
+}
+
+bool
+DirigentRuntime::degradedMode(machine::Pid pid) const
+{
+    auto it = fgs_.find(pid);
+    DIRIGENT_ASSERT(it != fgs_.end(), "pid %u not registered", pid);
+    return it->second.degraded;
 }
 
 void
@@ -203,9 +245,58 @@ DirigentRuntime::setTrace(DecisionTrace *trace)
 }
 
 double
-DirigentRuntime::cumulativeProgress(const FgState &fg) const
+DirigentRuntime::cumulativeProgress(FgState &fg)
 {
-    return readCumulativeProgress(machine_, fg.core, config_.metric);
+    double raw = readCumulativeProgress(machine_, fg.core, config_.metric);
+    if (config_.faults != nullptr) {
+        raw = config_.faults->filterCounter(fault::Channel::Progress,
+                                            fg.core, raw);
+    }
+    return sanitize(fg.progressSense, raw);
+}
+
+double
+DirigentRuntime::sampleMisses(FgState &fg)
+{
+    double raw = machine_.readCounters(fg.core).llcMisses;
+    if (config_.faults != nullptr) {
+        raw = config_.faults->filterCounter(fault::Channel::LlcMisses,
+                                            fg.core, raw);
+    }
+    return sanitize(fg.missSense, raw);
+}
+
+/**
+ * Clamp a cumulative counter read to the physically plausible: finite,
+ * monotone, and advancing no faster than maxFreq · maxPlausibleIpc
+ * (with 2x slack). Implausible reads are held at the previous value —
+ * the predictor then sees a zero delta, which it already treats as a
+ * no-progress tick, so one glitched read cannot poison the
+ * cross-execution EMA. Never rejects a fault-free read.
+ */
+double
+DirigentRuntime::sanitize(SenseState &st, double raw)
+{
+    Time now = machine_.now();
+    if (!st.init) {
+        if (!std::isfinite(raw) || raw < 0.0) {
+            ++sanitizedSamples_;
+            raw = 0.0;
+        }
+        st.init = true;
+    } else {
+        double dt = std::max((now - st.lastTime).sec(),
+                             config_.samplingPeriod.sec());
+        double ceiling = st.last + machine_.config().maxFreq.hz() *
+                                       config_.maxPlausibleIpc * 2.0 * dt;
+        if (!std::isfinite(raw) || raw < st.last || raw > ceiling) {
+            ++sanitizedSamples_;
+            raw = st.last;
+        }
+    }
+    st.last = raw;
+    st.lastTime = now;
+    return raw;
 }
 
 } // namespace dirigent::core

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/units.h"
 #include "dirigent/coarse_controller.h"
 #include "dirigent/fine_controller.h"
@@ -25,6 +26,10 @@
 #include "machine/cpufreq.h"
 #include "machine/machine.h"
 #include "machine/sampler.h"
+
+namespace dirigent::fault {
+class FaultInjector;
+} // namespace dirigent::fault
 
 namespace dirigent::core {
 
@@ -65,6 +70,32 @@ struct RuntimeConfig
      * the profiles were recorded with.
      */
     ProgressMetric metric = ProgressMetric::RetiredInstructions;
+
+    /**
+     * Fault injector consulted at the sensing boundary (counter reads)
+     * and handed to the sampling timer (not owned; nullptr = no
+     * injection, bit-identical behaviour).
+     */
+    fault::FaultInjector *faults = nullptr;
+
+    /**
+     * Sample sanitizer: a progress delta is physically implausible —
+     * and held at the previous value instead of reaching the
+     * predictor — when it exceeds maxFreq · maxPlausibleIpc · 2·dt.
+     */
+    double maxPlausibleIpc = 12.0;
+
+    /** @name Degraded (reactive fallback) mode.
+     *  When an execution's measured progress disagrees with the
+     *  offline profile's total by more than mismatchTolerance for
+     *  mismatchStreak consecutive executions, the FG's profile is
+     *  declared stale: fine-grain decisions switch from the predictor
+     *  to an EMA of observed durations (reactive control). */
+    /// @{
+    double mismatchTolerance = 0.4;
+    unsigned mismatchStreak = 3;
+    double degradedEmaWeight = 0.3;
+    /// @}
 };
 
 /**
@@ -139,7 +170,21 @@ class DirigentRuntime
      */
     void restartPredictionClock(machine::Pid pid, Time now);
 
+    /** True once @p pid fell back to reactive (degraded) control. */
+    bool degradedMode(machine::Pid pid) const;
+
+    /** Counter samples rejected by the plausibility sanitizer. */
+    uint64_t sanitizedSamples() const { return sanitizedSamples_; }
+
   private:
+    /** Per-channel sanitizer state: the last value fed downstream. */
+    struct SenseState
+    {
+        bool init = false;
+        double last = 0.0;
+        Time lastTime;
+    };
+
     struct FgState
     {
         machine::Pid pid = 0;
@@ -152,11 +197,18 @@ class DirigentRuntime
         bool midpointRecorded = false;
         Time midpointPrediction;
         std::vector<PredictionSample> samples;
+        SenseState progressSense;
+        SenseState missSense;
+        Ema durationEma{0.3}; //!< reweighted in addForeground()
+        unsigned mismatchStreak = 0;
+        bool degraded = false;
     };
 
     void onTick(const machine::PeriodicSampler::Tick &tick);
     void onCompletion(const machine::CompletionRecord &rec);
-    double cumulativeProgress(const FgState &fg) const;
+    double cumulativeProgress(FgState &fg);
+    double sampleMisses(FgState &fg);
+    double sanitize(SenseState &st, double raw);
 
     machine::Machine &machine_;
     machine::CatController &cat_;
@@ -167,6 +219,7 @@ class DirigentRuntime
     std::map<machine::Pid, FgState> fgs_;
     size_t completionListener_ = 0;
     uint64_t tickCount_ = 0;
+    uint64_t sanitizedSamples_ = 0;
     bool started_ = false;
     DecisionTrace *trace_ = nullptr;
 };

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -181,30 +182,52 @@ SweepExecutor::forEach(const std::vector<JobKey> &keys, const JobFn &fn)
 {
     ProgressReporter prog(keys.size(), progress_);
 
+    // Job failures are isolated: a throwing job must not take its
+    // siblings' results down with it (a sweep that dies on cell 3 of
+    // 100 still owes the caller the other 99 JSONL records). The first
+    // exception is remembered and rethrown once every job finished.
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+    size_t failed = 0;
+
+    auto guarded = [&](size_t i, harness::ExperimentRunner &runner) {
+        std::string label = jobLabel(keys[i]);
+        prog.jobStarted(label);
+        auto t0 = Clock::now();
+        try {
+            fn(i, keys[i], runner);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                ++failed;
+            }
+            warn("sweep job '" + label + "' failed; siblings continue");
+        }
+        prog.jobFinished(label, secondsSince(t0));
+    };
+
     if (threads_ == 1) {
         harness::ExperimentRunner runner(config_, sharedProfiles_);
+        for (size_t i = 0; i < keys.size(); ++i)
+            guarded(i, runner);
+    } else {
+        ThreadPool pool(threads_);
         for (size_t i = 0; i < keys.size(); ++i) {
-            std::string label = jobLabel(keys[i]);
-            prog.jobStarted(label);
-            auto t0 = Clock::now();
-            fn(i, keys[i], runner);
-            prog.jobFinished(label, secondsSince(t0));
+            pool.submit([&, i] {
+                harness::ExperimentRunner runner(config_,
+                                                 sharedProfiles_);
+                guarded(i, runner);
+            });
         }
-        return;
+        pool.wait();
     }
 
-    ThreadPool pool(threads_);
-    for (size_t i = 0; i < keys.size(); ++i) {
-        pool.submit([&, i] {
-            std::string label = jobLabel(keys[i]);
-            prog.jobStarted(label);
-            auto t0 = Clock::now();
-            harness::ExperimentRunner runner(config_, sharedProfiles_);
-            fn(i, keys[i], runner);
-            prog.jobFinished(label, secondsSince(t0));
-        });
+    if (firstError) {
+        warn(strfmt("%zu of %zu sweep jobs failed", failed, keys.size()));
+        std::rethrow_exception(firstError);
     }
-    pool.wait();
 }
 
 } // namespace dirigent::exec

@@ -83,8 +83,10 @@ class SweepExecutor
      * Generic fan-out for custom sweeps (ablations, sensitivity
      * grids): invoke @p fn once per key, each call on a worker with a
      * runner wired to the shared profile cache. Calls run in key order
-     * when threads() == 1; any job exception cancels the backlog and
-     * is rethrown.
+     * when threads() == 1. Job failures are isolated: a throwing job
+     * never drops or reorders its siblings' results — every other job
+     * still runs to completion, and the first exception is rethrown
+     * only after the whole sweep finished.
      */
     void forEach(const std::vector<JobKey> &keys, const JobFn &fn);
 

@@ -1,0 +1,102 @@
+#include "fault/injector.h"
+
+namespace dirigent::fault {
+
+namespace {
+
+// 48-bit perf counters saturate at all-ones.
+constexpr double kSaturated = 281474976710655.0; // 2^48 - 1
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, uint64_t seed)
+    : plan_(plan), seed_(seed ^ plan.seedSalt),
+      counterRng_(Rng(seed_).fork(0xC0)), samplerRng_(Rng(seed_).fork(0x5A)),
+      dvfsRng_(Rng(seed_).fork(0xD4)), catRng_(Rng(seed_).fork(0xCA))
+{
+}
+
+double
+FaultInjector::filterCounter(Channel channel, unsigned core, double value)
+{
+    double &last = lastRaw_
+                       .try_emplace(uint64_t(channel) << 32 | core, value)
+                       .first->second;
+    double out = value;
+    if (counterRng_.chance(plan_.counters.dropProb)) {
+        ++stats_.counterDrops;
+        out = last;
+    } else if (counterRng_.chance(plan_.counters.saturateProb)) {
+        ++stats_.counterSaturations;
+        out = kSaturated;
+    } else if (counterRng_.chance(plan_.counters.glitchProb)) {
+        ++stats_.counterGlitches;
+        out = value * counterRng_.uniform(0.0, plan_.counters.glitchScale);
+    }
+    last = value; // remember the true value, not the faulted one
+    return out;
+}
+
+Time
+FaultInjector::samplerStall()
+{
+    if (!samplerRng_.chance(plan_.sampler.stallProb))
+        return Time{};
+    ++stats_.samplerStalls;
+    return Time::sec(
+        samplerRng_.exponential(plan_.sampler.stallMean.sec()));
+}
+
+bool
+FaultInjector::samplerMissesWake()
+{
+    if (!samplerRng_.chance(plan_.sampler.missProb))
+        return false;
+    ++stats_.samplerMisses;
+    return true;
+}
+
+Time
+FaultInjector::callbackOverrun()
+{
+    if (!samplerRng_.chance(plan_.sampler.overrunProb))
+        return Time{};
+    ++stats_.samplerOverruns;
+    return Time::sec(
+        samplerRng_.exponential(plan_.sampler.overrunMean.sec()));
+}
+
+bool
+FaultInjector::dvfsWriteFails()
+{
+    if (!dvfsRng_.chance(plan_.dvfs.failProb))
+        return false;
+    ++stats_.dvfsFailures;
+    return true;
+}
+
+Time
+FaultInjector::dvfsLatencySpike()
+{
+    if (!dvfsRng_.chance(plan_.dvfs.spikeProb))
+        return Time{};
+    ++stats_.dvfsSpikes;
+    return Time::sec(dvfsRng_.exponential(plan_.dvfs.spikeMean.sec()));
+}
+
+bool
+FaultInjector::catApplyFails()
+{
+    if (!catRng_.chance(plan_.cat.failProb))
+        return false;
+    ++stats_.catFailures;
+    return true;
+}
+
+Rng
+FaultInjector::profileRng() const
+{
+    return Rng(seed_).fork(0xF0F1);
+}
+
+} // namespace dirigent::fault

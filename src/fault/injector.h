@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The deterministic fault injector: one instance per experiment run,
+ * consulted at every boundary the runtime crosses (perf-counter reads,
+ * sampler wake-ups, DVFS grade writes, CAT mask writes). All decisions
+ * draw from private per-boundary RNG streams forked from a single
+ * (seed, plan.seedSalt) pair, so a failing run replays bit-identically
+ * and attaching an injector never perturbs the simulation's own
+ * randomness.
+ */
+
+#ifndef DIRIGENT_FAULT_INJECTOR_H
+#define DIRIGENT_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <map>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "fault/plan.h"
+
+namespace dirigent::fault {
+
+/** Counter channels with independent drop/glitch state per core. */
+enum class Channel : unsigned
+{
+    Progress = 0, //!< retired instructions / heartbeats
+    LlcMisses = 1,
+};
+
+/** Injection counts, for test assertions and run reports. */
+struct FaultStats
+{
+    uint64_t counterDrops = 0;
+    uint64_t counterGlitches = 0;
+    uint64_t counterSaturations = 0;
+    uint64_t samplerStalls = 0;
+    uint64_t samplerMisses = 0;
+    uint64_t samplerOverruns = 0;
+    uint64_t dvfsFailures = 0;
+    uint64_t dvfsSpikes = 0;
+    uint64_t catFailures = 0;
+
+    uint64_t
+    total() const
+    {
+        return counterDrops + counterGlitches + counterSaturations +
+               samplerStalls + samplerMisses + samplerOverruns +
+               dvfsFailures + dvfsSpikes + catFailures;
+    }
+};
+
+/**
+ * Seed-deterministic fault source. Not thread-safe; each run owns one.
+ */
+class FaultInjector
+{
+  public:
+    /** @param plan what to inject; @param seed run-unique seed. */
+    FaultInjector(FaultPlan plan, uint64_t seed);
+
+    const FaultPlan &plan() const { return plan_; }
+    const FaultStats &stats() const { return stats_; }
+    uint64_t seed() const { return seed_; }
+
+    /**
+     * Filter a cumulative counter value read on (channel, core): may
+     * return the previous raw value (drop), a saturated value, or a
+     * glitch; otherwise the value passes through unchanged.
+     */
+    double filterCounter(Channel channel, unsigned core, double value);
+
+    /** Extra stall before a sampler wake fires (zero = none). */
+    Time samplerStall();
+
+    /** True when this wake-up is missed (callback skipped). */
+    bool samplerMissesWake();
+
+    /** Modeled callback overrun delaying the next wake (zero = none). */
+    Time callbackOverrun();
+
+    /** True when a DVFS grade write fails transiently (EBUSY). */
+    bool dvfsWriteFails();
+
+    /** Extra DVFS transition latency (zero = none). */
+    Time dvfsLatencySpike();
+
+    /** True when a CAT mask reconfiguration fails. */
+    bool catApplyFails();
+
+    /** Private stream for profile corruption (see corruptProfile()). */
+    Rng profileRng() const;
+
+  private:
+    FaultPlan plan_;
+    uint64_t seed_;
+    Rng counterRng_;
+    Rng samplerRng_;
+    Rng dvfsRng_;
+    Rng catRng_;
+    std::map<uint64_t, double> lastRaw_; //!< per (channel, core) reads
+    FaultStats stats_;
+};
+
+} // namespace dirigent::fault
+
+#endif // DIRIGENT_FAULT_INJECTOR_H

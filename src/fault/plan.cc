@@ -1,0 +1,171 @@
+#include "fault/plan.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::fault {
+
+namespace {
+
+// strtod parses "nan" and "inf"; both would defeat the range checks.
+void
+requireFinite(const char *key, double value)
+{
+    if (!std::isfinite(value))
+        fatal(strfmt("fault plan: %s must be finite", key));
+}
+
+double
+getProb(const Config &config, const char *key)
+{
+    double p = config.getDouble(key, 0.0);
+    requireFinite(key, p);
+    if (p < 0.0 || p > 1.0)
+        fatal(strfmt("fault plan: %s must be a probability in [0, 1], "
+                     "got %.9g",
+                     key, p));
+    return p;
+}
+
+Time
+getPositiveTime(const Config &config, const char *key, Time fallback)
+{
+    Time t = config.getTime(key, fallback);
+    requireFinite(key, t.sec());
+    if (t.sec() <= 0.0)
+        fatal(strfmt("fault plan: %s must be a positive duration", key));
+    return t;
+}
+
+} // namespace
+
+bool
+FaultPlan::empty() const
+{
+    return counters.dropProb == 0.0 && counters.glitchProb == 0.0 &&
+           counters.saturateProb == 0.0 && sampler.stallProb == 0.0 &&
+           sampler.missProb == 0.0 && sampler.overrunProb == 0.0 &&
+           dvfs.failProb == 0.0 && dvfs.spikeProb == 0.0 &&
+           cat.failProb == 0.0 && profile.staleScale == 1.0 &&
+           profile.noiseSigma == 0.0 && profile.corruptProb == 0.0;
+}
+
+FaultPlan
+parseFaultPlan(const Config &config)
+{
+    // Reject keys outside the known sections early: a typoed section
+    // would otherwise silently inject nothing.
+    static const char *sections[] = {"faults.",  "counters.", "sampler.",
+                                     "dvfs.",    "cat.",      "profile."};
+    for (const std::string &key : config.keys()) {
+        bool known = false;
+        for (const char *s : sections)
+            known = known || key.rfind(s, 0) == 0;
+        if (!known)
+            fatal(strfmt("fault plan: unknown key '%s' (sections: "
+                         "faults, counters, sampler, dvfs, cat, profile)",
+                         key.c_str()));
+    }
+
+    FaultPlan plan;
+    plan.seedSalt = config.getUint("faults.seed_salt", 0);
+
+    plan.counters.dropProb = getProb(config, "counters.drop_prob");
+    plan.counters.glitchProb = getProb(config, "counters.glitch_prob");
+    plan.counters.glitchScale =
+        config.getDouble("counters.glitch_scale", 100.0);
+    requireFinite("counters.glitch_scale", plan.counters.glitchScale);
+    if (plan.counters.glitchScale <= 0.0)
+        fatal("fault plan: counters.glitch_scale must be positive");
+    plan.counters.saturateProb = getProb(config, "counters.saturate_prob");
+
+    plan.sampler.stallProb = getProb(config, "sampler.stall_prob");
+    plan.sampler.stallMean =
+        getPositiveTime(config, "sampler.stall_mean", Time::ms(10.0));
+    plan.sampler.missProb = getProb(config, "sampler.miss_prob");
+    plan.sampler.overrunProb = getProb(config, "sampler.overrun_prob");
+    plan.sampler.overrunMean =
+        getPositiveTime(config, "sampler.overrun_mean", Time::ms(8.0));
+
+    plan.dvfs.failProb = getProb(config, "dvfs.fail_prob");
+    plan.dvfs.spikeProb = getProb(config, "dvfs.spike_prob");
+    plan.dvfs.spikeMean =
+        getPositiveTime(config, "dvfs.spike_mean", Time::ms(2.0));
+
+    plan.cat.failProb = getProb(config, "cat.fail_prob");
+
+    plan.profile.staleScale = config.getDouble("profile.stale_scale", 1.0);
+    requireFinite("profile.stale_scale", plan.profile.staleScale);
+    if (plan.profile.staleScale <= 0.0)
+        fatal("fault plan: profile.stale_scale must be positive");
+    plan.profile.noiseSigma = config.getDouble("profile.noise_sigma", 0.0);
+    requireFinite("profile.noise_sigma", plan.profile.noiseSigma);
+    if (plan.profile.noiseSigma < 0.0)
+        fatal("fault plan: profile.noise_sigma must be >= 0");
+    plan.profile.corruptProb = getProb(config, "profile.corrupt_prob");
+    plan.profile.corruptScale =
+        config.getDouble("profile.corrupt_scale", 4.0);
+    requireFinite("profile.corrupt_scale", plan.profile.corruptScale);
+    if (plan.profile.corruptScale <= 0.0)
+        fatal("fault plan: profile.corrupt_scale must be positive");
+
+    return plan;
+}
+
+FaultPlan
+parseFaultPlan(const std::string &text)
+{
+    return parseFaultPlan(Config::parse(text));
+}
+
+FaultPlan
+loadFaultPlan(const std::string &path)
+{
+    return parseFaultPlan(Config::load(path));
+}
+
+std::string
+formatFaultPlan(const FaultPlan &plan)
+{
+    std::string out;
+    out += "[faults]\n";
+    out += strfmt("seed_salt = %llu\n",
+                  (unsigned long long)plan.seedSalt);
+    out += "\n[counters]\n";
+    out += strfmt("drop_prob = %.9g\n", plan.counters.dropProb);
+    out += strfmt("glitch_prob = %.9g\n", plan.counters.glitchProb);
+    out += strfmt("glitch_scale = %.9g\n", plan.counters.glitchScale);
+    out += strfmt("saturate_prob = %.9g\n", plan.counters.saturateProb);
+    out += "\n[sampler]\n";
+    out += strfmt("stall_prob = %.9g\n", plan.sampler.stallProb);
+    out += strfmt("stall_mean = %.9gms\n", plan.sampler.stallMean.ms());
+    out += strfmt("miss_prob = %.9g\n", plan.sampler.missProb);
+    out += strfmt("overrun_prob = %.9g\n", plan.sampler.overrunProb);
+    out += strfmt("overrun_mean = %.9gms\n", plan.sampler.overrunMean.ms());
+    out += "\n[dvfs]\n";
+    out += strfmt("fail_prob = %.9g\n", plan.dvfs.failProb);
+    out += strfmt("spike_prob = %.9g\n", plan.dvfs.spikeProb);
+    out += strfmt("spike_mean = %.9gms\n", plan.dvfs.spikeMean.ms());
+    out += "\n[cat]\n";
+    out += strfmt("fail_prob = %.9g\n", plan.cat.failProb);
+    out += "\n[profile]\n";
+    out += strfmt("stale_scale = %.9g\n", plan.profile.staleScale);
+    out += strfmt("noise_sigma = %.9g\n", plan.profile.noiseSigma);
+    out += strfmt("corrupt_prob = %.9g\n", plan.profile.corruptProb);
+    out += strfmt("corrupt_scale = %.9g\n", plan.profile.corruptScale);
+    return out;
+}
+
+std::optional<std::string>
+envFaultPlanPath()
+{
+    const char *env = std::getenv("DIRIGENT_FAULTS");
+    if (env == nullptr || env[0] == '\0')
+        return std::nullopt;
+    return std::string(env);
+}
+
+} // namespace dirigent::fault

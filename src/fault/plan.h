@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fault-plan DSL: the declarative description of which boundary faults
+ * a run injects and how hard. Plans are INI text (the same Config
+ * format the workload parser uses) loaded from `--faults plan.cfg` or
+ * the DIRIGENT_FAULTS environment variable, validated with fatal() on
+ * user errors, and round-trippable through formatFaultPlan() so a
+ * failing chaos cell can be reproduced from its (seed, plan) pair.
+ *
+ * An all-defaults plan is *empty*: attaching an injector built from it
+ * is a provable no-op (every probability is zero and the injector's
+ * randomness is private, so the simulation stream is untouched).
+ */
+
+#ifndef DIRIGENT_FAULT_PLAN_H
+#define DIRIGENT_FAULT_PLAN_H
+
+#include <optional>
+#include <string>
+
+#include "common/config.h"
+#include "common/units.h"
+
+namespace dirigent::fault {
+
+/** Perf-counter read faults (cumulative counter values). */
+struct CounterFaults
+{
+    /** Per-read probability the reader sees the previous value again
+     *  (a dropped sample — the new value never reaches userspace). */
+    double dropProb = 0.0;
+
+    /** Per-read probability of a glitched value: the true value scaled
+     *  by uniform(0, glitchScale) — wild in either direction. */
+    double glitchProb = 0.0;
+    double glitchScale = 100.0;
+
+    /** Per-read probability of a saturated (all-ones 48-bit) value. */
+    double saturateProb = 0.0;
+};
+
+/** PeriodicSampler wake-up faults. */
+struct SamplerFaults
+{
+    /** Per-tick probability of an extra stall before the wake fires
+     *  (exponential with mean stallMean). Stalls longer than the
+     *  period skip ticks. */
+    double stallProb = 0.0;
+    Time stallMean = Time::ms(10.0);
+
+    /** Per-tick probability the wake-up is missed entirely: the tick
+     *  index is consumed but the callback never runs. */
+    double missProb = 0.0;
+
+    /** Per-tick probability the callback overruns its period budget,
+     *  pushing the next wake out by exponential(overrunMean). */
+    double overrunProb = 0.0;
+    Time overrunMean = Time::ms(8.0);
+};
+
+/** CpuFreqGovernor grade-write faults. */
+struct DvfsFaults
+{
+    /** Per-write probability of a transient EBUSY-style failure (the
+     *  governor retries with bounded exponential backoff). */
+    double failProb = 0.0;
+
+    /** Per-write probability of an extra transition-latency spike
+     *  (exponential with mean spikeMean). */
+    double spikeProb = 0.0;
+    Time spikeMean = Time::ms(2.0);
+};
+
+/** CAT way-mask reconfiguration faults. */
+struct CatFaults
+{
+    /** Per-reconfiguration probability the mask write fails; the old
+     *  partition stays in force. */
+    double failProb = 0.0;
+};
+
+/** Offline-profile corruption/staleness. */
+struct ProfileFaults
+{
+    /** Stale profile: every segment duration scaled by this factor
+     *  (1.0 = faithful profile). */
+    double staleScale = 1.0;
+
+    /** Per-segment lognormal noise on durations (0 = none). */
+    double noiseSigma = 0.0;
+
+    /** Per-segment probability the progress value is corrupted
+     *  (scaled by uniform(0, corruptScale)). */
+    double corruptProb = 0.0;
+    double corruptScale = 4.0;
+};
+
+/**
+ * A complete fault plan. Default-constructed plans are empty().
+ */
+struct FaultPlan
+{
+    /** Extra salt mixed into the injector seed so the same run seed
+     *  can explore independent fault streams. */
+    uint64_t seedSalt = 0;
+
+    CounterFaults counters;
+    SamplerFaults sampler;
+    DvfsFaults dvfs;
+    CatFaults cat;
+    ProfileFaults profile;
+
+    /** True when the plan injects nothing at all. */
+    bool empty() const;
+};
+
+/**
+ * Parse a fault plan from a Config / INI text / file. fatal() on
+ * invalid structure or out-of-range values (plans are user input).
+ */
+FaultPlan parseFaultPlan(const Config &config);
+FaultPlan parseFaultPlan(const std::string &text);
+FaultPlan loadFaultPlan(const std::string &path);
+
+/** Serialize a plan to DSL text; parseFaultPlan() round-trips it. */
+std::string formatFaultPlan(const FaultPlan &plan);
+
+/**
+ * Path from the DIRIGENT_FAULTS environment variable, or nullopt when
+ * unset/empty. The CLI flag `--faults` overrides it.
+ */
+std::optional<std::string> envFaultPlanPath();
+
+} // namespace dirigent::fault
+
+#endif // DIRIGENT_FAULT_PLAN_H

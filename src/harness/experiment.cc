@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "common/log.h"
 #include "common/stats.h"
+#include "dirigent/profile_fault.h"
 #include "dirigent/reactive.h"
 #include "dirigent/trace.h"
 #include "machine/cat.h"
@@ -82,9 +83,27 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
 
     std::optional<check::InvariantChecker> checker;
     if (check::enabled()) {
-        checker.emplace(machine, &engine);
+        check::CheckerConfig ccfg;
+        ccfg.abortOnViolation = check::abortPreferred();
+        checker.emplace(machine, &engine, ccfg);
         checker->attachGovernor(&governor);
         engine.addObserver(&*checker);
+    }
+
+    // Fault injection: an explicit per-run injector (chaos tests) wins
+    // over the harness-wide plan (CLI --faults / DIRIGENT_FAULTS).
+    std::unique_ptr<fault::FaultInjector> ownFaults;
+    fault::FaultInjector *faults = opts.faults;
+    if (faults == nullptr && !config_.faultPlan.empty()) {
+        ownFaults = std::make_unique<fault::FaultInjector>(
+            config_.faultPlan, mcfg.seed ^ 0xFA017);
+        faults = ownFaults.get();
+    }
+    if (faults != nullptr) {
+        governor.setFaultInjector(faults);
+        cat.setFaultInjector(faults);
+        if (checker)
+            checker->attachFaultInjector(faults);
     }
 
     const unsigned nFg = unsigned(mix.fgCount());
@@ -162,6 +181,7 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
     }
 
     std::unique_ptr<core::DirigentRuntime> runtime;
+    std::vector<core::Profile> corruptedProfiles;
     if (core::schemeUsesRuntime(scheme) || opts.attachObserver ||
         opts.attachCoarseOnly) {
         core::RuntimeConfig rcfg = config_.runtime;
@@ -170,16 +190,24 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
                             opts.attachCoarseOnly;
         rcfg.runtimeCore = nFg; // shared with the first BG task
         rcfg.seed = mcfg.seed ^ 0xD1D1;
+        rcfg.faults = faults;
         runtime = std::make_unique<core::DirigentRuntime>(
             machine, engine, governor, cat, rcfg);
+        corruptedProfiles.reserve(nFg); // stable addresses
         for (unsigned i = 0; i < nFg; ++i) {
             const std::string &bench = mix.fg[i];
             auto it = deadlines.find(bench);
             Time deadline = it != deadlines.end()
                                 ? it->second
                                 : profiles_->get(bench).totalTime() * 2.0;
-            runtime->addForeground(fgPids[i], &profiles_->get(bench),
-                                   deadline);
+            const core::Profile *prof = &profiles_->get(bench);
+            if (faults != nullptr) {
+                corruptedProfiles.push_back(core::corruptProfile(
+                    *prof, faults->plan().profile,
+                    faults->profileRng().fork(i)));
+                prof = &corruptedProfiles.back();
+            }
+            runtime->addForeground(fgPids[i], prof, deadline);
         }
         if (opts.golden != nullptr)
             runtime->setTrace(&opts.golden->decisions());

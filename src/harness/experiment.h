@@ -18,6 +18,7 @@
 #include "dirigent/profiler.h"
 #include "dirigent/runtime.h"
 #include "dirigent/scheme.h"
+#include "fault/injector.h"
 #include "harness/metrics.h"
 #include "machine/machine.h"
 #include "workload/mix.h"
@@ -52,6 +53,14 @@ struct HarnessConfig
 
     /** Master seed (workload randomness is shared across schemes). */
     uint64_t seed = 1234;
+
+    /**
+     * Fault plan applied to every run (CLI `--faults` / DIRIGENT_FAULTS).
+     * An empty plan (the default) injects nothing and is a provable
+     * no-op; otherwise each run builds a private, seed-deterministic
+     * injector so failing runs replay from (seed, plan).
+     */
+    fault::FaultPlan faultPlan;
 
     /**
      * Worker threads for sharded sweeps (exec::SweepExecutor):
@@ -140,6 +149,14 @@ struct RunOptions
      * golden-trace regression suite to fingerprint run behaviour.
      */
     core::GoldenTraceRecorder *golden = nullptr;
+
+    /**
+     * Caller-owned fault injector wired into every boundary of this
+     * run (sampler, counter reads, DVFS, CAT, profiles); overrides the
+     * harness-wide faultPlan. Lets chaos tests inspect stats()
+     * afterwards. Not owned; nullptr defers to the plan.
+     */
+    fault::FaultInjector *faults = nullptr;
 };
 
 /**

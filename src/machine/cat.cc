@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dirigent::machine {
 
@@ -16,7 +17,7 @@ CatController::numWays() const
     return machine_.cache().config().numWays;
 }
 
-void
+bool
 CatController::setFgWays(unsigned ways)
 {
     unsigned clamped = std::clamp(ways, 1u, numWays() - 1);
@@ -24,15 +25,29 @@ CatController::setFgWays(unsigned ways)
         verbose(strfmt("CAT: clamping FG partition %u -> %u ways", ways,
                        clamped));
     }
+    if (faults_ != nullptr && faults_->catApplyFails()) {
+        ++failedReconfigs_;
+        verbose(strfmt("CAT: mask write for %u FG ways failed; keeping "
+                       "%u ways",
+                       clamped, fgWays_));
+        return false;
+    }
     fgWays_ = clamped;
     apply();
+    return true;
 }
 
-void
+bool
 CatController::setShared()
 {
+    if (faults_ != nullptr && faults_->catApplyFails()) {
+        ++failedReconfigs_;
+        verbose("CAT: mask write for shared mode failed");
+        return false;
+    }
     fgWays_ = 0;
     apply();
+    return true;
 }
 
 void

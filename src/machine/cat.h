@@ -11,8 +11,14 @@
 #ifndef DIRIGENT_MACHINE_CAT_H
 #define DIRIGENT_MACHINE_CAT_H
 
+#include <cstdint>
+
 #include "machine/machine.h"
 #include "mem/cache.h"
+
+namespace dirigent::fault {
+class FaultInjector;
+} // namespace dirigent::fault
 
 namespace dirigent::machine {
 
@@ -36,11 +42,29 @@ class CatController
      * processes receive the remaining ways. Clamped to
      * [1, numWays − 1]. Masks are applied to every currently spawned
      * process; call again after spawning new processes.
+     *
+     * @return false when the reconfiguration failed (injected MSR
+     *         write failure); the previous partition stays in force.
      */
-    void setFgWays(unsigned ways);
+    bool setFgWays(unsigned ways);
 
-    /** Share the whole cache: every process may allocate anywhere. */
-    void setShared();
+    /**
+     * Share the whole cache: every process may allocate anywhere.
+     * @return false when the reconfiguration failed (see setFgWays).
+     */
+    bool setShared();
+
+    /**
+     * Inject mask-write failures from @p faults (not owned; nullptr
+     * detaches and leaves behaviour bit-identical).
+     */
+    void setFaultInjector(fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Reconfigurations that failed due to injected faults. */
+    uint64_t failedReconfigs() const { return failedReconfigs_; }
 
     /** Current FG partition size; 0 when the cache is fully shared. */
     unsigned fgWays() const { return fgWays_; }
@@ -53,6 +77,8 @@ class CatController
 
     Machine &machine_;
     unsigned fgWays_ = 0;
+    fault::FaultInjector *faults_ = nullptr;
+    uint64_t failedReconfigs_ = 0;
 };
 
 } // namespace dirigent::machine

@@ -1,6 +1,7 @@
 #include "machine/cpufreq.h"
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dirigent::machine {
 
@@ -17,6 +18,9 @@ CpuFreqGovernor::CpuFreqGovernor(Machine &machine, sim::Engine &engine,
         freqs_.push_back(Freq::hz(f));
     }
     targetGrade_.assign(machine.numCores(), numGrades - 1);
+    generation_.assign(machine.numCores(), 0);
+    pending_.assign(machine.numCores(), false);
+    abandoned_.assign(machine.numCores(), false);
 }
 
 Freq
@@ -31,15 +35,44 @@ CpuFreqGovernor::setGrade(unsigned core, unsigned grade)
 {
     DIRIGENT_ASSERT(core < targetGrade_.size(), "bad core %u", core);
     DIRIGENT_ASSERT(grade < freqs_.size(), "bad frequency grade %u", grade);
-    if (targetGrade_[core] == grade)
+    if (targetGrade_[core] == grade && !abandoned_[core])
         return;
     targetGrade_[core] = grade;
-    Freq f = freqs_[grade];
-    engine_.after(transitionLatency_, [this, core, f] {
-        // Apply only if this is still the most recent request for the
-        // core (a later request supersedes an in-flight transition).
-        if (freqs_[targetGrade_[core]].hz() == f.hz())
-            machine_.core(core).setFrequency(f);
+    abandoned_[core] = false;
+    scheduleApply(core, ++generation_[core], 0);
+}
+
+void
+CpuFreqGovernor::scheduleApply(unsigned core, uint64_t generation,
+                               unsigned attempt)
+{
+    // Exponential backoff: the first attempt waits one transition
+    // latency, each retry doubles it.
+    Time delay = transitionLatency_ * double(1u << attempt);
+    if (faults_ != nullptr)
+        delay += faults_->dvfsLatencySpike();
+    pending_[core] = true;
+    engine_.after(delay, [this, core, generation, attempt] {
+        // A later request supersedes an in-flight transition.
+        if (generation_[core] != generation)
+            return;
+        if (faults_ == nullptr || !faults_->dvfsWriteFails()) {
+            machine_.core(core).setFrequency(freqs_[targetGrade_[core]]);
+            pending_[core] = false;
+            return;
+        }
+        ++writeFailures_;
+        if (attempt >= maxRetries_) {
+            pending_[core] = false;
+            abandoned_[core] = true;
+            ++abandonedWrites_;
+            verbose(strfmt("cpufreq: abandoning grade %u write on core "
+                           "%u after %u attempts",
+                           targetGrade_[core], core, attempt + 1));
+            return;
+        }
+        ++retriesScheduled_;
+        scheduleApply(core, generation, attempt + 1);
     });
 }
 
@@ -48,6 +81,20 @@ CpuFreqGovernor::grade(unsigned core) const
 {
     DIRIGENT_ASSERT(core < targetGrade_.size(), "bad core %u", core);
     return targetGrade_[core];
+}
+
+bool
+CpuFreqGovernor::transitionPending(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < pending_.size(), "bad core %u", core);
+    return pending_[core];
+}
+
+bool
+CpuFreqGovernor::writeAbandoned(unsigned core) const
+{
+    DIRIGENT_ASSERT(core < abandoned_.size(), "bad core %u", core);
+    return abandoned_[core];
 }
 
 void

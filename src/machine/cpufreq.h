@@ -5,6 +5,12 @@
  * exposed as discrete grades (the Xeon E5-2618L v3 exposes 9 steps,
  * 1.2–2.0 GHz); transitions take a small fixed latency, so control
  * actions are cheap but not instantaneous.
+ *
+ * Writes can fail transiently (an injected EBUSY); the governor retries
+ * with bounded exponential backoff and, after the retry budget is
+ * exhausted, abandons the write — the requested grade then stays
+ * unapplied until the next request, which is visible to the invariant
+ * checker via writeAbandoned().
  */
 
 #ifndef DIRIGENT_MACHINE_CPUFREQ_H
@@ -15,6 +21,10 @@
 #include "common/units.h"
 #include "machine/machine.h"
 #include "sim/engine.h"
+
+namespace dirigent::fault {
+class FaultInjector;
+} // namespace dirigent::fault
 
 namespace dirigent::machine {
 
@@ -47,7 +57,8 @@ class CpuFreqGovernor
     /**
      * Request that @p core run at @p grade. The change is applied after
      * the transition latency; the target is visible via grade()
-     * immediately (matching sysfs semantics).
+     * immediately (matching sysfs semantics). Failed writes are retried
+     * with exponential backoff up to maxRetries() times.
      */
     void setGrade(unsigned core, unsigned grade);
 
@@ -63,12 +74,54 @@ class CpuFreqGovernor
      */
     std::vector<unsigned> equispacedGrades(unsigned count) const;
 
+    /**
+     * Inject transient write failures and latency spikes from
+     * @p faults (not owned; nullptr detaches and leaves behaviour
+     * bit-identical).
+     */
+    void setFaultInjector(fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** Retry budget per grade write (attempts = 1 + maxRetries). */
+    unsigned maxRetries() const { return maxRetries_; }
+    void setMaxRetries(unsigned n) { maxRetries_ = n; }
+
+    /** True while @p core has an unapplied write in flight. */
+    bool transitionPending(unsigned core) const;
+
+    /**
+     * True when the most recent write to @p core exhausted its retry
+     * budget: grade() and the core's real frequency disagree until the
+     * next request. Cleared by setGrade().
+     */
+    bool writeAbandoned(unsigned core) const;
+
+    /** @name Actuation-failure statistics. */
+    /// @{
+    uint64_t writeFailures() const { return writeFailures_; }
+    uint64_t retriesScheduled() const { return retriesScheduled_; }
+    uint64_t abandonedWrites() const { return abandonedWrites_; }
+    /// @}
+
   private:
+    void scheduleApply(unsigned core, uint64_t generation,
+                       unsigned attempt);
+
     Machine &machine_;
     sim::Engine &engine_;
     Time transitionLatency_;
     std::vector<Freq> freqs_;
     std::vector<unsigned> targetGrade_;
+    std::vector<uint64_t> generation_;
+    std::vector<bool> pending_;
+    std::vector<bool> abandoned_;
+    fault::FaultInjector *faults_ = nullptr;
+    unsigned maxRetries_ = 3;
+    uint64_t writeFailures_ = 0;
+    uint64_t retriesScheduled_ = 0;
+    uint64_t abandonedWrites_ = 0;
 };
 
 } // namespace dirigent::machine

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "fault/injector.h"
 
 namespace dirigent::machine {
 
@@ -51,14 +52,34 @@ PeriodicSampler::scheduleNext(Time from)
         std::max(0.0, rng_.normal(meanOvershoot_.sec(),
                                   overshootSigma_.sec()));
     Time wake = scheduled + Time::sec(overshoot);
+    if (faults_ != nullptr)
+        wake += faults_->samplerStall();
     pending_ = engine_.at(wake, [this, scheduled, wake] {
         pending_ = sim::EventId{};
         if (!running_)
             return;
-        Tick tick{tickIndex_++, scheduled, wake};
-        // Reschedule from the actual wake (a sleep loop drifts).
-        scheduleNext(wake);
-        callback_(tick);
+        // A wake landing one or more whole periods late (stalled timer,
+        // overrunning callback) consumes the intervening tick indices,
+        // so Tick::index/Tick::scheduled stay consistent with the
+        // nominal cadence.
+        Time nominal = scheduled;
+        uint64_t skipped = 0;
+        while (wake - nominal >= period_) {
+            nominal += period_;
+            ++skipped;
+        }
+        tickIndex_ += skipped;
+        Tick tick{tickIndex_++, nominal, wake, skipped};
+        bool missed =
+            faults_ != nullptr && faults_->samplerMissesWake();
+        Time busy =
+            (faults_ != nullptr && !missed) ? faults_->callbackOverrun()
+                                            : Time{};
+        // Reschedule from the actual wake (a sleep loop drifts), plus
+        // any modeled callback overrun.
+        scheduleNext(wake + busy);
+        if (!missed)
+            callback_(tick);
     });
 }
 

@@ -16,6 +16,10 @@
 #include "common/units.h"
 #include "sim/engine.h"
 
+namespace dirigent::fault {
+class FaultInjector;
+} // namespace dirigent::fault
+
 namespace dirigent::machine {
 
 /**
@@ -30,6 +34,10 @@ class PeriodicSampler
         uint64_t index = 0; //!< 0-based tick counter
         Time scheduled;     //!< nominal wake time (previous + period)
         Time actual;        //!< real wake time including sleep overshoot
+        /** Ticks whose nominal wake passed while this one was pending
+         *  (a stalled timer or an overrunning callback); their indices
+         *  were consumed so index/scheduled stay consistent. */
+        uint64_t skipped = 0;
     };
 
     using Callback = std::function<void(const Tick &)>;
@@ -44,6 +52,16 @@ class PeriodicSampler
      */
     PeriodicSampler(sim::Engine &engine, Time period, Time meanOvershoot,
                     Time overshootSigma, Rng rng, Callback callback);
+
+    /**
+     * Inject wake-up faults (stalls, missed wakes, callback overruns)
+     * from @p faults (not owned; nullptr detaches). Call before
+     * start(); a null injector leaves behaviour bit-identical.
+     */
+    void setFaultInjector(fault::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
 
     ~PeriodicSampler();
 
@@ -71,6 +89,7 @@ class PeriodicSampler
     Time overshootSigma_;
     Rng rng_;
     Callback callback_;
+    fault::FaultInjector *faults_ = nullptr;
     bool running_ = false;
     uint64_t tickIndex_ = 0;
     sim::EventId pending_;

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The chaos matrix: seeded fault plans (boundary × intensity) run
+ * against the managed schemes with the invariant checker armed in
+ * abort mode. Cells assert survival (no crash, every execution
+ * completes, no invariant violation), and the light-intensity cells
+ * additionally assert QoS: Dirigent under light faults stays within
+ * 5 percentage points of its fault-free success ratio and no worse
+ * than fault-free Baseline on identical seeds.
+ *
+ * The PR smoke subset runs by default; DIRIGENT_CHAOS_FULL=1 unlocks
+ * the full nightly cross (every plan × both schemes at both
+ * intensities). Failing cells drop a reproducible (seed, plan) pair
+ * into $DIRIGENT_CHAOS_ARTIFACTS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chaos_util.h"
+#include "check/check.h"
+#include "fault/injector.h"
+#include "harness/metrics.h"
+
+namespace dirigent::chaos {
+namespace {
+
+constexpr uint64_t kChaosSeed = 0xD1619E47;
+
+/** Every chaos cell runs with the invariant checker armed. */
+class ChaosMatrixTest : public testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { check::setEnabled(true); }
+    static void TearDownTestSuite() { check::setEnabled(false); }
+
+    struct CellOutcome
+    {
+        harness::SchemeRunResult result;
+        fault::FaultStats stats;
+    };
+
+    /** Run one chaos cell with a caller-owned injector. */
+    CellOutcome
+    runCell(const ChaosPlan &cp, core::Scheme scheme,
+            const std::map<std::string, Time> &deadlines,
+            unsigned executions = 6)
+    {
+        harness::ExperimentRunner runner(
+            cellConfig(kChaosSeed, executions));
+        fault::FaultInjector faults(cp.plan, kChaosSeed ^ 0xC805);
+        harness::RunOptions opts;
+        opts.faults = &faults;
+        CellOutcome out;
+        out.result = runner.run(chaosMix(), scheme, deadlines, opts);
+        out.stats = faults.stats();
+        return out;
+    }
+
+    /** Dump the first failing cell's reproduction recipe. */
+    void
+    noteCell(const ChaosPlan &cp, const std::string &scheme)
+    {
+        if (testing::Test::HasFailure() && !dumped_) {
+            dumped_ = true;
+            dumpArtifact(cp.name + "-" + scheme, kChaosSeed, cp.plan);
+        }
+    }
+
+    bool dumped_ = false;
+};
+
+/** Fault-free reference runs, computed once per binary. */
+struct Calibration
+{
+    std::map<std::string, Time> deadlines;
+    double baselineSuccess = 0.0;
+    double dirigentSuccess = 0.0;
+};
+
+const Calibration &
+calibration()
+{
+    static const Calibration cal = [] {
+        Calibration c;
+        harness::ExperimentRunner runner(cellConfig(kChaosSeed, 20));
+        auto baseline =
+            runner.run(chaosMix(), core::Scheme::Baseline, {});
+        c.deadlines = runner.deadlinesFromBaseline(baseline);
+        harness::applyDeadlines(baseline, c.deadlines);
+        c.baselineSuccess = baseline.fgSuccessRatio();
+        auto dirigent =
+            runner.run(chaosMix(), core::Scheme::Dirigent, c.deadlines);
+        c.dirigentSuccess = dirigent.fgSuccessRatio();
+        return c;
+    }();
+    return cal;
+}
+
+TEST_F(ChaosMatrixTest, LightMatrixSurvivesUnderDirigent)
+{
+    const Calibration &cal = calibration();
+    for (const ChaosPlan &cp : allPlans(Intensity::Light)) {
+        SCOPED_TRACE(cp.name);
+        CellOutcome out =
+            runCell(cp, core::Scheme::Dirigent, cal.deadlines);
+        EXPECT_EQ(out.result.total, 6u);
+        EXPECT_FALSE(out.result.perFgDurations.empty());
+        noteCell(cp, "Dirigent");
+    }
+}
+
+TEST_F(ChaosMatrixTest, HeavyMatrixSurvivesUnderDirigent)
+{
+    const Calibration &cal = calibration();
+    for (const ChaosPlan &cp : allPlans(Intensity::Heavy)) {
+        SCOPED_TRACE(cp.name);
+        CellOutcome out =
+            runCell(cp, core::Scheme::Dirigent, cal.deadlines);
+        EXPECT_EQ(out.result.total, 6u);
+        // Heavy plans must actually have injected something (the
+        // profile-only plan perturbs via corruption, not the stats).
+        if (cp.name.rfind("profile", 0) != 0)
+            EXPECT_GT(out.stats.total(), 0u);
+        noteCell(cp, "Dirigent");
+    }
+}
+
+TEST_F(ChaosMatrixTest, FullMatrixCrossesSchemesNightly)
+{
+    if (!fullMatrixRequested())
+        GTEST_SKIP() << "set DIRIGENT_CHAOS_FULL=1 for the full cross";
+    const Calibration &cal = calibration();
+    for (Intensity intensity : {Intensity::Light, Intensity::Heavy}) {
+        for (const ChaosPlan &cp : allPlans(intensity)) {
+            for (core::Scheme scheme : core::allSchemes()) {
+                SCOPED_TRACE(cp.name + "-" + core::schemeName(scheme));
+                CellOutcome out = runCell(cp, scheme, cal.deadlines);
+                EXPECT_EQ(out.result.total, 6u);
+                noteCell(cp, core::schemeName(scheme));
+            }
+        }
+    }
+}
+
+TEST_F(ChaosMatrixTest, LightFaultsKeepDirigentQoS)
+{
+    const Calibration &cal = calibration();
+    // Fault-free Dirigent must itself beat Baseline for the bound to
+    // mean anything.
+    ASSERT_GE(cal.dirigentSuccess, cal.baselineSuccess);
+    for (const ChaosPlan &cp : allPlans(Intensity::Light)) {
+        SCOPED_TRACE(cp.name);
+        CellOutcome out =
+            runCell(cp, core::Scheme::Dirigent, cal.deadlines, 20);
+        double success = out.result.fgSuccessRatio();
+        // Within 5 pp of the fault-free run (20 executions: one
+        // flipped deadline is exactly 5 pp) and no worse than
+        // fault-free Baseline on the identical seed.
+        EXPECT_GE(success, cal.dirigentSuccess - 0.05 - 1e-12);
+        EXPECT_GE(success, cal.baselineSuccess - 1e-12);
+        noteCell(cp, "Dirigent-qos");
+    }
+}
+
+} // namespace
+} // namespace dirigent::chaos

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Determinism half of the chaos suite: a chaos cell replays
+ * byte-identically from its (seed, plan) pair — injector streams and
+ * all — and an empty fault plan is a provable no-op at the harness
+ * level (golden traces bit-identical with and without the injection
+ * machinery attached).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chaos_util.h"
+#include "dirigent/trace.h"
+#include "fault/injector.h"
+
+namespace dirigent::chaos {
+namespace {
+
+constexpr uint64_t kReplaySeed = 0x5EED5A17;
+
+/**
+ * One full traced run. With @p viaConfig the plan travels through
+ * HarnessConfig and the harness derives the injector seed itself (the
+ * --faults CLI path); otherwise a caller-owned injector is attached.
+ */
+std::string
+tracedRun(const fault::FaultPlan &plan, bool viaConfig,
+          unsigned executions = 5)
+{
+    harness::HarnessConfig cfg = cellConfig(kReplaySeed, executions);
+    if (viaConfig)
+        cfg.faultPlan = plan;
+    harness::ExperimentRunner runner(cfg);
+    std::map<std::string, Time> deadlines = {
+        {"ferret", Time::sec(2.0)}};
+
+    core::GoldenTraceRecorder recorder;
+    harness::RunOptions opts;
+    opts.golden = &recorder;
+
+    std::unique_ptr<fault::FaultInjector> faults;
+    if (!viaConfig) {
+        faults =
+            std::make_unique<fault::FaultInjector>(plan, kReplaySeed);
+        opts.faults = faults.get();
+    }
+    runner.run(chaosMix(), core::Scheme::Dirigent, deadlines, opts);
+    return recorder.preciseText();
+}
+
+TEST(ChaosReplayTest, CellReplaysByteIdentically)
+{
+    fault::FaultPlan plan = everythingPlan().plan;
+    std::string first = tracedRun(plan, false);
+    std::string second = tracedRun(plan, false);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(ChaosReplayTest, HarnessBuiltInjectorReplaysByteIdentically)
+{
+    // The production path: the plan travels through HarnessConfig and
+    // the harness derives the injector seed itself.
+    fault::FaultPlan plan = everythingPlan().plan;
+    std::string first = tracedRun(plan, true);
+    std::string second = tracedRun(plan, true);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(ChaosReplayTest, SeedSaltSelectsADifferentFaultStream)
+{
+    fault::FaultPlan plan = everythingPlan().plan;
+    std::string base = tracedRun(plan, false);
+    plan.seedSalt ^= 0xABCDEF;
+    std::string salted = tracedRun(plan, false);
+    EXPECT_NE(base, salted);
+}
+
+TEST(ChaosReplayTest, FaultsActuallyPerturbTheRun)
+{
+    // Sanity for the no-op test below: a non-empty plan must change
+    // the trace, otherwise "empty plan changes nothing" proves nothing.
+    std::string faulty = tracedRun(everythingPlan().plan, false);
+    std::string clean = tracedRun(fault::FaultPlan{}, false);
+    EXPECT_NE(faulty, clean);
+}
+
+TEST(ChaosReplayTest, EmptyPlanIsAHarnessLevelNoOp)
+{
+    // Three ways to run fault-free: no injection machinery at all, an
+    // attached empty-plan injector, and an empty plan through the
+    // config. All traces must be byte-identical.
+    harness::HarnessConfig cfg = cellConfig(kReplaySeed, 5);
+    std::map<std::string, Time> deadlines = {
+        {"ferret", Time::sec(2.0)}};
+
+    auto bare = [&] {
+        harness::ExperimentRunner runner(cfg);
+        core::GoldenTraceRecorder recorder;
+        harness::RunOptions opts;
+        opts.golden = &recorder;
+        runner.run(chaosMix(), core::Scheme::Dirigent, deadlines, opts);
+        return recorder.preciseText();
+    }();
+
+    fault::FaultInjector empty(fault::FaultPlan{}, kReplaySeed);
+    auto attached = [&] {
+        harness::ExperimentRunner runner(cfg);
+        core::GoldenTraceRecorder recorder;
+        harness::RunOptions opts;
+        opts.golden = &recorder;
+        opts.faults = &empty;
+        runner.run(chaosMix(), core::Scheme::Dirigent, deadlines, opts);
+        return recorder.preciseText();
+    }();
+
+    ASSERT_FALSE(bare.empty());
+    EXPECT_EQ(bare, attached);
+    EXPECT_EQ(empty.stats().total(), 0u);
+    EXPECT_EQ(bare, tracedRun(fault::FaultPlan{}, true));
+}
+
+} // namespace
+} // namespace dirigent::chaos

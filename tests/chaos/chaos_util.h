@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Shared helpers for the chaos suite: canonical fault plans at two
+ * intensities for every injection boundary, the small harness
+ * configuration chaos cells run under, and the failing-cell artifact
+ * dump (every assertion failure leaves a reproducible (seed, plan)
+ * pair under $DIRIGENT_CHAOS_ARTIFACTS).
+ */
+
+#ifndef DIRIGENT_TESTS_CHAOS_CHAOS_UTIL_H
+#define DIRIGENT_TESTS_CHAOS_CHAOS_UTIL_H
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/plan.h"
+#include "harness/experiment.h"
+#include "workload/mix.h"
+
+namespace dirigent::chaos {
+
+/** Fault intensity of a chaos cell. */
+enum class Intensity { Light, Heavy };
+
+inline const char *
+intensityName(Intensity i)
+{
+    return i == Intensity::Light ? "light" : "heavy";
+}
+
+/** One named (boundary, intensity) fault plan. */
+struct ChaosPlan
+{
+    std::string name;
+    fault::FaultPlan plan;
+};
+
+/**
+ * Light plans perturb rarely enough that Dirigent's hardening must
+ * absorb them with almost no QoS cost; heavy plans hammer the boundary
+ * and only survival, invariants, and replay are asserted.
+ */
+inline ChaosPlan
+counterPlan(Intensity i)
+{
+    fault::FaultPlan p;
+    bool light = i == Intensity::Light;
+    p.counters.dropProb = light ? 0.02 : 0.25;
+    p.counters.glitchProb = light ? 0.01 : 0.15;
+    p.counters.saturateProb = light ? 0.005 : 0.05;
+    return {std::string("counters-") + intensityName(i), p};
+}
+
+inline ChaosPlan
+samplerPlan(Intensity i)
+{
+    fault::FaultPlan p;
+    bool light = i == Intensity::Light;
+    p.sampler.stallProb = light ? 0.02 : 0.2;
+    p.sampler.stallMean = Time::ms(light ? 2.0 : 15.0);
+    p.sampler.missProb = light ? 0.02 : 0.2;
+    p.sampler.overrunProb = light ? 0.02 : 0.2;
+    p.sampler.overrunMean = Time::ms(light ? 1.0 : 8.0);
+    return {std::string("sampler-") + intensityName(i), p};
+}
+
+inline ChaosPlan
+dvfsPlan(Intensity i)
+{
+    fault::FaultPlan p;
+    bool light = i == Intensity::Light;
+    p.dvfs.failProb = light ? 0.05 : 0.4;
+    p.dvfs.spikeProb = light ? 0.02 : 0.2;
+    p.dvfs.spikeMean = Time::ms(light ? 0.5 : 4.0);
+    return {std::string("dvfs-") + intensityName(i), p};
+}
+
+inline ChaosPlan
+catPlan(Intensity i)
+{
+    fault::FaultPlan p;
+    // Heavy is a total outage: every mask write fails, the partition
+    // never forms, and Dirigent must carry on unpartitioned.
+    p.cat.failProb = i == Intensity::Light ? 0.05 : 1.0;
+    return {std::string("cat-") + intensityName(i), p};
+}
+
+inline ChaosPlan
+profilePlan(Intensity i)
+{
+    fault::FaultPlan p;
+    bool light = i == Intensity::Light;
+    p.profile.noiseSigma = light ? 0.03 : 0.3;
+    p.profile.staleScale = light ? 1.0 : 1.8;
+    p.profile.corruptProb = light ? 0.0 : 0.1;
+    return {std::string("profile-") + intensityName(i), p};
+}
+
+/** All boundary plans at @p intensity. */
+inline std::vector<ChaosPlan>
+allPlans(Intensity i)
+{
+    return {counterPlan(i), samplerPlan(i), dvfsPlan(i), catPlan(i),
+            profilePlan(i)};
+}
+
+/** A plan exercising every boundary at once (replay stress). */
+inline ChaosPlan
+everythingPlan()
+{
+    fault::FaultPlan p;
+    p.seedSalt = 0xC4405;
+    p.counters.dropProb = 0.1;
+    p.counters.glitchProb = 0.05;
+    p.counters.saturateProb = 0.02;
+    p.sampler.stallProb = 0.1;
+    p.sampler.missProb = 0.1;
+    p.sampler.overrunProb = 0.1;
+    p.dvfs.failProb = 0.2;
+    p.dvfs.spikeProb = 0.1;
+    p.cat.failProb = 0.2;
+    p.profile.noiseSigma = 0.15;
+    p.profile.staleScale = 1.3;
+    return {"everything", p};
+}
+
+/** Harness configuration for survival cells (small and fast). */
+inline harness::HarnessConfig
+cellConfig(uint64_t seed, unsigned executions = 6)
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = executions;
+    cfg.warmup = 2;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** The workload mix every chaos cell runs. */
+inline workload::WorkloadMix
+chaosMix()
+{
+    return workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+}
+
+/** True when the full nightly matrix was requested. */
+inline bool
+fullMatrixRequested()
+{
+    const char *env = std::getenv("DIRIGENT_CHAOS_FULL");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/**
+ * Dump a failing cell's reproduction recipe ((seed, plan) pair) to
+ * $DIRIGENT_CHAOS_ARTIFACTS/<cell>.cfg; silently a no-op when the
+ * variable is unset.
+ */
+inline void
+dumpArtifact(const std::string &cell, uint64_t seed,
+             const fault::FaultPlan &plan)
+{
+    const char *dir = std::getenv("DIRIGENT_CHAOS_ARTIFACTS");
+    if (dir == nullptr || dir[0] == '\0')
+        return;
+    std::ofstream out(std::string(dir) + "/" + cell + ".cfg",
+                      std::ios::trunc);
+    out << "# chaos cell: " << cell << "\n"
+        << "# reproduce: run_experiment --seed " << seed
+        << " --faults <this file>\n"
+        << fault::formatFaultPlan(plan);
+}
+
+} // namespace dirigent::chaos
+
+#endif // DIRIGENT_TESTS_CHAOS_CHAOS_UTIL_H

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Focused tests of the coarse controller's corr > 0.75 heuristic (H1):
+ * threshold behaviour, degenerate statistics, and the short-history
+ * edge — invocations with fewer than historyWindow (10) runs recorded,
+ * where two or three monotone points correlate perfectly and a single
+ * point has no defined correlation at all. Also covers the heuristics'
+ * failed-actuation branches under injected CAT faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/coarse_controller.h"
+#include "fault/injector.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+class CoarseCorrTest : public testing::Test
+{
+  protected:
+    CoarseCorrTest() : machine_(makeConfig()), cat_(machine_)
+    {
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        for (unsigned c = 0; c < 6; ++c) {
+            machine::ProcessSpec s;
+            bool fg = c == 0;
+            s.name = fg ? "fg" : "bg";
+            s.program = fg ? &lib.get("ferret").program
+                           : &lib.get("lbm").program;
+            s.core = c;
+            s.foreground = fg;
+            machine_.spawnProcess(s);
+        }
+    }
+
+    static machine::MachineConfig
+    makeConfig()
+    {
+        machine::MachineConfig cfg;
+        cfg.noiseEventsPerSec = 0.0;
+        return cfg;
+    }
+
+    CoarseControllerConfig
+    config(unsigned firstInvocation = 10)
+    {
+        CoarseControllerConfig cfg;
+        cfg.historyWindow = 10;
+        cfg.firstInvocation = firstInvocation;
+        cfg.invokeEvery = 6;
+        cfg.initialFgWays = 2;
+        return cfg;
+    }
+
+    machine::Machine machine_;
+    machine::CatController cat_;
+};
+
+TEST_F(CoarseCorrTest, StrongCorrelationWithMissesGrows)
+{
+    CoarseGrainController ctrl(cat_, config());
+    for (int i = 0; i < 10; ++i)
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
+                             1e6 * (1.0 + 0.1 * i), i == 0, 0.0);
+    EXPECT_EQ(ctrl.fgWays(), 3u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H1-grow");
+}
+
+TEST_F(CoarseCorrTest, WeakCorrelationDoesNotGrow)
+{
+    CoarseGrainController ctrl(cat_, config());
+    // Times up, misses zig-zagging: |corr| well below 0.75.
+    for (int i = 0; i < 10; ++i) {
+        double misses = 1e6 * (i % 2 == 0 ? 2.0 : 1.0);
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i), misses, true,
+                             0.0);
+    }
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "");
+}
+
+TEST_F(CoarseCorrTest, ConstantTimesHaveZeroCorrelation)
+{
+    // Zero variance on either axis: pearson() is defined as 0, so H1
+    // must not fire no matter how the misses move.
+    CoarseGrainController ctrl(cat_, config());
+    for (int i = 0; i < 10; ++i)
+        ctrl.recordExecution(Time::sec(1.0), 1e6 * (1.0 + 0.1 * i), true,
+                             0.0);
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+}
+
+TEST_F(CoarseCorrTest, CorrelationWithoutRecentMissIsNotEnough)
+{
+    CoarseGrainController ctrl(cat_, config());
+    for (int i = 0; i < 10; ++i)
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
+                             1e6 * (1.0 + 0.1 * i), false, 0.0);
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+}
+
+TEST_F(CoarseCorrTest, SingleRunHistoryHasNoCorrelation)
+{
+    // firstInvocation = 1: the heuristic runs with one data point,
+    // where pearson() is 0 by definition — H1 must stay quiet even
+    // though the one run missed its deadline.
+    CoarseGrainController ctrl(cat_, config(1));
+    ctrl.recordExecution(Time::sec(2.0), 5e6, true, 0.0);
+    EXPECT_EQ(ctrl.invocations(), 1u);
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "");
+}
+
+TEST_F(CoarseCorrTest, TwoRunHistoryCorrelatesSpuriously)
+{
+    // Short-history edge: any two distinct monotone points have
+    // |corr| = 1, so an early invocation grows on what is pure noise.
+    // This documents the cost of invoking before the window fills —
+    // and why the defaults wait for firstInvocation = historyWindow.
+    CoarseGrainController ctrl(cat_, config(2));
+    ctrl.recordExecution(Time::sec(1.0), 1e6, true, 0.0);
+    ctrl.recordExecution(Time::sec(1.1), 1.2e6, false, 0.0);
+    EXPECT_EQ(ctrl.invocations(), 1u);
+    EXPECT_EQ(ctrl.fgWays(), 3u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H1-grow");
+}
+
+TEST_F(CoarseCorrTest, ShortHistoryAntiCorrelationStaysQuiet)
+{
+    // The mirror-image short history: times up while misses fall gives
+    // corr = -1, safely below the threshold.
+    CoarseGrainController ctrl(cat_, config(2));
+    ctrl.recordExecution(Time::sec(1.0), 1.2e6, true, 0.0);
+    ctrl.recordExecution(Time::sec(1.1), 1e6, false, 0.0);
+    EXPECT_EQ(ctrl.invocations(), 1u);
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+}
+
+TEST_F(CoarseCorrTest, PartialWindowUsesOnlyRecordedRuns)
+{
+    // firstInvocation = 5 < historyWindow = 10: the invocation sees the
+    // five recorded runs, not a zero-padded window. Five correlated
+    // runs with a miss are enough evidence for H1.
+    CoarseGrainController ctrl(cat_, config(5));
+    for (int i = 0; i < 5; ++i)
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
+                             1e6 * (1.0 + 0.1 * i), i == 0, 0.0);
+    EXPECT_EQ(ctrl.invocations(), 1u);
+    EXPECT_EQ(ctrl.fgWays(), 3u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H1-grow");
+}
+
+TEST_F(CoarseCorrTest, MissOutsideWindowIsForgotten)
+{
+    CoarseGrainController ctrl(cat_, config());
+    // One early deadline miss, then 10+ correlated but successful runs:
+    // by the second invocation the miss has left the 10-run window.
+    ctrl.recordExecution(Time::sec(1.0), 1e6, true, 0.0);
+    for (int i = 1; i < 10; ++i)
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
+                             1e6 * (1.0 + 0.1 * i), false, 0.0);
+    unsigned afterFirst = ctrl.fgWays(); // miss still in window here
+    for (int i = 0; i < 6; ++i)
+        ctrl.recordExecution(Time::sec(1.3), 1.9e6, false, 0.0);
+    // No further H1 growth once the miss aged out (H2 may retract).
+    EXPECT_LE(ctrl.fgWays(), afterFirst);
+}
+
+TEST_F(CoarseCorrTest, FailedH1GrowIsRecordedAndRetried)
+{
+    fault::FaultPlan plan;
+    plan.cat.failProb = 1.0;
+    fault::FaultInjector faults(plan, 3);
+
+    CoarseGrainController ctrl(cat_, config());
+    cat_.setFaultInjector(&faults); // after the initial partition
+    for (int i = 0; i < 10; ++i)
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
+                             1e6 * (1.0 + 0.1 * i), true, 0.0);
+    // The grow failed: partition unchanged, failure recorded.
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H1-grow-fail");
+
+    // The fault clears; the next invocation retries the same grow.
+    cat_.setFaultInjector(nullptr);
+    for (int i = 0; i < 6; ++i)
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
+                             1e6 * (1.0 + 0.1 * i), true, 0.0);
+    EXPECT_EQ(ctrl.fgWays(), 3u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H1-grow");
+}
+
+TEST_F(CoarseCorrTest, FailedH2ShrinkKeepsRetractionPending)
+{
+    CoarseGrainController ctrl(cat_, config());
+    // Trigger an H1 grow cleanly.
+    for (int i = 0; i < 10; ++i)
+        ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
+                             1e6 * (1.0 + 0.1 * i), true, 0.0);
+    ASSERT_EQ(ctrl.fgWays(), 3u);
+
+    // Misses do not improve and the shrink write fails.
+    fault::FaultPlan plan;
+    plan.cat.failProb = 1.0;
+    fault::FaultInjector faults(plan, 4);
+    cat_.setFaultInjector(&faults);
+    for (int i = 0; i < 6; ++i)
+        ctrl.recordExecution(Time::sec(1.3), 1.6e6, false, 0.0);
+    EXPECT_EQ(ctrl.fgWays(), 3u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H2-shrink-fail");
+
+    // Fault clears: the retraction is retried and lands.
+    cat_.setFaultInjector(nullptr);
+    for (int i = 0; i < 6; ++i)
+        ctrl.recordExecution(Time::sec(1.3), 1.6e6, false, 0.0);
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H2-shrink");
+}
+
+TEST_F(CoarseCorrTest, FailedH3GrowIsRecorded)
+{
+    fault::FaultPlan plan;
+    plan.cat.failProb = 1.0;
+    fault::FaultInjector faults(plan, 5);
+
+    CoarseGrainController ctrl(cat_, config());
+    cat_.setFaultInjector(&faults);
+    for (int i = 0; i < 10; ++i)
+        ctrl.recordExecution(Time::sec(1.0), 1e6, false, 0.9);
+    EXPECT_EQ(ctrl.fgWays(), 2u);
+    EXPECT_STREQ(ctrl.decisions().back().heuristic, "H3-grow-fail");
+    cat_.setFaultInjector(nullptr);
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Disagreement-branch tests for the fine controller's multi-FG policy:
+ * the slowest FG drives the shared BG-side ladder while every other FG
+ * is steered individually, including the branches where the two pull in
+ * opposite directions (pause vs throttle, neutral bystanders, mixed
+ * prediction validity).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/fine_controller.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+class MultiFgDisagreementTest : public testing::Test
+{
+  protected:
+    MultiFgDisagreementTest()
+        : machine_(makeConfig()), engine_(machine_, Time::us(100.0)),
+          governor_(machine_, engine_)
+    {
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        for (unsigned c = 0; c < 2; ++c) {
+            machine::ProcessSpec fg;
+            fg.name = "fg";
+            fg.program = &lib.get("ferret").program;
+            fg.core = c;
+            fg.foreground = true;
+            fgPids_.push_back(machine_.spawnProcess(fg));
+        }
+        for (unsigned c = 2; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "bg";
+            bg.program = &lib.get("lbm").program;
+            bg.core = c;
+            bg.foreground = false;
+            bgPids_.push_back(machine_.spawnProcess(bg));
+        }
+        controller_ = std::make_unique<FineGrainController>(
+            machine_, governor_, FineControllerConfig{});
+    }
+
+    static machine::MachineConfig
+    makeConfig()
+    {
+        machine::MachineConfig cfg;
+        cfg.noiseEventsPerSec = 0.0;
+        return cfg;
+    }
+
+    FineGrainController::FgStatus
+    status(unsigned fg, double predicted, bool valid = true)
+    {
+        FineGrainController::FgStatus st;
+        st.pid = fgPids_[fg];
+        st.core = fg;
+        st.predicted = Time::sec(predicted);
+        st.deadline = Time::sec(1.0);
+        st.valid = valid;
+        return st;
+    }
+
+    void settle() { engine_.runFor(Time::ms(1.0)); }
+
+    unsigned
+    runningBgCount() const
+    {
+        unsigned n = 0;
+        for (machine::Pid pid : bgPids_)
+            if (machine_.os().process(pid).runnable())
+                ++n;
+        return n;
+    }
+
+    machine::Machine machine_;
+    sim::Engine engine_;
+    machine::CpuFreqGovernor governor_;
+    std::unique_ptr<FineGrainController> controller_;
+    std::vector<machine::Pid> fgPids_;
+    std::vector<machine::Pid> bgPids_;
+};
+
+TEST_F(MultiFgDisagreementTest, PauseForSlowestWhileOtherIsThrottled)
+{
+    // Drive BG to the ladder minimum with FG1 persistently behind.
+    for (int i = 0; i < 6; ++i)
+        controller_->tick({status(0, 0.99), status(1, 1.05)});
+    settle();
+    for (unsigned c = 2; c < 6; ++c)
+        ASSERT_EQ(governor_.grade(c), 0u);
+
+    // FG1 now deep behind (pause escalation) while FG0 is comfortably
+    // ahead: the controller must pause for FG1 *and* throttle FG0 in
+    // the same decision.
+    controller_->tick({status(0, 0.5), status(1, 1.2)});
+    settle();
+    EXPECT_EQ(runningBgCount(), 3u);
+    EXPECT_EQ(controller_->stats().pauses, 1u);
+    EXPECT_EQ(governor_.grade(0), 6u); // FG0 one ladder step down
+    EXPECT_EQ(governor_.grade(1), 8u); // FG1 untouched at max
+}
+
+TEST_F(MultiFgDisagreementTest, NeutralBystanderIsLeftAlone)
+{
+    // FG1 behind drives the BG throttle; FG0 sits in the neutral band
+    // (within 2% of its setpoint) and must not be touched either way.
+    controller_->tick({status(0, 0.975), status(1, 1.05)});
+    settle();
+    EXPECT_EQ(governor_.grade(0), 8u);
+    EXPECT_EQ(governor_.grade(1), 8u);
+    for (unsigned c = 2; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 6u);
+    EXPECT_EQ(controller_->stats().fgThrottles, 0u);
+}
+
+TEST_F(MultiFgDisagreementTest, BothAheadThrottlesBothIndividually)
+{
+    // BG already at max: nothing to resume or boost, so the slowest's
+    // ahead branch falls through to throttling the slowest FG itself;
+    // the other ahead FG is throttled by the per-FG policy.
+    controller_->tick({status(0, 0.9), status(1, 0.5)});
+    settle();
+    EXPECT_EQ(governor_.grade(0), 6u);
+    EXPECT_EQ(governor_.grade(1), 6u);
+    EXPECT_EQ(controller_->stats().fgThrottles, 2u);
+}
+
+TEST_F(MultiFgDisagreementTest, InvalidPredictionDoesNotDrive)
+{
+    // FG1's (much slower) prediction is invalid: FG0 alone drives, and
+    // its slack releases resources instead of reclaiming them.
+    controller_->tick({status(0, 0.5), status(1, 1.5, false)});
+    settle();
+    for (unsigned c = 2; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 8u); // no BG throttle for FG1
+    EXPECT_EQ(governor_.grade(0), 6u);     // FG0's ahead branch fired
+    EXPECT_EQ(governor_.grade(1), 8u);     // FG1 untouched
+}
+
+TEST_F(MultiFgDisagreementTest, ZeroDeadlineIsIgnored)
+{
+    auto st = status(1, 2.0);
+    st.deadline = Time();
+    controller_->tick({status(0, 0.975), st});
+    settle();
+    for (unsigned c = 2; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 8u);
+    EXPECT_EQ(runningBgCount(), 4u);
+}
+
+TEST_F(MultiFgDisagreementTest, SustainedDisagreementConverges)
+{
+    // FG1 stays behind, FG0 stays ahead: BG ratchets to the minimum for
+    // FG1 while FG0 ratchets itself down; FG1 holds the maximum.
+    for (int i = 0; i < 12; ++i)
+        controller_->tick({status(0, 0.6), status(1, 1.05)});
+    settle();
+    for (unsigned c = 2; c < 6; ++c)
+        EXPECT_EQ(governor_.grade(c), 0u);
+    EXPECT_EQ(governor_.grade(0), 0u);
+    EXPECT_EQ(governor_.grade(1), 8u);
+    EXPECT_EQ(runningBgCount(), 4u); // never behind enough to pause
+}
+
+TEST_F(MultiFgDisagreementTest, RolesSwapWhenFortunesReverse)
+{
+    for (int i = 0; i < 3; ++i)
+        controller_->tick({status(0, 0.6), status(1, 1.05)});
+    settle();
+    unsigned fg0Before = governor_.grade(0);
+    ASSERT_LT(fg0Before, 8u);
+
+    // Fortunes reverse: FG0 falls behind, FG1 races ahead.
+    for (int i = 0; i < 4; ++i)
+        controller_->tick({status(0, 1.05), status(1, 0.6)});
+    settle();
+    EXPECT_EQ(governor_.grade(0), 8u); // restored to max
+    EXPECT_LT(governor_.grade(1), 8u); // now individually slowed
+}
+
+} // namespace
+} // namespace dirigent::core

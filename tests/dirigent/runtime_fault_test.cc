@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Runtime hardening tests: the plausibility sanitizer between counter
+ * reads and the predictor, survival of glitched/saturated/dropped
+ * sensing under an injected fault plan, and the degraded (reactive
+ * fallback) mode entered when the offline profile no longer matches
+ * measured progress.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/profile_fault.h"
+#include "dirigent/profiler.h"
+#include "dirigent/runtime.h"
+#include "fault/injector.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::core {
+namespace {
+
+class RuntimeFaultTest : public testing::Test
+{
+  protected:
+    RuntimeFaultTest()
+    {
+        mcfg_.seed = 23;
+        machine_ = std::make_unique<machine::Machine>(mcfg_);
+        engine_ =
+            std::make_unique<sim::Engine>(*machine_, mcfg_.maxQuantum);
+        governor_ = std::make_unique<machine::CpuFreqGovernor>(
+            *machine_, *engine_);
+        cat_ = std::make_unique<machine::CatController>(*machine_);
+
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "ferret";
+        fg.program = &lib.get("ferret").program;
+        fg.core = 0;
+        fg.foreground = true;
+        fgPid_ = machine_->spawnProcess(fg);
+        for (unsigned c = 1; c < 6; ++c) {
+            machine::ProcessSpec bg;
+            bg.name = "bwaves";
+            bg.program = &lib.get("bwaves").program;
+            bg.core = c;
+            bg.foreground = false;
+            machine_->spawnProcess(bg);
+        }
+
+        ProfilerConfig pcfg;
+        pcfg.executions = 1;
+        OfflineProfiler profiler(pcfg);
+        profile_ = profiler.profileAlone(lib.get("ferret"), mcfg_);
+    }
+
+    RuntimeConfig
+    runtimeConfig(fault::FaultInjector *faults)
+    {
+        RuntimeConfig cfg;
+        cfg.enableFine = true;
+        cfg.enableCoarse = false;
+        cfg.runtimeCore = 1;
+        cfg.faults = faults;
+        return cfg;
+    }
+
+    /** A copy of profile_ whose progress axis is scaled by @p s. */
+    Profile
+    scaledProfile(double s) const
+    {
+        std::vector<ProfileSegment> segs = profile_.segments();
+        for (ProfileSegment &seg : segs)
+            seg.progress *= s;
+        return Profile(profile_.benchmark(), profile_.samplingPeriod(),
+                       std::move(segs));
+    }
+
+    machine::MachineConfig mcfg_;
+    std::unique_ptr<machine::Machine> machine_;
+    std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<machine::CpuFreqGovernor> governor_;
+    std::unique_ptr<machine::CatController> cat_;
+    machine::Pid fgPid_ = 0;
+    Profile profile_;
+};
+
+TEST_F(RuntimeFaultTest, FaultFreeRunSanitizesNothing)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(nullptr));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(3.0));
+    EXPECT_EQ(runtime.sanitizedSamples(), 0u);
+    EXPECT_FALSE(runtime.degradedMode(fgPid_));
+}
+
+TEST_F(RuntimeFaultTest, GlitchedReadsAreHeldNotForwarded)
+{
+    fault::FaultPlan plan;
+    plan.counters.glitchProb = 0.3;
+    plan.counters.glitchScale = 100.0; // wildly implausible values
+    fault::FaultInjector faults(plan, 31);
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(&faults));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(3.0));
+    EXPECT_GT(faults.stats().counterGlitches, 0u);
+    EXPECT_GT(runtime.sanitizedSamples(), 0u);
+    // The predictor kept functioning on the surviving samples.
+    EXPECT_GE(runtime.predictor(fgPid_).executionsSeen(), 1u);
+}
+
+TEST_F(RuntimeFaultTest, SaturatedCounterDoesNotPoisonThePredictor)
+{
+    fault::FaultPlan plan;
+    plan.counters.saturateProb = 0.2;
+    fault::FaultInjector faults(plan, 32);
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(&faults));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(4.0));
+    EXPECT_GT(faults.stats().counterSaturations, 0u);
+    EXPECT_GT(runtime.sanitizedSamples(), 0u);
+    // A 2^48 - 1 read held at the previous value: the midpoint
+    // predictions made from surviving samples stay in a sane range.
+    for (const auto &s : runtime.midpointSamples(fgPid_)) {
+        EXPECT_GT(s.predictedTotal.sec(), 0.0);
+        EXPECT_LT(s.predictedTotal.sec(), 100.0);
+    }
+}
+
+TEST_F(RuntimeFaultTest, DroppedReadsReadBackAsZeroDeltas)
+{
+    // A dropped read repeats the previous value; the sanitizer's
+    // monotonicity clamp accepts it (zero delta) without counting it
+    // as implausible — drops are expected, not poison.
+    fault::FaultPlan plan;
+    plan.counters.dropProb = 0.3;
+    fault::FaultInjector faults(plan, 33);
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(&faults));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(3.0));
+    EXPECT_GT(faults.stats().counterDrops, 0u);
+    EXPECT_EQ(runtime.sanitizedSamples(), 0u);
+    EXPECT_GE(runtime.predictor(fgPid_).executionsSeen(), 1u);
+}
+
+TEST_F(RuntimeFaultTest, StaleProfileTripsDegradedMode)
+{
+    // The profile claims 3x the progress the FG actually makes per
+    // execution: ratio ≈ 0.33, outside the 40% tolerance, for every
+    // execution — after mismatchStreak executions the runtime must
+    // abandon the profile-driven predictor.
+    Profile stale = scaledProfile(3.0);
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(nullptr));
+    runtime.addForeground(fgPid_, &stale, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(1.0));
+    EXPECT_FALSE(runtime.degradedMode(fgPid_)); // streak not yet full
+    engine_->runUntil(Time::sec(10.0));
+    EXPECT_TRUE(runtime.degradedMode(fgPid_));
+}
+
+TEST_F(RuntimeFaultTest, MatchingProfileNeverDegrades)
+{
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(nullptr));
+    runtime.addForeground(fgPid_, &profile_, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(10.0));
+    EXPECT_FALSE(runtime.degradedMode(fgPid_));
+}
+
+TEST_F(RuntimeFaultTest, DegradedModeStillControls)
+{
+    // Reactive fallback: with a hopeless stale profile and a deadline
+    // just above the observed duration, the EMA-driven statuses still
+    // reach the fine controller and decisions keep being made.
+    Profile stale = scaledProfile(3.0);
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(nullptr));
+    runtime.addForeground(fgPid_, &stale, profile_.totalTime() * 1.05);
+    runtime.start();
+    engine_->runUntil(Time::sec(12.0));
+    ASSERT_TRUE(runtime.degradedMode(fgPid_));
+    uint64_t decisionsAtDegrade = runtime.fineController().stats().decisions;
+    engine_->runUntil(Time::sec(16.0));
+    EXPECT_GT(runtime.fineController().stats().decisions,
+              decisionsAtDegrade);
+}
+
+TEST_F(RuntimeFaultTest, CorruptProfileHelperFeedsDegradedMode)
+{
+    // End-to-end through the [profile] fault section: corrupt every
+    // segment's progress down to near zero and confirm the runtime
+    // notices the mismatch on its own.
+    fault::ProfileFaults pf;
+    pf.corruptProb = 1.0;
+    pf.corruptScale = 0.1; // progress scaled into [0, 0.1)
+    Profile corrupted = corruptProfile(profile_, pf, Rng(7));
+    ASSERT_LT(corrupted.totalProgress(), profile_.totalProgress() * 0.2);
+
+    DirigentRuntime runtime(*machine_, *engine_, *governor_, *cat_,
+                            runtimeConfig(nullptr));
+    runtime.addForeground(fgPid_, &corrupted, Time::sec(2.0));
+    runtime.start();
+    engine_->runUntil(Time::sec(10.0));
+    EXPECT_TRUE(runtime.degradedMode(fgPid_));
+}
+
+} // namespace
+} // namespace dirigent::core

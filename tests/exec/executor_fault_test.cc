@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Failure-isolation stress tests for SweepExecutor::forEach: a job that
+ * throws mid-sweep must not drop, reorder, or otherwise disturb its
+ * siblings' results — serially and across worker counts — and the first
+ * exception must surface only after the whole sweep finished.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace dirigent::exec {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 2;
+    cfg.warmup = 0;
+    cfg.seed = 20160402;
+    return cfg;
+}
+
+ExecutorConfig
+quietConfig(unsigned threads)
+{
+    ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    return ecfg;
+}
+
+std::vector<JobKey>
+makeKeys(size_t n)
+{
+    std::vector<JobKey> keys;
+    for (size_t i = 0; i < n; ++i)
+        keys.push_back({"mix" + std::to_string(i), "stage", 0});
+    return keys;
+}
+
+TEST(ExecutorFaultTest, SerialThrowingJobKeepsSiblingsOrdered)
+{
+    SweepExecutor executor(fastConfig(), quietConfig(1));
+    std::vector<size_t> completed;
+    auto keys = makeKeys(6);
+    EXPECT_THROW(
+        executor.forEach(keys,
+                         [&](size_t i, const JobKey &,
+                             harness::ExperimentRunner &) {
+                             if (i == 2)
+                                 throw std::runtime_error("job 2 died");
+                             completed.push_back(i);
+                         }),
+        std::runtime_error);
+    // Every sibling ran, in key order, including those after the
+    // failure.
+    EXPECT_EQ(completed, (std::vector<size_t>{0, 1, 3, 4, 5}));
+}
+
+TEST(ExecutorFaultTest, ParallelThrowingJobsLoseNoSiblings)
+{
+    SweepExecutor executor(fastConfig(), quietConfig(4));
+    std::mutex mutex;
+    std::set<size_t> completed;
+    auto keys = makeKeys(16);
+    EXPECT_THROW(
+        executor.forEach(keys,
+                         [&](size_t i, const JobKey &,
+                             harness::ExperimentRunner &) {
+                             if (i % 5 == 0) // jobs 0, 5, 10, 15 fail
+                                 throw std::runtime_error("injected");
+                             std::lock_guard<std::mutex> lock(mutex);
+                             completed.insert(i);
+                         }),
+        std::runtime_error);
+    EXPECT_EQ(completed.size(), 12u);
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(completed.count(i), i % 5 == 0 ? 0u : 1u);
+}
+
+TEST(ExecutorFaultTest, FirstErrorIsTheOneRethrown)
+{
+    SweepExecutor executor(fastConfig(), quietConfig(1));
+    auto keys = makeKeys(4);
+    try {
+        executor.forEach(keys, [&](size_t i, const JobKey &,
+                                   harness::ExperimentRunner &) {
+            throw std::runtime_error("error from job " +
+                                     std::to_string(i));
+        });
+        FAIL() << "forEach did not rethrow";
+    } catch (const std::runtime_error &e) {
+        // Serial execution runs in key order: job 0's error is first.
+        EXPECT_STREQ(e.what(), "error from job 0");
+    }
+}
+
+TEST(ExecutorFaultTest, NonExceptionFailuresDoNotHang)
+{
+    // A job throwing something that is not std::exception must still be
+    // caught, isolated, and rethrown.
+    SweepExecutor executor(fastConfig(), quietConfig(2));
+    std::atomic<unsigned> ran{0};
+    auto keys = makeKeys(6);
+    EXPECT_THROW(executor.forEach(keys,
+                                  [&](size_t i, const JobKey &,
+                                      harness::ExperimentRunner &) {
+                                      if (i == 1)
+                                          throw 42;
+                                      ++ran;
+                                  }),
+                 int);
+    EXPECT_EQ(ran.load(), 5u);
+}
+
+TEST(ExecutorFaultTest, JsonlRecordsSurviveASiblingFailure)
+{
+    // Jobs append JSONL lines through the executor's writer; the
+    // thrower must not lose or corrupt anybody else's line.
+    std::string path = testing::TempDir() + "executor_fault_test.jsonl";
+    std::remove(path.c_str());
+    {
+        ExecutorConfig ecfg = quietConfig(4);
+        ecfg.jsonlPath = path;
+        SweepExecutor executor(fastConfig(), ecfg);
+        ASSERT_NE(executor.jsonl(), nullptr);
+        auto keys = makeKeys(12);
+        EXPECT_THROW(
+            executor.forEach(
+                keys,
+                [&](size_t i, const JobKey &key,
+                    harness::ExperimentRunner &) {
+                    if (i == 7)
+                        throw std::runtime_error("injected");
+                    harness::SchemeRunResult result;
+                    result.mixName = key.mix;
+                    result.scheme = core::Scheme::Baseline;
+                    executor.jsonl()->write(result, key.stage, i, 0.0);
+                }),
+            std::runtime_error);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::set<std::string> mixes;
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        // Every line is a complete record naming its mix.
+        auto pos = line.find("\"mix\":\"");
+        ASSERT_NE(pos, std::string::npos) << line;
+        auto start = pos + 7;
+        mixes.insert(line.substr(start, line.find('"', start) - start));
+    }
+    EXPECT_EQ(lines, 11u);
+    EXPECT_EQ(mixes.size(), 11u);
+    EXPECT_EQ(mixes.count("mix7"), 0u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dirigent::exec

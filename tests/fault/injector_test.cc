@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests of the deterministic fault injector: empty-plan passthrough,
+ * counter filter semantics (drop / glitch / saturate), per-boundary
+ * stream independence, and bit-exact replay from (seed, plan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace dirigent::fault {
+namespace {
+
+constexpr double kSaturated = 281474976710655.0; // 2^48 - 1
+
+TEST(FaultInjectorTest, EmptyPlanPassesEverythingThrough)
+{
+    FaultInjector inj(FaultPlan{}, 1234);
+    for (int i = 0; i < 1000; ++i) {
+        double v = double(i) * 17.5;
+        EXPECT_EQ(inj.filterCounter(Channel::Progress, 0, v), v);
+        EXPECT_EQ(inj.samplerStall().sec(), 0.0);
+        EXPECT_FALSE(inj.samplerMissesWake());
+        EXPECT_EQ(inj.callbackOverrun().sec(), 0.0);
+        EXPECT_FALSE(inj.dvfsWriteFails());
+        EXPECT_EQ(inj.dvfsLatencySpike().sec(), 0.0);
+        EXPECT_FALSE(inj.catApplyFails());
+    }
+    EXPECT_EQ(inj.stats().total(), 0u);
+}
+
+TEST(FaultInjectorTest, DropReturnsPreviousValue)
+{
+    FaultPlan plan;
+    plan.counters.dropProb = 1.0;
+    FaultInjector inj(plan, 7);
+    // The very first read has nothing to repeat; it passes through.
+    EXPECT_EQ(inj.filterCounter(Channel::Progress, 2, 100.0), 100.0);
+    // Every later read repeats the previous *true* value.
+    EXPECT_EQ(inj.filterCounter(Channel::Progress, 2, 150.0), 100.0);
+    EXPECT_EQ(inj.filterCounter(Channel::Progress, 2, 200.0), 150.0);
+    EXPECT_GE(inj.stats().counterDrops, 2u);
+}
+
+TEST(FaultInjectorTest, DropStateIsPerChannelAndCore)
+{
+    FaultPlan plan;
+    plan.counters.dropProb = 1.0;
+    FaultInjector inj(plan, 7);
+    EXPECT_EQ(inj.filterCounter(Channel::Progress, 0, 10.0), 10.0);
+    // Different channel and different core each start fresh.
+    EXPECT_EQ(inj.filterCounter(Channel::LlcMisses, 0, 20.0), 20.0);
+    EXPECT_EQ(inj.filterCounter(Channel::Progress, 1, 30.0), 30.0);
+    EXPECT_EQ(inj.filterCounter(Channel::Progress, 0, 99.0), 10.0);
+}
+
+TEST(FaultInjectorTest, SaturateReturnsAllOnes48Bit)
+{
+    FaultPlan plan;
+    plan.counters.saturateProb = 1.0;
+    FaultInjector inj(plan, 9);
+    EXPECT_EQ(inj.filterCounter(Channel::LlcMisses, 0, 123.0),
+              kSaturated);
+    EXPECT_EQ(inj.stats().counterSaturations, 1u);
+}
+
+TEST(FaultInjectorTest, GlitchScalesTheTrueValue)
+{
+    FaultPlan plan;
+    plan.counters.glitchProb = 1.0;
+    plan.counters.glitchScale = 100.0;
+    FaultInjector inj(plan, 11);
+    for (int i = 0; i < 200; ++i) {
+        double out = inj.filterCounter(Channel::Progress, 0, 1000.0);
+        EXPECT_GE(out, 0.0);
+        EXPECT_LE(out, 1000.0 * 100.0);
+    }
+    EXPECT_EQ(inj.stats().counterGlitches, 200u);
+}
+
+TEST(FaultInjectorTest, SamplerFaultsDrawPlausibleValues)
+{
+    FaultPlan plan;
+    plan.sampler.stallProb = 1.0;
+    plan.sampler.stallMean = Time::ms(10.0);
+    plan.sampler.overrunProb = 1.0;
+    plan.sampler.overrunMean = Time::ms(8.0);
+    FaultInjector inj(plan, 13);
+    double stallSum = 0.0, overrunSum = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        Time stall = inj.samplerStall();
+        Time overrun = inj.callbackOverrun();
+        EXPECT_GT(stall.sec(), 0.0);
+        EXPECT_GT(overrun.sec(), 0.0);
+        stallSum += stall.ms();
+        overrunSum += overrun.ms();
+    }
+    // Exponential means within 20% at n=4000.
+    EXPECT_NEAR(stallSum / n, 10.0, 2.0);
+    EXPECT_NEAR(overrunSum / n, 8.0, 1.6);
+    EXPECT_EQ(inj.stats().samplerStalls, uint64_t(n));
+    EXPECT_EQ(inj.stats().samplerOverruns, uint64_t(n));
+}
+
+TEST(FaultInjectorTest, ProbabilitiesHitTheirRate)
+{
+    FaultPlan plan;
+    plan.sampler.missProb = 0.25;
+    plan.dvfs.failProb = 0.5;
+    plan.cat.failProb = 0.1;
+    FaultInjector inj(plan, 17);
+    int misses = 0, fails = 0, catFails = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        misses += inj.samplerMissesWake() ? 1 : 0;
+        fails += inj.dvfsWriteFails() ? 1 : 0;
+        catFails += inj.catApplyFails() ? 1 : 0;
+    }
+    EXPECT_NEAR(double(misses) / n, 0.25, 0.02);
+    EXPECT_NEAR(double(fails) / n, 0.5, 0.02);
+    EXPECT_NEAR(double(catFails) / n, 0.1, 0.02);
+}
+
+TEST(FaultInjectorTest, SameSeedAndPlanReplayBitIdentically)
+{
+    FaultPlan plan;
+    plan.counters.dropProb = 0.1;
+    plan.counters.glitchProb = 0.1;
+    plan.sampler.stallProb = 0.3;
+    plan.dvfs.failProb = 0.2;
+    auto trace = [&](uint64_t seed) {
+        FaultInjector inj(plan, seed);
+        std::vector<double> out;
+        for (int i = 0; i < 500; ++i) {
+            out.push_back(
+                inj.filterCounter(Channel::Progress, i % 4, double(i)));
+            out.push_back(inj.samplerStall().sec());
+            out.push_back(inj.dvfsWriteFails() ? 1.0 : 0.0);
+        }
+        return out;
+    };
+    EXPECT_EQ(trace(42), trace(42));
+    EXPECT_NE(trace(42), trace(43));
+}
+
+TEST(FaultInjectorTest, SeedSaltChangesTheStreams)
+{
+    FaultPlan a, b;
+    a.sampler.missProb = b.sampler.missProb = 0.5;
+    b.seedSalt = 1;
+    FaultInjector injA(a, 42), injB(b, 42);
+    std::vector<bool> sa, sb;
+    for (int i = 0; i < 200; ++i) {
+        sa.push_back(injA.samplerMissesWake());
+        sb.push_back(injB.samplerMissesWake());
+    }
+    EXPECT_NE(sa, sb);
+}
+
+TEST(FaultInjectorTest, BoundaryStreamsAreIndependent)
+{
+    // Consuming one boundary's stream must not shift another's: the
+    // DVFS decisions of a plan that also injects sampler faults match
+    // those of a DVFS-only plan, draw for draw.
+    FaultPlan dvfsOnly;
+    dvfsOnly.dvfs.failProb = 0.5;
+    FaultPlan both = dvfsOnly;
+    both.sampler.stallProb = 1.0;
+
+    FaultInjector a(dvfsOnly, 99), b(both, 99);
+    for (int i = 0; i < 300; ++i) {
+        b.samplerStall(); // consume sampler draws in b only
+        EXPECT_EQ(a.dvfsWriteFails(), b.dvfsWriteFails()) << "draw " << i;
+    }
+}
+
+TEST(FaultInjectorTest, ProfileRngIsDeterministicAndRepeatable)
+{
+    FaultPlan plan;
+    FaultInjector inj(plan, 5);
+    Rng a = inj.profileRng();
+    Rng b = inj.profileRng();
+    EXPECT_EQ(a.uniform(), b.uniform()); // const accessor: same stream
+}
+
+} // namespace
+} // namespace dirigent::fault

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests of the fault-plan DSL: parsing, validation (fatal on user
+ * errors), emptiness detection, and the format/parse round trip that
+ * lets failing chaos cells be replayed from their (seed, plan) pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/plan.h"
+
+namespace dirigent::fault {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanIsEmpty)
+{
+    FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, EmptyTextParsesToEmptyPlan)
+{
+    FaultPlan plan = parseFaultPlan(std::string(""));
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(plan.seedSalt, 0u);
+}
+
+TEST(FaultPlanTest, ParsesAllSections)
+{
+    FaultPlan plan = parseFaultPlan(std::string(R"(
+[faults]
+seed_salt = 42
+
+[counters]
+drop_prob = 0.1
+glitch_prob = 0.05
+glitch_scale = 50
+saturate_prob = 0.01
+
+[sampler]
+stall_prob = 0.2
+stall_mean = 12ms
+miss_prob = 0.02
+overrun_prob = 0.03
+overrun_mean = 6ms
+
+[dvfs]
+fail_prob = 0.3
+spike_prob = 0.04
+spike_mean = 1ms
+
+[cat]
+fail_prob = 0.25
+
+[profile]
+stale_scale = 1.5
+noise_sigma = 0.2
+corrupt_prob = 0.1
+corrupt_scale = 3
+)"));
+    EXPECT_FALSE(plan.empty());
+    EXPECT_EQ(plan.seedSalt, 42u);
+    EXPECT_DOUBLE_EQ(plan.counters.dropProb, 0.1);
+    EXPECT_DOUBLE_EQ(plan.counters.glitchProb, 0.05);
+    EXPECT_DOUBLE_EQ(plan.counters.glitchScale, 50.0);
+    EXPECT_DOUBLE_EQ(plan.counters.saturateProb, 0.01);
+    EXPECT_DOUBLE_EQ(plan.sampler.stallProb, 0.2);
+    EXPECT_NEAR(plan.sampler.stallMean.ms(), 12.0, 1e-12);
+    EXPECT_DOUBLE_EQ(plan.sampler.missProb, 0.02);
+    EXPECT_DOUBLE_EQ(plan.sampler.overrunProb, 0.03);
+    EXPECT_NEAR(plan.sampler.overrunMean.ms(), 6.0, 1e-12);
+    EXPECT_DOUBLE_EQ(plan.dvfs.failProb, 0.3);
+    EXPECT_DOUBLE_EQ(plan.dvfs.spikeProb, 0.04);
+    EXPECT_NEAR(plan.dvfs.spikeMean.ms(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(plan.cat.failProb, 0.25);
+    EXPECT_DOUBLE_EQ(plan.profile.staleScale, 1.5);
+    EXPECT_DOUBLE_EQ(plan.profile.noiseSigma, 0.2);
+    EXPECT_DOUBLE_EQ(plan.profile.corruptProb, 0.1);
+    EXPECT_DOUBLE_EQ(plan.profile.corruptScale, 3.0);
+}
+
+TEST(FaultPlanTest, SingleNonzeroKnobMakesPlanNonEmpty)
+{
+    EXPECT_FALSE(
+        parseFaultPlan(std::string("counters.drop_prob = 0.01")).empty());
+    EXPECT_FALSE(
+        parseFaultPlan(std::string("sampler.miss_prob = 0.01")).empty());
+    EXPECT_FALSE(
+        parseFaultPlan(std::string("dvfs.fail_prob = 0.01")).empty());
+    EXPECT_FALSE(
+        parseFaultPlan(std::string("cat.fail_prob = 0.01")).empty());
+    EXPECT_FALSE(
+        parseFaultPlan(std::string("profile.stale_scale = 2")).empty());
+}
+
+TEST(FaultPlanTest, SeedSaltAloneKeepsPlanEmpty)
+{
+    // A salt changes the fault streams but injects nothing by itself.
+    EXPECT_TRUE(
+        parseFaultPlan(std::string("faults.seed_salt = 7")).empty());
+}
+
+TEST(FaultPlanDeathTest, RejectsOutOfRangeProbability)
+{
+    EXPECT_EXIT(parseFaultPlan(std::string("counters.drop_prob = 1.5")),
+                testing::ExitedWithCode(1), "probability");
+    EXPECT_EXIT(parseFaultPlan(std::string("dvfs.fail_prob = -0.1")),
+                testing::ExitedWithCode(1), "probability");
+}
+
+TEST(FaultPlanDeathTest, RejectsNonFiniteValues)
+{
+    EXPECT_EXIT(parseFaultPlan(std::string("counters.glitch_prob = nan")),
+                testing::ExitedWithCode(1), "finite");
+    EXPECT_EXIT(parseFaultPlan(std::string("profile.noise_sigma = inf")),
+                testing::ExitedWithCode(1), "finite");
+}
+
+TEST(FaultPlanDeathTest, RejectsNonPositiveDurationsAndScales)
+{
+    EXPECT_EXIT(parseFaultPlan(std::string("sampler.stall_mean = 0s")),
+                testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(parseFaultPlan(std::string("counters.glitch_scale = 0")),
+                testing::ExitedWithCode(1), "positive");
+    EXPECT_EXIT(parseFaultPlan(std::string("profile.stale_scale = -1")),
+                testing::ExitedWithCode(1), "positive");
+}
+
+TEST(FaultPlanDeathTest, RejectsUnknownKeys)
+{
+    EXPECT_EXIT(parseFaultPlan(std::string("samplr.stall_prob = 0.1")),
+                testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(parseFaultPlan(std::string("machine.cores = 4")),
+                testing::ExitedWithCode(1), "unknown key");
+}
+
+TEST(FaultPlanTest, FormatParseRoundTrips)
+{
+    FaultPlan plan;
+    plan.seedSalt = 0xDEADBEEF;
+    plan.counters.dropProb = 0.125;
+    plan.counters.glitchProb = 0.0625;
+    plan.counters.glitchScale = 17.5;
+    plan.counters.saturateProb = 0.03125;
+    plan.sampler.stallProb = 0.25;
+    plan.sampler.stallMean = Time::ms(7.5);
+    plan.sampler.missProb = 0.015625;
+    plan.sampler.overrunProb = 0.5;
+    plan.sampler.overrunMean = Time::ms(3.25);
+    plan.dvfs.failProb = 0.75;
+    plan.dvfs.spikeProb = 0.375;
+    plan.dvfs.spikeMean = Time::ms(1.125);
+    plan.cat.failProb = 0.875;
+    plan.profile.staleScale = 2.5;
+    plan.profile.noiseSigma = 0.25;
+    plan.profile.corruptProb = 0.0078125;
+    plan.profile.corruptScale = 6.75;
+
+    FaultPlan again = parseFaultPlan(formatFaultPlan(plan));
+    EXPECT_EQ(again.seedSalt, plan.seedSalt);
+    EXPECT_DOUBLE_EQ(again.counters.dropProb, plan.counters.dropProb);
+    EXPECT_DOUBLE_EQ(again.counters.glitchProb, plan.counters.glitchProb);
+    EXPECT_DOUBLE_EQ(again.counters.glitchScale,
+                     plan.counters.glitchScale);
+    EXPECT_DOUBLE_EQ(again.counters.saturateProb,
+                     plan.counters.saturateProb);
+    EXPECT_DOUBLE_EQ(again.sampler.stallProb, plan.sampler.stallProb);
+    EXPECT_DOUBLE_EQ(again.sampler.stallMean.sec(),
+                     plan.sampler.stallMean.sec());
+    EXPECT_DOUBLE_EQ(again.sampler.missProb, plan.sampler.missProb);
+    EXPECT_DOUBLE_EQ(again.sampler.overrunProb,
+                     plan.sampler.overrunProb);
+    EXPECT_DOUBLE_EQ(again.sampler.overrunMean.sec(),
+                     plan.sampler.overrunMean.sec());
+    EXPECT_DOUBLE_EQ(again.dvfs.failProb, plan.dvfs.failProb);
+    EXPECT_DOUBLE_EQ(again.dvfs.spikeProb, plan.dvfs.spikeProb);
+    EXPECT_DOUBLE_EQ(again.dvfs.spikeMean.sec(),
+                     plan.dvfs.spikeMean.sec());
+    EXPECT_DOUBLE_EQ(again.cat.failProb, plan.cat.failProb);
+    EXPECT_DOUBLE_EQ(again.profile.staleScale, plan.profile.staleScale);
+    EXPECT_DOUBLE_EQ(again.profile.noiseSigma, plan.profile.noiseSigma);
+    EXPECT_DOUBLE_EQ(again.profile.corruptProb,
+                     plan.profile.corruptProb);
+    EXPECT_DOUBLE_EQ(again.profile.corruptScale,
+                     plan.profile.corruptScale);
+}
+
+TEST(FaultPlanTest, EnvPathUnsetReturnsNullopt)
+{
+    unsetenv("DIRIGENT_FAULTS");
+    EXPECT_FALSE(envFaultPlanPath().has_value());
+    setenv("DIRIGENT_FAULTS", "", 1);
+    EXPECT_FALSE(envFaultPlanPath().has_value());
+    setenv("DIRIGENT_FAULTS", "/tmp/plan.cfg", 1);
+    ASSERT_TRUE(envFaultPlanPath().has_value());
+    EXPECT_EQ(*envFaultPlanPath(), "/tmp/plan.cfg");
+    unsetenv("DIRIGENT_FAULTS");
+}
+
+} // namespace
+} // namespace dirigent::fault

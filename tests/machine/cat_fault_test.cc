@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of CAT mask-write failures: a failed reconfiguration leaves the
+ * previous partition fully in force and is reported to the caller.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "machine/cat.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::machine {
+namespace {
+
+MachineConfig
+config()
+{
+    MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    return cfg;
+}
+
+void
+spawnMix(Machine &m, unsigned fgCount)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    for (unsigned c = 0; c < m.numCores(); ++c) {
+        ProcessSpec s;
+        bool fg = c < fgCount;
+        s.name = fg ? "fg" : "bg";
+        s.program = fg ? &lib.get("ferret").program
+                       : &lib.get("lbm").program;
+        s.core = c;
+        s.foreground = fg;
+        m.spawnProcess(s);
+    }
+}
+
+TEST(CatFaultTest, FailedWriteLeavesPartitionUntouched)
+{
+    Machine m(config());
+    spawnMix(m, 1);
+    CatController cat(m);
+    ASSERT_TRUE(cat.setFgWays(5));
+
+    fault::FaultPlan plan;
+    plan.cat.failProb = 1.0;
+    fault::FaultInjector faults(plan, 1);
+    cat.setFaultInjector(&faults);
+
+    EXPECT_FALSE(cat.setFgWays(8));
+    EXPECT_EQ(cat.fgWays(), 5u); // previous partition in force
+    EXPECT_EQ(m.cache().wayMask(0), mem::wayRange(0, 5));
+    EXPECT_FALSE(cat.setShared());
+    EXPECT_TRUE(cat.partitioned());
+    EXPECT_EQ(cat.failedReconfigs(), 2u);
+    EXPECT_EQ(faults.stats().catFailures, 2u);
+}
+
+TEST(CatFaultTest, RecoveredWriteApplies)
+{
+    Machine m(config());
+    spawnMix(m, 1);
+    CatController cat(m);
+
+    fault::FaultPlan plan;
+    plan.cat.failProb = 1.0;
+    fault::FaultInjector faults(plan, 2);
+    cat.setFaultInjector(&faults);
+    EXPECT_FALSE(cat.setFgWays(5));
+
+    cat.setFaultInjector(nullptr); // fault clears
+    EXPECT_TRUE(cat.setFgWays(5));
+    EXPECT_EQ(cat.fgWays(), 5u);
+    EXPECT_EQ(m.cache().wayMask(0), mem::wayRange(0, 5));
+}
+
+TEST(CatFaultTest, EmptyPlanInjectorNeverFails)
+{
+    Machine m(config());
+    spawnMix(m, 2);
+    CatController cat(m);
+    fault::FaultInjector faults(fault::FaultPlan{}, 3);
+    cat.setFaultInjector(&faults);
+    for (unsigned w = 1; w < cat.numWays(); ++w)
+        EXPECT_TRUE(cat.setFgWays(w));
+    EXPECT_TRUE(cat.setShared());
+    EXPECT_EQ(cat.failedReconfigs(), 0u);
+    EXPECT_EQ(faults.stats().total(), 0u);
+}
+
+} // namespace
+} // namespace dirigent::machine

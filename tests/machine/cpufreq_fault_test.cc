@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests of the governor's actuation-failure handling: transient write
+ * failures retried with bounded exponential backoff, abandonment after
+ * the retry budget, recovery on the next request, latency spikes, and
+ * the bit-identical fault-free path with an empty-plan injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "machine/cpufreq.h"
+
+namespace dirigent::machine {
+namespace {
+
+MachineConfig
+config()
+{
+    MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    return cfg;
+}
+
+class CpuFreqFaultTest : public testing::Test
+{
+  protected:
+    CpuFreqFaultTest()
+        : machine_(config()), engine_(machine_, Time::us(100.0)),
+          governor_(machine_, engine_)
+    {
+    }
+
+    Machine machine_;
+    sim::Engine engine_;
+    CpuFreqGovernor governor_;
+};
+
+TEST_F(CpuFreqFaultTest, AlwaysFailingWriteIsAbandoned)
+{
+    fault::FaultPlan plan;
+    plan.dvfs.failProb = 1.0;
+    fault::FaultInjector faults(plan, 1);
+    governor_.setFaultInjector(&faults);
+
+    governor_.setGrade(0, 0);
+    EXPECT_EQ(governor_.grade(0), 0u); // target visible immediately
+    engine_.runFor(Time::ms(10.0));    // covers all backoff retries
+
+    // The write never landed: hardware still at max frequency.
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 2.0, 1e-9);
+    EXPECT_TRUE(governor_.writeAbandoned(0));
+    EXPECT_FALSE(governor_.transitionPending(0));
+    // 1 initial attempt + maxRetries() retries, all failed.
+    EXPECT_EQ(governor_.writeFailures(), governor_.maxRetries() + 1);
+    EXPECT_EQ(governor_.retriesScheduled(), governor_.maxRetries());
+    EXPECT_EQ(governor_.abandonedWrites(), 1u);
+}
+
+TEST_F(CpuFreqFaultTest, RetryBudgetUsesExponentialBackoff)
+{
+    fault::FaultPlan plan;
+    plan.dvfs.failProb = 1.0;
+    fault::FaultInjector faults(plan, 2);
+    governor_.setFaultInjector(&faults);
+    governor_.setMaxRetries(2);
+
+    governor_.setGrade(0, 0);
+    // Attempts at 50 µs, +100 µs, +200 µs: abandoned by 350 µs, not
+    // before 150 µs (the first retry still pending).
+    engine_.runFor(Time::us(160.0));
+    EXPECT_TRUE(governor_.transitionPending(0));
+    engine_.runFor(Time::us(300.0));
+    EXPECT_TRUE(governor_.writeAbandoned(0));
+    EXPECT_EQ(governor_.writeFailures(), 3u);
+}
+
+TEST_F(CpuFreqFaultTest, TransientFailureEventuallyApplies)
+{
+    fault::FaultPlan plan;
+    plan.dvfs.failProb = 0.5;
+    fault::FaultInjector faults(plan, 3);
+    governor_.setFaultInjector(&faults);
+
+    // With p = 0.5 and 4 attempts per write, each request abandons with
+    // probability 1/16; re-request until one lands.
+    bool applied = false;
+    for (int attempt = 0; attempt < 20 && !applied; ++attempt) {
+        governor_.setGrade(0, 0);
+        engine_.runFor(Time::ms(10.0));
+        applied = !governor_.writeAbandoned(0);
+    }
+    ASSERT_TRUE(applied);
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 1.2, 1e-9);
+    EXPECT_FALSE(governor_.transitionPending(0));
+}
+
+TEST_F(CpuFreqFaultTest, NextRequestRecoversFromAbandonment)
+{
+    fault::FaultPlan plan;
+    plan.dvfs.failProb = 1.0;
+    fault::FaultInjector faults(plan, 4);
+    governor_.setFaultInjector(&faults);
+
+    governor_.setGrade(0, 0);
+    engine_.runFor(Time::ms(10.0));
+    ASSERT_TRUE(governor_.writeAbandoned(0));
+
+    // The fault clears (injector detached); re-requesting the *same*
+    // grade must retry — an abandoned write is not a satisfied one.
+    governor_.setFaultInjector(nullptr);
+    governor_.setGrade(0, 0);
+    engine_.runFor(Time::ms(1.0));
+    EXPECT_FALSE(governor_.writeAbandoned(0));
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 1.2, 1e-9);
+}
+
+TEST_F(CpuFreqFaultTest, SupersededWriteStopsRetrying)
+{
+    fault::FaultPlan plan;
+    plan.dvfs.failProb = 1.0;
+    fault::FaultInjector faults(plan, 5);
+    governor_.setFaultInjector(&faults);
+
+    governor_.setGrade(0, 0);
+    governor_.setFaultInjector(nullptr);
+    governor_.setGrade(0, 4); // supersedes the failing write
+    engine_.runFor(Time::ms(10.0));
+    EXPECT_EQ(governor_.grade(0), 4u);
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 1.6, 1e-9);
+    EXPECT_FALSE(governor_.writeAbandoned(0));
+}
+
+TEST_F(CpuFreqFaultTest, LatencySpikesDelayButApplyTheWrite)
+{
+    fault::FaultPlan plan;
+    plan.dvfs.spikeProb = 1.0;
+    plan.dvfs.spikeMean = Time::ms(5.0);
+    fault::FaultInjector faults(plan, 6);
+    governor_.setFaultInjector(&faults);
+
+    governor_.setGrade(0, 0);
+    engine_.runFor(Time::us(60.0)); // past the nominal 50 µs latency
+    // Spiked: very likely not applied yet (mean spike 5 ms).
+    engine_.runFor(Time::ms(100.0));
+    EXPECT_NEAR(machine_.core(0).frequency().ghz(), 1.2, 1e-9);
+    EXPECT_GT(faults.stats().dvfsSpikes, 0u);
+}
+
+TEST_F(CpuFreqFaultTest, EmptyPlanInjectorIsBitIdentical)
+{
+    auto settle = [](fault::FaultInjector *inj) {
+        Machine machine(config());
+        sim::Engine engine(machine, Time::us(100.0));
+        CpuFreqGovernor governor(machine, engine);
+        if (inj != nullptr)
+            governor.setFaultInjector(inj);
+        governor.setGrade(0, 3);
+        governor.setGrade(2, 1);
+        engine.runFor(Time::ms(1.0));
+        return std::pair{machine.core(0).frequency().hz(),
+                         machine.core(2).frequency().hz()};
+    };
+    fault::FaultInjector empty(fault::FaultPlan{}, 9);
+    EXPECT_EQ(settle(nullptr), settle(&empty));
+    EXPECT_EQ(empty.stats().total(), 0u);
+}
+
+TEST_F(CpuFreqFaultTest, FaultFreeStatsStayZero)
+{
+    governor_.setGrade(0, 0);
+    governor_.setGrade(1, 5);
+    engine_.runFor(Time::ms(1.0));
+    EXPECT_EQ(governor_.writeFailures(), 0u);
+    EXPECT_EQ(governor_.retriesScheduled(), 0u);
+    EXPECT_EQ(governor_.abandonedWrites(), 0u);
+}
+
+} // namespace
+} // namespace dirigent::machine

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Regression tests for sampler overrun handling — a wake landing one or
+ * more whole periods late consumes the intervening tick indices so
+ * Tick::index/Tick::scheduled stay consistent with the nominal cadence
+ * — plus fault-injected stalls, missed wake-ups, and callback overruns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/injector.h"
+#include "machine/sampler.h"
+#include "sim/engine.h"
+
+namespace dirigent::machine {
+namespace {
+
+class NullComponent : public sim::Component
+{
+  public:
+    void advance(Time, Time) override {}
+};
+
+class SamplerFaultTest : public testing::Test
+{
+  protected:
+    SamplerFaultTest() : engine_(root_, Time::us(100.0)) {}
+
+    /** index/scheduled bookkeeping every tick stream must satisfy. */
+    void checkConsistency(Time period) const
+    {
+        for (size_t i = 0; i < ticks_.size(); ++i) {
+            const auto &t = ticks_[i];
+            // The wake never lands a whole period past its nominal time
+            // — that period would have been consumed as a skipped tick.
+            EXPECT_GE(t.actual.sec(), t.scheduled.sec());
+            EXPECT_LT((t.actual - t.scheduled).sec(), period.sec());
+            if (i == 0)
+                continue;
+            const auto &p = ticks_[i - 1];
+            EXPECT_GT(t.index, p.index);
+            // Skipped ticks consume exactly their indices.
+            EXPECT_GE(t.index - p.index, t.skipped + 1);
+        }
+    }
+
+    NullComponent root_;
+    sim::Engine engine_;
+    std::vector<PeriodicSampler::Tick> ticks_;
+};
+
+TEST_F(SamplerFaultTest, OverrunPastPeriodSkipsTickIndices)
+{
+    // 12 ms overshoot on a 5 ms period: every wake lands two whole
+    // periods late, so each delivered tick consumes two skipped ones.
+    // (Regression: index used to advance by one while scheduled drifted
+    // a full overshoot behind actual.)
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time::ms(12.0), Time(), Rng(1),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    engine_.runUntil(Time::ms(120.0));
+    ASSERT_GE(ticks_.size(), 5u);
+    checkConsistency(Time::ms(5.0));
+    for (const auto &t : ticks_)
+        EXPECT_EQ(t.skipped, 2u);
+    // First wake at 17 ms: nominal 15 ms (indices 0 and 1 skipped).
+    EXPECT_EQ(ticks_[0].index, 2u);
+    EXPECT_NEAR(ticks_[0].scheduled.ms(), 15.0, 1e-9);
+    EXPECT_NEAR(ticks_[0].actual.ms(), 17.0, 1e-9);
+    EXPECT_EQ(ticks_[1].index, 5u);
+}
+
+TEST_F(SamplerFaultTest, FaultFreeTicksHaveNoSkips)
+{
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time::us(50.0), Time::us(20.0), Rng(2),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.start();
+    engine_.runUntil(Time::ms(60.0));
+    ASSERT_GE(ticks_.size(), 10u);
+    checkConsistency(Time::ms(5.0));
+    for (size_t i = 0; i < ticks_.size(); ++i) {
+        EXPECT_EQ(ticks_[i].index, i);
+        EXPECT_EQ(ticks_[i].skipped, 0u);
+    }
+}
+
+TEST_F(SamplerFaultTest, InjectedStallsKeepIndicesConsistent)
+{
+    fault::FaultPlan plan;
+    plan.sampler.stallProb = 0.5;
+    plan.sampler.stallMean = Time::ms(15.0); // stalls usually skip ticks
+    fault::FaultInjector faults(plan, 77);
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(3),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.setFaultInjector(&faults);
+    sampler.start();
+    engine_.runUntil(Time::sec(1.0));
+    ASSERT_GE(ticks_.size(), 20u);
+    checkConsistency(Time::ms(5.0));
+    EXPECT_GT(faults.stats().samplerStalls, 0u);
+    // At least one stall actually skipped ticks.
+    uint64_t skippedTotal = 0;
+    for (const auto &t : ticks_)
+        skippedTotal += t.skipped;
+    EXPECT_GT(skippedTotal, 0u);
+}
+
+TEST_F(SamplerFaultTest, MissedWakesSkipCallbacksNotTheClock)
+{
+    fault::FaultPlan plan;
+    plan.sampler.missProb = 0.5;
+    fault::FaultInjector faults(plan, 78);
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(4),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.setFaultInjector(&faults);
+    sampler.start();
+    engine_.runUntil(Time::sec(1.0));
+    // ~200 nominal ticks; about half the callbacks are suppressed, but
+    // the sampler keeps ticking and indices stay strictly increasing.
+    EXPECT_GT(ticks_.size(), 50u);
+    EXPECT_LT(ticks_.size(), 150u);
+    EXPECT_GT(faults.stats().samplerMisses, 0u);
+    checkConsistency(Time::ms(5.0));
+    // A missed wake consumes its index: gaps appear in the stream.
+    EXPECT_GT(ticks_.back().index + 1, ticks_.size());
+}
+
+TEST_F(SamplerFaultTest, CallbackOverrunsDelayTheNextWake)
+{
+    fault::FaultPlan plan;
+    plan.sampler.overrunProb = 1.0;
+    plan.sampler.overrunMean = Time::ms(2.0);
+    fault::FaultInjector faults(plan, 79);
+    PeriodicSampler sampler(
+        engine_, Time::ms(5.0), Time(), Time(), Rng(5),
+        [&](const PeriodicSampler::Tick &t) { ticks_.push_back(t); });
+    sampler.setFaultInjector(&faults);
+    sampler.start();
+    engine_.runUntil(Time::ms(500.0));
+    ASSERT_GE(ticks_.size(), 10u);
+    checkConsistency(Time::ms(5.0));
+    EXPECT_GT(faults.stats().samplerOverruns, 0u);
+    // Every gap includes the overrun on top of the 5 ms period.
+    for (size_t i = 1; i < ticks_.size(); ++i) {
+        EXPECT_GT((ticks_[i].actual - ticks_[i - 1].actual).ms(), 5.0);
+    }
+}
+
+TEST_F(SamplerFaultTest, NullInjectorIsBitIdentical)
+{
+    auto run = [&](bool attach) {
+        std::vector<PeriodicSampler::Tick> out;
+        NullComponent root;
+        sim::Engine engine(root, Time::us(100.0));
+        fault::FaultInjector faults(fault::FaultPlan{}, 123);
+        PeriodicSampler sampler(
+            engine, Time::ms(5.0), Time::us(50.0), Time::us(20.0),
+            Rng(42),
+            [&](const PeriodicSampler::Tick &t) { out.push_back(t); });
+        if (attach)
+            sampler.setFaultInjector(&faults);
+        sampler.start();
+        engine.runUntil(Time::ms(100.0));
+        return out;
+    };
+    auto plain = run(false);
+    auto withEmpty = run(true);
+    ASSERT_EQ(plain.size(), withEmpty.size());
+    for (size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].index, withEmpty[i].index);
+        EXPECT_EQ(plain[i].scheduled.sec(), withEmpty[i].scheduled.sec());
+        EXPECT_EQ(plain[i].actual.sec(), withEmpty[i].actual.sec());
+        EXPECT_EQ(plain[i].skipped, withEmpty[i].skipped);
+    }
+}
+
+} // namespace
+} // namespace dirigent::machine

@@ -16,6 +16,9 @@
  *                          also DIRIGENT_THREADS / threads=N)
  *   --jsonl FILE           append per-run JSONL records to FILE
  *                          (also DIRIGENT_JSONL)
+ *   --faults FILE          inject boundary faults from the fault-plan
+ *                          DSL in FILE (also DIRIGENT_FAULTS; see
+ *                          fault/plan.h for the format)
  *   --check                enable the runtime invariant checker for this
  *                          run (also DIRIGENT_CHECK=1; --no-check forces
  *                          it off)
@@ -53,6 +56,7 @@
 #include "common/strfmt.h"
 #include "common/table.h"
 #include "exec/executor.h"
+#include "fault/plan.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "workload/benchmarks.h"
@@ -69,7 +73,8 @@ usage()
     std::cerr
         << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
            "[--config FILE] [--fg-program FILE] [--threads N] "
-           "[--jsonl FILE] [--check|--no-check] [key=value...]\n"
+           "[--jsonl FILE] [--faults FILE] [--check|--no-check] "
+           "[key=value...]\n"
            "       run_experiment --list\n";
     std::exit(2);
 }
@@ -152,7 +157,7 @@ main(int argc, char **argv)
 {
     std::vector<std::string> positional;
     Config overrides;
-    std::string configFile, fgProgramFile, jsonlPath;
+    std::string configFile, fgProgramFile, jsonlPath, faultsFile;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -175,6 +180,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage();
             jsonlPath = argv[i];
+        } else if (arg == "--faults") {
+            if (++i >= argc)
+                usage();
+            faultsFile = argv[i];
         } else if (arg == "--check") {
             check::setEnabled(true);
         } else if (arg == "--no-check") {
@@ -196,6 +205,13 @@ main(int argc, char **argv)
     cfg.merge(overrides);
 
     harness::HarnessConfig hc = harnessFromConfig(cfg);
+    if (faultsFile.empty())
+        faultsFile = fault::envFaultPlanPath().value_or("");
+    if (!faultsFile.empty()) {
+        hc.faultPlan = fault::loadFaultPlan(faultsFile);
+        if (!hc.faultPlan.empty())
+            inform("fault injection active (plan: " + faultsFile + ")");
+    }
     harness::ExperimentRunner runner(hc);
     const auto &lib = workload::BenchmarkLibrary::instance();
 
