@@ -13,10 +13,14 @@
 #include "common/random.h"
 #include "dirigent/fine_controller.h"
 #include "dirigent/predictor.h"
+#include "harness/experiment.h"
 #include "machine/cpufreq.h"
 #include "machine/machine.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "workload/benchmarks.h"
+#include "workload/mix.h"
 
 using namespace dirigent;
 
@@ -120,6 +124,67 @@ BM_FullRuntimeInvocation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullRuntimeInvocation)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RecorderSample(benchmark::State &state)
+{
+    // One telemetry sample append — the recorder's hot path. After the
+    // preallocated capacity this is a columnar push_back pair.
+    obs::Recorder recorder;
+    size_t id = recorder.addSeries("bench.value", "unit");
+    Time now;
+    for (auto _ : state) {
+        now += Time::ms(1.0);
+        recorder.sample(id, now, 0.5);
+    }
+}
+BENCHMARK(BM_RecorderSample);
+
+void
+BM_MetricsHistogramObserve(benchmark::State &state)
+{
+    obs::MetricsRegistry registry;
+    obs::Histogram &hist = registry.histogram("bench.hist");
+    Rng rng(42);
+    for (auto _ : state)
+        hist.observe(rng.uniform(1e-4, 10.0));
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+/** A short full experiment, optionally instrumented — the pair CI
+ *  compares to enforce the < 3 % recorder-overhead budget. */
+void
+runShortExperiment(benchmark::State &state, bool recorded)
+{
+    harness::HarnessConfig hc;
+    hc.warmup = 1;
+    hc.executions = 3;
+    harness::ExperimentRunner runner(hc); // profiles cached across iters
+    auto mix = workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("lbm"));
+    for (auto _ : state) {
+        obs::Recorder recorder;
+        harness::RunOptions opts;
+        if (recorded)
+            opts.recorder = &recorder;
+        auto res = runner.run(mix, core::Scheme::Dirigent, {}, opts);
+        benchmark::DoNotOptimize(res.total);
+    }
+}
+
+void
+BM_ExperimentDetached(benchmark::State &state)
+{
+    runShortExperiment(state, false);
+}
+BENCHMARK(BM_ExperimentDetached)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExperimentRecorded(benchmark::State &state)
+{
+    runShortExperiment(state, true);
+}
+BENCHMARK(BM_ExperimentRecorded)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

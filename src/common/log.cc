@@ -2,11 +2,39 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace dirigent {
 
 namespace {
+
 LogLevel g_level = LogLevel::Normal;
+
+/**
+ * One mutex serializes all log writes. Worker threads of the sweep
+ * executor log concurrently; without this, stdio buffering can tear
+ * lines mid-message (each message below is a single fprintf, but the
+ * mutex makes the no-interleaving guarantee explicit and also covers
+ * the tag lookup).
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+thread_local std::string t_tag;
+
+/** "[tag] " when a thread tag is set, "" otherwise. */
+std::string
+tagPrefix()
+{
+    if (t_tag.empty())
+        return {};
+    return "[" + t_tag + "] ";
+}
+
 } // namespace
 
 void
@@ -22,36 +50,63 @@ logLevel()
 }
 
 void
+setLogThreadTag(const std::string &tag)
+{
+    t_tag = tag;
+}
+
+std::string
+logThreadTag()
+{
+    return t_tag;
+}
+
+void
 inform(const std::string &msg)
 {
-    if (g_level >= LogLevel::Normal)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (g_level >= LogLevel::Normal) {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stdout, "info: %s%s\n", tagPrefix().c_str(),
+                     msg.c_str());
+    }
 }
 
 void
 verbose(const std::string &msg)
 {
-    if (g_level >= LogLevel::Verbose)
-        std::fprintf(stdout, "debug: %s\n", msg.c_str());
+    if (g_level >= LogLevel::Verbose) {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stdout, "debug: %s%s\n", tagPrefix().c_str(),
+                     msg.c_str());
+    }
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "warn: %s%s\n", tagPrefix().c_str(), msg.c_str());
 }
 
 void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s%s\n", tagPrefix().c_str(),
+                     msg.c_str());
+    }
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s:%d: %s%s\n", file, line,
+                     tagPrefix().c_str(), msg.c_str());
+    }
     std::abort();
 }
 

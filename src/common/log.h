@@ -28,6 +28,35 @@ void setLogLevel(LogLevel level);
 /** Current global verbosity threshold. */
 LogLevel logLevel();
 
+/**
+ * Tag prepended to every message emitted from the *calling thread*
+ * (e.g. a sweep worker sets its job id so concurrent jobs' output is
+ * attributable). Messages render as "info: [tag] ...". Empty clears.
+ * All log output is serialized under one mutex, so lines from
+ * concurrent threads never interleave mid-line.
+ */
+void setLogThreadTag(const std::string &tag);
+
+/** The calling thread's current tag ("" when unset). */
+std::string logThreadTag();
+
+/** RAII scope for a thread log tag (restores the previous tag). */
+class LogTagScope
+{
+  public:
+    explicit LogTagScope(const std::string &tag) : saved_(logThreadTag())
+    {
+        setLogThreadTag(tag);
+    }
+    ~LogTagScope() { setLogThreadTag(saved_); }
+
+    LogTagScope(const LogTagScope &) = delete;
+    LogTagScope &operator=(const LogTagScope &) = delete;
+
+  private:
+    std::string saved_;
+};
+
 /** Print an informational message (suppressed when Quiet). */
 void inform(const std::string &msg);
 

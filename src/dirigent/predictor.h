@@ -104,6 +104,16 @@ class Predictor
     /** Executions observed so far (for warm-up diagnostics). */
     uint64_t executionsSeen() const { return executionsSeen_; }
 
+    /**
+     * Current execution's rate-factor moving average MA({α}₁..k);
+     * 1.0 (no contention penalty) before any segment has closed.
+     * Exposed for telemetry.
+     */
+    double alphaMa() const
+    {
+        return rateMa_.valid() ? 1.0 + rateMa_.value() : 1.0;
+    }
+
     /** Historical penalty average of segment @p i (for tests). */
     double penaltyAverage(size_t i) const;
 

@@ -204,6 +204,10 @@ DirigentRuntime::onCompletion(const machine::CompletionRecord &rec)
                            "%.3g for %u consecutive executions; "
                            "degrading to reactive control",
                            rec.pid, ratio, fg.mismatchStreak));
+            noteFault(rec.pid,
+                      strfmt("profile mismatch (ratio %.3g, streak %u); "
+                             "degraded to reactive control",
+                             ratio, fg.mismatchStreak));
         }
     }
     fg.durationEma.add(actual.sec());
@@ -235,6 +239,24 @@ DirigentRuntime::degradedMode(machine::Pid pid) const
     return it->second.degraded;
 }
 
+std::vector<machine::Pid>
+DirigentRuntime::foregroundPids() const
+{
+    std::vector<machine::Pid> pids;
+    pids.reserve(fgs_.size());
+    for (const auto &[pid, fg] : fgs_)
+        pids.push_back(pid);
+    return pids;
+}
+
+Time
+DirigentRuntime::deadline(machine::Pid pid) const
+{
+    auto it = fgs_.find(pid);
+    DIRIGENT_ASSERT(it != fgs_.end(), "pid %u not registered", pid);
+    return it->second.deadline;
+}
+
 void
 DirigentRuntime::setTrace(DecisionTrace *trace)
 {
@@ -252,7 +274,11 @@ DirigentRuntime::cumulativeProgress(FgState &fg)
         raw = config_.faults->filterCounter(fault::Channel::Progress,
                                             fg.core, raw);
     }
-    return sanitize(fg.progressSense, raw);
+    uint64_t held = sanitizedSamples_;
+    double clean = sanitize(fg.progressSense, raw);
+    if (sanitizedSamples_ != held)
+        noteFault(fg.pid, "progress counter read held by sanitizer");
+    return clean;
 }
 
 double
@@ -263,7 +289,11 @@ DirigentRuntime::sampleMisses(FgState &fg)
         raw = config_.faults->filterCounter(fault::Channel::LlcMisses,
                                             fg.core, raw);
     }
-    return sanitize(fg.missSense, raw);
+    uint64_t held = sanitizedSamples_;
+    double clean = sanitize(fg.missSense, raw);
+    if (sanitizedSamples_ != held)
+        noteFault(fg.pid, "llc-miss counter read held by sanitizer");
+    return clean;
 }
 
 /**
@@ -297,6 +327,25 @@ DirigentRuntime::sanitize(SenseState &st, double raw)
     st.last = raw;
     st.lastTime = now;
     return raw;
+}
+
+/**
+ * Record a FaultObserved decision event. Fault-free runs never reach
+ * this (the sanitizer never rejects a clean read and profiles match),
+ * so attaching a trace does not perturb existing golden traces.
+ */
+void
+DirigentRuntime::noteFault(machine::Pid pid, const std::string &what)
+{
+    if (trace_ == nullptr)
+        return;
+    TraceEvent ev;
+    ev.when = machine_.now();
+    ev.action = TraceAction::FaultObserved;
+    ev.fgPid = pid;
+    ev.slackRatio = 0.0;
+    ev.detail = what;
+    trace_->record(std::move(ev));
 }
 
 } // namespace dirigent::core

@@ -173,6 +173,12 @@ class DirigentRuntime
     /** True once @p pid fell back to reactive (degraded) control. */
     bool degradedMode(machine::Pid pid) const;
 
+    /** Pids of all registered foreground processes, ascending. */
+    std::vector<machine::Pid> foregroundPids() const;
+
+    /** Deadline of a registered FG process. */
+    Time deadline(machine::Pid pid) const;
+
     /** Counter samples rejected by the plausibility sanitizer. */
     uint64_t sanitizedSamples() const { return sanitizedSamples_; }
 
@@ -209,6 +215,7 @@ class DirigentRuntime
     double cumulativeProgress(FgState &fg);
     double sampleMisses(FgState &fg);
     double sanitize(SenseState &st, double raw);
+    void noteFault(machine::Pid pid, const std::string &what);
 
     machine::Machine &machine_;
     machine::CatController &cat_;

@@ -31,6 +31,8 @@ traceActionName(TraceAction action)
         return "partition-grown";
       case TraceAction::PartitionShrunk:
         return "partition-shrunk";
+      case TraceAction::FaultObserved:
+        return "fault-observed";
     }
     return "?";
 }
@@ -43,6 +45,8 @@ DecisionTrace::DecisionTrace(size_t capacity) : capacity_(capacity)
 void
 DecisionTrace::record(TraceEvent event)
 {
+    if (sink_)
+        sink_(event);
     if (events_.size() == capacity_)
         events_.pop_front();
     events_.push_back(std::move(event));

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -35,7 +36,10 @@ enum class TraceAction
     BgPaused,       //!< most intrusive BG task paused
     BgResumed,      //!< paused BG tasks continued
     PartitionGrown, //!< coarse controller added an FG way
-    PartitionShrunk //!< coarse controller removed an FG way
+    PartitionShrunk, //!< coarse controller removed an FG way
+    FaultObserved   //!< runtime saw a fault: a counter read held by the
+                    //!< plausibility sanitizer, or a profile mismatch
+                    //!< degrading control to reactive mode
 };
 
 /** Printable action name. */
@@ -59,6 +63,17 @@ class DecisionTrace
   public:
     /** @param capacity maximum retained events (> 0). */
     explicit DecisionTrace(size_t capacity = 4096);
+
+    /**
+     * Live subscriber invoked (synchronously) for every recorded event,
+     * before ring eviction can drop it. The telemetry recorder uses
+     * this to mirror control decisions into exported run traces without
+     * a second trace object. Not owned; pass nullptr to detach.
+     */
+    using Sink = std::function<void(const TraceEvent &)>;
+
+    /** Attach or clear the live event sink. */
+    void setSink(Sink sink) { sink_ = std::move(sink); }
 
     /** Append an event, evicting the oldest when full. */
     void record(TraceEvent event);
@@ -85,6 +100,7 @@ class DecisionTrace
     size_t capacity_;
     std::deque<TraceEvent> events_;
     uint64_t recorded_ = 0;
+    Sink sink_;
 };
 
 /**

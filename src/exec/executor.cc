@@ -1,13 +1,16 @@
 #include "exec/executor.h"
 
 #include <chrono>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/log.h"
 #include "dirigent/scheme.h"
 #include "exec/thread_pool.h"
+#include "obs/manifest.h"
 
 namespace dirigent::exec {
 
@@ -40,11 +43,55 @@ SweepExecutor::SweepExecutor(harness::HarnessConfig config,
       progress_(ecfg.progress),
       sharedProfiles_(config.machine, config.profiler)
 {
-    if (!ecfg.jsonlPath.empty())
+    if (!ecfg.jsonlPath.empty()) {
         jsonl_ = JsonlWriter::open(ecfg.jsonlPath);
+        if (jsonl_)
+            jsonlPath_ = ecfg.jsonlPath;
+    }
 }
 
 SweepExecutor::~SweepExecutor() = default;
+
+void
+SweepExecutor::noteJob(double wallSeconds, bool ok)
+{
+    metrics_.counter(ok ? "sweep.jobs_ok" : "sweep.jobs_failed").add();
+    metrics_
+        .histogram("sweep.job_wall_seconds",
+                   obs::HistogramConfig{1e-3, 10, 100})
+        .observe(wallSeconds);
+}
+
+void
+SweepExecutor::writeSweepManifest(const std::string &kind, size_t jobs)
+{
+    if (jsonlPath_.empty())
+        return;
+    obs::RunManifest manifest;
+    manifest.tool = "sweep";
+    manifest.version = obs::buildVersion();
+    manifest.seed = config_.seed;
+    manifest.warmup = config_.warmup;
+    manifest.executions = config_.executions;
+    manifest.samplingPeriod = config_.runtime.samplingPeriod;
+    manifest.decisionPeriodTicks = config_.runtime.decisionPeriodTicks;
+    if (!config_.faultPlan.empty()) {
+        manifest.faultPlanText = fault::formatFaultPlan(config_.faultPlan);
+        manifest.faultPlanHash = fnv1a64(manifest.faultPlanText);
+    }
+    manifest.extra["kind"] = kind;
+    manifest.extra["jobs"] = strfmt("%zu", jobs);
+    manifest.extra["threads"] = strfmt("%u", threads_);
+
+    const std::string path = jsonlPath_ + ".manifest.json";
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        warn("cannot write sweep manifest '" + path + "'");
+        return;
+    }
+    os << "{\"manifest\":" << manifest.toJson()
+       << ",\"metrics\":" << metrics_.toJson() << "}\n";
+}
 
 std::vector<std::vector<harness::SchemeRunResult>>
 SweepExecutor::runSchemeSweep(
@@ -60,6 +107,7 @@ SweepExecutor::runSchemeSweep(
         perMix.reserve(mixes.size());
         for (const auto &mix : mixes) {
             std::string label = mix.name + "/allSchemes";
+            LogTagScope tag(label);
             prog.jobStarted(label);
             auto t0 = Clock::now();
             perMix.push_back(runner.runAllSchemes(mix));
@@ -70,8 +118,10 @@ SweepExecutor::runSchemeSweep(
                                   runner.mixSeed(mix),
                                   wall / double(schemes.size()));
             }
+            noteJob(wall, true);
             prog.jobFinished(label, wall);
         }
+        writeSweepManifest("scheme-sweep", mixes.size());
         return perMix;
     }
 
@@ -103,6 +153,7 @@ SweepExecutor::runSchemeSweep(
                              nullptr) {
         JobKey key{mixes[i].name, core::schemeName(scheme), 0};
         std::string label = jobLabel(key);
+        LogTagScope tag(label);
         prog.jobStarted(label);
         auto t0 = Clock::now();
         harness::ExperimentRunner runner(config_, sharedProfiles_);
@@ -113,6 +164,7 @@ SweepExecutor::runSchemeSweep(
             jsonl_->write(result, key.stage, runner.mixSeed(mixes[i]),
                           wall);
         states[i].results[slot] = std::move(result);
+        noteJob(wall, true);
         prog.jobFinished(label, wall);
         if (andThen)
             andThen();
@@ -124,6 +176,7 @@ SweepExecutor::runSchemeSweep(
             JobKey key{mixes[i].name,
                        core::schemeName(core::Scheme::Baseline), 0};
             std::string label = jobLabel(key);
+            LogTagScope tag(label);
             prog.jobStarted(label);
             auto t0 = Clock::now();
             harness::ExperimentRunner runner(config_, sharedProfiles_);
@@ -137,6 +190,7 @@ SweepExecutor::runSchemeSweep(
                 jsonl_->write(baseline, key.stage,
                               runner.mixSeed(mixes[i]), wall);
             states[i].results[kBaseline] = std::move(baseline);
+            noteJob(wall, true);
             prog.jobFinished(label, wall);
 
             // Stage 2: Dirigent; its partition defines StaticBoth's.
@@ -169,6 +223,7 @@ SweepExecutor::runSchemeSweep(
         });
     }
     pool.wait();
+    writeSweepManifest("scheme-sweep", mixes.size() * schemes.size());
 
     std::vector<std::vector<harness::SchemeRunResult>> perMix;
     perMix.reserve(mixes.size());
@@ -192,8 +247,10 @@ SweepExecutor::forEach(const std::vector<JobKey> &keys, const JobFn &fn)
 
     auto guarded = [&](size_t i, harness::ExperimentRunner &runner) {
         std::string label = jobLabel(keys[i]);
+        LogTagScope tag(label);
         prog.jobStarted(label);
         auto t0 = Clock::now();
+        bool ok = true;
         try {
             fn(i, keys[i], runner);
         } catch (...) {
@@ -203,9 +260,12 @@ SweepExecutor::forEach(const std::vector<JobKey> &keys, const JobFn &fn)
                     firstError = std::current_exception();
                 ++failed;
             }
+            ok = false;
             warn("sweep job '" + label + "' failed; siblings continue");
         }
-        prog.jobFinished(label, secondsSince(t0));
+        double wall = secondsSince(t0);
+        noteJob(wall, ok);
+        prog.jobFinished(label, wall);
     };
 
     if (threads_ == 1) {
@@ -223,6 +283,8 @@ SweepExecutor::forEach(const std::vector<JobKey> &keys, const JobFn &fn)
         }
         pool.wait();
     }
+
+    writeSweepManifest("for-each", keys.size());
 
     if (firstError) {
         warn(strfmt("%zu of %zu sweep jobs failed", failed, keys.size()));

@@ -26,6 +26,7 @@
 #include "exec/profile_cache.h"
 #include "exec/progress.h"
 #include "harness/experiment.h"
+#include "obs/metrics.h"
 #include "workload/mix.h"
 
 namespace dirigent::exec {
@@ -66,6 +67,15 @@ class SweepExecutor
     JsonlWriter *jsonl() { return jsonl_.get(); }
 
     /**
+     * Sweep-level telemetry: jobs ok/failed counters and a wall-time
+     * histogram per job, published under "sweep.*". When a JSONL path
+     * is configured the registry is dumped into the sweep manifest
+     * written next to it (<jsonlPath>.manifest.json).
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
      * Run all five schemes on every mix (the Fig. 9/10/13 shape) and
      * return per-mix results in mix order, core::allSchemes() order
      * within a mix — exactly what the serial
@@ -91,11 +101,19 @@ class SweepExecutor
     void forEach(const std::vector<JobKey> &keys, const JobFn &fn);
 
   private:
+    /** Record one finished job into the sweep metrics. */
+    void noteJob(double wallSeconds, bool ok);
+
+    /** Write <jsonlPath>.manifest.json (no-op without a JSONL path). */
+    void writeSweepManifest(const std::string &kind, size_t jobs);
+
     harness::HarnessConfig config_;
     unsigned threads_;
     bool progress_;
     SharedProfileCache sharedProfiles_;
     std::unique_ptr<JsonlWriter> jsonl_;
+    std::string jsonlPath_;
+    obs::MetricsRegistry metrics_;
 };
 
 } // namespace dirigent::exec

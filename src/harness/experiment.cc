@@ -14,6 +14,7 @@
 #include "dirigent/trace.h"
 #include "machine/cat.h"
 #include "machine/cpufreq.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "workload/benchmarks.h"
 #include "workload/rotate.h"
@@ -229,6 +230,67 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
         }
     }
 
+    // Telemetry: a passive probe sampling into the caller's recorder.
+    // Everything it hooks (engine observer, completion listener,
+    // decision-trace sink) is read-only, so attaching it does not
+    // perturb the run; when opts.recorder is null nothing at all is
+    // attached and behaviour is bit-identical to pre-telemetry builds.
+    std::unique_ptr<obs::RunProbe> probe;
+    std::optional<core::DecisionTrace> probeTrace;
+    core::DecisionTrace *sinkTrace = nullptr;
+    size_t probeListener = 0;
+    if (opts.recorder != nullptr) {
+        obs::RunProbe::Sources src;
+        src.machine = &machine;
+        src.governor = &governor;
+        src.cat = &cat;
+        src.runtime = runtime.get();
+        src.faults = faults;
+        src.fgPids = fgPids;
+        for (unsigned i = 0; i < nFg; ++i) {
+            auto it = deadlines.find(mix.fg[i]);
+            if (it != deadlines.end())
+                src.fgDeadlineSec[fgPids[i]] = it->second.sec();
+        }
+        probe = std::make_unique<obs::RunProbe>(*opts.recorder, src);
+        engine.addObserver(probe.get());
+        probeListener = machine.addCompletionListener(
+            [p = probe.get()](const machine::CompletionRecord &rec) {
+                p->onCompletion(rec);
+            });
+        // Mirror controller decisions: reuse the golden trace when one
+        // is attached (its sink sees every event before eviction),
+        // else give the runtime a recorder-local trace.
+        if (opts.golden != nullptr) {
+            sinkTrace = &opts.golden->decisions();
+        } else if (runtime) {
+            probeTrace.emplace();
+            sinkTrace = &*probeTrace;
+            runtime->setTrace(sinkTrace);
+        }
+        if (sinkTrace != nullptr) {
+            sinkTrace->setSink(
+                [p = probe.get()](const core::TraceEvent &ev) {
+                    p->onDecision(ev);
+                });
+        }
+
+        obs::RunManifest &manifest = opts.recorder->manifest();
+        manifest.mixName = mix.name;
+        manifest.scheme = core::schemeName(scheme);
+        manifest.seed = mcfg.seed;
+        manifest.warmup = warmup;
+        manifest.executions = executions;
+        manifest.samplingPeriod = config_.runtime.samplingPeriod;
+        manifest.decisionPeriodTicks =
+            config_.runtime.decisionPeriodTicks;
+        if (faults != nullptr) {
+            manifest.faultPlanText =
+                fault::formatFaultPlan(faults->plan());
+            manifest.faultPlanHash = fnv1a64(manifest.faultPlanText);
+        }
+    }
+
     std::unique_ptr<core::ReactiveController> reactive;
     if (opts.attachReactive) {
         DIRIGENT_ASSERT(!core::schemeUsesRuntime(scheme),
@@ -328,6 +390,14 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
         fatal(strfmt("run '%s'/%s did not finish within %gs simulated",
                      mix.name.c_str(), core::schemeName(scheme),
                      config_.bailout.sec()));
+
+    if (probe) {
+        probe->finish();
+        engine.removeObserver(probe.get());
+        machine.removeCompletionListener(probeListener);
+        if (sinkTrace != nullptr)
+            sinkTrace->setSink(nullptr);
+    }
 
     result.span = windowEnd - windowStart;
     result.bgInstructions = snapEnd.bgInstr - snapStart.bgInstr;

@@ -27,6 +27,10 @@ namespace dirigent::core {
 class GoldenTraceRecorder;
 } // namespace dirigent::core
 
+namespace dirigent::obs {
+class Recorder;
+} // namespace dirigent::obs
+
 namespace dirigent::harness {
 
 /** Harness-wide configuration. */
@@ -157,6 +161,15 @@ struct RunOptions
      * afterwards. Not owned; nullptr defers to the plan.
      */
     fault::FaultInjector *faults = nullptr;
+
+    /**
+     * Telemetry recorder this run samples into (obs::RunProbe attached
+     * as a passive engine observer + completion listener + decision
+     * sink; its manifest is filled with the run's identity). Not
+     * owned; nullptr (the default) attaches nothing — a provable
+     * no-op, so golden traces stay byte-identical.
+     */
+    obs::Recorder *recorder = nullptr;
 };
 
 /**

@@ -1,0 +1,443 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::obs {
+
+namespace {
+
+/** Append a traceEvents counter event (ts in µs). */
+void
+counterEvent(std::string &out, const std::string &name, double timeSec,
+             double value)
+{
+    out += "{\"name\":" + jsonQuote(name) +
+           ",\"ph\":\"C\",\"pid\":1,\"ts\":" + jsonDouble(timeSec * 1e6) +
+           ",\"args\":{\"value\":" + jsonDouble(value) + "}},\n";
+}
+
+/** Exact series/events/slices section, %.17g throughout. */
+std::string
+exactSection(const Recorder &rec)
+{
+    std::string out = "{\"manifest\":" + rec.manifest().toJson();
+
+    out += ",\"series\":[";
+    bool firstSeries = true;
+    for (const auto &s : rec.series()) {
+        if (!firstSeries)
+            out += ",";
+        firstSeries = false;
+        out += "{\"name\":" + jsonQuote(s.name) +
+               ",\"unit\":" + jsonQuote(s.unit) + ",\"times\":[";
+        for (size_t i = 0; i < s.times.size(); ++i) {
+            if (i)
+                out += ",";
+            out += jsonDouble(s.times[i]);
+        }
+        out += "],\"values\":[";
+        for (size_t i = 0; i < s.values.size(); ++i) {
+            if (i)
+                out += ",";
+            out += jsonDouble(s.values[i]);
+        }
+        out += "]}";
+    }
+    out += "]";
+
+    out += ",\"events\":[";
+    bool firstEvent = true;
+    for (const auto &e : rec.events()) {
+        if (!firstEvent)
+            out += ",";
+        firstEvent = false;
+        out += "{\"t\":" + jsonDouble(e.when.sec()) +
+               ",\"category\":" + jsonQuote(e.category) +
+               ",\"name\":" + jsonQuote(e.name) +
+               strfmt(",\"pid\":%u", e.pid) +
+               ",\"value\":" + jsonDouble(e.value) +
+               ",\"detail\":" + jsonQuote(e.detail) + "}";
+    }
+    out += "]";
+
+    out += ",\"slices\":[";
+    bool firstSlice = true;
+    for (const auto &s : rec.slices()) {
+        if (!firstSlice)
+            out += ",";
+        firstSlice = false;
+        out += strfmt("{\"fg_slot\":%u,\"pid\":%u", s.fgSlot, s.pid) +
+               ",\"program\":" + jsonQuote(s.program) +
+               ",\"start\":" + jsonDouble(s.start.sec()) +
+               ",\"end\":" + jsonDouble(s.end.sec()) +
+               strfmt(",\"execution\":%llu",
+                      (unsigned long long)s.executionIndex) +
+               ",\"deadline_s\":" + jsonDouble(s.deadlineSec) +
+               ",\"predicted_s\":" + jsonDouble(s.predictedSec) +
+               ",\"missed\":" + (s.missed ? "true" : "false") + "}";
+    }
+    out += "]";
+
+    out += ",\"metrics\":" + rec.metrics().toJson();
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+const Series *
+RunData::findSeries(const std::string &name) const
+{
+    for (const auto &s : series)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+void
+writePerfettoTrace(std::ostream &os, const Recorder &rec)
+{
+    std::string out;
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+    // Track metadata: process 1 is the machine, one thread per FG slot
+    // for the execution slices.
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"args\":{\"name\":\"dirigent\"}},\n";
+    unsigned maxSlot = 0;
+    for (const auto &s : rec.slices())
+        maxSlot = std::max(maxSlot, s.fgSlot);
+    for (unsigned slot = 0; slot <= maxSlot; ++slot) {
+        out += strfmt("{\"name\":\"thread_name\",\"ph\":\"M\","
+                      "\"pid\":1,\"tid\":%u,\"args\":{\"name\":"
+                      "\"fg%u executions\"}},\n",
+                      slot + 1, slot);
+    }
+
+    for (const auto &s : rec.series())
+        for (size_t i = 0; i < s.times.size(); ++i)
+            counterEvent(out, s.name, s.times[i], s.values[i]);
+
+    for (const auto &s : rec.slices()) {
+        out += strfmt("{\"name\":%s,\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":%u,\"ts\":%s,\"dur\":%s,"
+                      "\"args\":{\"execution\":%llu,\"deadline_s\":%s,"
+                      "\"predicted_s\":%s,\"missed\":%s}},\n",
+                      jsonQuote(s.missed ? s.program + " MISS"
+                                         : s.program)
+                          .c_str(),
+                      s.fgSlot + 1,
+                      jsonDouble(s.start.sec() * 1e6).c_str(),
+                      jsonDouble(s.duration().sec() * 1e6).c_str(),
+                      (unsigned long long)s.executionIndex,
+                      jsonDouble(s.deadlineSec).c_str(),
+                      jsonDouble(s.predictedSec).c_str(),
+                      s.missed ? "true" : "false");
+    }
+
+    for (const auto &e : rec.events()) {
+        out += strfmt("{\"name\":%s,\"ph\":\"i\",\"s\":\"g\","
+                      "\"pid\":1,\"ts\":%s,\"cat\":%s,"
+                      "\"args\":{\"fg_pid\":%u,\"value\":%s,"
+                      "\"detail\":%s}},\n",
+                      jsonQuote(e.name).c_str(),
+                      jsonDouble(e.when.sec() * 1e6).c_str(),
+                      jsonQuote(e.category).c_str(), e.pid,
+                      jsonDouble(e.value).c_str(),
+                      jsonQuote(e.detail).c_str());
+    }
+
+    // Close the array with a final metadata event so every line above
+    // can end in an unconditional comma.
+    out += "{\"name\":\"trace_end\",\"ph\":\"M\",\"pid\":1,"
+           "\"args\":{}}\n],\n";
+
+    out += "\"dirigent\":" + exactSection(rec) + "}\n";
+    os << out;
+}
+
+bool
+writePerfettoTraceFile(const std::string &path, const Recorder &rec)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        warn("cannot open trace output '" + path + "'");
+        return false;
+    }
+    writePerfettoTrace(os, rec);
+    return bool(os);
+}
+
+namespace {
+
+void
+csvHeader(std::ostream &os)
+{
+    os << "series,unit,time_s,value\n";
+}
+
+void
+csvSeries(std::ostream &os, const Series &s)
+{
+    for (size_t i = 0; i < s.times.size(); ++i)
+        os << s.name << "," << s.unit << ","
+           << strfmt("%.17g", s.times[i]) << ","
+           << strfmt("%.17g", s.values[i]) << "\n";
+}
+
+} // namespace
+
+void
+writeSeriesCsv(std::ostream &os, const Recorder &rec)
+{
+    csvHeader(os);
+    for (const auto &s : rec.series())
+        csvSeries(os, s);
+}
+
+void
+writeSeriesCsv(std::ostream &os, const RunData &run)
+{
+    csvHeader(os);
+    for (const auto &s : run.series)
+        csvSeries(os, s);
+}
+
+std::optional<RunData>
+parseRun(const JsonValue &root, std::string *error)
+{
+    auto fail = [&](const std::string &what) -> std::optional<RunData> {
+        if (error != nullptr)
+            *error = what;
+        return std::nullopt;
+    };
+
+    const JsonValue *section = root.find("dirigent");
+    if (section == nullptr || !section->isObject())
+        return fail("document has no 'dirigent' section");
+
+    RunData run;
+    if (const JsonValue *m = section->find("manifest");
+        m != nullptr && m->isObject())
+        run.manifest = RunManifest::fromJson(*m);
+
+    const JsonValue *series = section->find("series");
+    if (series == nullptr || !series->isArray())
+        return fail("'dirigent.series' missing or not an array");
+    for (const JsonValue &sv : series->array) {
+        Series s;
+        s.name = sv.stringOr("name", "");
+        s.unit = sv.stringOr("unit", "");
+        const JsonValue *times = sv.find("times");
+        const JsonValue *values = sv.find("values");
+        if (times == nullptr || !times->isArray() || values == nullptr ||
+            !values->isArray() ||
+            times->array.size() != values->array.size())
+            return fail("series '" + s.name + "' has malformed columns");
+        s.times.reserve(times->array.size());
+        s.values.reserve(values->array.size());
+        for (const JsonValue &t : times->array)
+            s.times.push_back(t.number);
+        for (const JsonValue &v : values->array)
+            s.values.push_back(v.number);
+        run.series.push_back(std::move(s));
+    }
+
+    if (const JsonValue *events = section->find("events");
+        events != nullptr && events->isArray()) {
+        for (const JsonValue &ev : events->array) {
+            InstantEvent e;
+            e.when = Time::sec(ev.numberOr("t", 0.0));
+            e.category = ev.stringOr("category", "");
+            e.name = ev.stringOr("name", "");
+            e.pid = machine::Pid(ev.numberOr("pid", 0.0));
+            e.value = ev.numberOr("value", 0.0);
+            e.detail = ev.stringOr("detail", "");
+            run.events.push_back(std::move(e));
+        }
+    }
+
+    if (const JsonValue *slices = section->find("slices");
+        slices != nullptr && slices->isArray()) {
+        for (const JsonValue &sv : slices->array) {
+            ExecutionSlice s;
+            s.fgSlot = unsigned(sv.numberOr("fg_slot", 0.0));
+            s.pid = machine::Pid(sv.numberOr("pid", 0.0));
+            s.program = sv.stringOr("program", "");
+            s.start = Time::sec(sv.numberOr("start", 0.0));
+            s.end = Time::sec(sv.numberOr("end", 0.0));
+            s.executionIndex =
+                uint64_t(sv.numberOr("execution", 0.0));
+            s.deadlineSec = sv.numberOr("deadline_s", 0.0);
+            s.predictedSec = sv.numberOr("predicted_s", 0.0);
+            const JsonValue *missed = sv.find("missed");
+            s.missed = missed != nullptr && missed->isBool() &&
+                       missed->boolean;
+            run.slices.push_back(std::move(s));
+        }
+    }
+    return run;
+}
+
+std::optional<RunData>
+loadRunFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string parseError;
+    auto root = parseJson(buf.str(), &parseError);
+    if (!root) {
+        if (error != nullptr)
+            *error = "parse error in '" + path + "': " + parseError;
+        return std::nullopt;
+    }
+    return parseRun(*root, error);
+}
+
+namespace {
+
+const char *
+kindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return "boolean";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array: return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+bool
+matchesType(const JsonValue &value, const std::string &type)
+{
+    if (type == "null")
+        return value.isNull();
+    if (type == "boolean")
+        return value.isBool();
+    if (type == "number")
+        return value.isNumber();
+    if (type == "integer")
+        return value.isNumber() &&
+               value.number == std::floor(value.number);
+    if (type == "string")
+        return value.isString();
+    if (type == "array")
+        return value.isArray();
+    if (type == "object")
+        return value.isObject();
+    return false; // unknown type names never match
+}
+
+std::string
+validateAt(const JsonValue &value, const JsonValue &schema,
+           const std::string &path)
+{
+    if (!schema.isObject())
+        return {}; // "true"-style permissive schema
+
+    if (const JsonValue *type = schema.find("type")) {
+        bool ok = false;
+        if (type->isString()) {
+            ok = matchesType(value, type->string);
+        } else if (type->isArray()) {
+            for (const JsonValue &t : type->array)
+                if (t.isString() && matchesType(value, t.string))
+                    ok = true;
+        }
+        if (!ok)
+            return strfmt("%s: expected type %s, got %s", path.c_str(),
+                          type->isString() ? type->string.c_str()
+                                           : "(union)",
+                          kindName(value.kind));
+    }
+
+    if (const JsonValue *anEnum = schema.find("enum");
+        anEnum != nullptr && anEnum->isArray() && value.isString()) {
+        bool ok = false;
+        for (const JsonValue &option : anEnum->array)
+            if (option.isString() && option.string == value.string)
+                ok = true;
+        if (!ok)
+            return strfmt("%s: '%s' not in enum", path.c_str(),
+                          value.string.c_str());
+    }
+
+    if (value.isObject()) {
+        if (const JsonValue *required = schema.find("required");
+            required != nullptr && required->isArray()) {
+            for (const JsonValue &name : required->array) {
+                if (name.isString() &&
+                    value.find(name.string) == nullptr)
+                    return strfmt("%s: missing required member '%s'",
+                                  path.c_str(), name.string.c_str());
+            }
+        }
+        if (const JsonValue *props = schema.find("properties");
+            props != nullptr && props->isObject()) {
+            for (const auto &[name, sub] : props->object) {
+                const JsonValue *member = value.find(name);
+                if (member == nullptr)
+                    continue;
+                std::string err =
+                    validateAt(*member, sub, path + "/" + name);
+                if (!err.empty())
+                    return err;
+            }
+        }
+    }
+
+    if (value.isArray()) {
+        if (const JsonValue *minItems = schema.find("minItems");
+            minItems != nullptr && minItems->isNumber() &&
+            double(value.array.size()) < minItems->number) {
+            return strfmt("%s: array has %zu items, needs >= %.0f",
+                          path.c_str(), value.array.size(),
+                          minItems->number);
+        }
+        if (const JsonValue *items = schema.find("items")) {
+            for (size_t i = 0; i < value.array.size(); ++i) {
+                std::string err = validateAt(value.array[i], *items,
+                                             strfmt("%s/%zu",
+                                                    path.c_str(), i));
+                if (!err.empty())
+                    return err;
+            }
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+std::string
+validateAgainstSchema(const JsonValue &value, const JsonValue &schema)
+{
+    return validateAt(value, schema, "#");
+}
+
+std::string
+envTraceOutPath(const std::string &fallback)
+{
+    const char *env = std::getenv("DIRIGENT_TRACE_OUT");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    return fallback;
+}
+
+} // namespace dirigent::obs

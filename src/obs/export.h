@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Run exporters and loaders.
+ *
+ * The primary format is Chrome trace-event JSON (openable directly in
+ * ui.perfetto.dev or chrome://tracing): every recorded series becomes
+ * a counter track ("ph":"C"), every FG execution a complete slice
+ * ("ph":"X") on its FG slot's track, and every decision/fault an
+ * instant event ("ph":"i"). Because the traceEvents encoding is lossy
+ * (timestamps in µs), the same document also embeds a "dirigent"
+ * object holding the exact %.17g series, events, slices, manifest,
+ * and metrics — dirigent-inspect and the round-trip tests read that
+ * section back losslessly.
+ */
+
+#ifndef DIRIGENT_OBS_EXPORT_H
+#define DIRIGENT_OBS_EXPORT_H
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/recorder.h"
+
+namespace dirigent::obs {
+
+/** Everything parsed back from an exported trace. */
+struct RunData
+{
+    RunManifest manifest;
+    std::vector<Series> series;
+    std::vector<InstantEvent> events;
+    std::vector<ExecutionSlice> slices;
+
+    const Series *findSeries(const std::string &name) const;
+};
+
+/** Write the combined Perfetto/exact document to @p os. */
+void writePerfettoTrace(std::ostream &os, const Recorder &recorder);
+
+/** Write to @p path; warn + return false on I/O failure. */
+bool writePerfettoTraceFile(const std::string &path,
+                            const Recorder &recorder);
+
+/** Emit every series as "series,unit,time_s,value" CSV rows. */
+void writeSeriesCsv(std::ostream &os, const Recorder &recorder);
+void writeSeriesCsv(std::ostream &os, const RunData &run);
+
+/** Parse the "dirigent" section of an exported trace document. */
+std::optional<RunData> parseRun(const JsonValue &root,
+                                std::string *error = nullptr);
+
+/** Load + parse a trace file. */
+std::optional<RunData> loadRunFile(const std::string &path,
+                                   std::string *error = nullptr);
+
+/**
+ * Validate @p value against a JSON-Schema subset: `type` (string or
+ * array of strings), `required`, `properties`, `items`, `minItems`,
+ * and `enum` of strings. Returns "" when valid, else the first
+ * violation with a JSON-pointer-style path.
+ */
+std::string validateAgainstSchema(const JsonValue &value,
+                                  const JsonValue &schema);
+
+/** DIRIGENT_TRACE_OUT environment override for the trace path. */
+std::string envTraceOutPath(const std::string &fallback = "");
+
+} // namespace dirigent::obs
+
+#endif // DIRIGENT_OBS_EXPORT_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON value model, parser, and formatting helpers for the
+ * telemetry subsystem. The exporters need to *read back* what they
+ * wrote (round-trip tests, dirigent-inspect) and validate documents
+ * against a schema subset, without any external dependency.
+ *
+ * Numbers are stored as doubles and formatted with %.17g, which
+ * round-trips every finite double exactly through strtod — the
+ * authoritative series in exported traces rely on this.
+ */
+
+#ifndef DIRIGENT_OBS_JSON_H
+#define DIRIGENT_OBS_JSON_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dirigent::obs {
+
+/** A parsed JSON value (tree-owning). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered members (duplicate keys keep the last). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member lookup on objects; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number value of member @p key, or @p fallback. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** String value of member @p key, or @p fallback. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+};
+
+/**
+ * Parse a complete JSON document. Returns nullopt and sets @p error
+ * (with a byte offset) on malformed input; trailing garbage after the
+ * top-level value is an error.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+/** Escape @p text for inclusion inside a JSON string literal. */
+std::string jsonQuote(const std::string &text);
+
+/**
+ * Format a double as a JSON number with full round-trip precision
+ * (%.17g). NaN and infinities are not representable and render as
+ * null.
+ */
+std::string jsonDouble(double value);
+
+} // namespace dirigent::obs
+
+#endif // DIRIGENT_OBS_JSON_H

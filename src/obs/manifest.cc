@@ -1,0 +1,79 @@
+#include "obs/manifest.h"
+
+#include <cstdlib>
+
+#include "common/strfmt.h"
+#include "obs/json.h"
+
+namespace dirigent::obs {
+
+std::string
+buildVersion()
+{
+#ifdef DIRIGENT_GIT_DESCRIBE
+    return DIRIGENT_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+RunManifest::toJson() const
+{
+    std::string out = "{";
+    out += "\"tool\":" + jsonQuote(tool);
+    out += ",\"version\":" + jsonQuote(version);
+    out += ",\"mix\":" + jsonQuote(mixName);
+    out += ",\"scheme\":" + jsonQuote(scheme);
+    // 64-bit values exceed a JSON number's exact double range; encode
+    // as decimal strings so parse → serialize is lossless.
+    out += ",\"seed\":" + jsonQuote(strfmt("%llu",
+                                           (unsigned long long)seed));
+    out += ",\"fault_plan_hash\":" +
+           jsonQuote(strfmt("%llu", (unsigned long long)faultPlanHash));
+    out += ",\"fault_plan\":" + jsonQuote(faultPlanText);
+    out += strfmt(",\"warmup\":%u", warmup);
+    out += strfmt(",\"executions\":%u", executions);
+    out += ",\"sampling_period_s\":" + jsonDouble(samplingPeriod.sec());
+    out += strfmt(",\"decision_period_ticks\":%u", decisionPeriodTicks);
+    out += ",\"extra\":{";
+    bool first = true;
+    for (const auto &[k, v] : extra) { // std::map: sorted, deterministic
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonQuote(k) + ":" + jsonQuote(v);
+    }
+    out += "}}";
+    return out;
+}
+
+RunManifest
+RunManifest::fromJson(const JsonValue &value)
+{
+    RunManifest m;
+    m.tool = value.stringOr("tool", "");
+    m.version = value.stringOr("version", "");
+    m.mixName = value.stringOr("mix", "");
+    m.scheme = value.stringOr("scheme", "");
+    m.seed = std::strtoull(value.stringOr("seed", "0").c_str(),
+                           nullptr, 10);
+    m.faultPlanHash = std::strtoull(
+        value.stringOr("fault_plan_hash", "0").c_str(), nullptr, 10);
+    m.faultPlanText = value.stringOr("fault_plan", "");
+    m.warmup = unsigned(value.numberOr("warmup", 0.0));
+    m.executions = unsigned(value.numberOr("executions", 0.0));
+    m.samplingPeriod =
+        Time::sec(value.numberOr("sampling_period_s", 0.0));
+    m.decisionPeriodTicks =
+        unsigned(value.numberOr("decision_period_ticks", 0.0));
+    if (const JsonValue *extra = value.find("extra");
+        extra != nullptr && extra->isObject()) {
+        for (const auto &[k, v] : extra->object)
+            if (v.isString())
+                m.extra[k] = v.string;
+    }
+    return m;
+}
+
+} // namespace dirigent::obs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The run manifest: everything needed to reproduce and attribute a
+ * recorded run — seed, scheme, mix, fault-plan hash, build version,
+ * and harness knobs. Written next to every trace/JSONL export so a
+ * file found on disk months later is self-describing.
+ */
+
+#ifndef DIRIGENT_OBS_MANIFEST_H
+#define DIRIGENT_OBS_MANIFEST_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.h"
+
+namespace dirigent::obs {
+
+struct JsonValue;
+
+/** Identity and configuration of one recorded run. */
+struct RunManifest
+{
+    /** Producing tool ("run_experiment", "sweep", a test name). */
+    std::string tool;
+
+    /** Build version (git describe at configure time). */
+    std::string version;
+
+    std::string mixName;
+    std::string scheme;
+    uint64_t seed = 0;
+
+    /** FNV-1a of the canonical fault-plan text; 0 = no faults. */
+    uint64_t faultPlanHash = 0;
+
+    /** Canonical fault-plan DSL text ("" = no faults). */
+    std::string faultPlanText;
+
+    unsigned warmup = 0;
+    unsigned executions = 0;
+    Time samplingPeriod;
+    unsigned decisionPeriodTicks = 0;
+
+    /** Free-form extra configuration (sorted on serialization). */
+    std::map<std::string, std::string> extra;
+
+    /** Serialize as one JSON object (deterministic key order). */
+    std::string toJson() const;
+
+    /** Parse back what toJson produced (unknown keys ignored). */
+    static RunManifest fromJson(const JsonValue &value);
+};
+
+/** Build version: git describe captured at configure time. */
+std::string buildVersion();
+
+} // namespace dirigent::obs
+
+#endif // DIRIGENT_OBS_MANIFEST_H

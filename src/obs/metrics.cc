@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace dirigent::obs {
+
+Histogram::Histogram(HistogramConfig config)
+    : config_(config), counts_(config.maxBins)
+{
+    DIRIGENT_ASSERT(config.min > 0.0, "histogram min must be positive");
+    DIRIGENT_ASSERT(config.binsPerDecade > 0, "need bins per decade");
+    DIRIGENT_ASSERT(config.maxBins > 0, "need at least one bin");
+}
+
+double
+Histogram::edge(unsigned i) const
+{
+    return config_.min *
+           std::pow(10.0, double(i) / double(config_.binsPerDecade));
+}
+
+unsigned
+Histogram::binIndex(double value) const
+{
+    // bin = floor(binsPerDecade · log10(value/min)); callers have
+    // already excluded under/overflow.
+    double rel = std::log10(value / config_.min);
+    double idx = std::floor(rel * double(config_.binsPerDecade));
+    if (idx < 0.0)
+        return 0;
+    if (idx >= double(config_.maxBins))
+        return config_.maxBins - 1;
+    return unsigned(idx);
+}
+
+void
+Histogram::observe(double value)
+{
+    if (!std::isfinite(value))
+        return;
+    // sum_ uses a CAS loop: atomic<double>::fetch_add is C++20 but not
+    // universally lock-free; the loop is equivalent and portable.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + value,
+                                       std::memory_order_relaxed)) {
+    }
+    if (value < config_.min) {
+        underflow_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (value >= edge(config_.maxBins)) {
+        overflow_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    counts_[binIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t n = underflow_.load(std::memory_order_relaxed) +
+                 overflow_.load(std::memory_order_relaxed);
+    for (const auto &c : counts_)
+        n += c.load(std::memory_order_relaxed);
+    return n;
+}
+
+double
+Histogram::mean() const
+{
+    uint64_t n = count();
+    return n > 0 ? sum() / double(n) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    // Rank of the q-th observation, 1-based, then walk the bins.
+    uint64_t rank = uint64_t(std::ceil(q * double(n)));
+    rank = std::max<uint64_t>(rank, 1);
+    uint64_t seen = underflow_.load(std::memory_order_relaxed);
+    if (rank <= seen)
+        return config_.min; // inside the underflow bin
+    for (unsigned i = 0; i < config_.maxBins; ++i) {
+        seen += counts_[i].load(std::memory_order_relaxed);
+        if (rank <= seen)
+            return edge(i + 1);
+    }
+    return std::numeric_limits<double>::infinity(); // overflow bin
+}
+
+std::vector<Histogram::Bin>
+Histogram::bins() const
+{
+    std::vector<Bin> out;
+    uint64_t u = underflow_.load(std::memory_order_relaxed);
+    if (u > 0)
+        out.push_back({0.0, config_.min, u});
+    for (unsigned i = 0; i < config_.maxBins; ++i) {
+        uint64_t c = counts_[i].load(std::memory_order_relaxed);
+        if (c > 0)
+            out.push_back({edge(i), edge(i + 1), c});
+    }
+    uint64_t o = overflow_.load(std::memory_order_relaxed);
+    if (o > 0)
+        out.push_back({edge(config_.maxBins),
+                       std::numeric_limits<double>::infinity(), o});
+    return out;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, HistogramConfig config)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(config);
+    return *slot;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out += ",";
+        first = false;
+    };
+    // std::map iterates in sorted key order, so output is deterministic.
+    for (const auto &[name, c] : counters_) {
+        comma();
+        out += jsonQuote(name) + ":" + strfmt("%llu",
+                       (unsigned long long)c->value());
+    }
+    for (const auto &[name, g] : gauges_) {
+        comma();
+        out += jsonQuote(name) + ":" + jsonDouble(g->value());
+    }
+    for (const auto &[name, h] : histograms_) {
+        comma();
+        out += jsonQuote(name) + ":{\"count\":" +
+               strfmt("%llu", (unsigned long long)h->count()) +
+               ",\"sum\":" + jsonDouble(h->sum()) + ",\"bins\":[";
+        bool firstBin = true;
+        for (const auto &bin : h->bins()) {
+            if (!firstBin)
+                out += ",";
+            firstBin = false;
+            out += "{\"lo\":" + jsonDouble(bin.lo) +
+                   ",\"hi\":" + jsonDouble(bin.hi) + ",\"count\":" +
+                   strfmt("%llu", (unsigned long long)bin.count) + "}";
+        }
+        out += "]}";
+    }
+    out += "}";
+    return out;
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "name,kind,value\n";
+    for (const auto &[name, c] : counters_)
+        os << name << ",counter," << c->value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        os << name << ",gauge," << strfmt("%.17g", g->value()) << "\n";
+    for (const auto &[name, h] : histograms_) {
+        os << name << ",histogram_count," << h->count() << "\n";
+        os << name << ",histogram_sum," << strfmt("%.17g", h->sum())
+           << "\n";
+        for (const auto &bin : h->bins())
+            os << name << ",bin[" << strfmt("%.6g", bin.lo) << ":"
+               << strfmt("%.6g", bin.hi) << "]," << bin.count << "\n";
+    }
+}
+
+} // namespace dirigent::obs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Low-overhead metrics registry: named counters, gauges, and
+ * bounded-error histograms that subsystems (controllers, predictor,
+ * sampler, fault injector, sweep executor) publish into.
+ *
+ * Design constraints, in order:
+ *  - cheap updates: counters/gauges are single atomic ops; a histogram
+ *    observation is one log10 and one relaxed fetch_add;
+ *  - deterministic output: histograms use *fixed* log-linear bin edges
+ *    (a function of the config only, never of the data), and the
+ *    registry renders in sorted-name order — two runs that observe the
+ *    same values serialize byte-identically regardless of thread
+ *    interleaving;
+ *  - stable addresses: instruments are heap-allocated and never move,
+ *    so callers may cache `Counter &` across registrations.
+ */
+
+#ifndef DIRIGENT_OBS_METRICS_H
+#define DIRIGENT_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dirigent::obs {
+
+/** A monotonically increasing count. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** A last-writer-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Histogram shape: fixed log-linear bins over [min, ∞). */
+struct HistogramConfig
+{
+    /** Lower edge of the first bin; observations below land in an
+     *  underflow bin. */
+    double min = 1e-6;
+
+    /** Bins per factor-of-10; relative bin width (error bound) is
+     *  10^(1/binsPerDecade) − 1 (~26 % at the default 10). */
+    unsigned binsPerDecade = 10;
+
+    /** Bin count cap; observations past the last edge overflow. */
+    unsigned maxBins = 120;
+};
+
+/**
+ * A fixed-bin log-linear histogram. Bin edges depend only on the
+ * config, so two histograms with equal configs and equal observation
+ * multisets serialize identically — no per-run rebinning.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(HistogramConfig config = HistogramConfig{});
+
+    /** Record one observation (thread-safe, wait-free). */
+    void observe(double value);
+
+    uint64_t count() const;
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    double mean() const;
+
+    /**
+     * Quantile estimate from the bins (upper edge of the bin holding
+     * the q-th observation); error bounded by the relative bin width.
+     */
+    double quantile(double q) const;
+
+    const HistogramConfig &config() const { return config_; }
+
+    /** One populated bin: [lo, hi) and its count. */
+    struct Bin
+    {
+        double lo = 0.0;
+        double hi = 0.0;
+        uint64_t count = 0;
+    };
+
+    /** Non-empty bins in ascending order (under/overflow included,
+     *  with lo=0 for underflow and hi=inf for overflow). */
+    std::vector<Bin> bins() const;
+
+  private:
+    /** Lower edge of bin @p i (i in [0, maxBins]). */
+    double edge(unsigned i) const;
+    unsigned binIndex(double value) const;
+
+    HistogramConfig config_;
+    std::atomic<double> sum_{0.0};
+    std::atomic<uint64_t> underflow_{0};
+    std::atomic<uint64_t> overflow_{0};
+    std::vector<std::atomic<uint64_t>> counts_;
+};
+
+/**
+ * The registry: a name → instrument map with deterministic (sorted)
+ * serialization. Registration takes a lock; updates through returned
+ * references are lock-free.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The counter named @p name (created on first use). */
+    Counter &counter(const std::string &name);
+
+    /** The gauge named @p name (created on first use). */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * The histogram named @p name. The config applies on first use;
+     * later calls with a different config keep the original shape.
+     */
+    Histogram &histogram(const std::string &name,
+                         HistogramConfig config = HistogramConfig{});
+
+    /**
+     * Serialize every instrument as one JSON object, keys sorted:
+     * counters as integers, gauges as numbers, histograms as
+     * {count,sum,bins:[{lo,hi,count}...]} objects.
+     */
+    std::string toJson() const;
+
+    /** Emit "name,kind,value" CSV (histograms expand to bin rows). */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace dirigent::obs
+
+#endif // DIRIGENT_OBS_METRICS_H

@@ -1,0 +1,287 @@
+#include "obs/recorder.h"
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::obs {
+
+Recorder::Recorder(RecorderConfig config) : config_(config)
+{
+    DIRIGENT_ASSERT(config.samplePeriod.sec() > 0.0,
+                    "sample period must be positive");
+    events_.reserve(config.reserveEvents);
+    slices_.reserve(config.reserveSlices);
+    manifest_.version = buildVersion();
+}
+
+size_t
+Recorder::addSeries(const std::string &name, const std::string &unit)
+{
+    Series s;
+    s.name = name;
+    s.unit = unit;
+    s.times.reserve(config_.reserveSamples);
+    s.values.reserve(config_.reserveSamples);
+    series_.push_back(std::move(s));
+    return series_.size() - 1;
+}
+
+void
+Recorder::addEvent(InstantEvent event)
+{
+    events_.push_back(std::move(event));
+}
+
+void
+Recorder::addSlice(ExecutionSlice slice)
+{
+    slices_.push_back(std::move(slice));
+}
+
+const Series *
+Recorder::findSeries(const std::string &name) const
+{
+    for (const auto &s : series_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+void
+Recorder::clearData()
+{
+    for (auto &s : series_) {
+        s.times.clear();
+        s.values.clear();
+    }
+    events_.clear();
+    slices_.clear();
+}
+
+RunProbe::RunProbe(Recorder &recorder, Sources sources)
+    : recorder_(recorder), src_(std::move(sources))
+{
+    DIRIGENT_ASSERT(src_.machine != nullptr, "probe needs a machine");
+    DIRIGENT_ASSERT(src_.governor != nullptr, "probe needs a governor");
+    DIRIGENT_ASSERT(src_.cat != nullptr, "probe needs a CAT controller");
+
+    const unsigned nCores = src_.machine->numCores();
+    lastInstr_.assign(nCores, 0.0);
+    lastMisses_.assign(nCores, 0.0);
+    for (unsigned c = 0; c < nCores; ++c) {
+        coreFreq_.push_back(recorder_.addSeries(
+            strfmt("core%u.freq_ghz", c), "GHz"));
+        corePaused_.push_back(recorder_.addSeries(
+            strfmt("core%u.paused", c), "bool"));
+        coreMpki_.push_back(recorder_.addSeries(
+            strfmt("core%u.llc_mpki", c), "misses/kinstr"));
+    }
+    catWays_ = recorder_.addSeries("cat.fg_ways", "ways");
+    dramUtil_ = recorder_.addSeries("dram.utilization", "fraction");
+    dramBw_ = recorder_.addSeries("dram.bandwidth_gbps", "GB/s");
+
+    for (size_t i = 0; i < src_.fgPids.size(); ++i) {
+        fgSlot_[src_.fgPids[i]] = unsigned(i);
+        fgPredicted_.push_back(recorder_.addSeries(
+            strfmt("fg%zu.predicted_total_ms", i), "ms"));
+        fgSlack_.push_back(recorder_.addSeries(
+            strfmt("fg%zu.slack_ratio", i), "predicted/deadline"));
+        fgAlpha_.push_back(recorder_.addSeries(
+            strfmt("fg%zu.alpha_ma", i), "ratio"));
+        fgProgress_.push_back(recorder_.addSeries(
+            strfmt("fg%zu.progress_fraction", i), "fraction"));
+        fgDegraded_.push_back(recorder_.addSeries(
+            strfmt("fg%zu.degraded", i), "bool"));
+    }
+}
+
+void
+RunProbe::beforeQuantum(Time, Time)
+{
+}
+
+void
+RunProbe::afterQuantum(Time start, Time dt)
+{
+    Time now = start + dt;
+    if (now < nextSample_)
+        return;
+    takeSample(now);
+    // Advance past `now` in whole periods so a long quantum does not
+    // produce a burst of make-up samples.
+    Time period = recorder_.config().samplePeriod;
+    while (nextSample_ <= now)
+        nextSample_ += period;
+}
+
+void
+RunProbe::takeSample(Time now)
+{
+    machine::Machine &m = *src_.machine;
+    const unsigned nCores = m.numCores();
+
+    for (unsigned c = 0; c < nCores; ++c) {
+        recorder_.sample(coreFreq_[c], now, m.core(c).frequency().ghz());
+        const machine::Process *proc = m.os().processOnCore(c);
+        bool paused = proc != nullptr &&
+                      proc->state == machine::ProcState::Paused;
+        recorder_.sample(corePaused_[c], now, paused ? 1.0 : 0.0);
+        const auto &ctr = m.readCounters(c);
+        double dInstr = ctr.instructions - lastInstr_[c];
+        double dMiss = ctr.llcMisses - lastMisses_[c];
+        double mpki = dInstr > 0.0 ? dMiss / dInstr * 1000.0 : 0.0;
+        recorder_.sample(coreMpki_[c], now, mpki);
+        lastInstr_[c] = ctr.instructions;
+        lastMisses_[c] = ctr.llcMisses;
+    }
+
+    recorder_.sample(catWays_, now, double(src_.cat->fgWays()));
+    recorder_.sample(dramUtil_, now, m.dram().utilization());
+    double dramBytes = m.dram().totalBytes();
+    double interval = (now - lastSampleTime_).sec();
+    double bw = interval > 0.0
+                    ? (dramBytes - lastDramBytes_) / interval / 1e9
+                    : 0.0;
+    recorder_.sample(dramBw_, now, bw);
+    lastDramBytes_ = dramBytes;
+    lastSampleTime_ = now;
+
+    if (src_.runtime != nullptr) {
+        for (size_t i = 0; i < src_.fgPids.size(); ++i) {
+            machine::Pid pid = src_.fgPids[i];
+            const core::Predictor &pred = src_.runtime->predictor(pid);
+            double predictedSec = pred.predictTotal().sec();
+            lastPredictedSec_[pid] = predictedSec;
+            recorder_.sample(fgPredicted_[i], now, predictedSec * 1e3);
+            auto it = src_.fgDeadlineSec.find(pid);
+            double deadline = it != src_.fgDeadlineSec.end()
+                                  ? it->second
+                                  : 0.0;
+            recorder_.sample(fgSlack_[i], now,
+                             deadline > 0.0 ? predictedSec / deadline
+                                            : 0.0);
+            recorder_.sample(fgAlpha_[i], now, pred.alphaMa());
+            recorder_.sample(fgProgress_[i], now,
+                             pred.progressFraction());
+            recorder_.sample(fgDegraded_[i], now,
+                             src_.runtime->degradedMode(pid) ? 1.0
+                                                             : 0.0);
+        }
+    }
+
+    if (src_.faults != nullptr) {
+        const fault::FaultStats &cur = src_.faults->stats();
+        auto emit = [&](uint64_t now_, uint64_t last,
+                        const char *name) {
+            if (now_ > last) {
+                InstantEvent ev;
+                ev.when = now;
+                ev.category = "fault";
+                ev.name = name;
+                ev.value = double(now_ - last);
+                recorder_.addEvent(std::move(ev));
+            }
+        };
+        emit(cur.counterDrops, lastFaults_.counterDrops,
+             "counter-drop");
+        emit(cur.counterGlitches, lastFaults_.counterGlitches,
+             "counter-glitch");
+        emit(cur.counterSaturations, lastFaults_.counterSaturations,
+             "counter-saturate");
+        emit(cur.samplerStalls, lastFaults_.samplerStalls,
+             "sampler-stall");
+        emit(cur.samplerMisses, lastFaults_.samplerMisses,
+             "sampler-miss");
+        emit(cur.samplerOverruns, lastFaults_.samplerOverruns,
+             "sampler-overrun");
+        emit(cur.dvfsFailures, lastFaults_.dvfsFailures, "dvfs-fail");
+        emit(cur.dvfsSpikes, lastFaults_.dvfsSpikes, "dvfs-spike");
+        emit(cur.catFailures, lastFaults_.catFailures, "cat-fail");
+        lastFaults_ = cur;
+    }
+}
+
+void
+RunProbe::onCompletion(const machine::CompletionRecord &rec)
+{
+    if (!rec.foreground) {
+        ++bgCompletions_;
+        return;
+    }
+    ++fgCompletions_;
+    auto slotIt = fgSlot_.find(rec.pid);
+    ExecutionSlice slice;
+    slice.fgSlot = slotIt != fgSlot_.end() ? slotIt->second : 0;
+    slice.pid = rec.pid;
+    slice.program = rec.program;
+    slice.start = rec.started;
+    slice.end = rec.finished;
+    slice.executionIndex = rec.executionIndex;
+    auto dl = src_.fgDeadlineSec.find(rec.pid);
+    slice.deadlineSec = dl != src_.fgDeadlineSec.end() ? dl->second : 0.0;
+    auto pred = lastPredictedSec_.find(rec.pid);
+    slice.predictedSec =
+        pred != lastPredictedSec_.end() ? pred->second : 0.0;
+    slice.missed = slice.deadlineSec > 0.0 &&
+                   rec.duration().sec() >
+                       slice.deadlineSec * (1.0 + 1e-9);
+    if (slice.missed)
+        ++fgMisses_;
+    recorder_.metrics()
+        .histogram("fg.duration_ms",
+                   HistogramConfig{1e-2, 20, 160})
+        .observe(rec.duration().ms());
+    recorder_.addSlice(std::move(slice));
+}
+
+void
+RunProbe::onDecision(const core::TraceEvent &event)
+{
+    InstantEvent ev;
+    ev.when = event.when;
+    ev.category = event.action == core::TraceAction::FaultObserved
+                      ? "fault"
+                      : "decision";
+    ev.name = core::traceActionName(event.action);
+    ev.pid = event.fgPid;
+    ev.value = event.slackRatio;
+    ev.detail = event.detail;
+    recorder_.addEvent(std::move(ev));
+}
+
+void
+RunProbe::finish()
+{
+    MetricsRegistry &reg = recorder_.metrics();
+    reg.counter("run.fg_completions").add(fgCompletions_);
+    reg.counter("run.bg_completions").add(bgCompletions_);
+    reg.counter("run.fg_deadline_misses").add(fgMisses_);
+    reg.gauge("dram.total_gb")
+        .set(src_.machine->dram().totalBytes() / 1e9);
+    reg.gauge("cat.final_fg_ways").set(double(src_.cat->fgWays()));
+    reg.counter("cat.failed_reconfigs")
+        .add(src_.cat->failedReconfigs());
+    reg.counter("dvfs.write_failures")
+        .add(src_.governor->writeFailures());
+    reg.counter("dvfs.retries_scheduled")
+        .add(src_.governor->retriesScheduled());
+    reg.counter("dvfs.abandoned_writes")
+        .add(src_.governor->abandonedWrites());
+    if (src_.runtime != nullptr) {
+        reg.counter("runtime.invocations")
+            .add(src_.runtime->invocations());
+        reg.counter("runtime.sanitized_samples")
+            .add(src_.runtime->sanitizedSamples());
+    }
+    if (src_.faults != nullptr) {
+        const fault::FaultStats &fs = src_.faults->stats();
+        reg.counter("faults.total").add(fs.total());
+        reg.counter("faults.counter_drops").add(fs.counterDrops);
+        reg.counter("faults.counter_glitches").add(fs.counterGlitches);
+        reg.counter("faults.sampler_stalls").add(fs.samplerStalls);
+        reg.counter("faults.dvfs_failures").add(fs.dvfsFailures);
+        reg.counter("faults.cat_failures").add(fs.catFailures);
+    }
+}
+
+} // namespace dirigent::obs

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The time-series recorder: preallocated columnar storage for
+ * per-quantum samples, instant events (controller decisions, faults),
+ * and per-execution slices, plus the RunProbe that fills it from a
+ * live simulation as a passive sim::Observer.
+ *
+ * Hot-path contract: once the probe has registered its series (at
+ * attach time), taking a sample performs no allocation until the
+ * preallocated capacity is exhausted — and a *detached* recorder is a
+ * provable no-op: nothing is attached to the engine, the machine, or
+ * the decision trace, so golden traces stay byte-identical.
+ */
+
+#ifndef DIRIGENT_OBS_RECORDER_H
+#define DIRIGENT_OBS_RECORDER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dirigent/runtime.h"
+#include "dirigent/trace.h"
+#include "fault/injector.h"
+#include "machine/cat.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "sim/engine.h"
+
+namespace dirigent::obs {
+
+/** Recorder sizing and cadence. */
+struct RecorderConfig
+{
+    /** Series sampling cadence (quantum-aligned: the first quantum
+     *  boundary at or after each due time takes the sample). */
+    Time samplePeriod = Time::ms(1.0);
+
+    /** Preallocated samples per series (grows beyond, with alloc). */
+    size_t reserveSamples = 1 << 15;
+
+    /** Preallocated instant events / slices. */
+    size_t reserveEvents = 4096;
+    size_t reserveSlices = 4096;
+};
+
+/** One named time series (parallel time/value columns, seconds). */
+struct Series
+{
+    std::string name;
+    std::string unit;
+    std::vector<double> times;
+    std::vector<double> values;
+};
+
+/** A point event: a controller decision or an injected fault. */
+struct InstantEvent
+{
+    Time when;
+    std::string category; //!< "decision" or "fault"
+    std::string name;     //!< action / fault kind
+    machine::Pid pid = 0;
+    double value = 0.0;   //!< slack ratio (decisions), count (faults)
+    std::string detail;
+};
+
+/** One completed foreground execution. */
+struct ExecutionSlice
+{
+    unsigned fgSlot = 0; //!< FG index within the mix
+    machine::Pid pid = 0;
+    std::string program;
+    Time start;
+    Time end;
+    uint64_t executionIndex = 0;
+    double deadlineSec = 0.0;  //!< 0 when no deadline was configured
+    double predictedSec = 0.0; //!< last prediction before completion
+    bool missed = false;
+
+    Time duration() const { return end - start; }
+};
+
+/**
+ * Columnar run recording. One recorder captures one run; attach it via
+ * harness::RunOptions::recorder, then export with obs/export.h.
+ */
+class Recorder
+{
+  public:
+    explicit Recorder(RecorderConfig config = RecorderConfig{});
+
+    const RecorderConfig &config() const { return config_; }
+
+    /** Register a series; returns its id. Preallocates columns. */
+    size_t addSeries(const std::string &name, const std::string &unit);
+
+    /** Append one (time, value) sample to series @p id. */
+    void
+    sample(size_t id, Time when, double value)
+    {
+        Series &s = series_[id];
+        s.times.push_back(when.sec());
+        s.values.push_back(value);
+    }
+
+    void addEvent(InstantEvent event);
+    void addSlice(ExecutionSlice slice);
+
+    const std::vector<Series> &series() const { return series_; }
+    const std::vector<InstantEvent> &events() const { return events_; }
+    const std::vector<ExecutionSlice> &slices() const { return slices_; }
+
+    /** Series by name, or nullptr. */
+    const Series *findSeries(const std::string &name) const;
+
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    RunManifest &manifest() { return manifest_; }
+    const RunManifest &manifest() const { return manifest_; }
+
+    /** Drop all recorded data (series definitions survive). */
+    void clearData();
+
+  private:
+    RecorderConfig config_;
+    std::vector<Series> series_;
+    std::vector<InstantEvent> events_;
+    std::vector<ExecutionSlice> slices_;
+    MetricsRegistry metrics_;
+    RunManifest manifest_;
+};
+
+/**
+ * Live telemetry probe: samples machine/runtime state into a Recorder
+ * at every due quantum boundary. Strictly read-only with respect to
+ * the simulation. The harness attaches it as an engine observer, a
+ * completion listener, and a DecisionTrace sink; all three are passive
+ * hooks, so attachment never changes simulated behaviour.
+ */
+class RunProbe : public sim::Observer
+{
+  public:
+    /** What the probe reads (all borrowed; machine/governor/cat
+     *  required, runtime and faults optional). */
+    struct Sources
+    {
+        machine::Machine *machine = nullptr;
+        machine::CpuFreqGovernor *governor = nullptr;
+        machine::CatController *cat = nullptr;
+        core::DirigentRuntime *runtime = nullptr;
+        fault::FaultInjector *faults = nullptr;
+
+        /** FG pids in slot order, with per-pid deadlines (seconds). */
+        std::vector<machine::Pid> fgPids;
+        std::map<machine::Pid, double> fgDeadlineSec;
+    };
+
+    RunProbe(Recorder &recorder, Sources sources);
+
+    // sim::Observer
+    void beforeQuantum(Time start, Time dt) override;
+    void afterQuantum(Time start, Time dt) override;
+
+    /** Wire into machine::Machine::addCompletionListener. */
+    void onCompletion(const machine::CompletionRecord &rec);
+
+    /** Wire into core::DecisionTrace::setSink. */
+    void onDecision(const core::TraceEvent &event);
+
+    /**
+     * Publish end-of-run aggregates (fault stats, governor stats,
+     * runtime counters, completion counts) into the recorder's metrics
+     * registry. Call once after the run.
+     */
+    void finish();
+
+  private:
+    void takeSample(Time now);
+
+    Recorder &recorder_;
+    Sources src_;
+
+    // Series ids, laid out at construction.
+    std::vector<size_t> coreFreq_;   //!< per core, GHz
+    std::vector<size_t> corePaused_; //!< per core, 0/1
+    std::vector<size_t> coreMpki_;   //!< per core, misses/kilo-instr
+    size_t catWays_ = 0;
+    size_t dramUtil_ = 0;
+    size_t dramBw_ = 0; //!< GB/s over the sample interval
+    std::vector<size_t> fgPredicted_; //!< per FG slot, ms
+    std::vector<size_t> fgSlack_;     //!< predicted/deadline
+    std::vector<size_t> fgAlpha_;     //!< MA({α})
+    std::vector<size_t> fgProgress_;  //!< profiled fraction 0..1
+    std::vector<size_t> fgDegraded_;  //!< 0/1 reactive fallback
+
+    // Delta state between samples.
+    Time nextSample_;
+    Time lastSampleTime_;
+    std::vector<double> lastInstr_;
+    std::vector<double> lastMisses_;
+    double lastDramBytes_ = 0.0;
+    fault::FaultStats lastFaults_;
+
+    // Per-pid bookkeeping for slices.
+    std::map<machine::Pid, unsigned> fgSlot_;
+    std::map<machine::Pid, double> lastPredictedSec_;
+
+    uint64_t fgCompletions_ = 0;
+    uint64_t bgCompletions_ = 0;
+    uint64_t fgMisses_ = 0;
+};
+
+} // namespace dirigent::obs
+
+#endif // DIRIGENT_OBS_RECORDER_H

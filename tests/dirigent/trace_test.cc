@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "dirigent/fine_controller.h"
 #include "dirigent/trace.h"
@@ -70,8 +71,33 @@ TEST(DecisionTraceTest, ActionNamesDistinct)
          {TraceAction::FgToMax, TraceAction::FgThrottled,
           TraceAction::BgThrottled, TraceAction::BgBoosted,
           TraceAction::BgPaused, TraceAction::BgResumed,
-          TraceAction::PartitionGrown, TraceAction::PartitionShrunk})
+          TraceAction::PartitionGrown, TraceAction::PartitionShrunk,
+          TraceAction::FaultObserved})
         EXPECT_TRUE(names.insert(traceActionName(a)).second);
+    EXPECT_EQ(traceActionName(TraceAction::FaultObserved),
+              std::string("fault-observed"));
+}
+
+TEST(DecisionTraceTest, SinkSeesEveryEventBeforeEviction)
+{
+    DecisionTrace trace(2); // tiny ring: events evict quickly
+    std::vector<TraceEvent> seen;
+    trace.setSink([&](const TraceEvent &ev) { seen.push_back(ev); });
+    for (int i = 0; i < 5; ++i)
+        trace.record({Time::ms(double(i)), TraceAction::FgToMax, 7,
+                      1.0 + i, "d"});
+    // The ring kept 2 events, but the sink saw all 5, in order.
+    EXPECT_EQ(trace.size(), 2u);
+    ASSERT_EQ(seen.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(seen[size_t(i)].when.ms(), double(i));
+        EXPECT_EQ(seen[size_t(i)].fgPid, 7u);
+        EXPECT_DOUBLE_EQ(seen[size_t(i)].slackRatio, 1.0 + i);
+    }
+
+    trace.setSink(nullptr); // detach: no further callbacks
+    trace.record({Time::ms(9.0), TraceAction::FgToMax, 7, 1.0, ""});
+    EXPECT_EQ(seen.size(), 5u);
 }
 
 TEST(DecisionTraceDeathTest, ZeroCapacityPanics)

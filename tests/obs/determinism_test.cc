@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Telemetry determinism: the exported trace of a recorded run must be
+ * byte-identical across repetitions and across executor thread counts
+ * (1/2/4 workers). Sampling rides the deterministic quantum stream and
+ * serialization is canonical, so any divergence is a real behaviour
+ * change, not noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "exec/executor.h"
+#include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
+#include "workload/mix.h"
+
+namespace dirigent::obs {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 3;
+    cfg.warmup = 1;
+    cfg.seed = 1812;
+    return cfg;
+}
+
+std::vector<workload::WorkloadMix>
+testMixes()
+{
+    return {
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::single("pca")),
+    };
+}
+
+/**
+ * Record one instrumented Dirigent run per mix on @p threads workers
+ * and return the exported trace documents keyed by mix name.
+ */
+std::map<std::string, std::string>
+recordedTraces(unsigned threads)
+{
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(fastConfig(), ecfg);
+
+    auto mixes = testMixes();
+    std::map<std::string, workload::WorkloadMix> byName;
+    for (const auto &mix : mixes)
+        byName[mix.name] = mix;
+
+    std::mutex mutex;
+    std::map<std::string, std::string> traces;
+
+    std::vector<exec::JobKey> keys;
+    for (const auto &mix : mixes)
+        keys.push_back({mix.name, "Dirigent", 0});
+    executor.forEach(keys, [&](size_t, const exec::JobKey &key,
+                               harness::ExperimentRunner &runner) {
+        const auto &mix = byName.at(key.mix);
+        auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+        auto deadlines = runner.deadlinesFromBaseline(baseline);
+
+        Recorder rec;
+        harness::RunOptions opts;
+        opts.recorder = &rec;
+        runner.run(mix, core::Scheme::Dirigent, deadlines, opts);
+        rec.manifest().tool = "determinism_test";
+
+        std::ostringstream os;
+        writePerfettoTrace(os, rec);
+        std::lock_guard<std::mutex> lock(mutex);
+        traces[key.mix] = os.str();
+    });
+    return traces;
+}
+
+TEST(RecorderDeterminism, TraceBytesIdenticalAcrossThreadCounts)
+{
+    auto serial = recordedTraces(1);
+    ASSERT_EQ(serial.size(), testMixes().size());
+    for (const auto &[mix, doc] : serial)
+        ASSERT_FALSE(doc.empty()) << mix;
+
+    for (unsigned threads : {2u, 4u}) {
+        auto sharded = recordedTraces(threads);
+        ASSERT_EQ(sharded.size(), serial.size()) << threads;
+        for (const auto &[mix, doc] : serial)
+            EXPECT_EQ(sharded.at(mix), doc)
+                << mix << " @ " << threads << " threads";
+    }
+}
+
+TEST(RecorderDeterminism, RepeatedRunIsByteIdentical)
+{
+    auto a = recordedTraces(1);
+    auto b = recordedTraces(1);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace dirigent::obs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests of the telemetry JSON value model: parse/format round-trips
+ * (including the %.17g double contract the exact trace section relies
+ * on), escaping, error reporting, and the schema-subset validator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace dirigent::obs {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->boolean);
+    EXPECT_FALSE(parseJson("false")->boolean);
+    EXPECT_DOUBLE_EQ(parseJson("42")->number, 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3")->number, -1500.0);
+    EXPECT_EQ(parseJson("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParse, Structures)
+{
+    auto v = parseJson("{\"a\":[1,2,3],\"b\":{\"c\":true}}");
+    ASSERT_TRUE(v);
+    const JsonValue *a = v->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+    const JsonValue *b = v->find("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->find("c")->boolean);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    auto v = parseJson("\"a\\n\\t\\\"b\\\\c\\u0041\"");
+    ASSERT_TRUE(v);
+    EXPECT_EQ(v->string, "a\n\t\"b\\cA");
+}
+
+TEST(JsonParse, ErrorsReportOffset)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\":}", &error));
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_FALSE(parseJson("[1,2] trailing", &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(JsonQuote, EscapesControlAndSpecials)
+{
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote("a\nb"), "\"a\\nb\"");
+    // "\x01" "b" — spliced so the hex escape doesn't swallow the 'b'.
+    EXPECT_EQ(jsonQuote(std::string("a\x01" "b")), "\"a\\u0001b\"");
+    EXPECT_EQ(jsonQuote(std::string("\x1b")), "\"\\u001b\"");
+}
+
+TEST(JsonDouble, RoundTripsExactly)
+{
+    const double cases[] = {0.0,         1.0 / 3.0,    1e-300,
+                            6.02214e23,  0.1,          123456789.123456789,
+                            -2.5e-8};
+    for (double value : cases) {
+        auto parsed = parseJson(jsonDouble(value));
+        ASSERT_TRUE(parsed) << jsonDouble(value);
+        EXPECT_EQ(parsed->number, value) << jsonDouble(value);
+    }
+}
+
+TEST(JsonDouble, NonFiniteRendersNull)
+{
+    EXPECT_EQ(jsonDouble(std::nan("")), "null");
+    EXPECT_EQ(jsonDouble(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(SchemaValidate, AcceptsAndRejects)
+{
+    auto schema = parseJson(
+        "{\"type\":\"object\",\"required\":[\"name\",\"n\"],"
+        "\"properties\":{\"name\":{\"type\":\"string\"},"
+        "\"n\":{\"type\":\"integer\"},"
+        "\"tags\":{\"type\":\"array\",\"minItems\":1,"
+        "\"items\":{\"type\":\"string\"}}}}");
+    ASSERT_TRUE(schema);
+
+    auto ok = parseJson("{\"name\":\"x\",\"n\":3,\"tags\":[\"a\"]}");
+    EXPECT_EQ(validateAgainstSchema(*ok, *schema), "");
+
+    auto missing = parseJson("{\"name\":\"x\"}");
+    EXPECT_NE(validateAgainstSchema(*missing, *schema), "");
+
+    auto wrongType = parseJson("{\"name\":\"x\",\"n\":3.5}");
+    EXPECT_NE(validateAgainstSchema(*wrongType, *schema), "");
+
+    auto shortArray = parseJson("{\"name\":\"x\",\"n\":1,\"tags\":[]}");
+    EXPECT_NE(validateAgainstSchema(*shortArray, *schema), "");
+}
+
+TEST(SchemaValidate, EnumAndUnionTypes)
+{
+    auto schema = parseJson(
+        "{\"properties\":{\"ph\":{\"type\":\"string\","
+        "\"enum\":[\"C\",\"X\"]},"
+        "\"v\":{\"type\":[\"number\",\"string\"]}}}");
+    ASSERT_TRUE(schema);
+    EXPECT_EQ(validateAgainstSchema(*parseJson("{\"ph\":\"C\",\"v\":1}"),
+                                    *schema),
+              "");
+    EXPECT_EQ(
+        validateAgainstSchema(*parseJson("{\"ph\":\"X\",\"v\":\"s\"}"),
+                              *schema),
+        "");
+    EXPECT_NE(validateAgainstSchema(*parseJson("{\"ph\":\"Q\"}"),
+                                    *schema),
+              "");
+    EXPECT_NE(validateAgainstSchema(*parseJson("{\"v\":true}"), *schema),
+              "");
+}
+
+} // namespace
+} // namespace dirigent::obs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The detached-recorder no-op guarantee: attaching a telemetry
+ * recorder must not change simulated behaviour in any way. Verified by
+ * fingerprinting runs with the golden-trace recorder (full %.17g
+ * precision) with and without a telemetry recorder attached — the
+ * traces must be byte-identical. This is what keeps the checked-in
+ * golden traces valid whether or not telemetry ships in a build.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dirigent/trace.h"
+#include "harness/experiment.h"
+#include "obs/recorder.h"
+#include "workload/mix.h"
+
+namespace dirigent::obs {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 4;
+    cfg.warmup = 1;
+    cfg.seed = 24601;
+    return cfg;
+}
+
+/** Golden fingerprint of one Dirigent run, optionally instrumented. */
+std::string
+fingerprint(bool withRecorder)
+{
+    harness::ExperimentRunner runner(fastConfig());
+    auto mix = workload::makeMix({"streamcluster"},
+                                 workload::BgSpec::single("pca"));
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+
+    core::GoldenTraceRecorder golden;
+    Recorder telemetry;
+    harness::RunOptions opts;
+    opts.golden = &golden;
+    if (withRecorder)
+        opts.recorder = &telemetry;
+    runner.run(mix, core::Scheme::Dirigent, deadlines, opts);
+    if (withRecorder) {
+        // Sanity: the recorder really was attached and captured data.
+        EXPECT_FALSE(telemetry.series().empty());
+        EXPECT_FALSE(telemetry.slices().empty());
+    }
+    return golden.preciseText();
+}
+
+TEST(RecorderNoop, AttachedRecorderLeavesGoldenTraceByteIdentical)
+{
+    std::string detached = fingerprint(false);
+    std::string attached = fingerprint(true);
+    ASSERT_FALSE(detached.empty());
+    EXPECT_EQ(detached, attached);
+}
+
+TEST(RecorderNoop, BaselineRunsAreAlsoUnperturbed)
+{
+    harness::ExperimentRunner runner(fastConfig());
+    auto mix = workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("rs"));
+
+    auto plain = [&](harness::RunOptions opts) {
+        core::GoldenTraceRecorder golden;
+        opts.golden = &golden;
+        runner.run(mix, core::Scheme::Baseline, {}, opts);
+        return golden.preciseText();
+    };
+
+    Recorder telemetry;
+    harness::RunOptions withRec;
+    withRec.recorder = &telemetry;
+    EXPECT_EQ(plain(harness::RunOptions{}), plain(withRec));
+}
+
+} // namespace
+} // namespace dirigent::obs

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Round-trip tests of the trace exporters: a recorded run exported as
+ * the combined Perfetto/exact document must parse back into identical
+ * series/events/slices (%.17g exactness), and the document must
+ * validate against the checked-in JSON schemas that CI also enforces
+ * (tools/schema/).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/recorder.h"
+#include "workload/mix.h"
+
+#ifndef DIRIGENT_SCHEMA_DIR
+#error "DIRIGENT_SCHEMA_DIR must point at tools/schema"
+#endif
+
+namespace dirigent::obs {
+namespace {
+
+/** One small recorded run shared by every test in this file. */
+const Recorder &
+recordedRun()
+{
+    static Recorder *rec = [] {
+        harness::HarnessConfig cfg;
+        cfg.executions = 4;
+        cfg.warmup = 1;
+        cfg.seed = 31337;
+        harness::ExperimentRunner runner(cfg);
+        auto mix = workload::makeMix({"ferret"},
+                                     workload::BgSpec::single("rs"));
+        auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+        auto deadlines = runner.deadlinesFromBaseline(baseline);
+        auto *r = new Recorder();
+        harness::RunOptions opts;
+        opts.recorder = r;
+        runner.run(mix, core::Scheme::Dirigent, deadlines, opts);
+        r->manifest().tool = "roundtrip_test";
+        r->manifest().version = buildVersion();
+        return r;
+    }();
+    return *rec;
+}
+
+std::string
+exportedDocument()
+{
+    std::ostringstream os;
+    writePerfettoTrace(os, recordedRun());
+    return os.str();
+}
+
+JsonValue
+loadSchema(const std::string &name)
+{
+    std::ifstream in(std::string(DIRIGENT_SCHEMA_DIR) + "/" + name);
+    EXPECT_TRUE(in) << name;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    auto schema = parseJson(buf.str(), &error);
+    EXPECT_TRUE(schema) << error;
+    return *schema;
+}
+
+TEST(RoundTrip, ExportParsesBackIdentically)
+{
+    const Recorder &rec = recordedRun();
+    std::string doc = exportedDocument();
+
+    std::string error;
+    auto root = parseJson(doc, &error);
+    ASSERT_TRUE(root) << error;
+    auto run = parseRun(*root, &error);
+    ASSERT_TRUE(run) << error;
+
+    // Series round-trip bit-exactly (%.17g → strtod).
+    ASSERT_EQ(run->series.size(), rec.series().size());
+    for (size_t i = 0; i < run->series.size(); ++i) {
+        const Series &in = rec.series()[i];
+        const Series &out = run->series[i];
+        EXPECT_EQ(out.name, in.name);
+        EXPECT_EQ(out.unit, in.unit);
+        ASSERT_EQ(out.times.size(), in.times.size()) << in.name;
+        for (size_t k = 0; k < in.times.size(); ++k) {
+            EXPECT_EQ(out.times[k], in.times[k]) << in.name;
+            EXPECT_EQ(out.values[k], in.values[k]) << in.name;
+        }
+    }
+
+    // Events and slices survive with full fidelity.
+    ASSERT_EQ(run->events.size(), rec.events().size());
+    for (size_t i = 0; i < run->events.size(); ++i) {
+        EXPECT_EQ(run->events[i].when.sec(),
+                  rec.events()[i].when.sec());
+        EXPECT_EQ(run->events[i].category, rec.events()[i].category);
+        EXPECT_EQ(run->events[i].name, rec.events()[i].name);
+        EXPECT_EQ(run->events[i].detail, rec.events()[i].detail);
+    }
+    ASSERT_EQ(run->slices.size(), rec.slices().size());
+    for (size_t i = 0; i < run->slices.size(); ++i) {
+        EXPECT_EQ(run->slices[i].start.sec(),
+                  rec.slices()[i].start.sec());
+        EXPECT_EQ(run->slices[i].end.sec(), rec.slices()[i].end.sec());
+        EXPECT_EQ(run->slices[i].missed, rec.slices()[i].missed);
+        EXPECT_EQ(run->slices[i].executionIndex,
+                  rec.slices()[i].executionIndex);
+    }
+
+    // Manifest identity round-trips (u64 seed via decimal string).
+    EXPECT_EQ(run->manifest.seed, rec.manifest().seed);
+    EXPECT_EQ(run->manifest.mixName, rec.manifest().mixName);
+    EXPECT_EQ(run->manifest.scheme, rec.manifest().scheme);
+}
+
+TEST(RoundTrip, SecondExportIsByteIdentical)
+{
+    EXPECT_EQ(exportedDocument(), exportedDocument());
+}
+
+TEST(RoundTrip, ValidatesAgainstTraceSchema)
+{
+    auto root = parseJson(exportedDocument());
+    ASSERT_TRUE(root);
+    EXPECT_EQ(validateAgainstSchema(*root, loadSchema("trace.schema.json")),
+              "");
+}
+
+TEST(RoundTrip, ManifestValidatesAgainstManifestSchema)
+{
+    auto manifest = parseJson(recordedRun().manifest().toJson());
+    ASSERT_TRUE(manifest);
+    EXPECT_EQ(validateAgainstSchema(*manifest,
+                                    loadSchema("manifest.schema.json")),
+              "");
+}
+
+TEST(RoundTrip, ManifestU64FieldsSurviveExactly)
+{
+    RunManifest m;
+    m.tool = "t";
+    m.seed = 0xFFFFFFFFFFFFFFFFull;          // > 2^53: needs strings
+    m.faultPlanHash = 0x8000000000000001ull;
+    auto doc = parseJson(m.toJson());
+    ASSERT_TRUE(doc);
+    RunManifest back = RunManifest::fromJson(*doc);
+    EXPECT_EQ(back.seed, m.seed);
+    EXPECT_EQ(back.faultPlanHash, m.faultPlanHash);
+}
+
+TEST(RoundTrip, CsvExportMatchesSeriesData)
+{
+    const Recorder &rec = recordedRun();
+    std::ostringstream os;
+    writeSeriesCsv(os, rec);
+    std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("series,unit,time_s,value\n", 0), 0u);
+    size_t rows = 0;
+    for (char c : csv)
+        rows += c == '\n' ? 1 : 0;
+    size_t samples = 0;
+    for (const auto &s : rec.series())
+        samples += s.times.size();
+    EXPECT_EQ(rows, samples + 1); // header + one row per sample
+}
+
+} // namespace
+} // namespace dirigent::obs

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Trace inspection CLI: reads the combined Perfetto/exact trace
+ * documents written by `run_experiment --trace-out` (the lossless
+ * "dirigent" section) and answers questions about a recorded run —
+ * most importantly "why did FG k miss its deadline?".
+ *
+ * Usage:
+ *   dirigent-inspect summary  RUN.json
+ *   dirigent-inspect why-miss RUN.json [--window MS] [--fg SLOT]
+ *   dirigent-inspect csv      RUN.json
+ *   dirigent-inspect validate FILE.json SCHEMA.json
+ *
+ * `summary` prints the run manifest plus series/event/slice counts.
+ * `why-miss` walks every missed FG execution and reconstructs its
+ * decision window: the controller decisions and fault events leading
+ * up to the miss, the predictor's view (predicted total, slack ratio,
+ * MA({α})), and the machine state (DVFS grades, CAT partition) at the
+ * time of the miss. `csv` dumps every series as flat CSV. `validate`
+ * checks any JSON document against a JSON-Schema subset (see
+ * obs/export.h) — used by CI against tools/schema/.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/strfmt.h"
+#include "obs/export.h"
+#include "obs/json.h"
+
+using namespace dirigent;
+using namespace dirigent::obs;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: dirigent-inspect summary  RUN.json\n"
+           "       dirigent-inspect why-miss RUN.json [--window MS] "
+           "[--fg SLOT]\n"
+           "       dirigent-inspect csv      RUN.json\n"
+           "       dirigent-inspect validate FILE.json SCHEMA.json\n";
+    std::exit(2);
+}
+
+RunData
+loadOrDie(const std::string &path)
+{
+    std::string error;
+    auto run = loadRunFile(path, &error);
+    if (!run) {
+        std::cerr << "dirigent-inspect: cannot load '" << path
+                  << "': " << error << "\n";
+        std::exit(1);
+    }
+    return std::move(*run);
+}
+
+/** Last sample of @p s at or before @p t (NaN when none). */
+double
+valueAt(const Series *s, double t)
+{
+    if (s == nullptr || s->times.empty())
+        return std::nan("");
+    auto it = std::upper_bound(s->times.begin(), s->times.end(), t);
+    if (it == s->times.begin())
+        return std::nan("");
+    return s->values[size_t(it - s->times.begin()) - 1];
+}
+
+std::string
+num(double v, const char *fmt = "%.4g")
+{
+    return std::isnan(v) ? std::string("n/a") : strfmt(fmt, v);
+}
+
+void
+cmdSummary(const RunData &run)
+{
+    const RunManifest &m = run.manifest;
+    std::cout << "run: mix=" << m.mixName << " scheme=" << m.scheme
+              << " seed=" << m.seed << "\n"
+              << "tool: " << m.tool << " (" << m.version << ")\n"
+              << "window: warmup=" << m.warmup
+              << " executions=" << m.executions << " sampling="
+              << strfmt("%.3gms", m.samplingPeriod.sec() * 1e3)
+              << " decisionPeriodTicks=" << m.decisionPeriodTicks
+              << "\n";
+    if (m.faultPlanHash != 0) {
+        std::cout << "faults: hash=" << m.faultPlanHash << "\n";
+        std::istringstream in(m.faultPlanText);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                std::cout << "    " << line << "\n";
+    }
+    for (const auto &[key, value] : m.extra)
+        std::cout << key << ": " << value << "\n";
+
+    std::cout << "series: " << run.series.size() << "\n";
+    for (const auto &s : run.series)
+        std::cout << "    " << s.name << " [" << s.unit << "] "
+                  << s.times.size() << " samples\n";
+
+    size_t decisions = 0, faults = 0;
+    for (const auto &e : run.events)
+        (e.category == "fault" ? faults : decisions) += 1;
+    std::cout << "events: " << decisions << " decisions, " << faults
+              << " faults\n";
+
+    size_t misses = 0;
+    for (const auto &s : run.slices)
+        misses += s.missed ? 1 : 0;
+    std::cout << "slices: " << run.slices.size()
+              << " FG executions, " << misses << " deadline misses\n";
+}
+
+void
+printMiss(const RunData &run, const ExecutionSlice &slice,
+          double windowSec)
+{
+    const double start = slice.start.sec();
+    const double end = slice.end.sec();
+    const double from = std::max(0.0, start - windowSec);
+
+    std::cout << strfmt("\nmiss: fg%u pid=%u %s execution #%llu\n",
+                        slice.fgSlot, slice.pid,
+                        slice.program.c_str(),
+                        (unsigned long long)slice.executionIndex);
+    std::cout << strfmt(
+        "    ran %.6f s .. %.6f s: duration %.4f s vs deadline %.4f s "
+        "(%+.1f%%)\n",
+        start, end, slice.duration().sec(), slice.deadlineSec,
+        slice.deadlineSec > 0.0
+            ? (slice.duration().sec() / slice.deadlineSec - 1.0) * 100.0
+            : 0.0);
+    std::cout << strfmt(
+        "    last prediction before completion: %.4f s\n",
+        slice.predictedSec);
+
+    // The predictor/machine view at the time of the miss.
+    std::string slot = strfmt("fg%u", slice.fgSlot);
+    std::cout << "    at miss: slack_ratio="
+              << num(valueAt(run.findSeries(slot + ".slack_ratio"), end))
+              << " alpha_ma="
+              << num(valueAt(run.findSeries(slot + ".alpha_ma"), end))
+              << " progress="
+              << num(valueAt(run.findSeries(slot + ".progress_fraction"),
+                             end))
+              << " cat.fg_ways="
+              << num(valueAt(run.findSeries("cat.fg_ways"), end), "%.0f")
+              << " core" << slice.fgSlot << ".freq="
+              << num(valueAt(run.findSeries(
+                                 strfmt("core%u.freq_ghz", slice.fgSlot)),
+                             end))
+              << " GHz\n";
+
+    // Decision window: every decision/fault in [start - window, end].
+    size_t shown = 0;
+    for (const auto &e : run.events) {
+        double t = e.when.sec();
+        if (t < from || t > end)
+            continue;
+        std::cout << strfmt("    %10.6f s  %-8s %-18s", t,
+                            e.category.c_str(), e.name.c_str());
+        if (e.pid != 0)
+            std::cout << strfmt(" pid=%u", e.pid);
+        if (e.category == "decision")
+            std::cout << strfmt(" slack=%.3f", e.value);
+        if (!e.detail.empty())
+            std::cout << "  " << e.detail;
+        std::cout << "\n";
+        ++shown;
+    }
+    if (shown == 0)
+        std::cout << strfmt(
+            "    no decisions or faults recorded in the %.0f ms before "
+            "the miss\n",
+            windowSec * 1e3);
+}
+
+int
+cmdWhyMiss(const RunData &run, double windowSec, int fgFilter)
+{
+    std::vector<const ExecutionSlice *> misses;
+    for (const auto &s : run.slices)
+        if (s.missed && (fgFilter < 0 || int(s.fgSlot) == fgFilter))
+            misses.push_back(&s);
+
+    if (misses.empty()) {
+        std::cout << "no deadline misses recorded";
+        if (fgFilter >= 0)
+            std::cout << " for fg" << fgFilter;
+        std::cout << " (" << run.slices.size() << " executions)\n";
+        return 0;
+    }
+
+    std::cout << misses.size() << " deadline miss"
+              << (misses.size() == 1 ? "" : "es") << " of "
+              << run.slices.size() << " executions ("
+              << run.manifest.mixName << "/" << run.manifest.scheme
+              << ", window " << strfmt("%.0f", windowSec * 1e3)
+              << " ms):\n";
+    for (const auto *slice : misses)
+        printMiss(run, *slice, windowSec);
+    return 0;
+}
+
+int
+cmdValidate(const std::string &filePath, const std::string &schemaPath)
+{
+    auto slurp = [](const std::string &path) -> std::string {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::cerr << "dirigent-inspect: cannot open '" << path
+                      << "'\n";
+            std::exit(1);
+        }
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    };
+    std::string error;
+    auto doc = parseJson(slurp(filePath), &error);
+    if (!doc) {
+        std::cerr << filePath << ": parse error: " << error << "\n";
+        return 1;
+    }
+    auto schema = parseJson(slurp(schemaPath), &error);
+    if (!schema) {
+        std::cerr << schemaPath << ": parse error: " << error << "\n";
+        return 1;
+    }
+    std::string violation = validateAgainstSchema(*doc, *schema);
+    if (!violation.empty()) {
+        std::cerr << filePath << ": schema violation: " << violation
+                  << "\n";
+        return 1;
+    }
+    std::cout << filePath << ": valid against " << schemaPath << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "validate") {
+        if (argc != 4)
+            usage();
+        return cmdValidate(argv[2], argv[3]);
+    }
+
+    std::string runPath = argv[2];
+    double windowSec = 0.050;
+    int fgFilter = -1;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--window" && i + 1 < argc) {
+            windowSec = std::strtod(argv[++i], nullptr) / 1e3;
+        } else if (arg == "--fg" && i + 1 < argc) {
+            fgFilter = int(std::strtol(argv[++i], nullptr, 10));
+        } else {
+            usage();
+        }
+    }
+
+    RunData run = loadOrDie(runPath);
+    if (cmd == "summary") {
+        cmdSummary(run);
+        return 0;
+    }
+    if (cmd == "why-miss")
+        return cmdWhyMiss(run, windowSec, fgFilter);
+    if (cmd == "csv") {
+        writeSeriesCsv(std::cout, run);
+        return 0;
+    }
+    usage();
+}

@@ -19,6 +19,13 @@
  *   --faults FILE          inject boundary faults from the fault-plan
  *                          DSL in FILE (also DIRIGENT_FAULTS; see
  *                          fault/plan.h for the format)
+ *   --trace-out FILE       record run telemetry and write a combined
+ *                          Perfetto/Chrome trace-event JSON document
+ *                          to FILE, plus FILE.manifest.json (also
+ *                          DIRIGENT_TRACE_OUT). With scheme=all the
+ *                          Dirigent scheme is re-run once, recorded.
+ *                          Inspect with dirigent-inspect, or open FILE
+ *                          in ui.perfetto.dev
  *   --check                enable the runtime invariant checker for this
  *                          run (also DIRIGENT_CHECK=1; --no-check forces
  *                          it off)
@@ -46,6 +53,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -59,6 +67,9 @@
 #include "fault/plan.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "obs/export.h"
+#include "obs/manifest.h"
+#include "obs/recorder.h"
 #include "workload/benchmarks.h"
 #include "workload/mix.h"
 #include "workload/parser.h"
@@ -73,8 +84,8 @@ usage()
     std::cerr
         << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
            "[--config FILE] [--fg-program FILE] [--threads N] "
-           "[--jsonl FILE] [--faults FILE] [--check|--no-check] "
-           "[key=value...]\n"
+           "[--jsonl FILE] [--faults FILE] [--trace-out FILE] "
+           "[--check|--no-check] [key=value...]\n"
            "       run_experiment --list\n";
     std::exit(2);
 }
@@ -137,6 +148,24 @@ harnessFromConfig(const Config &cfg)
     return hc;
 }
 
+/** Export recorded telemetry: the trace and a standalone manifest. */
+void
+writeTraceFiles(const std::string &path, obs::Recorder &recorder)
+{
+    recorder.manifest().tool = "run_experiment";
+    recorder.manifest().version = obs::buildVersion();
+    if (obs::writePerfettoTraceFile(path, recorder))
+        inform("telemetry trace written to " + path +
+               " (open in ui.perfetto.dev or dirigent-inspect)");
+    const std::string manifestPath = path + ".manifest.json";
+    std::ofstream os(manifestPath, std::ios::trunc);
+    if (!os) {
+        warn("cannot write run manifest '" + manifestPath + "'");
+        return;
+    }
+    os << recorder.manifest().toJson() << "\n";
+}
+
 std::optional<core::Scheme>
 schemeByName(const std::string &name)
 {
@@ -158,6 +187,7 @@ main(int argc, char **argv)
     std::vector<std::string> positional;
     Config overrides;
     std::string configFile, fgProgramFile, jsonlPath, faultsFile;
+    std::string traceOut;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -184,6 +214,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage();
             faultsFile = argv[i];
+        } else if (arg == "--trace-out") {
+            if (++i >= argc)
+                usage();
+            traceOut = argv[i];
         } else if (arg == "--check") {
             check::setEnabled(true);
         } else if (arg == "--no-check") {
@@ -259,6 +293,9 @@ main(int argc, char **argv)
     if (check::enabled())
         inform("runtime invariant checker enabled");
 
+    if (traceOut.empty())
+        traceOut = obs::envTraceOutPath();
+
     if (schemeName == "all") {
         // Sharded across hc.threads workers (scheme stages of the one
         // mix overlap where their data dependencies allow).
@@ -272,20 +309,40 @@ main(int argc, char **argv)
         harness::printStdComparison(std::cout, perMix);
         std::cout << "\nCSV:\n";
         harness::printComparisonCsv(std::cout, perMix);
+        if (!traceOut.empty()) {
+            // Telemetry wants a single instrumented run; replay the
+            // Dirigent scheme with the sweep's calibrated deadlines.
+            inform("re-running dirigent scheme instrumented for "
+                   "--trace-out");
+            obs::Recorder recorder;
+            harness::RunOptions opts;
+            opts.recorder = &recorder;
+            runner.run(mix, core::Scheme::Dirigent,
+                       perMix.front().front().deadlines, opts);
+            writeTraceFiles(traceOut, recorder);
+        }
     } else {
         auto scheme = schemeByName(schemeName);
         if (!scheme)
             fatal("unknown scheme '" + schemeName + "'");
+        obs::Recorder recorder;
         auto t0 = std::chrono::steady_clock::now();
         auto baseline = runner.run(mix, core::Scheme::Baseline, {});
         auto deadlines = runner.deadlinesFromBaseline(baseline);
         harness::applyDeadlines(baseline, deadlines);
-        auto res = *scheme == core::Scheme::Baseline
+        harness::RunOptions runOpts;
+        if (!traceOut.empty())
+            runOpts.recorder = &recorder;
+        // Baseline is re-run instrumented (the calibration run above
+        // has no deadlines yet, so its slices could not be judged).
+        auto res = *scheme == core::Scheme::Baseline && traceOut.empty()
                        ? baseline
-                       : runner.run(mix, *scheme, deadlines);
+                       : runner.run(mix, *scheme, deadlines, runOpts);
         double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
+        if (!traceOut.empty())
+            writeTraceFiles(traceOut, recorder);
         std::string outPath =
             jsonlPath.empty() ? exec::envJsonlPath() : jsonlPath;
         if (!outPath.empty()) {
