@@ -14,6 +14,7 @@
 #include "dirigent/fine_controller.h"
 #include "dirigent/predictor.h"
 #include "harness/experiment.h"
+#include "machine/actuators.h"
 #include "machine/cpufreq.h"
 #include "machine/machine.h"
 #include "obs/metrics.h"
@@ -95,7 +96,9 @@ BM_FullRuntimeInvocation(benchmark::State &state)
         bg.foreground = false;
         machine.spawnProcess(bg);
     }
-    core::FineGrainController controller(machine, governor);
+    machine::GovernorFrequencyActuator freq(governor);
+    machine::OsPauseActuator pause(machine.os());
+    core::FineGrainController controller(machine, freq, pause);
     core::Profile profile = syntheticProfile(200);
     core::Predictor pred(&profile);
     pred.beginExecution(Time());

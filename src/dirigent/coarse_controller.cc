@@ -7,9 +7,10 @@
 
 namespace dirigent::core {
 
-CoarseGrainController::CoarseGrainController(machine::CatController &cat,
-                                             CoarseControllerConfig config)
-    : cat_(cat), config_(config),
+CoarseGrainController::CoarseGrainController(
+    const machine::Machine &machine, machine::PartitionActuator &partition,
+    CoarseControllerConfig config)
+    : machine_(machine), partition_(partition), config_(config),
       times_(config.historyWindow),
       misses_(config.historyWindow),
       severity_(config.historyWindow),
@@ -17,8 +18,8 @@ CoarseGrainController::CoarseGrainController(machine::CatController &cat,
 {
     DIRIGENT_ASSERT(config.historyWindow >= 2, "history window too small");
     DIRIGENT_ASSERT(config.invokeEvery >= 1, "invocation cadence too small");
-    cat_.setFgWays(config.initialFgWays);
-    decisions_.push_back({0, cat_.fgWays(), "initial"});
+    partition_.setFgWays(config.initialFgWays);
+    decisions_.push_back({0, partition_.fgWays(), "initial"});
 }
 
 void
@@ -53,14 +54,14 @@ CoarseGrainController::invoke()
     double sev = severity_.mean();
 
     const char *fired = "";
-    unsigned ways = cat_.fgWays();
+    unsigned ways = partition_.fgWays();
     auto traceChange = [&](TraceAction action, const char *rule) {
         if (trace_ == nullptr)
             return;
         TraceEvent event;
-        event.when = cat_.machine().now();
+        event.when = machine_.now();
         event.action = action;
-        event.detail = strfmt("%s -> %u ways", rule, cat_.fgWays());
+        event.detail = strfmt("%s -> %u ways", rule, partition_.fgWays());
         trace_->record(std::move(event));
     };
 
@@ -69,17 +70,18 @@ CoarseGrainController::invoke()
         bool improved =
             missMean < preGrowMissMean_ * (1.0 - config_.growBenefit);
         if (!improved && ways > 1) {
-            if (!cat_.setFgWays(ways - 1)) {
+            if (!partition_.setFgWays(ways - 1)) {
                 // Reconfiguration failed; lastAction_ stays Grow so the
                 // retraction is retried at the next invocation.
                 decisions_.push_back(
-                    {executionsSeen_, cat_.fgWays(), "H2-shrink-fail"});
+                    {executionsSeen_, partition_.fgWays(), "H2-shrink-fail"});
                 return;
             }
             lastAction_ = LastAction::Shrink;
             fired = "H2-shrink";
             traceChange(TraceAction::PartitionShrunk, fired);
-            decisions_.push_back({executionsSeen_, cat_.fgWays(), fired});
+            decisions_.push_back(
+                {executionsSeen_, partition_.fgWays(), fired});
             return;
         }
         // The grow helped; keep it and fall through so further growth
@@ -90,37 +92,37 @@ CoarseGrainController::invoke()
     // H1: misses correlate with execution time and deadlines missed —
     // isolation will likely help; grow the FG partition.
     if (corr > config_.corrThreshold && missedRecently &&
-        ways < cat_.numWays() - 1) {
-        if (!cat_.setFgWays(ways + 1)) {
+        ways < partition_.numWays() - 1) {
+        if (!partition_.setFgWays(ways + 1)) {
             decisions_.push_back(
-                {executionsSeen_, cat_.fgWays(), "H1-grow-fail"});
+                {executionsSeen_, partition_.fgWays(), "H1-grow-fail"});
             return;
         }
         preGrowMissMean_ = missMean;
         lastAction_ = LastAction::Grow;
         fired = "H1-grow";
         traceChange(TraceAction::PartitionGrown, fired);
-        decisions_.push_back({executionsSeen_, cat_.fgWays(), fired});
+        decisions_.push_back({executionsSeen_, partition_.fgWays(), fired});
         return;
     }
 
     // H3: the fine controller keeps BG heavily throttled; partitioning
     // may serve FG better than throttling. H2 retracts this if wrong.
-    if (sev > config_.severityThreshold && ways < cat_.numWays() - 1) {
-        if (!cat_.setFgWays(ways + 1)) {
+    if (sev > config_.severityThreshold && ways < partition_.numWays() - 1) {
+        if (!partition_.setFgWays(ways + 1)) {
             decisions_.push_back(
-                {executionsSeen_, cat_.fgWays(), "H3-grow-fail"});
+                {executionsSeen_, partition_.fgWays(), "H3-grow-fail"});
             return;
         }
         preGrowMissMean_ = missMean;
         lastAction_ = LastAction::Grow;
         fired = "H3-grow";
         traceChange(TraceAction::PartitionGrown, fired);
-        decisions_.push_back({executionsSeen_, cat_.fgWays(), fired});
+        decisions_.push_back({executionsSeen_, partition_.fgWays(), fired});
         return;
     }
 
-    decisions_.push_back({executionsSeen_, cat_.fgWays(), ""});
+    decisions_.push_back({executionsSeen_, partition_.fgWays(), ""});
 }
 
 } // namespace dirigent::core

@@ -24,7 +24,8 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "dirigent/trace.h"
-#include "machine/cat.h"
+#include "machine/actuator.h"
+#include "machine/machine.h"
 
 namespace dirigent::core {
 
@@ -67,7 +68,13 @@ struct PartitionDecision
 class CoarseGrainController
 {
   public:
-    CoarseGrainController(machine::CatController &cat,
+    /**
+     * @param machine machine observed for sensing only (the simulated
+     *        clock stamps decision-trace events).
+     * @param partition way-partition actuator the heuristics drive.
+     */
+    CoarseGrainController(const machine::Machine &machine,
+                          machine::PartitionActuator &partition,
                           CoarseControllerConfig config =
                               CoarseControllerConfig{});
 
@@ -85,7 +92,7 @@ class CoarseGrainController
                          bool missedDeadline, double throttleSeverity);
 
     /** Current FG partition size. */
-    unsigned fgWays() const { return cat_.fgWays(); }
+    unsigned fgWays() const { return partition_.fgWays(); }
 
     /** Heuristic invocations so far. */
     uint64_t invocations() const { return invocations_; }
@@ -105,7 +112,8 @@ class CoarseGrainController
   private:
     void invoke();
 
-    machine::CatController &cat_;
+    const machine::Machine &machine_;
+    machine::PartitionActuator &partition_;
     CoarseControllerConfig config_;
 
     SlidingWindow times_;

@@ -6,11 +6,13 @@
 
 namespace dirigent::core {
 
-FineGrainController::FineGrainController(machine::Machine &machine,
-                                         machine::CpuFreqGovernor &governor,
+FineGrainController::FineGrainController(const machine::Machine &machine,
+                                         machine::FrequencyActuator &frequency,
+                                         machine::PauseActuator &pause,
                                          FineControllerConfig config)
-    : machine_(machine), governor_(governor), config_(config),
-      ladder_(governor.equispacedGrades(config.gradeCount)),
+    : machine_(machine), frequency_(frequency), pause_(pause),
+      config_(config),
+      ladder_(frequency.equispacedGrades(config.gradeCount)),
       ladderPos_(machine.numCores(), unsigned(ladder_.size()) - 1),
       lastMisses_(machine.numCores(), 0.0)
 {
@@ -94,7 +96,7 @@ FineGrainController::ladderFreqs() const
 {
     std::vector<Freq> freqs;
     for (unsigned g : ladder_)
-        freqs.push_back(governor_.gradeFreq(g));
+        freqs.push_back(frequency_.gradeFreq(g));
     return freqs;
 }
 
@@ -102,7 +104,7 @@ void
 FineGrainController::releaseAll()
 {
     for (machine::Pid pid : pausedBg_)
-        machine_.os().resume(pid);
+        pause_.resume(pid);
     pausedBg_.clear();
     for (machine::Pid pid : machine_.os().backgroundPids()) {
         unsigned core = machine_.os().process(pid).core;
@@ -132,7 +134,7 @@ FineGrainController::setPos(unsigned core, unsigned position)
     DIRIGENT_ASSERT(position < ladder_.size(), "bad ladder position %u",
                     position);
     ladderPos_[core] = position;
-    governor_.setGrade(core, ladder_[position]);
+    frequency_.setGrade(core, ladder_[position]);
 }
 
 bool
@@ -141,7 +143,7 @@ FineGrainController::resumePaused()
     if (pausedBg_.empty())
         return false;
     for (machine::Pid pid : pausedBg_) {
-        machine_.os().resume(pid);
+        pause_.resume(pid);
         ++stats_.resumes;
     }
     traceAction(TraceAction::BgResumed,
@@ -207,7 +209,7 @@ FineGrainController::pauseMostIntrusive()
     }
     if (!found)
         return false;
-    machine_.os().pause(victim);
+    pause_.pause(victim);
     pausedBg_.push_back(victim);
     ++stats_.pauses;
     traceAction(TraceAction::BgPaused,

@@ -23,7 +23,7 @@
 
 #include "common/units.h"
 #include "dirigent/trace.h"
-#include "machine/cpufreq.h"
+#include "machine/actuator.h"
 #include "machine/machine.h"
 
 namespace dirigent::core {
@@ -87,8 +87,16 @@ class FineGrainController
         bool valid = false; //!< prediction available
     };
 
-    FineGrainController(machine::Machine &machine,
-                        machine::CpuFreqGovernor &governor,
+    /**
+     * @param machine machine observed for sensing only (process table,
+     *        performance counters, clock); all actuation goes through
+     *        the actuator interfaces.
+     * @param frequency DVFS actuator driving the grade ladder.
+     * @param pause pause/resume actuator for BG tasks.
+     */
+    FineGrainController(const machine::Machine &machine,
+                        machine::FrequencyActuator &frequency,
+                        machine::PauseActuator &pause,
                         FineControllerConfig config = FineControllerConfig{});
 
     /** Make one control decision given current FG predictions. */
@@ -104,7 +112,7 @@ class FineGrainController
      */
     double drainThrottleSeverity();
 
-    /** The DVFS ladder in use (governor grade indices, low→high). */
+    /** The DVFS ladder in use (actuator grade indices, low→high). */
     const std::vector<unsigned> &ladder() const { return ladder_; }
 
     /** Frequencies of the ladder positions. */
@@ -138,8 +146,9 @@ class FineGrainController
 
     void recordResidency();
 
-    machine::Machine &machine_;
-    machine::CpuFreqGovernor &governor_;
+    const machine::Machine &machine_;
+    machine::FrequencyActuator &frequency_;
+    machine::PauseActuator &pause_;
     FineControllerConfig config_;
     std::vector<unsigned> ladder_;
     std::vector<unsigned> ladderPos_;

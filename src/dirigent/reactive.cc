@@ -5,9 +5,10 @@
 namespace dirigent::core {
 
 ReactiveController::ReactiveController(machine::Machine &machine,
-                                       machine::CpuFreqGovernor &governor,
+                                       machine::FrequencyActuator &frequency,
+                                       machine::PauseActuator &pause,
                                        FineControllerConfig config)
-    : machine_(machine), controller_(machine, governor, config)
+    : machine_(machine), controller_(machine, frequency, pause, config)
 {
 }
 

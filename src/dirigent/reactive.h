@@ -19,7 +19,7 @@
 
 #include "common/units.h"
 #include "dirigent/fine_controller.h"
-#include "machine/cpufreq.h"
+#include "machine/actuator.h"
 #include "machine/machine.h"
 
 namespace dirigent::core {
@@ -32,7 +32,8 @@ class ReactiveController
 {
   public:
     ReactiveController(machine::Machine &machine,
-                       machine::CpuFreqGovernor &governor,
+                       machine::FrequencyActuator &frequency,
+                       machine::PauseActuator &pause,
                        FineControllerConfig config =
                            FineControllerConfig{});
 

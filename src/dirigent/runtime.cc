@@ -9,18 +9,40 @@ namespace dirigent::core {
 
 DirigentRuntime::DirigentRuntime(machine::Machine &machine,
                                  sim::Engine &engine,
+                                 const machine::ActuatorSet &actuators,
+                                 RuntimeConfig config)
+    : machine_(machine), actuators_(actuators), config_(config)
+{
+    init(engine);
+}
+
+DirigentRuntime::DirigentRuntime(machine::Machine &machine,
+                                 sim::Engine &engine,
                                  machine::CpuFreqGovernor &governor,
                                  machine::CatController &cat,
                                  RuntimeConfig config)
-    : machine_(machine), cat_(cat), config_(config)
+    : machine_(machine),
+      ownedActuators_(std::make_unique<machine::MachineActuators>(
+          machine, governor, cat)),
+      actuators_(ownedActuators_->set()), config_(config)
 {
-    DIRIGENT_ASSERT(config.runtimeCore < machine.numCores(),
-                    "runtime core %u out of range", config.runtimeCore);
-    fine_ = std::make_unique<FineGrainController>(machine, governor,
-                                                  config.fine);
+    init(engine);
+}
+
+void
+DirigentRuntime::init(sim::Engine &engine)
+{
+    DIRIGENT_ASSERT(config_.runtimeCore < machine_.numCores(),
+                    "runtime core %u out of range", config_.runtimeCore);
+    DIRIGENT_ASSERT(actuators_.frequency != nullptr,
+                    "runtime needs a frequency actuator");
+    DIRIGENT_ASSERT(actuators_.pause != nullptr,
+                    "runtime needs a pause actuator");
+    fine_ = std::make_unique<FineGrainController>(
+        machine_, *actuators_.frequency, *actuators_.pause, config_.fine);
     sampler_ = std::make_unique<machine::PeriodicSampler>(
-        engine, config.samplingPeriod, config.wakeOvershootMean,
-        config.wakeOvershootSigma, Rng(config.seed).fork(0xD127),
+        engine, config_.samplingPeriod, config_.wakeOvershootMean,
+        config_.wakeOvershootSigma, Rng(config_.seed).fork(0xD127),
         [this](const machine::PeriodicSampler::Tick &tick) {
             onTick(tick);
         });
@@ -64,6 +86,8 @@ DirigentRuntime::start()
     started_ = true;
 
     if (config_.enableCoarse && coarse_ == nullptr) {
+        DIRIGENT_ASSERT(actuators_.partition != nullptr,
+                        "coarse controller needs a partition actuator");
         // The initial FG partition scales with the number of managed
         // FG tasks — they share it, and starting each of them with the
         // single-FG allotment avoids a long miss transient while the
@@ -71,7 +95,8 @@ DirigentRuntime::start()
         CoarseControllerConfig ccfg = config_.coarse;
         ccfg.initialFgWays =
             ccfg.initialFgWays * unsigned(fgs_.size());
-        coarse_ = std::make_unique<CoarseGrainController>(cat_, ccfg);
+        coarse_ = std::make_unique<CoarseGrainController>(
+            machine_, *actuators_.partition, ccfg);
         if (trace_ != nullptr)
             coarse_->setTrace(trace_);
     }

@@ -22,8 +22,7 @@
 #include "dirigent/predictor.h"
 #include "dirigent/profile.h"
 #include "dirigent/progress.h"
-#include "machine/cat.h"
-#include "machine/cpufreq.h"
+#include "machine/actuators.h"
 #include "machine/machine.h"
 #include "machine/sampler.h"
 
@@ -117,6 +116,19 @@ class DirigentRuntime
         Time actualTotal;    //!< measured duration at completion
     };
 
+    /**
+     * Assemble the runtime over an explicit actuator bundle. The
+     * frequency and pause actuators are required; the partition
+     * actuator only when the coarse controller is enabled.
+     */
+    DirigentRuntime(machine::Machine &machine, sim::Engine &engine,
+                    const machine::ActuatorSet &actuators,
+                    RuntimeConfig config = RuntimeConfig{});
+
+    /**
+     * Convenience: assemble over the machine's concrete devices; the
+     * runtime owns the adapter bundle.
+     */
     DirigentRuntime(machine::Machine &machine, sim::Engine &engine,
                     machine::CpuFreqGovernor &governor,
                     machine::CatController &cat,
@@ -210,6 +222,7 @@ class DirigentRuntime
         bool degraded = false;
     };
 
+    void init(sim::Engine &engine);
     void onTick(const machine::PeriodicSampler::Tick &tick);
     void onCompletion(const machine::CompletionRecord &rec);
     double cumulativeProgress(FgState &fg);
@@ -218,7 +231,8 @@ class DirigentRuntime
     void noteFault(machine::Pid pid, const std::string &what);
 
     machine::Machine &machine_;
-    machine::CatController &cat_;
+    std::unique_ptr<machine::MachineActuators> ownedActuators_;
+    machine::ActuatorSet actuators_;
     RuntimeConfig config_;
     std::unique_ptr<FineGrainController> fine_;
     std::unique_ptr<CoarseGrainController> coarse_;

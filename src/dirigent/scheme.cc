@@ -1,5 +1,9 @@
 #include "dirigent/scheme.h"
 
+#include <cctype>
+
+#include "dirigent/scheme_spec.h"
+
 namespace dirigent::core {
 
 std::vector<Scheme>
@@ -27,28 +31,48 @@ schemeName(Scheme s)
     return "?";
 }
 
+std::optional<Scheme>
+schemeFromName(const std::string &name)
+{
+    auto matches = [&name](const char *candidate) {
+        size_t i = 0;
+        for (; candidate[i] != '\0' && i < name.size(); ++i)
+            if (std::tolower((unsigned char)name[i]) !=
+                std::tolower((unsigned char)candidate[i]))
+                return false;
+        return candidate[i] == '\0' && i == name.size();
+    };
+    for (Scheme s : allSchemes())
+        if (matches(schemeName(s)))
+            return s;
+    return std::nullopt;
+}
+
+// The predicates are thin shims over the builtin spec registry: the
+// spec is the single source of truth for what each scheme wires up.
+
 bool
 schemeUsesRuntime(Scheme s)
 {
-    return s == Scheme::DirigentFreq || s == Scheme::Dirigent;
+    return schemeSpec(s).attachesRuntime();
 }
 
 bool
 schemeUsesCoarse(Scheme s)
 {
-    return s == Scheme::Dirigent;
+    return schemeSpec(s).coarse;
 }
 
 bool
 schemeUsesStaticBgFreq(Scheme s)
 {
-    return s == Scheme::StaticFreq || s == Scheme::StaticBoth;
+    return schemeSpec(s).bgFreqGrade >= 0;
 }
 
 bool
 schemeUsesStaticPartition(Scheme s)
 {
-    return s == Scheme::StaticBoth;
+    return schemeSpec(s).staticPartition;
 }
 
 } // namespace dirigent::core

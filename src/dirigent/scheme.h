@@ -11,6 +11,7 @@
 #ifndef DIRIGENT_DIRIGENT_SCHEME_H
 #define DIRIGENT_DIRIGENT_SCHEME_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,9 @@ std::vector<Scheme> allSchemes();
 
 /** Printable scheme name matching the paper's figures. */
 const char *schemeName(Scheme s);
+
+/** Scheme by name (case-insensitive), or nullopt when unknown. */
+std::optional<Scheme> schemeFromName(const std::string &name);
 
 /** True when the scheme runs the Dirigent runtime (sampling+control). */
 bool schemeUsesRuntime(Scheme s);

@@ -1,0 +1,262 @@
+#include "dirigent/scheme_spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::core {
+
+namespace {
+
+bool
+sameNameCaseless(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (std::tolower((unsigned char)a[i]) !=
+            std::tolower((unsigned char)b[i]))
+            return false;
+    return true;
+}
+
+std::vector<SchemeSpec>
+makeBuiltins()
+{
+    std::vector<SchemeSpec> specs;
+
+    SchemeSpec baseline;
+    baseline.name = "Baseline";
+    specs.push_back(baseline);
+
+    SchemeSpec staticFreq;
+    staticFreq.name = "StaticFreq";
+    staticFreq.bgFreqGrade = 0;
+    specs.push_back(staticFreq);
+
+    SchemeSpec staticBoth;
+    staticBoth.name = "StaticBoth";
+    staticBoth.bgFreqGrade = 0;
+    staticBoth.staticPartition = true;
+    specs.push_back(staticBoth);
+
+    SchemeSpec dirigentFreq;
+    dirigentFreq.name = "DirigentFreq";
+    dirigentFreq.fine = true;
+    specs.push_back(dirigentFreq);
+
+    SchemeSpec dirigent;
+    dirigent.name = "Dirigent";
+    dirigent.fine = true;
+    dirigent.coarse = true;
+    specs.push_back(dirigent);
+
+    // Ablations: previously only reachable through RunOptions bools.
+    SchemeSpec observer;
+    observer.name = "Observer";
+    observer.observer = true;
+    specs.push_back(observer);
+
+    SchemeSpec reactive;
+    reactive.name = "Reactive";
+    reactive.reactive = true;
+    specs.push_back(reactive);
+
+    SchemeSpec coarseOnly;
+    coarseOnly.name = "CoarseOnly";
+    coarseOnly.coarse = true;
+    specs.push_back(coarseOnly);
+
+    return specs;
+}
+
+} // namespace
+
+const std::vector<SchemeSpec> &
+builtinSchemeSpecs()
+{
+    static const std::vector<SchemeSpec> specs = makeBuiltins();
+    return specs;
+}
+
+const SchemeSpec *
+findSchemeSpec(const std::string &name)
+{
+    for (const SchemeSpec &spec : builtinSchemeSpecs())
+        if (sameNameCaseless(spec.name, name))
+            return &spec;
+    return nullptr;
+}
+
+SchemeSpec
+schemeSpec(Scheme s)
+{
+    const SchemeSpec *spec = findSchemeSpec(schemeName(s));
+    DIRIGENT_ASSERT(spec != nullptr, "no builtin spec for scheme %s",
+                    schemeName(s));
+    return *spec;
+}
+
+std::optional<std::string>
+validateSchemeSpec(const SchemeSpec &spec)
+{
+    if (spec.name.empty())
+        return "scheme spec: name must be non-empty";
+    for (char c : spec.name) {
+        if (!std::isalnum((unsigned char)c) && c != '_' && c != '-')
+            return strfmt("scheme spec: name '%s' may only contain "
+                          "letters, digits, '_' and '-'",
+                          spec.name.c_str());
+    }
+    if (spec.bgFreqGrade < -1 || spec.bgFreqGrade > 63)
+        return strfmt("scheme spec: static.bg_freq_grade %d out of range "
+                      "[-1, 63]",
+                      spec.bgFreqGrade);
+    if (spec.staticFgWays > 0 && !spec.staticPartition)
+        return "scheme spec: static.fg_ways requires "
+               "static.partition = true";
+    if (spec.staticFgWays >= 256)
+        return strfmt("scheme spec: static.fg_ways %u out of range "
+                      "[0, 255]",
+                      spec.staticFgWays);
+    if (spec.reactive && (spec.fine || spec.coarse))
+        return strfmt("scheme spec: control.reactive conflicts with "
+                      "control.%s (the reactive ablation replaces the "
+                      "Dirigent runtime)",
+                      spec.fine ? "fine" : "coarse");
+    if (!std::isfinite(spec.bgBandwidthCap) || spec.bgBandwidthCap < 0.0)
+        return strfmt("scheme spec: bandwidth.bg_cap must be a finite "
+                      "non-negative rate, got %.9g",
+                      spec.bgBandwidthCap);
+    return std::nullopt;
+}
+
+SchemeSpec
+parseSchemeSpec(const Config &config)
+{
+    // Reject keys outside the known sections early: a typoed key would
+    // otherwise silently fall back to its default.
+    static const char *sections[] = {"scheme.", "static.", "control.",
+                                     "bandwidth."};
+    for (const std::string &key : config.keys()) {
+        bool known = false;
+        for (const char *s : sections)
+            known = known || key.rfind(s, 0) == 0;
+        if (!known)
+            fatal(strfmt("scheme spec: unknown key '%s' (sections: "
+                         "scheme, static, control, bandwidth)",
+                         key.c_str()));
+    }
+
+    SchemeSpec spec;
+    spec.name = config.getString("scheme.name", "");
+    int64_t grade = config.getInt("static.bg_freq_grade", -1);
+    if (grade < -1 || grade > 63)
+        fatal(strfmt("scheme spec: static.bg_freq_grade %lld out of "
+                     "range [-1, 63]",
+                     (long long)grade));
+    spec.bgFreqGrade = int(grade);
+    spec.staticPartition = config.getBool("static.partition", false);
+    uint64_t ways = config.getUint("static.fg_ways", 0);
+    if (ways >= 256)
+        fatal(strfmt("scheme spec: static.fg_ways %llu out of range "
+                     "[0, 255]",
+                     (unsigned long long)ways));
+    spec.staticFgWays = unsigned(ways);
+    spec.fine = config.getBool("control.fine", false);
+    spec.coarse = config.getBool("control.coarse", false);
+    spec.observer = config.getBool("control.observer", false);
+    spec.reactive = config.getBool("control.reactive", false);
+    spec.bgBandwidthCap = config.getDouble("bandwidth.bg_cap", 0.0);
+
+    if (auto error = validateSchemeSpec(spec))
+        fatal(*error);
+    return spec;
+}
+
+SchemeSpec
+parseSchemeSpec(const std::string &text)
+{
+    return parseSchemeSpec(Config::parse(text));
+}
+
+SchemeSpec
+loadSchemeSpec(const std::string &path)
+{
+    return parseSchemeSpec(Config::load(path));
+}
+
+std::string
+formatSchemeSpec(const SchemeSpec &spec)
+{
+    auto onOff = [](bool b) { return b ? "true" : "false"; };
+    std::string out;
+    out += "[scheme]\n";
+    out += strfmt("name = %s\n", spec.name.c_str());
+    out += "\n[static]\n";
+    out += strfmt("bg_freq_grade = %d\n", spec.bgFreqGrade);
+    out += strfmt("partition = %s\n", onOff(spec.staticPartition));
+    out += strfmt("fg_ways = %u\n", spec.staticFgWays);
+    out += "\n[control]\n";
+    out += strfmt("fine = %s\n", onOff(spec.fine));
+    out += strfmt("coarse = %s\n", onOff(spec.coarse));
+    out += strfmt("observer = %s\n", onOff(spec.observer));
+    out += strfmt("reactive = %s\n", onOff(spec.reactive));
+    out += "\n[bandwidth]\n";
+    out += strfmt("bg_cap = %.9g\n", spec.bgBandwidthCap);
+    return out;
+}
+
+uint64_t
+schemeSpecHash(const SchemeSpec &spec)
+{
+    return fnv1a64(formatSchemeSpec(spec));
+}
+
+std::string
+schemeKnobSummary(const SchemeSpec &spec)
+{
+    std::vector<std::string> parts;
+    if (spec.bgFreqGrade >= 0)
+        parts.push_back(strfmt("bg@grade%d", spec.bgFreqGrade));
+    if (spec.staticPartition) {
+        parts.push_back(spec.staticFgWays > 0
+                            ? strfmt("static fg=%u ways", spec.staticFgWays)
+                            : std::string("static fg=default ways"));
+    }
+    if (spec.fine)
+        parts.push_back("fine");
+    if (spec.coarse)
+        parts.push_back("coarse");
+    if (spec.observer)
+        parts.push_back("observer");
+    if (spec.reactive)
+        parts.push_back("reactive");
+    if (spec.bgBandwidthCap > 0.0)
+        parts.push_back(
+            strfmt("bg cap %.3g GB/s", spec.bgBandwidthCap / 1e9));
+    if (parts.empty())
+        return "free contention";
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += " + ";
+        out += parts[i];
+    }
+    return out;
+}
+
+std::optional<std::string>
+envSchemeFilePath()
+{
+    const char *env = std::getenv("DIRIGENT_SCHEME_FILE");
+    if (env == nullptr || env[0] == '\0')
+        return std::nullopt;
+    return std::string(env);
+}
+
+} // namespace dirigent::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Declarative scheme specifications: a SchemeSpec describes one
+ * resource-management configuration as data — which static knob
+ * settings to apply before the run (BG frequency grade, FG cache
+ * partition, BG bandwidth cap) and which controllers to attach (fine,
+ * coarse, observer, reactive) — so the experiment harness assembles any
+ * run from a spec instead of switching on the Scheme enum.
+ *
+ * The paper's five configurations (§5.4) and the existing ablations are
+ * builtin registry entries; custom specs load from INI text (the same
+ * Config format as fault plans) via `--scheme-file spec.scheme` or the
+ * DIRIGENT_SCHEME_FILE environment variable, validated with fatal() on
+ * user errors, and round-trippable through formatSchemeSpec() so a run
+ * manifest can reproduce its exact configuration from the recorded
+ * text + FNV hash.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_SCHEME_SPEC_H
+#define DIRIGENT_DIRIGENT_SCHEME_SPEC_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "dirigent/scheme.h"
+
+namespace dirigent::core {
+
+/**
+ * One resource-management configuration as data.
+ */
+struct SchemeSpec
+{
+    /** Display name ([A-Za-z0-9_-], e.g. "Dirigent" or "my-ablation"). */
+    std::string name;
+
+    /**
+     * Pin every BG core to this DVFS grade before the run (0 = minimum
+     * frequency, the paper's StaticFreq setting); -1 leaves BG cores at
+     * the maximum.
+     */
+    int bgFreqGrade = -1;
+
+    /** Apply a static FG cache partition before the run. */
+    bool staticPartition = false;
+
+    /**
+     * FG ways of the static partition; 0 defers to the harness default
+     * (or, in a full sweep, to the partition Dirigent converged to).
+     * Meaningful only with staticPartition.
+     */
+    unsigned staticFgWays = 0;
+
+    /** Attach the fine-grain (predictive DVFS/pause) controller. */
+    bool fine = false;
+
+    /** Attach the coarse-grain (cache partition) controller. */
+    bool coarse = false;
+
+    /**
+     * Attach the runtime as a passive observer: sampling and predicting
+     * but with every controller disabled (predictor-accuracy ablation).
+     */
+    bool observer = false;
+
+    /**
+     * Attach the boundary-reactive controller — the no-predictor
+     * ablation. Mutually exclusive with fine/coarse (it replaces the
+     * Dirigent runtime).
+     */
+    bool reactive = false;
+
+    /** Static per-BG-core bandwidth cap in bytes/second; 0 = uncapped. */
+    double bgBandwidthCap = 0.0;
+
+    /** True when the spec attaches the Dirigent runtime (sampling). */
+    bool attachesRuntime() const { return fine || coarse || observer; }
+
+    bool operator==(const SchemeSpec &) const = default;
+};
+
+/**
+ * The builtin registry: the paper's five schemes in presentation order
+ * (matching allSchemes()), followed by the ablation configurations
+ * (Observer, Reactive, CoarseOnly).
+ */
+const std::vector<SchemeSpec> &builtinSchemeSpecs();
+
+/**
+ * Builtin spec by name (case-insensitive), or nullptr when unknown.
+ */
+const SchemeSpec *findSchemeSpec(const std::string &name);
+
+/** The builtin spec equivalent to enum scheme @p s. */
+SchemeSpec schemeSpec(Scheme s);
+
+/**
+ * Structural validation: nullopt when @p spec is well-formed, otherwise
+ * a message naming the offending (and, for conflicts, both conflicting)
+ * fields.
+ */
+std::optional<std::string> validateSchemeSpec(const SchemeSpec &spec);
+
+/**
+ * Parse a spec from a Config / INI text / file. fatal() on unknown
+ * keys, out-of-range values, or conflicting controller attachments
+ * (specs are user input).
+ */
+SchemeSpec parseSchemeSpec(const Config &config);
+SchemeSpec parseSchemeSpec(const std::string &text);
+SchemeSpec loadSchemeSpec(const std::string &path);
+
+/** Serialize a spec to DSL text; parseSchemeSpec() round-trips it. */
+std::string formatSchemeSpec(const SchemeSpec &spec);
+
+/** FNV-1a fingerprint of the spec's canonical (formatted) text. */
+uint64_t schemeSpecHash(const SchemeSpec &spec);
+
+/**
+ * One-line human-readable knob summary, e.g. "fine+coarse" or
+ * "bg@grade0 + static partition" (for --list-schemes).
+ */
+std::string schemeKnobSummary(const SchemeSpec &spec);
+
+/**
+ * Path from the DIRIGENT_SCHEME_FILE environment variable, or nullopt
+ * when unset/empty. The CLI flag `--scheme-file` overrides it.
+ */
+std::optional<std::string> envSchemeFilePath();
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_SCHEME_SPEC_H

@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "common/log.h"
 #include "dirigent/scheme.h"
+#include "dirigent/scheme_spec.h"
 #include "exec/thread_pool.h"
 #include "obs/manifest.h"
 
@@ -157,8 +158,11 @@ SweepExecutor::runSchemeSweep(
         prog.jobStarted(label);
         auto t0 = Clock::now();
         harness::ExperimentRunner runner(config_, sharedProfiles_);
-        auto result =
-            runner.run(mixes[i], scheme, states[i].deadlines, opts);
+        // Shards run through the registry spec rather than the enum
+        // shim; both funnel into the same assembled run, and the
+        // thread-count golden test cross-checks the two paths.
+        auto result = runner.run(mixes[i], core::schemeSpec(scheme),
+                                 states[i].deadlines, opts);
         double wall = secondsSince(t0);
         if (jsonl_)
             jsonl_->write(result, key.stage, runner.mixSeed(mixes[i]),
@@ -180,8 +184,8 @@ SweepExecutor::runSchemeSweep(
             prog.jobStarted(label);
             auto t0 = Clock::now();
             harness::ExperimentRunner runner(config_, sharedProfiles_);
-            auto baseline =
-                runner.run(mixes[i], core::Scheme::Baseline, {});
+            auto baseline = runner.run(
+                mixes[i], core::schemeSpec(core::Scheme::Baseline), {});
             states[i].deadlines =
                 runner.deadlinesFromBaseline(baseline);
             harness::applyDeadlines(baseline, states[i].deadlines);
@@ -198,10 +202,8 @@ SweepExecutor::runSchemeSweep(
                 runScheme(i, core::Scheme::Dirigent, kDirigent,
                           harness::RunOptions{}, [&, i] {
                     const auto &dirigent = states[i].results[kDirigent];
-                    states[i].staticFgWays =
-                        dirigent.finalFgWays
-                            ? dirigent.finalFgWays
-                            : config_.staticFgWaysDefault;
+                    // 0 resolves to the harness default inside run().
+                    states[i].staticFgWays = dirigent.finalFgWays;
 
                     // Stage 3: the remaining schemes are independent.
                     pool.submit([&, i] {

@@ -67,14 +67,19 @@ JsonlWriter::write(const harness::SchemeRunResult &result,
                    const std::string &stage, uint64_t seed,
                    double wallSeconds)
 {
+    // "scheme" is the assembled spec's name (enum name for builtin
+    // runs); "spec_hash" is its canonical-text FNV-1a fingerprint as a
+    // decimal string, matching the run manifest's scheme_spec_hash.
     std::string line = strfmt(
         "{\"mix\":\"%s\",\"stage\":\"%s\",\"scheme\":\"%s\","
+        "\"spec_hash\":\"%llu\","
         "\"seed\":%llu,\"fg_success\":%s,\"on_time\":%llu,"
         "\"total\":%llu,\"fg_mean_s\":%s,\"fg_std_s\":%s,"
         "\"fg_mpki\":%s,\"bg_throughput\":%s,\"span_s\":%s,"
         "\"final_fg_ways\":%u,\"wall_s\":%s}\n",
         jsonEscape(result.mixName).c_str(), jsonEscape(stage).c_str(),
-        core::schemeName(result.scheme),
+        jsonEscape(result.label()).c_str(),
+        static_cast<unsigned long long>(result.specHash),
         static_cast<unsigned long long>(seed),
         jsonNumber(result.fgSuccessRatio()).c_str(),
         static_cast<unsigned long long>(result.onTime),

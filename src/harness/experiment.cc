@@ -12,6 +12,7 @@
 #include "dirigent/profile_fault.h"
 #include "dirigent/reactive.h"
 #include "dirigent/trace.h"
+#include "machine/actuators.h"
 #include "machine/cat.h"
 #include "machine/cpufreq.h"
 #include "obs/recorder.h"
@@ -65,11 +66,79 @@ ExperimentRunner::mixSeed(const workload::WorkloadMix &mix) const
     return config_.seed ^ fnv1a64(mix.name);
 }
 
+core::SchemeSpec
+ExperimentRunner::assemble(core::SchemeSpec spec,
+                           const RunOptions &opts) const
+{
+    if (opts.attachObserver)
+        spec.observer = true;
+    if (opts.attachCoarseOnly)
+        spec.coarse = true;
+    if (opts.attachReactive)
+        spec.reactive = true;
+    if (opts.bgBandwidthCap > 0.0)
+        spec.bgBandwidthCap = opts.bgBandwidthCap;
+    // The partition-size override is meaningful only for partitioned
+    // specs (matching the legacy behaviour of ignoring staticFgWays
+    // everywhere but StaticBoth).
+    if (spec.staticPartition && opts.staticFgWays > 0)
+        spec.staticFgWays = opts.staticFgWays;
+    return spec;
+}
+
 SchemeRunResult
 ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
                       const std::map<std::string, Time> &deadlines,
                       const RunOptions &opts)
 {
+    // Name the conflicting RunOptions before folding them into a spec,
+    // so the error speaks the caller's vocabulary.
+    if (opts.attachReactive && core::schemeUsesRuntime(scheme)) {
+        fatal(strfmt("RunOptions.attachReactive conflicts with scheme %s: "
+                     "the reactive ablation replaces the Dirigent runtime",
+                     core::schemeName(scheme)));
+    }
+    if (opts.attachReactive && opts.attachCoarseOnly) {
+        fatal("RunOptions.attachReactive conflicts with "
+              "RunOptions.attachCoarseOnly: the reactive ablation "
+              "replaces the Dirigent runtime");
+    }
+    core::SchemeSpec assembled = assemble(core::schemeSpec(scheme), opts);
+    if (auto error = core::validateSchemeSpec(assembled))
+        fatal(*error);
+    return runAssembled(mix, assembled, scheme, deadlines, opts);
+}
+
+SchemeRunResult
+ExperimentRunner::run(const workload::WorkloadMix &mix,
+                      const core::SchemeSpec &spec,
+                      const std::map<std::string, Time> &deadlines,
+                      const RunOptions &opts)
+{
+    core::SchemeSpec assembled = assemble(spec, opts);
+    if (auto error = core::validateSchemeSpec(assembled))
+        fatal(*error);
+    // Group the result under the builtin enum of the same name when one
+    // exists (sweep summaries key on the enum); Baseline otherwise.
+    core::Scheme enumScheme =
+        core::schemeFromName(assembled.name).value_or(core::Scheme::Baseline);
+    return runAssembled(mix, assembled, enumScheme, deadlines, opts);
+}
+
+SchemeRunResult
+ExperimentRunner::runAssembled(const workload::WorkloadMix &mix,
+                               const core::SchemeSpec &assembled,
+                               core::Scheme enumScheme,
+                               const std::map<std::string, Time> &deadlines,
+                               const RunOptions &opts)
+{
+    // Resolve the one deferred knob: a partitioned spec without an
+    // explicit size uses the harness default. This is the single
+    // fallback point (callers no longer duplicate it).
+    core::SchemeSpec spec = assembled;
+    if (spec.staticPartition && spec.staticFgWays == 0)
+        spec.staticFgWays = config_.staticFgWaysDefault;
+
     const auto &lib = workload::BenchmarkLibrary::instance();
     const unsigned executions =
         opts.executions ? opts.executions : config_.executions;
@@ -81,6 +150,7 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
     sim::Engine engine(machine, mcfg.maxQuantum);
     machine::CpuFreqGovernor governor(machine, engine);
     machine::CatController cat(machine);
+    machine::MachineActuators actuators(machine, governor, cat);
 
     std::optional<check::InvariantChecker> checker;
     if (check::enabled()) {
@@ -101,8 +171,7 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
         faults = ownFaults.get();
     }
     if (faults != nullptr) {
-        governor.setFaultInjector(faults);
-        cat.setFaultInjector(faults);
+        actuators.setFaultInjector(faults);
         if (checker)
             checker->attachFaultInjector(faults);
     }
@@ -165,35 +234,33 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
             });
     }
 
-    // Scheme setup.
-    if (opts.bgBandwidthCap > 0.0) {
+    // Static knobs, straight from the spec: bandwidth cap, BG frequency
+    // pin, FG cache partition.
+    if (spec.bgBandwidthCap > 0.0) {
         for (machine::Pid pid : bgPids) {
-            machine.bwGuard().setBudget(
-                machine.os().process(pid).core, opts.bgBandwidthCap);
+            actuators.bandwidth().setBudget(
+                machine.os().process(pid).core, spec.bgBandwidthCap);
         }
     }
-    if (core::schemeUsesStaticBgFreq(scheme)) {
+    if (spec.bgFreqGrade >= 0) {
         for (machine::Pid pid : bgPids)
-            governor.setGrade(machine.os().process(pid).core, 0);
+            actuators.frequency().setGrade(machine.os().process(pid).core,
+                                           unsigned(spec.bgFreqGrade));
     }
-    if (core::schemeUsesStaticPartition(scheme)) {
-        cat.setFgWays(opts.staticFgWays ? opts.staticFgWays
-                                        : config_.staticFgWaysDefault);
-    }
+    if (spec.staticPartition)
+        actuators.partition().setFgWays(spec.staticFgWays);
 
     std::unique_ptr<core::DirigentRuntime> runtime;
     std::vector<core::Profile> corruptedProfiles;
-    if (core::schemeUsesRuntime(scheme) || opts.attachObserver ||
-        opts.attachCoarseOnly) {
+    if (spec.attachesRuntime()) {
         core::RuntimeConfig rcfg = config_.runtime;
-        rcfg.enableFine = core::schemeUsesRuntime(scheme);
-        rcfg.enableCoarse = core::schemeUsesCoarse(scheme) ||
-                            opts.attachCoarseOnly;
+        rcfg.enableFine = spec.fine;
+        rcfg.enableCoarse = spec.coarse;
         rcfg.runtimeCore = nFg; // shared with the first BG task
         rcfg.seed = mcfg.seed ^ 0xD1D1;
         rcfg.faults = faults;
         runtime = std::make_unique<core::DirigentRuntime>(
-            machine, engine, governor, cat, rcfg);
+            machine, engine, actuators.set(), rcfg);
         corruptedProfiles.reserve(nFg); // stable addresses
         for (unsigned i = 0; i < nFg; ++i) {
             const std::string &bench = mix.fg[i];
@@ -277,7 +344,11 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
 
         obs::RunManifest &manifest = opts.recorder->manifest();
         manifest.mixName = mix.name;
-        manifest.scheme = core::schemeName(scheme);
+        manifest.scheme = assembled.name;
+        // The *assembled* (pre-resolution) spec is recorded, so a run
+        // driven by a scheme file carries that file's exact hash.
+        manifest.schemeSpecText = core::formatSchemeSpec(assembled);
+        manifest.schemeSpecHash = core::schemeSpecHash(assembled);
         manifest.seed = mcfg.seed;
         manifest.warmup = warmup;
         manifest.executions = executions;
@@ -292,12 +363,11 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
     }
 
     std::unique_ptr<core::ReactiveController> reactive;
-    if (opts.attachReactive) {
-        DIRIGENT_ASSERT(!core::schemeUsesRuntime(scheme),
-                        "reactive controller conflicts with the "
-                        "Dirigent runtime");
+    if (spec.reactive) {
+        // fine/coarse conflicts were rejected by validateSchemeSpec()
+        // before assembly reached this point.
         reactive = std::make_unique<core::ReactiveController>(
-            machine, governor);
+            machine, actuators.frequency(), actuators.pause());
         for (unsigned i = 0; i < nFg; ++i) {
             auto it = deadlines.find(mix.fg[i]);
             DIRIGENT_ASSERT(it != deadlines.end(),
@@ -310,7 +380,9 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
     // Metric collection.
     SchemeRunResult result;
     result.mixName = mix.name;
-    result.scheme = scheme;
+    result.scheme = enumScheme;
+    result.schemeLabel = assembled.name;
+    result.specHash = core::schemeSpecHash(assembled);
     result.deadlines = deadlines;
     result.fgBenchmarks = mix.fg;
     result.perFgDurations.resize(nFg);
@@ -388,7 +460,7 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
     machine.removeCompletionListener(metricsListener);
     if (!done)
         fatal(strfmt("run '%s'/%s did not finish within %gs simulated",
-                     mix.name.c_str(), core::schemeName(scheme),
+                     mix.name.c_str(), assembled.name.c_str(),
                      config_.bailout.sec()));
 
     if (probe) {
@@ -414,7 +486,7 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
         if (auto *coarse = runtime->coarseController()) {
             result.partitionDecisions = coarse->decisions();
             result.finalFgWays = coarse->fgWays();
-        } else if (core::schemeUsesStaticPartition(scheme)) {
+        } else if (spec.staticPartition) {
             result.finalFgWays = cat.fgWays();
         }
         for (machine::Pid pid : fgPids) {
@@ -423,7 +495,7 @@ ExperimentRunner::run(const workload::WorkloadMix &mix, core::Scheme scheme,
                     s.executionIndex < warmup + executions)
                     result.midpointSamples.push_back(s);
         }
-    } else if (core::schemeUsesStaticPartition(scheme)) {
+    } else if (spec.staticPartition) {
         result.finalFgWays = cat.fgWays();
     }
 
@@ -537,9 +609,9 @@ ExperimentRunner::runAllSchemes(const workload::WorkloadMix &mix)
     SchemeRunResult dirigent =
         run(mix, core::Scheme::Dirigent, deadlines);
     RunOptions staticOpts;
-    staticOpts.staticFgWays =
-        dirigent.finalFgWays ? dirigent.finalFgWays
-                             : config_.staticFgWaysDefault;
+    // 0 (Dirigent somehow converged to no partition) resolves to the
+    // harness default inside the run — the single fallback point.
+    staticOpts.staticFgWays = dirigent.finalFgWays;
 
     SchemeRunResult staticFreq =
         run(mix, core::Scheme::StaticFreq, deadlines);

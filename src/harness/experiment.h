@@ -18,6 +18,7 @@
 #include "dirigent/profiler.h"
 #include "dirigent/runtime.h"
 #include "dirigent/scheme.h"
+#include "dirigent/scheme_spec.h"
 #include "fault/injector.h"
 #include "harness/metrics.h"
 #include "machine/machine.h"
@@ -194,9 +195,21 @@ class ExperimentRunner
     /**
      * Run @p mix under @p scheme with the given per-benchmark deadlines
      * for @p config.executions measured FG executions per FG process.
+     * A thin shim over the spec overload: the scheme's builtin spec is
+     * assembled with the RunOptions ablations folded in.
      */
     SchemeRunResult run(const workload::WorkloadMix &mix,
                         core::Scheme scheme,
+                        const std::map<std::string, Time> &deadlines,
+                        const RunOptions &opts = RunOptions{});
+
+    /**
+     * Run @p mix under an arbitrary scheme specification (builtin or
+     * parsed from a scheme file). The spec is validated after the
+     * RunOptions ablations are folded in; fatal() on conflicts.
+     */
+    SchemeRunResult run(const workload::WorkloadMix &mix,
+                        const core::SchemeSpec &spec,
                         const std::map<std::string, Time> &deadlines,
                         const RunOptions &opts = RunOptions{});
 
@@ -227,6 +240,17 @@ class ExperimentRunner
     uint64_t mixSeed(const workload::WorkloadMix &mix) const;
 
   private:
+    /** Fold the RunOptions ablation knobs into @p spec. */
+    core::SchemeSpec assemble(core::SchemeSpec spec,
+                              const RunOptions &opts) const;
+
+    /** The single run path every overload funnels into. */
+    SchemeRunResult runAssembled(const workload::WorkloadMix &mix,
+                                 const core::SchemeSpec &assembled,
+                                 core::Scheme enumScheme,
+                                 const std::map<std::string, Time> &deadlines,
+                                 const RunOptions &opts);
+
     HarnessConfig config_;
     std::unique_ptr<ProfileCache> ownProfiles_; //!< null when shared
     ProfileSource *profiles_;

@@ -29,7 +29,26 @@ namespace dirigent::harness {
 struct SchemeRunResult
 {
     std::string mixName;
+
+    /**
+     * Nearest enum scheme, kept for summary grouping. Custom specs map
+     * to the builtin whose name they share, else Baseline; schemeLabel
+     * carries the authoritative name.
+     */
     core::Scheme scheme = core::Scheme::Baseline;
+
+    /** Name of the scheme spec the run was assembled from. */
+    std::string schemeLabel;
+
+    /** FNV-1a fingerprint of the assembled spec's canonical text. */
+    uint64_t specHash = 0;
+
+    /** schemeLabel, falling back to the enum name when unset. */
+    const char *label() const
+    {
+        return schemeLabel.empty() ? core::schemeName(scheme)
+                                   : schemeLabel.c_str();
+    }
 
     /** Deadline (duration) applied to each FG benchmark. */
     std::map<std::string, Time> deadlines;

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Narrow actuation interfaces between Dirigent's controllers and the
+ * machine's QoS knobs. Each interface exposes exactly one mechanism —
+ * per-core DVFS grades, the FG/BG cache-way partition, task
+ * pause/resume, and per-core memory-bandwidth budgets — so a controller
+ * states *what* it actuates without naming the concrete device behind
+ * it (machine/actuators.h holds the adapters over CpuFreqGovernor,
+ * CatController, Os, and mem::BwGuard). CORD-style pluggable knobs:
+ * new mechanisms slot in behind these interfaces, and scheme assembly
+ * (dirigent/scheme_spec.h) composes them declaratively.
+ */
+
+#ifndef DIRIGENT_MACHINE_ACTUATOR_H
+#define DIRIGENT_MACHINE_ACTUATOR_H
+
+#include <vector>
+
+#include "common/units.h"
+#include "machine/os.h"
+
+namespace dirigent::machine {
+
+/**
+ * Per-core DVFS actuation: discrete frequency grades, grade 0 the
+ * minimum. Writes follow the underlying governor's semantics (applied
+ * after a transition latency; retried on transient failure).
+ */
+class FrequencyActuator
+{
+  public:
+    virtual ~FrequencyActuator() = default;
+
+    /** Number of available grades. */
+    virtual unsigned numGrades() const = 0;
+
+    /** Highest grade index. */
+    virtual unsigned maxGrade() const { return numGrades() - 1; }
+
+    /** Frequency of grade @p grade. */
+    virtual Freq gradeFreq(unsigned grade) const = 0;
+
+    /** Request that @p core run at @p grade. */
+    virtual void setGrade(unsigned core, unsigned grade) = 0;
+
+    /** Last requested grade of @p core. */
+    virtual unsigned grade(unsigned core) const = 0;
+
+    /**
+     * Indices of @p count equally spaced grades, always including the
+     * minimum and maximum.
+     */
+    virtual std::vector<unsigned> equispacedGrades(unsigned count)
+        const = 0;
+};
+
+/**
+ * LLC way-partition actuation between the FG and BG process groups.
+ */
+class PartitionActuator
+{
+  public:
+    virtual ~PartitionActuator() = default;
+
+    /** Total ways in the LLC. */
+    virtual unsigned numWays() const = 0;
+
+    /**
+     * Dedicate @p ways ways to foreground processes.
+     * @return false when the reconfiguration failed (e.g. an injected
+     *         MSR write failure); the previous partition stays.
+     */
+    virtual bool setFgWays(unsigned ways) = 0;
+
+    /** Share the whole cache (see setFgWays for the return value). */
+    virtual bool setShared() = 0;
+
+    /** Current FG partition size; 0 when fully shared. */
+    virtual unsigned fgWays() const = 0;
+};
+
+/**
+ * Task pause/resume actuation (SIGSTOP/SIGCONT semantics).
+ */
+class PauseActuator
+{
+  public:
+    virtual ~PauseActuator() = default;
+
+    virtual void pause(Pid pid) = 0;
+    virtual void resume(Pid pid) = 0;
+};
+
+/**
+ * Per-core memory-bandwidth budget actuation (MemGuard-style).
+ */
+class BandwidthActuator
+{
+  public:
+    virtual ~BandwidthActuator() = default;
+
+    /** Budget @p core at @p bytesPerSec of miss traffic; 0 disables. */
+    virtual void setBudget(unsigned core, double bytesPerSec) = 0;
+
+    /** Budget of @p core (bytes/second; 0 = unregulated). */
+    virtual double budget(unsigned core) const = 0;
+};
+
+/**
+ * The bundle of actuators a run wires its controllers with. Pointers
+ * are non-owning; a null entry means the mechanism is unavailable
+ * (consumers assert on the ones they require).
+ */
+struct ActuatorSet
+{
+    FrequencyActuator *frequency = nullptr;
+    PartitionActuator *partition = nullptr;
+    PauseActuator *pause = nullptr;
+    BandwidthActuator *bandwidth = nullptr;
+};
+
+} // namespace dirigent::machine
+
+#endif // DIRIGENT_MACHINE_ACTUATOR_H

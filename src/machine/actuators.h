@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Concrete adapters binding the actuator interfaces (machine/actuator.h)
+ * to the simulated machine's devices: CpuFreqGovernor behind
+ * FrequencyActuator, CatController behind PartitionActuator, the OS
+ * process table behind PauseActuator, and mem::BwGuard behind
+ * BandwidthActuator. MachineActuators bundles all four for one machine
+ * and centralises fault-injection wiring, so a run attaches an injector
+ * in one place instead of poking each device.
+ */
+
+#ifndef DIRIGENT_MACHINE_ACTUATORS_H
+#define DIRIGENT_MACHINE_ACTUATORS_H
+
+#include "machine/actuator.h"
+#include "machine/cat.h"
+#include "machine/cpufreq.h"
+#include "machine/machine.h"
+#include "mem/bwguard.h"
+
+namespace dirigent::machine {
+
+/** CpuFreqGovernor as a FrequencyActuator. */
+class GovernorFrequencyActuator final : public FrequencyActuator
+{
+  public:
+    explicit GovernorFrequencyActuator(CpuFreqGovernor &governor)
+        : governor_(governor)
+    {
+    }
+
+    unsigned numGrades() const override { return governor_.numGrades(); }
+    unsigned maxGrade() const override { return governor_.maxGrade(); }
+    Freq gradeFreq(unsigned grade) const override
+    {
+        return governor_.gradeFreq(grade);
+    }
+    void setGrade(unsigned core, unsigned grade) override
+    {
+        governor_.setGrade(core, grade);
+    }
+    unsigned grade(unsigned core) const override
+    {
+        return governor_.grade(core);
+    }
+    std::vector<unsigned> equispacedGrades(unsigned count) const override
+    {
+        return governor_.equispacedGrades(count);
+    }
+
+    CpuFreqGovernor &governor() { return governor_; }
+
+  private:
+    CpuFreqGovernor &governor_;
+};
+
+/** CatController as a PartitionActuator. */
+class CatPartitionActuator final : public PartitionActuator
+{
+  public:
+    explicit CatPartitionActuator(CatController &cat) : cat_(cat) {}
+
+    unsigned numWays() const override { return cat_.numWays(); }
+    bool setFgWays(unsigned ways) override { return cat_.setFgWays(ways); }
+    bool setShared() override { return cat_.setShared(); }
+    unsigned fgWays() const override { return cat_.fgWays(); }
+
+    CatController &cat() { return cat_; }
+
+  private:
+    CatController &cat_;
+};
+
+/** The OS process table as a PauseActuator (SIGSTOP/SIGCONT). */
+class OsPauseActuator final : public PauseActuator
+{
+  public:
+    explicit OsPauseActuator(Os &os) : os_(os) {}
+
+    void pause(Pid pid) override { os_.pause(pid); }
+    void resume(Pid pid) override { os_.resume(pid); }
+
+  private:
+    Os &os_;
+};
+
+/** mem::BwGuard as a BandwidthActuator. */
+class BwGuardBandwidthActuator final : public BandwidthActuator
+{
+  public:
+    explicit BwGuardBandwidthActuator(mem::BwGuard &guard) : guard_(guard)
+    {
+    }
+
+    void setBudget(unsigned core, double bytesPerSec) override
+    {
+        guard_.setBudget(core, bytesPerSec);
+    }
+    double budget(unsigned core) const override
+    {
+        return guard_.budget(core);
+    }
+
+  private:
+    mem::BwGuard &guard_;
+};
+
+/**
+ * The full actuator bundle for one machine: owns the four adapters over
+ * a governor, a CAT controller, and the machine's OS and bandwidth
+ * guard. Fault injection attaches here — setFaultInjector() wires the
+ * governor and the CAT controller in one call — so experiment assembly
+ * never touches the concrete devices individually.
+ */
+class MachineActuators
+{
+  public:
+    MachineActuators(Machine &machine, CpuFreqGovernor &governor,
+                     CatController &cat)
+        : frequency_(governor), partition_(cat), pause_(machine.os()),
+          bandwidth_(machine.bwGuard())
+    {
+    }
+
+    /**
+     * Attach @p faults to every fault-capable actuator (nullptr
+     * detaches; behaviour is then bit-identical to never attaching).
+     */
+    void setFaultInjector(fault::FaultInjector *faults)
+    {
+        frequency_.governor().setFaultInjector(faults);
+        partition_.cat().setFaultInjector(faults);
+    }
+
+    FrequencyActuator &frequency() { return frequency_; }
+    PartitionActuator &partition() { return partition_; }
+    PauseActuator &pause() { return pause_; }
+    BandwidthActuator &bandwidth() { return bandwidth_; }
+
+    /** Non-owning view of all four actuators. */
+    ActuatorSet set()
+    {
+        return ActuatorSet{&frequency_, &partition_, &pause_, &bandwidth_};
+    }
+
+  private:
+    GovernorFrequencyActuator frequency_;
+    CatPartitionActuator partition_;
+    OsPauseActuator pause_;
+    BwGuardBandwidthActuator bandwidth_;
+};
+
+} // namespace dirigent::machine
+
+#endif // DIRIGENT_MACHINE_ACTUATORS_H

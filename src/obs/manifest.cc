@@ -29,6 +29,9 @@ RunManifest::toJson() const
     // as decimal strings so parse → serialize is lossless.
     out += ",\"seed\":" + jsonQuote(strfmt("%llu",
                                            (unsigned long long)seed));
+    out += ",\"scheme_spec_hash\":" +
+           jsonQuote(strfmt("%llu", (unsigned long long)schemeSpecHash));
+    out += ",\"scheme_spec\":" + jsonQuote(schemeSpecText);
     out += ",\"fault_plan_hash\":" +
            jsonQuote(strfmt("%llu", (unsigned long long)faultPlanHash));
     out += ",\"fault_plan\":" + jsonQuote(faultPlanText);
@@ -58,6 +61,9 @@ RunManifest::fromJson(const JsonValue &value)
     m.scheme = value.stringOr("scheme", "");
     m.seed = std::strtoull(value.stringOr("seed", "0").c_str(),
                            nullptr, 10);
+    m.schemeSpecHash = std::strtoull(
+        value.stringOr("scheme_spec_hash", "0").c_str(), nullptr, 10);
+    m.schemeSpecText = value.stringOr("scheme_spec", "");
     m.faultPlanHash = std::strtoull(
         value.stringOr("fault_plan_hash", "0").c_str(), nullptr, 10);
     m.faultPlanText = value.stringOr("fault_plan", "");

@@ -32,6 +32,13 @@ struct RunManifest
     std::string scheme;
     uint64_t seed = 0;
 
+    /** FNV-1a of the assembled scheme spec's canonical text; 0 = none
+     *  recorded (pre-spec producers, sweeps). */
+    uint64_t schemeSpecHash = 0;
+
+    /** Canonical scheme-spec INI text ("" = none recorded). */
+    std::string schemeSpecText;
+
     /** FNV-1a of the canonical fault-plan text; 0 = no faults. */
     uint64_t faultPlanHash = 0;
 

@@ -12,6 +12,7 @@
 
 #include "dirigent/coarse_controller.h"
 #include "fault/injector.h"
+#include "machine/actuators.h"
 #include "workload/benchmarks.h"
 
 namespace dirigent::core {
@@ -56,11 +57,12 @@ class CoarseCorrTest : public testing::Test
 
     machine::Machine machine_;
     machine::CatController cat_;
+    machine::CatPartitionActuator part_{cat_};
 };
 
 TEST_F(CoarseCorrTest, StrongCorrelationWithMissesGrows)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
                              1e6 * (1.0 + 0.1 * i), i == 0, 0.0);
@@ -70,7 +72,7 @@ TEST_F(CoarseCorrTest, StrongCorrelationWithMissesGrows)
 
 TEST_F(CoarseCorrTest, WeakCorrelationDoesNotGrow)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // Times up, misses zig-zagging: |corr| well below 0.75.
     for (int i = 0; i < 10; ++i) {
         double misses = 1e6 * (i % 2 == 0 ? 2.0 : 1.0);
@@ -85,7 +87,7 @@ TEST_F(CoarseCorrTest, ConstantTimesHaveZeroCorrelation)
 {
     // Zero variance on either axis: pearson() is defined as 0, so H1
     // must not fire no matter how the misses move.
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0), 1e6 * (1.0 + 0.1 * i), true,
                              0.0);
@@ -94,7 +96,7 @@ TEST_F(CoarseCorrTest, ConstantTimesHaveZeroCorrelation)
 
 TEST_F(CoarseCorrTest, CorrelationWithoutRecentMissIsNotEnough)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
                              1e6 * (1.0 + 0.1 * i), false, 0.0);
@@ -106,7 +108,7 @@ TEST_F(CoarseCorrTest, SingleRunHistoryHasNoCorrelation)
     // firstInvocation = 1: the heuristic runs with one data point,
     // where pearson() is 0 by definition — H1 must stay quiet even
     // though the one run missed its deadline.
-    CoarseGrainController ctrl(cat_, config(1));
+    CoarseGrainController ctrl(machine_, part_, config(1));
     ctrl.recordExecution(Time::sec(2.0), 5e6, true, 0.0);
     EXPECT_EQ(ctrl.invocations(), 1u);
     EXPECT_EQ(ctrl.fgWays(), 2u);
@@ -119,7 +121,7 @@ TEST_F(CoarseCorrTest, TwoRunHistoryCorrelatesSpuriously)
     // |corr| = 1, so an early invocation grows on what is pure noise.
     // This documents the cost of invoking before the window fills —
     // and why the defaults wait for firstInvocation = historyWindow.
-    CoarseGrainController ctrl(cat_, config(2));
+    CoarseGrainController ctrl(machine_, part_, config(2));
     ctrl.recordExecution(Time::sec(1.0), 1e6, true, 0.0);
     ctrl.recordExecution(Time::sec(1.1), 1.2e6, false, 0.0);
     EXPECT_EQ(ctrl.invocations(), 1u);
@@ -131,7 +133,7 @@ TEST_F(CoarseCorrTest, ShortHistoryAntiCorrelationStaysQuiet)
 {
     // The mirror-image short history: times up while misses fall gives
     // corr = -1, safely below the threshold.
-    CoarseGrainController ctrl(cat_, config(2));
+    CoarseGrainController ctrl(machine_, part_, config(2));
     ctrl.recordExecution(Time::sec(1.0), 1.2e6, true, 0.0);
     ctrl.recordExecution(Time::sec(1.1), 1e6, false, 0.0);
     EXPECT_EQ(ctrl.invocations(), 1u);
@@ -143,7 +145,7 @@ TEST_F(CoarseCorrTest, PartialWindowUsesOnlyRecordedRuns)
     // firstInvocation = 5 < historyWindow = 10: the invocation sees the
     // five recorded runs, not a zero-padded window. Five correlated
     // runs with a miss are enough evidence for H1.
-    CoarseGrainController ctrl(cat_, config(5));
+    CoarseGrainController ctrl(machine_, part_, config(5));
     for (int i = 0; i < 5; ++i)
         ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
                              1e6 * (1.0 + 0.1 * i), i == 0, 0.0);
@@ -154,7 +156,7 @@ TEST_F(CoarseCorrTest, PartialWindowUsesOnlyRecordedRuns)
 
 TEST_F(CoarseCorrTest, MissOutsideWindowIsForgotten)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // One early deadline miss, then 10+ correlated but successful runs:
     // by the second invocation the miss has left the 10-run window.
     ctrl.recordExecution(Time::sec(1.0), 1e6, true, 0.0);
@@ -174,7 +176,7 @@ TEST_F(CoarseCorrTest, FailedH1GrowIsRecordedAndRetried)
     plan.cat.failProb = 1.0;
     fault::FaultInjector faults(plan, 3);
 
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     cat_.setFaultInjector(&faults); // after the initial partition
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
@@ -194,7 +196,7 @@ TEST_F(CoarseCorrTest, FailedH1GrowIsRecordedAndRetried)
 
 TEST_F(CoarseCorrTest, FailedH2ShrinkKeepsRetractionPending)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // Trigger an H1 grow cleanly.
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
@@ -225,7 +227,7 @@ TEST_F(CoarseCorrTest, FailedH3GrowIsRecorded)
     plan.cat.failProb = 1.0;
     fault::FaultInjector faults(plan, 5);
 
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     cat_.setFaultInjector(&faults);
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0), 1e6, false, 0.9);

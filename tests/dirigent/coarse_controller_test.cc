@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "dirigent/coarse_controller.h"
+#include "machine/actuators.h"
 #include "workload/benchmarks.h"
 
 namespace dirigent::core {
@@ -51,11 +52,12 @@ class CoarseControllerTest : public testing::Test
 
     machine::Machine machine_;
     machine::CatController cat_;
+    machine::CatPartitionActuator part_{cat_};
 };
 
 TEST_F(CoarseControllerTest, AppliesInitialPartition)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     EXPECT_EQ(ctrl.fgWays(), 2u);
     EXPECT_TRUE(cat_.partitioned());
     ASSERT_EQ(ctrl.decisions().size(), 1u);
@@ -64,7 +66,7 @@ TEST_F(CoarseControllerTest, AppliesInitialPartition)
 
 TEST_F(CoarseControllerTest, InvocationCadence)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 9; ++i)
         ctrl.recordExecution(Time::sec(1.0), 1e6, false, 0.0);
     EXPECT_EQ(ctrl.invocations(), 0u);
@@ -83,7 +85,7 @@ TEST_F(CoarseControllerTest, InvocationCadence)
 
 TEST_F(CoarseControllerTest, H1GrowsOnCorrelatedMisses)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // Execution time strongly correlated with misses + deadline misses.
     for (int i = 0; i < 10; ++i) {
         double misses = 1e6 * (1.0 + 0.1 * i);
@@ -96,7 +98,7 @@ TEST_F(CoarseControllerTest, H1GrowsOnCorrelatedMisses)
 
 TEST_F(CoarseControllerTest, NoGrowWithoutDeadlineMisses)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 10; ++i) {
         double misses = 1e6 * (1.0 + 0.1 * i);
         double time = 1.0 + 0.05 * i;
@@ -107,7 +109,7 @@ TEST_F(CoarseControllerTest, NoGrowWithoutDeadlineMisses)
 
 TEST_F(CoarseControllerTest, NoGrowWithoutCorrelation)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // Times vary, misses anticorrelated: partition will not help.
     for (int i = 0; i < 10; ++i) {
         double misses = 1e6 * (2.0 - 0.1 * i);
@@ -119,7 +121,7 @@ TEST_F(CoarseControllerTest, NoGrowWithoutCorrelation)
 
 TEST_F(CoarseControllerTest, H2RetractsUselessGrow)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // Trigger an H1 grow.
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
@@ -134,7 +136,7 @@ TEST_F(CoarseControllerTest, H2RetractsUselessGrow)
 
 TEST_F(CoarseControllerTest, H2KeepsHelpfulGrow)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 10; ++i)
         ctrl.recordExecution(Time::sec(1.0 + 0.05 * i),
                              1e6 * (1.0 + 0.1 * i), true, 0.0);
@@ -147,7 +149,7 @@ TEST_F(CoarseControllerTest, H2KeepsHelpfulGrow)
 
 TEST_F(CoarseControllerTest, H3GrowsOnHeavyThrottling)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // No correlation, no deadline misses, but the fine controller
     // reports BG heavily throttled.
     for (int i = 0; i < 10; ++i)
@@ -158,7 +160,7 @@ TEST_F(CoarseControllerTest, H3GrowsOnHeavyThrottling)
 
 TEST_F(CoarseControllerTest, NoActionWhenAllQuiet)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 30; ++i)
         ctrl.recordExecution(Time::sec(1.0), 1e6, false, 0.1);
     EXPECT_EQ(ctrl.fgWays(), 2u);
@@ -171,7 +173,7 @@ TEST_F(CoarseControllerTest, RepeatedGrowthConvergesAndStops)
     // invocation, but H2 requires each grow to pay off; emulate misses
     // dropping with each grow so growth continues, then verify the
     // partition stays within bounds.
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     double missBase = 1e6;
     for (int round = 0; round < 20; ++round) {
         for (int i = 0; i < 6; ++i)
@@ -184,7 +186,7 @@ TEST_F(CoarseControllerTest, RepeatedGrowthConvergesAndStops)
 
 TEST_F(CoarseControllerTest, DecisionTraceRecordsEverything)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     for (int i = 0; i < 22; ++i)
         ctrl.recordExecution(Time::sec(1.0), 1e6, false, 0.0);
     // initial + invocations at 10, 16, 22.
@@ -195,7 +197,7 @@ TEST_F(CoarseControllerTest, DecisionTraceRecordsEverything)
 
 TEST_F(CoarseControllerTest, WindowForgetsOldBehaviour)
 {
-    CoarseGrainController ctrl(cat_, config());
+    CoarseGrainController ctrl(machine_, part_, config());
     // Old correlated-miss regime (may trigger one grow at the first
     // invocation, whose window still contains it)…
     for (int i = 0; i < 4; ++i)

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "dirigent/fine_controller.h"
+#include "machine/actuators.h"
 #include "workload/benchmarks.h"
 
 namespace dirigent::core {
@@ -40,7 +41,7 @@ class MultiFgDisagreementTest : public testing::Test
             bgPids_.push_back(machine_.spawnProcess(bg));
         }
         controller_ = std::make_unique<FineGrainController>(
-            machine_, governor_, FineControllerConfig{});
+            machine_, freq_, pause_, FineControllerConfig{});
     }
 
     static machine::MachineConfig
@@ -78,6 +79,8 @@ class MultiFgDisagreementTest : public testing::Test
     machine::Machine machine_;
     sim::Engine engine_;
     machine::CpuFreqGovernor governor_;
+    machine::GovernorFrequencyActuator freq_{governor_};
+    machine::OsPauseActuator pause_{machine_.os()};
     std::unique_ptr<FineGrainController> controller_;
     std::vector<machine::Pid> fgPids_;
     std::vector<machine::Pid> bgPids_;

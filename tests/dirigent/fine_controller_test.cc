@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "dirigent/fine_controller.h"
+#include "machine/actuators.h"
 #include "workload/benchmarks.h"
 
 namespace dirigent::core {
@@ -36,7 +37,7 @@ class FineControllerTest : public testing::Test
             bgPids_.push_back(machine_.spawnProcess(bg));
         }
         controller_ = std::make_unique<FineGrainController>(
-            machine_, governor_, FineControllerConfig{});
+            machine_, freq_, pause_, FineControllerConfig{});
     }
 
     static machine::MachineConfig
@@ -75,6 +76,8 @@ class FineControllerTest : public testing::Test
     machine::Machine machine_;
     sim::Engine engine_;
     machine::CpuFreqGovernor governor_;
+    machine::GovernorFrequencyActuator freq_{governor_};
+    machine::OsPauseActuator pause_{machine_.os()};
     std::unique_ptr<FineGrainController> controller_;
     machine::Pid fgPid_ = 0;
     std::vector<machine::Pid> bgPids_;
@@ -253,7 +256,7 @@ class MultiFgControllerTest : public testing::Test
             machine_.spawnProcess(bg);
         }
         controller_ = std::make_unique<FineGrainController>(
-            machine_, governor_, FineControllerConfig{});
+            machine_, freq_, pause_, FineControllerConfig{});
     }
 
     static machine::MachineConfig
@@ -279,6 +282,8 @@ class MultiFgControllerTest : public testing::Test
     machine::Machine machine_;
     sim::Engine engine_;
     machine::CpuFreqGovernor governor_;
+    machine::GovernorFrequencyActuator freq_{governor_};
+    machine::OsPauseActuator pause_{machine_.os()};
     std::unique_ptr<FineGrainController> controller_;
     std::vector<machine::Pid> fgPids_;
 };

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "dirigent/reactive.h"
+#include "machine/actuators.h"
 #include "workload/benchmarks.h"
 
 namespace dirigent::core {
@@ -22,6 +23,10 @@ class ReactiveTest : public testing::Test
             std::make_unique<sim::Engine>(*machine_, mcfg_.maxQuantum);
         governor_ = std::make_unique<machine::CpuFreqGovernor>(
             *machine_, *engine_);
+        freq_ = std::make_unique<machine::GovernorFrequencyActuator>(
+            *governor_);
+        pause_ =
+            std::make_unique<machine::OsPauseActuator>(machine_->os());
         const auto &lib = workload::BenchmarkLibrary::instance();
         machine::ProcessSpec fg;
         fg.name = "raytrace";
@@ -43,12 +48,14 @@ class ReactiveTest : public testing::Test
     std::unique_ptr<machine::Machine> machine_;
     std::unique_ptr<sim::Engine> engine_;
     std::unique_ptr<machine::CpuFreqGovernor> governor_;
+    std::unique_ptr<machine::GovernorFrequencyActuator> freq_;
+    std::unique_ptr<machine::OsPauseActuator> pause_;
     machine::Pid fgPid_ = 0;
 };
 
 TEST_F(ReactiveTest, OneDecisionPerCompletion)
 {
-    ReactiveController reactive(*machine_, *governor_);
+    ReactiveController reactive(*machine_, *freq_, *pause_);
     reactive.addForeground(fgPid_, Time::sec(1.0));
     reactive.start();
     engine_->runUntil(Time::sec(3.0)); // ~2–3 raytrace executions
@@ -61,7 +68,7 @@ TEST_F(ReactiveTest, ThrottlesAfterMissedDeadline)
 {
     // Deadline far below the contended duration: every completion is a
     // miss, so BG cores walk down the ladder execution by execution.
-    ReactiveController reactive(*machine_, *governor_);
+    ReactiveController reactive(*machine_, *freq_, *pause_);
     reactive.addForeground(fgPid_, Time::sec(0.5));
     reactive.start();
     engine_->runUntil(Time::sec(6.0));
@@ -74,7 +81,7 @@ TEST_F(ReactiveTest, ReleasesWhenComfortablyEarly)
 {
     // Impossible-to-miss deadline: the controller gives everything
     // back (and ends up throttling the FG itself).
-    ReactiveController reactive(*machine_, *governor_);
+    ReactiveController reactive(*machine_, *freq_, *pause_);
     reactive.addForeground(fgPid_, Time::sec(10.0));
     reactive.start();
     engine_->runUntil(Time::sec(5.0));
@@ -87,7 +94,7 @@ TEST_F(ReactiveTest, ReactsOneExecutionLate)
 {
     // The defining handicap: no mid-execution action. During the first
     // execution nothing changes regardless of the deadline.
-    ReactiveController reactive(*machine_, *governor_);
+    ReactiveController reactive(*machine_, *freq_, *pause_);
     reactive.addForeground(fgPid_, Time::sec(0.2));
     reactive.start();
     engine_->runUntil(Time::ms(400.0)); // inside the first execution
@@ -98,7 +105,7 @@ TEST_F(ReactiveTest, ReactsOneExecutionLate)
 
 TEST_F(ReactiveTest, StopDetaches)
 {
-    ReactiveController reactive(*machine_, *governor_);
+    ReactiveController reactive(*machine_, *freq_, *pause_);
     reactive.addForeground(fgPid_, Time::sec(0.5));
     reactive.start();
     engine_->runUntil(Time::sec(2.0));
@@ -110,7 +117,7 @@ TEST_F(ReactiveTest, StopDetaches)
 
 TEST_F(ReactiveTest, Validation)
 {
-    ReactiveController reactive(*machine_, *governor_);
+    ReactiveController reactive(*machine_, *freq_, *pause_);
     EXPECT_DEATH(reactive.start(), "no foreground");
     EXPECT_DEATH(reactive.addForeground(fgPid_, Time()), "deadline");
     machine::Pid bgPid = machine_->os().backgroundPids().front();

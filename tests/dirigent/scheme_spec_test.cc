@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of the declarative scheme-spec layer: the builtin registry
+ * mirrors the Scheme enum, specs round-trip losslessly through the
+ * canonical INI text, the hash fingerprints that text, and hostile
+ * inputs are rejected with messages naming the offending fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "dirigent/scheme_spec.h"
+
+namespace dirigent::core {
+namespace {
+
+TEST(SchemeSpecRegistryTest, PaperSchemesComeFirstInEnumOrder)
+{
+    const auto &specs = builtinSchemeSpecs();
+    ASSERT_GE(specs.size(), allSchemes().size());
+    size_t i = 0;
+    for (Scheme s : allSchemes())
+        EXPECT_EQ(specs[i++].name, schemeName(s));
+    // Followed by the ablation configurations.
+    EXPECT_NE(findSchemeSpec("Observer"), nullptr);
+    EXPECT_NE(findSchemeSpec("Reactive"), nullptr);
+    EXPECT_NE(findSchemeSpec("CoarseOnly"), nullptr);
+}
+
+TEST(SchemeSpecRegistryTest, EnumPredicatesMatchSpecFields)
+{
+    for (Scheme s : allSchemes()) {
+        SCOPED_TRACE(schemeName(s));
+        SchemeSpec spec = schemeSpec(s);
+        EXPECT_EQ(spec.attachesRuntime(), schemeUsesRuntime(s));
+        EXPECT_EQ(spec.coarse, schemeUsesCoarse(s));
+        EXPECT_EQ(spec.bgFreqGrade >= 0, schemeUsesStaticBgFreq(s));
+        EXPECT_EQ(spec.staticPartition, schemeUsesStaticPartition(s));
+    }
+}
+
+TEST(SchemeSpecRegistryTest, LookupIsCaseInsensitive)
+{
+    const SchemeSpec *spec = findSchemeSpec("dirigentfreq");
+    ASSERT_NE(spec, nullptr);
+    EXPECT_EQ(spec->name, "DirigentFreq");
+    EXPECT_EQ(findSchemeSpec("STATICBOTH")->name, "StaticBoth");
+    EXPECT_EQ(findSchemeSpec("no-such-scheme"), nullptr);
+
+    EXPECT_EQ(schemeFromName("staticboth"), Scheme::StaticBoth);
+    EXPECT_EQ(schemeFromName("Observer"), std::nullopt);
+}
+
+TEST(SchemeSpecRoundTripTest, AllBuiltinsSurviveFormatParse)
+{
+    for (const SchemeSpec &spec : builtinSchemeSpecs()) {
+        SCOPED_TRACE(spec.name);
+        EXPECT_EQ(parseSchemeSpec(formatSchemeSpec(spec)), spec);
+    }
+}
+
+TEST(SchemeSpecRoundTripTest, CustomSpecWithEveryKnobSurvives)
+{
+    SchemeSpec spec;
+    spec.name = "my-ablation_2";
+    spec.bgFreqGrade = 3;
+    spec.staticPartition = true;
+    spec.staticFgWays = 7;
+    spec.fine = true;
+    spec.coarse = true;
+    spec.bgBandwidthCap = 2.5e9;
+    EXPECT_EQ(parseSchemeSpec(formatSchemeSpec(spec)), spec);
+}
+
+TEST(SchemeSpecRoundTripTest, HashFingerprintsCanonicalText)
+{
+    for (const SchemeSpec &spec : builtinSchemeSpecs()) {
+        EXPECT_EQ(schemeSpecHash(spec), fnv1a64(formatSchemeSpec(spec)));
+        EXPECT_NE(schemeSpecHash(spec), 0u);
+    }
+    // Distinct configurations fingerprint differently.
+    EXPECT_NE(schemeSpecHash(schemeSpec(Scheme::Baseline)),
+              schemeSpecHash(schemeSpec(Scheme::Dirigent)));
+}
+
+TEST(SchemeSpecRoundTripTest, KnobSummaryNamesTheKnobs)
+{
+    EXPECT_EQ(schemeKnobSummary(schemeSpec(Scheme::Baseline)),
+              "free contention");
+    EXPECT_EQ(schemeKnobSummary(schemeSpec(Scheme::Dirigent)),
+              "fine + coarse");
+    EXPECT_EQ(schemeKnobSummary(schemeSpec(Scheme::StaticBoth)),
+              "bg@grade0 + static fg=default ways");
+}
+
+TEST(SchemeSpecValidationTest, NamesTheOffendingField)
+{
+    SchemeSpec spec = schemeSpec(Scheme::Baseline);
+    EXPECT_EQ(validateSchemeSpec(spec), std::nullopt);
+
+    spec.name = "";
+    EXPECT_NE(validateSchemeSpec(spec), std::nullopt);
+
+    spec.name = "has space";
+    auto err = validateSchemeSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("name"), std::string::npos);
+
+    spec = schemeSpec(Scheme::Baseline);
+    spec.bgFreqGrade = 64;
+    err = validateSchemeSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("bg_freq_grade"), std::string::npos);
+
+    spec = schemeSpec(Scheme::Baseline);
+    spec.staticFgWays = 4; // without staticPartition
+    err = validateSchemeSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("static.partition"), std::string::npos);
+
+    spec = schemeSpec(Scheme::Baseline);
+    spec.bgBandwidthCap = -1.0;
+    err = validateSchemeSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("bg_cap"), std::string::npos);
+}
+
+TEST(SchemeSpecValidationTest, ConflictNamesBothControllers)
+{
+    SchemeSpec spec;
+    spec.name = "broken";
+    spec.reactive = true;
+    spec.fine = true;
+    auto err = validateSchemeSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("control.reactive"), std::string::npos);
+    EXPECT_NE(err->find("control.fine"), std::string::npos);
+
+    spec.fine = false;
+    spec.coarse = true;
+    err = validateSchemeSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("control.coarse"), std::string::npos);
+
+    // Reactive + observer is allowed (the observer is passive).
+    spec.coarse = false;
+    spec.observer = true;
+    EXPECT_EQ(validateSchemeSpec(spec), std::nullopt);
+}
+
+TEST(SchemeSpecValidationTest, HostileTextIsFatalWithMessage)
+{
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n"
+                                 "[controll]\nfine = true\n"),
+                 "unknown key");
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n"
+                                 "[static]\nbg_freq_grade = 99\n"),
+                 "out of range");
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n"
+                                 "[static]\nfg_ways = 300\n"),
+                 "out of range");
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n[control]\n"
+                                 "fine = true\nreactive = true\n"),
+                 "reactive conflicts with control.fine");
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n[control]\n"
+                                 "coarse = true\nreactive = true\n"),
+                 "reactive conflicts with control.coarse");
+    EXPECT_DEATH(parseSchemeSpec("[control]\nfine = true\n"),
+                 "name must be non-empty");
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n"
+                                 "[bandwidth]\nbg_cap = -2\n"),
+                 "bg_cap");
+}
+
+TEST(SchemeSpecEnvTest, SchemeFilePathComesFromEnvironment)
+{
+    unsetenv("DIRIGENT_SCHEME_FILE");
+    EXPECT_EQ(envSchemeFilePath(), std::nullopt);
+    setenv("DIRIGENT_SCHEME_FILE", "", 1);
+    EXPECT_EQ(envSchemeFilePath(), std::nullopt);
+    setenv("DIRIGENT_SCHEME_FILE", "/tmp/x.scheme", 1);
+    EXPECT_EQ(envSchemeFilePath(), std::optional<std::string>(
+                                       "/tmp/x.scheme"));
+    unsetenv("DIRIGENT_SCHEME_FILE");
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -11,6 +11,7 @@
 
 #include "dirigent/fine_controller.h"
 #include "dirigent/trace.h"
+#include "machine/actuators.h"
 #include "workload/benchmarks.h"
 
 namespace dirigent::core {
@@ -128,7 +129,9 @@ TEST(DecisionTraceTest, FineControllerRecordsActions)
         bg.foreground = false;
         machine.spawnProcess(bg);
     }
-    FineGrainController controller(machine, governor);
+    machine::GovernorFrequencyActuator freq(governor);
+    machine::OsPauseActuator pause(machine.os());
+    FineGrainController controller(machine, freq, pause);
     DecisionTrace trace;
     controller.setTrace(&trace);
 

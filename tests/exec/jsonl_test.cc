@@ -31,6 +31,8 @@ TEST(JsonlWriterTest, WritesOneSelfDescribingLinePerRecord)
     harness::SchemeRunResult res;
     res.mixName = "ferret rs";
     res.scheme = core::Scheme::Dirigent;
+    res.schemeLabel = "Dirigent";
+    res.specHash = 13608946627194072229ull;
     res.perFgDurations = {{0.5, 0.6, 0.7}};
     res.onTime = 2;
     res.total = 3;
@@ -55,12 +57,30 @@ TEST(JsonlWriterTest, WritesOneSelfDescribingLinePerRecord)
                   std::string::npos);
         EXPECT_NE(line.find("\"stage\":\"Dirigent\""),
                   std::string::npos);
+        EXPECT_NE(line.find("\"scheme\":\"Dirigent\""),
+                  std::string::npos);
+        // 64-bit spec hash as a decimal string (see manifest schema).
+        EXPECT_NE(line.find("\"spec_hash\":\"13608946627194072229\""),
+                  std::string::npos);
         EXPECT_NE(line.find("\"seed\":1234"), std::string::npos);
         EXPECT_NE(line.find("\"on_time\":2"), std::string::npos);
         EXPECT_NE(line.find("\"total\":3"), std::string::npos);
         EXPECT_NE(line.find("\"final_fg_ways\":7"), std::string::npos);
     }
     EXPECT_EQ(count, 2u);
+}
+
+TEST(JsonlWriterTest, SchemeFallsBackToEnumNameWithoutLabel)
+{
+    harness::SchemeRunResult res;
+    res.mixName = "m";
+    res.scheme = core::Scheme::StaticBoth;
+    std::ostringstream out;
+    JsonlWriter writer(out);
+    writer.write(res, "stage", 1, 0.0);
+    EXPECT_NE(out.str().find("\"scheme\":\"StaticBoth\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"spec_hash\":\"0\""), std::string::npos);
 }
 
 TEST(JsonlWriterTest, OpenFailureReturnsNull)

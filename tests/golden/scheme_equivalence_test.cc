@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Scheme-spec equivalence regression: every builtin spec must reproduce
+ * the legacy enum wiring byte-identically, and a scheme file mirroring
+ * a builtin (parse(format(spec))) must produce the identical trace as
+ * the enum path. Runs on the golden sentinel config (seed 4242,
+ * executions 5, warmup 2) and cross-checks the Dirigent/Baseline
+ * sentinels against the checked-in golden files, so spec-assembly drift
+ * fails the same way behavioural drift does.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "dirigent/scheme_spec.h"
+#include "dirigent/trace.h"
+#include "harness/experiment.h"
+#include "workload/mix.h"
+
+#ifndef DIRIGENT_GOLDEN_DIR
+#error "DIRIGENT_GOLDEN_DIR must point at the golden data directory"
+#endif
+
+namespace dirigent::harness {
+namespace {
+
+constexpr uint64_t kGoldenSeed = 4242;
+
+HarnessConfig
+goldenConfig()
+{
+    HarnessConfig cfg;
+    cfg.executions = 5;
+    cfg.warmup = 2;
+    cfg.seed = kGoldenSeed;
+    return cfg;
+}
+
+/** Both renderings of one run's golden trace. */
+struct RunTrace
+{
+    std::string canonical;
+    std::string precise;
+};
+
+class SchemeEquivalenceTest : public testing::Test
+{
+  protected:
+    SchemeEquivalenceTest()
+        : runner_(goldenConfig()),
+          mix_(workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("rs")))
+    {
+        auto baseline = runner_.run(mix_, core::Scheme::Baseline, {});
+        deadlines_ = runner_.deadlinesFromBaseline(baseline);
+    }
+
+    RunTrace
+    runEnum(core::Scheme scheme)
+    {
+        core::GoldenTraceRecorder recorder;
+        RunOptions opts;
+        opts.golden = &recorder;
+        runner_.run(mix_, scheme, deadlines_, opts);
+        return {recorder.canonicalText(), recorder.preciseText()};
+    }
+
+    RunTrace
+    runSpec(const core::SchemeSpec &spec)
+    {
+        core::GoldenTraceRecorder recorder;
+        RunOptions opts;
+        opts.golden = &recorder;
+        runner_.run(mix_, spec, deadlines_, opts);
+        return {recorder.canonicalText(), recorder.preciseText()};
+    }
+
+    ExperimentRunner runner_;
+    workload::WorkloadMix mix_;
+    std::map<std::string, Time> deadlines_;
+};
+
+TEST_F(SchemeEquivalenceTest, BuiltinSpecsReproduceEnumWiring)
+{
+    for (core::Scheme scheme : core::allSchemes()) {
+        SCOPED_TRACE(core::schemeName(scheme));
+        RunTrace viaEnum = runEnum(scheme);
+        ASSERT_FALSE(viaEnum.precise.empty());
+
+        // The registry spec and a scheme file mirroring it
+        // (parse(format(spec)) is exactly what --scheme-file does)
+        // must assemble the identical run, bit for bit.
+        core::SchemeSpec spec = core::schemeSpec(scheme);
+        RunTrace viaSpec = runSpec(spec);
+        EXPECT_EQ(viaSpec.precise, viaEnum.precise)
+            << core::traceDiff(viaEnum.precise, viaSpec.precise);
+
+        RunTrace viaFile =
+            runSpec(core::parseSchemeSpec(core::formatSchemeSpec(spec)));
+        EXPECT_EQ(viaFile.precise, viaEnum.precise)
+            << core::traceDiff(viaEnum.precise, viaFile.precise);
+    }
+}
+
+TEST_F(SchemeEquivalenceTest, SpecPathMatchesCheckedInSentinels)
+{
+    // The spec path must reproduce the same traces the golden suite
+    // checked in from the legacy switchboard — no regeneration allowed.
+    for (const char *scheme : {"Baseline", "Dirigent"}) {
+        SCOPED_TRACE(scheme);
+        std::string path = std::string(DIRIGENT_GOLDEN_DIR) +
+                           "/ferret_rs_" + scheme + ".trace";
+        std::ifstream in(path);
+        ASSERT_TRUE(in) << "missing golden file " << path;
+        std::ostringstream expected;
+        expected << in.rdbuf();
+
+        RunTrace trace = runSpec(*core::findSchemeSpec(scheme));
+        EXPECT_EQ(trace.canonical + "\n", expected.str())
+            << core::traceDiff(expected.str(), trace.canonical + "\n");
+    }
+}
+
+} // namespace
+} // namespace dirigent::harness

@@ -168,5 +168,26 @@ TEST(ExperimentDeathTest, TooManyFgIsFatal)
                 testing::ExitedWithCode(1), "FG cores");
 }
 
+TEST(ExperimentDeathTest, ConflictingOptionsNameTheOptions)
+{
+    ExperimentRunner runner(fastConfig());
+    auto mix = workload::makeMix({"ferret"},
+                                 workload::BgSpec::single("rs"));
+    // The reactive ablation replaces the Dirigent runtime, so both
+    // conflicts name the options (or scheme) involved.
+    RunOptions reactive;
+    reactive.attachReactive = true;
+    EXPECT_EXIT(runner.run(mix, core::Scheme::Dirigent, {}, reactive),
+                testing::ExitedWithCode(1),
+                "attachReactive conflicts with scheme Dirigent");
+    RunOptions both;
+    both.attachReactive = true;
+    both.attachCoarseOnly = true;
+    EXPECT_EXIT(runner.run(mix, core::Scheme::Baseline, {}, both),
+                testing::ExitedWithCode(1),
+                "attachReactive conflicts with "
+                "RunOptions.attachCoarseOnly");
+}
+
 } // namespace
 } // namespace dirigent::harness

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests of the actuator adapters (machine/actuators.h): each adapter is
+ * a pure pass-through to its device — same values in, same state out —
+ * and MachineActuators bundles the four and wires fault injection into
+ * every fault-capable device in one call.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "machine/actuators.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::machine {
+namespace {
+
+MachineConfig
+config()
+{
+    MachineConfig cfg;
+    cfg.noiseEventsPerSec = 0.0;
+    return cfg;
+}
+
+class ActuatorTest : public testing::Test
+{
+  protected:
+    ActuatorTest()
+        : machine_(config()), engine_(machine_, Time::us(100.0)),
+          governor_(machine_, engine_), cat_(machine_)
+    {
+    }
+
+    /** Let pending DVFS transitions land. */
+    void settle() { engine_.runFor(Time::ms(1.0)); }
+
+    Machine machine_;
+    sim::Engine engine_;
+    CpuFreqGovernor governor_;
+    CatController cat_;
+};
+
+TEST_F(ActuatorTest, FrequencyActuatorDelegatesToGovernor)
+{
+    GovernorFrequencyActuator freq(governor_);
+    EXPECT_EQ(freq.numGrades(), governor_.numGrades());
+    EXPECT_EQ(freq.maxGrade(), governor_.maxGrade());
+    for (unsigned g = 0; g < freq.numGrades(); ++g)
+        EXPECT_EQ(freq.gradeFreq(g).hz(), governor_.gradeFreq(g).hz());
+    EXPECT_EQ(freq.equispacedGrades(5), governor_.equispacedGrades(5));
+
+    freq.setGrade(2, 3);
+    settle();
+    EXPECT_EQ(governor_.grade(2), 3u);
+    EXPECT_EQ(freq.grade(2), governor_.grade(2));
+}
+
+TEST_F(ActuatorTest, PartitionActuatorDelegatesToCat)
+{
+    CatPartitionActuator part(cat_);
+    EXPECT_EQ(part.numWays(), cat_.numWays());
+
+    EXPECT_TRUE(part.setFgWays(4));
+    EXPECT_TRUE(cat_.partitioned());
+    EXPECT_EQ(cat_.fgWays(), 4u);
+    EXPECT_EQ(part.fgWays(), 4u);
+
+    EXPECT_TRUE(part.setShared());
+    EXPECT_FALSE(cat_.partitioned());
+    EXPECT_EQ(part.fgWays(), 0u);
+}
+
+TEST_F(ActuatorTest, PauseActuatorDelegatesToOs)
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    ProcessSpec bg;
+    bg.name = "bg";
+    bg.program = &lib.get("lbm").program;
+    bg.core = 1;
+    bg.foreground = false;
+    Pid pid = machine_.spawnProcess(bg);
+
+    OsPauseActuator pause(machine_.os());
+    ASSERT_TRUE(machine_.os().process(pid).runnable());
+    pause.pause(pid);
+    EXPECT_FALSE(machine_.os().process(pid).runnable());
+    pause.resume(pid);
+    EXPECT_TRUE(machine_.os().process(pid).runnable());
+}
+
+TEST_F(ActuatorTest, BandwidthActuatorDelegatesToBwGuard)
+{
+    BwGuardBandwidthActuator bw(machine_.bwGuard());
+    bw.setBudget(1, 2.5e9);
+    EXPECT_DOUBLE_EQ(machine_.bwGuard().budget(1), 2.5e9);
+    EXPECT_DOUBLE_EQ(bw.budget(1), 2.5e9);
+}
+
+TEST_F(ActuatorTest, BundleExposesAllFourActuators)
+{
+    MachineActuators actuators(machine_, governor_, cat_);
+    ActuatorSet set = actuators.set();
+    EXPECT_EQ(set.frequency, &actuators.frequency());
+    EXPECT_EQ(set.partition, &actuators.partition());
+    EXPECT_EQ(set.pause, &actuators.pause());
+    EXPECT_EQ(set.bandwidth, &actuators.bandwidth());
+
+    // The bundle actuates the same devices the references were built on.
+    actuators.frequency().setGrade(1, 0);
+    settle();
+    EXPECT_EQ(governor_.grade(1), 0u);
+    EXPECT_TRUE(actuators.partition().setFgWays(3));
+    EXPECT_EQ(cat_.fgWays(), 3u);
+}
+
+TEST_F(ActuatorTest, BundleWiresFaultInjectorIntoBothDevices)
+{
+    MachineActuators actuators(machine_, governor_, cat_);
+    fault::FaultPlan plan;
+    plan.dvfs.failProb = 1.0;
+    plan.cat.failProb = 1.0;
+    fault::FaultInjector faults(plan, 7);
+    actuators.setFaultInjector(&faults);
+
+    // Every DVFS write fails: the transition is abandoned and the
+    // hardware stays at its maximum frequency.
+    actuators.frequency().setGrade(0, 0);
+    engine_.runFor(Time::ms(10.0)); // covers all backoff retries
+    EXPECT_TRUE(governor_.writeAbandoned(0));
+    EXPECT_GT(governor_.writeFailures(), 0u);
+
+    // Every CAT reconfiguration fails too.
+    EXPECT_FALSE(actuators.partition().setFgWays(4));
+    EXPECT_EQ(cat_.failedReconfigs(), 1u);
+
+    // Detaching restores fault-free behaviour.
+    actuators.setFaultInjector(nullptr);
+    EXPECT_TRUE(actuators.partition().setFgWays(4));
+    EXPECT_EQ(cat_.fgWays(), 4u);
+}
+
+} // namespace
+} // namespace dirigent::machine

@@ -103,6 +103,14 @@ cmdSummary(const RunData &run)
             if (!line.empty())
                 std::cout << "    " << line << "\n";
     }
+    if (m.schemeSpecHash != 0) {
+        std::cout << "scheme spec: hash=" << m.schemeSpecHash << "\n";
+        std::istringstream in(m.schemeSpecText);
+        std::string line;
+        while (std::getline(in, line))
+            if (!line.empty())
+                std::cout << "    " << line << "\n";
+    }
     for (const auto &[key, value] : m.extra)
         std::cout << key << ": " << value << "\n";
 

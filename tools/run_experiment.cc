@@ -29,7 +29,14 @@
  *   --check                enable the runtime invariant checker for this
  *                          run (also DIRIGENT_CHECK=1; --no-check forces
  *                          it off)
- *   scheme = baseline|staticfreq|staticboth|dirigentfreq|dirigent|all
+ *   --scheme-file FILE     run a declarative scheme spec (INI; see
+ *                          dirigent/scheme_spec.h for the format; also
+ *                          DIRIGENT_SCHEME_FILE). Mutually exclusive
+ *                          with scheme=
+ *   --list-schemes         print the builtin scheme registry and exit
+ *   scheme = any registry name (see --list-schemes) or `all`;
+ *            baseline|staticfreq|staticboth|dirigentfreq|dirigent plus
+ *            the ablations observer|reactive|coarseonly
  *   executions = 40        measured FG executions
  *   warmup = 5             discarded executions
  *   seed = 1234
@@ -63,6 +70,7 @@
 #include "common/log.h"
 #include "common/strfmt.h"
 #include "common/table.h"
+#include "dirigent/scheme_spec.h"
 #include "exec/executor.h"
 #include "fault/plan.h"
 #include "harness/experiment.h"
@@ -85,8 +93,9 @@ usage()
         << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
            "[--config FILE] [--fg-program FILE] [--threads N] "
            "[--jsonl FILE] [--faults FILE] [--trace-out FILE] "
-           "[--check|--no-check] [key=value...]\n"
-           "       run_experiment --list\n";
+           "[--scheme-file FILE] [--check|--no-check] [key=value...]\n"
+           "       run_experiment --list\n"
+           "       run_experiment --list-schemes\n";
     std::exit(2);
 }
 
@@ -166,17 +175,19 @@ writeTraceFiles(const std::string &path, obs::Recorder &recorder)
     os << recorder.manifest().toJson() << "\n";
 }
 
-std::optional<core::Scheme>
-schemeByName(const std::string &name)
+void
+listSchemes()
 {
-    for (core::Scheme s : core::allSchemes()) {
-        std::string lower = core::schemeName(s);
-        for (char &c : lower)
-            c = char(std::tolower(static_cast<unsigned char>(c)));
-        if (lower == name)
-            return s;
-    }
-    return std::nullopt;
+    TextTable table({"scheme", "knobs", "spec hash"});
+    for (const auto &spec : core::builtinSchemeSpecs())
+        table.addRow({spec.name, core::schemeKnobSummary(spec),
+                      strfmt("%llu", (unsigned long long)
+                                         core::schemeSpecHash(spec))});
+    table.print(std::cout);
+    std::cout << "\nCustom schemes: write the spec to a file "
+                 "(--scheme-file FILE or DIRIGENT_SCHEME_FILE);\n"
+                 "round-trippable INI format documented in "
+                 "dirigent/scheme_spec.h.\n";
 }
 
 } // namespace
@@ -187,13 +198,20 @@ main(int argc, char **argv)
     std::vector<std::string> positional;
     Config overrides;
     std::string configFile, fgProgramFile, jsonlPath, faultsFile;
-    std::string traceOut;
+    std::string traceOut, schemeFile;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
             listBenchmarks();
             return 0;
+        } else if (arg == "--list-schemes") {
+            listSchemes();
+            return 0;
+        } else if (arg == "--scheme-file") {
+            if (++i >= argc)
+                usage();
+            schemeFile = argv[i];
         } else if (arg == "--config") {
             if (++i >= argc)
                 usage();
@@ -287,7 +305,30 @@ main(int argc, char **argv)
             fatal("unknown FG benchmark '" + fg + "' (try --list)");
     auto mix = workload::makeMix(fgs, bgSpec);
 
+    // Resolve the scheme spec: an explicit scheme file beats the
+    // registry; both routes funnel into the same spec-driven run.
+    if (schemeFile.empty())
+        schemeFile = core::envSchemeFilePath().value_or("");
     std::string schemeName = cfg.getString("scheme", "all");
+    core::SchemeSpec spec;
+    if (!schemeFile.empty()) {
+        if (cfg.has("scheme"))
+            fatal("--scheme-file conflicts with scheme=" + schemeName +
+                  ": pick one way to select the scheme");
+        spec = core::loadSchemeSpec(schemeFile);
+        schemeName = spec.name;
+        inform(strfmt("scheme spec '%s' (hash %llu) loaded from %s",
+                      spec.name.c_str(),
+                      (unsigned long long)core::schemeSpecHash(spec),
+                      schemeFile.c_str()));
+    } else if (schemeName != "all") {
+        const core::SchemeSpec *builtin = core::findSchemeSpec(schemeName);
+        if (!builtin)
+            fatal("unknown scheme '" + schemeName +
+                  "' (try --list-schemes)");
+        spec = *builtin;
+        schemeName = spec.name;
+    }
     printBanner(std::cout, "run_experiment: " + mix.name +
                                " (scheme=" + schemeName + ")");
     if (check::enabled())
@@ -296,7 +337,7 @@ main(int argc, char **argv)
     if (traceOut.empty())
         traceOut = obs::envTraceOutPath();
 
-    if (schemeName == "all") {
+    if (schemeFile.empty() && schemeName == "all") {
         // Sharded across hc.threads workers (scheme stages of the one
         // mix overlap where their data dependencies allow).
         exec::ExecutorConfig ecfg;
@@ -322,9 +363,6 @@ main(int argc, char **argv)
             writeTraceFiles(traceOut, recorder);
         }
     } else {
-        auto scheme = schemeByName(schemeName);
-        if (!scheme)
-            fatal("unknown scheme '" + schemeName + "'");
         obs::Recorder recorder;
         auto t0 = std::chrono::steady_clock::now();
         auto baseline = runner.run(mix, core::Scheme::Baseline, {});
@@ -335,9 +373,11 @@ main(int argc, char **argv)
             runOpts.recorder = &recorder;
         // Baseline is re-run instrumented (the calibration run above
         // has no deadlines yet, so its slices could not be judged).
-        auto res = *scheme == core::Scheme::Baseline && traceOut.empty()
+        bool isBaseline =
+            spec == core::schemeSpec(core::Scheme::Baseline);
+        auto res = isBaseline && traceOut.empty()
                        ? baseline
-                       : runner.run(mix, *scheme, deadlines, runOpts);
+                       : runner.run(mix, spec, deadlines, runOpts);
         double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
@@ -347,8 +387,8 @@ main(int argc, char **argv)
             jsonlPath.empty() ? exec::envJsonlPath() : jsonlPath;
         if (!outPath.empty()) {
             if (auto writer = exec::JsonlWriter::open(outPath))
-                writer->write(res, core::schemeName(*scheme),
-                              runner.mixSeed(mix), wall);
+                writer->write(res, schemeName, runner.mixSeed(mix),
+                              wall);
         }
         TextTable table({"metric", "value"});
         table.addRow({"FG success ratio",
