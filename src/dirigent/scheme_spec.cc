@@ -71,6 +71,30 @@ makeBuiltins()
     coarseOnly.coarse = true;
     specs.push_back(coarseOnly);
 
+    // Serving-mode compositions: the Dirigent controllers with (and
+    // the bare machine with) gradient admission control. Batch runs
+    // ignore the [admission] section, so these behave exactly like
+    // Dirigent/Baseline outside serving mode.
+    // Each FG slot is a single serial server, so the concurrency limit
+    // directly bounds queue depth and hence tail latency (response ≈
+    // outstanding × service time). The generic max_limit default (64)
+    // would let backlog ratchet far past any tail target before the
+    // controller binds; 8 keeps the worst case within one order of the
+    // service time while leaving the gradient room to adapt.
+    SchemeSpec dirigentGradient;
+    dirigentGradient.name = "DirigentGradient";
+    dirigentGradient.fine = true;
+    dirigentGradient.coarse = true;
+    dirigentGradient.admission = "gradient";
+    dirigentGradient.admitMaxLimit = 8;
+    specs.push_back(dirigentGradient);
+
+    SchemeSpec baselineGradient;
+    baselineGradient.name = "BaselineGradient";
+    baselineGradient.admission = "gradient";
+    baselineGradient.admitMaxLimit = 8;
+    specs.push_back(baselineGradient);
+
     return specs;
 }
 
@@ -132,6 +156,28 @@ validateSchemeSpec(const SchemeSpec &spec)
         return strfmt("scheme spec: bandwidth.bg_cap must be a finite "
                       "non-negative rate, got %.9g",
                       spec.bgBandwidthCap);
+    if (spec.admission != "none" && spec.admission != "static" &&
+        spec.admission != "gradient")
+        return strfmt("scheme spec: admission.scheme '%s' unknown "
+                      "(known: none, static, gradient)",
+                      spec.admission.c_str());
+    if (spec.admission == "static" && spec.admitCapacity < 1)
+        return "scheme spec: admission.capacity must be >= 1";
+    if (spec.admitMinLimit < 1)
+        return "scheme spec: admission.min_limit must be >= 1";
+    if (spec.admitMaxLimit < spec.admitMinLimit)
+        return strfmt("scheme spec: admission.max_limit %u below "
+                      "admission.min_limit %u",
+                      spec.admitMaxLimit, spec.admitMinLimit);
+    if (!std::isfinite(spec.admitTolerance) || spec.admitTolerance < 1.0)
+        return strfmt("scheme spec: admission.tolerance must be >= 1, "
+                      "got %.9g",
+                      spec.admitTolerance);
+    if (!std::isfinite(spec.admitUpdatePeriodSec) ||
+        spec.admitUpdatePeriodSec <= 0.0)
+        return strfmt("scheme spec: admission.update_period_s must be "
+                      "> 0, got %.9g",
+                      spec.admitUpdatePeriodSec);
     return std::nullopt;
 }
 
@@ -141,14 +187,15 @@ parseSchemeSpec(const Config &config)
     // Reject keys outside the known sections early: a typoed key would
     // otherwise silently fall back to its default.
     static const char *sections[] = {"scheme.", "static.", "control.",
-                                     "bandwidth."};
+                                     "bandwidth.", "admission."};
     for (const std::string &key : config.keys()) {
         bool known = false;
         for (const char *s : sections)
             known = known || key.rfind(s, 0) == 0;
         if (!known)
             fatal(strfmt("scheme spec: unknown key '%s' (sections: "
-                         "scheme, static, control, bandwidth)",
+                         "scheme, static, control, bandwidth, "
+                         "admission)",
                          key.c_str()));
     }
 
@@ -172,6 +219,18 @@ parseSchemeSpec(const Config &config)
     spec.observer = config.getBool("control.observer", false);
     spec.reactive = config.getBool("control.reactive", false);
     spec.bgBandwidthCap = config.getDouble("bandwidth.bg_cap", 0.0);
+    spec.admission = config.getString("admission.scheme", "none");
+    spec.admitCapacity =
+        unsigned(config.getUint("admission.capacity", 8));
+    spec.admitMinLimit =
+        unsigned(config.getUint("admission.min_limit", 1));
+    spec.admitMaxLimit =
+        unsigned(config.getUint("admission.max_limit", 64));
+    spec.admitTolerance = config.getDouble("admission.tolerance", 1.1);
+    spec.admitUpdatePeriodSec =
+        config.getDouble("admission.update_period_s", 2.0);
+    spec.admitProbeEvery =
+        unsigned(config.getUint("admission.probe_every", 5));
 
     if (auto error = validateSchemeSpec(spec))
         fatal(*error);
@@ -208,6 +267,14 @@ formatSchemeSpec(const SchemeSpec &spec)
     out += strfmt("reactive = %s\n", onOff(spec.reactive));
     out += "\n[bandwidth]\n";
     out += strfmt("bg_cap = %.9g\n", spec.bgBandwidthCap);
+    out += "\n[admission]\n";
+    out += strfmt("scheme = %s\n", spec.admission.c_str());
+    out += strfmt("capacity = %u\n", spec.admitCapacity);
+    out += strfmt("min_limit = %u\n", spec.admitMinLimit);
+    out += strfmt("max_limit = %u\n", spec.admitMaxLimit);
+    out += strfmt("tolerance = %.9g\n", spec.admitTolerance);
+    out += strfmt("update_period_s = %.9g\n", spec.admitUpdatePeriodSec);
+    out += strfmt("probe_every = %u\n", spec.admitProbeEvery);
     return out;
 }
 
@@ -239,6 +306,11 @@ schemeKnobSummary(const SchemeSpec &spec)
     if (spec.bgBandwidthCap > 0.0)
         parts.push_back(
             strfmt("bg cap %.3g GB/s", spec.bgBandwidthCap / 1e9));
+    if (spec.admission == "static")
+        parts.push_back(strfmt("admit cap=%u", spec.admitCapacity));
+    else if (spec.admission == "gradient")
+        parts.push_back(strfmt("admit gradient %u..%u",
+                               spec.admitMinLimit, spec.admitMaxLimit));
     if (parts.empty())
         return "free contention";
     std::string out;

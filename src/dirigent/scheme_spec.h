@@ -75,8 +75,37 @@ struct SchemeSpec
     /** Static per-BG-core bandwidth cap in bytes/second; 0 = uncapped. */
     double bgBandwidthCap = 0.0;
 
+    /**
+     * Admission policy for request-serving runs: "none" (every request
+     * accepted, queue capacity permitting), "static" (fixed cap on
+     * outstanding requests), or "gradient" (Envoy-style adaptive
+     * concurrency; see serve/admission.h). Ignored by batch runs.
+     */
+    std::string admission = "none";
+
+    /** Outstanding-request cap for the static policy. */
+    unsigned admitCapacity = 8;
+
+    /** Gradient limit floor (also the minRTT-probe limit). */
+    unsigned admitMinLimit = 1;
+
+    /** Gradient limit ceiling. */
+    unsigned admitMaxLimit = 64;
+
+    /** Gradient sample-RTT budget relative to minRTT (≥ 1). */
+    double admitTolerance = 1.1;
+
+    /** Gradient RTT aggregation window length in seconds. */
+    double admitUpdatePeriodSec = 2.0;
+
+    /** Every Nth gradient window re-probes minRTT (0 = never). */
+    unsigned admitProbeEvery = 5;
+
     /** True when the spec attaches the Dirigent runtime (sampling). */
     bool attachesRuntime() const { return fine || coarse || observer; }
+
+    /** True when the spec requests an admission controller. */
+    bool attachesAdmission() const { return admission != "none"; }
 
     bool operator==(const SchemeSpec &) const = default;
 };

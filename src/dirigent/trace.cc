@@ -33,6 +33,12 @@ traceActionName(TraceAction action)
         return "partition-shrunk";
       case TraceAction::FaultObserved:
         return "fault-observed";
+      case TraceAction::RequestShed:
+        return "request-shed";
+      case TraceAction::RequestDropped:
+        return "request-dropped";
+      case TraceAction::AdmitLimitChanged:
+        return "admit-limit-changed";
     }
     return "?";
 }

@@ -37,9 +37,15 @@ enum class TraceAction
     BgResumed,      //!< paused BG tasks continued
     PartitionGrown, //!< coarse controller added an FG way
     PartitionShrunk, //!< coarse controller removed an FG way
-    FaultObserved   //!< runtime saw a fault: a counter read held by the
+    FaultObserved,  //!< runtime saw a fault: a counter read held by the
                     //!< plausibility sanitizer, or a profile mismatch
                     //!< degrading control to reactive mode
+
+    // Request-serving actions (src/serve/); batch runs never emit
+    // them, so batch golden traces are unaffected by their existence.
+    RequestShed,    //!< admission controller rejected an arrival
+    RequestDropped, //!< arrival rejected: request queue at capacity
+    AdmitLimitChanged //!< admission concurrency limit was updated
 };
 
 /** Printable action name. */

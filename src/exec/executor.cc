@@ -36,6 +36,14 @@ resolveThreads(unsigned requested)
     return hw > 0 ? hw : 1u;
 }
 
+std::vector<core::SchemeSpec>
+defaultServingSchemes()
+{
+    return {core::schemeSpec(core::Scheme::Baseline),
+            core::schemeSpec(core::Scheme::Dirigent),
+            *core::findSchemeSpec("DirigentGradient")};
+}
+
 SweepExecutor::SweepExecutor(harness::HarnessConfig config,
                              ExecutorConfig ecfg)
     : config_(config),
@@ -231,6 +239,120 @@ SweepExecutor::runSchemeSweep(
     perMix.reserve(mixes.size());
     for (auto &state : states)
         perMix.push_back(std::move(state.results));
+    return perMix;
+}
+
+std::vector<std::vector<harness::ServingRunResult>>
+SweepExecutor::runServingSweep(
+    const std::vector<workload::WorkloadMix> &mixes,
+    const serve::ServeSpec &serveSpec,
+    const std::vector<core::SchemeSpec> &schemes)
+{
+    if (auto error = serve::validateServeSpec(serveSpec))
+        fatal(*error);
+    if (schemes.empty())
+        fatal("serving sweep needs at least one scheme spec");
+    for (const auto &spec : schemes)
+        if (auto error = core::validateSchemeSpec(spec))
+            fatal(*error);
+
+    // The rate grid: each sweep rate rescales the spec's arrival
+    // process to that mean rate (preserving the MMPP burst/base ratio
+    // and the diurnal swing); an empty grid runs the spec unscaled as
+    // a single column.
+    struct RateColumn
+    {
+        serve::ArrivalSpec arrivals;
+        std::string label; // "" for the unscaled single column
+    };
+    std::vector<RateColumn> grid;
+    if (serveSpec.sweepRates.empty()) {
+        grid.push_back({serveSpec.arrivals, ""});
+    } else {
+        for (double rate : serveSpec.sweepRates)
+            grid.push_back({serve::scaledToRate(serveSpec.arrivals, rate),
+                            strfmt("@%g", rate)});
+    }
+
+    const size_t cells = schemes.size() * grid.size();
+    std::vector<std::vector<harness::ServingRunResult>> perMix(
+        mixes.size());
+    for (auto &row : perMix)
+        row.resize(cells);
+    std::vector<std::map<std::string, Time>> deadlines(mixes.size());
+
+    ProgressReporter prog(mixes.size() * (1 + cells), progress_);
+
+    // Stage 1 per mix: a Baseline batch run calibrates the FG
+    // deadlines (µ + 0.3σ) exactly as the scheme sweep does, so the
+    // Dirigent cells chase the same targets a batch comparison would.
+    auto calibrate = [&](size_t i, harness::ExperimentRunner &runner) {
+        JobKey key{mixes[i].name, "calibrate", 0};
+        std::string label = jobLabel(key);
+        LogTagScope tag(label);
+        prog.jobStarted(label);
+        auto t0 = Clock::now();
+        auto baseline = runner.run(
+            mixes[i], core::schemeSpec(core::Scheme::Baseline), {});
+        deadlines[i] = runner.deadlinesFromBaseline(baseline);
+        noteJob(secondsSince(t0), true);
+        prog.jobFinished(label, secondsSince(t0));
+    };
+
+    // Stage 2: one serving run per (scheme × rate) cell, slotted into
+    // a scheme-major result row so the output order never depends on
+    // worker interleaving.
+    auto runCell = [&](size_t i, size_t cell,
+                       harness::ExperimentRunner &runner) {
+        const size_t schemeIdx = cell / grid.size();
+        const size_t rateIdx = cell % grid.size();
+        serve::ServeSpec cellSpec = serveSpec;
+        cellSpec.arrivals = grid[rateIdx].arrivals;
+        cellSpec.sweepRates.clear();
+        JobKey key{mixes[i].name,
+                   schemes[schemeIdx].name + grid[rateIdx].label, 0};
+        std::string label = jobLabel(key);
+        LogTagScope tag(label);
+        prog.jobStarted(label);
+        auto t0 = Clock::now();
+        auto result = runner.runServing(mixes[i], schemes[schemeIdx],
+                                        cellSpec, deadlines[i]);
+        double wall = secondsSince(t0);
+        if (jsonl_)
+            jsonl_->writeServing(result, key.stage,
+                                 runner.mixSeed(mixes[i]), wall);
+        perMix[i][cell] = std::move(result);
+        noteJob(wall, true);
+        prog.jobFinished(label, wall);
+    };
+
+    if (threads_ == 1) {
+        harness::ExperimentRunner runner(config_, sharedProfiles_);
+        for (size_t i = 0; i < mixes.size(); ++i) {
+            calibrate(i, runner);
+            for (size_t cell = 0; cell < cells; ++cell)
+                runCell(i, cell, runner);
+        }
+    } else {
+        ThreadPool pool(threads_);
+        for (size_t i = 0; i < mixes.size(); ++i) {
+            pool.submit([&, i] {
+                harness::ExperimentRunner runner(config_,
+                                                 sharedProfiles_);
+                calibrate(i, runner);
+                for (size_t cell = 0; cell < cells; ++cell) {
+                    pool.submit([&, i, cell] {
+                        harness::ExperimentRunner worker(
+                            config_, sharedProfiles_);
+                        runCell(i, cell, worker);
+                    });
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    writeSweepManifest("serving-sweep", mixes.size() * cells);
     return perMix;
 }
 

@@ -51,6 +51,13 @@ struct ExecutorConfig
 unsigned resolveThreads(unsigned requested);
 
 /**
+ * The default serving comparison: Baseline, Dirigent, and
+ * "DirigentGradient" — the Dirigent spec with Envoy-style gradient
+ * admission control layered on top.
+ */
+std::vector<core::SchemeSpec> defaultServingSchemes();
+
+/**
  * Runs sweeps of independent experiment jobs across worker threads.
  */
 class SweepExecutor
@@ -83,6 +90,23 @@ class SweepExecutor
      */
     std::vector<std::vector<harness::SchemeRunResult>>
     runSchemeSweep(const std::vector<workload::WorkloadMix> &mixes);
+
+    /**
+     * Serving-mode load sweep: for every mix, a Baseline batch run
+     * first calibrates the FG deadlines (µ + 0.3σ, exactly as the
+     * scheme sweep does), then every (scheme × rate) cell runs
+     * ExperimentRunner::runServing with the serve spec's arrival
+     * process rescaled to that cell's mean rate. The rate grid is
+     * @p serveSpec's `rates` list; when empty the spec's own arrival
+     * process runs unscaled as a single-rate column. Results come back
+     * per mix in (scheme-major, rate-minor) order regardless of worker
+     * count; each cell also lands in the JSONL export (stage
+     * "<scheme>@<rate>") when a path is configured.
+     */
+    std::vector<std::vector<harness::ServingRunResult>>
+    runServingSweep(const std::vector<workload::WorkloadMix> &mixes,
+                    const serve::ServeSpec &serveSpec,
+                    const std::vector<core::SchemeSpec> &schemes);
 
     /** One generic sweep job: its index and key plus a worker body. */
     using JobFn =

@@ -95,6 +95,45 @@ JsonlWriter::write(const harness::SchemeRunResult &result,
     os_ << line << std::flush;
 }
 
+void
+JsonlWriter::writeServing(const harness::ServingRunResult &result,
+                          const std::string &stage, uint64_t seed,
+                          double wallSeconds)
+{
+    std::string line = strfmt(
+        "{\"mix\":\"%s\",\"stage\":\"%s\",\"scheme\":\"%s\","
+        "\"spec_hash\":\"%llu\",\"serve_hash\":\"%llu\","
+        "\"seed\":%llu,\"arrival_kind\":\"%s\",\"rate\":%s,"
+        "\"arrivals\":%llu,\"completed\":%llu,\"dropped\":%llu,"
+        "\"shed\":%llu,\"reject_rate\":%s,\"mean_s\":%s,"
+        "\"p50_s\":%s,\"p95_s\":%s,\"p99_s\":%s,\"p999_s\":%s,"
+        "\"slo_met\":%s,\"max_queue\":%zu,\"span_s\":%s,"
+        "\"wall_s\":%s}\n",
+        jsonEscape(result.mixName).c_str(), jsonEscape(stage).c_str(),
+        jsonEscape(result.schemeLabel).c_str(),
+        static_cast<unsigned long long>(result.specHash),
+        static_cast<unsigned long long>(result.serveHash),
+        static_cast<unsigned long long>(seed),
+        serve::arrivalKindName(result.arrivalKind),
+        jsonNumber(result.offeredRate, -1).c_str(),
+        static_cast<unsigned long long>(result.arrivals),
+        static_cast<unsigned long long>(result.completed),
+        static_cast<unsigned long long>(result.dropped),
+        static_cast<unsigned long long>(result.shed),
+        jsonNumber(result.rejectRate()).c_str(),
+        jsonNumber(result.meanSec).c_str(),
+        jsonNumber(result.p50Sec).c_str(),
+        jsonNumber(result.p95Sec).c_str(),
+        jsonNumber(result.p99Sec).c_str(),
+        jsonNumber(result.p999Sec).c_str(),
+        result.sloMet() ? "true" : "false", result.maxQueueDepth,
+        jsonNumber(result.span.sec()).c_str(),
+        jsonNumber(wallSeconds, 3).c_str());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << line << std::flush;
+}
+
 std::string
 envJsonlPath(const std::string &fallback)
 {

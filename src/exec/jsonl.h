@@ -15,6 +15,7 @@
 #include <string>
 
 #include "harness/metrics.h"
+#include "harness/serving.h"
 
 namespace dirigent::exec {
 
@@ -48,6 +49,15 @@ class JsonlWriter
     void write(const harness::SchemeRunResult &result,
                const std::string &stage, uint64_t seed,
                double wallSeconds);
+
+    /**
+     * Append one serving-run record: identity, offered rate,
+     * request accounting, NaN-capable response-time quantiles (null
+     * when nothing completed), and the SLO verdict.
+     */
+    void writeServing(const harness::ServingRunResult &result,
+                      const std::string &stage, uint64_t seed,
+                      double wallSeconds);
 
   private:
     std::mutex mutex_;

@@ -1,6 +1,7 @@
 #include "harness/arrivals.h"
 
 #include "common/log.h"
+#include "serve/arrival.h"
 
 namespace dirigent::harness {
 
@@ -8,47 +9,21 @@ ArrivalDriver::ArrivalDriver(sim::Engine &engine,
                              machine::Machine &machine,
                              machine::Pid fgPid, Time meanInterarrival,
                              Rng rng, core::DirigentRuntime *runtime)
-    : engine_(engine), machine_(machine), fgPid_(fgPid),
-      meanInterarrival_(meanInterarrival), rng_(rng), runtime_(runtime)
 {
     DIRIGENT_ASSERT(meanInterarrival.sec() > 0.0,
                     "mean interarrival must be > 0");
-    DIRIGENT_ASSERT(machine.os().process(fgPid).foreground,
-                    "pid %u is not a foreground process", fgPid);
-}
-
-ArrivalDriver::~ArrivalDriver()
-{
-    stop();
-}
-
-void
-ArrivalDriver::start()
-{
-    if (running_)
-        return;
-    running_ = true;
-    // No work yet: hold the FG process.
-    machine_.os().pause(fgPid_);
-    busy_ = false;
-    listener_ = machine_.addCompletionListener(
-        [this](const machine::CompletionRecord &rec) {
-            onCompletion(rec);
-        });
-    scheduleNextArrival();
-}
-
-void
-ArrivalDriver::stop()
-{
-    if (!running_)
-        return;
-    running_ = false;
-    machine_.removeCompletionListener(listener_);
-    if (pendingArrival_.valid()) {
-        engine_.events().cancel(pendingArrival_);
-        pendingArrival_ = sim::EventId{};
-    }
+    serve::ServeDriverConfig config;
+    config.fgPid = fgPid;
+    // Unbounded FIFO queue, no horizon, no warmup: the seed semantics.
+    config.queueCapacity = 0;
+    driver_ = std::make_unique<serve::ServeDriver>(
+        engine, machine,
+        std::make_unique<serve::PoissonArrivals>(
+            1.0 / meanInterarrival.sec(), rng),
+        config, runtime);
+    driver_->setOnComplete([this](const serve::Request &req) {
+        completions_.push_back(req);
+    });
 }
 
 std::vector<double>
@@ -59,73 +34,6 @@ ArrivalDriver::responseTimes() const
     for (const auto &c : completions_)
         out.push_back(c.responseTime().sec());
     return out;
-}
-
-void
-ArrivalDriver::scheduleNextArrival()
-{
-    Time wait = Time::sec(rng_.exponential(meanInterarrival_.sec()));
-    pendingArrival_ = engine_.after(wait, [this] {
-        pendingArrival_ = sim::EventId{};
-        if (!running_)
-            return;
-        onArrival();
-        scheduleNextArrival();
-    });
-}
-
-void
-ArrivalDriver::onArrival()
-{
-    ++arrivals_;
-    Time now = engine_.now();
-    if (busy_) {
-        queue_.push_back(now);
-        maxQueue_ = std::max(maxQueue_, queue_.size());
-        return;
-    }
-    inServiceArrival_ = now;
-    beginService(now);
-}
-
-void
-ArrivalDriver::beginService(Time now)
-{
-    busy_ = true;
-    inServiceStart_ = now;
-    machine::Process &proc = machine_.os().process(fgPid_);
-    if (!proc.runnable()) {
-        // Fresh request after idle: new task starting now, cold input.
-        machine_.switchProgram(fgPid_, proc.program);
-        machine_.os().resume(fgPid_);
-        if (runtime_ != nullptr)
-            runtime_->restartPredictionClock(fgPid_, now);
-    }
-    // When continuing straight from a completion, the machine already
-    // restarted the task (and the runtime re-armed its predictor) at
-    // the completion instant == now.
-}
-
-void
-ArrivalDriver::onCompletion(const machine::CompletionRecord &rec)
-{
-    if (rec.pid != fgPid_ || !busy_)
-        return;
-    Completion done;
-    done.arrived = inServiceArrival_;
-    done.started = inServiceStart_;
-    done.finished = rec.finished;
-    done.queueDepth = queue_.size();
-    completions_.push_back(done);
-
-    if (queue_.empty()) {
-        busy_ = false;
-        machine_.os().pause(fgPid_);
-        return;
-    }
-    inServiceArrival_ = queue_.front();
-    queue_.pop_front();
-    beginService(rec.finished);
 }
 
 } // namespace dirigent::harness

@@ -1,6 +1,9 @@
 /**
  * @file
- * Open-loop task arrivals for a foreground process.
+ * Open-loop Poisson task arrivals for a foreground process — the
+ * original seed driver, now a thin adapter over the full serving
+ * subsystem (serve::ServeDriver with a serve::PoissonArrivals process,
+ * an unbounded FIFO queue, and no admission control).
  *
  * The paper evaluates back-to-back FG executions; real offload services
  * receive requests from a queue. This driver injects Poisson arrivals:
@@ -9,18 +12,23 @@
  * including queueing) is recorded. Because queueing amplifies service-
  * time variance (the paper's Fig. 2 argument), Dirigent's variance
  * reduction translates directly into shorter tails here.
+ *
+ * New code should use serve::ServeDriver directly — it adds bounded
+ * queues, LIFO, non-Poisson arrivals, SLO accounting, and admission
+ * control.
  */
 
 #ifndef DIRIGENT_HARNESS_ARRIVALS_H
 #define DIRIGENT_HARNESS_ARRIVALS_H
 
-#include <deque>
+#include <memory>
 #include <vector>
 
 #include "common/random.h"
 #include "common/units.h"
 #include "dirigent/runtime.h"
 #include "machine/machine.h"
+#include "serve/driver.h"
 #include "sim/engine.h"
 
 namespace dirigent::harness {
@@ -31,20 +39,8 @@ namespace dirigent::harness {
 class ArrivalDriver
 {
   public:
-    /** One served request. */
-    struct Completion
-    {
-        Time arrived;        //!< request arrival time
-        Time started;        //!< service start (dequeue) time
-        Time finished;       //!< completion time
-        size_t queueDepth;   //!< waiting requests at arrival
-
-        /** Arrival-to-completion latency (queueing + service). */
-        Time responseTime() const { return finished - arrived; }
-
-        /** Service-only latency. */
-        Time serviceTime() const { return finished - started; }
-    };
+    /** One served request (see serve::Request). */
+    using Completion = serve::Request;
 
     /**
      * @param engine engine for scheduling arrivals (not owned).
@@ -61,8 +57,6 @@ class ArrivalDriver
                   machine::Pid fgPid, Time meanInterarrival, Rng rng,
                   core::DirigentRuntime *runtime = nullptr);
 
-    ~ArrivalDriver();
-
     ArrivalDriver(const ArrivalDriver &) = delete;
     ArrivalDriver &operator=(const ArrivalDriver &) = delete;
 
@@ -70,10 +64,10 @@ class ArrivalDriver
      * Begin injecting arrivals. The FG process is paused until the
      * first arrival; call at the start of the run.
      */
-    void start();
+    void start() { driver_->start(); }
 
     /** Stop injecting; the FG process is left paused if idle. */
-    void stop();
+    void stop() { driver_->stop(); }
 
     /** Served requests in completion order. */
     const std::vector<Completion> &completions() const
@@ -85,33 +79,13 @@ class ArrivalDriver
     std::vector<double> responseTimes() const;
 
     /** Requests that arrived so far. */
-    uint64_t arrivals() const { return arrivals_; }
+    uint64_t arrivals() const { return driver_->arrivals(); }
 
     /** Largest queue depth observed. */
-    size_t maxQueueDepth() const { return maxQueue_; }
+    size_t maxQueueDepth() const { return driver_->maxQueueDepth(); }
 
   private:
-    void scheduleNextArrival();
-    void onArrival();
-    void onCompletion(const machine::CompletionRecord &rec);
-    void beginService(Time now);
-
-    sim::Engine &engine_;
-    machine::Machine &machine_;
-    machine::Pid fgPid_;
-    Time meanInterarrival_;
-    Rng rng_;
-    core::DirigentRuntime *runtime_;
-
-    std::deque<Time> queue_; //!< arrival times of waiting requests
-    Time inServiceArrival_;
-    Time inServiceStart_;
-    bool busy_ = false;
-    bool running_ = false;
-    uint64_t arrivals_ = 0;
-    size_t maxQueue_ = 0;
-    size_t listener_ = 0;
-    sim::EventId pendingArrival_;
+    std::unique_ptr<serve::ServeDriver> driver_;
     std::vector<Completion> completions_;
 };
 

@@ -22,6 +22,7 @@
 #include "fault/injector.h"
 #include "harness/metrics.h"
 #include "machine/machine.h"
+#include "serve/spec.h"
 #include "workload/mix.h"
 
 namespace dirigent::core {
@@ -33,6 +34,8 @@ class Recorder;
 } // namespace dirigent::obs
 
 namespace dirigent::harness {
+
+struct ServingRunResult; // harness/serving.h
 
 /** Harness-wide configuration. */
 struct HarnessConfig
@@ -212,6 +215,22 @@ class ExperimentRunner
                         const core::SchemeSpec &spec,
                         const std::map<std::string, Time> &deadlines,
                         const RunOptions &opts = RunOptions{});
+
+    /**
+     * Serving-mode run: @p mix's machine/scheme assembly as in run(),
+     * but every FG slot is fed by an open-loop serve::ServeDriver
+     * built from @p serveSpec (arrival process, bounded queue, and —
+     * when the scheme spec's [admission] section asks for one — an
+     * admission controller). Measures response-time quantiles and SLO
+     * verdicts over the (warmup_s, horizon_s] simulated window.
+     * Defined in serving.cc; the result type is harness/serving.h.
+     */
+    ServingRunResult
+    runServing(const workload::WorkloadMix &mix,
+               const core::SchemeSpec &spec,
+               const serve::ServeSpec &serveSpec,
+               const std::map<std::string, Time> &deadlines,
+               const RunOptions &opts = RunOptions{});
 
     /**
      * Run the FG benchmark alone (no background) and measure its

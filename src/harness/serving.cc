@@ -1,0 +1,369 @@
+/**
+ * @file
+ * ExperimentRunner::runServing: the serving-mode counterpart of
+ * runAssembled in experiment.cc. The machine / scheme / fault assembly
+ * is deliberately kept parallel (not shared) with the batch path so
+ * the batch path — and its golden traces — cannot be perturbed by
+ * serving-only concerns.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "check/check.h"
+#include "check/invariants.h"
+#include "common/hash.h"
+#include "common/log.h"
+#include "dirigent/profile_fault.h"
+#include "dirigent/reactive.h"
+#include "dirigent/trace.h"
+#include "harness/experiment.h"
+#include "harness/serving.h"
+#include "machine/actuators.h"
+#include "machine/cat.h"
+#include "machine/cpufreq.h"
+#include "obs/recorder.h"
+#include "serve/admission.h"
+#include "serve/driver.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+#include "workload/rotate.h"
+
+namespace dirigent::harness {
+
+ServingRunResult
+ExperimentRunner::runServing(const workload::WorkloadMix &mix,
+                             const core::SchemeSpec &inputSpec,
+                             const serve::ServeSpec &serveSpec,
+                             const std::map<std::string, Time> &deadlines,
+                             const RunOptions &opts)
+{
+    core::SchemeSpec spec = inputSpec;
+    if (auto error = core::validateSchemeSpec(spec))
+        fatal(*error);
+    if (auto error = serve::validateServeSpec(serveSpec))
+        fatal(*error);
+    if (spec.staticPartition && spec.staticFgWays == 0)
+        spec.staticFgWays = config_.staticFgWaysDefault;
+
+    const auto &lib = workload::BenchmarkLibrary::instance();
+
+    machine::MachineConfig mcfg = config_.machine;
+    mcfg.seed = mixSeed(mix); // identical workload stream for all schemes
+    machine::Machine machine(mcfg);
+    sim::Engine engine(machine, mcfg.maxQuantum);
+    machine::CpuFreqGovernor governor(machine, engine);
+    machine::CatController cat(machine);
+    machine::MachineActuators actuators(machine, governor, cat);
+
+    std::optional<check::InvariantChecker> checker;
+    if (check::enabled()) {
+        check::CheckerConfig ccfg;
+        ccfg.abortOnViolation = check::abortPreferred();
+        checker.emplace(machine, &engine, ccfg);
+        checker->attachGovernor(&governor);
+        engine.addObserver(&*checker);
+    }
+
+    std::unique_ptr<fault::FaultInjector> ownFaults;
+    fault::FaultInjector *faults = opts.faults;
+    if (faults == nullptr && !config_.faultPlan.empty()) {
+        ownFaults = std::make_unique<fault::FaultInjector>(
+            config_.faultPlan, mcfg.seed ^ 0xFA017);
+        faults = ownFaults.get();
+    }
+    if (faults != nullptr) {
+        actuators.setFaultInjector(faults);
+        if (checker)
+            checker->attachFaultInjector(faults);
+    }
+
+    const unsigned nFg = unsigned(mix.fgCount());
+    const unsigned nCores = machine.numCores();
+    if (nFg >= nCores)
+        fatal(strfmt("mix '%s' needs %u FG cores of %u",
+                     mix.name.c_str(), nFg, nCores));
+
+    std::vector<machine::Pid> fgPids;
+    for (unsigned i = 0; i < nFg; ++i) {
+        machine::ProcessSpec ps;
+        ps.name = strfmt("%s#%u", mix.fg[i].c_str(), i);
+        ps.program = &lib.get(mix.fg[i]).program;
+        ps.core = i;
+        ps.foreground = true;
+        ps.niceness = -20;
+        fgPids.push_back(machine.spawnProcess(ps));
+    }
+
+    Rng rotateRng = Rng(mcfg.seed).fork(0x1307A7E);
+    std::optional<workload::RotatePair> pair;
+    if (mix.bg.kind == workload::BgSpec::Kind::Rotate)
+        pair.emplace(&lib.get(mix.bg.first), &lib.get(mix.bg.second));
+    std::vector<machine::Pid> bgPids;
+    for (unsigned c = nFg; c < nCores; ++c) {
+        const workload::Benchmark &bench =
+            pair ? pair->pick(rotateRng) : lib.get(mix.bg.first);
+        machine::ProcessSpec ps;
+        ps.name = strfmt("%s@%u", bench.name.c_str(), c);
+        ps.program = &bench.program;
+        ps.core = c;
+        ps.foreground = false;
+        ps.niceness = 5;
+        bgPids.push_back(machine.spawnProcess(ps));
+    }
+    if (pair) {
+        machine.addCompletionListener(
+            [&](const machine::CompletionRecord &rec) {
+                if (!rec.foreground)
+                    return;
+                for (machine::Pid pid : bgPids) {
+                    machine.switchProgram(
+                        pid, &pair->pick(rotateRng).program);
+                }
+            });
+    }
+
+    if (opts.golden != nullptr) {
+        core::GoldenTraceRecorder *golden = opts.golden;
+        machine.addCompletionListener(
+            [golden](const machine::CompletionRecord &rec) {
+                golden->recordCompletion(rec);
+            });
+    }
+
+    if (spec.bgBandwidthCap > 0.0) {
+        for (machine::Pid pid : bgPids) {
+            actuators.bandwidth().setBudget(
+                machine.os().process(pid).core, spec.bgBandwidthCap);
+        }
+    }
+    if (spec.bgFreqGrade >= 0) {
+        for (machine::Pid pid : bgPids)
+            actuators.frequency().setGrade(
+                machine.os().process(pid).core,
+                unsigned(spec.bgFreqGrade));
+    }
+    if (spec.staticPartition)
+        actuators.partition().setFgWays(spec.staticFgWays);
+
+    std::unique_ptr<core::DirigentRuntime> runtime;
+    std::vector<core::Profile> corruptedProfiles;
+    if (spec.attachesRuntime()) {
+        core::RuntimeConfig rcfg = config_.runtime;
+        rcfg.enableFine = spec.fine;
+        rcfg.enableCoarse = spec.coarse;
+        rcfg.runtimeCore = nFg;
+        rcfg.seed = mcfg.seed ^ 0xD1D1;
+        rcfg.faults = faults;
+        runtime = std::make_unique<core::DirigentRuntime>(
+            machine, engine, actuators.set(), rcfg);
+        corruptedProfiles.reserve(nFg); // stable addresses
+        for (unsigned i = 0; i < nFg; ++i) {
+            const std::string &bench = mix.fg[i];
+            auto it = deadlines.find(bench);
+            Time deadline = it != deadlines.end()
+                                ? it->second
+                                : profiles_->get(bench).totalTime() * 2.0;
+            const core::Profile *prof = &profiles_->get(bench);
+            if (faults != nullptr) {
+                corruptedProfiles.push_back(core::corruptProfile(
+                    *prof, faults->plan().profile,
+                    faults->profileRng().fork(i)));
+                prof = &corruptedProfiles.back();
+            }
+            runtime->addForeground(fgPids[i], prof, deadline);
+        }
+        if (opts.golden != nullptr)
+            runtime->setTrace(&opts.golden->decisions());
+        runtime->start();
+    }
+
+    std::unique_ptr<core::ReactiveController> reactive;
+    if (spec.reactive) {
+        reactive = std::make_unique<core::ReactiveController>(
+            machine, actuators.frequency(), actuators.pause());
+        for (unsigned i = 0; i < nFg; ++i) {
+            auto it = deadlines.find(mix.fg[i]);
+            DIRIGENT_ASSERT(it != deadlines.end(),
+                            "reactive controller needs deadlines");
+            reactive->addForeground(fgPids[i], it->second);
+        }
+        reactive->start();
+    }
+
+    // Telemetry probe (passive; see the batch path for the contract).
+    std::unique_ptr<obs::RunProbe> probe;
+    std::optional<core::DecisionTrace> probeTrace;
+    core::DecisionTrace *sinkTrace = nullptr;
+    size_t probeListener = 0;
+    if (opts.recorder != nullptr) {
+        obs::RunProbe::Sources src;
+        src.machine = &machine;
+        src.governor = &governor;
+        src.cat = &cat;
+        src.runtime = runtime.get();
+        src.faults = faults;
+        src.fgPids = fgPids;
+        for (unsigned i = 0; i < nFg; ++i) {
+            auto it = deadlines.find(mix.fg[i]);
+            if (it != deadlines.end())
+                src.fgDeadlineSec[fgPids[i]] = it->second.sec();
+        }
+        probe = std::make_unique<obs::RunProbe>(*opts.recorder, src);
+        engine.addObserver(probe.get());
+        probeListener = machine.addCompletionListener(
+            [p = probe.get()](const machine::CompletionRecord &rec) {
+                p->onCompletion(rec);
+            });
+        if (opts.golden != nullptr) {
+            sinkTrace = &opts.golden->decisions();
+        } else {
+            // Serving always has decisions to mirror (shed/drop/limit
+            // events), runtime or not.
+            probeTrace.emplace();
+            sinkTrace = &*probeTrace;
+            if (runtime)
+                runtime->setTrace(sinkTrace);
+        }
+        sinkTrace->setSink(
+            [p = probe.get()](const core::TraceEvent &ev) {
+                p->onDecision(ev);
+            });
+
+        obs::RunManifest &manifest = opts.recorder->manifest();
+        manifest.mixName = mix.name;
+        manifest.scheme = spec.name;
+        manifest.schemeSpecText = core::formatSchemeSpec(inputSpec);
+        manifest.schemeSpecHash = core::schemeSpecHash(inputSpec);
+        manifest.seed = mcfg.seed;
+        manifest.warmup = 0;     // serving measures a time window,
+        manifest.executions = 0; // not execution counts
+        manifest.samplingPeriod = config_.runtime.samplingPeriod;
+        manifest.decisionPeriodTicks =
+            config_.runtime.decisionPeriodTicks;
+        if (faults != nullptr) {
+            manifest.faultPlanText =
+                fault::formatFaultPlan(faults->plan());
+            manifest.faultPlanHash = fnv1a64(manifest.faultPlanText);
+        }
+        manifest.extra["serve_spec"] =
+            serve::formatServeSpec(serveSpec);
+        manifest.extra["serve_spec_hash"] = strfmt(
+            "%llu",
+            (unsigned long long)serve::serveSpecHash(serveSpec));
+    }
+
+    // One serving driver per FG slot, each with an independent arrival
+    // stream derived from the mix seed (so, like the workload stream,
+    // arrivals are identical across schemes).
+    core::DecisionTrace *driverTrace =
+        opts.golden != nullptr ? &opts.golden->decisions() : sinkTrace;
+    std::vector<std::unique_ptr<serve::ServeDriver>> drivers;
+    for (unsigned i = 0; i < nFg; ++i) {
+        serve::ServeDriverConfig dcfg;
+        dcfg.fgPid = fgPids[i];
+        dcfg.fgSlot = i;
+        dcfg.queueCapacity = serveSpec.queueCapacity;
+        dcfg.discipline = serveSpec.discipline;
+        dcfg.horizon = Time::sec(serveSpec.horizonSec);
+        dcfg.warmup = Time::sec(serveSpec.warmupSec);
+        auto driver = std::make_unique<serve::ServeDriver>(
+            engine, machine,
+            serve::makeArrivalProcess(serveSpec.arrivals,
+                                      mcfg.seed + i),
+            dcfg, runtime.get(),
+            serve::makeAdmissionController(spec));
+        if (driverTrace != nullptr)
+            driver->setTrace(driverTrace);
+        if (opts.recorder != nullptr)
+            driver->setRecorder(opts.recorder);
+        drivers.push_back(std::move(driver));
+    }
+    for (auto &driver : drivers)
+        driver->start();
+
+    auto allDone = [&]() {
+        return std::all_of(drivers.begin(), drivers.end(),
+                           [](const auto &d) { return d->done(); });
+    };
+    while (!allDone() && engine.now() < config_.bailout)
+        engine.runFor(Time::ms(50.0));
+    if (!allDone())
+        fatal(strfmt("serving run '%s'/%s did not drain within %gs "
+                     "simulated",
+                     mix.name.c_str(), spec.name.c_str(),
+                     config_.bailout.sec()));
+    for (auto &driver : drivers)
+        driver->stop();
+
+    if (runtime)
+        runtime->stop();
+    if (reactive)
+        reactive->stop();
+
+    // Collect results before the probe detaches so end-of-run metrics
+    // (completions, fault counters) land in the recorder.
+    ServingRunResult result;
+    result.mixName = mix.name;
+    result.scheme = core::schemeFromName(spec.name)
+                        .value_or(core::Scheme::Baseline);
+    result.schemeLabel = spec.name;
+    result.specHash = core::schemeSpecHash(inputSpec);
+    result.serveHash = serve::serveSpecHash(serveSpec);
+    result.arrivalKind = serveSpec.arrivals.kind;
+    result.offeredRate = serveSpec.arrivals.meanRate();
+    result.span =
+        Time::sec(serveSpec.horizonSec - serveSpec.warmupSec);
+    for (auto &driver : drivers) {
+        result.arrivals += driver->arrivals();
+        result.completed += driver->completed();
+        result.dropped += driver->dropped();
+        result.shed += driver->shed();
+        result.maxQueueDepth =
+            std::max(result.maxQueueDepth, driver->maxQueueDepth());
+        for (double s : driver->measuredStats().samples())
+            result.stats.add(s);
+        result.perFgRequests.push_back(driver->requests());
+    }
+    result.meanSec = result.stats.mean();
+    result.p50Sec = result.stats.quantile(0.50);
+    result.p95Sec = result.stats.quantile(0.95);
+    result.p99Sec = result.stats.quantile(0.99);
+    result.p999Sec = result.stats.quantile(0.999);
+    result.verdicts = serve::evaluateSlos(serveSpec.slos, result.stats);
+
+    if (probe) {
+        probe->finish();
+        engine.removeObserver(probe.get());
+        machine.removeCompletionListener(probeListener);
+        if (sinkTrace != nullptr)
+            sinkTrace->setSink(nullptr);
+
+        obs::RequestSummary &summary =
+            opts.recorder->manifest().requests;
+        summary.present = true;
+        summary.arrivals = result.arrivals;
+        summary.completed = result.completed;
+        summary.dropped = result.dropped;
+        summary.shed = result.shed;
+        summary.meanSec = result.meanSec;
+        summary.p50Sec = result.p50Sec;
+        summary.p95Sec = result.p95Sec;
+        summary.p99Sec = result.p99Sec;
+        summary.p999Sec = result.p999Sec;
+        for (const serve::SloVerdict &v : result.verdicts) {
+            obs::ManifestSloVerdict mv;
+            mv.label = v.target.label();
+            mv.targetSec = v.target.targetSec;
+            mv.achievedSec = v.achievedSec;
+            mv.met = v.met;
+            summary.slos.push_back(std::move(mv));
+        }
+        summary.sloMet = result.sloMet();
+    }
+
+    return result;
+}
+
+} // namespace dirigent::harness

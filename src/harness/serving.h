@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Serving-mode experiment results: one ServingRunResult summarizes an
+ * open-loop request-serving run (arrival counts, rejection accounting,
+ * response-time quantiles, SLO verdicts) the way SchemeRunResult
+ * summarizes a batch run.
+ *
+ * The run itself is ExperimentRunner::runServing (declared in
+ * harness/experiment.h, implemented in serving.cc): the same machine /
+ * scheme / fault assembly as a batch run, but each FG slot is fed by a
+ * serve::ServeDriver instead of running back-to-back, and measurement
+ * is a simulated-time window (warmup_s .. horizon_s) rather than an
+ * execution count.
+ */
+
+#ifndef DIRIGENT_HARNESS_SERVING_H
+#define DIRIGENT_HARNESS_SERVING_H
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dirigent/scheme.h"
+#include "serve/arrival.h"
+#include "serve/queue.h"
+#include "serve/slo.h"
+
+namespace dirigent::harness {
+
+/** Summary of one request-serving run. */
+struct ServingRunResult
+{
+    std::string mixName;
+    core::Scheme scheme = core::Scheme::Baseline;
+    std::string schemeLabel; //!< assembled spec name
+    uint64_t specHash = 0;   //!< scheme-spec FNV-1a
+    uint64_t serveHash = 0;  //!< serve-spec FNV-1a
+
+    serve::ArrivalKind arrivalKind = serve::ArrivalKind::Poisson;
+
+    /** Mean offered rate per FG slot (req/s); NaN for trace replay. */
+    double offeredRate = 0.0;
+
+    /** Totals across every FG slot. */
+    uint64_t arrivals = 0;
+    uint64_t completed = 0;
+    uint64_t dropped = 0; //!< rejected: queue at capacity
+    uint64_t shed = 0;    //!< rejected by admission control
+    size_t maxQueueDepth = 0;
+
+    /** Response-time stats over measured (post-warmup) completions,
+     *  merged across FG slots. Quantiles are NaN when nothing
+     *  completed in the window. */
+    serve::LatencyStats stats;
+    double meanSec = 0.0;
+    double p50Sec = 0.0;
+    double p95Sec = 0.0;
+    double p99Sec = 0.0;
+    double p999Sec = 0.0;
+
+    std::vector<serve::SloVerdict> verdicts;
+
+    /** Measurement window length (horizon_s − warmup_s). */
+    Time span;
+
+    /** Every request per FG slot, in arrival order (all outcomes). */
+    std::vector<std::vector<serve::Request>> perFgRequests;
+
+    /** Every SLO target met (vacuously true without targets). */
+    bool sloMet() const { return serve::allSlosMet(verdicts); }
+
+    /** Fraction of arrivals rejected (dropped or shed). */
+    double
+    rejectRate() const
+    {
+        return arrivals > 0
+                   ? double(dropped + shed) / double(arrivals)
+                   : 0.0;
+    }
+};
+
+} // namespace dirigent::harness
+
+#endif // DIRIGENT_HARNESS_SERVING_H

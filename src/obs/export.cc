@@ -85,6 +85,32 @@ exactSection(const Recorder &rec)
     }
     out += "]";
 
+    // Serving-mode requests; omitted entirely for batch runs so their
+    // exported traces stay byte-identical to earlier releases.
+    if (!rec.requests().empty()) {
+        out += ",\"requests\":[";
+        bool firstReq = true;
+        for (const auto &r : rec.requests()) {
+            if (!firstReq)
+                out += ",";
+            firstReq = false;
+            out += strfmt("{\"fg_slot\":%u,\"pid\":%u,\"id\":%llu",
+                          r.fgSlot, r.pid, (unsigned long long)r.id) +
+                   ",\"arrived\":" + jsonDouble(r.arrived.sec()) +
+                   ",\"started\":" +
+                   (r.started.isNever() ? "null"
+                                        : jsonDouble(r.started.sec())) +
+                   ",\"finished\":" +
+                   (r.finished.isNever()
+                        ? "null"
+                        : jsonDouble(r.finished.sec())) +
+                   strfmt(",\"queue_depth\":%zu", r.queueDepth) +
+                   ",\"outcome\":" + jsonQuote(r.outcome) +
+                   ",\"response_s\":" + jsonDouble(r.responseSec) + "}";
+        }
+        out += "]";
+    }
+
     out += ",\"metrics\":" + rec.metrics().toJson();
     out += "}";
     return out;
@@ -281,6 +307,29 @@ parseRun(const JsonValue &root, std::string *error)
             s.missed = missed != nullptr && missed->isBool() &&
                        missed->boolean;
             run.slices.push_back(std::move(s));
+        }
+    }
+
+    if (const JsonValue *requests = section->find("requests");
+        requests != nullptr && requests->isArray()) {
+        for (const JsonValue &rv : requests->array) {
+            RequestRecord r;
+            r.fgSlot = unsigned(rv.numberOr("fg_slot", 0.0));
+            r.pid = machine::Pid(rv.numberOr("pid", 0.0));
+            r.id = uint64_t(rv.numberOr("id", 0.0));
+            r.arrived = Time::sec(rv.numberOr("arrived", 0.0));
+            const JsonValue *started = rv.find("started");
+            r.started = started != nullptr && started->isNumber()
+                            ? Time::sec(started->number)
+                            : Time::never();
+            const JsonValue *finished = rv.find("finished");
+            r.finished = finished != nullptr && finished->isNumber()
+                             ? Time::sec(finished->number)
+                             : Time::never();
+            r.queueDepth = size_t(rv.numberOr("queue_depth", 0.0));
+            r.outcome = rv.stringOr("outcome", "");
+            r.responseSec = rv.numberOr("response_s", std::nan(""));
+            run.requests.push_back(std::move(r));
         }
     }
     return run;

@@ -34,6 +34,7 @@ struct RunData
     std::vector<Series> series;
     std::vector<InstantEvent> events;
     std::vector<ExecutionSlice> slices;
+    std::vector<RequestRecord> requests; //!< serving-mode runs only
 
     const Series *findSeries(const std::string &name) const;
 };

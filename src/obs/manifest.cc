@@ -1,5 +1,6 @@
 #include "obs/manifest.h"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/strfmt.h"
@@ -39,6 +40,33 @@ RunManifest::toJson() const
     out += strfmt(",\"executions\":%u", executions);
     out += ",\"sampling_period_s\":" + jsonDouble(samplingPeriod.sec());
     out += strfmt(",\"decision_period_ticks\":%u", decisionPeriodTicks);
+    if (requests.present) {
+        out += strfmt(",\"requests\":{\"arrivals\":%llu"
+                      ",\"completed\":%llu,\"dropped\":%llu"
+                      ",\"shed\":%llu",
+                      (unsigned long long)requests.arrivals,
+                      (unsigned long long)requests.completed,
+                      (unsigned long long)requests.dropped,
+                      (unsigned long long)requests.shed);
+        out += ",\"mean_s\":" + jsonDouble(requests.meanSec);
+        out += ",\"p50_s\":" + jsonDouble(requests.p50Sec);
+        out += ",\"p95_s\":" + jsonDouble(requests.p95Sec);
+        out += ",\"p99_s\":" + jsonDouble(requests.p99Sec);
+        out += ",\"p999_s\":" + jsonDouble(requests.p999Sec);
+        out += ",\"slo\":[";
+        for (size_t i = 0; i < requests.slos.size(); ++i) {
+            const ManifestSloVerdict &v = requests.slos[i];
+            if (i > 0)
+                out += ",";
+            out += "{\"label\":" + jsonQuote(v.label);
+            out += ",\"target_s\":" + jsonDouble(v.targetSec);
+            out += ",\"achieved_s\":" + jsonDouble(v.achievedSec);
+            out += std::string(",\"met\":") +
+                   (v.met ? "true" : "false") + "}";
+        }
+        out += std::string("],\"slo_met\":") +
+               (requests.sloMet ? "true" : "false") + "}";
+    }
     out += ",\"extra\":{";
     bool first = true;
     for (const auto &[k, v] : extra) { // std::map: sorted, deterministic
@@ -73,6 +101,36 @@ RunManifest::fromJson(const JsonValue &value)
         Time::sec(value.numberOr("sampling_period_s", 0.0));
     m.decisionPeriodTicks =
         unsigned(value.numberOr("decision_period_ticks", 0.0));
+    if (const JsonValue *req = value.find("requests");
+        req != nullptr && req->isObject()) {
+        const double nan = std::nan("");
+        m.requests.present = true;
+        m.requests.arrivals = uint64_t(req->numberOr("arrivals", 0.0));
+        m.requests.completed =
+            uint64_t(req->numberOr("completed", 0.0));
+        m.requests.dropped = uint64_t(req->numberOr("dropped", 0.0));
+        m.requests.shed = uint64_t(req->numberOr("shed", 0.0));
+        m.requests.meanSec = req->numberOr("mean_s", nan);
+        m.requests.p50Sec = req->numberOr("p50_s", nan);
+        m.requests.p95Sec = req->numberOr("p95_s", nan);
+        m.requests.p99Sec = req->numberOr("p99_s", nan);
+        m.requests.p999Sec = req->numberOr("p999_s", nan);
+        if (const JsonValue *slo = req->find("slo");
+            slo != nullptr && slo->isArray()) {
+            for (const JsonValue &entry : slo->array) {
+                ManifestSloVerdict v;
+                v.label = entry.stringOr("label", "");
+                v.targetSec = entry.numberOr("target_s", 0.0);
+                v.achievedSec = entry.numberOr("achieved_s", nan);
+                const JsonValue *met = entry.find("met");
+                v.met = met != nullptr && met->isBool() && met->boolean;
+                m.requests.slos.push_back(std::move(v));
+            }
+        }
+        const JsonValue *sloMet = req->find("slo_met");
+        m.requests.sloMet =
+            sloMet == nullptr || !sloMet->isBool() || sloMet->boolean;
+    }
     if (const JsonValue *extra = value.find("extra");
         extra != nullptr && extra->isObject()) {
         for (const auto &[k, v] : extra->object)

@@ -12,12 +12,46 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/units.h"
 
 namespace dirigent::obs {
 
 struct JsonValue;
+
+/** One SLO target's outcome, as recorded in a manifest. */
+struct ManifestSloVerdict
+{
+    std::string label;       //!< "p99" style quantile label
+    double targetSec = 0.0;  //!< response-time bound
+    double achievedSec = 0.0; //!< measured quantile; NaN = no samples
+    bool met = false;
+};
+
+/**
+ * Serving-run request summary. Present only for serving-mode runs
+ * (present == false omits the section from JSON entirely, keeping
+ * batch-run manifests byte-identical to earlier releases).
+ *
+ * Quantiles are NaN when no requests completed; they serialize as
+ * JSON null, so "no data" is distinguishable from "zero latency".
+ */
+struct RequestSummary
+{
+    bool present = false;
+    uint64_t arrivals = 0;
+    uint64_t completed = 0;
+    uint64_t dropped = 0; //!< rejected: queue at capacity
+    uint64_t shed = 0;    //!< rejected by admission control
+    double meanSec = 0.0;
+    double p50Sec = 0.0;
+    double p95Sec = 0.0;
+    double p99Sec = 0.0;
+    double p999Sec = 0.0;
+    std::vector<ManifestSloVerdict> slos;
+    bool sloMet = true; //!< every SLO target met (vacuously true)
+};
 
 /** Identity and configuration of one recorded run. */
 struct RunManifest
@@ -49,6 +83,9 @@ struct RunManifest
     unsigned executions = 0;
     Time samplingPeriod;
     unsigned decisionPeriodTicks = 0;
+
+    /** Serving-run request summary (absent for batch runs). */
+    RequestSummary requests;
 
     /** Free-form extra configuration (sorted on serialization). */
     std::map<std::string, std::string> extra;

@@ -38,6 +38,12 @@ Recorder::addSlice(ExecutionSlice slice)
     slices_.push_back(std::move(slice));
 }
 
+void
+Recorder::addRequest(RequestRecord request)
+{
+    requests_.push_back(std::move(request));
+}
+
 const Series *
 Recorder::findSeries(const std::string &name) const
 {
@@ -56,6 +62,7 @@ Recorder::clearData()
     }
     events_.clear();
     slices_.clear();
+    requests_.clear();
 }
 
 RunProbe::RunProbe(Recorder &recorder, Sources sources)

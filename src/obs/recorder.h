@@ -68,6 +68,24 @@ struct InstantEvent
     std::string detail;
 };
 
+/**
+ * Lifecycle of one serving-mode request (arrival → outcome), recorded
+ * by serve::ServeDriver. started/finished are Time::never() for
+ * requests that were rejected (dropped/shed) rather than served.
+ */
+struct RequestRecord
+{
+    unsigned fgSlot = 0; //!< FG index within the mix
+    machine::Pid pid = 0;
+    uint64_t id = 0;     //!< per-driver arrival sequence number
+    Time arrived;
+    Time started = Time::never();
+    Time finished = Time::never();
+    size_t queueDepth = 0;  //!< waiting requests at arrival
+    std::string outcome;    //!< "completed", "dropped", or "shed"
+    double responseSec = 0.0; //!< NaN unless completed
+};
+
 /** One completed foreground execution. */
 struct ExecutionSlice
 {
@@ -109,10 +127,15 @@ class Recorder
 
     void addEvent(InstantEvent event);
     void addSlice(ExecutionSlice slice);
+    void addRequest(RequestRecord request);
 
     const std::vector<Series> &series() const { return series_; }
     const std::vector<InstantEvent> &events() const { return events_; }
     const std::vector<ExecutionSlice> &slices() const { return slices_; }
+    const std::vector<RequestRecord> &requests() const
+    {
+        return requests_;
+    }
 
     /** Series by name, or nullptr. */
     const Series *findSeries(const std::string &name) const;
@@ -131,6 +154,7 @@ class Recorder
     std::vector<Series> series_;
     std::vector<InstantEvent> events_;
     std::vector<ExecutionSlice> slices_;
+    std::vector<RequestRecord> requests_;
     MetricsRegistry metrics_;
     RunManifest manifest_;
 };

@@ -1,0 +1,125 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/strfmt.h"
+#include "dirigent/scheme_spec.h"
+
+namespace dirigent::serve {
+
+StaticAdmission::StaticAdmission(unsigned cap) : cap_(cap)
+{
+    DIRIGENT_ASSERT(cap >= 1, "static admission cap must be >= 1");
+}
+
+bool
+StaticAdmission::admit(Time, size_t outstanding)
+{
+    return outstanding < cap_;
+}
+
+GradientAdmission::GradientAdmission(GradientConfig config)
+    : config_(config), limit_(double(config.minLimit)),
+      minRttSec_(std::nan(""))
+{
+    DIRIGENT_ASSERT(config.minLimit >= 1,
+                    "gradient min_limit must be >= 1");
+    DIRIGENT_ASSERT(config.maxLimit >= config.minLimit,
+                    "gradient max_limit %u below min_limit %u",
+                    config.maxLimit, config.minLimit);
+    DIRIGENT_ASSERT(config.tolerance >= 1.0,
+                    "gradient tolerance must be >= 1");
+    DIRIGENT_ASSERT(config.updatePeriodSec > 0.0,
+                    "gradient update period must be > 0");
+}
+
+double
+GradientAdmission::limit() const
+{
+    return probing_ ? double(config_.minLimit) : limit_;
+}
+
+bool
+GradientAdmission::admit(Time now, size_t outstanding)
+{
+    // A stalled window (no responses arriving because everything is
+    // queued behind a slow service) still closes on arrivals, so the
+    // controller cannot wedge at a stale limit.
+    if (!windowEnd_.isNever() && now >= windowEnd_ &&
+        !window_.empty())
+        closeWindow();
+    return double(outstanding) < limit();
+}
+
+void
+GradientAdmission::onResponse(Time now, Time rtt)
+{
+    if (windowEnd_.isNever())
+        windowEnd_ = now + Time::sec(config_.updatePeriodSec);
+    window_.push_back(rtt.sec());
+    if (now >= windowEnd_)
+        closeWindow();
+}
+
+void
+GradientAdmission::closeWindow()
+{
+    double sampleRtt = percentile(window_, 0.5);
+    window_.clear();
+    windowEnd_ = Time::never();
+    ++windowsClosed_;
+
+    if (probing_ || std::isnan(minRttSec_)) {
+        // The probe window ran at minLimit: its median is the new
+        // uncontended-RTT baseline.
+        minRttSec_ = sampleRtt;
+        probing_ = false;
+        return;
+    }
+
+    double gradient =
+        std::clamp(minRttSec_ * config_.tolerance / sampleRtt, 0.5,
+                   2.0);
+    double raw = limit_ * gradient;
+    double next = raw + std::sqrt(raw); // headroom to discover capacity
+    limit_ = std::clamp(next, double(config_.minLimit),
+                        double(config_.maxLimit));
+
+    if (config_.probeEvery > 0 &&
+        windowsClosed_ % config_.probeEvery == 0)
+        probing_ = true;
+}
+
+std::unique_ptr<AdmissionController>
+makeAdmissionController(const core::SchemeSpec &spec)
+{
+    if (spec.admission == "none" || spec.admission.empty())
+        return nullptr;
+    if (spec.admission == "static")
+        return std::make_unique<StaticAdmission>(spec.admitCapacity);
+    if (spec.admission == "gradient") {
+        GradientConfig gcfg;
+        gcfg.minLimit = spec.admitMinLimit;
+        gcfg.maxLimit = spec.admitMaxLimit;
+        gcfg.tolerance = spec.admitTolerance;
+        gcfg.updatePeriodSec = spec.admitUpdatePeriodSec;
+        gcfg.probeEvery = spec.admitProbeEvery;
+        return std::make_unique<GradientAdmission>(gcfg);
+    }
+    fatal(strfmt("unknown admission scheme '%s' (known: none, static, "
+                 "gradient)",
+                 spec.admission.c_str()));
+}
+
+const std::vector<std::string> &
+admissionSchemeNames()
+{
+    static const std::vector<std::string> names = {"none", "static",
+                                                   "gradient"};
+    return names;
+}
+
+} // namespace dirigent::serve

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Admission control: the narrow actuator seam that decides whether a
+ * newly-arrived request may enter service (mirroring the style of the
+ * machine actuator interfaces in machine/actuator.h — one small pure
+ * interface per knob, concrete policies behind it).
+ *
+ * Two registry-visible policies exist, selected declaratively through
+ * the SchemeSpec [admission] section:
+ *
+ *   static    a fixed cap on outstanding (queued + in-service)
+ *             requests
+ *   gradient  Envoy-style adaptive concurrency: the limit follows the
+ *             gradient minRTT·tolerance / sampleRTT with a √limit
+ *             headroom term, and minRTT is re-measured by periodically
+ *             pinning the limit to its floor (the probe window)
+ *
+ * Both are deterministic: all state advances on simulated-time calls
+ * (admit / onResponse), never on wall clocks or unseeded randomness.
+ */
+
+#ifndef DIRIGENT_SERVE_ADMISSION_H
+#define DIRIGENT_SERVE_ADMISSION_H
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dirigent::core {
+struct SchemeSpec;
+} // namespace dirigent::core
+
+namespace dirigent::serve {
+
+/**
+ * Decides whether an arriving request may be accepted given the
+ * current number of outstanding requests.
+ */
+class AdmissionController
+{
+  public:
+    virtual ~AdmissionController() = default;
+
+    /** Policy name ("static" / "gradient"). */
+    virtual const char *name() const = 0;
+
+    /**
+     * May a request arriving at @p now be accepted while
+     * @p outstanding requests are queued or in service?
+     */
+    virtual bool admit(Time now, size_t outstanding) = 0;
+
+    /** Record one completed request's response time @p rtt. */
+    virtual void onResponse(Time now, Time rtt) = 0;
+
+    /** The concurrency limit currently enforced. */
+    virtual double limit() const = 0;
+};
+
+/** Fixed cap on outstanding requests. */
+class StaticAdmission : public AdmissionController
+{
+  public:
+    /** @param cap maximum outstanding requests (≥ 1). */
+    explicit StaticAdmission(unsigned cap);
+
+    const char *name() const override { return "static"; }
+    bool admit(Time now, size_t outstanding) override;
+    void onResponse(Time, Time) override {}
+    double limit() const override { return double(cap_); }
+
+  private:
+    unsigned cap_;
+};
+
+/** Gradient controller knobs (defaults per the SchemeSpec fields). */
+struct GradientConfig
+{
+    unsigned minLimit = 1;    //!< limit floor; also the probe limit
+    unsigned maxLimit = 64;   //!< limit ceiling
+    double tolerance = 1.1;   //!< sample-RTT budget vs. minRTT
+    double updatePeriodSec = 2.0; //!< RTT aggregation window length
+    /** Every Nth window re-measures minRTT (0 = never re-probe). */
+    unsigned probeEvery = 5;
+};
+
+/**
+ * Latency-gradient adaptive concurrency limiter.
+ *
+ * Responses aggregate into fixed-length windows; at each window close
+ * the limit is updated from the gradient between the window's median
+ * RTT and the most recent minRTT measurement:
+ *
+ *   gradient = clamp(minRTT·tolerance / sampleRTT, 0.5, 2.0)
+ *   limit'   = clamp(limit·gradient + √(limit·gradient),
+ *                    minLimit, maxLimit)
+ *
+ * The controller starts in a probe window (limit pinned to minLimit)
+ * so the first measurement establishes minRTT, and re-enters a probe
+ * window every probeEvery windows to track drift.
+ */
+class GradientAdmission : public AdmissionController
+{
+  public:
+    explicit GradientAdmission(GradientConfig config = GradientConfig{});
+
+    const char *name() const override { return "gradient"; }
+    bool admit(Time now, size_t outstanding) override;
+    void onResponse(Time now, Time rtt) override;
+    double limit() const override;
+
+    /** True while a minRTT probe window is open (for tests). */
+    bool probing() const { return probing_; }
+
+    /** Latest minRTT measurement in seconds (NaN before the first). */
+    double minRttSec() const { return minRttSec_; }
+
+    /** Closed aggregation windows so far. */
+    unsigned windowsClosed() const { return windowsClosed_; }
+
+  private:
+    void closeWindow();
+
+    GradientConfig config_;
+    double limit_;
+    double minRttSec_;
+    std::vector<double> window_;
+    Time windowEnd_ = Time::never();
+    bool probing_ = true;
+    unsigned windowsClosed_ = 0;
+};
+
+/**
+ * Build the admission controller requested by @p spec's [admission]
+ * section; nullptr for "none" (no admission control). fatal() on an
+ * unknown policy name (specs are user input, but validateSchemeSpec
+ * rejects bad names before assembly normally reaches this).
+ */
+std::unique_ptr<AdmissionController>
+makeAdmissionController(const core::SchemeSpec &spec);
+
+/** Registry of admission policy names: {"none", "static", "gradient"}. */
+const std::vector<std::string> &admissionSchemeNames();
+
+} // namespace dirigent::serve
+
+#endif // DIRIGENT_SERVE_ADMISSION_H

@@ -1,0 +1,247 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::serve {
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+    case ArrivalKind::Poisson: return "poisson";
+    case ArrivalKind::Mmpp: return "mmpp";
+    case ArrivalKind::Diurnal: return "diurnal";
+    case ArrivalKind::Trace: return "trace";
+    }
+    return "?";
+}
+
+std::optional<ArrivalKind>
+arrivalKindFromName(const std::string &name)
+{
+    for (ArrivalKind k : {ArrivalKind::Poisson, ArrivalKind::Mmpp,
+                          ArrivalKind::Diurnal, ArrivalKind::Trace})
+        if (name == arrivalKindName(k))
+            return k;
+    return std::nullopt;
+}
+
+double
+ArrivalSpec::meanRate() const
+{
+    switch (kind) {
+    case ArrivalKind::Poisson:
+    case ArrivalKind::Diurnal:
+        // The sinusoid integrates to zero over a period.
+        return rate;
+    case ArrivalKind::Mmpp:
+        return (rate * dwellSec + burstRate * burstDwellSec) /
+               (dwellSec + burstDwellSec);
+    case ArrivalKind::Trace:
+        return std::nan("");
+    }
+    return std::nan("");
+}
+
+PoissonArrivals::PoissonArrivals(double rate, Rng rng)
+    : rate_(rate), rng_(rng)
+{
+    DIRIGENT_ASSERT(rate > 0.0, "poisson rate must be > 0, got %.9g",
+                    rate);
+}
+
+Time
+PoissonArrivals::next()
+{
+    t_ += rng_.exponential(1.0 / rate_);
+    return Time::sec(t_);
+}
+
+MmppArrivals::MmppArrivals(double rate, double burstRate,
+                           double dwellSec, double burstDwellSec,
+                           Rng rng)
+    : rate_(rate), burstRate_(burstRate), dwellSec_(dwellSec),
+      burstDwellSec_(burstDwellSec), rng_(rng)
+{
+    DIRIGENT_ASSERT(rate > 0.0 && burstRate > 0.0,
+                    "mmpp rates must be > 0");
+    DIRIGENT_ASSERT(dwellSec > 0.0 && burstDwellSec > 0.0,
+                    "mmpp dwells must be > 0");
+}
+
+Time
+MmppArrivals::next()
+{
+    if (!primed_) {
+        primed_ = true;
+        stateEnd_ = rng_.exponential(dwellSec_);
+    }
+    for (;;) {
+        double r = burst_ ? burstRate_ : rate_;
+        double step = rng_.exponential(1.0 / r);
+        if (t_ + step <= stateEnd_) {
+            t_ += step;
+            return Time::sec(t_);
+        }
+        // The candidate crossed a state boundary: advance to the
+        // boundary, flip state, and re-draw — exact because the
+        // exponential is memoryless.
+        t_ = stateEnd_;
+        burst_ = !burst_;
+        stateEnd_ =
+            t_ + rng_.exponential(burst_ ? burstDwellSec_ : dwellSec_);
+    }
+}
+
+DiurnalArrivals::DiurnalArrivals(double rate, double periodSec,
+                                 double amplitude, Rng rng)
+    : rate_(rate), periodSec_(periodSec), amplitude_(amplitude),
+      rng_(rng)
+{
+    DIRIGENT_ASSERT(rate > 0.0, "diurnal rate must be > 0");
+    DIRIGENT_ASSERT(periodSec > 0.0, "diurnal period must be > 0");
+    DIRIGENT_ASSERT(amplitude >= 0.0 && amplitude <= 1.0,
+                    "diurnal amplitude %.9g out of [0, 1]", amplitude);
+}
+
+Time
+DiurnalArrivals::next()
+{
+    const double peak = rate_ * (1.0 + amplitude_);
+    for (;;) {
+        t_ += rng_.exponential(1.0 / peak);
+        double instantaneous =
+            rate_ *
+            (1.0 + amplitude_ *
+                       std::sin(2.0 * M_PI * t_ / periodSec_));
+        if (rng_.uniform() * peak <= instantaneous)
+            return Time::sec(t_);
+    }
+}
+
+TraceArrivals::TraceArrivals(std::vector<Time> arrivals)
+    : arrivals_(std::move(arrivals))
+{
+    for (size_t i = 1; i < arrivals_.size(); ++i)
+        DIRIGENT_ASSERT(arrivals_[i] >= arrivals_[i - 1],
+                        "trace timestamps must be nondecreasing "
+                        "(index %zu)",
+                        i);
+}
+
+Time
+TraceArrivals::next()
+{
+    if (index_ >= arrivals_.size())
+        return Time::never();
+    return arrivals_[index_++];
+}
+
+std::vector<Time>
+loadArrivalTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal(strfmt("cannot open arrival trace '%s'", path.c_str()));
+    std::vector<Time> out;
+    std::string line;
+    size_t lineNo = 0;
+    double prev = -1.0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        char *end = nullptr;
+        double t = std::strtod(line.c_str() + start, &end);
+        if (end == line.c_str() + start || !std::isfinite(t) || t < 0.0)
+            fatal(strfmt("%s:%zu: bad arrival timestamp '%s'",
+                         path.c_str(), lineNo, line.c_str()));
+        if (t < prev)
+            fatal(strfmt("%s:%zu: timestamps must be nondecreasing "
+                         "(%.9g after %.9g)",
+                         path.c_str(), lineNo, t, prev));
+        prev = t;
+        out.push_back(Time::sec(t));
+    }
+    return out;
+}
+
+std::optional<std::string>
+validateArrivalSpec(const ArrivalSpec &spec)
+{
+    if (!std::isfinite(spec.rate) || spec.rate <= 0.0)
+        return strfmt("arrival spec: rate must be > 0, got %.9g",
+                      spec.rate);
+    switch (spec.kind) {
+    case ArrivalKind::Poisson:
+        break;
+    case ArrivalKind::Mmpp:
+        if (!std::isfinite(spec.burstRate) ||
+            spec.burstRate <= spec.rate)
+            return strfmt("arrival spec: mmpp burst_rate %.9g must "
+                          "exceed rate %.9g",
+                          spec.burstRate, spec.rate);
+        if (spec.dwellSec <= 0.0 || spec.burstDwellSec <= 0.0)
+            return "arrival spec: mmpp dwells must be > 0";
+        break;
+    case ArrivalKind::Diurnal:
+        if (spec.periodSec <= 0.0)
+            return "arrival spec: diurnal period must be > 0";
+        if (!(spec.amplitude >= 0.0 && spec.amplitude <= 1.0))
+            return strfmt("arrival spec: diurnal amplitude %.9g out of "
+                          "[0, 1]",
+                          spec.amplitude);
+        break;
+    case ArrivalKind::Trace:
+        if (spec.traceFile.empty())
+            return "arrival spec: trace kind requires trace_file";
+        break;
+    }
+    return std::nullopt;
+}
+
+std::unique_ptr<ArrivalProcess>
+makeArrivalProcess(const ArrivalSpec &spec, uint64_t seed)
+{
+    if (auto error = validateArrivalSpec(spec))
+        fatal(*error);
+    Rng rng = Rng(seed).fork(0x5E12E);
+    switch (spec.kind) {
+    case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(spec.rate, rng);
+    case ArrivalKind::Mmpp:
+        return std::make_unique<MmppArrivals>(
+            spec.rate, spec.burstRate, spec.dwellSec,
+            spec.burstDwellSec, rng);
+    case ArrivalKind::Diurnal:
+        return std::make_unique<DiurnalArrivals>(
+            spec.rate, spec.periodSec, spec.amplitude, rng);
+    case ArrivalKind::Trace:
+        return std::make_unique<TraceArrivals>(
+            loadArrivalTrace(spec.traceFile));
+    }
+    fatal("unreachable arrival kind");
+}
+
+ArrivalSpec
+scaledToRate(const ArrivalSpec &spec, double targetMeanRate)
+{
+    if (spec.kind == ArrivalKind::Trace)
+        fatal("arrival spec: cannot rescale a trace-replay process");
+    if (!std::isfinite(targetMeanRate) || targetMeanRate <= 0.0)
+        fatal(strfmt("arrival spec: target rate must be > 0, got %.9g",
+                     targetMeanRate));
+    ArrivalSpec scaled = spec;
+    double factor = targetMeanRate / spec.meanRate();
+    scaled.rate = spec.rate * factor;
+    if (spec.kind == ArrivalKind::Mmpp)
+        scaled.burstRate = spec.burstRate * factor;
+    return scaled;
+}
+
+} // namespace dirigent::serve

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Deterministic arrival processes for open-loop request serving.
+ *
+ * An ArrivalProcess is a seeded generator of absolute arrival times:
+ * successive next() calls return a nondecreasing stream, and the same
+ * (spec, seed) pair always produces the same stream — byte-identical
+ * regardless of which executor thread replays it. Four processes are
+ * provided:
+ *
+ *   poisson  constant-rate memoryless arrivals
+ *   mmpp     2-state Markov-modulated Poisson process (bursty traffic:
+ *            a base state and a burst state with exponential dwells)
+ *   diurnal  sinusoidally-modulated rate (thinning of a peak-rate
+ *            Poisson stream), the classic day/night load curve
+ *   trace    replay of a recorded CSV of absolute timestamps
+ *
+ * The ArrivalSpec describing a process round-trips through the same
+ * INI text format as SchemeSpec (see serve/spec.h).
+ */
+
+#ifndef DIRIGENT_SERVE_ARRIVAL_H
+#define DIRIGENT_SERVE_ARRIVAL_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace dirigent::serve {
+
+/** Kinds of arrival process. */
+enum class ArrivalKind
+{
+    Poisson,
+    Mmpp,
+    Diurnal,
+    Trace
+};
+
+/** Printable kind name ("poisson", "mmpp", "diurnal", "trace"). */
+const char *arrivalKindName(ArrivalKind kind);
+
+/** Declarative description of one arrival process. */
+struct ArrivalSpec
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    /**
+     * Arrival rate in requests/second: the constant rate (poisson),
+     * the base-state rate (mmpp), or the mean rate (diurnal).
+     */
+    double rate = 1.0;
+
+    /** MMPP burst-state rate (requests/second; > rate). */
+    double burstRate = 0.0;
+
+    /** MMPP mean dwell in the base state (seconds). */
+    double dwellSec = 10.0;
+
+    /** MMPP mean dwell in the burst state (seconds). */
+    double burstDwellSec = 2.0;
+
+    /** Diurnal modulation period (seconds). */
+    double periodSec = 60.0;
+
+    /** Diurnal relative amplitude in [0, 1]: rate swings rate·(1±a). */
+    double amplitude = 0.5;
+
+    /** Trace replay: CSV file of absolute timestamps in seconds. */
+    std::string traceFile;
+
+    /**
+     * Long-run mean arrival rate implied by the spec (requests/second);
+     * NaN for trace replay (the trace alone defines it).
+     */
+    double meanRate() const;
+
+    bool operator==(const ArrivalSpec &) const = default;
+};
+
+/**
+ * A seeded generator of absolute arrival times.
+ */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /** The generating kind. */
+    virtual ArrivalKind kind() const = 0;
+
+    /**
+     * Absolute time of the next arrival, starting from t = 0.
+     * Nondecreasing across calls; Time::never() once exhausted
+     * (only trace replay exhausts).
+     */
+    virtual Time next() = 0;
+};
+
+/** Constant-rate Poisson arrivals. */
+class PoissonArrivals : public ArrivalProcess
+{
+  public:
+    PoissonArrivals(double rate, Rng rng);
+    ArrivalKind kind() const override { return ArrivalKind::Poisson; }
+    Time next() override;
+
+  private:
+    double rate_;
+    Rng rng_;
+    double t_ = 0.0;
+};
+
+/**
+ * 2-state Markov-modulated Poisson process: exponential dwells in a
+ * base state (rate) and a burst state (burstRate). Memorylessness
+ * makes the re-draw at each state boundary exact.
+ */
+class MmppArrivals : public ArrivalProcess
+{
+  public:
+    MmppArrivals(double rate, double burstRate, double dwellSec,
+                 double burstDwellSec, Rng rng);
+    ArrivalKind kind() const override { return ArrivalKind::Mmpp; }
+    Time next() override;
+
+    /** True while in the burst state (for tests). */
+    bool bursting() const { return burst_; }
+
+  private:
+    double rate_, burstRate_, dwellSec_, burstDwellSec_;
+    Rng rng_;
+    double t_ = 0.0;
+    double stateEnd_ = 0.0;
+    bool burst_ = false;
+    bool primed_ = false;
+};
+
+/**
+ * Sinusoidally-modulated rate via thinning: candidate arrivals are
+ * drawn at the peak rate rate·(1+amplitude) and accepted with
+ * probability rate(t)/peak, where
+ * rate(t) = rate·(1 + amplitude·sin(2πt/period)).
+ */
+class DiurnalArrivals : public ArrivalProcess
+{
+  public:
+    DiurnalArrivals(double rate, double periodSec, double amplitude,
+                    Rng rng);
+    ArrivalKind kind() const override { return ArrivalKind::Diurnal; }
+    Time next() override;
+
+  private:
+    double rate_, periodSec_, amplitude_;
+    Rng rng_;
+    double t_ = 0.0;
+};
+
+/** Replay of a recorded timestamp trace. */
+class TraceArrivals : public ArrivalProcess
+{
+  public:
+    /** @param arrivals nondecreasing absolute times (validated). */
+    explicit TraceArrivals(std::vector<Time> arrivals);
+    ArrivalKind kind() const override { return ArrivalKind::Trace; }
+    Time next() override;
+
+    size_t remaining() const { return arrivals_.size() - index_; }
+
+  private:
+    std::vector<Time> arrivals_;
+    size_t index_ = 0;
+};
+
+/**
+ * Load a timestamp trace CSV: one absolute time (seconds) per line;
+ * blank lines and '#' comments ignored. fatal() on unparsable or
+ * decreasing timestamps (traces are user input).
+ */
+std::vector<Time> loadArrivalTrace(const std::string &path);
+
+/** Structural validation; nullopt when well-formed. */
+std::optional<std::string> validateArrivalSpec(const ArrivalSpec &spec);
+
+/**
+ * Instantiate the process described by @p spec with randomness derived
+ * from @p seed (trace replay ignores the seed). fatal() on an invalid
+ * spec.
+ */
+std::unique_ptr<ArrivalProcess>
+makeArrivalProcess(const ArrivalSpec &spec, uint64_t seed);
+
+/** Kind from its name; nullopt when unknown. */
+std::optional<ArrivalKind> arrivalKindFromName(const std::string &name);
+
+/**
+ * Copy of @p spec rescaled so meanRate() == @p targetMeanRate: rate
+ * (and, for mmpp, burstRate) are multiplied by the same factor, which
+ * preserves the burst/base ratio and the dwell structure. fatal() for
+ * trace replay (a trace's rate cannot be rescaled) or a non-positive
+ * target. Load sweeps use this to drive one spec across a rate grid.
+ */
+ArrivalSpec scaledToRate(const ArrivalSpec &spec, double targetMeanRate);
+
+} // namespace dirigent::serve
+
+#endif // DIRIGENT_SERVE_ARRIVAL_H

@@ -1,0 +1,267 @@
+#include "serve/driver.h"
+
+#include <cmath>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+#include "obs/recorder.h"
+
+namespace dirigent::serve {
+
+namespace {
+
+/** Histogram of served response times mirrored into the recorder. */
+obs::HistogramConfig
+responseHistogramConfig()
+{
+    // 1 ms .. ~10^5 s in 20 bins/decade; response times in these
+    // experiments live in the 0.1 s .. 100 s range.
+    return obs::HistogramConfig{1e-3, 20, 180};
+}
+
+} // namespace
+
+ServeDriver::ServeDriver(sim::Engine &engine, machine::Machine &machine,
+                         std::unique_ptr<ArrivalProcess> process,
+                         ServeDriverConfig config,
+                         core::DirigentRuntime *runtime,
+                         std::unique_ptr<AdmissionController> admission)
+    : engine_(engine), machine_(machine), process_(std::move(process)),
+      config_(config), runtime_(runtime),
+      admission_(std::move(admission)),
+      queue_(config.queueCapacity, config.discipline)
+{
+    DIRIGENT_ASSERT(process_ != nullptr,
+                    "serve driver needs an arrival process");
+    DIRIGENT_ASSERT(machine.os().process(config_.fgPid).foreground,
+                    "pid %u is not a foreground process", config_.fgPid);
+    if (admission_ != nullptr)
+        lastLimit_ = admission_->limit();
+}
+
+ServeDriver::~ServeDriver()
+{
+    stop();
+}
+
+void
+ServeDriver::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    origin_ = engine_.now();
+    // No work yet: hold the FG process.
+    machine_.os().pause(config_.fgPid);
+    busy_ = false;
+    listener_ = machine_.addCompletionListener(
+        [this](const machine::CompletionRecord &rec) {
+            onCompletion(rec);
+        });
+    if (recorder_ != nullptr)
+        stats_.attachHistogram(&recorder_->metrics().histogram(
+            strfmt("fg%u.response_s", config_.fgSlot),
+            responseHistogramConfig()));
+    scheduleNextArrival();
+}
+
+void
+ServeDriver::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    exhausted_ = true;
+    machine_.removeCompletionListener(listener_);
+    if (pendingArrival_.valid()) {
+        engine_.events().cancel(pendingArrival_);
+        pendingArrival_ = sim::EventId{};
+    }
+}
+
+void
+ServeDriver::setRecorder(obs::Recorder *recorder)
+{
+    DIRIGENT_ASSERT(!running_, "set the recorder before start()");
+    recorder_ = recorder;
+}
+
+void
+ServeDriver::scheduleNextArrival()
+{
+    Time offset = process_->next();
+    if (offset.isNever() ||
+        (!config_.horizon.isNever() && offset > config_.horizon)) {
+        exhausted_ = true;
+        return;
+    }
+    pendingArrival_ = engine_.at(origin_ + offset, [this] {
+        pendingArrival_ = sim::EventId{};
+        if (!running_)
+            return;
+        onArrival(engine_.now());
+        scheduleNextArrival();
+    });
+}
+
+void
+ServeDriver::onArrival(Time now)
+{
+    ++arrivals_;
+    Request req;
+    req.id = requests_.size();
+    req.arrived = now;
+    req.queueDepth = queue_.depth();
+
+    size_t outstanding = queue_.depth() + (busy_ ? 1 : 0);
+    if (admission_ != nullptr && !admission_->admit(now, outstanding)) {
+        queue_.noteShed();
+        req.outcome = RequestOutcome::Shed;
+        recordRejection(req, core::TraceAction::RequestShed,
+                        outstanding);
+        requests_.push_back(req);
+        return;
+    }
+    if (!queue_.push(req.id)) {
+        req.outcome = RequestOutcome::Dropped;
+        recordRejection(req, core::TraceAction::RequestDropped,
+                        outstanding);
+        requests_.push_back(req);
+        return;
+    }
+    requests_.push_back(req);
+    if (!busy_) {
+        auto id = queue_.pop();
+        DIRIGENT_ASSERT(id.has_value(), "queue cannot be empty here");
+        inService_ = *id;
+        beginService(now);
+    }
+}
+
+void
+ServeDriver::beginService(Time now)
+{
+    busy_ = true;
+    requests_[inService_].started = now;
+    machine::Process &proc = machine_.os().process(config_.fgPid);
+    if (!proc.runnable()) {
+        // Fresh request after idle: new task starting now, cold input.
+        machine_.switchProgram(config_.fgPid, proc.program);
+        machine_.os().resume(config_.fgPid);
+        if (runtime_ != nullptr)
+            runtime_->restartPredictionClock(config_.fgPid, now);
+    }
+    // When continuing straight from a completion, the machine already
+    // restarted the task (and the runtime re-armed its predictor) at
+    // the completion instant == now.
+}
+
+void
+ServeDriver::onCompletion(const machine::CompletionRecord &rec)
+{
+    if (rec.pid != config_.fgPid || !busy_)
+        return;
+    Request &req = requests_[inService_];
+    req.finished = rec.finished;
+    req.outcome = RequestOutcome::Completed;
+    ++completed_;
+
+    Time rtt = req.responseTime();
+    if (req.arrived >= origin_ + config_.warmup)
+        stats_.add(rtt.sec());
+    noteAdmissionResponse(rec.finished, rtt);
+    emitRequestRecord(req);
+    if (onComplete_)
+        onComplete_(req);
+
+    auto id = queue_.pop();
+    if (!id.has_value()) {
+        busy_ = false;
+        machine_.os().pause(config_.fgPid);
+        return;
+    }
+    inService_ = *id;
+    beginService(rec.finished);
+}
+
+void
+ServeDriver::recordRejection(Request &req, core::TraceAction action,
+                             size_t outstanding)
+{
+    if (trace_ != nullptr) {
+        core::TraceEvent ev;
+        ev.when = req.arrived;
+        ev.action = action;
+        ev.fgPid = config_.fgPid;
+        ev.slackRatio = admission_ != nullptr ? admission_->limit()
+                                              : double(queue_.capacity());
+        ev.detail = strfmt("req=%llu outstanding=%zu",
+                           (unsigned long long)req.id, outstanding);
+        trace_->record(std::move(ev));
+    }
+    emitRequestRecord(req);
+}
+
+void
+ServeDriver::noteAdmissionResponse(Time now, Time rtt)
+{
+    if (admission_ == nullptr)
+        return;
+    admission_->onResponse(now, rtt);
+    double limit = admission_->limit();
+    if (limit != lastLimit_) {
+        if (trace_ != nullptr) {
+            core::TraceEvent ev;
+            ev.when = now;
+            ev.action = core::TraceAction::AdmitLimitChanged;
+            ev.fgPid = config_.fgPid;
+            ev.slackRatio = limit;
+            ev.detail = strfmt("limit %.6g -> %.6g", lastLimit_, limit);
+            trace_->record(std::move(ev));
+        }
+        lastLimit_ = limit;
+    }
+}
+
+void
+ServeDriver::emitRequestRecord(const Request &req)
+{
+    if (recorder_ == nullptr)
+        return;
+    obs::RequestRecord rr;
+    rr.fgSlot = config_.fgSlot;
+    rr.pid = config_.fgPid;
+    rr.id = req.id;
+    rr.arrived = req.arrived;
+    rr.started = req.started;
+    rr.finished = req.finished;
+    rr.queueDepth = req.queueDepth;
+    rr.outcome = outcomeName(req.outcome);
+    rr.responseSec = req.outcome == RequestOutcome::Completed
+                         ? req.responseTime().sec()
+                         : std::nan("");
+    recorder_->addRequest(std::move(rr));
+}
+
+std::string
+formatRequestLog(const std::vector<Request> &requests, bool precise)
+{
+    const char *timeFmt = precise ? "%.17g" : "%.6f";
+    std::string out;
+    for (const Request &req : requests) {
+        out += strfmt("R id=%llu t=", (unsigned long long)req.id);
+        out += strfmt(timeFmt, req.arrived.sec());
+        out += strfmt(" q=%zu %s", req.queueDepth,
+                      outcomeName(req.outcome));
+        if (req.outcome == RequestOutcome::Completed) {
+            out += " s=";
+            out += strfmt(timeFmt, req.started.sec());
+            out += " f=";
+            out += strfmt(timeFmt, req.finished.sec());
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace dirigent::serve

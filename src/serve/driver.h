@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The request-serving driver for one foreground process: an arrival
+ * process feeds a bounded RequestQueue, an optional AdmissionController
+ * sheds load, and every request's lifecycle is recorded.
+ *
+ * The FG process is paused whenever the queue is empty (no work) and
+ * resumed at the next accepted arrival; each service period is one FG
+ * task execution, so the Dirigent runtime's per-execution prediction
+ * and control apply unchanged — its prediction clock is re-armed at
+ * dequeue (not at the previous completion) via restartPredictionClock.
+ * Because queueing amplifies service-time variance (the paper's Fig. 2
+ * argument), Dirigent's variance reduction translates directly into
+ * shorter response-time tails here.
+ *
+ * Determinism: the driver's behaviour is a pure function of (arrival
+ * process, config, simulation); it draws no randomness of its own.
+ */
+
+#ifndef DIRIGENT_SERVE_DRIVER_H
+#define DIRIGENT_SERVE_DRIVER_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "dirigent/runtime.h"
+#include "dirigent/trace.h"
+#include "machine/machine.h"
+#include "serve/admission.h"
+#include "serve/arrival.h"
+#include "serve/queue.h"
+#include "serve/slo.h"
+#include "sim/engine.h"
+
+namespace dirigent::obs {
+class Recorder;
+} // namespace dirigent::obs
+
+namespace dirigent::serve {
+
+/** Per-driver wiring. */
+struct ServeDriverConfig
+{
+    machine::Pid fgPid = 0;
+    unsigned fgSlot = 0; //!< FG index within the mix (for records)
+
+    /** Waiting-request capacity; 0 = unbounded. */
+    size_t queueCapacity = 0;
+
+    QueueDiscipline discipline = QueueDiscipline::Fifo;
+
+    /** Stop injecting arrivals this long after start(); never() = no
+     *  horizon (the driver runs until stop()). */
+    Time horizon = Time::never();
+
+    /** Requests arriving within this offset of start() are served but
+     *  excluded from measuredStats(). */
+    Time warmup;
+};
+
+/**
+ * Open-loop request server for one foreground process.
+ */
+class ServeDriver
+{
+  public:
+    /**
+     * @param engine engine for scheduling arrivals (not owned).
+     * @param machine the machine running the FG process (not owned).
+     * @param process arrival-time generator (owned).
+     * @param config queue/window wiring.
+     * @param runtime optional Dirigent runtime to notify at service
+     *        starts (not owned; may be null).
+     * @param admission optional admission controller (owned; may be
+     *        null = accept everything the queue can hold).
+     */
+    ServeDriver(sim::Engine &engine, machine::Machine &machine,
+                std::unique_ptr<ArrivalProcess> process,
+                ServeDriverConfig config,
+                core::DirigentRuntime *runtime = nullptr,
+                std::unique_ptr<AdmissionController> admission = nullptr);
+
+    ~ServeDriver();
+
+    ServeDriver(const ServeDriver &) = delete;
+    ServeDriver &operator=(const ServeDriver &) = delete;
+
+    /**
+     * Begin injecting arrivals. The FG process is paused until the
+     * first accepted arrival; call at the start of the run.
+     */
+    void start();
+
+    /** Stop injecting; the FG process is left paused if idle. */
+    void stop();
+
+    /**
+     * True once the horizon passed (or the trace exhausted) and every
+     * accepted request completed — the driver will produce no further
+     * work.
+     */
+    bool done() const
+    {
+        return exhausted_ && !busy_ && queue_.empty();
+    }
+
+    /** Record serving decisions into this trace (not owned). */
+    void setTrace(core::DecisionTrace *trace) { trace_ = trace; }
+
+    /**
+     * Mirror per-request records (and a response-time histogram) into
+     * this telemetry recorder (not owned). Set before start().
+     */
+    void setRecorder(obs::Recorder *recorder);
+
+    /** Invoke @p fn at every completed request (after recording). */
+    void setOnComplete(std::function<void(const Request &)> fn)
+    {
+        onComplete_ = std::move(fn);
+    }
+
+    /** Every request in arrival order (all outcomes). */
+    const std::vector<Request> &requests() const { return requests_; }
+
+    /** Response times of completed requests arriving at or after the
+     *  warmup offset. */
+    const LatencyStats &measuredStats() const { return stats_; }
+
+    const RequestQueue &queue() const { return queue_; }
+    const AdmissionController *admission() const
+    {
+        return admission_.get();
+    }
+
+    uint64_t arrivals() const { return arrivals_; }
+    uint64_t completed() const { return completed_; }
+    uint64_t dropped() const { return queue_.dropped(); }
+    uint64_t shed() const { return queue_.shed(); }
+    size_t maxQueueDepth() const { return queue_.maxDepth(); }
+
+  private:
+    void scheduleNextArrival();
+    void onArrival(Time now);
+    void onCompletion(const machine::CompletionRecord &rec);
+    void beginService(Time now);
+    void recordRejection(Request &req, core::TraceAction action,
+                         size_t outstanding);
+    void noteAdmissionResponse(Time now, Time rtt);
+    void emitRequestRecord(const Request &req);
+
+    sim::Engine &engine_;
+    machine::Machine &machine_;
+    std::unique_ptr<ArrivalProcess> process_;
+    ServeDriverConfig config_;
+    core::DirigentRuntime *runtime_;
+    std::unique_ptr<AdmissionController> admission_;
+    core::DecisionTrace *trace_ = nullptr;
+    obs::Recorder *recorder_ = nullptr;
+    std::function<void(const Request &)> onComplete_;
+
+    RequestQueue queue_;
+    std::vector<Request> requests_; //!< indexed by request id
+    LatencyStats stats_;
+
+    Time origin_;                //!< engine time of start()
+    uint64_t inService_ = 0;     //!< request id being served
+    bool busy_ = false;
+    bool running_ = false;
+    bool exhausted_ = false;     //!< no further arrivals will come
+    uint64_t arrivals_ = 0;
+    uint64_t completed_ = 0;
+    double lastLimit_ = 0.0;     //!< last traced admission limit
+    size_t listener_ = 0;
+    sim::EventId pendingArrival_;
+};
+
+/**
+ * Render a request log as text for golden/replay comparison: one line
+ * per request, "R id=... t=ARRIVED q=DEPTH OUTCOME [s=START f=FINISH]".
+ * @p precise selects %.17g (bit-exact across thread counts) over the
+ * default µs-rounded rendering (stable across toolchains).
+ */
+std::string formatRequestLog(const std::vector<Request> &requests,
+                             bool precise = false);
+
+} // namespace dirigent::serve
+
+#endif // DIRIGENT_SERVE_DRIVER_H

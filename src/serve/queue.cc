@@ -1,0 +1,59 @@
+#include "serve/queue.h"
+
+#include "common/log.h"
+
+namespace dirigent::serve {
+
+const char *
+outcomeName(RequestOutcome outcome)
+{
+    switch (outcome) {
+    case RequestOutcome::Pending: return "pending";
+    case RequestOutcome::Completed: return "completed";
+    case RequestOutcome::Dropped: return "dropped";
+    case RequestOutcome::Shed: return "shed";
+    }
+    return "?";
+}
+
+const char *
+disciplineName(QueueDiscipline discipline)
+{
+    return discipline == QueueDiscipline::Fifo ? "fifo" : "lifo";
+}
+
+RequestQueue::RequestQueue(size_t capacity, QueueDiscipline discipline)
+    : capacity_(capacity), discipline_(discipline)
+{
+}
+
+bool
+RequestQueue::push(uint64_t id)
+{
+    if (capacity_ > 0 && waiting_.size() >= capacity_) {
+        ++dropped_;
+        return false;
+    }
+    waiting_.push_back(id);
+    ++accepted_;
+    maxDepth_ = std::max(maxDepth_, waiting_.size());
+    return true;
+}
+
+std::optional<uint64_t>
+RequestQueue::pop()
+{
+    if (waiting_.empty())
+        return std::nullopt;
+    uint64_t id;
+    if (discipline_ == QueueDiscipline::Fifo) {
+        id = waiting_.front();
+        waiting_.pop_front();
+    } else {
+        id = waiting_.back();
+        waiting_.pop_back();
+    }
+    return id;
+}
+
+} // namespace dirigent::serve

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Per-FG request queue: bounded capacity, FIFO/LIFO discipline, and
+ * drop/shed accounting. The queue holds request ids (indices into the
+ * driver's per-request record store); the Request record itself carries
+ * the full lifecycle of one request — arrival, service start, finish,
+ * queue depth at arrival, and final outcome.
+ *
+ * Terminology follows load-shedding practice: a *drop* is a request
+ * rejected because the queue is full (a capacity limit), a *shed* is a
+ * request rejected by the admission controller (a policy limit).
+ */
+
+#ifndef DIRIGENT_SERVE_QUEUE_H
+#define DIRIGENT_SERVE_QUEUE_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/units.h"
+
+namespace dirigent::serve {
+
+/** Final state of one request. */
+enum class RequestOutcome
+{
+    Pending,   //!< queued or in service
+    Completed, //!< served to completion
+    Dropped,   //!< rejected: queue at capacity
+    Shed       //!< rejected: admission controller refused it
+};
+
+/** Printable outcome name ("pending", "completed", ...). */
+const char *outcomeName(RequestOutcome outcome);
+
+/** Lifecycle record of one request. */
+struct Request
+{
+    uint64_t id = 0;     //!< per-driver sequence number (arrival order)
+    Time arrived;        //!< request arrival time
+    Time started = Time::never();  //!< service start (dequeue) time
+    Time finished = Time::never(); //!< completion time
+    size_t queueDepth = 0; //!< waiting requests at arrival (excl. this)
+    RequestOutcome outcome = RequestOutcome::Pending;
+
+    /** Arrival-to-completion latency (queueing + service). */
+    Time responseTime() const { return finished - arrived; }
+
+    /** Service-only latency. */
+    Time serviceTime() const { return finished - started; }
+};
+
+/** Service order of waiting requests. */
+enum class QueueDiscipline
+{
+    Fifo, //!< oldest request first
+    Lifo  //!< newest request first (adversarial-tail stack)
+};
+
+/** Printable discipline name ("fifo" / "lifo"). */
+const char *disciplineName(QueueDiscipline discipline);
+
+/**
+ * Bounded queue of waiting request ids with rejection accounting.
+ */
+class RequestQueue
+{
+  public:
+    /**
+     * @param capacity maximum waiting requests; 0 = unbounded.
+     * @param discipline service order of waiting requests.
+     */
+    explicit RequestQueue(size_t capacity = 0,
+                          QueueDiscipline discipline =
+                              QueueDiscipline::Fifo);
+
+    /**
+     * Enqueue request @p id; false (and one more drop accounted) when
+     * the queue is at capacity.
+     */
+    bool push(uint64_t id);
+
+    /** Next request id to serve per discipline; nullopt when empty. */
+    std::optional<uint64_t> pop();
+
+    /** Account one admission-controller rejection. */
+    void noteShed() { ++shed_; }
+
+    size_t capacity() const { return capacity_; }
+    QueueDiscipline discipline() const { return discipline_; }
+
+    /** Currently waiting requests. */
+    size_t depth() const { return waiting_.size(); }
+    bool empty() const { return waiting_.empty(); }
+
+    /** Largest depth ever observed (after a push). */
+    size_t maxDepth() const { return maxDepth_; }
+
+    /** Successfully enqueued requests. */
+    uint64_t accepted() const { return accepted_; }
+
+    /** Requests rejected because the queue was full. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Requests rejected by admission control (via noteShed()). */
+    uint64_t shed() const { return shed_; }
+
+  private:
+    size_t capacity_;
+    QueueDiscipline discipline_;
+    std::deque<uint64_t> waiting_;
+    size_t maxDepth_ = 0;
+    uint64_t accepted_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t shed_ = 0;
+};
+
+} // namespace dirigent::serve
+
+#endif // DIRIGENT_SERVE_QUEUE_H

@@ -1,0 +1,95 @@
+#include "serve/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::serve {
+
+void
+LatencyStats::add(double seconds)
+{
+    samples_.push_back(seconds);
+    if (histogram_ != nullptr)
+        histogram_->observe(seconds);
+}
+
+double
+LatencyStats::quantile(double q) const
+{
+    DIRIGENT_ASSERT(q >= 0.0 && q <= 1.0, "quantile %f out of [0, 1]",
+                    q);
+    if (samples_.empty())
+        return std::nan("");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted[0];
+    double pos = q * double(sorted.size() - 1);
+    size_t idx = size_t(pos);
+    double frac = pos - double(idx);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double
+LatencyStats::mean() const
+{
+    if (samples_.empty())
+        return std::nan("");
+    double sum = 0.0;
+    for (double s : samples_)
+        sum += s;
+    return sum / double(samples_.size());
+}
+
+double
+LatencyStats::max() const
+{
+    if (samples_.empty())
+        return std::nan("");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::string
+SloTarget::label() const
+{
+    // p999 reads better than p99.9 in column headers and JSON keys.
+    double pct = quantile * 100.0;
+    if (std::abs(pct - std::round(pct)) < 1e-9)
+        return strfmt("p%.0f", pct);
+    if (std::abs(pct * 10.0 - std::round(pct * 10.0)) < 1e-9)
+        return strfmt("p%.0f", pct * 10.0);
+    return strfmt("p%.3f", pct);
+}
+
+std::vector<SloVerdict>
+evaluateSlos(const std::vector<SloTarget> &targets,
+             const LatencyStats &stats)
+{
+    std::vector<SloVerdict> verdicts;
+    verdicts.reserve(targets.size());
+    for (const SloTarget &t : targets) {
+        SloVerdict v;
+        v.target = t;
+        v.achievedSec = stats.quantile(t.quantile);
+        // NaN compares false: no samples ⇒ not met.
+        v.met = v.achievedSec <= t.targetSec;
+        verdicts.push_back(v);
+    }
+    return verdicts;
+}
+
+bool
+allSlosMet(const std::vector<SloVerdict> &verdicts)
+{
+    for (const SloVerdict &v : verdicts)
+        if (!v.met)
+            return false;
+    return true;
+}
+
+} // namespace dirigent::serve

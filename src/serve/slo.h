@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tail-latency SLOs: exact response-time quantiles from sorted samples
+ * plus an optional streaming log-linear histogram mirror (reusing
+ * obs::MetricsRegistry), and per-run SLO verdicts of the form
+ * "p99 ≤ target".
+ *
+ * Empty-sample semantics: a quantile of zero samples is NaN, never 0 —
+ * downstream JSON serialization (the PR 2 NaN→null convention in
+ * exec::jsonNumber / obs::jsonDouble) renders it as null, so "no
+ * completed requests" is distinguishable from "zero latency".
+ */
+
+#ifndef DIRIGENT_SERVE_SLO_H
+#define DIRIGENT_SERVE_SLO_H
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dirigent::serve {
+
+/**
+ * Response-time sample store: exact quantiles from a sorted copy, with
+ * an optional obs::Histogram mirror for streaming/export consumers.
+ */
+class LatencyStats
+{
+  public:
+    /** Mirror every sample into @p histogram (borrowed; may be null). */
+    void attachHistogram(obs::Histogram *histogram)
+    {
+        histogram_ = histogram;
+    }
+
+    /** Record one response time in seconds. */
+    void add(double seconds);
+
+    size_t count() const { return samples_.size(); }
+
+    /**
+     * Exact quantile @p q in [0, 1] by linear interpolation of the
+     * sorted samples; NaN when no samples were recorded.
+     */
+    double quantile(double q) const;
+
+    /** Arithmetic mean; NaN when empty. */
+    double mean() const;
+
+    /** Maximum sample; NaN when empty. */
+    double max() const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    obs::Histogram *histogram_ = nullptr;
+};
+
+/** One SLO target: "quantile of response time ≤ targetSec". */
+struct SloTarget
+{
+    double quantile = 0.99;  //!< e.g. 0.99 for p99
+    double targetSec = 0.0;  //!< response-time bound in seconds
+
+    /** "p99" style label (p50/p95/p99/p999 and the general pNN.N). */
+    std::string label() const;
+
+    bool operator==(const SloTarget &) const = default;
+};
+
+/** Outcome of one SLO target against one run. */
+struct SloVerdict
+{
+    SloTarget target;
+    double achievedSec = 0.0; //!< measured quantile; NaN = no samples
+
+    /**
+     * True when the measured quantile met the bound. A run with zero
+     * completed requests (NaN achieved) fails every target: serving
+     * nothing never satisfies an SLO.
+     */
+    bool met = false;
+};
+
+/** Evaluate every target against the measured distribution. */
+std::vector<SloVerdict> evaluateSlos(const std::vector<SloTarget> &targets,
+                                     const LatencyStats &stats);
+
+/** True when every verdict met its target (vacuously true if none). */
+bool allSlosMet(const std::vector<SloVerdict> &verdicts);
+
+} // namespace dirigent::serve
+
+#endif // DIRIGENT_SERVE_SLO_H

@@ -1,0 +1,222 @@
+#include "serve/spec.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::serve {
+
+namespace {
+
+/** The fixed SLO quantile keys of the [slo] section. */
+struct SloKey
+{
+    const char *key;
+    double quantile;
+};
+
+constexpr SloKey kSloKeys[] = {
+    {"p50", 0.50},
+    {"p95", 0.95},
+    {"p99", 0.99},
+    {"p999", 0.999},
+};
+
+std::vector<double>
+parseRateList(const std::string &text)
+{
+    std::vector<double> rates;
+    const char *p = text.c_str();
+    while (*p != '\0') {
+        char *end = nullptr;
+        double r = std::strtod(p, &end);
+        if (end == p)
+            fatal(strfmt("serve spec: bad rate list '%s'",
+                         text.c_str()));
+        rates.push_back(r);
+        p = end;
+        while (*p == ' ' || *p == '\t')
+            ++p;
+        if (*p == ',')
+            ++p;
+        else if (*p != '\0')
+            fatal(strfmt("serve spec: bad rate list '%s'",
+                         text.c_str()));
+    }
+    return rates;
+}
+
+std::string
+formatRateList(const std::vector<double> &rates)
+{
+    std::string out;
+    for (size_t i = 0; i < rates.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += strfmt("%.9g", rates[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::optional<std::string>
+validateServeSpec(const ServeSpec &spec)
+{
+    if (auto error = validateArrivalSpec(spec.arrivals))
+        return error;
+    if (!std::isfinite(spec.horizonSec) || spec.horizonSec <= 0.0)
+        return strfmt("serve spec: serve.horizon_s must be > 0, "
+                      "got %.9g",
+                      spec.horizonSec);
+    if (!std::isfinite(spec.warmupSec) || spec.warmupSec < 0.0 ||
+        spec.warmupSec >= spec.horizonSec)
+        return strfmt("serve spec: serve.warmup_s %.9g out of "
+                      "[0, horizon_s)",
+                      spec.warmupSec);
+    for (const SloTarget &t : spec.slos) {
+        if (!(t.quantile > 0.0 && t.quantile < 1.0))
+            return strfmt("serve spec: SLO quantile %.9g out of (0, 1)",
+                          t.quantile);
+        if (!std::isfinite(t.targetSec) || t.targetSec <= 0.0)
+            return strfmt("serve spec: SLO target for %s must be > 0, "
+                          "got %.9g",
+                          t.label().c_str(), t.targetSec);
+    }
+    for (double r : spec.sweepRates)
+        if (!std::isfinite(r) || r <= 0.0)
+            return strfmt("serve spec: serve.rates entry %.9g must be "
+                          "> 0",
+                          r);
+    return std::nullopt;
+}
+
+ServeSpec
+parseServeSpec(const Config &config)
+{
+    static const char *sections[] = {"arrivals.", "queue.", "slo.",
+                                     "serve."};
+    for (const std::string &key : config.keys()) {
+        bool known = false;
+        for (const char *s : sections)
+            known = known || key.rfind(s, 0) == 0;
+        if (!known)
+            fatal(strfmt("serve spec: unknown key '%s' (sections: "
+                         "arrivals, queue, slo, serve)",
+                         key.c_str()));
+    }
+
+    ServeSpec spec;
+    std::string kind = config.getString("arrivals.kind", "poisson");
+    auto parsedKind = arrivalKindFromName(kind);
+    if (!parsedKind)
+        fatal(strfmt("serve spec: arrivals.kind '%s' unknown (known: "
+                     "poisson, mmpp, diurnal, trace)",
+                     kind.c_str()));
+    spec.arrivals.kind = *parsedKind;
+    spec.arrivals.rate = config.getDouble("arrivals.rate", 1.0);
+    spec.arrivals.burstRate =
+        config.getDouble("arrivals.burst_rate", 0.0);
+    spec.arrivals.dwellSec = config.getDouble("arrivals.dwell_s", 10.0);
+    spec.arrivals.burstDwellSec =
+        config.getDouble("arrivals.burst_dwell_s", 2.0);
+    spec.arrivals.periodSec =
+        config.getDouble("arrivals.period_s", 60.0);
+    spec.arrivals.amplitude =
+        config.getDouble("arrivals.amplitude", 0.5);
+    spec.arrivals.traceFile =
+        config.getString("arrivals.trace_file", "");
+
+    spec.queueCapacity = size_t(config.getUint("queue.capacity", 64));
+    std::string disc = config.getString("queue.discipline", "fifo");
+    if (disc == "fifo")
+        spec.discipline = QueueDiscipline::Fifo;
+    else if (disc == "lifo")
+        spec.discipline = QueueDiscipline::Lifo;
+    else
+        fatal(strfmt("serve spec: queue.discipline '%s' unknown "
+                     "(known: fifo, lifo)",
+                     disc.c_str()));
+
+    for (const SloKey &k : kSloKeys) {
+        double target =
+            config.getDouble(std::string("slo.") + k.key, 0.0);
+        if (target > 0.0)
+            spec.slos.push_back({k.quantile, target});
+    }
+
+    spec.horizonSec = config.getDouble("serve.horizon_s", 40.0);
+    spec.warmupSec = config.getDouble("serve.warmup_s", 4.0);
+    spec.sweepRates =
+        parseRateList(config.getString("serve.rates", ""));
+
+    if (auto error = validateServeSpec(spec))
+        fatal(*error);
+    return spec;
+}
+
+ServeSpec
+parseServeSpec(const std::string &text)
+{
+    return parseServeSpec(Config::parse(text));
+}
+
+ServeSpec
+loadServeSpec(const std::string &path)
+{
+    return parseServeSpec(Config::load(path));
+}
+
+std::string
+formatServeSpec(const ServeSpec &spec)
+{
+    std::string out;
+    out += "[arrivals]\n";
+    out += strfmt("kind = %s\n", arrivalKindName(spec.arrivals.kind));
+    out += strfmt("rate = %.9g\n", spec.arrivals.rate);
+    out += strfmt("burst_rate = %.9g\n", spec.arrivals.burstRate);
+    out += strfmt("dwell_s = %.9g\n", spec.arrivals.dwellSec);
+    out += strfmt("burst_dwell_s = %.9g\n",
+                  spec.arrivals.burstDwellSec);
+    out += strfmt("period_s = %.9g\n", spec.arrivals.periodSec);
+    out += strfmt("amplitude = %.9g\n", spec.arrivals.amplitude);
+    if (!spec.arrivals.traceFile.empty())
+        out += strfmt("trace_file = %s\n",
+                      spec.arrivals.traceFile.c_str());
+    out += "\n[queue]\n";
+    out += strfmt("capacity = %zu\n", spec.queueCapacity);
+    out += strfmt("discipline = %s\n", disciplineName(spec.discipline));
+    out += "\n[slo]\n";
+    for (const SloKey &k : kSloKeys) {
+        for (const SloTarget &t : spec.slos)
+            if (t.quantile == k.quantile)
+                out += strfmt("%s = %.9g\n", k.key, t.targetSec);
+    }
+    out += "\n[serve]\n";
+    out += strfmt("horizon_s = %.9g\n", spec.horizonSec);
+    out += strfmt("warmup_s = %.9g\n", spec.warmupSec);
+    if (!spec.sweepRates.empty())
+        out += strfmt("rates = %s\n",
+                      formatRateList(spec.sweepRates).c_str());
+    return out;
+}
+
+uint64_t
+serveSpecHash(const ServeSpec &spec)
+{
+    return fnv1a64(formatServeSpec(spec));
+}
+
+std::optional<std::string>
+envServeFilePath()
+{
+    const char *env = std::getenv("DIRIGENT_SERVE_FILE");
+    if (env == nullptr || env[0] == '\0')
+        return std::nullopt;
+    return std::string(env);
+}
+
+} // namespace dirigent::serve

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Declarative serving-workload description: a ServeSpec bundles the
+ * arrival process, queue sizing, SLO targets, and measurement window
+ * of one request-serving run as data — the serving analogue of
+ * core::SchemeSpec, in the same INI Config format, round-trippable
+ * through formatServeSpec() and fingerprinted with FNV-1a so a run
+ * manifest can reproduce its exact workload.
+ *
+ *   [arrivals]
+ *   kind = mmpp            # poisson | mmpp | diurnal | trace
+ *   rate = 1.2             # requests/second (base / mean rate)
+ *   burst_rate = 6.0       # mmpp burst-state rate
+ *   dwell_s = 10           # mmpp base-state mean dwell
+ *   burst_dwell_s = 2      # mmpp burst-state mean dwell
+ *   period_s = 60          # diurnal period
+ *   amplitude = 0.5        # diurnal relative amplitude [0, 1]
+ *   trace_file =           # trace replay CSV
+ *
+ *   [queue]
+ *   capacity = 64          # waiting requests; 0 = unbounded
+ *   discipline = fifo      # fifo | lifo
+ *
+ *   [slo]
+ *   p99 = 1.5              # response-time targets in seconds;
+ *   p95 = 0                # 0 / absent = no target at that quantile
+ *
+ *   [serve]
+ *   horizon_s = 40         # arrivals stop after this simulated time
+ *   warmup_s = 4           # requests arriving earlier are not measured
+ *   rates = 1,2,4          # optional load-sweep rate grid (req/s)
+ */
+
+#ifndef DIRIGENT_SERVE_SPEC_H
+#define DIRIGENT_SERVE_SPEC_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "serve/arrival.h"
+#include "serve/queue.h"
+#include "serve/slo.h"
+
+namespace dirigent::serve {
+
+/** One request-serving workload as data. */
+struct ServeSpec
+{
+    ArrivalSpec arrivals;
+
+    /** Waiting-request capacity; 0 = unbounded. */
+    size_t queueCapacity = 64;
+
+    QueueDiscipline discipline = QueueDiscipline::Fifo;
+
+    /** Response-time targets, ascending by quantile. */
+    std::vector<SloTarget> slos;
+
+    /** Arrivals stop after this much simulated time. */
+    double horizonSec = 40.0;
+
+    /** Requests arriving before this offset are excluded from stats. */
+    double warmupSec = 4.0;
+
+    /** Optional load-sweep grid overriding arrivals.rate (req/s). */
+    std::vector<double> sweepRates;
+
+    bool operator==(const ServeSpec &) const = default;
+};
+
+/** Structural validation; nullopt when well-formed. */
+std::optional<std::string> validateServeSpec(const ServeSpec &spec);
+
+/**
+ * Parse a spec from a Config / INI text / file. fatal() on unknown
+ * keys, out-of-range values, or kind/field mismatches (specs are user
+ * input).
+ */
+ServeSpec parseServeSpec(const Config &config);
+ServeSpec parseServeSpec(const std::string &text);
+ServeSpec loadServeSpec(const std::string &path);
+
+/** Serialize to DSL text; parseServeSpec() round-trips it. */
+std::string formatServeSpec(const ServeSpec &spec);
+
+/** FNV-1a fingerprint of the spec's canonical (formatted) text. */
+uint64_t serveSpecHash(const ServeSpec &spec);
+
+/**
+ * Path from the DIRIGENT_SERVE_FILE environment variable, or nullopt
+ * when unset/empty. The CLI flag `--serve-file` overrides it.
+ */
+std::optional<std::string> envServeFilePath();
+
+} // namespace dirigent::serve
+
+#endif // DIRIGENT_SERVE_SPEC_H

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Golden serving sentinel: one open-loop serving cell (ferret + rs,
+ * MMPP arrivals, every default serving scheme) fingerprinted as a
+ * canonical request log and compared against a checked-in golden file.
+ * Any drift in arrival seeding, queue mechanics, admission decisions,
+ * or scheme behaviour shows up as a line-level request-log diff.
+ *
+ * Regenerate after an intentional behaviour change with:
+ *   DIRIGENT_REGEN_GOLDEN=1 ./test_golden
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "harness/experiment.h"
+#include "harness/serving.h"
+#include "serve/driver.h"
+#include "serve/spec.h"
+#include "workload/mix.h"
+
+#ifndef DIRIGENT_GOLDEN_DIR
+#error "DIRIGENT_GOLDEN_DIR must point at the golden data directory"
+#endif
+
+namespace dirigent::harness {
+namespace {
+
+constexpr uint64_t kGoldenSeed = 4242;
+
+HarnessConfig
+goldenConfig()
+{
+    HarnessConfig cfg;
+    cfg.executions = 5;
+    cfg.warmup = 2;
+    cfg.seed = kGoldenSeed;
+    return cfg;
+}
+
+serve::ServeSpec
+sentinelServeSpec()
+{
+    serve::ServeSpec spec;
+    spec.arrivals.kind = serve::ArrivalKind::Mmpp;
+    spec.arrivals.rate = 0.3;
+    spec.arrivals.burstRate = 1.5;
+    spec.arrivals.dwellSec = 8.0;
+    spec.arrivals.burstDwellSec = 2.0;
+    spec.queueCapacity = 16;
+    spec.slos = {{0.99, 8.0}};
+    spec.horizonSec = 25.0;
+    spec.warmupSec = 3.0;
+    return spec; // no sweepRates: one cell per scheme
+}
+
+/**
+ * Render the sentinel cells as one deterministic text document: a
+ * summary line per scheme plus the complete per-slot request log.
+ */
+std::string
+servingText(const std::vector<ServingRunResult> &cells, bool precise)
+{
+    std::ostringstream out;
+    for (const ServingRunResult &cell : cells) {
+        out << "=== " << cell.schemeLabel << " ===\n"
+            << "arrivals=" << cell.arrivals
+            << " completed=" << cell.completed
+            << " dropped=" << cell.dropped << " shed=" << cell.shed
+            << " max_queue=" << cell.maxQueueDepth << "\n";
+        for (size_t slot = 0; slot < cell.perFgRequests.size(); ++slot) {
+            out << "-- fg" << slot << "\n"
+                << serve::formatRequestLog(cell.perFgRequests[slot],
+                                           precise);
+        }
+    }
+    return out.str();
+}
+
+std::vector<ServingRunResult>
+runServingSentinel(unsigned threads)
+{
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(goldenConfig(), ecfg);
+    std::vector<workload::WorkloadMix> mixes = {
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"))};
+    auto perMix = executor.runServingSweep(mixes, sentinelServeSpec(),
+                                           exec::defaultServingSchemes());
+    return perMix.at(0);
+}
+
+std::string
+goldenPath()
+{
+    return std::string(DIRIGENT_GOLDEN_DIR) + "/serving_ferret_rs.log";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("DIRIGENT_REGEN_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(GoldenServingTest, SentinelMatchesCheckedInGolden)
+{
+    std::vector<ServingRunResult> cells = runServingSentinel(1);
+    ASSERT_EQ(cells.size(), exec::defaultServingSchemes().size());
+    std::string canonical = servingText(cells, false);
+
+    if (regenRequested()) {
+        std::ofstream out(goldenPath(),
+                          std::ios::trunc | std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << canonical;
+        GTEST_SKIP() << "regenerated serving golden " << goldenPath();
+    }
+
+    std::string expected = readFile(goldenPath());
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << goldenPath()
+        << " — run with DIRIGENT_REGEN_GOLDEN=1 to create it";
+    EXPECT_EQ(canonical, expected)
+        << "behavioural drift in the serving sentinel";
+
+    // The sentinel must actually exercise serving: arrivals happened
+    // and something completed under every scheme.
+    for (const ServingRunResult &cell : cells) {
+        SCOPED_TRACE(cell.schemeLabel);
+        EXPECT_GT(cell.arrivals, 0u);
+        EXPECT_GT(cell.completed, 0u);
+    }
+}
+
+TEST(GoldenServingTest, SentinelIsIdenticalAcrossThreadCounts)
+{
+    std::string serial = servingText(runServingSentinel(1), true);
+    for (unsigned threads : {2u, 4u}) {
+        SCOPED_TRACE(threads);
+        // Bit-exact: %.17g round-trips doubles, so any worker-count
+        // divergence in a single request timestamp shows up here.
+        EXPECT_EQ(servingText(runServingSentinel(threads), true),
+                  serial);
+    }
+}
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Property tests for the arrival-process layer: across randomly drawn
+ * spec parameters, the empirical long-run rate of every generator must
+ * match its analytic mean rate (ArrivalSpec::meanRate), and rescaling
+ * via scaledToRate must actually deliver the requested rate while
+ * preserving the MMPP burst structure. Failures print the spec
+ * parameters, so a bad draw reproduces directly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/random.h"
+#include "serve/arrival.h"
+
+namespace dirigent::prop {
+namespace {
+
+using serve::ArrivalKind;
+using serve::ArrivalSpec;
+
+std::string
+describe(const ArrivalSpec &spec)
+{
+    return "kind=" + std::string(serve::arrivalKindName(spec.kind)) +
+           " rate=" + std::to_string(spec.rate) +
+           " burst_rate=" + std::to_string(spec.burstRate) +
+           " dwell=" + std::to_string(spec.dwellSec) +
+           " burst_dwell=" + std::to_string(spec.burstDwellSec);
+}
+
+/** Empirical rate over @p samples arrivals from a fresh process. */
+double
+empiricalRate(const ArrivalSpec &spec, uint64_t seed, size_t samples)
+{
+    auto process = serve::makeArrivalProcess(spec, seed);
+    Time last = Time::sec(0.0);
+    for (size_t i = 0; i < samples; ++i)
+        last = process->next();
+    return double(samples) / last.sec();
+}
+
+ArrivalSpec
+genMmppSpec(Rng &rng)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Mmpp;
+    spec.rate = rng.uniform(0.5, 4.0);
+    spec.burstRate = spec.rate * rng.uniform(2.0, 10.0);
+    spec.dwellSec = rng.uniform(2.0, 20.0);
+    spec.burstDwellSec = rng.uniform(0.5, 5.0);
+    return spec;
+}
+
+TEST(ServingPropTest, MmppLongRunRateMatchesAnalyticMean)
+{
+    Rng rng(0xA221'7A1E);
+    for (int trial = 0; trial < 12; ++trial) {
+        ArrivalSpec spec = genMmppSpec(rng);
+        SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                     describe(spec));
+        double mean = spec.meanRate();
+        ASSERT_TRUE(std::isfinite(mean));
+        // Long-run average over many dwell cycles: the two-state
+        // modulation must wash out to the dwell-weighted mean.
+        double observed =
+            empiricalRate(spec, rng.next(), 60000);
+        EXPECT_NEAR(observed, mean, 0.08 * mean);
+    }
+}
+
+TEST(ServingPropTest, PoissonAndDiurnalMatchAnalyticMean)
+{
+    Rng rng(0xD1E55EA1);
+    for (int trial = 0; trial < 8; ++trial) {
+        ArrivalSpec poisson;
+        poisson.rate = rng.uniform(0.5, 8.0);
+        SCOPED_TRACE("poisson trial " + std::to_string(trial) + ": " +
+                     describe(poisson));
+        EXPECT_NEAR(empiricalRate(poisson, rng.next(), 40000),
+                    poisson.meanRate(), 0.05 * poisson.meanRate());
+
+        ArrivalSpec diurnal;
+        diurnal.kind = ArrivalKind::Diurnal;
+        diurnal.rate = rng.uniform(0.5, 8.0);
+        diurnal.periodSec = rng.uniform(5.0, 60.0);
+        diurnal.amplitude = rng.uniform(0.0, 0.9);
+        SCOPED_TRACE("diurnal trial " + std::to_string(trial));
+        EXPECT_NEAR(empiricalRate(diurnal, rng.next(), 40000),
+                    diurnal.meanRate(), 0.06 * diurnal.meanRate());
+    }
+}
+
+TEST(ServingPropTest, ScaledToRateDeliversTargetAndKeepsShape)
+{
+    Rng rng(0x5CA1'ED);
+    for (int trial = 0; trial < 12; ++trial) {
+        ArrivalSpec spec = genMmppSpec(rng);
+        double target = rng.uniform(0.25, 6.0);
+        ArrivalSpec scaled = serve::scaledToRate(spec, target);
+        SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                     describe(spec) + " -> " +
+                     std::to_string(target));
+        // Analytic mean hits the target exactly.
+        EXPECT_NEAR(scaled.meanRate(), target, 1e-9);
+        // Burstiness (burst/base ratio) and dwell structure survive.
+        EXPECT_NEAR(scaled.burstRate / scaled.rate,
+                    spec.burstRate / spec.rate, 1e-9);
+        EXPECT_DOUBLE_EQ(scaled.dwellSec, spec.dwellSec);
+        EXPECT_DOUBLE_EQ(scaled.burstDwellSec, spec.burstDwellSec);
+        // And the generator actually delivers it.
+        EXPECT_NEAR(empiricalRate(scaled, rng.next(), 60000),
+                    target, 0.08 * target);
+    }
+}
+
+} // namespace
+} // namespace dirigent::prop

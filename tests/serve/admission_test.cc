@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Admission-controller tests: the static cap, and the gradient
+ * controller's probe/grow/shrink dynamics — flat RTTs grow the limit
+ * toward the ceiling, inflated RTTs shrink it toward the floor, and
+ * probe windows recur to re-measure minRTT.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirigent/scheme_spec.h"
+#include "serve/admission.h"
+
+namespace dirigent::serve {
+namespace {
+
+/** Feed one full RTT window of @p rtt seconds ending after the period. */
+void
+feedWindow(GradientAdmission &g, Time &now, double rttSec,
+           double periodSec, int samples = 8)
+{
+    Time step = Time::sec(periodSec / (samples - 1) * 1.001);
+    for (int i = 0; i < samples; ++i) {
+        g.onResponse(now, Time::sec(rttSec));
+        now = now + step;
+    }
+}
+
+TEST(StaticAdmissionTest, CapsOutstandingRequests)
+{
+    StaticAdmission cap(3);
+    EXPECT_STREQ(cap.name(), "static");
+    EXPECT_DOUBLE_EQ(cap.limit(), 3.0);
+    EXPECT_TRUE(cap.admit(Time::sec(1.0), 0));
+    EXPECT_TRUE(cap.admit(Time::sec(1.0), 2));
+    EXPECT_FALSE(cap.admit(Time::sec(1.0), 3));
+    EXPECT_FALSE(cap.admit(Time::sec(1.0), 10));
+    EXPECT_DEATH(StaticAdmission(0), "cap");
+}
+
+TEST(GradientAdmissionTest, StartsProbingAtMinLimit)
+{
+    GradientConfig cfg;
+    cfg.minLimit = 2;
+    cfg.maxLimit = 32;
+    GradientAdmission g(cfg);
+    EXPECT_STREQ(g.name(), "gradient");
+    EXPECT_TRUE(g.probing());
+    EXPECT_TRUE(std::isnan(g.minRttSec()));
+    EXPECT_DOUBLE_EQ(g.limit(), 2.0);
+    EXPECT_TRUE(g.admit(Time::sec(0.0), 1));
+    EXPECT_FALSE(g.admit(Time::sec(0.0), 2));
+}
+
+TEST(GradientAdmissionTest, FirstWindowEstablishesMinRtt)
+{
+    GradientConfig cfg;
+    cfg.updatePeriodSec = 1.0;
+    GradientAdmission g(cfg);
+    Time now = Time::sec(0.0);
+    feedWindow(g, now, 0.1, cfg.updatePeriodSec);
+    EXPECT_EQ(g.windowsClosed(), 1u);
+    EXPECT_FALSE(g.probing());
+    EXPECT_DOUBLE_EQ(g.minRttSec(), 0.1);
+}
+
+TEST(GradientAdmissionTest, FlatRttGrowsLimitTowardCeiling)
+{
+    GradientConfig cfg;
+    cfg.minLimit = 1;
+    cfg.maxLimit = 64;
+    cfg.updatePeriodSec = 1.0;
+    cfg.probeEvery = 0; // isolate growth from re-probing
+    GradientAdmission g(cfg);
+    Time now = Time::sec(0.0);
+    feedWindow(g, now, 0.1, cfg.updatePeriodSec); // probe → minRTT
+    double prev = g.limit();
+    for (int w = 0; w < 12; ++w) {
+        feedWindow(g, now, 0.1, cfg.updatePeriodSec);
+        EXPECT_GE(g.limit(), prev);
+        prev = g.limit();
+    }
+    // gradient = tolerance = 1.1 each window, plus √limit headroom.
+    EXPECT_GT(g.limit(), 10.0);
+    EXPECT_LE(g.limit(), 64.0);
+}
+
+TEST(GradientAdmissionTest, InflatedRttShrinksLimit)
+{
+    GradientConfig cfg;
+    cfg.minLimit = 1;
+    cfg.maxLimit = 64;
+    cfg.updatePeriodSec = 1.0;
+    cfg.probeEvery = 0;
+    GradientAdmission g(cfg);
+    Time now = Time::sec(0.0);
+    feedWindow(g, now, 0.1, cfg.updatePeriodSec); // probe → minRTT 0.1
+    for (int w = 0; w < 8; ++w)
+        feedWindow(g, now, 0.1, cfg.updatePeriodSec);
+    double grown = g.limit();
+    ASSERT_GT(grown, 4.0);
+    // RTTs an order of magnitude above minRTT: gradient clamps at 0.5
+    // per window and the limit decays.
+    for (int w = 0; w < 6; ++w)
+        feedWindow(g, now, 1.0, cfg.updatePeriodSec);
+    EXPECT_LT(g.limit(), grown / 2.0);
+}
+
+TEST(GradientAdmissionTest, ProbeWindowsRecur)
+{
+    GradientConfig cfg;
+    cfg.updatePeriodSec = 1.0;
+    cfg.probeEvery = 3;
+    GradientAdmission g(cfg);
+    Time now = Time::sec(0.0);
+    // Window 1 is the initial probe; window 3 (multiple of probeEvery)
+    // re-enters probing.
+    feedWindow(g, now, 0.1, cfg.updatePeriodSec);
+    EXPECT_FALSE(g.probing());
+    feedWindow(g, now, 0.1, cfg.updatePeriodSec);
+    EXPECT_FALSE(g.probing());
+    feedWindow(g, now, 0.1, cfg.updatePeriodSec);
+    EXPECT_TRUE(g.probing());
+    EXPECT_DOUBLE_EQ(g.limit(), double(cfg.minLimit));
+    // The next closed window re-measures minRTT and exits the probe.
+    feedWindow(g, now, 0.2, cfg.updatePeriodSec);
+    EXPECT_FALSE(g.probing());
+    EXPECT_DOUBLE_EQ(g.minRttSec(), 0.2);
+}
+
+TEST(GradientAdmissionTest, StalledWindowClosesOnAdmit)
+{
+    // No responses complete the window, but admission checks keep the
+    // clock moving: the window closes on the admit() path instead of
+    // wedging at a stale limit.
+    GradientConfig cfg;
+    cfg.updatePeriodSec = 1.0;
+    GradientAdmission g(cfg);
+    g.onResponse(Time::sec(0.0), Time::sec(0.1));
+    EXPECT_EQ(g.windowsClosed(), 0u);
+    g.admit(Time::sec(5.0), 0);
+    EXPECT_EQ(g.windowsClosed(), 1u);
+    EXPECT_FALSE(g.probing());
+}
+
+TEST(GradientAdmissionTest, ValidatesConfig)
+{
+    GradientConfig bad;
+    bad.minLimit = 0;
+    EXPECT_DEATH(GradientAdmission{bad}, "min_limit");
+    GradientConfig inverted;
+    inverted.minLimit = 8;
+    inverted.maxLimit = 4;
+    EXPECT_DEATH(GradientAdmission{inverted}, "max_limit");
+    GradientConfig loose;
+    loose.tolerance = 0.5;
+    EXPECT_DEATH(GradientAdmission{loose}, "tolerance");
+}
+
+TEST(MakeAdmissionControllerTest, BuildsFromSchemeSpec)
+{
+    core::SchemeSpec spec;
+    spec.admission = "none";
+    EXPECT_EQ(makeAdmissionController(spec), nullptr);
+
+    spec.admission = "static";
+    spec.admitCapacity = 5;
+    auto fixed = makeAdmissionController(spec);
+    ASSERT_NE(fixed, nullptr);
+    EXPECT_STREQ(fixed->name(), "static");
+    EXPECT_DOUBLE_EQ(fixed->limit(), 5.0);
+
+    spec.admission = "gradient";
+    spec.admitMinLimit = 2;
+    auto gradient = makeAdmissionController(spec);
+    ASSERT_NE(gradient, nullptr);
+    EXPECT_STREQ(gradient->name(), "gradient");
+    EXPECT_DOUBLE_EQ(gradient->limit(), 2.0);
+
+    EXPECT_EQ(admissionSchemeNames().size(), 3u);
+}
+
+} // namespace
+} // namespace dirigent::serve

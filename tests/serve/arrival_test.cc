@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Arrival-process tests: seeded determinism (the same (spec, seed)
+ * always yields a byte-identical stream), nondecreasing times, rate
+ * sanity per process, trace replay/loading, spec validation, and the
+ * scaledToRate load-sweep helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/strfmt.h"
+#include "serve/arrival.h"
+
+namespace dirigent::serve {
+namespace {
+
+ArrivalSpec
+poissonSpec(double rate = 2.0)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Poisson;
+    spec.rate = rate;
+    return spec;
+}
+
+ArrivalSpec
+mmppSpec()
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Mmpp;
+    spec.rate = 1.0;
+    spec.burstRate = 8.0;
+    spec.dwellSec = 6.0;
+    spec.burstDwellSec = 1.5;
+    return spec;
+}
+
+ArrivalSpec
+diurnalSpec()
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Diurnal;
+    spec.rate = 3.0;
+    spec.periodSec = 20.0;
+    spec.amplitude = 0.8;
+    return spec;
+}
+
+/** First @p n arrival times rendered bit-exactly. */
+std::string
+streamText(const ArrivalSpec &spec, uint64_t seed, size_t n)
+{
+    auto process = makeArrivalProcess(spec, seed);
+    std::string out;
+    for (size_t i = 0; i < n; ++i)
+        out += strfmt("%.17g\n", process->next().sec());
+    return out;
+}
+
+TEST(ArrivalProcessTest, SameSeedReplaysByteIdentically)
+{
+    for (const ArrivalSpec &spec :
+         {poissonSpec(), mmppSpec(), diurnalSpec()}) {
+        SCOPED_TRACE(arrivalKindName(spec.kind));
+        EXPECT_EQ(streamText(spec, 99, 500), streamText(spec, 99, 500));
+    }
+}
+
+TEST(ArrivalProcessTest, DifferentSeedsDiverge)
+{
+    for (const ArrivalSpec &spec :
+         {poissonSpec(), mmppSpec(), diurnalSpec()}) {
+        SCOPED_TRACE(arrivalKindName(spec.kind));
+        EXPECT_NE(streamText(spec, 1, 50), streamText(spec, 2, 50));
+    }
+}
+
+TEST(ArrivalProcessTest, TimesAreNondecreasingAndFinite)
+{
+    for (const ArrivalSpec &spec :
+         {poissonSpec(), mmppSpec(), diurnalSpec()}) {
+        SCOPED_TRACE(arrivalKindName(spec.kind));
+        auto process = makeArrivalProcess(spec, 7);
+        Time prev;
+        for (int i = 0; i < 2000; ++i) {
+            Time t = process->next();
+            ASSERT_FALSE(t.isNever());
+            ASSERT_GE(t, prev);
+            prev = t;
+        }
+    }
+}
+
+TEST(ArrivalProcessTest, PoissonMeanInterarrivalMatchesRate)
+{
+    auto process = makeArrivalProcess(poissonSpec(4.0), 11);
+    const int n = 20000;
+    Time last;
+    for (int i = 0; i < n; ++i)
+        last = process->next();
+    // n arrivals in ~n/rate seconds.
+    EXPECT_NEAR(last.sec(), n / 4.0, n / 4.0 * 0.05);
+}
+
+TEST(ArrivalProcessTest, DiurnalLongRunRateMatchesMean)
+{
+    // The sinusoid integrates to zero over a period, so the long-run
+    // rate is the configured mean despite the ±80% swing.
+    auto process = makeArrivalProcess(diurnalSpec(), 5);
+    const int n = 30000;
+    Time last;
+    for (int i = 0; i < n; ++i)
+        last = process->next();
+    EXPECT_NEAR(n / last.sec(), 3.0, 0.2);
+}
+
+TEST(ArrivalProcessTest, MmppVisitsBothStates)
+{
+    ArrivalSpec spec = mmppSpec();
+    auto process = makeArrivalProcess(spec, 3);
+    auto *mmpp = dynamic_cast<MmppArrivals *>(process.get());
+    ASSERT_NE(mmpp, nullptr);
+    bool sawBase = false, sawBurst = false;
+    for (int i = 0; i < 5000; ++i) {
+        process->next();
+        (mmpp->bursting() ? sawBurst : sawBase) = true;
+    }
+    EXPECT_TRUE(sawBase);
+    EXPECT_TRUE(sawBurst);
+}
+
+TEST(TraceArrivalsTest, ReplaysExactTimesThenExhausts)
+{
+    TraceArrivals trace({Time::sec(0.5), Time::sec(0.5), Time::sec(2.0)});
+    EXPECT_EQ(trace.remaining(), 3u);
+    EXPECT_EQ(trace.next(), Time::sec(0.5));
+    EXPECT_EQ(trace.next(), Time::sec(0.5));
+    EXPECT_EQ(trace.next(), Time::sec(2.0));
+    EXPECT_TRUE(trace.next().isNever());
+    EXPECT_TRUE(trace.next().isNever());
+    EXPECT_EQ(trace.remaining(), 0u);
+}
+
+TEST(TraceArrivalsTest, RejectsDecreasingTimestamps)
+{
+    EXPECT_DEATH(TraceArrivals({Time::sec(2.0), Time::sec(1.0)}),
+                 "nondecreasing");
+}
+
+class ArrivalTraceFileTest : public testing::Test
+{
+  protected:
+    std::string
+    writeTrace(const std::string &content)
+    {
+        // PID-qualified: parallel ctest runs each TEST_F in its own
+        // process, and all of them would otherwise race on _0.csv.
+        std::string path = strfmt(
+            "%s/arrival_trace_%d_%d.csv", testing::TempDir().c_str(),
+            int(getpid()), counter_++);
+        std::ofstream out(path, std::ios::trunc);
+        out << content;
+        return path;
+    }
+
+    static int counter_;
+};
+
+int ArrivalTraceFileTest::counter_ = 0;
+
+TEST_F(ArrivalTraceFileTest, LoadsTimestampsSkippingComments)
+{
+    std::string path = writeTrace("# header\n0.25\n\n  1.5\n3\n");
+    auto times = loadArrivalTrace(path);
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_EQ(times[0], Time::sec(0.25));
+    EXPECT_EQ(times[1], Time::sec(1.5));
+    EXPECT_EQ(times[2], Time::sec(3.0));
+}
+
+TEST_F(ArrivalTraceFileTest, DiesOnBadOrDecreasingTimestamps)
+{
+    std::string bad = writeTrace("0.5\nbogus\n");
+    EXPECT_DEATH(loadArrivalTrace(bad), "bad arrival timestamp");
+    std::string decreasing = writeTrace("2.0\n1.0\n");
+    EXPECT_DEATH(loadArrivalTrace(decreasing), "nondecreasing");
+    EXPECT_DEATH(loadArrivalTrace("/nonexistent/trace.csv"),
+                 "cannot open");
+}
+
+TEST(ArrivalSpecTest, ValidationCatchesBadSpecs)
+{
+    ArrivalSpec bad = poissonSpec(0.0);
+    EXPECT_TRUE(validateArrivalSpec(bad).has_value());
+
+    ArrivalSpec mmpp = mmppSpec();
+    mmpp.burstRate = mmpp.rate; // burst must exceed base
+    EXPECT_TRUE(validateArrivalSpec(mmpp).has_value());
+
+    ArrivalSpec diurnal = diurnalSpec();
+    diurnal.amplitude = 1.5;
+    EXPECT_TRUE(validateArrivalSpec(diurnal).has_value());
+
+    ArrivalSpec trace;
+    trace.kind = ArrivalKind::Trace;
+    EXPECT_TRUE(validateArrivalSpec(trace).has_value());
+
+    EXPECT_FALSE(validateArrivalSpec(poissonSpec()).has_value());
+    EXPECT_FALSE(validateArrivalSpec(mmppSpec()).has_value());
+    EXPECT_FALSE(validateArrivalSpec(diurnalSpec()).has_value());
+}
+
+TEST(ArrivalSpecTest, MeanRateCombinesMmppDwells)
+{
+    ArrivalSpec spec = mmppSpec();
+    // (1.0 * 6 + 8.0 * 1.5) / 7.5 = 2.4
+    EXPECT_DOUBLE_EQ(spec.meanRate(), 2.4);
+    EXPECT_DOUBLE_EQ(poissonSpec(2.0).meanRate(), 2.0);
+    EXPECT_DOUBLE_EQ(diurnalSpec().meanRate(), 3.0);
+    ArrivalSpec trace;
+    trace.kind = ArrivalKind::Trace;
+    EXPECT_TRUE(std::isnan(trace.meanRate()));
+}
+
+TEST(ScaledToRateTest, HitsTargetPreservingShape)
+{
+    ArrivalSpec scaled = scaledToRate(mmppSpec(), 6.0);
+    EXPECT_NEAR(scaled.meanRate(), 6.0, 1e-12);
+    // Burst/base ratio and dwells are preserved.
+    EXPECT_DOUBLE_EQ(scaled.burstRate / scaled.rate,
+                     mmppSpec().burstRate / mmppSpec().rate);
+    EXPECT_DOUBLE_EQ(scaled.dwellSec, mmppSpec().dwellSec);
+
+    ArrivalSpec poisson = scaledToRate(poissonSpec(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(poisson.rate, 0.5);
+}
+
+TEST(ScaledToRateTest, RejectsTraceAndBadTargets)
+{
+    ArrivalSpec trace;
+    trace.kind = ArrivalKind::Trace;
+    trace.traceFile = "x.csv";
+    EXPECT_DEATH(scaledToRate(trace, 1.0), "rescale");
+    EXPECT_DEATH(scaledToRate(poissonSpec(), 0.0), "target rate");
+    EXPECT_DEATH(scaledToRate(poissonSpec(), -1.0), "target rate");
+}
+
+TEST(ArrivalKindTest, NamesRoundTrip)
+{
+    for (ArrivalKind k : {ArrivalKind::Poisson, ArrivalKind::Mmpp,
+                          ArrivalKind::Diurnal, ArrivalKind::Trace})
+        EXPECT_EQ(arrivalKindFromName(arrivalKindName(k)), k);
+    EXPECT_FALSE(arrivalKindFromName("weibull").has_value());
+}
+
+} // namespace
+} // namespace dirigent::serve

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Serving-mode determinism: the same serving sweep run through the
+ * sharded executor with 1, 2, and 4 workers must replay bit-for-bit —
+ * every aggregate, every quantile, and the full per-request log.
+ * Open-loop arrivals are seeded per FG slot, so executor parallelism
+ * must not perturb a single request timestamp.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "harness/experiment.h"
+#include "harness/serving.h"
+#include "serve/driver.h"
+#include "serve/spec.h"
+#include "workload/mix.h"
+
+namespace dirigent::exec {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 4;
+    cfg.warmup = 1;
+    cfg.seed = 20160402;
+    return cfg;
+}
+
+ExecutorConfig
+quietConfig(unsigned threads)
+{
+    ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    return ecfg;
+}
+
+serve::ServeSpec
+servingSpec(serve::ArrivalKind kind)
+{
+    serve::ServeSpec spec;
+    spec.arrivals.kind = kind;
+    spec.arrivals.rate = 0.8;
+    if (kind == serve::ArrivalKind::Mmpp) {
+        spec.arrivals.burstRate = 4.0;
+        spec.arrivals.dwellSec = 6.0;
+        spec.arrivals.burstDwellSec = 1.5;
+    } else if (kind == serve::ArrivalKind::Diurnal) {
+        spec.arrivals.periodSec = 10.0;
+        spec.arrivals.amplitude = 0.5;
+    }
+    spec.queueCapacity = 16;
+    spec.slos = {{0.99, 8.0}};
+    spec.horizonSec = 20.0;
+    spec.warmupSec = 2.0;
+    spec.sweepRates = {0.5, 1.5};
+    return spec;
+}
+
+void
+expectSameServing(const harness::ServingRunResult &a,
+                  const harness::ServingRunResult &b)
+{
+    EXPECT_EQ(a.mixName, b.mixName);
+    EXPECT_EQ(a.schemeLabel, b.schemeLabel);
+    EXPECT_EQ(a.specHash, b.specHash);
+    EXPECT_EQ(a.serveHash, b.serveHash);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
+    EXPECT_EQ(a.span, b.span);
+    // Exact double equality: determinism means bit-for-bit replay.
+    EXPECT_EQ(a.stats.samples(), b.stats.samples());
+    ASSERT_EQ(a.perFgRequests.size(), b.perFgRequests.size());
+    for (size_t slot = 0; slot < a.perFgRequests.size(); ++slot)
+        EXPECT_EQ(
+            serve::formatRequestLog(a.perFgRequests[slot], true),
+            serve::formatRequestLog(b.perFgRequests[slot], true))
+            << "slot " << slot;
+}
+
+void
+expectSameSweep(
+    const std::vector<std::vector<harness::ServingRunResult>> &a,
+    const std::vector<std::vector<harness::ServingRunResult>> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t m = 0; m < a.size(); ++m) {
+        ASSERT_EQ(a[m].size(), b[m].size());
+        for (size_t c = 0; c < a[m].size(); ++c)
+            expectSameServing(a[m][c], b[m][c]);
+    }
+}
+
+std::vector<std::vector<harness::ServingRunResult>>
+runSweep(unsigned threads, serve::ArrivalKind kind)
+{
+    std::vector<workload::WorkloadMix> mixes = {workload::makeMix(
+        {"fluidanimate"}, workload::BgSpec::single("rs"))};
+    SweepExecutor executor(fastConfig(), quietConfig(threads));
+    return executor.runServingSweep(mixes, servingSpec(kind),
+                                    defaultServingSchemes());
+}
+
+TEST(ServingDeterminismTest, PoissonSweepIsThreadCountInvariant)
+{
+    auto one = runSweep(1, serve::ArrivalKind::Poisson);
+    // 3 schemes × 2 sweep rates per mix.
+    ASSERT_EQ(one.size(), 1u);
+    ASSERT_EQ(one[0].size(), 6u);
+    expectSameSweep(runSweep(2, serve::ArrivalKind::Poisson), one);
+    expectSameSweep(runSweep(4, serve::ArrivalKind::Poisson), one);
+}
+
+TEST(ServingDeterminismTest, MmppSweepIsThreadCountInvariant)
+{
+    auto one = runSweep(1, serve::ArrivalKind::Mmpp);
+    expectSameSweep(runSweep(4, serve::ArrivalKind::Mmpp), one);
+}
+
+TEST(ServingDeterminismTest, DiurnalSweepIsThreadCountInvariant)
+{
+    auto one = runSweep(1, serve::ArrivalKind::Diurnal);
+    expectSameSweep(runSweep(4, serve::ArrivalKind::Diurnal), one);
+}
+
+TEST(ServingDeterminismTest, RepeatRunsReplayExactly)
+{
+    auto a = runSweep(1, serve::ArrivalKind::Poisson);
+    auto b = runSweep(1, serve::ArrivalKind::Poisson);
+    expectSameSweep(a, b);
+    // Serving actually happened: at least one cell saw arrivals and
+    // completions.
+    uint64_t arrivals = 0, completed = 0;
+    for (const auto &cell : a[0]) {
+        arrivals += cell.arrivals;
+        completed += cell.completed;
+    }
+    EXPECT_GT(arrivals, 0u);
+    EXPECT_GT(completed, 0u);
+}
+
+} // namespace
+} // namespace dirigent::exec

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * ServeDriver tests: request lifecycles against a real simulated
+ * machine — queueing, bounded-capacity drops, admission shedding, the
+ * warmup measurement window, horizon/done semantics, and the request
+ * log renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "machine/machine.h"
+#include "serve/driver.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::serve {
+namespace {
+
+class ServeDriverTest : public testing::Test
+{
+  protected:
+    ServeDriverTest()
+    {
+        mcfg_.noiseEventsPerSec = 0.0;
+        mcfg_.seed = 77;
+        machine_ = std::make_unique<machine::Machine>(mcfg_);
+        engine_ =
+            std::make_unique<sim::Engine>(*machine_, mcfg_.maxQuantum);
+        const auto &lib = workload::BenchmarkLibrary::instance();
+        machine::ProcessSpec fg;
+        fg.name = "fluidanimate"; // ~0.47 s service time standalone
+        fg.program = &lib.get("fluidanimate").program;
+        fg.core = 0;
+        fg.foreground = true;
+        fgPid_ = machine_->spawnProcess(fg);
+    }
+
+    /** Drive the sim until the driver drains (bounded). */
+    void
+    drain(ServeDriver &driver, double maxSec = 120.0)
+    {
+        while (!driver.done() && engine_->now() < Time::sec(maxSec))
+            engine_->runFor(Time::ms(50.0));
+        ASSERT_TRUE(driver.done()) << "driver did not drain";
+    }
+
+    std::unique_ptr<ArrivalProcess>
+    traceProcess(std::vector<Time> times)
+    {
+        return std::make_unique<TraceArrivals>(std::move(times));
+    }
+
+    machine::MachineConfig mcfg_;
+    std::unique_ptr<machine::Machine> machine_;
+    std::unique_ptr<sim::Engine> engine_;
+    machine::Pid fgPid_ = 0;
+};
+
+TEST_F(ServeDriverTest, ServesEveryRequestOfALightTrace)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    // Arrivals 1 s apart, service ~0.47 s: no queueing.
+    ServeDriver driver(*engine_, *machine_,
+                       traceProcess({Time::sec(0.5), Time::sec(1.5),
+                                     Time::sec(2.5)}),
+                       dcfg);
+    driver.start();
+    drain(driver);
+
+    EXPECT_EQ(driver.arrivals(), 3u);
+    EXPECT_EQ(driver.completed(), 3u);
+    EXPECT_EQ(driver.dropped(), 0u);
+    EXPECT_EQ(driver.shed(), 0u);
+    ASSERT_EQ(driver.requests().size(), 3u);
+    for (const Request &req : driver.requests()) {
+        EXPECT_EQ(req.outcome, RequestOutcome::Completed);
+        EXPECT_GE(req.started, req.arrived);
+        EXPECT_GT(req.finished, req.started);
+        EXPECT_NEAR(req.serviceTime().sec(), 0.47, 0.15);
+    }
+    // Uncontended: each request starts at its arrival, and the queue
+    // never holds more than the request being dispatched.
+    EXPECT_EQ(driver.requests()[0].started, Time::sec(0.5));
+    EXPECT_LE(driver.maxQueueDepth(), 1u);
+    EXPECT_EQ(driver.measuredStats().count(), 3u);
+}
+
+TEST_F(ServeDriverTest, PausesFgWhileIdle)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    ServeDriver driver(*engine_, *machine_,
+                       traceProcess({Time::sec(1.0)}), dcfg);
+    driver.start();
+    engine_->runUntil(Time::sec(0.5));
+    // No arrival yet: the FG core retires nothing.
+    EXPECT_DOUBLE_EQ(machine_->readCounters(0).instructions, 0.0);
+    drain(driver);
+    EXPECT_EQ(driver.completed(), 1u);
+    // Idle again after the queue drained.
+    double doneInstr = machine_->readCounters(0).instructions;
+    engine_->runFor(Time::sec(1.0));
+    EXPECT_DOUBLE_EQ(machine_->readCounters(0).instructions, doneInstr);
+}
+
+TEST_F(ServeDriverTest, BoundedQueueDropsWhenFull)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    dcfg.queueCapacity = 2;
+    // A burst of 5 near-simultaneous arrivals: 1 in service, 2 queued,
+    // 2 dropped.
+    ServeDriver driver(
+        *engine_, *machine_,
+        traceProcess({Time::ms(10.0), Time::ms(11.0), Time::ms(12.0),
+                      Time::ms(13.0), Time::ms(14.0)}),
+        dcfg);
+    driver.start();
+    drain(driver);
+
+    EXPECT_EQ(driver.arrivals(), 5u);
+    EXPECT_EQ(driver.completed(), 3u);
+    EXPECT_EQ(driver.dropped(), 2u);
+    size_t droppedSeen = 0;
+    for (const Request &req : driver.requests())
+        if (req.outcome == RequestOutcome::Dropped) {
+            ++droppedSeen;
+            EXPECT_TRUE(req.started.isNever());
+            EXPECT_TRUE(req.finished.isNever());
+        }
+    EXPECT_EQ(droppedSeen, 2u);
+    EXPECT_EQ(driver.maxQueueDepth(), 2u);
+}
+
+TEST_F(ServeDriverTest, StaticAdmissionShedsBeyondCap)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    ServeDriver driver(
+        *engine_, *machine_,
+        traceProcess({Time::ms(10.0), Time::ms(11.0), Time::ms(12.0),
+                      Time::ms(13.0)}),
+        dcfg, nullptr, std::make_unique<StaticAdmission>(2));
+    driver.start();
+    drain(driver);
+
+    // Cap 2 = one in service + one queued; the rest are shed.
+    EXPECT_EQ(driver.completed(), 2u);
+    EXPECT_EQ(driver.shed(), 2u);
+    EXPECT_EQ(driver.dropped(), 0u);
+    for (const Request &req : driver.requests()) {
+        if (req.outcome == RequestOutcome::Shed) {
+            EXPECT_TRUE(req.started.isNever());
+        }
+    }
+    ASSERT_NE(driver.admission(), nullptr);
+    EXPECT_STREQ(driver.admission()->name(), "static");
+}
+
+TEST_F(ServeDriverTest, WarmupExcludesEarlyRequestsFromStats)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    dcfg.warmup = Time::sec(2.0);
+    ServeDriver driver(*engine_, *machine_,
+                       traceProcess({Time::sec(0.5), Time::sec(1.5),
+                                     Time::sec(2.5), Time::sec(3.5)}),
+                       dcfg);
+    driver.start();
+    drain(driver);
+
+    EXPECT_EQ(driver.completed(), 4u);
+    // Only the two post-warmup arrivals are measured.
+    EXPECT_EQ(driver.measuredStats().count(), 2u);
+}
+
+TEST_F(ServeDriverTest, HorizonCutsOffAnInfiniteProcess)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    dcfg.horizon = Time::sec(5.0);
+    ServeDriver driver(*engine_, *machine_,
+                       makeArrivalProcess(
+                           [] {
+                               ArrivalSpec spec;
+                               spec.rate = 1.0;
+                               return spec;
+                           }(),
+                           42),
+                       dcfg);
+    driver.start();
+    drain(driver);
+    uint64_t arrivals = driver.arrivals();
+    EXPECT_GT(arrivals, 0u);
+    // Past the horizon nothing more arrives.
+    engine_->runFor(Time::sec(5.0));
+    EXPECT_EQ(driver.arrivals(), arrivals);
+    for (const Request &req : driver.requests())
+        EXPECT_LE(req.arrived, Time::sec(5.0));
+}
+
+TEST_F(ServeDriverTest, StopCancelsPendingArrival)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    ServeDriver driver(*engine_, *machine_,
+                       traceProcess({Time::sec(1.0), Time::sec(10.0)}),
+                       dcfg);
+    driver.start();
+    engine_->runUntil(Time::sec(2.0));
+    EXPECT_EQ(driver.arrivals(), 1u);
+    driver.stop();
+    engine_->runUntil(Time::sec(12.0));
+    EXPECT_EQ(driver.arrivals(), 1u);
+    EXPECT_TRUE(driver.done());
+}
+
+TEST_F(ServeDriverTest, OnCompleteCallbackFires)
+{
+    ServeDriverConfig dcfg;
+    dcfg.fgPid = fgPid_;
+    ServeDriver driver(*engine_, *machine_,
+                       traceProcess({Time::sec(0.5), Time::sec(1.5)}),
+                       dcfg);
+    size_t calls = 0;
+    driver.setOnComplete([&](const Request &req) {
+        ++calls;
+        EXPECT_EQ(req.outcome, RequestOutcome::Completed);
+    });
+    driver.start();
+    drain(driver);
+    EXPECT_EQ(calls, 2u);
+}
+
+TEST(FormatRequestLogTest, RendersOneLinePerRequest)
+{
+    Request completed;
+    completed.id = 0;
+    completed.arrived = Time::sec(1.0);
+    completed.started = Time::sec(1.5);
+    completed.finished = Time::sec(2.0);
+    completed.queueDepth = 1;
+    completed.outcome = RequestOutcome::Completed;
+    Request dropped;
+    dropped.id = 1;
+    dropped.arrived = Time::sec(1.25);
+    dropped.queueDepth = 3;
+    dropped.outcome = RequestOutcome::Dropped;
+
+    std::string log = formatRequestLog({completed, dropped});
+    EXPECT_NE(log.find("R id=0 t=1.000000 q=1 completed "
+                       "s=1.500000 f=2.000000"),
+              std::string::npos)
+        << log;
+    EXPECT_NE(log.find("R id=1 t=1.250000 q=3 dropped"),
+              std::string::npos)
+        << log;
+    // Rejected requests carry no start/finish fields.
+    EXPECT_EQ(log.find("s=", log.find("dropped")), std::string::npos);
+
+    // The precise rendering round-trips doubles bit-exactly.
+    std::string precise = formatRequestLog({completed}, true);
+    EXPECT_NE(precise.find("t=1"), std::string::npos);
+    EXPECT_EQ(formatRequestLog({completed}, true), precise);
+}
+
+} // namespace
+} // namespace dirigent::serve

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * RequestQueue tests: FIFO/LIFO service order, bounded-capacity drops,
+ * depth high-water accounting, and the drop/shed bookkeeping split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/queue.h"
+
+namespace dirigent::serve {
+namespace {
+
+TEST(RequestQueueTest, FifoServesOldestFirst)
+{
+    RequestQueue q(0, QueueDiscipline::Fifo);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(q.pop(), 1u);
+    EXPECT_EQ(q.pop(), 2u);
+    EXPECT_EQ(q.pop(), 3u);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(RequestQueueTest, LifoServesNewestFirst)
+{
+    RequestQueue q(0, QueueDiscipline::Lifo);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.pop(), 3u);
+    // A later push jumps ahead of older waiters.
+    q.push(4);
+    EXPECT_EQ(q.pop(), 4u);
+    EXPECT_EQ(q.pop(), 2u);
+    EXPECT_EQ(q.pop(), 1u);
+}
+
+TEST(RequestQueueTest, CapacityBoundsWaitersAndCountsDrops)
+{
+    RequestQueue q(2, QueueDiscipline::Fifo);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_FALSE(q.push(3)); // full
+    EXPECT_FALSE(q.push(4));
+    EXPECT_EQ(q.depth(), 2u);
+    EXPECT_EQ(q.accepted(), 2u);
+    EXPECT_EQ(q.dropped(), 2u);
+    // Draining frees capacity again.
+    q.pop();
+    EXPECT_TRUE(q.push(5));
+    EXPECT_EQ(q.dropped(), 2u);
+}
+
+TEST(RequestQueueTest, ZeroCapacityMeansUnbounded)
+{
+    RequestQueue q(0, QueueDiscipline::Fifo);
+    for (uint64_t i = 0; i < 10000; ++i)
+        ASSERT_TRUE(q.push(i));
+    EXPECT_EQ(q.depth(), 10000u);
+    EXPECT_EQ(q.dropped(), 0u);
+}
+
+TEST(RequestQueueTest, MaxDepthIsHighWaterMark)
+{
+    RequestQueue q(0, QueueDiscipline::Fifo);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    q.pop();
+    q.pop();
+    q.push(4);
+    EXPECT_EQ(q.depth(), 2u);
+    EXPECT_EQ(q.maxDepth(), 3u);
+}
+
+TEST(RequestQueueTest, ShedAccountingIsSeparateFromDrops)
+{
+    RequestQueue q(1, QueueDiscipline::Fifo);
+    q.push(1);
+    q.push(2); // dropped: capacity
+    q.noteShed();
+    q.noteShed();
+    EXPECT_EQ(q.dropped(), 1u);
+    EXPECT_EQ(q.shed(), 2u);
+}
+
+TEST(RequestQueueTest, OutcomeAndDisciplineNames)
+{
+    EXPECT_STREQ(outcomeName(RequestOutcome::Pending), "pending");
+    EXPECT_STREQ(outcomeName(RequestOutcome::Completed), "completed");
+    EXPECT_STREQ(outcomeName(RequestOutcome::Dropped), "dropped");
+    EXPECT_STREQ(outcomeName(RequestOutcome::Shed), "shed");
+    EXPECT_STREQ(disciplineName(QueueDiscipline::Fifo), "fifo");
+    EXPECT_STREQ(disciplineName(QueueDiscipline::Lifo), "lifo");
+}
+
+TEST(RequestTest, LatencyAccessors)
+{
+    Request req;
+    req.arrived = Time::sec(1.0);
+    req.started = Time::sec(1.5);
+    req.finished = Time::sec(2.25);
+    EXPECT_DOUBLE_EQ(req.responseTime().sec(), 1.25);
+    EXPECT_DOUBLE_EQ(req.serviceTime().sec(), 0.75);
+}
+
+} // namespace
+} // namespace dirigent::serve

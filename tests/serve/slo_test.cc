@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SLO-layer tests: exact quantiles from sorted samples, the NaN-on-empty
+ * contract (the latent common::percentile 0.0-on-empty bug must not
+ * recur here), histogram mirroring, and verdict evaluation — including
+ * "zero completed requests fails every SLO".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "serve/slo.h"
+
+namespace dirigent::serve {
+namespace {
+
+TEST(LatencyStatsTest, EmptyStatsAreNaNNotZero)
+{
+    LatencyStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    // p99 of zero requests must be NaN (serialized as null), never a
+    // fake 0.0 that reads as "instant responses".
+    EXPECT_TRUE(std::isnan(stats.quantile(0.99)));
+    EXPECT_TRUE(std::isnan(stats.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(stats.mean()));
+    EXPECT_TRUE(std::isnan(stats.max()));
+}
+
+TEST(LatencyStatsTest, ExactQuantilesInterpolate)
+{
+    LatencyStats stats;
+    // Insertion order must not matter.
+    for (double v : {4.0, 1.0, 3.0, 2.0, 5.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 5u);
+    EXPECT_DOUBLE_EQ(stats.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(stats.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(stats.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(stats.quantile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(LatencyStatsTest, SingleSampleIsEveryQuantile)
+{
+    LatencyStats stats;
+    stats.add(0.42);
+    EXPECT_DOUBLE_EQ(stats.quantile(0.01), 0.42);
+    EXPECT_DOUBLE_EQ(stats.quantile(0.999), 0.42);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.42);
+}
+
+TEST(LatencyStatsTest, MirrorsSamplesIntoHistogram)
+{
+    obs::MetricsRegistry registry;
+    auto &hist = registry.histogram("response_s",
+                                    obs::HistogramConfig{1e-3, 10, 100});
+    LatencyStats stats;
+    stats.attachHistogram(&hist);
+    stats.add(0.1);
+    stats.add(0.2);
+    stats.add(0.4);
+    EXPECT_EQ(hist.count(), 3u);
+}
+
+TEST(SloTargetTest, LabelsFollowQuantile)
+{
+    EXPECT_EQ((SloTarget{0.50, 1.0}).label(), "p50");
+    EXPECT_EQ((SloTarget{0.95, 1.0}).label(), "p95");
+    EXPECT_EQ((SloTarget{0.99, 1.0}).label(), "p99");
+    EXPECT_EQ((SloTarget{0.999, 1.0}).label(), "p999");
+}
+
+TEST(EvaluateSlosTest, VerdictsCompareAchievedToTarget)
+{
+    LatencyStats stats;
+    for (int i = 1; i <= 100; ++i)
+        stats.add(i / 100.0); // quantile(q) ≈ q
+    auto verdicts = evaluateSlos({{0.50, 0.9}, {0.99, 0.9}}, stats);
+    ASSERT_EQ(verdicts.size(), 2u);
+    EXPECT_TRUE(verdicts[0].met);
+    EXPECT_NEAR(verdicts[0].achievedSec, 0.505, 0.02);
+    EXPECT_FALSE(verdicts[1].met);
+    EXPECT_NEAR(verdicts[1].achievedSec, 0.99, 0.02);
+    EXPECT_FALSE(allSlosMet(verdicts));
+}
+
+TEST(EvaluateSlosTest, NoSamplesFailsEveryTarget)
+{
+    LatencyStats empty;
+    auto verdicts = evaluateSlos({{0.99, 10.0}}, empty);
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_TRUE(std::isnan(verdicts[0].achievedSec));
+    // Serving nothing never satisfies an SLO.
+    EXPECT_FALSE(verdicts[0].met);
+    EXPECT_FALSE(allSlosMet(verdicts));
+}
+
+TEST(EvaluateSlosTest, NoTargetsIsVacuouslyMet)
+{
+    LatencyStats stats;
+    stats.add(1.0);
+    EXPECT_TRUE(allSlosMet(evaluateSlos({}, stats)));
+    EXPECT_TRUE(allSlosMet({}));
+}
+
+} // namespace
+} // namespace dirigent::serve

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ServeSpec round-trip tests: parse(format(spec)) == spec for every
+ * arrival kind, hash stability, defaulting, and fatal() on malformed
+ * user input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/spec.h"
+
+namespace dirigent::serve {
+namespace {
+
+ServeSpec
+fullSpec()
+{
+    ServeSpec spec;
+    spec.arrivals.kind = ArrivalKind::Mmpp;
+    spec.arrivals.rate = 1.25;
+    spec.arrivals.burstRate = 9.5;
+    spec.arrivals.dwellSec = 7.0;
+    spec.arrivals.burstDwellSec = 1.75;
+    spec.queueCapacity = 48;
+    spec.discipline = QueueDiscipline::Lifo;
+    spec.slos = {{0.95, 0.8}, {0.99, 1.5}};
+    spec.horizonSec = 90.0;
+    spec.warmupSec = 10.0;
+    spec.sweepRates = {0.5, 1.0, 2.5};
+    return spec;
+}
+
+TEST(ServeSpecTest, FormatParseRoundTrips)
+{
+    ServeSpec spec = fullSpec();
+    EXPECT_EQ(parseServeSpec(formatServeSpec(spec)), spec);
+
+    ServeSpec poisson;
+    poisson.arrivals.rate = 2.0;
+    poisson.slos = {{0.99, 1.0}};
+    EXPECT_EQ(parseServeSpec(formatServeSpec(poisson)), poisson);
+
+    ServeSpec diurnal;
+    diurnal.arrivals.kind = ArrivalKind::Diurnal;
+    diurnal.arrivals.periodSec = 30.0;
+    diurnal.arrivals.amplitude = 0.25;
+    EXPECT_EQ(parseServeSpec(formatServeSpec(diurnal)), diurnal);
+}
+
+TEST(ServeSpecTest, HashFingerprintsCanonicalText)
+{
+    ServeSpec a = fullSpec();
+    ServeSpec b = fullSpec();
+    EXPECT_EQ(serveSpecHash(a), serveSpecHash(b));
+    b.queueCapacity = 49;
+    EXPECT_NE(serveSpecHash(a), serveSpecHash(b));
+}
+
+TEST(ServeSpecTest, DefaultsMatchDocumentedValues)
+{
+    ServeSpec spec = parseServeSpec("[arrivals]\nrate = 1\n");
+    EXPECT_EQ(spec.arrivals.kind, ArrivalKind::Poisson);
+    EXPECT_EQ(spec.queueCapacity, 64u);
+    EXPECT_EQ(spec.discipline, QueueDiscipline::Fifo);
+    EXPECT_TRUE(spec.slos.empty());
+    EXPECT_DOUBLE_EQ(spec.horizonSec, 40.0);
+    EXPECT_DOUBLE_EQ(spec.warmupSec, 4.0);
+    EXPECT_TRUE(spec.sweepRates.empty());
+}
+
+TEST(ServeSpecTest, SloTargetsParseInQuantileOrder)
+{
+    ServeSpec spec = parseServeSpec(
+        "[slo]\np99 = 2\np50 = 0.5\n");
+    ASSERT_EQ(spec.slos.size(), 2u);
+    EXPECT_DOUBLE_EQ(spec.slos[0].quantile, 0.50);
+    EXPECT_DOUBLE_EQ(spec.slos[0].targetSec, 0.5);
+    EXPECT_DOUBLE_EQ(spec.slos[1].quantile, 0.99);
+    EXPECT_DOUBLE_EQ(spec.slos[1].targetSec, 2.0);
+    EXPECT_EQ(spec.slos[0].label(), "p50");
+    EXPECT_EQ(spec.slos[1].label(), "p99");
+}
+
+TEST(ServeSpecTest, DiesOnMalformedInput)
+{
+    EXPECT_DEATH(parseServeSpec("[arrivals]\nkind = weibull\n"),
+                 "unknown");
+    EXPECT_DEATH(parseServeSpec("[queue]\ndiscipline = random\n"),
+                 "unknown");
+    EXPECT_DEATH(parseServeSpec("[typo]\nx = 1\n"), "unknown key");
+    EXPECT_DEATH(parseServeSpec("[serve]\nrates = 1,,2\n"),
+                 "bad rate list");
+    EXPECT_DEATH(parseServeSpec("[serve]\nhorizon_s = 0\n"),
+                 "horizon_s");
+    EXPECT_DEATH(parseServeSpec("[serve]\nwarmup_s = 40\n"),
+                 "warmup_s");
+    EXPECT_DEATH(parseServeSpec("[arrivals]\nkind = mmpp\n"
+                                "rate = 2\nburst_rate = 1\n"),
+                 "burst_rate");
+}
+
+TEST(ServeSpecTest, ValidateRejectsBadSloAndRates)
+{
+    ServeSpec spec;
+    spec.slos = {{1.5, 1.0}};
+    EXPECT_TRUE(validateServeSpec(spec).has_value());
+    spec.slos = {{0.99, 0.0}};
+    EXPECT_TRUE(validateServeSpec(spec).has_value());
+    spec.slos.clear();
+    spec.sweepRates = {1.0, -2.0};
+    EXPECT_TRUE(validateServeSpec(spec).has_value());
+    spec.sweepRates.clear();
+    EXPECT_FALSE(validateServeSpec(spec).has_value());
+}
+
+TEST(ServeSpecTest, EnvServeFilePath)
+{
+    unsetenv("DIRIGENT_SERVE_FILE");
+    EXPECT_FALSE(envServeFilePath().has_value());
+    setenv("DIRIGENT_SERVE_FILE", "/tmp/x.serve", 1);
+    EXPECT_EQ(envServeFilePath().value(), "/tmp/x.serve");
+    setenv("DIRIGENT_SERVE_FILE", "", 1);
+    EXPECT_FALSE(envServeFilePath().has_value());
+    unsetenv("DIRIGENT_SERVE_FILE");
+}
+
+} // namespace
+} // namespace dirigent::serve

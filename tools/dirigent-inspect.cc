@@ -130,6 +130,44 @@ cmdSummary(const RunData &run)
         misses += s.missed ? 1 : 0;
     std::cout << "slices: " << run.slices.size()
               << " FG executions, " << misses << " deadline misses\n";
+
+    // Serving-mode runs carry a request summary in the manifest and
+    // (optionally) the per-request records in the exact section.
+    if (m.requests.present) {
+        const auto &r = m.requests;
+        std::cout << strfmt(
+            "requests: %llu arrivals, %llu completed, %llu dropped, "
+            "%llu shed\n",
+            (unsigned long long)r.arrivals,
+            (unsigned long long)r.completed,
+            (unsigned long long)r.dropped, (unsigned long long)r.shed);
+        std::cout << "    response: mean=" << num(r.meanSec)
+                  << " s p50=" << num(r.p50Sec) << " s p95="
+                  << num(r.p95Sec) << " s p99=" << num(r.p99Sec)
+                  << " s p999=" << num(r.p999Sec) << " s\n";
+        for (const auto &v : r.slos)
+            std::cout << "    slo " << v.label << ": target "
+                      << num(v.targetSec) << " s, achieved "
+                      << num(v.achievedSec) << " s -> "
+                      << (v.met ? "met" : "MISSED") << "\n";
+        if (!r.slos.empty())
+            std::cout << "    slo_met: "
+                      << (r.sloMet ? "true" : "false") << "\n";
+    }
+    if (!run.requests.empty()) {
+        size_t completed = 0, dropped = 0, shed = 0;
+        size_t maxDepth = 0;
+        for (const auto &req : run.requests) {
+            completed += req.outcome == "completed" ? 1 : 0;
+            dropped += req.outcome == "dropped" ? 1 : 0;
+            shed += req.outcome == "shed" ? 1 : 0;
+            maxDepth = std::max(maxDepth, req.queueDepth);
+        }
+        std::cout << "request records: " << run.requests.size() << " ("
+                  << completed << " completed, " << dropped
+                  << " dropped, " << shed << " shed), max queue depth "
+                  << maxDepth << "\n";
+    }
 }
 
 void

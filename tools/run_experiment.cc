@@ -33,6 +33,14 @@
  *                          dirigent/scheme_spec.h for the format; also
  *                          DIRIGENT_SCHEME_FILE). Mutually exclusive
  *                          with scheme=
+ *   --serve-file FILE      request-serving mode: feed each FG slot from
+ *                          the arrival process in FILE (INI; see
+ *                          serve/spec.h for the format; also
+ *                          DIRIGENT_SERVE_FILE). scheme=all becomes the
+ *                          Baseline / Dirigent / DirigentGradient load
+ *                          sweep over the spec's `rates` grid; any
+ *                          other scheme (or --scheme-file) runs one
+ *                          serving cell
  *   --list-schemes         print the builtin scheme registry and exit
  *   scheme = any registry name (see --list-schemes) or `all`;
  *            baseline|staticfreq|staticboth|dirigentfreq|dirigent plus
@@ -59,6 +67,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -75,9 +84,11 @@
 #include "fault/plan.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/serving.h"
 #include "obs/export.h"
 #include "obs/manifest.h"
 #include "obs/recorder.h"
+#include "serve/spec.h"
 #include "workload/benchmarks.h"
 #include "workload/mix.h"
 #include "workload/parser.h"
@@ -93,7 +104,8 @@ usage()
         << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
            "[--config FILE] [--fg-program FILE] [--threads N] "
            "[--jsonl FILE] [--faults FILE] [--trace-out FILE] "
-           "[--scheme-file FILE] [--check|--no-check] [key=value...]\n"
+           "[--scheme-file FILE] [--serve-file FILE] "
+           "[--check|--no-check] [key=value...]\n"
            "       run_experiment --list\n"
            "       run_experiment --list-schemes\n";
     std::exit(2);
@@ -175,6 +187,48 @@ writeTraceFiles(const std::string &path, obs::Recorder &recorder)
     os << recorder.manifest().toJson() << "\n";
 }
 
+/** NaN-safe quantile cell: "-" when nothing completed. */
+std::string
+quantileCell(double seconds)
+{
+    return std::isfinite(seconds) ? TextTable::num(seconds, 4) : "-";
+}
+
+/** SLO verdict cell: "met" / "MISSED p99" / "-" without targets. */
+std::string
+sloCell(const harness::ServingRunResult &res)
+{
+    if (res.verdicts.empty())
+        return "-";
+    std::string missed;
+    for (const auto &v : res.verdicts)
+        if (!v.met)
+            missed +=
+                (missed.empty() ? "MISSED " : ",") + v.target.label();
+    return missed.empty() ? "met" : missed;
+}
+
+/** Per-cell serving comparison (one row per scheme × rate). */
+void
+printServingComparison(std::ostream &os,
+                       const std::vector<harness::ServingRunResult> &cells)
+{
+    TextTable table({"scheme", "rate", "arrivals", "rejected",
+                     "p50 (s)", "p95 (s)", "p99 (s)", "p999 (s)",
+                     "SLO"});
+    for (const auto &res : cells)
+        table.addRow({res.schemeLabel,
+                      std::isfinite(res.offeredRate)
+                          ? TextTable::num(res.offeredRate, 2)
+                          : "trace",
+                      strfmt("%llu", (unsigned long long)res.arrivals),
+                      TextTable::pct(res.rejectRate()),
+                      quantileCell(res.p50Sec), quantileCell(res.p95Sec),
+                      quantileCell(res.p99Sec),
+                      quantileCell(res.p999Sec), sloCell(res)});
+    table.print(os);
+}
+
 void
 listSchemes()
 {
@@ -198,7 +252,7 @@ main(int argc, char **argv)
     std::vector<std::string> positional;
     Config overrides;
     std::string configFile, fgProgramFile, jsonlPath, faultsFile;
-    std::string traceOut, schemeFile;
+    std::string traceOut, schemeFile, serveFile;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -212,6 +266,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage();
             schemeFile = argv[i];
+        } else if (arg == "--serve-file") {
+            if (++i >= argc)
+                usage();
+            serveFile = argv[i];
         } else if (arg == "--config") {
             if (++i >= argc)
                 usage();
@@ -336,6 +394,100 @@ main(int argc, char **argv)
 
     if (traceOut.empty())
         traceOut = obs::envTraceOutPath();
+
+    // Request-serving mode: every FG slot serves an arrival stream
+    // instead of running back-to-back executions.
+    if (serveFile.empty())
+        serveFile = serve::envServeFilePath().value_or("");
+    if (!serveFile.empty()) {
+        serve::ServeSpec serveSpec = serve::loadServeSpec(serveFile);
+        inform(strfmt(
+            "serve spec (hash %llu, %s arrivals) loaded from %s",
+            (unsigned long long)serve::serveSpecHash(serveSpec),
+            serve::arrivalKindName(serveSpec.arrivals.kind),
+            serveFile.c_str()));
+        std::string outPath =
+            jsonlPath.empty() ? exec::envJsonlPath() : jsonlPath;
+
+        if (schemeFile.empty() && schemeName == "all") {
+            // The load sweep: Baseline / Dirigent / DirigentGradient
+            // across the spec's rate grid, sharded like scheme=all.
+            exec::ExecutorConfig ecfg;
+            ecfg.jsonlPath = outPath;
+            exec::SweepExecutor executor(hc, ecfg);
+            auto perMix = executor.runServingSweep(
+                {mix}, serveSpec, exec::defaultServingSchemes());
+            std::cout << "\n";
+            printServingComparison(std::cout, perMix.front());
+            if (!traceOut.empty()) {
+                inform("re-running DirigentGradient instrumented for "
+                       "--trace-out");
+                obs::Recorder recorder;
+                auto baseline =
+                    runner.run(mix, core::Scheme::Baseline, {});
+                harness::RunOptions opts;
+                opts.recorder = &recorder;
+                serve::ServeSpec one = serveSpec;
+                one.sweepRates.clear();
+                runner.runServing(mix,
+                                  exec::defaultServingSchemes().back(),
+                                  one,
+                                  runner.deadlinesFromBaseline(baseline),
+                                  opts);
+                writeTraceFiles(traceOut, recorder);
+            }
+            return 0;
+        }
+
+        // One serving cell under the selected scheme; a Baseline batch
+        // run calibrates the deadlines first, as in the sweep.
+        obs::Recorder recorder;
+        auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+        auto deadlines = runner.deadlinesFromBaseline(baseline);
+        harness::RunOptions runOpts;
+        if (!traceOut.empty())
+            runOpts.recorder = &recorder;
+        serve::ServeSpec one = serveSpec;
+        one.sweepRates.clear();
+        auto t0 = std::chrono::steady_clock::now();
+        auto res = runner.runServing(mix, spec, one, deadlines, runOpts);
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (!traceOut.empty())
+            writeTraceFiles(traceOut, recorder);
+        if (!outPath.empty())
+            if (auto writer = exec::JsonlWriter::open(outPath))
+                writer->writeServing(res, schemeName,
+                                     runner.mixSeed(mix), wall);
+
+        TextTable table({"metric", "value"});
+        table.addRow({"arrivals",
+                      strfmt("%llu", (unsigned long long)res.arrivals)});
+        table.addRow({"completed",
+                      strfmt("%llu", (unsigned long long)res.completed)});
+        table.addRow(
+            {"dropped (queue full)",
+             strfmt("%llu", (unsigned long long)res.dropped)});
+        table.addRow({"shed (admission)",
+                      strfmt("%llu", (unsigned long long)res.shed)});
+        table.addRow({"reject rate", TextTable::pct(res.rejectRate())});
+        table.addRow({"response mean (s)", quantileCell(res.meanSec)});
+        table.addRow({"response p50 (s)", quantileCell(res.p50Sec)});
+        table.addRow({"response p95 (s)", quantileCell(res.p95Sec)});
+        table.addRow({"response p99 (s)", quantileCell(res.p99Sec)});
+        table.addRow({"response p999 (s)", quantileCell(res.p999Sec)});
+        table.addRow({"max queue depth",
+                      strfmt("%zu", res.maxQueueDepth)});
+        for (const auto &v : res.verdicts)
+            table.addRow(
+                {v.target.label() + " SLO (target " +
+                     TextTable::num(v.target.targetSec, 4) + " s)",
+                 std::string(v.met ? "met" : "MISSED") + " at " +
+                     quantileCell(v.achievedSec) + " s"});
+        table.print(std::cout);
+        return 0;
+    }
 
     if (schemeFile.empty() && schemeName == "all") {
         // Sharded across hc.threads workers (scheme stages of the one
