@@ -6,7 +6,10 @@
 #ifndef DIRIGENT_BENCH_BENCH_UTIL_H
 #define DIRIGENT_BENCH_BENCH_UTIL_H
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "check/check.h"
@@ -19,6 +22,108 @@
 #include "workload/mix.h"
 
 namespace dirigent::bench {
+
+/**
+ * One warmed-up repeated wall-clock measurement. Every perf artifact
+ * in this repo (the sim-rate snapshots and the CI recorder-overhead
+ * gate) reports the median of @c samplesSec so a single descheduling
+ * blip cannot fail a gate or skew a committed baseline.
+ */
+struct Measured
+{
+    std::vector<double> samplesSec; //!< timed repetitions, in run order
+    double medianSec = 0.0;
+    double minSec = 0.0;
+    double maxSec = 0.0;
+};
+
+/** Median of @p values (by copy; empty input returns 0). */
+inline double
+medianOf(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/**
+ * Run @p fn @p warmup times untimed, then @p reps times timed, and
+ * summarize. The single measurement methodology shared by every bench
+ * binary — micro_overhead's CI overhead gate and sim_rate's regression
+ * gate compare numbers produced exactly this way.
+ */
+template <typename Fn>
+Measured
+measureMedian(Fn &&fn, int reps, int warmup)
+{
+    using clock = std::chrono::steady_clock;
+    Measured m;
+    for (int i = 0; i < warmup; ++i)
+        fn();
+    for (int i = 0; i < reps; ++i) {
+        auto t0 = clock::now();
+        fn();
+        auto t1 = clock::now();
+        m.samplesSec.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+    m.medianSec = medianOf(m.samplesSec);
+    auto [lo, hi] =
+        std::minmax_element(m.samplesSec.begin(), m.samplesSec.end());
+    if (lo != m.samplesSec.end()) {
+        m.minSec = *lo;
+        m.maxSec = *hi;
+    }
+    return m;
+}
+
+/**
+ * Measure two workloads for a ratio comparison (e.g. the recorder
+ * overhead gate): reps are interleaved, with the arm order swapped
+ * every rep, so slow drift in background load hits both arms equally
+ * instead of biasing whichever arm happens to run second. Summaries
+ * are the same warmup + median-of-reps shape as measureMedian.
+ */
+template <typename FnA, typename FnB>
+std::pair<Measured, Measured>
+measurePairMedian(FnA &&fnA, FnB &&fnB, int reps, int warmup)
+{
+    using clock = std::chrono::steady_clock;
+    Measured a, b;
+    for (int i = 0; i < warmup; ++i) {
+        fnA();
+        fnB();
+    }
+    auto timeOne = [](auto &fn) {
+        auto t0 = clock::now();
+        fn();
+        auto t1 = clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    for (int i = 0; i < reps; ++i) {
+        if (i % 2 == 0) {
+            a.samplesSec.push_back(timeOne(fnA));
+            b.samplesSec.push_back(timeOne(fnB));
+        } else {
+            b.samplesSec.push_back(timeOne(fnB));
+            a.samplesSec.push_back(timeOne(fnA));
+        }
+    }
+    for (Measured *m : {&a, &b}) {
+        m->medianSec = medianOf(m->samplesSec);
+        auto [lo, hi] = std::minmax_element(m->samplesSec.begin(),
+                                            m->samplesSec.end());
+        if (lo != m->samplesSec.end()) {
+            m->minSec = *lo;
+            m->maxSec = *hi;
+        }
+    }
+    return {a, b};
+}
 
 /** Default harness configuration with environment overrides applied. */
 inline harness::HarnessConfig

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * End-to-end simulation-rate benchmark: measures quanta/second and
+ * runs/second of full harness runs in both stepping modes (reference
+ * single-quantum vs event skip-ahead) and writes a schema-validated
+ * BENCH_sim_rate.json snapshot (tools/schema/bench.schema.json).
+ *
+ * Usage:
+ *   sim_rate [--out FILE] [--reps N] [--warmup N] [--executions N]
+ *            [--serving-horizon SEC] [--quick] [--mode reference|fast]
+ *            [--baseline-from FILE] [--baseline-label TEXT]
+ *
+ * --baseline-from embeds the scenarios of an earlier snapshot as the
+ * new snapshot's baseline section, producing a per-scenario speedup
+ * table; CI's perf job compares the fresh run against the committed
+ * BENCH_sim_rate.json this way.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.h"
+#include "sim_rate_lib.h"
+
+using namespace dirigent;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--out FILE] [--reps N] [--warmup N] [--executions N]\n"
+                 "          [--serving-horizon SEC] [--quick]"
+                 " [--mode reference|fast]\n"
+                 "          [--baseline-from FILE] [--baseline-label TEXT]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Rates are only comparable detached: the invariant checker hooks
+    // the engine as an observer, which forces the reference path.
+    check::setEnabled(false);
+
+    bench::SimRateOptions opts;
+    std::string outPath = "BENCH_sim_rate.json";
+    std::string baselineFrom;
+    std::string baselineLabel = "committed snapshot";
+    std::vector<std::string> modes;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal(strfmt("missing value for %s", arg.c_str()));
+            return argv[++i];
+        };
+        if (arg == "--out") {
+            outPath = next();
+        } else if (arg == "--reps") {
+            opts.reps = std::stoi(next());
+        } else if (arg == "--warmup") {
+            opts.warmup = std::stoi(next());
+        } else if (arg == "--executions") {
+            opts.executions = unsigned(std::stoul(next()));
+        } else if (arg == "--serving-horizon") {
+            opts.servingHorizonSec = std::stod(next());
+        } else if (arg == "--quick") {
+            bench::SimRateOptions quick = bench::quickSimRateOptions();
+            quick.modes = opts.modes;
+            opts = quick;
+        } else if (arg == "--mode") {
+            modes.push_back(next());
+        } else if (arg == "--baseline-from") {
+            baselineFrom = next();
+        } else if (arg == "--baseline-label") {
+            baselineLabel = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal(strfmt("unknown argument: %s", arg.c_str()));
+        }
+    }
+    if (!modes.empty())
+        opts.modes = modes;
+    for (const std::string &mode : opts.modes)
+        if (mode != "reference" && mode != "fast")
+            fatal(strfmt("unknown mode '%s' (want reference|fast)",
+                  mode.c_str()));
+
+    std::optional<bench::SimRateBaseline> baseline;
+    if (!baselineFrom.empty()) {
+        std::ifstream in(baselineFrom);
+        if (!in)
+            fatal(strfmt("cannot read baseline snapshot %s",
+                  baselineFrom.c_str()));
+        std::ostringstream text;
+        text << in.rdbuf();
+        baseline = bench::baselineFromSnapshot(text.str(), baselineLabel);
+        if (!baseline.has_value())
+            fatal(strfmt("cannot parse baseline snapshot %s",
+                  baselineFrom.c_str()));
+    }
+
+    bench::SimRateReport report = bench::runSimRate(opts);
+
+    std::string json = bench::formatSimRateJson(report, baseline);
+    std::ofstream out(outPath);
+    if (!out)
+        fatal(strfmt("cannot write %s", outPath.c_str()));
+    out << json;
+    out.close();
+
+    std::cout << "scenario              mode       quanta/run   median s"
+                 "   Mquanta/s   runs/s\n";
+    for (const auto &r : report.scenarios) {
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "%-21s %-9s %11llu %10.4f %11.3f %8.3f\n",
+                      r.name.c_str(), r.mode.c_str(),
+                      (unsigned long long)r.quantaPerRun, r.medianRunSec,
+                      r.quantaPerSec / 1e6, r.runsPerSec);
+        std::cout << line;
+    }
+    std::cout << "wrote " << outPath << "\n";
+    return 0;
+}

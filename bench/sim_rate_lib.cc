@@ -1,0 +1,378 @@
+#include "sim_rate_lib.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "bench_util.h"
+#include "harness/serving.h"
+#include "obs/json.h"
+#include "serve/spec.h"
+#include "sim/engine.h"
+#include "workload/benchmarks.h"
+
+#ifndef DIRIGENT_BENCH_BUILD_TYPE
+#define DIRIGENT_BENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace dirigent::bench {
+
+namespace {
+
+/** Scoped DIRIGENT_FAST_PATH override; restores the prior value. */
+class FastPathEnvGuard
+{
+  public:
+    explicit FastPathEnvGuard(const std::string &mode)
+    {
+        const char *prev = std::getenv("DIRIGENT_FAST_PATH");
+        hadPrev_ = prev != nullptr;
+        if (hadPrev_)
+            prev_ = prev;
+        setenv("DIRIGENT_FAST_PATH", mode == "fast" ? "1" : "0", 1);
+    }
+
+    ~FastPathEnvGuard()
+    {
+        if (hadPrev_)
+            setenv("DIRIGENT_FAST_PATH", prev_.c_str(), 1);
+        else
+            unsetenv("DIRIGENT_FAST_PATH");
+    }
+
+  private:
+    bool hadPrev_ = false;
+    std::string prev_;
+};
+
+/** Deterministic clones of ferret/rs with every stochastic input off. */
+void
+registerDeterministicPrograms()
+{
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    for (const char *name : {"ferret", "rs"}) {
+        std::string detName = std::string(name) + "_det";
+        if (lib.has(detName))
+            continue;
+        workload::PhaseProgram program = lib.get(name).program;
+        program.name = detName;
+        for (auto &phase : program.phases) {
+            phase.cpiJitterSigma = 0.0;
+            phase.instrJitterSigma = 0.0;
+        }
+        workload::BenchmarkLibrary::registerCustom(
+            detName, "deterministic sim-rate clone", std::move(program));
+    }
+
+    // A compute-only one-shot FG: no LLC traffic, no jitter. Together
+    // with OS noise disabled, a standalone run of it is the purest
+    // detached hot path — engine loop + core model with the cache and
+    // DRAM flow quiescent.
+    if (!lib.has("cpu_only")) {
+        workload::Phase phase;
+        phase.name = "compute";
+        phase.instructions = 2e8;
+        phase.instrJitterSigma = 0.0;
+        phase.cpiBase = 1.0;
+        phase.llcApki = 0.0;
+        phase.cpiJitterSigma = 0.0;
+        workload::PhaseProgram program;
+        program.name = "cpu_only";
+        program.phases.push_back(phase);
+        program.loop = false;
+        workload::BenchmarkLibrary::registerCustom(
+            "cpu_only", "compute-only sim-rate FG", std::move(program));
+    }
+}
+
+/** One runnable scenario: setup once, then a run() closure per rep. */
+struct Scenario
+{
+    std::string name;
+    std::function<void()> run;
+};
+
+ScenarioResult
+measureScenario(const Scenario &scenario, const std::string &mode,
+                const SimRateOptions &opts)
+{
+    FastPathEnvGuard env(mode);
+    uint64_t quanta = 0;
+    auto timedRun = [&] {
+        uint64_t before = sim::totalQuantaAdvanced();
+        scenario.run();
+        quanta = sim::totalQuantaAdvanced() - before;
+    };
+    Measured m = measureMedian(timedRun, opts.reps, opts.warmup);
+
+    ScenarioResult r;
+    r.name = scenario.name;
+    r.mode = mode;
+    r.reps = opts.reps;
+    r.warmup = opts.warmup;
+    r.quantaPerRun = quanta;
+    r.medianRunSec = m.medianSec;
+    r.minRunSec = m.minSec;
+    r.maxRunSec = m.maxSec;
+    if (m.medianSec > 0.0) {
+        r.quantaPerSec = double(quanta) / m.medianSec;
+        r.runsPerSec = 1.0 / m.medianSec;
+    }
+    return r;
+}
+
+} // namespace
+
+SimRateOptions
+quickSimRateOptions()
+{
+    SimRateOptions opts;
+    opts.quick = true;
+    opts.reps = 2;
+    opts.warmup = 1;
+    opts.executions = 2;
+    opts.servingHorizonSec = 2.0;
+    return opts;
+}
+
+SimRateReport
+runSimRate(const SimRateOptions &options)
+{
+    registerDeterministicPrograms();
+
+    SimRateReport report;
+    report.options = options;
+
+    std::vector<Scenario> scenarios;
+
+    // fg_only: the FG hot path with five idle cores — the regime where
+    // per-quantum fixed costs (cache commit, engine loop) dominate.
+    {
+        auto runner = std::make_shared<harness::ExperimentRunner>(
+            bench::defaultConfig(options.executions));
+        unsigned execs = options.executions;
+        scenarios.push_back(
+            {"fg_only", [runner, execs] {
+                 auto res = runner->runStandalone("ferret", execs);
+                 if (res.total == 0)
+                     fatal("fg_only scenario measured no executions");
+             }});
+    }
+
+    // cpu_bound: compute-only FG, noise off — per-quantum fixed costs
+    // with the memory system quiescent (the detached hot-path floor).
+    {
+        harness::HarnessConfig hc = bench::defaultConfig(options.executions);
+        hc.machine.noiseEventsPerSec = 0.0;
+        auto runner = std::make_shared<harness::ExperimentRunner>(hc);
+        unsigned execs = options.executions;
+        scenarios.push_back(
+            {"cpu_bound", [runner, execs] {
+                 auto res = runner->runStandalone("cpu_only", execs);
+                 if (res.total == 0)
+                     fatal("cpu_bound scenario measured no executions");
+             }});
+    }
+
+    // batch_mix: the golden-sentinel shape — ferret + 5×rs under the
+    // full Dirigent runtime (sampler events, fine/coarse control).
+    {
+        auto runner = std::make_shared<harness::ExperimentRunner>(
+            bench::defaultConfig(options.executions));
+        auto mix = workload::makeMix({"ferret"},
+                                     workload::BgSpec::single("rs"));
+        auto base = runner->run(mix, core::Scheme::Baseline, {});
+        auto deadlines =
+            std::make_shared<std::map<std::string, Time>>(
+                runner->deadlinesFromBaseline(base));
+        scenarios.push_back(
+            {"batch_mix", [runner, mix, deadlines] {
+                 auto res = runner->run(mix, core::Scheme::Dirigent,
+                                        *deadlines);
+                 if (res.total == 0)
+                     fatal("batch_mix scenario measured no executions");
+             }});
+    }
+
+    // batch_deterministic: identical mix with OS noise and workload
+    // jitter zeroed — pure model throughput, no RNG in the loop.
+    {
+        harness::HarnessConfig hc = bench::defaultConfig(options.executions);
+        hc.machine.noiseEventsPerSec = 0.0;
+        auto runner = std::make_shared<harness::ExperimentRunner>(hc);
+        auto mix = workload::makeMix({"ferret_det"},
+                                     workload::BgSpec::single("rs_det"));
+        auto base = runner->run(mix, core::Scheme::Baseline, {});
+        auto deadlines =
+            std::make_shared<std::map<std::string, Time>>(
+                runner->deadlinesFromBaseline(base));
+        scenarios.push_back(
+            {"batch_deterministic", [runner, mix, deadlines] {
+                 auto res = runner->run(mix, core::Scheme::Dirigent,
+                                        *deadlines);
+                 if (res.total == 0)
+                     fatal("batch_deterministic measured no executions");
+             }});
+    }
+
+    // serving: open-loop Poisson arrivals through the ServeDriver —
+    // the event-dense path (arrival events bound every span).
+    {
+        auto runner = std::make_shared<harness::ExperimentRunner>(
+            bench::defaultConfig(options.executions));
+        auto mix = workload::makeMix({"ferret"},
+                                     workload::BgSpec::single("rs"));
+        auto base = runner->run(mix, core::Scheme::Baseline, {});
+        auto deadlines =
+            std::make_shared<std::map<std::string, Time>>(
+                runner->deadlinesFromBaseline(base));
+        auto serveSpec = std::make_shared<serve::ServeSpec>();
+        serveSpec->arrivals.rate = 2.0;
+        serveSpec->horizonSec = options.servingHorizonSec;
+        serveSpec->warmupSec =
+            std::min(1.0, options.servingHorizonSec / 4.0);
+        auto spec = std::make_shared<core::SchemeSpec>(
+            core::schemeSpec(core::Scheme::Dirigent));
+        scenarios.push_back(
+            {"serving", [runner, mix, deadlines, serveSpec, spec] {
+                 auto res = runner->runServing(mix, *spec, *serveSpec,
+                                               *deadlines);
+                 if (res.arrivals == 0)
+                     fatal("serving scenario saw no arrivals");
+             }});
+    }
+
+    for (const Scenario &scenario : scenarios)
+        for (const std::string &mode : options.modes)
+            report.scenarios.push_back(
+                measureScenario(scenario, mode, options));
+    return report;
+}
+
+namespace {
+
+void
+appendScenarioJson(std::ostringstream &out, const ScenarioResult &r,
+                   const char *indent)
+{
+    out << indent << "{\"name\":" << obs::jsonQuote(r.name)
+        << ",\"mode\":" << obs::jsonQuote(r.mode)
+        << ",\"reps\":" << r.reps << ",\"warmup\":" << r.warmup
+        << ",\"quanta_per_run\":" << r.quantaPerRun
+        << ",\"median_run_sec\":" << obs::jsonDouble(r.medianRunSec)
+        << ",\"min_run_sec\":" << obs::jsonDouble(r.minRunSec)
+        << ",\"max_run_sec\":" << obs::jsonDouble(r.maxRunSec)
+        << ",\"quanta_per_sec\":" << obs::jsonDouble(r.quantaPerSec)
+        << ",\"runs_per_sec\":" << obs::jsonDouble(r.runsPerSec) << "}";
+}
+
+/**
+ * Baseline row for a current (name, mode) row. Prefers the same mode;
+ * falls back to the baseline's reference row so a pre-fast-path
+ * snapshot (reference only) still yields fast-vs-reference speedups.
+ */
+const ScenarioResult *
+findScenario(const std::vector<ScenarioResult> &list,
+             const std::string &name, const std::string &mode)
+{
+    const ScenarioResult *reference = nullptr;
+    for (const auto &r : list) {
+        if (r.name != name)
+            continue;
+        if (r.mode == mode)
+            return &r;
+        if (r.mode == "reference")
+            reference = &r;
+    }
+    return reference;
+}
+
+} // namespace
+
+std::string
+formatSimRateJson(const SimRateReport &report,
+                  const std::optional<SimRateBaseline> &baseline)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"bench\": \"sim_rate\",\n";
+    out << "  \"quick\": " << (report.options.quick ? "true" : "false")
+        << ",\n";
+    out << "  \"context\": {\"compiler\": " << obs::jsonQuote(__VERSION__)
+        << ", \"build_type\": "
+        << obs::jsonQuote(DIRIGENT_BENCH_BUILD_TYPE)
+        << ", \"checker\": " << (check::enabled() ? "true" : "false")
+        << "},\n";
+    out << "  \"scenarios\": [\n";
+    for (size_t i = 0; i < report.scenarios.size(); ++i) {
+        appendScenarioJson(out, report.scenarios[i], "    ");
+        out << (i + 1 < report.scenarios.size() ? ",\n" : "\n");
+    }
+    out << "  ]";
+    if (baseline.has_value()) {
+        out << ",\n  \"baseline\": {\"label\": "
+            << obs::jsonQuote(baseline->label) << ", \"scenarios\": [\n";
+        for (size_t i = 0; i < baseline->scenarios.size(); ++i) {
+            appendScenarioJson(out, baseline->scenarios[i], "    ");
+            out << (i + 1 < baseline->scenarios.size() ? ",\n" : "\n");
+        }
+        out << "  ]},\n";
+        out << "  \"speedup\": [\n";
+        bool first = true;
+        for (const auto &cur : report.scenarios) {
+            const ScenarioResult *base =
+                findScenario(baseline->scenarios, cur.name, cur.mode);
+            if (base == nullptr || base->quantaPerSec <= 0.0 ||
+                base->runsPerSec <= 0.0) {
+                continue;
+            }
+            if (!first)
+                out << ",\n";
+            first = false;
+            out << "    {\"name\":" << obs::jsonQuote(cur.name)
+                << ",\"mode\":" << obs::jsonQuote(cur.mode)
+                << ",\"quanta_per_sec_ratio\":"
+                << obs::jsonDouble(cur.quantaPerSec / base->quantaPerSec)
+                << ",\"runs_per_sec_ratio\":"
+                << obs::jsonDouble(cur.runsPerSec / base->runsPerSec)
+                << "}";
+        }
+        out << "\n  ]";
+    }
+    out << "\n}\n";
+    return out.str();
+}
+
+std::optional<SimRateBaseline>
+baselineFromSnapshot(const std::string &jsonText, const std::string &label)
+{
+    std::string error;
+    auto doc = obs::parseJson(jsonText, &error);
+    if (!doc.has_value() || !doc->isObject())
+        return std::nullopt;
+    const obs::JsonValue *scenarios = doc->find("scenarios");
+    if (scenarios == nullptr || !scenarios->isArray())
+        return std::nullopt;
+    SimRateBaseline base;
+    base.label = label;
+    for (const auto &entry : scenarios->array) {
+        if (!entry.isObject())
+            return std::nullopt;
+        ScenarioResult r;
+        r.name = entry.stringOr("name", "");
+        r.mode = entry.stringOr("mode", "");
+        r.reps = int(entry.numberOr("reps", 0.0));
+        r.warmup = int(entry.numberOr("warmup", 0.0));
+        r.quantaPerRun = uint64_t(entry.numberOr("quanta_per_run", 0.0));
+        r.medianRunSec = entry.numberOr("median_run_sec", 0.0);
+        r.minRunSec = entry.numberOr("min_run_sec", 0.0);
+        r.maxRunSec = entry.numberOr("max_run_sec", 0.0);
+        r.quantaPerSec = entry.numberOr("quanta_per_sec", 0.0);
+        r.runsPerSec = entry.numberOr("runs_per_sec", 0.0);
+        base.scenarios.push_back(std::move(r));
+    }
+    return base;
+}
+
+} // namespace dirigent::bench

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * End-to-end simulation-rate benchmark scenarios, shared between the
+ * bench/sim_rate CLI (which writes BENCH_sim_rate.json snapshots) and
+ * the perf smoke test (which runs tiny horizons and schema-validates
+ * the snapshot in-process).
+ *
+ * Each scenario is one full detached (no recorder, no checker) run
+ * through the harness, repeated with the shared warmup/median
+ * methodology of bench_util.h, in both stepping modes:
+ *
+ *  - fg_only             ferret alone on core 0 (5 idle cores)
+ *  - cpu_bound           compute-only FG, OS noise off: per-quantum
+ *                        fixed costs with the memory system quiescent
+ *  - batch_mix           ferret + 5×rs under Dirigent (golden-like)
+ *  - batch_deterministic the same mix with OS noise and CPI/instruction
+ *                        jitter zeroed (pure-model throughput)
+ *  - serving             open-loop Poisson serving under Dirigent
+ *
+ * Rates are reported as model quanta/second (from the engine's global
+ * step counter) and runs/second, per scenario and stepping mode.
+ */
+
+#ifndef DIRIGENT_BENCH_SIM_RATE_LIB_H
+#define DIRIGENT_BENCH_SIM_RATE_LIB_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dirigent::bench {
+
+/** Knobs of one sim-rate benchmark invocation. */
+struct SimRateOptions
+{
+    int reps = 5;    //!< timed repetitions per scenario × mode
+    int warmup = 1;  //!< untimed repetitions before measuring
+    unsigned executions = 10;      //!< measured FG executions per run
+    double servingHorizonSec = 8.0; //!< serving-scenario arrival window
+    bool quick = false; //!< tiny horizons for the perf smoke tier
+    /** Stepping modes to measure ("reference", "fast"). */
+    std::vector<std::string> modes = {"reference", "fast"};
+};
+
+/** Measured rates of one scenario under one stepping mode. */
+struct ScenarioResult
+{
+    std::string name;
+    std::string mode; //!< "reference" or "fast"
+    int reps = 0;
+    int warmup = 0;
+    uint64_t quantaPerRun = 0; //!< model quanta one run advances
+    double medianRunSec = 0.0;
+    double minRunSec = 0.0;
+    double maxRunSec = 0.0;
+    double quantaPerSec = 0.0; //!< quantaPerRun / medianRunSec
+    double runsPerSec = 0.0;   //!< 1 / medianRunSec
+};
+
+/** A full sim-rate measurement. */
+struct SimRateReport
+{
+    SimRateOptions options;
+    std::vector<ScenarioResult> scenarios;
+};
+
+/** A baseline section carried into the snapshot for comparison. */
+struct SimRateBaseline
+{
+    std::string label;
+    std::vector<ScenarioResult> scenarios;
+};
+
+/** The tiny-horizon options used by the `perf` ctest smoke tier. */
+SimRateOptions quickSimRateOptions();
+
+/** Run every scenario in every requested mode. */
+SimRateReport runSimRate(const SimRateOptions &options);
+
+/**
+ * Render the snapshot JSON (schema: tools/schema/bench.schema.json).
+ * When @p baseline is present a per-scenario speedup section is
+ * computed for every matching (name, mode) pair.
+ */
+std::string formatSimRateJson(const SimRateReport &report,
+                              const std::optional<SimRateBaseline> &baseline);
+
+/**
+ * Extract the scenario list of an existing snapshot's *current*
+ * section so it can be embedded as the baseline of the next one
+ * (`sim_rate --baseline-from`). Returns nullopt on parse failure.
+ */
+std::optional<SimRateBaseline>
+baselineFromSnapshot(const std::string &jsonText, const std::string &label);
+
+} // namespace dirigent::bench
+
+#endif // DIRIGENT_BENCH_SIM_RATE_LIB_H

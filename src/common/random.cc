@@ -112,7 +112,12 @@ Rng::lognormalMean(double mean, double sigma)
 {
     DIRIGENT_ASSERT(mean > 0.0, "lognormalMean() requires mean > 0");
     // exp(N(mu, sigma)) has mean exp(mu + sigma^2/2); solve for mu.
-    double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return lognormalMu(std::log(mean) - 0.5 * sigma * sigma, sigma);
+}
+
+double
+Rng::lognormalMu(double mu, double sigma)
+{
     return std::exp(normal(mu, sigma));
 }
 

@@ -58,6 +58,14 @@ class Rng
      */
     double lognormalMean(double mean, double sigma);
 
+    /**
+     * Lognormal from a precomputed location parameter: exp(N(mu, sigma)).
+     * lognormalMean(m, s) ≡ lognormalMu(log(m) - 0.5·s², s); hot callers
+     * that draw repeatedly with fixed parameters precompute mu once
+     * (workload::Task caches it per phase).
+     */
+    double lognormalMu(double mu, double sigma);
+
     /** Exponential with the given mean. */
     double exponential(double mean);
 

@@ -68,7 +68,11 @@ Core::advance(workload::Task *task, Time dt)
         return result;
     }
 
+    // Loop-invariant this quantum: DVFS changes arrive between quanta
+    // and the DRAM latency estimate only moves at commit time.
     const double lineSize = cache_.config().lineSize;
+    const double hz = freq_.hz();
+    const double dramLatencySec = dram_.latency().sec();
     double jitter = task->sampleCpiJitter();
 
     while (timeLeft > kMinSliceSec && !task->finished()) {
@@ -76,8 +80,8 @@ Core::advance(workload::Task *task, Time dt)
         double hit = cache_.hitRatio(cacheSlot_, ph);
         double apki = ph.llcApki * 1e-3;
         double mpi = apki * (1.0 - hit);
-        double spi = ph.cpiBase * jitter / freq_.hz() +
-                     mpi * dram_.latency().sec() / ph.mlp;
+        double spi = ph.cpiBase * jitter / hz +
+                     mpi * dramLatencySec / ph.mlp;
         DIRIGENT_ASSERT(spi > 0.0, "non-positive seconds per instruction");
 
         double maxInstr = timeLeft / spi;
@@ -88,12 +92,11 @@ Core::advance(workload::Task *task, Time dt)
         if (bwGuard_ != nullptr && mpi > 0.0) {
             double remaining = bwGuard_->remainingBytes(id_);
             if (remaining != std::numeric_limits<double>::infinity()) {
-                double budgetInstr =
-                    remaining / (mpi * cache_.config().lineSize);
+                double budgetInstr = remaining / (mpi * lineSize);
                 if (budgetInstr < 1.0) {
                     // Budget gone: stall out the rest of the quantum.
                     bwGuard_->charge(id_, remaining + 1.0);
-                    counters_.addCycles(timeLeft * freq_.hz());
+                    counters_.addCycles(timeLeft * hz);
                     result.used += Time::sec(timeLeft);
                     break;
                 }
@@ -110,7 +113,7 @@ Core::advance(workload::Task *task, Time dt)
 
         counters_.addInstructions(instr);
         counters_.addLlcTraffic(accesses, misses);
-        counters_.addCycles(used * freq_.hz());
+        counters_.addCycles(used * hz);
 
         task->retire(instr);
         result.instructions += instr;

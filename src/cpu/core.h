@@ -62,6 +62,9 @@ class Core
      */
     void stealTime(Time t);
 
+    /** Stolen time queued but not yet consumed by advance(). */
+    Time stolenBacklog() const { return stolen_; }
+
     /**
      * Attach a bandwidth regulator (not owned; nullptr detaches).
      * While the core's budget is exhausted the core stalls instead of

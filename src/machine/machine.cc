@@ -23,6 +23,7 @@ Machine::Machine(const MachineConfig &config)
             c, c, cache_, dram_, config.maxFreq));
         cores_.back()->setBwGuard(&bwGuard_);
     }
+    wsCaps_.assign(config.numCores, 0.0);
 }
 
 cpu::Core &
@@ -78,21 +79,76 @@ Machine::readCounters(unsigned coreId) const
 void
 Machine::advance(Time start, Time dt)
 {
+    advanceQuantum(start, dt);
+}
+
+uint64_t
+Machine::advanceSpan(sim::Engine &engine, Time end)
+{
+    // Same chunk grid as sim::Component::advanceSpan (and therefore as
+    // the engine's reference loop); overridden so an event-free span's
+    // quanta run back-to-back without per-quantum virtual dispatch.
+    const Time quantum = engine.maxQuantum();
+    sim::EventQueue &events = engine.events();
+    uint64_t quanta = 0;
+    while (true) {
+        Time start = engine.now();
+        if (start >= end)
+            break;
+        Time target = std::min(end, start + quantum);
+        target = std::min(target, events.nextTime());
+        if (target <= start)
+            break;
+        advanceQuantum(start, target - start);
+        engine.spanAdvanced(target);
+        ++quanta;
+        if (events.nextTime() <= target)
+            break;
+    }
+    return quanta;
+}
+
+void
+Machine::advanceQuantum(Time start, Time dt)
+{
     now_ = start;
 
-    for (unsigned c = 0; c < config_.numCores; ++c)
+    // OS noise: short random interruptions (timer ticks, kernel work).
+    // Rolled here, in core order, so the noise stream is identical
+    // whether or not a core ends up skipped below.
+    const double eventProb = config_.noiseEventsPerSec * dt.sec();
+    const double noiseChance = std::min(eventProb, 1.0);
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        cpu::Core &core = *cores_[c];
+        if (eventProb > 0.0 && rng_.chance(noiseChance)) {
+            core.stealTime(Time::sec(
+                rng_.exponential(config_.noiseMeanDuration.sec())));
+        }
+        // An idle core with no stolen backlog retires nothing and
+        // touches no counters: advancing it is a no-op, so skip the
+        // dispatch. Any queued stolen time must still burn cycles.
+        const Process *proc = os_.processOnCore(c);
+        const bool hasTask = proc != nullptr && proc->runnable();
+        if (!hasTask && core.stolenBacklog().sec() <= 0.0)
+            continue;
         advanceCore(c, start, dt);
+    }
 
     // Close the quantum: apply cache occupancy flow and memory queueing.
-    std::vector<Bytes> wsCaps(config_.numCores, 0.0);
-    for (unsigned c = 0; c < config_.numCores; ++c) {
-        const Process *proc = os_.processOnCore(c);
-        if (proc != nullptr && proc->task != nullptr &&
-            !proc->task->finished()) {
-            wsCaps[c] = proc->task->currentPhase().workingSet;
+    // A provably empty, fill-free cache makes commit() a no-op for any
+    // cap vector, so the caps need not even be gathered.
+    if (!cache_.quiescent()) {
+        for (unsigned c = 0; c < config_.numCores; ++c) {
+            const Process *proc = os_.processOnCore(c);
+            if (proc != nullptr && proc->task != nullptr &&
+                !proc->task->finished()) {
+                wsCaps_[c] = proc->task->currentPhase().workingSet;
+            } else {
+                wsCaps_[c] = 0.0;
+            }
         }
+        cache_.commit(wsCaps_);
     }
-    cache_.commit(wsCaps);
     dram_.update(dt);
     bwGuard_.tick(start + dt);
 
@@ -103,13 +159,6 @@ void
 Machine::advanceCore(unsigned coreId, Time start, Time dt)
 {
     cpu::Core &core = *cores_[coreId];
-
-    // OS noise: short random interruptions (timer ticks, kernel work).
-    double eventProb = config_.noiseEventsPerSec * dt.sec();
-    if (eventProb > 0.0 && rng_.chance(std::min(eventProb, 1.0))) {
-        core.stealTime(Time::sec(
-            rng_.exponential(config_.noiseMeanDuration.sec())));
-    }
 
     Time offset;
     // A completed task's remaining quantum runs its successor, so loop.

@@ -126,8 +126,11 @@ class Machine : public sim::Component
 
     // sim::Component
     void advance(Time start, Time dt) override;
+    uint64_t advanceSpan(sim::Engine &engine, Time end) override;
 
   private:
+    /** One quantum: cores, then cache/DRAM/bandwidth bookkeeping. */
+    void advanceQuantum(Time start, Time dt);
     void advanceCore(unsigned coreId, Time start, Time dt);
     void fireCompletion(const CompletionRecord &rec);
 
@@ -141,6 +144,7 @@ class Machine : public sim::Component
     std::vector<std::pair<size_t, CompletionListener>> listeners_;
     size_t nextListener_ = 1;
     Time now_;
+    std::vector<Bytes> wsCaps_; //!< per-quantum commit scratch
 };
 
 } // namespace dirigent::machine

@@ -27,12 +27,16 @@ SharedCache::SharedCache(const CacheConfig &config, unsigned clients)
     : config_(config),
       clientWays_(clients, wayRange(0, config.numWays)),
       occ_(size_t(clients) * config.numWays, 0.0),
-      pendingFill_(clients, 0.0)
+      pendingFill_(clients, 0.0),
+      slotTotal_(clients, 0.0),
+      hitMemo_(clients),
+      perWayFill_(clients, 0.0)
 {
     DIRIGENT_ASSERT(config.numWays >= 1 && config.numWays <= 32,
                     "cache must have 1..32 ways, got %u", config.numWays);
     DIRIGENT_ASSERT(config.bytesPerWay > 0.0, "way capacity must be > 0");
     DIRIGENT_ASSERT(clients > 0, "cache needs at least one client slot");
+    active_.reserve(clients);
 }
 
 void
@@ -56,16 +60,26 @@ Bytes
 SharedCache::occupancy(unsigned slot) const
 {
     DIRIGENT_ASSERT(slot < clients(), "bad client slot %u", slot);
-    Bytes total = 0.0;
-    for (unsigned w = 0; w < config_.numWays; ++w)
-        total += occAt(slot, w);
-    return total;
+    return slotTotal_[slot];
 }
 
 double
 SharedCache::hitRatio(unsigned slot, const workload::Phase &phase) const
 {
-    return phase.hitRatio(occupancy(slot));
+    DIRIGENT_ASSERT(slot < clients(), "bad client slot %u", slot);
+    const Bytes occ = slotTotal_[slot];
+    HitMemo &memo = hitMemo_[slot];
+    if (memo.occ == occ && memo.workingSet == phase.workingSet &&
+        memo.locality == phase.locality &&
+        memo.maxHitRatio == phase.maxHitRatio) {
+        return memo.hit;
+    }
+    memo.occ = occ;
+    memo.workingSet = phase.workingSet;
+    memo.locality = phase.locality;
+    memo.maxHitRatio = phase.maxHitRatio;
+    memo.hit = phase.hitRatio(occ);
+    return memo.hit;
 }
 
 double
@@ -74,7 +88,13 @@ SharedCache::access(unsigned slot, const workload::Phase &phase,
 {
     DIRIGENT_ASSERT(accesses >= 0.0, "negative access count");
     double misses = accesses * (1.0 - hitRatio(slot, phase));
-    pendingFill_[slot] += misses * config_.lineSize;
+    double fill = misses * config_.lineSize;
+    // Adding an exact 0.0 leaves pendingFill_ bit-identical, so only a
+    // real fill needs the store (and marks the cache non-quiescent).
+    if (fill > 0.0) {
+        pendingFill_[slot] += fill;
+        fillPending_ = true;
+    }
     return misses;
 }
 
@@ -88,50 +108,105 @@ SharedCache::commit(const std::vector<Bytes> &workingSetCap)
     const unsigned ways = config_.numWays;
     const unsigned n = clients();
 
+    // Provably empty and fill-free: nothing below could change state.
+    if (!fillPending_ && !anyResident_)
+        return;
+
+    // Slots with neither resident data nor queued fill contribute an
+    // exact 0.0 everywhere below (x + 0.0 == x, 0.0 * scale == 0.0),
+    // so skipping them leaves every sum and branch bit-identical.
+    active_.clear();
+    bool anyFill = false;
+    for (unsigned s = 0; s < n; ++s) {
+        perWayFill_[s] = 0.0;
+        if (pendingFill_[s] > 0.0) {
+            perWayFill_[s] =
+                pendingFill_[s] / double(wayCount(clientWays_[s]));
+            pendingFill_[s] = 0.0;
+            anyFill = true;
+        }
+        if (slotTotal_[s] > 0.0 || perWayFill_[s] > 0.0)
+            active_.push_back(s);
+    }
+    fillPending_ = false; // every queued fill was claimed above
+    anyResident_ = !active_.empty();
+    if (active_.empty())
+        return;
+
     // Distribute each client's queued fill uniformly across its allowed
     // ways. Fills to a full way displace residents proportionally to
     // their share (random replacement flow model), which is the step
-    // that transfers capacity between clients at fill speed.
-    std::vector<Bytes> fillIn(size_t(n) * ways, 0.0);
-    for (unsigned s = 0; s < n; ++s) {
-        if (pendingFill_[s] <= 0.0)
-            continue;
-        WayMask mask = clientWays_[s];
-        unsigned allowed = wayCount(mask);
-        Bytes perWay = pendingFill_[s] / double(allowed);
-        for (unsigned w = 0; w < ways; ++w)
-            if (mask & (WayMask(1) << w))
-                fillIn[size_t(s) * ways + w] = perWay;
-        pendingFill_[s] = 0.0;
-    }
-
-    for (unsigned w = 0; w < ways; ++w) {
-        Bytes total = 0.0;
-        for (unsigned s = 0; s < n; ++s)
-            total += occAt(s, w) + fillIn[size_t(s) * ways + w];
-        if (total <= config_.bytesPerWay) {
-            for (unsigned s = 0; s < n; ++s)
-                occAt(s, w) += fillIn[size_t(s) * ways + w];
-        } else {
-            double scale = config_.bytesPerWay / total;
-            for (unsigned s = 0; s < n; ++s) {
-                occAt(s, w) =
-                    (occAt(s, w) + fillIn[size_t(s) * ways + w]) * scale;
+    // that transfers capacity between clients at fill speed. With no
+    // queued fill anywhere the loop would add exact zeros and rebuild
+    // the same totals, so it is skipped outright (ways never sit above
+    // capacity between commits); only the working-set cap below can
+    // still shrink a slot.
+    const Bytes bytesPerWay = config_.bytesPerWay;
+    if (anyFill && active_.size() == 1) {
+        // One client with data: each way reduces to scalar arithmetic
+        // on that client's lane (identical expressions, loops of one).
+        const unsigned s = active_[0];
+        const WayMask mask = clientWays_[s];
+        const Bytes fill = perWayFill_[s];
+        Bytes newTotal = 0.0;
+        for (unsigned w = 0; w < ways; ++w) {
+            Bytes &v = occ_[size_t(w) * n + s];
+            Bytes total = v + (((mask >> w) & 1u) != 0 ? fill : 0.0);
+            if (total > bytesPerWay) {
+                double scale = bytesPerWay / total;
+                total = total * scale;
             }
+            v = total;
+            newTotal += v;
+        }
+        slotTotal_[s] = newTotal;
+    } else if (anyFill) {
+        for (unsigned s : active_)
+            slotTotal_[s] = 0.0; // rebuilt while committing each way
+        for (unsigned w = 0; w < ways; ++w) {
+            Bytes *row = &occ_[size_t(w) * n];
+            const WayMask bit = WayMask(1) << w;
+            Bytes total = 0.0;
+            for (unsigned s : active_)
+                total += row[s] +
+                         ((clientWays_[s] & bit) != 0 ? perWayFill_[s] : 0.0);
+            if (total <= bytesPerWay) {
+                for (unsigned s : active_)
+                    if ((clientWays_[s] & bit) != 0)
+                        row[s] += perWayFill_[s];
+            } else {
+                double scale = bytesPerWay / total;
+                for (unsigned s : active_) {
+                    row[s] =
+                        (row[s] +
+                         ((clientWays_[s] & bit) != 0 ? perWayFill_[s]
+                                                      : 0.0)) *
+                        scale;
+                }
+            }
+            // Ways ascend in this loop, so each slot's total accumulates
+            // in the exact order a fresh occupancy() sum would use.
+            for (unsigned s : active_)
+                slotTotal_[s] += row[s];
         }
     }
 
     // A task cannot usefully cache more than its working set; re-fetches
     // of its own data displace its own older lines. Cap and rescale.
-    for (unsigned s = 0; s < n; ++s) {
+    for (unsigned s : active_) {
         Bytes cap = workingSetCap[s];
         if (cap <= 0.0)
             continue;
-        Bytes total = occupancy(s);
+        Bytes total = slotTotal_[s];
         if (total > cap) {
             double scale = cap / total;
-            for (unsigned w = 0; w < ways; ++w)
-                occAt(s, w) *= scale;
+            Bytes rescaled = 0.0;
+            for (unsigned w = 0; w < ways; ++w) {
+                Bytes &v = occ_[size_t(w) * n + s];
+                v *= scale;
+                rescaled += v;
+            }
+            slotTotal_[s] = rescaled;
         }
     }
 }
@@ -143,6 +218,7 @@ SharedCache::flush(unsigned slot)
     for (unsigned w = 0; w < config_.numWays; ++w)
         occAt(slot, w) = 0.0;
     pendingFill_[slot] = 0.0;
+    slotTotal_[slot] = 0.0;
 }
 
 Bytes
@@ -166,13 +242,13 @@ SharedCache::wayOccupancy(unsigned way) const
 Bytes &
 SharedCache::occAt(unsigned slot, unsigned way)
 {
-    return occ_[size_t(slot) * config_.numWays + way];
+    return occ_[size_t(way) * clients() + slot];
 }
 
 Bytes
 SharedCache::occAt(unsigned slot, unsigned way) const
 {
-    return occ_[size_t(slot) * config_.numWays + way];
+    return occ_[size_t(way) * clients() + slot];
 }
 
 } // namespace dirigent::mem

@@ -99,6 +99,15 @@ class SharedCache
     void commit(const std::vector<Bytes> &workingSetCap);
 
     /**
+     * True when the cache provably holds no resident bytes and no
+     * queued fill: commit() would be a no-op for any cap vector, so
+     * callers may skip it (and the work of building the caps). May
+     * conservatively return false after a flush() until the next
+     * commit() rescans.
+     */
+    bool quiescent() const { return !fillPending_ && !anyResident_; }
+
+    /**
      * Drop all resident data of @p slot (process exit / replacement by
      * a different program on that core).
      */
@@ -113,9 +122,47 @@ class SharedCache
   private:
     CacheConfig config_;
     std::vector<WayMask> clientWays_;
-    // occ_[slot * numWays + way]
+    /**
+     * Resident bytes, way-major (occ_[way * clients + slot]): commit()
+     * walks slots within a way, so its inner loops are contiguous.
+     * All mutation funnels through commit()/flush(), which keep
+     * slotTotal_ equal to the ascending-way sum a fresh occupancy()
+     * pass would produce — bit-identical, since the accumulation order
+     * is the same.
+     */
     std::vector<Bytes> occ_;
     std::vector<Bytes> pendingFill_;
+    std::vector<Bytes> slotTotal_; //!< memoized occupancy(slot)
+
+    /**
+     * Last hitRatio() evaluation per slot, keyed by every input of
+     * Phase::hitRatio. Purely functional memoization: equal inputs,
+     * equal (deterministic) output, so no invalidation hooks — the
+     * occupancy key changes exactly when commit()/flush() move bytes.
+     * The second hitRatio() evaluation each core quantum performs
+     * (inside access()) hits this instead of recomputing the exp().
+     */
+    struct HitMemo
+    {
+        Bytes occ = -1.0; //!< negative: never matches a real occupancy
+        double workingSet = -1.0;
+        double locality = -1.0;
+        double maxHitRatio = -1.0;
+        double hit = 0.0;
+    };
+    mutable std::vector<HitMemo> hitMemo_;
+
+    std::vector<Bytes> perWayFill_;  //!< commit scratch: fill per allowed way
+    std::vector<unsigned> active_;   //!< commit scratch: slots with data/fill
+
+    /**
+     * Quiescence tracking for quiescent(). fillPending_ is set by any
+     * access() that queues a nonzero fill; anyResident_ is maintained
+     * by commit() (conservatively left set by flush()). Both false
+     * means commit() would change nothing.
+     */
+    bool fillPending_ = false;
+    bool anyResident_ = false;
 
     Bytes &occAt(unsigned slot, unsigned way);
     Bytes occAt(unsigned slot, unsigned way) const;

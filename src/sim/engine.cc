@@ -1,13 +1,73 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/log.h"
 
 namespace dirigent::sim {
 
+namespace {
+std::atomic<uint64_t> gTotalQuanta{0};
+std::atomic<uint64_t> gTotalSpanQuanta{0};
+} // namespace
+
+uint64_t
+totalQuantaAdvanced()
+{
+    return gTotalQuanta.load(std::memory_order_relaxed);
+}
+
+uint64_t
+totalSpanQuantaAdvanced()
+{
+    return gTotalSpanQuanta.load(std::memory_order_relaxed);
+}
+
+StepMode
+stepModeFromEnv()
+{
+    const char *env = std::getenv("DIRIGENT_FAST_PATH");
+    if (env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "false") == 0 || std::strcmp(env, "no") == 0)) {
+        return StepMode::Reference;
+    }
+    return StepMode::SkipAhead;
+}
+
+uint64_t
+Component::advanceSpan(Engine &engine, Time end)
+{
+    // Reference-identical chunking: each chunk boundary is the same
+    // min(end, now + quantum, nextEvent) expression the reference loop
+    // evaluates, queried fresh every chunk so callbacks that schedule
+    // or cancel events mid-span shape the remaining chunks exactly as
+    // they would under single-quantum stepping.
+    const Time quantum = engine.maxQuantum();
+    EventQueue &events = engine.events();
+    uint64_t quanta = 0;
+    while (true) {
+        Time start = engine.now();
+        if (start >= end)
+            break;
+        Time target = std::min(end, start + quantum);
+        target = std::min(target, events.nextTime());
+        if (target <= start)
+            break; // an event is due; the engine fires it and resumes
+        advance(start, target - start);
+        engine.spanAdvanced(target);
+        ++quanta;
+        if (events.nextTime() <= target)
+            break; // a callback scheduled an event now due
+    }
+    return quanta;
+}
+
 Engine::Engine(Component &root, Time maxQuantum)
-    : root_(root), maxQuantum_(maxQuantum)
+    : root_(root), maxQuantum_(maxQuantum), mode_(stepModeFromEnv())
 {
     DIRIGENT_ASSERT(maxQuantum.sec() > 0.0, "engine quantum must be > 0");
 }
@@ -31,6 +91,20 @@ Engine::runUntil(Time end)
     // Fire anything already due (e.g., setup events at time zero).
     events_.runDue(now_);
     while (now_ < end) {
+        // Fast path: no observers need per-quantum hooks and at least
+        // one full quantum is event-free — hand the whole event-free
+        // span to the component in one call.
+        if (mode_ == StepMode::SkipAhead && observers_.empty()) {
+            Time spanEnd = std::min(end, events_.nextTime());
+            if (spanEnd > now_ + maxQuantum_) {
+                uint64_t n = root_.advanceSpan(*this, end);
+                stats_.spans += 1;
+                stats_.spanQuanta += n;
+                stats_.quanta += n;
+                events_.runDue(now_);
+                continue;
+            }
+        }
         Time target = std::min(end, now_ + maxQuantum_);
         target = std::min(target, events_.nextTime());
         if (target > now_) {
@@ -40,11 +114,18 @@ Engine::runUntil(Time end)
                 obs->beforeQuantum(start, dt);
             root_.advance(start, dt);
             now_ = target;
+            stats_.quanta += 1;
             for (Observer *obs : observers_)
                 obs->afterQuantum(start, dt);
         }
         events_.runDue(now_);
     }
+    gTotalQuanta.fetch_add(stats_.quanta - flushedQuanta_,
+                           std::memory_order_relaxed);
+    flushedQuanta_ = stats_.quanta;
+    gTotalSpanQuanta.fetch_add(stats_.spanQuanta - flushedSpanQuanta_,
+                               std::memory_order_relaxed);
+    flushedSpanQuanta_ = stats_.spanQuanta;
 }
 
 void

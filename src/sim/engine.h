@@ -13,6 +13,7 @@
 #ifndef DIRIGENT_SIM_ENGINE_H
 #define DIRIGENT_SIM_ENGINE_H
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -20,6 +21,57 @@
 #include "sim/event_queue.h"
 
 namespace dirigent::sim {
+
+class Engine;
+
+/**
+ * How the engine steps its root component through time.
+ *
+ * Reference mode advances exactly one quantum per loop iteration —
+ * the historically verified stepping the golden traces were recorded
+ * under. SkipAhead merges every event-free run of quanta into one
+ * Component::advanceSpan() call, eliminating per-quantum engine
+ * overhead (event-queue queries, observer dispatch, virtual calls)
+ * while producing byte-identical behaviour: the span implementations
+ * chunk time with arithmetic identical to reference stepping and
+ * yield back to the engine the moment an event becomes due.
+ */
+enum class StepMode
+{
+    Reference, //!< one quantum per engine-loop iteration
+    SkipAhead, //!< merge event-free quanta into advanceSpan() calls
+};
+
+/**
+ * The step mode selected by the DIRIGENT_FAST_PATH environment
+ * variable: 0/off/false/no → Reference; anything else (including
+ * unset) → SkipAhead. Read once per Engine construction.
+ */
+StepMode stepModeFromEnv();
+
+/** Cumulative stepping statistics of one engine. */
+struct StepStats
+{
+    uint64_t quanta = 0;     //!< model quanta advanced (all paths)
+    uint64_t spans = 0;      //!< merged spans executed by the fast path
+    uint64_t spanQuanta = 0; //!< quanta advanced inside merged spans
+};
+
+/**
+ * Process-wide count of model quanta advanced by all engines (flushed
+ * at the end of every runUntil). The sim-rate benchmarks read this to
+ * convert wall time into quanta/second without reaching into the
+ * per-run engines the harness constructs internally.
+ */
+uint64_t totalQuantaAdvanced();
+
+/**
+ * Process-wide count of quanta advanced inside merged spans (the
+ * skip-ahead fast path), flushed like totalQuantaAdvanced(). Zero
+ * deltas under reference stepping; the equivalence suites use this to
+ * prove the fast path actually engaged in the runs they compare.
+ */
+uint64_t totalSpanQuantaAdvanced();
 
 /**
  * Anything the engine can advance through simulated time. The machine
@@ -35,6 +87,25 @@ class Component
      * @p dt is always > 0 and ≤ the engine's maximum quantum.
      */
     virtual void advance(Time start, Time dt) = 0;
+
+    /**
+     * Advance across the merged interval [engine.now(), end) in
+     * quantum-sized chunks, calling engine.spanAdvanced() after each
+     * chunk and returning as soon as a pending event becomes due (the
+     * engine then fires it and resumes). The default implementation
+     * chunks with arithmetic identical to the engine's reference loop
+     * and calls advance() per chunk, so any component is span-safe;
+     * the machine overrides it with a fused loop that hoists per-span
+     * state. Returns the number of quanta advanced.
+     *
+     * Contract for overrides: chunk boundaries must be computed as
+     * min(end, now + maxQuantum, events.nextTime()) — the identical
+     * floating-point expressions reference stepping uses — and
+     * engine.spanAdvanced(target) must be called after every chunk so
+     * that callbacks scheduling events mid-span (completion listeners)
+     * observe the same engine clock as under reference stepping.
+     */
+    virtual uint64_t advanceSpan(Engine &engine, Time end);
 };
 
 /**
@@ -92,6 +163,29 @@ class Engine
     Time maxQuantum() const { return maxQuantum_; }
 
     /**
+     * Stepping mode. Engines construct in stepModeFromEnv()'s mode
+     * (SkipAhead unless DIRIGENT_FAST_PATH disables it); while any
+     * observer is attached the engine automatically falls back to
+     * reference stepping so per-quantum hooks keep firing.
+     */
+    StepMode stepMode() const { return mode_; }
+
+    /** Override the stepping mode (tests, equivalence suites). */
+    void setStepMode(StepMode mode) { mode_ = mode; }
+
+    /** Stepping statistics accumulated so far. */
+    const StepStats &stepStats() const { return stats_; }
+
+    /**
+     * Advance the engine clock to @p target from within an
+     * advanceSpan() implementation. Part of the span contract: it
+     * keeps after()/at() anchored to the current chunk exactly as
+     * reference stepping would, where now() is the start of the
+     * quantum being advanced.
+     */
+    void spanAdvanced(Time target) { now_ = target; }
+
+    /**
      * Attach a quantum observer (not owned; must outlive attachment or
      * remove itself first). Observers are notified in attach order.
      */
@@ -106,6 +200,10 @@ class Engine
     Time now_;
     EventQueue events_;
     std::vector<Observer *> observers_;
+    StepMode mode_;
+    StepStats stats_;
+    uint64_t flushedQuanta_ = 0; //!< stats_.quanta already published
+    uint64_t flushedSpanQuanta_ = 0; //!< stats_.spanQuanta published
 };
 
 } // namespace dirigent::sim

@@ -1,5 +1,7 @@
 #include "workload/task.h"
 
+#include <cmath>
+
 #include "common/log.h"
 
 namespace dirigent::workload {
@@ -17,7 +19,7 @@ const Phase &
 Task::currentPhase() const
 {
     DIRIGENT_ASSERT(!finished_, "finished task has no current phase");
-    return program_->phases[phaseIdx_];
+    return *phase_;
 }
 
 double
@@ -71,10 +73,9 @@ Task::sampleCpiJitter()
 {
     if (finished_)
         return 1.0;
-    double sigma = currentPhase().cpiJitterSigma;
-    if (sigma <= 0.0)
+    if (cpiJitterSigma_ <= 0.0)
         return 1.0;
-    return rng_.lognormalMean(1.0, sigma);
+    return rng_.lognormalMu(cpiJitterMu_, cpiJitterSigma_);
 }
 
 void
@@ -83,6 +84,10 @@ Task::enterPhase(size_t idx)
     phaseIdx_ = idx;
     phaseRetired_ = 0.0;
     const Phase &p = program_->phases[idx];
+    phase_ = &p;
+    cpiJitterSigma_ = p.cpiJitterSigma;
+    // The exact mu lognormalMean(1.0, sigma) would derive per draw.
+    cpiJitterMu_ = std::log(1.0) - 0.5 * p.cpiJitterSigma * p.cpiJitterSigma;
     if (p.instrJitterSigma > 0.0)
         phaseTarget_ = rng_.lognormalMean(p.instructions, p.instrJitterSigma);
     else

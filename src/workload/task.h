@@ -89,6 +89,18 @@ class Task
     double totalRetired_ = 0.0;
     bool finished_ = false;
     uint64_t loops_ = 0;
+
+    /** @name Hot per-phase state, cached by enterPhase().
+     *  The CPI-jitter draw happens once per core quantum; caching the
+     *  phase pointer and the lognormal location parameter
+     *  (log(1) − σ²/2, computed with the exact expression
+     *  lognormalMean() would use) keeps the draw free of per-call
+     *  lookups without changing a single emitted bit. */
+    /// @{
+    const Phase *phase_ = nullptr;
+    double cpiJitterSigma_ = 0.0;
+    double cpiJitterMu_ = 0.0;
+    /// @}
 };
 
 } // namespace dirigent::workload

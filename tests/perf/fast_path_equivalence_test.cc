@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Fast-path equivalence suite: every builtin SchemeSpec, batch and
+ * serving, must produce byte-identical traces whether the engine steps
+ * one quantum at a time (reference) or merges event-free spans
+ * (skip-ahead), across seeds. This is the correctness license for the
+ * DIRIGENT_FAST_PATH default: any divergence — a reordered
+ * floating-point sum, a missed event boundary, a mid-span clock skew —
+ * shows up as a precise-trace diff here before it can reach the golden
+ * sentinels.
+ *
+ * The invariant checker is disabled for the comparison runs: it
+ * attaches an engine observer, which (by design) forces reference
+ * stepping, and the point of this suite is to exercise the path where
+ * skip-ahead actually engages. That engagement is asserted via the
+ * process-wide span-quantum counter, so a regression that silently
+ * disables the fast path fails loudly instead of comparing reference
+ * against itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "dirigent/scheme_spec.h"
+#include "dirigent/trace.h"
+#include "harness/experiment.h"
+#include "harness/serving.h"
+#include "serve/driver.h"
+#include "serve/spec.h"
+#include "sim/engine.h"
+#include "workload/mix.h"
+
+namespace dirigent::harness {
+namespace {
+
+/** Seeds the suite sweeps; distinct workload and noise streams. */
+constexpr uint64_t kSeeds[] = {4242, 20260808};
+
+/** Scoped DIRIGENT_FAST_PATH override (restores the prior value). */
+class ScopedFastPath
+{
+  public:
+    explicit ScopedFastPath(bool on)
+    {
+        const char *prev = std::getenv("DIRIGENT_FAST_PATH");
+        had_ = prev != nullptr;
+        if (had_)
+            prev_ = prev;
+        ::setenv("DIRIGENT_FAST_PATH", on ? "1" : "0", 1);
+    }
+
+    ~ScopedFastPath()
+    {
+        if (had_)
+            ::setenv("DIRIGENT_FAST_PATH", prev_.c_str(), 1);
+        else
+            ::unsetenv("DIRIGENT_FAST_PATH");
+    }
+
+  private:
+    bool had_ = false;
+    std::string prev_;
+};
+
+/** Scoped checker disable so engines run observer-free. */
+class ScopedCheckerOff
+{
+  public:
+    ScopedCheckerOff() : was_(check::enabled()) { check::setEnabled(false); }
+    ~ScopedCheckerOff() { check::setEnabled(was_); }
+
+  private:
+    bool was_;
+};
+
+HarnessConfig
+fastConfig(uint64_t seed)
+{
+    HarnessConfig cfg;
+    cfg.executions = 3;
+    cfg.warmup = 1;
+    cfg.seed = seed;
+    return cfg;
+}
+
+serve::ServeSpec
+smallServeSpec()
+{
+    serve::ServeSpec spec;
+    spec.arrivals.rate = 1.5;
+    spec.queueCapacity = 8;
+    spec.slos = {{0.95, 4.0}};
+    spec.horizonSec = 5.0;
+    spec.warmupSec = 1.0;
+    return spec;
+}
+
+/** One batch run's precise+canonical fingerprint. */
+struct BatchTrace
+{
+    std::string precise;
+    std::string canonical;
+};
+
+BatchTrace
+runBatch(uint64_t seed, const core::SchemeSpec &spec,
+         const std::map<std::string, Time> &deadlines, bool fast,
+         uint64_t *spanQuantaDelta)
+{
+    ScopedFastPath env(fast);
+    ExperimentRunner runner(fastConfig(seed));
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+    core::GoldenTraceRecorder recorder;
+    RunOptions opts;
+    opts.golden = &recorder;
+    uint64_t before = sim::totalSpanQuantaAdvanced();
+    runner.run(mix, spec, deadlines, opts);
+    if (spanQuantaDelta != nullptr)
+        *spanQuantaDelta = sim::totalSpanQuantaAdvanced() - before;
+    return {recorder.preciseText(), recorder.canonicalText()};
+}
+
+std::map<std::string, Time>
+calibrateDeadlines(uint64_t seed)
+{
+    ScopedFastPath env(false);
+    ExperimentRunner runner(fastConfig(seed));
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    return runner.deadlinesFromBaseline(baseline);
+}
+
+std::string
+runServingLog(uint64_t seed, const core::SchemeSpec &spec,
+              const std::map<std::string, Time> &deadlines, bool fast,
+              uint64_t *spanQuantaDelta)
+{
+    ScopedFastPath env(fast);
+    ExperimentRunner runner(fastConfig(seed));
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+    uint64_t before = sim::totalSpanQuantaAdvanced();
+    ServingRunResult res =
+        runner.runServing(mix, spec, smallServeSpec(), deadlines);
+    if (spanQuantaDelta != nullptr)
+        *spanQuantaDelta = sim::totalSpanQuantaAdvanced() - before;
+    std::string log;
+    log += "arrivals=" + std::to_string(res.arrivals) +
+           " completed=" + std::to_string(res.completed) +
+           " dropped=" + std::to_string(res.dropped) +
+           " shed=" + std::to_string(res.shed) + "\n";
+    for (const auto &requests : res.perFgRequests)
+        log += serve::formatRequestLog(requests, /*precise=*/true);
+    return log;
+}
+
+TEST(FastPathEquivalence, BatchTracesIdenticalForEveryBuiltinSpec)
+{
+    ScopedCheckerOff checkerOff;
+    for (uint64_t seed : kSeeds) {
+        // Deadlines calibrate from a Baseline run; computed once per
+        // seed (reference mode) and shared by both stepping modes so
+        // the runs compared differ only in stepping.
+        std::map<std::string, Time> deadlines = calibrateDeadlines(seed);
+        for (const core::SchemeSpec &spec : core::builtinSchemeSpecs()) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " spec " +
+                         spec.name);
+            uint64_t refSpans = 0, fastSpans = 0;
+            BatchTrace ref =
+                runBatch(seed, spec, deadlines, false, &refSpans);
+            BatchTrace fast =
+                runBatch(seed, spec, deadlines, true, &fastSpans);
+            ASSERT_FALSE(ref.precise.empty());
+            EXPECT_EQ(refSpans, 0u)
+                << "reference run used the fast path";
+            EXPECT_GT(fastSpans, 0u)
+                << "fast path never engaged; comparison is vacuous";
+            EXPECT_EQ(fast.precise, ref.precise)
+                << core::traceDiff(ref.precise, fast.precise);
+            EXPECT_EQ(fast.canonical, ref.canonical);
+        }
+    }
+}
+
+TEST(FastPathEquivalence, ServingLogsIdenticalForEveryBuiltinSpec)
+{
+    ScopedCheckerOff checkerOff;
+    for (uint64_t seed : kSeeds) {
+        std::map<std::string, Time> deadlines = calibrateDeadlines(seed);
+        for (const core::SchemeSpec &spec : core::builtinSchemeSpecs()) {
+            SCOPED_TRACE("seed " + std::to_string(seed) + " spec " +
+                         spec.name);
+            uint64_t refSpans = 0, fastSpans = 0;
+            std::string ref =
+                runServingLog(seed, spec, deadlines, false, &refSpans);
+            std::string fast =
+                runServingLog(seed, spec, deadlines, true, &fastSpans);
+            ASSERT_FALSE(ref.empty());
+            EXPECT_EQ(refSpans, 0u)
+                << "reference run used the fast path";
+            EXPECT_GT(fastSpans, 0u)
+                << "fast path never engaged; comparison is vacuous";
+            EXPECT_EQ(fast, ref);
+        }
+    }
+}
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Smoke test for the sim-rate benchmark library: runs every scenario
+ * at a tiny horizon, checks the structural invariants the CI perf gate
+ * depends on (both stepping modes measured, identical quanta-per-run
+ * across modes — the cheap bit-exactness corroboration), and validates
+ * the emitted JSON against tools/schema/bench.schema.json in-process,
+ * including the baseline + speedup sections the committed
+ * BENCH_sim_rate.json carries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/json.h"
+#include "sim_rate_lib.h"
+
+#ifndef DIRIGENT_SCHEMA_DIR
+#error "DIRIGENT_SCHEMA_DIR must point at tools/schema"
+#endif
+
+namespace dirigent::bench {
+namespace {
+
+SimRateReport
+smokeReport()
+{
+    SimRateOptions opts = quickSimRateOptions();
+    opts.reps = 1;
+    // Keep one warmup rep: the first Dirigent run of a scenario also
+    // pays one-time lazy work (offline profiling) whose quanta would
+    // otherwise be billed to whichever mode measures first.
+    opts.warmup = 1;
+    opts.executions = 1;
+    opts.servingHorizonSec = 1.0;
+    return runSimRate(opts);
+}
+
+obs::JsonValue
+loadSchema()
+{
+    std::string path =
+        std::string(DIRIGENT_SCHEMA_DIR) + "/bench.schema.json";
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "missing schema " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    auto schema = obs::parseJson(text.str(), &error);
+    EXPECT_TRUE(schema.has_value()) << error;
+    return *schema;
+}
+
+TEST(SimRateSmoke, MeasuresEveryScenarioInBothModes)
+{
+    SimRateReport report = smokeReport();
+
+    // name -> mode -> quanta per run.
+    std::map<std::string, std::map<std::string, uint64_t>> seen;
+    for (const ScenarioResult &r : report.scenarios) {
+        EXPECT_GT(r.quantaPerRun, 0u) << r.name;
+        EXPECT_GT(r.quantaPerSec, 0.0) << r.name;
+        EXPECT_GT(r.runsPerSec, 0.0) << r.name;
+        EXPECT_LE(r.minRunSec, r.medianRunSec) << r.name;
+        EXPECT_LE(r.medianRunSec, r.maxRunSec) << r.name;
+        seen[r.name][r.mode] = r.quantaPerRun;
+    }
+    ASSERT_EQ(seen.size(), 5u) << "expected 5 scenarios";
+    for (const auto &[name, modes] : seen) {
+        ASSERT_EQ(modes.size(), 2u) << name;
+        // Reference and skip-ahead must advance the model through the
+        // identical quantum grid; a diverging count means the fast
+        // path changed simulated behaviour, not just its speed.
+        EXPECT_EQ(modes.at("reference"), modes.at("fast")) << name;
+    }
+}
+
+TEST(SimRateSmoke, JsonValidatesAgainstSchema)
+{
+    SimRateReport report = smokeReport();
+    obs::JsonValue schema = loadSchema();
+
+    std::string plain = formatSimRateJson(report, std::nullopt);
+    std::string error;
+    auto doc = obs::parseJson(plain, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(obs::validateAgainstSchema(*doc, schema), "");
+
+    // Round-trip the report as its own baseline: exercises the
+    // baseline + speedup sections exactly as the committed
+    // BENCH_sim_rate.json uses them (ratios of a run against itself
+    // are exactly 1).
+    auto baseline = baselineFromSnapshot(plain, "self");
+    ASSERT_TRUE(baseline.has_value());
+    std::string withBase = formatSimRateJson(report, baseline);
+    auto doc2 = obs::parseJson(withBase, &error);
+    ASSERT_TRUE(doc2.has_value()) << error;
+    EXPECT_EQ(obs::validateAgainstSchema(*doc2, schema), "");
+
+    const obs::JsonValue *speedup = doc2->find("speedup");
+    ASSERT_NE(speedup, nullptr);
+    ASSERT_TRUE(speedup->isArray());
+    ASSERT_EQ(speedup->array.size(), report.scenarios.size());
+    for (const auto &row : speedup->array) {
+        const obs::JsonValue *ratio = row.find("quanta_per_sec_ratio");
+        ASSERT_NE(ratio, nullptr);
+        EXPECT_DOUBLE_EQ(ratio->number, 1.0);
+    }
+}
+
+} // namespace
+} // namespace dirigent::bench

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Property: skip-ahead stepping is trace-equivalent to single-quantum
+ * (reference) stepping. Two layers:
+ *
+ *  - Engine-level: randomized event schedules (including events
+ *    scheduled from within firing events) and observers attaching and
+ *    detaching mid-run must see the identical span grid, event fire
+ *    clock, and observer callback counts under both modes.
+ *  - Harness-level: a random mix / config / fault plan / builtin
+ *    scheme spec must produce a byte-identical precise golden trace
+ *    under both modes, with the fast path proven engaged.
+ *
+ * Uses the forAll harness so failures shrink and reproduce by seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#include "dirigent/scheme_spec.h"
+#include "dirigent/trace.h"
+#include "fault/plan.h"
+#include "harness/experiment.h"
+#include "prop/prop.h"
+#include "sim/engine.h"
+
+namespace dirigent::prop {
+namespace {
+
+/** Scoped DIRIGENT_FAST_PATH override (restores the prior value). */
+class ScopedFastPath
+{
+  public:
+    explicit ScopedFastPath(bool on)
+    {
+        const char *prev = std::getenv("DIRIGENT_FAST_PATH");
+        had_ = prev != nullptr;
+        if (had_)
+            prev_ = prev;
+        ::setenv("DIRIGENT_FAST_PATH", on ? "1" : "0", 1);
+    }
+
+    ~ScopedFastPath()
+    {
+        if (had_)
+            ::setenv("DIRIGENT_FAST_PATH", prev_.c_str(), 1);
+        else
+            ::unsetenv("DIRIGENT_FAST_PATH");
+    }
+
+  private:
+    bool had_ = false;
+    std::string prev_;
+};
+
+// ---------------------------------------------------------------------
+// Engine-level property.
+// ---------------------------------------------------------------------
+
+struct EngineCase
+{
+    double endUs = 1000.0;
+    /** Initial event schedule (absolute µs; may exceed endUs). */
+    std::vector<double> eventsUs;
+    /** Relative delay chained from each firing event (0 = no chain). */
+    std::vector<double> chainUs;
+    /** Observer attach/detach windows (absolute µs, attach < detach). */
+    std::vector<std::pair<double, double>> observersUs;
+};
+
+EngineCase
+genEngineCase(Rng &rng)
+{
+    EngineCase c;
+    c.endUs = rng.uniform(250.0, 3000.0);
+    size_t events = rng.below(8);
+    for (size_t i = 0; i < events; ++i) {
+        c.eventsUs.push_back(rng.uniform(0.0, c.endUs * 1.2));
+        c.chainUs.push_back(rng.chance(0.5) ? rng.uniform(0.0, 400.0)
+                                            : 0.0);
+    }
+    size_t observers = rng.below(3);
+    for (size_t i = 0; i < observers; ++i) {
+        double a = rng.uniform(0.0, c.endUs);
+        double b = rng.uniform(0.0, c.endUs);
+        c.observersUs.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    return c;
+}
+
+/** Everything observable about one run of an EngineCase. */
+struct EngineRunLog
+{
+    std::vector<std::pair<double, double>> spans;
+    std::vector<std::pair<int, double>> fires; //!< (event idx, now µs)
+    std::vector<uint64_t> observerCalls;
+    double finalUs = 0.0;
+    uint64_t quanta = 0;
+
+    bool operator==(const EngineRunLog &) const = default;
+};
+
+class CountingObserver : public sim::Observer
+{
+  public:
+    void beforeQuantum(Time, Time) override { ++calls; }
+    void afterQuantum(Time, Time) override { ++calls; }
+    uint64_t calls = 0;
+};
+
+EngineRunLog
+runEngineCase(const EngineCase &c, sim::StepMode mode)
+{
+    class Recorder : public sim::Component
+    {
+      public:
+        void
+        advance(Time start, Time dt) override
+        {
+            spans.emplace_back(start.us(), dt.us());
+        }
+        std::vector<std::pair<double, double>> spans;
+    };
+
+    Recorder comp;
+    sim::Engine engine(comp, Time::us(100.0));
+    engine.setStepMode(mode);
+
+    EngineRunLog log;
+    log.observerCalls.assign(c.observersUs.size(), 0);
+    std::vector<CountingObserver> observers(c.observersUs.size());
+
+    for (size_t i = 0; i < c.eventsUs.size(); ++i) {
+        double chain = c.chainUs[i];
+        engine.at(Time::us(c.eventsUs[i]), [&, i, chain] {
+            log.fires.emplace_back(int(i), engine.now().us());
+            if (chain > 0.0) {
+                // Event scheduled from within a firing event: must
+                // split spans identically in both modes.
+                engine.after(Time::us(chain), [&, i] {
+                    log.fires.emplace_back(-1 - int(i),
+                                           engine.now().us());
+                });
+            }
+        });
+    }
+    for (size_t i = 0; i < c.observersUs.size(); ++i) {
+        engine.at(Time::us(c.observersUs[i].first),
+                  [&, i] { engine.addObserver(&observers[i]); });
+        engine.at(Time::us(c.observersUs[i].second),
+                  [&, i] { engine.removeObserver(&observers[i]); });
+    }
+
+    engine.runUntil(Time::us(c.endUs));
+
+    log.spans = comp.spans;
+    log.finalUs = engine.now().us();
+    log.quanta = engine.stepStats().quanta;
+    for (size_t i = 0; i < observers.size(); ++i)
+        log.observerCalls[i] = observers[i].calls;
+    return log;
+}
+
+std::string
+showEngineCase(const EngineCase &c)
+{
+    std::ostringstream out;
+    out << "end=" << c.endUs << "us events=[";
+    for (size_t i = 0; i < c.eventsUs.size(); ++i)
+        out << c.eventsUs[i] << "(+" << c.chainUs[i] << ") ";
+    out << "] observers=[";
+    for (const auto &[a, b] : c.observersUs)
+        out << a << ".." << b << " ";
+    out << "]";
+    return out.str();
+}
+
+std::vector<EngineCase>
+shrinkEngineCase(const EngineCase &c)
+{
+    std::vector<EngineCase> out;
+    for (size_t i = 0; i < c.eventsUs.size(); ++i) {
+        EngineCase smaller = c;
+        smaller.eventsUs.erase(smaller.eventsUs.begin() + i);
+        smaller.chainUs.erase(smaller.chainUs.begin() + i);
+        out.push_back(std::move(smaller));
+    }
+    for (size_t i = 0; i < c.observersUs.size(); ++i) {
+        EngineCase smaller = c;
+        smaller.observersUs.erase(smaller.observersUs.begin() + i);
+        out.push_back(std::move(smaller));
+    }
+    if (c.endUs > 200.0) {
+        EngineCase smaller = c;
+        smaller.endUs = c.endUs / 2.0;
+        out.push_back(std::move(smaller));
+    }
+    return out;
+}
+
+TEST(SkipAheadProperty, EngineSpansAndEventsMatchReference)
+{
+    forAll<EngineCase>(
+        0xD161E27, 60, genEngineCase,
+        [](const EngineCase &c) -> std::optional<std::string> {
+            EngineRunLog ref = runEngineCase(c, sim::StepMode::Reference);
+            EngineRunLog fast = runEngineCase(c, sim::StepMode::SkipAhead);
+            if (ref == fast)
+                return std::nullopt;
+            std::ostringstream why;
+            why << "diverged: ref " << ref.spans.size() << " spans, "
+                << ref.fires.size() << " fires, quanta " << ref.quanta
+                << "; skip-ahead " << fast.spans.size() << " spans, "
+                << fast.fires.size() << " fires, quanta " << fast.quanta;
+            return why.str();
+        },
+        shrinkEngineCase, showEngineCase);
+}
+
+// ---------------------------------------------------------------------
+// Harness-level property.
+// ---------------------------------------------------------------------
+
+struct HarnessCase
+{
+    workload::WorkloadMix mix;
+    harness::HarnessConfig cfg;
+    std::string faultPlan;
+    size_t specIdx = 0;
+};
+
+const std::vector<std::string> &
+faultPlanPool()
+{
+    static const std::vector<std::string> pool = {
+        "",
+        "[sampler]\nstall_prob = 0.05\nmiss_prob = 0.02\n",
+        "[counters]\ndrop_prob = 0.05\nglitch_prob = 0.01\n",
+        "[dvfs]\nfail_prob = 0.1\nspike_prob = 0.05\n",
+    };
+    return pool;
+}
+
+HarnessCase
+genHarnessCase(Rng &rng)
+{
+    HarnessCase c;
+    c.mix = genMix(rng);
+    c.cfg = genConfig(rng);
+    c.cfg.executions = 3; // keep each comparison run short
+    c.cfg.warmup = 1;
+    c.faultPlan = faultPlanPool()[rng.below(faultPlanPool().size())];
+    c.specIdx = rng.below(core::builtinSchemeSpecs().size());
+    return c;
+}
+
+std::string
+showHarnessCase(const HarnessCase &c)
+{
+    const auto &spec = core::builtinSchemeSpecs()[c.specIdx];
+    std::ostringstream out;
+    out << "mix=" << c.mix.name << " seed=" << c.cfg.seed
+        << " spec=" << spec.name << " faults="
+        << (c.faultPlan.empty() ? "none" : c.faultPlan);
+    return out.str();
+}
+
+TEST(SkipAheadProperty, HarnessTracesMatchReference)
+{
+    bool wasChecking = check::enabled();
+    check::setEnabled(false); // checker observers would force reference
+    forAll<HarnessCase>(
+        0xFA57, 4, genHarnessCase,
+        [](const HarnessCase &c) -> std::optional<std::string> {
+            const core::SchemeSpec &spec =
+                core::builtinSchemeSpecs()[c.specIdx];
+            harness::HarnessConfig cfg = c.cfg;
+            cfg.faultPlan = fault::parseFaultPlan(c.faultPlan);
+
+            auto trace = [&](bool fastMode,
+                             uint64_t *spanDelta) -> std::string {
+                ScopedFastPath env(fastMode);
+                harness::ExperimentRunner runner(cfg);
+                std::map<std::string, Time> deadlines;
+                {
+                    auto baseline =
+                        runner.run(c.mix, core::Scheme::Baseline, {});
+                    deadlines = runner.deadlinesFromBaseline(baseline);
+                }
+                core::GoldenTraceRecorder recorder;
+                harness::RunOptions opts;
+                opts.golden = &recorder;
+                uint64_t before = sim::totalSpanQuantaAdvanced();
+                runner.run(c.mix, spec, deadlines, opts);
+                if (spanDelta != nullptr)
+                    *spanDelta =
+                        sim::totalSpanQuantaAdvanced() - before;
+                return recorder.preciseText();
+            };
+
+            uint64_t fastSpans = 0;
+            std::string ref = trace(false, nullptr);
+            std::string fast = trace(true, &fastSpans);
+            if (fastSpans == 0)
+                return "fast path never engaged (vacuous comparison)";
+            if (ref != fast)
+                return "trace diverged:\n" + core::traceDiff(ref, fast);
+            return std::nullopt;
+        },
+        nullptr, showHarnessCase);
+    check::setEnabled(wasChecking);
+}
+
+} // namespace
+} // namespace dirigent::prop

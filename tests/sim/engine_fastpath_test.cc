@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the skip-ahead stepping machinery itself: mode
+ * selection from the environment, span-merge accounting in StepStats,
+ * the automatic fallback to reference stepping while observers are
+ * attached, and the process-wide span-quantum counter the equivalence
+ * suites use to prove engagement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace dirigent::sim {
+namespace {
+
+class RecordingComponent : public Component
+{
+  public:
+    void
+    advance(Time start, Time dt) override
+    {
+        spans.emplace_back(start.us(), dt.us());
+    }
+
+    std::vector<std::pair<double, double>> spans;
+};
+
+class NullObserver : public Observer
+{
+  public:
+    void beforeQuantum(Time, Time) override { ++calls; }
+    void afterQuantum(Time, Time) override { ++calls; }
+    uint64_t calls = 0;
+};
+
+/** Scoped DIRIGENT_FAST_PATH override (restores the prior value). */
+class ScopedEnv
+{
+  public:
+    explicit ScopedEnv(const char *value)
+    {
+        const char *prev = std::getenv("DIRIGENT_FAST_PATH");
+        had_ = prev != nullptr;
+        if (had_)
+            prev_ = prev;
+        if (value != nullptr)
+            ::setenv("DIRIGENT_FAST_PATH", value, 1);
+        else
+            ::unsetenv("DIRIGENT_FAST_PATH");
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv("DIRIGENT_FAST_PATH", prev_.c_str(), 1);
+        else
+            ::unsetenv("DIRIGENT_FAST_PATH");
+    }
+
+  private:
+    bool had_ = false;
+    std::string prev_;
+};
+
+TEST(StepModeEnvTest, UnsetMeansSkipAhead)
+{
+    ScopedEnv env(nullptr);
+    EXPECT_EQ(stepModeFromEnv(), StepMode::SkipAhead);
+}
+
+TEST(StepModeEnvTest, DisablingSpellings)
+{
+    for (const char *off : {"0", "off", "false", "no"}) {
+        ScopedEnv env(off);
+        EXPECT_EQ(stepModeFromEnv(), StepMode::Reference) << off;
+    }
+    for (const char *on : {"1", "on", "yes", "anything"}) {
+        ScopedEnv env(on);
+        EXPECT_EQ(stepModeFromEnv(), StepMode::SkipAhead) << on;
+    }
+}
+
+TEST(StepModeEnvTest, EngineConstructsInEnvMode)
+{
+    RecordingComponent comp;
+    {
+        ScopedEnv env("0");
+        Engine engine(comp, Time::us(100.0));
+        EXPECT_EQ(engine.stepMode(), StepMode::Reference);
+    }
+    {
+        ScopedEnv env("1");
+        Engine engine(comp, Time::us(100.0));
+        EXPECT_EQ(engine.stepMode(), StepMode::SkipAhead);
+    }
+}
+
+TEST(FastPathTest, SkipAheadMergesEventFreeQuanta)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    engine.setStepMode(StepMode::SkipAhead);
+    engine.runUntil(Time::ms(1.0));
+    const StepStats &stats = engine.stepStats();
+    EXPECT_EQ(stats.quanta, 10u);
+    EXPECT_EQ(stats.spans, 1u);
+    EXPECT_EQ(stats.spanQuanta, 10u);
+    // Merged or not, the component sees the same quantum grid (up to
+    // the accumulated Time-arithmetic dust reference stepping shares).
+    ASSERT_EQ(comp.spans.size(), 10u);
+    for (const auto &[start, dt] : comp.spans)
+        EXPECT_NEAR(dt, 100.0, 1e-9);
+}
+
+TEST(FastPathTest, ReferenceModeNeverMergesSpans)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    engine.setStepMode(StepMode::Reference);
+    engine.runUntil(Time::ms(1.0));
+    EXPECT_EQ(engine.stepStats().quanta, 10u);
+    EXPECT_EQ(engine.stepStats().spans, 0u);
+    EXPECT_EQ(engine.stepStats().spanQuanta, 0u);
+}
+
+TEST(FastPathTest, EventsBreakSpansButNotEquivalence)
+{
+    RecordingComponent ref, fast;
+    Engine refEngine(ref, Time::us(100.0));
+    refEngine.setStepMode(StepMode::Reference);
+    Engine fastEngine(fast, Time::us(100.0));
+    fastEngine.setStepMode(StepMode::SkipAhead);
+    for (Engine *engine : {&refEngine, &fastEngine}) {
+        engine->at(Time::us(250.0), [] {});
+        engine->at(Time::us(730.0), [] {});
+        engine->runUntil(Time::ms(1.0));
+    }
+    EXPECT_EQ(fast.spans, ref.spans);
+    EXPECT_EQ(fastEngine.stepStats().quanta,
+              refEngine.stepStats().quanta);
+    EXPECT_GT(fastEngine.stepStats().spans, 0u);
+}
+
+TEST(FastPathTest, AttachedObserverForcesReferenceStepping)
+{
+    RecordingComponent comp;
+    NullObserver observer;
+    Engine engine(comp, Time::us(100.0));
+    engine.setStepMode(StepMode::SkipAhead);
+    engine.addObserver(&observer);
+    engine.runUntil(Time::ms(1.0));
+    EXPECT_EQ(engine.stepStats().spans, 0u);
+    EXPECT_EQ(observer.calls, 2u * 10u); // before + after, every quantum
+}
+
+TEST(FastPathTest, DetachingObserverReenablesSkipAhead)
+{
+    RecordingComponent comp;
+    NullObserver observer;
+    Engine engine(comp, Time::us(100.0));
+    engine.setStepMode(StepMode::SkipAhead);
+    engine.addObserver(&observer);
+    engine.at(Time::us(500.0), [&] { engine.removeObserver(&observer); });
+    engine.runUntil(Time::ms(1.0));
+    // First half observed quantum-by-quantum, second half merged.
+    EXPECT_EQ(observer.calls, 2u * 5u);
+    EXPECT_GT(engine.stepStats().spans, 0u);
+    EXPECT_EQ(engine.stepStats().quanta, 10u);
+}
+
+TEST(FastPathTest, SpanQuantaFlushToProcessCounter)
+{
+    RecordingComponent comp;
+    Engine engine(comp, Time::us(100.0));
+    engine.setStepMode(StepMode::SkipAhead);
+    uint64_t quantaBefore = totalQuantaAdvanced();
+    uint64_t spanBefore = totalSpanQuantaAdvanced();
+    engine.runUntil(Time::ms(1.0));
+    EXPECT_EQ(totalQuantaAdvanced() - quantaBefore, 10u);
+    EXPECT_EQ(totalSpanQuantaAdvanced() - spanBefore, 10u);
+    // A second run must not double-flush the already-published stats.
+    engine.runUntil(Time::ms(2.0));
+    EXPECT_EQ(totalQuantaAdvanced() - quantaBefore, 20u);
+    EXPECT_EQ(totalSpanQuantaAdvanced() - spanBefore, 20u);
+}
+
+} // namespace
+} // namespace dirigent::sim

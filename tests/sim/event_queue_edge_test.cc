@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Event-queue and engine edge cases the fast path leans on: stability
+ * of same-timestamp ordering, events landing exactly on quantum
+ * boundaries, and events enqueued from within a firing event. Each
+ * engine-level case runs under both stepping modes and asserts the
+ * identical observable sequence, since these are exactly the corners
+ * where span merging could drift from reference stepping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+
+namespace dirigent::sim {
+namespace {
+
+/** Records every advance span it receives. */
+class RecordingComponent : public Component
+{
+  public:
+    void
+    advance(Time start, Time dt) override
+    {
+        spans.emplace_back(start.us(), dt.us());
+    }
+
+    std::vector<std::pair<double, double>> spans;
+};
+
+const StepMode kModes[] = {StepMode::Reference, StepMode::SkipAhead};
+
+std::string
+modeName(StepMode mode)
+{
+    return mode == StepMode::Reference ? "reference" : "skip-ahead";
+}
+
+// ---------------------------------------------------------------------
+// Queue-level edges.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueEdgeTest, CallbackMayCancelLaterSameTimeEvent)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    EventId second;
+    queue.schedule(Time::us(10.0), [&] {
+        fired.push_back(1);
+        EXPECT_TRUE(queue.cancel(second));
+    });
+    second = queue.schedule(Time::us(10.0), [&] { fired.push_back(2); });
+    queue.schedule(Time::us(10.0), [&] { fired.push_back(3); });
+    queue.runDue(Time::us(10.0));
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueEdgeTest, CancelKeepsInsertionOrderOfSurvivors)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    queue.schedule(Time::us(5.0), [&] { fired.push_back(1); });
+    EventId b = queue.schedule(Time::us(5.0), [&] { fired.push_back(2); });
+    queue.schedule(Time::us(5.0), [&] { fired.push_back(3); });
+    EXPECT_TRUE(queue.cancel(b));
+    queue.runDue(Time::us(5.0));
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueEdgeTest, NextTimeTracksPartialDrain)
+{
+    EventQueue queue;
+    queue.schedule(Time::us(10.0), [] {});
+    queue.schedule(Time::us(30.0), [] {});
+    EXPECT_DOUBLE_EQ(queue.nextTime().us(), 10.0);
+    queue.runDue(Time::us(20.0));
+    EXPECT_DOUBLE_EQ(queue.nextTime().us(), 30.0);
+    queue.runDue(Time::us(30.0));
+    EXPECT_EQ(queue.nextTime(), Time::never());
+}
+
+// ---------------------------------------------------------------------
+// Engine-level edges, both stepping modes.
+// ---------------------------------------------------------------------
+
+TEST(EngineEdgeTest, EventExactlyAtQuantumBoundaryDoesNotSplitSpans)
+{
+    for (StepMode mode : kModes) {
+        SCOPED_TRACE(modeName(mode));
+        RecordingComponent comp;
+        Engine engine(comp, Time::us(100.0));
+        engine.setStepMode(mode);
+        double fireUs = -1.0;
+        size_t spansAtFire = 0;
+        engine.at(Time::us(200.0), [&] {
+            fireUs = engine.now().us();
+            spansAtFire = comp.spans.size();
+        });
+        engine.runUntil(Time::us(500.0));
+        // The event lands on the natural 100 µs grid: every span stays
+        // a full quantum and the event fires after exactly two.
+        ASSERT_EQ(comp.spans.size(), 5u);
+        for (const auto &[start, dt] : comp.spans)
+            EXPECT_DOUBLE_EQ(dt, 100.0);
+        EXPECT_DOUBLE_EQ(fireUs, 200.0);
+        EXPECT_EQ(spansAtFire, 2u);
+    }
+}
+
+TEST(EngineEdgeTest, EventJustPastBoundarySplitsFollowingQuantum)
+{
+    for (StepMode mode : kModes) {
+        SCOPED_TRACE(modeName(mode));
+        RecordingComponent comp;
+        Engine engine(comp, Time::us(100.0));
+        engine.setStepMode(mode);
+        engine.at(Time::us(250.0), [] {});
+        engine.runUntil(Time::us(400.0));
+        std::vector<double> expected = {100.0, 100.0, 50.0, 100.0, 50.0};
+        ASSERT_EQ(comp.spans.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i)
+            EXPECT_DOUBLE_EQ(comp.spans[i].second, expected[i]) << i;
+    }
+}
+
+TEST(EngineEdgeTest, SameTimestampEventsFireInScheduleOrder)
+{
+    for (StepMode mode : kModes) {
+        SCOPED_TRACE(modeName(mode));
+        RecordingComponent comp;
+        Engine engine(comp, Time::us(100.0));
+        engine.setStepMode(mode);
+        std::vector<int> fired;
+        engine.at(Time::us(150.0), [&] { fired.push_back(1); });
+        engine.at(Time::us(150.0), [&] { fired.push_back(2); });
+        engine.at(Time::us(150.0), [&] { fired.push_back(3); });
+        engine.runUntil(Time::us(300.0));
+        EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+    }
+}
+
+TEST(EngineEdgeTest, EventEnqueuedFromFiringEventShapesLaterSpans)
+{
+    for (StepMode mode : kModes) {
+        SCOPED_TRACE(modeName(mode));
+        RecordingComponent comp;
+        Engine engine(comp, Time::us(100.0));
+        engine.setStepMode(mode);
+        double chainedFireUs = -1.0;
+        engine.at(Time::us(150.0), [&] {
+            // Enqueued from within a firing event, inside what the
+            // fast path would otherwise treat as one event-free span.
+            engine.after(Time::us(80.0), [&] {
+                chainedFireUs = engine.now().us();
+            });
+        });
+        engine.runUntil(Time::us(400.0));
+        EXPECT_DOUBLE_EQ(chainedFireUs, 230.0);
+        std::vector<double> expected = {100.0, 50.0, 80.0, 100.0, 70.0};
+        ASSERT_EQ(comp.spans.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i)
+            EXPECT_DOUBLE_EQ(comp.spans[i].second, expected[i]) << i;
+    }
+}
+
+TEST(EngineEdgeTest, EventEnqueuedAtCurrentTimeFiresBeforeNextSpan)
+{
+    for (StepMode mode : kModes) {
+        SCOPED_TRACE(modeName(mode));
+        RecordingComponent comp;
+        Engine engine(comp, Time::us(100.0));
+        engine.setStepMode(mode);
+        std::vector<int> fired;
+        engine.at(Time::us(150.0), [&] {
+            fired.push_back(1);
+            // Same-time enqueue from a firing event: fires in the same
+            // drain, before the model advances again.
+            engine.after(Time(), [&] {
+                fired.push_back(2);
+                EXPECT_DOUBLE_EQ(engine.now().us(), 150.0);
+            });
+        });
+        engine.runUntil(Time::us(300.0));
+        EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    }
+}
+
+} // namespace
+} // namespace dirigent::sim
