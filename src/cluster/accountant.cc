@@ -1,0 +1,110 @@
+#include "cluster/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::cluster {
+
+ResourceAccountant::ResourceAccountant(
+    DispatchPolicy policy, unsigned nodes,
+    std::vector<serve::SloTarget> slos)
+    : slos_(std::move(slos))
+{
+    if (nodes == 0)
+        fatal("resource accountant: need at least one node");
+    summary_.policy = policy;
+    summary_.nodes = nodes;
+}
+
+void
+ResourceAccountant::add(const NodeResult &node)
+{
+    if (added_ >= summary_.nodes)
+        fatal(strfmt("resource accountant: %u nodes declared, node%u "
+                     "is one too many",
+                     summary_.nodes, node.index));
+    if (node.index != added_)
+        fatal(strfmt("resource accountant: expected node%zu next, got "
+                     "node%u (fold must run in index order)",
+                     added_, node.index));
+
+    const harness::ServingRunResult &run = node.serving;
+    summary_.arrivals += run.arrivals;
+    summary_.completed += run.completed;
+    summary_.dropped += run.dropped;
+    summary_.shed += run.shed;
+    summary_.maxQueueDepth =
+        std::max(summary_.maxQueueDepth, run.maxQueueDepth);
+    for (double s : run.stats.samples())
+        summary_.stats.add(s);
+    summary_.degraded = summary_.degraded || node.health.degraded;
+
+    perNodeArrivals_.push_back(run.arrivals);
+    utilizationSum_ += node.health.utilization;
+    if (added_ == 0) {
+        summary_.utilizationMin = node.health.utilization;
+        summary_.utilizationMax = node.health.utilization;
+    } else {
+        summary_.utilizationMin =
+            std::min(summary_.utilizationMin, node.health.utilization);
+        summary_.utilizationMax =
+            std::max(summary_.utilizationMax, node.health.utilization);
+    }
+    ++added_;
+}
+
+FleetSummary
+ResourceAccountant::finish(uint64_t generated)
+{
+    if (added_ != summary_.nodes)
+        fatal(strfmt("resource accountant: %zu of %u nodes folded in",
+                     added_, summary_.nodes));
+    if (summary_.arrivals != generated)
+        fatal(strfmt("resource accountant: dispatcher generated %llu "
+                     "requests but nodes saw %llu — requests leaked "
+                     "across the split",
+                     (unsigned long long)generated,
+                     (unsigned long long)summary_.arrivals));
+    summary_.generated = generated;
+
+    summary_.meanSec = summary_.stats.mean();
+    summary_.p50Sec = summary_.stats.quantile(0.50);
+    summary_.p95Sec = summary_.stats.quantile(0.95);
+    summary_.p99Sec = summary_.stats.quantile(0.99);
+    summary_.p999Sec = summary_.stats.quantile(0.999);
+    summary_.verdicts = serve::evaluateSlos(slos_, summary_.stats);
+
+    summary_.utilizationMean =
+        utilizationSum_ / double(summary_.nodes);
+    uint64_t maxArrivals = 0;
+    for (uint64_t a : perNodeArrivals_)
+        maxArrivals = std::max(maxArrivals, a);
+    double meanArrivals =
+        double(summary_.arrivals) / double(summary_.nodes);
+    summary_.imbalance =
+        meanArrivals > 0.0 ? double(maxArrivals) / meanArrivals : 0.0;
+
+    return summary_;
+}
+
+std::string
+formatFleetSummary(const FleetSummary &fleet)
+{
+    return strfmt(
+        "%s x%u: %llu req, %llu ok, %llu drop, %llu shed, "
+        "p99=%.3gs, util=%.0f%% [%.0f..%.0f], imb=%.2f, slo=%s%s",
+        dispatchPolicyName(fleet.policy), fleet.nodes,
+        (unsigned long long)fleet.generated,
+        (unsigned long long)fleet.completed,
+        (unsigned long long)fleet.dropped,
+        (unsigned long long)fleet.shed, fleet.p99Sec,
+        fleet.utilizationMean * 100.0, fleet.utilizationMin * 100.0,
+        fleet.utilizationMax * 100.0, fleet.imbalance,
+        fleet.sloMet() ? "met" : "MISSED",
+        fleet.degraded ? " degraded" : "");
+}
+
+} // namespace dirigent::cluster

@@ -1,0 +1,194 @@
+#include "cluster/dispatcher.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::cluster {
+
+NodeLoadModel::NodeLoadModel(const NodeModel &model)
+    : effectiveServiceSec_(
+          model.serviceEstimateSec / double(std::max(1u, model.slots)))
+{
+    if (!(effectiveServiceSec_ > 0.0))
+        fatal(strfmt("node load model: service estimate %.9g must be "
+                     "> 0",
+                     model.serviceEstimateSec));
+}
+
+size_t
+NodeLoadModel::depth(Time now)
+{
+    while (!completions_.empty() && completions_.front() <= now)
+        completions_.pop_front();
+    return completions_.size();
+}
+
+void
+NodeLoadModel::assign(Time now)
+{
+    depth(now); // drain modeled finishes first
+    Time start = std::max(now, backlogEnd_);
+    Time finish = start + Time::sec(effectiveServiceSec_);
+    backlogEnd_ = finish;
+    completions_.push_back(finish); // nondecreasing by construction
+}
+
+Dispatcher::Dispatcher(std::vector<NodeModel> models)
+    : models_(std::move(models))
+{
+    if (models_.empty())
+        fatal("dispatcher: need at least one node model");
+    load_.reserve(models_.size());
+    for (const NodeModel &model : models_)
+        load_.emplace_back(model);
+    assigned_.assign(models_.size(), 0);
+}
+
+unsigned
+Dispatcher::route(Time now)
+{
+    unsigned node = pick(now);
+    DIRIGENT_ASSERT(node < models_.size(),
+                    "dispatcher picked an out-of-range node");
+    load_[node].assign(now);
+    ++assigned_[node];
+    return node;
+}
+
+size_t
+Dispatcher::modeledDepth(unsigned node, Time now)
+{
+    DIRIGENT_ASSERT(node < load_.size(), "node index out of range");
+    return load_[node].depth(now);
+}
+
+RoundRobinDispatcher::RoundRobinDispatcher(std::vector<NodeModel> models)
+    : Dispatcher(std::move(models))
+{
+}
+
+unsigned
+RoundRobinDispatcher::pick(Time)
+{
+    unsigned node = unsigned(next_);
+    next_ = (next_ + 1) % models_.size();
+    return node;
+}
+
+JoinShortestQueueDispatcher::JoinShortestQueueDispatcher(
+    std::vector<NodeModel> models)
+    : Dispatcher(std::move(models))
+{
+}
+
+unsigned
+JoinShortestQueueDispatcher::pick(Time now)
+{
+    // Ties break on fewest total assignments, then lowest index.
+    // Without the least-assigned tie-break, an underloaded fleet
+    // (every modeled depth 0) would funnel everything to node 0.
+    unsigned best = 0;
+    size_t bestDepth = load_[0].depth(now);
+    for (unsigned i = 1; i < load_.size(); ++i) {
+        size_t depth = load_[i].depth(now);
+        if (depth < bestDepth ||
+            (depth == bestDepth && assigned_[i] < assigned_[best])) {
+            best = i;
+            bestDepth = depth;
+        }
+    }
+    return best;
+}
+
+SlackWeightedDispatcher::SlackWeightedDispatcher(
+    std::vector<NodeModel> models, Rng rng)
+    : Dispatcher(std::move(models)), rng_(rng)
+{
+    double total = 0.0;
+    cumulative_.reserve(models_.size());
+    for (const NodeModel &model : models_) {
+        total += std::max(0.0, model.weight);
+        cumulative_.push_back(total);
+    }
+    if (!(total > 0.0))
+        fatal("wslack dispatcher: every node weight is <= 0");
+}
+
+unsigned
+SlackWeightedDispatcher::pick(Time)
+{
+    double u = rng_.uniform() * cumulative_.back();
+    auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    if (it == cumulative_.end())
+        --it; // u == total (uniform() may return values up to 1)
+    return unsigned(it - cumulative_.begin());
+}
+
+PowerOfTwoDispatcher::PowerOfTwoDispatcher(std::vector<NodeModel> models,
+                                           Rng rng)
+    : Dispatcher(std::move(models)), rng_(rng)
+{
+}
+
+unsigned
+PowerOfTwoDispatcher::pick(Time now)
+{
+    const uint64_t n = models_.size();
+    unsigned i = unsigned(rng_.below(n));
+    if (n == 1)
+        return i;
+    unsigned j = unsigned((i + 1 + rng_.below(n - 1)) % n);
+    unsigned lo = std::min(i, j), hi = std::max(i, j);
+    // Shorter modeled queue wins; ties go to the lower index.
+    return load_[hi].depth(now) < load_[lo].depth(now) ? hi : lo;
+}
+
+std::unique_ptr<Dispatcher>
+makeDispatcher(DispatchPolicy policy, std::vector<NodeModel> models,
+               uint64_t seed)
+{
+    switch (policy) {
+      case DispatchPolicy::RoundRobin:
+        return std::make_unique<RoundRobinDispatcher>(std::move(models));
+      case DispatchPolicy::JoinShortestQueue:
+        return std::make_unique<JoinShortestQueueDispatcher>(
+            std::move(models));
+      case DispatchPolicy::SlackWeighted:
+        return std::make_unique<SlackWeightedDispatcher>(
+            std::move(models), Rng(seed).fork(0x51AC4));
+      case DispatchPolicy::PowerOfTwoChoices:
+        return std::make_unique<PowerOfTwoDispatcher>(
+            std::move(models), Rng(seed).fork(0xB02C));
+    }
+    fatal("unknown dispatch policy");
+}
+
+DispatchPlan
+splitArrivals(serve::ArrivalProcess &stream, Time horizon,
+              Dispatcher &dispatcher)
+{
+    const size_t nodes = dispatcher.nodeCount();
+    DispatchPlan plan;
+    plan.slotArrivals.resize(nodes);
+    std::vector<size_t> nextSlot(nodes, 0);
+    for (size_t i = 0; i < nodes; ++i)
+        plan.slotArrivals[i].resize(
+            std::max(1u, dispatcher.models()[i].slots));
+    for (;;) {
+        Time t = stream.next();
+        if (t.isNever() || t > horizon)
+            break;
+        unsigned node = dispatcher.route(t);
+        auto &slots = plan.slotArrivals[node];
+        slots[nextSlot[node] % slots.size()].push_back(t);
+        ++nextSlot[node];
+        ++plan.generated;
+    }
+    plan.assigned = dispatcher.assigned();
+    return plan;
+}
+
+} // namespace dirigent::cluster

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The global dispatcher: routes a cluster-level arrival stream across
+ * nodes, one decision per request, using only deterministic inputs — a
+ * per-node *modeled* queue (calibrated service estimate, no live
+ * simulation state) and a private seeded RNG. Decisions therefore
+ * depend only on (models, seed, arrival stream), which is what lets
+ * splitArrivals() run once, serially, and hand each node an immutable
+ * arrival trace to replay in parallel: one node = one deterministic
+ * job, byte-identical at any executor thread count.
+ */
+
+#ifndef DIRIGENT_CLUSTER_DISPATCHER_H
+#define DIRIGENT_CLUSTER_DISPATCHER_H
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/spec.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "serve/arrival.h"
+
+namespace dirigent::cluster {
+
+/** What the dispatcher knows about one node when routing. */
+struct NodeModel
+{
+    /** FG serving slots (parallel logical servers). */
+    unsigned slots = 1;
+
+    /** Expected per-request service time (calibrated; seconds). */
+    double serviceEstimateSec = 1.0;
+
+    /** Slack-aware weight (>= 0; from calibrated deadline slack). */
+    double weight = 1.0;
+};
+
+/**
+ * Deterministic modeled queue of one node: the node is folded into a
+ * single logical server of rate slots/serviceEstimate, so each
+ * modeled request finishes at max(now, backlogEnd) + service/slots.
+ * Finish times are nondecreasing, which keeps the drain O(1).
+ */
+class NodeLoadModel
+{
+  public:
+    explicit NodeLoadModel(const NodeModel &model);
+
+    /** Modeled outstanding requests after draining finishes <= now. */
+    size_t depth(Time now);
+
+    /** Admit one modeled request arriving at @p now. */
+    void assign(Time now);
+
+  private:
+    double effectiveServiceSec_;
+    Time backlogEnd_ = Time::sec(0.0);
+    std::deque<Time> completions_;
+};
+
+/**
+ * Routes one arrival at a time to a node index. Subclasses implement
+ * pick(); route() maintains the shared modeled queues and per-node
+ * assignment counters.
+ */
+class Dispatcher
+{
+  public:
+    explicit Dispatcher(std::vector<NodeModel> models);
+    virtual ~Dispatcher() = default;
+
+    virtual DispatchPolicy policy() const = 0;
+
+    /** Route one arrival at absolute time @p now; node index. */
+    unsigned route(Time now);
+
+    size_t nodeCount() const { return models_.size(); }
+
+    const std::vector<NodeModel> &models() const { return models_; }
+
+    /** Requests routed to each node so far. */
+    const std::vector<uint64_t> &assigned() const { return assigned_; }
+
+    /** Modeled queue depth of @p node at @p now (drains first). */
+    size_t modeledDepth(unsigned node, Time now);
+
+  protected:
+    /** Choose the node for an arrival at @p now. */
+    virtual unsigned pick(Time now) = 0;
+
+    const std::vector<NodeModel> models_;
+    std::vector<NodeLoadModel> load_;
+    std::vector<uint64_t> assigned_;
+};
+
+/** Cycle through nodes 0..N-1. */
+class RoundRobinDispatcher : public Dispatcher
+{
+  public:
+    explicit RoundRobinDispatcher(std::vector<NodeModel> models);
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::RoundRobin;
+    }
+
+  protected:
+    unsigned pick(Time now) override;
+
+  private:
+    size_t next_ = 0;
+};
+
+/** Shortest modeled queue; ties to the fewest total assignments,
+ *  then the lowest index (so an idle fleet degenerates to round-robin
+ *  rather than funnelling everything to node 0). */
+class JoinShortestQueueDispatcher : public Dispatcher
+{
+  public:
+    explicit JoinShortestQueueDispatcher(std::vector<NodeModel> models);
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::JoinShortestQueue;
+    }
+
+  protected:
+    unsigned pick(Time now) override;
+};
+
+/**
+ * Seeded weighted sampling proportional to each node's slack weight
+ * (negative weights clamp to 0; at least one must be positive).
+ */
+class SlackWeightedDispatcher : public Dispatcher
+{
+  public:
+    SlackWeightedDispatcher(std::vector<NodeModel> models, Rng rng);
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::SlackWeighted;
+    }
+
+  protected:
+    unsigned pick(Time now) override;
+
+  private:
+    std::vector<double> cumulative_;
+    Rng rng_;
+};
+
+/**
+ * Power-of-two-choices: two seeded probes (distinct when N > 1), the
+ * shorter modeled queue wins; ties to the lower probed index.
+ */
+class PowerOfTwoDispatcher : public Dispatcher
+{
+  public:
+    PowerOfTwoDispatcher(std::vector<NodeModel> models, Rng rng);
+    DispatchPolicy policy() const override
+    {
+        return DispatchPolicy::PowerOfTwoChoices;
+    }
+
+  protected:
+    unsigned pick(Time now) override;
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * Instantiate @p policy over @p models with randomness derived from
+ * @p seed (deterministic policies ignore it). fatal() on empty models
+ * or a weightless fleet under wslack.
+ */
+std::unique_ptr<Dispatcher>
+makeDispatcher(DispatchPolicy policy, std::vector<NodeModel> models,
+               uint64_t seed);
+
+/** The routed cluster stream: per-node, per-slot arrival traces. */
+struct DispatchPlan
+{
+    /** Requests generated by the cluster-level arrival process. */
+    uint64_t generated = 0;
+
+    /** Arrival times per [node][fg slot], each nondecreasing. */
+    std::vector<std::vector<std::vector<Time>>> slotArrivals;
+
+    /** Requests routed to each node (== dispatcher.assigned()). */
+    std::vector<uint64_t> assigned;
+};
+
+/**
+ * Drain @p stream up to @p horizon (inclusive, matching ServeDriver's
+ * injection window) routing every arrival through @p dispatcher;
+ * within a node, slots are fed round-robin. The plan's per-slot traces
+ * replay through serve::TraceArrivals.
+ */
+DispatchPlan splitArrivals(serve::ArrivalProcess &stream, Time horizon,
+                           Dispatcher &dispatcher);
+
+} // namespace dirigent::cluster
+
+#endif // DIRIGENT_CLUSTER_DISPATCHER_H

@@ -1,0 +1,219 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+#include "dirigent/scheme_spec.h"
+
+namespace dirigent::cluster {
+
+std::vector<NodeConfig>
+resolveNodes(const ClusterSpec &spec)
+{
+    if (auto error = validateClusterSpec(spec))
+        fatal(*error);
+
+    std::vector<NodeConfig> nodes;
+    nodes.reserve(spec.nodes);
+    for (unsigned i = 0; i < spec.nodes; ++i) {
+        std::string mixLabel = spec.mix;
+        std::string schemeName = spec.scheme;
+        double speed = spec.speed;
+        std::string faultsFile;
+        if (auto it = spec.overrides.find(i);
+            it != spec.overrides.end()) {
+            const ClusterNodeSpec &over = it->second;
+            if (!over.mix.empty())
+                mixLabel = over.mix;
+            if (!over.scheme.empty())
+                schemeName = over.scheme;
+            if (over.speed != 0.0)
+                speed = over.speed;
+            faultsFile = over.faults;
+        }
+
+        NodeConfig node;
+        node.index = i;
+        auto mix = tryParseMixLabel(mixLabel);
+        if (!mix)
+            fatal(strfmt("cluster node%u: bad mix label '%s'", i,
+                         mixLabel.c_str()));
+        node.mix = std::move(*mix);
+        auto scheme = core::findSchemeSpec(schemeName);
+        if (!scheme)
+            fatal(strfmt("cluster node%u: unknown scheme '%s'", i,
+                         schemeName.c_str()));
+        node.scheme = *scheme;
+        node.speed = speed;
+        if (!faultsFile.empty()) {
+            node.faultPlan = fault::loadFaultPlan(faultsFile);
+            node.faultsFile = faultsFile;
+        }
+        nodes.push_back(std::move(node));
+    }
+    return nodes;
+}
+
+Node::Node(NodeConfig config, const harness::HarnessConfig &base)
+    : config_(std::move(config)), harness_(base)
+{
+    // Scale the DVFS range: a speed-0.85 node is a uniformly slower
+    // machine, grades and all.
+    harness_.machine.maxFreq =
+        Freq::hz(base.machine.maxFreq.hz() * config_.speed);
+    harness_.machine.minFreq =
+        Freq::hz(base.machine.minFreq.hz() * config_.speed);
+    // Salt the seed per node so same-mix nodes draw different OS
+    // noise — a pure function of (base seed, index), independent of
+    // which worker thread simulates the node.
+    harness_.seed = Rng(base.seed ^ 0xC1A5).fork(config_.index).next();
+    harness_.faultPlan = config_.faultPlan;
+}
+
+harness::ExperimentRunner
+Node::makeRunner(const harness::HarnessConfig &config,
+                 harness::ProfileSource *sharedProfiles) const
+{
+    // The shared cache profiled on the *base* machine; it is only
+    // this node's machine when the speed is unscaled.
+    if (sharedProfiles != nullptr && config_.speed == 1.0)
+        return harness::ExperimentRunner(config, *sharedProfiles);
+    return harness::ExperimentRunner(config);
+}
+
+NodeCalibration
+Node::calibrate(harness::ProfileSource *sharedProfiles) const
+{
+    harness::HarnessConfig config = harness_;
+    config.faultPlan = fault::FaultPlan{}; // offline: fault-free
+    harness::ExperimentRunner runner =
+        makeRunner(config, sharedProfiles);
+    auto baseline = runner.run(
+        config_.mix, core::schemeSpec(core::Scheme::Baseline), {});
+
+    NodeCalibration calibration;
+    calibration.deadlines = runner.deadlinesFromBaseline(baseline);
+    calibration.serviceEstimateSec = baseline.fgDurationMean();
+    double deadlineSum = 0.0;
+    for (const auto &[bench, deadline] : calibration.deadlines)
+        deadlineSum += deadline.sec();
+    double meanDeadline =
+        calibration.deadlines.empty()
+            ? 0.0
+            : deadlineSum / double(calibration.deadlines.size());
+    calibration.slackSec =
+        meanDeadline - calibration.serviceEstimateSec;
+    return calibration;
+}
+
+harness::ServingRunResult
+Node::serve(const serve::ServeSpec &serveSpec,
+            const std::vector<std::vector<Time>> &slotArrivals,
+            const NodeCalibration &calibration,
+            harness::ProfileSource *sharedProfiles) const
+{
+    harness::ExperimentRunner runner =
+        makeRunner(harness_, sharedProfiles);
+    harness::RunOptions opts;
+    opts.arrivalOverride = &slotArrivals;
+    return runner.runServing(config_.mix, config_.scheme, serveSpec,
+                             calibration.deadlines, opts);
+}
+
+NodeModel
+Node::model(const NodeCalibration &calibration,
+            double serviceOverrideSec) const
+{
+    NodeModel model;
+    model.slots = unsigned(config_.mix.fgCount());
+    double service = serviceOverrideSec > 0.0
+                         ? serviceOverrideSec
+                         : calibration.serviceEstimateSec;
+    model.serviceEstimateSec = service > 0.0 ? service : 1.0;
+    // Capacity × slack fraction: slots/µ requests/sec, discounted by
+    // how much headroom the calibrated deadline leaves.
+    double deadline =
+        calibration.serviceEstimateSec + calibration.slackSec;
+    double slackFraction =
+        deadline > 0.0
+            ? std::max(0.01, calibration.slackSec / deadline)
+            : 1.0;
+    model.weight =
+        double(model.slots) / model.serviceEstimateSec * slackFraction;
+    return model;
+}
+
+NodeHealth
+Node::healthFrom(const NodeConfig &config,
+                 const NodeCalibration &calibration,
+                 const harness::ServingRunResult &run,
+                 double horizonSec)
+{
+    NodeHealth health;
+    health.node = config.index;
+    health.maxQueueDepth = run.maxQueueDepth;
+    health.degraded = run.degraded;
+
+    double busySec = 0.0;
+    double depthSum = 0.0;
+    uint64_t requests = 0;
+    for (size_t slot = 0; slot < run.perFgRequests.size(); ++slot) {
+        double serviceSum = 0.0;
+        uint64_t completed = 0;
+        for (const serve::Request &req : run.perFgRequests[slot]) {
+            depthSum += double(req.queueDepth);
+            ++requests;
+            if (req.outcome == serve::RequestOutcome::Completed) {
+                serviceSum += req.serviceTime().sec();
+                ++completed;
+            }
+        }
+        busySec += serviceSum;
+        const std::string &bench =
+            slot < config.mix.fg.size() ? config.mix.fg[slot] : "";
+        auto it = calibration.deadlines.find(bench);
+        double deadlineSec =
+            it != calibration.deadlines.end() ? it->second.sec() : 0.0;
+        health.fgSlackSec.push_back(
+            completed > 0
+                ? deadlineSec - serviceSum / double(completed)
+                : std::nan(""));
+    }
+    health.meanQueueDepth =
+        requests > 0 ? depthSum / double(requests) : 0.0;
+    health.shedRate = run.rejectRate();
+    if (!run.finalAdmitLimits.empty()) {
+        double limitSum = 0.0;
+        for (double limit : run.finalAdmitLimits)
+            limitSum += limit;
+        health.admitLimit =
+            limitSum / double(run.finalAdmitLimits.size());
+    }
+    double slots = double(std::max<size_t>(1, run.perFgRequests.size()));
+    health.utilization =
+        horizonSec > 0.0 ? busySec / (horizonSec * slots) : 0.0;
+    return health;
+}
+
+std::string
+formatNodeHealth(const NodeHealth &health)
+{
+    std::string slack;
+    for (size_t i = 0; i < health.fgSlackSec.size(); ++i) {
+        if (i > 0)
+            slack += ",";
+        slack += std::isnan(health.fgSlackSec[i])
+                     ? "n/a"
+                     : strfmt("%.3g", health.fgSlackSec[i]);
+    }
+    return strfmt("node%u: slack=[%s]s queue=%.2f(max %zu) "
+                  "shed=%.1f%% admit=%.2f util=%.1f%%%s",
+                  health.node, slack.c_str(), health.meanQueueDepth,
+                  health.maxQueueDepth, health.shedRate * 100.0,
+                  health.admitLimit, health.utilization * 100.0,
+                  health.degraded ? " DEGRADED" : "");
+}
+
+} // namespace dirigent::cluster

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The node agent: one Dirigent runtime wrapped as an assemblable
+ * cluster unit. A Node owns the per-node harness configuration
+ * (speed-scaled machine, salted seed, optional per-node fault plan),
+ * calibrates its own deadlines + service estimate from a fault-free
+ * Baseline batch run, replays its dispatched arrival trace through
+ * ExperimentRunner::runServing, and distils the run into a narrow
+ * NodeHealth report (per-FG slack, queue depth, shed rate, admission
+ * limit, utilization, degraded flag) for the global layer.
+ */
+
+#ifndef DIRIGENT_CLUSTER_NODE_H
+#define DIRIGENT_CLUSTER_NODE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/dispatcher.h"
+#include "cluster/spec.h"
+#include "fault/plan.h"
+#include "harness/experiment.h"
+#include "harness/serving.h"
+
+namespace dirigent::cluster {
+
+/** Fully resolved configuration of one node. */
+struct NodeConfig
+{
+    unsigned index = 0;
+    workload::WorkloadMix mix;
+    core::SchemeSpec scheme;
+
+    /** Speed factor: scales the machine's DVFS frequency range. */
+    double speed = 1.0;
+
+    /** Per-node fault plan (empty = none; serving only, see Node). */
+    fault::FaultPlan faultPlan;
+
+    /** Fault-plan file the plan was loaded from ("" = none). */
+    std::string faultsFile;
+};
+
+/**
+ * Resolve @p spec into per-node configurations: cluster defaults with
+ * the [node<i>] overrides applied, mix labels and scheme names looked
+ * up, and fault-plan files loaded. fatal() on unknown names or
+ * unreadable plans (specs are user input).
+ */
+std::vector<NodeConfig> resolveNodes(const ClusterSpec &spec);
+
+/** Offline calibration of one node (fault-free Baseline batch run). */
+struct NodeCalibration
+{
+    /** Per-benchmark deadlines (µ + 0.3σ of Baseline). */
+    std::map<std::string, Time> deadlines;
+
+    /** Mean FG execution duration (seconds). */
+    double serviceEstimateSec = 0.0;
+
+    /** Mean deadline − mean duration (seconds). */
+    double slackSec = 0.0;
+};
+
+/** The narrow health report a node sends up to the global layer. */
+struct NodeHealth
+{
+    unsigned node = 0;
+
+    /** Per FG slot: deadline − mean measured service time (seconds);
+     *  NaN when the slot completed nothing in the window. */
+    std::vector<double> fgSlackSec;
+
+    /** Mean queue depth seen by arrivals. */
+    double meanQueueDepth = 0.0;
+
+    size_t maxQueueDepth = 0;
+
+    /** (dropped + shed) / arrivals; 0 when idle. */
+    double shedRate = 0.0;
+
+    /** Mean final admission limit across slots; 0 = no admission. */
+    double admitLimit = 0.0;
+
+    /** Busy fraction: Σ completed service time / (horizon × slots). */
+    double utilization = 0.0;
+
+    /** Any FG fell back to the reactive (degraded) controller. */
+    bool degraded = false;
+};
+
+/** One-line health summary ("node2: slack=[...] ... degraded"). */
+std::string formatNodeHealth(const NodeHealth &health);
+
+/** Everything one node contributes to the fleet aggregation. */
+struct NodeResult
+{
+    unsigned index = 0;
+    std::string mixLabel;
+    std::string schemeName;
+    double speed = 1.0;
+    NodeCalibration calibration;
+    harness::ServingRunResult serving;
+    NodeHealth health;
+};
+
+/**
+ * One Dirigent runtime as a cluster unit. The node's harness config is
+ * derived deterministically from the base config: the DVFS range is
+ * scaled by `speed`, the seed is salted with the node index (so
+ * same-mix nodes see different OS noise), and the per-node fault plan
+ * is applied to serving runs only — calibration is an offline,
+ * fault-free stage, which also keeps dispatch decisions (and therefore
+ * every *other* node's arrival trace) independent of one node's
+ * faults.
+ */
+class Node
+{
+  public:
+    Node(NodeConfig config, const harness::HarnessConfig &base);
+
+    const NodeConfig &config() const { return config_; }
+
+    /** The derived per-node harness configuration. */
+    const harness::HarnessConfig &harnessConfig() const
+    {
+        return harness_;
+    }
+
+    /**
+     * Calibrate deadlines and the dispatcher's service estimate from a
+     * fault-free Baseline batch run. @p sharedProfiles is used when
+     * the node machine matches the base config (speed == 1); nullptr
+     * or a scaled node profiles on a private cache.
+     */
+    NodeCalibration
+    calibrate(harness::ProfileSource *sharedProfiles) const;
+
+    /**
+     * Replay this node's dispatched arrival trace (one vector per FG
+     * slot, from DispatchPlan) through a serving run under the node's
+     * scheme and fault plan.
+     */
+    harness::ServingRunResult
+    serve(const serve::ServeSpec &serveSpec,
+          const std::vector<std::vector<Time>> &slotArrivals,
+          const NodeCalibration &calibration,
+          harness::ProfileSource *sharedProfiles) const;
+
+    /**
+     * The dispatcher's model of this node: FG slots, calibrated (or
+     * overridden) service estimate, and a slack-aware weight
+     * (capacity × slack fraction, so slower or tighter nodes draw
+     * proportionally less traffic).
+     */
+    NodeModel model(const NodeCalibration &calibration,
+                    double serviceOverrideSec) const;
+
+    /** Distil a serving run into the narrow health report. */
+    static NodeHealth healthFrom(const NodeConfig &config,
+                                 const NodeCalibration &calibration,
+                                 const harness::ServingRunResult &run,
+                                 double horizonSec);
+
+  private:
+    harness::ExperimentRunner
+    makeRunner(const harness::HarnessConfig &config,
+               harness::ProfileSource *sharedProfiles) const;
+
+    NodeConfig config_;
+    harness::HarnessConfig harness_;
+};
+
+} // namespace dirigent::cluster
+
+#endif // DIRIGENT_CLUSTER_NODE_H

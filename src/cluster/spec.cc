@@ -1,0 +1,515 @@
+#include "cluster/spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/strfmt.h"
+#include "dirigent/scheme_spec.h"
+#include "workload/benchmarks.h"
+
+namespace dirigent::cluster {
+
+namespace {
+
+constexpr unsigned kMaxNodes = 512;
+
+struct PolicyName
+{
+    DispatchPolicy policy;
+    const char *name;
+};
+
+constexpr PolicyName kPolicyNames[] = {
+    {DispatchPolicy::RoundRobin, "rr"},
+    {DispatchPolicy::JoinShortestQueue, "jsq"},
+    {DispatchPolicy::SlackWeighted, "wslack"},
+    {DispatchPolicy::PowerOfTwoChoices, "po2"},
+};
+
+std::vector<std::string>
+splitList(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : text) {
+        if (c == sep) {
+            parts.push_back(current);
+            current.clear();
+        } else if (c != ' ' && c != '\t') {
+            current += c;
+        }
+    }
+    parts.push_back(current);
+    if (parts.size() == 1 && parts[0].empty())
+        parts.clear();
+    return parts;
+}
+
+std::vector<DispatchPolicy>
+parsePolicyList(const std::string &text)
+{
+    std::vector<DispatchPolicy> policies;
+    for (const std::string &part : splitList(text, ',')) {
+        auto policy = dispatchPolicyFromName(part);
+        if (!policy)
+            fatal(strfmt("cluster spec: unknown policy '%s' in list "
+                         "'%s' (known: rr, jsq, wslack, po2)",
+                         part.c_str(), text.c_str()));
+        policies.push_back(*policy);
+    }
+    return policies;
+}
+
+std::vector<unsigned>
+parseNodeList(const std::string &text)
+{
+    std::vector<unsigned> nodes;
+    for (const std::string &part : splitList(text, ',')) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(part.c_str(), &end, 10);
+        if (part.empty() || end == part.c_str() || *end != '\0')
+            fatal(strfmt("cluster spec: bad node-count list '%s'",
+                         text.c_str()));
+        nodes.push_back(unsigned(n));
+    }
+    return nodes;
+}
+
+std::string
+formatPolicyList(const std::vector<DispatchPolicy> &policies)
+{
+    std::string out;
+    for (size_t i = 0; i < policies.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += dispatchPolicyName(policies[i]);
+    }
+    return out;
+}
+
+std::string
+formatNodeList(const std::vector<unsigned> &nodes)
+{
+    std::string out;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += strfmt("%u", nodes[i]);
+    }
+    return out;
+}
+
+/** "node<digits>" section name → index; nullopt otherwise. */
+std::optional<unsigned>
+nodeSectionIndex(const std::string &section)
+{
+    if (section.rfind("node", 0) != 0 || section.size() <= 4)
+        return std::nullopt;
+    for (size_t i = 4; i < section.size(); ++i)
+        if (!std::isdigit(static_cast<unsigned char>(section[i])))
+            return std::nullopt;
+    return unsigned(std::strtoul(section.c_str() + 4, nullptr, 10));
+}
+
+std::optional<std::string>
+validateMixLabel(const std::string &label, const std::string &where)
+{
+    if (!tryParseMixLabel(label))
+        return strfmt("cluster spec: %s mix '%s' is not a valid "
+                      "'fg[,fg...]/bg[+bg2]' label of known benchmarks",
+                      where.c_str(), label.c_str());
+    return std::nullopt;
+}
+
+std::optional<std::string>
+validateSchemeName(const std::string &name, const std::string &where)
+{
+    if (!core::findSchemeSpec(name))
+        return strfmt("cluster spec: %s scheme '%s' is not in the "
+                      "scheme registry",
+                      where.c_str(), name.c_str());
+    return std::nullopt;
+}
+
+std::optional<std::string>
+validateSpeed(double speed, const std::string &where)
+{
+    if (!std::isfinite(speed) || speed <= 0.0 || speed > 16.0)
+        return strfmt("cluster spec: %s speed %.9g out of (0, 16]",
+                      where.c_str(), speed);
+    return std::nullopt;
+}
+
+} // namespace
+
+const char *
+dispatchPolicyName(DispatchPolicy policy)
+{
+    for (const PolicyName &p : kPolicyNames)
+        if (p.policy == policy)
+            return p.name;
+    return "?";
+}
+
+std::optional<DispatchPolicy>
+dispatchPolicyFromName(const std::string &name)
+{
+    for (const PolicyName &p : kPolicyNames)
+        if (name == p.name)
+            return p.policy;
+    return std::nullopt;
+}
+
+const std::vector<DispatchPolicy> &
+allDispatchPolicies()
+{
+    static const std::vector<DispatchPolicy> all = {
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::JoinShortestQueue,
+        DispatchPolicy::SlackWeighted,
+        DispatchPolicy::PowerOfTwoChoices,
+    };
+    return all;
+}
+
+std::optional<workload::WorkloadMix>
+tryParseMixLabel(const std::string &label)
+{
+    size_t slash = label.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= label.size())
+        return std::nullopt;
+    std::vector<std::string> fg = splitList(label.substr(0, slash), ',');
+    std::vector<std::string> bg =
+        splitList(label.substr(slash + 1), '+');
+    if (fg.empty() || bg.empty() || bg.size() > 2)
+        return std::nullopt;
+    const auto &lib = workload::BenchmarkLibrary::instance();
+    for (const std::string &name : fg)
+        if (name.empty() || !lib.has(name))
+            return std::nullopt;
+    for (const std::string &name : bg)
+        if (name.empty() || !lib.has(name))
+            return std::nullopt;
+    workload::BgSpec spec =
+        bg.size() == 2 ? workload::BgSpec::rotate(bg[0], bg[1])
+                       : workload::BgSpec::single(bg[0]);
+    return workload::makeMix(std::move(fg), std::move(spec));
+}
+
+std::string
+formatMixLabel(const workload::WorkloadMix &mix)
+{
+    std::string out;
+    for (size_t i = 0; i < mix.fg.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        out += mix.fg[i];
+    }
+    out += "/" + mix.bg.first;
+    if (mix.bg.kind == workload::BgSpec::Kind::Rotate)
+        out += "+" + mix.bg.second;
+    return out;
+}
+
+std::optional<std::string>
+validateClusterSpec(const ClusterSpec &spec)
+{
+    if (spec.name.empty())
+        return "cluster spec: cluster.name must not be empty";
+    if (spec.nodes < 1 || spec.nodes > kMaxNodes)
+        return strfmt("cluster spec: cluster.nodes %u out of [1, %u]",
+                      spec.nodes, kMaxNodes);
+    if (auto error = validateMixLabel(spec.mix, "cluster"))
+        return error;
+    if (auto error = validateSchemeName(spec.scheme, "cluster"))
+        return error;
+    if (auto error = validateSpeed(spec.speed, "cluster"))
+        return error;
+    if (!std::isfinite(spec.serviceEstimateSec) ||
+        spec.serviceEstimateSec < 0.0)
+        return strfmt("cluster spec: cluster.service_estimate_s %.9g "
+                      "must be >= 0",
+                      spec.serviceEstimateSec);
+    for (unsigned n : spec.sweepNodes)
+        if (n < 1 || n > kMaxNodes)
+            return strfmt("cluster spec: cluster.sweep_nodes entry %u "
+                          "out of [1, %u]",
+                          n, kMaxNodes);
+    for (const auto &[index, node] : spec.overrides) {
+        const std::string where = strfmt("node%u", index);
+        if (index >= spec.nodes)
+            return strfmt("cluster spec: [%s] index out of range "
+                          "(nodes = %u)",
+                          where.c_str(), spec.nodes);
+        if (!node.mix.empty())
+            if (auto error = validateMixLabel(node.mix, where))
+                return error;
+        if (!node.scheme.empty())
+            if (auto error = validateSchemeName(node.scheme, where))
+                return error;
+        if (node.speed != 0.0)
+            if (auto error = validateSpeed(node.speed, where))
+                return error;
+    }
+    if (!spec.serve.sweepRates.empty())
+        return "cluster spec: serve.rates is unused in cluster mode; "
+               "grid sweeps use cluster.sweep_policies / "
+               "cluster.sweep_nodes";
+    if (auto error = serve::validateServeSpec(spec.serve))
+        return error;
+    return std::nullopt;
+}
+
+ClusterSpec
+parseClusterSpec(const Config &config)
+{
+    static const char *serveSections[] = {"arrivals.", "queue.", "slo.",
+                                          "serve."};
+
+    Config serveConfig;
+    ClusterSpec spec;
+    for (const std::string &key : config.keys()) {
+        size_t dot = key.find('.');
+        const std::string section =
+            dot == std::string::npos ? key : key.substr(0, dot);
+        bool serveKey = false;
+        for (const char *s : serveSections)
+            serveKey = serveKey || key.rfind(s, 0) == 0;
+        if (serveKey) {
+            serveConfig.set(key, config.getString(key, ""));
+            continue;
+        }
+        if (section == "cluster") {
+            static const char *known[] = {
+                "cluster.name",          "cluster.nodes",
+                "cluster.policy",        "cluster.mix",
+                "cluster.scheme",        "cluster.speed",
+                "cluster.service_estimate_s",
+                "cluster.sweep_policies", "cluster.sweep_nodes"};
+            bool ok = false;
+            for (const char *k : known)
+                ok = ok || key == k;
+            if (!ok)
+                fatal(strfmt("cluster spec: unknown key '%s'",
+                             key.c_str()));
+            continue;
+        }
+        if (auto index = nodeSectionIndex(section)) {
+            const std::string sub = key.substr(dot + 1);
+            if (sub != "mix" && sub != "scheme" && sub != "speed" &&
+                sub != "faults")
+                fatal(strfmt("cluster spec: unknown key '%s' (node "
+                             "sections take mix, scheme, speed, "
+                             "faults)",
+                             key.c_str()));
+            continue;
+        }
+        fatal(strfmt("cluster spec: unknown key '%s' (sections: "
+                     "cluster, node<i>, arrivals, queue, slo, serve)",
+                     key.c_str()));
+    }
+
+    spec.name = config.getString("cluster.name", "cluster");
+    spec.nodes = unsigned(config.getUint("cluster.nodes", 2));
+    std::string policy = config.getString("cluster.policy", "rr");
+    auto parsedPolicy = dispatchPolicyFromName(policy);
+    if (!parsedPolicy)
+        fatal(strfmt("cluster spec: cluster.policy '%s' unknown "
+                     "(known: rr, jsq, wslack, po2)",
+                     policy.c_str()));
+    spec.policy = *parsedPolicy;
+    spec.mix = config.getString("cluster.mix", "ferret/rs");
+    spec.scheme = config.getString("cluster.scheme", "Dirigent");
+    spec.speed = config.getDouble("cluster.speed", 1.0);
+    spec.serviceEstimateSec =
+        config.getDouble("cluster.service_estimate_s", 0.0);
+    spec.sweepPolicies = parsePolicyList(
+        config.getString("cluster.sweep_policies", ""));
+    spec.sweepNodes =
+        parseNodeList(config.getString("cluster.sweep_nodes", ""));
+
+    for (const std::string &key : config.keys()) {
+        size_t dot = key.find('.');
+        if (dot == std::string::npos)
+            continue;
+        auto index = nodeSectionIndex(key.substr(0, dot));
+        if (!index)
+            continue;
+        ClusterNodeSpec &node = spec.overrides[*index];
+        const std::string sub = key.substr(dot + 1);
+        if (sub == "mix")
+            node.mix = config.getString(key, "");
+        else if (sub == "scheme")
+            node.scheme = config.getString(key, "");
+        else if (sub == "speed")
+            node.speed = config.getDouble(key, 0.0);
+        else if (sub == "faults")
+            node.faults = config.getString(key, "");
+    }
+
+    spec.serve = serveConfig.keys().empty()
+                     ? serve::ServeSpec{}
+                     : serve::parseServeSpec(serveConfig);
+
+    if (auto error = validateClusterSpec(spec))
+        fatal(*error);
+    return spec;
+}
+
+ClusterSpec
+parseClusterSpec(const std::string &text)
+{
+    return parseClusterSpec(Config::parse(text));
+}
+
+ClusterSpec
+loadClusterSpec(const std::string &path)
+{
+    return parseClusterSpec(Config::load(path));
+}
+
+std::string
+formatClusterSpec(const ClusterSpec &spec)
+{
+    std::string out;
+    out += "[cluster]\n";
+    out += strfmt("name = %s\n", spec.name.c_str());
+    out += strfmt("nodes = %u\n", spec.nodes);
+    out += strfmt("policy = %s\n", dispatchPolicyName(spec.policy));
+    out += strfmt("mix = %s\n", spec.mix.c_str());
+    out += strfmt("scheme = %s\n", spec.scheme.c_str());
+    out += strfmt("speed = %.9g\n", spec.speed);
+    if (spec.serviceEstimateSec != 0.0)
+        out += strfmt("service_estimate_s = %.9g\n",
+                      spec.serviceEstimateSec);
+    if (!spec.sweepPolicies.empty())
+        out += strfmt("sweep_policies = %s\n",
+                      formatPolicyList(spec.sweepPolicies).c_str());
+    if (!spec.sweepNodes.empty())
+        out += strfmt("sweep_nodes = %s\n",
+                      formatNodeList(spec.sweepNodes).c_str());
+    for (const auto &[index, node] : spec.overrides) {
+        out += strfmt("\n[node%u]\n", index);
+        if (!node.mix.empty())
+            out += strfmt("mix = %s\n", node.mix.c_str());
+        if (!node.scheme.empty())
+            out += strfmt("scheme = %s\n", node.scheme.c_str());
+        if (node.speed != 0.0)
+            out += strfmt("speed = %.9g\n", node.speed);
+        if (!node.faults.empty())
+            out += strfmt("faults = %s\n", node.faults.c_str());
+    }
+    out += "\n";
+    out += serve::formatServeSpec(spec.serve);
+    return out;
+}
+
+uint64_t
+clusterSpecHash(const ClusterSpec &spec)
+{
+    return fnv1a64(formatClusterSpec(spec));
+}
+
+std::optional<std::string>
+envClusterFilePath()
+{
+    const char *env = std::getenv("DIRIGENT_CLUSTER_FILE");
+    if (env == nullptr || env[0] == '\0')
+        return std::nullopt;
+    return std::string(env);
+}
+
+const std::vector<ClusterSpec> &
+builtinClusterSpecs()
+{
+    static const std::vector<ClusterSpec> builtins = [] {
+        std::vector<ClusterSpec> specs;
+
+        // A minimal homogeneous pair under round-robin: the smallest
+        // fleet where dispatch matters at all.
+        ClusterSpec pair;
+        pair.name = "pair-rr";
+        pair.nodes = 2;
+        pair.policy = DispatchPolicy::RoundRobin;
+        pair.mix = "ferret/rs";
+        pair.scheme = "Dirigent";
+        pair.serve.arrivals.kind = serve::ArrivalKind::Poisson;
+        pair.serve.arrivals.rate = 1.0; // fleet-wide; ~0.5/node
+        pair.serve.queueCapacity = 64;
+        pair.serve.slos = {{0.99, 15.0}};
+        specs.push_back(pair);
+
+        // Four homogeneous nodes under join-shortest-queue with bursty
+        // traffic and gradient admission — the shape where JSQ visibly
+        // beats round-robin.
+        ClusterSpec quad;
+        quad.name = "quad-jsq";
+        quad.nodes = 4;
+        quad.policy = DispatchPolicy::JoinShortestQueue;
+        quad.mix = "ferret/rs";
+        quad.scheme = "DirigentGradient";
+        quad.serve.arrivals.kind = serve::ArrivalKind::Mmpp;
+        quad.serve.arrivals.rate = 2.0;
+        quad.serve.arrivals.burstRate = 6.0;
+        quad.serve.arrivals.dwellSec = 10.0;
+        quad.serve.arrivals.burstDwellSec = 2.0;
+        quad.serve.queueCapacity = 64;
+        quad.serve.slos = {{0.95, 10.0}, {0.99, 15.0}};
+        specs.push_back(quad);
+
+        // A heterogeneous quad under slack-aware weighting: one slow
+        // node and one unmanaged (Baseline) node, so calibrated slack
+        // actually differs across the fleet.
+        ClusterSpec hetero;
+        hetero.name = "quad-hetero";
+        hetero.nodes = 4;
+        hetero.policy = DispatchPolicy::SlackWeighted;
+        hetero.mix = "ferret/rs";
+        hetero.scheme = "Dirigent";
+        hetero.overrides[2].speed = 0.85;
+        hetero.overrides[3].scheme = "Baseline";
+        hetero.serve.arrivals.kind = serve::ArrivalKind::Poisson;
+        hetero.serve.arrivals.rate = 2.0;
+        hetero.serve.queueCapacity = 64;
+        hetero.serve.slos = {{0.99, 15.0}};
+        specs.push_back(hetero);
+
+        // The A/B sweep fleet: 8 nodes, po2 by default, with an
+        // rr-vs-jsq policy grid for runClusterSweep.
+        ClusterSpec octet;
+        octet.name = "octet-ab";
+        octet.nodes = 8;
+        octet.policy = DispatchPolicy::PowerOfTwoChoices;
+        octet.mix = "ferret/rs";
+        octet.scheme = "Dirigent";
+        octet.sweepPolicies = {DispatchPolicy::RoundRobin,
+                               DispatchPolicy::JoinShortestQueue};
+        octet.serve.arrivals.kind = serve::ArrivalKind::Poisson;
+        octet.serve.arrivals.rate = 4.0;
+        octet.serve.queueCapacity = 64;
+        octet.serve.slos = {{0.99, 15.0}};
+        specs.push_back(octet);
+
+        for (const ClusterSpec &spec : specs)
+            if (auto error = validateClusterSpec(spec))
+                fatal("builtin cluster spec '" + spec.name +
+                      "' invalid: " + *error);
+        return specs;
+    }();
+    return builtins;
+}
+
+std::optional<ClusterSpec>
+findClusterSpec(const std::string &name)
+{
+    for (const ClusterSpec &spec : builtinClusterSpecs())
+        if (spec.name == name)
+            return spec;
+    return std::nullopt;
+}
+
+} // namespace dirigent::cluster

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Declarative cluster description: a ClusterSpec bundles the fleet
+ * shape (node count, per-node mix/scheme/speed overrides), the global
+ * dispatch policy, and the cluster-level serving workload of one
+ * simulated fleet as data — the cluster analogue of core::SchemeSpec
+ * and serve::ServeSpec, in the same INI Config format, round-trippable
+ * through formatClusterSpec() and fingerprinted with FNV-1a so a run
+ * manifest can reproduce its exact fleet.
+ *
+ *   [cluster]
+ *   name = quad-jsq        # display name
+ *   nodes = 4              # node count (1..512)
+ *   policy = jsq           # rr | jsq | wslack | po2
+ *   mix = ferret/rs        # default node mix: fg[,fg...]/bg[+bg2]
+ *   scheme = Dirigent      # default node scheme (registry name)
+ *   speed = 1              # default node speed factor (scales DVFS)
+ *   service_estimate_s = 0 # dispatcher service model; 0 = calibrated
+ *   sweep_policies = rr,jsq# optional policy grid for runClusterSweep
+ *   sweep_nodes = 2,4,8    # optional node-count grid
+ *
+ *   [node2]                # per-node overrides (index < nodes)
+ *   mix = ferret/bwaves
+ *   scheme = Baseline
+ *   speed = 0.85
+ *   faults = plans/node2.faults
+ *
+ *   [arrivals] / [queue] / [slo] / [serve]
+ *   ...                    # the cluster-level serve spec (serve/spec.h);
+ *                          # arrivals.rate is the fleet-wide rate the
+ *                          # dispatcher splits across nodes
+ */
+
+#ifndef DIRIGENT_CLUSTER_SPEC_H
+#define DIRIGENT_CLUSTER_SPEC_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "serve/spec.h"
+#include "workload/mix.h"
+
+namespace dirigent::cluster {
+
+/** Global dispatch policies (seeded, deterministic). */
+enum class DispatchPolicy
+{
+    RoundRobin,        //!< cycle node 0..N-1
+    JoinShortestQueue, //!< modeled shortest outstanding queue
+    SlackWeighted,     //!< seeded sampling ∝ calibrated node slack
+    PowerOfTwoChoices, //!< two seeded probes, shorter modeled queue
+};
+
+/** Printable policy name ("rr", "jsq", "wslack", "po2"). */
+const char *dispatchPolicyName(DispatchPolicy policy);
+
+/** Policy from its name; nullopt when unknown. */
+std::optional<DispatchPolicy>
+dispatchPolicyFromName(const std::string &name);
+
+/** All policies, in enum order. */
+const std::vector<DispatchPolicy> &allDispatchPolicies();
+
+/** Per-node overrides; zero/empty fields defer to the cluster line. */
+struct ClusterNodeSpec
+{
+    std::string mix;    //!< "fg[,fg...]/bg[+bg2]"; "" = cluster default
+    std::string scheme; //!< SchemeSpec registry name; "" = default
+    double speed = 0.0; //!< node speed factor; 0 = cluster default
+    std::string faults; //!< fault-plan file path; "" = none
+
+    bool operator==(const ClusterNodeSpec &) const = default;
+};
+
+/** One simulated fleet as data. */
+struct ClusterSpec
+{
+    std::string name = "cluster";
+
+    /** Node count (1..512). */
+    unsigned nodes = 2;
+
+    DispatchPolicy policy = DispatchPolicy::RoundRobin;
+
+    /** Default node mix label: "fg[,fg...]/bg[+bg2]". */
+    std::string mix = "ferret/rs";
+
+    /** Default node scheme (SchemeSpec registry name). */
+    std::string scheme = "Dirigent";
+
+    /** Default node speed factor: scales the machine's DVFS range. */
+    double speed = 1.0;
+
+    /**
+     * Expected per-request service time fed to the dispatcher's queue
+     * model (seconds); 0 = use each node's calibrated Baseline mean.
+     */
+    double serviceEstimateSec = 0.0;
+
+    /** Optional runClusterSweep policy grid (empty = just `policy`). */
+    std::vector<DispatchPolicy> sweepPolicies;
+
+    /** Optional runClusterSweep node-count grid (empty = `nodes`). */
+    std::vector<unsigned> sweepNodes;
+
+    /** Per-node overrides keyed by node index (< nodes). */
+    std::map<unsigned, ClusterNodeSpec> overrides;
+
+    /**
+     * The cluster-level serving workload; arrivals.rate is the
+     * fleet-wide rate the dispatcher splits across nodes.
+     */
+    serve::ServeSpec serve;
+
+    bool operator==(const ClusterSpec &) const = default;
+};
+
+/** Structural validation; nullopt when well-formed. */
+std::optional<std::string> validateClusterSpec(const ClusterSpec &spec);
+
+/**
+ * Parse a spec from a Config / INI text / file. fatal() on unknown
+ * keys, unknown policies/schemes/benchmarks, or out-of-range values
+ * (specs are user input).
+ */
+ClusterSpec parseClusterSpec(const Config &config);
+ClusterSpec parseClusterSpec(const std::string &text);
+ClusterSpec loadClusterSpec(const std::string &path);
+
+/** Serialize to DSL text; parseClusterSpec() round-trips it. */
+std::string formatClusterSpec(const ClusterSpec &spec);
+
+/** FNV-1a fingerprint of the spec's canonical (formatted) text. */
+uint64_t clusterSpecHash(const ClusterSpec &spec);
+
+/**
+ * Path from the DIRIGENT_CLUSTER_FILE environment variable, or nullopt
+ * when unset/empty. The CLI flag `--cluster-file` overrides it.
+ */
+std::optional<std::string> envClusterFilePath();
+
+/** Builtin fleet shapes, registry-style like builtinSchemeSpecs(). */
+const std::vector<ClusterSpec> &builtinClusterSpecs();
+
+/** Builtin spec by name (case-sensitive); nullopt when unknown. */
+std::optional<ClusterSpec> findClusterSpec(const std::string &name);
+
+/**
+ * Parse a mix label ("fg[,fg...]/bg" or "fg/bg1+bg2") into a workload
+ * mix; nullopt on malformed labels or unknown benchmark names.
+ */
+std::optional<workload::WorkloadMix>
+tryParseMixLabel(const std::string &label);
+
+/** Canonical mix label for @p mix ("fg[,fg...]/bg[+bg2]"). */
+std::string formatMixLabel(const workload::WorkloadMix &mix);
+
+} // namespace dirigent::cluster
+
+#endif // DIRIGENT_CLUSTER_SPEC_H

@@ -357,6 +357,252 @@ SweepExecutor::runServingSweep(
 }
 
 void
+SweepExecutor::writeClusterManifest(const cluster::ClusterSpec &spec,
+                                    const ClusterCellResult &cell)
+{
+    if (jsonlPath_.empty())
+        return;
+    const cluster::FleetSummary &fleet = cell.fleet;
+
+    obs::RunManifest manifest;
+    manifest.tool = "cluster";
+    manifest.version = obs::buildVersion();
+    manifest.mixName = spec.mix;
+    manifest.scheme = spec.scheme;
+    manifest.seed = config_.seed;
+    manifest.samplingPeriod = config_.runtime.samplingPeriod;
+    manifest.decisionPeriodTicks = config_.runtime.decisionPeriodTicks;
+    manifest.extra["cluster_spec"] = cluster::formatClusterSpec(spec);
+    manifest.extra["cluster_spec_hash"] = strfmt(
+        "%llu", (unsigned long long)cluster::clusterSpecHash(spec));
+    manifest.extra["serve_spec"] = serve::formatServeSpec(spec.serve);
+
+    obs::ClusterSummary &cl = manifest.cluster;
+    cl.present = true;
+    cl.policy = cluster::dispatchPolicyName(fleet.policy);
+    cl.nodes = fleet.nodes;
+    cl.generated = fleet.generated;
+    cl.arrivals = fleet.arrivals;
+    cl.completed = fleet.completed;
+    cl.dropped = fleet.dropped;
+    cl.shed = fleet.shed;
+    cl.meanSec = fleet.meanSec;
+    cl.p50Sec = fleet.p50Sec;
+    cl.p95Sec = fleet.p95Sec;
+    cl.p99Sec = fleet.p99Sec;
+    cl.p999Sec = fleet.p999Sec;
+    for (const serve::SloVerdict &v : fleet.verdicts) {
+        obs::ManifestSloVerdict mv;
+        mv.label = v.target.label();
+        mv.targetSec = v.target.targetSec;
+        mv.achievedSec = v.achievedSec;
+        mv.met = v.met;
+        cl.slos.push_back(std::move(mv));
+    }
+    cl.sloMet = fleet.sloMet();
+    cl.degraded = fleet.degraded;
+    cl.utilizationMean = fleet.utilizationMean;
+    cl.utilizationMin = fleet.utilizationMin;
+    cl.utilizationMax = fleet.utilizationMax;
+    cl.imbalance = fleet.imbalance;
+    for (const cluster::NodeResult &node : cell.nodes) {
+        obs::ClusterNodeSummary n;
+        n.node = node.index;
+        n.mix = node.mixLabel;
+        n.scheme = node.schemeName;
+        n.speed = node.speed;
+        n.arrivals = node.serving.arrivals;
+        n.completed = node.serving.completed;
+        n.dropped = node.serving.dropped;
+        n.shed = node.serving.shed;
+        n.utilization = node.health.utilization;
+        n.p99Sec = node.serving.p99Sec;
+        n.degraded = node.health.degraded;
+        cl.perNode.push_back(std::move(n));
+    }
+
+    const std::string path =
+        jsonlPath_ + "." + cl.policy + strfmt("%u", cl.nodes) +
+        ".manifest.json";
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        warn("cannot write cluster manifest '" + path + "'");
+        return;
+    }
+    os << manifest.toJson() << "\n";
+}
+
+std::vector<ClusterCellResult>
+SweepExecutor::runClusterSweep(const cluster::ClusterSpec &spec)
+{
+    if (auto error = cluster::validateClusterSpec(spec))
+        fatal(*error);
+
+    std::vector<cluster::DispatchPolicy> policies =
+        spec.sweepPolicies.empty()
+            ? std::vector<cluster::DispatchPolicy>{spec.policy}
+            : spec.sweepPolicies;
+    std::vector<unsigned> nodeGrid =
+        spec.sweepNodes.empty() ? std::vector<unsigned>{spec.nodes}
+                                : spec.sweepNodes;
+
+    // One node set serves the whole grid: node i's configuration does
+    // not depend on the cell (an override for node i applies exactly
+    // when node i exists), so resolving and calibrating the largest
+    // fleet once covers every smaller prefix.
+    unsigned maxNodes = 0;
+    for (unsigned n : nodeGrid)
+        maxNodes = std::max(maxNodes, n);
+    cluster::ClusterSpec fleetSpec = spec;
+    fleetSpec.nodes = maxNodes;
+    fleetSpec.sweepPolicies.clear();
+    fleetSpec.sweepNodes.clear();
+    for (auto it = fleetSpec.overrides.begin();
+         it != fleetSpec.overrides.end();) {
+        if (it->first >= maxNodes)
+            it = fleetSpec.overrides.erase(it);
+        else
+            ++it;
+    }
+    const std::vector<cluster::NodeConfig> nodeConfigs =
+        cluster::resolveNodes(fleetSpec);
+    std::vector<cluster::Node> nodes;
+    nodes.reserve(nodeConfigs.size());
+    for (const cluster::NodeConfig &nc : nodeConfigs)
+        nodes.emplace_back(nc, config_);
+
+    size_t serveJobs = 0;
+    for (unsigned n : nodeGrid)
+        serveJobs += size_t(n) * policies.size();
+    ProgressReporter prog(nodes.size() + serveJobs, progress_);
+
+    auto runJobs = [&](std::vector<std::function<void()>> jobs) {
+        if (threads_ == 1) {
+            for (auto &job : jobs)
+                job();
+        } else {
+            ThreadPool pool(threads_);
+            for (auto &job : jobs)
+                pool.submit(std::move(job));
+            pool.wait();
+        }
+    };
+
+    // Phase A: calibrate every node (fault-free Baseline batch runs).
+    std::vector<cluster::NodeCalibration> calibrations(nodes.size());
+    {
+        std::vector<std::function<void()>> jobs;
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            jobs.push_back([&, i] {
+                std::string label = strfmt("node%zu/calibrate", i);
+                LogTagScope tag(label);
+                prog.jobStarted(label);
+                auto t0 = Clock::now();
+                calibrations[i] = nodes[i].calibrate(&sharedProfiles_);
+                double wall = secondsSince(t0);
+                noteJob(wall, true);
+                prog.jobFinished(label, wall);
+            });
+        }
+        runJobs(std::move(jobs));
+    }
+
+    // The cluster arrival stream is seeded independently of the cell,
+    // so every policy column routes the *same* request sequence.
+    const uint64_t streamSeed = config_.seed ^ 0x57AE57;
+    const uint64_t dispatchSeed = config_.seed ^ 0xD15F;
+    serve::ServeSpec cellServe = spec.serve;
+    cellServe.sweepRates.clear();
+    const Time horizon = Time::sec(cellServe.horizonSec);
+
+    std::vector<ClusterCellResult> cells;
+    cells.reserve(nodeGrid.size() * policies.size());
+    for (unsigned nodeCount : nodeGrid) {
+        for (cluster::DispatchPolicy policy : policies) {
+            // Phase B: route the stream serially against the modeled
+            // fleet (no live simulation state touched).
+            std::vector<cluster::NodeModel> models;
+            for (unsigned i = 0; i < nodeCount; ++i)
+                models.push_back(nodes[i].model(
+                    calibrations[i], spec.serviceEstimateSec));
+            auto dispatcher = cluster::makeDispatcher(
+                policy, std::move(models), dispatchSeed);
+            auto stream = serve::makeArrivalProcess(cellServe.arrivals,
+                                                    streamSeed);
+            cluster::DispatchPlan plan = cluster::splitArrivals(
+                *stream, horizon, *dispatcher);
+
+            // Phase C: each node replays its routed trace, one job
+            // per node.
+            ClusterCellResult cell;
+            cell.nodes.resize(nodeCount);
+            const char *policyName =
+                cluster::dispatchPolicyName(policy);
+            std::vector<std::function<void()>> jobs;
+            for (unsigned i = 0; i < nodeCount; ++i) {
+                jobs.push_back([&, i] {
+                    std::string label = strfmt(
+                        "%s%u/node%u", policyName, nodeCount, i);
+                    LogTagScope tag(label);
+                    prog.jobStarted(label);
+                    auto t0 = Clock::now();
+                    cluster::NodeResult result;
+                    result.index = i;
+                    result.mixLabel = cluster::formatMixLabel(
+                        nodes[i].config().mix);
+                    result.schemeName = nodes[i].config().scheme.name;
+                    result.speed = nodes[i].config().speed;
+                    result.calibration = calibrations[i];
+                    result.serving = nodes[i].serve(
+                        cellServe, plan.slotArrivals[i],
+                        calibrations[i], &sharedProfiles_);
+                    result.health = cluster::Node::healthFrom(
+                        nodes[i].config(), calibrations[i],
+                        result.serving, cellServe.horizonSec);
+                    cell.nodes[i] = std::move(result);
+                    double wall = secondsSince(t0);
+                    noteJob(wall, true);
+                    prog.jobFinished(label, wall);
+                });
+            }
+            runJobs(std::move(jobs));
+
+            // Fold in node-index order regardless of which worker
+            // finished first.
+            cluster::ResourceAccountant accountant(policy, nodeCount,
+                                                   cellServe.slos);
+            for (const cluster::NodeResult &node : cell.nodes)
+                accountant.add(node);
+            cell.fleet = accountant.finish(plan.generated);
+
+            if (jsonl_) {
+                jsonl_->writeClusterFleet(cell.fleet, spec.name,
+                                          config_.seed);
+                for (const cluster::NodeResult &node : cell.nodes)
+                    jsonl_->writeClusterNode(
+                        node, spec.name, policy, nodeCount,
+                        nodes[node.index].harnessConfig().seed);
+            }
+            writeClusterManifest(spec, cell);
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+ClusterCellResult
+SweepExecutor::runCluster(const cluster::ClusterSpec &spec)
+{
+    cluster::ClusterSpec single = spec;
+    single.sweepPolicies.clear();
+    single.sweepNodes.clear();
+    auto cells = runClusterSweep(single);
+    DIRIGENT_ASSERT(cells.size() == 1,
+                    "single cluster run produced multiple cells");
+    return std::move(cells.front());
+}
+
+void
 SweepExecutor::forEach(const std::vector<JobKey> &keys, const JobFn &fn)
 {
     ProgressReporter prog(keys.size(), progress_);

@@ -21,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/accountant.h"
+#include "cluster/node.h"
+#include "cluster/spec.h"
 #include "exec/job.h"
 #include "exec/jsonl.h"
 #include "exec/profile_cache.h"
@@ -56,6 +59,13 @@ unsigned resolveThreads(unsigned requested);
  * admission control layered on top.
  */
 std::vector<core::SchemeSpec> defaultServingSchemes();
+
+/** One cluster cell (policy × node count): fleet + per-node detail. */
+struct ClusterCellResult
+{
+    cluster::FleetSummary fleet;
+    std::vector<cluster::NodeResult> nodes;
+};
 
 /**
  * Runs sweeps of independent experiment jobs across worker threads.
@@ -108,6 +118,34 @@ class SweepExecutor
                     const serve::ServeSpec &serveSpec,
                     const std::vector<core::SchemeSpec> &schemes);
 
+    /**
+     * Run one cluster cell: @p spec's own policy × node count (the
+     * sweep lists are ignored). Phase A resolves and calibrates every
+     * node (one parallel job per node, fault-free Baseline batch
+     * runs); phase B generates the cluster arrival stream and routes
+     * it serially through the dispatch policy against modeled node
+     * queues; phase C replays each node's routed trace as one parallel
+     * serving job. Every phase is a pure function of (spec, seed) —
+     * results, JSONL rows, and the per-cell manifest are
+     * byte-identical at any thread count.
+     */
+    ClusterCellResult runCluster(const cluster::ClusterSpec &spec);
+
+    /**
+     * The policy × node-count grid: sweep_policies (default: the
+     * spec's policy) crossed with sweep_nodes (default: the spec's
+     * node count). Node calibrations are shared across policies —
+     * node i's configuration does not depend on the cell — so every
+     * policy column routes the *same* arrival stream across the
+     * *same* calibrated fleet, which is what makes JSQ-vs-RR columns
+     * directly comparable. Cells run serially (each internally
+     * parallel over nodes) in (node-count-major, policy-minor) order;
+     * per-cell manifests land at
+     * <jsonlPath>.<policy><nodes>.manifest.json.
+     */
+    std::vector<ClusterCellResult>
+    runClusterSweep(const cluster::ClusterSpec &spec);
+
     /** One generic sweep job: its index and key plus a worker body. */
     using JobFn =
         std::function<void(size_t index, const JobKey &key,
@@ -130,6 +168,15 @@ class SweepExecutor
 
     /** Write <jsonlPath>.manifest.json (no-op without a JSONL path). */
     void writeSweepManifest(const std::string &kind, size_t jobs);
+
+    /**
+     * Write the cell's bare RunManifest (cluster section filled) to
+     * <jsonlPath>.<policy><nodes>.manifest.json. Unlike the sweep
+     * manifest it embeds no thread count and no wall-time metrics, so
+     * the file is byte-identical at any thread count.
+     */
+    void writeClusterManifest(const cluster::ClusterSpec &spec,
+                              const ClusterCellResult &cell);
 
     harness::HarnessConfig config_;
     unsigned threads_;

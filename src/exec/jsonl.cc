@@ -134,6 +134,81 @@ JsonlWriter::writeServing(const harness::ServingRunResult &result,
     os_ << line << std::flush;
 }
 
+void
+JsonlWriter::writeClusterFleet(const cluster::FleetSummary &fleet,
+                               const std::string &clusterName,
+                               uint64_t seed)
+{
+    // No wall_s, no thread count: cluster rows are byte-identical at
+    // any executor thread count.
+    std::string line = strfmt(
+        "{\"record\":\"fleet\",\"cluster\":\"%s\",\"policy\":\"%s\","
+        "\"nodes\":%u,\"seed\":%llu,\"generated\":%llu,"
+        "\"arrivals\":%llu,\"completed\":%llu,\"dropped\":%llu,"
+        "\"shed\":%llu,\"reject_rate\":%s,\"mean_s\":%s,"
+        "\"p50_s\":%s,\"p95_s\":%s,\"p99_s\":%s,\"p999_s\":%s,"
+        "\"slo_met\":%s,\"degraded\":%s,\"util_mean\":%s,"
+        "\"util_min\":%s,\"util_max\":%s,\"imbalance\":%s,"
+        "\"max_queue\":%zu}\n",
+        jsonEscape(clusterName).c_str(),
+        cluster::dispatchPolicyName(fleet.policy), fleet.nodes,
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(fleet.generated),
+        static_cast<unsigned long long>(fleet.arrivals),
+        static_cast<unsigned long long>(fleet.completed),
+        static_cast<unsigned long long>(fleet.dropped),
+        static_cast<unsigned long long>(fleet.shed),
+        jsonNumber(fleet.rejectRate()).c_str(),
+        jsonNumber(fleet.meanSec).c_str(),
+        jsonNumber(fleet.p50Sec).c_str(),
+        jsonNumber(fleet.p95Sec).c_str(),
+        jsonNumber(fleet.p99Sec).c_str(),
+        jsonNumber(fleet.p999Sec).c_str(),
+        fleet.sloMet() ? "true" : "false",
+        fleet.degraded ? "true" : "false",
+        jsonNumber(fleet.utilizationMean).c_str(),
+        jsonNumber(fleet.utilizationMin).c_str(),
+        jsonNumber(fleet.utilizationMax).c_str(),
+        jsonNumber(fleet.imbalance).c_str(), fleet.maxQueueDepth);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << line << std::flush;
+}
+
+void
+JsonlWriter::writeClusterNode(const cluster::NodeResult &node,
+                              const std::string &clusterName,
+                              cluster::DispatchPolicy policy,
+                              unsigned nodes, uint64_t seed)
+{
+    const harness::ServingRunResult &run = node.serving;
+    std::string line = strfmt(
+        "{\"record\":\"node\",\"cluster\":\"%s\",\"policy\":\"%s\","
+        "\"nodes\":%u,\"node\":%u,\"mix\":\"%s\",\"scheme\":\"%s\","
+        "\"speed\":%s,\"seed\":%llu,\"arrivals\":%llu,"
+        "\"completed\":%llu,\"dropped\":%llu,\"shed\":%llu,"
+        "\"mean_s\":%s,\"p99_s\":%s,\"utilization\":%s,"
+        "\"max_queue\":%zu,\"degraded\":%s}\n",
+        jsonEscape(clusterName).c_str(),
+        cluster::dispatchPolicyName(policy), nodes, node.index,
+        jsonEscape(node.mixLabel).c_str(),
+        jsonEscape(node.schemeName).c_str(),
+        jsonNumber(node.speed, -1).c_str(),
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(run.arrivals),
+        static_cast<unsigned long long>(run.completed),
+        static_cast<unsigned long long>(run.dropped),
+        static_cast<unsigned long long>(run.shed),
+        jsonNumber(run.meanSec).c_str(),
+        jsonNumber(run.p99Sec).c_str(),
+        jsonNumber(node.health.utilization).c_str(),
+        run.maxQueueDepth,
+        node.health.degraded ? "true" : "false");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << line << std::flush;
+}
+
 std::string
 envJsonlPath(const std::string &fallback)
 {

@@ -14,6 +14,7 @@
 #include <ostream>
 #include <string>
 
+#include "cluster/accountant.h"
 #include "harness/metrics.h"
 #include "harness/serving.h"
 
@@ -58,6 +59,22 @@ class JsonlWriter
     void writeServing(const harness::ServingRunResult &result,
                       const std::string &stage, uint64_t seed,
                       double wallSeconds);
+
+    /**
+     * Append one cluster-cell fleet record. Cluster records carry no
+     * wall time and no thread count: every field is a pure function of
+     * (cluster spec, seed), which is what makes cluster JSONL exports
+     * byte-identical at any executor thread count.
+     */
+    void writeClusterFleet(const cluster::FleetSummary &fleet,
+                           const std::string &clusterName,
+                           uint64_t seed);
+
+    /** Append one per-node record of a cluster cell. */
+    void writeClusterNode(const cluster::NodeResult &node,
+                          const std::string &clusterName,
+                          cluster::DispatchPolicy policy,
+                          unsigned nodes, uint64_t seed);
 
   private:
     std::mutex mutex_;

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "dirigent/profiler.h"
 #include "dirigent/runtime.h"
@@ -165,6 +166,15 @@ struct RunOptions
      * afterwards. Not owned; nullptr defers to the plan.
      */
     fault::FaultInjector *faults = nullptr;
+
+    /**
+     * Serving only: replay these pre-routed arrival times (one vector
+     * per FG slot, each nondecreasing) instead of building arrival
+     * processes from the serve spec — the cluster dispatcher's plan.
+     * Size must equal the mix's FG count. Not owned; must outlive the
+     * run. nullptr (the default) keeps the per-slot seeded streams.
+     */
+    const std::vector<std::vector<Time>> *arrivalOverride = nullptr;
 
     /**
      * Telemetry recorder this run samples into (obs::RunProbe attached

@@ -259,6 +259,12 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
     // arrivals are identical across schemes).
     core::DecisionTrace *driverTrace =
         opts.golden != nullptr ? &opts.golden->decisions() : sinkTrace;
+    if (opts.arrivalOverride != nullptr &&
+        opts.arrivalOverride->size() != nFg)
+        fatal(strfmt("arrival override has %zu slot traces, mix '%s' "
+                     "has %u FG slots",
+                     opts.arrivalOverride->size(), mix.name.c_str(),
+                     nFg));
     std::vector<std::unique_ptr<serve::ServeDriver>> drivers;
     for (unsigned i = 0; i < nFg; ++i) {
         serve::ServeDriverConfig dcfg;
@@ -268,11 +274,14 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
         dcfg.discipline = serveSpec.discipline;
         dcfg.horizon = Time::sec(serveSpec.horizonSec);
         dcfg.warmup = Time::sec(serveSpec.warmupSec);
+        std::unique_ptr<serve::ArrivalProcess> arrivals =
+            opts.arrivalOverride != nullptr
+                ? std::make_unique<serve::TraceArrivals>(
+                      (*opts.arrivalOverride)[i])
+                : serve::makeArrivalProcess(serveSpec.arrivals,
+                                            mcfg.seed + i);
         auto driver = std::make_unique<serve::ServeDriver>(
-            engine, machine,
-            serve::makeArrivalProcess(serveSpec.arrivals,
-                                      mcfg.seed + i),
-            dcfg, runtime.get(),
+            engine, machine, std::move(arrivals), dcfg, runtime.get(),
             serve::makeAdmissionController(spec));
         if (driverTrace != nullptr)
             driver->setTrace(driverTrace);
@@ -325,6 +334,14 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
         for (double s : driver->measuredStats().samples())
             result.stats.add(s);
         result.perFgRequests.push_back(driver->requests());
+        if (driver->admission() != nullptr)
+            result.finalAdmitLimits.push_back(
+                driver->admission()->limit());
+    }
+    if (runtime) {
+        for (machine::Pid pid : fgPids)
+            if (runtime->degradedMode(pid))
+                result.degraded = true;
     }
     result.meanSec = result.stats.mean();
     result.p50Sec = result.stats.quantile(0.50);

@@ -68,6 +68,12 @@ struct ServingRunResult
     /** Every request per FG slot, in arrival order (all outcomes). */
     std::vector<std::vector<serve::Request>> perFgRequests;
 
+    /** Final admission-controller limit per FG slot that had one. */
+    std::vector<double> finalAdmitLimits;
+
+    /** Any FG fell back to the degraded (reactive) controller. */
+    bool degraded = false;
+
     /** Every SLO target met (vacuously true without targets). */
     bool sloMet() const { return serve::allSlosMet(verdicts); }
 

@@ -67,6 +67,66 @@ RunManifest::toJson() const
         out += std::string("],\"slo_met\":") +
                (requests.sloMet ? "true" : "false") + "}";
     }
+    if (cluster.present) {
+        out += ",\"cluster\":{\"policy\":" + jsonQuote(cluster.policy);
+        out += strfmt(",\"nodes\":%u", cluster.nodes);
+        out += strfmt(",\"generated\":%llu,\"arrivals\":%llu"
+                      ",\"completed\":%llu,\"dropped\":%llu"
+                      ",\"shed\":%llu",
+                      (unsigned long long)cluster.generated,
+                      (unsigned long long)cluster.arrivals,
+                      (unsigned long long)cluster.completed,
+                      (unsigned long long)cluster.dropped,
+                      (unsigned long long)cluster.shed);
+        out += ",\"mean_s\":" + jsonDouble(cluster.meanSec);
+        out += ",\"p50_s\":" + jsonDouble(cluster.p50Sec);
+        out += ",\"p95_s\":" + jsonDouble(cluster.p95Sec);
+        out += ",\"p99_s\":" + jsonDouble(cluster.p99Sec);
+        out += ",\"p999_s\":" + jsonDouble(cluster.p999Sec);
+        out += ",\"slo\":[";
+        for (size_t i = 0; i < cluster.slos.size(); ++i) {
+            const ManifestSloVerdict &v = cluster.slos[i];
+            if (i > 0)
+                out += ",";
+            out += "{\"label\":" + jsonQuote(v.label);
+            out += ",\"target_s\":" + jsonDouble(v.targetSec);
+            out += ",\"achieved_s\":" + jsonDouble(v.achievedSec);
+            out += std::string(",\"met\":") +
+                   (v.met ? "true" : "false") + "}";
+        }
+        out += std::string("],\"slo_met\":") +
+               (cluster.sloMet ? "true" : "false");
+        out += std::string(",\"degraded\":") +
+               (cluster.degraded ? "true" : "false");
+        out += ",\"utilization_mean\":" +
+               jsonDouble(cluster.utilizationMean);
+        out += ",\"utilization_min\":" +
+               jsonDouble(cluster.utilizationMin);
+        out += ",\"utilization_max\":" +
+               jsonDouble(cluster.utilizationMax);
+        out += ",\"imbalance\":" + jsonDouble(cluster.imbalance);
+        out += ",\"per_node\":[";
+        for (size_t i = 0; i < cluster.perNode.size(); ++i) {
+            const ClusterNodeSummary &n = cluster.perNode[i];
+            if (i > 0)
+                out += ",";
+            out += strfmt("{\"node\":%u", n.node);
+            out += ",\"mix\":" + jsonQuote(n.mix);
+            out += ",\"scheme\":" + jsonQuote(n.scheme);
+            out += ",\"speed\":" + jsonDouble(n.speed);
+            out += strfmt(",\"arrivals\":%llu,\"completed\":%llu"
+                          ",\"dropped\":%llu,\"shed\":%llu",
+                          (unsigned long long)n.arrivals,
+                          (unsigned long long)n.completed,
+                          (unsigned long long)n.dropped,
+                          (unsigned long long)n.shed);
+            out += ",\"utilization\":" + jsonDouble(n.utilization);
+            out += ",\"p99_s\":" + jsonDouble(n.p99Sec);
+            out += std::string(",\"degraded\":") +
+                   (n.degraded ? "true" : "false") + "}";
+        }
+        out += "]}";
+    }
     out += ",\"extra\":{";
     bool first = true;
     for (const auto &[k, v] : extra) { // std::map: sorted, deterministic
@@ -130,6 +190,67 @@ RunManifest::fromJson(const JsonValue &value)
         const JsonValue *sloMet = req->find("slo_met");
         m.requests.sloMet =
             sloMet == nullptr || !sloMet->isBool() || sloMet->boolean;
+    }
+    if (const JsonValue *cl = value.find("cluster");
+        cl != nullptr && cl->isObject()) {
+        const double nan = std::nan("");
+        m.cluster.present = true;
+        m.cluster.policy = cl->stringOr("policy", "");
+        m.cluster.nodes = unsigned(cl->numberOr("nodes", 0.0));
+        m.cluster.generated = uint64_t(cl->numberOr("generated", 0.0));
+        m.cluster.arrivals = uint64_t(cl->numberOr("arrivals", 0.0));
+        m.cluster.completed = uint64_t(cl->numberOr("completed", 0.0));
+        m.cluster.dropped = uint64_t(cl->numberOr("dropped", 0.0));
+        m.cluster.shed = uint64_t(cl->numberOr("shed", 0.0));
+        m.cluster.meanSec = cl->numberOr("mean_s", nan);
+        m.cluster.p50Sec = cl->numberOr("p50_s", nan);
+        m.cluster.p95Sec = cl->numberOr("p95_s", nan);
+        m.cluster.p99Sec = cl->numberOr("p99_s", nan);
+        m.cluster.p999Sec = cl->numberOr("p999_s", nan);
+        if (const JsonValue *slo = cl->find("slo");
+            slo != nullptr && slo->isArray()) {
+            for (const JsonValue &entry : slo->array) {
+                ManifestSloVerdict v;
+                v.label = entry.stringOr("label", "");
+                v.targetSec = entry.numberOr("target_s", 0.0);
+                v.achievedSec = entry.numberOr("achieved_s", nan);
+                const JsonValue *met = entry.find("met");
+                v.met = met != nullptr && met->isBool() && met->boolean;
+                m.cluster.slos.push_back(std::move(v));
+            }
+        }
+        const JsonValue *sloMet = cl->find("slo_met");
+        m.cluster.sloMet =
+            sloMet == nullptr || !sloMet->isBool() || sloMet->boolean;
+        const JsonValue *degraded = cl->find("degraded");
+        m.cluster.degraded = degraded != nullptr &&
+                             degraded->isBool() && degraded->boolean;
+        m.cluster.utilizationMean =
+            cl->numberOr("utilization_mean", 0.0);
+        m.cluster.utilizationMin = cl->numberOr("utilization_min", 0.0);
+        m.cluster.utilizationMax = cl->numberOr("utilization_max", 0.0);
+        m.cluster.imbalance = cl->numberOr("imbalance", 0.0);
+        if (const JsonValue *perNode = cl->find("per_node");
+            perNode != nullptr && perNode->isArray()) {
+            for (const JsonValue &entry : perNode->array) {
+                ClusterNodeSummary n;
+                n.node = unsigned(entry.numberOr("node", 0.0));
+                n.mix = entry.stringOr("mix", "");
+                n.scheme = entry.stringOr("scheme", "");
+                n.speed = entry.numberOr("speed", 1.0);
+                n.arrivals = uint64_t(entry.numberOr("arrivals", 0.0));
+                n.completed =
+                    uint64_t(entry.numberOr("completed", 0.0));
+                n.dropped = uint64_t(entry.numberOr("dropped", 0.0));
+                n.shed = uint64_t(entry.numberOr("shed", 0.0));
+                n.utilization = entry.numberOr("utilization", 0.0);
+                n.p99Sec = entry.numberOr("p99_s", nan);
+                const JsonValue *ndeg = entry.find("degraded");
+                n.degraded =
+                    ndeg != nullptr && ndeg->isBool() && ndeg->boolean;
+                m.cluster.perNode.push_back(std::move(n));
+            }
+        }
     }
     if (const JsonValue *extra = value.find("extra");
         extra != nullptr && extra->isObject()) {

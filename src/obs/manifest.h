@@ -53,6 +53,51 @@ struct RequestSummary
     bool sloMet = true; //!< every SLO target met (vacuously true)
 };
 
+/** One node's line in a cluster manifest. */
+struct ClusterNodeSummary
+{
+    unsigned node = 0;
+    std::string mix;    //!< mix label ("fg[,fg]/bg")
+    std::string scheme; //!< scheme-spec name
+    double speed = 1.0;
+    uint64_t arrivals = 0;
+    uint64_t completed = 0;
+    uint64_t dropped = 0;
+    uint64_t shed = 0;
+    double utilization = 0.0;
+    double p99Sec = 0.0; //!< NaN = nothing completed
+    bool degraded = false;
+};
+
+/**
+ * Cluster-run fleet summary. Present only for cluster-mode runs
+ * (present == false omits the section, like RequestSummary).
+ */
+struct ClusterSummary
+{
+    bool present = false;
+    std::string policy; //!< dispatch policy name ("rr", "jsq", ...)
+    unsigned nodes = 0;
+    uint64_t generated = 0; //!< cluster arrival-process total
+    uint64_t arrivals = 0;  //!< Σ node arrivals (== generated)
+    uint64_t completed = 0;
+    uint64_t dropped = 0;
+    uint64_t shed = 0;
+    double meanSec = 0.0;
+    double p50Sec = 0.0;
+    double p95Sec = 0.0;
+    double p99Sec = 0.0;
+    double p999Sec = 0.0;
+    std::vector<ManifestSloVerdict> slos;
+    bool sloMet = true;
+    bool degraded = false;
+    double utilizationMean = 0.0;
+    double utilizationMin = 0.0;
+    double utilizationMax = 0.0;
+    double imbalance = 0.0; //!< max/mean node arrivals
+    std::vector<ClusterNodeSummary> perNode;
+};
+
 /** Identity and configuration of one recorded run. */
 struct RunManifest
 {
@@ -86,6 +131,9 @@ struct RunManifest
 
     /** Serving-run request summary (absent for batch runs). */
     RequestSummary requests;
+
+    /** Cluster-run fleet summary (absent for single-node runs). */
+    ClusterSummary cluster;
 
     /** Free-form extra configuration (sorted on serialization). */
     std::map<std::string, std::string> extra;

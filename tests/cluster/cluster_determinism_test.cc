@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cluster determinism: the executor's core contract extended to
+ * fleets. A cluster sweep (policy × node-count grid) must produce
+ * byte-identical JSONL rows and per-cell manifests at 1, 2, and 4
+ * executor threads, node configurations must be pure functions of
+ * (spec, base config), and request conservation must hold in every
+ * cell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/spec.h"
+#include "exec/executor.h"
+
+namespace dirigent::cluster {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 3;
+    cfg.warmup = 1;
+    cfg.seed = 20160402;
+    return cfg;
+}
+
+/** A small policy × node-count grid that still exercises dispatch. */
+ClusterSpec
+sweepSpec()
+{
+    ClusterSpec spec;
+    spec.name = "determinism";
+    spec.nodes = 2;
+    spec.policy = DispatchPolicy::RoundRobin;
+    spec.sweepPolicies = {DispatchPolicy::RoundRobin,
+                          DispatchPolicy::JoinShortestQueue};
+    spec.sweepNodes = {1, 2};
+    spec.serve.arrivals.rate = 2.0;
+    spec.serve.horizonSec = 8.0;
+    spec.serve.warmupSec = 1.0;
+    spec.serve.slos = {{0.99, 15.0}};
+    return spec;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/**
+ * Run the sweep at @p threads with a JSONL export and return every
+ * thread-count-invariant artifact concatenated: the JSONL rows plus
+ * each per-cell manifest (the sweep manifest is excluded — it embeds
+ * wall-clock metrics by design).
+ */
+std::string
+sweepArtifacts(unsigned threads, const std::string &tag)
+{
+    std::string path = testing::TempDir() + "cluster_det_" + tag +
+                       "_" + std::to_string(threads) + ".jsonl";
+    std::vector<std::string> manifests;
+    for (const char *cell : {"rr1", "jsq1", "rr2", "jsq2"})
+        manifests.push_back(path + "." + cell + ".manifest.json");
+    std::remove(path.c_str());
+    for (const std::string &m : manifests)
+        std::remove(m.c_str());
+
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    ecfg.jsonlPath = path;
+    {
+        exec::SweepExecutor executor(fastConfig(), ecfg);
+        auto cells = executor.runClusterSweep(sweepSpec());
+        EXPECT_EQ(cells.size(), 4u);
+    }
+
+    std::string artifacts = readFile(path);
+    EXPECT_FALSE(artifacts.empty()) << path;
+    for (const std::string &m : manifests) {
+        std::string manifest = readFile(m);
+        EXPECT_FALSE(manifest.empty()) << m;
+        artifacts += "\n=== " + m.substr(path.size()) + " ===\n";
+        artifacts += manifest;
+    }
+    return artifacts;
+}
+
+TEST(ClusterDeterminismTest, SweepReplaysExactly)
+{
+    EXPECT_EQ(sweepArtifacts(1, "replay_a"),
+              sweepArtifacts(1, "replay_b"));
+}
+
+TEST(ClusterDeterminismTest, ThreadCountDoesNotChangeArtifacts)
+{
+    std::string serial = sweepArtifacts(1, "threads");
+    for (unsigned threads : {2u, 4u}) {
+        SCOPED_TRACE(threads);
+        EXPECT_EQ(sweepArtifacts(threads, "threads"), serial);
+    }
+}
+
+TEST(ClusterDeterminismTest, SweepCellsFollowTheGridAndConserve)
+{
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = 2;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(fastConfig(), ecfg);
+    auto cells = executor.runClusterSweep(sweepSpec());
+    ASSERT_EQ(cells.size(), 4u);
+
+    // Node-count-major, policy-minor order.
+    const std::vector<std::pair<unsigned, DispatchPolicy>> grid = {
+        {1, DispatchPolicy::RoundRobin},
+        {1, DispatchPolicy::JoinShortestQueue},
+        {2, DispatchPolicy::RoundRobin},
+        {2, DispatchPolicy::JoinShortestQueue},
+    };
+    for (size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(cells[i].fleet.nodes, grid[i].first);
+        EXPECT_EQ(cells[i].fleet.policy, grid[i].second);
+        EXPECT_EQ(cells[i].nodes.size(), grid[i].first);
+        // Conservation: the accountant already fataled if per-node
+        // arrivals leaked, so generated == arrivals must hold here.
+        EXPECT_EQ(cells[i].fleet.arrivals, cells[i].fleet.generated);
+        EXPECT_GT(cells[i].fleet.generated, 0u);
+    }
+
+    // Calibration is shared across cells: both policy columns of the
+    // same node count must see identical per-node deadlines.
+    EXPECT_EQ(cells[2].nodes[0].calibration.deadlines,
+              cells[3].nodes[0].calibration.deadlines);
+    EXPECT_EQ(cells[2].nodes[1].calibration.deadlines,
+              cells[3].nodes[1].calibration.deadlines);
+}
+
+TEST(ClusterDeterminismTest, RunClusterProducesOneCell)
+{
+    ClusterSpec spec = sweepSpec();
+    spec.nodes = 2;
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = 2;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(fastConfig(), ecfg);
+    auto cell = executor.runCluster(spec);
+    EXPECT_EQ(cell.fleet.policy, spec.policy);
+    EXPECT_EQ(cell.fleet.nodes, 2u);
+    EXPECT_EQ(cell.fleet.arrivals, cell.fleet.generated);
+    ASSERT_EQ(cell.nodes.size(), 2u);
+    for (const NodeResult &node : cell.nodes)
+        EXPECT_EQ(node.health.fgSlackSec.size(),
+                  node.serving.perFgRequests.size());
+}
+
+TEST(ClusterNodeTest, ResolveAppliesOverrides)
+{
+    ClusterSpec spec;
+    spec.nodes = 3;
+    spec.mix = "ferret/rs";
+    spec.scheme = "Dirigent";
+    spec.overrides[1].scheme = "Baseline";
+    spec.overrides[2].speed = 0.85;
+    auto nodes = resolveNodes(spec);
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes[0].scheme.name, "Dirigent");
+    EXPECT_EQ(nodes[1].scheme.name, "Baseline");
+    EXPECT_DOUBLE_EQ(nodes[1].speed, 1.0);
+    EXPECT_DOUBLE_EQ(nodes[2].speed, 0.85);
+    EXPECT_EQ(nodes[2].mix.fg, std::vector<std::string>{"ferret"});
+}
+
+TEST(ClusterNodeTest, NodeSeedsAreSaltedAndDeterministic)
+{
+    ClusterSpec spec = sweepSpec();
+    auto configs = resolveNodes(spec);
+    harness::HarnessConfig base = fastConfig();
+    Node a0(configs[0], base);
+    Node b0(configs[0], base);
+    Node a1(configs[1], base);
+    EXPECT_EQ(a0.harnessConfig().seed, b0.harnessConfig().seed);
+    EXPECT_NE(a0.harnessConfig().seed, a1.harnessConfig().seed);
+    EXPECT_NE(a0.harnessConfig().seed, base.seed);
+}
+
+TEST(ClusterNodeTest, SpeedScalesTheDvfsRange)
+{
+    ClusterSpec spec = sweepSpec();
+    spec.overrides[1].speed = 0.5;
+    auto configs = resolveNodes(spec);
+    harness::HarnessConfig base = fastConfig();
+    Node fast(configs[0], base);
+    Node slow(configs[1], base);
+    EXPECT_DOUBLE_EQ(fast.harnessConfig().machine.maxFreq.hz(),
+                     base.machine.maxFreq.hz());
+    EXPECT_DOUBLE_EQ(slow.harnessConfig().machine.maxFreq.hz(),
+                     base.machine.maxFreq.hz() * 0.5);
+    EXPECT_DOUBLE_EQ(slow.harnessConfig().machine.minFreq.hz(),
+                     base.machine.minFreq.hz() * 0.5);
+}
+
+} // namespace
+} // namespace dirigent::cluster

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Health-report and fleet-accounting invariants: Node::healthFrom's
+ * slack/utilization/shed arithmetic on synthetic request logs (NaN
+ * slack for idle slots, never 0), formatNodeHealth rendering, and the
+ * ResourceAccountant's fold contract — index order enforced, request
+ * conservation enforced, quantiles merged across nodes, imbalance and
+ * utilization spread computed over the fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/accountant.h"
+#include "cluster/node.h"
+#include "workload/mix.h"
+
+namespace dirigent::cluster {
+namespace {
+
+serve::Request
+completedRequest(double arrivedSec, double startedSec,
+                 double finishedSec, size_t queueDepth = 0)
+{
+    serve::Request req;
+    req.arrived = Time::sec(arrivedSec);
+    req.started = Time::sec(startedSec);
+    req.finished = Time::sec(finishedSec);
+    req.queueDepth = queueDepth;
+    req.outcome = serve::RequestOutcome::Completed;
+    return req;
+}
+
+NodeConfig
+ferretNode(unsigned index = 0)
+{
+    NodeConfig config;
+    config.index = index;
+    config.mix = workload::makeMix({"ferret"},
+                                   workload::BgSpec::single("rs"));
+    return config;
+}
+
+NodeCalibration
+calibrationWithDeadline(double deadlineSec)
+{
+    NodeCalibration calibration;
+    calibration.deadlines["ferret"] = Time::sec(deadlineSec);
+    calibration.serviceEstimateSec = 1.0;
+    calibration.slackSec = deadlineSec - 1.0;
+    return calibration;
+}
+
+TEST(NodeHealthTest, SlackIsDeadlineMinusMeanServiceTime)
+{
+    harness::ServingRunResult run;
+    // Two completions with service times 0.5s and 1.5s: mean 1.0.
+    run.perFgRequests = {{completedRequest(0.0, 0.0, 0.5),
+                          completedRequest(2.0, 2.0, 3.5)}};
+    NodeHealth health = Node::healthFrom(
+        ferretNode(3), calibrationWithDeadline(2.0), run, 10.0);
+    EXPECT_EQ(health.node, 3u);
+    ASSERT_EQ(health.fgSlackSec.size(), 1u);
+    EXPECT_DOUBLE_EQ(health.fgSlackSec[0], 1.0);
+}
+
+TEST(NodeHealthTest, IdleSlotReportsNanSlackNotZero)
+{
+    harness::ServingRunResult run;
+    run.perFgRequests = {{}}; // one slot, nothing completed
+    NodeHealth health = Node::healthFrom(
+        ferretNode(), calibrationWithDeadline(2.0), run, 10.0);
+    ASSERT_EQ(health.fgSlackSec.size(), 1u);
+    EXPECT_TRUE(std::isnan(health.fgSlackSec[0]));
+    EXPECT_DOUBLE_EQ(health.utilization, 0.0);
+}
+
+TEST(NodeHealthTest, UtilizationIsBusyFractionOfHorizon)
+{
+    harness::ServingRunResult run;
+    // 5s of completed service over a 10s horizon on one slot.
+    run.perFgRequests = {{completedRequest(0.0, 0.0, 2.0),
+                          completedRequest(2.0, 2.0, 5.0)}};
+    NodeHealth health = Node::healthFrom(
+        ferretNode(), calibrationWithDeadline(4.0), run, 10.0);
+    EXPECT_DOUBLE_EQ(health.utilization, 0.5);
+}
+
+TEST(NodeHealthTest, QueueDepthShedRateAndAdmitLimit)
+{
+    harness::ServingRunResult run;
+    run.perFgRequests = {{completedRequest(0.0, 0.0, 1.0, 2),
+                          completedRequest(1.0, 1.0, 2.0, 4)}};
+    run.arrivals = 10;
+    run.dropped = 1;
+    run.shed = 1;
+    run.maxQueueDepth = 4;
+    run.finalAdmitLimits = {2.0, 4.0};
+    NodeHealth health = Node::healthFrom(
+        ferretNode(), calibrationWithDeadline(3.0), run, 10.0);
+    EXPECT_DOUBLE_EQ(health.meanQueueDepth, 3.0);
+    EXPECT_EQ(health.maxQueueDepth, 4u);
+    EXPECT_DOUBLE_EQ(health.shedRate, 0.2);
+    EXPECT_DOUBLE_EQ(health.admitLimit, 3.0);
+}
+
+TEST(NodeHealthTest, FormatRendersSlackAndDegradedFlag)
+{
+    NodeHealth health;
+    health.node = 2;
+    health.fgSlackSec = {0.5, std::nan("")};
+    health.utilization = 0.672;
+    std::string line = formatNodeHealth(health);
+    EXPECT_NE(line.find("node2:"), std::string::npos);
+    EXPECT_NE(line.find("0.5"), std::string::npos);
+    EXPECT_NE(line.find("n/a"), std::string::npos);
+    EXPECT_EQ(line.find("DEGRADED"), std::string::npos);
+    health.degraded = true;
+    EXPECT_NE(formatNodeHealth(health).find("DEGRADED"),
+              std::string::npos);
+}
+
+NodeResult
+syntheticNode(unsigned index, uint64_t arrivals,
+              std::vector<double> responseSec, double utilization,
+              bool degraded = false)
+{
+    NodeResult node;
+    node.index = index;
+    node.serving.arrivals = arrivals;
+    node.serving.completed = responseSec.size();
+    for (double s : responseSec)
+        node.serving.stats.add(s);
+    node.health.utilization = utilization;
+    node.health.degraded = degraded;
+    return node;
+}
+
+TEST(ResourceAccountantTest, AggregatesTotalsAndMergedQuantiles)
+{
+    ResourceAccountant accountant(DispatchPolicy::RoundRobin, 2,
+                                  {{0.5, 5.0}});
+    accountant.add(syntheticNode(0, 3, {1.0, 2.0, 3.0}, 0.4));
+    accountant.add(syntheticNode(1, 1, {4.0}, 0.8));
+    FleetSummary fleet = accountant.finish(4);
+
+    EXPECT_EQ(fleet.generated, 4u);
+    EXPECT_EQ(fleet.arrivals, 4u);
+    EXPECT_EQ(fleet.completed, 4u);
+    EXPECT_DOUBLE_EQ(fleet.meanSec, 2.5);
+    EXPECT_DOUBLE_EQ(fleet.p50Sec, 2.5); // merged, not per-node
+    EXPECT_DOUBLE_EQ(fleet.utilizationMean, 0.6);
+    EXPECT_DOUBLE_EQ(fleet.utilizationMin, 0.4);
+    EXPECT_DOUBLE_EQ(fleet.utilizationMax, 0.8);
+    ASSERT_EQ(fleet.verdicts.size(), 1u);
+    EXPECT_TRUE(fleet.sloMet());
+    EXPECT_FALSE(fleet.degraded);
+}
+
+TEST(ResourceAccountantTest, ImbalanceIsMaxOverMeanArrivals)
+{
+    ResourceAccountant accountant(DispatchPolicy::JoinShortestQueue, 2,
+                                  {});
+    accountant.add(syntheticNode(0, 30, {1.0}, 0.9));
+    accountant.add(syntheticNode(1, 10, {1.0}, 0.3));
+    FleetSummary fleet = accountant.finish(40);
+    EXPECT_DOUBLE_EQ(fleet.imbalance, 1.5); // 30 / mean(20)
+}
+
+TEST(ResourceAccountantTest, DegradedNodePoisonsTheFleetFlag)
+{
+    ResourceAccountant accountant(DispatchPolicy::RoundRobin, 2, {});
+    accountant.add(syntheticNode(0, 1, {1.0}, 0.5));
+    accountant.add(syntheticNode(1, 1, {1.0}, 0.5, /*degraded=*/true));
+    EXPECT_TRUE(accountant.finish(2).degraded);
+}
+
+TEST(ResourceAccountantTest, MissedSloIsReportedNotFatal)
+{
+    ResourceAccountant accountant(DispatchPolicy::RoundRobin, 1,
+                                  {{0.99, 0.5}});
+    accountant.add(syntheticNode(0, 2, {1.0, 2.0}, 0.5));
+    FleetSummary fleet = accountant.finish(2);
+    EXPECT_FALSE(fleet.sloMet());
+}
+
+TEST(ResourceAccountantTest, DiesOnOutOfOrderFold)
+{
+    ResourceAccountant accountant(DispatchPolicy::RoundRobin, 2, {});
+    EXPECT_DEATH(accountant.add(syntheticNode(1, 1, {1.0}, 0.5)),
+                 "index order");
+}
+
+TEST(ResourceAccountantTest, DiesOnTooManyNodes)
+{
+    ResourceAccountant accountant(DispatchPolicy::RoundRobin, 1, {});
+    accountant.add(syntheticNode(0, 1, {1.0}, 0.5));
+    EXPECT_DEATH(accountant.add(syntheticNode(1, 1, {1.0}, 0.5)),
+                 "too many");
+}
+
+TEST(ResourceAccountantTest, DiesWhenRequestsLeakAcrossTheSplit)
+{
+    ResourceAccountant leaky(DispatchPolicy::RoundRobin, 1, {});
+    leaky.add(syntheticNode(0, 3, {1.0}, 0.5));
+    EXPECT_DEATH(leaky.finish(4), "leaked");
+
+    ResourceAccountant partial(DispatchPolicy::RoundRobin, 2, {});
+    partial.add(syntheticNode(0, 1, {1.0}, 0.5));
+    EXPECT_DEATH(partial.finish(1), "folded in");
+}
+
+TEST(ResourceAccountantTest, FormatSummarizesTheFleet)
+{
+    ResourceAccountant accountant(DispatchPolicy::JoinShortestQueue, 2,
+                                  {{0.99, 5.0}});
+    accountant.add(syntheticNode(0, 2, {1.0, 2.0}, 0.5));
+    accountant.add(syntheticNode(1, 2, {1.5, 2.5}, 0.7));
+    std::string line = formatFleetSummary(accountant.finish(4));
+    EXPECT_NE(line.find("jsq x2"), std::string::npos);
+    EXPECT_NE(line.find("4 req"), std::string::npos);
+    EXPECT_NE(line.find("slo=met"), std::string::npos);
+}
+
+} // namespace
+} // namespace dirigent::cluster

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * ClusterSpec tests: parse(format(spec)) == spec for every builtin and
+ * for hand-built specs with overrides and sweep grids, hash stability,
+ * policy/mix-label name mapping, structural validation, the
+ * DIRIGENT_CLUSTER_FILE environment hook, and fatal() on hostile input
+ * (specs are user input).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "cluster/spec.h"
+
+namespace dirigent::cluster {
+namespace {
+
+ClusterSpec
+fullSpec()
+{
+    ClusterSpec spec;
+    spec.name = "full";
+    spec.nodes = 6;
+    spec.policy = DispatchPolicy::PowerOfTwoChoices;
+    spec.mix = "ferret/rs";
+    spec.scheme = "Dirigent";
+    spec.speed = 1.0;
+    spec.serviceEstimateSec = 1.5;
+    spec.sweepPolicies = {DispatchPolicy::RoundRobin,
+                          DispatchPolicy::JoinShortestQueue};
+    spec.sweepNodes = {2, 4, 6};
+    spec.overrides[1].mix = "streamcluster/lbm";
+    spec.overrides[1].speed = 0.85;
+    spec.overrides[4].scheme = "Baseline";
+    spec.overrides[4].faults = "plans/node4.faults";
+    spec.serve.arrivals.rate = 3.0;
+    spec.serve.slos = {{0.99, 12.0}};
+    return spec;
+}
+
+TEST(ClusterSpecTest, PolicyNamesRoundTrip)
+{
+    ASSERT_EQ(allDispatchPolicies().size(), 4u);
+    for (DispatchPolicy policy : allDispatchPolicies()) {
+        std::string name = dispatchPolicyName(policy);
+        auto back = dispatchPolicyFromName(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, policy);
+    }
+    EXPECT_EQ(dispatchPolicyName(DispatchPolicy::RoundRobin),
+              std::string("rr"));
+    EXPECT_EQ(dispatchPolicyName(DispatchPolicy::JoinShortestQueue),
+              std::string("jsq"));
+    EXPECT_EQ(dispatchPolicyName(DispatchPolicy::SlackWeighted),
+              std::string("wslack"));
+    EXPECT_EQ(dispatchPolicyName(DispatchPolicy::PowerOfTwoChoices),
+              std::string("po2"));
+    EXPECT_FALSE(dispatchPolicyFromName("random").has_value());
+}
+
+TEST(ClusterSpecTest, BuiltinsValidateAndRoundTrip)
+{
+    ASSERT_FALSE(builtinClusterSpecs().empty());
+    for (const ClusterSpec &spec : builtinClusterSpecs()) {
+        SCOPED_TRACE(spec.name);
+        EXPECT_FALSE(validateClusterSpec(spec).has_value());
+        EXPECT_EQ(parseClusterSpec(formatClusterSpec(spec)), spec);
+    }
+}
+
+TEST(ClusterSpecTest, FindClusterSpecByName)
+{
+    auto pair = findClusterSpec("pair-rr");
+    ASSERT_TRUE(pair.has_value());
+    EXPECT_EQ(pair->nodes, 2u);
+    EXPECT_EQ(pair->policy, DispatchPolicy::RoundRobin);
+    EXPECT_FALSE(findClusterSpec("no-such-fleet").has_value());
+}
+
+TEST(ClusterSpecTest, FullSpecRoundTripsWithOverridesAndSweeps)
+{
+    ClusterSpec spec = fullSpec();
+    EXPECT_FALSE(validateClusterSpec(spec).has_value());
+    EXPECT_EQ(parseClusterSpec(formatClusterSpec(spec)), spec);
+}
+
+TEST(ClusterSpecTest, HashIsStableAndSensitive)
+{
+    EXPECT_EQ(clusterSpecHash(fullSpec()), clusterSpecHash(fullSpec()));
+    ClusterSpec changed = fullSpec();
+    changed.nodes = 7;
+    EXPECT_NE(clusterSpecHash(fullSpec()), clusterSpecHash(changed));
+    changed = fullSpec();
+    changed.overrides[1].speed = 0.9;
+    EXPECT_NE(clusterSpecHash(fullSpec()), clusterSpecHash(changed));
+}
+
+TEST(ClusterSpecTest, ParseAppliesDocumentedDefaults)
+{
+    ClusterSpec spec = parseClusterSpec("[cluster]\nname = tiny\n");
+    EXPECT_EQ(spec.name, "tiny");
+    EXPECT_EQ(spec.nodes, 2u);
+    EXPECT_EQ(spec.policy, DispatchPolicy::RoundRobin);
+    EXPECT_EQ(spec.mix, "ferret/rs");
+    EXPECT_EQ(spec.scheme, "Dirigent");
+    EXPECT_DOUBLE_EQ(spec.speed, 1.0);
+    EXPECT_DOUBLE_EQ(spec.serviceEstimateSec, 0.0);
+    EXPECT_TRUE(spec.sweepPolicies.empty());
+    EXPECT_TRUE(spec.sweepNodes.empty());
+    EXPECT_TRUE(spec.overrides.empty());
+}
+
+TEST(ClusterSpecTest, MixLabelsParseAndFormat)
+{
+    auto single = tryParseMixLabel("ferret/rs");
+    ASSERT_TRUE(single.has_value());
+    EXPECT_EQ(formatMixLabel(*single), "ferret/rs");
+
+    auto rotate = tryParseMixLabel("ferret/lbm+namd");
+    ASSERT_TRUE(rotate.has_value());
+    EXPECT_EQ(formatMixLabel(*rotate), "ferret/lbm+namd");
+
+    auto multi = tryParseMixLabel("ferret,streamcluster/rs");
+    ASSERT_TRUE(multi.has_value());
+    EXPECT_EQ(formatMixLabel(*multi), "ferret,streamcluster/rs");
+
+    EXPECT_FALSE(tryParseMixLabel("ferret").has_value());
+    EXPECT_FALSE(tryParseMixLabel("/rs").has_value());
+    EXPECT_FALSE(tryParseMixLabel("ferret/").has_value());
+    EXPECT_FALSE(tryParseMixLabel("nope/rs").has_value());
+    EXPECT_FALSE(tryParseMixLabel("ferret/nope").has_value());
+    EXPECT_FALSE(tryParseMixLabel("ferret/a+b+c").has_value());
+}
+
+TEST(ClusterSpecTest, ValidateRejectsStructuralErrors)
+{
+    ClusterSpec spec;
+    spec.nodes = 0;
+    EXPECT_TRUE(validateClusterSpec(spec).has_value());
+    spec.nodes = 513;
+    EXPECT_TRUE(validateClusterSpec(spec).has_value());
+    spec.nodes = 2;
+    spec.name.clear();
+    EXPECT_TRUE(validateClusterSpec(spec).has_value());
+    spec.name = "x";
+    spec.speed = -1.0;
+    EXPECT_TRUE(validateClusterSpec(spec).has_value());
+    spec.speed = 1.0;
+    spec.overrides[5] = {};
+    spec.overrides[5].speed = 0.5; // index >= nodes
+    EXPECT_TRUE(validateClusterSpec(spec).has_value());
+    spec.overrides.clear();
+    spec.serve.sweepRates = {1.0, 2.0};
+    EXPECT_TRUE(validateClusterSpec(spec).has_value());
+    spec.serve.sweepRates.clear();
+    EXPECT_FALSE(validateClusterSpec(spec).has_value());
+}
+
+TEST(ClusterSpecTest, DiesOnUnknownKeys)
+{
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nbogus = 1\n"),
+                 "unknown key");
+    EXPECT_DEATH(parseClusterSpec("[node0]\ncores = 4\n"),
+                 "unknown key");
+    EXPECT_DEATH(parseClusterSpec("[typo]\nx = 1\n"), "unknown key");
+}
+
+TEST(ClusterSpecTest, DiesOnBadPolicy)
+{
+    EXPECT_DEATH(parseClusterSpec("[cluster]\npolicy = lifo\n"),
+                 "policy");
+    EXPECT_DEATH(
+        parseClusterSpec("[cluster]\nsweep_policies = rr,random\n"),
+        "unknown policy");
+}
+
+TEST(ClusterSpecTest, DiesOnBadNodeCounts)
+{
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nnodes = 0\n"),
+                 "nodes");
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nnodes = 1000\n"),
+                 "nodes");
+    EXPECT_DEATH(
+        parseClusterSpec("[cluster]\nsweep_nodes = 2,,4\n"),
+        "node-count list");
+    EXPECT_DEATH(
+        parseClusterSpec("[cluster]\nnodes = 4\nsweep_nodes = 0\n"),
+        "sweep_nodes");
+}
+
+TEST(ClusterSpecTest, DiesOnBadMixSchemeOrSpeed)
+{
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nmix = nope/rs\n"),
+                 "mix");
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nscheme = Nope\n"),
+                 "scheme");
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nspeed = 32\n"),
+                 "speed");
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nnodes = 2\n"
+                                  "[node1]\nspeed = -0.5\n"),
+                 "speed");
+}
+
+TEST(ClusterSpecTest, DiesOnOverrideIndexOutOfRange)
+{
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nnodes = 2\n"
+                                  "[node5]\nspeed = 0.9\n"),
+                 "out of range");
+}
+
+TEST(ClusterSpecTest, DiesWhenServeRatesListedInClusterMode)
+{
+    EXPECT_DEATH(parseClusterSpec("[cluster]\nnodes = 2\n"
+                                  "[serve]\nrates = 1,2\n"),
+                 "serve.rates");
+}
+
+TEST(ClusterSpecTest, EnvClusterFilePath)
+{
+    unsetenv("DIRIGENT_CLUSTER_FILE");
+    EXPECT_FALSE(envClusterFilePath().has_value());
+    setenv("DIRIGENT_CLUSTER_FILE", "/tmp/x.cluster", 1);
+    EXPECT_EQ(envClusterFilePath().value(), "/tmp/x.cluster");
+    setenv("DIRIGENT_CLUSTER_FILE", "", 1);
+    EXPECT_FALSE(envClusterFilePath().has_value());
+    unsetenv("DIRIGENT_CLUSTER_FILE");
+}
+
+} // namespace
+} // namespace dirigent::cluster

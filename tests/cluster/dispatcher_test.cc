@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Dispatcher unit tests: the modeled node queue, all four routing
+ * policies (including the JSQ least-assigned tie-break that makes an
+ * idle fleet degenerate to round-robin), seeded determinism of the
+ * randomized policies, and splitArrivals' conservation / slot-rotation
+ * / horizon contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/dispatcher.h"
+#include "serve/arrival.h"
+
+namespace dirigent::cluster {
+namespace {
+
+NodeModel
+model(double serviceSec, unsigned slots = 1, double weight = 1.0)
+{
+    NodeModel m;
+    m.slots = slots;
+    m.serviceEstimateSec = serviceSec;
+    m.weight = weight;
+    return m;
+}
+
+std::vector<NodeModel>
+uniformFleet(size_t nodes, double serviceSec = 1.0)
+{
+    return std::vector<NodeModel>(nodes, model(serviceSec));
+}
+
+TEST(NodeLoadModelTest, DrainsCompletedRequests)
+{
+    NodeLoadModel load(model(1.0));
+    EXPECT_EQ(load.depth(Time::sec(0.0)), 0u);
+    load.assign(Time::sec(0.0)); // finishes at t=1
+    EXPECT_EQ(load.depth(Time::sec(0.5)), 1u);
+    EXPECT_EQ(load.depth(Time::sec(1.0)), 0u); // <= now drains
+}
+
+TEST(NodeLoadModelTest, BacklogSerializesRequests)
+{
+    NodeLoadModel load(model(1.0));
+    load.assign(Time::sec(0.0)); // finishes at 1
+    load.assign(Time::sec(0.0)); // queues: finishes at 2
+    load.assign(Time::sec(0.0)); // queues: finishes at 3
+    EXPECT_EQ(load.depth(Time::sec(0.5)), 3u);
+    EXPECT_EQ(load.depth(Time::sec(1.5)), 2u);
+    EXPECT_EQ(load.depth(Time::sec(2.5)), 1u);
+    EXPECT_EQ(load.depth(Time::sec(3.0)), 0u);
+    // An idle gap resets the backlog to the arrival time.
+    load.assign(Time::sec(10.0)); // finishes at 11, not 4
+    EXPECT_EQ(load.depth(Time::sec(10.5)), 1u);
+    EXPECT_EQ(load.depth(Time::sec(11.0)), 0u);
+}
+
+TEST(NodeLoadModelTest, SlotsScaleTheServiceRate)
+{
+    NodeLoadModel load(model(1.0, /*slots=*/2));
+    load.assign(Time::sec(0.0)); // effective service 0.5s
+    EXPECT_EQ(load.depth(Time::sec(0.25)), 1u);
+    EXPECT_EQ(load.depth(Time::sec(0.5)), 0u);
+}
+
+TEST(NodeLoadModelTest, DiesOnNonPositiveServiceEstimate)
+{
+    EXPECT_DEATH(NodeLoadModel(model(0.0)), "service estimate");
+    EXPECT_DEATH(NodeLoadModel(model(-1.0)), "service estimate");
+}
+
+TEST(DispatcherTest, DiesOnEmptyFleet)
+{
+    EXPECT_DEATH(makeDispatcher(DispatchPolicy::RoundRobin, {}, 1),
+                 "at least one node");
+}
+
+TEST(DispatcherTest, RoundRobinCycles)
+{
+    RoundRobinDispatcher rr(uniformFleet(3));
+    std::vector<unsigned> picks;
+    for (int i = 0; i < 7; ++i)
+        picks.push_back(rr.route(Time::sec(double(i))));
+    EXPECT_EQ(picks, (std::vector<unsigned>{0, 1, 2, 0, 1, 2, 0}));
+    EXPECT_EQ(rr.assigned(), (std::vector<uint64_t>{3, 2, 2}));
+}
+
+TEST(DispatcherTest, JsqPicksTheShortestModeledQueue)
+{
+    // Two nodes, 1s service, four back-to-back arrivals at t=0:
+    // depths force strict alternation (the fourth pick sees node0 at
+    // depth 2 vs node1 at depth 1).
+    JoinShortestQueueDispatcher jsq(uniformFleet(2));
+    std::vector<unsigned> picks;
+    for (int i = 0; i < 4; ++i)
+        picks.push_back(jsq.route(Time::sec(0.0)));
+    EXPECT_EQ(picks, (std::vector<unsigned>{0, 1, 0, 1}));
+}
+
+TEST(DispatcherTest, JsqDegeneratesToRoundRobinWhenIdle)
+{
+    // Arrivals spaced wider than the service time: every modeled
+    // depth is 0 at decision time, so the least-assigned tie-break
+    // must spread load exactly like round-robin instead of funnelling
+    // everything to node 0.
+    JoinShortestQueueDispatcher jsq(uniformFleet(4, 0.1));
+    RoundRobinDispatcher rr(uniformFleet(4, 0.1));
+    for (int i = 0; i < 12; ++i) {
+        Time t = Time::sec(double(i));
+        EXPECT_EQ(jsq.route(t), rr.route(t)) << "arrival " << i;
+    }
+    EXPECT_EQ(jsq.assigned(), (std::vector<uint64_t>{3, 3, 3, 3}));
+}
+
+TEST(DispatcherTest, JsqPrefersTheFasterNodeUnderLoad)
+{
+    // Node 1 drains each request before the next arrival while node 0
+    // needs 16 inter-arrival gaps per request, so node 0's modeled
+    // queue stays deep and node 1 must absorb almost everything.
+    JoinShortestQueueDispatcher jsq({model(4.0), model(0.25)});
+    for (int i = 0; i < 40; ++i)
+        jsq.route(Time::sec(0.25 * double(i)));
+    EXPECT_GT(jsq.assigned()[1], 2 * jsq.assigned()[0]);
+}
+
+TEST(DispatcherTest, WslackSamplesProportionallyToWeight)
+{
+    std::vector<NodeModel> fleet = {model(1.0, 1, 3.0),
+                                    model(1.0, 1, 1.0)};
+    auto wslack =
+        makeDispatcher(DispatchPolicy::SlackWeighted, fleet, 42);
+    for (int i = 0; i < 4000; ++i)
+        wslack->route(Time::sec(0.001 * double(i)));
+    double share =
+        double(wslack->assigned()[0]) /
+        double(wslack->assigned()[0] + wslack->assigned()[1]);
+    EXPECT_NEAR(share, 0.75, 0.05);
+}
+
+TEST(DispatcherTest, WslackClampsNegativeWeightsToZero)
+{
+    std::vector<NodeModel> fleet = {model(1.0, 1, 1.0),
+                                    model(1.0, 1, -5.0)};
+    auto wslack =
+        makeDispatcher(DispatchPolicy::SlackWeighted, fleet, 7);
+    for (int i = 0; i < 200; ++i)
+        wslack->route(Time::sec(double(i)));
+    EXPECT_EQ(wslack->assigned()[0], 200u);
+    EXPECT_EQ(wslack->assigned()[1], 0u);
+}
+
+TEST(DispatcherTest, WslackDiesWhenEveryWeightIsNonPositive)
+{
+    std::vector<NodeModel> fleet = {model(1.0, 1, 0.0),
+                                    model(1.0, 1, -1.0)};
+    EXPECT_DEATH(
+        makeDispatcher(DispatchPolicy::SlackWeighted, fleet, 1),
+        "weight");
+}
+
+TEST(DispatcherTest, PowerOfTwoProbesDistinctNodes)
+{
+    // With two nodes the two probes always cover both, so "shorter
+    // queue wins" balances a back-to-back burst perfectly.
+    auto po2 = makeDispatcher(DispatchPolicy::PowerOfTwoChoices,
+                              uniformFleet(2, 1000.0), 99);
+    for (int i = 0; i < 100; ++i)
+        po2->route(Time::sec(0.0));
+    EXPECT_EQ(po2->assigned()[0], 50u);
+    EXPECT_EQ(po2->assigned()[1], 50u);
+}
+
+TEST(DispatcherTest, SingleNodeFleetRoutesEverythingToIt)
+{
+    for (DispatchPolicy policy : allDispatchPolicies()) {
+        SCOPED_TRACE(dispatchPolicyName(policy));
+        auto d = makeDispatcher(policy, uniformFleet(1), 5);
+        for (int i = 0; i < 10; ++i)
+            EXPECT_EQ(d->route(Time::sec(double(i))), 0u);
+        EXPECT_EQ(d->assigned()[0], 10u);
+    }
+}
+
+TEST(DispatcherTest, SeededPoliciesReplayFromTheirSeed)
+{
+    for (DispatchPolicy policy : {DispatchPolicy::SlackWeighted,
+                                  DispatchPolicy::PowerOfTwoChoices}) {
+        SCOPED_TRACE(dispatchPolicyName(policy));
+        auto run = [&](uint64_t seed) {
+            auto d = makeDispatcher(policy, uniformFleet(4), seed);
+            std::vector<unsigned> picks;
+            for (int i = 0; i < 64; ++i)
+                picks.push_back(d->route(Time::sec(0.25 * double(i))));
+            return picks;
+        };
+        EXPECT_EQ(run(1234), run(1234));
+        EXPECT_NE(run(1234), run(4321));
+    }
+}
+
+TEST(DispatcherTest, RouteMaintainsModeledDepthAndCounters)
+{
+    JoinShortestQueueDispatcher jsq(uniformFleet(2));
+    EXPECT_EQ(jsq.modeledDepth(0, Time::sec(0.0)), 0u);
+    unsigned node = jsq.route(Time::sec(0.0));
+    EXPECT_EQ(jsq.modeledDepth(node, Time::sec(0.5)), 1u);
+    uint64_t total = std::accumulate(jsq.assigned().begin(),
+                                     jsq.assigned().end(), uint64_t(0));
+    EXPECT_EQ(total, 1u);
+}
+
+TEST(SplitArrivalsTest, ConservesEveryRequest)
+{
+    serve::ArrivalSpec spec;
+    spec.rate = 5.0;
+    auto stream = serve::makeArrivalProcess(spec, 77);
+    RoundRobinDispatcher rr(uniformFleet(3));
+    DispatchPlan plan = splitArrivals(*stream, Time::sec(10.0), rr);
+
+    EXPECT_GT(plan.generated, 0u);
+    uint64_t assigned = std::accumulate(
+        plan.assigned.begin(), plan.assigned.end(), uint64_t(0));
+    EXPECT_EQ(assigned, plan.generated);
+    uint64_t traced = 0;
+    for (const auto &node : plan.slotArrivals)
+        for (const auto &slot : node)
+            traced += slot.size();
+    EXPECT_EQ(traced, plan.generated);
+}
+
+TEST(SplitArrivalsTest, HorizonIsInclusive)
+{
+    serve::TraceArrivals trace(
+        {Time::sec(1.0), Time::sec(2.0), Time::sec(3.0)});
+    RoundRobinDispatcher rr(uniformFleet(2));
+    DispatchPlan plan = splitArrivals(trace, Time::sec(2.0), rr);
+    EXPECT_EQ(plan.generated, 2u); // t=2 in, t=3 out
+}
+
+TEST(SplitArrivalsTest, RotatesSlotsWithinANode)
+{
+    serve::TraceArrivals trace({Time::sec(1.0), Time::sec(2.0),
+                                Time::sec(3.0), Time::sec(4.0)});
+    RoundRobinDispatcher rr({model(1.0, /*slots=*/2)});
+    DispatchPlan plan = splitArrivals(trace, Time::sec(10.0), rr);
+    ASSERT_EQ(plan.slotArrivals.size(), 1u);
+    ASSERT_EQ(plan.slotArrivals[0].size(), 2u);
+    EXPECT_EQ(plan.slotArrivals[0][0],
+              (std::vector<Time>{Time::sec(1.0), Time::sec(3.0)}));
+    EXPECT_EQ(plan.slotArrivals[0][1],
+              (std::vector<Time>{Time::sec(2.0), Time::sec(4.0)}));
+}
+
+TEST(SplitArrivalsTest, PerSlotTracesAreNondecreasing)
+{
+    serve::ArrivalSpec spec;
+    spec.kind = serve::ArrivalKind::Mmpp;
+    spec.rate = 2.0;
+    spec.burstRate = 8.0;
+    auto stream = serve::makeArrivalProcess(spec, 11);
+    auto jsq = makeDispatcher(DispatchPolicy::JoinShortestQueue,
+                              uniformFleet(3), 0);
+    DispatchPlan plan = splitArrivals(*stream, Time::sec(20.0), *jsq);
+    for (const auto &node : plan.slotArrivals)
+        for (const auto &slot : node)
+            for (size_t i = 1; i < slot.size(); ++i)
+                EXPECT_LE(slot[i - 1], slot[i]);
+}
+
+} // namespace
+} // namespace dirigent::cluster

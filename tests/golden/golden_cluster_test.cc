@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Golden cluster sentinel: one 4-node cluster cell (join-shortest-
+ * queue over homogeneous ferret + rs nodes) fingerprinted as a
+ * canonical document — fleet accounting, per-node health, and the
+ * complete per-node request logs — and compared against a checked-in
+ * golden file. Any drift in dispatch decisions, node seed salting,
+ * calibration, queue mechanics, or fleet aggregation shows up as a
+ * line-level diff. The same document must be byte-identical at any
+ * executor thread count.
+ *
+ * Regenerate after an intentional behaviour change with:
+ *   DIRIGENT_REGEN_GOLDEN=1 ./test_golden
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cluster/accountant.h"
+#include "cluster/spec.h"
+#include "exec/executor.h"
+#include "serve/driver.h"
+
+#ifndef DIRIGENT_GOLDEN_DIR
+#error "DIRIGENT_GOLDEN_DIR must point at the golden data directory"
+#endif
+
+namespace dirigent::cluster {
+namespace {
+
+constexpr uint64_t kGoldenSeed = 20161604;
+
+harness::HarnessConfig
+goldenConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 4;
+    cfg.warmup = 2;
+    cfg.seed = kGoldenSeed;
+    return cfg;
+}
+
+ClusterSpec
+sentinelSpec()
+{
+    ClusterSpec spec;
+    spec.name = "golden-quad";
+    spec.nodes = 4;
+    spec.policy = DispatchPolicy::JoinShortestQueue;
+    spec.mix = "ferret/rs";
+    spec.scheme = "Dirigent";
+    spec.serve.arrivals.rate = 2.5; // fleet-wide
+    spec.serve.queueCapacity = 16;
+    spec.serve.slos = {{0.99, 15.0}};
+    spec.serve.horizonSec = 12.0;
+    spec.serve.warmupSec = 2.0;
+    return spec;
+}
+
+/**
+ * Render one cluster cell as a deterministic text document. With
+ * @p precise, timestamps print at %.17g so a single diverging double
+ * anywhere in any node's request log breaks equality.
+ */
+std::string
+clusterText(const exec::ClusterCellResult &cell, bool precise)
+{
+    std::ostringstream out;
+    out << "=== fleet " << dispatchPolicyName(cell.fleet.policy)
+        << " x" << cell.fleet.nodes << " ===\n"
+        << "generated=" << cell.fleet.generated
+        << " completed=" << cell.fleet.completed
+        << " dropped=" << cell.fleet.dropped
+        << " shed=" << cell.fleet.shed
+        << " max_queue=" << cell.fleet.maxQueueDepth
+        << " slo_met=" << (cell.fleet.sloMet() ? 1 : 0)
+        << " degraded=" << (cell.fleet.degraded ? 1 : 0) << "\n";
+    for (const NodeResult &node : cell.nodes) {
+        out << "--- " << formatNodeHealth(node.health) << "\n"
+            << "arrivals=" << node.serving.arrivals
+            << " completed=" << node.serving.completed
+            << " dropped=" << node.serving.dropped
+            << " shed=" << node.serving.shed << "\n";
+        for (size_t slot = 0;
+             slot < node.serving.perFgRequests.size(); ++slot) {
+            out << "-- node" << node.index << "/fg" << slot << "\n"
+                << serve::formatRequestLog(
+                       node.serving.perFgRequests[slot], precise);
+        }
+    }
+    return out.str();
+}
+
+exec::ClusterCellResult
+runSentinel(unsigned threads)
+{
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(goldenConfig(), ecfg);
+    return executor.runCluster(sentinelSpec());
+}
+
+std::string
+goldenPath()
+{
+    return std::string(DIRIGENT_GOLDEN_DIR) + "/cluster_quad_jsq.log";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bool
+regenRequested()
+{
+    const char *env = std::getenv("DIRIGENT_REGEN_GOLDEN");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+TEST(GoldenClusterTest, SentinelMatchesCheckedInGolden)
+{
+    exec::ClusterCellResult cell = runSentinel(1);
+    std::string canonical = clusterText(cell, false);
+
+    if (regenRequested()) {
+        std::ofstream out(goldenPath(),
+                          std::ios::trunc | std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write " << goldenPath();
+        out << canonical;
+        GTEST_SKIP() << "regenerated cluster golden " << goldenPath();
+    }
+
+    std::string expected = readFile(goldenPath());
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << goldenPath()
+        << " — run with DIRIGENT_REGEN_GOLDEN=1 to create it";
+    EXPECT_EQ(canonical, expected)
+        << "behavioural drift in the cluster sentinel";
+
+    // The sentinel must actually exercise the fleet: requests were
+    // generated, routed across several nodes, and served.
+    EXPECT_GT(cell.fleet.generated, 0u);
+    EXPECT_GT(cell.fleet.completed, 0u);
+    unsigned busyNodes = 0;
+    for (const NodeResult &node : cell.nodes)
+        busyNodes += node.serving.arrivals > 0 ? 1 : 0;
+    EXPECT_GE(busyNodes, 2u);
+}
+
+TEST(GoldenClusterTest, SentinelIsIdenticalAcrossThreadCounts)
+{
+    std::string serial = clusterText(runSentinel(1), true);
+    for (unsigned threads : {2u, 4u}) {
+        SCOPED_TRACE(threads);
+        // Bit-exact: %.17g round-trips doubles, so any worker-count
+        // divergence in a single request timestamp shows up here.
+        EXPECT_EQ(clusterText(runSentinel(threads), true), serial);
+    }
+}
+
+} // namespace
+} // namespace dirigent::cluster

@@ -154,6 +154,43 @@ cmdSummary(const RunData &run)
             std::cout << "    slo_met: "
                       << (r.sloMet ? "true" : "false") << "\n";
     }
+    // Cluster-mode manifests carry the fleet summary.
+    if (m.cluster.present) {
+        const auto &c = m.cluster;
+        std::cout << strfmt(
+            "cluster: policy=%s nodes=%u %llu generated "
+            "(%llu completed, %llu dropped, %llu shed)%s\n",
+            c.policy.c_str(), c.nodes,
+            (unsigned long long)c.generated,
+            (unsigned long long)c.completed,
+            (unsigned long long)c.dropped, (unsigned long long)c.shed,
+            c.degraded ? " DEGRADED" : "");
+        std::cout << "    response: mean=" << num(c.meanSec)
+                  << " s p50=" << num(c.p50Sec) << " s p95="
+                  << num(c.p95Sec) << " s p99=" << num(c.p99Sec)
+                  << " s p999=" << num(c.p999Sec) << " s\n";
+        std::cout << strfmt(
+            "    utilization: mean=%.1f%% min=%.1f%% max=%.1f%% "
+            "imbalance=%.2f\n",
+            c.utilizationMean * 100.0, c.utilizationMin * 100.0,
+            c.utilizationMax * 100.0, c.imbalance);
+        for (const auto &v : c.slos)
+            std::cout << "    slo " << v.label << ": target "
+                      << num(v.targetSec) << " s, achieved "
+                      << num(v.achievedSec) << " s -> "
+                      << (v.met ? "met" : "MISSED") << "\n";
+        if (!c.slos.empty())
+            std::cout << "    slo_met: "
+                      << (c.sloMet ? "true" : "false") << "\n";
+        for (const auto &n : c.perNode)
+            std::cout << strfmt(
+                "    node%u: %s/%s speed=%g %llu arrivals, "
+                "p99=%s s, util=%.1f%%%s\n",
+                n.node, n.mix.c_str(), n.scheme.c_str(), n.speed,
+                (unsigned long long)n.arrivals,
+                num(n.p99Sec).c_str(), n.utilization * 100.0,
+                n.degraded ? " DEGRADED" : "");
+    }
     if (!run.requests.empty()) {
         size_t completed = 0, dropped = 0, shed = 0;
         size_t maxDepth = 0;
@@ -325,11 +362,34 @@ main(int argc, char **argv)
         }
     }
 
-    RunData run = loadOrDie(runPath);
     if (cmd == "summary") {
-        cmdSummary(run);
-        return 0;
+        // summary also accepts a bare *.manifest.json (no trace
+        // document around it) — cluster cells and sweep manifests are
+        // written that way.
+        std::string error;
+        auto run = loadRunFile(runPath, &error);
+        if (run) {
+            cmdSummary(*run);
+            return 0;
+        }
+        std::ifstream in(runPath, std::ios::binary);
+        std::ostringstream text;
+        if (in)
+            text << in.rdbuf();
+        std::string parseError;
+        auto doc = parseJson(text.str(), &parseError);
+        if (doc && doc->isObject() && doc->find("tool") != nullptr) {
+            RunData bare;
+            bare.manifest = RunManifest::fromJson(*doc);
+            cmdSummary(bare);
+            return 0;
+        }
+        std::cerr << "dirigent-inspect: cannot load '" << runPath
+                  << "': " << error << "\n";
+        return 1;
     }
+
+    RunData run = loadOrDie(runPath);
     if (cmd == "why-miss")
         return cmdWhyMiss(run, windowSec, fgFilter);
     if (cmd == "csv") {

@@ -41,6 +41,17 @@
  *                          sweep over the spec's `rates` grid; any
  *                          other scheme (or --scheme-file) runs one
  *                          serving cell
+ *   --cluster-file FILE    cluster mode: run the fleet described by the
+ *                          cluster spec in FILE (INI; see
+ *                          cluster/spec.h for the format; also
+ *                          DIRIGENT_CLUSTER_FILE). FILE may also name a
+ *                          builtin cluster (see --list-clusters). Takes
+ *                          no positional mix — the spec carries per-node
+ *                          mixes/schemes. Sweeps the spec's
+ *                          sweep_policies × sweep_nodes grid (one cell
+ *                          when both are empty) and prints the fleet
+ *                          comparison
+ *   --list-clusters        print the builtin cluster registry and exit
  *   --list-schemes         print the builtin scheme registry and exit
  *   scheme = any registry name (see --list-schemes) or `all`;
  *            baseline|staticfreq|staticboth|dirigentfreq|dirigent plus
@@ -74,6 +85,9 @@
 #include <sstream>
 
 #include "check/check.h"
+#include "cluster/accountant.h"
+#include "cluster/node.h"
+#include "cluster/spec.h"
 #include "common/config.h"
 #include "common/stats.h"
 #include "common/log.h"
@@ -106,8 +120,10 @@ usage()
            "[--jsonl FILE] [--faults FILE] [--trace-out FILE] "
            "[--scheme-file FILE] [--serve-file FILE] "
            "[--check|--no-check] [key=value...]\n"
+           "       run_experiment --cluster-file FILE [options]\n"
            "       run_experiment --list\n"
-           "       run_experiment --list-schemes\n";
+           "       run_experiment --list-schemes\n"
+           "       run_experiment --list-clusters\n";
     std::exit(2);
 }
 
@@ -230,6 +246,84 @@ printServingComparison(std::ostream &os,
 }
 
 void
+listClusters()
+{
+    TextTable table({"cluster", "nodes", "policy", "mix", "scheme",
+                     "spec hash"});
+    for (const auto &spec : cluster::builtinClusterSpecs())
+        table.addRow({spec.name, strfmt("%u", spec.nodes),
+                      cluster::dispatchPolicyName(spec.policy),
+                      spec.mix, spec.scheme,
+                      strfmt("%llu",
+                             (unsigned long long)
+                                 cluster::clusterSpecHash(spec))});
+    table.print(std::cout);
+    std::cout << "\nCustom clusters: write the spec to a file "
+                 "(--cluster-file FILE or DIRIGENT_CLUSTER_FILE);\n"
+                 "round-trippable INI format documented in "
+                 "cluster/spec.h.\n";
+}
+
+/** Fleet comparison: one row per cluster cell (policy × nodes). */
+void
+printFleetComparison(std::ostream &os,
+                     const std::vector<exec::ClusterCellResult> &cells)
+{
+    TextTable table({"policy", "nodes", "requests", "rejected",
+                     "p50 (s)", "p95 (s)", "p99 (s)", "util", "imb",
+                     "SLO"});
+    for (const auto &cell : cells) {
+        const cluster::FleetSummary &fleet = cell.fleet;
+        std::string slo;
+        if (fleet.verdicts.empty()) {
+            slo = "-";
+        } else {
+            for (const auto &v : fleet.verdicts)
+                if (!v.met)
+                    slo += (slo.empty() ? "MISSED " : ",") +
+                           v.target.label();
+            if (slo.empty())
+                slo = "met";
+        }
+        if (fleet.degraded)
+            slo += " degraded";
+        table.addRow(
+            {cluster::dispatchPolicyName(fleet.policy),
+             strfmt("%u", fleet.nodes),
+             strfmt("%llu", (unsigned long long)fleet.generated),
+             TextTable::pct(fleet.rejectRate()),
+             quantileCell(fleet.p50Sec), quantileCell(fleet.p95Sec),
+             quantileCell(fleet.p99Sec),
+             TextTable::pct(fleet.utilizationMean),
+             TextTable::num(fleet.imbalance, 2), slo});
+    }
+    table.print(os);
+}
+
+/** Cluster mode: the whole fleet run, from spec to comparison table. */
+int
+runClusterMode(const cluster::ClusterSpec &spec,
+               const harness::HarnessConfig &hc,
+               const std::string &jsonlPath)
+{
+    printBanner(std::cout, "run_experiment: cluster " + spec.name +
+                               strfmt(" (%u nodes)", spec.nodes));
+    exec::ExecutorConfig ecfg;
+    ecfg.jsonlPath = jsonlPath;
+    exec::SweepExecutor executor(hc, ecfg);
+    auto cells = executor.runClusterSweep(spec);
+    std::cout << "\n";
+    printFleetComparison(std::cout, cells);
+    if (cells.size() == 1) {
+        std::cout << "\nPer-node health:\n";
+        for (const auto &node : cells.front().nodes)
+            std::cout << "  " << cluster::formatNodeHealth(node.health)
+                      << "\n";
+    }
+    return 0;
+}
+
+void
 listSchemes()
 {
     TextTable table({"scheme", "knobs", "spec hash"});
@@ -252,7 +346,7 @@ main(int argc, char **argv)
     std::vector<std::string> positional;
     Config overrides;
     std::string configFile, fgProgramFile, jsonlPath, faultsFile;
-    std::string traceOut, schemeFile, serveFile;
+    std::string traceOut, schemeFile, serveFile, clusterFile;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -270,6 +364,13 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage();
             serveFile = argv[i];
+        } else if (arg == "--cluster-file") {
+            if (++i >= argc)
+                usage();
+            clusterFile = argv[i];
+        } else if (arg == "--list-clusters") {
+            listClusters();
+            return 0;
         } else if (arg == "--config") {
             if (++i >= argc)
                 usage();
@@ -305,9 +406,16 @@ main(int argc, char **argv)
             positional.push_back(arg);
         }
     }
-    if (positional.size() != 2 &&
-        !(positional.size() == 1 && !fgProgramFile.empty()))
+    if (clusterFile.empty())
+        clusterFile = cluster::envClusterFilePath().value_or("");
+    if (!clusterFile.empty()) {
+        if (!positional.empty())
+            fatal("cluster mode takes no positional mix: the cluster "
+                  "spec carries per-node mixes and schemes");
+    } else if (positional.size() != 2 &&
+               !(positional.size() == 1 && !fgProgramFile.empty())) {
         usage();
+    }
 
     Config cfg;
     if (!configFile.empty())
@@ -322,6 +430,31 @@ main(int argc, char **argv)
         if (!hc.faultPlan.empty())
             inform("fault injection active (plan: " + faultsFile + ")");
     }
+    // Cluster mode: the spec carries per-node mixes, schemes, and the
+    // serve spec; none of the single-node selection flags apply.
+    if (!clusterFile.empty()) {
+        if (!schemeFile.empty() || !serveFile.empty() ||
+            cfg.has("scheme"))
+            fatal("--cluster-file conflicts with --scheme-file, "
+                  "--serve-file, and scheme=: the cluster spec "
+                  "carries scheme and serving configuration");
+        auto builtin = cluster::findClusterSpec(clusterFile);
+        cluster::ClusterSpec cspec =
+            builtin ? *builtin : cluster::loadClusterSpec(clusterFile);
+        inform(strfmt("cluster spec '%s' (hash %llu, %u nodes, %s) "
+                      "loaded from %s",
+                      cspec.name.c_str(),
+                      (unsigned long long)
+                          cluster::clusterSpecHash(cspec),
+                      cspec.nodes,
+                      cluster::dispatchPolicyName(cspec.policy),
+                      builtin ? "builtin registry"
+                              : clusterFile.c_str()));
+        return runClusterMode(cspec, hc,
+                              jsonlPath.empty() ? exec::envJsonlPath()
+                                                : jsonlPath);
+    }
+
     harness::ExperimentRunner runner(hc);
     const auto &lib = workload::BenchmarkLibrary::instance();
 
