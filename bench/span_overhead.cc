@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Span-collection overhead benchmark: the detached/instrumented
+ * serving-run pair behind CI's < 5 % span-overhead gate. Spans are
+ * passive telemetry like the Recorder — a run with no SpanCollector
+ * attached performs zero span work — so the cost being measured here
+ * is recordRequest per terminal outcome, the DecisionTrace sink fan-
+ * out per controller decision, and the one-shot finalize().
+ *
+ * Shares bench_util.h's warmup + median-of-reps methodology (and the
+ * interleaved measurePairMedian arms) with micro_overhead, so the two
+ * overhead gates compare numbers produced one way.
+ *
+ * Usage:
+ *   span_overhead [--reps N] [--warmup N] [--json FILE]
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "check/check.h"
+#include "common/strfmt.h"
+#include "dirigent/scheme_spec.h"
+#include "harness/experiment.h"
+#include "harness/serving.h"
+#include "obs/json.h"
+#include "obs/span.h"
+#include "serve/spec.h"
+#include "workload/benchmarks.h"
+#include "workload/mix.h"
+
+#ifndef DIRIGENT_BENCH_BUILD_TYPE
+#define DIRIGENT_BENCH_BUILD_TYPE ""
+#endif
+
+using namespace dirigent;
+
+namespace {
+
+/** Keep @p value alive as far as the optimizer is concerned. */
+template <typename T>
+inline void
+doNotOptimize(const T &value)
+{
+    asm volatile("" : : "g"(value) : "memory");
+}
+
+struct OverheadResult
+{
+    bench::Measured detached;
+    bench::Measured instrumented;
+    size_t spansPerRun = 0;
+
+    double
+    overheadPct() const
+    {
+        if (detached.medianSec <= 0.0)
+            return 0.0;
+        return (instrumented.medianSec / detached.medianSec - 1.0) *
+               100.0;
+    }
+};
+
+OverheadResult
+benchServingPair(int reps, int warmup)
+{
+    // Pin reference stepping for both arms: the span sink subscribes
+    // to the DecisionTrace, which would force reference mode on the
+    // instrumented arm only and bill the fast path's speedup to the
+    // spans. The gate isolates the span substrate's own cost.
+    const char *prevEnv = std::getenv("DIRIGENT_FAST_PATH");
+    std::string saved = prevEnv != nullptr ? prevEnv : "";
+    bool hadEnv = prevEnv != nullptr;
+    ::setenv("DIRIGENT_FAST_PATH", "0", 1);
+
+    harness::HarnessConfig hc;
+    hc.warmup = 1;
+    hc.executions = 3;
+    harness::ExperimentRunner runner(hc); // profiles cached across reps
+    auto mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("lbm"));
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+
+    serve::ServeSpec spec;
+    spec.arrivals.kind = serve::ArrivalKind::Poisson;
+    spec.arrivals.rate = 1.0;
+    spec.queueCapacity = 32;
+    spec.slos = {{0.99, 10.0}};
+    spec.horizonSec = 20.0;
+    spec.warmupSec = 2.0;
+
+    OverheadResult out;
+    auto runOnce = [&](bool instrumented) {
+        obs::SpanCollector spans(hc.seed);
+        harness::RunOptions opts;
+        if (instrumented)
+            opts.spans = &spans;
+        auto res = runner.runServing(mix,
+                                     core::schemeSpec(
+                                         core::Scheme::Dirigent),
+                                     spec, deadlines, opts);
+        doNotOptimize(res.arrivals);
+        if (instrumented)
+            out.spansPerRun = spans.spans().size();
+    };
+    // Interleaved arms (order swapped each rep) so host-load drift
+    // cannot bias the ratio; warmup also absorbs the runner's one-time
+    // lazy profiling so it bills to neither arm.
+    std::tie(out.detached, out.instrumented) = bench::measurePairMedian(
+        [&] { runOnce(false); }, [&] { runOnce(true); }, reps, warmup);
+
+    if (hadEnv)
+        ::setenv("DIRIGENT_FAST_PATH", saved.c_str(), 1);
+    else
+        ::unsetenv("DIRIGENT_FAST_PATH");
+    return out;
+}
+
+void
+appendMeasuredJson(std::ostringstream &out, const bench::Measured &m)
+{
+    out << "{\"median_sec\": " << m.medianSec
+        << ", \"min_sec\": " << m.minSec << ", \"max_sec\": " << m.maxSec
+        << "}";
+}
+
+std::string
+formatJson(const OverheadResult &overhead, int reps, int warmup)
+{
+    std::ostringstream out;
+    out << std::setprecision(12);
+    out << "{\n";
+    out << "  \"schema_version\": 1,\n";
+    out << "  \"bench\": \"span_overhead\",\n";
+    out << "  \"reps\": " << reps << ",\n";
+    out << "  \"warmup\": " << warmup << ",\n";
+    out << "  \"context\": {\"compiler\": " << obs::jsonQuote(__VERSION__)
+        << ", \"build_type\": "
+        << obs::jsonQuote(DIRIGENT_BENCH_BUILD_TYPE)
+        << ", \"checker\": " << (check::enabled() ? "true" : "false")
+        << "},\n";
+    out << "  \"serving\": {\n    \"detached\": ";
+    appendMeasuredJson(out, overhead.detached);
+    out << ",\n    \"instrumented\": ";
+    appendMeasuredJson(out, overhead.instrumented);
+    out << ",\n    \"spans_per_run\": " << overhead.spansPerRun;
+    out << ",\n    \"overhead_pct\": " << overhead.overheadPct()
+        << "\n  }\n}\n";
+    return out.str();
+}
+
+void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--reps N] [--warmup N] [--json FILE]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = 5;
+    int warmup = 1;
+    std::string jsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--reps") {
+            reps = std::stoi(next());
+        } else if (arg == "--warmup") {
+            warmup = std::stoi(next());
+        } else if (arg == "--json") {
+            jsonPath = next();
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    OverheadResult overhead = benchServingPair(reps, warmup);
+    std::cout << strfmt(
+        "Span overhead (serving run, median of %d reps):\n"
+        "  detached %.3f ms  instrumented %.3f ms  (%zu spans)  "
+        "overhead %+.2f%%\n",
+        reps, overhead.detached.medianSec * 1e3,
+        overhead.instrumented.medianSec * 1e3, overhead.spansPerRun,
+        overhead.overheadPct());
+
+    if (!jsonPath.empty()) {
+        std::string text = formatJson(overhead, reps, warmup);
+        if (jsonPath == "-") {
+            std::cout << text;
+        } else {
+            std::ofstream out(jsonPath);
+            if (!out) {
+                std::cerr << "cannot write " << jsonPath << "\n";
+                return 1;
+            }
+            out << text;
+            std::cout << "wrote " << jsonPath << "\n";
+        }
+    }
+    return 0;
+}

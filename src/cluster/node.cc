@@ -112,12 +112,15 @@ harness::ServingRunResult
 Node::serve(const serve::ServeSpec &serveSpec,
             const std::vector<std::vector<Time>> &slotArrivals,
             const NodeCalibration &calibration,
-            harness::ProfileSource *sharedProfiles) const
+            harness::ProfileSource *sharedProfiles,
+            obs::SpanCollector *spans, obs::Recorder *recorder) const
 {
     harness::ExperimentRunner runner =
         makeRunner(harness_, sharedProfiles);
     harness::RunOptions opts;
     opts.arrivalOverride = &slotArrivals;
+    opts.spans = spans;
+    opts.recorder = recorder;
     return runner.runServing(config_.mix, config_.scheme, serveSpec,
                              calibration.deadlines, opts);
 }

@@ -100,6 +100,15 @@ struct NodeResult
     std::string mixLabel;
     std::string schemeName;
     double speed = 1.0;
+
+    /** FNV-1a of the node's canonical fault-plan text; 0 = no faults.
+     *  Surfaced in the cluster manifest so a chaos cell's artifact
+     *  identifies the faulted node. */
+    uint64_t faultPlanHash = 0;
+
+    /** Fault-plan file the node ran ("" = none). */
+    std::string faultsFile;
+
     NodeCalibration calibration;
     harness::ServingRunResult serving;
     NodeHealth health;
@@ -140,13 +149,16 @@ class Node
     /**
      * Replay this node's dispatched arrival trace (one vector per FG
      * slot, from DispatchPlan) through a serving run under the node's
-     * scheme and fault plan.
+     * scheme and fault plan. @p spans and @p recorder optionally
+     * instrument the run (passive; nullptr attaches nothing).
      */
     harness::ServingRunResult
     serve(const serve::ServeSpec &serveSpec,
           const std::vector<std::vector<Time>> &slotArrivals,
           const NodeCalibration &calibration,
-          harness::ProfileSource *sharedProfiles) const;
+          harness::ProfileSource *sharedProfiles,
+          obs::SpanCollector *spans = nullptr,
+          obs::Recorder *recorder = nullptr) const;
 
     /**
      * The dispatcher's model of this node: FG slots, calibrated (or

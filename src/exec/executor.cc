@@ -11,7 +11,10 @@
 #include "dirigent/scheme.h"
 #include "dirigent/scheme_spec.h"
 #include "exec/thread_pool.h"
+#include "obs/fleet.h"
 #include "obs/manifest.h"
+#include "obs/recorder.h"
+#include "obs/span.h"
 
 namespace dirigent::exec {
 
@@ -57,6 +60,8 @@ SweepExecutor::SweepExecutor(harness::HarnessConfig config,
         if (jsonl_)
             jsonlPath_ = ecfg.jsonlPath;
     }
+    spanOutBase_ = ecfg.spanOutBase;
+    metricsOutBase_ = ecfg.metricsOutBase;
 }
 
 SweepExecutor::~SweepExecutor() = default;
@@ -418,8 +423,11 @@ SweepExecutor::writeClusterManifest(const cluster::ClusterSpec &spec,
         n.utilization = node.health.utilization;
         n.p99Sec = node.serving.p99Sec;
         n.degraded = node.health.degraded;
+        n.faultPlanHash = node.faultPlanHash;
+        n.faultsFile = node.faultsFile;
         cl.perNode.push_back(std::move(n));
     }
+    cl.burnRates = cell.burnRates;
 
     const std::string path =
         jsonlPath_ + "." + cl.policy + strfmt("%u", cl.nodes) +
@@ -533,9 +541,26 @@ SweepExecutor::runClusterSweep(const cluster::ClusterSpec &spec)
                 *stream, horizon, *dispatcher);
 
             // Phase C: each node replays its routed trace, one job
-            // per node.
+            // per node. When a span/metrics output is configured each
+            // node gets its own collector + recorder (created here, in
+            // node order, with the *cluster* seed so trace IDs do not
+            // depend on the node's salted harness seed); the fold
+            // below merges them deterministically.
+            const bool instrument =
+                !spanOutBase_.empty() || !metricsOutBase_.empty();
             ClusterCellResult cell;
             cell.nodes.resize(nodeCount);
+            std::vector<std::unique_ptr<obs::SpanCollector>> nodeSpans;
+            std::vector<std::unique_ptr<obs::Recorder>> nodeRecorders;
+            if (instrument) {
+                for (unsigned i = 0; i < nodeCount; ++i) {
+                    nodeSpans.push_back(
+                        std::make_unique<obs::SpanCollector>(
+                            config_.seed, i));
+                    nodeRecorders.push_back(
+                        std::make_unique<obs::Recorder>());
+                }
+            }
             const char *policyName =
                 cluster::dispatchPolicyName(policy);
             std::vector<std::function<void()>> jobs;
@@ -552,10 +577,18 @@ SweepExecutor::runClusterSweep(const cluster::ClusterSpec &spec)
                         nodes[i].config().mix);
                     result.schemeName = nodes[i].config().scheme.name;
                     result.speed = nodes[i].config().speed;
+                    if (!nodes[i].config().faultPlan.empty()) {
+                        result.faultsFile = nodes[i].config().faultsFile;
+                        result.faultPlanHash =
+                            fnv1a64(fault::formatFaultPlan(
+                                nodes[i].config().faultPlan));
+                    }
                     result.calibration = calibrations[i];
                     result.serving = nodes[i].serve(
                         cellServe, plan.slotArrivals[i],
-                        calibrations[i], &sharedProfiles_);
+                        calibrations[i], &sharedProfiles_,
+                        instrument ? nodeSpans[i].get() : nullptr,
+                        instrument ? nodeRecorders[i].get() : nullptr);
                     result.health = cluster::Node::healthFrom(
                         nodes[i].config(), calibrations[i],
                         result.serving, cellServe.horizonSec);
@@ -574,6 +607,70 @@ SweepExecutor::runClusterSweep(const cluster::ClusterSpec &spec)
             for (const cluster::NodeResult &node : cell.nodes)
                 accountant.add(node);
             cell.fleet = accountant.finish(plan.generated);
+
+            if (instrument) {
+                const std::string cellTag =
+                    std::string(policyName) + strfmt("%u", nodeCount);
+                // Fleet span artifact: node collectors merged in index
+                // order (each already canonically sorted).
+                obs::SpanCollector fleetSpans(config_.seed, 0);
+                for (unsigned i = 0; i < nodeCount; ++i)
+                    fleetSpans.merge(*nodeSpans[i]);
+                fleetSpans.finalize();
+                if (!spanOutBase_.empty())
+                    obs::writeSpansFile(spanOutBase_ + "." + cellTag +
+                                            ".spans.json",
+                                        fleetSpans);
+                if (!metricsOutBase_.empty()) {
+                    obs::FleetMetrics fm;
+                    for (unsigned i = 0; i < nodeCount; ++i)
+                        fm.addNode(i, nodeRecorders[i]->metrics());
+                    obs::writePrometheusFile(
+                        metricsOutBase_ + "." + cellTag + ".prom", fm);
+                }
+                // Burn rates: per node per FG slot per SLO target,
+                // plus the fleet rollup.
+                for (const serve::SloTarget &t : cellServe.slos) {
+                    std::vector<obs::BurnRateReport> parts;
+                    for (unsigned i = 0; i < nodeCount; ++i) {
+                        unsigned nFg = unsigned(
+                            nodes[i].config().mix.fgCount());
+                        for (unsigned j = 0; j < nFg; ++j) {
+                            obs::BurnRateConfig bc;
+                            bc.quantile = t.quantile;
+                            bc.targetSec = t.targetSec;
+                            bc.windowSec = 1.0;
+                            bc.startSec = 0.0;
+                            bc.endSec = cellServe.horizonSec;
+                            bc.fgSlot = int(j);
+                            parts.push_back(obs::computeBurnRate(
+                                nodeRecorders[i]->requests(), bc,
+                                strfmt("node%u/fg%u", i, j)));
+                        }
+                    }
+                    if (parts.empty())
+                        continue;
+                    parts.push_back(
+                        obs::combineBurnRates(parts, "fleet"));
+                    for (const obs::BurnRateReport &r : parts) {
+                        obs::ManifestBurnRate mb;
+                        mb.scope = r.scope;
+                        mb.label = t.label();
+                        mb.targetSec = r.targetSec;
+                        mb.budget = r.budget;
+                        mb.windows = r.windows.size();
+                        mb.errors = r.errors;
+                        mb.total = r.total;
+                        mb.maxBurn = r.maxBurnRate;
+                        mb.meanBurn = r.meanBurnRate;
+                        mb.exhausted = r.exhausted;
+                        if (jsonl_)
+                            jsonl_->writeBurnRate(mb, spec.name,
+                                                  policy, nodeCount);
+                        cell.burnRates.push_back(std::move(mb));
+                    }
+                }
+            }
 
             if (jsonl_) {
                 jsonl_->writeClusterFleet(cell.fleet, spec.name,

@@ -29,6 +29,7 @@
 #include "exec/profile_cache.h"
 #include "exec/progress.h"
 #include "harness/experiment.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "workload/mix.h"
 
@@ -48,6 +49,19 @@ struct ExecutorConfig
 
     /** Append per-run JSONL records to this path ("" = disabled). */
     std::string jsonlPath;
+
+    /**
+     * Cluster sweeps: write per-cell fleet span artifacts to
+     * <spanOutBase>.<policy><nodes>.spans.json ("" = spans detached —
+     * the provable-no-op default).
+     */
+    std::string spanOutBase;
+
+    /**
+     * Cluster sweeps: write per-cell Prometheus fleet metrics to
+     * <metricsOutBase>.<policy><nodes>.prom ("" = disabled).
+     */
+    std::string metricsOutBase;
 };
 
 /** 0 → hardware concurrency (at least 1); otherwise @p requested. */
@@ -65,6 +79,10 @@ struct ClusterCellResult
 {
     cluster::FleetSummary fleet;
     std::vector<cluster::NodeResult> nodes;
+
+    /** Burn-rate verdicts (per node per FG per SLO target + fleet
+     *  rollup); empty when the cell was not instrumented. */
+    std::vector<obs::ManifestBurnRate> burnRates;
 };
 
 /**
@@ -184,6 +202,8 @@ class SweepExecutor
     SharedProfileCache sharedProfiles_;
     std::unique_ptr<JsonlWriter> jsonl_;
     std::string jsonlPath_;
+    std::string spanOutBase_;
+    std::string metricsOutBase_;
     obs::MetricsRegistry metrics_;
 };
 

@@ -209,6 +209,35 @@ JsonlWriter::writeClusterNode(const cluster::NodeResult &node,
     os_ << line << std::flush;
 }
 
+void
+JsonlWriter::writeBurnRate(const obs::ManifestBurnRate &burn,
+                           const std::string &clusterName,
+                           cluster::DispatchPolicy policy,
+                           unsigned nodes)
+{
+    std::string line = strfmt(
+        "{\"record\":\"burn_rate\",\"cluster\":\"%s\","
+        "\"policy\":\"%s\",\"nodes\":%u,\"scope\":\"%s\","
+        "\"slo\":\"%s\",\"target_s\":%s,\"budget\":%s,"
+        "\"windows\":%llu,\"errors\":%llu,\"total\":%llu,"
+        "\"max_burn\":%s,\"mean_burn\":%s,\"exhausted\":%s}\n",
+        jsonEscape(clusterName).c_str(),
+        cluster::dispatchPolicyName(policy), nodes,
+        jsonEscape(burn.scope).c_str(),
+        jsonEscape(burn.label).c_str(),
+        jsonNumber(burn.targetSec, -1).c_str(),
+        jsonNumber(burn.budget, -1).c_str(),
+        static_cast<unsigned long long>(burn.windows),
+        static_cast<unsigned long long>(burn.errors),
+        static_cast<unsigned long long>(burn.total),
+        jsonNumber(burn.maxBurn, -1).c_str(),
+        jsonNumber(burn.meanBurn, -1).c_str(),
+        burn.exhausted ? "true" : "false");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << line << std::flush;
+}
+
 std::string
 envJsonlPath(const std::string &fallback)
 {

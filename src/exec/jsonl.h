@@ -17,6 +17,7 @@
 #include "cluster/accountant.h"
 #include "harness/metrics.h"
 #include "harness/serving.h"
+#include "obs/manifest.h"
 
 namespace dirigent::exec {
 
@@ -75,6 +76,15 @@ class JsonlWriter
                           const std::string &clusterName,
                           cluster::DispatchPolicy policy,
                           unsigned nodes, uint64_t seed);
+
+    /**
+     * Append one burn-rate verdict row of an instrumented cluster
+     * cell (record "burn_rate"; like the other cluster rows it is a
+     * pure function of the cell, never of the thread count).
+     */
+    void writeBurnRate(const obs::ManifestBurnRate &burn,
+                       const std::string &clusterName,
+                       cluster::DispatchPolicy policy, unsigned nodes);
 
   private:
     std::mutex mutex_;

@@ -32,6 +32,7 @@ class GoldenTraceRecorder;
 
 namespace dirigent::obs {
 class Recorder;
+class SpanCollector;
 } // namespace dirigent::obs
 
 namespace dirigent::harness {
@@ -184,6 +185,15 @@ struct RunOptions
      * no-op, so golden traces stay byte-identical.
      */
     obs::Recorder *recorder = nullptr;
+
+    /**
+     * Serving only: collect one trace span per request into this
+     * collector (driver outcome hook + decision mirror). Works with or
+     * without a recorder. Not owned; the harness finalizes it at the
+     * end of the run. nullptr (the default) attaches nothing — same
+     * provable-no-op contract as the recorder.
+     */
+    obs::SpanCollector *spans = nullptr;
 };
 
 /**

@@ -23,7 +23,9 @@
 #include "machine/actuators.h"
 #include "machine/cat.h"
 #include "machine/cpufreq.h"
+#include "obs/fleet.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
 #include "serve/admission.h"
 #include "serve/driver.h"
 #include "sim/engine.h"
@@ -192,30 +194,34 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
         reactive->start();
     }
 
-    // Telemetry probe (passive; see the batch path for the contract).
+    // Telemetry probe + span decision mirror (passive; see the batch
+    // path for the contract). The single DecisionTrace sink fans out
+    // to whichever of the two consumers is attached.
     std::unique_ptr<obs::RunProbe> probe;
     std::optional<core::DecisionTrace> probeTrace;
     core::DecisionTrace *sinkTrace = nullptr;
     size_t probeListener = 0;
-    if (opts.recorder != nullptr) {
-        obs::RunProbe::Sources src;
-        src.machine = &machine;
-        src.governor = &governor;
-        src.cat = &cat;
-        src.runtime = runtime.get();
-        src.faults = faults;
-        src.fgPids = fgPids;
-        for (unsigned i = 0; i < nFg; ++i) {
-            auto it = deadlines.find(mix.fg[i]);
-            if (it != deadlines.end())
-                src.fgDeadlineSec[fgPids[i]] = it->second.sec();
+    if (opts.recorder != nullptr || opts.spans != nullptr) {
+        if (opts.recorder != nullptr) {
+            obs::RunProbe::Sources src;
+            src.machine = &machine;
+            src.governor = &governor;
+            src.cat = &cat;
+            src.runtime = runtime.get();
+            src.faults = faults;
+            src.fgPids = fgPids;
+            for (unsigned i = 0; i < nFg; ++i) {
+                auto it = deadlines.find(mix.fg[i]);
+                if (it != deadlines.end())
+                    src.fgDeadlineSec[fgPids[i]] = it->second.sec();
+            }
+            probe = std::make_unique<obs::RunProbe>(*opts.recorder, src);
+            engine.addObserver(probe.get());
+            probeListener = machine.addCompletionListener(
+                [p = probe.get()](const machine::CompletionRecord &rec) {
+                    p->onCompletion(rec);
+                });
         }
-        probe = std::make_unique<obs::RunProbe>(*opts.recorder, src);
-        engine.addObserver(probe.get());
-        probeListener = machine.addCompletionListener(
-            [p = probe.get()](const machine::CompletionRecord &rec) {
-                p->onCompletion(rec);
-            });
         if (opts.golden != nullptr) {
             sinkTrace = &opts.golden->decisions();
         } else {
@@ -227,10 +233,15 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
                 runtime->setTrace(sinkTrace);
         }
         sinkTrace->setSink(
-            [p = probe.get()](const core::TraceEvent &ev) {
-                p->onDecision(ev);
+            [p = probe.get(),
+             s = opts.spans](const core::TraceEvent &ev) {
+                if (p != nullptr)
+                    p->onDecision(ev);
+                if (s != nullptr)
+                    s->recordDecision(ev);
             });
-
+    }
+    if (opts.recorder != nullptr) {
         obs::RunManifest &manifest = opts.recorder->manifest();
         manifest.mixName = mix.name;
         manifest.scheme = spec.name;
@@ -287,6 +298,8 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
             driver->setTrace(driverTrace);
         if (opts.recorder != nullptr)
             driver->setRecorder(opts.recorder);
+        if (opts.spans != nullptr)
+            driver->setSpans(opts.spans);
         drivers.push_back(std::move(driver));
     }
     for (auto &driver : drivers)
@@ -354,9 +367,13 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
         probe->finish();
         engine.removeObserver(probe.get());
         machine.removeCompletionListener(probeListener);
-        if (sinkTrace != nullptr)
-            sinkTrace->setSink(nullptr);
+    }
+    if (sinkTrace != nullptr)
+        sinkTrace->setSink(nullptr);
+    if (opts.spans != nullptr)
+        opts.spans->finalize();
 
+    if (probe) {
         obs::RequestSummary &summary =
             opts.recorder->manifest().requests;
         summary.present = true;
@@ -378,6 +395,42 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
             summary.slos.push_back(std::move(mv));
         }
         summary.sloMet = result.sloMet();
+
+        // Burn-rate verdicts: per FG slot per SLO target, plus the
+        // all-slot rollup, over 1 s accounting windows.
+        if (!serveSpec.slos.empty()) {
+            const std::vector<obs::RequestRecord> &recs =
+                opts.recorder->requests();
+            for (const serve::SloTarget &t : serveSpec.slos) {
+                std::vector<obs::BurnRateReport> perFg;
+                for (unsigned i = 0; i < nFg; ++i) {
+                    obs::BurnRateConfig bc;
+                    bc.quantile = t.quantile;
+                    bc.targetSec = t.targetSec;
+                    bc.windowSec = 1.0;
+                    bc.startSec = 0.0;
+                    bc.endSec = serveSpec.horizonSec;
+                    bc.fgSlot = int(i);
+                    perFg.push_back(obs::computeBurnRate(
+                        recs, bc, strfmt("fg%u", i)));
+                }
+                perFg.push_back(obs::combineBurnRates(perFg, "all"));
+                for (const obs::BurnRateReport &r : perFg) {
+                    obs::ManifestBurnRate mb;
+                    mb.scope = r.scope;
+                    mb.label = t.label();
+                    mb.targetSec = r.targetSec;
+                    mb.budget = r.budget;
+                    mb.windows = r.windows.size();
+                    mb.errors = r.errors;
+                    mb.total = r.total;
+                    mb.maxBurn = r.maxBurnRate;
+                    mb.meanBurn = r.meanBurnRate;
+                    mb.exhausted = r.exhausted;
+                    summary.burnRates.push_back(std::move(mb));
+                }
+            }
+        }
     }
 
     return result;

@@ -213,12 +213,35 @@ void
 csvSeries(std::ostream &os, const Series &s)
 {
     for (size_t i = 0; i < s.times.size(); ++i)
-        os << s.name << "," << s.unit << ","
+        os << csvEscape(s.name) << "," << csvEscape(s.unit) << ","
            << strfmt("%.17g", s.times[i]) << ","
            << strfmt("%.17g", s.values[i]) << "\n";
 }
 
 } // namespace
+
+std::string
+csvEscape(const std::string &field)
+{
+    // RFC 4180: quote a field containing a comma, quote, or line
+    // break, doubling embedded quotes; anything else passes through.
+    bool needsQuoting = false;
+    for (char c : field)
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needsQuoting = true;
+            break;
+        }
+    if (!needsQuoting)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
 
 void
 writeSeriesCsv(std::ostream &os, const Recorder &rec)

@@ -50,6 +50,10 @@ bool writePerfettoTraceFile(const std::string &path,
 void writeSeriesCsv(std::ostream &os, const Recorder &recorder);
 void writeSeriesCsv(std::ostream &os, const RunData &run);
 
+/** RFC 4180 field escaping: quote fields containing a comma, quote,
+ *  or line break, doubling embedded quotes; others pass through. */
+std::string csvEscape(const std::string &field);
+
 /** Parse the "dirigent" section of an exported trace document. */
 std::optional<RunData> parseRun(const JsonValue &root,
                                 std::string *error = nullptr);

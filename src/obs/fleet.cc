@@ -1,0 +1,498 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::obs {
+
+MetricsSnapshot
+MetricsSnapshot::capture(const MetricsRegistry &registry)
+{
+    MetricsSnapshot snap;
+    snap.counters = registry.counterValues();
+    snap.gauges = registry.gaugeValues();
+    for (const auto &[name, h] : registry.histogramViews()) {
+        HistogramSnapshot hs;
+        hs.count = h->count();
+        hs.sum = h->sum();
+        hs.bins = h->bins();
+        snap.histograms.emplace_back(name, std::move(hs));
+    }
+    return snap;
+}
+
+namespace {
+
+/** Rebuild the fleet rollup from the per-node snapshots. */
+MetricsSnapshot
+foldFleet(const std::vector<std::pair<unsigned, MetricsSnapshot>> &nodes)
+{
+    // std::map keys keep every fold in sorted-name order regardless of
+    // which nodes carry which instruments.
+    std::map<std::string, uint64_t> counters;
+    struct HistAcc
+    {
+        uint64_t count = 0;
+        double sum = 0.0;
+        // Bin edges are a pure function of the histogram config, which
+        // every node shares (same probe code) — keying on (lo, hi)
+        // merges aligned bins exactly.
+        std::map<std::pair<double, double>, uint64_t> bins;
+    };
+    std::map<std::string, HistAcc> hists;
+
+    for (const auto &[node, snap] : nodes) {
+        (void)node;
+        for (const auto &[name, v] : snap.counters)
+            counters[name] += v;
+        for (const auto &[name, hs] : snap.histograms) {
+            HistAcc &acc = hists[name];
+            acc.count += hs.count;
+            acc.sum += hs.sum;
+            for (const Histogram::Bin &bin : hs.bins)
+                acc.bins[{bin.lo, bin.hi}] += bin.count;
+        }
+    }
+
+    MetricsSnapshot fleet;
+    for (const auto &[name, v] : counters)
+        fleet.counters.emplace_back(name, v);
+    for (const auto &[name, acc] : hists) {
+        HistogramSnapshot hs;
+        hs.count = acc.count;
+        hs.sum = acc.sum;
+        for (const auto &[edges, count] : acc.bins)
+            hs.bins.push_back({edges.first, edges.second, count});
+        fleet.histograms.emplace_back(name, std::move(hs));
+    }
+    return fleet;
+}
+
+} // namespace
+
+void
+FleetMetrics::addNode(unsigned nodeIndex, const MetricsRegistry &registry)
+{
+    addNode(nodeIndex, MetricsSnapshot::capture(registry));
+}
+
+void
+FleetMetrics::addNode(unsigned nodeIndex, MetricsSnapshot snapshot)
+{
+    DIRIGENT_ASSERT(perNode.empty() || perNode.back().first < nodeIndex,
+                    "fleet nodes must be added in ascending index order");
+    perNode.emplace_back(nodeIndex, std::move(snapshot));
+    fleet = foldFleet(perNode);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+namespace {
+
+/** Metric-name charset is [a-zA-Z0-9_:]; everything else becomes '_'
+ *  (dots in registry names, mainly). */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "dirigent_";
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+promEscape(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return strfmt("%.17g", v);
+}
+
+std::string
+nodeLabel(unsigned node)
+{
+    return strfmt("{node=\"%u\"}", node);
+}
+
+/** Emit one histogram's cumulative buckets + _sum/_count. @p labels is
+ *  "" for the fleet rollup or a {node="N"} prefix set. */
+void
+promHistogram(std::ostream &os, const std::string &name,
+              const HistogramSnapshot &hs, const std::string &labels)
+{
+    auto bucket = [&](const std::string &le, uint64_t cum) {
+        os << name << "_bucket{";
+        if (!labels.empty())
+            os << labels << ",";
+        os << "le=\"" << le << "\"} " << promNumber(double(cum)) << "\n";
+    };
+    uint64_t cum = 0;
+    for (const Histogram::Bin &bin : hs.bins) {
+        cum += bin.count;
+        if (std::isinf(bin.hi))
+            break; // folded into the +Inf bucket below
+        bucket(promNumber(bin.hi), cum);
+    }
+    bucket("+Inf", hs.count);
+    std::string suffix = labels.empty() ? "" : ("{" + labels + "}");
+    os << name << "_sum" << suffix << " " << promNumber(hs.sum) << "\n";
+    os << name << "_count" << suffix << " "
+       << promNumber(double(hs.count)) << "\n";
+}
+
+} // namespace
+
+void
+writePrometheus(std::ostream &os, const FleetMetrics &fleet)
+{
+    // Family = one registry name; per-node samples first (index order),
+    // then the unlabelled fleet rollup. Union the names through a map
+    // so a name owned by only some nodes still renders once.
+    std::map<std::string, std::vector<std::pair<unsigned, uint64_t>>>
+        counters;
+    std::map<std::string, std::vector<std::pair<unsigned, double>>> gauges;
+    std::map<std::string,
+             std::vector<std::pair<unsigned, const HistogramSnapshot *>>>
+        hists;
+    for (const auto &[node, snap] : fleet.perNode) {
+        for (const auto &[name, v] : snap.counters)
+            counters[name].emplace_back(node, v);
+        for (const auto &[name, v] : snap.gauges)
+            gauges[name].emplace_back(node, v);
+        for (const auto &[name, hs] : snap.histograms)
+            hists[name].emplace_back(node, &hs);
+    }
+
+    for (const auto &[name, samples] : counters) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " counter\n";
+        for (const auto &[node, v] : samples)
+            os << p << nodeLabel(node) << " " << promNumber(double(v))
+               << "\n";
+        for (const auto &[fname, v] : fleet.fleet.counters)
+            if (fname == name)
+                os << p << " " << promNumber(double(v)) << "\n";
+    }
+    for (const auto &[name, samples] : gauges) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " gauge\n";
+        for (const auto &[node, v] : samples)
+            os << p << nodeLabel(node) << " " << promNumber(v) << "\n";
+    }
+    for (const auto &[name, samples] : hists) {
+        std::string p = promName(name);
+        os << "# TYPE " << p << " histogram\n";
+        for (const auto &[node, hs] : samples)
+            promHistogram(os, p, *hs, strfmt("node=\"%u\"", node));
+        for (const auto &[fname, hs] : fleet.fleet.histograms)
+            if (fname == name)
+                promHistogram(os, p, hs, "");
+    }
+}
+
+std::string
+renderPrometheus(const FleetMetrics &fleet)
+{
+    std::ostringstream os;
+    writePrometheus(os, fleet);
+    return os.str();
+}
+
+bool
+writePrometheusFile(const std::string &path, const FleetMetrics &fleet)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        warn("cannot open metrics output '" + path + "'");
+        return false;
+    }
+    writePrometheus(os, fleet);
+    return bool(os);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition parser (round-trip checks + dirigent-inspect prom).
+
+std::vector<const PromSample *>
+PromDocument::find(const std::string &name) const
+{
+    std::vector<const PromSample *> out;
+    for (const PromFamily &family : families)
+        for (const PromSample &sample : family.samples)
+            if (sample.name == name)
+                out.push_back(&sample);
+    return out;
+}
+
+namespace {
+
+bool
+parsePromSample(const std::string &line, PromSample *out,
+                std::string *error)
+{
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ')
+        ++i;
+    out->name = line.substr(0, i);
+    if (out->name.empty()) {
+        *error = "empty metric name";
+        return false;
+    }
+    if (i < line.size() && line[i] == '{') {
+        ++i;
+        while (i < line.size() && line[i] != '}') {
+            size_t eq = line.find('=', i);
+            if (eq == std::string::npos || eq + 1 >= line.size() ||
+                line[eq + 1] != '"') {
+                *error = "malformed label in '" + line + "'";
+                return false;
+            }
+            std::string key = line.substr(i, eq - i);
+            std::string value;
+            size_t j = eq + 2;
+            while (j < line.size() && line[j] != '"') {
+                if (line[j] == '\\' && j + 1 < line.size()) {
+                    char e = line[j + 1];
+                    value += e == 'n' ? '\n' : e;
+                    j += 2;
+                } else {
+                    value += line[j++];
+                }
+            }
+            if (j >= line.size()) {
+                *error = "unterminated label value in '" + line + "'";
+                return false;
+            }
+            out->labels.emplace_back(std::move(key), std::move(value));
+            i = j + 1;
+            if (i < line.size() && line[i] == ',')
+                ++i;
+        }
+        if (i >= line.size() || line[i] != '}') {
+            *error = "unterminated label set in '" + line + "'";
+            return false;
+        }
+        ++i;
+    }
+    while (i < line.size() && line[i] == ' ')
+        ++i;
+    if (i >= line.size()) {
+        *error = "missing value in '" + line + "'";
+        return false;
+    }
+    const char *start = line.c_str() + i;
+    char *end = nullptr;
+    out->value = std::strtod(start, &end);
+    if (end == start) {
+        *error = "bad value in '" + line + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::optional<PromDocument>
+parsePrometheus(const std::string &text, std::string *error)
+{
+    auto fail = [&](const std::string &what) -> std::optional<PromDocument> {
+        if (error != nullptr)
+            *error = what;
+        return std::nullopt;
+    };
+    PromDocument doc;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            std::istringstream ls(line);
+            std::string hash, kind, name, type;
+            ls >> hash >> kind;
+            if (kind != "TYPE")
+                continue; // HELP or free-form comment
+            if (!(ls >> name >> type))
+                return fail("malformed TYPE line: '" + line + "'");
+            doc.families.push_back({name, type, {}});
+            continue;
+        }
+        PromSample sample;
+        std::string sampleError;
+        if (!parsePromSample(line, &sample, &sampleError))
+            return fail(sampleError);
+        if (doc.families.empty())
+            return fail("sample before any # TYPE line: '" + line + "'");
+        doc.families.back().samples.push_back(std::move(sample));
+    }
+    return doc;
+}
+
+std::string
+renderPrometheus(const PromDocument &doc)
+{
+    std::string out;
+    for (const PromFamily &family : doc.families) {
+        out += "# TYPE " + family.name + " " + family.type + "\n";
+        for (const PromSample &sample : family.samples) {
+            out += sample.name;
+            if (!sample.labels.empty()) {
+                out += "{";
+                bool first = true;
+                for (const auto &[key, value] : sample.labels) {
+                    if (!first)
+                        out += ",";
+                    first = false;
+                    out += key + "=\"" + promEscape(value) + "\"";
+                }
+                out += "}";
+            }
+            out += " " + promNumber(sample.value) + "\n";
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Burn rates.
+
+BurnRateReport
+computeBurnRate(const std::vector<RequestRecord> &requests,
+                const BurnRateConfig &config, const std::string &scope)
+{
+    DIRIGENT_ASSERT(config.quantile > 0.0 && config.quantile < 1.0,
+                    "burn-rate quantile must be in (0, 1)");
+    DIRIGENT_ASSERT(config.windowSec > 0.0,
+                    "burn-rate window must be positive");
+
+    BurnRateReport report;
+    report.scope = scope;
+    report.quantile = config.quantile;
+    report.targetSec = config.targetSec;
+    report.budget = 1.0 - config.quantile;
+
+    double start = config.startSec;
+    double end = config.endSec;
+    if (end <= start) {
+        // No explicit horizon: span the observed arrivals.
+        end = start + config.windowSec;
+        for (const RequestRecord &req : requests)
+            end = std::max(end, req.arrived.sec() + config.windowSec);
+    }
+    size_t windowCount =
+        size_t(std::ceil((end - start) / config.windowSec));
+    windowCount = std::max<size_t>(windowCount, 1);
+    report.windows.resize(windowCount);
+    for (size_t i = 0; i < windowCount; ++i)
+        report.windows[i].startSec = start + double(i) * config.windowSec;
+
+    for (const RequestRecord &req : requests) {
+        if (config.fgSlot >= 0 && int(req.fgSlot) != config.fgSlot)
+            continue;
+        double arrived = req.arrived.sec();
+        double rel = (arrived - start) / config.windowSec;
+        size_t idx = rel <= 0.0 ? 0 : size_t(rel);
+        idx = std::min(idx, windowCount - 1);
+        BurnWindow &win = report.windows[idx];
+        win.total += 1;
+        report.total += 1;
+        bool errored = req.outcome != "completed" ||
+                       req.responseSec > config.targetSec;
+        if (errored) {
+            win.errors += 1;
+            report.errors += 1;
+        }
+    }
+
+    for (BurnWindow &win : report.windows) {
+        win.burnRate =
+            win.total > 0
+                ? (double(win.errors) / double(win.total)) / report.budget
+                : 0.0;
+        report.maxBurnRate = std::max(report.maxBurnRate, win.burnRate);
+    }
+    report.meanBurnRate =
+        report.total > 0
+            ? (double(report.errors) / double(report.total)) / report.budget
+            : 0.0;
+    report.exhausted =
+        report.total > 0 &&
+        double(report.errors) / double(report.total) > report.budget;
+    return report;
+}
+
+BurnRateReport
+combineBurnRates(const std::vector<BurnRateReport> &reports,
+                 const std::string &scope)
+{
+    DIRIGENT_ASSERT(!reports.empty(), "nothing to combine");
+    BurnRateReport out;
+    out.scope = scope;
+    out.quantile = reports.front().quantile;
+    out.targetSec = reports.front().targetSec;
+    out.budget = reports.front().budget;
+
+    size_t windowCount = 0;
+    for (const BurnRateReport &r : reports)
+        windowCount = std::max(windowCount, r.windows.size());
+    out.windows.resize(windowCount);
+    for (const BurnRateReport &r : reports) {
+        DIRIGENT_ASSERT(r.quantile == out.quantile &&
+                            r.targetSec == out.targetSec,
+                        "combined burn rates must share the SLO target");
+        out.total += r.total;
+        out.errors += r.errors;
+        for (size_t i = 0; i < r.windows.size(); ++i) {
+            out.windows[i].startSec = r.windows[i].startSec;
+            out.windows[i].total += r.windows[i].total;
+            out.windows[i].errors += r.windows[i].errors;
+        }
+    }
+    for (BurnWindow &win : out.windows) {
+        win.burnRate =
+            win.total > 0
+                ? (double(win.errors) / double(win.total)) / out.budget
+                : 0.0;
+        out.maxBurnRate = std::max(out.maxBurnRate, win.burnRate);
+    }
+    out.meanBurnRate =
+        out.total > 0
+            ? (double(out.errors) / double(out.total)) / out.budget
+            : 0.0;
+    out.exhausted = out.total > 0 &&
+                    double(out.errors) / double(out.total) > out.budget;
+    return out;
+}
+
+} // namespace dirigent::obs

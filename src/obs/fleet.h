@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Fleet-level telemetry: deterministic aggregation of per-node
+ * MetricsRegistry snapshots, Prometheus text exposition (with a
+ * round-trip parser used by the tests), and the SLO error-budget /
+ * burn-rate engine.
+ *
+ * Layering note: this header is obs-only on purpose. The burn-rate
+ * engine consumes obs::RequestRecord plus plain (quantile, target)
+ * doubles rather than serve::SloTarget, because dirigent_serve links
+ * *against* dirigent_obs — obs must never reach upward.
+ *
+ * Determinism contract: snapshots copy instruments in sorted-name
+ * order, nodes are folded in node-index order, and every renderer uses
+ * %.17g — so fleet artifacts are byte-identical at any executor
+ * thread count.
+ */
+
+#ifndef DIRIGENT_OBS_FLEET_H
+#define DIRIGENT_OBS_FLEET_H
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace dirigent::obs {
+
+/** Plain-data copy of one histogram (count, sum, populated bins). */
+struct HistogramSnapshot
+{
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<Histogram::Bin> bins; //!< ascending, non-empty only
+};
+
+/** Plain-data copy of one MetricsRegistry, sorted by name. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /** Copy every instrument out of @p registry (sorted order). */
+    static MetricsSnapshot capture(const MetricsRegistry &registry);
+};
+
+/**
+ * Per-node snapshots plus the fleet rollup. Mirrors the cluster
+ * ResourceAccountant fold: nodes are added in index order and the
+ * rollup is a pure function of the snapshots, so two sweeps that ran
+ * the same cells produce byte-identical fleet artifacts.
+ */
+struct FleetMetrics
+{
+    std::vector<std::pair<unsigned, MetricsSnapshot>> perNode;
+
+    /**
+     * Fleet rollup: counters summed across nodes; histograms merged
+     * bin-wise (configs match by construction — every node runs the
+     * same probe). Gauges are instantaneous per-node readings with no
+     * meaningful fleet sum, so the rollup carries none.
+     */
+    MetricsSnapshot fleet;
+
+    /** Append @p registry as node @p nodeIndex and refold the rollup.
+     *  Call in ascending node order. */
+    void addNode(unsigned nodeIndex, const MetricsRegistry &registry);
+    void addNode(unsigned nodeIndex, MetricsSnapshot snapshot);
+};
+
+/**
+ * Write Prometheus text exposition format: one `# TYPE` line per
+ * family (sorted by name), per-node samples labelled {node="N"}, and
+ * unlabelled fleet-rollup samples for counters/histograms. Metric
+ * names are sanitized to [a-zA-Z0-9_:] and prefixed `dirigent_`;
+ * histograms expand to cumulative `_bucket{le=...}` samples plus
+ * `_sum`/`_count`.
+ */
+void writePrometheus(std::ostream &os, const FleetMetrics &fleet);
+
+/** Render to a string (exactly what writePrometheus streams). */
+std::string renderPrometheus(const FleetMetrics &fleet);
+
+/** Write to @p path; warn + return false on I/O failure. */
+bool writePrometheusFile(const std::string &path,
+                         const FleetMetrics &fleet);
+
+/** One parsed Prometheus sample: name{labels...} value. */
+struct PromSample
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    double value = 0.0;
+};
+
+/** One metric family: the `# TYPE` line and its samples in order. */
+struct PromFamily
+{
+    std::string name;
+    std::string type; //!< "counter", "gauge", or "histogram"
+    std::vector<PromSample> samples;
+};
+
+/** A parsed exposition document (family order preserved). */
+struct PromDocument
+{
+    std::vector<PromFamily> families;
+
+    /** Samples of @p name across all families (exact name match). */
+    std::vector<const PromSample *> find(const std::string &name) const;
+};
+
+/**
+ * Parse Prometheus text exposition (the subset writePrometheus
+ * emits: # TYPE comments, escaped label values, %.17g numbers).
+ */
+std::optional<PromDocument> parsePrometheus(const std::string &text,
+                                            std::string *error = nullptr);
+
+/**
+ * Re-render a parsed document. For documents produced by
+ * writePrometheus this is a byte-identical round trip (the tests
+ * assert it), since %.17g → strtod → %.17g is the identity.
+ */
+std::string renderPrometheus(const PromDocument &doc);
+
+// ---------------------------------------------------------------------------
+// SLO error budgets and burn rates.
+
+/** One burn-rate evaluation: an SLO target over a request window. */
+struct BurnRateConfig
+{
+    /** SLO: "quantile of response time ≤ targetSec". The error budget
+     *  is 1 − quantile (e.g. p99 → 1 % of requests may exceed). */
+    double quantile = 0.99;
+    double targetSec = 0.0;
+
+    /** Fixed-width accounting windows over [startSec, endSec). */
+    double windowSec = 1.0;
+    double startSec = 0.0;
+    double endSec = 0.0;
+
+    /** Restrict to one FG slot; any slot when negative. */
+    int fgSlot = -1;
+};
+
+/** One accounting window's budget consumption. */
+struct BurnWindow
+{
+    double startSec = 0.0;
+    uint64_t total = 0;
+    uint64_t errors = 0;
+
+    /** (errors/total) / budget; 0 for empty windows. Burn 1.0 = budget
+     *  consumed exactly at the sustainable rate. */
+    double burnRate = 0.0;
+};
+
+/** Burn-rate verdict for one (scope, SLO target) pair. */
+struct BurnRateReport
+{
+    std::string scope; //!< "fg0", "node3/fg0", "fleet", ...
+    double quantile = 0.0;
+    double targetSec = 0.0;
+    double budget = 0.0; //!< 1 − quantile
+
+    uint64_t total = 0;
+    uint64_t errors = 0;
+
+    double maxBurnRate = 0.0;  //!< worst window
+    double meanBurnRate = 0.0; //!< overall (errors/total)/budget
+    bool exhausted = false;    //!< overall error rate > budget
+
+    std::vector<BurnWindow> windows;
+};
+
+/**
+ * Evaluate one burn-rate report over @p requests. A request errors
+ * when it was shed/dropped or completed slower than targetSec; it is
+ * charged to the window holding its *arrival* (arrival time is the
+ * only timestamp every outcome has).
+ */
+BurnRateReport computeBurnRate(const std::vector<RequestRecord> &requests,
+                               const BurnRateConfig &config,
+                               const std::string &scope);
+
+/**
+ * Fleet rollup: sum totals/errors and merge windows index-wise across
+ * @p reports (which must share quantile/target/window geometry).
+ * Burn rates are recomputed from the merged counts.
+ */
+BurnRateReport combineBurnRates(const std::vector<BurnRateReport> &reports,
+                                const std::string &scope);
+
+} // namespace dirigent::obs
+
+#endif // DIRIGENT_OBS_FLEET_H

@@ -18,6 +18,64 @@ buildVersion()
 #endif
 }
 
+namespace {
+
+/** ",\"burn_rates\":[...]" — or "" when there are none, keeping
+ *  pre-burn-rate manifests byte-identical. */
+std::string
+burnRatesJson(const std::vector<ManifestBurnRate> &rates)
+{
+    if (rates.empty())
+        return "";
+    std::string out = ",\"burn_rates\":[";
+    for (size_t i = 0; i < rates.size(); ++i) {
+        const ManifestBurnRate &b = rates[i];
+        if (i > 0)
+            out += ",";
+        out += "{\"scope\":" + jsonQuote(b.scope);
+        out += ",\"label\":" + jsonQuote(b.label);
+        out += ",\"target_s\":" + jsonDouble(b.targetSec);
+        out += ",\"budget\":" + jsonDouble(b.budget);
+        out += strfmt(",\"windows\":%llu,\"errors\":%llu,\"total\":%llu",
+                      (unsigned long long)b.windows,
+                      (unsigned long long)b.errors,
+                      (unsigned long long)b.total);
+        out += ",\"max_burn\":" + jsonDouble(b.maxBurn);
+        out += ",\"mean_burn\":" + jsonDouble(b.meanBurn);
+        out += std::string(",\"exhausted\":") +
+               (b.exhausted ? "true" : "false") + "}";
+    }
+    out += "]";
+    return out;
+}
+
+std::vector<ManifestBurnRate>
+burnRatesFromJson(const JsonValue &parent)
+{
+    std::vector<ManifestBurnRate> rates;
+    const JsonValue *arr = parent.find("burn_rates");
+    if (arr == nullptr || !arr->isArray())
+        return rates;
+    for (const JsonValue &entry : arr->array) {
+        ManifestBurnRate b;
+        b.scope = entry.stringOr("scope", "");
+        b.label = entry.stringOr("label", "");
+        b.targetSec = entry.numberOr("target_s", 0.0);
+        b.budget = entry.numberOr("budget", 0.0);
+        b.windows = uint64_t(entry.numberOr("windows", 0.0));
+        b.errors = uint64_t(entry.numberOr("errors", 0.0));
+        b.total = uint64_t(entry.numberOr("total", 0.0));
+        b.maxBurn = entry.numberOr("max_burn", 0.0);
+        b.meanBurn = entry.numberOr("mean_burn", 0.0);
+        const JsonValue *ex = entry.find("exhausted");
+        b.exhausted = ex != nullptr && ex->isBool() && ex->boolean;
+        rates.push_back(std::move(b));
+    }
+    return rates;
+}
+
+} // namespace
+
 std::string
 RunManifest::toJson() const
 {
@@ -65,7 +123,9 @@ RunManifest::toJson() const
                    (v.met ? "true" : "false") + "}";
         }
         out += std::string("],\"slo_met\":") +
-               (requests.sloMet ? "true" : "false") + "}";
+               (requests.sloMet ? "true" : "false");
+        out += burnRatesJson(requests.burnRates);
+        out += "}";
     }
     if (cluster.present) {
         out += ",\"cluster\":{\"policy\":" + jsonQuote(cluster.policy);
@@ -123,9 +183,21 @@ RunManifest::toJson() const
             out += ",\"utilization\":" + jsonDouble(n.utilization);
             out += ",\"p99_s\":" + jsonDouble(n.p99Sec);
             out += std::string(",\"degraded\":") +
-                   (n.degraded ? "true" : "false") + "}";
+                   (n.degraded ? "true" : "false");
+            // Chaos provenance: emitted only for faulted nodes so
+            // fault-free manifests stay byte-identical.
+            if (n.faultPlanHash != 0)
+                out += ",\"fault_plan_hash\":" +
+                       jsonQuote(strfmt(
+                           "%llu",
+                           (unsigned long long)n.faultPlanHash));
+            if (!n.faultsFile.empty())
+                out += ",\"faults_file\":" + jsonQuote(n.faultsFile);
+            out += "}";
         }
-        out += "]}";
+        out += "]";
+        out += burnRatesJson(cluster.burnRates);
+        out += "}";
     }
     out += ",\"extra\":{";
     bool first = true;
@@ -190,6 +262,7 @@ RunManifest::fromJson(const JsonValue &value)
         const JsonValue *sloMet = req->find("slo_met");
         m.requests.sloMet =
             sloMet == nullptr || !sloMet->isBool() || sloMet->boolean;
+        m.requests.burnRates = burnRatesFromJson(*req);
     }
     if (const JsonValue *cl = value.find("cluster");
         cl != nullptr && cl->isObject()) {
@@ -248,9 +321,14 @@ RunManifest::fromJson(const JsonValue &value)
                 const JsonValue *ndeg = entry.find("degraded");
                 n.degraded =
                     ndeg != nullptr && ndeg->isBool() && ndeg->boolean;
+                n.faultPlanHash = std::strtoull(
+                    entry.stringOr("fault_plan_hash", "0").c_str(),
+                    nullptr, 10);
+                n.faultsFile = entry.stringOr("faults_file", "");
                 m.cluster.perNode.push_back(std::move(n));
             }
         }
+        m.cluster.burnRates = burnRatesFromJson(*cl);
     }
     if (const JsonValue *extra = value.find("extra");
         extra != nullptr && extra->isObject()) {

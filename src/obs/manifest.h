@@ -20,6 +20,25 @@ namespace dirigent::obs {
 
 struct JsonValue;
 
+/**
+ * One burn-rate verdict (obs::BurnRateReport minus the window detail):
+ * how fast the SLO's error budget was consumed over the run. Serialized
+ * only when present, so pre-burn-rate manifests stay byte-identical.
+ */
+struct ManifestBurnRate
+{
+    std::string scope;      //!< "fg0", "node3/fg0", "fleet", ...
+    std::string label;      //!< "p99" style quantile label
+    double targetSec = 0.0;
+    double budget = 0.0;    //!< 1 − quantile
+    uint64_t windows = 0;   //!< accounting-window count
+    uint64_t errors = 0;    //!< SLO-violating requests (late/shed/drop)
+    uint64_t total = 0;
+    double maxBurn = 0.0;   //!< worst single-window burn rate
+    double meanBurn = 0.0;  //!< whole-run burn rate
+    bool exhausted = false; //!< overall error rate exceeded the budget
+};
+
 /** One SLO target's outcome, as recorded in a manifest. */
 struct ManifestSloVerdict
 {
@@ -51,6 +70,10 @@ struct RequestSummary
     double p999Sec = 0.0;
     std::vector<ManifestSloVerdict> slos;
     bool sloMet = true; //!< every SLO target met (vacuously true)
+
+    /** Burn-rate verdicts (one per SLO target per scope); empty when
+     *  the run was not instrumented for burn rates. */
+    std::vector<ManifestBurnRate> burnRates;
 };
 
 /** One node's line in a cluster manifest. */
@@ -67,6 +90,14 @@ struct ClusterNodeSummary
     double utilization = 0.0;
     double p99Sec = 0.0; //!< NaN = nothing completed
     bool degraded = false;
+
+    /** FNV-1a of the node's canonical fault-plan text; 0 = no faults.
+     *  Identifies a chaos cell's faulted node without opening the
+     *  per-node JSONL rows. */
+    uint64_t faultPlanHash = 0;
+
+    /** Fault-plan file the node ran ("" = none). */
+    std::string faultsFile;
 };
 
 /**
@@ -96,6 +127,10 @@ struct ClusterSummary
     double utilizationMax = 0.0;
     double imbalance = 0.0; //!< max/mean node arrivals
     std::vector<ClusterNodeSummary> perNode;
+
+    /** Fleet + per-node burn-rate verdicts (empty when the cell was
+     *  not instrumented). */
+    std::vector<ManifestBurnRate> burnRates;
 };
 
 /** Identity and configuration of one recorded run. */

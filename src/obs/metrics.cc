@@ -207,4 +207,37 @@ MetricsRegistry::writeCsv(std::ostream &os) const
     }
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, const Histogram *>>
+MetricsRegistry::histogramViews() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, const Histogram *>> out;
+    out.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        out.emplace_back(name, h.get());
+    return out;
+}
+
 } // namespace dirigent::obs

@@ -147,6 +147,20 @@ class MetricsRegistry
     /** Emit "name,kind,value" CSV (histograms expand to bin rows). */
     void writeCsv(std::ostream &os) const;
 
+    /** Sorted (name, value) snapshot of every counter. */
+    std::vector<std::pair<std::string, uint64_t>> counterValues() const;
+
+    /** Sorted (name, value) snapshot of every gauge. */
+    std::vector<std::pair<std::string, double>> gaugeValues() const;
+
+    /**
+     * Sorted (name, histogram) views. The pointers stay valid for the
+     * registry's lifetime (instruments never move); used by the fleet
+     * aggregation in obs/fleet.h.
+     */
+    std::vector<std::pair<std::string, const Histogram *>>
+    histogramViews() const;
+
   private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -1,0 +1,353 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/strfmt.h"
+
+namespace dirigent::obs {
+
+namespace {
+
+/** Deterministic 64-bit id over the span's identity tuple. @p kind
+ *  salts trace vs span ids apart. */
+uint64_t
+spanHash(const char *kind, uint64_t seed, unsigned node,
+         unsigned fgSlot, uint64_t requestId)
+{
+    std::string key =
+        strfmt("%s/%llu/%u/%u/%llu", kind, (unsigned long long)seed,
+               node, fgSlot, (unsigned long long)requestId);
+    uint64_t h = fnv1a64(key);
+    // Never emit id 0: downstream treats 0 as "unset".
+    return h != 0 ? h : 1;
+}
+
+} // namespace
+
+double
+Span::e2eSec() const
+{
+    if (outcome != "completed" || std::isnan(finishedSec))
+        return std::nan("");
+    return finishedSec - arrivedSec;
+}
+
+const SpanStage *
+Span::dominantStage() const
+{
+    const SpanStage *best = nullptr;
+    for (const SpanStage &stage : stages)
+        if (best == nullptr ||
+            stage.durationSec() > best->durationSec())
+            best = &stage;
+    return best;
+}
+
+double
+Span::endSec() const
+{
+    return std::isnan(finishedSec) ? arrivedSec : finishedSec;
+}
+
+SpanCollector::SpanCollector(uint64_t runSeed, unsigned nodeIndex)
+    : runSeed_(runSeed), nodeIndex_(nodeIndex)
+{
+}
+
+void
+SpanCollector::recordRequest(unsigned fgSlot, machine::Pid pid,
+                             uint64_t requestId, Time arrived,
+                             Time started, Time finished,
+                             size_t queueDepth,
+                             const std::string &outcome,
+                             double admitLimit)
+{
+    DIRIGENT_ASSERT(!finalized_,
+                    "span collector is finalized; no more requests");
+    Span span;
+    span.traceId =
+        spanHash("trace", runSeed_, nodeIndex_, fgSlot, requestId);
+    span.spanId =
+        spanHash("span", runSeed_, nodeIndex_, fgSlot, requestId);
+    span.node = nodeIndex_;
+    span.fgSlot = fgSlot;
+    span.pid = pid;
+    span.requestId = requestId;
+    span.arrivedSec = arrived.sec();
+    span.startedSec = started.isNever() ? std::nan("") : started.sec();
+    span.finishedSec =
+        finished.isNever() ? std::nan("") : finished.sec();
+    span.queueDepth = queueDepth;
+    span.admitLimit = admitLimit;
+    span.outcome = outcome;
+    spans_.push_back(std::move(span));
+}
+
+void
+SpanCollector::recordDecision(const core::TraceEvent &event)
+{
+    if (finalized_)
+        return;
+    SpanLink link;
+    link.tSec = event.when.sec();
+    link.action = core::traceActionName(event.action);
+    link.pid = event.fgPid;
+    link.value = event.slackRatio;
+    link.detail = event.detail;
+    decisions_.push_back(std::move(link));
+}
+
+void
+SpanCollector::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    // Decisions arrive in simulation order; make the window scan below
+    // robust to ties and any out-of-order sink delivery.
+    std::stable_sort(decisions_.begin(), decisions_.end(),
+                     [](const SpanLink &a, const SpanLink &b) {
+                         return a.tSec < b.tSec;
+                     });
+
+    for (Span &span : spans_) {
+        // Stage decomposition. Rejected requests have no stages — the
+        // outcome alone names the terminal verdict.
+        if (!std::isnan(span.startedSec)) {
+            span.stages.push_back(
+                {"queue_wait", span.arrivedSec, span.startedSec});
+            if (!std::isnan(span.finishedSec))
+                span.stages.push_back(
+                    {"service", span.startedSec, span.finishedSec});
+        }
+
+        // Causal links: decisions for this FG pid (or global pid 0)
+        // inside [arrived, end].
+        const double end = span.endSec();
+        auto first = std::lower_bound(
+            decisions_.begin(), decisions_.end(), span.arrivedSec,
+            [](const SpanLink &link, double t) { return link.tSec < t; });
+        for (auto it = first;
+             it != decisions_.end() && it->tSec <= end; ++it) {
+            if (it->pid != 0 && it->pid != span.pid)
+                continue;
+            span.links.push_back(*it);
+        }
+    }
+
+    std::sort(spans_.begin(), spans_.end(),
+              [](const Span &a, const Span &b) {
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  if (a.fgSlot != b.fgSlot)
+                      return a.fgSlot < b.fgSlot;
+                  return a.requestId < b.requestId;
+              });
+}
+
+void
+SpanCollector::merge(SpanCollector &other)
+{
+    // The target is a pure aggregator: it must not carry raw data of
+    // its own, or finalize() would re-derive stages over the already
+    // finalized merged spans.
+    DIRIGENT_ASSERT(decisions_.empty(),
+                    "merge target must be a pure aggregator");
+    other.finalize();
+    finalized_ = true;
+    spans_.insert(spans_.end(), other.spans_.begin(),
+                  other.spans_.end());
+}
+
+namespace {
+
+std::string
+optionalTime(double sec)
+{
+    return std::isnan(sec) ? "null" : jsonDouble(sec);
+}
+
+} // namespace
+
+std::string
+spansToJson(const std::vector<Span> &spans, uint64_t runSeed)
+{
+    std::string out = "{\"schema\":\"dirigent-spans-v1\"";
+    out += strfmt(",\"seed\":\"%llu\"", (unsigned long long)runSeed);
+    out += ",\"spans\":[";
+    bool firstSpan = true;
+    for (const Span &span : spans) {
+        if (!firstSpan)
+            out += ",\n";
+        firstSpan = false;
+        out += strfmt("{\"trace_id\":\"%llu\",\"span_id\":\"%llu\"",
+                      (unsigned long long)span.traceId,
+                      (unsigned long long)span.spanId);
+        out += strfmt(",\"node\":%u,\"fg_slot\":%u,\"pid\":%u",
+                      span.node, span.fgSlot, span.pid);
+        out += strfmt(",\"request_id\":\"%llu\"",
+                      (unsigned long long)span.requestId);
+        out += ",\"arrived\":" + jsonDouble(span.arrivedSec);
+        out += ",\"started\":" + optionalTime(span.startedSec);
+        out += ",\"finished\":" + optionalTime(span.finishedSec);
+        out += strfmt(",\"queue_depth\":%zu", span.queueDepth);
+        out += ",\"admit_limit\":" + jsonDouble(span.admitLimit);
+        out += ",\"outcome\":" + jsonQuote(span.outcome);
+        out += ",\"e2e_s\":" + optionalTime(span.e2eSec());
+        out += ",\"stages\":[";
+        bool firstStage = true;
+        for (const SpanStage &stage : span.stages) {
+            if (!firstStage)
+                out += ",";
+            firstStage = false;
+            out += "{\"name\":" + jsonQuote(stage.name) +
+                   ",\"start\":" + jsonDouble(stage.startSec) +
+                   ",\"end\":" + jsonDouble(stage.endSec) + "}";
+        }
+        out += "],\"links\":[";
+        bool firstLink = true;
+        for (const SpanLink &link : span.links) {
+            if (!firstLink)
+                out += ",";
+            firstLink = false;
+            out += "{\"t\":" + jsonDouble(link.tSec) +
+                   ",\"action\":" + jsonQuote(link.action) +
+                   strfmt(",\"pid\":%u", link.pid) +
+                   ",\"value\":" + jsonDouble(link.value) +
+                   ",\"detail\":" + jsonQuote(link.detail) + "}";
+        }
+        out += "]}";
+    }
+    out += "]}\n";
+    return out;
+}
+
+namespace {
+
+uint64_t
+decimalId(const JsonValue &value, const std::string &key)
+{
+    const JsonValue *member = value.find(key);
+    if (member == nullptr)
+        return 0;
+    if (member->isString())
+        return std::strtoull(member->string.c_str(), nullptr, 10);
+    if (member->isNumber())
+        return uint64_t(member->number);
+    return 0;
+}
+
+double
+optionalNumber(const JsonValue &value, const std::string &key)
+{
+    const JsonValue *member = value.find(key);
+    if (member == nullptr || !member->isNumber())
+        return std::nan("");
+    return member->number;
+}
+
+} // namespace
+
+std::optional<std::vector<Span>>
+parseSpans(const JsonValue &root, std::string *error)
+{
+    auto fail =
+        [&](const std::string &what) -> std::optional<std::vector<Span>> {
+        if (error != nullptr)
+            *error = what;
+        return std::nullopt;
+    };
+    if (!root.isObject())
+        return fail("spans document is not an object");
+    const JsonValue *spans = root.find("spans");
+    if (spans == nullptr || !spans->isArray())
+        return fail("'spans' missing or not an array");
+
+    std::vector<Span> out;
+    out.reserve(spans->array.size());
+    for (const JsonValue &sv : spans->array) {
+        if (!sv.isObject())
+            return fail("span entry is not an object");
+        Span span;
+        span.traceId = decimalId(sv, "trace_id");
+        span.spanId = decimalId(sv, "span_id");
+        span.node = unsigned(sv.numberOr("node", 0.0));
+        span.fgSlot = unsigned(sv.numberOr("fg_slot", 0.0));
+        span.pid = machine::Pid(sv.numberOr("pid", 0.0));
+        span.requestId = decimalId(sv, "request_id");
+        span.arrivedSec = sv.numberOr("arrived", 0.0);
+        span.startedSec = optionalNumber(sv, "started");
+        span.finishedSec = optionalNumber(sv, "finished");
+        span.queueDepth = size_t(sv.numberOr("queue_depth", 0.0));
+        span.admitLimit = sv.numberOr("admit_limit", 0.0);
+        span.outcome = sv.stringOr("outcome", "");
+        if (const JsonValue *stages = sv.find("stages");
+            stages != nullptr && stages->isArray()) {
+            for (const JsonValue &stv : stages->array) {
+                SpanStage stage;
+                stage.name = stv.stringOr("name", "");
+                stage.startSec = stv.numberOr("start", 0.0);
+                stage.endSec = stv.numberOr("end", 0.0);
+                span.stages.push_back(std::move(stage));
+            }
+        }
+        if (const JsonValue *links = sv.find("links");
+            links != nullptr && links->isArray()) {
+            for (const JsonValue &lv : links->array) {
+                SpanLink link;
+                link.tSec = lv.numberOr("t", 0.0);
+                link.action = lv.stringOr("action", "");
+                link.pid = machine::Pid(lv.numberOr("pid", 0.0));
+                link.value = lv.numberOr("value", 0.0);
+                link.detail = lv.stringOr("detail", "");
+                span.links.push_back(std::move(link));
+            }
+        }
+        out.push_back(std::move(span));
+    }
+    return out;
+}
+
+std::optional<std::vector<Span>>
+loadSpansFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string parseError;
+    auto root = parseJson(buf.str(), &parseError);
+    if (!root) {
+        if (error != nullptr)
+            *error = "parse error in '" + path + "': " + parseError;
+        return std::nullopt;
+    }
+    return parseSpans(*root, error);
+}
+
+bool
+writeSpansFile(const std::string &path, const SpanCollector &collector)
+{
+    DIRIGENT_ASSERT(collector.finalized(),
+                    "finalize the span collector before writing");
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        warn("cannot open span output '" + path + "'");
+        return false;
+    }
+    os << spansToJson(collector.spans(), collector.runSeed());
+    return bool(os);
+}
+
+} // namespace dirigent::obs

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Per-request trace spans: the distributed-tracing substrate for the
+ * serving and cluster layers. One span covers one request's lifecycle
+ * (arrival → queue wait → service → completion, or arrival → shed/
+ * drop), with deterministic trace/span IDs derived purely from
+ * (run seed, node index, FG slot, request id) and causal links to the
+ * DecisionTrace events (admission-limit updates, sheds, throttle/DVFS
+ * actions) that fired inside the request's window.
+ *
+ * Passive-telemetry contract, like the Recorder: a run with no
+ * SpanCollector attached performs zero span work — golden traces stay
+ * byte-identical. With a collector attached, the finalized span list
+ * is a pure function of the simulated run (canonical order: node, FG
+ * slot, request id), so span artifacts are byte-identical at any
+ * executor thread count.
+ */
+
+#ifndef DIRIGENT_OBS_SPAN_H
+#define DIRIGENT_OBS_SPAN_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dirigent/trace.h"
+#include "machine/machine.h"
+#include "obs/json.h"
+
+namespace dirigent::obs {
+
+/** One timed stage inside a span ("queue_wait", "service"). */
+struct SpanStage
+{
+    std::string name;
+    double startSec = 0.0;
+    double endSec = 0.0;
+
+    double durationSec() const { return endSec - startSec; }
+};
+
+/** A causally linked controller decision inside the span's window. */
+struct SpanLink
+{
+    double tSec = 0.0;
+    std::string action; //!< core::traceActionName of the decision
+    machine::Pid pid = 0;
+    double value = 0.0; //!< slack ratio / admission limit
+    std::string detail;
+};
+
+/** One request's trace span. */
+struct Span
+{
+    uint64_t traceId = 0; //!< deterministic: fnv1a(seed,node,slot,id)
+    uint64_t spanId = 0;  //!< distinct hash over the same tuple
+    unsigned node = 0;    //!< cluster node index (0 for single-node)
+    unsigned fgSlot = 0;
+    machine::Pid pid = 0;
+    uint64_t requestId = 0; //!< per-driver arrival sequence number
+
+    double arrivedSec = 0.0;
+    /** NaN for rejected (shed/dropped) requests. */
+    double startedSec = 0.0;
+    double finishedSec = 0.0;
+
+    size_t queueDepth = 0;  //!< waiting requests at arrival
+    double admitLimit = 0.0; //!< admission limit at arrival (0 = none)
+    std::string outcome;     //!< "completed", "dropped", or "shed"
+
+    std::vector<SpanStage> stages;
+    std::vector<SpanLink> links;
+
+    /** End-to-end latency; NaN unless completed. */
+    double e2eSec() const;
+
+    /** Longest stage, or nullptr when the span has none. */
+    const SpanStage *dominantStage() const;
+
+    /** End of the span's window (arrival time for rejections). */
+    double endSec() const;
+};
+
+/**
+ * Collects spans for one run (one node). ServeDriver reports each
+ * request's terminal outcome via recordRequest; the harness mirrors
+ * DecisionTrace events via recordDecision. finalize() derives stages,
+ * attaches causal links, and sorts canonically.
+ */
+class SpanCollector
+{
+  public:
+    /**
+     * @param runSeed the run's base seed — the *cluster-level* seed in
+     *        cluster runs, so a node's IDs do not depend on its salted
+     *        harness seed.
+     * @param nodeIndex cluster node index (0 for single-node runs).
+     */
+    explicit SpanCollector(uint64_t runSeed, unsigned nodeIndex = 0);
+
+    uint64_t runSeed() const { return runSeed_; }
+    unsigned nodeIndex() const { return nodeIndex_; }
+
+    /** One terminal request outcome (called once per request). */
+    void recordRequest(unsigned fgSlot, machine::Pid pid,
+                       uint64_t requestId, Time arrived, Time started,
+                       Time finished, size_t queueDepth,
+                       const std::string &outcome, double admitLimit);
+
+    /** Mirror of one DecisionTrace event (causal-link candidate). */
+    void recordDecision(const core::TraceEvent &event);
+
+    /**
+     * Derive stages, attach links (decisions for the span's pid — or
+     * pid 0 == global — inside [arrived, end]), and sort spans by
+     * (node, fgSlot, requestId). Idempotent.
+     */
+    void finalize();
+
+    bool finalized() const { return finalized_; }
+
+    const std::vector<Span> &spans() const { return spans_; }
+
+    /**
+     * Fleet fold: append @p other's spans (finalizing it first if
+     * needed) and mark this collector finalized. The target must be a
+     * pure aggregator (no raw data of its own); call in node-index
+     * order for a canonical fleet list.
+     */
+    void merge(SpanCollector &other);
+
+  private:
+    uint64_t runSeed_;
+    unsigned nodeIndex_;
+    bool finalized_ = false;
+    std::vector<Span> spans_;
+    std::vector<SpanLink> decisions_; //!< in record order (time order)
+};
+
+/**
+ * Serialize spans as a standalone JSON document:
+ * {"schema":"dirigent-spans-v1","seed":"...","spans":[...]} with
+ * %.17g doubles and 64-bit ids as decimal strings (the repo-wide
+ * manifest convention). Deterministic given the span list.
+ */
+std::string spansToJson(const std::vector<Span> &spans,
+                        uint64_t runSeed);
+
+/** Parse back what spansToJson produced. */
+std::optional<std::vector<Span>> parseSpans(const JsonValue &root,
+                                            std::string *error = nullptr);
+
+/** Load + parse a spans file. */
+std::optional<std::vector<Span>>
+loadSpansFile(const std::string &path, std::string *error = nullptr);
+
+/** Write the spans document; warn + return false on I/O failure. */
+bool writeSpansFile(const std::string &path,
+                    const SpanCollector &collector);
+
+} // namespace dirigent::obs
+
+#endif // DIRIGENT_OBS_SPAN_H

@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "common/strfmt.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
 
 namespace dirigent::serve {
 
@@ -84,6 +85,13 @@ ServeDriver::setRecorder(obs::Recorder *recorder)
 {
     DIRIGENT_ASSERT(!running_, "set the recorder before start()");
     recorder_ = recorder;
+}
+
+void
+ServeDriver::setSpans(obs::SpanCollector *spans)
+{
+    DIRIGENT_ASSERT(!running_, "set the span collector before start()");
+    spans_ = spans;
 }
 
 void
@@ -226,6 +234,12 @@ ServeDriver::noteAdmissionResponse(Time now, Time rtt)
 void
 ServeDriver::emitRequestRecord(const Request &req)
 {
+    if (spans_ != nullptr)
+        spans_->recordRequest(config_.fgSlot, config_.fgPid, req.id,
+                              req.arrived, req.started, req.finished,
+                              req.queueDepth, outcomeName(req.outcome),
+                              admission_ != nullptr ? admission_->limit()
+                                                    : 0.0);
     if (recorder_ == nullptr)
         return;
     obs::RequestRecord rr;

@@ -36,6 +36,7 @@
 
 namespace dirigent::obs {
 class Recorder;
+class SpanCollector;
 } // namespace dirigent::obs
 
 namespace dirigent::serve {
@@ -115,6 +116,13 @@ class ServeDriver
      */
     void setRecorder(obs::Recorder *recorder);
 
+    /**
+     * Emit one trace span per terminal request outcome into this
+     * collector (not owned). Independent of the recorder — spans work
+     * with or without one attached. Set before start().
+     */
+    void setSpans(obs::SpanCollector *spans);
+
     /** Invoke @p fn at every completed request (after recording). */
     void setOnComplete(std::function<void(const Request &)> fn)
     {
@@ -158,6 +166,7 @@ class ServeDriver
     std::unique_ptr<AdmissionController> admission_;
     core::DecisionTrace *trace_ = nullptr;
     obs::Recorder *recorder_ = nullptr;
+    obs::SpanCollector *spans_ = nullptr;
     std::function<void(const Request &)> onComplete_;
 
     RequestQueue queue_;

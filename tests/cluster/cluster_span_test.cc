@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Cluster-layer observability: instrumented fleet runs must write
+ * span + Prometheus artifacts that are byte-identical at 1/2/4
+ * executor threads, burn-rate verdicts must reach the JSONL stream
+ * and the per-cell manifest, per-node fault-plan hashes must land in
+ * the cluster manifest, and instrumentation must not perturb the
+ * fleet's request accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/spec.h"
+#include "common/hash.h"
+#include "exec/executor.h"
+#include "fault/plan.h"
+#include "obs/fleet.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+#include "obs/span.h"
+#include "serve/driver.h"
+
+namespace dirigent::cluster {
+namespace {
+
+harness::HarnessConfig
+fastConfig()
+{
+    harness::HarnessConfig cfg;
+    cfg.executions = 3;
+    cfg.warmup = 1;
+    cfg.seed = 20160402;
+    return cfg;
+}
+
+/** A single rr2 cell: two nodes, one policy. */
+ClusterSpec
+cellSpec()
+{
+    ClusterSpec spec;
+    spec.name = "span-cell";
+    spec.nodes = 2;
+    spec.policy = DispatchPolicy::RoundRobin;
+    spec.serve.arrivals.rate = 2.0;
+    spec.serve.horizonSec = 8.0;
+    spec.serve.warmupSec = 1.0;
+    spec.serve.slos = {{0.99, 15.0}};
+    return spec;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+struct InstrumentedRun
+{
+    exec::ClusterCellResult cell;
+    std::string spans;    //!< <base>.rr2.spans.json bytes
+    std::string prom;     //!< <base>.rr2.prom bytes
+    std::string jsonl;    //!< full JSONL stream
+    std::string manifest; //!< <base>.rr2.manifest.json bytes
+};
+
+InstrumentedRun
+runInstrumented(unsigned threads, const std::string &tag,
+                const ClusterSpec &spec)
+{
+    std::string base = testing::TempDir() + "cluster_span_" + tag +
+                       "_" + std::to_string(threads);
+    std::string jsonlPath = base + ".jsonl";
+    InstrumentedRun run;
+
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    ecfg.jsonlPath = jsonlPath;
+    ecfg.spanOutBase = base;
+    ecfg.metricsOutBase = base;
+    {
+        exec::SweepExecutor executor(fastConfig(), ecfg);
+        run.cell = executor.runCluster(spec);
+    }
+    run.spans = readFile(base + ".rr2.spans.json");
+    run.prom = readFile(base + ".rr2.prom");
+    run.jsonl = readFile(jsonlPath);
+    run.manifest = readFile(jsonlPath + ".rr2.manifest.json");
+    return run;
+}
+
+TEST(ClusterSpanTest, InstrumentedArtifactsAreThreadCountInvariant)
+{
+    InstrumentedRun serial = runInstrumented(1, "threads", cellSpec());
+    ASSERT_FALSE(serial.spans.empty());
+    ASSERT_FALSE(serial.prom.empty());
+    for (unsigned threads : {2u, 4u}) {
+        SCOPED_TRACE(threads);
+        InstrumentedRun other =
+            runInstrumented(threads, "threads", cellSpec());
+        EXPECT_EQ(other.spans, serial.spans);
+        EXPECT_EQ(other.prom, serial.prom);
+        EXPECT_EQ(other.jsonl, serial.jsonl);
+        EXPECT_EQ(other.manifest, serial.manifest);
+    }
+}
+
+TEST(ClusterSpanTest, ArtifactsCoverBothNodesAndCarryBurnRates)
+{
+    InstrumentedRun run = runInstrumented(2, "coverage", cellSpec());
+
+    // Spans: parseable, cluster-seeded, node-major order.
+    std::string error;
+    auto doc = obs::parseJson(run.spans, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->stringOr("schema", ""), "dirigent-spans-v1");
+    EXPECT_EQ(doc->stringOr("seed", ""), "20160402");
+    auto spans = obs::parseSpans(*doc, &error);
+    ASSERT_TRUE(spans.has_value()) << error;
+    size_t logged = 0;
+    for (const NodeResult &node : run.cell.nodes)
+        for (const auto &slot : node.serving.perFgRequests)
+            logged += slot.size();
+    EXPECT_EQ(spans->size(), logged);
+    bool sawNode0 = false, sawNode1 = false;
+    for (const obs::Span &span : *spans) {
+        sawNode0 = sawNode0 || span.node == 0;
+        sawNode1 = sawNode1 || span.node == 1;
+    }
+    EXPECT_TRUE(sawNode0);
+    EXPECT_TRUE(sawNode1);
+
+    // Prometheus: parseable, per-node labels, byte-stable re-render.
+    auto prom = obs::parsePrometheus(run.prom, &error);
+    ASSERT_TRUE(prom.has_value()) << error;
+    EXPECT_EQ(obs::renderPrometheus(*prom), run.prom);
+    EXPECT_NE(run.prom.find("{node=\"1\"}"), std::string::npos);
+
+    // Burn rates: one per node FG slot plus the fleet rollup, both in
+    // the result and as JSONL rows.
+    ASSERT_EQ(run.cell.burnRates.size(), 3u);
+    EXPECT_EQ(run.cell.burnRates[0].scope, "node0/fg0");
+    EXPECT_EQ(run.cell.burnRates[1].scope, "node1/fg0");
+    EXPECT_EQ(run.cell.burnRates[2].scope, "fleet");
+    EXPECT_EQ(run.cell.burnRates[2].total,
+              run.cell.burnRates[0].total +
+                  run.cell.burnRates[1].total);
+    EXPECT_NE(run.jsonl.find("\"record\":\"burn_rate\""),
+              std::string::npos);
+    EXPECT_NE(run.jsonl.find("\"scope\":\"fleet\""), std::string::npos);
+
+    // And the manifest round-trips them.
+    auto manifestDoc = obs::parseJson(run.manifest, &error);
+    ASSERT_TRUE(manifestDoc.has_value()) << error;
+    obs::RunManifest manifest = obs::RunManifest::fromJson(*manifestDoc);
+    ASSERT_TRUE(manifest.cluster.present);
+    ASSERT_EQ(manifest.cluster.burnRates.size(), 3u);
+    EXPECT_EQ(manifest.cluster.burnRates[2].scope, "fleet");
+}
+
+TEST(ClusterSpanTest, InstrumentationDoesNotPerturbTheFleet)
+{
+    InstrumentedRun instrumented =
+        runInstrumented(2, "noperturb", cellSpec());
+
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = 2;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(fastConfig(), ecfg);
+    exec::ClusterCellResult detached = executor.runCluster(cellSpec());
+
+    EXPECT_EQ(detached.fleet.generated,
+              instrumented.cell.fleet.generated);
+    EXPECT_EQ(detached.fleet.completed,
+              instrumented.cell.fleet.completed);
+    ASSERT_EQ(detached.nodes.size(), instrumented.cell.nodes.size());
+    for (size_t i = 0; i < detached.nodes.size(); ++i) {
+        SCOPED_TRACE(i);
+        ASSERT_EQ(detached.nodes[i].serving.perFgRequests.size(),
+                  instrumented.cell.nodes[i]
+                      .serving.perFgRequests.size());
+        for (size_t s = 0;
+             s < detached.nodes[i].serving.perFgRequests.size(); ++s)
+            EXPECT_EQ(
+                serve::formatRequestLog(
+                    detached.nodes[i].serving.perFgRequests[s], true),
+                serve::formatRequestLog(
+                    instrumented.cell.nodes[i]
+                        .serving.perFgRequests[s],
+                    true));
+    }
+    // A detached run owes nothing: no burn rates were computed.
+    EXPECT_TRUE(detached.burnRates.empty());
+}
+
+TEST(ClusterSpanTest, FaultPlanHashReachesTheClusterManifest)
+{
+    fault::FaultPlan plan;
+    plan.dvfs.failProb = 0.05;
+    std::string planPath =
+        testing::TempDir() + "cluster_span_faults.cfg";
+    {
+        std::ofstream out(planPath, std::ios::trunc);
+        out << fault::formatFaultPlan(plan);
+    }
+
+    ClusterSpec spec = cellSpec();
+    spec.overrides[1].faults = planPath;
+    InstrumentedRun run = runInstrumented(2, "faults", spec);
+
+    uint64_t expected = fnv1a64(fault::formatFaultPlan(plan));
+    ASSERT_EQ(run.cell.nodes.size(), 2u);
+    EXPECT_EQ(run.cell.nodes[0].faultPlanHash, 0u);
+    EXPECT_EQ(run.cell.nodes[1].faultPlanHash, expected);
+    EXPECT_EQ(run.cell.nodes[1].faultsFile, planPath);
+
+    std::string error;
+    auto doc = obs::parseJson(run.manifest, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    obs::RunManifest manifest = obs::RunManifest::fromJson(*doc);
+    ASSERT_EQ(manifest.cluster.perNode.size(), 2u);
+    EXPECT_EQ(manifest.cluster.perNode[0].faultPlanHash, 0u);
+    EXPECT_EQ(manifest.cluster.perNode[1].faultPlanHash, expected);
+    EXPECT_EQ(manifest.cluster.perNode[1].faultsFile, planPath);
+}
+
+} // namespace
+} // namespace dirigent::cluster

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Edge cases for the exporters: RFC 4180 CSV escaping with hostile
+ * series names, and the JSON-subset parser + schema validator fed
+ * hostile documents (duplicate keys, truncated arrays, non-UTF-8
+ * bytes, schema violations with precise paths).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace dirigent::obs {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThroughUnquoted)
+{
+    EXPECT_EQ(csvEscape("fg0.response_s"), "fg0.response_s");
+    EXPECT_EQ(csvEscape(""), "");
+    EXPECT_EQ(csvEscape("3.14"), "3.14");
+}
+
+TEST(CsvEscapeTest, SeparatorsAndQuotesForceQuoting)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvEscape("cr\rfield"), "\"cr\rfield\"");
+    EXPECT_EQ(csvEscape("\""), "\"\"\"\"");
+}
+
+TEST(CsvEscapeTest, HostileSeriesNamesStayOneRecordPerSample)
+{
+    RunData run;
+    Series s;
+    s.name = "evil,name\"with\nbreaks";
+    s.unit = "ways";
+    s.times = {1.0};
+    s.values = {2.0};
+    run.series.push_back(s);
+
+    std::ostringstream os;
+    writeSeriesCsv(os, run);
+    std::string text = os.str();
+    // Header + one sample row: the embedded newline must stay inside
+    // the quoted field, not start a new record.
+    EXPECT_NE(text.find("\"evil,name\"\"with\nbreaks\",ways,"),
+              std::string::npos);
+    size_t quotes = 0;
+    for (char ch : text)
+        quotes += ch == '"' ? 1 : 0;
+    EXPECT_EQ(quotes % 2, 0u);
+}
+
+TEST(JsonHostileTest, DuplicateKeysKeepTheLastValue)
+{
+    auto doc = parseJson("{\"a\": 1, \"a\": 2, \"b\": 3}");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->numberOr("a", 0.0), 2.0);
+    EXPECT_DOUBLE_EQ(doc->numberOr("b", 0.0), 3.0);
+}
+
+TEST(JsonHostileTest, TruncatedDocumentsReportAnOffset)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("[1, 2,", &error).has_value());
+    EXPECT_NE(error.find("offset"), std::string::npos);
+    EXPECT_FALSE(parseJson("{\"a\": [1, 2", &error).has_value());
+    EXPECT_FALSE(parseJson("{\"a\": ", &error).has_value());
+    EXPECT_FALSE(parseJson("", &error).has_value());
+    // Trailing garbage after the top-level value is also an error.
+    EXPECT_FALSE(parseJson("{} trailing", &error).has_value());
+}
+
+TEST(JsonHostileTest, NonUtf8BytesDoNotBreakTheStringModel)
+{
+    // Raw ISO-8859-1 bytes inside a string literal: the parser treats
+    // strings as byte sequences, so the bytes survive round-trip.
+    std::string text = "{\"name\": \"caf\xe9\x80\"}";
+    auto doc = parseJson(text);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->stringOr("name", ""), "caf\xe9\x80");
+    // And jsonQuote escapes control bytes so re-emission stays valid.
+    std::string quoted = jsonQuote(std::string("a\x01") + "\xff" + "b");
+    auto again = parseJson("{\"k\": " + quoted + "}");
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->stringOr("k", ""), std::string("a\x01") + "\xff" + "b");
+}
+
+JsonValue
+mustParse(const std::string &text)
+{
+    std::string error;
+    auto doc = parseJson(text, &error);
+    EXPECT_TRUE(doc.has_value()) << error;
+    return doc.has_value() ? *doc : JsonValue{};
+}
+
+TEST(SchemaValidatorTest, AcceptsConformingDocuments)
+{
+    JsonValue schema = mustParse(R"({
+        "type": "object",
+        "required": ["schema", "spans"],
+        "properties": {
+            "schema": {"type": "string", "enum": ["dirigent-spans-v1"]},
+            "spans": {"type": "array", "minItems": 1,
+                      "items": {"type": "object",
+                                "required": ["node"],
+                                "properties": {"node": {"type": "integer"}}}}
+        }
+    })");
+    JsonValue doc = mustParse(
+        R"({"schema": "dirigent-spans-v1", "spans": [{"node": 0}]})");
+    EXPECT_EQ(validateAgainstSchema(doc, schema), "");
+}
+
+TEST(SchemaValidatorTest, ReportsTheViolationPath)
+{
+    JsonValue schema = mustParse(R"({
+        "type": "object",
+        "required": ["spans"],
+        "properties": {
+            "spans": {"type": "array",
+                      "items": {"type": "object",
+                                "required": ["node"]}}
+        }
+    })");
+
+    JsonValue missing = mustParse(R"({"other": 1})");
+    std::string err = validateAgainstSchema(missing, schema);
+    EXPECT_NE(err.find("spans"), std::string::npos);
+
+    JsonValue badItem = mustParse(R"({"spans": [{"node": 0}, {}]})");
+    err = validateAgainstSchema(badItem, schema);
+    EXPECT_NE(err.find("/spans/1"), std::string::npos);
+
+    JsonValue notArray = mustParse(R"({"spans": 3})");
+    EXPECT_NE(validateAgainstSchema(notArray, schema).find("/spans"),
+              std::string::npos);
+}
+
+TEST(SchemaValidatorTest, UnionTypesAndEnumsAreEnforced)
+{
+    JsonValue schema = mustParse(R"({
+        "type": "object",
+        "properties": {
+            "e2e_s": {"type": ["number", "null"]},
+            "outcome": {"type": "string",
+                        "enum": ["completed", "dropped", "shed"]}
+        }
+    })");
+    EXPECT_EQ(validateAgainstSchema(
+                  mustParse(R"({"e2e_s": null, "outcome": "shed"})"),
+                  schema),
+              "");
+    EXPECT_EQ(validateAgainstSchema(
+                  mustParse(R"({"e2e_s": 1.5, "outcome": "completed"})"),
+                  schema),
+              "");
+    EXPECT_NE(validateAgainstSchema(
+                  mustParse(R"({"e2e_s": "soon"})"), schema),
+              "");
+    EXPECT_NE(validateAgainstSchema(
+                  mustParse(R"({"outcome": "lost"})"), schema),
+              "");
+}
+
+TEST(SchemaValidatorTest, MinItemsCatchesTruncatedArrays)
+{
+    JsonValue schema = mustParse(
+        R"({"type": "array", "minItems": 2, "items": {"type": "number"}})");
+    EXPECT_EQ(validateAgainstSchema(mustParse("[1, 2]"), schema), "");
+    EXPECT_NE(validateAgainstSchema(mustParse("[1]"), schema), "");
+    EXPECT_NE(validateAgainstSchema(mustParse("[1, \"x\"]"), schema), "");
+}
+
+} // namespace
+} // namespace dirigent::obs

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fleet telemetry units: snapshot capture, the node-order fold,
+ * Prometheus exposition (including the byte-identical round-trip
+ * contract), and the SLO error-budget / burn-rate engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/fleet.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace dirigent::obs {
+namespace {
+
+MetricsRegistry &
+makeRegistry(MetricsRegistry &reg, uint64_t completions, double ways,
+             std::vector<double> observations)
+{
+    reg.counter("run.fg_completions").add(completions);
+    reg.gauge("cat.final_fg_ways").set(ways);
+    Histogram &h = reg.histogram("fg0.response_s");
+    for (double v : observations)
+        h.observe(v);
+    return reg;
+}
+
+TEST(FleetMetricsTest, SnapshotCapturesSortedInstruments)
+{
+    MetricsRegistry reg;
+    makeRegistry(reg, 3, 2.0, {0.5, 1.5});
+    MetricsSnapshot snap = MetricsSnapshot::capture(reg);
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].first, "run.fg_completions");
+    EXPECT_EQ(snap.counters[0].second, 3u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 2.0);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].second.count, 2u);
+    EXPECT_DOUBLE_EQ(snap.histograms[0].second.sum, 2.0);
+}
+
+TEST(FleetMetricsTest, FoldSumsCountersAndMergesHistograms)
+{
+    MetricsRegistry a, b;
+    makeRegistry(a, 3, 2.0, {0.5, 1.5});
+    makeRegistry(b, 5, 4.0, {0.5});
+    FleetMetrics fleet;
+    fleet.addNode(0, a);
+    fleet.addNode(1, b);
+
+    ASSERT_EQ(fleet.perNode.size(), 2u);
+    ASSERT_EQ(fleet.fleet.counters.size(), 1u);
+    EXPECT_EQ(fleet.fleet.counters[0].second, 8u);
+    // Gauges are per-node readings: the rollup carries none.
+    EXPECT_TRUE(fleet.fleet.gauges.empty());
+    ASSERT_EQ(fleet.fleet.histograms.size(), 1u);
+    EXPECT_EQ(fleet.fleet.histograms[0].second.count, 3u);
+    EXPECT_DOUBLE_EQ(fleet.fleet.histograms[0].second.sum, 2.5);
+    uint64_t binTotal = 0;
+    for (const auto &bin : fleet.fleet.histograms[0].second.bins)
+        binTotal += bin.count;
+    EXPECT_EQ(binTotal, 3u);
+}
+
+TEST(FleetMetricsTest, PrometheusRoundTripIsByteIdentical)
+{
+    MetricsRegistry a, b;
+    makeRegistry(a, 3, 2.0, {0.001, 0.75, 9.5});
+    makeRegistry(b, 5, 4.0, {2.25});
+    FleetMetrics fleet;
+    fleet.addNode(0, a);
+    fleet.addNode(1, b);
+
+    std::string text = renderPrometheus(fleet);
+    ASSERT_FALSE(text.empty());
+    // Names are sanitized and prefixed.
+    EXPECT_NE(text.find("# TYPE dirigent_run_fg_completions counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("dirigent_run_fg_completions{node=\"0\"} 3"),
+              std::string::npos);
+    // Unlabelled fleet rollup line.
+    EXPECT_NE(text.find("\ndirigent_run_fg_completions 8\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+    std::string error;
+    auto doc = parsePrometheus(text, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(renderPrometheus(*doc), text);
+
+    // Rendering is a pure function of the fold.
+    FleetMetrics again;
+    again.addNode(0, a);
+    again.addNode(1, b);
+    EXPECT_EQ(renderPrometheus(again), text);
+}
+
+TEST(FleetMetricsTest, PrometheusParserRejectsOrphanSamples)
+{
+    std::string error;
+    EXPECT_FALSE(
+        parsePrometheus("dirigent_orphan 1\n", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(
+        parsePrometheus("# TYPE dirigent_x counter\ndirigent_x\n")
+            .has_value());
+}
+
+TEST(FleetMetricsTest, HistogramCountsSurviveTheExposition)
+{
+    MetricsRegistry reg;
+    makeRegistry(reg, 1, 1.0, {0.5, 0.5, 123.0});
+    FleetMetrics fleet;
+    fleet.addNode(0, reg);
+    auto doc = parsePrometheus(renderPrometheus(fleet));
+    ASSERT_TRUE(doc.has_value());
+    auto counts = doc->find("dirigent_fg0_response_s_count");
+    // One per-node sample + one fleet-rollup sample.
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_DOUBLE_EQ(counts[0]->value, 3.0);
+    EXPECT_DOUBLE_EQ(counts[1]->value, 3.0);
+}
+
+RequestRecord
+request(double arrivedSec, const std::string &outcome,
+        double responseSec, unsigned fgSlot = 0)
+{
+    RequestRecord r;
+    r.fgSlot = fgSlot;
+    r.arrived = Time::sec(arrivedSec);
+    r.outcome = outcome;
+    r.responseSec =
+        outcome == "completed" ? responseSec : std::nan("");
+    if (outcome == "completed") {
+        r.started = Time::sec(arrivedSec);
+        r.finished = Time::sec(arrivedSec + responseSec);
+    }
+    return r;
+}
+
+TEST(BurnRateTest, ChargesErrorsToArrivalWindows)
+{
+    std::vector<RequestRecord> reqs = {
+        request(0.1, "completed", 0.5), // window 0: ok
+        request(0.2, "completed", 2.0), // window 0: slow -> error
+        request(1.5, "shed", 0.0),      // window 1: error
+        request(2.5, "completed", 0.5), // window 2: ok
+    };
+    BurnRateConfig cfg;
+    cfg.quantile = 0.9;
+    cfg.targetSec = 1.0;
+    cfg.windowSec = 1.0;
+    cfg.startSec = 0.0;
+    cfg.endSec = 3.0;
+    BurnRateReport rep = computeBurnRate(reqs, cfg, "fg0");
+
+    EXPECT_EQ(rep.scope, "fg0");
+    EXPECT_DOUBLE_EQ(rep.budget, 0.1);
+    EXPECT_EQ(rep.total, 4u);
+    EXPECT_EQ(rep.errors, 2u);
+    ASSERT_EQ(rep.windows.size(), 3u);
+    EXPECT_EQ(rep.windows[0].total, 2u);
+    EXPECT_EQ(rep.windows[0].errors, 1u);
+    // (1/2) / 0.1 = 5x the sustainable burn.
+    EXPECT_DOUBLE_EQ(rep.windows[0].burnRate, 5.0);
+    EXPECT_EQ(rep.windows[1].errors, 1u);
+    EXPECT_DOUBLE_EQ(rep.windows[1].burnRate, 10.0);
+    EXPECT_EQ(rep.windows[2].errors, 0u);
+    EXPECT_DOUBLE_EQ(rep.maxBurnRate, 10.0);
+    EXPECT_DOUBLE_EQ(rep.meanBurnRate, 0.5 / 0.1);
+    // Overall error rate 50 % > 10 % budget.
+    EXPECT_TRUE(rep.exhausted);
+}
+
+TEST(BurnRateTest, MeetingTheSloLeavesBudgetUnexhausted)
+{
+    std::vector<RequestRecord> reqs;
+    for (int i = 0; i < 100; ++i)
+        reqs.push_back(request(0.01 * i, "completed", 0.5));
+    BurnRateConfig cfg;
+    cfg.quantile = 0.99;
+    cfg.targetSec = 1.0;
+    cfg.windowSec = 1.0;
+    cfg.endSec = 1.0;
+    BurnRateReport rep = computeBurnRate(reqs, cfg, "all");
+    EXPECT_EQ(rep.errors, 0u);
+    EXPECT_DOUBLE_EQ(rep.maxBurnRate, 0.0);
+    EXPECT_FALSE(rep.exhausted);
+}
+
+TEST(BurnRateTest, FgSlotFilterRestrictsAccounting)
+{
+    std::vector<RequestRecord> reqs = {
+        request(0.1, "completed", 2.0, 0),
+        request(0.2, "completed", 0.1, 1),
+    };
+    BurnRateConfig cfg;
+    cfg.quantile = 0.5;
+    cfg.targetSec = 1.0;
+    cfg.endSec = 1.0;
+    cfg.fgSlot = 1;
+    BurnRateReport rep = computeBurnRate(reqs, cfg, "fg1");
+    EXPECT_EQ(rep.total, 1u);
+    EXPECT_EQ(rep.errors, 0u);
+}
+
+TEST(BurnRateTest, CombineMergesWindowsIndexWise)
+{
+    std::vector<RequestRecord> node0 = {
+        request(0.1, "completed", 2.0),
+        request(1.1, "completed", 0.1),
+    };
+    std::vector<RequestRecord> node1 = {
+        request(0.2, "completed", 0.1),
+        request(1.2, "dropped", 0.0),
+    };
+    BurnRateConfig cfg;
+    cfg.quantile = 0.5;
+    cfg.targetSec = 1.0;
+    cfg.windowSec = 1.0;
+    cfg.endSec = 2.0;
+    auto a = computeBurnRate(node0, cfg, "node0/fg0");
+    auto b = computeBurnRate(node1, cfg, "node1/fg0");
+    auto fleet = combineBurnRates({a, b}, "fleet");
+
+    EXPECT_EQ(fleet.scope, "fleet");
+    EXPECT_EQ(fleet.total, 4u);
+    EXPECT_EQ(fleet.errors, 2u);
+    ASSERT_EQ(fleet.windows.size(), 2u);
+    EXPECT_EQ(fleet.windows[0].total, 2u);
+    EXPECT_EQ(fleet.windows[0].errors, 1u);
+    EXPECT_DOUBLE_EQ(fleet.windows[0].burnRate, 1.0);
+    EXPECT_EQ(fleet.windows[1].errors, 1u);
+    // 50 % errors against a 50 % budget: at the edge, not over it.
+    EXPECT_FALSE(fleet.exhausted);
+}
+
+} // namespace
+} // namespace dirigent::obs

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Span substrate units: deterministic trace/span IDs, stage
+ * derivation, causal-link windowing, canonical ordering, the JSON
+ * round trip, and the fleet-merge aggregator contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace dirigent::obs {
+namespace {
+
+core::TraceEvent
+event(double tSec, core::TraceAction action, machine::Pid pid,
+      double slack, const std::string &detail = "")
+{
+    core::TraceEvent ev;
+    ev.when = Time::sec(tSec);
+    ev.action = action;
+    ev.fgPid = pid;
+    ev.slackRatio = slack;
+    ev.detail = detail;
+    return ev;
+}
+
+TEST(SpanTest, IdsAreDeterministicAndDistinct)
+{
+    SpanCollector a(1234, 0), b(1234, 0);
+    a.recordRequest(0, 7, 0, Time::sec(1.0), Time::sec(1.5),
+                    Time::sec(2.0), 0, "completed", 0.0);
+    b.recordRequest(0, 7, 0, Time::sec(1.0), Time::sec(1.5),
+                    Time::sec(2.0), 0, "completed", 0.0);
+    a.finalize();
+    b.finalize();
+    ASSERT_EQ(a.spans().size(), 1u);
+    EXPECT_EQ(a.spans()[0].traceId, b.spans()[0].traceId);
+    EXPECT_EQ(a.spans()[0].spanId, b.spans()[0].spanId);
+    EXPECT_NE(a.spans()[0].traceId, a.spans()[0].spanId);
+    EXPECT_NE(a.spans()[0].traceId, 0u);
+    EXPECT_NE(a.spans()[0].spanId, 0u);
+
+    // Any identity-tuple change moves both ids.
+    SpanCollector seed(9999, 0), node(1234, 1);
+    seed.recordRequest(0, 7, 0, Time::sec(1.0), Time::sec(1.5),
+                       Time::sec(2.0), 0, "completed", 0.0);
+    node.recordRequest(0, 7, 0, Time::sec(1.0), Time::sec(1.5),
+                       Time::sec(2.0), 0, "completed", 0.0);
+    seed.finalize();
+    node.finalize();
+    EXPECT_NE(seed.spans()[0].traceId, a.spans()[0].traceId);
+    EXPECT_NE(node.spans()[0].traceId, a.spans()[0].traceId);
+}
+
+TEST(SpanTest, CompletedSpanDecomposesIntoQueueWaitAndService)
+{
+    SpanCollector c(1);
+    c.recordRequest(2, 5, 3, Time::sec(1.0), Time::sec(1.25),
+                    Time::sec(2.0), 4, "completed", 8.0);
+    c.finalize();
+    const Span &span = c.spans()[0];
+    ASSERT_EQ(span.stages.size(), 2u);
+    EXPECT_EQ(span.stages[0].name, "queue_wait");
+    EXPECT_DOUBLE_EQ(span.stages[0].startSec, 1.0);
+    EXPECT_DOUBLE_EQ(span.stages[0].endSec, 1.25);
+    EXPECT_EQ(span.stages[1].name, "service");
+    EXPECT_DOUBLE_EQ(span.stages[1].durationSec(), 0.75);
+    EXPECT_DOUBLE_EQ(span.e2eSec(), 1.0);
+    ASSERT_NE(span.dominantStage(), nullptr);
+    EXPECT_EQ(span.dominantStage()->name, "service");
+    EXPECT_EQ(span.queueDepth, 4u);
+    EXPECT_DOUBLE_EQ(span.admitLimit, 8.0);
+}
+
+TEST(SpanTest, RejectedSpanHasNoStagesAndNanLatency)
+{
+    SpanCollector c(1);
+    c.recordRequest(0, 5, 0, Time::sec(3.0), Time::never(),
+                    Time::never(), 16, "shed", 2.0);
+    c.finalize();
+    const Span &span = c.spans()[0];
+    EXPECT_TRUE(span.stages.empty());
+    EXPECT_TRUE(std::isnan(span.startedSec));
+    EXPECT_TRUE(std::isnan(span.finishedSec));
+    EXPECT_TRUE(std::isnan(span.e2eSec()));
+    EXPECT_EQ(span.dominantStage(), nullptr);
+    // A rejection's window collapses to the arrival instant.
+    EXPECT_DOUBLE_EQ(span.endSec(), 3.0);
+}
+
+TEST(SpanTest, LinksAttachOnlyInsideWindowForMatchingPid)
+{
+    SpanCollector c(1);
+    c.recordRequest(0, 5, 0, Time::sec(1.0), Time::sec(1.2),
+                    Time::sec(2.0), 0, "completed", 0.0);
+    // Inside the window, matching pid.
+    c.recordDecision(
+        event(1.5, core::TraceAction::FgToMax, 5, 1.1, "core 0"));
+    // Inside the window, global (pid 0) decision.
+    c.recordDecision(event(1.6, core::TraceAction::BgThrottled, 0, 0.9));
+    // Inside the window, other pid: excluded.
+    c.recordDecision(event(1.7, core::TraceAction::FgThrottled, 9, 1.0));
+    // Outside the window: excluded.
+    c.recordDecision(event(0.5, core::TraceAction::BgBoosted, 0, 1.0));
+    c.recordDecision(event(2.5, core::TraceAction::BgPaused, 0, 1.0));
+    c.finalize();
+    const Span &span = c.spans()[0];
+    ASSERT_EQ(span.links.size(), 2u);
+    EXPECT_EQ(span.links[0].action, "fg-to-max");
+    EXPECT_EQ(span.links[0].pid, 5u);
+    EXPECT_EQ(span.links[0].detail, "core 0");
+    EXPECT_EQ(span.links[1].action, "bg-throttled");
+    EXPECT_EQ(span.links[1].pid, 0u);
+}
+
+TEST(SpanTest, FinalizeSortsCanonicallyAndIsIdempotent)
+{
+    SpanCollector c(1, 0);
+    c.recordRequest(1, 5, 0, Time::sec(2.0), Time::sec(2.1),
+                    Time::sec(2.5), 0, "completed", 0.0);
+    c.recordRequest(0, 4, 1, Time::sec(1.5), Time::sec(1.6),
+                    Time::sec(1.9), 0, "completed", 0.0);
+    c.recordRequest(0, 4, 0, Time::sec(1.0), Time::sec(1.1),
+                    Time::sec(1.4), 0, "completed", 0.0);
+    c.finalize();
+    ASSERT_EQ(c.spans().size(), 3u);
+    EXPECT_EQ(c.spans()[0].fgSlot, 0u);
+    EXPECT_EQ(c.spans()[0].requestId, 0u);
+    EXPECT_EQ(c.spans()[1].fgSlot, 0u);
+    EXPECT_EQ(c.spans()[1].requestId, 1u);
+    EXPECT_EQ(c.spans()[2].fgSlot, 1u);
+
+    // Re-finalizing must not re-derive (and thereby duplicate) stages.
+    c.finalize();
+    EXPECT_EQ(c.spans()[0].stages.size(), 2u);
+}
+
+TEST(SpanTest, DecisionsAfterFinalizeAreIgnored)
+{
+    SpanCollector c(1);
+    c.recordRequest(0, 5, 0, Time::sec(1.0), Time::sec(1.2),
+                    Time::sec(2.0), 0, "completed", 0.0);
+    c.finalize();
+    c.recordDecision(event(1.5, core::TraceAction::FgToMax, 5, 1.0));
+    EXPECT_TRUE(c.spans()[0].links.empty());
+}
+
+TEST(SpanTest, JsonRoundTripPreservesEveryField)
+{
+    SpanCollector c(42, 3);
+    c.recordRequest(1, 6, 9, Time::sec(1.0), Time::sec(1.5),
+                    Time::sec(2.25), 7, "completed", 12.5);
+    c.recordRequest(0, 5, 2, Time::sec(0.5), Time::never(),
+                    Time::never(), 16, "dropped", 0.0);
+    c.recordDecision(event(1.75, core::TraceAction::RequestShed, 0,
+                           0.5, "fg1"));
+    c.finalize();
+
+    std::string text = spansToJson(c.spans(), c.runSeed());
+    std::string error;
+    auto doc = parseJson(text, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->stringOr("schema", ""), "dirigent-spans-v1");
+    EXPECT_EQ(doc->stringOr("seed", ""), "42");
+    auto parsed = parseSpans(*doc, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    ASSERT_EQ(parsed->size(), c.spans().size());
+    for (size_t i = 0; i < parsed->size(); ++i) {
+        const Span &a = c.spans()[i];
+        const Span &b = (*parsed)[i];
+        EXPECT_EQ(a.traceId, b.traceId);
+        EXPECT_EQ(a.spanId, b.spanId);
+        EXPECT_EQ(a.node, b.node);
+        EXPECT_EQ(a.fgSlot, b.fgSlot);
+        EXPECT_EQ(a.pid, b.pid);
+        EXPECT_EQ(a.requestId, b.requestId);
+        EXPECT_DOUBLE_EQ(a.arrivedSec, b.arrivedSec);
+        EXPECT_EQ(std::isnan(a.startedSec), std::isnan(b.startedSec));
+        if (!std::isnan(a.startedSec)) {
+            EXPECT_DOUBLE_EQ(a.startedSec, b.startedSec);
+        }
+        EXPECT_EQ(a.queueDepth, b.queueDepth);
+        EXPECT_DOUBLE_EQ(a.admitLimit, b.admitLimit);
+        EXPECT_EQ(a.outcome, b.outcome);
+        ASSERT_EQ(a.stages.size(), b.stages.size());
+        for (size_t s = 0; s < a.stages.size(); ++s) {
+            EXPECT_EQ(a.stages[s].name, b.stages[s].name);
+            EXPECT_DOUBLE_EQ(a.stages[s].startSec, b.stages[s].startSec);
+            EXPECT_DOUBLE_EQ(a.stages[s].endSec, b.stages[s].endSec);
+        }
+        ASSERT_EQ(a.links.size(), b.links.size());
+        for (size_t l = 0; l < a.links.size(); ++l) {
+            EXPECT_DOUBLE_EQ(a.links[l].tSec, b.links[l].tSec);
+            EXPECT_EQ(a.links[l].action, b.links[l].action);
+            EXPECT_EQ(a.links[l].pid, b.links[l].pid);
+            EXPECT_DOUBLE_EQ(a.links[l].value, b.links[l].value);
+            EXPECT_EQ(a.links[l].detail, b.links[l].detail);
+        }
+    }
+}
+
+TEST(SpanTest, MergeConcatenatesNodesInOrder)
+{
+    SpanCollector node0(7, 0), node1(7, 1);
+    node0.recordRequest(0, 5, 0, Time::sec(1.0), Time::sec(1.1),
+                        Time::sec(1.5), 0, "completed", 0.0);
+    node1.recordRequest(0, 5, 0, Time::sec(0.5), Time::sec(0.6),
+                        Time::sec(0.9), 0, "completed", 0.0);
+
+    SpanCollector fleet(7, 0);
+    fleet.merge(node0);
+    fleet.merge(node1);
+    EXPECT_TRUE(fleet.finalized());
+    ASSERT_EQ(fleet.spans().size(), 2u);
+    EXPECT_EQ(fleet.spans()[0].node, 0u);
+    EXPECT_EQ(fleet.spans()[1].node, 1u);
+    // Same (fg, request) tuple on different nodes: distinct traces.
+    EXPECT_NE(fleet.spans()[0].traceId, fleet.spans()[1].traceId);
+    // Merged spans arrive finalized: stages derived exactly once.
+    EXPECT_EQ(fleet.spans()[0].stages.size(), 2u);
+    fleet.finalize();
+    EXPECT_EQ(fleet.spans()[0].stages.size(), 2u);
+}
+
+} // namespace
+} // namespace dirigent::obs

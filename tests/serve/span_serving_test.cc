@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Span substrate wired through a real serving run: determinism of the
+ * serialized artifact, the no-perturbation guarantee (attaching a
+ * SpanCollector must not move a single request), stage/outcome
+ * consistency with the request log, and burn-rate verdicts landing in
+ * the run manifest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dirigent/scheme_spec.h"
+#include "harness/experiment.h"
+#include "harness/serving.h"
+#include "obs/json.h"
+#include "obs/recorder.h"
+#include "obs/span.h"
+#include "serve/driver.h"
+#include "serve/spec.h"
+#include "workload/mix.h"
+
+namespace dirigent::harness {
+namespace {
+
+struct Rig
+{
+    HarnessConfig hc;
+    ExperimentRunner runner;
+    workload::WorkloadMix mix;
+    std::map<std::string, Time> deadlines;
+    serve::ServeSpec spec;
+
+    Rig()
+        : hc(fastConfig()), runner(hc),
+          mix(workload::makeMix({"ferret"},
+                                workload::BgSpec::single("lbm")))
+    {
+        auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+        deadlines = runner.deadlinesFromBaseline(baseline);
+        spec.arrivals.kind = serve::ArrivalKind::Poisson;
+        spec.arrivals.rate = 1.0;
+        spec.queueCapacity = 16;
+        spec.slos = {{0.99, 10.0}};
+        spec.horizonSec = 12.0;
+        spec.warmupSec = 1.0;
+    }
+
+    static HarnessConfig
+    fastConfig()
+    {
+        HarnessConfig cfg;
+        cfg.executions = 2;
+        cfg.warmup = 1;
+        cfg.seed = 20160402;
+        return cfg;
+    }
+
+    ServingRunResult
+    run(const RunOptions &opts = RunOptions{})
+    {
+        return runner.runServing(mix,
+                                 core::schemeSpec(
+                                     core::Scheme::Dirigent),
+                                 spec, deadlines, opts);
+    }
+};
+
+size_t
+totalRequests(const ServingRunResult &r)
+{
+    size_t n = 0;
+    for (const auto &slot : r.perFgRequests)
+        n += slot.size();
+    return n;
+}
+
+TEST(SpanServingTest, RepeatRunsSerializeByteIdentically)
+{
+    Rig rig;
+    obs::SpanCollector first(rig.runner.mixSeed(rig.mix));
+    obs::SpanCollector second(rig.runner.mixSeed(rig.mix));
+    RunOptions opts;
+    opts.spans = &first;
+    rig.run(opts);
+    opts.spans = &second;
+    rig.run(opts);
+    ASSERT_FALSE(first.spans().empty());
+    EXPECT_EQ(obs::spansToJson(first.spans(), first.runSeed()),
+              obs::spansToJson(second.spans(), second.runSeed()));
+}
+
+TEST(SpanServingTest, AttachingSpansDoesNotPerturbTheRun)
+{
+    Rig rig;
+    ServingRunResult detached = rig.run();
+
+    obs::SpanCollector spans(rig.runner.mixSeed(rig.mix));
+    RunOptions opts;
+    opts.spans = &spans;
+    ServingRunResult instrumented = rig.run(opts);
+
+    EXPECT_EQ(detached.arrivals, instrumented.arrivals);
+    EXPECT_EQ(detached.completed, instrumented.completed);
+    EXPECT_EQ(detached.dropped, instrumented.dropped);
+    EXPECT_EQ(detached.shed, instrumented.shed);
+    EXPECT_EQ(detached.maxQueueDepth, instrumented.maxQueueDepth);
+    EXPECT_EQ(detached.stats.samples(), instrumented.stats.samples());
+    ASSERT_EQ(detached.perFgRequests.size(),
+              instrumented.perFgRequests.size());
+    for (size_t slot = 0; slot < detached.perFgRequests.size(); ++slot)
+        EXPECT_EQ(serve::formatRequestLog(detached.perFgRequests[slot],
+                                          true),
+                  serve::formatRequestLog(
+                      instrumented.perFgRequests[slot], true))
+            << "slot " << slot;
+}
+
+TEST(SpanServingTest, SpansMirrorTheRequestLog)
+{
+    Rig rig;
+    obs::SpanCollector spans(rig.runner.mixSeed(rig.mix));
+    RunOptions opts;
+    opts.spans = &spans;
+    ServingRunResult result = rig.run(opts);
+
+    // runServing finalizes an attached collector before returning.
+    EXPECT_TRUE(spans.finalized());
+    EXPECT_EQ(spans.spans().size(), totalRequests(result));
+    ASSERT_FALSE(spans.spans().empty());
+
+    size_t completed = 0, rejected = 0;
+    for (const obs::Span &span : spans.spans()) {
+        if (span.outcome == "completed") {
+            ++completed;
+            ASSERT_EQ(span.stages.size(), 2u);
+            EXPECT_EQ(span.stages[0].name, "queue_wait");
+            EXPECT_EQ(span.stages[1].name, "service");
+            // Stages tile [arrived, finished] exactly.
+            EXPECT_DOUBLE_EQ(span.stages[0].startSec, span.arrivedSec);
+            EXPECT_DOUBLE_EQ(span.stages[0].endSec,
+                             span.stages[1].startSec);
+            EXPECT_DOUBLE_EQ(span.stages[1].endSec, span.finishedSec);
+            EXPECT_NEAR(span.stages[0].durationSec() +
+                            span.stages[1].durationSec(),
+                        span.e2eSec(), 1e-12);
+        } else {
+            ++rejected;
+            EXPECT_TRUE(span.stages.empty());
+            EXPECT_TRUE(std::isnan(span.e2eSec()));
+        }
+    }
+    EXPECT_EQ(completed, result.completed);
+    EXPECT_EQ(rejected, result.dropped + result.shed);
+}
+
+TEST(SpanServingTest, ManifestCarriesBurnRateVerdicts)
+{
+    Rig rig;
+    obs::Recorder recorder;
+    RunOptions opts;
+    opts.recorder = &recorder;
+    ServingRunResult result = rig.run(opts);
+    ASSERT_GT(result.arrivals, 0u);
+
+    const obs::RequestSummary &summary =
+        recorder.manifest().requests;
+    ASSERT_TRUE(summary.present);
+    // One report per FG slot plus the "all" rollup, per SLO target.
+    ASSERT_EQ(summary.burnRates.size(),
+              rig.spec.slos.size() * (rig.mix.fgCount() + 1));
+    EXPECT_EQ(summary.burnRates.front().scope, "fg0");
+    EXPECT_EQ(summary.burnRates.back().scope, "all");
+    for (const auto &burn : summary.burnRates) {
+        EXPECT_DOUBLE_EQ(burn.budget, 1.0 - 0.99);
+        EXPECT_DOUBLE_EQ(burn.targetSec, 10.0);
+        EXPECT_GT(burn.windows, 0u);
+        EXPECT_LE(burn.errors, burn.total);
+    }
+}
+
+} // namespace
+} // namespace dirigent::harness

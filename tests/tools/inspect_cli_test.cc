@@ -1,0 +1,135 @@
+/**
+ * @file
+ * dirigent-inspect CLI contract, driven through the real binary
+ * (DIRIGENT_INSPECT_BIN): unknown subcommands and missing file
+ * arguments exit 2 with usage, unreadable/unknown inputs exit 1, and
+ * the span-analysis subcommands exit 0 on a generated fixture.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/fleet.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+#ifndef DIRIGENT_INSPECT_BIN
+#error "DIRIGENT_INSPECT_BIN must point at the dirigent-inspect binary"
+#endif
+
+namespace dirigent::obs {
+namespace {
+
+/** Run the inspect binary, muted, and return its exit code. */
+int
+inspect(const std::string &args)
+{
+    std::string cmd = std::string(DIRIGENT_INSPECT_BIN) + " " + args +
+                      " >/dev/null 2>&1";
+    int status = std::system(cmd.c_str());
+    EXPECT_NE(status, -1);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/** Spans fixture with one completed and one shed request. */
+std::string
+spansFixture()
+{
+    static std::string path = [] {
+        SpanCollector spans(20160402, 0);
+        spans.recordRequest(0, 5, 0, Time::sec(1.0), Time::sec(1.3),
+                            Time::sec(2.1), 2, "completed", 0.0);
+        spans.recordRequest(0, 5, 1, Time::sec(1.5), Time::never(),
+                            Time::never(), 16, "shed", 4.0);
+        spans.finalize();
+        std::string p =
+            testing::TempDir() + "inspect_cli_fixture.spans.json";
+        EXPECT_TRUE(writeSpansFile(p, spans));
+        return p;
+    }();
+    return path;
+}
+
+std::string
+promFixture()
+{
+    static std::string path = [] {
+        MetricsRegistry reg;
+        reg.counter("run.fg_completions").add(3);
+        reg.histogram("fg0.response_s").observe(0.5);
+        FleetMetrics fleet;
+        fleet.addNode(0, reg);
+        std::string p = testing::TempDir() + "inspect_cli_fixture.prom";
+        EXPECT_TRUE(writePrometheusFile(p, fleet));
+        return p;
+    }();
+    return path;
+}
+
+TEST(InspectCliTest, UnknownSubcommandExitsTwo)
+{
+    EXPECT_EQ(inspect("frobnicate run.json"), 2);
+    EXPECT_EQ(inspect("summery run.json"), 2);
+}
+
+TEST(InspectCliTest, MissingArgumentsExitTwo)
+{
+    EXPECT_EQ(inspect(""), 2);
+    EXPECT_EQ(inspect("summary"), 2);
+    EXPECT_EQ(inspect("slowest"), 2);
+    // validate and critical-path take exactly two operands.
+    EXPECT_EQ(inspect("validate " + spansFixture()), 2);
+    EXPECT_EQ(inspect("critical-path " + spansFixture()), 2);
+    // Unknown options are rejected, not ignored.
+    EXPECT_EQ(inspect("slowest " + spansFixture() + " --bogus"), 2);
+}
+
+TEST(InspectCliTest, UnreadableInputsExitOne)
+{
+    EXPECT_EQ(inspect("summary /nonexistent/run.json"), 1);
+    EXPECT_EQ(inspect("slowest /nonexistent/spans.json"), 1);
+    EXPECT_EQ(inspect("prom /nonexistent/metrics.prom"), 1);
+}
+
+TEST(InspectCliTest, UnknownTraceIdExitsOne)
+{
+    EXPECT_EQ(
+        inspect("critical-path " + spansFixture() + " 1234567"), 1);
+}
+
+TEST(InspectCliTest, SpanSubcommandsSucceedOnTheFixture)
+{
+    EXPECT_EQ(inspect("slowest " + spansFixture()), 0);
+    EXPECT_EQ(inspect("slowest " + spansFixture() + " --top 1"), 0);
+    EXPECT_EQ(
+        inspect("why-miss " + spansFixture() + " --target 0.5"), 0);
+    EXPECT_EQ(inspect("prom " + promFixture()), 0);
+}
+
+TEST(InspectCliTest, CriticalPathFindsARealTraceId)
+{
+    SpanCollector spans(20160402, 0);
+    spans.recordRequest(0, 5, 0, Time::sec(1.0), Time::sec(1.3),
+                        Time::sec(2.1), 2, "completed", 0.0);
+    spans.finalize();
+    std::string id =
+        std::to_string((unsigned long long)spans.spans()[0].traceId);
+    EXPECT_EQ(
+        inspect("critical-path " + spansFixture() + " " + id), 0);
+}
+
+TEST(InspectCliTest, ValidateChecksAgainstTheShippedSchema)
+{
+    std::string schema =
+        std::string(DIRIGENT_SCHEMA_DIR) + "/spans.schema.json";
+    EXPECT_EQ(inspect("validate " + spansFixture() + " " + schema), 0);
+    // The spans document does not conform to the manifest schema.
+    EXPECT_EQ(inspect("validate " + spansFixture() + " " +
+                      DIRIGENT_SCHEMA_DIR + "/manifest.schema.json"),
+              1);
+}
+
+} // namespace
+} // namespace dirigent::obs

@@ -2,23 +2,36 @@
  * @file
  * Trace inspection CLI: reads the combined Perfetto/exact trace
  * documents written by `run_experiment --trace-out` (the lossless
- * "dirigent" section) and answers questions about a recorded run —
- * most importantly "why did FG k miss its deadline?".
+ * "dirigent" section), the per-request span documents written by
+ * `--span-out`, and the Prometheus text files written by
+ * `--metrics-out` — and answers questions about a recorded run, most
+ * importantly "why did this deadline or SLO get missed?".
  *
  * Usage:
- *   dirigent-inspect summary  RUN.json
- *   dirigent-inspect why-miss RUN.json [--window MS] [--fg SLOT]
- *   dirigent-inspect csv      RUN.json
- *   dirigent-inspect validate FILE.json SCHEMA.json
+ *   dirigent-inspect summary       RUN.json
+ *   dirigent-inspect why-miss      RUN.json|SPANS.json [--window MS]
+ *                                  [--fg SLOT] [--target SEC]
+ *   dirigent-inspect csv           RUN.json
+ *   dirigent-inspect critical-path SPANS.json TRACE_ID
+ *   dirigent-inspect slowest       SPANS.json [--top N]
+ *   dirigent-inspect prom          FILE.prom
+ *   dirigent-inspect validate      FILE.json SCHEMA.json
  *
  * `summary` prints the run manifest plus series/event/slice counts.
- * `why-miss` walks every missed FG execution and reconstructs its
- * decision window: the controller decisions and fault events leading
- * up to the miss, the predictor's view (predicted total, slack ratio,
- * MA({α})), and the machine state (DVFS grades, CAT partition) at the
- * time of the miss. `csv` dumps every series as flat CSV. `validate`
- * checks any JSON document against a JSON-Schema subset (see
- * obs/export.h) — used by CI against tools/schema/.
+ * `why-miss` walks every missed FG execution (batch runs) or every
+ * SLO-violating request (serving runs / span documents) and
+ * reconstructs its decision window: queue-wait/service decomposition,
+ * the admission limit at arrival, and the controller decisions and
+ * fault events leading up to the miss. `critical-path` prints one
+ * request's stage timeline and causally linked decisions.
+ * `slowest` ranks completed requests by end-to-end latency.
+ * `prom` parses a Prometheus text file and checks that re-rendering
+ * it reproduces the input byte for byte. `csv` dumps every series as
+ * flat CSV. `validate` checks any JSON document against a JSON-Schema
+ * subset (see obs/export.h) — used by CI against tools/schema/.
+ *
+ * Unknown subcommands and missing file arguments exit non-zero (2)
+ * with the usage text on stderr.
  */
 
 #include <algorithm>
@@ -33,7 +46,9 @@
 
 #include "common/strfmt.h"
 #include "obs/export.h"
+#include "obs/fleet.h"
 #include "obs/json.h"
+#include "obs/span.h"
 
 using namespace dirigent;
 using namespace dirigent::obs;
@@ -44,11 +59,15 @@ namespace {
 usage()
 {
     std::cerr
-        << "usage: dirigent-inspect summary  RUN.json\n"
-           "       dirigent-inspect why-miss RUN.json [--window MS] "
-           "[--fg SLOT]\n"
-           "       dirigent-inspect csv      RUN.json\n"
-           "       dirigent-inspect validate FILE.json SCHEMA.json\n";
+        << "usage: dirigent-inspect summary       RUN.json\n"
+           "       dirigent-inspect why-miss      RUN.json|SPANS.json "
+           "[--window MS] [--fg SLOT] [--target SEC]\n"
+           "       dirigent-inspect csv           RUN.json\n"
+           "       dirigent-inspect critical-path SPANS.json TRACE_ID\n"
+           "       dirigent-inspect slowest       SPANS.json [--top N]\n"
+           "       dirigent-inspect prom          FILE.prom\n"
+           "       dirigent-inspect validate      FILE.json "
+           "SCHEMA.json\n";
     std::exit(2);
 }
 
@@ -63,6 +82,19 @@ loadOrDie(const std::string &path)
         std::exit(1);
     }
     return std::move(*run);
+}
+
+std::vector<Span>
+loadSpansOrDie(const std::string &path)
+{
+    std::string error;
+    auto spans = loadSpansFile(path, &error);
+    if (!spans) {
+        std::cerr << "dirigent-inspect: cannot load spans from '"
+                  << path << "': " << error << "\n";
+        std::exit(1);
+    }
+    return std::move(*spans);
 }
 
 /** Last sample of @p s at or before @p t (NaN when none). */
@@ -153,6 +185,15 @@ cmdSummary(const RunData &run)
         if (!r.slos.empty())
             std::cout << "    slo_met: "
                       << (r.sloMet ? "true" : "false") << "\n";
+        for (const auto &b : r.burnRates)
+            std::cout << strfmt(
+                "    burn %s %s: budget %s, %llu/%llu errors, "
+                "max %sx mean %sx -> %s\n",
+                b.scope.c_str(), b.label.c_str(),
+                num(b.budget).c_str(), (unsigned long long)b.errors,
+                (unsigned long long)b.total, num(b.maxBurn).c_str(),
+                num(b.meanBurn).c_str(),
+                b.exhausted ? "EXHAUSTED" : "within budget");
     }
     // Cluster-mode manifests carry the fleet summary.
     if (m.cluster.present) {
@@ -182,7 +223,16 @@ cmdSummary(const RunData &run)
         if (!c.slos.empty())
             std::cout << "    slo_met: "
                       << (c.sloMet ? "true" : "false") << "\n";
-        for (const auto &n : c.perNode)
+        for (const auto &b : c.burnRates)
+            std::cout << strfmt(
+                "    burn %s %s: budget %s, %llu/%llu errors, "
+                "max %sx mean %sx -> %s\n",
+                b.scope.c_str(), b.label.c_str(),
+                num(b.budget).c_str(), (unsigned long long)b.errors,
+                (unsigned long long)b.total, num(b.maxBurn).c_str(),
+                num(b.meanBurn).c_str(),
+                b.exhausted ? "EXHAUSTED" : "within budget");
+        for (const auto &n : c.perNode) {
             std::cout << strfmt(
                 "    node%u: %s/%s speed=%g %llu arrivals, "
                 "p99=%s s, util=%.1f%%%s\n",
@@ -190,6 +240,13 @@ cmdSummary(const RunData &run)
                 (unsigned long long)n.arrivals,
                 num(n.p99Sec).c_str(), n.utilization * 100.0,
                 n.degraded ? " DEGRADED" : "");
+            if (n.faultPlanHash != 0)
+                std::cout << strfmt(
+                    "        faults: hash=%llu%s%s\n",
+                    (unsigned long long)n.faultPlanHash,
+                    n.faultsFile.empty() ? "" : " plan=",
+                    n.faultsFile.c_str());
+        }
     }
     if (!run.requests.empty()) {
         size_t completed = 0, dropped = 0, shed = 0;
@@ -271,30 +328,342 @@ printMiss(const RunData &run, const ExecutionSlice &slice,
             windowSec * 1e3);
 }
 
+/** One violating request's queue-wait/service/shed decomposition. */
+void
+printRequestMiss(const RunData &run, const RequestRecord &req,
+                 double targetSec, double windowSec)
+{
+    const double arrived = req.arrived.sec();
+    const bool started = !req.started.isNever();
+    const double end =
+        req.finished.isNever() ? arrived : req.finished.sec();
+
+    std::cout << strfmt("\nviolation: fg%u pid=%u request #%llu -> %s\n",
+                        req.fgSlot, req.pid,
+                        (unsigned long long)req.id,
+                        req.outcome.c_str());
+    if (req.outcome == "completed") {
+        const double queueWait = req.started.sec() - arrived;
+        const double service = req.finished.sec() - req.started.sec();
+        std::cout << strfmt(
+            "    response %.4f s vs target %.4f s (%+.1f%%): "
+            "queue_wait %.4f s (%.0f%%) + service %.4f s (%.0f%%)\n",
+            req.responseSec, targetSec,
+            targetSec > 0.0
+                ? (req.responseSec / targetSec - 1.0) * 100.0
+                : 0.0,
+            queueWait,
+            req.responseSec > 0.0
+                ? queueWait / req.responseSec * 100.0
+                : 0.0,
+            service,
+            req.responseSec > 0.0
+                ? service / req.responseSec * 100.0
+                : 0.0);
+    } else {
+        std::cout << strfmt(
+            "    rejected at arrival (%s): never %s\n",
+            req.outcome == "shed" ? "admission control"
+                                  : "queue full",
+            started ? "finished" : "started");
+    }
+    std::cout << strfmt("    at arrival (%.6f s): queue depth %zu\n",
+                        arrived, req.queueDepth);
+
+    // Decision window: every decision/fault in [arrived - window, end].
+    const double from = std::max(0.0, arrived - windowSec);
+    size_t shown = 0;
+    for (const auto &e : run.events) {
+        double t = e.when.sec();
+        if (t < from || t > end)
+            continue;
+        if (e.pid != 0 && e.pid != req.pid)
+            continue;
+        std::cout << strfmt("    %10.6f s  %-8s %-18s", t,
+                            e.category.c_str(), e.name.c_str());
+        if (e.pid != 0)
+            std::cout << strfmt(" pid=%u", e.pid);
+        if (e.category == "decision")
+            std::cout << strfmt(" slack=%.3f", e.value);
+        if (!e.detail.empty())
+            std::cout << "  " << e.detail;
+        std::cout << "\n";
+        ++shown;
+    }
+    if (shown == 0)
+        std::cout << "    no decisions or faults recorded in the "
+                     "request's window\n";
+}
+
 int
-cmdWhyMiss(const RunData &run, double windowSec, int fgFilter)
+cmdWhyMiss(const RunData &run, double windowSec, int fgFilter,
+           double targetOverrideSec)
 {
     std::vector<const ExecutionSlice *> misses;
     for (const auto &s : run.slices)
         if (s.missed && (fgFilter < 0 || int(s.fgSlot) == fgFilter))
             misses.push_back(&s);
 
-    if (misses.empty()) {
-        std::cout << "no deadline misses recorded";
+    // Serving runs: judge the request records against the tightest SLO
+    // target (or the --target override).
+    double targetSec = targetOverrideSec;
+    if (std::isnan(targetSec))
+        for (const auto &v : run.manifest.requests.slos)
+            if (std::isnan(targetSec) || v.targetSec < targetSec)
+                targetSec = v.targetSec;
+    std::vector<const RequestRecord *> violations;
+    for (const auto &req : run.requests) {
+        if (fgFilter >= 0 && int(req.fgSlot) != fgFilter)
+            continue;
+        bool violating =
+            req.outcome != "completed" ||
+            (!std::isnan(targetSec) && req.responseSec > targetSec);
+        if (violating)
+            violations.push_back(&req);
+    }
+
+    if (misses.empty() && violations.empty()) {
+        std::cout << "no deadline misses or SLO violations recorded";
         if (fgFilter >= 0)
             std::cout << " for fg" << fgFilter;
-        std::cout << " (" << run.slices.size() << " executions)\n";
+        std::cout << " (" << run.slices.size() << " executions, "
+                  << run.requests.size() << " requests)\n";
         return 0;
     }
 
-    std::cout << misses.size() << " deadline miss"
-              << (misses.size() == 1 ? "" : "es") << " of "
-              << run.slices.size() << " executions ("
-              << run.manifest.mixName << "/" << run.manifest.scheme
-              << ", window " << strfmt("%.0f", windowSec * 1e3)
-              << " ms):\n";
-    for (const auto *slice : misses)
-        printMiss(run, *slice, windowSec);
+    if (!misses.empty()) {
+        std::cout << misses.size() << " deadline miss"
+                  << (misses.size() == 1 ? "" : "es") << " of "
+                  << run.slices.size() << " executions ("
+                  << run.manifest.mixName << "/" << run.manifest.scheme
+                  << ", window " << strfmt("%.0f", windowSec * 1e3)
+                  << " ms):\n";
+        for (const auto *slice : misses)
+            printMiss(run, *slice, windowSec);
+    }
+    if (!violations.empty()) {
+        std::cout << violations.size() << " SLO violation"
+                  << (violations.size() == 1 ? "" : "s") << " of "
+                  << run.requests.size() << " requests ("
+                  << run.manifest.mixName << "/" << run.manifest.scheme;
+        if (!std::isnan(targetSec))
+            std::cout << ", target " << num(targetSec) << " s";
+        std::cout << "):\n";
+        for (const auto *req : violations)
+            printRequestMiss(run, *req, targetSec, windowSec);
+    }
+    return 0;
+}
+
+void
+printSpanLinks(const Span &span)
+{
+    for (const auto &link : span.links) {
+        std::cout << strfmt("    %10.6f s  decision %-18s",
+                            link.tSec, link.action.c_str());
+        if (link.pid != 0)
+            std::cout << strfmt(" pid=%u", link.pid);
+        std::cout << strfmt(" value=%.3f", link.value);
+        if (!link.detail.empty())
+            std::cout << "  " << link.detail;
+        std::cout << "\n";
+    }
+    if (span.links.empty())
+        std::cout << "    no linked decisions inside the span's "
+                     "window\n";
+}
+
+/** Span-document why-miss: stage decomposition per violating span. */
+int
+cmdWhyMissSpans(const std::vector<Span> &spans, int fgFilter,
+                double targetSec)
+{
+    std::vector<const Span *> violations;
+    for (const auto &span : spans) {
+        if (fgFilter >= 0 && int(span.fgSlot) != fgFilter)
+            continue;
+        bool violating =
+            span.outcome != "completed" ||
+            (!std::isnan(targetSec) && span.e2eSec() > targetSec);
+        if (violating)
+            violations.push_back(&span);
+    }
+    if (violations.empty()) {
+        std::cout << "no SLO violations recorded";
+        if (fgFilter >= 0)
+            std::cout << " for fg" << fgFilter;
+        std::cout << " (" << spans.size() << " spans";
+        if (std::isnan(targetSec))
+            std::cout << "; pass --target SEC to judge completed "
+                         "requests";
+        std::cout << ")\n";
+        return 0;
+    }
+
+    std::cout << violations.size() << " SLO violation"
+              << (violations.size() == 1 ? "" : "s") << " of "
+              << spans.size() << " spans";
+    if (!std::isnan(targetSec))
+        std::cout << " (target " << num(targetSec) << " s)";
+    std::cout << ":\n";
+    for (const auto *span : violations) {
+        std::cout << strfmt(
+            "\nviolation: trace %llu node%u fg%u request #%llu -> %s\n",
+            (unsigned long long)span->traceId, span->node, span->fgSlot,
+            (unsigned long long)span->requestId,
+            span->outcome.c_str());
+        if (span->outcome == "completed") {
+            std::cout << strfmt("    e2e %.4f s:", span->e2eSec());
+            for (const auto &stage : span->stages)
+                std::cout << strfmt(
+                    " %s %.4f s (%.0f%%)", stage.name.c_str(),
+                    stage.durationSec(),
+                    span->e2eSec() > 0.0
+                        ? stage.durationSec() / span->e2eSec() * 100.0
+                        : 0.0);
+            std::cout << "\n";
+        } else {
+            std::cout << strfmt(
+                "    rejected at arrival %.6f s (%s)\n",
+                span->arrivedSec,
+                span->outcome == "shed" ? "admission control"
+                                        : "queue full");
+        }
+        std::cout << strfmt(
+            "    at arrival: queue depth %zu, admission limit %s\n",
+            span->queueDepth,
+            span->admitLimit > 0.0 ? num(span->admitLimit).c_str()
+                                   : "none");
+        printSpanLinks(*span);
+    }
+    return 0;
+}
+
+int
+cmdCriticalPath(const std::string &path, const std::string &traceIdArg)
+{
+    uint64_t traceId = std::strtoull(traceIdArg.c_str(), nullptr, 10);
+    auto spans = loadSpansOrDie(path);
+    const Span *match = nullptr;
+    for (const auto &span : spans)
+        if (span.traceId == traceId) {
+            match = &span;
+            break;
+        }
+    if (match == nullptr) {
+        std::cerr << "dirigent-inspect: no span with trace id "
+                  << traceIdArg << " in '" << path << "' ("
+                  << spans.size() << " spans)\n";
+        return 1;
+    }
+
+    std::cout << strfmt(
+        "trace %llu: node%u fg%u pid=%u request #%llu -> %s\n",
+        (unsigned long long)match->traceId, match->node, match->fgSlot,
+        match->pid, (unsigned long long)match->requestId,
+        match->outcome.c_str());
+    std::cout << strfmt(
+        "    arrived %.6f s, queue depth %zu, admission limit %s\n",
+        match->arrivedSec, match->queueDepth,
+        match->admitLimit > 0.0 ? num(match->admitLimit).c_str()
+                                : "none");
+    const SpanStage *dominant = match->dominantStage();
+    for (const auto &stage : match->stages)
+        std::cout << strfmt(
+            "    %10.6f s .. %10.6f s  %-10s %.4f s%s\n",
+            stage.startSec, stage.endSec, stage.name.c_str(),
+            stage.durationSec(),
+            &stage == dominant ? "  <- critical" : "");
+    if (match->stages.empty())
+        std::cout << "    no stages: the request was rejected at "
+                     "arrival\n";
+    if (!std::isnan(match->e2eSec()))
+        std::cout << strfmt("    e2e %.4f s\n", match->e2eSec());
+    printSpanLinks(*match);
+    return 0;
+}
+
+int
+cmdSlowest(const std::string &path, size_t top)
+{
+    auto spans = loadSpansOrDie(path);
+    std::vector<const Span *> completed;
+    size_t rejected = 0;
+    for (const auto &span : spans) {
+        if (span.outcome == "completed")
+            completed.push_back(&span);
+        else
+            ++rejected;
+    }
+    // Ties broken by canonical identity so output is deterministic.
+    std::sort(completed.begin(), completed.end(),
+              [](const Span *a, const Span *b) {
+                  if (a->e2eSec() != b->e2eSec())
+                      return a->e2eSec() > b->e2eSec();
+                  if (a->node != b->node)
+                      return a->node < b->node;
+                  if (a->fgSlot != b->fgSlot)
+                      return a->fgSlot < b->fgSlot;
+                  return a->requestId < b->requestId;
+              });
+    if (completed.size() > top)
+        completed.resize(top);
+
+    std::cout << "slowest " << completed.size() << " of "
+              << spans.size() << " spans (" << rejected
+              << " rejected):\n";
+    for (const auto *span : completed) {
+        const SpanStage *dominant = span->dominantStage();
+        std::cout << strfmt(
+            "    trace %-20llu node%u fg%u request #%-6llu "
+            "e2e %.4f s  dominant %s %.4f s (%.0f%%)\n",
+            (unsigned long long)span->traceId, span->node, span->fgSlot,
+            (unsigned long long)span->requestId, span->e2eSec(),
+            dominant != nullptr ? dominant->name.c_str() : "-",
+            dominant != nullptr ? dominant->durationSec() : 0.0,
+            dominant != nullptr && span->e2eSec() > 0.0
+                ? dominant->durationSec() / span->e2eSec() * 100.0
+                : 0.0);
+    }
+    return 0;
+}
+
+int
+cmdProm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "dirigent-inspect: cannot open '" << path
+                  << "'\n";
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::string error;
+    auto doc = parsePrometheus(text, &error);
+    if (!doc) {
+        std::cerr << path << ": parse error: " << error << "\n";
+        return 1;
+    }
+    size_t samples = 0;
+    for (const auto &family : doc->families) {
+        samples += family.samples.size();
+        std::cout << family.name << " (" << family.type << "): "
+                  << family.samples.size() << " samples\n";
+    }
+    std::cout << doc->families.size() << " families, " << samples
+              << " samples\n";
+
+    // The exporter and parser are exact inverses; anything else means
+    // a lossy export.
+    if (renderPrometheus(*doc) != text) {
+        std::cerr << path << ": round-trip mismatch: re-rendering the "
+                     "parsed document does not reproduce the input\n";
+        return 1;
+    }
+    std::cout << "round-trip: byte-identical\n";
     return 0;
 }
 
@@ -333,34 +702,82 @@ cmdValidate(const std::string &filePath, const std::string &schemaPath)
     return 0;
 }
 
+bool
+knownCommand(const std::string &cmd)
+{
+    static const char *known[] = {"summary",       "why-miss", "csv",
+                                  "critical-path", "slowest",  "prom",
+                                  "validate"};
+    for (const char *k : known)
+        if (cmd == k)
+            return true;
+    return false;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         usage();
     std::string cmd = argv[1];
+    // Reject unknown subcommands before touching any file: a typo must
+    // exit non-zero with the usage text, not a confusing load error.
+    if (!knownCommand(cmd)) {
+        std::cerr << "dirigent-inspect: unknown subcommand '" << cmd
+                  << "'\n";
+        usage();
+    }
+    if (argc < 3) {
+        std::cerr << "dirigent-inspect: " << cmd
+                  << " requires a file argument\n";
+        usage();
+    }
 
     if (cmd == "validate") {
-        if (argc != 4)
+        if (argc != 4) {
+            std::cerr << "dirigent-inspect: validate takes FILE.json "
+                         "and SCHEMA.json\n";
             usage();
+        }
         return cmdValidate(argv[2], argv[3]);
+    }
+    if (cmd == "prom")
+        return cmdProm(argv[2]);
+    if (cmd == "critical-path") {
+        if (argc != 4) {
+            std::cerr << "dirigent-inspect: critical-path takes "
+                         "SPANS.json and a TRACE_ID\n";
+            usage();
+        }
+        return cmdCriticalPath(argv[2], argv[3]);
     }
 
     std::string runPath = argv[2];
     double windowSec = 0.050;
+    double targetSec = std::nan("");
     int fgFilter = -1;
+    size_t top = 10;
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--window" && i + 1 < argc) {
             windowSec = std::strtod(argv[++i], nullptr) / 1e3;
         } else if (arg == "--fg" && i + 1 < argc) {
             fgFilter = int(std::strtol(argv[++i], nullptr, 10));
+        } else if (arg == "--target" && i + 1 < argc) {
+            targetSec = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--top" && i + 1 < argc) {
+            top = size_t(std::strtoul(argv[++i], nullptr, 10));
         } else {
+            std::cerr << "dirigent-inspect: unknown option '" << arg
+                      << "'\n";
             usage();
         }
     }
+
+    if (cmd == "slowest")
+        return cmdSlowest(runPath, top);
 
     if (cmd == "summary") {
         // summary also accepts a bare *.manifest.json (no trace
@@ -389,12 +806,33 @@ main(int argc, char **argv)
         return 1;
     }
 
-    RunData run = loadOrDie(runPath);
-    if (cmd == "why-miss")
-        return cmdWhyMiss(run, windowSec, fgFilter);
-    if (cmd == "csv") {
-        writeSeriesCsv(std::cout, run);
-        return 0;
+    if (cmd == "why-miss") {
+        // A spans document gets the span-based decomposition; anything
+        // else is treated as a recorded run/trace document.
+        {
+            std::ifstream in(runPath, std::ios::binary);
+            std::ostringstream text;
+            if (in)
+                text << in.rdbuf();
+            std::string parseError;
+            auto doc = parseJson(text.str(), &parseError);
+            if (doc && doc->isObject() &&
+                doc->stringOr("schema", "") == "dirigent-spans-v1") {
+                auto spans = parseSpans(*doc, &parseError);
+                if (!spans) {
+                    std::cerr << "dirigent-inspect: cannot load spans "
+                                 "from '"
+                              << runPath << "': " << parseError << "\n";
+                    return 1;
+                }
+                return cmdWhyMissSpans(*spans, fgFilter, targetSec);
+            }
+        }
+        RunData run = loadOrDie(runPath);
+        return cmdWhyMiss(run, windowSec, fgFilter, targetSec);
     }
-    usage();
+
+    RunData run = loadOrDie(runPath);
+    writeSeriesCsv(std::cout, run); // cmd == "csv"
+    return 0;
 }

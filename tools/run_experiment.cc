@@ -26,6 +26,18 @@
  *                          Dirigent scheme is re-run once, recorded.
  *                          Inspect with dirigent-inspect, or open FILE
  *                          in ui.perfetto.dev
+ *   --span-out FILE        serving/cluster runs: write per-request
+ *                          trace spans (dirigent-spans-v1 JSON) to
+ *                          FILE. In cluster mode FILE is a base path;
+ *                          each cell writes
+ *                          FILE.<policy><nodes>.spans.json. Inspect
+ *                          with dirigent-inspect critical-path /
+ *                          slowest / why-miss
+ *   --metrics-out FILE     write the run's metrics registry in
+ *                          Prometheus text exposition format to FILE
+ *                          (cluster mode: FILE.<policy><nodes>.prom
+ *                          per cell, with per-node labels and a fleet
+ *                          rollup)
  *   --check                enable the runtime invariant checker for this
  *                          run (also DIRIGENT_CHECK=1; --no-check forces
  *                          it off)
@@ -100,8 +112,10 @@
 #include "harness/report.h"
 #include "harness/serving.h"
 #include "obs/export.h"
+#include "obs/fleet.h"
 #include "obs/manifest.h"
 #include "obs/recorder.h"
+#include "obs/span.h"
 #include "serve/spec.h"
 #include "workload/benchmarks.h"
 #include "workload/mix.h"
@@ -118,6 +132,7 @@ usage()
         << "usage: run_experiment <fg>[,<fg>...] <bg>[+<bg2>] "
            "[--config FILE] [--fg-program FILE] [--threads N] "
            "[--jsonl FILE] [--faults FILE] [--trace-out FILE] "
+           "[--span-out FILE] [--metrics-out FILE] "
            "[--scheme-file FILE] [--serve-file FILE] "
            "[--check|--no-check] [key=value...]\n"
            "       run_experiment --cluster-file FILE [options]\n"
@@ -201,6 +216,26 @@ writeTraceFiles(const std::string &path, obs::Recorder &recorder)
         return;
     }
     os << recorder.manifest().toJson() << "\n";
+}
+
+/** Export the run's metrics registry as a one-node Prometheus file. */
+void
+writeMetricsProm(const std::string &path, const obs::Recorder &recorder)
+{
+    obs::FleetMetrics fm;
+    fm.addNode(0, recorder.metrics());
+    if (obs::writePrometheusFile(path, fm))
+        inform("Prometheus metrics written to " + path);
+}
+
+/** Export collected spans (finalizing first). */
+void
+writeSpanFiles(const std::string &path, obs::SpanCollector &spans)
+{
+    spans.finalize();
+    if (obs::writeSpansFile(path, spans))
+        inform(strfmt("%zu request spans written to %s",
+                      spans.spans().size(), path.c_str()));
 }
 
 /** NaN-safe quantile cell: "-" when nothing completed. */
@@ -304,12 +339,15 @@ printFleetComparison(std::ostream &os,
 int
 runClusterMode(const cluster::ClusterSpec &spec,
                const harness::HarnessConfig &hc,
-               const std::string &jsonlPath)
+               const std::string &jsonlPath, const std::string &spanOut,
+               const std::string &metricsOut)
 {
     printBanner(std::cout, "run_experiment: cluster " + spec.name +
                                strfmt(" (%u nodes)", spec.nodes));
     exec::ExecutorConfig ecfg;
     ecfg.jsonlPath = jsonlPath;
+    ecfg.spanOutBase = spanOut;
+    ecfg.metricsOutBase = metricsOut;
     exec::SweepExecutor executor(hc, ecfg);
     auto cells = executor.runClusterSweep(spec);
     std::cout << "\n";
@@ -347,6 +385,7 @@ main(int argc, char **argv)
     Config overrides;
     std::string configFile, fgProgramFile, jsonlPath, faultsFile;
     std::string traceOut, schemeFile, serveFile, clusterFile;
+    std::string spanOut, metricsOut;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -395,6 +434,14 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage();
             traceOut = argv[i];
+        } else if (arg == "--span-out") {
+            if (++i >= argc)
+                usage();
+            spanOut = argv[i];
+        } else if (arg == "--metrics-out") {
+            if (++i >= argc)
+                usage();
+            metricsOut = argv[i];
         } else if (arg == "--check") {
             check::setEnabled(true);
         } else if (arg == "--no-check") {
@@ -452,7 +499,8 @@ main(int argc, char **argv)
                               : clusterFile.c_str()));
         return runClusterMode(cspec, hc,
                               jsonlPath.empty() ? exec::envJsonlPath()
-                                                : jsonlPath);
+                                                : jsonlPath,
+                              spanOut, metricsOut);
     }
 
     harness::ExperimentRunner runner(hc);
@@ -552,14 +600,18 @@ main(int argc, char **argv)
                 {mix}, serveSpec, exec::defaultServingSchemes());
             std::cout << "\n";
             printServingComparison(std::cout, perMix.front());
-            if (!traceOut.empty()) {
+            if (!traceOut.empty() || !spanOut.empty() ||
+                !metricsOut.empty()) {
                 inform("re-running DirigentGradient instrumented for "
-                       "--trace-out");
+                       "telemetry export");
                 obs::Recorder recorder;
+                obs::SpanCollector spans(runner.mixSeed(mix));
                 auto baseline =
                     runner.run(mix, core::Scheme::Baseline, {});
                 harness::RunOptions opts;
                 opts.recorder = &recorder;
+                if (!spanOut.empty())
+                    opts.spans = &spans;
                 serve::ServeSpec one = serveSpec;
                 one.sweepRates.clear();
                 runner.runServing(mix,
@@ -567,7 +619,12 @@ main(int argc, char **argv)
                                   one,
                                   runner.deadlinesFromBaseline(baseline),
                                   opts);
-                writeTraceFiles(traceOut, recorder);
+                if (!traceOut.empty())
+                    writeTraceFiles(traceOut, recorder);
+                if (!spanOut.empty())
+                    writeSpanFiles(spanOut, spans);
+                if (!metricsOut.empty())
+                    writeMetricsProm(metricsOut, recorder);
             }
             return 0;
         }
@@ -575,11 +632,14 @@ main(int argc, char **argv)
         // One serving cell under the selected scheme; a Baseline batch
         // run calibrates the deadlines first, as in the sweep.
         obs::Recorder recorder;
+        obs::SpanCollector spans(runner.mixSeed(mix));
         auto baseline = runner.run(mix, core::Scheme::Baseline, {});
         auto deadlines = runner.deadlinesFromBaseline(baseline);
         harness::RunOptions runOpts;
-        if (!traceOut.empty())
+        if (!traceOut.empty() || !metricsOut.empty())
             runOpts.recorder = &recorder;
+        if (!spanOut.empty())
+            runOpts.spans = &spans;
         serve::ServeSpec one = serveSpec;
         one.sweepRates.clear();
         auto t0 = std::chrono::steady_clock::now();
@@ -589,6 +649,10 @@ main(int argc, char **argv)
                           .count();
         if (!traceOut.empty())
             writeTraceFiles(traceOut, recorder);
+        if (!spanOut.empty())
+            writeSpanFiles(spanOut, spans);
+        if (!metricsOut.empty())
+            writeMetricsProm(metricsOut, recorder);
         if (!outPath.empty())
             if (auto writer = exec::JsonlWriter::open(outPath))
                 writer->writeServing(res, schemeName,
@@ -622,6 +686,11 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Batch mode has no requests, hence no spans; metrics still apply.
+    if (!spanOut.empty())
+        warn("--span-out applies to serving and cluster runs only; "
+             "ignored for batch executions");
+
     if (schemeFile.empty() && schemeName == "all") {
         // Sharded across hc.threads workers (scheme stages of the one
         // mix overlap where their data dependencies allow).
@@ -635,17 +704,20 @@ main(int argc, char **argv)
         harness::printStdComparison(std::cout, perMix);
         std::cout << "\nCSV:\n";
         harness::printComparisonCsv(std::cout, perMix);
-        if (!traceOut.empty()) {
+        if (!traceOut.empty() || !metricsOut.empty()) {
             // Telemetry wants a single instrumented run; replay the
             // Dirigent scheme with the sweep's calibrated deadlines.
             inform("re-running dirigent scheme instrumented for "
-                   "--trace-out");
+                   "telemetry export");
             obs::Recorder recorder;
             harness::RunOptions opts;
             opts.recorder = &recorder;
             runner.run(mix, core::Scheme::Dirigent,
                        perMix.front().front().deadlines, opts);
-            writeTraceFiles(traceOut, recorder);
+            if (!traceOut.empty())
+                writeTraceFiles(traceOut, recorder);
+            if (!metricsOut.empty())
+                writeMetricsProm(metricsOut, recorder);
         }
     } else {
         obs::Recorder recorder;
@@ -654,13 +726,13 @@ main(int argc, char **argv)
         auto deadlines = runner.deadlinesFromBaseline(baseline);
         harness::applyDeadlines(baseline, deadlines);
         harness::RunOptions runOpts;
-        if (!traceOut.empty())
+        if (!traceOut.empty() || !metricsOut.empty())
             runOpts.recorder = &recorder;
         // Baseline is re-run instrumented (the calibration run above
         // has no deadlines yet, so its slices could not be judged).
         bool isBaseline =
             spec == core::schemeSpec(core::Scheme::Baseline);
-        auto res = isBaseline && traceOut.empty()
+        auto res = isBaseline && runOpts.recorder == nullptr
                        ? baseline
                        : runner.run(mix, spec, deadlines, runOpts);
         double wall = std::chrono::duration<double>(
@@ -668,6 +740,8 @@ main(int argc, char **argv)
                           .count();
         if (!traceOut.empty())
             writeTraceFiles(traceOut, recorder);
+        if (!metricsOut.empty())
+            writeMetricsProm(metricsOut, recorder);
         std::string outPath =
             jsonlPath.empty() ? exec::envJsonlPath() : jsonlPath;
         if (!outPath.empty()) {
