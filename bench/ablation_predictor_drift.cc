@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Predictor accuracy under workload drift: average midpoint prediction
+ * error (paper Eq. 3) for every builtin predictor kind, driven over
+ * identical synthetic executions in four contention regimes —
+ *
+ *   stationary  constant 1.5x slowdown, every execution
+ *   alternate   each execution is flat at 1.9x or 1.15x (seeded coin):
+ *               the regime flips *between* executions
+ *   midshift    contention steps between 1.9x and 1.15x halfway
+ *               through each execution (a co-runner churns mid-run)
+ *   ramp        contention builds or drains linearly across each
+ *               execution (1.15x ↔ 2.05x)
+ *
+ * The predictors are driven directly through the CompletionPredictor
+ * seam (one observation per profile segment), so this isolates the
+ * prediction math from scheduling effects. Midpoint error is scored
+ * from the first observation at >= 50% progress, after a warmup of
+ * 8 executions so cross-execution state (penalty EMAs, posterior
+ * weights) has settled.
+ *
+ * Expectation: ema is the most accurate when contention is constant
+ * within an execution (stationary, alternate) — its prefix-rate
+ * scaling is near-optimal there; generative is the most accurate when
+ * contention shifts *during* an execution (midshift, ramp), the
+ * regime a prefix extrapolation gets structurally wrong.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strfmt.h"
+#include "common/table.h"
+#include "dirigent/fallback_predictor.h"
+#include "dirigent/predictor_spec.h"
+#include "dirigent/profile.h"
+#include "harness/report.h"
+
+using namespace dirigent;
+
+namespace {
+
+constexpr unsigned kWarmupExecutions = 8;
+
+core::Profile
+syntheticProfile()
+{
+    std::vector<core::ProfileSegment> segs(
+        40, core::ProfileSegment{1e6, Time::ms(5.0)});
+    return core::Profile("synthetic-drift", Time::ms(5.0), segs);
+}
+
+/** Contention slowdown of segment fraction @p frac in one execution. */
+double
+slowdown(const std::string &mode, bool flip, double frac)
+{
+    if (mode == "stationary")
+        return 1.5;
+    if (mode == "alternate")
+        return flip ? 1.9 : 1.15;
+    if (mode == "midshift")
+        return (frac < 0.5) == flip ? 1.9 : 1.15;
+    // ramp: builds (1.15 -> 2.05) or drains (2.05 -> 1.15).
+    return flip ? 1.15 + 0.9 * frac : 2.05 - 0.9 * frac;
+}
+
+/** Average relative midpoint prediction error over scored executions. */
+double
+midpointError(const core::PredictorSpec &spec,
+              const core::Profile &profile, const std::string &mode,
+              unsigned executions, uint64_t seed)
+{
+    auto pred = core::makePredictor(spec, &profile, seed);
+    Rng regimeRng(seed + 1);
+    const auto &segs = profile.segments();
+
+    double errorSum = 0.0;
+    unsigned scored = 0;
+    Time now;
+    for (unsigned exec = 0; exec < executions; ++exec) {
+        bool flip = regimeRng.chance(0.5);
+
+        double actualSec = 0.0;
+        for (size_t i = 0; i < segs.size(); ++i)
+            actualSec += segs[i].duration.sec() *
+                         slowdown(mode, flip,
+                                  double(i) / double(segs.size() - 1));
+
+        pred->beginExecution(now);
+        double progress = 0.0;
+        double elapsedSec = 0.0;
+        double midError = 0.0;
+        bool gotMid = false;
+        for (size_t i = 0; i < segs.size(); ++i) {
+            elapsedSec += segs[i].duration.sec() *
+                          slowdown(mode, flip,
+                                   double(i) / double(segs.size() - 1));
+            progress += segs[i].progress;
+            pred->observe(now + Time::sec(elapsedSec), progress);
+            if (!gotMid &&
+                progress >= 0.5 * profile.totalProgress()) {
+                midError = std::fabs(pred->predictTotal().sec() -
+                                     actualSec) /
+                           actualSec;
+                gotMid = true;
+            }
+        }
+        pred->endExecution(now + Time::sec(elapsedSec), progress);
+        now += Time::sec(elapsedSec + 0.01);
+
+        if (exec >= kWarmupExecutions && gotMid) {
+            errorSum += midError;
+            ++scored;
+        }
+    }
+    return scored > 0 ? errorSum / scored : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: predictor accuracy under workload drift "
+                "(EMA vs generative vs decomposition)");
+
+    unsigned executions = harness::envExecutions(40);
+    uint64_t seed = harness::envSeed(1234);
+    core::Profile profile = syntheticProfile();
+
+    std::vector<std::string> modes = {"stationary", "alternate",
+                                      "midshift", "ramp"};
+
+    TextTable table({"drift mode", "predictor", "avg midpoint error"});
+    std::cout << "\nCSV:\n";
+    std::ostringstream csvBuf;
+    CsvWriter csv(csvBuf);
+    csv.row({"mode", "predictor", "avg_error"});
+
+    // error[mode][kind], for the closing summary.
+    std::map<std::string, std::map<std::string, double>> errors;
+
+    for (const std::string &mode : modes) {
+        for (const core::PredictorSpec &spec :
+             core::builtinPredictorSpecs()) {
+            double err = midpointError(spec, profile, mode,
+                                       executions, seed);
+            errors[mode][spec.kind] = err;
+            table.addRow({mode, spec.kind, TextTable::pct(err)});
+            csv.row({mode, spec.kind, strfmt("%.4f", err)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n";
+    for (const std::string &mode : modes) {
+        std::string best;
+        double bestErr = 0.0;
+        for (const auto &[kind, err] : errors[mode])
+            if (best.empty() || err < bestErr) {
+                best = kind;
+                bestErr = err;
+            }
+        std::cout << mode << ": best " << best << " ("
+                  << TextTable::pct(bestErr) << ")\n";
+    }
+    std::cout << "\n" << csvBuf.str();
+
+    std::cout
+        << "\nExpectation: ema wins while contention is constant "
+           "within an execution\n(stationary, alternate — prefix-rate "
+           "scaling is near-optimal there);\ngenerative wins once "
+           "contention drifts during an execution (midshift,\nramp), "
+           "where extrapolating the prefix rate is structurally "
+           "wrong.\n";
+    return 0;
+}

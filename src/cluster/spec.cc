@@ -267,50 +267,53 @@ validateClusterSpec(const ClusterSpec &spec)
 ClusterSpec
 parseClusterSpec(const Config &config)
 {
+    // The serve sections pass through requireSections directly; the
+    // cluster section and the numbered node sections go through the
+    // alsoAllow escape hatch (their key sets need richer messages than
+    // a section allow-list can give).
+    SpecFields fields(config, "cluster spec");
+    fields.requireSections(
+        {"arrivals", "queue", "slo", "serve"},
+        [&fields](const std::string &key) {
+            size_t dot = key.find('.');
+            const std::string section =
+                dot == std::string::npos ? key : key.substr(0, dot);
+            if (section == "cluster") {
+                static const char *known[] = {
+                    "cluster.name",          "cluster.nodes",
+                    "cluster.policy",        "cluster.mix",
+                    "cluster.scheme",        "cluster.speed",
+                    "cluster.service_estimate_s",
+                    "cluster.sweep_policies", "cluster.sweep_nodes"};
+                for (const char *k : known)
+                    if (key == k)
+                        return true;
+                fields.fail(strfmt("unknown key '%s'", key.c_str()));
+            }
+            if (nodeSectionIndex(section)) {
+                const std::string sub =
+                    dot == std::string::npos ? "" : key.substr(dot + 1);
+                if (sub == "mix" || sub == "scheme" ||
+                    sub == "speed" || sub == "faults")
+                    return true;
+                fields.fail(strfmt("unknown key '%s' (node sections "
+                                   "take mix, scheme, speed, faults)",
+                                   key.c_str()));
+            }
+            return false;
+        },
+        "cluster, node<i>, arrivals, queue, slo, serve");
+
     static const char *serveSections[] = {"arrivals.", "queue.", "slo.",
                                           "serve."};
-
     Config serveConfig;
     ClusterSpec spec;
     for (const std::string &key : config.keys()) {
-        size_t dot = key.find('.');
-        const std::string section =
-            dot == std::string::npos ? key : key.substr(0, dot);
         bool serveKey = false;
         for (const char *s : serveSections)
             serveKey = serveKey || key.rfind(s, 0) == 0;
-        if (serveKey) {
+        if (serveKey)
             serveConfig.set(key, config.getString(key, ""));
-            continue;
-        }
-        if (section == "cluster") {
-            static const char *known[] = {
-                "cluster.name",          "cluster.nodes",
-                "cluster.policy",        "cluster.mix",
-                "cluster.scheme",        "cluster.speed",
-                "cluster.service_estimate_s",
-                "cluster.sweep_policies", "cluster.sweep_nodes"};
-            bool ok = false;
-            for (const char *k : known)
-                ok = ok || key == k;
-            if (!ok)
-                fatal(strfmt("cluster spec: unknown key '%s'",
-                             key.c_str()));
-            continue;
-        }
-        if (auto index = nodeSectionIndex(section)) {
-            const std::string sub = key.substr(dot + 1);
-            if (sub != "mix" && sub != "scheme" && sub != "speed" &&
-                sub != "faults")
-                fatal(strfmt("cluster spec: unknown key '%s' (node "
-                             "sections take mix, scheme, speed, "
-                             "faults)",
-                             key.c_str()));
-            continue;
-        }
-        fatal(strfmt("cluster spec: unknown key '%s' (sections: "
-                     "cluster, node<i>, arrivals, queue, slo, serve)",
-                     key.c_str()));
     }
 
     spec.name = config.getString("cluster.name", "cluster");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -227,6 +228,104 @@ std::vector<std::string>
 Config::keys() const
 {
     return order_;
+}
+
+SpecFields::SpecFields(const Config &config, std::string specName)
+    : config_(config), spec_(std::move(specName))
+{
+}
+
+void
+SpecFields::fail(const std::string &what) const
+{
+    fatal(spec_ + ": " + what);
+}
+
+void
+SpecFields::requireSections(
+    const std::vector<std::string> &sections,
+    const std::function<bool(const std::string &)> &alsoAllow,
+    const std::string &label) const
+{
+    // Reject keys outside the known sections early: a typoed section
+    // would otherwise silently change nothing.
+    std::string printed = label;
+    if (printed.empty()) {
+        for (const std::string &s : sections) {
+            if (!printed.empty())
+                printed += ", ";
+            printed += s;
+        }
+    }
+    for (const std::string &key : config_.keys()) {
+        bool known = false;
+        for (const std::string &s : sections)
+            known = known || key.rfind(s + ".", 0) == 0;
+        if (!known && alsoAllow)
+            known = alsoAllow(key);
+        if (!known)
+            fail(strfmt("unknown key '%s' (sections: %s)", key.c_str(),
+                        printed.c_str()));
+    }
+}
+
+double
+SpecFields::finite(const std::string &key, double fallback) const
+{
+    // strtod parses "nan" and "inf"; both would defeat range checks.
+    double v = config_.getDouble(key, fallback);
+    if (!std::isfinite(v))
+        fail(key + " must be finite");
+    return v;
+}
+
+double
+SpecFields::probability(const std::string &key, double fallback) const
+{
+    double p = finite(key, fallback);
+    if (p < 0.0 || p > 1.0)
+        fail(strfmt("%s must be a probability in [0, 1], got %.9g",
+                    key.c_str(), p));
+    return p;
+}
+
+double
+SpecFields::positive(const std::string &key, double fallback) const
+{
+    double v = finite(key, fallback);
+    if (v <= 0.0)
+        fail(key + " must be positive");
+    return v;
+}
+
+double
+SpecFields::nonNegative(const std::string &key, double fallback) const
+{
+    double v = finite(key, fallback);
+    if (v < 0.0)
+        fail(key + " must be >= 0");
+    return v;
+}
+
+double
+SpecFields::weight(const std::string &key, double fallback) const
+{
+    double w = finite(key, fallback);
+    if (!(w > 0.0 && w <= 1.0))
+        fail(strfmt("%s must be a weight in (0, 1], got %.9g",
+                    key.c_str(), w));
+    return w;
+}
+
+Time
+SpecFields::positiveTime(const std::string &key, Time fallback) const
+{
+    Time t = config_.getTime(key, fallback);
+    if (!std::isfinite(t.sec()))
+        fail(key + " must be finite");
+    if (t.sec() <= 0.0)
+        fail(key + " must be a positive duration");
+    return t;
 }
 
 std::optional<Time>

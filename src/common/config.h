@@ -12,6 +12,7 @@
 #ifndef DIRIGENT_COMMON_CONFIG_H
 #define DIRIGENT_COMMON_CONFIG_H
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -83,6 +84,63 @@ class Config
   private:
     std::map<std::string, std::string> values_;
     std::vector<std::string> order_;
+};
+
+/**
+ * Shared field helpers for the spec parsers (scheme, serve, cluster,
+ * fault plan, predictor). Every parser routes its section allow-list
+ * and range checks through the same helpers, so hostile input always
+ * dies with the same field-naming message shape:
+ * "<spec>: <key> must ...".
+ */
+class SpecFields
+{
+  public:
+    /** @p specName is the message prefix ("scheme spec", "fault
+     *  plan", ...). @p config is borrowed and must outlive this. */
+    SpecFields(const Config &config, std::string specName);
+
+    const Config &config() const { return config_; }
+
+    /** fatal("<spec>: <what>"). */
+    [[noreturn]] void fail(const std::string &what) const;
+
+    /**
+     * Reject keys outside the "<section>." prefixes:
+     * "<spec>: unknown key '<key>' (sections: a, b, c)".
+     * @p alsoAllow admits keys outside the fixed prefixes (cluster's
+     * numbered node sections); @p label overrides the printed section
+     * list when it cannot be derived from @p sections alone.
+     */
+    void requireSections(
+        const std::vector<std::string> &sections,
+        const std::function<bool(const std::string &)> &alsoAllow = {},
+        const std::string &label = "") const;
+
+    /** Finite double: "<spec>: <key> must be finite". */
+    double finite(const std::string &key, double fallback) const;
+
+    /** Finite double in [0, 1]:
+     *  "... must be a probability in [0, 1], got %.9g". */
+    double probability(const std::string &key,
+                       double fallback = 0.0) const;
+
+    /** Finite double > 0: "... must be positive". */
+    double positive(const std::string &key, double fallback) const;
+
+    /** Finite double >= 0: "... must be >= 0". */
+    double nonNegative(const std::string &key, double fallback) const;
+
+    /** EMA weight in (0, 1]:
+     *  "... must be a weight in (0, 1], got %.9g". */
+    double weight(const std::string &key, double fallback) const;
+
+    /** Positive duration: "... must be a positive duration". */
+    Time positiveTime(const std::string &key, Time fallback) const;
+
+  private:
+    const Config &config_;
+    std::string spec_;
 };
 
 /** Parse "5ms"/"80ns"/"1.5s"-style durations; nullopt on failure. */

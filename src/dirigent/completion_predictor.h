@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The prediction seam: a narrow interface every completion-time
+ * predictor implements. The Dirigent runtime, the controllers, and the
+ * obs layer talk only to this interface; concrete schemes (the paper's
+ * EMA predictor, the generative-profile ensemble, the
+ * deadline-decomposition variant, the degraded-mode fallback wrapper)
+ * plug in behind it and are selected through the `[predictor]` spec
+ * section (see dirigent/predictor_spec.h).
+ *
+ * Lifecycle contract (one predictor per foreground task, reused across
+ * executions):
+ *
+ *   beginExecution(t0)
+ *   observe(t, progress)*        // monotone t; cumulative progress
+ *   endExecution(tEnd, final)    // closes the execution
+ *   beginExecution(t0')          // next execution; history persists
+ *
+ * Queries (predictTotal, progressFraction, ...) are valid at any time
+ * between beginExecution and endExecution and must be side-effect-free.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_COMPLETION_PREDICTOR_H
+#define DIRIGENT_DIRIGENT_COMPLETION_PREDICTOR_H
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "dirigent/profile.h"
+
+namespace dirigent::core {
+
+/**
+ * Interface of one foreground task's completion-time predictor.
+ *
+ * The base class also owns the shared midpoint-error tracker: derived
+ * classes (in practice the fallback wrapper, which fronts every
+ * runtime predictor) feed it one prediction per execution at the
+ * progress midpoint plus the eventual outcome, and errorEstimate()
+ * exposes the smoothed relative error as the predictor's
+ * self-reported confidence signal.
+ */
+class CompletionPredictor
+{
+  public:
+    virtual ~CompletionPredictor() = default;
+
+    /** The standalone profile being predicted against. */
+    virtual const Profile &profile() const = 0;
+
+    /** Begin a new execution starting at @p startTime. */
+    virtual void beginExecution(Time startTime) = 0;
+
+    /**
+     * Feed one progress observation.
+     * @param now observation (wall) time.
+     * @param cumulativeProgress instructions retired by the current
+     *        execution so far.
+     */
+    virtual void observe(Time now, double cumulativeProgress) = 0;
+
+    /**
+     * Finish the current execution (task completed at @p endTime with
+     * final progress @p finalProgress) and fold the outcome into the
+     * predictor's cross-execution history.
+     */
+    virtual void endExecution(Time endTime, double finalProgress) = 0;
+
+    /** True once the current execution has at least one observation
+     *  (or the predictor can answer from history alone). */
+    virtual bool hasObservation() const = 0;
+
+    /** Predicted *total duration* of the current execution. */
+    virtual Time predictTotal() const = 0;
+
+    /** Predicted absolute completion time. */
+    virtual Time predictCompletion() const = 0;
+
+    /** Fraction of profiled total progress completed (0..1+). */
+    virtual double progressFraction() const = 0;
+
+    /** Elapsed time of the current execution at the last observation. */
+    virtual Time elapsed() const = 0;
+
+    /** Executions observed so far (for warm-up diagnostics). */
+    virtual uint64_t executionsSeen() const = 0;
+
+    /**
+     * Current execution's contention rate-factor moving average;
+     * 1.0 when the scheme has no such notion. Exposed for telemetry.
+     */
+    virtual double alphaMa() const { return 1.0; }
+
+    /** True when the predictor has fallen back to reactive history
+     *  (profile mismatch); see ProfileFallbackPredictor. */
+    virtual bool degraded() const { return false; }
+
+    /** Registry name of the prediction scheme ("ema", ...). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Smoothed relative midpoint prediction error (paper Eq. 3 per
+     * execution, EMA across executions); 0 before any tracked
+     * execution completed. Lower is better.
+     */
+    double
+    errorEstimate() const
+    {
+        return errorEma_.valid() ? errorEma_.value() : 0.0;
+    }
+
+  protected:
+    /**
+     * Arm the error tracker with the current prediction once per
+     * execution, at or after the progress midpoint (mirrors how the
+     * runtime scores predictors: one midpoint sample per execution).
+     */
+    void
+    trackPrediction(double progressFrac, Time predicted)
+    {
+        if (trackerArmed_ || progressFrac < 0.5)
+            return;
+        trackerArmed_ = true;
+        trackedPredictionSec_ = predicted.sec();
+    }
+
+    /** Score the armed prediction against the actual duration. */
+    void
+    trackOutcome(Time actual)
+    {
+        if (!trackerArmed_)
+            return;
+        trackerArmed_ = false;
+        double actualSec = actual.sec();
+        if (actualSec > 0.0 &&
+            std::isfinite(trackedPredictionSec_))
+            errorEma_.add(std::fabs(trackedPredictionSec_ - actualSec) /
+                          actualSec);
+    }
+
+    /** Disarm without scoring (execution restarted mid-flight). */
+    void resetTracking() { trackerArmed_ = false; }
+
+  private:
+    Ema errorEma_{0.3};
+    bool trackerArmed_ = false;
+    double trackedPredictionSec_ = 0.0;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_COMPLETION_PREDICTOR_H

@@ -1,0 +1,204 @@
+#include "dirigent/decomposition_predictor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+DeadlineDecompositionPredictor::DeadlineDecompositionPredictor(
+    const Profile *profile, const PredictorSpec &spec)
+    : profile_(profile), spec_(spec),
+      curMa_(spec.segmentEmaWeight), refMa_(spec.segmentEmaWeight)
+{
+    DIRIGENT_ASSERT(profile != nullptr && !profile->empty(),
+                    "decomposition predictor needs a non-empty "
+                    "profile");
+    slowdownEma_.assign(profile->size(),
+                        Ema(spec.segmentEmaWeight));
+}
+
+void
+DeadlineDecompositionPredictor::beginExecution(Time startTime)
+{
+    start_ = startTime;
+    segIdx_ = 0;
+    segProgressDone_ = 0.0;
+    segStartTime_ = startTime;
+    lastObsTime_ = startTime;
+    lastProgress_ = 0.0;
+    curMa_.reset();
+    refMa_.reset();
+    hasObservation_ = false;
+    inExecution_ = true;
+    ++executionsSeen_;
+}
+
+void
+DeadlineDecompositionPredictor::observe(Time now,
+                                        double cumulativeProgress)
+{
+    DIRIGENT_ASSERT(inExecution_, "observe() outside an execution");
+    double dt = (now - lastObsTime_).sec();
+    if (dt <= 0.0)
+        return;
+    double delta = cumulativeProgress - lastProgress_;
+    if (delta <= 0.0) {
+        lastObsTime_ = now;
+        hasObservation_ = true;
+        return;
+    }
+
+    // Same segment-attribution walk as the EMA predictor: assume a
+    // uniform progress rate within the interval and close each segment
+    // boundary the interval crosses.
+    double rate = delta / dt;
+    Time cursor = lastObsTime_;
+    double remaining = delta;
+    const auto &segs = profile_->segments();
+    while (remaining > 0.0 && segIdx_ < segs.size()) {
+        double segRemaining = segs[segIdx_].progress - segProgressDone_;
+        if (remaining >= segRemaining) {
+            Time boundary = cursor + Time::sec(segRemaining / rate);
+            closeSegment(boundary);
+            cursor = boundary;
+            remaining -= segRemaining;
+        } else {
+            segProgressDone_ += remaining;
+            remaining = 0.0;
+        }
+    }
+
+    lastObsTime_ = now;
+    lastProgress_ = cumulativeProgress;
+    hasObservation_ = true;
+}
+
+void
+DeadlineDecompositionPredictor::endExecution(Time endTime,
+                                             double finalProgress)
+{
+    DIRIGENT_ASSERT(inExecution_,
+                    "endExecution() outside an execution");
+    observe(endTime, finalProgress);
+    inExecution_ = false;
+}
+
+double
+DeadlineDecompositionPredictor::currentScale() const
+{
+    if (!curMa_.valid() || !refMa_.valid())
+        return 1.0;
+    // Regularized ratio of this execution's slowdowns to the
+    // historical slowdowns of the same segments, clamped like the EMA
+    // predictor's rate scale.
+    constexpr double lambda = 0.05;
+    double scale =
+        (curMa_.value() + lambda) / (refMa_.value() + lambda);
+    return std::clamp(scale, 0.1, 10.0);
+}
+
+double
+DeadlineDecompositionPredictor::expectedSegmentSec(size_t i) const
+{
+    const auto &seg = profile_->segments()[i];
+    double slow;
+    if (slowdownEma_[i].valid()) {
+        slow = slowdownEma_[i].value() * currentScale();
+    } else {
+        // No history for this segment: extend this execution's own
+        // observed slowdown, or fall back to the profile.
+        slow = curMa_.valid() ? curMa_.value() : 1.0;
+    }
+    double expected = seg.duration.sec() * slow;
+    return std::max(expected, 0.05 * seg.duration.sec());
+}
+
+Time
+DeadlineDecompositionPredictor::predictTotal() const
+{
+    const auto &segs = profile_->segments();
+    Time elapsed = lastObsTime_ - start_;
+    double remainingSec = 0.0;
+    if (segIdx_ < segs.size()) {
+        double frac =
+            1.0 - segProgressDone_ / segs[segIdx_].progress;
+        remainingSec +=
+            expectedSegmentSec(segIdx_) * std::max(frac, 0.0);
+        for (size_t i = segIdx_ + 1; i < segs.size(); ++i)
+            remainingSec += expectedSegmentSec(i);
+    }
+    return elapsed + Time::sec(remainingSec);
+}
+
+Time
+DeadlineDecompositionPredictor::predictCompletion() const
+{
+    return start_ + predictTotal();
+}
+
+double
+DeadlineDecompositionPredictor::progressFraction() const
+{
+    return lastProgress_ / profile_->totalProgress();
+}
+
+double
+DeadlineDecompositionPredictor::alphaMa() const
+{
+    return curMa_.valid() ? curMa_.value() : 1.0;
+}
+
+std::vector<Time>
+DeadlineDecompositionPredictor::segmentDeadlines(Time deadline) const
+{
+    std::vector<Time> budgets;
+    budgets.reserve(profile_->size());
+    double totalSec = 0.0;
+    for (size_t i = 0; i < profile_->size(); ++i)
+        totalSec += expectedSegmentSec(i);
+    if (totalSec <= 0.0)
+        return std::vector<Time>(profile_->size(), Time{});
+    Time assigned;
+    for (size_t i = 0; i < profile_->size(); ++i) {
+        if (i + 1 == profile_->size()) {
+            // Last budget absorbs rounding so the sum is exact.
+            budgets.push_back(deadline - assigned);
+        } else {
+            Time b = deadline * (expectedSegmentSec(i) / totalSec);
+            budgets.push_back(b);
+            assigned += b;
+        }
+    }
+    return budgets;
+}
+
+double
+DeadlineDecompositionPredictor::slowdownAverage(size_t i) const
+{
+    DIRIGENT_ASSERT(i < slowdownEma_.size(), "bad segment index %zu",
+                    i);
+    return slowdownEma_[i].value();
+}
+
+void
+DeadlineDecompositionPredictor::closeSegment(Time boundaryTime)
+{
+    const auto &seg = profile_->segments()[segIdx_];
+    double measured = (boundaryTime - segStartTime_).sec();
+    double profiled = seg.duration.sec();
+    double slow = measured / profiled;
+    // Record history *before* folding in the new observation so
+    // curMa_/refMa_ compare this execution against history over
+    // identical segments with identical weights.
+    if (slowdownEma_[segIdx_].valid())
+        refMa_.add(slowdownEma_[segIdx_].value());
+    slowdownEma_[segIdx_].add(slow);
+    curMa_.add(slow);
+
+    ++segIdx_;
+    segProgressDone_ = 0.0;
+    segStartTime_ = boundaryTime;
+}
+
+} // namespace dirigent::core

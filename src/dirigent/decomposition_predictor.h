@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deadline-decomposition completion predictor.
+ *
+ * Tracks one multiplicative slowdown EMA per profile segment
+ * (measured/profiled duration across executions) instead of the paper's
+ * additive penalty EMAs, scales the remaining segments by how the
+ * current execution's slowdowns compare to history, and — the part the
+ * EMA scheme has no answer for — decomposes an end-to-end deadline into
+ * per-segment time budgets proportional to the expected per-segment
+ * durations. A controller can then judge each segment against its own
+ * budget instead of waiting for the end-to-end estimate to drift.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_DECOMPOSITION_PREDICTOR_H
+#define DIRIGENT_DIRIGENT_DECOMPOSITION_PREDICTOR_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "dirigent/completion_predictor.h"
+#include "dirigent/predictor_spec.h"
+#include "dirigent/profile.h"
+
+namespace dirigent::core {
+
+/** Per-segment multiplicative-slowdown predictor with deadline
+ *  budget decomposition. */
+class DeadlineDecompositionPredictor : public CompletionPredictor
+{
+  public:
+    /**
+     * @param profile standalone profile (not owned; must outlive).
+     * @param spec tuning knobs (segmentEmaWeight).
+     */
+    DeadlineDecompositionPredictor(const Profile *profile,
+                                   const PredictorSpec &spec);
+
+    // CompletionPredictor
+    const Profile &profile() const override { return *profile_; }
+    void beginExecution(Time startTime) override;
+    void observe(Time now, double cumulativeProgress) override;
+    void endExecution(Time endTime, double finalProgress) override;
+    bool hasObservation() const override { return hasObservation_; }
+    Time predictTotal() const override;
+    Time predictCompletion() const override;
+    double progressFraction() const override;
+    Time elapsed() const override { return lastObsTime_ - start_; }
+    uint64_t executionsSeen() const override
+    {
+        return executionsSeen_;
+    }
+    double alphaMa() const override;
+    const char *name() const override { return "decomposition"; }
+
+    /**
+     * Decompose @p deadline (a total-duration budget for one
+     * execution) into per-segment budgets proportional to the
+     * expected per-segment durations; the budgets sum to @p deadline.
+     */
+    std::vector<Time> segmentDeadlines(Time deadline) const;
+
+    /** Historical slowdown average of segment @p i (for tests). */
+    double slowdownAverage(size_t i) const;
+
+  private:
+    /** Expected duration of segment @p i under the current scale. */
+    double expectedSegmentSec(size_t i) const;
+
+    /** Scale of this execution's slowdowns relative to history. */
+    double currentScale() const;
+
+    void closeSegment(Time boundaryTime);
+
+    const Profile *profile_;
+    PredictorSpec spec_;
+
+    /** Multiplicative slowdown (measured/profiled) per segment. */
+    std::vector<Ema> slowdownEma_;
+
+    // Per-execution state.
+    Time start_;
+    size_t segIdx_ = 0;
+    double segProgressDone_ = 0.0;
+    Time segStartTime_;
+    Time lastObsTime_;
+    double lastProgress_ = 0.0;
+    /** This execution's slowdowns over its closed segments. */
+    Ema curMa_;
+    /** Historical slowdowns of the same segments, same weighting. */
+    Ema refMa_;
+    bool hasObservation_ = false;
+    bool inExecution_ = false;
+    uint64_t executionsSeen_ = 0;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_DECOMPOSITION_PREDICTOR_H

@@ -1,0 +1,127 @@
+#include "dirigent/fallback_predictor.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+ProfileFallbackPredictor::ProfileFallbackPredictor(
+    std::unique_ptr<CompletionPredictor> primary,
+    const PredictorSpec &spec)
+    : primary_(std::move(primary)), spec_(spec),
+      durationEma_(spec.degradedEmaWeight)
+{
+    DIRIGENT_ASSERT(primary_ != nullptr,
+                    "fallback wrapper needs a primary predictor");
+}
+
+void
+ProfileFallbackPredictor::setDegradeCallback(DegradeCallback callback)
+{
+    onDegrade_ = std::move(callback);
+}
+
+const Profile &
+ProfileFallbackPredictor::profile() const
+{
+    return primary_->profile();
+}
+
+void
+ProfileFallbackPredictor::beginExecution(Time startTime)
+{
+    startTime_ = startTime;
+    resetTracking();
+    primary_->beginExecution(startTime);
+}
+
+void
+ProfileFallbackPredictor::observe(Time now, double cumulativeProgress)
+{
+    primary_->observe(now, cumulativeProgress);
+    trackPrediction(progressFraction(), predictTotal());
+}
+
+void
+ProfileFallbackPredictor::endExecution(Time endTime,
+                                       double finalProgress)
+{
+    primary_->endExecution(endTime, finalProgress);
+    trackOutcome(endTime - startTime_);
+
+    // Profile-mismatch detection: the profile promised a progress
+    // total; executions that keep finishing far away from it mean the
+    // profile is stale and model-based prediction is worthless.
+    double profiled = primary_->profile().totalProgress();
+    double ratio = profiled > 0.0 ? finalProgress / profiled : 0.0;
+    if (std::fabs(ratio - 1.0) > spec_.mismatchTolerance) {
+        ++mismatchStreak_;
+        if (!degraded_ && mismatchStreak_ >= spec_.mismatchStreak) {
+            degraded_ = true;
+            if (onDegrade_)
+                onDegrade_(ratio, mismatchStreak_);
+        }
+    } else {
+        mismatchStreak_ = 0;
+    }
+
+    durationEma_.add((endTime - startTime_).sec());
+}
+
+bool
+ProfileFallbackPredictor::hasObservation() const
+{
+    if (degraded_ && durationEma_.valid())
+        return true;
+    return primary_->hasObservation();
+}
+
+Time
+ProfileFallbackPredictor::predictTotal() const
+{
+    if (degraded_ && durationEma_.valid())
+        return Time::sec(durationEma_.value());
+    return primary_->predictTotal();
+}
+
+Time
+ProfileFallbackPredictor::predictCompletion() const
+{
+    if (degraded_ && durationEma_.valid())
+        return startTime_ + predictTotal();
+    return primary_->predictCompletion();
+}
+
+double
+ProfileFallbackPredictor::progressFraction() const
+{
+    return primary_->progressFraction();
+}
+
+Time
+ProfileFallbackPredictor::elapsed() const
+{
+    return primary_->elapsed();
+}
+
+uint64_t
+ProfileFallbackPredictor::executionsSeen() const
+{
+    return primary_->executionsSeen();
+}
+
+double
+ProfileFallbackPredictor::alphaMa() const
+{
+    return primary_->alphaMa();
+}
+
+const char *
+ProfileFallbackPredictor::name() const
+{
+    return primary_->name();
+}
+
+} // namespace dirigent::core

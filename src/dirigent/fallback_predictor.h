@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Degraded-mode fallback as a predictor variant: the wrapper that
+ * fronts every runtime predictor.
+ *
+ * The paper's runtime degrades to reactive control when the profile
+ * stops matching reality (|finalProgress / profiledProgress − 1|
+ * beyond a tolerance for several consecutive executions). That logic
+ * used to live inside DirigentRuntime as a special case around the
+ * hard-wired predictor; it is now a CompletionPredictor of its own
+ * that delegates to any primary predictor and, once degraded,
+ * answers predictTotal() from an EMA of observed durations instead.
+ * The runtime only ever asks predictTotal()/hasObservation() and
+ * stays scheme-agnostic.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_FALLBACK_PREDICTOR_H
+#define DIRIGENT_DIRIGENT_FALLBACK_PREDICTOR_H
+
+#include <functional>
+#include <memory>
+
+#include "common/stats.h"
+#include "dirigent/completion_predictor.h"
+#include "dirigent/predictor_spec.h"
+
+namespace dirigent::core {
+
+/**
+ * Wraps a primary predictor with profile-mismatch detection and the
+ * degraded-mode duration EMA. Also hosts the shared midpoint error
+ * tracker, so errorEstimate() scores whatever predictTotal() actually
+ * returned (primary or fallback).
+ */
+class ProfileFallbackPredictor : public CompletionPredictor
+{
+  public:
+    /** Invoked once, on the transition into degraded mode, with the
+     *  triggering progress/profile ratio and the mismatch streak. */
+    using DegradeCallback = std::function<void(double, unsigned)>;
+
+    /**
+     * @param primary the wrapped predictor (owned; non-null).
+     * @param spec mismatch tolerance / streak / degraded EMA weight.
+     */
+    ProfileFallbackPredictor(
+        std::unique_ptr<CompletionPredictor> primary,
+        const PredictorSpec &spec);
+
+    void setDegradeCallback(DegradeCallback callback);
+
+    /** The wrapped predictor (for telemetry and tests). */
+    const CompletionPredictor &primary() const { return *primary_; }
+
+    /** The spec the wrapper (and its primary) was built from. */
+    const PredictorSpec &spec() const { return spec_; }
+
+    // CompletionPredictor
+    const Profile &profile() const override;
+    void beginExecution(Time startTime) override;
+    void observe(Time now, double cumulativeProgress) override;
+    void endExecution(Time endTime, double finalProgress) override;
+    bool hasObservation() const override;
+    Time predictTotal() const override;
+    Time predictCompletion() const override;
+    double progressFraction() const override;
+    Time elapsed() const override;
+    uint64_t executionsSeen() const override;
+    double alphaMa() const override;
+    bool degraded() const override { return degraded_; }
+    const char *name() const override;
+
+  private:
+    std::unique_ptr<CompletionPredictor> primary_;
+    PredictorSpec spec_;
+    DegradeCallback onDegrade_;
+
+    /** Observed-duration EMA answering degraded-mode queries. */
+    Ema durationEma_;
+    unsigned mismatchStreak_ = 0;
+    bool degraded_ = false;
+    Time startTime_;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_FALLBACK_PREDICTOR_H

@@ -1,0 +1,289 @@
+#include "dirigent/generative_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace dirigent::core {
+
+namespace {
+
+/**
+ * Floor on renormalized log-weights. Deliberately shallow: it acts as
+ * a fixed-share switching prior, so a candidate crushed by one
+ * execution of the "wrong" regime is back in contention as soon as
+ * the prefix of the next execution votes for it.
+ */
+constexpr double kLogWeightFloor = -4.0;
+
+} // namespace
+
+GenerativeProfilePredictor::GenerativeProfilePredictor(
+    const Profile *profile, const PredictorSpec &spec, Rng rng)
+    : profile_(profile), spec_(spec)
+{
+    DIRIGENT_ASSERT(profile != nullptr && !profile->empty(),
+                    "generative predictor needs a non-empty profile");
+    DIRIGENT_ASSERT(spec.ensemble >= 2, "ensemble must be >= 2");
+
+    noiseFloorSec_ = 0.01 * profile->totalTime().sec();
+
+    const auto &segs = profile_->segments();
+    candidates_.resize(spec.ensemble);
+    // Contention level and drift slope are *stratified*: candidates
+    // 1..K-1 sit on a fixed grid spanning ±1.5 sigma in both
+    // dimensions, so coverage of the (level, slope) hypothesis space
+    // never depends on sampling luck — only the per-segment jitter is
+    // random. Candidate 0 is the unperturbed profile, so the ensemble
+    // always contains the "no drift" hypothesis.
+    unsigned gridSlopes = 5;
+    unsigned gridLevels =
+        (spec.ensemble - 2 + gridSlopes) / gridSlopes;
+    if (gridLevels % 2 == 0)
+        ++gridLevels;
+    // Center-out enumeration (0, -s, +s, -2s, +2s, ...): when the
+    // ensemble doesn't fill the grid exactly, the dropped points are
+    // the extreme ones, and every populated level keeps its
+    // flat-slope candidate first.
+    auto centerOutUnits = [](unsigned j, unsigned n) {
+        if (n <= 1 || j == 0)
+            return 0.0;
+        double mag = 3.0 / double(n - 1) * double((j + 1) / 2);
+        return j % 2 == 1 ? -mag : mag;
+    };
+    for (unsigned k = 0; k < spec.ensemble; ++k) {
+        Candidate &cand = candidates_[k];
+        double levelUnits =
+            k == 0 ? 0.0
+                   : centerOutUnits((k - 1) / gridSlopes, gridLevels);
+        double global = spec.contentionSigma <= 0.0
+                            ? 1.0
+                            : std::exp(levelUnits *
+                                       spec.contentionSigma);
+        // A smooth early-to-late contention ramp: slope is the total
+        // log-spread across the curve, so exp(±slope/2) at the ends.
+        // This is the hypothesis class prefix-scaling predictors
+        // cannot express — contention that shifts mid-execution.
+        double slopeUnits =
+            k == 0 ? 0.0
+                   : centerOutUnits((k - 1) % gridSlopes, gridSlopes);
+        double slope = spec.driftSigma <= 0.0
+                           ? 0.0
+                           : slopeUnits * spec.driftSigma;
+        cand.segDurationSec.reserve(segs.size());
+        cand.cumSec.reserve(segs.size());
+        double cum = 0.0;
+        for (size_t i = 0; i < segs.size(); ++i) {
+            double jitter =
+                (k == 0 || spec.durationSigma <= 0.0)
+                    ? 1.0
+                    : rng.lognormalMu(0.0, spec.durationSigma);
+            double pos = segs.size() > 1
+                             ? double(i) / double(segs.size() - 1) - 0.5
+                             : 0.0;
+            double ramp = std::exp(slope * pos);
+            double dur = segs[i].duration.sec() * global * jitter * ramp;
+            cand.segDurationSec.push_back(dur);
+            cum += dur;
+            cand.cumSec.push_back(cum);
+        }
+        cand.totalSec = cum;
+    }
+}
+
+void
+GenerativeProfilePredictor::beginExecution(Time startTime)
+{
+    start_ = startTime;
+    lastObsTime_ = startTime;
+    lastProgress_ = 0.0;
+    hasObservation_ = false;
+    inExecution_ = true;
+    ++executionsSeen_;
+    for (Candidate &cand : candidates_)
+        cand.liveShift = 0.0;
+}
+
+void
+GenerativeProfilePredictor::observe(Time now,
+                                    double cumulativeProgress)
+{
+    DIRIGENT_ASSERT(inExecution_, "observe() outside an execution");
+    if ((now - lastObsTime_).sec() <= 0.0)
+        return;
+    double prevProgress = lastProgress_;
+    lastObsTime_ = now;
+    lastProgress_ = std::max(lastProgress_, cumulativeProgress);
+    hasObservation_ = true;
+    updateLiveShifts((now - start_).sec(), lastProgress_,
+                     lastProgress_ - prevProgress);
+}
+
+void
+GenerativeProfilePredictor::endExecution(Time endTime,
+                                         double finalProgress)
+{
+    DIRIGENT_ASSERT(inExecution_,
+                    "endExecution() outside an execution");
+    observe(endTime, finalProgress);
+    inExecution_ = false;
+
+    // Fold the whole execution's evidence into the persistent
+    // weights: forget a fraction of the old log-weight, add the final
+    // likelihood of "this candidate generated the observed duration".
+    double actualSec = (endTime - start_).sec();
+    double best = -1e300;
+    for (Candidate &cand : candidates_) {
+        double expected =
+            expectedElapsedSec(cand, std::max(finalProgress, 0.0));
+        double sigma = spec_.obsNoise * expected + noiseFloorSec_;
+        double z = (actualSec - expected) / sigma;
+        cand.logWeight =
+            spec_.forget * cand.logWeight - 0.5 * z * z;
+        best = std::max(best, cand.logWeight);
+    }
+    // Renormalize so the best hypothesis sits at 0 and no candidate
+    // is ever irrecoverably drowned (drift robustness: a regime that
+    // returns must be re-discoverable in a couple of executions).
+    for (Candidate &cand : candidates_)
+        cand.logWeight = std::max(cand.logWeight - best,
+                                  kLogWeightFloor);
+}
+
+double
+GenerativeProfilePredictor::expectedElapsedSec(const Candidate &cand,
+                                               double progress) const
+{
+    const auto &segs = profile_->segments();
+    double expected = 0.0;
+    double remaining = progress;
+    for (size_t i = 0; i < segs.size(); ++i) {
+        double segProgress = segs[i].progress;
+        if (remaining >= segProgress) {
+            expected += cand.segDurationSec[i];
+            remaining -= segProgress;
+        } else {
+            if (segProgress > 0.0)
+                expected += cand.segDurationSec[i] *
+                            (remaining / segProgress);
+            remaining = 0.0;
+            break;
+        }
+    }
+    // Progress past the profile's end projects at the final rate.
+    if (remaining > 0.0 && profile_->totalProgress() > 0.0)
+        expected += cand.totalSec *
+                    (remaining / profile_->totalProgress());
+    return expected;
+}
+
+void
+GenerativeProfilePredictor::updateLiveShifts(double elapsedSec,
+                                             double progress,
+                                             double progressDelta)
+{
+    // The likelihood is deliberately *absolute*, not scale-invariant:
+    // under regime drift the level of the observed prefix is the
+    // evidence that identifies which sampled curve is active (a flat
+    // slow prefix plus a remembered step shape is what lets the
+    // posterior anticipate a mid-execution shift). predictTotal()'s
+    // closed-form rate factor then absorbs whatever level error
+    // remains between the winning candidates and the truth.
+    //
+    // Evidence *accumulates* along the execution, each observation
+    // weighted by the progress it covers (so the total is invariant
+    // to the sampling rate): two candidates that agree on the current
+    // cumulative elapsed time but disagree on how the prefix got
+    // there are still told apart.
+    double weight = profile_->totalProgress() > 0.0
+                        ? double(profile_->segments().size()) *
+                              (progressDelta /
+                               profile_->totalProgress())
+                        : 0.0;
+    for (Candidate &cand : candidates_) {
+        double expected = expectedElapsedSec(cand, progress);
+        double sigma = spec_.obsNoise * expected + noiseFloorSec_;
+        double z = (elapsedSec - expected) / sigma;
+        cand.liveShift -= 0.5 * z * z * weight;
+    }
+}
+
+std::vector<double>
+GenerativeProfilePredictor::posterior() const
+{
+    std::vector<double> weights(candidates_.size());
+    double best = -1e300;
+    for (size_t k = 0; k < candidates_.size(); ++k)
+        best = std::max(best, candidates_[k].logWeight +
+                                  candidates_[k].liveShift);
+    double sum = 0.0;
+    for (size_t k = 0; k < candidates_.size(); ++k) {
+        weights[k] = std::exp(candidates_[k].logWeight +
+                              candidates_[k].liveShift - best);
+        sum += weights[k];
+    }
+    for (double &w : weights)
+        w /= sum;
+    return weights;
+}
+
+Time
+GenerativeProfilePredictor::predictTotal() const
+{
+    std::vector<double> weights = posterior();
+    double elapsedSec = (lastObsTime_ - start_).sec();
+    double remaining = 0.0;
+    for (size_t k = 0; k < candidates_.size(); ++k) {
+        const Candidate &cand = candidates_[k];
+        double consumed = expectedElapsedSec(cand, lastProgress_);
+        // Each candidate fixes a curve *shape*; the global rate is a
+        // multiplicative nuisance estimated in closed form from the
+        // observed elapsed/expected ratio (shrunk toward 1 by the
+        // noise floor so one early noisy sample can't swing it). The
+        // posterior then only has to identify the shape, not quantize
+        // the absolute scale onto the nearest sampled candidate.
+        double scale = (elapsedSec + noiseFloorSec_) /
+                       (consumed + noiseFloorSec_);
+        remaining += weights[k] *
+                     std::max(cand.totalSec - consumed, 0.0) * scale;
+    }
+    return Time::sec(elapsedSec + remaining);
+}
+
+Time
+GenerativeProfilePredictor::predictCompletion() const
+{
+    return start_ + predictTotal();
+}
+
+double
+GenerativeProfilePredictor::progressFraction() const
+{
+    return lastProgress_ / profile_->totalProgress();
+}
+
+double
+GenerativeProfilePredictor::alphaMa() const
+{
+    // Posterior-mean contention factor relative to the profile: the
+    // ensemble's analogue of the EMA predictor's MA({α}).
+    double base = profile_->totalTime().sec();
+    if (base <= 0.0)
+        return 1.0;
+    std::vector<double> weights = posterior();
+    double mean = 0.0;
+    for (size_t k = 0; k < candidates_.size(); ++k)
+        mean += weights[k] * candidates_[k].totalSec;
+    return mean / base;
+}
+
+std::vector<double>
+GenerativeProfilePredictor::candidateCurve(size_t k) const
+{
+    DIRIGENT_ASSERT(k < candidates_.size(), "bad candidate index %zu",
+                    k);
+    return candidates_[k].cumSec;
+}
+
+} // namespace dirigent::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Generative-profile completion predictor (CORD-style).
+ *
+ * Instead of correcting the profile with penalty EMAs, this scheme
+ * builds an ensemble of plausible progress curves around the
+ * standalone profile at construction time — one unperturbed copy plus
+ * K−1 curves on a *stratified* grid of whole-curve contention levels
+ * crossed with smooth early-to-late drift ramps (contention shifting
+ * *within* an execution), each with a little seeded per-segment
+ * duration jitter. During an execution it accumulates a posterior
+ * over the candidates from the discrepancy between observed elapsed
+ * time and each candidate's expected elapsed time at the current
+ * progress, and predicts completion as the posterior-weighted mixture
+ * of candidate remainders, each rescaled by the observed global rate.
+ * Across executions the (log-)weights persist with a forgetting
+ * factor, so the ensemble re-locks onto the active regime within an
+ * execution or two when the workload drifts — the regime where a
+ * single global EMA is slowest to adapt.
+ */
+
+#ifndef DIRIGENT_DIRIGENT_GENERATIVE_PREDICTOR_H
+#define DIRIGENT_DIRIGENT_GENERATIVE_PREDICTOR_H
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "dirigent/completion_predictor.h"
+#include "dirigent/predictor_spec.h"
+#include "dirigent/profile.h"
+
+namespace dirigent::core {
+
+/** Posterior-weighted ensemble of sampled progress curves. */
+class GenerativeProfilePredictor : public CompletionPredictor
+{
+  public:
+    /**
+     * @param profile standalone profile (not owned; must outlive).
+     * @param spec ensemble size and sampling/posterior knobs.
+     * @param rng seeded sampler stream (consumed at construction
+     *        only, so prediction itself is deterministic).
+     */
+    GenerativeProfilePredictor(const Profile *profile,
+                               const PredictorSpec &spec, Rng rng);
+
+    // CompletionPredictor
+    const Profile &profile() const override { return *profile_; }
+    void beginExecution(Time startTime) override;
+    void observe(Time now, double cumulativeProgress) override;
+    void endExecution(Time endTime, double finalProgress) override;
+    bool hasObservation() const override { return hasObservation_; }
+    Time predictTotal() const override;
+    Time predictCompletion() const override;
+    double progressFraction() const override;
+    Time elapsed() const override { return lastObsTime_ - start_; }
+    uint64_t executionsSeen() const override
+    {
+        return executionsSeen_;
+    }
+    double alphaMa() const override;
+    const char *name() const override { return "generative"; }
+
+    /** Number of sampled candidate curves. */
+    size_t ensembleSize() const { return candidates_.size(); }
+
+    /**
+     * Candidate @p k's sampled curve as cumulative time at each
+     * segment end (seconds, strictly increasing — the generative
+     * curves inherit the profile's monotonicity). For tests and
+     * inspection.
+     */
+    std::vector<double> candidateCurve(size_t k) const;
+
+    /** Current posterior weights (normalized; sums to 1). */
+    std::vector<double> posterior() const;
+
+  private:
+    struct Candidate
+    {
+        /** Sampled per-segment durations (seconds, all > 0). */
+        std::vector<double> segDurationSec;
+
+        /** Cumulative duration at each segment end. */
+        std::vector<double> cumSec;
+
+        double totalSec = 0.0;
+
+        /** Persistent cross-execution log-weight (<= 0). */
+        double logWeight = 0.0;
+
+        /** Current-execution likelihood shift (reset each begin). */
+        double liveShift = 0.0;
+    };
+
+    /** Candidate @p cand's expected elapsed time at @p progress. */
+    double expectedElapsedSec(const Candidate &cand,
+                              double progress) const;
+
+    /** Fold one observation (covering @p progressDelta units of
+     *  progress) into every candidate's accumulated liveShift. */
+    void updateLiveShifts(double elapsedSec, double progress,
+                          double progressDelta);
+
+    const Profile *profile_;
+    PredictorSpec spec_;
+    std::vector<Candidate> candidates_;
+
+    /** Floor of the observation-noise scale (guards tiny expecteds). */
+    double noiseFloorSec_;
+
+    // Per-execution state.
+    Time start_;
+    Time lastObsTime_;
+    double lastProgress_ = 0.0;
+    bool hasObservation_ = false;
+    bool inExecution_ = false;
+    uint64_t executionsSeen_ = 0;
+};
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_GENERATIVE_PREDICTOR_H

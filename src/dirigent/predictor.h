@@ -29,6 +29,7 @@
 
 #include "common/stats.h"
 #include "common/units.h"
+#include "dirigent/completion_predictor.h"
 #include "dirigent/profile.h"
 
 namespace dirigent::core {
@@ -48,7 +49,7 @@ struct PredictorConfig
  * Reused across consecutive executions of the same task; per-segment
  * penalty averages persist and improve over executions.
  */
-class Predictor
+class Predictor : public CompletionPredictor
 {
   public:
     /**
@@ -59,10 +60,10 @@ class Predictor
                        PredictorConfig config = PredictorConfig{});
 
     /** The profile being predicted against. */
-    const Profile &profile() const { return *profile_; }
+    const Profile &profile() const override { return *profile_; }
 
     /** Begin a new execution starting at @p startTime. */
-    void beginExecution(Time startTime);
+    void beginExecution(Time startTime) override;
 
     /**
      * Feed one progress observation.
@@ -70,49 +71,51 @@ class Predictor
      * @param cumulativeProgress instructions retired by the current
      *        execution so far.
      */
-    void observe(Time now, double cumulativeProgress);
+    void observe(Time now, double cumulativeProgress) override;
 
     /**
      * Finish the current execution (task completed at @p endTime with
      * final progress @p finalProgress). Closes the in-flight segment's
      * penalty accounting and arms the predictor for the next execution.
      */
-    void endExecution(Time endTime, double finalProgress);
+    void endExecution(Time endTime, double finalProgress) override;
 
     /** True once the current execution has at least one observation. */
-    bool hasObservation() const { return hasObservation_; }
+    bool hasObservation() const override { return hasObservation_; }
 
     /**
      * Predicted *total duration* of the current execution (Eq. 2,
      * relative to the execution's start). Before the first observation
      * this is the profile total adjusted by historical penalties.
      */
-    Time predictTotal() const;
+    Time predictTotal() const override;
 
     /** Predicted absolute completion time (start + predictTotal). */
-    Time predictCompletion() const;
+    Time predictCompletion() const override;
 
     /** Index of the profile segment progress is currently inside. */
     size_t currentSegment() const { return segIdx_; }
 
     /** Fraction of profiled total progress completed (0..1+). */
-    double progressFraction() const;
+    double progressFraction() const override;
 
     /** Elapsed time of the current execution at the last observation. */
-    Time elapsed() const { return lastObsTime_ - start_; }
+    Time elapsed() const override { return lastObsTime_ - start_; }
 
     /** Executions observed so far (for warm-up diagnostics). */
-    uint64_t executionsSeen() const { return executionsSeen_; }
+    uint64_t executionsSeen() const override { return executionsSeen_; }
 
     /**
      * Current execution's rate-factor moving average MA({α}₁..k);
      * 1.0 (no contention penalty) before any segment has closed.
      * Exposed for telemetry.
      */
-    double alphaMa() const
+    double alphaMa() const override
     {
         return rateMa_.valid() ? 1.0 + rateMa_.value() : 1.0;
     }
+
+    const char *name() const override { return "ema"; }
 
     /** Historical penalty average of segment @p i (for tests). */
     double penaltyAverage(size_t i) const;

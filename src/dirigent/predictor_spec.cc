@@ -1,0 +1,263 @@
+#include "dirigent/predictor_spec.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/config.h"
+#include "common/hash.h"
+#include "common/log.h"
+#include "common/random.h"
+#include "common/strfmt.h"
+#include "dirigent/decomposition_predictor.h"
+#include "dirigent/fallback_predictor.h"
+#include "dirigent/generative_predictor.h"
+#include "dirigent/predictor.h"
+
+namespace dirigent::core {
+
+namespace {
+
+bool
+sameNameCaseless(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (std::tolower((unsigned char)a[i]) !=
+            std::tolower((unsigned char)b[i]))
+            return false;
+    return true;
+}
+
+std::optional<std::string>
+checkWeight(const char *key, double w)
+{
+    if (!(w > 0.0 && w <= 1.0))
+        return strfmt("predictor.%s must be a weight in (0, 1], "
+                      "got %.9g",
+                      key, w);
+    return std::nullopt;
+}
+
+std::vector<PredictorSpec>
+makeBuiltins()
+{
+    std::vector<PredictorSpec> specs;
+
+    PredictorSpec ema;
+    ema.kind = "ema";
+    specs.push_back(ema);
+
+    PredictorSpec generative;
+    generative.kind = "generative";
+    specs.push_back(generative);
+
+    PredictorSpec decomposition;
+    decomposition.kind = "decomposition";
+    specs.push_back(decomposition);
+
+    return specs;
+}
+
+} // namespace
+
+const std::vector<PredictorSpec> &
+builtinPredictorSpecs()
+{
+    static const std::vector<PredictorSpec> specs = makeBuiltins();
+    return specs;
+}
+
+const PredictorSpec *
+findPredictorSpec(const std::string &name)
+{
+    for (const PredictorSpec &spec : builtinPredictorSpecs())
+        if (sameNameCaseless(spec.kind, name))
+            return &spec;
+    return nullptr;
+}
+
+std::optional<std::string>
+validatePredictorSpec(const PredictorSpec &spec)
+{
+    if (spec.kind != "ema" && spec.kind != "generative" &&
+        spec.kind != "decomposition")
+        return strfmt("predictor.kind '%s' unknown (known: ema, "
+                      "generative, decomposition)",
+                      spec.kind.c_str());
+    if (auto e = checkWeight("penalty_ema", spec.penaltyEmaWeight))
+        return e;
+    if (auto e = checkWeight("rate_ema", spec.rateEmaWeight))
+        return e;
+    if (auto e = checkWeight("degraded_ema", spec.degradedEmaWeight))
+        return e;
+    if (auto e = checkWeight("segment_ema", spec.segmentEmaWeight))
+        return e;
+    if (auto e = checkWeight("forget", spec.forget))
+        return e;
+    if (!(std::isfinite(spec.mismatchTolerance) &&
+          spec.mismatchTolerance > 0.0))
+        return strfmt("predictor.mismatch_tolerance must be positive, "
+                      "got %.9g",
+                      spec.mismatchTolerance);
+    if (spec.mismatchStreak < 1)
+        return "predictor.mismatch_streak must be >= 1";
+    if (spec.ensemble < 2 || spec.ensemble > 64)
+        return strfmt("predictor.ensemble %u out of range [2, 64]",
+                      spec.ensemble);
+    if (!(std::isfinite(spec.durationSigma) &&
+          spec.durationSigma >= 0.0))
+        return strfmt("predictor.duration_sigma must be >= 0, "
+                      "got %.9g",
+                      spec.durationSigma);
+    if (!(std::isfinite(spec.contentionSigma) &&
+          spec.contentionSigma >= 0.0))
+        return strfmt("predictor.contention_sigma must be >= 0, "
+                      "got %.9g",
+                      spec.contentionSigma);
+    if (!(std::isfinite(spec.driftSigma) && spec.driftSigma >= 0.0))
+        return strfmt("predictor.drift_sigma must be >= 0, got %.9g",
+                      spec.driftSigma);
+    if (!(std::isfinite(spec.obsNoise) && spec.obsNoise > 0.0))
+        return strfmt("predictor.obs_noise must be positive, got %.9g",
+                      spec.obsNoise);
+    return std::nullopt;
+}
+
+PredictorSpec
+parsePredictorSection(const SpecFields &fields)
+{
+    const Config &config = fields.config();
+
+    // Embedding specs gate unknown *sections*; the seam itself rejects
+    // unknown predictor.* keys so a typoed knob cannot silently keep
+    // its default.
+    static const char *const kKnownKeys[] = {
+        "kind",           "penalty_ema",     "rate_ema",
+        "mismatch_tolerance", "mismatch_streak", "degraded_ema",
+        "ensemble",       "duration_sigma",  "contention_sigma",
+        "drift_sigma",    "forget",          "obs_noise",
+        "segment_ema",
+    };
+    for (const std::string &key : config.keys()) {
+        if (key.rfind("predictor.", 0) != 0)
+            continue;
+        std::string field = key.substr(std::string("predictor.").size());
+        bool known = false;
+        for (const char *k : kKnownKeys)
+            known = known || field == k;
+        if (!known)
+            fields.fail(strfmt("unknown key '%s' ([predictor] keys: "
+                               "kind, penalty_ema, rate_ema, "
+                               "mismatch_tolerance, mismatch_streak, "
+                               "degraded_ema, ensemble, duration_sigma, "
+                               "contention_sigma, drift_sigma, forget, "
+                               "obs_noise, segment_ema)",
+                               key.c_str()));
+    }
+
+    PredictorSpec spec;
+    std::string kind = config.getString("predictor.kind", spec.kind);
+    for (char &c : kind)
+        c = char(std::tolower((unsigned char)c));
+    spec.kind = kind;
+    spec.penaltyEmaWeight =
+        config.getDouble("predictor.penalty_ema", spec.penaltyEmaWeight);
+    spec.rateEmaWeight =
+        config.getDouble("predictor.rate_ema", spec.rateEmaWeight);
+    spec.mismatchTolerance = config.getDouble(
+        "predictor.mismatch_tolerance", spec.mismatchTolerance);
+    spec.mismatchStreak = unsigned(config.getUint(
+        "predictor.mismatch_streak", spec.mismatchStreak));
+    spec.degradedEmaWeight = config.getDouble(
+        "predictor.degraded_ema", spec.degradedEmaWeight);
+    spec.ensemble =
+        unsigned(config.getUint("predictor.ensemble", spec.ensemble));
+    spec.durationSigma = config.getDouble("predictor.duration_sigma",
+                                          spec.durationSigma);
+    spec.contentionSigma = config.getDouble(
+        "predictor.contention_sigma", spec.contentionSigma);
+    spec.driftSigma =
+        config.getDouble("predictor.drift_sigma", spec.driftSigma);
+    spec.forget = config.getDouble("predictor.forget", spec.forget);
+    spec.obsNoise =
+        config.getDouble("predictor.obs_noise", spec.obsNoise);
+    spec.segmentEmaWeight = config.getDouble("predictor.segment_ema",
+                                             spec.segmentEmaWeight);
+
+    if (auto error = validatePredictorSpec(spec))
+        fields.fail(*error);
+    return spec;
+}
+
+std::string
+formatPredictorSection(const PredictorSpec &spec)
+{
+    std::string out;
+    out += "[predictor]\n";
+    out += strfmt("kind = %s\n", spec.kind.c_str());
+    out += strfmt("penalty_ema = %.9g\n", spec.penaltyEmaWeight);
+    out += strfmt("rate_ema = %.9g\n", spec.rateEmaWeight);
+    out += strfmt("mismatch_tolerance = %.9g\n", spec.mismatchTolerance);
+    out += strfmt("mismatch_streak = %u\n", spec.mismatchStreak);
+    out += strfmt("degraded_ema = %.9g\n", spec.degradedEmaWeight);
+    out += strfmt("ensemble = %u\n", spec.ensemble);
+    out += strfmt("duration_sigma = %.9g\n", spec.durationSigma);
+    out += strfmt("contention_sigma = %.9g\n", spec.contentionSigma);
+    out += strfmt("drift_sigma = %.9g\n", spec.driftSigma);
+    out += strfmt("forget = %.9g\n", spec.forget);
+    out += strfmt("obs_noise = %.9g\n", spec.obsNoise);
+    out += strfmt("segment_ema = %.9g\n", spec.segmentEmaWeight);
+    return out;
+}
+
+uint64_t
+predictorSpecHash(const PredictorSpec &spec)
+{
+    return fnv1a64(formatPredictorSection(spec));
+}
+
+std::string
+predictorKnobSummary(const PredictorSpec &spec)
+{
+    std::string knobs;
+    if (spec.kind == "generative") {
+        knobs = strfmt("ensemble %u, sigma %.3g/%.3g/%.3g, forget %.3g",
+                       spec.ensemble, spec.durationSigma,
+                       spec.contentionSigma, spec.driftSigma,
+                       spec.forget);
+    } else if (spec.kind == "decomposition") {
+        knobs = strfmt("segment ema %.3g", spec.segmentEmaWeight);
+    } else {
+        knobs = strfmt("penalty ema %.3g, rate ema %.3g",
+                       spec.penaltyEmaWeight, spec.rateEmaWeight);
+    }
+    knobs += strfmt(", degrade @%.3g x%u", spec.mismatchTolerance,
+                    spec.mismatchStreak);
+    return knobs;
+}
+
+std::unique_ptr<ProfileFallbackPredictor>
+makePredictor(const PredictorSpec &spec, const Profile *profile,
+              uint64_t seed)
+{
+    if (auto error = validatePredictorSpec(spec))
+        fatal(*error);
+
+    std::unique_ptr<CompletionPredictor> primary;
+    if (spec.kind == "generative") {
+        primary = std::make_unique<GenerativeProfilePredictor>(
+            profile, spec, Rng(seed));
+    } else if (spec.kind == "decomposition") {
+        primary = std::make_unique<DeadlineDecompositionPredictor>(
+            profile, spec);
+    } else {
+        primary = std::make_unique<Predictor>(
+            profile, PredictorConfig{spec.penaltyEmaWeight,
+                                     spec.rateEmaWeight});
+    }
+    return std::make_unique<ProfileFallbackPredictor>(
+        std::move(primary), spec);
+}
+
+} // namespace dirigent::core

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Declarative predictor selection: the `[predictor]` spec section.
+ *
+ * A PredictorSpec picks one of the builtin completion-prediction
+ * schemes by name and carries every tuning knob, the degraded-mode
+ * fallback parameters included (the runtime used to hardcode those).
+ * Specs round-trip losslessly through the canonical INI text
+ * (parsePredictorSection(format(spec)) == spec) and hash over that
+ * text, exactly like scheme specs.
+ *
+ * Builtin kinds:
+ *   ema            the paper's §4.2 per-segment penalty-EMA predictor
+ *                  (the default; byte-identical to the pre-seam
+ *                  hard-wired predictor)
+ *   generative     seeded generative-profile ensemble: samples
+ *                  plausible progress curves around the profile and
+ *                  predicts from the posterior-weighted mixture
+ *   decomposition  deadline decomposition: per-segment multiplicative
+ *                  slowdown EMAs with per-segment deadline budgets
+ *
+ * Canonical section (all keys optional; defaults shown):
+ *
+ *   [predictor]
+ *   kind = ema
+ *   penalty_ema = 0.2        ; EMA weight, per-segment penalties
+ *   rate_ema = 0.2           ; EMA weight, in-flight rate factor
+ *   mismatch_tolerance = 0.4 ; |progress/profile - 1| degrade trigger
+ *   mismatch_streak = 3      ; consecutive mismatches before degrading
+ *   degraded_ema = 0.3       ; EMA weight of the degraded duration MA
+ *   ensemble = 32            ; generative: sampled candidate curves
+ *   duration_sigma = 0.05    ; generative: per-segment lognormal sigma
+ *   contention_sigma = 0.4   ; generative: whole-curve lognormal sigma
+ *   drift_sigma = 0.8        ; generative: within-curve drift ramp
+ *   forget = 0.6             ; generative: posterior forgetting factor
+ *   obs_noise = 0.25         ; generative: relative observation noise
+ *   segment_ema = 0.3        ; decomposition: per-segment slowdown EMA
+ */
+
+#ifndef DIRIGENT_DIRIGENT_PREDICTOR_SPEC_H
+#define DIRIGENT_DIRIGENT_PREDICTOR_SPEC_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dirigent {
+class SpecFields;
+}
+
+namespace dirigent::core {
+
+class Profile;
+class ProfileFallbackPredictor;
+
+/** One predictor selection with all tuning knobs. */
+struct PredictorSpec
+{
+    /** Prediction scheme: "ema", "generative" or "decomposition". */
+    std::string kind = "ema";
+
+    /** EMA weight for per-segment penalties across executions. */
+    double penaltyEmaWeight = 0.2;
+
+    /** EMA weight for the in-flight rate-factor moving average. */
+    double rateEmaWeight = 0.2;
+
+    /** Degraded-mode trigger: |finalProgress/profileTotal − 1| beyond
+     *  this tolerance counts as a profile mismatch. */
+    double mismatchTolerance = 0.4;
+
+    /** Consecutive mismatching executions before degrading. */
+    unsigned mismatchStreak = 3;
+
+    /** EMA weight of the degraded-mode observed-duration average. */
+    double degradedEmaWeight = 0.3;
+
+    /** Generative: number of sampled candidate curves (incl. the
+     *  unperturbed profile), in [2, 64]. */
+    unsigned ensemble = 32;
+
+    /** Generative: per-segment duration jitter (lognormal sigma). */
+    double durationSigma = 0.05;
+
+    /** Generative: whole-curve contention scale (lognormal sigma). */
+    double contentionSigma = 0.4;
+
+    /** Generative: within-curve drift slope (log-spread sigma of a
+     *  smooth early-to-late contention ramp). Models contention that
+     *  shifts *during* an execution — the regime prefix-scaling
+     *  predictors extrapolate wrongly. */
+    double driftSigma = 0.8;
+
+    /** Generative: per-execution posterior forgetting factor (0, 1]. */
+    double forget = 0.6;
+
+    /** Generative: relative observation noise of elapsed time. */
+    double obsNoise = 0.25;
+
+    /** Decomposition: per-segment slowdown EMA weight. */
+    double segmentEmaWeight = 0.3;
+
+    bool operator==(const PredictorSpec &) const = default;
+};
+
+/** Builtin predictor registry (one spec per kind, defaults). */
+const std::vector<PredictorSpec> &builtinPredictorSpecs();
+
+/** Case-insensitive registry lookup by kind name; nullptr if absent. */
+const PredictorSpec *findPredictorSpec(const std::string &name);
+
+/**
+ * Validate @p spec; returns a field-naming message ("predictor.<key>
+ * must ...") or nullopt. Callers embedding the section prepend their
+ * own spec prefix.
+ */
+std::optional<std::string>
+validatePredictorSpec(const PredictorSpec &spec);
+
+/**
+ * Parse the `predictor.*` keys of an embedding spec (@p fields wraps
+ * the whole config with the embedding spec's message prefix). Absent
+ * keys keep their defaults; hostile values die with the uniform
+ * field-naming fatal shape.
+ */
+PredictorSpec parsePredictorSection(const SpecFields &fields);
+
+/** Canonical `[predictor]` INI section text (round-trippable). */
+std::string formatPredictorSection(const PredictorSpec &spec);
+
+/** FNV-1a fingerprint of the canonical section text. */
+uint64_t predictorSpecHash(const PredictorSpec &spec);
+
+/** One-line knob summary for registry listings. */
+std::string predictorKnobSummary(const PredictorSpec &spec);
+
+/**
+ * Build the predictor @p spec describes for @p profile, wrapped in the
+ * degraded-mode fallback (every runtime predictor is wrapped so
+ * profile-mismatch handling is uniform across kinds). @p seed feeds
+ * the generative sampler; the default kind never consumes it.
+ * fatal() on an invalid spec.
+ */
+std::unique_ptr<ProfileFallbackPredictor>
+makePredictor(const PredictorSpec &spec, const Profile *profile,
+              uint64_t seed);
+
+} // namespace dirigent::core
+
+#endif // DIRIGENT_DIRIGENT_PREDICTOR_SPEC_H

@@ -71,9 +71,23 @@ DirigentRuntime::addForeground(machine::Pid pid, const Profile *profile,
     state.core = proc.core;
     state.profile = profile;
     state.deadline = deadline;
+    // Per-FG seed stream: only the generative predictor consumes it;
+    // the default EMA kind stays seed-independent.
+    uint64_t predictorSeed =
+        config_.seed ^ (uint64_t(pid) * 0x9E3779B97F4A7C15ull);
     state.predictor =
-        std::make_unique<Predictor>(profile, config_.predictor);
-    state.durationEma = Ema(config_.degradedEmaWeight);
+        makePredictor(config_.predictor, profile, predictorSeed);
+    state.predictor->setDegradeCallback(
+        [this, pid](double ratio, unsigned streak) {
+            verbose(strfmt("dirigent: pid %u progress/profile ratio "
+                           "%.3g for %u consecutive executions; "
+                           "degrading to reactive control",
+                           pid, ratio, streak));
+            noteFault(pid,
+                      strfmt("profile mismatch (ratio %.3g, streak %u); "
+                             "degraded to reactive control",
+                             ratio, streak));
+        });
     fgs_.emplace(pid, std::move(state));
 }
 
@@ -126,7 +140,7 @@ DirigentRuntime::stop()
     machine_.removeCompletionListener(completionListener_);
 }
 
-const Predictor &
+const CompletionPredictor &
 DirigentRuntime::predictor(machine::Pid pid) const
 {
     auto it = fgs_.find(pid);
@@ -167,15 +181,10 @@ DirigentRuntime::onTick(const machine::PeriodicSampler::Tick &tick)
             FineGrainController::FgStatus st;
             st.pid = pid;
             st.core = fg.core;
-            if (fg.degraded && fg.durationEma.valid()) {
-                // Degraded (stale profile) mode: reactive control from
-                // an EMA of observed durations, not the predictor.
-                st.predicted = Time::sec(fg.durationEma.value());
-                st.valid = true;
-            } else {
-                st.predicted = fg.predictor->predictTotal();
-                st.valid = fg.predictor->hasObservation();
-            }
+            // The fallback wrapper answers from the reactive duration
+            // EMA once the FG's profile has been declared stale.
+            st.predicted = fg.predictor->predictTotal();
+            st.valid = fg.predictor->hasObservation();
             st.deadline = fg.deadline;
             statuses.push_back(st);
         }
@@ -212,32 +221,10 @@ DirigentRuntime::onCompletion(const machine::CompletionRecord &rec)
         coarse_->recordExecution(actual, fgMisses, missed, severity);
     }
 
-    // Profile-mismatch detection: when measured progress repeatedly
-    // disagrees with the profile's total, the profile is stale and the
-    // predictor's comparisons are meaningless — fall back to reactive
-    // control driven by observed durations.
-    double expected = fg.profile->totalProgress();
-    if (expected > 0.0) {
-        double ratio = finalProgress / expected;
-        if (std::abs(ratio - 1.0) > config_.mismatchTolerance)
-            ++fg.mismatchStreak;
-        else
-            fg.mismatchStreak = 0;
-        if (!fg.degraded && fg.mismatchStreak >= config_.mismatchStreak) {
-            fg.degraded = true;
-            verbose(strfmt("dirigent: pid %u progress/profile ratio "
-                           "%.3g for %u consecutive executions; "
-                           "degrading to reactive control",
-                           rec.pid, ratio, fg.mismatchStreak));
-            noteFault(rec.pid,
-                      strfmt("profile mismatch (ratio %.3g, streak %u); "
-                             "degraded to reactive control",
-                             ratio, fg.mismatchStreak));
-        }
-    }
-    fg.durationEma.add(actual.sec());
-
     // Arm for the next execution, which starts immediately.
+    // (Profile-mismatch detection and the reactive duration EMA live
+    // in the fallback wrapper; endExecution above already folded this
+    // outcome in.)
     fg.instrAtStart = cumulativeProgress(fg);
     fg.missesAtStart = missesNow;
     fg.midpointRecorded = false;
@@ -261,7 +248,7 @@ DirigentRuntime::degradedMode(machine::Pid pid) const
 {
     auto it = fgs_.find(pid);
     DIRIGENT_ASSERT(it != fgs_.end(), "pid %u not registered", pid);
-    return it->second.degraded;
+    return it->second.predictor->degraded();
 }
 
 std::vector<machine::Pid>

@@ -18,8 +18,10 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "dirigent/coarse_controller.h"
+#include "dirigent/completion_predictor.h"
+#include "dirigent/fallback_predictor.h"
 #include "dirigent/fine_controller.h"
-#include "dirigent/predictor.h"
+#include "dirigent/predictor_spec.h"
 #include "dirigent/profile.h"
 #include "dirigent/progress.h"
 #include "machine/actuators.h"
@@ -41,7 +43,14 @@ struct RuntimeConfig
     /** Control decisions every this many prediction segments. */
     unsigned decisionPeriodTicks = 5;
 
-    PredictorConfig predictor;
+    /**
+     * Completion-prediction scheme and knobs, including the degraded
+     * (reactive fallback) parameters; see dirigent/predictor_spec.h.
+     * Every FG's predictor is built from this spec through
+     * makePredictor(), so swapping schemes is a config change.
+     */
+    PredictorSpec predictor;
+
     FineControllerConfig fine;
     CoarseControllerConfig coarse;
 
@@ -83,18 +92,6 @@ struct RuntimeConfig
      * predictor — when it exceeds maxFreq · maxPlausibleIpc · 2·dt.
      */
     double maxPlausibleIpc = 12.0;
-
-    /** @name Degraded (reactive fallback) mode.
-     *  When an execution's measured progress disagrees with the
-     *  offline profile's total by more than mismatchTolerance for
-     *  mismatchStreak consecutive executions, the FG's profile is
-     *  declared stale: fine-grain decisions switch from the predictor
-     *  to an EMA of observed durations (reactive control). */
-    /// @{
-    double mismatchTolerance = 0.4;
-    unsigned mismatchStreak = 3;
-    double degradedEmaWeight = 0.3;
-    /// @}
 };
 
 /**
@@ -153,7 +150,7 @@ class DirigentRuntime
     void stop();
 
     /** The predictor of a registered FG process. */
-    const Predictor &predictor(machine::Pid pid) const;
+    const CompletionPredictor &predictor(machine::Pid pid) const;
 
     /** The fine controller (valid regardless of enableFine). */
     FineGrainController &fineController() { return *fine_; }
@@ -209,7 +206,7 @@ class DirigentRuntime
         unsigned core = 0;
         const Profile *profile = nullptr;
         Time deadline;
-        std::unique_ptr<Predictor> predictor;
+        std::unique_ptr<ProfileFallbackPredictor> predictor;
         double instrAtStart = 0.0;
         double missesAtStart = 0.0;
         bool midpointRecorded = false;
@@ -217,9 +214,6 @@ class DirigentRuntime
         std::vector<PredictionSample> samples;
         SenseState progressSense;
         SenseState missSense;
-        Ema durationEma{0.3}; //!< reweighted in addForeground()
-        unsigned mismatchStreak = 0;
-        bool degraded = false;
     };
 
     void init(sim::Engine &engine);

@@ -178,6 +178,8 @@ validateSchemeSpec(const SchemeSpec &spec)
         return strfmt("scheme spec: admission.update_period_s must be "
                       "> 0, got %.9g",
                       spec.admitUpdatePeriodSec);
+    if (auto error = validatePredictorSpec(spec.predictor))
+        return "scheme spec: " + *error;
     return std::nullopt;
 }
 
@@ -186,18 +188,9 @@ parseSchemeSpec(const Config &config)
 {
     // Reject keys outside the known sections early: a typoed key would
     // otherwise silently fall back to its default.
-    static const char *sections[] = {"scheme.", "static.", "control.",
-                                     "bandwidth.", "admission."};
-    for (const std::string &key : config.keys()) {
-        bool known = false;
-        for (const char *s : sections)
-            known = known || key.rfind(s, 0) == 0;
-        if (!known)
-            fatal(strfmt("scheme spec: unknown key '%s' (sections: "
-                         "scheme, static, control, bandwidth, "
-                         "admission)",
-                         key.c_str()));
-    }
+    SpecFields fields(config, "scheme spec");
+    fields.requireSections({"scheme", "static", "control", "bandwidth",
+                            "admission", "predictor"});
 
     SchemeSpec spec;
     spec.name = config.getString("scheme.name", "");
@@ -231,6 +224,7 @@ parseSchemeSpec(const Config &config)
         config.getDouble("admission.update_period_s", 2.0);
     spec.admitProbeEvery =
         unsigned(config.getUint("admission.probe_every", 5));
+    spec.predictor = parsePredictorSection(fields);
 
     if (auto error = validateSchemeSpec(spec))
         fatal(*error);
@@ -275,6 +269,8 @@ formatSchemeSpec(const SchemeSpec &spec)
     out += strfmt("tolerance = %.9g\n", spec.admitTolerance);
     out += strfmt("update_period_s = %.9g\n", spec.admitUpdatePeriodSec);
     out += strfmt("probe_every = %u\n", spec.admitProbeEvery);
+    out += "\n";
+    out += formatPredictorSection(spec.predictor);
     return out;
 }
 
@@ -311,6 +307,9 @@ schemeKnobSummary(const SchemeSpec &spec)
     else if (spec.admission == "gradient")
         parts.push_back(strfmt("admit gradient %u..%u",
                                spec.admitMinLimit, spec.admitMaxLimit));
+    if (spec.predictor.kind != "ema")
+        parts.push_back(
+            strfmt("predictor %s", spec.predictor.kind.c_str()));
     if (parts.empty())
         return "free contention";
     std::string out;

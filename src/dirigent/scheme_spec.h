@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "dirigent/predictor_spec.h"
 #include "dirigent/scheme.h"
 
 namespace dirigent::core {
@@ -100,6 +101,14 @@ struct SchemeSpec
 
     /** Every Nth gradient window re-probes minRTT (0 = never). */
     unsigned admitProbeEvery = 5;
+
+    /**
+     * Completion-prediction scheme for runs that attach the runtime
+     * (`[predictor]` section; see dirigent/predictor_spec.h). The
+     * default spec reproduces the paper's EMA predictor byte-for-byte;
+     * schemes without the runtime ignore it.
+     */
+    PredictorSpec predictor;
 
     /** True when the spec attaches the Dirigent runtime (sampling). */
     bool attachesRuntime() const { return fine || coarse || observer; }

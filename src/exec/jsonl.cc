@@ -70,9 +70,15 @@ JsonlWriter::write(const harness::SchemeRunResult &result,
     // "scheme" is the assembled spec's name (enum name for builtin
     // runs); "spec_hash" is its canonical-text FNV-1a fingerprint as a
     // decimal string, matching the run manifest's scheme_spec_hash.
+    // "predictor" appears only for runs with a runtime attached.
+    std::string predictor =
+        result.predictorName.empty()
+            ? ""
+            : strfmt("\"predictor\":\"%s\",",
+                     jsonEscape(result.predictorName).c_str());
     std::string line = strfmt(
         "{\"mix\":\"%s\",\"stage\":\"%s\",\"scheme\":\"%s\","
-        "\"spec_hash\":\"%llu\","
+        "\"spec_hash\":\"%llu\",%s"
         "\"seed\":%llu,\"fg_success\":%s,\"on_time\":%llu,"
         "\"total\":%llu,\"fg_mean_s\":%s,\"fg_std_s\":%s,"
         "\"fg_mpki\":%s,\"bg_throughput\":%s,\"span_s\":%s,"
@@ -80,6 +86,7 @@ JsonlWriter::write(const harness::SchemeRunResult &result,
         jsonEscape(result.mixName).c_str(), jsonEscape(stage).c_str(),
         jsonEscape(result.label()).c_str(),
         static_cast<unsigned long long>(result.specHash),
+        predictor.c_str(),
         static_cast<unsigned long long>(seed),
         jsonNumber(result.fgSuccessRatio()).c_str(),
         static_cast<unsigned long long>(result.onTime),
@@ -100,9 +107,14 @@ JsonlWriter::writeServing(const harness::ServingRunResult &result,
                           const std::string &stage, uint64_t seed,
                           double wallSeconds)
 {
+    std::string predictor =
+        result.predictorName.empty()
+            ? ""
+            : strfmt("\"predictor\":\"%s\",",
+                     jsonEscape(result.predictorName).c_str());
     std::string line = strfmt(
         "{\"mix\":\"%s\",\"stage\":\"%s\",\"scheme\":\"%s\","
-        "\"spec_hash\":\"%llu\",\"serve_hash\":\"%llu\","
+        "\"spec_hash\":\"%llu\",\"serve_hash\":\"%llu\",%s"
         "\"seed\":%llu,\"arrival_kind\":\"%s\",\"rate\":%s,"
         "\"arrivals\":%llu,\"completed\":%llu,\"dropped\":%llu,"
         "\"shed\":%llu,\"reject_rate\":%s,\"mean_s\":%s,"
@@ -113,6 +125,7 @@ JsonlWriter::writeServing(const harness::ServingRunResult &result,
         jsonEscape(result.schemeLabel).c_str(),
         static_cast<unsigned long long>(result.specHash),
         static_cast<unsigned long long>(result.serveHash),
+        predictor.c_str(),
         static_cast<unsigned long long>(seed),
         serve::arrivalKindName(result.arrivalKind),
         jsonNumber(result.offeredRate, -1).c_str(),

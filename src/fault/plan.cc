@@ -8,40 +8,6 @@
 
 namespace dirigent::fault {
 
-namespace {
-
-// strtod parses "nan" and "inf"; both would defeat the range checks.
-void
-requireFinite(const char *key, double value)
-{
-    if (!std::isfinite(value))
-        fatal(strfmt("fault plan: %s must be finite", key));
-}
-
-double
-getProb(const Config &config, const char *key)
-{
-    double p = config.getDouble(key, 0.0);
-    requireFinite(key, p);
-    if (p < 0.0 || p > 1.0)
-        fatal(strfmt("fault plan: %s must be a probability in [0, 1], "
-                     "got %.9g",
-                     key, p));
-    return p;
-}
-
-Time
-getPositiveTime(const Config &config, const char *key, Time fallback)
-{
-    Time t = config.getTime(key, fallback);
-    requireFinite(key, t.sec());
-    if (t.sec() <= 0.0)
-        fatal(strfmt("fault plan: %s must be a positive duration", key));
-    return t;
-}
-
-} // namespace
-
 bool
 FaultPlan::empty() const
 {
@@ -56,61 +22,45 @@ FaultPlan::empty() const
 FaultPlan
 parseFaultPlan(const Config &config)
 {
-    // Reject keys outside the known sections early: a typoed section
-    // would otherwise silently inject nothing.
-    static const char *sections[] = {"faults.",  "counters.", "sampler.",
-                                     "dvfs.",    "cat.",      "profile."};
-    for (const std::string &key : config.keys()) {
-        bool known = false;
-        for (const char *s : sections)
-            known = known || key.rfind(s, 0) == 0;
-        if (!known)
-            fatal(strfmt("fault plan: unknown key '%s' (sections: "
-                         "faults, counters, sampler, dvfs, cat, profile)",
-                         key.c_str()));
-    }
+    SpecFields fields(config, "fault plan");
+    fields.requireSections(
+        {"faults", "counters", "sampler", "dvfs", "cat", "profile"});
 
     FaultPlan plan;
     plan.seedSalt = config.getUint("faults.seed_salt", 0);
 
-    plan.counters.dropProb = getProb(config, "counters.drop_prob");
-    plan.counters.glitchProb = getProb(config, "counters.glitch_prob");
+    plan.counters.dropProb = fields.probability("counters.drop_prob");
+    plan.counters.glitchProb =
+        fields.probability("counters.glitch_prob");
     plan.counters.glitchScale =
-        config.getDouble("counters.glitch_scale", 100.0);
-    requireFinite("counters.glitch_scale", plan.counters.glitchScale);
-    if (plan.counters.glitchScale <= 0.0)
-        fatal("fault plan: counters.glitch_scale must be positive");
-    plan.counters.saturateProb = getProb(config, "counters.saturate_prob");
+        fields.positive("counters.glitch_scale", 100.0);
+    plan.counters.saturateProb =
+        fields.probability("counters.saturate_prob");
 
-    plan.sampler.stallProb = getProb(config, "sampler.stall_prob");
+    plan.sampler.stallProb = fields.probability("sampler.stall_prob");
     plan.sampler.stallMean =
-        getPositiveTime(config, "sampler.stall_mean", Time::ms(10.0));
-    plan.sampler.missProb = getProb(config, "sampler.miss_prob");
-    plan.sampler.overrunProb = getProb(config, "sampler.overrun_prob");
+        fields.positiveTime("sampler.stall_mean", Time::ms(10.0));
+    plan.sampler.missProb = fields.probability("sampler.miss_prob");
+    plan.sampler.overrunProb =
+        fields.probability("sampler.overrun_prob");
     plan.sampler.overrunMean =
-        getPositiveTime(config, "sampler.overrun_mean", Time::ms(8.0));
+        fields.positiveTime("sampler.overrun_mean", Time::ms(8.0));
 
-    plan.dvfs.failProb = getProb(config, "dvfs.fail_prob");
-    plan.dvfs.spikeProb = getProb(config, "dvfs.spike_prob");
+    plan.dvfs.failProb = fields.probability("dvfs.fail_prob");
+    plan.dvfs.spikeProb = fields.probability("dvfs.spike_prob");
     plan.dvfs.spikeMean =
-        getPositiveTime(config, "dvfs.spike_mean", Time::ms(2.0));
+        fields.positiveTime("dvfs.spike_mean", Time::ms(2.0));
 
-    plan.cat.failProb = getProb(config, "cat.fail_prob");
+    plan.cat.failProb = fields.probability("cat.fail_prob");
 
-    plan.profile.staleScale = config.getDouble("profile.stale_scale", 1.0);
-    requireFinite("profile.stale_scale", plan.profile.staleScale);
-    if (plan.profile.staleScale <= 0.0)
-        fatal("fault plan: profile.stale_scale must be positive");
-    plan.profile.noiseSigma = config.getDouble("profile.noise_sigma", 0.0);
-    requireFinite("profile.noise_sigma", plan.profile.noiseSigma);
-    if (plan.profile.noiseSigma < 0.0)
-        fatal("fault plan: profile.noise_sigma must be >= 0");
-    plan.profile.corruptProb = getProb(config, "profile.corrupt_prob");
+    plan.profile.staleScale =
+        fields.positive("profile.stale_scale", 1.0);
+    plan.profile.noiseSigma =
+        fields.nonNegative("profile.noise_sigma", 0.0);
+    plan.profile.corruptProb =
+        fields.probability("profile.corrupt_prob");
     plan.profile.corruptScale =
-        config.getDouble("profile.corrupt_scale", 4.0);
-    requireFinite("profile.corrupt_scale", plan.profile.corruptScale);
-    if (plan.profile.corruptScale <= 0.0)
-        fatal("fault plan: profile.corrupt_scale must be positive");
+        fields.positive("profile.corrupt_scale", 4.0);
 
     return plan;
 }

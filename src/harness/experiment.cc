@@ -250,10 +250,18 @@ ExperimentRunner::runAssembled(const workload::WorkloadMix &mix,
     if (spec.staticPartition)
         actuators.partition().setFgWays(spec.staticFgWays);
 
+    // The spec's [predictor] section wins when it deviates from the
+    // defaults; otherwise the harness-wide predictor applies (CLI
+    // runtime.predictor=...). Both paths run through the same registry.
+    core::PredictorSpec predictorSpec =
+        spec.predictor == core::PredictorSpec{} ? config_.runtime.predictor
+                                                : spec.predictor;
+
     std::unique_ptr<core::DirigentRuntime> runtime;
     std::vector<core::Profile> corruptedProfiles;
     if (spec.attachesRuntime()) {
         core::RuntimeConfig rcfg = config_.runtime;
+        rcfg.predictor = predictorSpec;
         rcfg.enableFine = spec.fine;
         rcfg.enableCoarse = spec.coarse;
         rcfg.runtimeCore = nFg; // shared with the first BG task
@@ -355,6 +363,11 @@ ExperimentRunner::runAssembled(const workload::WorkloadMix &mix,
         manifest.samplingPeriod = config_.runtime.samplingPeriod;
         manifest.decisionPeriodTicks =
             config_.runtime.decisionPeriodTicks;
+        if (spec.attachesRuntime()) {
+            manifest.predictor = predictorSpec.kind;
+            manifest.predictorSpecHash =
+                core::predictorSpecHash(predictorSpec);
+        }
         if (faults != nullptr) {
             manifest.faultPlanText =
                 fault::formatFaultPlan(faults->plan());
@@ -479,6 +492,7 @@ ExperimentRunner::runAssembled(const workload::WorkloadMix &mix,
 
     if (runtime) {
         runtime->stop();
+        result.predictorName = predictorSpec.kind;
         result.bgGradeResidency =
             runtime->fineController().stats().bgGradeResidency;
         for (Freq f : runtime->fineController().ladderFreqs())

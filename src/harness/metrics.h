@@ -43,6 +43,10 @@ struct SchemeRunResult
     /** FNV-1a fingerprint of the assembled spec's canonical text. */
     uint64_t specHash = 0;
 
+    /** Completion-predictor kind the runtime ran with ("" = no
+     *  runtime attached, e.g. Baseline/static schemes). */
+    std::string predictorName;
+
     /** schemeLabel, falling back to the enum name when unset. */
     const char *label() const
     {

@@ -149,10 +149,17 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
     if (spec.staticPartition)
         actuators.partition().setFgWays(spec.staticFgWays);
 
+    // Same overlay rule as the batch path: a spec [predictor] section
+    // deviating from the defaults wins over the harness-wide predictor.
+    core::PredictorSpec predictorSpec =
+        spec.predictor == core::PredictorSpec{} ? config_.runtime.predictor
+                                                : spec.predictor;
+
     std::unique_ptr<core::DirigentRuntime> runtime;
     std::vector<core::Profile> corruptedProfiles;
     if (spec.attachesRuntime()) {
         core::RuntimeConfig rcfg = config_.runtime;
+        rcfg.predictor = predictorSpec;
         rcfg.enableFine = spec.fine;
         rcfg.enableCoarse = spec.coarse;
         rcfg.runtimeCore = nFg;
@@ -253,6 +260,11 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
         manifest.samplingPeriod = config_.runtime.samplingPeriod;
         manifest.decisionPeriodTicks =
             config_.runtime.decisionPeriodTicks;
+        if (spec.attachesRuntime()) {
+            manifest.predictor = predictorSpec.kind;
+            manifest.predictorSpecHash =
+                core::predictorSpecHash(predictorSpec);
+        }
         if (faults != nullptr) {
             manifest.faultPlanText =
                 fault::formatFaultPlan(faults->plan());
@@ -352,6 +364,7 @@ ExperimentRunner::runServing(const workload::WorkloadMix &mix,
                 driver->admission()->limit());
     }
     if (runtime) {
+        result.predictorName = predictorSpec.kind;
         for (machine::Pid pid : fgPids)
             if (runtime->degradedMode(pid))
                 result.degraded = true;

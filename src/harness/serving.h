@@ -38,6 +38,9 @@ struct ServingRunResult
     uint64_t specHash = 0;   //!< scheme-spec FNV-1a
     uint64_t serveHash = 0;  //!< serve-spec FNV-1a
 
+    /** Completion-predictor kind ("" = no runtime attached). */
+    std::string predictorName;
+
     serve::ArrivalKind arrivalKind = serve::ArrivalKind::Poisson;
 
     /** Mean offered rate per FG slot (req/s); NaN for trace replay. */

@@ -98,6 +98,14 @@ RunManifest::toJson() const
     out += strfmt(",\"executions\":%u", executions);
     out += ",\"sampling_period_s\":" + jsonDouble(samplingPeriod.sec());
     out += strfmt(",\"decision_period_ticks\":%u", decisionPeriodTicks);
+    // Predictor identity: emitted only when a runtime ran, so
+    // pre-predictor-seam manifests stay byte-identical.
+    if (!predictor.empty()) {
+        out += ",\"predictor\":" + jsonQuote(predictor);
+        out += ",\"predictor_spec_hash\":" +
+               jsonQuote(strfmt("%llu",
+                                (unsigned long long)predictorSpecHash));
+    }
     if (requests.present) {
         out += strfmt(",\"requests\":{\"arrivals\":%llu"
                       ",\"completed\":%llu,\"dropped\":%llu"
@@ -233,6 +241,9 @@ RunManifest::fromJson(const JsonValue &value)
         Time::sec(value.numberOr("sampling_period_s", 0.0));
     m.decisionPeriodTicks =
         unsigned(value.numberOr("decision_period_ticks", 0.0));
+    m.predictor = value.stringOr("predictor", "");
+    m.predictorSpecHash = std::strtoull(
+        value.stringOr("predictor_spec_hash", "0").c_str(), nullptr, 10);
     if (const JsonValue *req = value.find("requests");
         req != nullptr && req->isObject()) {
         const double nan = std::nan("");

@@ -164,6 +164,15 @@ struct RunManifest
     Time samplingPeriod;
     unsigned decisionPeriodTicks = 0;
 
+    /** Completion-predictor kind the runtime ran with ("" = no runtime
+     *  attached / pre-predictor-seam producers; omitted from JSON so
+     *  older manifests stay byte-identical). */
+    std::string predictor;
+
+    /** FNV-1a of the canonical [predictor] section text; 0 = none
+     *  recorded. */
+    uint64_t predictorSpecHash = 0;
+
     /** Serving-run request summary (absent for batch runs). */
     RequestSummary requests;
 

@@ -1,5 +1,7 @@
 #include "obs/recorder.h"
 
+#include <cmath>
+
 #include "common/log.h"
 #include "common/strfmt.h"
 
@@ -99,6 +101,8 @@ RunProbe::RunProbe(Recorder &recorder, Sources sources)
             strfmt("fg%zu.progress_fraction", i), "fraction"));
         fgDegraded_.push_back(recorder_.addSeries(
             strfmt("fg%zu.degraded", i), "bool"));
+        fgPredError_.push_back(recorder_.addSeries(
+            strfmt("fg%zu.prediction_error", i), "fraction"));
     }
 }
 
@@ -156,7 +160,8 @@ RunProbe::takeSample(Time now)
     if (src_.runtime != nullptr) {
         for (size_t i = 0; i < src_.fgPids.size(); ++i) {
             machine::Pid pid = src_.fgPids[i];
-            const core::Predictor &pred = src_.runtime->predictor(pid);
+            const core::CompletionPredictor &pred =
+                src_.runtime->predictor(pid);
             double predictedSec = pred.predictTotal().sec();
             lastPredictedSec_[pid] = predictedSec;
             recorder_.sample(fgPredicted_[i], now, predictedSec * 1e3);
@@ -173,6 +178,8 @@ RunProbe::takeSample(Time now)
             recorder_.sample(fgDegraded_[i], now,
                              src_.runtime->degradedMode(pid) ? 1.0
                                                              : 0.0);
+            recorder_.sample(fgPredError_[i], now,
+                             pred.errorEstimate());
         }
     }
 
@@ -238,6 +245,16 @@ RunProbe::onCompletion(const machine::CompletionRecord &rec)
         .histogram("fg.duration_ms",
                    HistogramConfig{1e-2, 20, 160})
         .observe(rec.duration().ms());
+    // Relative error of the last prediction taken before completion;
+    // absent for executions the probe never sampled mid-flight.
+    double actualSec = rec.duration().sec();
+    if (pred != lastPredictedSec_.end() && pred->second > 0.0 &&
+        actualSec > 0.0) {
+        recorder_.metrics()
+            .histogram("fg.prediction_error",
+                       HistogramConfig{1e-4, 20, 120})
+            .observe(std::fabs(pred->second - actualSec) / actualSec);
+    }
     recorder_.addSlice(std::move(slice));
 }
 

@@ -221,6 +221,7 @@ class RunProbe : public sim::Observer
     std::vector<size_t> fgAlpha_;     //!< MA({α})
     std::vector<size_t> fgProgress_;  //!< profiled fraction 0..1
     std::vector<size_t> fgDegraded_;  //!< 0/1 reactive fallback
+    std::vector<size_t> fgPredError_; //!< smoothed relative error
 
     // Delta state between samples.
     Time nextSample_;

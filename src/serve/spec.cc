@@ -97,17 +97,8 @@ validateServeSpec(const ServeSpec &spec)
 ServeSpec
 parseServeSpec(const Config &config)
 {
-    static const char *sections[] = {"arrivals.", "queue.", "slo.",
-                                     "serve."};
-    for (const std::string &key : config.keys()) {
-        bool known = false;
-        for (const char *s : sections)
-            known = known || key.rfind(s, 0) == 0;
-        if (!known)
-            fatal(strfmt("serve spec: unknown key '%s' (sections: "
-                         "arrivals, queue, slo, serve)",
-                         key.c_str()));
-    }
+    SpecFields fields(config, "serve spec");
+    fields.requireSections({"arrivals", "queue", "slo", "serve"});
 
     ServeSpec spec;
     std::string kind = config.getString("arrivals.kind", "poisson");

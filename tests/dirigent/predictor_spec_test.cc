@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests of the pluggable-predictor registry: builtin kinds, lossless
+ * round-trips through the canonical `[predictor]` INI section, hash
+ * coverage, hostile-input rejection with field-naming messages, the
+ * factory's kind dispatch, and the degraded-mode fallback wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/hash.h"
+#include "dirigent/fallback_predictor.h"
+#include "dirigent/predictor_spec.h"
+#include "dirigent/scheme_spec.h"
+
+namespace dirigent::core {
+namespace {
+
+/** A uniform profile: @p n segments of @p progress instr / @p dt each. */
+Profile
+uniformProfile(size_t n, double progress = 1e6,
+               Time dt = Time::ms(5.0))
+{
+    std::vector<ProfileSegment> segs(n, ProfileSegment{progress, dt});
+    return Profile("test", dt, segs);
+}
+
+PredictorSpec
+parseSection(const std::string &text)
+{
+    Config config = Config::parse(text);
+    SpecFields fields(config, "test spec");
+    return parsePredictorSection(fields);
+}
+
+TEST(PredictorSpecRegistryTest, OneBuiltinPerKind)
+{
+    const auto &specs = builtinPredictorSpecs();
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].kind, "ema");
+    EXPECT_EQ(specs[1].kind, "generative");
+    EXPECT_EQ(specs[2].kind, "decomposition");
+    for (const PredictorSpec &spec : specs)
+        EXPECT_EQ(validatePredictorSpec(spec), std::nullopt);
+}
+
+TEST(PredictorSpecRegistryTest, LookupIsCaseInsensitive)
+{
+    ASSERT_NE(findPredictorSpec("EMA"), nullptr);
+    EXPECT_EQ(findPredictorSpec("EMA")->kind, "ema");
+    ASSERT_NE(findPredictorSpec("Generative"), nullptr);
+    EXPECT_EQ(findPredictorSpec("Generative")->kind, "generative");
+    EXPECT_EQ(findPredictorSpec("no-such-predictor"), nullptr);
+}
+
+TEST(PredictorSpecRegistryTest, DefaultSpecIsTheEmaBuiltin)
+{
+    // The default-constructed spec IS the "ema" builtin: the harness
+    // overlay rule (spec deviates from default => spec wins) depends
+    // on this identity.
+    EXPECT_EQ(PredictorSpec{}, builtinPredictorSpecs().front());
+}
+
+TEST(PredictorSpecRoundTripTest, AllBuiltinsSurviveFormatParse)
+{
+    for (const PredictorSpec &spec : builtinPredictorSpecs()) {
+        SCOPED_TRACE(spec.kind);
+        EXPECT_EQ(parseSection(formatPredictorSection(spec)), spec);
+    }
+}
+
+TEST(PredictorSpecRoundTripTest, CustomSpecWithEveryKnobSurvives)
+{
+    PredictorSpec spec;
+    spec.kind = "generative";
+    spec.penaltyEmaWeight = 0.35;
+    spec.rateEmaWeight = 0.15;
+    spec.mismatchTolerance = 0.25;
+    spec.mismatchStreak = 5;
+    spec.degradedEmaWeight = 0.45;
+    spec.ensemble = 16;
+    spec.durationSigma = 0.5;
+    spec.contentionSigma = 0.75;
+    spec.driftSigma = 0.9;
+    spec.forget = 0.8;
+    spec.obsNoise = 0.1;
+    spec.segmentEmaWeight = 0.2;
+    EXPECT_EQ(parseSection(formatPredictorSection(spec)), spec);
+}
+
+TEST(PredictorSpecRoundTripTest, HashFingerprintsCanonicalText)
+{
+    for (const PredictorSpec &spec : builtinPredictorSpecs()) {
+        EXPECT_EQ(predictorSpecHash(spec),
+                  fnv1a64(formatPredictorSection(spec)));
+        EXPECT_NE(predictorSpecHash(spec), 0u);
+    }
+    EXPECT_NE(predictorSpecHash(*findPredictorSpec("ema")),
+              predictorSpecHash(*findPredictorSpec("generative")));
+    // Knob changes fingerprint too, not just the kind.
+    PredictorSpec tweaked;
+    tweaked.forget = 0.5;
+    EXPECT_NE(predictorSpecHash(tweaked),
+              predictorSpecHash(PredictorSpec{}));
+}
+
+TEST(PredictorSpecRoundTripTest, SchemeSpecEmbedsThePredictorSection)
+{
+    // A scheme spec carrying a non-default predictor round-trips and
+    // hashes over the [predictor] section.
+    SchemeSpec scheme = schemeSpec(Scheme::Dirigent);
+    uint64_t defaultHash = schemeSpecHash(scheme);
+    scheme.predictor.kind = "decomposition";
+    scheme.predictor.segmentEmaWeight = 0.5;
+    EXPECT_EQ(parseSchemeSpec(formatSchemeSpec(scheme)), scheme);
+    EXPECT_NE(schemeSpecHash(scheme), defaultHash);
+}
+
+TEST(PredictorSpecRoundTripTest, KnobSummaryNamesTheKind)
+{
+    EXPECT_NE(predictorKnobSummary(*findPredictorSpec("ema"))
+                  .find("penalty ema"),
+              std::string::npos);
+    EXPECT_NE(predictorKnobSummary(*findPredictorSpec("generative"))
+                  .find("ensemble"),
+              std::string::npos);
+    EXPECT_NE(predictorKnobSummary(*findPredictorSpec("decomposition"))
+                  .find("segment ema"),
+              std::string::npos);
+}
+
+TEST(PredictorSpecValidationTest, NamesTheOffendingField)
+{
+    PredictorSpec spec;
+    EXPECT_EQ(validatePredictorSpec(spec), std::nullopt);
+
+    spec.kind = "oracle";
+    auto err = validatePredictorSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("predictor.kind"), std::string::npos);
+
+    spec = PredictorSpec{};
+    spec.penaltyEmaWeight = 0.0;
+    err = validatePredictorSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("predictor.penalty_ema"), std::string::npos);
+
+    spec = PredictorSpec{};
+    spec.mismatchTolerance = -0.1;
+    err = validatePredictorSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("predictor.mismatch_tolerance"),
+              std::string::npos);
+
+    spec = PredictorSpec{};
+    spec.mismatchStreak = 0;
+    err = validatePredictorSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("predictor.mismatch_streak"),
+              std::string::npos);
+
+    spec = PredictorSpec{};
+    spec.ensemble = 1;
+    err = validatePredictorSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("predictor.ensemble"), std::string::npos);
+
+    spec = PredictorSpec{};
+    spec.obsNoise = 0.0;
+    err = validatePredictorSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("predictor.obs_noise"), std::string::npos);
+}
+
+TEST(PredictorSpecValidationTest, HostileTextIsFatalWithMessage)
+{
+    EXPECT_DEATH(parseSection("[predictor]\nkind = oracle\n"),
+                 "predictor.kind 'oracle' unknown");
+    EXPECT_DEATH(parseSection("[predictor]\nensemble = 100\n"),
+                 "predictor.ensemble 100 out of range");
+    EXPECT_DEATH(parseSection("[predictor]\nforget = 0\n"),
+                 "predictor.forget must be a weight");
+    // Scheme specs reject hostile [predictor] keys like their own.
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n"
+                                 "[predictor]\nkindd = ema\n"),
+                 "unknown key");
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n"
+                                 "[predictor]\nkind = oracle\n"),
+                 "predictor.kind 'oracle' unknown");
+}
+
+TEST(PredictorSpecValidationTest,
+     DegradedEmaWeightIsValidatedNotHardcoded)
+{
+    // Regression: the degraded-mode duration-EMA weight used to be a
+    // hard-wired 0.3 inside the runtime; now a mis-specified weight
+    // must be rejected with a field-naming message.
+    PredictorSpec spec;
+    spec.degradedEmaWeight = 1.5;
+    auto err = validatePredictorSpec(spec);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("predictor.degraded_ema"), std::string::npos);
+    EXPECT_NE(err->find("weight in (0, 1]"), std::string::npos);
+    EXPECT_DEATH(parseSection("[predictor]\ndegraded_ema = 1.5\n"),
+                 "predictor.degraded_ema must be a weight in \\(0, 1\\]");
+    EXPECT_DEATH(parseSchemeSpec("[scheme]\nname = x\n"
+                                 "[predictor]\ndegraded_ema = -1\n"),
+                 "predictor.degraded_ema");
+}
+
+TEST(PredictorFactoryTest, BuildsTheRequestedKindWrapped)
+{
+    Profile profile = uniformProfile(20);
+    for (const PredictorSpec &spec : builtinPredictorSpecs()) {
+        SCOPED_TRACE(spec.kind);
+        auto pred = makePredictor(spec, &profile, 42);
+        ASSERT_NE(pred, nullptr);
+        // The wrapper reports its primary's name until degraded.
+        EXPECT_STREQ(pred->name(), spec.kind.c_str());
+        EXPECT_STREQ(pred->primary().name(), spec.kind.c_str());
+        EXPECT_FALSE(pred->degraded());
+        EXPECT_EQ(pred->spec(), spec);
+    }
+}
+
+TEST(PredictorFactoryTest, InvalidSpecIsFatal)
+{
+    Profile profile = uniformProfile(4);
+    PredictorSpec spec;
+    spec.kind = "oracle";
+    EXPECT_DEATH(makePredictor(spec, &profile, 1),
+                 "predictor.kind 'oracle' unknown");
+}
+
+/** One full execution at profile pace (20 steps of 5 ms) whose final
+ *  progress misses the profile total by @p shortfall (e.g. 0.5 = half
+ *  the profiled progress). */
+void
+runMismatchedExecution(CompletionPredictor &pred, const Profile &profile,
+                       double shortfall, Time &now)
+{
+    pred.beginExecution(now);
+    double total = profile.totalProgress() * shortfall;
+    Time dt = Time::ms(5.0);
+    double step = total / 20.0;
+    double progress = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        now += dt;
+        progress += step;
+        pred.observe(now, progress);
+    }
+    pred.endExecution(now, progress);
+}
+
+TEST(FallbackPredictorTest, DegradesAfterMismatchStreak)
+{
+    Profile profile = uniformProfile(20);
+    PredictorSpec spec;
+    spec.mismatchStreak = 3;
+    auto pred = makePredictor(spec, &profile, 7);
+
+    int callbacks = 0;
+    double ratioSeen = 0.0;
+    unsigned streakSeen = 0;
+    pred->setDegradeCallback([&](double ratio, unsigned streak) {
+        ++callbacks;
+        ratioSeen = ratio;
+        streakSeen = streak;
+    });
+
+    Time now;
+    // Two mismatched executions: still trusting the profile.
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    EXPECT_FALSE(pred->degraded());
+    EXPECT_EQ(callbacks, 0);
+
+    // Third consecutive mismatch trips the fallback, once.
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    EXPECT_TRUE(pred->degraded());
+    EXPECT_EQ(callbacks, 1);
+    EXPECT_NEAR(ratioSeen, 0.4, 1e-9);
+    EXPECT_EQ(streakSeen, 3u);
+
+    // Degraded predictions answer from the observed-duration EMA
+    // (every execution above took 20 * 5 ms = 100 ms).
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    EXPECT_EQ(callbacks, 1) << "degrade callback must fire once";
+    pred->beginExecution(now);
+    EXPECT_TRUE(pred->hasObservation());
+    EXPECT_NEAR(pred->predictTotal().sec(), 0.1, 1e-9);
+}
+
+TEST(FallbackPredictorTest, MatchingExecutionsResetTheStreak)
+{
+    Profile profile = uniformProfile(20);
+    PredictorSpec spec;
+    spec.mismatchStreak = 3;
+    auto pred = makePredictor(spec, &profile, 7);
+
+    Time now;
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    // A profile-conforming execution breaks the streak.
+    runMismatchedExecution(*pred, profile, 1.0, now);
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    runMismatchedExecution(*pred, profile, 0.4, now);
+    EXPECT_FALSE(pred->degraded());
+}
+
+TEST(FallbackPredictorTest, ErrorEstimateTracksMidpointAccuracy)
+{
+    Profile profile = uniformProfile(20);
+    auto pred = makePredictor(PredictorSpec{}, &profile, 7);
+    EXPECT_EQ(pred->errorEstimate(), 0.0);
+
+    // Profile-conforming executions: midpoint predictions are exact,
+    // so the smoothed relative error stays ~0.
+    Time now;
+    runMismatchedExecution(*pred, profile, 1.0, now);
+    runMismatchedExecution(*pred, profile, 1.0, now);
+    EXPECT_LT(pred->errorEstimate(), 0.05);
+}
+
+} // namespace
+} // namespace dirigent::core

@@ -88,7 +88,7 @@ TEST_F(RuntimeTest, PredictorFollowsExecutions)
     runtime.start();
     // Run long enough for at least two FG executions (~2 s each).
     engine_->runUntil(Time::sec(6.5));
-    const Predictor &pred = runtime.predictor(fgPid_);
+    const CompletionPredictor &pred = runtime.predictor(fgPid_);
     EXPECT_GE(pred.executionsSeen(), 2u);
     // Midpoint samples recorded for completed executions.
     EXPECT_GE(runtime.midpointSamples(fgPid_).size(), 2u);

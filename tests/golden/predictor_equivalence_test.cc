@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Predictor-seam license: with the default predictor, the spec
+ * assembly path (an explicit `[predictor]` section round-tripped
+ * through parse(format(spec)), and the harness-wide
+ * runtime.predictor override) must reproduce the checked-in golden
+ * sentinels byte-identically — no regeneration allowed — and must
+ * stay bit-exact across 1/2/4 worker threads. This is the proof that
+ * extracting the prediction seam changed no behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dirigent/predictor_spec.h"
+#include "dirigent/scheme_spec.h"
+#include "dirigent/trace.h"
+#include "exec/executor.h"
+#include "harness/experiment.h"
+#include "workload/mix.h"
+
+#ifndef DIRIGENT_GOLDEN_DIR
+#error "DIRIGENT_GOLDEN_DIR must point at the golden data directory"
+#endif
+
+namespace dirigent::harness {
+namespace {
+
+constexpr uint64_t kGoldenSeed = 4242;
+
+HarnessConfig
+goldenConfig()
+{
+    HarnessConfig cfg;
+    cfg.executions = 5;
+    cfg.warmup = 2;
+    cfg.seed = kGoldenSeed;
+    return cfg;
+}
+
+std::vector<workload::WorkloadMix>
+sentinelMixes()
+{
+    return {
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs")),
+        workload::makeMix({"raytrace"},
+                          workload::BgSpec::single("bwaves")),
+        workload::makeMix({"streamcluster"},
+                          workload::BgSpec::single("pca")),
+    };
+}
+
+/** Both renderings of one sentinel's trace. */
+struct SentinelTrace
+{
+    std::string canonical;
+    std::string precise;
+};
+
+std::string
+sentinelSlug(const std::string &mixName, const std::string &scheme)
+{
+    std::string slug = mixName + "_" + scheme;
+    for (char &c : slug)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return slug;
+}
+
+/** A builtin scheme spec with its (default) [predictor] section made
+ *  explicit by round-tripping the canonical text — exactly what a
+ *  scheme file carrying `[predictor]\nkind = ema\n...` produces. */
+core::SchemeSpec
+specWithExplicitPredictor(const char *scheme)
+{
+    const core::SchemeSpec *spec = core::findSchemeSpec(scheme);
+    EXPECT_NE(spec, nullptr);
+    core::SchemeSpec explicitSpec =
+        core::parseSchemeSpec(core::formatSchemeSpec(*spec));
+    EXPECT_EQ(explicitSpec.predictor, core::PredictorSpec{});
+    return explicitSpec;
+}
+
+/**
+ * Run all six sentinels through the spec path on @p threads workers
+ * and return their traces keyed by slug (mirrors the golden suite's
+ * runSentinels, with specs instead of enums).
+ */
+std::map<std::string, SentinelTrace>
+runSpecSentinels(unsigned threads)
+{
+    exec::ExecutorConfig ecfg;
+    ecfg.threads = threads;
+    ecfg.progress = false;
+    exec::SweepExecutor executor(goldenConfig(), ecfg);
+
+    std::vector<workload::WorkloadMix> mixes = sentinelMixes();
+    std::map<std::string, workload::WorkloadMix> byName;
+    for (const auto &mix : mixes)
+        byName[mix.name] = mix;
+
+    std::mutex mutex;
+    std::map<std::string, SentinelTrace> traces;
+    std::map<std::string, std::map<std::string, Time>> deadlines;
+
+    std::vector<exec::JobKey> stage1;
+    for (const auto &mix : mixes)
+        stage1.push_back({mix.name, "Baseline", 0});
+    executor.forEach(stage1, [&](size_t, const exec::JobKey &key,
+                                 ExperimentRunner &runner) {
+        core::GoldenTraceRecorder recorder;
+        RunOptions opts;
+        opts.golden = &recorder;
+        auto result = runner.run(byName.at(key.mix),
+                                 specWithExplicitPredictor("Baseline"),
+                                 {}, opts);
+        std::lock_guard<std::mutex> lock(mutex);
+        traces[sentinelSlug(key.mix, "Baseline")] = {
+            recorder.canonicalText(), recorder.preciseText()};
+        deadlines[key.mix] = runner.deadlinesFromBaseline(result);
+    });
+
+    std::vector<exec::JobKey> stage2;
+    for (const auto &mix : mixes)
+        stage2.push_back({mix.name, "Dirigent", 0});
+    executor.forEach(stage2, [&](size_t, const exec::JobKey &key,
+                                 ExperimentRunner &runner) {
+        core::GoldenTraceRecorder recorder;
+        RunOptions opts;
+        opts.golden = &recorder;
+        std::map<std::string, Time> mixDeadlines;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            mixDeadlines = deadlines.at(key.mix);
+        }
+        runner.run(byName.at(key.mix),
+                   specWithExplicitPredictor("Dirigent"), mixDeadlines,
+                   opts);
+        std::lock_guard<std::mutex> lock(mutex);
+        traces[sentinelSlug(key.mix, "Dirigent")] = {
+            recorder.canonicalText(), recorder.preciseText()};
+    });
+
+    return traces;
+}
+
+std::string
+readGolden(const std::string &slug)
+{
+    std::string path =
+        std::string(DIRIGENT_GOLDEN_DIR) + "/" + slug + ".trace";
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+TEST(PredictorEquivalenceTest, ExplicitDefaultSectionMatchesSentinels)
+{
+    std::map<std::string, SentinelTrace> traces = runSpecSentinels(1);
+    ASSERT_EQ(traces.size(), 6u);
+    for (const auto &[slug, trace] : traces) {
+        SCOPED_TRACE(slug);
+        std::string expected = readGolden(slug);
+        ASSERT_FALSE(expected.empty()) << "missing golden " << slug;
+        EXPECT_EQ(trace.canonical + "\n", expected)
+            << "predictor seam changed sentinel " << slug << ":\n"
+            << core::traceDiff(expected, trace.canonical + "\n");
+    }
+}
+
+TEST(PredictorEquivalenceTest, SpecPathIsThreadCountInvariant)
+{
+    std::map<std::string, SentinelTrace> serial = runSpecSentinels(1);
+    for (unsigned threads : {2u, 4u}) {
+        std::map<std::string, SentinelTrace> parallel =
+            runSpecSentinels(threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (const auto &[slug, trace] : serial) {
+            SCOPED_TRACE(slug + " @" + std::to_string(threads) +
+                         " threads");
+            ASSERT_TRUE(parallel.count(slug));
+            EXPECT_EQ(parallel.at(slug).precise, trace.precise)
+                << core::traceDiff(trace.precise,
+                                   parallel.at(slug).precise);
+        }
+    }
+}
+
+TEST(PredictorEquivalenceTest, HarnessWideEmaOverrideMatchesSentinel)
+{
+    // runtime.predictor=ema on the harness config (what the
+    // run_experiment CLI key sets) is the same run as no override.
+    HarnessConfig cfg = goldenConfig();
+    cfg.runtime.predictor = *core::findPredictorSpec("ema");
+    ExperimentRunner runner(cfg);
+    workload::WorkloadMix mix =
+        workload::makeMix({"ferret"}, workload::BgSpec::single("rs"));
+
+    auto baseline = runner.run(mix, core::Scheme::Baseline, {});
+    auto deadlines = runner.deadlinesFromBaseline(baseline);
+
+    core::GoldenTraceRecorder recorder;
+    RunOptions opts;
+    opts.golden = &recorder;
+    runner.run(mix, core::Scheme::Dirigent, deadlines, opts);
+
+    std::string expected = readGolden("ferret_rs_Dirigent");
+    ASSERT_FALSE(expected.empty());
+    EXPECT_EQ(recorder.canonicalText() + "\n", expected)
+        << core::traceDiff(expected, recorder.canonicalText() + "\n");
+}
+
+} // namespace
+} // namespace dirigent::harness

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Predictor properties, for every builtin kind behind the prediction
+ * seam:
+ *
+ *  - On stationary workloads (constant slowdown, profile-conforming
+ *    progress) the smoothed midpoint prediction error must not grow
+ *    as executions accumulate, and must end small.
+ *  - Generative candidate curves are strictly increasing cumulative
+ *    time (they inherit the profile's monotonicity), for every
+ *    candidate, ensemble size, and seed.
+ *  - The generative sampler is deterministic in its seed: same seed,
+ *    same curves and predictions; different seeds, different curves.
+ *  - Deadline decomposition is exact: per-segment budgets are positive
+ *    and sum to the end-to-end deadline.
+ *
+ * Uses the forAll harness so failures shrink and reproduce by seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dirigent/decomposition_predictor.h"
+#include "dirigent/fallback_predictor.h"
+#include "dirigent/generative_predictor.h"
+#include "dirigent/predictor_spec.h"
+#include "dirigent/profile.h"
+#include "prop/prop.h"
+
+namespace dirigent::prop {
+namespace {
+
+using core::CompletionPredictor;
+using core::DeadlineDecompositionPredictor;
+using core::GenerativeProfilePredictor;
+using core::PredictorSpec;
+using core::Profile;
+using core::ProfileSegment;
+
+/** One randomized predictor scenario. */
+struct PredCase
+{
+    size_t segments = 8;
+    double progressPerSeg = 1e6;
+    double dtMs = 5.0;
+    double slowdown = 1.2;
+    uint64_t seed = 1;
+};
+
+PredCase
+genPredCase(Rng &rng)
+{
+    PredCase c;
+    c.segments = 4 + rng.below(27);
+    c.progressPerSeg = rng.uniform(1e5, 5e6);
+    c.dtMs = rng.uniform(1.0, 10.0);
+    c.slowdown = rng.uniform(1.0, 1.6);
+    c.seed = rng.next();
+    return c;
+}
+
+std::vector<PredCase>
+shrinkPredCase(const PredCase &c)
+{
+    std::vector<PredCase> out;
+    if (c.segments > 4) {
+        PredCase s = c;
+        s.segments = (c.segments + 4) / 2;
+        out.push_back(s);
+    }
+    if (c.slowdown > 1.0) {
+        PredCase s = c;
+        s.slowdown = 1.0;
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::string
+showPredCase(const PredCase &c)
+{
+    return "segments=" + std::to_string(c.segments) +
+           " progress=" + std::to_string(c.progressPerSeg) +
+           " dtMs=" + std::to_string(c.dtMs) +
+           " slowdown=" + std::to_string(c.slowdown) +
+           " seed=" + std::to_string(c.seed);
+}
+
+Profile
+makeProfile(const PredCase &c)
+{
+    std::vector<ProfileSegment> segs(
+        c.segments, ProfileSegment{c.progressPerSeg, Time::ms(c.dtMs)});
+    return Profile("prop", Time::ms(c.dtMs), segs);
+}
+
+/**
+ * One profile-conforming execution at a constant slowdown: each
+ * segment takes slowdown x its profiled duration, observed at segment
+ * boundaries, ending at full profiled progress.
+ */
+void
+runStationaryExecution(CompletionPredictor &pred, const Profile &profile,
+                       double slowdown, Time &now)
+{
+    pred.beginExecution(now);
+    double progress = 0.0;
+    for (const ProfileSegment &seg : profile.segments()) {
+        now += seg.duration * slowdown;
+        progress += seg.progress;
+        pred.observe(now, progress);
+    }
+    pred.endExecution(now, progress);
+}
+
+TEST(PredictorPropTest, StationaryErrorShrinks)
+{
+    Check<PredCase> check =
+        [](const PredCase &c) -> std::optional<std::string> {
+        Profile profile = makeProfile(c);
+        for (const PredictorSpec &spec :
+             core::builtinPredictorSpecs()) {
+            auto pred = core::makePredictor(spec, &profile, c.seed);
+            Time now;
+            double earlyError = 0.0;
+            for (int exec = 1; exec <= 12; ++exec) {
+                runStationaryExecution(*pred, profile, c.slowdown,
+                                       now);
+                if (exec == 3)
+                    earlyError = pred->errorEstimate();
+            }
+            double lateError = pred->errorEstimate();
+            if (pred->degraded())
+                return spec.kind +
+                       ": degraded on a profile-conforming workload";
+            if (lateError > earlyError + 0.05)
+                return spec.kind + ": error grew from " +
+                       std::to_string(earlyError) + " to " +
+                       std::to_string(lateError);
+            if (lateError > 0.6)
+                return spec.kind + ": stationary error stayed large (" +
+                       std::to_string(lateError) + ")";
+        }
+        return std::nullopt;
+    };
+    forAll<PredCase>(0xD1519E17, 20, genPredCase, check, shrinkPredCase,
+                     showPredCase);
+}
+
+TEST(PredictorPropTest, GenerativeCurvesAreMonotone)
+{
+    Check<PredCase> check =
+        [](const PredCase &c) -> std::optional<std::string> {
+        Profile profile = makeProfile(c);
+        PredictorSpec spec = *core::findPredictorSpec("generative");
+        spec.ensemble = 2 + unsigned(c.seed % 63);
+        GenerativeProfilePredictor pred(&profile, spec, Rng(c.seed));
+        if (pred.ensembleSize() != spec.ensemble)
+            return "ensemble size " +
+                   std::to_string(pred.ensembleSize()) + " != spec " +
+                   std::to_string(spec.ensemble);
+        for (size_t k = 0; k < pred.ensembleSize(); ++k) {
+            std::vector<double> curve = pred.candidateCurve(k);
+            if (curve.size() != profile.size())
+                return "candidate " + std::to_string(k) +
+                       " has wrong segment count";
+            double prev = 0.0;
+            for (size_t i = 0; i < curve.size(); ++i) {
+                if (!(curve[i] > prev) || !std::isfinite(curve[i]))
+                    return "candidate " + std::to_string(k) +
+                           " not strictly increasing at segment " +
+                           std::to_string(i);
+                prev = curve[i];
+            }
+        }
+        return std::nullopt;
+    };
+    forAll<PredCase>(0x6E0E12A7, 40, genPredCase, check, shrinkPredCase,
+                     showPredCase);
+}
+
+TEST(PredictorPropTest, GenerativeIsSeedDeterministic)
+{
+    Check<PredCase> check =
+        [](const PredCase &c) -> std::optional<std::string> {
+        Profile profile = makeProfile(c);
+        PredictorSpec spec = *core::findPredictorSpec("generative");
+        GenerativeProfilePredictor a(&profile, spec, Rng(c.seed));
+        GenerativeProfilePredictor b(&profile, spec, Rng(c.seed));
+        GenerativeProfilePredictor other(&profile, spec,
+                                         Rng(c.seed + 1));
+
+        // Identical seeds: identical curves and identical predictions
+        // after identical observation streams.
+        for (size_t k = 0; k < a.ensembleSize(); ++k)
+            if (a.candidateCurve(k) != b.candidateCurve(k))
+                return "same seed produced different candidate " +
+                       std::to_string(k);
+        Time nowA, nowB;
+        for (int exec = 0; exec < 3; ++exec) {
+            runStationaryExecution(a, profile, c.slowdown, nowA);
+            runStationaryExecution(b, profile, c.slowdown, nowB);
+        }
+        a.beginExecution(nowA);
+        b.beginExecution(nowB);
+        a.observe(nowA + Time::ms(c.dtMs), c.progressPerSeg);
+        b.observe(nowB + Time::ms(c.dtMs), c.progressPerSeg);
+        if (a.predictTotal() != b.predictTotal())
+            return "same seed diverged after identical observations";
+
+        // A different seed must sample different perturbed curves
+        // (candidate 0 is the unperturbed profile, so compare k >= 1).
+        bool differs = false;
+        for (size_t k = 1; k < other.ensembleSize() && !differs; ++k)
+            differs = other.candidateCurve(k) != a.candidateCurve(k);
+        if (!differs)
+            return "different seeds sampled identical ensembles";
+        return std::nullopt;
+    };
+    forAll<PredCase>(0x5EEDDE7, 20, genPredCase, check, shrinkPredCase,
+                     showPredCase);
+}
+
+TEST(PredictorPropTest, DeadlineDecompositionIsExact)
+{
+    Check<PredCase> check =
+        [](const PredCase &c) -> std::optional<std::string> {
+        Profile profile = makeProfile(c);
+        PredictorSpec spec = *core::findPredictorSpec("decomposition");
+        DeadlineDecompositionPredictor pred(&profile, spec);
+        Time now;
+        // Both cold (profile-only budgets) and warm (slowdown EMAs
+        // populated) decompositions must be exact.
+        for (int warm = 0; warm < 2; ++warm) {
+            Time deadline =
+                profile.totalTime() * (1.0 + c.slowdown);
+            std::vector<Time> budgets = pred.segmentDeadlines(deadline);
+            if (budgets.size() != profile.size())
+                return "budget count != segment count";
+            Time sum;
+            for (size_t i = 0; i < budgets.size(); ++i) {
+                if (!(budgets[i] > Time()))
+                    return "segment " + std::to_string(i) +
+                           " budget not positive";
+                sum += budgets[i];
+            }
+            if (std::fabs((sum - deadline).sec()) > 1e-9)
+                return "budgets sum to " + std::to_string(sum.sec()) +
+                       " != deadline " +
+                       std::to_string(deadline.sec());
+            runStationaryExecution(pred, profile, c.slowdown, now);
+            runStationaryExecution(pred, profile, c.slowdown, now);
+        }
+        return std::nullopt;
+    };
+    forAll<PredCase>(0xDEAD11E, 30, genPredCase, check, shrinkPredCase,
+                     showPredCase);
+}
+
+} // namespace
+} // namespace dirigent::prop

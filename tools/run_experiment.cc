@@ -65,6 +65,8 @@
  *                          comparison
  *   --list-clusters        print the builtin cluster registry and exit
  *   --list-schemes         print the builtin scheme registry and exit
+ *   --list-predictors      print the builtin completion-predictor
+ *                          registry and exit
  *   scheme = any registry name (see --list-schemes) or `all`;
  *            baseline|staticfreq|staticboth|dirigentfreq|dirigent plus
  *            the ablations observer|reactive|coarseonly
@@ -81,6 +83,9 @@
  *   machine.dram_latency = 80ns
  *   runtime.period = 5ms
  *   runtime.ema = 0.2
+ *   runtime.predictor = ema   completion predictor for runtime schemes
+ *                          (see --list-predictors); a scheme file's
+ *                          [predictor] section overrides this
  *
  * Examples:
  *   run_experiment ferret bwaves scheme=all
@@ -105,6 +110,7 @@
 #include "common/log.h"
 #include "common/strfmt.h"
 #include "common/table.h"
+#include "dirigent/predictor_spec.h"
 #include "dirigent/scheme_spec.h"
 #include "exec/executor.h"
 #include "fault/plan.h"
@@ -138,6 +144,7 @@ usage()
            "       run_experiment --cluster-file FILE [options]\n"
            "       run_experiment --list\n"
            "       run_experiment --list-schemes\n"
+           "       run_experiment --list-predictors\n"
            "       run_experiment --list-clusters\n";
     std::exit(2);
 }
@@ -192,6 +199,14 @@ harnessFromConfig(const Config &cfg)
     hc.runtime.samplingPeriod =
         cfg.getTime("runtime.period", hc.runtime.samplingPeriod);
     hc.profiler.samplingPeriod = hc.runtime.samplingPeriod;
+    std::string predictorKind =
+        cfg.getString("runtime.predictor", "ema");
+    const core::PredictorSpec *pspec =
+        core::findPredictorSpec(predictorKind);
+    if (pspec == nullptr)
+        fatal("unknown predictor '" + predictorKind +
+              "' (try --list-predictors)");
+    hc.runtime.predictor = *pspec;
     double ema = cfg.getDouble("runtime.ema", 0.2);
     hc.runtime.predictor.penaltyEmaWeight = ema;
     hc.runtime.predictor.rateEmaWeight = ema;
@@ -376,6 +391,21 @@ listSchemes()
                  "dirigent/scheme_spec.h.\n";
 }
 
+void
+listPredictors()
+{
+    TextTable table({"predictor", "knobs", "spec hash"});
+    for (const auto &spec : core::builtinPredictorSpecs())
+        table.addRow({spec.kind, core::predictorKnobSummary(spec),
+                      strfmt("%llu",
+                             (unsigned long long)
+                                 core::predictorSpecHash(spec))});
+    table.print(std::cout);
+    std::cout << "\nSelect with runtime.predictor=<kind> or a scheme "
+                 "file's [predictor] section;\nround-trippable INI "
+                 "format documented in dirigent/predictor_spec.h.\n";
+}
+
 } // namespace
 
 int
@@ -394,6 +424,9 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--list-schemes") {
             listSchemes();
+            return 0;
+        } else if (arg == "--list-predictors") {
+            listPredictors();
             return 0;
         } else if (arg == "--scheme-file") {
             if (++i >= argc)
